@@ -1,0 +1,186 @@
+package tigervector
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Sec. 6), one testing.B target per artifact, plus ablation
+// benches for the design decisions called out in DESIGN.md.
+//
+// Dataset sizes scale with the TGV_SCALE environment variable; when the
+// variable is unset the benchmarks default to a reduced scale (0.25 =
+// 5k vectors / 750 persons) so `go test -bench=.` completes in minutes on
+// one core. Set TGV_SCALE=1 (or higher) for the full laptop-scale runs
+// reported in EXPERIMENTS.md.
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func benchScale(b *testing.B) {
+	b.Helper()
+	if os.Getenv("TGV_SCALE") == "" {
+		os.Setenv("TGV_SCALE", "0.25")
+		b.Cleanup(func() { os.Unsetenv("TGV_SCALE") })
+	}
+}
+
+func sink(b *testing.B) io.Writer {
+	if testing.Verbose() {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+// BenchmarkTable1DatasetStats regenerates Table 1 (dataset statistics).
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table1(sink(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7ThroughputSIFT regenerates Figure 7(a): QPS vs recall on
+// the SIFT-like dataset for TigerVector, Milvus, Neo4j and Neptune.
+func BenchmarkFig7ThroughputSIFT(b *testing.B) {
+	benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig7(sink(b), "sift"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7ThroughputDeep regenerates Figure 7(b) on Deep-like data.
+func BenchmarkFig7ThroughputDeep(b *testing.B) {
+	benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig7(sink(b), "deep"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8LatencySIFT regenerates Figure 8(a): single-thread latency
+// vs recall.
+func BenchmarkFig8LatencySIFT(b *testing.B) {
+	benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig8(sink(b), "sift"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8LatencyDeep regenerates Figure 8(b).
+func BenchmarkFig8LatencyDeep(b *testing.B) {
+	benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig8(sink(b), "deep"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9NodeScalability regenerates Figure 9: modeled QPS with
+// 1/2/4/8 simulated nodes.
+func BenchmarkFig9NodeScalability(b *testing.B) {
+	benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig9(sink(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10DataScalability regenerates Figure 10: modeled QPS at 1x
+// and 10x data on 8 simulated nodes.
+func BenchmarkFig10DataScalability(b *testing.B) {
+	benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig10(sink(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2IndexBuild regenerates Table 2: end-to-end / data-load /
+// index-build times for TigerVector, Milvus and Neo4j.
+func BenchmarkTable2IndexBuild(b *testing.B) {
+	benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table2(sink(b), "sift"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11IndexUpdate regenerates Figure 11: incremental update
+// time vs update rate against the full-rebuild line.
+func BenchmarkFig11IndexUpdate(b *testing.B) {
+	benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig11(sink(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3HybridSF10 regenerates Table 3: hybrid IC queries at the
+// smaller scale factor.
+func BenchmarkTable3HybridSF10(b *testing.B) {
+	benchScale(b)
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		if _, err := bench.Table3(sink(b), dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4HybridSF30 regenerates Table 4 at 3x the persons.
+func BenchmarkTable4HybridSF30(b *testing.B) {
+	benchScale(b)
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		if _, err := bench.Table4(sink(b), dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSegmentedVsGlobal measures design decision 1: per-
+// segment indexes + global merge vs one global index.
+func BenchmarkAblationSegmentedVsGlobal(b *testing.B) {
+	benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.AblationSegmentedVsGlobal(sink(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPrePostFilter measures design decision 2: pre-filter
+// bitmaps vs post-filter retry loops at 1% selectivity.
+func BenchmarkAblationPrePostFilter(b *testing.B) {
+	benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.AblationPrePostFilter(sink(b), 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBruteForceThreshold measures design decision 3: the
+// low-valid-count brute-force fallback.
+func BenchmarkAblationBruteForceThreshold(b *testing.B) {
+	benchScale(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.AblationBruteForceThreshold(sink(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

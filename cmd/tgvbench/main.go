@@ -1,0 +1,115 @@
+// tgvbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tgvbench -exp all
+//	tgvbench -exp fig7 -family deep
+//	TGV_SCALE=5 tgvbench -exp table3
+//
+// Experiments: table1, fig7, fig8, fig9, fig10, table2, fig11, table3,
+// table4, ablations, all. The TGV_SCALE environment variable multiplies
+// dataset sizes (default 1 = 20k vectors / 3k persons).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1|fig7|fig8|fig9|fig10|table2|fig11|table3|table4|ablations|all)")
+	family := flag.String("family", "both", "dataset family for fig7/fig8/table2 (sift|deep|both)")
+	flag.Parse()
+
+	w := os.Stdout
+	run := func(name string, fn func() error) {
+		fmt.Fprintf(w, "\n================ %s ================\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	families := []string{*family}
+	if *family == "both" {
+		families = []string{"sift", "deep"}
+	}
+
+	all := *exp == "all"
+	if all || *exp == "table1" {
+		run("Table 1", func() error { _, err := bench.Table1(w); return err })
+	}
+	if all || *exp == "fig7" {
+		for _, f := range families {
+			f := f
+			run("Figure 7 "+f, func() error { _, err := bench.Fig7(w, f); return err })
+		}
+	}
+	if all || *exp == "fig8" {
+		for _, f := range families {
+			f := f
+			run("Figure 8 "+f, func() error { _, err := bench.Fig8(w, f); return err })
+		}
+	}
+	if all || *exp == "fig9" {
+		run("Figure 9", func() error { _, err := bench.Fig9(w); return err })
+	}
+	if all || *exp == "fig10" {
+		run("Figure 10", func() error { _, err := bench.Fig10(w); return err })
+	}
+	if all || *exp == "table2" {
+		for _, f := range families {
+			f := f
+			run("Table 2 "+f, func() error { _, err := bench.Table2(w, f); return err })
+		}
+	}
+	if all || *exp == "fig11" {
+		run("Figure 11", func() error { _, err := bench.Fig11(w); return err })
+	}
+	if all || *exp == "table3" {
+		run("Table 3", func() error {
+			dir, err := os.MkdirTemp("", "tgv-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			_, err = bench.Table3(w, dir)
+			return err
+		})
+	}
+	if all || *exp == "table4" {
+		run("Table 4", func() error {
+			dir, err := os.MkdirTemp("", "tgv-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			_, err = bench.Table4(w, dir)
+			return err
+		})
+	}
+	if all || *exp == "ablations" {
+		run("Ablations", func() error {
+			if _, _, err := bench.AblationSegmentedVsGlobal(w); err != nil {
+				return err
+			}
+			if _, _, err := bench.AblationPrePostFilter(w, 0.01); err != nil {
+				return err
+			}
+			_, _, err := bench.AblationBruteForceThreshold(w)
+			return err
+		})
+	}
+	switch *exp {
+	case "all", "table1", "fig7", "fig8", "fig9", "fig10", "table2", "fig11", "table3", "table4", "ablations":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

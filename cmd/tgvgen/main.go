@@ -1,0 +1,186 @@
+// tgvgen writes synthetic datasets to disk: SIFT-like / Deep-like vector
+// collections as CSV (id, colon-separated vector) and LDBC-like social
+// network CSVs suitable for the loading-job API.
+//
+// Usage:
+//
+//	tgvgen -kind sift -n 20000 -out sift.csv
+//	tgvgen -kind snb -persons 3000 -out snbdir/
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "sift", "dataset kind: sift | deep | snb")
+	n := flag.Int("n", 20000, "vector count (sift/deep)")
+	persons := flag.Int("persons", 3000, "person count (snb)")
+	out := flag.String("out", "", "output file (sift/deep) or directory (snb)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "need -out")
+		os.Exit(2)
+	}
+	switch *kind {
+	case "sift", "deep":
+		var ds *workload.VectorDataset
+		var err error
+		if *kind == "sift" {
+			ds, err = workload.SIFTLike(*n, *seed)
+		} else {
+			ds, err = workload.DeepLike(*n, *seed)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeVectors(*out, ds); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d %s vectors (dim %d) to %s\n", len(ds.Vectors), ds.Name, ds.Dim, *out)
+	case "snb":
+		dir := *out
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		tmp, err := os.MkdirTemp("", "tgvgen-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		snb, err := workload.BuildSNB(workload.SNBConfig{Persons: *persons, Dim: 64, Seed: *seed}, tmp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeSNB(dir, snb); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote persons/posts/comments/knows/hasCreator CSVs to %s\n", dir)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func writeVectors(path string, ds *workload.VectorDataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for i, v := range ds.Vectors {
+		parts := make([]string, len(v))
+		for j, x := range v {
+			parts[j] = strconv.FormatFloat(float64(x), 'g', 6, 32)
+		}
+		fmt.Fprintf(w, "%d,%s\n", ds.IDs[i], strings.Join(parts, ":"))
+	}
+	return w.Flush()
+}
+
+func writeSNB(dir string, snb *workload.SNB) error {
+	write := func(name string, fn func(w *bufio.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		if err := fn(w); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	if err := write("persons.csv", func(w *bufio.Writer) error {
+		for _, p := range snb.Persons {
+			id, err := snb.G.Attr("Person", p, "id")
+			if err != nil {
+				return err
+			}
+			name, _ := snb.G.Attr("Person", p, "firstName")
+			fmt.Fprintf(w, "%d,%s\n", id, name)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := write("posts.csv", func(w *bufio.Writer) error {
+		for _, p := range snb.Posts {
+			id, err := snb.G.Attr("Post", p, "id")
+			if err != nil {
+				return err
+			}
+			lang, _ := snb.G.Attr("Post", p, "language")
+			length, _ := snb.G.Attr("Post", p, "length")
+			fmt.Fprintf(w, "%d,%s,%d\n", id, lang, length)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := write("post_embeddings.csv", func(w *bufio.Writer) error {
+		for i, p := range snb.Posts {
+			id, err := snb.G.Attr("Post", p, "id")
+			if err != nil {
+				return err
+			}
+			v := snb.PostVecs[i]
+			parts := make([]string, len(v))
+			for j, x := range v {
+				parts[j] = strconv.FormatFloat(float64(x), 'g', 6, 32)
+			}
+			fmt.Fprintf(w, "%d,%s\n", id, strings.Join(parts, ":"))
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := write("knows.csv", func(w *bufio.Writer) error {
+		seen := map[[2]uint64]bool{}
+		for _, p := range snb.Persons {
+			pid, err := snb.G.Attr("Person", p, "id")
+			if err != nil {
+				return err
+			}
+			for _, nb := range snb.G.OutNeighbors("knows", p) {
+				key := [2]uint64{p, nb}
+				if p > nb {
+					key = [2]uint64{nb, p}
+				}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				nid, _ := snb.G.Attr("Person", nb, "id")
+				fmt.Fprintf(w, "%d,%d\n", pid, nid)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return write("hasCreator.csv", func(w *bufio.Writer) error {
+		for _, p := range snb.Posts {
+			pid, err := snb.G.Attr("Post", p, "id")
+			if err != nil {
+				return err
+			}
+			for _, c := range snb.G.OutNeighbors("hasCreator", p) {
+				cid, _ := snb.G.Attr("Person", c, "id")
+				fmt.Fprintf(w, "%d,%d\n", pid, cid)
+			}
+		}
+		return nil
+	})
+}

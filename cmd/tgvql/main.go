@@ -1,0 +1,138 @@
+// tgvql executes a GSQL script against a TigerVector database built from
+// a generated LDBC-like social network, then optionally runs one of the
+// defined queries.
+//
+// Usage:
+//
+//	tgvql -script queries.gsql -run myquery -args 'pid=3,k=10'
+//	tgvql -demo                # run a built-in demonstration script
+//
+// Vector parameters (LIST<FLOAT>) receive a random content-like query
+// vector unless given as colon-separated floats: -args 'qv=0.1:0.2:...'.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/gsql"
+	"repro/internal/workload"
+)
+
+const demoScript = `
+CREATE QUERY demo_topk (LIST<FLOAT> qv, INT k) {
+  Res = SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT k;
+  PRINT Res;
+}
+CREATE QUERY demo_hybrid (INT pid, LIST<FLOAT> qv, INT k) {
+  Friends = SELECT f FROM (s:Person) -[:knows]- (f:Person) WHERE s.id = pid;
+  Msgs = SELECT t FROM (:Friends) <-[:hasCreator]- (t:Post) WHERE t.language = "English";
+  TopK = VectorSearch({Post.content_emb}, qv, k, {filter: Msgs});
+  PRINT TopK;
+}`
+
+func main() {
+	script := flag.String("script", "", "path to a .gsql script (DDL is pre-installed; define queries here)")
+	runQ := flag.String("run", "", "query name to run after loading the script")
+	argSpec := flag.String("args", "", "comma-separated name=value query arguments")
+	persons := flag.Int("persons", 1000, "generated social network size")
+	demo := flag.Bool("demo", false, "use the built-in demo script")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "tgvql-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fmt.Fprintf(os.Stderr, "building LDBC-like social network (%d persons)...\n", *persons)
+	snb, err := workload.BuildSNB(workload.SNBConfig{Persons: *persons, Dim: 64, Seed: 1}, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "graph ready: %d persons, %d posts, %d comments\n",
+		len(snb.Persons), len(snb.Posts), len(snb.Comments))
+
+	in := gsql.NewInterpreter(snb.E)
+	src := demoScript
+	if !*demo {
+		if *script == "" {
+			fmt.Fprintln(os.Stderr, "need -script or -demo")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = string(data)
+	}
+	if err := in.Exec(src); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "defined queries: %v\n", in.Queries())
+
+	name := *runQ
+	if name == "" && *demo {
+		name = "demo_hybrid"
+		if *argSpec == "" {
+			*argSpec = "pid=1,k=5"
+		}
+	}
+	if name == "" {
+		return
+	}
+	args := map[string]any{}
+	if *argSpec != "" {
+		for _, kv := range strings.Split(*argSpec, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				log.Fatalf("bad argument %q", kv)
+			}
+			args[parts[0]] = parseArg(parts[1])
+		}
+	}
+	// Fill missing vector args with a random content-like vector.
+	if _, ok := args["qv"]; !ok {
+		args["qv"] = snb.RandomQueryVector()
+	}
+	res, err := in.Run(name, args)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, out := range res.Outputs {
+		fmt.Printf("%s = %v\n", out.Name, out.Value)
+	}
+	for _, plan := range res.Plans {
+		fmt.Printf("plan:\n%s\n", plan)
+	}
+	fmt.Printf("end-to-end %v, vector search %v, candidates %d\n",
+		res.Stats.EndToEnd, res.Stats.VectorSearchTime, res.Stats.Candidates)
+}
+
+func parseArg(s string) any {
+	if strings.Contains(s, ":") {
+		parts := strings.Split(s, ":")
+		vec := make([]float32, len(parts))
+		for i, p := range parts {
+			f, err := strconv.ParseFloat(p, 32)
+			if err != nil {
+				log.Fatalf("bad vector component %q", p)
+			}
+			vec[i] = float32(f)
+		}
+		return vec
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	if b, err := strconv.ParseBool(s); err == nil {
+		return b
+	}
+	return s
+}

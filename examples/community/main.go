@@ -1,0 +1,121 @@
+// Community: the paper's Q4 / Figure 6 demonstration — Louvain community
+// detection over Person/knows, then a per-community top-k vector search
+// over the Posts each community created, combining a graph algorithm with
+// vector search in one GSQL procedure.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	tigervector "repro"
+)
+
+const schema = `
+CREATE VERTEX Person (id INT PRIMARY KEY, name STRING, cid INT);
+CREATE VERTEX Post (id INT PRIMARY KEY, text STRING);
+CREATE UNDIRECTED EDGE knows (FROM Person, TO Person);
+CREATE DIRECTED EDGE hasCreator (FROM Post, TO Person);
+ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb (
+  DIMENSION = 32, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);
+`
+
+// The paper's Q4: detect communities, write ids into Person.cid, then
+// loop communities doing a filtered top-k search each.
+const q4 = `
+CREATE QUERY q4 (LIST<FLOAT> topic_emb, INT k) {
+  C_num = tg_louvain(["Person"], ["knows"]);
+  PRINT C_num;
+  FOREACH i IN RANGE[0, C_num - 1] DO
+    CommunityPosts = SELECT t FROM (s:Person) <-[:hasCreator]- (t:Post) WHERE s.cid = i;
+    TopKPosts = VectorSearch({Post.content_emb}, topic_emb, k, {filter: CommunityPosts});
+    PRINT TopKPosts;
+  END;
+}`
+
+func main() {
+	db, err := tigervector.Open(tigervector.Config{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec(schema); err != nil {
+		log.Fatal(err)
+	}
+
+	// Three dense friend groups with sparse bridges (like Fig. 6's green,
+	// blue and yellow communities).
+	r := rand.New(rand.NewSource(3))
+	const groupSize = 25
+	var people []uint64
+	for i := 0; i < 3*groupSize; i++ {
+		id, _ := db.AddVertex("Person", map[string]any{"id": int64(i), "name": fmt.Sprintf("user%02d", i)})
+		people = append(people, id)
+	}
+	for g := 0; g < 3; g++ {
+		base := g * groupSize
+		for i := 0; i < groupSize; i++ {
+			for j := i + 1; j < groupSize; j++ {
+				if r.Float64() < 0.4 {
+					db.AddEdge("knows", people[base+i], people[base+j])
+				}
+			}
+		}
+	}
+	// Two bridges between adjacent groups.
+	db.AddEdge("knows", people[0], people[groupSize])
+	db.AddEdge("knows", people[groupSize], people[2*groupSize])
+
+	// Posts: each group leans toward one topic direction, with a few
+	// posts about "AI development" sprinkled into every group.
+	topic := make([]float32, 32)
+	topic[0] = 10
+	var pids []uint64
+	var pvecs [][]float32
+	postID := 0
+	attitudes := []string{"AI will transform science!", "Cautious about AI hype.", "AI art is fascinating."}
+	for g := 0; g < 3; g++ {
+		for i := 0; i < 40; i++ {
+			text := fmt.Sprintf("group %d post %d", g, i)
+			v := make([]float32, 32)
+			for j := range v {
+				v[j] = float32(r.NormFloat64())
+			}
+			v[g+1] += 6 // group-specific direction
+			if i < 5 {  // on-topic posts
+				text = attitudes[g]
+				v[0] += 9 + float32(r.NormFloat64())
+			}
+			id, _ := db.AddVertex("Post", map[string]any{"id": int64(postID), "text": text})
+			postID++
+			db.AddEdge("hasCreator", id, people[g*groupSize+r.Intn(groupSize)])
+			pids = append(pids, id)
+			pvecs = append(pvecs, v)
+		}
+	}
+	if err := db.BulkLoadEmbeddings("Post", "content_emb", pids, pvecs); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Exec(q4); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Run("q4", map[string]any{"topic_emb": topic, "k": 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cnum := res.Outputs[0].Value.(int64)
+	fmt.Printf("Louvain found %d communities\n", cnum)
+	for i, out := range res.Outputs[1:] {
+		set, ok := out.Value.(*tigervector.VertexSet)
+		if !ok {
+			continue
+		}
+		fmt.Printf("community %d — top posts about the topic:\n", i)
+		for _, id := range set.IDs {
+			text, _ := db.Attr("Post", id, "text")
+			fmt.Printf("  post %-4d %q\n", id, text)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// GraphRAG: the VectorGraphRAG composition patterns of paper Sec. 5.5 —
+// vector search feeding graph traversal (Q2) and graph filtering feeding
+// vector search (Q3) — over a small social-network knowledge graph.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	tigervector "repro"
+)
+
+const schema = `
+CREATE VERTEX Person (id INT PRIMARY KEY, name STRING);
+CREATE VERTEX Comment (id INT PRIMARY KEY, text STRING, country STRING);
+CREATE VERTEX Post (id INT PRIMARY KEY, text STRING);
+CREATE UNDIRECTED EDGE knows (FROM Person, TO Person);
+CREATE DIRECTED EDGE hasCreator (FROM Post, TO Person);
+CREATE DIRECTED EDGE commentHasCreator (FROM Comment, TO Person);
+CREATE EMBEDDING SPACE gpt4_space (
+  DIMENSION = 48, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = COSINE);
+ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb IN EMBEDDING SPACE gpt4_space;
+ALTER VERTEX Comment ADD EMBEDDING ATTRIBUTE content_emb IN EMBEDDING SPACE gpt4_space;
+`
+
+// Q2: retrieve top-k messages (posts or comments) for a topic, then walk
+// the graph to their authors — the "who wrote the most relevant content"
+// RAG primitive.
+const q2 = `
+CREATE QUERY q2 (LIST<FLOAT> topic_emb, INT k) {
+  TopKMessages = VectorSearch({Comment.content_emb, Post.content_emb}, topic_emb, k);
+  Authors = SELECT p FROM (:TopKMessages) -[:commentHasCreator]-> (p:Person);
+  PRINT TopKMessages;
+  PRINT Authors;
+}`
+
+// Q3: restrict by a graph predicate first (comments from the United
+// States), then vector search within that candidate set, returning
+// distances for RAG score fusion.
+const q3 = `
+CREATE QUERY q3 (LIST<FLOAT> topic_emb, INT k) {
+  MapAccum<VERTEX, FLOAT> @@disMap;
+  USComments = SELECT t FROM (t:Comment) WHERE t.country = "United States";
+  TopKComments = VectorSearch({Comment.content_emb}, topic_emb, k,
+                              {filter: USComments, ef: 200, distanceMap: @@disMap});
+  PRINT TopKComments;
+  PRINT @@disMap;
+}`
+
+func main() {
+	db, err := tigervector.Open(tigervector.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec(schema); err != nil {
+		log.Fatal(err)
+	}
+
+	// Build a small knowledge graph: 50 people, 400 comments, 200 posts.
+	r := rand.New(rand.NewSource(7))
+	topicVec := func(topic int) []float32 {
+		v := make([]float32, 48)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		v[topic%48] += 8 // bias one axis per topic so topics are separable
+		return v
+	}
+	countries := []string{"United States", "France", "India"}
+	var people []uint64
+	for i := 0; i < 50; i++ {
+		id, _ := db.AddVertex("Person", map[string]any{"id": int64(i), "name": fmt.Sprintf("user%02d", i)})
+		people = append(people, id)
+		if i > 0 {
+			db.AddEdge("knows", id, people[r.Intn(i)])
+		}
+	}
+	var cids, pids []uint64
+	var cvecs, pvecs [][]float32
+	for i := 0; i < 400; i++ {
+		id, _ := db.AddVertex("Comment", map[string]any{
+			"id": int64(i), "text": fmt.Sprintf("comment %d on topic %d", i, i%5),
+			"country": countries[i%len(countries)]})
+		db.AddEdge("commentHasCreator", id, people[i%len(people)])
+		cids = append(cids, id)
+		cvecs = append(cvecs, topicVec(i%5))
+	}
+	for i := 0; i < 200; i++ {
+		id, _ := db.AddVertex("Post", map[string]any{
+			"id": int64(i), "text": fmt.Sprintf("post %d on topic %d", i, i%5)})
+		db.AddEdge("hasCreator", id, people[i%len(people)])
+		pids = append(pids, id)
+		pvecs = append(pvecs, topicVec(i%5))
+	}
+	if err := db.BulkLoadEmbeddings("Comment", "content_emb", cids, cvecs); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.BulkLoadEmbeddings("Post", "content_emb", pids, pvecs); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Exec(q2); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Exec(q3); err != nil {
+		log.Fatal(err)
+	}
+
+	topic := topicVec(2)
+
+	fmt.Println("=== Q2: vector search -> graph traversal ===")
+	res, err := db.Run("q2", map[string]any{"topic_emb": topic, "k": 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch v := res.Outputs[0].Value.(type) {
+	case []*tigervector.VertexSet:
+		fmt.Print("top messages:")
+		for _, s := range v {
+			fmt.Printf(" %v", s)
+		}
+		fmt.Println()
+	default:
+		fmt.Printf("top messages: %v\n", v)
+	}
+	authors := res.Outputs[1].Value.(*tigervector.VertexSet)
+	fmt.Print("their authors:")
+	for _, id := range authors.IDs {
+		name, _ := db.Attr("Person", id, "name")
+		fmt.Printf(" %v", name)
+	}
+	fmt.Println()
+
+	fmt.Println("\n=== Q3: graph filter -> vector search ===")
+	res, err = db.Run("q3", map[string]any{"topic_emb": topic, "k": 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := res.Outputs[0].Value.(*tigervector.VertexSet)
+	dists := res.Outputs[1].Value.(map[uint64]float64)
+	for _, id := range top.IDs {
+		text, _ := db.Attr("Comment", id, "text")
+		fmt.Printf("  comment %-4d cos_dist=%.4f  %q\n", id, dists[id], text)
+	}
+	fmt.Printf("(candidates came from %d US comments; stats: %d candidates, vector search %.2fms)\n",
+		db.NumVertices("Comment")/3*1, res.Stats.Candidates, res.Stats.VectorSearchTime*1000)
+}

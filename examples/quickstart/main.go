@@ -1,0 +1,104 @@
+// Quickstart: define a schema with an embedding attribute, load posts and
+// vectors, and run pure, filtered and range vector searches — the
+// features of paper Secs. 4.1, 5.1 and 5.2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	tigervector "repro"
+)
+
+func main() {
+	db, err := tigervector.Open(tigervector.Config{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Schema: the paper's running example (Sec. 4.1).
+	err = db.Exec(`
+CREATE VERTEX Post (id INT PRIMARY KEY, author STRING, content STRING, language STRING);
+ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb (
+  DIMENSION = 64, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load 2000 posts with synthetic "content embeddings".
+	r := rand.New(rand.NewSource(1))
+	contents := []string{"A birthday party.", "A nice road trip!", "Anyone in NY?",
+		"Thoughts on AI.", "Best pasta recipe.", "Marathon training log."}
+	langs := []string{"English", "French", "German"}
+	var ids []uint64
+	var vecs [][]float32
+	for i := 0; i < 2000; i++ {
+		id, err := db.AddVertex("Post", map[string]any{
+			"id":       int64(i),
+			"author":   fmt.Sprintf("user%03d", i%100),
+			"content":  contents[i%len(contents)],
+			"language": langs[i%len(langs)],
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		v := make([]float32, 64)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		ids = append(ids, id)
+		vecs = append(vecs, v)
+	}
+	if err := db.BulkLoadEmbeddings("Post", "content_emb", ids, vecs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d posts with embeddings\n", db.NumVertices("Post"))
+
+	// 1. Pure top-k search through the Go API.
+	query := vecs[123]
+	hits, err := db.VectorSearch([]string{"Post.content_emb"}, query, 5, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop-5 nearest posts (Go API):")
+	for _, h := range hits {
+		content, _ := db.Attr("Post", h.ID, "content")
+		fmt.Printf("  post %-4d dist=%.3f  %q\n", h.ID, h.Distance, content)
+	}
+
+	// 2. Declarative top-k via GSQL (ORDER BY VECTOR_DIST ... LIMIT).
+	err = db.Exec(`
+CREATE QUERY topk_english (LIST<FLOAT> qv, INT k) {
+  Res = SELECT s FROM (s:Post)
+        WHERE s.language = "English"
+        ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT k;
+  PRINT Res;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Run("topk_english", map[string]any{"qv": query, "k": 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := res.Outputs[0].Value.(*tigervector.VertexSet)
+	fmt.Printf("\nfiltered top-5 English posts (GSQL): %v\n", set.IDs)
+	fmt.Printf("query plan (pre-filter, paper Sec. 5.2):\n%s\n", res.Plans[0])
+
+	// 3. Range search: everything within a distance threshold.
+	near, err := db.RangeSearch("Post.content_emb", query, 40, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrange search found %d posts within squared distance 40\n", len(near))
+
+	// 4. Transactional update: move a post's embedding and search again.
+	if err := db.UpsertEmbedding("Post", "content_emb", ids[0], query); err != nil {
+		log.Fatal(err)
+	}
+	hits, _ = db.VectorSearch([]string{"Post.content_emb"}, query, 1, nil)
+	fmt.Printf("\nafter upsert, nearest post is %d (dist %.3f)\n", hits[0].ID, hits[0].Distance)
+}

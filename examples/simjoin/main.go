@@ -1,0 +1,118 @@
+// Simjoin: vector similarity join on graph patterns (paper Sec. 5.4),
+// modeled on the Case Law use case: find the top-k most similar pairs of
+// legal cases connected through the statutes they both cite
+// (Case -> cites -> Statute <- cites <- Case).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	tigervector "repro"
+)
+
+const schema = `
+CREATE VERTEX Case (id INT PRIMARY KEY, title STRING, year INT);
+CREATE VERTEX Statute (id INT PRIMARY KEY, code STRING);
+CREATE DIRECTED EDGE cites (FROM Case, TO Statute);
+ALTER VERTEX Case ADD EMBEDDING ATTRIBUTE argument_emb (
+  DIMENSION = 40, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);
+`
+
+// Top-k most similar case pairs that share at least one cited statute.
+const simjoin = `
+CREATE QUERY similar_cases (INT k) {
+  Pairs = SELECT s, t
+          FROM (s:Case) -[:cites]-> (u:Statute) <-[:cites]- (t:Case)
+          ORDER BY VECTOR_DIST(s.argument_emb, t.argument_emb)
+          LIMIT k;
+  PRINT Pairs;
+}`
+
+// Variant with a filter on the shared statute (modern statutes only).
+const simjoinFiltered = `
+CREATE QUERY similar_recent_cases (INT k) {
+  Pairs = SELECT s, t
+          FROM (s:Case) -[:cites]-> (u:Statute) <-[:cites]- (t:Case)
+          WHERE u.code = "PATENT"
+          ORDER BY VECTOR_DIST(s.argument_emb, t.argument_emb)
+          LIMIT k;
+  PRINT Pairs;
+}`
+
+func main() {
+	db, err := tigervector.Open(tigervector.Config{Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec(schema); err != nil {
+		log.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(9))
+	codes := []string{"PATENT", "TRADE", "LABOR", "TAX"}
+	var statutes []uint64
+	for i, c := range codes {
+		for j := 0; j < 5; j++ {
+			id, _ := db.AddVertex("Statute", map[string]any{
+				"id": int64(i*10 + j), "code": c})
+			statutes = append(statutes, id)
+		}
+	}
+	// 300 cases, each citing 2-4 statutes; argument embeddings cluster by
+	// the dominant legal area so same-area cases are similar.
+	var caseIDs []uint64
+	var caseVecs [][]float32
+	for i := 0; i < 300; i++ {
+		area := i % len(codes)
+		id, _ := db.AddVertex("Case", map[string]any{
+			"id": int64(i), "title": fmt.Sprintf("%s case %d", codes[area], i),
+			"year": int64(1990 + i%35)})
+		nCites := 2 + r.Intn(3)
+		for c := 0; c < nCites; c++ {
+			db.AddEdge("cites", id, statutes[area*5+r.Intn(5)])
+		}
+		v := make([]float32, 40)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		v[area] += 7
+		caseIDs = append(caseIDs, id)
+		caseVecs = append(caseVecs, v)
+	}
+	if err := db.BulkLoadEmbeddings("Case", "argument_emb", caseIDs, caseVecs); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Exec(simjoin); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Exec(simjoinFiltered); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== top-5 most similar case pairs sharing a statute ===")
+	res, err := db.Run("similar_cases", map[string]any{"k": 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := res.Outputs[0].Value.([]tigervector.PairRow)
+	for _, row := range rows {
+		st, _ := db.Attr("Case", row.Src, "title")
+		dt, _ := db.Attr("Case", row.Dst, "title")
+		fmt.Printf("  %-18v ~ %-18v dist=%.3f\n", st, dt, row.Distance)
+	}
+	fmt.Printf("plan:\n%s\n", res.Plans[0])
+
+	fmt.Println("\n=== restricted to PATENT statutes ===")
+	res, err = db.Run("similar_recent_cases", map[string]any{"k": 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Outputs[0].Value.([]tigervector.PairRow) {
+		st, _ := db.Attr("Case", row.Src, "title")
+		dt, _ := db.Attr("Case", row.Dst, "title")
+		fmt.Printf("  %-18v ~ %-18v dist=%.3f\n", st, dt, row.Distance)
+	}
+}

@@ -1,0 +1,205 @@
+// Package algorithms provides the graph algorithms GSQL queries compose
+// with vector search (paper Sec. 5.5, query Q4 and Fig. 6): Louvain
+// community detection, plus connected components and degree statistics
+// used by examples and the workload generator.
+package algorithms
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Louvain runs single-level-iterated Louvain modularity optimization over
+// one vertex type and one (undirected or directed-as-undirected) edge
+// type. It returns a dense community id per vertex id and the number of
+// communities. Deterministic for a fixed seed.
+func Louvain(g *graph.Store, vertexType, edgeType string, seed int64) (map[uint64]int, int, error) {
+	if _, ok := g.Schema().VertexType(vertexType); !ok {
+		return nil, 0, fmt.Errorf("algorithms: unknown vertex type %q", vertexType)
+	}
+	if _, ok := g.Schema().EdgeType(edgeType); !ok {
+		return nil, 0, fmt.Errorf("algorithms: unknown edge type %q", edgeType)
+	}
+	// Collect live vertices.
+	var verts []uint64
+	g.ForEachAlive(vertexType, func(id uint64) bool {
+		verts = append(verts, id)
+		return true
+	})
+	n := len(verts)
+	if n == 0 {
+		return map[uint64]int{}, 0, nil
+	}
+	idx := make(map[uint64]int, n)
+	for i, v := range verts {
+		idx[v] = i
+	}
+	// Symmetric adjacency with weights (parallel edges accumulate).
+	adj := make([]map[int]float64, n)
+	for i := range adj {
+		adj[i] = map[int]float64{}
+	}
+	var m2 float64 // 2m
+	for i, v := range verts {
+		for _, nb := range g.OutNeighbors(edgeType, v) {
+			j, ok := idx[nb]
+			if !ok || j == i {
+				continue
+			}
+			adj[i][j]++
+			m2++
+		}
+		for _, nb := range g.InNeighbors(edgeType, v) {
+			j, ok := idx[nb]
+			if !ok || j == i {
+				continue
+			}
+			// Undirected edge types mirror both directions already; only
+			// add the reverse of directed edges.
+			if et, _ := g.Schema().EdgeType(edgeType); et.Directed {
+				adj[i][j]++
+				m2++
+			}
+		}
+	}
+	if m2 == 0 {
+		// No edges: every vertex is its own community.
+		out := make(map[uint64]int, n)
+		for i, v := range verts {
+			out[v] = i
+		}
+		return out, n, nil
+	}
+
+	comm := make([]int, n)
+	for i := range comm {
+		comm[i] = i
+	}
+	deg := make([]float64, n)
+	for i := range adj {
+		for _, w := range adj[i] {
+			deg[i] += w
+		}
+	}
+	commTot := make([]float64, n)
+	copy(commTot, deg)
+
+	r := rand.New(rand.NewSource(seed))
+	order := r.Perm(n)
+	// Local moving until no improvement (bounded passes).
+	for pass := 0; pass < 16; pass++ {
+		moved := false
+		for _, i := range order {
+			ci := comm[i]
+			// Weights to neighboring communities.
+			wTo := map[int]float64{}
+			for j, w := range adj[i] {
+				wTo[comm[j]] += w
+			}
+			commTot[ci] -= deg[i]
+			best, bestGain := ci, 0.0
+			for c, w := range wTo {
+				gain := w - commTot[c]*deg[i]/m2
+				if gain > bestGain || (gain == bestGain && c < best) {
+					best, bestGain = c, gain
+				}
+			}
+			comm[i] = best
+			commTot[best] += deg[i]
+			if best != ci {
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	// Renumber communities densely.
+	remap := map[int]int{}
+	out := make(map[uint64]int, n)
+	for i, v := range verts {
+		c := comm[i]
+		if _, ok := remap[c]; !ok {
+			remap[c] = len(remap)
+		}
+		out[v] = remap[c]
+	}
+	return out, len(remap), nil
+}
+
+// ConnectedComponents labels each live vertex of vertexType with a
+// component id using undirected reachability over edgeType.
+func ConnectedComponents(g *graph.Store, vertexType, edgeType string) (map[uint64]int, int, error) {
+	if _, ok := g.Schema().VertexType(vertexType); !ok {
+		return nil, 0, fmt.Errorf("algorithms: unknown vertex type %q", vertexType)
+	}
+	if _, ok := g.Schema().EdgeType(edgeType); !ok {
+		return nil, 0, fmt.Errorf("algorithms: unknown edge type %q", edgeType)
+	}
+	comp := map[uint64]int{}
+	next := 0
+	var stack []uint64
+	g.ForEachAlive(vertexType, func(id uint64) bool {
+		if _, seen := comp[id]; seen {
+			return true
+		}
+		comp[id] = next
+		stack = append(stack[:0], id)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, nb := range g.OutNeighbors(edgeType, v) {
+				if _, seen := comp[nb]; !seen {
+					comp[nb] = next
+					stack = append(stack, nb)
+				}
+			}
+			for _, nb := range g.InNeighbors(edgeType, v) {
+				if _, seen := comp[nb]; !seen {
+					comp[nb] = next
+					stack = append(stack, nb)
+				}
+			}
+		}
+		next++
+		return true
+	})
+	return comp, next, nil
+}
+
+// DegreeStats summarizes the out-degree distribution of an edge type.
+type DegreeStats struct {
+	Min, Max, Median int
+	Mean             float64
+}
+
+// OutDegreeStats computes degree statistics for the source type of an
+// edge type.
+func OutDegreeStats(g *graph.Store, edgeType string) (DegreeStats, error) {
+	et, ok := g.Schema().EdgeType(edgeType)
+	if !ok {
+		return DegreeStats{}, fmt.Errorf("algorithms: unknown edge type %q", edgeType)
+	}
+	var degs []int
+	g.ForEachAlive(et.From, func(id uint64) bool {
+		degs = append(degs, len(g.OutNeighbors(edgeType, id)))
+		return true
+	})
+	if len(degs) == 0 {
+		return DegreeStats{}, nil
+	}
+	sort.Ints(degs)
+	sum := 0
+	for _, d := range degs {
+		sum += d
+	}
+	return DegreeStats{
+		Min:    degs[0],
+		Max:    degs[len(degs)-1],
+		Median: degs[len(degs)/2],
+		Mean:   float64(sum) / float64(len(degs)),
+	}, nil
+}

@@ -1,0 +1,179 @@
+package algorithms
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+func personGraph(t *testing.T) *graph.Store {
+	t.Helper()
+	s := graph.NewSchema()
+	if err := s.AddVertexType(graph.VertexType{
+		Name: "Person", PrimaryKey: "id",
+		Attrs: []storage.AttrSchema{{Name: "id", Type: storage.TInt}, {Name: "cid", Type: storage.TInt}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEdgeType(graph.EdgeType{Name: "knows", From: "Person", To: "Person"}); err != nil {
+		t.Fatal(err)
+	}
+	return graph.NewStore(s, 16)
+}
+
+func addPeople(t *testing.T, g *graph.Store, n int) []uint64 {
+	t.Helper()
+	ids := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		id, err := g.AddVertex("Person", map[string]storage.Value{"id": int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// twoCliques builds two dense cliques joined by a single bridge edge.
+func twoCliques(t *testing.T, size int) (*graph.Store, []uint64) {
+	g := personGraph(t)
+	ids := addPeople(t, g, 2*size)
+	for c := 0; c < 2; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				g.AddEdge("knows", ids[base+i], ids[base+j])
+			}
+		}
+	}
+	g.AddEdge("knows", ids[0], ids[size])
+	return g, ids
+}
+
+func TestLouvainSeparatesCliques(t *testing.T) {
+	g, ids := twoCliques(t, 8)
+	comm, n, err := Louvain(g, "Person", "knows", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("communities = %d, want >= 2", n)
+	}
+	// All members of clique 0 share a community distinct from clique 1.
+	c0 := comm[ids[0]]
+	for i := 1; i < 8; i++ {
+		if comm[ids[i]] != c0 {
+			t.Fatalf("clique 0 split: %v", comm)
+		}
+	}
+	c1 := comm[ids[8]]
+	if c1 == c0 {
+		t.Fatal("cliques merged")
+	}
+	for i := 9; i < 16; i++ {
+		if comm[ids[i]] != c1 {
+			t.Fatalf("clique 1 split: %v", comm)
+		}
+	}
+}
+
+func TestLouvainDeterministic(t *testing.T) {
+	g, _ := twoCliques(t, 6)
+	a, na, _ := Louvain(g, "Person", "knows", 42)
+	b, nb, _ := Louvain(g, "Person", "knows", 42)
+	if na != nb {
+		t.Fatalf("community counts differ: %d vs %d", na, nb)
+	}
+	for id, c := range a {
+		if b[id] != c {
+			t.Fatalf("assignment differs for %d", id)
+		}
+	}
+}
+
+func TestLouvainNoEdges(t *testing.T) {
+	g := personGraph(t)
+	ids := addPeople(t, g, 5)
+	comm, n, err := Louvain(g, "Person", "knows", 1)
+	if err != nil || n != 5 {
+		t.Fatalf("n = %d, %v", n, err)
+	}
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if seen[comm[id]] {
+			t.Fatal("isolated vertices share a community")
+		}
+		seen[comm[id]] = true
+	}
+}
+
+func TestLouvainEmptyAndErrors(t *testing.T) {
+	g := personGraph(t)
+	comm, n, err := Louvain(g, "Person", "knows", 1)
+	if err != nil || n != 0 || len(comm) != 0 {
+		t.Fatalf("empty = %v %d %v", comm, n, err)
+	}
+	if _, _, err := Louvain(g, "Nope", "knows", 1); err == nil {
+		t.Fatal("unknown vertex type accepted")
+	}
+	if _, _, err := Louvain(g, "Person", "nope", 1); err == nil {
+		t.Fatal("unknown edge type accepted")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := personGraph(t)
+	ids := addPeople(t, g, 6)
+	// Components: {0,1,2}, {3,4}, {5}.
+	g.AddEdge("knows", ids[0], ids[1])
+	g.AddEdge("knows", ids[1], ids[2])
+	g.AddEdge("knows", ids[3], ids[4])
+	comp, n, err := ConnectedComponents(g, "Person", "knows")
+	if err != nil || n != 3 {
+		t.Fatalf("components = %d, %v", n, err)
+	}
+	if comp[ids[0]] != comp[ids[2]] || comp[ids[0]] == comp[ids[3]] || comp[ids[5]] == comp[ids[0]] {
+		t.Fatalf("assignment = %v", comp)
+	}
+	if _, _, err := ConnectedComponents(g, "Nope", "knows"); err == nil {
+		t.Fatal("unknown vertex type accepted")
+	}
+	if _, _, err := ConnectedComponents(g, "Person", "nope"); err == nil {
+		t.Fatal("unknown edge type accepted")
+	}
+}
+
+func TestConnectedComponentsSkipsDeleted(t *testing.T) {
+	g := personGraph(t)
+	ids := addPeople(t, g, 3)
+	g.AddEdge("knows", ids[0], ids[1])
+	g.DeleteVertex("Person", ids[2])
+	_, n, err := ConnectedComponents(g, "Person", "knows")
+	if err != nil || n != 1 {
+		t.Fatalf("components = %d, %v", n, err)
+	}
+}
+
+func TestOutDegreeStats(t *testing.T) {
+	g := personGraph(t)
+	ids := addPeople(t, g, 4)
+	// Undirected knows: degrees after mirroring: 0:2, 1:1, 2:1, 3:0.
+	g.AddEdge("knows", ids[0], ids[1])
+	g.AddEdge("knows", ids[0], ids[2])
+	st, err := OutDegreeStats(g, "knows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Min != 0 || st.Max != 2 || st.Mean != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := OutDegreeStats(g, "nope"); err == nil {
+		t.Fatal("unknown edge accepted")
+	}
+	empty := personGraph(t)
+	st, err = OutDegreeStats(empty, "knows")
+	if err != nil || st.Max != 0 {
+		t.Fatalf("empty stats = %+v, %v", st, err)
+	}
+}

@@ -1,0 +1,120 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func dataset(t *testing.T) *workload.VectorDataset {
+	t.Helper()
+	ds, err := workload.GenVectors(workload.VectorConfig{
+		Name: "t", N: 5000, Dim: 32, NumQueries: 20, GTK: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func loadAndBuild(t *testing.T, sys System, ds *workload.VectorDataset) {
+	t.Helper()
+	if err := sys.Load(ds); err != nil {
+		t.Fatalf("%s load: %v", sys.Name(), err)
+	}
+	if err := sys.BuildIndex(); err != nil {
+		t.Fatalf("%s build: %v", sys.Name(), err)
+	}
+}
+
+func recallOf(t *testing.T, sys System, ds *workload.VectorDataset, ef int) float64 {
+	t.Helper()
+	results := make([][]uint64, len(ds.Queries))
+	for i, q := range ds.Queries {
+		ids, err := sys.Search(q, 10, ef)
+		if err != nil {
+			t.Fatalf("%s search: %v", sys.Name(), err)
+		}
+		results[i] = ids
+	}
+	return ds.Recall(results, 10)
+}
+
+func TestNeo4jSimFixedLowRecall(t *testing.T) {
+	ds := dataset(t)
+	neo := &Neo4jSim{}
+	loadAndBuild(t, neo, ds)
+	if neo.Tunable() {
+		t.Fatal("Neo4jSim claims tunable")
+	}
+	// ef argument must be ignored.
+	r1 := recallOf(t, neo, ds, 12)
+	r2 := recallOf(t, neo, ds, 500)
+	if r1 != r2 {
+		t.Fatalf("ef not ignored: %v vs %v", r1, r2)
+	}
+	if r1 < 0.3 || r1 > 0.95 {
+		t.Fatalf("Neo4jSim recall = %v, want a degraded fixed point", r1)
+	}
+}
+
+func TestNeptuneSimHighFixedRecall(t *testing.T) {
+	ds := dataset(t)
+	nep := &NeptuneSim{}
+	loadAndBuild(t, nep, ds)
+	if nep.Tunable() {
+		t.Fatal("NeptuneSim claims tunable")
+	}
+	if r := recallOf(t, nep, ds, 0); r < 0.95 {
+		t.Fatalf("NeptuneSim recall = %v, want >= 0.95", r)
+	}
+}
+
+func TestMilvusSimTunableAndCorrect(t *testing.T) {
+	ds := dataset(t)
+	mil := &MilvusSim{}
+	loadAndBuild(t, mil, ds)
+	if !mil.Tunable() {
+		t.Fatal("MilvusSim not tunable")
+	}
+	low := recallOf(t, mil, ds, 8)
+	high := recallOf(t, mil, ds, 400)
+	if high < low {
+		t.Fatalf("recall did not improve with ef: %v -> %v", low, high)
+	}
+	if high < 0.9 {
+		t.Fatalf("MilvusSim high-ef recall = %v", high)
+	}
+	// Exact self-query sanity.
+	ids, err := mil.Search(ds.Vectors[7], 1, 200)
+	if err != nil || len(ids) != 1 || ids[0] != ds.IDs[7] {
+		t.Fatalf("self query = %v, %v", ids, err)
+	}
+}
+
+func TestSimulatorsShareRecallAxis(t *testing.T) {
+	// All systems answer the same queries over the same data, so recall
+	// comparisons in Fig. 7/8 are apples to apples.
+	ds := dataset(t)
+	neo := &Neo4jSim{FixedEf: 400, OverheadFactor: 1, MergeSegments: 2}
+	loadAndBuild(t, neo, ds)
+	nep := &NeptuneSim{FixedEf: 400, OverheadFactor: 1}
+	loadAndBuild(t, nep, ds)
+	rNeo := recallOf(t, neo, ds, 0)
+	rNep := recallOf(t, nep, ds, 0)
+	if rNeo < 0.95 || rNep < 0.95 {
+		t.Fatalf("at ef=400 both should be near-exact: neo=%v nep=%v", rNeo, rNep)
+	}
+}
+
+func TestNeo4jMergeBuildPreservesAllVectors(t *testing.T) {
+	ds := dataset(t)
+	neo := &Neo4jSim{MergeSegments: 4, OverheadFactor: 1, FixedEf: 300}
+	loadAndBuild(t, neo, ds)
+	// Every vector must be findable (merge lost nothing).
+	for i := 0; i < 50; i++ {
+		ids, err := neo.Search(ds.Vectors[i], 1, 0)
+		if err != nil || len(ids) != 1 || ids[0] != ds.IDs[i] {
+			t.Fatalf("vector %d lost in merge: %v, %v", i, ids, err)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Tests here run tiny instances of every experiment driver to verify the
+// plumbing; the shape assertions mirror EXPERIMENTS.md. Full-size runs
+// happen through the root bench_test.go / cmd/tgvbench.
+
+func smallDataset(t *testing.T) *workload.VectorDataset {
+	t.Helper()
+	ds, err := workload.GenVectors(workload.VectorConfig{
+		Name: "small", N: 3000, Dim: 32, NumQueries: 20, GTK: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTigerVectorSysRoundTrip(t *testing.T) {
+	ds := smallDataset(t)
+	sys := &TigerVectorSys{SegSize: 512}
+	bt, err := MeasureBuild(sys, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.IndexBuild <= 0 {
+		t.Fatal("no build time measured")
+	}
+	ids, err := sys.Search(ds.Vectors[5], 3, 64)
+	if err != nil || len(ids) != 3 || ids[0] != ds.IDs[5] {
+		t.Fatalf("search = %v, %v", ids, err)
+	}
+}
+
+func TestMeasureThroughputAndRecall(t *testing.T) {
+	ds := smallDataset(t)
+	sys := &TigerVectorSys{SegSize: 512}
+	if _, err := MeasureBuild(sys, ds); err != nil {
+		t.Fatal(err)
+	}
+	m := MeasureThroughput(sys, ds, 10, 192, 4, 40)
+	if m.QPS <= 0 {
+		t.Fatalf("QPS = %v", m.QPS)
+	}
+	if m.Recall < 0.8 {
+		t.Fatalf("recall at ef=192 = %v", m.Recall)
+	}
+	lm := MeasureLatency(sys, ds, 10, 192)
+	if lm.Latency <= 0 {
+		t.Fatalf("latency = %v", lm.Latency)
+	}
+}
+
+func TestBaselineShapes(t *testing.T) {
+	ds := smallDataset(t)
+	tv := &TigerVectorSys{SegSize: 512}
+	if _, err := MeasureBuild(tv, ds); err != nil {
+		t.Fatal(err)
+	}
+	neo := Systems()[2]
+	if _, err := MeasureBuild(neo, ds); err != nil {
+		t.Fatal(err)
+	}
+	// Neo4j's fixed-ef recall must sit well below TigerVector's tuned
+	// operating point (paper: 23-26% lower).
+	mTV := MeasureThroughput(tv, ds, 10, 96, 4, 40)
+	mNeo := MeasureThroughput(neo, ds, 10, 0, 4, 40)
+	if mNeo.Recall >= mTV.Recall {
+		t.Fatalf("Neo4jSim recall %.3f >= TigerVector %.3f", mNeo.Recall, mTV.Recall)
+	}
+	if neo.Tunable() {
+		t.Fatal("Neo4jSim claims tunable")
+	}
+	// Neptune reaches high recall but is untunable.
+	nep := Systems()[3]
+	if _, err := MeasureBuild(nep, ds); err != nil {
+		t.Fatal(err)
+	}
+	mNep := MeasureThroughput(nep, ds, 10, 0, 4, 40)
+	if mNep.Recall < 0.95 {
+		t.Fatalf("NeptuneSim recall = %.3f, want >= 0.95", mNep.Recall)
+	}
+	// Milvus honors ef.
+	mil := Systems()[1]
+	if _, err := MeasureBuild(mil, ds); err != nil {
+		t.Fatal(err)
+	}
+	low := MeasureThroughput(mil, ds, 10, 12, 4, 40)
+	high := MeasureThroughput(mil, ds, 10, 384, 4, 40)
+	if high.Recall < low.Recall {
+		t.Fatalf("MilvusSim ef not honored: %.3f vs %.3f", low.Recall, high.Recall)
+	}
+}
+
+func TestTable1Driver(t *testing.T) {
+	t.Setenv("TGV_SCALE", "0.05")
+	rows, err := Table1(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Dim != 128 || rows[1].Dim != 96 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestScaleEnv(t *testing.T) {
+	t.Setenv("TGV_SCALE", "2.5")
+	if Scale() != 2.5 {
+		t.Fatalf("Scale = %v", Scale())
+	}
+	t.Setenv("TGV_SCALE", "garbage")
+	if Scale() != 1 {
+		t.Fatalf("bad scale not defaulted: %v", Scale())
+	}
+	os.Unsetenv("TGV_SCALE")
+	if Scale() != 1 {
+		t.Fatal("default scale != 1")
+	}
+}
+
+func TestFig9ScalabilityShape(t *testing.T) {
+	// Need >= 8 segments (segSize 1024) so all 8 modeled nodes have work.
+	t.Setenv("TGV_SCALE", "0.5")
+	pts, err := Fig9(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group by ef; QPS must increase with nodes at every operating point.
+	byEf := map[int][]ScalePoint{}
+	for _, p := range pts {
+		byEf[p.Ef] = append(byEf[p.Ef], p)
+	}
+	for ef, series := range byEf {
+		for i := 1; i < len(series); i++ {
+			if series[i].QPS <= series[i-1].QPS {
+				t.Fatalf("ef=%d: QPS not increasing with nodes: %+v", ef, series)
+			}
+		}
+	}
+}
+
+func TestFig10DataSizeShape(t *testing.T) {
+	t.Setenv("TGV_SCALE", "0.1")
+	pts, err := Fig10(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At each ef, 10x data must cost throughput.
+	byEf := map[int]map[int]float64{}
+	for _, p := range pts {
+		if byEf[p.Ef] == nil {
+			byEf[p.Ef] = map[int]float64{}
+		}
+		byEf[p.Ef][p.SizeX] = p.QPS
+	}
+	for ef, m := range byEf {
+		if m[10] >= m[1] {
+			t.Fatalf("ef=%d: 10x data did not reduce QPS: %v", ef, m)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	t.Setenv("TGV_SCALE", "0.1")
+	rows, err := Table2(io.Discard, "sift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]BuildTiming{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	// Paper shape: Neo4j index build much slower (single-threaded);
+	// Milvus data load much slower than TigerVector.
+	if byName["Neo4j"].IndexBuild <= byName["TigerVector"].IndexBuild {
+		t.Fatalf("Neo4j build %v <= TigerVector %v",
+			byName["Neo4j"].IndexBuild, byName["TigerVector"].IndexBuild)
+	}
+	if byName["Milvus"].DataLoad <= byName["TigerVector"].DataLoad {
+		t.Fatalf("Milvus load %v <= TigerVector %v",
+			byName["Milvus"].DataLoad, byName["TigerVector"].DataLoad)
+	}
+}
+
+func TestFig11UpdateShape(t *testing.T) {
+	t.Setenv("TGV_SCALE", "0.1")
+	pts, err := Fig11(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Update time grows with rate.
+	if pts[len(pts)-1].UpdateTime <= pts[0].UpdateTime {
+		t.Fatalf("update time not increasing: %+v", pts)
+	}
+}
+
+func TestHybridTableShape(t *testing.T) {
+	rows, err := HybridTable(io.Discard, "test", 400, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 { // 5 queries x 3 hop counts
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(q string, hops int) HybridRow {
+		for _, r := range rows {
+			if r.Query == q && r.Hops == hops {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%d", q, hops)
+		return HybridRow{}
+	}
+	// IC5 collects the most candidates; IC9 is capped at 20.
+	for _, hops := range []int{2, 3, 4} {
+		if get("IC5", hops).Candidates < get("IC6", hops).Candidates {
+			t.Fatalf("hops=%d: IC5 < IC6 candidates", hops)
+		}
+		if get("IC9", hops).Candidates > 20 {
+			t.Fatalf("hops=%d: IC9 candidates = %d", hops, get("IC9", hops).Candidates)
+		}
+	}
+	// Candidate sets grow (or hold) with hops for the broad query.
+	if get("IC5", 4).Candidates < get("IC5", 2).Candidates {
+		t.Fatal("IC5 candidates shrank with hops")
+	}
+}
+
+func TestAblationDrivers(t *testing.T) {
+	t.Setenv("TGV_SCALE", "0.05")
+	segQPS, globalQPS, err := AblationSegmentedVsGlobal(io.Discard)
+	if err != nil || segQPS <= 0 || globalQPS <= 0 {
+		t.Fatalf("segmented-vs-global: %v %v %v", segQPS, globalQPS, err)
+	}
+	pre, post, err := AblationPrePostFilter(io.Discard, 0.01)
+	if err != nil || pre <= 0 || post <= 0 {
+		t.Fatalf("pre-post: %v %v %v", pre, post, err)
+	}
+	// Low selectivity: pre-filter must beat post-filter (paper Sec. 5.2).
+	if pre >= post {
+		t.Fatalf("pre-filter (%v) not faster than post-filter (%v) at 1%% selectivity", pre, post)
+	}
+	withT, withoutT, err := AblationBruteForceThreshold(io.Discard)
+	if err != nil || withT <= 0 || withoutT <= 0 {
+		t.Fatalf("bf threshold: %v %v %v", withT, withoutT, err)
+	}
+}

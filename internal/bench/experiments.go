@@ -1,0 +1,567 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/gsql"
+	"repro/internal/hnsw"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// DefaultN is the base vector count; the paper uses 100M, we default to
+// 20k (laptop scale) and multiply by TGV_SCALE.
+const DefaultN = 20000
+
+func scaledN(base int) int { return int(float64(base) * Scale()) }
+
+// ---- Table 1: dataset statistics ----
+
+// Table1 generates both dataset families and prints their statistics.
+func Table1(w io.Writer) ([]workload.Stats, error) {
+	n := scaledN(DefaultN)
+	sift, err := workload.SIFTLike(n, 1)
+	if err != nil {
+		return nil, err
+	}
+	deep, err := workload.DeepLike(n, 2)
+	if err != nil {
+		return nil, err
+	}
+	rows := []workload.Stats{sift.Describe(), deep.Describe()}
+	fmt.Fprintf(w, "Table 1: Statistics of Datasets (scaled: paper uses 100M/1B vectors)\n")
+	fmt.Fprintf(w, "%-12s %12s %12s %10s\n", "Dataset", "#Dimensions", "#Vectors", "#Queries")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12d %12d %10d\n", r.Name, r.Dim, r.Vectors, r.Queries)
+	}
+	return rows, nil
+}
+
+// ---- Figures 7 and 8: throughput / latency vs recall ----
+
+// Systems returns the four compared systems, fresh.
+func Systems() []baselines.System {
+	return []baselines.System{
+		&TigerVectorSys{},
+		&baselines.MilvusSim{},
+		&baselines.Neo4jSim{},
+		&baselines.NeptuneSim{},
+	}
+}
+
+// CurveResult is one system's recall curve.
+type CurveResult struct {
+	System string
+	Points []Measurement
+}
+
+// Fig7 measures throughput-vs-recall for all systems on one dataset
+// family ("sift" or "deep"), 16 client goroutines (the paper's 16 query
+// threads).
+func Fig7(w io.Writer, family string) ([]CurveResult, error) {
+	ds, err := makeDataset(family)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Figure 7(%s): Throughput (QPS) vs Recall, k=10, 16 clients\n", family)
+	return sweepAll(w, ds, true)
+}
+
+// Fig8 measures single-thread latency-vs-recall.
+func Fig8(w io.Writer, family string) ([]CurveResult, error) {
+	ds, err := makeDataset(family)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Figure 8(%s): Latency vs Recall, k=10, 1 client\n", family)
+	return sweepAll(w, ds, false)
+}
+
+func makeDataset(family string) (*workload.VectorDataset, error) {
+	n := scaledN(DefaultN)
+	switch family {
+	case "sift":
+		return workload.SIFTLike(n, 1)
+	case "deep":
+		return workload.DeepLike(n, 2)
+	}
+	return nil, fmt.Errorf("bench: unknown dataset family %q (want sift or deep)", family)
+}
+
+func sweepAll(w io.Writer, ds *workload.VectorDataset, throughput bool) ([]CurveResult, error) {
+	var out []CurveResult
+	queries := 4 * len(ds.Queries)
+	for _, sys := range Systems() {
+		if _, err := MeasureBuild(sys, ds); err != nil {
+			return nil, err
+		}
+		var pts []Measurement
+		if throughput {
+			pts = SweepThroughput(sys, ds, 10, 16, queries)
+		} else {
+			pts = SweepLatency(sys, ds, 10)
+		}
+		out = append(out, CurveResult{System: sys.Name(), Points: pts})
+		for _, p := range pts {
+			if throughput {
+				fmt.Fprintf(w, "%-20s ef=%-4d recall=%6.2f%%  QPS=%s\n", sys.Name(), p.Ef, p.Recall*100, fmtQPS(p.QPS))
+			} else {
+				fmt.Fprintf(w, "%-20s ef=%-4d recall=%6.2f%%  latency=%v\n", sys.Name(), p.Ef, p.Recall*100, p.Latency)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---- Figures 9 and 10: scalability ----
+
+// ScalePoint is one (nodes or size, recall, modeled QPS) sample.
+type ScalePoint struct {
+	Nodes  int
+	SizeX  int // data size multiplier for Fig. 10
+	Ef     int
+	Recall float64
+	QPS    float64
+}
+
+// Fig9 evaluates node scalability with the simulated cluster: 1/2/4/8
+// nodes, modeled saturation QPS per the virtual-time model (DESIGN.md).
+func Fig9(w io.Writer) ([]ScalePoint, error) {
+	n := scaledN(DefaultN)
+	ds, err := workload.SIFTLike(n, 1)
+	if err != nil {
+		return nil, err
+	}
+	eng, ref, err := loadIntoEngine(ds, 1024)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Figure 9: Node Scalability (modeled QPS, virtual-time cluster)\n")
+	var out []ScalePoint
+	for _, nodes := range []int{1, 2, 4, 8} {
+		c := cluster.New(cluster.Config{Nodes: nodes, WorkersPerNode: 16}, eng)
+		for _, ef := range []int{12, 96, 384} {
+			var qps, recall float64
+			results := make([][]uint64, len(ds.Queries))
+			for qi, q := range ds.Queries {
+				res, tm, err := c.Search(ref, q, 10, ef, nil, 0)
+				if err != nil {
+					return nil, err
+				}
+				qps += tm.ModelQPS(c.Config())
+				ids := make([]uint64, len(res))
+				for i, r := range res {
+					ids[i] = r.ID
+				}
+				results[qi] = ids
+			}
+			qps /= float64(len(ds.Queries))
+			recall = ds.Recall(results, 10)
+			out = append(out, ScalePoint{Nodes: nodes, Ef: ef, Recall: recall, QPS: qps})
+			fmt.Fprintf(w, "nodes=%d ef=%-4d recall=%6.2f%%  QPS=%s\n", nodes, ef, recall*100, fmtQPS(qps))
+		}
+	}
+	return out, nil
+}
+
+// Fig10 evaluates data-size scalability: base size and 10x base (the
+// paper's 100M -> 1B), on 8 modeled nodes.
+func Fig10(w io.Writer) ([]ScalePoint, error) {
+	fmt.Fprintf(w, "Figure 10: Data Size Scalability (8 nodes, modeled QPS)\n")
+	var out []ScalePoint
+	base := scaledN(DefaultN / 2)
+	for _, mult := range []int{1, 10} {
+		ds, err := workload.GenVectors(workload.VectorConfig{
+			Name: fmt.Sprintf("SIFT-like-%dx", mult), N: base * mult, Dim: 128, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		eng, ref, err := loadIntoEngine(ds, 1024)
+		if err != nil {
+			return nil, err
+		}
+		c := cluster.New(cluster.Config{Nodes: 8, WorkersPerNode: 16}, eng)
+		for _, ef := range []int{12, 96, 384} {
+			var qps float64
+			results := make([][]uint64, len(ds.Queries))
+			for qi, q := range ds.Queries {
+				res, tm, err := c.Search(ref, q, 10, ef, nil, 0)
+				if err != nil {
+					return nil, err
+				}
+				qps += tm.ModelQPS(c.Config())
+				ids := make([]uint64, len(res))
+				for i, r := range res {
+					ids[i] = r.ID
+				}
+				results[qi] = ids
+			}
+			qps /= float64(len(ds.Queries))
+			recall := ds.Recall(results, 10)
+			out = append(out, ScalePoint{SizeX: mult, Ef: ef, Recall: recall, QPS: qps})
+			fmt.Fprintf(w, "size=%dx ef=%-4d recall=%6.2f%%  QPS=%s\n", mult, ef, recall*100, fmtQPS(qps))
+		}
+	}
+	return out, nil
+}
+
+// loadIntoEngine builds a minimal engine around one bulk-loaded dataset.
+func loadIntoEngine(ds *workload.VectorDataset, segSize int) (*engine.Engine, graph.EmbeddingRef, error) {
+	sch := graph.NewSchema()
+	if err := sch.AddVertexType(graph.VertexType{Name: "V"}); err != nil {
+		return nil, graph.EmbeddingRef{}, err
+	}
+	ea := graph.EmbeddingAttr{Name: "emb", Dim: ds.Dim, Model: "bench",
+		Index: "HNSW", DataType: "FLOAT", Metric: ds.Metric}
+	if err := sch.AddEmbeddingAttr("V", ea); err != nil {
+		return nil, graph.EmbeddingRef{}, err
+	}
+	g := graph.NewStore(sch, segSize)
+	dir, err := os.MkdirTemp("", "tgv-bench-*")
+	if err != nil {
+		return nil, graph.EmbeddingRef{}, err
+	}
+	svc := core.NewService(dir, segSize, 1)
+	store, err := svc.Register("V", ea)
+	if err != nil {
+		return nil, graph.EmbeddingRef{}, err
+	}
+	if err := store.BulkLoad(ds.IDs, ds.Vectors, runtime.GOMAXPROCS(0), 1); err != nil {
+		return nil, graph.EmbeddingRef{}, err
+	}
+	mgr := txn.NewManager(svc, nil)
+	mgr.Begin().Commit()
+	st, err := g.Status("V")
+	if err != nil {
+		return nil, graph.EmbeddingRef{}, err
+	}
+	st.SetAll(len(ds.Vectors))
+	return engine.New(g, svc, mgr), graph.EmbeddingRef{VertexType: "V", Attr: "emb"}, nil
+}
+
+// ---- Table 2: index build time ----
+
+// Table2 measures end-to-end / data-load / index-build time for
+// TigerVector, Milvus and Neo4j (the paper's Table 2 systems).
+func Table2(w io.Writer, family string) ([]BuildTiming, error) {
+	ds, err := makeDataset(family)
+	if err != nil {
+		return nil, err
+	}
+	systems := []baselines.System{&TigerVectorSys{}, &baselines.MilvusSim{}, &baselines.Neo4jSim{}}
+	fmt.Fprintf(w, "Table 2 (%s): Index Building Time\n", family)
+	fmt.Fprintf(w, "%-14s %14s %14s %14s\n", "System", "End to End", "Data Load", "Index Build")
+	var rows []BuildTiming
+	for _, sys := range systems {
+		bt, err := MeasureBuild(sys, ds)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, bt)
+		fmt.Fprintf(w, "%-14s %14v %14v %14v\n", bt.System, bt.EndToEnd().Round(time.Millisecond),
+			bt.DataLoad.Round(time.Millisecond), bt.IndexBuild.Round(time.Millisecond))
+	}
+	return rows, nil
+}
+
+// ---- Figure 11: incremental update vs rebuild ----
+
+// UpdatePoint is one Fig. 11 sample.
+type UpdatePoint struct {
+	RatePct    int
+	UpdateTime time.Duration
+	// RebuildTime is the full-rebuild reference (the red line).
+	RebuildTime time.Duration
+}
+
+// Fig11 measures incremental index update time at update rates
+// 1/5/10/15/20% against the full rebuild time.
+func Fig11(w io.Writer) ([]UpdatePoint, error) {
+	n := scaledN(DefaultN)
+	ds, err := workload.SIFTLike(n, 1)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Figure 11: Index Update Evaluation (SIFT-like, n=%d)\n", n)
+
+	// Rebuild reference: time a full BulkLoad-equivalent build.
+	ref := &TigerVectorSys{}
+	bt, err := MeasureBuild(ref, ds)
+	if err != nil {
+		return nil, err
+	}
+	rebuild := bt.IndexBuild
+
+	var out []UpdatePoint
+	for _, rate := range []int{1, 5, 10, 15, 20} {
+		sys := &TigerVectorSys{}
+		if _, err := MeasureBuild(sys, ds); err != nil {
+			return nil, err
+		}
+		numUpdates := n * rate / 100
+		// Commit updated vectors (same ids, perturbed values).
+		for i := 0; i < numUpdates; i++ {
+			tx := sys.Mgr().Begin()
+			nv := append([]float32(nil), ds.Vectors[i]...)
+			nv[0] += 1
+			tx.StageVector(txn.StagedVector{AttrKey: "V.emb", Action: txn.Upsert, ID: ds.IDs[i], Vec: nv})
+			if _, err := tx.Commit(); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		if _, err := sys.Store().FlushDeltas(); err != nil {
+			return nil, err
+		}
+		if _, err := sys.Store().MergeIndex(runtime.GOMAXPROCS(0)); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		out = append(out, UpdatePoint{RatePct: rate, UpdateTime: elapsed, RebuildTime: rebuild})
+		fmt.Fprintf(w, "update_rate=%2d%%  update_time=%v  (full rebuild: %v)\n",
+			rate, elapsed.Round(time.Millisecond), rebuild.Round(time.Millisecond))
+	}
+	return out, nil
+}
+
+// ---- Tables 3 and 4: hybrid vector + graph search ----
+
+// HybridRow is one (query, hops) cell group of Tables 3/4.
+type HybridRow struct {
+	Query            string
+	Hops             int
+	EndToEnd         time.Duration
+	Candidates       int
+	VectorSearchTime time.Duration
+}
+
+// HybridTable runs the modified IC query family at one scale factor.
+// persons ~ paper SF10; 3x persons ~ SF30.
+func HybridTable(w io.Writer, label string, persons int, deltaDir string) ([]HybridRow, error) {
+	snb, err := workload.BuildSNB(workload.SNBConfig{
+		Persons: persons, Dim: 64, SegSize: 1024, Seed: 11}, deltaDir)
+	if err != nil {
+		return nil, err
+	}
+	in := gsql.NewInterpreter(snb.E)
+	fmt.Fprintf(w, "%s: Hybrid Search (persons=%d, posts=%d)\n", label, persons, len(snb.Posts))
+	fmt.Fprintf(w, "%-6s %-5s %14s %12s %14s\n", "Query", "Hops", "EndToEnd", "#candidate", "VectorSearch")
+	var rows []HybridRow
+	const trials = 3
+	for _, hops := range []int{2, 3, 4} {
+		for _, name := range workload.ICNames {
+			qname, text, err := workload.ICQuery(name, hops)
+			if err != nil {
+				return nil, err
+			}
+			if err := in.Exec(text); err != nil {
+				return nil, err
+			}
+			var row HybridRow
+			row.Query, row.Hops = name, hops
+			for trial := 0; trial < trials; trial++ {
+				res, err := in.Run(qname, map[string]any{
+					"pid": int64(trial * 7), "qv": f64(snb.RandomQueryVector()), "k": 10})
+				if err != nil {
+					return nil, err
+				}
+				row.EndToEnd += res.Stats.EndToEnd
+				row.Candidates += res.Stats.Candidates
+				row.VectorSearchTime += res.Stats.VectorSearchTime
+			}
+			row.EndToEnd /= trials
+			row.Candidates /= trials
+			row.VectorSearchTime /= trials
+			rows = append(rows, row)
+			fmt.Fprintf(w, "%-6s %-5d %14v %12d %14v\n", name, hops,
+				row.EndToEnd.Round(time.Microsecond), row.Candidates, row.VectorSearchTime.Round(time.Microsecond))
+		}
+	}
+	return rows, nil
+}
+
+// Table3 is the SF-A hybrid table (paper SF10).
+func Table3(w io.Writer, deltaDir string) ([]HybridRow, error) {
+	return HybridTable(w, "Table 3 (SF-A)", scaledPersons(3000), deltaDir)
+}
+
+// Table4 is the SF-B hybrid table (paper SF30, 3x SF-A).
+func Table4(w io.Writer, deltaDir string) ([]HybridRow, error) {
+	return HybridTable(w, "Table 4 (SF-B)", scaledPersons(9000), deltaDir)
+}
+
+func scaledPersons(base int) int { return int(float64(base) * Scale()) }
+
+func f64(v []float32) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// ---- Ablations (DESIGN.md Sec. 4) ----
+
+// AblationSegmentedVsGlobal compares per-segment indexes + merge against
+// one global index on the same data (design decision 1).
+func AblationSegmentedVsGlobal(w io.Writer) (segQPS, globalQPS float64, err error) {
+	ds, err := workload.SIFTLike(scaledN(DefaultN/2), 3)
+	if err != nil {
+		return 0, 0, err
+	}
+	seg := &TigerVectorSys{SegSize: 1024}
+	if _, err := MeasureBuild(seg, ds); err != nil {
+		return 0, 0, err
+	}
+	segM := MeasureThroughput(seg, ds, 10, 96, 16, 2*len(ds.Queries))
+
+	global, err := hnsw.New(hnsw.Config{Dim: ds.Dim, M: 16, EfConstruction: 128, Metric: ds.Metric, Seed: 1})
+	if err != nil {
+		return 0, 0, err
+	}
+	items := make([]hnsw.Item, len(ds.Vectors))
+	for i := range items {
+		items[i] = hnsw.Item{ID: ds.IDs[i], Vec: ds.Vectors[i]}
+	}
+	if err := global.UpdateItems(items, runtime.GOMAXPROCS(0)); err != nil {
+		return 0, 0, err
+	}
+	gsys := &globalIndexSys{idx: global}
+	gM := MeasureThroughput(gsys, ds, 10, 96, 16, 2*len(ds.Queries))
+	fmt.Fprintf(w, "Ablation segmented-vs-global: segmented QPS=%s recall=%.2f%%, global QPS=%s recall=%.2f%%\n",
+		fmtQPS(segM.QPS), segM.Recall*100, fmtQPS(gM.QPS), gM.Recall*100)
+	return segM.QPS, gM.QPS, nil
+}
+
+type globalIndexSys struct{ idx *hnsw.Graph }
+
+func (g *globalIndexSys) Name() string                       { return "GlobalIndex" }
+func (g *globalIndexSys) Tunable() bool                      { return true }
+func (g *globalIndexSys) Load(*workload.VectorDataset) error { return nil }
+func (g *globalIndexSys) BuildIndex() error                  { return nil }
+func (g *globalIndexSys) Search(q []float32, k, ef int) ([]uint64, error) {
+	res, err := g.idx.TopKSearch(q, k, ef, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(res))
+	for i, r := range res {
+		out[i] = r.ID
+	}
+	return out, nil
+}
+
+// AblationPrePostFilter compares the pre-filter approach (bitmap passed
+// into the index) against post-filtering (search then filter, enlarging
+// k until k valid results) at a given selectivity (design decision 2).
+func AblationPrePostFilter(w io.Writer, selectivity float64) (preTime, postTime time.Duration, err error) {
+	ds, err := workload.SIFTLike(scaledN(DefaultN/2), 4)
+	if err != nil {
+		return 0, 0, err
+	}
+	sys := &TigerVectorSys{SegSize: 1024}
+	if _, err := MeasureBuild(sys, ds); err != nil {
+		return 0, 0, err
+	}
+	mod := uint64(1 / selectivity)
+	filter := func(id uint64) bool { return id%mod == 0 }
+	const k = 10
+	tid := sys.Mgr().Visible()
+
+	t0 := time.Now()
+	for _, q := range ds.Queries {
+		if _, err := sys.Store().Search(tid, q, k, 96, filter, runtime.GOMAXPROCS(0)); err != nil {
+			return 0, 0, err
+		}
+	}
+	preTime = time.Since(t0)
+
+	// Post-filter: unfiltered search with growing k until k pass.
+	t1 := time.Now()
+	for _, q := range ds.Queries {
+		kk := k
+		for {
+			res, err := sys.Store().Search(tid, q, kk, maxI(96, kk), nil, runtime.GOMAXPROCS(0))
+			if err != nil {
+				return 0, 0, err
+			}
+			valid := 0
+			for _, r := range res {
+				if filter(r.ID) {
+					valid++
+				}
+			}
+			if valid >= k || len(res) >= len(ds.Vectors) || kk >= len(ds.Vectors) {
+				break
+			}
+			kk *= 4
+		}
+	}
+	postTime = time.Since(t1)
+	fmt.Fprintf(w, "Ablation pre-vs-post filter (selectivity %.3f): pre=%v post=%v\n",
+		selectivity, preTime.Round(time.Millisecond), postTime.Round(time.Millisecond))
+	return preTime, postTime, nil
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AblationBruteForceThreshold compares index search vs brute force on a
+// very selective filter (design decision 3).
+func AblationBruteForceThreshold(w io.Writer) (withThreshold, withoutThreshold time.Duration, err error) {
+	ds, err := workload.SIFTLike(scaledN(DefaultN/2), 5)
+	if err != nil {
+		return 0, 0, err
+	}
+	sys := &TigerVectorSys{SegSize: 1024}
+	if _, err := MeasureBuild(sys, ds); err != nil {
+		return 0, 0, err
+	}
+	store := sys.Store()
+	tid := sys.Mgr().Visible()
+	// Filter admitting ~8 vertices per segment.
+	filter := func(id uint64) bool { return id%128 == 0 }
+	segSize := store.SegmentSize()
+
+	run := func(valid int) (time.Duration, error) {
+		t0 := time.Now()
+		for _, q := range ds.Queries {
+			ctx := store.BeginSearch(tid)
+			n := ctx.NumSegments()
+			for seg := 0; seg < n; seg++ {
+				if _, err := ctx.SearchSegment(seg, q, 10, 96, filter, valid); err != nil {
+					ctx.Close()
+					return 0, err
+				}
+			}
+			ctx.Close()
+		}
+		return time.Since(t0), nil
+	}
+	// valid = segSize/128 (below threshold: brute force path).
+	withThreshold, err = run(segSize / 128)
+	if err != nil {
+		return 0, 0, err
+	}
+	// valid = -1 (unknown: always index path).
+	withoutThreshold, err = run(-1)
+	if err != nil {
+		return 0, 0, err
+	}
+	fmt.Fprintf(w, "Ablation brute-force threshold: with=%v without=%v\n",
+		withThreshold.Round(time.Millisecond), withoutThreshold.Round(time.Millisecond))
+	return withThreshold, withoutThreshold, nil
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/workload"
+)
+
+// Measurement is one (recall, throughput/latency) operating point.
+type Measurement struct {
+	System  string
+	Ef      int
+	Recall  float64
+	QPS     float64
+	Latency time.Duration
+}
+
+// MeasureThroughput runs a closed-loop benchmark: `clients` goroutines
+// issue queries back to back (the in-process stand-in for the paper's
+// wrk2 setup with 16 threads) for the given number of total queries.
+// Recall is computed against the dataset's exact ground truth.
+func MeasureThroughput(sys baselines.System, ds *workload.VectorDataset, k, ef, clients, totalQueries int) Measurement {
+	if clients <= 0 {
+		clients = 16
+	}
+	if totalQueries <= 0 {
+		totalQueries = len(ds.Queries)
+	}
+	results := make([][]uint64, len(ds.Queries))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= totalQueries {
+					return
+				}
+				qi := i % len(ds.Queries)
+				ids, err := sys.Search(ds.Queries[qi], k, ef)
+				if err != nil {
+					return
+				}
+				if i < len(ds.Queries) {
+					results[qi] = ids
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	qps := float64(totalQueries) / elapsed.Seconds()
+	return Measurement{
+		System: sys.Name(),
+		Ef:     ef,
+		Recall: ds.Recall(results, k),
+		QPS:    qps,
+	}
+}
+
+// MeasureLatency runs single-threaded queries and reports mean latency
+// (the paper's Fig. 8 setup).
+func MeasureLatency(sys baselines.System, ds *workload.VectorDataset, k, ef int) Measurement {
+	results := make([][]uint64, len(ds.Queries))
+	start := time.Now()
+	for qi, q := range ds.Queries {
+		ids, err := sys.Search(q, k, ef)
+		if err != nil {
+			break
+		}
+		results[qi] = ids
+	}
+	elapsed := time.Since(start)
+	return Measurement{
+		System:  sys.Name(),
+		Ef:      ef,
+		Recall:  ds.Recall(results, k),
+		Latency: elapsed / time.Duration(len(ds.Queries)),
+	}
+}
+
+// EfSweep is the beam-width sweep used for recall/QPS curves; it matches
+// the paper's span from ~90% to ~99.9% recall.
+var EfSweep = []int{12, 24, 48, 96, 192, 384}
+
+// SweepThroughput produces the full recall-QPS curve for one system.
+// Systems without parameter tuning yield a single point.
+func SweepThroughput(sys baselines.System, ds *workload.VectorDataset, k, clients, totalQueries int) []Measurement {
+	if !sys.Tunable() {
+		return []Measurement{MeasureThroughput(sys, ds, k, 0, clients, totalQueries)}
+	}
+	var out []Measurement
+	for _, ef := range EfSweep {
+		out = append(out, MeasureThroughput(sys, ds, k, ef, clients, totalQueries))
+	}
+	return out
+}
+
+// SweepLatency produces the recall-latency curve for one system.
+func SweepLatency(sys baselines.System, ds *workload.VectorDataset, k int) []Measurement {
+	if !sys.Tunable() {
+		return []Measurement{MeasureLatency(sys, ds, k, 0)}
+	}
+	var out []Measurement
+	for _, ef := range EfSweep {
+		out = append(out, MeasureLatency(sys, ds, k, ef))
+	}
+	return out
+}
+
+// BuildTiming is a Table 2 row.
+type BuildTiming struct {
+	System     string
+	DataLoad   time.Duration
+	IndexBuild time.Duration
+}
+
+// EndToEnd returns load + build.
+func (b BuildTiming) EndToEnd() time.Duration { return b.DataLoad + b.IndexBuild }
+
+// MeasureBuild times Load and BuildIndex separately (Table 2).
+func MeasureBuild(sys baselines.System, ds *workload.VectorDataset) (BuildTiming, error) {
+	t0 := time.Now()
+	if err := sys.Load(ds); err != nil {
+		return BuildTiming{}, err
+	}
+	load := time.Since(t0)
+	t1 := time.Now()
+	if err := sys.BuildIndex(); err != nil {
+		return BuildTiming{}, err
+	}
+	return BuildTiming{System: sys.Name(), DataLoad: load, IndexBuild: time.Since(t1)}, nil
+}

@@ -1,0 +1,108 @@
+// Package bench is the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (Sec. 6). Each experiment has a
+// driver that prints paper-style rows and returns structured results so
+// tests can assert the qualitative shapes (who wins, by roughly what
+// factor, where crossovers fall).
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// Scale returns the dataset scale multiplier from TGV_SCALE (default 1).
+// Benches size their workloads as base * Scale().
+func Scale() float64 {
+	if s := os.Getenv("TGV_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 1
+}
+
+// TigerVectorSys adapts the embedding service (per-segment HNSW, MPP
+// search) to the baselines.System interface so the same harness drives
+// our system and the simulators.
+type TigerVectorSys struct {
+	// SegSize is the embedding segment size. Default 2048.
+	SegSize int
+	// Parallelism is the per-query segment-search parallelism. Default
+	// GOMAXPROCS.
+	Parallelism int
+
+	store *core.EmbeddingStore
+	mgr   *txn.Manager
+	ds    *workload.VectorDataset
+}
+
+// Name implements baselines.System.
+func (s *TigerVectorSys) Name() string { return "TigerVector" }
+
+// Tunable implements baselines.System.
+func (s *TigerVectorSys) Tunable() bool { return true }
+
+// Load implements baselines.System: creates the embedding store and
+// installs raw vectors into embedding segments (data load only; the
+// index is built by BuildIndex, matching Table 2's split).
+func (s *TigerVectorSys) Load(ds *workload.VectorDataset) error {
+	if s.SegSize <= 0 {
+		s.SegSize = 2048
+	}
+	if s.Parallelism <= 0 {
+		s.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	dir, err := os.MkdirTemp("", "tgv-bench-*")
+	if err != nil {
+		return err
+	}
+	svc := core.NewService(dir, s.SegSize, 1)
+	attr := graph.EmbeddingAttr{Name: "emb", Dim: ds.Dim, Model: "bench",
+		Index: "HNSW", DataType: "FLOAT", Metric: ds.Metric}
+	store, err := svc.Register("V", attr)
+	if err != nil {
+		return err
+	}
+	s.store = store
+	s.mgr = txn.NewManager(svc, nil)
+	s.ds = ds
+	return store.InstallVectors(ds.IDs, ds.Vectors)
+}
+
+// BuildIndex implements baselines.System.
+func (s *TigerVectorSys) BuildIndex() error {
+	if err := s.store.BuildIndexes(s.Parallelism, 1); err != nil {
+		return err
+	}
+	s.mgr.Begin().Commit()
+	return nil
+}
+
+// Search implements baselines.System.
+func (s *TigerVectorSys) Search(q []float32, k, ef int) ([]uint64, error) {
+	res, err := s.store.Search(s.mgr.Visible(), q, k, ef, nil, s.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(res))
+	for i, r := range res {
+		out[i] = r.ID
+	}
+	return out, nil
+}
+
+// Store exposes the embedding store (used by Fig. 11's update bench).
+func (s *TigerVectorSys) Store() *core.EmbeddingStore { return s.store }
+
+// Mgr exposes the transaction manager.
+func (s *TigerVectorSys) Mgr() *txn.Manager { return s.mgr }
+
+// fmtQPS renders throughput for table output.
+func fmtQPS(q float64) string { return fmt.Sprintf("%8.1f", q) }

@@ -1,0 +1,184 @@
+// Package bruteforce provides exact nearest-neighbor scans.
+//
+// TigerVector uses brute-force search in three places (paper Secs. 4.3 and
+// 5.1): as the fallback when a filter bitmap admits too few points for an
+// index search to be profitable, to search the in-memory vector delta store
+// that has not yet been merged into an index snapshot, and (in this repo)
+// to compute exact ground truth for recall measurement.
+package bruteforce
+
+import (
+	"sort"
+
+	"repro/internal/vectormath"
+)
+
+// Result mirrors hnsw.Result to keep merge code uniform without an import
+// cycle.
+type Result struct {
+	ID       uint64
+	Distance float32
+}
+
+// Source yields candidate vectors for a scan. Implementations must allow
+// concurrent calls.
+type Source interface {
+	// Len returns the number of candidate slots; ids are 0..Len()-1
+	// positions passed to At.
+	Len() int
+	// At returns the external id and vector at position i, and whether the
+	// slot is live. The returned vector must not be retained.
+	At(i int) (id uint64, vec []float32, ok bool)
+}
+
+// SliceSource adapts parallel id/vector slices to Source.
+type SliceSource struct {
+	IDs  []uint64
+	Vecs [][]float32
+}
+
+// Len implements Source.
+func (s SliceSource) Len() int { return len(s.IDs) }
+
+// At implements Source.
+func (s SliceSource) At(i int) (uint64, []float32, bool) {
+	return s.IDs[i], s.Vecs[i], true
+}
+
+// TopK scans src and returns the k nearest vectors to query under metric.
+// filter may be nil. Results are sorted by ascending distance.
+func TopK(metric vectormath.Metric, src Source, query []float32, k int, filter func(id uint64) bool) []Result {
+	if k <= 0 {
+		return nil
+	}
+	dist := vectormath.FuncFor(metric)
+	q := query
+	if metric == vectormath.Cosine {
+		q = vectormath.Normalized(query)
+	}
+	// Bounded max-heap of size k kept as a sorted-insertion slice for small
+	// k; for large k fall back to collecting and sorting.
+	if k <= 64 {
+		return topKSmall(dist, src, q, k, filter)
+	}
+	all := make([]Result, 0, src.Len())
+	for i := 0; i < src.Len(); i++ {
+		id, v, ok := src.At(i)
+		if !ok || (filter != nil && !filter(id)) {
+			continue
+		}
+		all = append(all, Result{ID: id, Distance: dist(q, v)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Distance != all[j].Distance {
+			return all[i].Distance < all[j].Distance
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func topKSmall(dist vectormath.DistanceFunc, src Source, q []float32, k int, filter func(id uint64) bool) []Result {
+	best := make([]Result, 0, k+1)
+	for i := 0; i < src.Len(); i++ {
+		id, v, ok := src.At(i)
+		if !ok || (filter != nil && !filter(id)) {
+			continue
+		}
+		d := dist(q, v)
+		if len(best) == k && d >= best[k-1].Distance {
+			continue
+		}
+		// Insertion into the sorted slice.
+		pos := sort.Search(len(best), func(j int) bool {
+			if best[j].Distance != d {
+				return best[j].Distance > d
+			}
+			return best[j].ID > id
+		})
+		best = append(best, Result{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = Result{ID: id, Distance: d}
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	return best
+}
+
+// Range scans src and returns every vector with distance < threshold,
+// sorted by ascending distance.
+func Range(metric vectormath.Metric, src Source, query []float32, threshold float32, filter func(id uint64) bool) []Result {
+	dist := vectormath.FuncFor(metric)
+	q := query
+	if metric == vectormath.Cosine {
+		q = vectormath.Normalized(query)
+	}
+	var out []Result
+	for i := 0; i < src.Len(); i++ {
+		id, v, ok := src.At(i)
+		if !ok || (filter != nil && !filter(id)) {
+			continue
+		}
+		d := dist(q, v)
+		if d < threshold {
+			out = append(out, Result{ID: id, Distance: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out
+}
+
+// GroundTruth computes exact top-k ids for each query, used for recall.
+func GroundTruth(metric vectormath.Metric, src Source, queries [][]float32, k int) [][]uint64 {
+	out := make([][]uint64, len(queries))
+	for i, q := range queries {
+		res := TopK(metric, src, q, k, nil)
+		ids := make([]uint64, len(res))
+		for j, r := range res {
+			ids[j] = r.ID
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+// MergeTopK merges pre-sorted result lists into a single ascending top-k
+// list, deduplicating by id (the first, i.e. closest, occurrence wins).
+// It is the coordinator-side global merge of per-segment results.
+func MergeTopK(lists [][]Result, k int) []Result {
+	var total int
+	for _, l := range lists {
+		total += len(l)
+	}
+	all := make([]Result, 0, total)
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Distance != all[j].Distance {
+			return all[i].Distance < all[j].Distance
+		}
+		return all[i].ID < all[j].ID
+	})
+	capHint := k
+	if capHint > len(all) {
+		capHint = len(all)
+	}
+	seen := make(map[uint64]struct{}, capHint)
+	out := make([]Result, 0, capHint)
+	for _, r := range all {
+		if _, dup := seen[r.ID]; dup {
+			continue
+		}
+		seen[r.ID] = struct{}{}
+		out = append(out, r)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}

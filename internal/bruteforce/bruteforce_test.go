@@ -1,0 +1,236 @@
+package bruteforce
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vectormath"
+)
+
+func randomSource(n, dim int, seed int64) SliceSource {
+	r := rand.New(rand.NewSource(seed))
+	src := SliceSource{IDs: make([]uint64, n), Vecs: make([][]float32, n)}
+	for i := 0; i < n; i++ {
+		src.IDs[i] = uint64(i)
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		src.Vecs[i] = v
+	}
+	return src
+}
+
+func TestTopKExactOrdering(t *testing.T) {
+	src := SliceSource{
+		IDs:  []uint64{1, 2, 3, 4},
+		Vecs: [][]float32{{0, 0}, {1, 0}, {2, 0}, {3, 0}},
+	}
+	res := TopK(vectormath.L2, src, []float32{0, 0}, 3, nil)
+	if len(res) != 3 {
+		t.Fatalf("len = %d", len(res))
+	}
+	wantIDs := []uint64{1, 2, 3}
+	for i, r := range res {
+		if r.ID != wantIDs[i] {
+			t.Fatalf("res[%d] = %v, want id %d", i, r, wantIDs[i])
+		}
+	}
+	if res[0].Distance != 0 || res[1].Distance != 1 || res[2].Distance != 4 {
+		t.Fatalf("distances = %v", res)
+	}
+}
+
+func TestTopKZeroAndOversizedK(t *testing.T) {
+	src := randomSource(10, 4, 1)
+	if res := TopK(vectormath.L2, src, make([]float32, 4), 0, nil); res != nil {
+		t.Fatalf("k=0 returned %v", res)
+	}
+	res := TopK(vectormath.L2, src, make([]float32, 4), 100, nil)
+	if len(res) != 10 {
+		t.Fatalf("oversized k returned %d results", len(res))
+	}
+}
+
+func TestTopKFilter(t *testing.T) {
+	src := randomSource(100, 4, 2)
+	res := TopK(vectormath.L2, src, make([]float32, 4), 5, func(id uint64) bool { return id >= 90 })
+	if len(res) != 5 {
+		t.Fatalf("len = %d", len(res))
+	}
+	for _, r := range res {
+		if r.ID < 90 {
+			t.Fatalf("filter violated: %v", r)
+		}
+	}
+}
+
+func TestTopKLargeKPath(t *testing.T) {
+	// k > 64 exercises the sort-based path; compare to the small-k path by
+	// chunking.
+	src := randomSource(300, 8, 3)
+	q := make([]float32, 8)
+	big := TopK(vectormath.L2, src, q, 100, nil)
+	if len(big) != 100 {
+		t.Fatalf("len = %d", len(big))
+	}
+	if !sort.SliceIsSorted(big, func(i, j int) bool { return big[i].Distance < big[j].Distance }) {
+		t.Fatal("large-k results not sorted")
+	}
+	small := TopK(vectormath.L2, src, q, 64, nil)
+	for i := range small {
+		if small[i].ID != big[i].ID {
+			t.Fatalf("path mismatch at %d: %v vs %v", i, small[i], big[i])
+		}
+	}
+}
+
+func TestRangeResults(t *testing.T) {
+	src := SliceSource{
+		IDs:  []uint64{1, 2, 3},
+		Vecs: [][]float32{{0, 0}, {1, 0}, {5, 0}},
+	}
+	res := Range(vectormath.L2, src, []float32{0, 0}, 2, nil)
+	if len(res) != 2 || res[0].ID != 1 || res[1].ID != 2 {
+		t.Fatalf("range = %v", res)
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	src := randomSource(50, 4, 4)
+	queries := [][]float32{make([]float32, 4), src.Vecs[7]}
+	gt := GroundTruth(vectormath.L2, src, queries, 3)
+	if len(gt) != 2 || len(gt[0]) != 3 {
+		t.Fatalf("gt shape = %v", gt)
+	}
+	if gt[1][0] != 7 {
+		t.Fatalf("nearest of vec 7 = %d, want 7", gt[1][0])
+	}
+}
+
+func TestMergeTopK(t *testing.T) {
+	a := []Result{{ID: 1, Distance: 0.1}, {ID: 2, Distance: 0.5}}
+	b := []Result{{ID: 3, Distance: 0.2}, {ID: 1, Distance: 0.1}} // dup id 1
+	got := MergeTopK([][]Result{a, b}, 3)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].ID != 1 || got[1].ID != 3 || got[2].ID != 2 {
+		t.Fatalf("merge order = %v", got)
+	}
+}
+
+func TestMergeTopKEmpty(t *testing.T) {
+	if got := MergeTopK(nil, 5); len(got) != 0 {
+		t.Fatalf("merge of nothing = %v", got)
+	}
+	if got := MergeTopK([][]Result{{}, {}}, 5); len(got) != 0 {
+		t.Fatalf("merge of empties = %v", got)
+	}
+}
+
+func TestCosineUsesNormalizedQuery(t *testing.T) {
+	src := SliceSource{
+		IDs:  []uint64{1, 2},
+		Vecs: [][]float32{{1, 0}, {0, 1}},
+	}
+	// Scaled query must give the same ranking as the unit query.
+	r1 := TopK(vectormath.Cosine, src, []float32{100, 1}, 2, nil)
+	r2 := TopK(vectormath.Cosine, src, []float32{1, 0.01}, 2, nil)
+	if r1[0].ID != r2[0].ID {
+		t.Fatalf("cosine ranking differs under scaling: %v vs %v", r1, r2)
+	}
+	if r1[0].ID != 1 {
+		t.Fatalf("nearest = %v, want id 1", r1[0])
+	}
+}
+
+// Property: small-k insertion path agrees with full sort.
+func TestPropertyTopKMatchesSort(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 100
+		src := randomSource(n, 6, seed)
+		q := make([]float32, 6)
+		for j := range q {
+			q[j] = float32(r.NormFloat64())
+		}
+		k := int(kRaw%20) + 1
+		got := TopK(vectormath.L2, src, q, k, nil)
+
+		type pair struct {
+			id uint64
+			d  float32
+		}
+		all := make([]pair, n)
+		for i := 0; i < n; i++ {
+			all[i] = pair{src.IDs[i], vectormath.SquaredL2(q, src.Vecs[i])}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].d != all[j].d {
+				return all[i].d < all[j].d
+			}
+			return all[i].id < all[j].id
+		})
+		if len(got) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if got[i].ID != all[i].id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MergeTopK output is sorted, unique and no longer than k.
+func TestPropertyMergeTopK(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := int(kRaw%10) + 1
+		lists := make([][]Result, r.Intn(5))
+		for i := range lists {
+			n := r.Intn(8)
+			l := make([]Result, n)
+			for j := range l {
+				l[j] = Result{ID: uint64(r.Intn(20)), Distance: float32(r.Float64())}
+			}
+			sort.Slice(l, func(a, b int) bool { return l[a].Distance < l[b].Distance })
+			lists[i] = l
+		}
+		got := MergeTopK(lists, k)
+		if len(got) > k {
+			return false
+		}
+		seen := map[uint64]struct{}{}
+		for i, g := range got {
+			if i > 0 && got[i-1].Distance > g.Distance {
+				return false
+			}
+			if _, dup := seen[g.ID]; dup {
+				return false
+			}
+			seen[g.ID] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTopK10kDim128(b *testing.B) {
+	src := randomSource(10000, 128, 9)
+	q := make([]float32, 128)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TopK(vectormath.L2, src, q, 10, nil)
+	}
+}

@@ -1,0 +1,269 @@
+// Package cluster simulates TigerVector's distributed query processing
+// (paper Sec. 5.1, Fig. 5): a coordinator with a send queue and response
+// pool dispatches per-segment top-k requests to worker nodes; each worker
+// searches its local embedding segments and returns (ID, distance) pairs;
+// the coordinator performs the global merge.
+//
+// Everything runs in one process. Data placement is real (each simulated
+// node owns a disjoint subset of embedding segments, assigned round-robin)
+// and the scatter/gather protocol runs over real channels, so merge
+// correctness is tested end to end. Because all nodes share this
+// machine's cores, *scalability* (Fig. 9/10) is reported through a
+// virtual-time model: per-node work is the measured CPU time of that
+// node's local searches, and the model combines it with configurable
+// network and coordinator costs. DESIGN.md documents this substitution.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/txn"
+)
+
+// Config describes the simulated deployment.
+type Config struct {
+	// Nodes is the number of worker servers (the coordinator is also a
+	// worker, as in the paper). Default 1.
+	Nodes int
+	// WorkersPerNode models each node's intra-node parallelism (vCPUs
+	// available to vector search). Default 16.
+	WorkersPerNode int
+	// NetLatency is the one-way message latency coordinator <-> worker.
+	// Default 100µs.
+	NetLatency time.Duration
+	// DispatchCost is coordinator CPU per worker request (serialization).
+	// Default 1µs.
+	DispatchCost time.Duration
+	// PerResultCost is coordinator CPU per returned candidate during the
+	// global merge. Default 100ns.
+	PerResultCost time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.WorkersPerNode <= 0 {
+		c.WorkersPerNode = 16
+	}
+	if c.NetLatency == 0 {
+		c.NetLatency = 100 * time.Microsecond
+	}
+	if c.DispatchCost == 0 {
+		c.DispatchCost = time.Microsecond
+	}
+	if c.PerResultCost == 0 {
+		c.PerResultCost = 100 * time.Nanosecond
+	}
+	return c
+}
+
+// Timing is the virtual-time accounting of one distributed query.
+type Timing struct {
+	// NodeCPU[i] is the measured CPU time node i spent on its local
+	// segment searches.
+	NodeCPU []time.Duration
+	// CoordCPU is the coordinator-side dispatch + merge cost.
+	CoordCPU time.Duration
+	// Network is the round-trip network latency component.
+	Network time.Duration
+}
+
+// Latency returns the modeled end-to-end latency: the slowest node's
+// local work (spread over its intra-node workers), plus network round
+// trip, plus coordinator work.
+func (t Timing) Latency(workersPerNode int) time.Duration {
+	if workersPerNode <= 0 {
+		workersPerNode = 1
+	}
+	var worst time.Duration
+	for _, w := range t.NodeCPU {
+		// A single query's segment searches on one node run across that
+		// node's workers.
+		d := w / time.Duration(workersPerNode)
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst + t.Network + t.CoordCPU
+}
+
+// TotalNodeCPU sums worker-side CPU.
+func (t Timing) TotalNodeCPU() time.Duration {
+	var s time.Duration
+	for _, w := range t.NodeCPU {
+		s += w
+	}
+	return s
+}
+
+// ModelQPS returns the modeled saturation throughput of the deployment
+// for queries with this cost profile. The worker side bottlenecks on the
+// busiest node (each node sustains WorkersPerNode / itsPerQueryCPU
+// queries per second); the coordinator bottlenecks on its dispatch+merge
+// CPU. This is the quantity Fig. 9/10 report.
+func (t Timing) ModelQPS(cfg Config) float64 {
+	cfg = cfg.withDefaults()
+	var maxNode time.Duration
+	for _, w := range t.NodeCPU {
+		if w > maxNode {
+			maxNode = w
+		}
+	}
+	perNodeCPU := maxNode.Seconds()
+	if perNodeCPU <= 0 {
+		perNodeCPU = 1e-9
+	}
+	workerCap := float64(cfg.WorkersPerNode) / perNodeCPU
+	coordCPU := t.CoordCPU.Seconds()
+	if coordCPU <= 0 {
+		coordCPU = 1e-9
+	}
+	coordCap := float64(cfg.WorkersPerNode) / coordCPU
+	if coordCap < workerCap {
+		return coordCap
+	}
+	return workerCap
+}
+
+// request is one unit in the coordinator's send queue.
+type request struct {
+	node   int
+	store  *core.EmbeddingStore
+	ctx    *core.SearchContext
+	typ    string
+	segs   []int
+	query  []float32
+	k, ef  int
+	filter core.Filter
+}
+
+// response carries a worker's local top-k back to the response pool.
+type response struct {
+	node    int
+	results []engine.TypedResult
+	cpu     time.Duration
+	err     error
+}
+
+// Cluster wires an engine's data into the simulated deployment. Workers
+// are spawned per request (goroutines are the simulated handler threads);
+// the response pool is the channel the coordinator drains.
+type Cluster struct {
+	cfg Config
+	eng *engine.Engine
+}
+
+// New creates a cluster over an engine.
+func New(cfg Config, eng *engine.Engine) *Cluster {
+	return &Cluster{cfg: cfg.withDefaults(), eng: eng}
+}
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Placement maps an embedding segment to its owning node (round-robin,
+// mirroring TigerGraph's even segment distribution).
+func (c *Cluster) Placement(seg int) int { return seg % c.cfg.Nodes }
+
+// worker performs one node's local searches: a top-k per owned segment,
+// merged locally before replying (IDs and distances only, as in Fig. 5).
+func (c *Cluster) worker(req request, out chan<- response) {
+	start := time.Now()
+	lists := make([][]engine.TypedResult, 0, len(req.segs))
+	for _, seg := range req.segs {
+		res, err := req.ctx.SearchSegment(seg, req.query, req.k, req.ef, req.filter, -1)
+		if err != nil {
+			out <- response{node: req.node, err: err}
+			return
+		}
+		trs := make([]engine.TypedResult, len(res))
+		for i, r := range res {
+			trs[i] = engine.TypedResult{Type: req.typ, ID: r.ID, Distance: r.Distance}
+		}
+		lists = append(lists, trs)
+	}
+	local := engine.MergeTyped(lists, req.k)
+	out <- response{node: req.node, results: local, cpu: time.Since(start)}
+}
+
+// Search executes a distributed top-k over one embedding attribute and
+// returns the merged results plus the virtual-time accounting.
+func (c *Cluster) Search(ref graph.EmbeddingRef, query []float32, k, ef int, filter *engine.VertexSet, tid txn.TID) ([]engine.TypedResult, Timing, error) {
+	store, ok := c.eng.Emb.Store(core.AttrKey(ref.VertexType, ref.Attr))
+	if !ok {
+		return nil, Timing{}, fmt.Errorf("cluster: embedding attribute %s is not materialized", ref)
+	}
+	if tid == 0 {
+		tid = c.eng.Mgr.Visible()
+	}
+	status, err := c.eng.G.Status(ref.VertexType)
+	if err != nil {
+		return nil, Timing{}, err
+	}
+	bitmap := status
+	if filter != nil {
+		bitmap = filter.Bitmap
+	}
+	f := func(id uint64) bool { return bitmap.Get(int(id)) }
+
+	ctx := store.BeginSearch(tid)
+	defer ctx.Close()
+	nSegs := ctx.NumSegments()
+
+	// Scatter: group segments by owning node; the send queue feeds one
+	// request per node.
+	segsByNode := make([][]int, c.cfg.Nodes)
+	for seg := 0; seg < nSegs; seg++ {
+		n := c.Placement(seg)
+		segsByNode[n] = append(segsByNode[n], seg)
+	}
+	respPool := make(chan response, c.cfg.Nodes)
+	nReqs := 0
+	for n, segs := range segsByNode {
+		if len(segs) == 0 {
+			continue
+		}
+		nReqs++
+		go c.worker(request{
+			node: n, store: store, ctx: ctx, typ: ref.VertexType,
+			segs: segs, query: query, k: k, ef: ef, filter: f,
+		}, respPool)
+	}
+
+	timing := Timing{NodeCPU: make([]time.Duration, c.cfg.Nodes)}
+	lists := make([][]engine.TypedResult, 0, nReqs+1)
+	for i := 0; i < nReqs; i++ {
+		r := <-respPool
+		if r.err != nil {
+			return nil, Timing{}, r.err
+		}
+		timing.NodeCPU[r.node] += r.cpu
+		lists = append(lists, r.results)
+	}
+	// Delta-store results are computed on the coordinator (the delta
+	// store is replicated with the WAL).
+	mergeStart := time.Now()
+	deltaRes := ctx.DeltaTopK(query, k, f)
+	dl := make([]engine.TypedResult, len(deltaRes))
+	for i, r := range deltaRes {
+		dl[i] = engine.TypedResult{Type: ref.VertexType, ID: r.ID, Distance: r.Distance}
+	}
+	lists = append(lists, dl)
+	merged := engine.MergeTyped(lists, k)
+	mergeCPU := time.Since(mergeStart)
+
+	var returned int
+	for _, l := range lists {
+		returned += len(l)
+	}
+	timing.CoordCPU = mergeCPU +
+		time.Duration(nReqs)*c.cfg.DispatchCost +
+		time.Duration(returned)*c.cfg.PerResultCost
+	timing.Network = 2 * c.cfg.NetLatency
+	return merged, timing, nil
+}

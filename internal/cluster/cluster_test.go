@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/vectormath"
+)
+
+func buildEngine(t *testing.T, n, segSize int) (*engine.Engine, []uint64, [][]float32) {
+	t.Helper()
+	s := graph.NewSchema()
+	s.AddVertexType(graph.VertexType{Name: "Post", PrimaryKey: "id",
+		Attrs: []storage.AttrSchema{{Name: "id", Type: storage.TInt}}})
+	s.AddEmbeddingAttr("Post", graph.EmbeddingAttr{Name: "emb", Dim: 8, Model: "m", Metric: vectormath.L2})
+	g := graph.NewStore(s, segSize)
+	svc := core.NewService(t.TempDir(), segSize, 1)
+	vt, _ := s.VertexType("Post")
+	ea, _ := vt.Embedding("emb")
+	store, _ := svc.Register("Post", ea)
+	mgr := txn.NewManager(svc, nil)
+	e := engine.New(g, svc, mgr)
+
+	r := rand.New(rand.NewSource(9))
+	var ids []uint64
+	var vecs [][]float32
+	for i := 0; i < n; i++ {
+		id, _ := g.AddVertex("Post", map[string]storage.Value{"id": int64(i)})
+		v := make([]float32, 8)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		ids = append(ids, id)
+		vecs = append(vecs, v)
+	}
+	if err := store.BulkLoad(ids, vecs, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Begin().Commit()
+	return e, ids, vecs
+}
+
+var ref = graph.EmbeddingRef{VertexType: "Post", Attr: "emb"}
+
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	e, _, vecs := buildEngine(t, 400, 32)
+	single := New(Config{Nodes: 1}, e)
+	multi := New(Config{Nodes: 4}, e)
+	for qi := 0; qi < 10; qi++ {
+		q := vecs[qi*17%len(vecs)]
+		r1, _, err := single.Search(ref, q, 10, 128, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r4, _, err := multi.Search(ref, q, 10, 128, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r1) != len(r4) {
+			t.Fatalf("result counts differ: %d vs %d", len(r1), len(r4))
+		}
+		for i := range r1 {
+			if r1[i].ID != r4[i].ID {
+				t.Fatalf("query %d result %d: %v vs %v", qi, i, r1[i], r4[i])
+			}
+		}
+	}
+}
+
+func TestPlacementCoversAllNodes(t *testing.T) {
+	e, _, _ := buildEngine(t, 400, 32) // 13 segments
+	c := New(Config{Nodes: 4}, e)
+	used := map[int]bool{}
+	for seg := 0; seg < 13; seg++ {
+		n := c.Placement(seg)
+		if n < 0 || n >= 4 {
+			t.Fatalf("placement out of range: %d", n)
+		}
+		used[n] = true
+	}
+	if len(used) != 4 {
+		t.Fatalf("placement skipped nodes: %v", used)
+	}
+}
+
+func TestTimingAccounting(t *testing.T) {
+	e, _, vecs := buildEngine(t, 400, 32)
+	c := New(Config{Nodes: 2, WorkersPerNode: 8}, e)
+	_, tm, err := c.Search(ref, vecs[0], 10, 128, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tm.NodeCPU) != 2 {
+		t.Fatalf("NodeCPU = %v", tm.NodeCPU)
+	}
+	if tm.TotalNodeCPU() <= 0 {
+		t.Fatal("no node CPU recorded")
+	}
+	if tm.Network != 2*c.Config().NetLatency {
+		t.Fatalf("Network = %v", tm.Network)
+	}
+	if tm.CoordCPU <= 0 {
+		t.Fatal("no coordinator CPU recorded")
+	}
+	if tm.Latency(8) <= tm.Network {
+		t.Fatalf("latency missing work: %v", tm.Latency(8))
+	}
+	if tm.Latency(0) < tm.Latency(8) {
+		t.Fatal("workersPerNode=0 should behave like 1 worker")
+	}
+}
+
+func TestModelQPSScalesWithNodes(t *testing.T) {
+	e, _, vecs := buildEngine(t, 2000, 64)
+	var prev float64
+	for _, nodes := range []int{1, 2, 4} {
+		c := New(Config{Nodes: nodes, WorkersPerNode: 16}, e)
+		// Average over queries for stability.
+		var qps float64
+		for qi := 0; qi < 5; qi++ {
+			_, tm, err := c.Search(ref, vecs[qi*31], 10, 128, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qps += tm.ModelQPS(c.Config())
+		}
+		qps /= 5
+		if prev > 0 {
+			gain := qps / prev
+			if gain < 1.2 || gain > 2.5 {
+				t.Fatalf("nodes=%d gain=%.2f out of plausible scaling range", nodes, gain)
+			}
+		}
+		prev = qps
+	}
+}
+
+func TestDistributedFilteredSearch(t *testing.T) {
+	e, ids, vecs := buildEngine(t, 300, 32)
+	c := New(Config{Nodes: 3}, e)
+	filter := engine.NewVertexSet("Post", ids[:50])
+	res, _, err := c.Search(ref, vecs[200], 10, 128, filter, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range res {
+		if r.ID >= 50 {
+			t.Fatalf("filter violated: %+v", r)
+		}
+	}
+}
+
+func TestDistributedSeesDeltas(t *testing.T) {
+	e, _, _ := buildEngine(t, 100, 32)
+	c := New(Config{Nodes: 2}, e)
+	nv := []float32{99, 99, 99, 99, 99, 99, 99, 99}
+	tx := e.Mgr.Begin()
+	tx.StageVector(txn.StagedVector{AttrKey: "Post.emb", Action: txn.Upsert, ID: 5000, Vec: nv})
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The synthetic id 5000 has no graph vertex; use an explicit filter
+	// bitmap admitting it so the status check doesn't drop it.
+	fs := engine.NewVertexSet("Post", []uint64{5000})
+	res, _, err := c.Search(ref, nv, 1, 64, fs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 5000 {
+		t.Fatalf("delta not visible through coordinator: %+v", res)
+	}
+}
+
+func TestSearchUnknownAttr(t *testing.T) {
+	e, _, _ := buildEngine(t, 10, 32)
+	c := New(Config{}, e)
+	if _, _, err := c.Search(graph.EmbeddingRef{VertexType: "X", Attr: "y"}, []float32{1}, 1, 1, nil, 0); err == nil {
+		t.Fatal("unknown attr accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Nodes != 1 || c.WorkersPerNode != 16 || c.NetLatency != 100*time.Microsecond {
+		t.Fatalf("defaults = %+v", c)
+	}
+	var tm Timing
+	if tm.ModelQPS(Config{}) <= 0 {
+		t.Fatal("zero timing must still model positive QPS")
+	}
+}

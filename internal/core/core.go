@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/txn"
+)
+
+// Service is the embedding service module (paper Sec. 4.2): the registry
+// of embedding stores, one per (vertex type, embedding attribute). It
+// implements txn.VectorApplier so committed vector deltas flow into the
+// right store.
+type Service struct {
+	deltaDir string
+	segSize  int
+	seed     int64
+
+	mu     sync.RWMutex
+	stores map[string]*EmbeddingStore
+}
+
+// NewService creates an embedding service writing delta files under
+// deltaDir.
+func NewService(deltaDir string, segSize int, seed int64) *Service {
+	return &Service{
+		deltaDir: deltaDir,
+		segSize:  segSize,
+		seed:     seed,
+		stores:   make(map[string]*EmbeddingStore),
+	}
+}
+
+// AttrKey builds the canonical "VertexType.attr" key.
+func AttrKey(vertexType, attr string) string { return vertexType + "." + attr }
+
+// Register creates (or returns) the store for an embedding attribute.
+func (s *Service) Register(vertexType string, attr graph.EmbeddingAttr) (*EmbeddingStore, error) {
+	if attr.Dim <= 0 {
+		return nil, fmt.Errorf("core: embedding attribute %s.%s has non-positive dimension", vertexType, attr.Name)
+	}
+	key := AttrKey(vertexType, attr.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.stores[key]; ok {
+		return st, nil
+	}
+	st := NewEmbeddingStore(key, attr, s.segSize, s.deltaDir, s.seed)
+	s.stores[key] = st
+	return st, nil
+}
+
+// Store returns the store for key, if registered.
+func (s *Service) Store(key string) (*EmbeddingStore, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.stores[key]
+	return st, ok
+}
+
+// Stores returns all registered stores.
+func (s *Service) Stores() []*EmbeddingStore {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*EmbeddingStore, 0, len(s.stores))
+	for _, st := range s.stores {
+		out = append(out, st)
+	}
+	return out
+}
+
+// ApplyVectorDelta implements txn.VectorApplier.
+func (s *Service) ApplyVectorDelta(attrKey string, d txn.VectorDelta) error {
+	st, ok := s.Store(attrKey)
+	if !ok {
+		return fmt.Errorf("core: vector delta for unregistered attribute %q", attrKey)
+	}
+	return st.AppendDelta(d)
+}

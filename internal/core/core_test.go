@@ -1,0 +1,518 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/graph"
+	"repro/internal/txn"
+	"repro/internal/vectormath"
+)
+
+func testAttr(dim int) graph.EmbeddingAttr {
+	return graph.EmbeddingAttr{Name: "emb", Dim: dim, Model: "test", Index: "HNSW",
+		DataType: "FLOAT", Metric: vectormath.L2}
+}
+
+func newStore(t *testing.T, dim, segSize int) *EmbeddingStore {
+	t.Helper()
+	return NewEmbeddingStore("V.emb", testAttr(dim), segSize, t.TempDir(), 1)
+}
+
+func randVecs(n, dim int, seed int64) ([]uint64, [][]float32) {
+	r := rand.New(rand.NewSource(seed))
+	ids := make([]uint64, n)
+	vecs := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		ids[i] = uint64(i)
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		vecs[i] = v
+	}
+	return ids, vecs
+}
+
+func exactTopK(ids []uint64, vecs [][]float32, q []float32, k int) []uint64 {
+	res := bruteforce.TopK(vectormath.L2, bruteforce.SliceSource{IDs: ids, Vecs: vecs}, q, k, nil)
+	out := make([]uint64, len(res))
+	for i, r := range res {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func TestBulkLoadAndSearch(t *testing.T) {
+	s := newStore(t, 8, 100)
+	ids, vecs := randVecs(1000, 8, 1)
+	if err := s.BulkLoad(ids, vecs, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSegments() != 10 {
+		t.Fatalf("NumSegments = %d, want 10", s.NumSegments())
+	}
+	if s.Watermark() != 1 {
+		t.Fatalf("Watermark = %d", s.Watermark())
+	}
+	q := vecs[123]
+	res, err := s.Search(1, q, 10, 200, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 || res[0].ID != 123 || res[0].Distance != 0 {
+		t.Fatalf("search = %+v", res[:2])
+	}
+	truth := exactTopK(ids, vecs, q, 10)
+	hits := 0
+	truthSet := map[uint64]bool{}
+	for _, id := range truth {
+		truthSet[id] = true
+	}
+	for _, r := range res {
+		if truthSet[r.ID] {
+			hits++
+		}
+	}
+	if hits < 8 {
+		t.Fatalf("recall = %d/10", hits)
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	s := newStore(t, 4, 10)
+	if err := s.BulkLoad([]uint64{1}, nil, 1, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := s.BulkLoad([]uint64{1}, [][]float32{{1, 2}}, 1, 1); err == nil {
+		t.Fatal("wrong dim accepted")
+	}
+	s.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 1, TID: 1, Vec: []float32{1, 2, 3, 4}})
+	if err := s.BulkLoad([]uint64{1}, [][]float32{{1, 2, 3, 4}}, 1, 2); err == nil {
+		t.Fatal("BulkLoad with pending deltas accepted")
+	}
+}
+
+func TestAppendDeltaDimCheck(t *testing.T) {
+	s := newStore(t, 4, 10)
+	if err := s.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 1, TID: 1, Vec: []float32{1}}); err == nil {
+		t.Fatal("wrong-dim delta accepted")
+	}
+	if err := s.AppendDelta(txn.VectorDelta{Action: txn.Delete, ID: 1, TID: 1}); err != nil {
+		t.Fatalf("delete delta rejected: %v", err)
+	}
+}
+
+func TestDeltaVisibilityBeforeVacuum(t *testing.T) {
+	s := newStore(t, 4, 10)
+	ids, vecs := randVecs(20, 4, 2)
+	s.BulkLoad(ids, vecs, 2, 1)
+
+	// A committed delta not yet flushed/merged must be visible at its TID.
+	nv := []float32{100, 100, 100, 100}
+	s.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 50, TID: 2, Vec: nv})
+
+	res, err := s.Search(2, nv, 1, 50, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 50 {
+		t.Fatalf("delta upsert invisible: %+v", res)
+	}
+	// At the older snapshot it must be invisible.
+	res, _ = s.Search(1, nv, 1, 50, nil, 1)
+	if len(res) == 1 && res[0].ID == 50 {
+		t.Fatal("delta visible at older snapshot")
+	}
+}
+
+func TestDeltaDeleteMasksIndexEntry(t *testing.T) {
+	s := newStore(t, 4, 10)
+	ids, vecs := randVecs(20, 4, 3)
+	s.BulkLoad(ids, vecs, 2, 1)
+	q := vecs[7]
+	res, _ := s.Search(1, q, 1, 50, nil, 1)
+	if res[0].ID != 7 {
+		t.Fatalf("setup: nearest = %v", res)
+	}
+	s.AppendDelta(txn.VectorDelta{Action: txn.Delete, ID: 7, TID: 2})
+	res, _ = s.Search(2, q, 1, 50, nil, 1)
+	if len(res) > 0 && res[0].ID == 7 {
+		t.Fatal("deleted id still returned")
+	}
+	// Still visible at snapshot 1.
+	res, _ = s.Search(1, q, 1, 50, nil, 1)
+	if len(res) == 0 || res[0].ID != 7 {
+		t.Fatal("delete leaked into older snapshot")
+	}
+}
+
+func TestDeltaUpsertOverridesIndexEntry(t *testing.T) {
+	s := newStore(t, 4, 10)
+	ids, vecs := randVecs(20, 4, 4)
+	s.BulkLoad(ids, vecs, 2, 1)
+	// Move vector 3 far away via a delta.
+	far := []float32{500, 500, 500, 500}
+	s.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 3, TID: 2, Vec: far})
+	// Searching near its OLD position at TID 2 must not return id 3.
+	res, _ := s.Search(2, vecs[3], 1, 50, nil, 1)
+	if len(res) > 0 && res[0].ID == 3 && res[0].Distance == 0 {
+		t.Fatal("stale index version returned after delta upsert")
+	}
+	// Searching near the new position finds it.
+	res, _ = s.Search(2, far, 1, 50, nil, 1)
+	if len(res) != 1 || res[0].ID != 3 {
+		t.Fatalf("moved vector not found: %+v", res)
+	}
+}
+
+func TestFlushAndMergeLifecycle(t *testing.T) {
+	s := newStore(t, 4, 10)
+	ids, vecs := randVecs(30, 4, 5)
+	s.BulkLoad(ids, vecs, 2, 1)
+
+	nv := []float32{42, 0, 0, 0}
+	s.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 100, TID: 2, Vec: nv})
+	s.AppendDelta(txn.VectorDelta{Action: txn.Delete, ID: 5, TID: 3})
+
+	n, err := s.FlushDeltas()
+	if err != nil || n != 2 {
+		t.Fatalf("FlushDeltas = %d, %v", n, err)
+	}
+	if s.PendingDeltas() != 0 {
+		t.Fatalf("pending after flush = %d", s.PendingDeltas())
+	}
+	if len(s.DeltaFiles()) != 1 {
+		t.Fatalf("delta files = %v", s.DeltaFiles())
+	}
+	// Still visible via files before merge.
+	res, _ := s.Search(3, nv, 1, 50, nil, 1)
+	if len(res) != 1 || res[0].ID != 100 {
+		t.Fatalf("flushed delta invisible: %+v", res)
+	}
+
+	m, err := s.MergeIndex(2)
+	if err != nil || m != 2 {
+		t.Fatalf("MergeIndex = %d, %v", m, err)
+	}
+	if s.Watermark() != 3 {
+		t.Fatalf("watermark = %d", s.Watermark())
+	}
+	if len(s.DeltaFiles()) != 0 {
+		t.Fatalf("delta files after merge = %v", s.DeltaFiles())
+	}
+	// Post-merge: index now serves both changes.
+	res, _ = s.Search(3, nv, 1, 50, nil, 1)
+	if len(res) != 1 || res[0].ID != 100 {
+		t.Fatalf("merged upsert lost: %+v", res)
+	}
+	res, _ = s.Search(3, vecs[5], 1, 50, nil, 1)
+	if len(res) > 0 && res[0].ID == 5 {
+		t.Fatal("merged delete ignored")
+	}
+}
+
+func TestMergeRespectsActiveQueries(t *testing.T) {
+	s := newStore(t, 4, 10)
+	ids, vecs := randVecs(10, 4, 6)
+	s.BulkLoad(ids, vecs, 2, 1)
+	s.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 50, TID: 2, Vec: []float32{9, 9, 9, 9}})
+	s.FlushDeltas()
+
+	// A query pinned at TID 1 blocks the watermark from advancing past 1.
+	ctx := s.BeginSearch(1)
+	n, err := s.MergeIndex(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || s.Watermark() > 1 {
+		t.Fatalf("merge advanced past active query: merged=%d watermark=%d", n, s.Watermark())
+	}
+	ctx.Close()
+	n, err = s.MergeIndex(1)
+	if err != nil || n != 1 {
+		t.Fatalf("post-close merge = %d, %v", n, err)
+	}
+	if s.Watermark() != 2 {
+		t.Fatalf("watermark = %d", s.Watermark())
+	}
+}
+
+func TestFilteredSearchAndBruteForceFallback(t *testing.T) {
+	s := newStore(t, 4, 50)
+	ids, vecs := randVecs(200, 4, 7)
+	s.BulkLoad(ids, vecs, 2, 1)
+	filter := func(id uint64) bool { return id%10 == 0 }
+
+	ctx := s.BeginSearch(1)
+	defer ctx.Close()
+	// validCount = 5 per segment (< threshold 64) forces the brute-force
+	// path; results must still honor the filter and be exact.
+	var lists [][]Result
+	for seg := 0; seg < ctx.NumSegments(); seg++ {
+		r, err := ctx.SearchSegment(seg, vecs[0], 3, 50, filter, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range r {
+			if x.ID%10 != 0 {
+				t.Fatalf("filter violated: %v", x)
+			}
+		}
+		lists = append(lists, r)
+	}
+	got := mergeResults(lists, 3)
+	// Exact comparison against brute force over everything.
+	var fids []uint64
+	var fvecs [][]float32
+	for i, id := range ids {
+		if id%10 == 0 {
+			fids = append(fids, id)
+			fvecs = append(fvecs, vecs[i])
+		}
+	}
+	want := exactTopK(fids, fvecs, vecs[0], 3)
+	for i := range want {
+		if got[i].ID != want[i] {
+			t.Fatalf("brute-force path mismatch: got %+v want %v", got, want)
+		}
+	}
+}
+
+func TestRangeSearchStore(t *testing.T) {
+	s := newStore(t, 2, 10)
+	var ids []uint64
+	var vecs [][]float32
+	for i := 0; i < 50; i++ {
+		ids = append(ids, uint64(i))
+		vecs = append(vecs, []float32{float32(i), 0})
+	}
+	s.BulkLoad(ids, vecs, 2, 1)
+	// Plus one delta inside the radius.
+	s.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 100, TID: 2, Vec: []float32{0.5, 0}})
+	res, err := s.RangeSearch(2, []float32{0, 0}, 4.1, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[uint64]bool{}
+	for _, r := range res {
+		found[r.ID] = true
+		if r.Distance >= 4.1 {
+			t.Fatalf("out-of-range result %v", r)
+		}
+	}
+	for _, want := range []uint64{0, 1, 2, 100} {
+		if !found[want] {
+			t.Fatalf("range search missing id %d (got %v)", want, res)
+		}
+	}
+}
+
+func TestGetVectorVisibility(t *testing.T) {
+	s := newStore(t, 2, 10)
+	s.BulkLoad([]uint64{1}, [][]float32{{1, 2}}, 1, 1)
+	s.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 1, TID: 2, Vec: []float32{3, 4}})
+	s.AppendDelta(txn.VectorDelta{Action: txn.Delete, ID: 1, TID: 3})
+
+	ctx1 := s.BeginSearch(1)
+	if v, ok := ctx1.GetVector(1); !ok || v[0] != 1 {
+		t.Fatalf("TID1 GetVector = %v, %v", v, ok)
+	}
+	ctx1.Close()
+	ctx2 := s.BeginSearch(2)
+	if v, ok := ctx2.GetVector(1); !ok || v[0] != 3 {
+		t.Fatalf("TID2 GetVector = %v, %v", v, ok)
+	}
+	ctx2.Close()
+	ctx3 := s.BeginSearch(3)
+	if _, ok := ctx3.GetVector(1); ok {
+		t.Fatal("TID3 sees deleted vector")
+	}
+	if _, ok := ctx3.GetVector(999); ok {
+		t.Fatal("absent id returned")
+	}
+	ctx3.Close()
+}
+
+func TestCountAcrossDeltas(t *testing.T) {
+	s := newStore(t, 2, 10)
+	ids, vecs := randVecs(5, 2, 8)
+	s.BulkLoad(ids, vecs, 1, 1)
+	if got := s.Count(1); got != 5 {
+		t.Fatalf("Count = %d", got)
+	}
+	s.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 50, TID: 2, Vec: []float32{1, 1}})
+	s.AppendDelta(txn.VectorDelta{Action: txn.Delete, ID: 0, TID: 3})
+	if got := s.Count(3); got != 5 {
+		t.Fatalf("Count(3) = %d, want 5 (+1 upsert, -1 delete)", got)
+	}
+	if got := s.Count(2); got != 6 {
+		t.Fatalf("Count(2) = %d, want 6", got)
+	}
+}
+
+func TestRebuildSegmentAndDeletedFraction(t *testing.T) {
+	s := newStore(t, 4, 20)
+	ids, vecs := randVecs(20, 4, 9)
+	s.BulkLoad(ids, vecs, 1, 1)
+	for i := 0; i < 10; i++ {
+		s.AppendDelta(txn.VectorDelta{Action: txn.Delete, ID: uint64(i), TID: txn.TID(2 + i)})
+	}
+	s.FlushDeltas()
+	s.MergeIndex(2)
+	if f := s.DeletedFraction(); f < 0.4 {
+		t.Fatalf("DeletedFraction = %v", f)
+	}
+	if err := s.RebuildSegment(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if f := s.DeletedFraction(); f != 0 {
+		t.Fatalf("post-rebuild DeletedFraction = %v", f)
+	}
+	res, _ := s.Search(12, vecs[15], 1, 50, nil, 1)
+	if len(res) != 1 || res[0].ID != 15 {
+		t.Fatalf("post-rebuild search = %+v", res)
+	}
+	if err := s.RebuildSegment(99, 1); err == nil {
+		t.Fatal("out-of-range rebuild accepted")
+	}
+}
+
+func TestActiveTracker(t *testing.T) {
+	a := NewActiveTracker()
+	if _, ok := a.Min(); ok {
+		t.Fatal("empty tracker has min")
+	}
+	a.Enter(5)
+	a.Enter(3)
+	a.Enter(3)
+	if min, ok := a.Min(); !ok || min != 3 {
+		t.Fatalf("Min = %d, %v", min, ok)
+	}
+	a.Exit(3)
+	if min, _ := a.Min(); min != 3 {
+		t.Fatal("refcount broken")
+	}
+	a.Exit(3)
+	if min, _ := a.Min(); min != 5 {
+		t.Fatalf("Min after exits = %d", min)
+	}
+	a.Exit(5)
+	if _, ok := a.Min(); ok {
+		t.Fatal("tracker not empty")
+	}
+}
+
+func TestServiceRegistryAndApplier(t *testing.T) {
+	svc := NewService(t.TempDir(), 10, 1)
+	st, err := svc.Register("Post", testAttr(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := svc.Register("Post", testAttr(4))
+	if err != nil || st2 != st {
+		t.Fatal("Register not idempotent")
+	}
+	if _, err := svc.Register("Bad", graph.EmbeddingAttr{Name: "x", Dim: 0}); err == nil {
+		t.Fatal("zero-dim registered")
+	}
+	if _, ok := svc.Store("Post.emb"); !ok {
+		t.Fatal("Store lookup failed")
+	}
+	if _, ok := svc.Store("Nope.x"); ok {
+		t.Fatal("Store found unregistered")
+	}
+	if len(svc.Stores()) != 1 {
+		t.Fatal("Stores() wrong")
+	}
+	if err := svc.ApplyVectorDelta("Post.emb", txn.VectorDelta{Action: txn.Upsert, ID: 1, TID: 1, Vec: []float32{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if st.PendingDeltas() != 1 {
+		t.Fatal("delta not routed")
+	}
+	if err := svc.ApplyVectorDelta("Nope.x", txn.VectorDelta{}); err == nil {
+		t.Fatal("unregistered attr accepted")
+	}
+}
+
+func TestEndToEndTxnIntegration(t *testing.T) {
+	svc := NewService(t.TempDir(), 10, 1)
+	st, _ := svc.Register("Post", testAttr(4))
+	mgr := txn.NewManager(svc, nil)
+
+	tx := mgr.Begin()
+	tx.StageVector(txn.StagedVector{AttrKey: "Post.emb", Action: txn.Upsert, ID: 1, Vec: []float32{1, 0, 0, 0}})
+	tid, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Search(mgr.Visible(), []float32{1, 0, 0, 0}, 1, 10, nil, 1)
+	if err != nil || len(res) != 1 || res[0].ID != 1 {
+		t.Fatalf("post-commit search = %+v, %v", res, err)
+	}
+	if tid != 1 {
+		t.Fatalf("tid = %d", tid)
+	}
+}
+
+func TestMergeResultsDedup(t *testing.T) {
+	a := []Result{{ID: 1, Distance: 0.5}}
+	b := []Result{{ID: 1, Distance: 0.5}, {ID: 2, Distance: 0.9}}
+	got := mergeResults([][]Result{a, b}, 10)
+	if len(got) != 2 {
+		t.Fatalf("dedup failed: %+v", got)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Distance < got[j].Distance }) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestIVFIndexThroughStore(t *testing.T) {
+	attr := graph.EmbeddingAttr{Name: "emb", Dim: 8, Model: "m", Index: "IVF",
+		DataType: "FLOAT", Metric: vectormath.L2}
+	s := NewEmbeddingStore("V.emb", attr, 100, t.TempDir(), 1)
+	ids, vecs := randVecs(800, 8, 21)
+	if err := s.BulkLoad(ids, vecs, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Self-query exactness through the IVF path.
+	res, err := s.Search(1, vecs[42], 1, 128, nil, 1)
+	if err != nil || len(res) != 1 || res[0].ID != 42 {
+		t.Fatalf("ivf search = %+v, %v", res, err)
+	}
+	// Delta visibility and merge work identically for IVF.
+	nv := []float32{77, 0, 0, 0, 0, 0, 0, 0}
+	s.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 5000, TID: 2, Vec: nv})
+	res, _ = s.Search(2, nv, 1, 64, nil, 1)
+	if len(res) != 1 || res[0].ID != 5000 {
+		t.Fatalf("ivf delta search = %+v", res)
+	}
+	if _, err := s.FlushDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MergeIndex(2); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = s.Search(2, nv, 1, 64, nil, 1)
+	if len(res) != 1 || res[0].ID != 5000 {
+		t.Fatalf("ivf post-merge search = %+v", res)
+	}
+	if err := s.RebuildSegment(0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsupportedIndexKind(t *testing.T) {
+	if _, err := newIndexFor("QUANTUM", 4, vectormath.L2, 0, 0, 1); err == nil {
+		t.Fatal("unsupported index kind accepted")
+	}
+	if _, err := newIndexFor("", 4, vectormath.L2, 0, 0, 1); err != nil {
+		t.Fatalf("default kind rejected: %v", err)
+	}
+	if _, err := newIndexFor("ivf", 4, vectormath.L2, 0, 0, 1); err != nil {
+		t.Fatalf("lowercase ivf rejected: %v", err)
+	}
+}

@@ -1,0 +1,440 @@
+// Package core implements TigerVector's primary contribution: the
+// embedding service that manages vector attributes decoupled from graph
+// attributes (paper Secs. 3 and 4).
+//
+// Vectors for one embedding attribute are partitioned into embedding
+// segments that mirror the vertex segments (same ids, same segment size).
+// Each embedding segment owns an HNSW index. Committed updates accumulate
+// as MVCC vector deltas; two vacuum processes (internal/vacuum) flush them
+// to delta files and merge delta files into the index. A search at
+// snapshot TID q combines index results (complete up to the watermark
+// TID w) with a brute-force scan over the net delta state in (w, q].
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/vectormath"
+)
+
+// Result is one vector search hit.
+type Result struct {
+	ID       uint64
+	Distance float32
+}
+
+// DefaultBruteForceThreshold is the valid-count below which a segment
+// search skips the index and scans directly (paper Sec. 5.1: "a threshold
+// is set for the number of valid points in the bitmap").
+const DefaultBruteForceThreshold = 64
+
+// EmbeddingStore holds everything for one embedding attribute of one
+// vertex type: the embedding segments (raw vectors), the per-segment
+// HNSW indexes, the in-memory delta store and the on-disk delta files.
+type EmbeddingStore struct {
+	Key  string // "VertexType.attr"
+	Attr graph.EmbeddingAttr
+
+	segSize  int
+	hnswM    int
+	hnswEfc  int
+	bfThresh int
+	seed     int64
+
+	mu        sync.RWMutex
+	segVecs   [][][]float32 // [segment][offset] -> vector (nil when absent)
+	segLive   []*storage.Bitmap
+	indexes   []vecIndex
+	watermark txn.TID // deltas with TID <= watermark are reflected in indexes+segVecs
+
+	deltas  *txn.DeltaStore
+	files   *txn.DeltaFileSet
+	flushMu sync.Mutex // serializes delta merge (flush) operations
+	flushed txn.TID    // deltas with TID <= flushed are persisted in files
+
+	active *ActiveTracker
+}
+
+// NewEmbeddingStore creates a store for attr. deltaDir receives delta
+// files; segSize must match the graph store's segment size.
+func NewEmbeddingStore(key string, attr graph.EmbeddingAttr, segSize int, deltaDir string, seed int64) *EmbeddingStore {
+	if segSize <= 0 {
+		segSize = storage.DefaultSegmentSize
+	}
+	return &EmbeddingStore{
+		Key:      key,
+		Attr:     attr,
+		segSize:  segSize,
+		bfThresh: DefaultBruteForceThreshold,
+		seed:     seed,
+		deltas:   txn.NewDeltaStore(),
+		files:    txn.NewDeltaFileSet(deltaDir, key),
+		active:   NewActiveTracker(),
+	}
+}
+
+// SetHNSWParams overrides M and efConstruction for subsequently built
+// segment indexes.
+func (s *EmbeddingStore) SetHNSWParams(m, efConstruction int) {
+	s.mu.Lock()
+	s.hnswM = m
+	s.hnswEfc = efConstruction
+	s.mu.Unlock()
+}
+
+// SetBruteForceThreshold overrides the valid-count threshold.
+func (s *EmbeddingStore) SetBruteForceThreshold(t int) {
+	s.mu.Lock()
+	s.bfThresh = t
+	s.mu.Unlock()
+}
+
+// SegmentSize returns the embedding segment capacity.
+func (s *EmbeddingStore) SegmentSize() int { return s.segSize }
+
+// NumSegments returns the current segment count.
+func (s *EmbeddingStore) NumSegments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.indexes)
+}
+
+// Watermark returns the TID up to which the index snapshots are complete.
+func (s *EmbeddingStore) Watermark() txn.TID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.watermark
+}
+
+// PendingDeltas returns the count of in-memory (unflushed) deltas.
+func (s *EmbeddingStore) PendingDeltas() int { return s.deltas.Len() }
+
+// DeltaFiles returns the registered delta files.
+func (s *EmbeddingStore) DeltaFiles() []txn.DeltaFile { return s.files.Files() }
+
+// segmentOf returns the embedding segment index for a vertex id.
+func (s *EmbeddingStore) segmentOf(id uint64) int { return int(id / uint64(s.segSize)) }
+
+func (s *EmbeddingStore) growToLocked(seg int) {
+	for len(s.indexes) <= seg {
+		s.segVecs = append(s.segVecs, make([][]float32, s.segSize))
+		s.segLive = append(s.segLive, storage.NewBitmap(s.segSize))
+		g, err := newIndexFor(s.Attr.Index, s.Attr.Dim, s.Attr.Metric, s.hnswM, s.hnswEfc, s.seed)
+		if err != nil {
+			panic(fmt.Sprintf("core: index config invalid: %v", err)) // validated at Register time
+		}
+		s.indexes = append(s.indexes, g)
+	}
+}
+
+// AppendDelta records a committed vector update (called via the txn
+// applier). It does NOT touch the indexes; the vacuum does that.
+func (s *EmbeddingStore) AppendDelta(d txn.VectorDelta) error {
+	if d.Action == txn.Upsert && len(d.Vec) != s.Attr.Dim {
+		return fmt.Errorf("core: %s expects dim %d, got %d", s.Key, s.Attr.Dim, len(d.Vec))
+	}
+	s.deltas.Append(d)
+	return nil
+}
+
+// InstallVectors copies vectors into their embedding segments without
+// touching the indexes — the "data load" phase of an initial load
+// (Table 2 splits data load from index build). It requires that no
+// deltas are pending.
+func (s *EmbeddingStore) InstallVectors(ids []uint64, vecs [][]float32) error {
+	if len(ids) != len(vecs) {
+		return fmt.Errorf("core: InstallVectors ids/vecs length mismatch: %d vs %d", len(ids), len(vecs))
+	}
+	if s.deltas.Len() > 0 {
+		return fmt.Errorf("core: InstallVectors with %d pending deltas", s.deltas.Len())
+	}
+	maxSeg := -1
+	for i, id := range ids {
+		if len(vecs[i]) != s.Attr.Dim {
+			return fmt.Errorf("core: vector %d has dim %d, want %d", id, len(vecs[i]), s.Attr.Dim)
+		}
+		if seg := s.segmentOf(id); seg > maxSeg {
+			maxSeg = seg
+		}
+	}
+	s.mu.Lock()
+	if maxSeg >= 0 {
+		s.growToLocked(maxSeg)
+	}
+	for i, id := range ids {
+		seg := s.segmentOf(id)
+		off := int(id % uint64(s.segSize))
+		s.segVecs[seg][off] = vectormath.Clone(vecs[i])
+		s.segLive[seg].Set(off)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// BuildIndexes constructs every segment index from the installed vectors
+// with `threads` workers — the "index build" phase. asOf becomes the
+// watermark.
+func (s *EmbeddingStore) BuildIndexes(threads int, asOf txn.TID) error {
+	s.mu.RLock()
+	nSegs := len(s.indexes)
+	indexes := make([]vecIndex, nSegs)
+	copy(indexes, s.indexes)
+	segVecs := make([][][]float32, nSegs)
+	copy(segVecs, s.segVecs)
+	segLive := s.segLive[:nSegs:nSegs]
+	s.mu.RUnlock()
+
+	if threads <= 0 {
+		threads = 1
+	}
+	sem := make(chan struct{}, threads)
+	errCh := make(chan error, nSegs)
+	var wg sync.WaitGroup
+	for seg := 0; seg < nSegs; seg++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(seg int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			base := uint64(seg) * uint64(s.segSize)
+			items := make([]IndexItem, 0, s.segSize)
+			for off, v := range segVecs[seg] {
+				if v == nil || !segLive[seg].Get(off) {
+					continue
+				}
+				items = append(items, IndexItem{ID: base + uint64(off), Vec: v})
+			}
+			sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+			if err := indexes[seg].ApplyUpdates(items, threads); err != nil {
+				errCh <- err
+			}
+		}(seg)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if asOf > s.watermark {
+		s.watermark = asOf
+	}
+	if s.watermark > s.flushed {
+		s.flushed = s.watermark
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// BulkLoad installs vectors and builds the per-segment indexes: the full
+// initial-load path. asOf becomes the watermark.
+func (s *EmbeddingStore) BulkLoad(ids []uint64, vecs [][]float32, threads int, asOf txn.TID) error {
+	if err := s.InstallVectors(ids, vecs); err != nil {
+		return err
+	}
+	return s.BuildIndexes(threads, asOf)
+}
+
+// FlushDeltas is the delta merge vacuum step: it drains in-memory deltas
+// up to the newest committed one and persists them as a delta file. It
+// returns the number of records flushed.
+func (s *EmbeddingStore) FlushDeltas() (int, error) {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	upTo := s.deltas.MaxTID()
+	s.mu.RLock()
+	from := s.flushed
+	s.mu.RUnlock()
+	if upTo <= from {
+		return 0, nil
+	}
+	// Write the file before draining memory so a record is always findable
+	// in at least one place; Visible/ReadRange windows prevent
+	// double-counting because search dedupes per id by newest TID.
+	recs := s.deltas.Visible(from, upTo)
+	if len(recs) == 0 {
+		s.mu.Lock()
+		if upTo > s.flushed {
+			s.flushed = upTo
+		}
+		s.mu.Unlock()
+		return 0, nil
+	}
+	if _, err := s.files.Flush(recs, from, upTo); err != nil {
+		return 0, err
+	}
+	s.deltas.DrainUpTo(upTo)
+	s.mu.Lock()
+	if upTo > s.flushed {
+		s.flushed = upTo
+	}
+	s.mu.Unlock()
+	return len(recs), nil
+}
+
+// MergeIndex is the index merge vacuum step: it applies persisted delta
+// files to the segment indexes and embedding segments with `threads`
+// workers, advances the watermark, and deletes consumed delta files once
+// no running query can need them. Returns the number of records merged.
+func (s *EmbeddingStore) MergeIndex(threads int) (int, error) {
+	s.mu.RLock()
+	from := s.watermark
+	upTo := s.flushed
+	s.mu.RUnlock()
+	// Never advance past the oldest running query's snapshot: the old
+	// index state plus delta files must stay reconstructible for it
+	// (paper: the old snapshot is retired only once the new one is
+	// visible to all running transactions).
+	if minActive, ok := s.active.Min(); ok && minActive < upTo {
+		upTo = minActive
+	}
+	if upTo <= from {
+		return 0, nil
+	}
+	recs, err := s.files.ReadRange(from, upTo)
+	if err != nil {
+		return 0, err
+	}
+	if len(recs) == 0 {
+		s.mu.Lock()
+		if upTo > s.watermark {
+			s.watermark = upTo
+		}
+		s.mu.Unlock()
+		return 0, nil
+	}
+	// Install raw vectors into embedding segments first.
+	maxSeg := -1
+	for _, d := range recs {
+		if seg := s.segmentOf(d.ID); seg > maxSeg {
+			maxSeg = seg
+		}
+	}
+	s.mu.Lock()
+	s.growToLocked(maxSeg)
+	for _, d := range recs {
+		seg := s.segmentOf(d.ID)
+		off := int(d.ID % uint64(s.segSize))
+		if d.Action == txn.Upsert {
+			s.segVecs[seg][off] = vectormath.Clone(d.Vec)
+			s.segLive[seg].Set(off)
+		} else {
+			s.segVecs[seg][off] = nil
+			s.segLive[seg].Clear(off)
+		}
+	}
+	indexes := make([]vecIndex, len(s.indexes))
+	copy(indexes, s.indexes)
+	s.mu.Unlock()
+
+	// Apply to per-segment indexes in parallel.
+	bySeg := map[int][]IndexItem{}
+	for _, d := range recs {
+		seg := s.segmentOf(d.ID)
+		bySeg[seg] = append(bySeg[seg], IndexItem{ID: d.ID, Vec: d.Vec, Delete: d.Action == txn.Delete})
+	}
+	if threads <= 0 {
+		threads = 1
+	}
+	sem := make(chan struct{}, threads)
+	errCh := make(chan error, len(bySeg))
+	var wg sync.WaitGroup
+	for seg, items := range bySeg {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(seg int, items []IndexItem) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := indexes[seg].ApplyUpdates(items, threads); err != nil {
+				errCh <- err
+			}
+		}(seg, items)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return 0, err
+	}
+
+	s.mu.Lock()
+	if upTo > s.watermark {
+		s.watermark = upTo
+	}
+	s.mu.Unlock()
+	// Delta files fully below the new watermark are garbage once no
+	// active query predates it.
+	cleanupTo := upTo
+	if minActive, ok := s.active.Min(); ok && minActive < cleanupTo {
+		cleanupTo = minActive
+	}
+	if err := s.files.RemoveUpTo(cleanupTo); err != nil {
+		return len(recs), err
+	}
+	return len(recs), nil
+}
+
+// RebuildSegment rebuilds one segment index from live vectors, dropping
+// tombstones; used when the deleted fraction makes incremental updates
+// slower than a rebuild (paper Fig. 11: crossover near 20%).
+func (s *EmbeddingStore) RebuildSegment(seg, threads int) error {
+	s.mu.RLock()
+	if seg < 0 || seg >= len(s.indexes) {
+		s.mu.RUnlock()
+		return fmt.Errorf("core: segment %d out of range", seg)
+	}
+	g := s.indexes[seg]
+	s.mu.RUnlock()
+	ng, err := g.Rebuild(threads)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.indexes[seg] = ng
+	s.mu.Unlock()
+	return nil
+}
+
+// DeletedFraction returns the max tombstone ratio across segments.
+func (s *EmbeddingStore) DeletedFraction() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var worst float64
+	for _, g := range s.indexes {
+		if f := g.DeletedFraction(); f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// Count returns the number of live vectors visible at tid.
+func (s *EmbeddingStore) Count(tid txn.TID) int {
+	ctx := s.BeginSearch(tid)
+	defer ctx.Close()
+	n := 0
+	s.mu.RLock()
+	for _, live := range s.segLive {
+		n += live.Count()
+	}
+	s.mu.RUnlock()
+	for id, d := range ctx.net {
+		had := false
+		s.mu.RLock()
+		seg := s.segmentOf(id)
+		if seg < len(s.segLive) {
+			had = s.segLive[seg].Get(int(id % uint64(s.segSize)))
+		}
+		s.mu.RUnlock()
+		if d.Action == txn.Upsert && !had {
+			n++
+		} else if d.Action == txn.Delete && had {
+			n--
+		}
+	}
+	return n
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hnsw"
+	"repro/internal/ivf"
+	"repro/internal/vectormath"
+)
+
+// vecIndex is the index contract of paper Sec. 4.4: the four generic
+// functions (GetEmbedding lives on the embedding segments themselves)
+// plus the maintenance hooks the vacuum needs. HNSW and IVF-Flat both
+// satisfy it, demonstrating the paper's claim that decoupled embedding
+// storage makes additional index types easy to integrate.
+type vecIndex interface {
+	Add(id uint64, vec []float32) error
+	Delete(id uint64) bool
+	TopKSearch(query []float32, k, ef int, filter func(uint64) bool) ([]Result, error)
+	RangeSearch(query []float32, threshold float32, ef int, filter func(uint64) bool) ([]Result, error)
+	ApplyUpdates(items []IndexItem, threads int) error
+	DeletedFraction() float64
+	Rebuild(threads int) (vecIndex, error)
+}
+
+// IndexItem is one update record handed to an index implementation.
+type IndexItem struct {
+	ID     uint64
+	Vec    []float32
+	Delete bool
+}
+
+// newIndexFor constructs the index configured on the attribute.
+// Supported kinds: "HNSW" (default) and "IVF".
+func newIndexFor(kind string, dim int, metric vectormath.Metric, m, efc int, seed int64) (vecIndex, error) {
+	switch strings.ToUpper(kind) {
+	case "", "HNSW":
+		g, err := hnsw.New(hnsw.Config{Dim: dim, Metric: metric, M: m, EfConstruction: efc, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return hnswIndex{g}, nil
+	case "IVF":
+		x, err := ivf.New(ivf.Config{Dim: dim, Metric: metric, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return ivfIndex{x}, nil
+	}
+	return nil, fmt.Errorf("core: unsupported index type %q (want HNSW or IVF)", kind)
+}
+
+type hnswIndex struct{ g *hnsw.Graph }
+
+func (h hnswIndex) Add(id uint64, vec []float32) error { return h.g.Add(id, vec) }
+func (h hnswIndex) Delete(id uint64) bool              { return h.g.Delete(id) }
+
+func (h hnswIndex) TopKSearch(q []float32, k, ef int, filter func(uint64) bool) ([]Result, error) {
+	res, err := h.g.TopKSearch(q, k, ef, filter)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{ID: r.ID, Distance: r.Distance}
+	}
+	return out, nil
+}
+
+func (h hnswIndex) RangeSearch(q []float32, threshold float32, ef int, filter func(uint64) bool) ([]Result, error) {
+	res, err := h.g.RangeSearch(q, threshold, ef, filter)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{ID: r.ID, Distance: r.Distance}
+	}
+	return out, nil
+}
+
+func (h hnswIndex) ApplyUpdates(items []IndexItem, threads int) error {
+	conv := make([]hnsw.Item, len(items))
+	for i, it := range items {
+		conv[i] = hnsw.Item{ID: it.ID, Vec: it.Vec, Delete: it.Delete}
+	}
+	return h.g.UpdateItems(conv, threads)
+}
+
+func (h hnswIndex) DeletedFraction() float64 { return h.g.DeletedFraction() }
+
+func (h hnswIndex) Rebuild(threads int) (vecIndex, error) {
+	ng, err := h.g.Rebuild(threads)
+	if err != nil {
+		return nil, err
+	}
+	return hnswIndex{ng}, nil
+}
+
+type ivfIndex struct{ x *ivf.Index }
+
+func (v ivfIndex) Add(id uint64, vec []float32) error { return v.x.Add(id, vec) }
+func (v ivfIndex) Delete(id uint64) bool              { return v.x.Delete(id) }
+
+func (v ivfIndex) TopKSearch(q []float32, k, ef int, filter func(uint64) bool) ([]Result, error) {
+	res, err := v.x.TopKSearch(q, k, ef, filter)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{ID: r.ID, Distance: r.Distance}
+	}
+	return out, nil
+}
+
+func (v ivfIndex) RangeSearch(q []float32, threshold float32, ef int, filter func(uint64) bool) ([]Result, error) {
+	res, err := v.x.RangeSearch(q, threshold, ef, filter)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{ID: r.ID, Distance: r.Distance}
+	}
+	return out, nil
+}
+
+func (v ivfIndex) ApplyUpdates(items []IndexItem, threads int) error {
+	conv := make([]ivf.Item, len(items))
+	for i, it := range items {
+		conv[i] = ivf.Item{ID: it.ID, Vec: it.Vec, Delete: it.Delete}
+	}
+	return v.x.UpdateItems(conv, threads)
+}
+
+func (v ivfIndex) DeletedFraction() float64 { return v.x.DeletedFraction() }
+
+func (v ivfIndex) Rebuild(threads int) (vecIndex, error) {
+	nx, err := v.x.Rebuild(threads)
+	if err != nil {
+		return nil, err
+	}
+	return ivfIndex{nx}, nil
+}

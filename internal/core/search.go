@@ -1,0 +1,381 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/bruteforce"
+	"repro/internal/txn"
+	"repro/internal/vectormath"
+)
+
+// Filter admits ids into search results; nil admits everything.
+type Filter func(id uint64) bool
+
+// ActiveTracker records the snapshot TIDs of running queries so the
+// vacuum never retires state a running query still needs.
+type ActiveTracker struct {
+	mu     sync.Mutex
+	counts map[txn.TID]int
+}
+
+// NewActiveTracker returns an empty tracker.
+func NewActiveTracker() *ActiveTracker {
+	return &ActiveTracker{counts: make(map[txn.TID]int)}
+}
+
+// Enter registers a query at tid.
+func (a *ActiveTracker) Enter(tid txn.TID) {
+	a.mu.Lock()
+	a.counts[tid]++
+	a.mu.Unlock()
+}
+
+// Exit unregisters a query.
+func (a *ActiveTracker) Exit(tid txn.TID) {
+	a.mu.Lock()
+	if a.counts[tid] <= 1 {
+		delete(a.counts, tid)
+	} else {
+		a.counts[tid]--
+	}
+	a.mu.Unlock()
+}
+
+// Min returns the lowest active TID, if any query is running.
+func (a *ActiveTracker) Min() (txn.TID, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.counts) == 0 {
+		return 0, false
+	}
+	first := true
+	var min txn.TID
+	for tid := range a.counts {
+		if first || tid < min {
+			min = tid
+			first = false
+		}
+	}
+	return min, true
+}
+
+// SearchContext is an MVCC-consistent view of one embedding store for one
+// query: the index snapshots complete up to the captured watermark, plus
+// the net per-id delta state in (watermark, TID]. Callers must Close it.
+type SearchContext struct {
+	s         *EmbeddingStore
+	TID       txn.TID
+	watermark txn.TID
+	net       map[uint64]txn.VectorDelta
+	closed    bool
+}
+
+// BeginSearch captures a consistent view at tid. tid is typically the
+// transaction manager's Visible() at query start.
+func (s *EmbeddingStore) BeginSearch(tid txn.TID) *SearchContext {
+	s.active.Enter(tid)
+	s.mu.RLock()
+	ctx := &SearchContext{s: s, TID: tid, watermark: s.watermark}
+	s.mu.RUnlock()
+
+	// Collect visible deltas: persisted files first, then memory; the
+	// latest TID per id wins. Duplicates between file and memory (the
+	// flush window) resolve identically.
+	net := make(map[uint64]txn.VectorDelta)
+	if fileRecs, err := s.files.ReadRange(ctx.watermark, tid); err == nil {
+		for _, d := range fileRecs {
+			if prev, ok := net[d.ID]; !ok || d.TID >= prev.TID {
+				net[d.ID] = d
+			}
+		}
+	}
+	for _, d := range s.deltas.Visible(ctx.watermark, tid) {
+		if prev, ok := net[d.ID]; !ok || d.TID >= prev.TID {
+			net[d.ID] = d
+		}
+	}
+	ctx.net = net
+	return ctx
+}
+
+// Close releases the context; the vacuum may then retire state this
+// query depended on.
+func (c *SearchContext) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.s.active.Exit(c.TID)
+}
+
+// NumSegments returns the number of embedding segments in the view.
+func (c *SearchContext) NumSegments() int {
+	c.s.mu.RLock()
+	defer c.s.mu.RUnlock()
+	return len(c.s.indexes)
+}
+
+// maskDeltas wraps filter to exclude ids overridden by visible deltas
+// (their index entry is stale) — the delta side re-adds live versions.
+func (c *SearchContext) maskDeltas(filter Filter) func(uint64) bool {
+	if len(c.net) == 0 {
+		if filter == nil {
+			return nil
+		}
+		return func(id uint64) bool { return filter(id) }
+	}
+	return func(id uint64) bool {
+		if _, overridden := c.net[id]; overridden {
+			return false
+		}
+		return filter == nil || filter(id)
+	}
+}
+
+// SearchSegment runs a top-k search over one embedding segment.
+// validCount, when >= 0, is the number of filter-qualified vertices in the
+// segment; below the brute-force threshold the index is skipped and the
+// segment is scanned directly (paper Sec. 5.1).
+func (c *SearchContext) SearchSegment(seg int, query []float32, k, ef int, filter Filter, validCount int) ([]Result, error) {
+	c.s.mu.RLock()
+	if seg < 0 || seg >= len(c.s.indexes) {
+		c.s.mu.RUnlock()
+		return nil, nil
+	}
+	g := c.s.indexes[seg]
+	vecs := c.s.segVecs[seg]
+	live := c.s.segLive[seg]
+	thresh := c.s.bfThresh
+	segSize := c.s.segSize
+	metric := c.s.Attr.Metric
+	c.s.mu.RUnlock()
+
+	eff := c.maskDeltas(filter)
+	if validCount >= 0 && validCount < thresh {
+		// Brute force directly over the embedding segment.
+		base := uint64(seg) * uint64(segSize)
+		src := segSource{base: base, vecs: vecs, live: live}
+		var effFn func(uint64) bool
+		if eff != nil {
+			effFn = eff
+		}
+		res := bruteforce.TopK(metric, src, query, k, effFn)
+		out := make([]Result, len(res))
+		for i, r := range res {
+			out[i] = Result{ID: r.ID, Distance: r.Distance}
+		}
+		return out, nil
+	}
+	return g.TopKSearch(query, k, ef, eff)
+}
+
+// RangeSegment runs a range search (distance < threshold) over one
+// segment.
+func (c *SearchContext) RangeSegment(seg int, query []float32, threshold float32, ef int, filter Filter) ([]Result, error) {
+	c.s.mu.RLock()
+	if seg < 0 || seg >= len(c.s.indexes) {
+		c.s.mu.RUnlock()
+		return nil, nil
+	}
+	g := c.s.indexes[seg]
+	c.s.mu.RUnlock()
+	return g.RangeSearch(query, threshold, ef, c.maskDeltas(filter))
+}
+
+// segSource adapts one embedding segment to the brute-force Source.
+type segSource struct {
+	base uint64
+	vecs [][]float32
+	live interface{ Get(int) bool }
+}
+
+func (s segSource) Len() int { return len(s.vecs) }
+
+func (s segSource) At(i int) (uint64, []float32, bool) {
+	if s.vecs[i] == nil || !s.live.Get(i) {
+		return 0, nil, false
+	}
+	return s.base + uint64(i), s.vecs[i], true
+}
+
+// DeltaTopK brute-force scans the visible delta upserts.
+func (c *SearchContext) DeltaTopK(query []float32, k int, filter Filter) []Result {
+	if len(c.net) == 0 {
+		return nil
+	}
+	dist := vectormath.FuncFor(c.s.Attr.Metric)
+	q := query
+	if c.s.Attr.Metric == vectormath.Cosine {
+		q = vectormath.Normalized(query)
+	}
+	var out []Result
+	for id, d := range c.net {
+		if d.Action != txn.Upsert {
+			continue
+		}
+		if filter != nil && !filter(id) {
+			continue
+		}
+		out = append(out, Result{ID: id, Distance: dist(q, d.Vec)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// DeltaRange brute-force scans visible delta upserts within threshold.
+func (c *SearchContext) DeltaRange(query []float32, threshold float32, filter Filter) []Result {
+	if len(c.net) == 0 {
+		return nil
+	}
+	dist := vectormath.FuncFor(c.s.Attr.Metric)
+	q := query
+	if c.s.Attr.Metric == vectormath.Cosine {
+		q = vectormath.Normalized(query)
+	}
+	var out []Result
+	for id, d := range c.net {
+		if d.Action != txn.Upsert {
+			continue
+		}
+		if filter != nil && !filter(id) {
+			continue
+		}
+		if dd := dist(q, d.Vec); dd < threshold {
+			out = append(out, Result{ID: id, Distance: dd})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out
+}
+
+// GetVector returns the vector visible for id at the context snapshot.
+func (c *SearchContext) GetVector(id uint64) ([]float32, bool) {
+	if d, ok := c.net[id]; ok {
+		if d.Action == txn.Delete {
+			return nil, false
+		}
+		return vectormath.Clone(d.Vec), true
+	}
+	c.s.mu.RLock()
+	defer c.s.mu.RUnlock()
+	seg := c.s.segmentOf(id)
+	if seg >= len(c.s.segVecs) {
+		return nil, false
+	}
+	off := int(id % uint64(c.s.segSize))
+	if !c.s.segLive[seg].Get(off) || c.s.segVecs[seg][off] == nil {
+		return nil, false
+	}
+	return vectormath.Clone(c.s.segVecs[seg][off]), true
+}
+
+// mergeResults combines per-segment and delta results into a global
+// top-k, deduplicating by id (closest wins).
+func mergeResults(lists [][]Result, k int) []Result {
+	var total int
+	for _, l := range lists {
+		total += len(l)
+	}
+	all := make([]Result, 0, total)
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Distance != all[j].Distance {
+			return all[i].Distance < all[j].Distance
+		}
+		return all[i].ID < all[j].ID
+	})
+	capHint := k
+	if capHint > len(all) {
+		capHint = len(all)
+	}
+	seen := make(map[uint64]struct{}, capHint)
+	out := make([]Result, 0, capHint)
+	for _, r := range all {
+		if _, dup := seen[r.ID]; dup {
+			continue
+		}
+		seen[r.ID] = struct{}{}
+		out = append(out, r)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// Search runs a full top-k search at tid across all segments with the
+// given parallelism, merging per-segment and delta results. It is the
+// convenience entry point; the MPP engine drives SearchSegment itself.
+func (s *EmbeddingStore) Search(tid txn.TID, query []float32, k, ef int, filter Filter, parallelism int) ([]Result, error) {
+	ctx := s.BeginSearch(tid)
+	defer ctx.Close()
+	n := ctx.NumSegments()
+	lists := make([][]Result, n+1)
+	if parallelism <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			r, err := ctx.SearchSegment(i, query, k, ef, filter, -1)
+			if err != nil {
+				return nil, err
+			}
+			lists[i] = r
+		}
+	} else {
+		sem := make(chan struct{}, parallelism)
+		var wg sync.WaitGroup
+		errCh := make(chan error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				r, err := ctx.SearchSegment(i, query, k, ef, filter, -1)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				lists[i] = r
+			}(i)
+		}
+		wg.Wait()
+		close(errCh)
+		if err := <-errCh; err != nil {
+			return nil, err
+		}
+	}
+	lists[n] = ctx.DeltaTopK(query, k, filter)
+	return mergeResults(lists, k), nil
+}
+
+// RangeSearch runs a full range search at tid.
+func (s *EmbeddingStore) RangeSearch(tid txn.TID, query []float32, threshold float32, ef int, filter Filter) ([]Result, error) {
+	ctx := s.BeginSearch(tid)
+	defer ctx.Close()
+	n := ctx.NumSegments()
+	lists := make([][]Result, 0, n+1)
+	for i := 0; i < n; i++ {
+		r, err := ctx.RangeSegment(i, query, threshold, ef, filter)
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, r)
+	}
+	lists = append(lists, c2Range(ctx, query, threshold, filter))
+	merged := mergeResults(lists, 1<<30)
+	return merged, nil
+}
+
+func c2Range(ctx *SearchContext, query []float32, threshold float32, filter Filter) []Result {
+	return ctx.DeltaRange(query, threshold, filter)
+}

@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/txn"
+)
+
+// TypedResult is a vector search hit tagged with its vertex type, so
+// multi-type searches (VectorSearch over several embedding attributes)
+// can be merged globally.
+type TypedResult struct {
+	Type     string
+	ID       uint64
+	Distance float32
+}
+
+// SearchOptions configures an EmbeddingAction.
+type SearchOptions struct {
+	// K is the number of results. Required.
+	K int
+	// Ef is the index search beam (the GSQL `ef` parameter); defaults to
+	// max(K, 64).
+	Ef int
+	// Filters optionally restricts candidates per vertex type (the
+	// pre-filter bitmap). A type without an entry uses its status bitmap,
+	// i.e. all live vertices qualify.
+	Filters map[string]*VertexSet
+	// TID pins the snapshot; 0 means the manager's current visible TID.
+	TID txn.TID
+}
+
+// EmbeddingAction is the paper's per-segment parallel top-k primitive: it
+// performs a local top-k on every embedding segment of every referenced
+// attribute (plus the delta stores) and merges the local results into the
+// global top-k. Compatibility of multi-attribute searches has already
+// been checked by the planner (graph.Schema.CheckCompatible).
+func (e *Engine) EmbeddingAction(refs []graph.EmbeddingRef, query []float32, opts SearchOptions) ([]TypedResult, error) {
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("engine: EmbeddingAction requires K > 0")
+	}
+	if _, err := e.G.Schema().CheckCompatible(refs); err != nil {
+		return nil, err
+	}
+	ef := opts.Ef
+	if ef < opts.K {
+		ef = opts.K
+	}
+	if opts.Ef == 0 {
+		ef = maxInt(opts.K, 64)
+	}
+	tid := opts.TID
+	if tid == 0 {
+		tid = e.Mgr.Visible()
+	}
+
+	e.EnterQuery()
+	defer e.LeaveQuery()
+
+	type task struct {
+		ref    graph.EmbeddingRef
+		ctx    *core.SearchContext
+		filter core.Filter
+		seg    int // -1 means delta scan
+		valid  int
+	}
+	var tasks []task
+	var ctxs []*core.SearchContext
+	defer func() {
+		for _, c := range ctxs {
+			c.Close()
+		}
+	}()
+
+	for _, ref := range refs {
+		store, ok := e.Emb.Store(core.AttrKey(ref.VertexType, ref.Attr))
+		if !ok {
+			return nil, fmt.Errorf("engine: embedding attribute %s is not materialized", ref)
+		}
+		status, err := e.G.Status(ref.VertexType)
+		if err != nil {
+			return nil, err
+		}
+		// Pre-filter: explicit vertex-set filter if given, otherwise the
+		// reused global vertex status structure wrapped as a bitmap
+		// (paper Sec. 5.1).
+		bitmap := status
+		explicit := false
+		if fs, ok := opts.Filters[ref.VertexType]; ok && fs != nil {
+			bitmap = fs.Bitmap
+			explicit = true
+		}
+		filter := func(id uint64) bool { return bitmap.Get(int(id)) }
+
+		ctx := store.BeginSearch(tid)
+		ctxs = append(ctxs, ctx)
+		segSize := store.SegmentSize()
+		for seg := 0; seg < ctx.NumSegments(); seg++ {
+			valid := -1
+			if explicit {
+				valid = bitmap.CountRange(seg*segSize, (seg+1)*segSize)
+				if valid == 0 {
+					continue // no qualified vertices in this segment
+				}
+			}
+			tasks = append(tasks, task{ref: ref, ctx: ctx, filter: filter, seg: seg, valid: valid})
+		}
+		tasks = append(tasks, task{ref: ref, ctx: ctx, filter: filter, seg: -1})
+	}
+
+	lists := make([][]TypedResult, len(tasks))
+	var firstErr error
+	var errMu sync.Mutex
+	e.forEachParallel(len(tasks), func(i int) {
+		t := tasks[i]
+		var res []core.Result
+		var err error
+		if t.seg < 0 {
+			res = t.ctx.DeltaTopK(query, opts.K, t.filter)
+		} else {
+			res, err = t.ctx.SearchSegment(t.seg, query, opts.K, ef, t.filter, t.valid)
+		}
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			return
+		}
+		out := make([]TypedResult, len(res))
+		for j, r := range res {
+			out[j] = TypedResult{Type: t.ref.VertexType, ID: r.ID, Distance: r.Distance}
+		}
+		lists[i] = out
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return MergeTyped(lists, opts.K), nil
+}
+
+// RangeAction performs a range search (distance < threshold) across all
+// segments of one embedding attribute.
+func (e *Engine) RangeAction(ref graph.EmbeddingRef, query []float32, threshold float32, opts SearchOptions) ([]TypedResult, error) {
+	store, ok := e.Emb.Store(core.AttrKey(ref.VertexType, ref.Attr))
+	if !ok {
+		return nil, fmt.Errorf("engine: embedding attribute %s is not materialized", ref)
+	}
+	tid := opts.TID
+	if tid == 0 {
+		tid = e.Mgr.Visible()
+	}
+	status, err := e.G.Status(ref.VertexType)
+	if err != nil {
+		return nil, err
+	}
+	bitmap := status
+	if fs, ok := opts.Filters[ref.VertexType]; ok && fs != nil {
+		bitmap = fs.Bitmap
+	}
+	filter := func(id uint64) bool { return bitmap.Get(int(id)) }
+	ef := opts.Ef
+	if ef <= 0 {
+		ef = 64
+	}
+
+	e.EnterQuery()
+	defer e.LeaveQuery()
+	ctx := store.BeginSearch(tid)
+	defer ctx.Close()
+
+	n := ctx.NumSegments()
+	lists := make([][]TypedResult, n+1)
+	var firstErr error
+	var errMu sync.Mutex
+	e.forEachParallel(n+1, func(i int) {
+		var res []core.Result
+		var err error
+		if i == n {
+			res = ctx.DeltaRange(query, threshold, filter)
+		} else {
+			res, err = ctx.RangeSegment(i, query, threshold, ef, filter)
+		}
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			return
+		}
+		out := make([]TypedResult, len(res))
+		for j, r := range res {
+			out[j] = TypedResult{Type: ref.VertexType, ID: r.ID, Distance: r.Distance}
+		}
+		lists[i] = out
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	merged := MergeTyped(lists, 1<<30)
+	return merged, nil
+}
+
+// MergeTyped merges per-segment result lists into a global ascending
+// top-k, deduplicating by (type, id).
+func MergeTyped(lists [][]TypedResult, k int) []TypedResult {
+	var total int
+	for _, l := range lists {
+		total += len(l)
+	}
+	all := make([]TypedResult, 0, total)
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Distance != all[j].Distance {
+			return all[i].Distance < all[j].Distance
+		}
+		if all[i].Type != all[j].Type {
+			return all[i].Type < all[j].Type
+		}
+		return all[i].ID < all[j].ID
+	})
+	type key struct {
+		t  string
+		id uint64
+	}
+	capHint := k
+	if capHint > len(all) {
+		capHint = len(all)
+	}
+	seen := make(map[key]struct{}, capHint)
+	out := make([]TypedResult, 0, capHint)
+	for _, r := range all {
+		kk := key{r.Type, r.ID}
+		if _, dup := seen[kk]; dup {
+			continue
+		}
+		seen[kk] = struct{}{}
+		out = append(out, r)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GetVector reads the visible vector of one vertex (used by VECTOR_DIST
+// expressions over attributes and by similarity joins).
+func (e *Engine) GetVector(ref graph.EmbeddingRef, id uint64, tid txn.TID) ([]float32, bool) {
+	store, ok := e.Emb.Store(core.AttrKey(ref.VertexType, ref.Attr))
+	if !ok {
+		return nil, false
+	}
+	if tid == 0 {
+		tid = e.Mgr.Visible()
+	}
+	ctx := store.BeginSearch(tid)
+	defer ctx.Close()
+	return ctx.GetVector(id)
+}

@@ -1,0 +1,284 @@
+// Package engine implements the MPP execution framework (paper Secs. 3
+// and 5): the parallel primitives VertexAction, EdgeAction and
+// EmbeddingAction operating over vertex segments and embedding segments,
+// pre-filter bitmaps, the brute-force fallback threshold, and the
+// in-flight query gauge the vacuum's thread tuner monitors.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Engine executes actions over one graph store and its embedding service.
+type Engine struct {
+	G   *graph.Store
+	Emb *core.Service
+	Mgr *txn.Manager
+
+	// Parallelism is the worker-pool width for per-segment tasks.
+	// Defaults to GOMAXPROCS.
+	Parallelism int
+
+	inflight atomic.Int64
+}
+
+// New creates an engine.
+func New(g *graph.Store, emb *core.Service, mgr *txn.Manager) *Engine {
+	return &Engine{G: g, Emb: emb, Mgr: mgr, Parallelism: runtime.GOMAXPROCS(0)}
+}
+
+// Load reports foreground pressure in [0,1] for the vacuum thread tuner:
+// the fraction of the worker budget currently occupied by queries.
+func (e *Engine) Load() float64 {
+	p := e.Parallelism
+	if p <= 0 {
+		p = 1
+	}
+	l := float64(e.inflight.Load()) / float64(p)
+	if l > 1 {
+		return 1
+	}
+	return l
+}
+
+// EnterQuery and LeaveQuery bracket query execution for the load gauge.
+func (e *Engine) EnterQuery() { e.inflight.Add(1) }
+
+// LeaveQuery decrements the in-flight gauge.
+func (e *Engine) LeaveQuery() { e.inflight.Add(-1) }
+
+// VertexSet is the unit of composition between query blocks: a set of
+// vertices of one type represented as a bitmap over vertex ids.
+type VertexSet struct {
+	Type   string
+	Bitmap *storage.Bitmap
+}
+
+// NewVertexSet builds a set from explicit ids.
+func NewVertexSet(typeName string, ids []uint64) *VertexSet {
+	b := storage.NewBitmap(0)
+	for _, id := range ids {
+		b.Set(int(id))
+	}
+	return &VertexSet{Type: typeName, Bitmap: b}
+}
+
+// IDs returns the member ids in ascending order.
+func (s *VertexSet) IDs() []uint64 {
+	if s == nil || s.Bitmap == nil {
+		return nil
+	}
+	var out []uint64
+	s.Bitmap.Range(func(i int) bool {
+		out = append(out, uint64(i))
+		return true
+	})
+	return out
+}
+
+// Size returns the member count.
+func (s *VertexSet) Size() int {
+	if s == nil || s.Bitmap == nil {
+		return 0
+	}
+	return s.Bitmap.Count()
+}
+
+// Contains reports membership.
+func (s *VertexSet) Contains(id uint64) bool {
+	return s != nil && s.Bitmap != nil && s.Bitmap.Get(int(id))
+}
+
+// Union returns s ∪ o (same type required).
+func (s *VertexSet) Union(o *VertexSet) (*VertexSet, error) {
+	if s.Type != o.Type {
+		return nil, fmt.Errorf("engine: UNION of different vertex types %q and %q", s.Type, o.Type)
+	}
+	b := s.Bitmap.Clone()
+	b.Or(o.Bitmap)
+	return &VertexSet{Type: s.Type, Bitmap: b}, nil
+}
+
+// Intersect returns s ∩ o.
+func (s *VertexSet) Intersect(o *VertexSet) (*VertexSet, error) {
+	if s.Type != o.Type {
+		return nil, fmt.Errorf("engine: INTERSECT of different vertex types %q and %q", s.Type, o.Type)
+	}
+	b := s.Bitmap.Clone()
+	b.And(o.Bitmap)
+	return &VertexSet{Type: s.Type, Bitmap: b}, nil
+}
+
+// Minus returns s \ o.
+func (s *VertexSet) Minus(o *VertexSet) (*VertexSet, error) {
+	if s.Type != o.Type {
+		return nil, fmt.Errorf("engine: MINUS of different vertex types %q and %q", s.Type, o.Type)
+	}
+	b := s.Bitmap.Clone()
+	b.AndNot(o.Bitmap)
+	return &VertexSet{Type: s.Type, Bitmap: b}, nil
+}
+
+// Pred is a per-vertex predicate; nil admits all.
+type Pred func(id uint64) (bool, error)
+
+// VertexAction scans all live vertices of a type in parallel across
+// segments and returns those satisfying pred.
+func (e *Engine) VertexAction(typeName string, pred Pred) (*VertexSet, error) {
+	dir, err := e.G.Directory(typeName)
+	if err != nil {
+		return nil, err
+	}
+	status, err := e.G.Status(typeName)
+	if err != nil {
+		return nil, err
+	}
+	segs := dir.Segments()
+	out := storage.NewBitmap(dir.NumVertices())
+	var firstErr error
+	var errMu sync.Mutex
+	e.forEachParallel(len(segs), func(si int) {
+		seg := segs[si]
+		base := seg.Base()
+		for off := 0; off < seg.Len(); off++ {
+			id := base + uint64(off)
+			if !status.Get(int(id)) {
+				continue
+			}
+			if pred != nil {
+				ok, err := pred(id)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				if !ok {
+					continue
+				}
+			}
+			out.Set(int(id))
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &VertexSet{Type: typeName, Bitmap: out}, nil
+}
+
+// Direction selects edge traversal orientation.
+type Direction uint8
+
+const (
+	// Out follows edges from source to target.
+	Out Direction = iota
+	// In follows edges from target back to source.
+	In
+)
+
+// EdgeAction expands a vertex set across one edge type in parallel and
+// returns the distinct reachable vertices (of the opposite endpoint type)
+// satisfying pred.
+func (e *Engine) EdgeAction(input *VertexSet, edgeName string, dir Direction, pred Pred) (*VertexSet, error) {
+	et, ok := e.G.Schema().EdgeType(edgeName)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown edge type %q", edgeName)
+	}
+	var targetType string
+	neighbors := e.G.OutNeighbors
+	if dir == Out {
+		if input.Type != et.From && !(et.Directed == false && input.Type == et.To) {
+			return nil, fmt.Errorf("engine: edge %q cannot leave vertex type %q", edgeName, input.Type)
+		}
+		targetType = et.To
+		if input.Type == et.To && !et.Directed {
+			targetType = et.From
+		}
+	} else {
+		if input.Type != et.To && !(et.Directed == false && input.Type == et.From) {
+			return nil, fmt.Errorf("engine: edge %q cannot enter vertex type %q", edgeName, input.Type)
+		}
+		targetType = et.From
+		if input.Type == et.From && !et.Directed {
+			targetType = et.To
+		}
+		neighbors = e.G.InNeighbors
+	}
+	targetStatus, err := e.G.Status(targetType)
+	if err != nil {
+		return nil, err
+	}
+	ids := input.IDs()
+	out := storage.NewBitmap(0)
+	var outMu sync.Mutex
+	var firstErr error
+	var errMu sync.Mutex
+	e.forEachParallel(len(ids), func(i int) {
+		for _, nb := range neighbors(edgeName, ids[i]) {
+			if !targetStatus.Get(int(nb)) {
+				continue
+			}
+			if pred != nil {
+				ok, err := pred(nb)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				if !ok {
+					continue
+				}
+			}
+			outMu.Lock()
+			out.Set(int(nb))
+			outMu.Unlock()
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &VertexSet{Type: targetType, Bitmap: out}, nil
+}
+
+// forEachParallel runs fn(0..n-1) over the engine worker pool.
+func (e *Engine) forEachParallel(n int, fn func(i int)) {
+	p := e.Parallelism
+	if p <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if p > n {
+		p = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,453 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/vectormath"
+)
+
+// testDB builds a small Person/Post graph with embeddings on Post.
+type testDB struct {
+	e     *Engine
+	posts []uint64
+	vecs  [][]float32
+}
+
+func newTestDB(t *testing.T, numPosts, segSize int) *testDB {
+	t.Helper()
+	s := graph.NewSchema()
+	s.AddVertexType(graph.VertexType{
+		Name: "Person", PrimaryKey: "id",
+		Attrs: []storage.AttrSchema{
+			{Name: "id", Type: storage.TInt},
+			{Name: "firstName", Type: storage.TString},
+		},
+	})
+	s.AddVertexType(graph.VertexType{
+		Name: "Post", PrimaryKey: "id",
+		Attrs: []storage.AttrSchema{
+			{Name: "id", Type: storage.TInt},
+			{Name: "language", Type: storage.TString},
+			{Name: "length", Type: storage.TInt},
+		},
+	})
+	s.AddEdgeType(graph.EdgeType{Name: "knows", From: "Person", To: "Person"})
+	s.AddEdgeType(graph.EdgeType{Name: "hasCreator", From: "Post", To: "Person", Directed: true})
+	s.AddEmbeddingAttr("Post", graph.EmbeddingAttr{
+		Name: "content_emb", Dim: 8, Model: "m", Metric: vectormath.L2})
+
+	g := graph.NewStore(s, segSize)
+	svc := core.NewService(t.TempDir(), segSize, 1)
+	vt, _ := s.VertexType("Post")
+	ea, _ := vt.Embedding("content_emb")
+	store, err := svc.Register("Post", ea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := txn.NewManager(svc, nil)
+	e := New(g, svc, mgr)
+
+	// People 0..9.
+	for i := 0; i < 10; i++ {
+		name := "Person" + string(rune('A'+i))
+		if i == 0 {
+			name = "Alice"
+		}
+		g.AddVertex("Person", map[string]storage.Value{"id": int64(i), "firstName": name})
+	}
+	// knows: 0-1, 0-2, 1-3.
+	p := func(i int) uint64 { id, _ := g.VertexByKey("Person", int64(i)); return id }
+	g.AddEdge("knows", p(0), p(1))
+	g.AddEdge("knows", p(0), p(2))
+	g.AddEdge("knows", p(1), p(3))
+
+	r := rand.New(rand.NewSource(42))
+	db := &testDB{e: e}
+	for i := 0; i < numPosts; i++ {
+		lang := "English"
+		if i%3 == 0 {
+			lang = "French"
+		}
+		id, err := g.AddVertex("Post", map[string]storage.Value{
+			"id": int64(1000 + i), "language": lang, "length": int64(i * 100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.AddEdge("hasCreator", id, p(i%10))
+		v := make([]float32, 8)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		db.posts = append(db.posts, id)
+		db.vecs = append(db.vecs, v)
+	}
+	if err := store.BulkLoad(db.posts, db.vecs, 4, mgr.Visible()+1); err != nil {
+		t.Fatal(err)
+	}
+	// Advance the manager so Visible() >= bulk watermark.
+	mgr.Begin().Commit()
+	return db
+}
+
+func TestVertexActionFiltersAndParallel(t *testing.T) {
+	db := newTestDB(t, 90, 16)
+	e := db.e
+	set, err := e.VertexAction("Post", func(id uint64) (bool, error) {
+		v, err := e.G.Attr("Post", id, "language")
+		if err != nil {
+			return false, err
+		}
+		return v.(string) == "English", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Size() != 60 {
+		t.Fatalf("English posts = %d, want 60", set.Size())
+	}
+	all, _ := e.VertexAction("Post", nil)
+	if all.Size() != 90 {
+		t.Fatalf("all posts = %d", all.Size())
+	}
+	if _, err := e.VertexAction("Nope", nil); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	wantErr := errors.New("pred fail")
+	if _, err := e.VertexAction("Post", func(uint64) (bool, error) { return false, wantErr }); err == nil {
+		t.Fatal("predicate error swallowed")
+	}
+}
+
+func TestVertexActionSkipsDeleted(t *testing.T) {
+	db := newTestDB(t, 20, 16)
+	db.e.G.DeleteVertex("Post", db.posts[0])
+	set, _ := db.e.VertexAction("Post", nil)
+	if set.Size() != 19 || set.Contains(db.posts[0]) {
+		t.Fatalf("deleted vertex in set: size=%d", set.Size())
+	}
+}
+
+func TestEdgeActionDirections(t *testing.T) {
+	db := newTestDB(t, 30, 16)
+	e := db.e
+	alice, _ := e.G.VertexByKey("Person", int64(0))
+	start := NewVertexSet("Person", []uint64{alice})
+
+	// Undirected knows.
+	friends, err := e.EdgeAction(start, "knows", Out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if friends.Size() != 2 || friends.Type != "Person" {
+		t.Fatalf("friends = %v (%d)", friends.IDs(), friends.Size())
+	}
+	// Reverse direction of directed edge: Person <- hasCreator - Post.
+	posts, err := e.EdgeAction(start, "hasCreator", In, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if posts.Type != "Post" || posts.Size() != 3 { // posts 0, 10, 20 created by person 0
+		t.Fatalf("posts by Alice = %d %v", posts.Size(), posts.IDs())
+	}
+	// Forward direction from Post to Person.
+	creators, err := e.EdgeAction(posts, "hasCreator", Out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if creators.Size() != 1 || !creators.Contains(alice) {
+		t.Fatalf("creators = %v", creators.IDs())
+	}
+	// Predicate on target.
+	longPosts, err := e.EdgeAction(start, "hasCreator", In, func(id uint64) (bool, error) {
+		v, _ := e.G.Attr("Post", id, "length")
+		return v.(int64) >= 1000, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if longPosts.Size() != 2 {
+		t.Fatalf("long posts = %d", longPosts.Size())
+	}
+	// Type mismatch.
+	if _, err := e.EdgeAction(posts, "knows", Out, nil); err == nil {
+		t.Fatal("knows from Post accepted")
+	}
+	if _, err := e.EdgeAction(start, "nope", Out, nil); err == nil {
+		t.Fatal("unknown edge accepted")
+	}
+}
+
+func TestVertexSetOps(t *testing.T) {
+	a := NewVertexSet("T", []uint64{1, 2, 3})
+	b := NewVertexSet("T", []uint64{3, 4})
+	u, err := a.Union(b)
+	if err != nil || u.Size() != 4 {
+		t.Fatalf("union = %v, %v", u.IDs(), err)
+	}
+	i, _ := a.Intersect(b)
+	if i.Size() != 1 || !i.Contains(3) {
+		t.Fatalf("intersect = %v", i.IDs())
+	}
+	m, _ := a.Minus(b)
+	if m.Size() != 2 || m.Contains(3) {
+		t.Fatalf("minus = %v", m.IDs())
+	}
+	c := NewVertexSet("Other", nil)
+	if _, err := a.Union(c); err == nil {
+		t.Fatal("cross-type union accepted")
+	}
+	if _, err := a.Intersect(c); err == nil {
+		t.Fatal("cross-type intersect accepted")
+	}
+	if _, err := a.Minus(c); err == nil {
+		t.Fatal("cross-type minus accepted")
+	}
+	var nilSet *VertexSet
+	if nilSet.Size() != 0 || nilSet.IDs() != nil || nilSet.Contains(1) {
+		t.Fatal("nil set misbehaves")
+	}
+}
+
+func refs() []graph.EmbeddingRef {
+	return []graph.EmbeddingRef{{VertexType: "Post", Attr: "content_emb"}}
+}
+
+func TestEmbeddingActionPureSearch(t *testing.T) {
+	db := newTestDB(t, 200, 32)
+	q := db.vecs[17]
+	res, err := db.e.EmbeddingAction(refs(), q, SearchOptions{K: 5, Ef: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 || res[0].ID != db.posts[17] || res[0].Distance != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res[0].Type != "Post" {
+		t.Fatalf("type = %q", res[0].Type)
+	}
+}
+
+func TestEmbeddingActionExcludesDeletedVertices(t *testing.T) {
+	db := newTestDB(t, 50, 16)
+	q := db.vecs[5]
+	db.e.G.DeleteVertex("Post", db.posts[5])
+	res, err := db.e.EmbeddingAction(refs(), q, SearchOptions{K: 3, Ef: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.ID == db.posts[5] {
+			t.Fatal("deleted vertex returned (status bitmap not applied)")
+		}
+	}
+}
+
+func TestEmbeddingActionFilteredSearch(t *testing.T) {
+	db := newTestDB(t, 120, 16)
+	e := db.e
+	english, err := e.VertexAction("Post", func(id uint64) (bool, error) {
+		v, _ := e.G.Attr("Post", id, "language")
+		return v.(string) == "English", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := db.vecs[0] // post 0 is French (0%3==0)
+	res, err := e.EmbeddingAction(refs(), q, SearchOptions{
+		K: 10, Ef: 128, Filters: map[string]*VertexSet{"Post": english}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("filtered results = %d", len(res))
+	}
+	for _, r := range res {
+		v, _ := e.G.Attr("Post", r.ID, "language")
+		if v.(string) != "English" {
+			t.Fatalf("filter violated: %+v", r)
+		}
+	}
+}
+
+func TestEmbeddingActionSkipsEmptyFilterSegments(t *testing.T) {
+	db := newTestDB(t, 64, 16)
+	// Filter matching only segment 0 posts.
+	only := NewVertexSet("Post", db.posts[:8])
+	q := db.vecs[60]
+	res, err := db.e.EmbeddingAction(refs(), q, SearchOptions{
+		K: 3, Filters: map[string]*VertexSet{"Post": only}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if !only.Contains(r.ID) {
+			t.Fatalf("filter violated: %+v", r)
+		}
+	}
+}
+
+func TestEmbeddingActionValidation(t *testing.T) {
+	db := newTestDB(t, 10, 16)
+	if _, err := db.e.EmbeddingAction(refs(), db.vecs[0], SearchOptions{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	bad := []graph.EmbeddingRef{{VertexType: "Post", Attr: "nope"}}
+	if _, err := db.e.EmbeddingAction(bad, db.vecs[0], SearchOptions{K: 1}); err == nil {
+		t.Fatal("unknown attr accepted")
+	}
+}
+
+func TestEmbeddingActionSeesCommittedDeltas(t *testing.T) {
+	db := newTestDB(t, 30, 16)
+	nv := []float32{50, 50, 50, 50, 50, 50, 50, 50}
+	tx := db.e.Mgr.Begin()
+	tx.StageVector(txn.StagedVector{AttrKey: "Post.content_emb", Action: txn.Upsert, ID: db.posts[3], Vec: nv})
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.e.EmbeddingAction(refs(), nv, SearchOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != db.posts[3] || res[0].Distance != 0 {
+		t.Fatalf("delta not visible: %+v", res)
+	}
+}
+
+func TestRangeAction(t *testing.T) {
+	db := newTestDB(t, 100, 16)
+	q := db.vecs[9]
+	res, err := db.e.RangeAction(refs()[0], q, 0.001, SearchOptions{Ef: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != db.posts[9] {
+		t.Fatalf("tight range = %+v", res)
+	}
+	wide, err := db.e.RangeAction(refs()[0], q, 1e6, SearchOptions{Ef: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wide) < 90 {
+		t.Fatalf("wide range found %d", len(wide))
+	}
+	for i := 1; i < len(wide); i++ {
+		if wide[i-1].Distance > wide[i].Distance {
+			t.Fatal("range results not sorted")
+		}
+	}
+}
+
+func TestGetVector(t *testing.T) {
+	db := newTestDB(t, 10, 16)
+	v, ok := db.e.GetVector(refs()[0], db.posts[4], 0)
+	if !ok || v[0] != db.vecs[4][0] {
+		t.Fatalf("GetVector = %v, %v", v, ok)
+	}
+	if _, ok := db.e.GetVector(refs()[0], 1<<40, 0); ok {
+		t.Fatal("absent id found")
+	}
+	if _, ok := db.e.GetVector(graph.EmbeddingRef{VertexType: "X", Attr: "y"}, 1, 0); ok {
+		t.Fatal("unregistered attr found")
+	}
+}
+
+func TestLoadGauge(t *testing.T) {
+	db := newTestDB(t, 10, 16)
+	e := db.e
+	if e.Load() != 0 {
+		t.Fatalf("idle load = %v", e.Load())
+	}
+	e.EnterQuery()
+	if e.Load() <= 0 {
+		t.Fatal("load not reflecting in-flight query")
+	}
+	e.LeaveQuery()
+	if e.Load() != 0 {
+		t.Fatal("load not released")
+	}
+	e.Parallelism = 1
+	e.EnterQuery()
+	e.EnterQuery()
+	if e.Load() != 1 {
+		t.Fatalf("load not clamped: %v", e.Load())
+	}
+	e.LeaveQuery()
+	e.LeaveQuery()
+}
+
+func TestMergeTyped(t *testing.T) {
+	a := []TypedResult{{Type: "A", ID: 1, Distance: 0.2}}
+	b := []TypedResult{{Type: "B", ID: 1, Distance: 0.1}, {Type: "A", ID: 1, Distance: 0.2}}
+	got := MergeTyped([][]TypedResult{a, b}, 10)
+	if len(got) != 2 || got[0].Type != "B" {
+		t.Fatalf("MergeTyped = %+v", got)
+	}
+	if got := MergeTyped(nil, 5); len(got) != 0 {
+		t.Fatal("empty merge")
+	}
+}
+
+func TestMultiTypeEmbeddingAction(t *testing.T) {
+	// Build a store where both Person and Post share a compatible space.
+	s := graph.NewSchema()
+	s.AddVertexType(graph.VertexType{Name: "Post", PrimaryKey: "id",
+		Attrs: []storage.AttrSchema{{Name: "id", Type: storage.TInt}}})
+	s.AddVertexType(graph.VertexType{Name: "Comment", PrimaryKey: "id",
+		Attrs: []storage.AttrSchema{{Name: "id", Type: storage.TInt}}})
+	s.AddEmbeddingSpace(graph.EmbeddingSpace{Name: "sp", Dim: 4, Model: "m", Index: "HNSW", DataType: "FLOAT", Metric: vectormath.L2})
+	s.AddEmbeddingAttr("Post", graph.EmbeddingAttr{Name: "emb", Space: "sp"})
+	s.AddEmbeddingAttr("Comment", graph.EmbeddingAttr{Name: "emb", Space: "sp"})
+
+	g := graph.NewStore(s, 8)
+	svc := core.NewService(t.TempDir(), 8, 1)
+	pvt, _ := s.VertexType("Post")
+	pea, _ := pvt.Embedding("emb")
+	postStore, _ := svc.Register("Post", pea)
+	cvt, _ := s.VertexType("Comment")
+	cea, _ := cvt.Embedding("emb")
+	commentStore, _ := svc.Register("Comment", cea)
+	mgr := txn.NewManager(svc, nil)
+	e := New(g, svc, mgr)
+
+	var pids, cids []uint64
+	var pvecs, cvecs [][]float32
+	for i := 0; i < 20; i++ {
+		pid, _ := g.AddVertex("Post", map[string]storage.Value{"id": int64(i)})
+		pids = append(pids, pid)
+		pvecs = append(pvecs, []float32{float32(i), 0, 0, 0})
+		cid, _ := g.AddVertex("Comment", map[string]storage.Value{"id": int64(i)})
+		cids = append(cids, cid)
+		cvecs = append(cvecs, []float32{float32(i) + 0.4, 0, 0, 0})
+	}
+	postStore.BulkLoad(pids, pvecs, 2, 1)
+	commentStore.BulkLoad(cids, cvecs, 2, 1)
+	mgr.Begin().Commit()
+
+	both := []graph.EmbeddingRef{
+		{VertexType: "Post", Attr: "emb"},
+		{VertexType: "Comment", Attr: "emb"},
+	}
+	res, err := e.EmbeddingAction(both, []float32{5, 0, 0, 0}, SearchOptions{K: 3, Ef: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearest should be Post 5 (dist 0), then Comment 4 (+0.4 -> 5.4? no:
+	// comment i is at i+0.4, so comment 4 is 4.4, comment 5 is 5.4).
+	if res[0].Type != "Post" || res[0].ID != pids[5] {
+		t.Fatalf("res[0] = %+v", res[0])
+	}
+	types := map[string]bool{}
+	for _, r := range res {
+		types[r.Type] = true
+	}
+	if !types["Post"] || !types["Comment"] {
+		t.Fatalf("multi-type merge missing a type: %+v", res)
+	}
+}

@@ -1,0 +1,412 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/vectormath"
+)
+
+func ldbcSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddVertexType(VertexType{
+		Name:       "Person",
+		PrimaryKey: "id",
+		Attrs: []storage.AttrSchema{
+			{Name: "id", Type: storage.TInt},
+			{Name: "firstName", Type: storage.TString},
+			{Name: "cid", Type: storage.TInt},
+		},
+	}))
+	must(s.AddVertexType(VertexType{
+		Name:       "Post",
+		PrimaryKey: "id",
+		Attrs: []storage.AttrSchema{
+			{Name: "id", Type: storage.TInt},
+			{Name: "author", Type: storage.TString},
+			{Name: "content", Type: storage.TString},
+			{Name: "language", Type: storage.TString},
+			{Name: "length", Type: storage.TInt},
+		},
+	}))
+	must(s.AddEdgeType(EdgeType{Name: "knows", From: "Person", To: "Person", Directed: false}))
+	must(s.AddEdgeType(EdgeType{Name: "hasCreator", From: "Post", To: "Person", Directed: true}))
+	return s
+}
+
+func TestSchemaVertexTypeValidation(t *testing.T) {
+	s := NewSchema()
+	err := s.AddVertexType(VertexType{Name: "V", PrimaryKey: "nope",
+		Attrs: []storage.AttrSchema{{Name: "id", Type: storage.TInt}}})
+	if err == nil {
+		t.Fatal("accepted bad primary key")
+	}
+	err = s.AddVertexType(VertexType{Name: "V",
+		Attrs: []storage.AttrSchema{{Name: "a", Type: storage.TInt}, {Name: "a", Type: storage.TInt}}})
+	if err == nil {
+		t.Fatal("accepted duplicate attribute")
+	}
+	if err := s.AddVertexType(VertexType{Name: "V"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddVertexType(VertexType{Name: "V"}); err == nil {
+		t.Fatal("accepted duplicate vertex type")
+	}
+}
+
+func TestSchemaEdgeTypeValidation(t *testing.T) {
+	s := ldbcSchema(t)
+	if err := s.AddEdgeType(EdgeType{Name: "bad", From: "Nope", To: "Person"}); err == nil {
+		t.Fatal("accepted unknown From")
+	}
+	if err := s.AddEdgeType(EdgeType{Name: "bad", From: "Person", To: "Nope"}); err == nil {
+		t.Fatal("accepted unknown To")
+	}
+	if err := s.AddEdgeType(EdgeType{Name: "knows", From: "Person", To: "Person"}); err == nil {
+		t.Fatal("accepted duplicate edge type")
+	}
+	if names := s.EdgeTypeNames(); len(names) != 2 || names[0] != "hasCreator" {
+		t.Fatalf("EdgeTypeNames = %v", names)
+	}
+}
+
+func TestEmbeddingAttrAndSpace(t *testing.T) {
+	s := ldbcSchema(t)
+	err := s.AddEmbeddingAttr("Post", EmbeddingAttr{
+		Name: "content_emb", Dim: 8, Model: "GPT4", Metric: vectormath.Cosine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt, _ := s.VertexType("Post")
+	ea, ok := vt.Embedding("content_emb")
+	if !ok || ea.Index != "HNSW" || ea.DataType != "FLOAT" {
+		t.Fatalf("embedding defaults not applied: %+v", ea)
+	}
+	if err := s.AddEmbeddingAttr("Post", EmbeddingAttr{Name: "content_emb", Dim: 8}); err == nil {
+		t.Fatal("accepted duplicate embedding attribute")
+	}
+	if err := s.AddEmbeddingAttr("Nope", EmbeddingAttr{Name: "x", Dim: 8}); err == nil {
+		t.Fatal("accepted unknown vertex type")
+	}
+	if err := s.AddEmbeddingAttr("Person", EmbeddingAttr{Name: "x", Dim: 0}); err == nil {
+		t.Fatal("accepted zero dimension")
+	}
+
+	// Embedding space path.
+	if err := s.AddEmbeddingSpace(EmbeddingSpace{Name: "gpt4_space", Dim: 8, Model: "GPT4",
+		Index: "HNSW", DataType: "FLOAT", Metric: vectormath.Cosine}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEmbeddingSpace(EmbeddingSpace{Name: "gpt4_space", Dim: 8}); err == nil {
+		t.Fatal("accepted duplicate space")
+	}
+	if err := s.AddEmbeddingSpace(EmbeddingSpace{Name: "bad", Dim: 0}); err == nil {
+		t.Fatal("accepted zero-dim space")
+	}
+	if err := s.AddEmbeddingAttr("Person", EmbeddingAttr{Name: "face_emb", Space: "gpt4_space"}); err != nil {
+		t.Fatal(err)
+	}
+	pvt, _ := s.VertexType("Person")
+	pea, _ := pvt.Embedding("face_emb")
+	if pea.Dim != 8 || pea.Model != "GPT4" || pea.Space != "gpt4_space" {
+		t.Fatalf("space-derived attr wrong: %+v", pea)
+	}
+	if err := s.AddEmbeddingAttr("Person", EmbeddingAttr{Name: "y", Space: "missing"}); err == nil {
+		t.Fatal("accepted unknown space")
+	}
+}
+
+func TestCheckCompatible(t *testing.T) {
+	s := ldbcSchema(t)
+	s.AddEmbeddingAttr("Post", EmbeddingAttr{Name: "content_emb", Dim: 8, Model: "GPT4", Metric: vectormath.Cosine})
+	s.AddEmbeddingAttr("Person", EmbeddingAttr{Name: "bio_emb", Dim: 8, Model: "GPT4", Metric: vectormath.Cosine})
+	s.AddEmbeddingAttr("Person", EmbeddingAttr{Name: "img_emb", Dim: 16, Model: "CLIP", Metric: vectormath.L2})
+
+	base, err := s.CheckCompatible([]EmbeddingRef{
+		{VertexType: "Post", Attr: "content_emb"},
+		{VertexType: "Person", Attr: "bio_emb"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Dim != 8 {
+		t.Fatalf("base dim = %d", base.Dim)
+	}
+	_, err = s.CheckCompatible([]EmbeddingRef{
+		{VertexType: "Post", Attr: "content_emb"},
+		{VertexType: "Person", Attr: "img_emb"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "semantic error") {
+		t.Fatalf("incompatible attrs accepted: %v", err)
+	}
+	if _, err := s.CheckCompatible(nil); err == nil {
+		t.Fatal("empty refs accepted")
+	}
+	if _, err := s.CheckCompatible([]EmbeddingRef{{VertexType: "Nope", Attr: "a"}}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if _, err := s.CheckCompatible([]EmbeddingRef{{VertexType: "Post", Attr: "nope"}}); err == nil {
+		t.Fatal("unknown attr accepted")
+	}
+}
+
+func TestParseEmbeddingRef(t *testing.T) {
+	r, err := ParseEmbeddingRef("Post.content_emb")
+	if err != nil || r.VertexType != "Post" || r.Attr != "content_emb" {
+		t.Fatalf("ParseEmbeddingRef = %+v, %v", r, err)
+	}
+	if r.String() != "Post.content_emb" {
+		t.Fatalf("String = %q", r.String())
+	}
+	for _, bad := range []string{"Post", ".x", "Post.", ""} {
+		if _, err := ParseEmbeddingRef(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestStoreVertexLifecycle(t *testing.T) {
+	g := NewStore(ldbcSchema(t), 4)
+	id, err := g.AddVertex("Person", map[string]storage.Value{"id": int64(1), "firstName": "Alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := g.Attr("Person", id, "firstName"); got.(string) != "Alice" {
+		t.Fatalf("firstName = %v", got)
+	}
+	if !g.Alive("Person", id) {
+		t.Fatal("fresh vertex not alive")
+	}
+	// Upsert by primary key.
+	id2, err := g.AddVertex("Person", map[string]storage.Value{"id": int64(1), "firstName": "Alicia"})
+	if err != nil || id2 != id {
+		t.Fatalf("upsert returned %d, %v; want %d", id2, err, id)
+	}
+	if got, _ := g.Attr("Person", id, "firstName"); got.(string) != "Alicia" {
+		t.Fatalf("after upsert firstName = %v", got)
+	}
+	if g.NumVertices("Person") != 1 {
+		t.Fatalf("NumVertices = %d", g.NumVertices("Person"))
+	}
+	// Key lookup.
+	if got, ok := g.VertexByKey("Person", int64(1)); !ok || got != id {
+		t.Fatalf("VertexByKey = %d, %v", got, ok)
+	}
+	if _, ok := g.VertexByKey("Person", int64(999)); ok {
+		t.Fatal("VertexByKey found absent key")
+	}
+	// Delete.
+	if err := g.DeleteVertex("Person", id); err != nil {
+		t.Fatal(err)
+	}
+	if g.Alive("Person", id) || g.NumAlive("Person") != 0 {
+		t.Fatal("vertex alive after delete")
+	}
+	if _, ok := g.VertexByKey("Person", int64(1)); ok {
+		t.Fatal("deleted vertex resolvable by key")
+	}
+	// Re-inserting the key revives the slot.
+	id3, err := g.AddVertex("Person", map[string]storage.Value{"id": int64(1), "firstName": "Alice2"})
+	if err != nil || id3 != id {
+		t.Fatalf("revive = %d, %v", id3, err)
+	}
+	if !g.Alive("Person", id3) {
+		t.Fatal("revived vertex not alive")
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	g := NewStore(ldbcSchema(t), 4)
+	if _, err := g.AddVertex("Nope", nil); err == nil {
+		t.Fatal("AddVertex accepted unknown type")
+	}
+	if _, err := g.AddVertex("Person", map[string]storage.Value{"firstName": "x"}); err == nil {
+		t.Fatal("AddVertex accepted missing primary key")
+	}
+	if err := g.SetAttr("Person", 99, "firstName", "x"); err == nil {
+		t.Fatal("SetAttr accepted absent vertex")
+	}
+	if _, err := g.Attr("Person", 99, "firstName"); err == nil {
+		t.Fatal("Attr accepted absent vertex")
+	}
+	if err := g.DeleteVertex("Person", 99); err == nil {
+		t.Fatal("DeleteVertex accepted absent vertex")
+	}
+	if err := g.AddEdge("nope", 0, 0); err == nil {
+		t.Fatal("AddEdge accepted unknown edge type")
+	}
+}
+
+func TestStoreEdgesDirected(t *testing.T) {
+	g := NewStore(ldbcSchema(t), 4)
+	p, _ := g.AddVertex("Person", map[string]storage.Value{"id": int64(1)})
+	post1, _ := g.AddVertex("Post", map[string]storage.Value{"id": int64(10)})
+	post2, _ := g.AddVertex("Post", map[string]storage.Value{"id": int64(11)})
+	if err := g.AddEdge("hasCreator", post1, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("hasCreator", post2, p); err != nil {
+		t.Fatal(err)
+	}
+	if out := g.OutNeighbors("hasCreator", post1); len(out) != 1 || out[0] != p {
+		t.Fatalf("OutNeighbors = %v", out)
+	}
+	in := g.InNeighbors("hasCreator", p)
+	if len(in) != 2 {
+		t.Fatalf("InNeighbors = %v", in)
+	}
+	if g.NumEdges("hasCreator") != 2 {
+		t.Fatalf("NumEdges = %d", g.NumEdges("hasCreator"))
+	}
+	// Dangling endpoints rejected.
+	if err := g.AddEdge("hasCreator", 999, p); err == nil {
+		t.Fatal("accepted dangling source")
+	}
+	if err := g.AddEdge("hasCreator", post1, 999); err == nil {
+		t.Fatal("accepted dangling target")
+	}
+}
+
+func TestStoreEdgesUndirected(t *testing.T) {
+	g := NewStore(ldbcSchema(t), 4)
+	a, _ := g.AddVertex("Person", map[string]storage.Value{"id": int64(1)})
+	b, _ := g.AddVertex("Person", map[string]storage.Value{"id": int64(2)})
+	if err := g.AddEdge("knows", a, b); err != nil {
+		t.Fatal(err)
+	}
+	if out := g.OutNeighbors("knows", b); len(out) != 1 || out[0] != a {
+		t.Fatalf("undirected reverse traversal = %v", out)
+	}
+	if out := g.OutNeighbors("knows", a); len(out) != 1 || out[0] != b {
+		t.Fatalf("undirected forward traversal = %v", out)
+	}
+	if g.NumEdges("knows") != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges("knows"))
+	}
+	if nbrs := g.OutNeighbors("knows", 12345); nbrs != nil {
+		t.Fatalf("neighbors of absent vertex = %v", nbrs)
+	}
+}
+
+func TestStoreForEachAliveAndStatus(t *testing.T) {
+	g := NewStore(ldbcSchema(t), 2)
+	for i := 0; i < 5; i++ {
+		g.AddVertex("Person", map[string]storage.Value{"id": int64(i)})
+	}
+	g.DeleteVertex("Person", 2)
+	var ids []uint64
+	g.ForEachAlive("Person", func(id uint64) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if len(ids) != 4 {
+		t.Fatalf("ForEachAlive = %v", ids)
+	}
+	st, err := g.Status("Person")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Get(2) || !st.Get(3) {
+		t.Fatal("status bitmap wrong")
+	}
+	if g.NumSegments("Person") != 3 {
+		t.Fatalf("NumSegments = %d", g.NumSegments("Person"))
+	}
+	dir, err := g.Directory("Person")
+	if err != nil || dir.NumVertices() != 5 {
+		t.Fatalf("Directory = %v, %v", dir, err)
+	}
+}
+
+func TestParseValueAndVector(t *testing.T) {
+	if v, err := ParseValue(storage.TInt, " 42 "); err != nil || v.(int64) != 42 {
+		t.Fatalf("ParseValue int = %v, %v", v, err)
+	}
+	if v, err := ParseValue(storage.TFloat, "2.5"); err != nil || v.(float64) != 2.5 {
+		t.Fatalf("ParseValue float = %v, %v", v, err)
+	}
+	if v, err := ParseValue(storage.TBool, "true"); err != nil || v.(bool) != true {
+		t.Fatalf("ParseValue bool = %v, %v", v, err)
+	}
+	if v, err := ParseValue(storage.TString, "hi"); err != nil || v.(string) != "hi" {
+		t.Fatalf("ParseValue string = %v, %v", v, err)
+	}
+	if _, err := ParseValue(storage.TInt, "abc"); err == nil {
+		t.Fatal("ParseValue accepted bad int")
+	}
+	vec, err := ParseVector("0.5:1.5:-2", ":")
+	if err != nil || len(vec) != 3 || vec[2] != -2 {
+		t.Fatalf("ParseVector = %v, %v", vec, err)
+	}
+	if _, err := ParseVector("a:b", ":"); err == nil {
+		t.Fatal("ParseVector accepted garbage")
+	}
+}
+
+func TestLoadVerticesCSV(t *testing.T) {
+	g := NewStore(ldbcSchema(t), 4)
+	csvData := "0,Adam,A birthday party.\n1,Bob,A nice road trip!\n2,Carl,Anyone in NY?\n"
+	ids, err := g.LoadVerticesCSV("Post", []string{"id", "author", "content"}, strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("loaded %d", len(ids))
+	}
+	if v, _ := g.Attr("Post", ids[1], "author"); v.(string) != "Bob" {
+		t.Fatalf("author = %v", v)
+	}
+	// Skipped column.
+	ids2, err := g.LoadVerticesCSV("Post", []string{"id", "", "content"}, strings.NewReader("5,ignored,hello\n"))
+	if err != nil || len(ids2) != 1 {
+		t.Fatal(err)
+	}
+	if v, _ := g.Attr("Post", ids2[0], "author"); v.(string) != "" {
+		t.Fatalf("skipped column wrote author = %v", v)
+	}
+	// Errors.
+	if _, err := g.LoadVerticesCSV("Nope", nil, strings.NewReader("")); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if _, err := g.LoadVerticesCSV("Post", []string{"missing"}, strings.NewReader("")); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := g.LoadVerticesCSV("Post", []string{"id"}, strings.NewReader("notanint\n")); err == nil {
+		t.Fatal("bad int accepted")
+	}
+	if _, err := g.LoadVerticesCSV("Post", []string{"id", "author"}, strings.NewReader("1\n")); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+func TestLoadEdgesCSV(t *testing.T) {
+	g := NewStore(ldbcSchema(t), 4)
+	g.LoadVerticesCSV("Person", []string{"id", "firstName"}, strings.NewReader("1,Alice\n2,Bob\n"))
+	g.LoadVerticesCSV("Post", []string{"id", "content"}, strings.NewReader("10,hello\n"))
+	n, err := g.LoadEdgesCSV("hasCreator", strings.NewReader("10,1\n"))
+	if err != nil || n != 1 {
+		t.Fatalf("LoadEdgesCSV = %d, %v", n, err)
+	}
+	p, _ := g.VertexByKey("Person", int64(1))
+	post, _ := g.VertexByKey("Post", int64(10))
+	if out := g.OutNeighbors("hasCreator", post); len(out) != 1 || out[0] != p {
+		t.Fatalf("edge not loaded: %v", out)
+	}
+	if _, err := g.LoadEdgesCSV("hasCreator", strings.NewReader("99,1\n")); err == nil {
+		t.Fatal("dangling key accepted")
+	}
+	if _, err := g.LoadEdgesCSV("hasCreator", strings.NewReader("10\n")); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := g.LoadEdgesCSV("nope", strings.NewReader("")); err == nil {
+		t.Fatal("unknown edge type accepted")
+	}
+}

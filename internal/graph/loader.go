@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// This file implements loading jobs (paper Sec. 4.1): vertices and edges
+// load from CSV sources; embedding attributes load from separate files
+// whose vector column is split on a separator (the embedding side is in
+// internal/core, which owns embedding storage).
+
+// ParseValue converts a CSV field into a typed attribute value.
+func ParseValue(t storage.AttrType, field string) (storage.Value, error) {
+	switch t {
+	case storage.TInt:
+		v, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad INT %q: %w", field, err)
+		}
+		return v, nil
+	case storage.TFloat:
+		v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad FLOAT %q: %w", field, err)
+		}
+		return v, nil
+	case storage.TString:
+		return field, nil
+	case storage.TBool:
+		v, err := strconv.ParseBool(strings.TrimSpace(field))
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad BOOL %q: %w", field, err)
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("graph: unsupported type %v", t)
+}
+
+// ParseVector splits a vector field on sep (the paper's
+// split(content_emb, ":") idiom) into a []float32.
+func ParseVector(field, sep string) ([]float32, error) {
+	parts := strings.Split(field, sep)
+	out := make([]float32, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad vector component %q: %w", p, err)
+		}
+		out[i] = float32(v)
+	}
+	return out, nil
+}
+
+// LoadVerticesCSV reads CSV rows and inserts one vertex per row. cols
+// names the attribute receiving each CSV column; an empty name skips the
+// column. Returns the ids in row order.
+func (g *Store) LoadVerticesCSV(typeName string, cols []string, r io.Reader) ([]uint64, error) {
+	vt, ok := g.schema.VertexType(typeName)
+	if !ok {
+		return nil, fmt.Errorf("graph: unknown vertex type %q", typeName)
+	}
+	types := make([]storage.AttrType, len(cols))
+	for i, c := range cols {
+		if c == "" {
+			continue
+		}
+		a, ok := vt.Attr(c)
+		if !ok {
+			return nil, fmt.Errorf("graph: vertex type %q has no attribute %q", typeName, c)
+		}
+		types[i] = a.Type
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var ids []uint64
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return ids, fmt.Errorf("graph: csv line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) < len(cols) {
+			return ids, fmt.Errorf("graph: csv line %d has %d fields, want >= %d", line, len(rec), len(cols))
+		}
+		attrs := make(map[string]storage.Value, len(cols))
+		for i, c := range cols {
+			if c == "" {
+				continue
+			}
+			v, err := ParseValue(types[i], rec[i])
+			if err != nil {
+				return ids, fmt.Errorf("graph: csv line %d: %w", line, err)
+			}
+			attrs[c] = v
+		}
+		id, err := g.AddVertex(typeName, attrs)
+		if err != nil {
+			return ids, fmt.Errorf("graph: csv line %d: %w", line, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// LoadEdgesCSV reads two-column CSV rows of (fromKey, toKey) primary keys
+// and inserts edges. Returns the number inserted.
+func (g *Store) LoadEdgesCSV(edgeName string, r io.Reader) (int, error) {
+	et, ok := g.schema.EdgeType(edgeName)
+	if !ok {
+		return 0, fmt.Errorf("graph: unknown edge type %q", edgeName)
+	}
+	fromVT, _ := g.schema.VertexType(et.From)
+	toVT, _ := g.schema.VertexType(et.To)
+	fromPK, ok := fromVT.Attr(fromVT.PrimaryKey)
+	if !ok {
+		return 0, fmt.Errorf("graph: vertex type %q has no primary key; cannot load edges by key", et.From)
+	}
+	toPK, ok := toVT.Attr(toVT.PrimaryKey)
+	if !ok {
+		return 0, fmt.Errorf("graph: vertex type %q has no primary key; cannot load edges by key", et.To)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	n, line := 0, 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("graph: csv line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) < 2 {
+			return n, fmt.Errorf("graph: csv line %d has %d fields, want 2", line, len(rec))
+		}
+		fk, err := ParseValue(fromPK.Type, rec[0])
+		if err != nil {
+			return n, err
+		}
+		tk, err := ParseValue(toPK.Type, rec[1])
+		if err != nil {
+			return n, err
+		}
+		from, ok := g.VertexByKey(et.From, fk)
+		if !ok {
+			return n, fmt.Errorf("graph: csv line %d: no %s vertex with key %v", line, et.From, fk)
+		}
+		to, ok := g.VertexByKey(et.To, tk)
+		if !ok {
+			return n, fmt.Errorf("graph: csv line %d: no %s vertex with key %v", line, et.To, tk)
+		}
+		if err := g.AddEdge(edgeName, from, to); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,298 @@
+// Package graph implements the property-graph substrate: schema (vertex
+// and edge types, the embedding attribute type and embedding spaces of
+// paper Sec. 4.1), vertex storage over fixed-size segments, adjacency
+// storage, and CSV loading jobs.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+	"repro/internal/vectormath"
+)
+
+// EmbeddingAttr is the metadata of one embedding attribute (the paper's
+// `embedding` data type): dimensionality, generating model, index kind,
+// element data type and similarity metric. Vector search across multiple
+// attributes is allowed only when everything except the index type matches
+// (paper Sec. 4.1).
+type EmbeddingAttr struct {
+	Name     string
+	Dim      int
+	Model    string
+	Index    string // "HNSW"
+	DataType string // "FLOAT"
+	Metric   vectormath.Metric
+	Space    string // embedding space name, empty if defined inline
+}
+
+// CompatibleWith reports whether a search may span both attributes:
+// all metadata except the index type must be identical.
+func (e EmbeddingAttr) CompatibleWith(o EmbeddingAttr) bool {
+	return e.Dim == o.Dim && e.Model == o.Model && e.DataType == o.DataType && e.Metric == o.Metric
+}
+
+// EmbeddingSpace defines a shared embedding schema that multiple vertex
+// types can join (paper Sec. 4.1, CREATE EMBEDDING SPACE).
+type EmbeddingSpace struct {
+	Name     string
+	Dim      int
+	Model    string
+	Index    string
+	DataType string
+	Metric   vectormath.Metric
+}
+
+// Attr derives an EmbeddingAttr from the space.
+func (s EmbeddingSpace) Attr(name string) EmbeddingAttr {
+	return EmbeddingAttr{Name: name, Dim: s.Dim, Model: s.Model, Index: s.Index,
+		DataType: s.DataType, Metric: s.Metric, Space: s.Name}
+}
+
+// VertexType describes one vertex type: scalar attributes, a primary key,
+// and zero or more embedding attributes.
+type VertexType struct {
+	Name       string
+	PrimaryKey string
+	Attrs      []storage.AttrSchema
+	Embeddings []EmbeddingAttr
+}
+
+// Attr returns the schema of a scalar attribute.
+func (v *VertexType) Attr(name string) (storage.AttrSchema, bool) {
+	for _, a := range v.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return storage.AttrSchema{}, false
+}
+
+// Embedding returns the embedding attribute of the given name.
+func (v *VertexType) Embedding(name string) (EmbeddingAttr, bool) {
+	for _, e := range v.Embeddings {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return EmbeddingAttr{}, false
+}
+
+// EdgeType describes one edge type between two vertex types. Directed
+// edges are traversed forward via out-adjacency and backward via
+// in-adjacency; undirected edges appear in both directions.
+type EdgeType struct {
+	Name     string
+	From, To string
+	Directed bool
+}
+
+// Schema is the catalog of vertex types, edge types and embedding spaces.
+type Schema struct {
+	mu       sync.RWMutex
+	vertices map[string]*VertexType
+	edges    map[string]*EdgeType
+	spaces   map[string]*EmbeddingSpace
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{
+		vertices: make(map[string]*VertexType),
+		edges:    make(map[string]*EdgeType),
+		spaces:   make(map[string]*EmbeddingSpace),
+	}
+}
+
+// AddVertexType registers a vertex type. The primary key must be one of
+// the attributes.
+func (s *Schema) AddVertexType(vt VertexType) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.vertices[vt.Name]; dup {
+		return fmt.Errorf("graph: vertex type %q already defined", vt.Name)
+	}
+	if vt.PrimaryKey != "" {
+		if _, ok := (&vt).Attr(vt.PrimaryKey); !ok {
+			return fmt.Errorf("graph: primary key %q is not an attribute of %q", vt.PrimaryKey, vt.Name)
+		}
+	}
+	seen := map[string]bool{}
+	for _, a := range vt.Attrs {
+		if seen[a.Name] {
+			return fmt.Errorf("graph: duplicate attribute %q on %q", a.Name, vt.Name)
+		}
+		seen[a.Name] = true
+	}
+	cp := vt
+	s.vertices[vt.Name] = &cp
+	return nil
+}
+
+// AddEdgeType registers an edge type; both endpoints must exist.
+func (s *Schema) AddEdgeType(et EdgeType) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.edges[et.Name]; dup {
+		return fmt.Errorf("graph: edge type %q already defined", et.Name)
+	}
+	if _, ok := s.vertices[et.From]; !ok {
+		return fmt.Errorf("graph: edge %q references unknown vertex type %q", et.Name, et.From)
+	}
+	if _, ok := s.vertices[et.To]; !ok {
+		return fmt.Errorf("graph: edge %q references unknown vertex type %q", et.Name, et.To)
+	}
+	cp := et
+	s.edges[et.Name] = &cp
+	return nil
+}
+
+// AddEmbeddingSpace registers a named embedding space.
+func (s *Schema) AddEmbeddingSpace(sp EmbeddingSpace) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.spaces[sp.Name]; dup {
+		return fmt.Errorf("graph: embedding space %q already defined", sp.Name)
+	}
+	if sp.Dim <= 0 {
+		return fmt.Errorf("graph: embedding space %q has non-positive dimension", sp.Name)
+	}
+	cp := sp
+	s.spaces[sp.Name] = &cp
+	return nil
+}
+
+// AddEmbeddingAttr attaches an embedding attribute to an existing vertex
+// type (ALTER VERTEX ... ADD EMBEDDING ATTRIBUTE).
+func (s *Schema) AddEmbeddingAttr(vertexType string, attr EmbeddingAttr) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vt, ok := s.vertices[vertexType]
+	if !ok {
+		return fmt.Errorf("graph: unknown vertex type %q", vertexType)
+	}
+	if attr.Space != "" {
+		sp, ok := s.spaces[attr.Space]
+		if !ok {
+			return fmt.Errorf("graph: unknown embedding space %q", attr.Space)
+		}
+		attr = sp.Attr(attr.Name)
+	}
+	if attr.Dim <= 0 {
+		return fmt.Errorf("graph: embedding attribute %q has non-positive dimension", attr.Name)
+	}
+	if attr.Index == "" {
+		attr.Index = "HNSW"
+	}
+	if attr.DataType == "" {
+		attr.DataType = "FLOAT"
+	}
+	for _, e := range vt.Embeddings {
+		if e.Name == attr.Name {
+			return fmt.Errorf("graph: embedding attribute %q already on %q", attr.Name, vertexType)
+		}
+	}
+	vt.Embeddings = append(vt.Embeddings, attr)
+	return nil
+}
+
+// VertexType returns the vertex type by name.
+func (s *Schema) VertexType(name string) (*VertexType, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vt, ok := s.vertices[name]
+	return vt, ok
+}
+
+// EdgeType returns the edge type by name.
+func (s *Schema) EdgeType(name string) (*EdgeType, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	et, ok := s.edges[name]
+	return et, ok
+}
+
+// EmbeddingSpace returns the embedding space by name.
+func (s *Schema) EmbeddingSpace(name string) (*EmbeddingSpace, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sp, ok := s.spaces[name]
+	return sp, ok
+}
+
+// VertexTypeNames returns all vertex type names, sorted.
+func (s *Schema) VertexTypeNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.vertices))
+	for n := range s.vertices {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgeTypeNames returns all edge type names, sorted.
+func (s *Schema) EdgeTypeNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.edges))
+	for n := range s.edges {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EmbeddingRef names one embedding attribute of one vertex type, e.g.
+// Post.content_emb.
+type EmbeddingRef struct {
+	VertexType string
+	Attr       string
+}
+
+// String returns "Type.attr".
+func (r EmbeddingRef) String() string { return r.VertexType + "." + r.Attr }
+
+// ParseEmbeddingRef parses "Type.attr".
+func ParseEmbeddingRef(s string) (EmbeddingRef, error) {
+	i := strings.IndexByte(s, '.')
+	if i <= 0 || i == len(s)-1 {
+		return EmbeddingRef{}, fmt.Errorf("graph: bad embedding reference %q, want Type.attr", s)
+	}
+	return EmbeddingRef{VertexType: s[:i], Attr: s[i+1:]}, nil
+}
+
+// CheckCompatible performs the static compatibility analysis of paper
+// Sec. 4.1: a multi-attribute vector search is allowed only when all
+// referenced embedding attributes share dimension, model, data type and
+// metric (the index type may differ). It returns the common metadata.
+func (s *Schema) CheckCompatible(refs []EmbeddingRef) (EmbeddingAttr, error) {
+	if len(refs) == 0 {
+		return EmbeddingAttr{}, fmt.Errorf("graph: no embedding attributes given")
+	}
+	var base EmbeddingAttr
+	for i, r := range refs {
+		vt, ok := s.VertexType(r.VertexType)
+		if !ok {
+			return EmbeddingAttr{}, fmt.Errorf("graph: unknown vertex type %q", r.VertexType)
+		}
+		ea, ok := vt.Embedding(r.Attr)
+		if !ok {
+			return EmbeddingAttr{}, fmt.Errorf("graph: vertex type %q has no embedding attribute %q", r.VertexType, r.Attr)
+		}
+		if i == 0 {
+			base = ea
+			continue
+		}
+		if !base.CompatibleWith(ea) {
+			return EmbeddingAttr{}, fmt.Errorf(
+				"graph: semantic error: embedding attributes %s and %s are incompatible (dim/model/datatype/metric must match)",
+				refs[0], r)
+		}
+	}
+	return base, nil
+}

@@ -1,0 +1,365 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Store holds the vertices and edges of one graph. Vertex ids are dense
+// per vertex type (segment index * segment size + offset). Scalar
+// attributes live in vertex segments; embedding attributes are managed by
+// the embedding service in internal/core and never touch this store
+// (decoupled storage, paper Sec. 4.2).
+type Store struct {
+	schema  *Schema
+	segSize int
+
+	mu    sync.RWMutex
+	verts map[string]*vertexStore
+	edges map[string]*edgeStore
+}
+
+type vertexStore struct {
+	typ    *VertexType
+	dir    *storage.SegmentDirectory
+	status *storage.Bitmap // live (not deleted) vertices; wrapped as the vector-search filter
+
+	pkMu sync.RWMutex
+	pk   map[storage.Value]uint64
+}
+
+type edgeStore struct {
+	typ *EdgeType
+	mu  sync.RWMutex
+	out [][]uint64 // indexed by From-type vertex id
+	in  [][]uint64 // indexed by To-type vertex id
+	n   int
+}
+
+// NewStore creates an empty store over schema with the given segment size
+// (0 means storage.DefaultSegmentSize).
+func NewStore(schema *Schema, segSize int) *Store {
+	if segSize <= 0 {
+		segSize = storage.DefaultSegmentSize
+	}
+	return &Store{
+		schema:  schema,
+		segSize: segSize,
+		verts:   make(map[string]*vertexStore),
+		edges:   make(map[string]*edgeStore),
+	}
+}
+
+// Schema returns the catalog.
+func (g *Store) Schema() *Schema { return g.schema }
+
+// SegmentSize returns the configured vertices-per-segment.
+func (g *Store) SegmentSize() int { return g.segSize }
+
+func (g *Store) vertexStoreFor(typeName string) (*vertexStore, error) {
+	g.mu.RLock()
+	vs, ok := g.verts[typeName]
+	g.mu.RUnlock()
+	if ok {
+		return vs, nil
+	}
+	vt, ok := g.schema.VertexType(typeName)
+	if !ok {
+		return nil, fmt.Errorf("graph: unknown vertex type %q", typeName)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if vs, ok := g.verts[typeName]; ok {
+		return vs, nil
+	}
+	vs = &vertexStore{
+		typ:    vt,
+		dir:    storage.NewSegmentDirectory(g.segSize, vt.Attrs),
+		status: storage.NewBitmap(0),
+		pk:     make(map[storage.Value]uint64),
+	}
+	g.verts[typeName] = vs
+	return vs, nil
+}
+
+func (g *Store) edgeStoreFor(edgeName string) (*edgeStore, error) {
+	g.mu.RLock()
+	es, ok := g.edges[edgeName]
+	g.mu.RUnlock()
+	if ok {
+		return es, nil
+	}
+	et, ok := g.schema.EdgeType(edgeName)
+	if !ok {
+		return nil, fmt.Errorf("graph: unknown edge type %q", edgeName)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if es, ok := g.edges[edgeName]; ok {
+		return es, nil
+	}
+	es = &edgeStore{typ: et}
+	g.edges[edgeName] = es
+	return es, nil
+}
+
+// AddVertex inserts a vertex with the given attribute values and returns
+// its id. If the type has a primary key and a vertex with the same key
+// exists, the existing vertex is updated (upsert) and its id returned.
+func (g *Store) AddVertex(typeName string, attrs map[string]storage.Value) (uint64, error) {
+	vs, err := g.vertexStoreFor(typeName)
+	if err != nil {
+		return 0, err
+	}
+	var pkVal storage.Value
+	if vs.typ.PrimaryKey != "" {
+		v, ok := attrs[vs.typ.PrimaryKey]
+		if !ok {
+			return 0, fmt.Errorf("graph: vertex of type %q missing primary key %q", typeName, vs.typ.PrimaryKey)
+		}
+		pkAttr, _ := vs.typ.Attr(vs.typ.PrimaryKey)
+		pkVal, err = storage.CheckValue(pkAttr.Type, v)
+		if err != nil {
+			return 0, err
+		}
+		vs.pkMu.Lock()
+		if id, exists := vs.pk[pkVal]; exists {
+			vs.pkMu.Unlock()
+			for name, v := range attrs {
+				if err := g.SetAttr(typeName, id, name, v); err != nil {
+					return 0, err
+				}
+			}
+			vs.status.Set(int(id)) // revive if tombstoned
+			return id, nil
+		}
+		vs.pkMu.Unlock()
+	}
+	id := vs.dir.Allocate()
+	seg := vs.dir.SegmentFor(id)
+	for name, v := range attrs {
+		if err := seg.SetAttr(id, name, v); err != nil {
+			return 0, err
+		}
+	}
+	vs.status.Set(int(id))
+	if vs.typ.PrimaryKey != "" {
+		vs.pkMu.Lock()
+		vs.pk[pkVal] = id
+		vs.pkMu.Unlock()
+	}
+	return id, nil
+}
+
+// VertexByKey resolves a primary key to a vertex id.
+func (g *Store) VertexByKey(typeName string, key storage.Value) (uint64, bool) {
+	vs, err := g.vertexStoreFor(typeName)
+	if err != nil {
+		return 0, false
+	}
+	pkAttr, ok := vs.typ.Attr(vs.typ.PrimaryKey)
+	if !ok {
+		return 0, false
+	}
+	cv, err := storage.CheckValue(pkAttr.Type, key)
+	if err != nil {
+		return 0, false
+	}
+	vs.pkMu.RLock()
+	id, ok := vs.pk[cv]
+	vs.pkMu.RUnlock()
+	if !ok || !vs.status.Get(int(id)) {
+		return 0, false
+	}
+	return id, true
+}
+
+// SetAttr updates one scalar attribute of an existing vertex.
+func (g *Store) SetAttr(typeName string, id uint64, name string, v storage.Value) error {
+	vs, err := g.vertexStoreFor(typeName)
+	if err != nil {
+		return err
+	}
+	seg := vs.dir.SegmentFor(id)
+	if seg == nil {
+		return fmt.Errorf("graph: vertex %d of type %q does not exist", id, typeName)
+	}
+	return seg.SetAttr(id, name, v)
+}
+
+// Attr reads one scalar attribute.
+func (g *Store) Attr(typeName string, id uint64, name string) (storage.Value, error) {
+	vs, err := g.vertexStoreFor(typeName)
+	if err != nil {
+		return nil, err
+	}
+	seg := vs.dir.SegmentFor(id)
+	if seg == nil {
+		return nil, fmt.Errorf("graph: vertex %d of type %q does not exist", id, typeName)
+	}
+	return seg.Attr(id, name)
+}
+
+// DeleteVertex tombstones a vertex; attributes remain until segment
+// rebuild but the vertex disappears from status bitmaps and traversals.
+func (g *Store) DeleteVertex(typeName string, id uint64) error {
+	vs, err := g.vertexStoreFor(typeName)
+	if err != nil {
+		return err
+	}
+	if vs.dir.SegmentFor(id) == nil {
+		return fmt.Errorf("graph: vertex %d of type %q does not exist", id, typeName)
+	}
+	vs.status.Clear(int(id))
+	return nil
+}
+
+// Alive reports whether the vertex exists and is not deleted.
+func (g *Store) Alive(typeName string, id uint64) bool {
+	vs, err := g.vertexStoreFor(typeName)
+	if err != nil {
+		return false
+	}
+	return vs.status.Get(int(id))
+}
+
+// Status returns the live-vertex bitmap for a type. The engine wraps this
+// directly as the vector-search filter for unfiltered queries.
+func (g *Store) Status(typeName string) (*storage.Bitmap, error) {
+	vs, err := g.vertexStoreFor(typeName)
+	if err != nil {
+		return nil, err
+	}
+	return vs.status, nil
+}
+
+// NumVertices returns the allocated vertex count of a type (including
+// tombstones).
+func (g *Store) NumVertices(typeName string) int {
+	vs, err := g.vertexStoreFor(typeName)
+	if err != nil {
+		return 0
+	}
+	return vs.dir.NumVertices()
+}
+
+// NumAlive returns the live vertex count.
+func (g *Store) NumAlive(typeName string) int {
+	vs, err := g.vertexStoreFor(typeName)
+	if err != nil {
+		return 0
+	}
+	return vs.status.Count()
+}
+
+// NumSegments returns the segment count of a type.
+func (g *Store) NumSegments(typeName string) int {
+	vs, err := g.vertexStoreFor(typeName)
+	if err != nil {
+		return 0
+	}
+	return vs.dir.NumSegments()
+}
+
+// Directory exposes the segment directory of a vertex type for the MPP
+// engine's per-segment actions.
+func (g *Store) Directory(typeName string) (*storage.SegmentDirectory, error) {
+	vs, err := g.vertexStoreFor(typeName)
+	if err != nil {
+		return nil, err
+	}
+	return vs.dir, nil
+}
+
+func (e *edgeStore) growTo(out, in uint64) {
+	for uint64(len(e.out)) <= out {
+		e.out = append(e.out, nil)
+	}
+	for uint64(len(e.in)) <= in {
+		e.in = append(e.in, nil)
+	}
+}
+
+// AddEdge inserts an edge from -> to. For undirected edge types the edge
+// is traversable in both directions via OutNeighbors.
+func (g *Store) AddEdge(edgeName string, from, to uint64) error {
+	es, err := g.edgeStoreFor(edgeName)
+	if err != nil {
+		return err
+	}
+	if !g.Alive(es.typ.From, from) {
+		return fmt.Errorf("graph: edge %q source vertex %d (%s) does not exist", edgeName, from, es.typ.From)
+	}
+	if !g.Alive(es.typ.To, to) {
+		return fmt.Errorf("graph: edge %q target vertex %d (%s) does not exist", edgeName, to, es.typ.To)
+	}
+	es.mu.Lock()
+	es.growTo(from, to)
+	es.out[from] = append(es.out[from], to)
+	es.in[to] = append(es.in[to], from)
+	if !es.typ.Directed {
+		// Undirected edges between the same type are mirrored.
+		es.growTo(to, from)
+		es.out[to] = append(es.out[to], from)
+		es.in[from] = append(es.in[from], to)
+	}
+	es.n++
+	es.mu.Unlock()
+	return nil
+}
+
+// OutNeighbors returns the targets of edges leaving `from`.
+func (g *Store) OutNeighbors(edgeName string, from uint64) []uint64 {
+	es, err := g.edgeStoreFor(edgeName)
+	if err != nil {
+		return nil
+	}
+	es.mu.RLock()
+	defer es.mu.RUnlock()
+	if from >= uint64(len(es.out)) {
+		return nil
+	}
+	out := make([]uint64, len(es.out[from]))
+	copy(out, es.out[from])
+	return out
+}
+
+// InNeighbors returns the sources of edges entering `to`.
+func (g *Store) InNeighbors(edgeName string, to uint64) []uint64 {
+	es, err := g.edgeStoreFor(edgeName)
+	if err != nil {
+		return nil
+	}
+	es.mu.RLock()
+	defer es.mu.RUnlock()
+	if to >= uint64(len(es.in)) {
+		return nil
+	}
+	out := make([]uint64, len(es.in[to]))
+	copy(out, es.in[to])
+	return out
+}
+
+// NumEdges returns the edge count of a type (undirected edges count once).
+func (g *Store) NumEdges(edgeName string) int {
+	es, err := g.edgeStoreFor(edgeName)
+	if err != nil {
+		return 0
+	}
+	es.mu.RLock()
+	defer es.mu.RUnlock()
+	return es.n
+}
+
+// ForEachAlive calls fn for every live vertex id of a type, in ascending
+// id order.
+func (g *Store) ForEachAlive(typeName string, fn func(id uint64) bool) error {
+	vs, err := g.vertexStoreFor(typeName)
+	if err != nil {
+		return err
+	}
+	vs.status.Range(func(i int) bool { return fn(uint64(i)) })
+	return nil
+}

@@ -1,0 +1,347 @@
+package gsql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ---- Top-level statements (DDL and query definitions) ----
+
+// Stmt is any top-level statement.
+type Stmt interface{ stmtNode() }
+
+// CreateVertexStmt is CREATE VERTEX Name (attr TYPE [PRIMARY KEY], ...).
+type CreateVertexStmt struct {
+	Name       string
+	Attrs      []AttrDef
+	PrimaryKey string
+}
+
+// AttrDef is one attribute declaration.
+type AttrDef struct {
+	Name string
+	Type string // INT, FLOAT, STRING, BOOL
+}
+
+// CreateEdgeStmt is CREATE [DIRECTED|UNDIRECTED] EDGE Name (FROM A, TO B).
+type CreateEdgeStmt struct {
+	Name     string
+	From, To string
+	Directed bool
+}
+
+// CreateEmbeddingSpaceStmt is CREATE EMBEDDING SPACE name (k = v, ...).
+type CreateEmbeddingSpaceStmt struct {
+	Name    string
+	Options map[string]string
+}
+
+// AlterVertexAddEmbeddingStmt is ALTER VERTEX T ADD EMBEDDING ATTRIBUTE
+// name (k = v, ...) or ... IN EMBEDDING SPACE space.
+type AlterVertexAddEmbeddingStmt struct {
+	VertexType string
+	AttrName   string
+	Options    map[string]string
+	Space      string
+}
+
+// CreateQueryStmt is CREATE QUERY name(params) { body }.
+type CreateQueryStmt struct {
+	Name   string
+	Params []ParamDef
+	Body   []BodyStmt
+}
+
+// ParamDef is one query parameter.
+type ParamDef struct {
+	Name string
+	Type ParamType
+}
+
+// ParamType enumerates supported parameter types.
+type ParamType uint8
+
+// Parameter types.
+const (
+	ParamInt ParamType = iota
+	ParamFloat
+	ParamString
+	ParamBool
+	ParamVector // LIST<FLOAT>
+)
+
+// String returns the GSQL spelling.
+func (p ParamType) String() string {
+	switch p {
+	case ParamInt:
+		return "INT"
+	case ParamFloat:
+		return "FLOAT"
+	case ParamString:
+		return "STRING"
+	case ParamBool:
+		return "BOOL"
+	case ParamVector:
+		return "LIST<FLOAT>"
+	}
+	return "?"
+}
+
+func (CreateVertexStmt) stmtNode()            {}
+func (CreateEdgeStmt) stmtNode()              {}
+func (CreateEmbeddingSpaceStmt) stmtNode()    {}
+func (AlterVertexAddEmbeddingStmt) stmtNode() {}
+func (CreateQueryStmt) stmtNode()             {}
+
+// ---- Query body statements ----
+
+// BodyStmt is any statement inside a query procedure body.
+type BodyStmt interface{ bodyNode() }
+
+// AccumDeclStmt declares accumulators, e.g.
+// MapAccum<VERTEX, FLOAT> @@disMap;  SumAccum<INT> @cnt;
+type AccumDeclStmt struct {
+	Kind   string // SumAccum, MapAccum, SetAccum, HeapAccum, MaxAccum, MinAccum
+	Types  []string
+	Name   string
+	Global bool // @@ vs @
+}
+
+// AssignStmt is `Var = <rhs>;` where rhs is a select block, a function
+// call, a set operation, or a scalar expression.
+type AssignStmt struct {
+	Name string
+	RHS  Expr // SelectExpr, CallExpr, SetOpExpr or scalar Expr
+}
+
+// AccumStmt is `@@acc += expr;`.
+type AccumStmt struct {
+	Name string
+	Expr Expr
+}
+
+// PrintStmt is PRINT expr [, expr...];
+type PrintStmt struct {
+	Exprs []Expr
+}
+
+// ForeachStmt is FOREACH i IN RANGE[lo, hi] DO body END;
+type ForeachStmt struct {
+	Var    string
+	Lo, Hi Expr
+	Body   []BodyStmt
+}
+
+// IfStmt is IF cond THEN body [ELSE body] END;
+type IfStmt struct {
+	Cond Expr
+	Then []BodyStmt
+	Else []BodyStmt
+}
+
+// WhileStmt is WHILE cond LIMIT n DO body END;
+type WhileStmt struct {
+	Cond  Expr
+	Limit Expr // nil means no explicit bound
+	Body  []BodyStmt
+}
+
+func (AccumDeclStmt) bodyNode() {}
+func (AssignStmt) bodyNode()    {}
+func (AccumStmt) bodyNode()     {}
+func (PrintStmt) bodyNode()     {}
+func (ForeachStmt) bodyNode()   {}
+func (IfStmt) bodyNode()        {}
+func (WhileStmt) bodyNode()     {}
+
+// ---- Expressions ----
+
+// Expr is any expression.
+type Expr interface{ exprNode() }
+
+// IntLit / FloatLit / StringLit / BoolLit are literals.
+type IntLit struct{ V int64 }
+
+// FloatLit is a float literal.
+type FloatLit struct{ V float64 }
+
+// StringLit is a string literal.
+type StringLit struct{ V string }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ V bool }
+
+// Ident references a parameter, variable or loop counter.
+type Ident struct{ Name string }
+
+// AttrRef is alias.attr inside a query block, or Type.attr in
+// VectorSearch attribute lists.
+type AttrRef struct {
+	Base string
+	Attr string
+}
+
+// AccumRef is @@name or @name.
+type AccumRef struct {
+	Name   string
+	Global bool
+}
+
+// BinaryExpr applies an operator: AND OR = == != <> < <= > >= + - * /.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr is NOT x or -x.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// CallExpr is fn(args...) — VECTOR_DIST, VectorSearch, tg_louvain, ...
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+}
+
+// ListExpr is { a, b, c } (used for VectorSearch attribute lists).
+type ListExpr struct{ Elems []Expr }
+
+// MapLitExpr is { key: value, ... } (VectorSearch optional params).
+type MapLitExpr struct {
+	Keys   []string
+	Values []Expr
+}
+
+// SetOpExpr is A UNION B / INTERSECT / MINUS over vertex set variables.
+type SetOpExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// SelectExpr is a query block:
+//
+//	SELECT aliases FROM pattern WHERE cond
+//	  [ORDER BY VECTOR_DIST(a, b) LIMIT k]
+type SelectExpr struct {
+	Aliases []string
+	Pattern *Pattern
+	Where   Expr // nil when absent
+	OrderBy *OrderBy
+	Limit   Expr // nil when absent
+}
+
+// OrderBy holds the single supported ordering: by VECTOR_DIST or by an
+// attribute.
+type OrderBy struct {
+	Expr Expr
+	Desc bool
+}
+
+// Pattern is a linear path: node (edge node)*.
+type Pattern struct {
+	Nodes []NodeSpec
+	Edges []EdgeSpec
+}
+
+// NodeSpec is (alias:Type) / (:Type) / (alias) / (:VarRef) where VarRef
+// names a vertex-set variable from a prior block.
+type NodeSpec struct {
+	Alias string
+	Label string // vertex type or vertex-set variable name
+}
+
+// EdgeSpec is -[alias:type]->, <-[:type]-, or -[:type]-.
+type EdgeSpec struct {
+	Alias string
+	Label string
+	Dir   EdgeDir
+}
+
+// EdgeDir is the syntactic arrow direction.
+type EdgeDir uint8
+
+// Edge directions.
+const (
+	DirRight EdgeDir = iota // -[]->
+	DirLeft                 // <-[]-
+	DirBoth                 // -[]-
+)
+
+func (IntLit) exprNode()     {}
+func (FloatLit) exprNode()   {}
+func (StringLit) exprNode()  {}
+func (BoolLit) exprNode()    {}
+func (Ident) exprNode()      {}
+func (AttrRef) exprNode()    {}
+func (AccumRef) exprNode()   {}
+func (BinaryExpr) exprNode() {}
+func (UnaryExpr) exprNode()  {}
+func (CallExpr) exprNode()   {}
+func (ListExpr) exprNode()   {}
+func (MapLitExpr) exprNode() {}
+func (SetOpExpr) exprNode()  {}
+func (SelectExpr) exprNode() {}
+
+// exprString renders an expression for plan display and error messages.
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case IntLit:
+		return intToString(x.V)
+	case FloatLit:
+		return trimFloat(x.V)
+	case StringLit:
+		return `"` + x.V + `"`
+	case BoolLit:
+		if x.V {
+			return "true"
+		}
+		return "false"
+	case Ident:
+		return x.Name
+	case AttrRef:
+		return x.Base + "." + x.Attr
+	case AccumRef:
+		if x.Global {
+			return "@@" + x.Name
+		}
+		return "@" + x.Name
+	case BinaryExpr:
+		return exprString(x.L) + " " + x.Op + " " + exprString(x.R)
+	case UnaryExpr:
+		return x.Op + " " + exprString(x.X)
+	case CallExpr:
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			parts[i] = exprString(a)
+		}
+		return x.Fn + "(" + strings.Join(parts, ", ") + ")"
+	case ListExpr:
+		parts := make([]string, len(x.Elems))
+		for i, a := range x.Elems {
+			parts[i] = exprString(a)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case MapLitExpr:
+		parts := make([]string, len(x.Keys))
+		for i := range x.Keys {
+			parts[i] = x.Keys[i] + ": " + exprString(x.Values[i])
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case SetOpExpr:
+		return exprString(x.L) + " " + x.Op + " " + exprString(x.R)
+	case SelectExpr:
+		return "SELECT " + strings.Join(x.Aliases, ", ")
+	default:
+		return "?"
+	}
+}
+
+func intToString(v int64) string {
+	return strconv.FormatInt(v, 10)
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

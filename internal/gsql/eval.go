@@ -1,0 +1,471 @@
+package gsql
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/vectormath"
+)
+
+// MultiSet is the runtime value of a vector search spanning multiple
+// vertex types: one VertexSet per type.
+type MultiSet struct {
+	Sets []*engine.VertexSet
+}
+
+// Size returns the total member count.
+func (m *MultiSet) Size() int {
+	n := 0
+	for _, s := range m.Sets {
+		n += s.Size()
+	}
+	return n
+}
+
+// Pair is one row of a vector similarity join result.
+type Pair struct {
+	SrcType  string
+	Src      uint64
+	DstType  string
+	Dst      uint64
+	Distance float32
+}
+
+// PairTable is the result of SELECT s, t ... ORDER BY VECTOR_DIST(s.e, t.e).
+type PairTable struct {
+	Rows []Pair
+}
+
+// binding maps pattern aliases to concrete vertices during predicate
+// evaluation and path enumeration.
+type boundVertex struct {
+	typ string
+	id  uint64
+}
+
+type binding map[string]boundVertex
+
+// evalScalar evaluates an expression to a runtime value. bind may be nil
+// outside query blocks. Vertex attributes resolve through the graph
+// store; embedding attributes resolve through the env's cached search
+// contexts.
+func (ev *env) evalScalar(e Expr, bind binding) (any, error) {
+	switch x := e.(type) {
+	case IntLit:
+		return x.V, nil
+	case FloatLit:
+		return x.V, nil
+	case StringLit:
+		return x.V, nil
+	case BoolLit:
+		return x.V, nil
+	case Ident:
+		if v, ok := ev.vars[x.Name]; ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("gsql: unknown identifier %q", x.Name)
+	case AccumRef:
+		a, ok := ev.accums[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("gsql: unknown accumulator @@%s", x.Name)
+		}
+		return a.value(), nil
+	case AttrRef:
+		b, ok := bind[x.Base]
+		if !ok {
+			return nil, fmt.Errorf("gsql: unbound alias %q in expression", x.Base)
+		}
+		// Embedding attribute?
+		if vt, ok2 := ev.in.E.G.Schema().VertexType(b.typ); ok2 {
+			if _, isEmb := vt.Embedding(x.Attr); isEmb {
+				ctx, err := ev.embCtx(b.typ, x.Attr)
+				if err != nil {
+					return nil, err
+				}
+				v, ok3 := ctx.GetVector(b.id)
+				if !ok3 {
+					return nil, fmt.Errorf("gsql: vertex %d has no %s.%s vector", b.id, b.typ, x.Attr)
+				}
+				return v, nil
+			}
+		}
+		v, err := ev.in.E.G.Attr(b.typ, b.id, x.Attr)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	case UnaryExpr:
+		v, err := ev.evalScalar(x.X, bind)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "NOT":
+			b, ok := v.(bool)
+			if !ok {
+				return nil, fmt.Errorf("gsql: NOT of non-boolean %T", v)
+			}
+			return !b, nil
+		case "-":
+			switch n := v.(type) {
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			}
+			return nil, fmt.Errorf("gsql: negation of non-numeric %T", v)
+		}
+		return nil, fmt.Errorf("gsql: unknown unary operator %q", x.Op)
+	case BinaryExpr:
+		return ev.evalBinary(x, bind)
+	case CallExpr:
+		return ev.evalCall(x, bind)
+	case ListExpr:
+		// A list of floats evaluates to a vector; otherwise a []any.
+		vec := make([]float32, 0, len(x.Elems))
+		isVec := len(x.Elems) > 0
+		vals := make([]any, 0, len(x.Elems))
+		for _, el := range x.Elems {
+			v, err := ev.evalScalar(el, bind)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			switch n := v.(type) {
+			case int64:
+				vec = append(vec, float32(n))
+			case float64:
+				vec = append(vec, float32(n))
+			default:
+				isVec = false
+			}
+		}
+		if isVec {
+			return vec, nil
+		}
+		return vals, nil
+	case SetOpExpr:
+		return ev.evalSetOp(x)
+	default:
+		return nil, fmt.Errorf("gsql: unsupported expression %T", e)
+	}
+}
+
+func (ev *env) evalBinary(x BinaryExpr, bind binding) (any, error) {
+	switch x.Op {
+	case "AND", "OR":
+		lv, err := ev.evalScalar(x.L, bind)
+		if err != nil {
+			return nil, err
+		}
+		lb, ok := lv.(bool)
+		if !ok {
+			return nil, fmt.Errorf("gsql: %s of non-boolean %T", x.Op, lv)
+		}
+		if x.Op == "AND" && !lb {
+			return false, nil
+		}
+		if x.Op == "OR" && lb {
+			return true, nil
+		}
+		rv, err := ev.evalScalar(x.R, bind)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := rv.(bool)
+		if !ok {
+			return nil, fmt.Errorf("gsql: %s of non-boolean %T", x.Op, rv)
+		}
+		return rb, nil
+	}
+	lv, err := ev.evalScalar(x.L, bind)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := ev.evalScalar(x.R, bind)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "+", "-", "*", "/":
+		return arith(x.Op, lv, rv)
+	case "=", "!=", "<", "<=", ">", ">=":
+		return compare(x.Op, lv, rv)
+	}
+	return nil, fmt.Errorf("gsql: unknown operator %q", x.Op)
+}
+
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case int64:
+		return float64(n), true
+	case float64:
+		return n, true
+	case float32:
+		return float64(n), true
+	}
+	return 0, false
+}
+
+func arith(op string, l, r any) (any, error) {
+	if li, lok := l.(int64); lok {
+		if ri, rok := r.(int64); rok {
+			switch op {
+			case "+":
+				return li + ri, nil
+			case "-":
+				return li - ri, nil
+			case "*":
+				return li * ri, nil
+			case "/":
+				if ri == 0 {
+					return nil, fmt.Errorf("gsql: division by zero")
+				}
+				return li / ri, nil
+			}
+		}
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, fmt.Errorf("gsql: arithmetic on non-numeric operands %T, %T", l, r)
+	}
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, fmt.Errorf("gsql: division by zero")
+		}
+		return lf / rf, nil
+	}
+	return nil, fmt.Errorf("gsql: unknown arithmetic operator %q", op)
+}
+
+func compare(op string, l, r any) (bool, error) {
+	// String comparison.
+	if ls, ok := l.(string); ok {
+		rs, ok := r.(string)
+		if !ok {
+			return false, fmt.Errorf("gsql: comparing string with %T", r)
+		}
+		switch op {
+		case "=":
+			return ls == rs, nil
+		case "!=":
+			return ls != rs, nil
+		case "<":
+			return ls < rs, nil
+		case "<=":
+			return ls <= rs, nil
+		case ">":
+			return ls > rs, nil
+		case ">=":
+			return ls >= rs, nil
+		}
+	}
+	if lb, ok := l.(bool); ok {
+		rb, ok := r.(bool)
+		if !ok {
+			return false, fmt.Errorf("gsql: comparing bool with %T", r)
+		}
+		switch op {
+		case "=":
+			return lb == rb, nil
+		case "!=":
+			return lb != rb, nil
+		}
+		return false, fmt.Errorf("gsql: ordering comparison on booleans")
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return false, fmt.Errorf("gsql: comparing %T with %T", l, r)
+	}
+	switch op {
+	case "=":
+		return lf == rf, nil
+	case "!=":
+		return lf != rf, nil
+	case "<":
+		return lf < rf, nil
+	case "<=":
+		return lf <= rf, nil
+	case ">":
+		return lf > rf, nil
+	case ">=":
+		return lf >= rf, nil
+	}
+	return false, fmt.Errorf("gsql: unknown comparison %q", op)
+}
+
+// evalCall evaluates function calls in scalar position.
+func (ev *env) evalCall(x CallExpr, bind binding) (any, error) {
+	switch x.Fn {
+	case "VECTOR_DIST", "vector_dist", "dist":
+		if len(x.Args) != 2 {
+			return nil, fmt.Errorf("gsql: VECTOR_DIST takes 2 arguments")
+		}
+		av, err := ev.evalScalar(x.Args[0], bind)
+		if err != nil {
+			return nil, err
+		}
+		bv, err := ev.evalScalar(x.Args[1], bind)
+		if err != nil {
+			return nil, err
+		}
+		a, ok1 := av.([]float32)
+		b, ok2 := bv.([]float32)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("gsql: VECTOR_DIST arguments must be vectors (got %T, %T)", av, bv)
+		}
+		if err := vectormath.CheckDims(a, b); err != nil {
+			return nil, err
+		}
+		metric, err := ev.metricForDist(x)
+		if err != nil {
+			return nil, err
+		}
+		return float64(vectormath.Distance(metric, a, b)), nil
+	case "VectorSearch":
+		v, err := ev.execVectorSearch(x)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	case "tg_louvain":
+		return ev.execLouvain(x)
+	case "size", "count":
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("gsql: %s takes 1 argument", x.Fn)
+		}
+		v, err := ev.evalScalar(x.Args[0], bind)
+		if err != nil {
+			return nil, err
+		}
+		switch s := v.(type) {
+		case *engine.VertexSet:
+			return int64(s.Size()), nil
+		case *MultiSet:
+			return int64(s.Size()), nil
+		case *PairTable:
+			return int64(len(s.Rows)), nil
+		case []float32:
+			return int64(len(s)), nil
+		case string:
+			return int64(len(s)), nil
+		}
+		return nil, fmt.Errorf("gsql: %s of unsupported type %T", x.Fn, v)
+	case "abs":
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("gsql: abs takes 1 argument")
+		}
+		v, err := ev.evalScalar(x.Args[0], bind)
+		if err != nil {
+			return nil, err
+		}
+		switch n := v.(type) {
+		case int64:
+			if n < 0 {
+				return -n, nil
+			}
+			return n, nil
+		case float64:
+			if n < 0 {
+				return -n, nil
+			}
+			return n, nil
+		}
+		return nil, fmt.Errorf("gsql: abs of non-numeric %T", v)
+	}
+	return nil, fmt.Errorf("gsql: unknown function %q", x.Fn)
+}
+
+// metricForDist infers the metric for a VECTOR_DIST call from the first
+// embedding attribute reference in its arguments, defaulting to L2.
+func (ev *env) metricForDist(x CallExpr) (vectormath.Metric, error) {
+	for _, a := range x.Args {
+		if ar, ok := a.(AttrRef); ok {
+			// ar.Base may be an alias; metric inference happens at the
+			// call site where the binding typed it. Try type-name form.
+			if vt, ok := ev.in.E.G.Schema().VertexType(ar.Base); ok {
+				if ea, ok := vt.Embedding(ar.Attr); ok {
+					return ea.Metric, nil
+				}
+			}
+		}
+	}
+	if ev.distMetric != nil {
+		return *ev.distMetric, nil
+	}
+	return vectormath.L2, nil
+}
+
+func (ev *env) evalSetOp(x SetOpExpr) (any, error) {
+	lv, err := ev.evalScalar(x.L, nil)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := ev.evalScalar(x.R, nil)
+	if err != nil {
+		return nil, err
+	}
+	ls, ok1 := lv.(*engine.VertexSet)
+	rs, ok2 := rv.(*engine.VertexSet)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("gsql: %s requires vertex set operands (got %T, %T)", x.Op, lv, rv)
+	}
+	switch x.Op {
+	case "UNION":
+		return ls.Union(rs)
+	case "INTERSECT":
+		return ls.Intersect(rs)
+	case "MINUS":
+		return ls.Minus(rs)
+	}
+	return nil, fmt.Errorf("gsql: unknown set operator %q", x.Op)
+}
+
+// collectAliasRefs gathers the pattern aliases referenced by an
+// expression.
+func collectAliasRefs(e Expr, aliases map[string]bool, out map[string]bool) {
+	switch x := e.(type) {
+	case AttrRef:
+		if aliases[x.Base] {
+			out[x.Base] = true
+		}
+	case Ident:
+		if aliases[x.Name] {
+			out[x.Name] = true
+		}
+	case BinaryExpr:
+		collectAliasRefs(x.L, aliases, out)
+		collectAliasRefs(x.R, aliases, out)
+	case UnaryExpr:
+		collectAliasRefs(x.X, aliases, out)
+	case CallExpr:
+		for _, a := range x.Args {
+			collectAliasRefs(a, aliases, out)
+		}
+	case ListExpr:
+		for _, a := range x.Elems {
+			collectAliasRefs(a, aliases, out)
+		}
+	case MapLitExpr:
+		for _, a := range x.Values {
+			collectAliasRefs(a, aliases, out)
+		}
+	}
+}
+
+// splitConjuncts flattens an AND tree.
+func splitConjuncts(e Expr) []Expr {
+	if b, ok := e.(BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}

@@ -1,0 +1,576 @@
+package gsql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/storage"
+	"repro/internal/vectormath"
+)
+
+// Interpreter compiles and runs GSQL against one engine. DDL statements
+// mutate the schema and register embedding stores; CREATE QUERY
+// statements are stored and run via Run.
+type Interpreter struct {
+	E *engine.Engine
+	// DefaultEf is the index search parameter used when a query does not
+	// set one. Defaults to 64.
+	DefaultEf int
+	// LouvainSeed makes tg_louvain deterministic.
+	LouvainSeed int64
+
+	queries map[string]CreateQueryStmt
+}
+
+// NewInterpreter creates an interpreter over an engine.
+func NewInterpreter(e *engine.Engine) *Interpreter {
+	return &Interpreter{E: e, DefaultEf: 64, queries: make(map[string]CreateQueryStmt)}
+}
+
+// Stats reports the execution measurements Tables 3 and 4 use.
+type Stats struct {
+	// EndToEnd is total query execution time.
+	EndToEnd time.Duration
+	// VectorSearchTime is time spent inside vector search actions.
+	VectorSearchTime time.Duration
+	// Candidates is the size of the candidate set passed to the last
+	// filtered vector search (the paper's "#candidate").
+	Candidates int
+}
+
+// Output is one PRINT result.
+type Output struct {
+	Name  string
+	Value any
+}
+
+// Result is the outcome of running one query.
+type Result struct {
+	Outputs []Output
+	Plans   []string
+	Stats   Stats
+}
+
+// Exec parses and applies top-level statements (DDL and query
+// definitions).
+func (in *Interpreter) Exec(src string) error {
+	stmts, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		if err := in.execTop(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interpreter) execTop(st Stmt) error {
+	sch := in.E.G.Schema()
+	switch s := st.(type) {
+	case CreateVertexStmt:
+		vt := graph.VertexType{Name: s.Name, PrimaryKey: s.PrimaryKey}
+		for _, a := range s.Attrs {
+			t, err := storage.ParseAttrType(a.Type)
+			if err != nil {
+				return err
+			}
+			vt.Attrs = append(vt.Attrs, storage.AttrSchema{Name: a.Name, Type: t})
+		}
+		return sch.AddVertexType(vt)
+	case CreateEdgeStmt:
+		return sch.AddEdgeType(graph.EdgeType{Name: s.Name, From: s.From, To: s.To, Directed: s.Directed})
+	case CreateEmbeddingSpaceStmt:
+		sp, err := spaceFromOptions(s.Name, s.Options)
+		if err != nil {
+			return err
+		}
+		return sch.AddEmbeddingSpace(sp)
+	case AlterVertexAddEmbeddingStmt:
+		attr := graph.EmbeddingAttr{Name: s.AttrName, Space: s.Space}
+		if s.Space == "" {
+			sp, err := spaceFromOptions("", s.Options)
+			if err != nil {
+				return err
+			}
+			attr.Dim = sp.Dim
+			attr.Model = sp.Model
+			attr.Index = sp.Index
+			attr.DataType = sp.DataType
+			attr.Metric = sp.Metric
+		}
+		if err := sch.AddEmbeddingAttr(s.VertexType, attr); err != nil {
+			return err
+		}
+		vt, _ := sch.VertexType(s.VertexType)
+		ea, _ := vt.Embedding(s.AttrName)
+		_, err := in.E.Emb.Register(s.VertexType, ea)
+		return err
+	case CreateQueryStmt:
+		if _, dup := in.queries[s.Name]; dup {
+			return fmt.Errorf("gsql: query %q already defined", s.Name)
+		}
+		in.queries[s.Name] = s
+		return nil
+	}
+	return fmt.Errorf("gsql: unsupported statement %T", st)
+}
+
+func spaceFromOptions(name string, opts map[string]string) (graph.EmbeddingSpace, error) {
+	sp := graph.EmbeddingSpace{Name: name, Index: "HNSW", DataType: "FLOAT", Metric: vectormath.L2}
+	for k, v := range opts {
+		switch k {
+		case "DIMENSION":
+			d, err := strconv.Atoi(v)
+			if err != nil {
+				return sp, fmt.Errorf("gsql: bad DIMENSION %q", v)
+			}
+			sp.Dim = d
+		case "MODEL":
+			sp.Model = v
+		case "INDEX":
+			sp.Index = strings.ToUpper(v)
+		case "DATATYPE":
+			sp.DataType = strings.ToUpper(v)
+		case "METRIC":
+			m, err := vectormath.ParseMetric(strings.ToUpper(v))
+			if err != nil {
+				return sp, err
+			}
+			sp.Metric = m
+		default:
+			return sp, fmt.Errorf("gsql: unknown embedding option %q", k)
+		}
+	}
+	if sp.Dim <= 0 {
+		return sp, fmt.Errorf("gsql: embedding definition requires DIMENSION")
+	}
+	return sp, nil
+}
+
+// Queries returns the names of defined queries, sorted.
+func (in *Interpreter) Queries() []string {
+	out := make([]string, 0, len(in.queries))
+	for n := range in.queries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// env is the per-run execution state.
+type env struct {
+	in         *Interpreter
+	tid        uint64 // snapshot TID as uint64 to avoid importing txn here
+	vars       map[string]any
+	accums     map[string]*accumVal
+	out        *Result
+	embCtxs    map[string]*core.SearchContext
+	distMetric *vectormath.Metric // metric hint for alias-based VECTOR_DIST
+}
+
+// Run executes a defined query with the given arguments. Vector arguments
+// accept []float32, []float64 or []any of numbers.
+func (in *Interpreter) Run(name string, args map[string]any) (*Result, error) {
+	q, ok := in.queries[name]
+	if !ok {
+		return nil, fmt.Errorf("gsql: unknown query %q", name)
+	}
+	ev := &env{
+		in:      in,
+		tid:     uint64(in.E.Mgr.Visible()),
+		vars:    make(map[string]any),
+		accums:  make(map[string]*accumVal),
+		out:     &Result{},
+		embCtxs: make(map[string]*core.SearchContext),
+	}
+	defer ev.closeCtxs()
+	for _, p := range q.Params {
+		raw, ok := args[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("gsql: query %q missing argument %q", name, p.Name)
+		}
+		v, err := coerceParam(p, raw)
+		if err != nil {
+			return nil, err
+		}
+		ev.vars[p.Name] = v
+	}
+	if len(args) > len(q.Params) {
+		for k := range args {
+			found := false
+			for _, p := range q.Params {
+				if p.Name == k {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("gsql: query %q has no parameter %q", name, k)
+			}
+		}
+	}
+	start := time.Now()
+	if err := ev.execBody(q.Body); err != nil {
+		return nil, err
+	}
+	ev.out.Stats.EndToEnd = time.Since(start)
+	return ev.out, nil
+}
+
+func coerceParam(p ParamDef, raw any) (any, error) {
+	switch p.Type {
+	case ParamInt:
+		switch v := raw.(type) {
+		case int:
+			return int64(v), nil
+		case int64:
+			return v, nil
+		}
+	case ParamFloat:
+		switch v := raw.(type) {
+		case float64:
+			return v, nil
+		case int:
+			return float64(v), nil
+		case int64:
+			return float64(v), nil
+		}
+	case ParamString:
+		if v, ok := raw.(string); ok {
+			return v, nil
+		}
+	case ParamBool:
+		if v, ok := raw.(bool); ok {
+			return v, nil
+		}
+	case ParamVector:
+		switch v := raw.(type) {
+		case []float32:
+			return v, nil
+		case []float64:
+			out := make([]float32, len(v))
+			for i, f := range v {
+				out[i] = float32(f)
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("gsql: argument %q: cannot use %T as %s", p.Name, raw, p.Type)
+}
+
+func (ev *env) closeCtxs() {
+	for _, c := range ev.embCtxs {
+		c.Close()
+	}
+}
+
+// embCtx returns a cached MVCC search context for one embedding attribute
+// so repeated GetVector calls share a snapshot.
+func (ev *env) embCtx(vertexType, attr string) (*core.SearchContext, error) {
+	key := core.AttrKey(vertexType, attr)
+	if c, ok := ev.embCtxs[key]; ok {
+		return c, nil
+	}
+	store, ok := ev.in.E.Emb.Store(key)
+	if !ok {
+		return nil, fmt.Errorf("gsql: embedding attribute %s is not materialized", key)
+	}
+	c := store.BeginSearch(txnTID(ev.tid))
+	ev.embCtxs[key] = c
+	return c, nil
+}
+
+func (ev *env) execBody(body []BodyStmt) error {
+	for _, st := range body {
+		if err := ev.execStmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *env) execStmt(st BodyStmt) error {
+	switch s := st.(type) {
+	case AccumDeclStmt:
+		a, err := newAccum(s)
+		if err != nil {
+			return err
+		}
+		ev.accums[s.Name] = a
+		return nil
+	case AssignStmt:
+		v, err := ev.evalAssignRHS(s.RHS)
+		if err != nil {
+			return err
+		}
+		ev.vars[s.Name] = v
+		return nil
+	case AccumStmt:
+		a, ok := ev.accums[s.Name]
+		if !ok {
+			return fmt.Errorf("gsql: unknown accumulator @@%s", s.Name)
+		}
+		v, err := ev.evalScalar(s.Expr, nil)
+		if err != nil {
+			return err
+		}
+		return a.add(v)
+	case PrintStmt:
+		for _, e := range s.Exprs {
+			v, err := ev.evalScalar(e, nil)
+			if err != nil {
+				return err
+			}
+			ev.out.Outputs = append(ev.out.Outputs, Output{Name: exprString(e), Value: v})
+		}
+		return nil
+	case ForeachStmt:
+		lo, err := ev.evalInt(s.Lo)
+		if err != nil {
+			return err
+		}
+		hi, err := ev.evalInt(s.Hi)
+		if err != nil {
+			return err
+		}
+		saved, had := ev.vars[s.Var]
+		for i := lo; i <= hi; i++ {
+			ev.vars[s.Var] = i
+			if err := ev.execBody(s.Body); err != nil {
+				return err
+			}
+		}
+		if had {
+			ev.vars[s.Var] = saved
+		} else {
+			delete(ev.vars, s.Var)
+		}
+		return nil
+	case IfStmt:
+		c, err := ev.evalScalar(s.Cond, nil)
+		if err != nil {
+			return err
+		}
+		cb, ok := c.(bool)
+		if !ok {
+			return fmt.Errorf("gsql: IF condition is %T, not boolean", c)
+		}
+		if cb {
+			return ev.execBody(s.Then)
+		}
+		return ev.execBody(s.Else)
+	case WhileStmt:
+		limit := int64(1 << 20)
+		if s.Limit != nil {
+			l, err := ev.evalInt(s.Limit)
+			if err != nil {
+				return err
+			}
+			limit = l
+		}
+		for iter := int64(0); iter < limit; iter++ {
+			c, err := ev.evalScalar(s.Cond, nil)
+			if err != nil {
+				return err
+			}
+			cb, ok := c.(bool)
+			if !ok {
+				return fmt.Errorf("gsql: WHILE condition is %T, not boolean", c)
+			}
+			if !cb {
+				return nil
+			}
+			if err := ev.execBody(s.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("gsql: unsupported statement %T", st)
+}
+
+func (ev *env) evalInt(e Expr) (int64, error) {
+	v, err := ev.evalScalar(e, nil)
+	if err != nil {
+		return 0, err
+	}
+	switch n := v.(type) {
+	case int64:
+		return n, nil
+	case float64:
+		return int64(n), nil
+	}
+	return 0, fmt.Errorf("gsql: expected integer, got %T", v)
+}
+
+func (ev *env) evalAssignRHS(rhs Expr) (any, error) {
+	switch x := rhs.(type) {
+	case SelectExpr:
+		return ev.execSelect(x)
+	default:
+		return ev.evalScalar(rhs, nil)
+	}
+}
+
+// execLouvain implements tg_louvain([vertexTypes], [edgeTypes]): community
+// detection writing the community id into the `cid` attribute and
+// returning the community count.
+func (ev *env) execLouvain(x CallExpr) (any, error) {
+	if len(x.Args) != 2 {
+		return nil, fmt.Errorf("gsql: tg_louvain takes 2 arguments")
+	}
+	vts, err := ev.stringList(x.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	ets, err := ev.stringList(x.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	if len(vts) != 1 || len(ets) != 1 {
+		return nil, fmt.Errorf("gsql: tg_louvain supports one vertex type and one edge type")
+	}
+	comm, n, err := algorithms.Louvain(ev.in.E.G, vts[0], ets[0], ev.in.LouvainSeed)
+	if err != nil {
+		return nil, err
+	}
+	for id, c := range comm {
+		if err := ev.in.E.G.SetAttr(vts[0], id, "cid", int64(c)); err != nil {
+			return nil, fmt.Errorf("gsql: tg_louvain requires an INT attribute `cid` on %s: %w", vts[0], err)
+		}
+	}
+	return int64(n), nil
+}
+
+func (ev *env) stringList(e Expr) ([]string, error) {
+	le, ok := e.(ListExpr)
+	if !ok {
+		return nil, fmt.Errorf("gsql: expected a string list, got %T", e)
+	}
+	var out []string
+	for _, el := range le.Elems {
+		v, err := ev.evalScalar(el, nil)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("gsql: expected string in list, got %T", v)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// accumVal is a runtime accumulator.
+type accumVal struct {
+	kind string
+	elem string // INT or FLOAT for scalar accums
+	i    int64
+	f    float64
+	m    map[uint64]float64
+	set  map[uint64]struct{}
+	init bool
+}
+
+func newAccum(d AccumDeclStmt) (*accumVal, error) {
+	a := &accumVal{kind: d.Kind}
+	switch d.Kind {
+	case "SumAccum", "MaxAccum", "MinAccum":
+		if len(d.Types) != 1 || (d.Types[0] != "INT" && d.Types[0] != "FLOAT") {
+			return nil, fmt.Errorf("gsql: %s requires <INT> or <FLOAT>", d.Kind)
+		}
+		a.elem = d.Types[0]
+	case "MapAccum":
+		if len(d.Types) != 2 || d.Types[0] != "VERTEX" || d.Types[1] != "FLOAT" {
+			return nil, fmt.Errorf("gsql: MapAccum supports <VERTEX, FLOAT>")
+		}
+		a.m = map[uint64]float64{}
+	case "SetAccum":
+		if len(d.Types) != 1 || d.Types[0] != "VERTEX" {
+			return nil, fmt.Errorf("gsql: SetAccum supports <VERTEX>")
+		}
+		a.set = map[uint64]struct{}{}
+	default:
+		return nil, fmt.Errorf("gsql: unsupported accumulator kind %q", d.Kind)
+	}
+	return a, nil
+}
+
+func (a *accumVal) add(v any) error {
+	switch a.kind {
+	case "SumAccum":
+		f, ok := toFloat(v)
+		if !ok {
+			return fmt.Errorf("gsql: += of %T into SumAccum", v)
+		}
+		if a.elem == "INT" {
+			a.i += int64(f)
+		} else {
+			a.f += f
+		}
+		return nil
+	case "MaxAccum", "MinAccum":
+		f, ok := toFloat(v)
+		if !ok {
+			return fmt.Errorf("gsql: += of %T into %s", v, a.kind)
+		}
+		if !a.init {
+			a.f = f
+			a.init = true
+			return nil
+		}
+		if (a.kind == "MaxAccum" && f > a.f) || (a.kind == "MinAccum" && f < a.f) {
+			a.f = f
+		}
+		return nil
+	case "SetAccum":
+		switch id := v.(type) {
+		case int64:
+			a.set[uint64(id)] = struct{}{}
+			return nil
+		case uint64:
+			a.set[id] = struct{}{}
+			return nil
+		}
+		return fmt.Errorf("gsql: += of %T into SetAccum", v)
+	}
+	return fmt.Errorf("gsql: += unsupported for %s", a.kind)
+}
+
+func (a *accumVal) value() any {
+	switch a.kind {
+	case "SumAccum":
+		if a.elem == "INT" {
+			return a.i
+		}
+		return a.f
+	case "MaxAccum", "MinAccum":
+		return a.f
+	case "MapAccum":
+		return a.m
+	case "SetAccum":
+		return a.set
+	}
+	return nil
+}
+
+// setDistances installs VectorSearch distanceMap output.
+func (a *accumVal) setDistances(d map[uint64]float64) error {
+	if a.kind != "MapAccum" {
+		return fmt.Errorf("gsql: distanceMap requires a MapAccum<VERTEX, FLOAT>")
+	}
+	for k, v := range d {
+		a.m[k] = v
+	}
+	return nil
+}

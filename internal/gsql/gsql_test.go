@@ -1,0 +1,672 @@
+package gsql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// fixture builds the LDBC-flavoured schema and data used across tests via
+// the GSQL DDL path itself.
+type fixture struct {
+	in    *Interpreter
+	posts []uint64
+	vecs  [][]float32
+}
+
+const ddl = `
+CREATE VERTEX Person (id INT PRIMARY KEY, firstName STRING, cid INT);
+CREATE VERTEX Post (id INT PRIMARY KEY, language STRING, length INT);
+CREATE VERTEX Comment (id INT PRIMARY KEY, country STRING);
+CREATE UNDIRECTED EDGE knows (FROM Person, TO Person);
+CREATE DIRECTED EDGE hasCreator (FROM Post, TO Person);
+CREATE DIRECTED EDGE commentHasCreator (FROM Comment, TO Person);
+CREATE EMBEDDING SPACE emb_space (DIMENSION = 8, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);
+ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb IN EMBEDDING SPACE emb_space;
+ALTER VERTEX Comment ADD EMBEDDING ATTRIBUTE content_emb IN EMBEDDING SPACE emb_space;
+`
+
+func newFixture(t *testing.T, numPosts int) *fixture {
+	t.Helper()
+	sch := graph.NewSchema()
+	g := graph.NewStore(sch, 16)
+	svc := core.NewService(t.TempDir(), 16, 1)
+	mgr := txn.NewManager(svc, nil)
+	e := engine.New(g, svc, mgr)
+	in := NewInterpreter(e)
+	if err := in.Exec(ddl); err != nil {
+		t.Fatal(err)
+	}
+
+	// People 0..9, Alice = 0; knows chain 0-1, 0-2, 1-3.
+	for i := 0; i < 10; i++ {
+		name := map[int]string{0: "Alice", 1: "Bob", 2: "Carol", 3: "Dave"}[i]
+		if name == "" {
+			name = "P" + string(rune('0'+i))
+		}
+		g.AddVertex("Person", map[string]storage.Value{"id": int64(i), "firstName": name})
+	}
+	pid := func(i int) uint64 { id, _ := g.VertexByKey("Person", int64(i)); return id }
+	g.AddEdge("knows", pid(0), pid(1))
+	g.AddEdge("knows", pid(0), pid(2))
+	g.AddEdge("knows", pid(1), pid(3))
+
+	f := &fixture{in: in}
+	r := rand.New(rand.NewSource(7))
+	postStore, _ := svc.Store("Post.content_emb")
+	commentStore, _ := svc.Store("Comment.content_emb")
+	var cids []uint64
+	var cvecs [][]float32
+	for i := 0; i < numPosts; i++ {
+		lang := "English"
+		if i%3 == 0 {
+			lang = "French"
+		}
+		id, err := g.AddVertex("Post", map[string]storage.Value{
+			"id": int64(1000 + i), "language": lang, "length": int64(i * 100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.AddEdge("hasCreator", id, pid(i%10))
+		v := make([]float32, 8)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		f.posts = append(f.posts, id)
+		f.vecs = append(f.vecs, v)
+
+		country := "United States"
+		if i%2 == 1 {
+			country = "France"
+		}
+		cid, _ := g.AddVertex("Comment", map[string]storage.Value{"id": int64(5000 + i), "country": country})
+		g.AddEdge("commentHasCreator", cid, pid(i%10))
+		cv := make([]float32, 8)
+		for j := range cv {
+			cv[j] = float32(r.NormFloat64())
+		}
+		cids = append(cids, cid)
+		cvecs = append(cvecs, cv)
+	}
+	if err := postStore.BulkLoad(f.posts, f.vecs, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := commentStore.BulkLoad(cids, cvecs, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Begin().Commit()
+	return f
+}
+
+func defineAndRun(t *testing.T, f *fixture, querySrc, name string, args map[string]any) *Result {
+	t.Helper()
+	if err := f.in.Exec(querySrc); err != nil {
+		t.Fatalf("define %s: %v", name, err)
+	}
+	res, err := f.in.Run(name, args)
+	if err != nil {
+		t.Fatalf("run %s: %v", name, err)
+	}
+	return res
+}
+
+func vecArg(v []float32) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func TestDDLBuildsSchemaAndStores(t *testing.T) {
+	f := newFixture(t, 10)
+	sch := f.in.E.G.Schema()
+	vt, ok := sch.VertexType("Post")
+	if !ok {
+		t.Fatal("Post type missing")
+	}
+	ea, ok := vt.Embedding("content_emb")
+	if !ok || ea.Dim != 8 || ea.Model != "GPT4" || ea.Space != "emb_space" {
+		t.Fatalf("embedding attr = %+v", ea)
+	}
+	if _, ok := f.in.E.Emb.Store("Post.content_emb"); !ok {
+		t.Fatal("embedding store not registered by DDL")
+	}
+	if _, ok := sch.EdgeType("knows"); !ok {
+		t.Fatal("knows edge missing")
+	}
+}
+
+func TestDDLErrors(t *testing.T) {
+	f := newFixture(t, 1)
+	for _, bad := range []string{
+		`CREATE VERTEX Person (id INT PRIMARY KEY);`,                            // duplicate
+		`ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE e2 (MODEL = x);`,             // no dimension
+		`ALTER VERTEX Nope ADD EMBEDDING ATTRIBUTE e (DIMENSION = 4);`,          // unknown type
+		`CREATE EDGE bad (FROM Nope, TO Person);`,                               // unknown endpoint
+		`ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE e3 IN EMBEDDING SPACE nope;`, // unknown space
+	} {
+		if err := f.in.Exec(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+// Paper Sec. 5.1: pure top-k vector search.
+func TestPureTopKSearch(t *testing.T) {
+	f := newFixture(t, 100)
+	res := defineAndRun(t, f, `
+CREATE QUERY topk (LIST<FLOAT> qv, INT k) {
+  Res = SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT k;
+  PRINT Res;
+}`, "topk", map[string]any{"qv": vecArg(f.vecs[13]), "k": 5})
+	set := res.Outputs[0].Value.(*engine.VertexSet)
+	if set.Size() != 5 || !set.Contains(f.posts[13]) {
+		t.Fatalf("topk = %v", set.IDs())
+	}
+	// Plan shape (paper Sec. 5.1).
+	if len(res.Plans) == 0 || !strings.Contains(res.Plans[0], "EmbeddingAction[Top 5, {s.content_emb}, query_vector]") {
+		t.Fatalf("plan = %q", res.Plans)
+	}
+}
+
+// Paper Sec. 5.1: range search via WHERE VECTOR_DIST < threshold.
+func TestRangeSearch(t *testing.T) {
+	f := newFixture(t, 60)
+	res := defineAndRun(t, f, `
+CREATE QUERY rangeq (LIST<FLOAT> qv, FLOAT th) {
+  Res = SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.content_emb, qv) < th;
+  PRINT Res;
+}`, "rangeq", map[string]any{"qv": vecArg(f.vecs[7]), "th": 0.001})
+	set := res.Outputs[0].Value.(*engine.VertexSet)
+	if set.Size() != 1 || !set.Contains(f.posts[7]) {
+		t.Fatalf("range = %v", set.IDs())
+	}
+	if !strings.Contains(res.Plans[0], "EmbeddingAction[Range") {
+		t.Fatalf("plan = %q", res.Plans[0])
+	}
+}
+
+// Paper Sec. 5.2: filtered vector search with attribute predicate.
+func TestFilteredVectorSearch(t *testing.T) {
+	f := newFixture(t, 90)
+	res := defineAndRun(t, f, `
+CREATE QUERY filtered (LIST<FLOAT> qv, INT k) {
+  Res = SELECT s FROM (s:Post)
+        WHERE s.language = "English"
+        ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT k;
+  PRINT Res;
+}`, "filtered", map[string]any{"qv": vecArg(f.vecs[0]), "k": 10})
+	set := res.Outputs[0].Value.(*engine.VertexSet)
+	if set.Size() != 10 {
+		t.Fatalf("filtered size = %d", set.Size())
+	}
+	for _, id := range set.IDs() {
+		v, _ := f.in.E.G.Attr("Post", id, "language")
+		if v.(string) != "English" {
+			t.Fatalf("filter violated on %d", id)
+		}
+	}
+	if res.Stats.Candidates != 60 {
+		t.Fatalf("candidates = %d, want 60", res.Stats.Candidates)
+	}
+	// Pre-filter plan: VertexAction below EmbeddingAction.
+	plan := res.Plans[0]
+	if !strings.Contains(plan, "EmbeddingAction[Top 10, {s.content_emb}, query_vector]") ||
+		!strings.Contains(plan, `VertexAction[Post:s {s.language = "English"}]`) {
+		t.Fatalf("plan = %q", plan)
+	}
+	if strings.Index(plan, "EmbeddingAction") > strings.Index(plan, "VertexAction") {
+		t.Fatalf("plan order wrong (post-filter?): %q", plan)
+	}
+	if res.Stats.VectorSearchTime <= 0 || res.Stats.EndToEnd <= 0 {
+		t.Fatal("stats not measured")
+	}
+}
+
+// Paper Sec. 5.3: vector search on graph patterns.
+func TestVectorSearchOnGraphPattern(t *testing.T) {
+	f := newFixture(t, 90)
+	res := defineAndRun(t, f, `
+CREATE QUERY pattern_q (LIST<FLOAT> qv, INT k) {
+  Res = SELECT t
+        FROM (s:Person) -[:knows]-> (:Person) <-[:hasCreator]- (t:Post)
+        WHERE s.firstName = "Alice" AND t.length > 1000
+        ORDER BY VECTOR_DIST(t.content_emb, qv) LIMIT k;
+  PRINT Res;
+}`, "pattern_q", map[string]any{"qv": vecArg(f.vecs[41]), "k": 3})
+	set := res.Outputs[0].Value.(*engine.VertexSet)
+	if set.Size() == 0 || set.Size() > 3 {
+		t.Fatalf("pattern result size = %d", set.Size())
+	}
+	// Every result must be a long post created by a friend of Alice
+	// (persons 1 and 2 -> posts i%10 in {1,2} with i*100 > 1000).
+	for _, id := range set.IDs() {
+		lv, _ := f.in.E.G.Attr("Post", id, "length")
+		if lv.(int64) <= 1000 {
+			t.Fatalf("short post %d in result", id)
+		}
+		pidv, _ := f.in.E.G.Attr("Post", id, "id")
+		i := int(pidv.(int64) - 1000)
+		if i%10 != 1 && i%10 != 2 {
+			t.Fatalf("post %d not by Alice's friends", id)
+		}
+	}
+	// Plan mirrors the paper's Sec. 5.3 example: EmbeddingAction on top,
+	// then two EdgeActions, then the VertexAction seed.
+	lines := strings.Split(res.Plans[0], "\n")
+	if len(lines) != 4 ||
+		!strings.HasPrefix(lines[0], "EmbeddingAction[Top 3") ||
+		!strings.Contains(lines[1], "<hasCreator") ||
+		!strings.Contains(lines[2], "knows") ||
+		!strings.Contains(lines[3], `VertexAction[Person:s {s.firstName = "Alice"}]`) {
+		t.Fatalf("plan = %q", res.Plans[0])
+	}
+	if res.Stats.Candidates == 0 {
+		t.Fatal("candidate count not recorded")
+	}
+}
+
+// Paper Sec. 5.4: vector similarity join on graph patterns.
+func TestSimilarityJoin(t *testing.T) {
+	f := newFixture(t, 60)
+	res := defineAndRun(t, f, `
+CREATE QUERY simjoin (INT k) {
+  Pairs = SELECT s, t
+          FROM (s:Comment) -[:commentHasCreator]-> (u:Person)
+               -[:knows]-> (v:Person) <-[:commentHasCreator]- (t:Comment)
+          WHERE u.firstName = "Alice"
+          ORDER BY VECTOR_DIST(s.content_emb, t.content_emb)
+          LIMIT k;
+  PRINT Pairs;
+}`, "simjoin", map[string]any{"k": 4})
+	table := res.Outputs[0].Value.(*PairTable)
+	if len(table.Rows) == 0 || len(table.Rows) > 4 {
+		t.Fatalf("join rows = %d", len(table.Rows))
+	}
+	for i, row := range table.Rows {
+		if i > 0 && table.Rows[i-1].Distance > row.Distance {
+			t.Fatal("join rows not sorted")
+		}
+		// s must be a comment by Alice (person 0): comments i%10==0.
+		sv, _ := f.in.E.G.Attr("Comment", row.Src, "id")
+		if int(sv.(int64)-5000)%10 != 0 {
+			t.Fatalf("src comment %d not by Alice", row.Src)
+		}
+		// t by a friend of Alice (persons 1, 2).
+		tv, _ := f.in.E.G.Attr("Comment", row.Dst, "id")
+		ti := int(tv.(int64) - 5000)
+		if ti%10 != 1 && ti%10 != 2 {
+			t.Fatalf("dst comment %d not by Alice's friends", row.Dst)
+		}
+	}
+	if !strings.Contains(res.Plans[0], "@@heapAcc += (s, t, dist(s.content_emb, t.content_emb))") {
+		t.Fatalf("plan = %q", res.Plans[0])
+	}
+}
+
+// Paper Sec. 5.5, Q1: vector search across multiple vertex types.
+func TestVectorSearchMultiType(t *testing.T) {
+	f := newFixture(t, 40)
+	res := defineAndRun(t, f, `
+CREATE QUERY q1 (LIST<FLOAT> topic_emb, INT k) {
+  Msgs = VectorSearch({Comment.content_emb, Post.content_emb}, topic_emb, k);
+  PRINT Msgs;
+}`, "q1", map[string]any{"topic_emb": vecArg(f.vecs[3]), "k": 6})
+	switch v := res.Outputs[0].Value.(type) {
+	case *MultiSet:
+		if v.Size() != 6 {
+			t.Fatalf("multiset size = %d", v.Size())
+		}
+	case *engine.VertexSet:
+		if v.Size() != 6 {
+			t.Fatalf("set size = %d", v.Size())
+		}
+	default:
+		t.Fatalf("unexpected result type %T", v)
+	}
+	if !strings.Contains(res.Plans[0], "{Comment.content_emb, Post.content_emb}") {
+		t.Fatalf("plan = %q", res.Plans[0])
+	}
+}
+
+// Incompatible multi-type search is a semantic error (paper Sec. 4.1).
+func TestVectorSearchIncompatibleTypes(t *testing.T) {
+	f := newFixture(t, 5)
+	if err := f.in.Exec(`ALTER VERTEX Person ADD EMBEDDING ATTRIBUTE face (DIMENSION = 16, MODEL = CLIP);`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.in.Exec(`
+CREATE QUERY badq (LIST<FLOAT> qv, INT k) {
+  M = VectorSearch({Post.content_emb, Person.face}, qv, k);
+  PRINT M;
+}`); err != nil {
+		t.Fatal(err)
+	}
+	_, err := f.in.Run("badq", map[string]any{"qv": vecArg(f.vecs[0]), "k": 1})
+	if err == nil || !strings.Contains(err.Error(), "incompatible") {
+		t.Fatalf("incompatible search err = %v", err)
+	}
+}
+
+// Paper Sec. 5.5, Q2: VectorSearch output feeding a graph block.
+func TestQueryCompositionVectorThenGraph(t *testing.T) {
+	f := newFixture(t, 50)
+	res := defineAndRun(t, f, `
+CREATE QUERY q2 (LIST<FLOAT> topic_emb, INT k) {
+  TopKPosts = VectorSearch({Post.content_emb}, topic_emb, k);
+  Authors = SELECT p FROM (:TopKPosts) -[:hasCreator]-> (p:Person);
+  PRINT Authors;
+}`, "q2", map[string]any{"topic_emb": vecArg(f.vecs[12]), "k": 5})
+	authors := res.Outputs[0].Value.(*engine.VertexSet)
+	if authors.Type != "Person" || authors.Size() == 0 || authors.Size() > 5 {
+		t.Fatalf("authors = %v", authors.IDs())
+	}
+}
+
+// Paper Sec. 5.5, Q3: graph block output as VectorSearch filter plus
+// distance map and ef.
+func TestQueryCompositionGraphThenVector(t *testing.T) {
+	f := newFixture(t, 50)
+	res := defineAndRun(t, f, `
+CREATE QUERY q3 (LIST<FLOAT> topic_emb, INT k) {
+  MapAccum<VERTEX, FLOAT> @@disMap;
+  USComments = SELECT t FROM (t:Comment) WHERE t.country = "United States";
+  TopKComments = VectorSearch({Comment.content_emb}, topic_emb, k,
+                              {filter: USComments, ef: 200, distanceMap: @@disMap});
+  PRINT TopKComments;
+  PRINT @@disMap;
+}`, "q3", map[string]any{"topic_emb": vecArg(f.vecs[5]), "k": 7})
+	set := res.Outputs[0].Value.(*engine.VertexSet)
+	if set.Size() != 7 {
+		t.Fatalf("US top-k = %d", set.Size())
+	}
+	for _, id := range set.IDs() {
+		v, _ := f.in.E.G.Attr("Comment", id, "country")
+		if v.(string) != "United States" {
+			t.Fatalf("non-US comment %d", id)
+		}
+	}
+	dm := res.Outputs[1].Value.(map[uint64]float64)
+	if len(dm) != 7 {
+		t.Fatalf("distance map = %v", dm)
+	}
+	for _, id := range set.IDs() {
+		if _, ok := dm[id]; !ok {
+			t.Fatalf("distance map missing id %d", id)
+		}
+	}
+	if res.Stats.Candidates != 25 {
+		t.Fatalf("candidates = %d, want 25 US comments", res.Stats.Candidates)
+	}
+}
+
+// Paper Sec. 5.5, Q4: Louvain + per-community vector search in FOREACH.
+func TestQ4CommunityVectorSearch(t *testing.T) {
+	f := newFixture(t, 40)
+	res := defineAndRun(t, f, `
+CREATE QUERY q4 (LIST<FLOAT> topic_emb, INT k) {
+  C_num = tg_louvain(["Person"], ["knows"]);
+  FOREACH i IN RANGE[0, C_num - 1] DO
+    CommunityPosts = SELECT t FROM (s:Person) <-[:hasCreator]- (t:Post) WHERE s.cid = i;
+    TopKPosts = VectorSearch({Post.content_emb}, topic_emb, k, {filter: CommunityPosts});
+    PRINT TopKPosts;
+  END;
+}`, "q4", map[string]any{"topic_emb": vecArg(f.vecs[2]), "k": 2})
+	if len(res.Outputs) < 2 {
+		t.Fatalf("expected one output per community, got %d", len(res.Outputs))
+	}
+	total := 0
+	for _, o := range res.Outputs {
+		set := o.Value.(*engine.VertexSet)
+		if set.Size() > 2 {
+			t.Fatalf("community top-k too large: %d", set.Size())
+		}
+		total += set.Size()
+	}
+	if total == 0 {
+		t.Fatal("no community results")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	f := newFixture(t, 30)
+	res := defineAndRun(t, f, `
+CREATE QUERY setops () {
+  English = SELECT s FROM (s:Post) WHERE s.language = "English";
+  Long = SELECT s FROM (s:Post) WHERE s.length >= 1500;
+  Both = English INTERSECT Long;
+  Either = English UNION Long;
+  OnlyEnglish = English MINUS Long;
+  PRINT size(Both), size(Either), size(OnlyEnglish);
+}`, "setops", nil)
+	both := res.Outputs[0].Value.(int64)
+	either := res.Outputs[1].Value.(int64)
+	only := res.Outputs[2].Value.(int64)
+	if both+only != 20 { // 20 English posts of 30
+		t.Fatalf("both=%d only=%d", both, only)
+	}
+	if either < 20 || either > 30 {
+		t.Fatalf("either=%d", either)
+	}
+}
+
+func TestAccumulatorsAndControlFlow(t *testing.T) {
+	f := newFixture(t, 10)
+	res := defineAndRun(t, f, `
+CREATE QUERY ctrl (INT n) {
+  SumAccum<INT> @@total;
+  MaxAccum<FLOAT> @@biggest;
+  FOREACH i IN RANGE[1, n] DO
+    @@total += i;
+    @@biggest += i * 2;
+  END;
+  IF @@total > 10 THEN
+    PRINT "big";
+  ELSE
+    PRINT "small";
+  END;
+  x = 0;
+  WHILE x < 3 LIMIT 100 DO
+    x = x + 1;
+  END;
+  PRINT @@total, @@biggest, x;
+}`, "ctrl", map[string]any{"n": 5})
+	if res.Outputs[0].Value.(string) != "big" {
+		t.Fatalf("if branch = %v", res.Outputs[0].Value)
+	}
+	if res.Outputs[1].Value.(int64) != 15 {
+		t.Fatalf("sum = %v", res.Outputs[1].Value)
+	}
+	if res.Outputs[2].Value.(float64) != 10 {
+		t.Fatalf("max = %v", res.Outputs[2].Value)
+	}
+	if res.Outputs[3].Value.(int64) != 3 {
+		t.Fatalf("while x = %v", res.Outputs[3].Value)
+	}
+}
+
+func TestSelectFirstAliasReversesPattern(t *testing.T) {
+	f := newFixture(t, 40)
+	// Select the HEAD of the pattern: persons who created long posts.
+	res := defineAndRun(t, f, `
+CREATE QUERY heads () {
+  Creators = SELECT p FROM (p:Person) <-[:hasCreator]- (t:Post) WHERE t.length > 3000;
+  PRINT Creators;
+}`, "heads", nil)
+	set := res.Outputs[0].Value.(*engine.VertexSet)
+	if set.Type != "Person" || set.Size() == 0 {
+		t.Fatalf("creators = %v", set.IDs())
+	}
+	// Posts with length > 3000 are i in 31..39 -> creators i%10.
+	for _, id := range set.IDs() {
+		v, _ := f.in.E.G.Attr("Person", id, "id")
+		if v.(int64) > 9 {
+			t.Fatalf("unexpected person %v", v)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	f := newFixture(t, 5)
+	if _, err := f.in.Run("nope", nil); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+	if err := f.in.Exec(`CREATE QUERY p1 (INT k) { PRINT k; }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.in.Run("p1", nil); err == nil {
+		t.Fatal("missing arg accepted")
+	}
+	if _, err := f.in.Run("p1", map[string]any{"k": "notint"}); err == nil {
+		t.Fatal("wrong arg type accepted")
+	}
+	if _, err := f.in.Run("p1", map[string]any{"k": 1, "extra": 2}); err == nil {
+		t.Fatal("extra arg accepted")
+	}
+	if err := f.in.Exec(`CREATE QUERY p1 () { PRINT 1; }`); err == nil {
+		t.Fatal("duplicate query accepted")
+	}
+}
+
+func TestQueryValidationErrors(t *testing.T) {
+	f := newFixture(t, 10)
+	cases := map[string]string{
+		"multi_alias_pred": `CREATE QUERY e1 () {
+  R = SELECT t FROM (s:Person) <-[:hasCreator]- (t:Post) WHERE s.id = t.length;
+  PRINT R; }`,
+		"vd_without_limit": `CREATE QUERY e2 (LIST<FLOAT> qv) {
+  R = SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, qv);
+  PRINT R; }`,
+		"unknown_type": `CREATE QUERY e3 () {
+  R = SELECT s FROM (s:Nope);
+  PRINT R; }`,
+		"alias_not_endpoint": `CREATE QUERY e4 () {
+  R = SELECT u FROM (s:Comment) -[:commentHasCreator]-> (u:Person) -[:knows]-> (v:Person);
+  PRINT R; }`,
+	}
+	args := map[string]map[string]any{
+		"vd_without_limit": {"qv": vecArg(make([]float32, 8))},
+	}
+	names := map[string]string{
+		"multi_alias_pred": "e1", "vd_without_limit": "e2",
+		"unknown_type": "e3", "alias_not_endpoint": "e4",
+	}
+	for label, src := range cases {
+		if err := f.in.Exec(src); err != nil {
+			t.Fatalf("%s: define failed: %v", label, err)
+		}
+		if _, err := f.in.Run(names[label], args[label]); err == nil {
+			t.Fatalf("%s: expected runtime error", label)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		`CREATE VERTEX V (id BLOB);`,
+		`CREATE QUERY q () { R = SELECT s FROM ; }`,
+		`CREATE QUERY q () { PRINT "unterminated; }`,
+		`SELECT 1;`,
+		`CREATE QUERY q () { R = SELECT s FROM (s:Post) <-[:x]-> (t:Post); PRINT R; }`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("parse accepted %q", bad)
+		}
+	}
+}
+
+func TestQueriesListing(t *testing.T) {
+	f := newFixture(t, 1)
+	f.in.Exec(`CREATE QUERY zeta () { PRINT 1; }`)
+	f.in.Exec(`CREATE QUERY alpha () { PRINT 1; }`)
+	qs := f.in.Queries()
+	if len(qs) != 2 || qs[0] != "alpha" {
+		t.Fatalf("Queries = %v", qs)
+	}
+}
+
+func TestPrintScalarsAndVectorDist(t *testing.T) {
+	f := newFixture(t, 5)
+	res := defineAndRun(t, f, `
+CREATE QUERY scalars (LIST<FLOAT> a, LIST<FLOAT> b) {
+  PRINT VECTOR_DIST(a, b), 2 + 3 * 4, -7, abs(-2.5), true AND NOT false;
+}`, "scalars", map[string]any{
+		"a": []float64{1, 0, 0, 0, 0, 0, 0, 0},
+		"b": []float64{0, 1, 0, 0, 0, 0, 0, 0},
+	})
+	if res.Outputs[0].Value.(float64) != 2 { // squared L2
+		t.Fatalf("dist = %v", res.Outputs[0].Value)
+	}
+	if res.Outputs[1].Value.(int64) != 14 {
+		t.Fatalf("arith = %v", res.Outputs[1].Value)
+	}
+	if res.Outputs[2].Value.(int64) != -7 {
+		t.Fatalf("neg = %v", res.Outputs[2].Value)
+	}
+	if res.Outputs[3].Value.(float64) != 2.5 {
+		t.Fatalf("abs = %v", res.Outputs[3].Value)
+	}
+	if res.Outputs[4].Value.(bool) != true {
+		t.Fatalf("bool = %v", res.Outputs[4].Value)
+	}
+}
+
+func TestOrderByAttributeLimit(t *testing.T) {
+	f := newFixture(t, 30)
+	res := defineAndRun(t, f, `
+CREATE QUERY longest (INT k) {
+  R = SELECT s FROM (s:Post) ORDER BY s.length DESC LIMIT k;
+  PRINT R;
+}`, "longest", map[string]any{"k": 3})
+	set := res.Outputs[0].Value.(*engine.VertexSet)
+	if set.Size() != 3 {
+		t.Fatalf("size = %d", set.Size())
+	}
+	for _, id := range set.IDs() {
+		v, _ := f.in.E.G.Attr("Post", id, "length")
+		if v.(int64) < 2700 {
+			t.Fatalf("not a longest post: %v", v)
+		}
+	}
+}
+
+// INDEX = IVF is accepted by the DDL and served end to end (paper
+// Sec. 4.4: other vector indexes integrate behind the same interface).
+func TestIVFIndexViaDDL(t *testing.T) {
+	f := newFixture(t, 5)
+	if err := f.in.Exec(`
+ALTER VERTEX Person ADD EMBEDDING ATTRIBUTE ivf_emb (
+  DIMENSION = 4, MODEL = M2, INDEX = IVF, DATATYPE = FLOAT, METRIC = L2);`); err != nil {
+		t.Fatal(err)
+	}
+	store, ok := f.in.E.Emb.Store("Person.ivf_emb")
+	if !ok {
+		t.Fatal("ivf store not registered")
+	}
+	var ids []uint64
+	var vecs [][]float32
+	for i := 0; i < 50; i++ {
+		id := uint64(i)
+		ids = append(ids, id)
+		vecs = append(vecs, []float32{float32(i), 0, 0, 0})
+	}
+	if err := store.BulkLoad(ids, vecs, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	res := defineAndRun(t, f, `
+CREATE QUERY ivf_topk (LIST<FLOAT> qv, INT k) {
+  R = SELECT s FROM (s:Person) ORDER BY VECTOR_DIST(s.ivf_emb, qv) LIMIT k;
+  PRINT R;
+}`, "ivf_topk", map[string]any{"qv": []float64{7, 0, 0, 0}, "k": 1})
+	set := res.Outputs[0].Value.(*engine.VertexSet)
+	if set.Size() != 1 || !set.Contains(7) {
+		t.Fatalf("ivf topk = %v", set.IDs())
+	}
+}

@@ -1,0 +1,220 @@
+// Package gsql implements the GSQL subset TigerVector extends (paper
+// Sec. 5): declarative top-k vector search via ORDER BY VECTOR_DIST ...
+// LIMIT, range search via WHERE VECTOR_DIST < t, filtered vector search,
+// vector search on graph patterns, vector similarity join on graph
+// patterns, the composable VectorSearch() function, vertex set variables,
+// global accumulators, and the DDL for vertex/edge types, embedding
+// attributes and embedding spaces.
+//
+// The package compiles query text to an AST (lexer.go, parser.go),
+// validates it against the schema including the embedding compatibility
+// static analysis (sema.go), produces paper-style action plans (plan.go)
+// and interprets them over the MPP engine (exec.go).
+package gsql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokPunct // ( ) { } [ ] , ; . : = < > <= >= != <> == + - * / -> <- @ @@
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// keywords are case-insensitive in GSQL; the lexer normalizes them to
+// upper case.
+var keywords = map[string]bool{
+	"CREATE": true, "VERTEX": true, "EDGE": true, "DIRECTED": true,
+	"UNDIRECTED": true, "ALTER": true, "ADD": true, "EMBEDDING": true,
+	"ATTRIBUTE": true, "SPACE": true, "IN": true, "QUERY": true,
+	"SELECT": true, "FROM": true, "WHERE": true, "ORDER": true, "BY": true,
+	"LIMIT": true, "PRINT": true, "AND": true, "OR": true, "NOT": true,
+	"TRUE": true, "FALSE": true, "FOREACH": true, "RANGE": true, "DO": true,
+	"END": true, "IF": true, "THEN": true, "ELSE": true, "WHILE": true,
+	"UNION": true, "INTERSECT": true, "MINUS": true, "INT": true,
+	"FLOAT": true, "STRING": true, "BOOL": true, "LIST": true,
+	"PRIMARY": true, "KEY": true, "TO": true, "ASC": true, "DESC": true,
+	"DISTRIBUTED": true, "RETURNS": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes src. GSQL comments (-- to end of line and /* */) are
+// skipped.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.peek(1) == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peek(1) == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("gsql: line %d: unterminated block comment", l.line)
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+end+4], "\n")
+			l.pos += end + 4
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)):
+			l.lexNumber()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		default:
+			if err := l.lexPunct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos, line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.pos, line: l.line})
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos + 1
+	i := start
+	var sb strings.Builder
+	for i < len(l.src) {
+		if l.src[i] == '\\' && i+1 < len(l.src) {
+			sb.WriteByte(l.src[i+1])
+			i += 2
+			continue
+		}
+		if l.src[i] == quote {
+			l.emit(tokString, sb.String())
+			l.pos = i + 1
+			return nil
+		}
+		if l.src[i] == '\n' {
+			return fmt.Errorf("gsql: line %d: newline in string literal", l.line)
+		}
+		sb.WriteByte(l.src[i])
+		i++
+	}
+	return fmt.Errorf("gsql: line %d: unterminated string literal", l.line)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !isFloat && unicode.IsDigit(rune(l.peek(1))) {
+			isFloat = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && (unicode.IsDigit(rune(l.peek(1))) || ((l.peek(1) == '-' || l.peek(1) == '+') && unicode.IsDigit(rune(l.peek(2))))) {
+			isFloat = true
+			l.pos++
+			if l.src[l.pos] == '-' || l.src[l.pos] == '+' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		l.toks = append(l.toks, token{kind: tokFloat, text: text, pos: start, line: l.line})
+	} else {
+		l.toks = append(l.toks, token{kind: tokInt, text: text, pos: start, line: l.line})
+	}
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: upper, pos: start, line: l.line})
+		return
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: text, pos: start, line: l.line})
+}
+
+// twoCharPuncts are matched before single characters.
+var twoCharPuncts = []string{"<=", ">=", "!=", "<>", "==", "->", "<-", "@@", "+="}
+
+func (l *lexer) lexPunct() error {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		for _, p := range twoCharPuncts {
+			if two == p {
+				l.emit(tokPunct, p)
+				l.pos += 2
+				return nil
+			}
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', '{', '}', '[', ']', ',', ';', '.', ':', '=', '<', '>', '+', '-', '*', '/', '@':
+		l.emit(tokPunct, string(c))
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("gsql: line %d: unexpected character %q", l.line, c)
+}

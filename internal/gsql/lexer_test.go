@@ -1,0 +1,326 @@
+package gsql
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := lex(`SELECT s FROM (s:Post) WHERE s.len >= 10.5 AND x != "hi";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.text)
+	}
+	joined := strings.Join(texts, "|")
+	for _, want := range []string{"SELECT", "FROM", "(", "s", ":", "Post", ")", "WHERE", ".", ">=", "10.5", "AND", "!=", "hi", ";"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing token %q in %q", want, joined)
+		}
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Fatal("no EOF token")
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := lex("select Select SELECT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks[:3] {
+		if tok.kind != tokKeyword || tok.text != "SELECT" {
+			t.Fatalf("keyword not normalized: %+v", tok)
+		}
+	}
+	// Identifiers are NOT case-folded.
+	toks, _ = lex("myVar MyVar")
+	if toks[0].text != "myVar" || toks[1].text != "MyVar" {
+		t.Fatalf("identifiers folded: %v %v", toks[0], toks[1])
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lex("42 3.14 1e6 2.5e-3 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []tokenKind{tokInt, tokFloat, tokFloat, tokFloat, tokInt, tokEOF}
+	got := kinds(toks)
+	for i, w := range wantKinds {
+		if got[i] != w {
+			t.Fatalf("token %d (%q): kind %d, want %d", i, toks[i].text, got[i], w)
+		}
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	toks, err := lex(`"hello" 'world' "with \" escape"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "hello" || toks[1].text != "world" || toks[2].text != `with " escape` {
+		t.Fatalf("strings = %v", toks[:3])
+	}
+	if _, err := lex(`"unterminated`); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+	if _, err := lex("\"newline\nin string\""); err == nil {
+		t.Fatal("newline in string accepted")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lex("a -- line comment\nb /* block\ncomment */ c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idents []string
+	for _, tok := range toks {
+		if tok.kind == tokIdent {
+			idents = append(idents, tok.text)
+		}
+	}
+	if len(idents) != 3 || idents[0] != "a" || idents[2] != "c" {
+		t.Fatalf("idents = %v", idents)
+	}
+	if _, err := lex("/* unterminated"); err == nil {
+		t.Fatal("unterminated block comment accepted")
+	}
+}
+
+func TestLexArrowsAndCompound(t *testing.T) {
+	toks, err := lex("-> <- <= >= != <> == @@ @ +=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"->", "<-", "<=", ">=", "!=", "<>", "==", "@@", "@", "+="}
+	for i, w := range want {
+		if toks[i].text != w {
+			t.Fatalf("token %d = %q, want %q", i, toks[i].text, w)
+		}
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks, _ := lex("a\nb\n\nc")
+	if toks[0].line != 1 || toks[1].line != 2 || toks[2].line != 4 {
+		t.Fatalf("lines = %d %d %d", toks[0].line, toks[1].line, toks[2].line)
+	}
+}
+
+func TestLexRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"a # b", "x ? y", "`tick`"} {
+		if _, err := lex(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseCreateVertexFull(t *testing.T) {
+	stmts, err := Parse(`CREATE VERTEX Post (id INT PRIMARY KEY, author STRING, score FLOAT, ok BOOL);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := stmts[0].(CreateVertexStmt)
+	if cv.Name != "Post" || cv.PrimaryKey != "id" || len(cv.Attrs) != 4 {
+		t.Fatalf("parsed = %+v", cv)
+	}
+	if cv.Attrs[2].Type != "FLOAT" {
+		t.Fatalf("attr types = %+v", cv.Attrs)
+	}
+	if _, err := Parse(`CREATE VERTEX V (a INT PRIMARY KEY, b INT PRIMARY KEY);`); err == nil {
+		t.Fatal("two primary keys accepted")
+	}
+}
+
+func TestParseEdgeVariants(t *testing.T) {
+	stmts, err := Parse(`
+CREATE DIRECTED EDGE e1 (FROM A, TO B);
+CREATE UNDIRECTED EDGE e2 (FROM A, TO A);
+CREATE EDGE e3 (FROM A, TO B);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmts[0].(CreateEdgeStmt).Directed || stmts[1].(CreateEdgeStmt).Directed || !stmts[2].(CreateEdgeStmt).Directed {
+		t.Fatal("directedness wrong")
+	}
+}
+
+func TestParsePatternShapes(t *testing.T) {
+	src := `CREATE QUERY q () {
+  R = SELECT t FROM (s:A) -[:e1]-> (:B) <-[x:e2]- (t:C) -[:e3]- (u:D);
+  PRINT R;
+}`
+	stmts, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := stmts[0].(CreateQueryStmt).Body
+	sel := body[0].(AssignStmt).RHS.(SelectExpr)
+	pat := sel.Pattern
+	if len(pat.Nodes) != 4 || len(pat.Edges) != 3 {
+		t.Fatalf("pattern shape: %d nodes, %d edges", len(pat.Nodes), len(pat.Edges))
+	}
+	if pat.Edges[0].Dir != DirRight || pat.Edges[1].Dir != DirLeft || pat.Edges[2].Dir != DirBoth {
+		t.Fatalf("dirs = %v %v %v", pat.Edges[0].Dir, pat.Edges[1].Dir, pat.Edges[2].Dir)
+	}
+	if pat.Edges[1].Alias != "x" {
+		t.Fatalf("edge alias = %q", pat.Edges[1].Alias)
+	}
+	if pat.Nodes[1].Alias != "" || pat.Nodes[1].Label != "B" {
+		t.Fatalf("anonymous node = %+v", pat.Nodes[1])
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	stmts, err := Parse(`CREATE QUERY q () { x = 1 + 2 * 3 < 10 AND NOT false OR true; PRINT x; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ((1 + (2*3)) < 10 AND (NOT false)) OR true
+	rhs := stmts[0].(CreateQueryStmt).Body[0].(AssignStmt).RHS
+	or, ok := rhs.(BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %T %v", rhs, rhs)
+	}
+	and, ok := or.L.(BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("left of OR = %v", or.L)
+	}
+	cmp, ok := and.L.(BinaryExpr)
+	if !ok || cmp.Op != "<" {
+		t.Fatalf("left of AND = %v", and.L)
+	}
+	add, ok := cmp.L.(BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("left of < = %v", cmp.L)
+	}
+	if mul, ok := add.R.(BinaryExpr); !ok || mul.Op != "*" {
+		t.Fatalf("right of + = %v", add.R)
+	}
+}
+
+func TestParseVectorSearchCall(t *testing.T) {
+	src := `CREATE QUERY q (LIST<FLOAT> qv, INT k) {
+  M = VectorSearch({A.emb, B.emb}, qv, k, {filter: F, ef: 200, distanceMap: @@dm});
+  PRINT M;
+}`
+	stmts, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := stmts[0].(CreateQueryStmt).Body[0].(AssignStmt).RHS.(CallExpr)
+	if call.Fn != "VectorSearch" || len(call.Args) != 4 {
+		t.Fatalf("call = %+v", call)
+	}
+	attrs := call.Args[0].(ListExpr)
+	if len(attrs.Elems) != 2 || attrs.Elems[0].(AttrRef).Base != "A" {
+		t.Fatalf("attrs = %+v", attrs)
+	}
+	opts := call.Args[3].(MapLitExpr)
+	if len(opts.Keys) != 3 || opts.Keys[1] != "ef" {
+		t.Fatalf("opts = %+v", opts)
+	}
+	if ar, ok := opts.Values[2].(AccumRef); !ok || !ar.Global || ar.Name != "dm" {
+		t.Fatalf("distanceMap = %+v", opts.Values[2])
+	}
+}
+
+func TestParseControlFlowNesting(t *testing.T) {
+	src := `CREATE QUERY q (INT n) {
+  SumAccum<INT> @@t;
+  FOREACH i IN RANGE[0, n] DO
+    IF i > 2 THEN
+      @@t += i;
+    ELSE
+      WHILE i < 0 LIMIT 5 DO
+        i = i + 1;
+      END;
+    END;
+  END;
+  PRINT @@t;
+}`
+	stmts, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := stmts[0].(CreateQueryStmt).Body
+	fe := body[1].(ForeachStmt)
+	ifst := fe.Body[0].(IfStmt)
+	if len(ifst.Then) != 1 || len(ifst.Else) != 1 {
+		t.Fatalf("if arms: %d / %d", len(ifst.Then), len(ifst.Else))
+	}
+	if _, ok := ifst.Else[0].(WhileStmt); !ok {
+		t.Fatalf("else[0] = %T", ifst.Else[0])
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	src := `CREATE QUERY q () { C = A UNION B INTERSECT D; PRINT C; }`
+	stmts, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := stmts[0].(CreateQueryStmt).Body[0].(AssignStmt).RHS
+	// Left-associative: (A UNION B) INTERSECT D.
+	outer := rhs.(SetOpExpr)
+	if outer.Op != "INTERSECT" {
+		t.Fatalf("outer = %+v", outer)
+	}
+	if inner, ok := outer.L.(SetOpExpr); !ok || inner.Op != "UNION" {
+		t.Fatalf("inner = %+v", outer.L)
+	}
+}
+
+func TestExprStringRendering(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{BinaryExpr{Op: "=", L: AttrRef{Base: "s", Attr: "name"}, R: StringLit{V: "Alice"}}, `s.name = "Alice"`},
+		{CallExpr{Fn: "VECTOR_DIST", Args: []Expr{AttrRef{Base: "s", Attr: "e"}, Ident{Name: "qv"}}}, "VECTOR_DIST(s.e, qv)"},
+		{UnaryExpr{Op: "NOT", X: BoolLit{V: true}}, "NOT true"},
+		{AccumRef{Name: "m", Global: true}, "@@m"},
+		{IntLit{V: -3}, "-3"},
+		{FloatLit{V: 2.5}, "2.5"},
+	}
+	for _, c := range cases {
+		if got := exprString(c.e); got != c.want {
+			t.Fatalf("exprString(%+v) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+// Fuzz-ish robustness: random statement fragments must error, not panic.
+func TestParseNeverPanics(t *testing.T) {
+	frags := []string{
+		"CREATE", "CREATE QUERY", "CREATE QUERY q (", "CREATE QUERY q () {",
+		"CREATE QUERY q () { R = SELECT; }", "CREATE QUERY q () { R = SELECT s FROM (s:; }",
+		"CREATE QUERY q () { FOREACH i IN RANGE[ DO END; }",
+		"CREATE QUERY q () { IF THEN END; }",
+		"CREATE VERTEX (x INT);", "ALTER VERTEX;", ")", "}{", ";;;",
+		"CREATE QUERY q () { x = {a:}; }", "CREATE QUERY q () { x = (1 + ); }",
+		"CREATE QUERY q () { @@ += 1; }",
+	}
+	for _, f := range frags {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", f, r)
+				}
+			}()
+			Parse(f)
+		}()
+	}
+}

@@ -1,0 +1,1055 @@
+package gsql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse compiles GSQL source into a list of top-level statements.
+func Parse(src string) ([]Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []Stmt
+	for !p.at(tokEOF, "") {
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	if t.kind != kind {
+		return false
+	}
+	return text == "" || t.text == text
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		switch kind {
+		case tokIdent:
+			want = "identifier"
+		case tokInt:
+			want = "integer"
+		case tokString:
+			want = "string"
+		default:
+			want = "token"
+		}
+	}
+	return token{}, fmt.Errorf("gsql: line %d: expected %s, found %s", p.cur().line, want, p.cur())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("gsql: line %d: "+format, append([]any{p.cur().line}, args...)...)
+}
+
+// parseStmt dispatches on the leading keyword.
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.at(tokKeyword, "CREATE"):
+		p.next()
+		switch {
+		case p.at(tokKeyword, "VERTEX"):
+			return p.parseCreateVertex()
+		case p.at(tokKeyword, "DIRECTED"), p.at(tokKeyword, "UNDIRECTED"), p.at(tokKeyword, "EDGE"):
+			return p.parseCreateEdge()
+		case p.at(tokKeyword, "EMBEDDING"):
+			return p.parseCreateEmbeddingSpace()
+		case p.at(tokKeyword, "QUERY"), p.at(tokKeyword, "DISTRIBUTED"):
+			return p.parseCreateQuery()
+		}
+		return nil, p.errf("unsupported CREATE target %s", p.cur())
+	case p.at(tokKeyword, "ALTER"):
+		return p.parseAlterVertex()
+	}
+	return nil, p.errf("unsupported statement start %s", p.cur())
+}
+
+func (p *parser) parseCreateVertex() (Stmt, error) {
+	p.next() // VERTEX
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	st := CreateVertexStmt{Name: name.text}
+	for {
+		attr, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		typ := p.cur()
+		if typ.kind != tokKeyword || !isTypeKeyword(typ.text) {
+			return nil, p.errf("expected attribute type, found %s", typ)
+		}
+		p.next()
+		st.Attrs = append(st.Attrs, AttrDef{Name: attr.text, Type: typ.text})
+		if p.accept(tokKeyword, "PRIMARY") {
+			if _, err := p.expect(tokKeyword, "KEY"); err != nil {
+				return nil, err
+			}
+			if st.PrimaryKey != "" {
+				return nil, p.errf("multiple primary keys on vertex %s", name.text)
+			}
+			st.PrimaryKey = attr.text
+		}
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func isTypeKeyword(s string) bool {
+	switch s {
+	case "INT", "FLOAT", "STRING", "BOOL":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseCreateEdge() (Stmt, error) {
+	st := CreateEdgeStmt{Directed: true}
+	if p.accept(tokKeyword, "UNDIRECTED") {
+		st.Directed = false
+	} else {
+		p.accept(tokKeyword, "DIRECTED")
+	}
+	if _, err := p.expect(tokKeyword, "EDGE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name.text
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st.From = from.text
+	if _, err := p.expect(tokPunct, ","); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "TO"); err != nil {
+		return nil, err
+	}
+	to, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st.To = to.text
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreateEmbeddingSpace() (Stmt, error) {
+	p.next() // EMBEDDING
+	if _, err := p.expect(tokKeyword, "SPACE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	opts, err := p.parseOptionList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return CreateEmbeddingSpaceStmt{Name: name.text, Options: opts}, nil
+}
+
+// parseOptionList parses (KEY = value, ...) with values that are idents,
+// keywords, numbers or strings.
+func (p *parser) parseOptionList() (map[string]string, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for {
+		k := p.cur()
+		if k.kind != tokIdent && k.kind != tokKeyword {
+			return nil, p.errf("expected option name, found %s", k)
+		}
+		p.next()
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		v := p.cur()
+		switch v.kind {
+		case tokIdent, tokKeyword, tokInt, tokFloat, tokString:
+			p.next()
+		default:
+			return nil, p.errf("expected option value, found %s", v)
+		}
+		out[strings.ToUpper(k.text)] = v.text
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) parseAlterVertex() (Stmt, error) {
+	p.next() // ALTER
+	if _, err := p.expect(tokKeyword, "VERTEX"); err != nil {
+		return nil, err
+	}
+	vt, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "ADD"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "EMBEDDING"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "ATTRIBUTE"); err != nil {
+		return nil, err
+	}
+	attr, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := AlterVertexAddEmbeddingStmt{VertexType: vt.text, AttrName: attr.text}
+	if p.accept(tokKeyword, "IN") {
+		if _, err := p.expect(tokKeyword, "EMBEDDING"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "SPACE"); err != nil {
+			return nil, err
+		}
+		sp, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		st.Space = sp.text
+	} else {
+		opts, err := p.parseOptionList()
+		if err != nil {
+			return nil, err
+		}
+		st.Options = opts
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreateQuery() (Stmt, error) {
+	p.accept(tokKeyword, "DISTRIBUTED")
+	p.next() // QUERY
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	st := CreateQueryStmt{Name: name.text}
+	if !p.at(tokPunct, ")") {
+		for {
+			pt, err := p.parseParamType()
+			if err != nil {
+				return nil, err
+			}
+			pn, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			st.Params = append(st.Params, ParamDef{Name: pn.text, Type: pt})
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBodyUntil("}")
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	if _, err := p.expect(tokPunct, "}"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseParamType() (ParamType, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && t.text == "INT":
+		p.next()
+		return ParamInt, nil
+	case t.kind == tokKeyword && t.text == "FLOAT":
+		p.next()
+		return ParamFloat, nil
+	case t.kind == tokKeyword && t.text == "STRING":
+		p.next()
+		return ParamString, nil
+	case t.kind == tokKeyword && t.text == "BOOL":
+		p.next()
+		return ParamBool, nil
+	case t.kind == tokKeyword && t.text == "LIST":
+		p.next()
+		if _, err := p.expect(tokPunct, "<"); err != nil {
+			return 0, err
+		}
+		if _, err := p.expect(tokKeyword, "FLOAT"); err != nil {
+			return 0, err
+		}
+		if _, err := p.expect(tokPunct, ">"); err != nil {
+			return 0, err
+		}
+		return ParamVector, nil
+	}
+	return 0, p.errf("expected parameter type, found %s", t)
+}
+
+// parseBodyUntil parses body statements until the given closing punct (not
+// consumed) or a keyword terminator like END / ELSE (not consumed).
+func (p *parser) parseBodyUntil(closer string) ([]BodyStmt, error) {
+	var out []BodyStmt
+	for {
+		if (closer != "" && p.at(tokPunct, closer)) || p.at(tokKeyword, "END") || p.at(tokKeyword, "ELSE") || p.at(tokEOF, "") {
+			return out, nil
+		}
+		st, err := p.parseBodyStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+}
+
+func (p *parser) parseBodyStmt() (BodyStmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokIdent && isAccumKind(t.text):
+		return p.parseAccumDecl()
+	case t.kind == tokKeyword && t.text == "PRINT":
+		return p.parsePrint()
+	case t.kind == tokKeyword && t.text == "FOREACH":
+		return p.parseForeach()
+	case t.kind == tokKeyword && t.text == "IF":
+		return p.parseIf()
+	case t.kind == tokKeyword && t.text == "WHILE":
+		return p.parseWhile()
+	case t.kind == tokPunct && t.text == "@@":
+		// @@acc += expr;
+		p.next()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "+="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return AccumStmt{Name: name.text, Expr: e}, nil
+	case t.kind == tokIdent:
+		// Var = rhs;
+		name := p.next().text
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseAssignRHS()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return AssignStmt{Name: name, RHS: rhs}, nil
+	}
+	return nil, p.errf("unsupported statement start %s", t)
+}
+
+func isAccumKind(s string) bool {
+	switch s {
+	case "SumAccum", "MapAccum", "SetAccum", "HeapAccum", "MaxAccum", "MinAccum":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseAccumDecl() (BodyStmt, error) {
+	kind := p.next().text
+	var types []string
+	if p.accept(tokPunct, "<") {
+		for {
+			t := p.cur()
+			if t.kind != tokIdent && t.kind != tokKeyword {
+				return nil, p.errf("expected accumulator type, found %s", t)
+			}
+			p.next()
+			types = append(types, strings.ToUpper(t.text))
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokPunct, ">"); err != nil {
+			return nil, err
+		}
+	}
+	global := false
+	if p.accept(tokPunct, "@@") {
+		global = true
+	} else if !p.accept(tokPunct, "@") {
+		return nil, p.errf("expected @ or @@ accumulator name")
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return AccumDeclStmt{Kind: kind, Types: types, Name: name.text, Global: global}, nil
+}
+
+func (p *parser) parsePrint() (BodyStmt, error) {
+	p.next() // PRINT
+	var exprs []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return PrintStmt{Exprs: exprs}, nil
+}
+
+func (p *parser) parseForeach() (BodyStmt, error) {
+	p.next() // FOREACH
+	v, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "IN"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "RANGE"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "["); err != nil {
+		return nil, err
+	}
+	lo, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ","); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "]"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "DO"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBodyUntil("")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return ForeachStmt{Var: v.text, Lo: lo, Hi: hi, Body: body}, nil
+}
+
+func (p *parser) parseIf() (BodyStmt, error) {
+	p.next() // IF
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "THEN"); err != nil {
+		return nil, err
+	}
+	thenBody, err := p.parseBodyUntil("")
+	if err != nil {
+		return nil, err
+	}
+	var elseBody []BodyStmt
+	if p.accept(tokKeyword, "ELSE") {
+		elseBody, err = p.parseBodyUntil("")
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return IfStmt{Cond: cond, Then: thenBody, Else: elseBody}, nil
+}
+
+func (p *parser) parseWhile() (BodyStmt, error) {
+	p.next() // WHILE
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	var limit Expr
+	if p.accept(tokKeyword, "LIMIT") {
+		limit, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokKeyword, "DO"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBodyUntil("")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return WhileStmt{Cond: cond, Limit: limit, Body: body}, nil
+}
+
+// parseAssignRHS handles SELECT blocks, set operations and expressions.
+func (p *parser) parseAssignRHS() (Expr, error) {
+	if p.at(tokKeyword, "SELECT") {
+		return p.parseSelect()
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	// Set operations between vertex set variables.
+	for p.at(tokKeyword, "UNION") || p.at(tokKeyword, "INTERSECT") || p.at(tokKeyword, "MINUS") {
+		op := p.next().text
+		r, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		e = SetOpExpr{Op: op, L: e, R: r}
+	}
+	return e, nil
+}
+
+func (p *parser) parseSelect() (Expr, error) {
+	p.next() // SELECT
+	sel := SelectExpr{}
+	for {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		sel.Aliases = append(sel.Aliases, a.text)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	sel.Pattern = pat
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ob := &OrderBy{Expr: e}
+		if p.accept(tokKeyword, "DESC") {
+			ob.Desc = true
+		} else {
+			p.accept(tokKeyword, "ASC")
+		}
+		sel.OrderBy = ob
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		l, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = l
+	}
+	return sel, nil
+}
+
+// parsePattern parses (a:T) (-[:e]-> (b:T2))* chains.
+func (p *parser) parsePattern() (*Pattern, error) {
+	pat := &Pattern{}
+	n, err := p.parseNodeSpec()
+	if err != nil {
+		return nil, err
+	}
+	pat.Nodes = append(pat.Nodes, n)
+	for {
+		var dir EdgeDir
+		switch {
+		case p.at(tokPunct, "-"):
+			p.next()
+			dir = DirBoth // provisional; finalized after the bracket
+		case p.at(tokPunct, "<-"):
+			p.next()
+			dir = DirLeft
+		default:
+			return pat, nil
+		}
+		if _, err := p.expect(tokPunct, "["); err != nil {
+			return nil, err
+		}
+		es := EdgeSpec{Dir: dir}
+		if !p.at(tokPunct, ":") {
+			a, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			es.Alias = a.text
+		}
+		if p.accept(tokPunct, ":") {
+			l, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			es.Label = l.text
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.accept(tokPunct, "->"):
+			if es.Dir == DirLeft {
+				return nil, p.errf("edge with arrows on both ends")
+			}
+			es.Dir = DirRight
+		case p.accept(tokPunct, "-"):
+			if es.Dir != DirLeft {
+				es.Dir = DirBoth
+			}
+		default:
+			return nil, p.errf("expected -> or - after edge, found %s", p.cur())
+		}
+		node, err := p.parseNodeSpec()
+		if err != nil {
+			return nil, err
+		}
+		pat.Edges = append(pat.Edges, es)
+		pat.Nodes = append(pat.Nodes, node)
+	}
+}
+
+func (p *parser) parseNodeSpec() (NodeSpec, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return NodeSpec{}, err
+	}
+	var ns NodeSpec
+	if p.cur().kind == tokIdent {
+		ns.Alias = p.next().text
+	}
+	if p.accept(tokPunct, ":") {
+		l, err := p.expect(tokIdent, "")
+		if err != nil {
+			return NodeSpec{}, err
+		}
+		ns.Label = l.text
+	}
+	if ns.Alias == "" && ns.Label == "" {
+		return NodeSpec{}, p.errf("empty node specification")
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return NodeSpec{}, err
+	}
+	return ns, nil
+}
+
+// ---- Expression parsing (precedence climbing) ----
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseCompare()
+}
+
+func (p *parser) parseCompare() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.at(tokPunct, "=="), p.at(tokPunct, "="):
+			op = "="
+		case p.at(tokPunct, "!="), p.at(tokPunct, "<>"):
+			op = "!="
+		case p.at(tokPunct, "<="):
+			op = "<="
+		case p.at(tokPunct, ">="):
+			op = ">="
+		case p.at(tokPunct, "<"):
+			op = "<"
+		case p.at(tokPunct, ">"):
+			op = ">"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "+") || p.at(tokPunct, "-") {
+		op := p.next().text
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "*") || p.at(tokPunct, "/") {
+		op := p.next().text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokPunct, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return IntLit{V: v}, nil
+	case t.kind == tokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", t.text)
+		}
+		return FloatLit{V: v}, nil
+	case t.kind == tokString:
+		p.next()
+		return StringLit{V: t.text}, nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.next()
+		return BoolLit{V: true}, nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.next()
+		return BoolLit{V: false}, nil
+	case t.kind == tokPunct && t.text == "@@":
+		p.next()
+		n, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return AccumRef{Name: n.text, Global: true}, nil
+	case t.kind == tokPunct && t.text == "@":
+		p.next()
+		n, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return AccumRef{Name: n.text, Global: false}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokPunct && t.text == "{":
+		return p.parseBraced()
+	case t.kind == tokIdent:
+		p.next()
+		name := t.text
+		// Function call.
+		if p.accept(tokPunct, "(") {
+			call := CallExpr{Fn: name}
+			if !p.at(tokPunct, ")") {
+				for {
+					a, err := p.parseCallArg()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(tokPunct, ",") {
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Attribute reference alias.attr.
+		if p.accept(tokPunct, ".") {
+			a, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return AttrRef{Base: name, Attr: a.text}, nil
+		}
+		return Ident{Name: name}, nil
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}
+
+// parseCallArg allows list literals, map literals and bracketed string
+// lists (for tg_louvain(["Person"], ["knows"])) in addition to plain
+// expressions.
+func (p *parser) parseCallArg() (Expr, error) {
+	if p.at(tokPunct, "[") {
+		p.next()
+		le := ListExpr{}
+		if !p.at(tokPunct, "]") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				le.Elems = append(le.Elems, e)
+				if p.accept(tokPunct, ",") {
+					continue
+				}
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		return le, nil
+	}
+	return p.parseExpr()
+}
+
+// parseBraced parses either {expr, expr, ...} (attribute lists) or a map
+// literal {key: value, ...} (VectorSearch optional parameters).
+func (p *parser) parseBraced() (Expr, error) {
+	p.next() // {
+	// Detect a map literal: ident ':' ...
+	if p.cur().kind == tokIdent && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == ":" {
+		ml := MapLitExpr{}
+		for {
+			k, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ":"); err != nil {
+				return nil, err
+			}
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ml.Keys = append(ml.Keys, k.text)
+			ml.Values = append(ml.Values, v)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokPunct, "}"); err != nil {
+			return nil, err
+		}
+		return ml, nil
+	}
+	le := ListExpr{}
+	if !p.at(tokPunct, "}") {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			le.Elems = append(le.Elems, e)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, "}"); err != nil {
+		return nil, err
+	}
+	return le, nil
+}

@@ -1,0 +1,899 @@
+package gsql
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/txn"
+	"repro/internal/vectormath"
+)
+
+func txnTID(v uint64) txn.TID { return txn.TID(v) }
+
+// resolvedNode is a pattern node with its vertex type and optional
+// starting vertex sets (from vertex-set variables).
+type resolvedNode struct {
+	alias  string
+	typ    string
+	starts []*engine.VertexSet // non-nil when the label was a variable
+}
+
+// selectRun carries the state of one SELECT block execution.
+type selectRun struct {
+	ev      *env
+	sel     SelectExpr
+	nodes   []resolvedNode
+	edges   []EdgeSpec
+	aliases map[string]bool
+	preds   map[string][]Expr // per-alias conjuncts
+	plan    []string
+
+	// Vector search classification.
+	topkAlias   string // ORDER BY VECTOR_DIST(alias.attr, queryVec)
+	topkAttr    string
+	topkQuery   []float32
+	rangeAlias  string // WHERE VECTOR_DIST(alias.attr, qv) < t
+	rangeAttr   string
+	rangeQuery  []float32
+	rangeThresh float32
+	joinSrc     string // ORDER BY VECTOR_DIST(a.attr, b.attr)
+	joinSrcAttr string
+	joinDst     string
+	joinDstAttr string
+	orderAttr   *OrderBy // plain attribute ordering
+	limit       int
+}
+
+// execSelect runs one query block.
+func (ev *env) execSelect(sel SelectExpr) (any, error) {
+	r := &selectRun{ev: ev, sel: sel, preds: map[string][]Expr{}, limit: -1, aliases: map[string]bool{}}
+	if err := r.resolvePattern(); err != nil {
+		return nil, err
+	}
+	if err := r.classify(); err != nil {
+		return nil, err
+	}
+	out, err := r.execute()
+	if err != nil {
+		return nil, err
+	}
+	ev.out.Plans = append(ev.out.Plans, strings.Join(r.plan, "\n"))
+	return out, nil
+}
+
+func (r *selectRun) resolvePattern() error {
+	pat := r.sel.Pattern
+	if pat == nil || len(pat.Nodes) == 0 {
+		return fmt.Errorf("gsql: SELECT without FROM pattern")
+	}
+	sch := r.ev.in.E.G.Schema()
+	for i, ns := range pat.Nodes {
+		rn := resolvedNode{alias: ns.Alias}
+		if rn.alias == "" {
+			rn.alias = fmt.Sprintf("_n%d", i)
+		}
+		label := ns.Label
+		if label == "" {
+			label = ns.Alias // (Alias) with a variable name
+		}
+		if _, ok := sch.VertexType(label); ok {
+			rn.typ = label
+		} else if v, ok := r.ev.vars[label]; ok {
+			switch s := v.(type) {
+			case *engine.VertexSet:
+				rn.typ = s.Type
+				rn.starts = []*engine.VertexSet{s}
+			case *MultiSet:
+				if i != 0 {
+					return fmt.Errorf("gsql: multi-type vertex set %q may only start a pattern", label)
+				}
+				rn.starts = s.Sets
+				rn.typ = "" // resolved per member set
+			default:
+				return fmt.Errorf("gsql: %q is not a vertex set (it is %T)", label, v)
+			}
+		} else {
+			return fmt.Errorf("gsql: unknown vertex type or variable %q in pattern", label)
+		}
+		if ns.Alias != "" {
+			if r.aliases[ns.Alias] {
+				return fmt.Errorf("gsql: duplicate alias %q", ns.Alias)
+			}
+			r.aliases[ns.Alias] = true
+		}
+		r.nodes = append(r.nodes, rn)
+	}
+	r.edges = pat.Edges
+	for _, a := range r.sel.Aliases {
+		if !r.aliases[a] {
+			return fmt.Errorf("gsql: SELECT alias %q not bound in pattern", a)
+		}
+	}
+	return nil
+}
+
+// classify splits WHERE into per-alias conjuncts and detects the vector
+// search form of the block.
+func (r *selectRun) classify() error {
+	if r.sel.Limit != nil {
+		l, err := r.ev.evalInt(r.sel.Limit)
+		if err != nil {
+			return err
+		}
+		if l < 0 {
+			return fmt.Errorf("gsql: negative LIMIT %d", l)
+		}
+		r.limit = int(l)
+	}
+	if r.sel.Where != nil {
+		for _, c := range splitConjuncts(r.sel.Where) {
+			if ok, err := r.tryRangeConjunct(c); err != nil {
+				return err
+			} else if ok {
+				continue
+			}
+			refs := map[string]bool{}
+			collectAliasRefs(c, r.aliases, refs)
+			switch len(refs) {
+			case 0:
+				v, err := r.ev.evalScalar(c, nil)
+				if err != nil {
+					return err
+				}
+				b, ok := v.(bool)
+				if !ok {
+					return fmt.Errorf("gsql: WHERE conjunct %s is not boolean", exprString(c))
+				}
+				if !b {
+					// Constant-false: empty everything by predicating the
+					// first node to false.
+					r.preds["__false__"] = append(r.preds["__false__"], c)
+				}
+			case 1:
+				var alias string
+				for a := range refs {
+					alias = a
+				}
+				r.preds[alias] = append(r.preds[alias], c)
+			default:
+				return fmt.Errorf("gsql: WHERE conjunct %s references multiple aliases; only VECTOR_DIST joins are supported across aliases", exprString(c))
+			}
+		}
+	}
+	if r.sel.OrderBy != nil {
+		e := r.sel.OrderBy.Expr
+		if call, ok := e.(CallExpr); ok && isVectorDistFn(call.Fn) {
+			if len(call.Args) != 2 {
+				return fmt.Errorf("gsql: VECTOR_DIST takes 2 arguments")
+			}
+			a0, ok0 := call.Args[0].(AttrRef)
+			a1, ok1 := call.Args[1].(AttrRef)
+			if ok0 && ok1 && r.aliases[a0.Base] && r.aliases[a1.Base] {
+				// Similarity join.
+				r.joinSrc, r.joinSrcAttr = a0.Base, a0.Attr
+				r.joinDst, r.joinDstAttr = a1.Base, a1.Attr
+				return nil
+			}
+			if ok0 && r.aliases[a0.Base] {
+				q, err := r.evalVector(call.Args[1])
+				if err != nil {
+					return err
+				}
+				r.topkAlias, r.topkAttr, r.topkQuery = a0.Base, a0.Attr, q
+				return nil
+			}
+			if ok1 && r.aliases[a1.Base] {
+				q, err := r.evalVector(call.Args[0])
+				if err != nil {
+					return err
+				}
+				r.topkAlias, r.topkAttr, r.topkQuery = a1.Base, a1.Attr, q
+				return nil
+			}
+			return fmt.Errorf("gsql: ORDER BY VECTOR_DIST must reference a pattern alias")
+		}
+		r.orderAttr = r.sel.OrderBy
+	}
+	return nil
+}
+
+func isVectorDistFn(fn string) bool {
+	return fn == "VECTOR_DIST" || fn == "vector_dist"
+}
+
+// tryRangeConjunct matches VECTOR_DIST(alias.attr, qv) < threshold.
+func (r *selectRun) tryRangeConjunct(c Expr) (bool, error) {
+	b, ok := c.(BinaryExpr)
+	if !ok || (b.Op != "<" && b.Op != "<=") {
+		return false, nil
+	}
+	call, ok := b.L.(CallExpr)
+	if !ok || !isVectorDistFn(call.Fn) || len(call.Args) != 2 {
+		return false, nil
+	}
+	ar, ok := call.Args[0].(AttrRef)
+	if !ok || !r.aliases[ar.Base] {
+		return false, nil
+	}
+	refs := map[string]bool{}
+	collectAliasRefs(call.Args[1], r.aliases, refs)
+	if len(refs) != 0 {
+		return false, nil
+	}
+	q, err := r.evalVector(call.Args[1])
+	if err != nil {
+		return false, err
+	}
+	tv, err := r.ev.evalScalar(b.R, nil)
+	if err != nil {
+		return false, err
+	}
+	tf, ok := toFloat(tv)
+	if !ok {
+		return false, fmt.Errorf("gsql: range threshold must be numeric, got %T", tv)
+	}
+	if r.rangeAlias != "" {
+		return false, fmt.Errorf("gsql: multiple VECTOR_DIST range conditions")
+	}
+	r.rangeAlias, r.rangeAttr, r.rangeQuery, r.rangeThresh = ar.Base, ar.Attr, q, float32(tf)
+	return true, nil
+}
+
+func (r *selectRun) evalVector(e Expr) ([]float32, error) {
+	v, err := r.ev.evalScalar(e, nil)
+	if err != nil {
+		return nil, err
+	}
+	vec, ok := v.([]float32)
+	if !ok {
+		return nil, fmt.Errorf("gsql: expected vector, got %T (%s)", v, exprString(e))
+	}
+	return vec, nil
+}
+
+// nodePred builds the engine predicate for one node alias.
+func (r *selectRun) nodePred(node resolvedNode) engine.Pred {
+	conj := r.preds[node.alias]
+	if len(r.preds["__false__"]) > 0 {
+		return func(uint64) (bool, error) { return false, nil }
+	}
+	if len(conj) == 0 {
+		return nil
+	}
+	typ := node.typ
+	return func(id uint64) (bool, error) {
+		bind := binding{node.alias: {typ: typ, id: id}}
+		for _, c := range conj {
+			v, err := r.ev.evalScalar(c, bind)
+			if err != nil {
+				return false, err
+			}
+			b, ok := v.(bool)
+			if !ok {
+				return false, fmt.Errorf("gsql: predicate %s is not boolean", exprString(c))
+			}
+			if !b {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+}
+
+func (r *selectRun) predString(node resolvedNode) string {
+	conj := r.preds[node.alias]
+	if len(conj) == 0 {
+		return ""
+	}
+	parts := make([]string, len(conj))
+	for i, c := range conj {
+		parts[i] = exprString(c)
+	}
+	return " {" + strings.Join(parts, " AND ") + "}"
+}
+
+// execute runs the classified block.
+func (r *selectRun) execute() (any, error) {
+	if r.joinSrc != "" {
+		return r.executeSimilarityJoin()
+	}
+	if len(r.sel.Aliases) != 1 {
+		return nil, fmt.Errorf("gsql: SELECT of multiple aliases requires a VECTOR_DIST similarity join ORDER BY")
+	}
+	target := r.sel.Aliases[0]
+
+	// The target must sit at an end of the linear pattern; reverse the
+	// pattern when it is the head so execution always ends on the target.
+	if r.nodes[0].alias == target && len(r.nodes) > 1 {
+		r.reversePattern()
+	}
+	if r.nodes[len(r.nodes)-1].alias != target {
+		return nil, fmt.Errorf("gsql: SELECT alias %q must be an endpoint of the pattern", target)
+	}
+
+	// Vector search on the target runs as a filtered search over the
+	// candidate set produced by the pattern (pre-filter, paper Sec. 5.3).
+	vectorOnTarget := (r.topkAlias == target) || (r.rangeAlias == target)
+	if (r.topkAlias != "" && r.topkAlias != target) || (r.rangeAlias != "" && r.rangeAlias != target) {
+		return nil, fmt.Errorf("gsql: vector search alias must match the SELECT alias")
+	}
+
+	candidates, err := r.evalPath()
+	if err != nil {
+		return nil, err
+	}
+	if !vectorOnTarget {
+		if r.orderAttr != nil && r.limit >= 0 {
+			return r.orderAndLimit(candidates)
+		}
+		if r.limit >= 0 {
+			return truncateSet(candidates, r.limit), nil
+		}
+		return candidates, nil
+	}
+
+	// Pure vector search needs no filter bitmap (the engine reuses the
+	// vertex status structure); anything else passes the candidate set.
+	pureSearch := len(r.nodes) == 1 && len(r.preds) == 0
+	node := r.nodes[len(r.nodes)-1]
+	ref := graph.EmbeddingRef{VertexType: node.typ, Attr: r.topkAttr}
+	filters := map[string]*engine.VertexSet{}
+	filterDesc := ""
+	if !pureSearch {
+		filters[node.typ] = candidates
+		r.ev.out.Stats.Candidates = candidates.Size()
+		filterDesc = ""
+	}
+
+	if r.rangeAlias != "" {
+		ref.Attr = r.rangeAttr
+		start := time.Now()
+		res, err := r.ev.in.E.RangeAction(ref, r.rangeQuery, r.rangeThresh,
+			engine.SearchOptions{Ef: r.ev.in.DefaultEf, Filters: filters, TID: txnTID(r.ev.tid)})
+		if err != nil {
+			return nil, err
+		}
+		r.ev.out.Stats.VectorSearchTime += time.Since(start)
+		r.plan = append([]string{fmt.Sprintf("EmbeddingAction[Range %s, {%s.%s}, query_vector]%s",
+			trimFloat(float64(r.rangeThresh)), target, r.rangeAttr, filterDesc)}, r.plan...)
+		ids := make([]uint64, len(res))
+		for i, t := range res {
+			ids[i] = t.ID
+		}
+		out := engine.NewVertexSet(node.typ, ids)
+		if r.limit >= 0 {
+			return truncateSet(out, r.limit), nil
+		}
+		return out, nil
+	}
+
+	k := r.limit
+	if k < 0 {
+		return nil, fmt.Errorf("gsql: ORDER BY VECTOR_DIST requires LIMIT k")
+	}
+	start := time.Now()
+	res, err := r.ev.in.E.EmbeddingAction([]graph.EmbeddingRef{ref}, r.topkQuery,
+		engine.SearchOptions{K: k, Ef: r.ev.in.DefaultEf, Filters: filters, TID: txnTID(r.ev.tid)})
+	if err != nil {
+		return nil, err
+	}
+	r.ev.out.Stats.VectorSearchTime += time.Since(start)
+	r.plan = append([]string{fmt.Sprintf("EmbeddingAction[Top %d, {%s.%s}, query_vector]", k, target, r.topkAttr)}, r.plan...)
+	ids := make([]uint64, len(res))
+	for i, t := range res {
+		ids[i] = t.ID
+	}
+	return engine.NewVertexSet(node.typ, ids), nil
+}
+
+// reversePattern flips the linear pattern in place.
+func (r *selectRun) reversePattern() {
+	for i, j := 0, len(r.nodes)-1; i < j; i, j = i+1, j-1 {
+		r.nodes[i], r.nodes[j] = r.nodes[j], r.nodes[i]
+	}
+	for i, j := 0, len(r.edges)-1; i < j; i, j = i+1, j-1 {
+		r.edges[i], r.edges[j] = r.edges[j], r.edges[i]
+	}
+	for i := range r.edges {
+		switch r.edges[i].Dir {
+		case DirRight:
+			r.edges[i].Dir = DirLeft
+		case DirLeft:
+			r.edges[i].Dir = DirRight
+		}
+	}
+}
+
+// evalPath walks the pattern left to right with frontier sets, applying
+// per-node predicates, and returns the final frontier. Plan lines are
+// recorded bottom-up (so the final plan reads top-down like the paper).
+func (r *selectRun) evalPath() (*engine.VertexSet, error) {
+	e := r.ev.in.E
+	node0 := r.nodes[0]
+	var frontier *engine.VertexSet
+	if node0.starts != nil {
+		// Start from vertex-set variables; apply node-0 predicates.
+		pred := r.nodePred(node0)
+		var merged *engine.VertexSet
+		for _, s := range node0.starts {
+			cur := s
+			if pred != nil {
+				filtered := engine.NewVertexSet(s.Type, nil)
+				var perr error
+				s.Bitmap.Range(func(i int) bool {
+					ok, err := pred(uint64(i))
+					if err != nil {
+						perr = err
+						return false
+					}
+					if ok {
+						filtered.Bitmap.Set(i)
+					}
+					return true
+				})
+				if perr != nil {
+					return nil, perr
+				}
+				cur = filtered
+			}
+			if merged == nil {
+				merged = cur
+			} else {
+				var err error
+				merged, err = merged.Union(cur)
+				if err != nil {
+					// Different member types: multi-type start is only
+					// valid for single-node patterns or same edge
+					// endpoints; traverse each separately below.
+					return r.evalPathMultiStart(node0)
+				}
+			}
+		}
+		frontier = merged
+		r.plan = append(r.plan, fmt.Sprintf("VertexAction[%s:%s%s]", setLabel(node0), node0.alias, r.predString(node0)))
+	} else {
+		var err error
+		frontier, err = e.VertexAction(node0.typ, r.nodePred(node0))
+		if err != nil {
+			return nil, err
+		}
+		r.plan = append(r.plan, fmt.Sprintf("VertexAction[%s:%s%s]", node0.typ, node0.alias, r.predString(node0)))
+	}
+	return r.walkEdges(frontier, 0)
+}
+
+func setLabel(n resolvedNode) string {
+	if n.typ != "" {
+		return n.typ
+	}
+	return "VertexSet"
+}
+
+// evalPathMultiStart handles a MultiSet start: each member set walks the
+// pattern independently and results union (all must end on the same
+// target type).
+func (r *selectRun) evalPathMultiStart(node0 resolvedNode) (*engine.VertexSet, error) {
+	var result *engine.VertexSet
+	for _, s := range node0.starts {
+		f, err := r.walkEdges(s, 0)
+		if err != nil {
+			// Member types whose edges don't apply are skipped (e.g.
+			// Posts and Comments both reaching Person via hasCreator use
+			// separate edge types in stricter schemas).
+			continue
+		}
+		if result == nil {
+			result = f
+		} else {
+			result, err = result.Union(f)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if result == nil {
+		return nil, fmt.Errorf("gsql: no member of the multi-type start can traverse the pattern")
+	}
+	return result, nil
+}
+
+func (r *selectRun) walkEdges(frontier *engine.VertexSet, fromIdx int) (*engine.VertexSet, error) {
+	e := r.ev.in.E
+	for i := fromIdx; i < len(r.edges); i++ {
+		es := r.edges[i]
+		next := r.nodes[i+1]
+		var dir engine.Direction
+		var arrow string
+		switch es.Dir {
+		case DirRight:
+			dir = engine.Out
+			arrow = es.Label + ">"
+		case DirLeft:
+			dir = engine.In
+			arrow = "<" + es.Label
+		default:
+			dir = engine.Out
+			arrow = es.Label
+		}
+		out, err := e.EdgeAction(frontier, es.Label, dir, r.nodePred(next))
+		if err != nil {
+			return nil, err
+		}
+		if next.typ != "" && out.Type != next.typ {
+			return nil, fmt.Errorf("gsql: pattern node %q expects type %s but edge %s reaches %s",
+				next.alias, next.typ, es.Label, out.Type)
+		}
+		r.plan = append([]string{fmt.Sprintf("EdgeAction[%s:%s, %s, %s:%s%s]",
+			frontier.Type, r.nodes[i].alias, arrow, out.Type, next.alias, r.predString(next))}, r.plan...)
+		frontier = out
+	}
+	return frontier, nil
+}
+
+func truncateSet(s *engine.VertexSet, limit int) *engine.VertexSet {
+	if s.Size() <= limit {
+		return s
+	}
+	ids := s.IDs()
+	return engine.NewVertexSet(s.Type, ids[:limit])
+}
+
+// orderAndLimit sorts the final set by a scalar attribute and truncates.
+func (r *selectRun) orderAndLimit(s *engine.VertexSet) (*engine.VertexSet, error) {
+	ar, ok := r.orderAttr.Expr.(AttrRef)
+	if !ok {
+		return nil, fmt.Errorf("gsql: ORDER BY supports VECTOR_DIST or a single attribute")
+	}
+	type row struct {
+		id uint64
+		v  float64
+	}
+	var rows []row
+	var rerr error
+	s.Bitmap.Range(func(i int) bool {
+		v, err := r.ev.in.E.G.Attr(s.Type, uint64(i), ar.Attr)
+		if err != nil {
+			rerr = err
+			return false
+		}
+		f, ok := toFloat(v)
+		if !ok {
+			rerr = fmt.Errorf("gsql: ORDER BY non-numeric attribute %s", ar.Attr)
+			return false
+		}
+		rows = append(rows, row{uint64(i), f})
+		return true
+	})
+	if rerr != nil {
+		return nil, rerr
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if r.orderAttr.Desc {
+			return rows[a].v > rows[b].v
+		}
+		return rows[a].v < rows[b].v
+	})
+	if r.limit >= 0 && len(rows) > r.limit {
+		rows = rows[:r.limit]
+	}
+	ids := make([]uint64, len(rows))
+	for i, rw := range rows {
+		ids[i] = rw.id
+	}
+	return engine.NewVertexSet(s.Type, ids), nil
+}
+
+// ---- Vector similarity join on graph patterns (paper Sec. 5.4) ----
+
+type pairHeap []Pair
+
+func (h pairHeap) Len() int           { return len(h) }
+func (h pairHeap) Less(i, j int) bool { return h[i].Distance > h[j].Distance } // max-heap
+func (h pairHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x any)        { *h = append(*h, x.(Pair)) }
+func (h *pairHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// executeSimilarityJoin enumerates all matched paths with a brute-force
+// DFS (matched paths are typically sparse, paper Sec. 5.4) and keeps the
+// top-k (src, dst) pairs in a global heap accumulator.
+func (r *selectRun) executeSimilarityJoin() (any, error) {
+	if r.limit < 0 {
+		return nil, fmt.Errorf("gsql: similarity join requires LIMIT k")
+	}
+	if len(r.sel.Aliases) != 2 || r.sel.Aliases[0] != r.joinSrc || r.sel.Aliases[1] != r.joinDst {
+		return nil, fmt.Errorf("gsql: similarity join must SELECT the two VECTOR_DIST aliases in order")
+	}
+	// Locate alias node indexes.
+	srcIdx, dstIdx := -1, -1
+	for i, n := range r.nodes {
+		if n.alias == r.joinSrc {
+			srcIdx = i
+		}
+		if n.alias == r.joinDst {
+			dstIdx = i
+		}
+		if n.starts != nil {
+			return nil, fmt.Errorf("gsql: similarity join over vertex-set variables is not supported")
+		}
+	}
+	if srcIdx == -1 || dstIdx == -1 {
+		return nil, fmt.Errorf("gsql: join aliases not found in pattern")
+	}
+	srcType := r.nodes[srcIdx].typ
+	dstType := r.nodes[dstIdx].typ
+
+	// Metric from the source attribute; compatibility check across both.
+	refs := []graph.EmbeddingRef{
+		{VertexType: srcType, Attr: r.joinSrcAttr},
+		{VertexType: dstType, Attr: r.joinDstAttr},
+	}
+	base, err := r.ev.in.E.G.Schema().CheckCompatible(refs)
+	if err != nil {
+		return nil, err
+	}
+	metric := base.Metric
+	r.ev.distMetric = &metric
+	defer func() { r.ev.distMetric = nil }()
+	dist := vectormath.FuncFor(metric)
+
+	srcCtx, err := r.ev.embCtx(srcType, r.joinSrcAttr)
+	if err != nil {
+		return nil, err
+	}
+	dstCtx, err := r.ev.embCtx(dstType, r.joinDstAttr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Predicates per node, evaluated during DFS.
+	preds := make([]engine.Pred, len(r.nodes))
+	for i, n := range r.nodes {
+		preds[i] = r.nodePred(n)
+	}
+	start, err := r.ev.in.E.VertexAction(r.nodes[0].typ, preds[0])
+	if err != nil {
+		return nil, err
+	}
+	r.plan = append(r.plan, fmt.Sprintf("VertexAction[%s:%s%s]", r.nodes[0].typ, r.nodes[0].alias, r.predString(r.nodes[0])))
+	for i := range r.edges {
+		arrow := r.edges[i].Label + ">"
+		if r.edges[i].Dir == DirLeft {
+			arrow = "<" + r.edges[i].Label
+		} else if r.edges[i].Dir == DirBoth {
+			arrow = r.edges[i].Label
+		}
+		line := fmt.Sprintf("EdgeAction[%s:%s, %s, %s:%s%s]",
+			r.nodes[i].typ, r.nodes[i].alias, arrow, r.nodes[i+1].typ, r.nodes[i+1].alias, r.predString(r.nodes[i+1]))
+		if i == len(r.edges)-1 {
+			line += fmt.Sprintf(", @@heapAcc += (%s, %s, dist(%s.%s, %s.%s))",
+				r.joinSrc, r.joinDst, r.joinSrc, r.joinSrcAttr, r.joinDst, r.joinDstAttr)
+		}
+		r.plan = append([]string{line}, r.plan...)
+	}
+
+	h := &pairHeap{}
+	heap.Init(h)
+	seen := map[[2]uint64]bool{}
+	startT := time.Now()
+
+	path := make([]uint64, len(r.nodes))
+	var dfs func(depth int, id uint64) error
+	dfs = func(depth int, id uint64) error {
+		path[depth] = id
+		if depth == len(r.nodes)-1 {
+			s, d := path[srcIdx], path[dstIdx]
+			if srcType == dstType && s == d {
+				return nil // a vertex is trivially similar to itself
+			}
+			key := [2]uint64{s, d}
+			if srcType == dstType && d < s {
+				// Same-type joins are symmetric; report each unordered
+				// pair once.
+				key = [2]uint64{d, s}
+			}
+			if seen[key] {
+				return nil
+			}
+			seen[key] = true
+			sv, ok1 := srcCtx.GetVector(s)
+			dv, ok2 := dstCtx.GetVector(d)
+			if !ok1 || !ok2 {
+				return nil
+			}
+			p := Pair{SrcType: srcType, Src: s, DstType: dstType, Dst: d, Distance: dist(sv, dv)}
+			if h.Len() < r.limit {
+				heap.Push(h, p)
+			} else if p.Distance < (*h)[0].Distance {
+				heap.Pop(h)
+				heap.Push(h, p)
+			}
+			return nil
+		}
+		es := r.edges[depth]
+		next := r.nodes[depth+1]
+		var nbrs []uint64
+		if es.Dir == DirLeft {
+			nbrs = r.ev.in.E.G.InNeighbors(es.Label, id)
+		} else {
+			nbrs = r.ev.in.E.G.OutNeighbors(es.Label, id)
+		}
+		for _, nb := range nbrs {
+			if !r.ev.in.E.G.Alive(next.typ, nb) {
+				continue
+			}
+			if preds[depth+1] != nil {
+				ok, err := preds[depth+1](nb)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			if err := dfs(depth+1, nb); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var derr error
+	start.Bitmap.Range(func(i int) bool {
+		if err := dfs(0, uint64(i)); err != nil {
+			derr = err
+			return false
+		}
+		return true
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	r.ev.out.Stats.VectorSearchTime += time.Since(startT)
+
+	rows := make([]Pair, h.Len())
+	for i := len(rows) - 1; i >= 0; i-- {
+		rows[i] = heap.Pop(h).(Pair)
+	}
+	return &PairTable{Rows: rows}, nil
+}
+
+// ---- VectorSearch() function (paper Sec. 5.5) ----
+
+// execVectorSearch implements
+//
+//	VectorSearch({T.attr, ...}, queryVec, k, {filter: V, ef: N, distanceMap: @@m})
+func (ev *env) execVectorSearch(x CallExpr) (any, error) {
+	if len(x.Args) < 3 || len(x.Args) > 4 {
+		return nil, fmt.Errorf("gsql: VectorSearch takes 3 or 4 arguments")
+	}
+	attrList, ok := x.Args[0].(ListExpr)
+	if !ok {
+		return nil, fmt.Errorf("gsql: VectorSearch first argument must be an attribute list")
+	}
+	var refs []graph.EmbeddingRef
+	for _, el := range attrList.Elems {
+		ar, ok := el.(AttrRef)
+		if !ok {
+			return nil, fmt.Errorf("gsql: VectorSearch attributes must be Type.attr references")
+		}
+		refs = append(refs, graph.EmbeddingRef{VertexType: ar.Base, Attr: ar.Attr})
+	}
+	// Static compatibility analysis (paper Sec. 4.1).
+	if _, err := ev.in.E.G.Schema().CheckCompatible(refs); err != nil {
+		return nil, err
+	}
+	qv, err := ev.evalScalar(x.Args[1], nil)
+	if err != nil {
+		return nil, err
+	}
+	query, ok := qv.([]float32)
+	if !ok {
+		return nil, fmt.Errorf("gsql: VectorSearch query must be a vector, got %T", qv)
+	}
+	kv, err := ev.evalScalar(x.Args[2], nil)
+	if err != nil {
+		return nil, err
+	}
+	k64, ok := kv.(int64)
+	if !ok || k64 <= 0 {
+		return nil, fmt.Errorf("gsql: VectorSearch k must be a positive integer")
+	}
+
+	opts := engine.SearchOptions{K: int(k64), Ef: ev.in.DefaultEf, TID: txnTID(ev.tid)}
+	var distMap *accumVal
+	if len(x.Args) == 4 {
+		ml, ok := x.Args[3].(MapLitExpr)
+		if !ok {
+			return nil, fmt.Errorf("gsql: VectorSearch optional parameters must be a {key: value} map")
+		}
+		for i, key := range ml.Keys {
+			switch key {
+			case "filter":
+				fv, err := ev.evalScalar(ml.Values[i], nil)
+				if err != nil {
+					return nil, err
+				}
+				opts.Filters = map[string]*engine.VertexSet{}
+				switch s := fv.(type) {
+				case *engine.VertexSet:
+					opts.Filters[s.Type] = s
+					ev.out.Stats.Candidates = s.Size()
+				case *MultiSet:
+					total := 0
+					for _, vs := range s.Sets {
+						opts.Filters[vs.Type] = vs
+						total += vs.Size()
+					}
+					ev.out.Stats.Candidates = total
+				default:
+					return nil, fmt.Errorf("gsql: VectorSearch filter must be a vertex set, got %T", fv)
+				}
+			case "ef":
+				n, err := ev.evalInt(ml.Values[i])
+				if err != nil {
+					return nil, err
+				}
+				opts.Ef = int(n)
+			case "distanceMap":
+				ar, ok := ml.Values[i].(AccumRef)
+				if !ok || !ar.Global {
+					return nil, fmt.Errorf("gsql: distanceMap must be a global MapAccum reference")
+				}
+				a, ok := ev.accums[ar.Name]
+				if !ok {
+					return nil, fmt.Errorf("gsql: unknown accumulator @@%s", ar.Name)
+				}
+				distMap = a
+			default:
+				return nil, fmt.Errorf("gsql: unknown VectorSearch option %q", key)
+			}
+		}
+	}
+
+	startT := time.Now()
+	res, err := ev.in.E.EmbeddingAction(refs, query, opts)
+	if err != nil {
+		return nil, err
+	}
+	ev.out.Stats.VectorSearchTime += time.Since(startT)
+	attrs := make([]string, len(refs))
+	for i, ref := range refs {
+		attrs[i] = ref.String()
+	}
+	ev.out.Plans = append(ev.out.Plans, fmt.Sprintf("EmbeddingAction[Top %d, {%s}, query_vector]", k64, strings.Join(attrs, ", ")))
+
+	if distMap != nil {
+		dm := make(map[uint64]float64, len(res))
+		for _, t := range res {
+			dm[t.ID] = float64(t.Distance)
+		}
+		if err := distMap.setDistances(dm); err != nil {
+			return nil, err
+		}
+	}
+	byType := map[string][]uint64{}
+	var order []string
+	for _, t := range res {
+		if _, ok := byType[t.Type]; !ok {
+			order = append(order, t.Type)
+		}
+		byType[t.Type] = append(byType[t.Type], t.ID)
+	}
+	if len(byType) == 1 {
+		return engine.NewVertexSet(order[0], byType[order[0]]), nil
+	}
+	ms := &MultiSet{}
+	sort.Strings(order)
+	for _, typ := range order {
+		ms.Sets = append(ms.Sets, engine.NewVertexSet(typ, byType[typ]))
+	}
+	if len(ms.Sets) == 0 {
+		// Empty result: represent as an empty set of the first ref type.
+		return engine.NewVertexSet(refs[0].VertexType, nil), nil
+	}
+	return ms, nil
+}

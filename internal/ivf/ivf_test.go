@@ -1,0 +1,289 @@
+package ivf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bruteforce"
+	"repro/internal/vectormath"
+)
+
+func buildRandom(t testing.TB, n, dim int, seed int64) (*Index, [][]float32) {
+	t.Helper()
+	x, err := New(Config{Dim: dim, Seed: seed, Metric: vectormath.L2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	vecs := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(r.NormFloat64() * 10)
+		}
+		vecs[i] = v
+		if err := x.Add(uint64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return x, vecs
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	x, _ := New(Config{Dim: 4})
+	if err := x.Add(1, []float32{1}); err == nil {
+		t.Fatal("wrong dim accepted")
+	}
+	if _, err := x.TopKSearch([]float32{1}, 1, 16, nil); err == nil {
+		t.Fatal("wrong query dim accepted")
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	x, _ := New(Config{Dim: 4})
+	res, err := x.TopKSearch([]float32{1, 2, 3, 4}, 5, 16, nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty search = %v, %v", res, err)
+	}
+	rr, err := x.RangeSearch([]float32{1, 2, 3, 4}, 10, 16, nil)
+	if err != nil || len(rr) != 0 {
+		t.Fatalf("empty range = %v, %v", rr, err)
+	}
+	if x.Len() != 0 || x.Trained() {
+		t.Fatal("empty index claims state")
+	}
+}
+
+func TestLazyTrainingAndRecall(t *testing.T) {
+	x, vecs := buildRandom(t, 2000, 16, 1)
+	if x.Trained() {
+		t.Fatal("trained before first search")
+	}
+	ids := make([]uint64, len(vecs))
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	src := bruteforce.SliceSource{IDs: ids, Vecs: vecs}
+	hits, total := 0, 0
+	r := rand.New(rand.NewSource(2))
+	for qi := 0; qi < 20; qi++ {
+		q := make([]float32, 16)
+		for j := range q {
+			q[j] = float32(r.NormFloat64() * 10)
+		}
+		res, err := x.TopKSearch(q, 10, 128, nil) // ef=128 -> probe all lists
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := bruteforce.TopK(vectormath.L2, src, q, 10, nil)
+		tm := map[uint64]bool{}
+		for _, tr := range truth {
+			tm[tr.ID] = true
+		}
+		for _, rr := range res {
+			if tm[rr.ID] {
+				hits++
+			}
+		}
+		total += 10
+	}
+	if !x.Trained() {
+		t.Fatal("first search did not train")
+	}
+	if rec := float64(hits) / float64(total); rec < 0.95 {
+		t.Fatalf("full-probe recall = %.3f", rec)
+	}
+}
+
+func TestNprobeControlsRecall(t *testing.T) {
+	x, vecs := buildRandom(t, 2000, 16, 3)
+	x.Train()
+	q := vecs[7]
+	// Self-query at full probe must return the vector itself.
+	res, _ := x.TopKSearch(q, 1, 128, nil)
+	if len(res) != 1 || res[0].ID != 7 || res[0].Distance != 0 {
+		t.Fatalf("self query = %+v", res)
+	}
+	// Tiny nprobe still returns k results from probed lists.
+	low, _ := x.TopKSearch(q, 5, 1, nil)
+	if len(low) == 0 {
+		t.Fatal("nprobe=min returned nothing")
+	}
+}
+
+func TestDeleteAndUpsert(t *testing.T) {
+	x, vecs := buildRandom(t, 500, 8, 4)
+	x.Train()
+	if !x.Delete(7) {
+		t.Fatal("delete failed")
+	}
+	if x.Delete(7) {
+		t.Fatal("double delete succeeded")
+	}
+	res, _ := x.TopKSearch(vecs[7], 1, 64, nil)
+	if len(res) > 0 && res[0].ID == 7 {
+		t.Fatal("deleted id returned")
+	}
+	if x.Len() != 499 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	// Upsert moves a vector; stale version must not be returned.
+	far := []float32{999, 999, 999, 999, 999, 999, 999, 999}
+	if err := x.Add(3, far); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = x.TopKSearch(vecs[3], 1, 64, nil)
+	if len(res) > 0 && res[0].ID == 3 && res[0].Distance == 0 {
+		t.Fatal("stale upsert version returned")
+	}
+	res, _ = x.TopKSearch(far, 1, 64, nil)
+	if len(res) != 1 || res[0].ID != 3 {
+		t.Fatalf("moved vector not found: %+v", res)
+	}
+	if x.Len() != 499 {
+		t.Fatalf("Len after upsert = %d", x.Len())
+	}
+	// Reviving a deleted id via upsert.
+	if err := x.Add(7, vecs[7]); err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 500 {
+		t.Fatalf("Len after revive = %d", x.Len())
+	}
+	if v, ok := x.GetEmbedding(7); !ok || v[0] != vecs[7][0] {
+		t.Fatalf("revived GetEmbedding = %v, %v", v, ok)
+	}
+}
+
+func TestFilteredSearch(t *testing.T) {
+	x, _ := buildRandom(t, 600, 8, 5)
+	x.Train()
+	q := make([]float32, 8)
+	res, err := x.TopKSearch(q, 10, 128, func(id uint64) bool { return id%3 == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("filtered len = %d", len(res))
+	}
+	for _, r := range res {
+		if r.ID%3 != 0 {
+			t.Fatalf("filter violated: %+v", r)
+		}
+	}
+}
+
+func TestRangeSearch(t *testing.T) {
+	x, _ := New(Config{Dim: 2, Seed: 1})
+	for i := 0; i < 100; i++ {
+		x.Add(uint64(i), []float32{float32(i), 0})
+	}
+	x.Train()
+	res, err := x.RangeSearch([]float32{0, 0}, 9.5, 128, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Distance >= 9.5 {
+			t.Fatalf("out of range: %+v", r)
+		}
+	}
+	if len(res) < 3 { // ids 0,1,2 within sqrt(9.5)
+		t.Fatalf("range found %d", len(res))
+	}
+}
+
+func TestUpdateItemsParallelAndRebuild(t *testing.T) {
+	items := make([]Item, 400)
+	r := rand.New(rand.NewSource(6))
+	for i := range items {
+		v := make([]float32, 8)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		items[i] = Item{ID: uint64(i), Vec: v}
+	}
+	items = append(items, Item{ID: 5, Delete: true})
+	x, _ := New(Config{Dim: 8, Seed: 1})
+	if err := x.UpdateItems(items, 4); err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 399 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	if f := x.DeletedFraction(); f <= 0 {
+		t.Fatalf("DeletedFraction = %v", f)
+	}
+	nx, err := x.Rebuild(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nx.Len() != 399 || nx.DeletedFraction() != 0 || !nx.Trained() {
+		t.Fatalf("rebuild: len=%d frac=%v trained=%v", nx.Len(), nx.DeletedFraction(), nx.Trained())
+	}
+	if _, ok := nx.GetEmbedding(5); ok {
+		t.Fatal("rebuild kept deleted id")
+	}
+}
+
+func TestCosineMetric(t *testing.T) {
+	x, _ := New(Config{Dim: 2, Metric: vectormath.Cosine, Seed: 1})
+	x.Add(1, []float32{10, 0}) // normalized internally
+	x.Add(2, []float32{0, 3})
+	x.Train()
+	res, err := x.TopKSearch([]float32{5, 0.1}, 1, 16, nil)
+	if err != nil || len(res) != 1 || res[0].ID != 1 {
+		t.Fatalf("cosine search = %+v, %v", res, err)
+	}
+}
+
+// Property: top-k results are sorted, unique, and never include deleted
+// or filtered-out ids.
+func TestPropertyResultsWellFormed(t *testing.T) {
+	x, _ := buildRandom(t, 400, 8, 7)
+	for i := 0; i < 50; i++ {
+		x.Delete(uint64(i * 7 % 400))
+	}
+	x.Train()
+	f := func(seed int64, kRaw, efRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := make([]float32, 8)
+		for j := range q {
+			q[j] = float32(r.NormFloat64() * 10)
+		}
+		k := int(kRaw%20) + 1
+		ef := int(efRaw%128) + 1
+		res, err := x.TopKSearch(q, k, ef, func(id uint64) bool { return id%2 == 0 })
+		if err != nil || len(res) > k {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for i, rr := range res {
+			if rr.ID%2 != 0 || seen[rr.ID] {
+				return false
+			}
+			if i > 0 && res[i-1].Distance > rr.Distance {
+				return false
+			}
+			seen[rr.ID] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIVFSearch(b *testing.B) {
+	x, vecs := buildRandom(b, 5000, 32, 9)
+	x.Train()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.TopKSearch(vecs[i%len(vecs)], 10, 32, nil)
+	}
+}

@@ -1,0 +1,182 @@
+// Package storage provides the segment-oriented storage primitives of the
+// TigerGraph-style engine: fixed-size vertex segments holding columnar
+// attributes, and the vertex-status bitmaps that query processing reuses
+// as vector-search filters (paper Sec. 5.1: "instead of generating a new
+// bitmap, TigerVector reuses a global vertex status structure ... and
+// wraps it as a bitmap").
+package storage
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Bitmap is a growable bitset over vertex ids. It is safe for concurrent
+// reads with a single writer per word region when used via the locked
+// methods; unlocked Raw* methods exist for single-threaded hot loops.
+type Bitmap struct {
+	mu    sync.RWMutex
+	words []uint64
+	n     int // logical length in bits
+}
+
+// NewBitmap returns a bitmap able to hold n bits, all zero.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the logical bit length.
+func (b *Bitmap) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.n
+}
+
+func (b *Bitmap) grow(i int) {
+	if i < b.n {
+		return
+	}
+	b.n = i + 1
+	need := (b.n + 63) / 64
+	for len(b.words) < need {
+		b.words = append(b.words, 0)
+	}
+}
+
+// Set sets bit i, growing the bitmap if needed.
+func (b *Bitmap) Set(i int) {
+	b.mu.Lock()
+	b.grow(i)
+	b.words[i/64] |= 1 << (uint(i) % 64)
+	b.mu.Unlock()
+}
+
+// Clear clears bit i (no-op past the end).
+func (b *Bitmap) Clear(i int) {
+	b.mu.Lock()
+	if i < b.n {
+		b.words[i/64] &^= 1 << (uint(i) % 64)
+	}
+	b.mu.Unlock()
+}
+
+// Get reports bit i; bits past the end read as false.
+func (b *Bitmap) Get(i int) bool {
+	b.mu.RLock()
+	ok := i < b.n && b.words[i/64]&(1<<(uint(i)%64)) != 0
+	b.mu.RUnlock()
+	return ok
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (b *Bitmap) CountRange(lo, hi int) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if hi > b.n {
+		hi = b.n
+	}
+	c := 0
+	for i := lo; i < hi; i++ {
+		if b.words[i/64]&(1<<(uint(i)%64)) != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// SetAll sets bits [0, n).
+func (b *Bitmap) SetAll(n int) {
+	b.mu.Lock()
+	b.grow(n - 1)
+	for i := 0; i < n; i++ {
+		b.words[i/64] |= 1 << (uint(i) % 64)
+	}
+	b.mu.Unlock()
+}
+
+// Range calls fn for every set bit in ascending order; fn returning false
+// stops the iteration.
+func (b *Bitmap) Range(fn func(i int) bool) {
+	b.mu.RLock()
+	words := make([]uint64, len(b.words))
+	copy(words, b.words)
+	n := b.n
+	b.mu.RUnlock()
+	for wi, w := range words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			i := wi*64 + bit
+			if i >= n {
+				return
+			}
+			if !fn(i) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	nb := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	copy(nb.words, b.words)
+	return nb
+}
+
+// And intersects b with other in place.
+func (b *Bitmap) And(other *Bitmap) {
+	other.mu.RLock()
+	ow := other.words
+	b.mu.Lock()
+	for i := range b.words {
+		if i < len(ow) {
+			b.words[i] &= ow[i]
+		} else {
+			b.words[i] = 0
+		}
+	}
+	b.mu.Unlock()
+	other.mu.RUnlock()
+}
+
+// Or unions other into b in place.
+func (b *Bitmap) Or(other *Bitmap) {
+	other.mu.RLock()
+	ow := other.words
+	on := other.n
+	other.mu.RUnlock()
+	b.mu.Lock()
+	b.grow(on - 1)
+	for i := range ow {
+		b.words[i] |= ow[i]
+	}
+	b.mu.Unlock()
+}
+
+// AndNot removes other's bits from b in place.
+func (b *Bitmap) AndNot(other *Bitmap) {
+	other.mu.RLock()
+	ow := other.words
+	b.mu.Lock()
+	for i := range b.words {
+		if i < len(ow) {
+			b.words[i] &^= ow[i]
+		}
+	}
+	b.mu.Unlock()
+	other.mu.RUnlock()
+}

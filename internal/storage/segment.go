@@ -1,0 +1,367 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultSegmentSize is the number of vertices per segment. TigerGraph
+// partitions vertices into fixed-size segments that are the unit of
+// parallel and distributed computing (paper Sec. 2.1); we default small so
+// laptop-scale datasets still span many segments and exercise the MPP
+// paths.
+const DefaultSegmentSize = 1024
+
+// AttrType enumerates the scalar attribute types supported on vertices
+// and edges.
+type AttrType uint8
+
+const (
+	// TInt is a 64-bit signed integer attribute.
+	TInt AttrType = iota
+	// TFloat is a 64-bit float attribute.
+	TFloat
+	// TString is a string attribute.
+	TString
+	// TBool is a boolean attribute.
+	TBool
+)
+
+// String returns the GSQL spelling of the type.
+func (t AttrType) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "STRING"
+	case TBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("AttrType(%d)", uint8(t))
+	}
+}
+
+// ParseAttrType converts a GSQL type spelling.
+func ParseAttrType(s string) (AttrType, error) {
+	switch s {
+	case "INT", "int":
+		return TInt, nil
+	case "FLOAT", "float", "DOUBLE":
+		return TFloat, nil
+	case "STRING", "string":
+		return TString, nil
+	case "BOOL", "bool":
+		return TBool, nil
+	}
+	return 0, fmt.Errorf("storage: unknown attribute type %q", s)
+}
+
+// Value is a dynamically typed attribute value: int64, float64, string or
+// bool. The zero Value of a type is its Go zero value.
+type Value any
+
+// ZeroValue returns the zero value for an attribute type.
+func ZeroValue(t AttrType) Value {
+	switch t {
+	case TInt:
+		return int64(0)
+	case TFloat:
+		return float64(0)
+	case TString:
+		return ""
+	case TBool:
+		return false
+	}
+	return nil
+}
+
+// CheckValue verifies v matches t, coercing int64<->float64 where lossless
+// conventions allow (ints widen to float attributes).
+func CheckValue(t AttrType, v Value) (Value, error) {
+	switch t {
+	case TInt:
+		if x, ok := v.(int64); ok {
+			return x, nil
+		}
+		if x, ok := v.(int); ok {
+			return int64(x), nil
+		}
+	case TFloat:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case int64:
+			return float64(x), nil
+		case int:
+			return float64(x), nil
+		}
+	case TString:
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+	case TBool:
+		if x, ok := v.(bool); ok {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("storage: value %v (%T) does not match type %s", v, v, t)
+}
+
+// column is typed columnar storage for one attribute within one segment.
+type column struct {
+	typ     AttrType
+	ints    []int64
+	floats  []float64
+	strings []string
+	bools   []bool
+}
+
+func newColumn(t AttrType, capHint int) *column {
+	c := &column{typ: t}
+	switch t {
+	case TInt:
+		c.ints = make([]int64, 0, capHint)
+	case TFloat:
+		c.floats = make([]float64, 0, capHint)
+	case TString:
+		c.strings = make([]string, 0, capHint)
+	case TBool:
+		c.bools = make([]bool, 0, capHint)
+	}
+	return c
+}
+
+func (c *column) appendZero() {
+	switch c.typ {
+	case TInt:
+		c.ints = append(c.ints, 0)
+	case TFloat:
+		c.floats = append(c.floats, 0)
+	case TString:
+		c.strings = append(c.strings, "")
+	case TBool:
+		c.bools = append(c.bools, false)
+	}
+}
+
+func (c *column) set(i int, v Value) {
+	switch c.typ {
+	case TInt:
+		c.ints[i] = v.(int64)
+	case TFloat:
+		c.floats[i] = v.(float64)
+	case TString:
+		c.strings[i] = v.(string)
+	case TBool:
+		c.bools[i] = v.(bool)
+	}
+}
+
+func (c *column) get(i int) Value {
+	switch c.typ {
+	case TInt:
+		return c.ints[i]
+	case TFloat:
+		return c.floats[i]
+	case TString:
+		return c.strings[i]
+	case TBool:
+		return c.bools[i]
+	}
+	return nil
+}
+
+// AttrSchema describes one scalar attribute.
+type AttrSchema struct {
+	Name string
+	Type AttrType
+}
+
+// VertexSegment stores the scalar attributes of up to segmentSize vertices
+// in columnar form. Embedding attributes are NOT stored here — they live
+// in decoupled embedding segments managed by the embedding service
+// (paper Sec. 4.2).
+type VertexSegment struct {
+	mu      sync.RWMutex
+	base    uint64 // first vertex id in this segment
+	size    int    // max vertices
+	n       int    // live slots (including tombstones)
+	columns map[string]*column
+	schema  []AttrSchema
+}
+
+// NewVertexSegment creates an empty segment for vertices [base, base+size).
+func NewVertexSegment(base uint64, size int, schema []AttrSchema) *VertexSegment {
+	s := &VertexSegment{
+		base:    base,
+		size:    size,
+		columns: make(map[string]*column, len(schema)),
+		schema:  schema,
+	}
+	for _, a := range schema {
+		s.columns[a.Name] = newColumn(a.Type, size)
+	}
+	return s
+}
+
+// Base returns the first vertex id of the segment.
+func (s *VertexSegment) Base() uint64 { return s.base }
+
+// Cap returns the maximum number of vertices.
+func (s *VertexSegment) Cap() int { return s.size }
+
+// Len returns the number of allocated slots.
+func (s *VertexSegment) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// Full reports whether the segment has no free slots.
+func (s *VertexSegment) Full() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n >= s.size
+}
+
+// Append allocates the next slot and returns its global vertex id.
+func (s *VertexSegment) Append() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n >= s.size {
+		return 0, fmt.Errorf("storage: segment at base %d is full", s.base)
+	}
+	for _, c := range s.columns {
+		c.appendZero()
+	}
+	id := s.base + uint64(s.n)
+	s.n++
+	return id, nil
+}
+
+// SetAttr stores v into attribute name of the vertex id.
+func (s *VertexSegment) SetAttr(id uint64, name string, v Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.columns[name]
+	if !ok {
+		return fmt.Errorf("storage: unknown attribute %q", name)
+	}
+	i := int(id - s.base)
+	if i < 0 || i >= s.n {
+		return fmt.Errorf("storage: vertex %d not in segment [%d,%d)", id, s.base, s.base+uint64(s.n))
+	}
+	cv, err := CheckValue(c.typ, v)
+	if err != nil {
+		return err
+	}
+	c.set(i, cv)
+	return nil
+}
+
+// Attr reads attribute name of vertex id.
+func (s *VertexSegment) Attr(id uint64, name string) (Value, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.columns[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown attribute %q", name)
+	}
+	i := int(id - s.base)
+	if i < 0 || i >= s.n {
+		return nil, fmt.Errorf("storage: vertex %d not in segment [%d,%d)", id, s.base, s.base+uint64(s.n))
+	}
+	return c.get(i), nil
+}
+
+// Schema returns the attribute schema.
+func (s *VertexSegment) Schema() []AttrSchema { return s.schema }
+
+// SegmentDirectory manages the ordered list of segments for one vertex
+// type and maps vertex ids to segments.
+type SegmentDirectory struct {
+	mu       sync.RWMutex
+	segments []*VertexSegment
+	segSize  int
+	schema   []AttrSchema
+}
+
+// NewSegmentDirectory creates a directory producing segments of segSize
+// vertices with the given schema.
+func NewSegmentDirectory(segSize int, schema []AttrSchema) *SegmentDirectory {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	return &SegmentDirectory{segSize: segSize, schema: schema}
+}
+
+// SegmentSize returns the per-segment capacity.
+func (d *SegmentDirectory) SegmentSize() int { return d.segSize }
+
+// NumSegments returns the current segment count.
+func (d *SegmentDirectory) NumSegments() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.segments)
+}
+
+// NumVertices returns the total allocated vertex count.
+func (d *SegmentDirectory) NumVertices() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for _, s := range d.segments {
+		n += s.Len()
+	}
+	return n
+}
+
+// Allocate returns a fresh vertex id, creating a new segment when the tail
+// segment is full.
+func (d *SegmentDirectory) Allocate() uint64 {
+	d.mu.Lock()
+	if len(d.segments) == 0 || d.segments[len(d.segments)-1].Full() {
+		base := uint64(len(d.segments)) * uint64(d.segSize)
+		d.segments = append(d.segments, NewVertexSegment(base, d.segSize, d.schema))
+	}
+	seg := d.segments[len(d.segments)-1]
+	d.mu.Unlock()
+	id, err := seg.Append()
+	if err != nil {
+		// The tail filled concurrently; retry through the lock.
+		return d.Allocate()
+	}
+	return id
+}
+
+// SegmentFor returns the segment holding id, or nil if out of range.
+func (d *SegmentDirectory) SegmentFor(id uint64) *VertexSegment {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	si := int(id / uint64(d.segSize))
+	if si < 0 || si >= len(d.segments) {
+		return nil
+	}
+	return d.segments[si]
+}
+
+// Segment returns segment i, or nil.
+func (d *SegmentDirectory) Segment(i int) *VertexSegment {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if i < 0 || i >= len(d.segments) {
+		return nil
+	}
+	return d.segments[i]
+}
+
+// Segments returns a snapshot of all segments.
+func (d *SegmentDirectory) Segments() []*VertexSegment {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]*VertexSegment, len(d.segments))
+	copy(out, d.segments)
+	return out
+}

@@ -1,0 +1,321 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapSetGetClear(t *testing.T) {
+	b := NewBitmap(100)
+	if b.Get(5) {
+		t.Fatal("fresh bitmap has bit set")
+	}
+	b.Set(5)
+	if !b.Get(5) {
+		t.Fatal("Set(5) not visible")
+	}
+	b.Clear(5)
+	if b.Get(5) {
+		t.Fatal("Clear(5) not applied")
+	}
+	if b.Get(1000) {
+		t.Fatal("out-of-range Get returned true")
+	}
+	b.Clear(1000) // must not panic
+}
+
+func TestBitmapGrow(t *testing.T) {
+	b := NewBitmap(0)
+	b.Set(200)
+	if !b.Get(200) || b.Len() != 201 {
+		t.Fatalf("grow failed: len=%d", b.Len())
+	}
+}
+
+func TestBitmapCount(t *testing.T) {
+	b := NewBitmap(256)
+	for i := 0; i < 256; i += 3 {
+		b.Set(i)
+	}
+	want := 86 // ceil(256/3)
+	if got := b.Count(); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	if got := b.CountRange(0, 9); got != 3 {
+		t.Fatalf("CountRange(0,9) = %d, want 3", got)
+	}
+	if got := b.CountRange(100, 10000); got != b.Count()-b.CountRange(0, 100) {
+		t.Fatalf("CountRange clamping wrong: %d", got)
+	}
+}
+
+func TestBitmapSetAllRange(t *testing.T) {
+	b := NewBitmap(0)
+	b.SetAll(70)
+	if b.Count() != 70 {
+		t.Fatalf("SetAll count = %d", b.Count())
+	}
+	var seen []int
+	b.Range(func(i int) bool {
+		seen = append(seen, i)
+		return i < 3 // stop after 0,1,2,3
+	})
+	if len(seen) != 4 || seen[3] != 3 {
+		t.Fatalf("Range early stop = %v", seen)
+	}
+}
+
+func TestBitmapBooleanOps(t *testing.T) {
+	a := NewBitmap(128)
+	b := NewBitmap(128)
+	a.Set(1)
+	a.Set(2)
+	b.Set(2)
+	b.Set(3)
+
+	and := a.Clone()
+	and.And(b)
+	if and.Count() != 1 || !and.Get(2) {
+		t.Fatalf("And wrong: count=%d", and.Count())
+	}
+	or := a.Clone()
+	or.Or(b)
+	if or.Count() != 3 {
+		t.Fatalf("Or wrong: count=%d", or.Count())
+	}
+	diff := a.Clone()
+	diff.AndNot(b)
+	if diff.Count() != 1 || !diff.Get(1) {
+		t.Fatalf("AndNot wrong: count=%d", diff.Count())
+	}
+}
+
+func TestBitmapAndWithShorter(t *testing.T) {
+	a := NewBitmap(0)
+	a.Set(300)
+	b := NewBitmap(10)
+	a.And(b)
+	if a.Get(300) {
+		t.Fatal("And with shorter bitmap kept out-of-range bit")
+	}
+}
+
+func TestBitmapConcurrent(t *testing.T) {
+	b := NewBitmap(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < 4000; i += 8 {
+				b.Set(i)
+				_ = b.Get(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Count() != 4000 {
+		t.Fatalf("concurrent Count = %d, want 4000", b.Count())
+	}
+}
+
+// Property: Range visits exactly the set bits in ascending order.
+func TestPropertyBitmapRange(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		b := NewBitmap(0)
+		want := map[int]bool{}
+		for _, i := range idxs {
+			b.Set(int(i % 2048))
+			want[int(i%2048)] = true
+		}
+		var got []int
+		b.Range(func(i int) bool {
+			got = append(got, i)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for j, i := range got {
+			if !want[i] {
+				return false
+			}
+			if j > 0 && got[j-1] >= i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttrTypeParseRoundTrip(t *testing.T) {
+	for _, typ := range []AttrType{TInt, TFloat, TString, TBool} {
+		got, err := ParseAttrType(typ.String())
+		if err != nil || got != typ {
+			t.Fatalf("round trip %v: %v, %v", typ, got, err)
+		}
+	}
+	if _, err := ParseAttrType("BLOB"); err == nil {
+		t.Fatal("ParseAttrType accepted BLOB")
+	}
+}
+
+func TestCheckValueCoercion(t *testing.T) {
+	if v, err := CheckValue(TFloat, int64(3)); err != nil || v.(float64) != 3 {
+		t.Fatalf("int->float coercion: %v, %v", v, err)
+	}
+	if v, err := CheckValue(TInt, 7); err != nil || v.(int64) != 7 {
+		t.Fatalf("int coercion: %v, %v", v, err)
+	}
+	if _, err := CheckValue(TInt, "x"); err == nil {
+		t.Fatal("CheckValue accepted string for INT")
+	}
+	if _, err := CheckValue(TBool, 1); err == nil {
+		t.Fatal("CheckValue accepted int for BOOL")
+	}
+	if ZeroValue(TString).(string) != "" {
+		t.Fatal("ZeroValue(TString)")
+	}
+}
+
+func testSchema() []AttrSchema {
+	return []AttrSchema{
+		{Name: "age", Type: TInt},
+		{Name: "score", Type: TFloat},
+		{Name: "name", Type: TString},
+		{Name: "active", Type: TBool},
+	}
+}
+
+func TestVertexSegmentBasic(t *testing.T) {
+	s := NewVertexSegment(100, 4, testSchema())
+	id, err := s.Append()
+	if err != nil || id != 100 {
+		t.Fatalf("Append = %d, %v", id, err)
+	}
+	if err := s.SetAttr(id, "age", int64(30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAttr(id, "name", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Attr(id, "age")
+	if err != nil || v.(int64) != 30 {
+		t.Fatalf("Attr age = %v, %v", v, err)
+	}
+	v, _ = s.Attr(id, "score")
+	if v.(float64) != 0 {
+		t.Fatalf("unset float attr = %v, want 0", v)
+	}
+	if _, err := s.Attr(id, "missing"); err == nil {
+		t.Fatal("Attr accepted unknown name")
+	}
+	if err := s.SetAttr(id, "missing", int64(1)); err == nil {
+		t.Fatal("SetAttr accepted unknown name")
+	}
+	if err := s.SetAttr(999, "age", int64(1)); err == nil {
+		t.Fatal("SetAttr accepted out-of-segment id")
+	}
+	if err := s.SetAttr(id, "age", "nope"); err == nil {
+		t.Fatal("SetAttr accepted wrong type")
+	}
+}
+
+func TestVertexSegmentFull(t *testing.T) {
+	s := NewVertexSegment(0, 2, testSchema())
+	s.Append()
+	s.Append()
+	if !s.Full() {
+		t.Fatal("segment not full after filling")
+	}
+	if _, err := s.Append(); err == nil {
+		t.Fatal("Append on full segment succeeded")
+	}
+}
+
+func TestSegmentDirectoryAllocation(t *testing.T) {
+	d := NewSegmentDirectory(4, testSchema())
+	var ids []uint64
+	for i := 0; i < 10; i++ {
+		ids = append(ids, d.Allocate())
+	}
+	for i, id := range ids {
+		if id != uint64(i) {
+			t.Fatalf("ids not dense: %v", ids)
+		}
+	}
+	if d.NumSegments() != 3 {
+		t.Fatalf("NumSegments = %d, want 3", d.NumSegments())
+	}
+	if d.NumVertices() != 10 {
+		t.Fatalf("NumVertices = %d", d.NumVertices())
+	}
+	seg := d.SegmentFor(5)
+	if seg == nil || seg.Base() != 4 {
+		t.Fatalf("SegmentFor(5) base = %v", seg)
+	}
+	if d.SegmentFor(100) != nil {
+		t.Fatal("SegmentFor out of range returned segment")
+	}
+	if d.Segment(2) == nil || d.Segment(3) != nil || d.Segment(-1) != nil {
+		t.Fatal("Segment index bounds wrong")
+	}
+	if len(d.Segments()) != 3 {
+		t.Fatal("Segments snapshot wrong")
+	}
+}
+
+func TestSegmentDirectoryAttrsAcrossSegments(t *testing.T) {
+	d := NewSegmentDirectory(2, testSchema())
+	for i := 0; i < 6; i++ {
+		id := d.Allocate()
+		if err := d.SegmentFor(id).SetAttr(id, "age", int64(i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		v, err := d.SegmentFor(uint64(i)).Attr(uint64(i), "age")
+		if err != nil || v.(int64) != int64(i*10) {
+			t.Fatalf("vertex %d age = %v, %v", i, v, err)
+		}
+	}
+}
+
+func TestSegmentDirectoryConcurrentAllocate(t *testing.T) {
+	d := NewSegmentDirectory(8, testSchema())
+	var wg sync.WaitGroup
+	seen := make([][]uint64, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				seen[w] = append(seen[w], d.Allocate())
+			}
+		}(w)
+	}
+	wg.Wait()
+	all := map[uint64]bool{}
+	for _, s := range seen {
+		for _, id := range s {
+			if all[id] {
+				t.Fatalf("duplicate id %d allocated", id)
+			}
+			all[id] = true
+		}
+	}
+	if len(all) != 800 || d.NumVertices() != 800 {
+		t.Fatalf("allocated %d unique, directory says %d", len(all), d.NumVertices())
+	}
+}
+
+func TestDefaultSegmentSizeApplied(t *testing.T) {
+	d := NewSegmentDirectory(0, nil)
+	if d.SegmentSize() != DefaultSegmentSize {
+		t.Fatalf("SegmentSize = %d", d.SegmentSize())
+	}
+}

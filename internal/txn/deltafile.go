@@ -1,0 +1,194 @@
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DeltaFile is one on-disk batch of vector deltas produced by the delta
+// merge vacuum process (paper Fig. 4, right side). Each file covers a
+// half-open TID range (From, To]; the index merge process later folds a
+// run of files into a new index snapshot.
+type DeltaFile struct {
+	Path string
+	From TID // exclusive
+	To   TID // inclusive
+}
+
+const deltaFileMagic = uint32(0x54475644) // "TGVD"
+
+// WriteDeltaFile persists deltas (which must already be in TID order) to w.
+func WriteDeltaFile(w io.Writer, deltas []VectorDelta) error {
+	if err := binary.Write(w, binary.LittleEndian, deltaFileMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(deltas))); err != nil {
+		return err
+	}
+	for _, d := range deltas {
+		if err := binary.Write(w, binary.LittleEndian, uint8(d.Action)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, d.ID); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint64(d.TID)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(d.Vec))); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, d.Vec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDeltaFile parses a delta file written by WriteDeltaFile.
+func ReadDeltaFile(r io.Reader) ([]VectorDelta, error) {
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("txn: delta file: %w", err)
+	}
+	if magic != deltaFileMagic {
+		return nil, errors.New("txn: delta file: bad magic")
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	out := make([]VectorDelta, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var action uint8
+		var id, tid uint64
+		var vlen uint32
+		if err := binary.Read(r, binary.LittleEndian, &action); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &tid); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &vlen); err != nil {
+			return nil, err
+		}
+		vec := make([]float32, vlen)
+		if err := binary.Read(r, binary.LittleEndian, vec); err != nil {
+			return nil, err
+		}
+		out = append(out, VectorDelta{Action: Action(action), ID: id, TID: TID(tid), Vec: vec})
+	}
+	return out, nil
+}
+
+// DeltaFileSet tracks the ordered delta files of one embedding attribute
+// plus the directory they live in. It is shared between the two vacuum
+// processes: delta merge appends files, index merge consumes and deletes
+// them after the new index snapshot becomes visible.
+type DeltaFileSet struct {
+	mu    sync.Mutex
+	dir   string
+	attr  string // sanitized attribute key used in filenames
+	files []DeltaFile
+	seq   int
+}
+
+// NewDeltaFileSet creates a set writing files into dir.
+func NewDeltaFileSet(dir, attrKey string) *DeltaFileSet {
+	safe := strings.NewReplacer(".", "_", "/", "_", string(filepath.Separator), "_").Replace(attrKey)
+	return &DeltaFileSet{dir: dir, attr: safe}
+}
+
+// Flush writes deltas covering (from, to] to a new file and registers it.
+func (s *DeltaFileSet) Flush(deltas []VectorDelta, from, to TID) (DeltaFile, error) {
+	s.mu.Lock()
+	s.seq++
+	name := fmt.Sprintf("%s-%06d-%d-%d.delta", s.attr, s.seq, from, to)
+	s.mu.Unlock()
+	path := filepath.Join(s.dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return DeltaFile{}, err
+	}
+	if err := WriteDeltaFile(f, deltas); err != nil {
+		f.Close()
+		os.Remove(path)
+		return DeltaFile{}, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return DeltaFile{}, err
+	}
+	df := DeltaFile{Path: path, From: from, To: to}
+	s.mu.Lock()
+	s.files = append(s.files, df)
+	sort.Slice(s.files, func(i, j int) bool { return s.files[i].To < s.files[j].To })
+	s.mu.Unlock()
+	return df, nil
+}
+
+// Files returns a snapshot of the registered files in TID order.
+func (s *DeltaFileSet) Files() []DeltaFile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DeltaFile, len(s.files))
+	copy(out, s.files)
+	return out
+}
+
+// RemoveUpTo deletes files fully covered by TID <= upto (called after the
+// index snapshot that includes them is visible to all transactions).
+func (s *DeltaFileSet) RemoveUpTo(upto TID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.files[:0]
+	var firstErr error
+	for _, f := range s.files {
+		if f.To <= upto {
+			if err := os.Remove(f.Path); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		kept = append(kept, f)
+	}
+	s.files = kept
+	return firstErr
+}
+
+// ReadRange loads all deltas in files overlapping (after, upto], filtered
+// to that TID window, in TID order.
+func (s *DeltaFileSet) ReadRange(after, upto TID) ([]VectorDelta, error) {
+	var out []VectorDelta
+	for _, df := range s.Files() {
+		if df.To <= after || df.From >= upto {
+			continue
+		}
+		f, err := os.Open(df.Path)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := ReadDeltaFile(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range ds {
+			if d.TID > after && d.TID <= upto {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TID < out[j].TID })
+	return out, nil
+}

@@ -1,0 +1,355 @@
+// Package txn implements the transaction layer TigerVector builds on
+// (paper Sec. 4.3): MVCC with monotonically increasing transaction IDs
+// (TIDs), a write-ahead log for durability, an in-memory vector delta
+// store whose records carry (Action, ID, TID, Vector), and atomic commits
+// that apply graph-attribute updates and vector updates together.
+//
+// A query executes at a snapshot TID and sees exactly the effects of
+// transactions with TID <= snapshot. Vector search combines the index
+// snapshot (built up to some watermark TID by the vacuum) with a
+// brute-force scan over the delta records in (watermark, snapshot].
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// TID is a transaction id. TID 0 means "empty database".
+type TID uint64
+
+// Action flags a vector delta record.
+type Action uint8
+
+const (
+	// Upsert inserts or replaces the vector under ID.
+	Upsert Action = iota
+	// Delete removes the vector under ID.
+	Delete
+)
+
+// String returns a human-readable action name.
+func (a Action) String() string {
+	switch a {
+	case Upsert:
+		return "Upsert"
+	case Delete:
+		return "Delete"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// VectorDelta is one committed vector update: the four-field schema of
+// paper Sec. 4.3 (Action Flag, ID, TID, Vector Value).
+type VectorDelta struct {
+	Action Action
+	ID     uint64
+	TID    TID
+	Vec    []float32
+}
+
+// StagedVector is a vector update buffered inside an uncommitted
+// transaction; the TID is assigned at commit.
+type StagedVector struct {
+	AttrKey string // "VertexType.attrName"
+	Action  Action
+	ID      uint64
+	Vec     []float32
+}
+
+// VectorApplier receives committed vector deltas; the embedding service
+// implements it by appending to the per-attribute delta stores.
+type VectorApplier interface {
+	ApplyVectorDelta(attrKey string, d VectorDelta) error
+}
+
+// Manager allocates TIDs, serializes commits (the atomic commit protocol)
+// and tracks the highest committed-and-visible TID.
+type Manager struct {
+	mu        sync.Mutex // commit lock: one transaction applies at a time
+	committed atomic.Uint64
+	applier   VectorApplier
+	wal       *WAL
+}
+
+// NewManager creates a manager. applier may be nil (vector deltas are then
+// dropped, useful for graph-only tests); wal may be nil (no durability).
+func NewManager(applier VectorApplier, wal *WAL) *Manager {
+	return &Manager{applier: applier, wal: wal}
+}
+
+// Visible returns the highest committed TID. Queries should snapshot this
+// once at start.
+func (m *Manager) Visible() TID { return TID(m.committed.Load()) }
+
+// Recover fast-forwards the committed watermark during WAL replay. It
+// only moves forward.
+func (m *Manager) Recover(tid TID) {
+	for {
+		cur := m.committed.Load()
+		if uint64(tid) <= cur || m.committed.CompareAndSwap(cur, uint64(tid)) {
+			return
+		}
+	}
+}
+
+// SetApplier installs the vector applier (used when the embedding service
+// is constructed after the manager).
+func (m *Manager) SetApplier(a VectorApplier) { m.applier = a }
+
+// Txn is an open transaction buffering writes until Commit.
+type Txn struct {
+	m        *Manager
+	readTID  TID
+	graphOps []func() error
+	vectors  []StagedVector
+	done     bool
+}
+
+// Begin opens a transaction whose reads see state as of the current
+// visible TID.
+func (m *Manager) Begin() *Txn {
+	return &Txn{m: m, readTID: m.Visible()}
+}
+
+// ReadTID returns the snapshot TID of the transaction.
+func (t *Txn) ReadTID() TID { return t.readTID }
+
+// StageGraph buffers a graph mutation to run atomically at commit.
+func (t *Txn) StageGraph(op func() error) {
+	t.graphOps = append(t.graphOps, op)
+}
+
+// StageVector buffers a vector upsert or delete.
+func (t *Txn) StageVector(v StagedVector) {
+	t.vectors = append(t.vectors, v)
+}
+
+// ErrTxnDone is returned when committing or aborting a finished
+// transaction.
+var ErrTxnDone = errors.New("txn: transaction already finished")
+
+// Commit applies all staged operations atomically under the commit lock,
+// writes the WAL record, publishes the new TID and returns it. Updates
+// that touch both graph attributes and vector attributes therefore become
+// visible together (paper: "updates involving both graph attributes and
+// vector attributes are performed atomically").
+func (t *Txn) Commit() (TID, error) {
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	t.done = true
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tid := TID(m.committed.Load() + 1)
+
+	// Durability first: log intent before applying.
+	if m.wal != nil {
+		if err := m.wal.Append(tid, t.vectors); err != nil {
+			return 0, fmt.Errorf("txn: wal append: %w", err)
+		}
+	}
+	for _, op := range t.graphOps {
+		if err := op(); err != nil {
+			// The WAL record exists but the TID is never published, so
+			// replay tooling treats it as an aborted transaction.
+			return 0, fmt.Errorf("txn: graph op failed, transaction aborted: %w", err)
+		}
+	}
+	if m.applier != nil {
+		for _, v := range t.vectors {
+			d := VectorDelta{Action: v.Action, ID: v.ID, TID: tid, Vec: v.Vec}
+			if err := m.applier.ApplyVectorDelta(v.AttrKey, d); err != nil {
+				return 0, fmt.Errorf("txn: vector apply failed, transaction aborted: %w", err)
+			}
+		}
+	}
+	m.committed.Store(uint64(tid))
+	return tid, nil
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	return nil
+}
+
+// DeltaStore is the in-memory store of committed vector deltas for one
+// embedding attribute. Records are appended in commit (TID) order.
+type DeltaStore struct {
+	mu     sync.RWMutex
+	deltas []VectorDelta
+}
+
+// NewDeltaStore returns an empty store.
+func NewDeltaStore() *DeltaStore { return &DeltaStore{} }
+
+// Append adds a committed delta. TIDs must be non-decreasing.
+func (s *DeltaStore) Append(d VectorDelta) {
+	s.mu.Lock()
+	s.deltas = append(s.deltas, d)
+	s.mu.Unlock()
+}
+
+// Len returns the number of buffered deltas.
+func (s *DeltaStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.deltas)
+}
+
+// MaxTID returns the TID of the newest delta, or 0.
+func (s *DeltaStore) MaxTID() TID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.deltas) == 0 {
+		return 0
+	}
+	return s.deltas[len(s.deltas)-1].TID
+}
+
+// Visible returns copies of the deltas with after < TID <= upto, in
+// commit order.
+func (s *DeltaStore) Visible(after, upto TID) []VectorDelta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []VectorDelta
+	for _, d := range s.deltas {
+		if d.TID > after && d.TID <= upto {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DrainUpTo removes and returns all deltas with TID <= upto. The vacuum's
+// delta merge process uses this after persisting them to a delta file.
+func (s *DeltaStore) DrainUpTo(upto TID) []VectorDelta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := 0
+	for i < len(s.deltas) && s.deltas[i].TID <= upto {
+		i++
+	}
+	out := s.deltas[:i:i]
+	s.deltas = s.deltas[i:]
+	return out
+}
+
+// WAL is a write-ahead log of committed vector updates. It is append-only
+// and replayable; the storage backend is any io.Writer (files in
+// production paths, buffers in tests).
+type WAL struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWAL wraps w as a log.
+func NewWAL(w io.Writer) *WAL { return &WAL{w: w} }
+
+const walMagic = uint32(0x54475657) // "TGVW"
+
+// Append writes one commit record.
+func (l *WAL) Append(tid TID, vectors []StagedVector) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := binary.Write(l.w, binary.LittleEndian, walMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(l.w, binary.LittleEndian, uint64(tid)); err != nil {
+		return err
+	}
+	if err := binary.Write(l.w, binary.LittleEndian, uint32(len(vectors))); err != nil {
+		return err
+	}
+	for _, v := range vectors {
+		key := []byte(v.AttrKey)
+		if err := binary.Write(l.w, binary.LittleEndian, uint32(len(key))); err != nil {
+			return err
+		}
+		if _, err := l.w.Write(key); err != nil {
+			return err
+		}
+		if err := binary.Write(l.w, binary.LittleEndian, uint8(v.Action)); err != nil {
+			return err
+		}
+		if err := binary.Write(l.w, binary.LittleEndian, v.ID); err != nil {
+			return err
+		}
+		if err := binary.Write(l.w, binary.LittleEndian, uint32(len(v.Vec))); err != nil {
+			return err
+		}
+		if err := binary.Write(l.w, binary.LittleEndian, v.Vec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayWAL reads commit records from r and calls fn for each, in log
+// order. It stops at EOF; a torn tail record (partial final write) is
+// reported as an error.
+func ReplayWAL(r io.Reader, fn func(tid TID, vectors []StagedVector) error) error {
+	for {
+		var magic uint32
+		err := binary.Read(r, binary.LittleEndian, &magic)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if magic != walMagic {
+			return errors.New("txn: wal corrupt: bad magic")
+		}
+		var tid uint64
+		if err := binary.Read(r, binary.LittleEndian, &tid); err != nil {
+			return fmt.Errorf("txn: wal torn record: %w", err)
+		}
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return fmt.Errorf("txn: wal torn record: %w", err)
+		}
+		vectors := make([]StagedVector, 0, n)
+		for i := uint32(0); i < n; i++ {
+			var klen uint32
+			if err := binary.Read(r, binary.LittleEndian, &klen); err != nil {
+				return fmt.Errorf("txn: wal torn record: %w", err)
+			}
+			key := make([]byte, klen)
+			if _, err := io.ReadFull(r, key); err != nil {
+				return fmt.Errorf("txn: wal torn record: %w", err)
+			}
+			var action uint8
+			if err := binary.Read(r, binary.LittleEndian, &action); err != nil {
+				return fmt.Errorf("txn: wal torn record: %w", err)
+			}
+			var id uint64
+			if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
+				return fmt.Errorf("txn: wal torn record: %w", err)
+			}
+			var vlen uint32
+			if err := binary.Read(r, binary.LittleEndian, &vlen); err != nil {
+				return fmt.Errorf("txn: wal torn record: %w", err)
+			}
+			vec := make([]float32, vlen)
+			if err := binary.Read(r, binary.LittleEndian, vec); err != nil {
+				return fmt.Errorf("txn: wal torn record: %w", err)
+			}
+			vectors = append(vectors, StagedVector{
+				AttrKey: string(key), Action: Action(action), ID: id, Vec: vec})
+		}
+		if err := fn(TID(tid), vectors); err != nil {
+			return err
+		}
+	}
+}

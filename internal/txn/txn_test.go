@@ -1,0 +1,367 @@
+package txn
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type recordingApplier struct {
+	mu      sync.Mutex
+	applied []struct {
+		Key string
+		D   VectorDelta
+	}
+	failOn string
+}
+
+func (r *recordingApplier) ApplyVectorDelta(key string, d VectorDelta) error {
+	if key == r.failOn {
+		return errors.New("injected failure")
+	}
+	r.mu.Lock()
+	r.applied = append(r.applied, struct {
+		Key string
+		D   VectorDelta
+	}{key, d})
+	r.mu.Unlock()
+	return nil
+}
+
+func TestCommitAssignsMonotonicTIDs(t *testing.T) {
+	m := NewManager(nil, nil)
+	t1 := m.Begin()
+	tid1, err := t1.Commit()
+	if err != nil || tid1 != 1 {
+		t.Fatalf("first commit = %d, %v", tid1, err)
+	}
+	t2 := m.Begin()
+	tid2, _ := t2.Commit()
+	if tid2 != 2 {
+		t.Fatalf("second commit = %d", tid2)
+	}
+	if m.Visible() != 2 {
+		t.Fatalf("Visible = %d", m.Visible())
+	}
+}
+
+func TestCommitAppliesGraphAndVectorOpsAtomically(t *testing.T) {
+	app := &recordingApplier{}
+	m := NewManager(app, nil)
+	var graphApplied bool
+	tx := m.Begin()
+	tx.StageGraph(func() error { graphApplied = true; return nil })
+	tx.StageVector(StagedVector{AttrKey: "Post.emb", Action: Upsert, ID: 7, Vec: []float32{1, 2}})
+	tid, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphApplied {
+		t.Fatal("graph op not applied")
+	}
+	if len(app.applied) != 1 || app.applied[0].D.TID != tid || app.applied[0].D.ID != 7 {
+		t.Fatalf("vector delta = %+v", app.applied)
+	}
+}
+
+func TestCommitGraphFailureAborts(t *testing.T) {
+	app := &recordingApplier{}
+	m := NewManager(app, nil)
+	tx := m.Begin()
+	tx.StageGraph(func() error { return errors.New("boom") })
+	tx.StageVector(StagedVector{AttrKey: "a", Action: Upsert, ID: 1, Vec: []float32{1}})
+	if _, err := tx.Commit(); err == nil {
+		t.Fatal("commit succeeded despite graph failure")
+	}
+	if m.Visible() != 0 {
+		t.Fatalf("failed commit published TID: %d", m.Visible())
+	}
+	if len(app.applied) != 0 {
+		t.Fatal("vector delta applied despite aborted transaction")
+	}
+}
+
+func TestCommitVectorFailureAborts(t *testing.T) {
+	app := &recordingApplier{failOn: "bad"}
+	m := NewManager(app, nil)
+	tx := m.Begin()
+	tx.StageVector(StagedVector{AttrKey: "bad", Action: Upsert, ID: 1, Vec: []float32{1}})
+	if _, err := tx.Commit(); err == nil {
+		t.Fatal("commit succeeded despite vector failure")
+	}
+	if m.Visible() != 0 {
+		t.Fatal("failed commit published TID")
+	}
+}
+
+func TestDoubleCommitAndAbort(t *testing.T) {
+	m := NewManager(nil, nil)
+	tx := m.Begin()
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("second commit err = %v", err)
+	}
+	tx2 := m.Begin()
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("commit after abort err = %v", err)
+	}
+	if m.Visible() != 1 {
+		t.Fatalf("Visible = %d", m.Visible())
+	}
+}
+
+func TestSnapshotIsolationReadTID(t *testing.T) {
+	m := NewManager(nil, nil)
+	tx := m.Begin()
+	if tx.ReadTID() != 0 {
+		t.Fatalf("ReadTID = %d", tx.ReadTID())
+	}
+	m.Begin().Commit()
+	// The old transaction keeps its snapshot.
+	if tx.ReadTID() != 0 {
+		t.Fatal("snapshot moved")
+	}
+	if m.Begin().ReadTID() != 1 {
+		t.Fatal("new txn does not see committed state")
+	}
+}
+
+func TestConcurrentCommitsUniqueTIDs(t *testing.T) {
+	app := &recordingApplier{}
+	m := NewManager(app, nil)
+	var wg sync.WaitGroup
+	tids := make(chan TID, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tx := m.Begin()
+			tx.StageVector(StagedVector{AttrKey: "a", Action: Upsert, ID: uint64(i), Vec: []float32{1}})
+			tid, err := tx.Commit()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tids <- tid
+		}(i)
+	}
+	wg.Wait()
+	close(tids)
+	seen := map[TID]bool{}
+	for tid := range tids {
+		if seen[tid] {
+			t.Fatalf("duplicate TID %d", tid)
+		}
+		seen[tid] = true
+	}
+	if len(seen) != 100 || m.Visible() != 100 {
+		t.Fatalf("committed %d, visible %d", len(seen), m.Visible())
+	}
+}
+
+func TestDeltaStoreVisibleAndDrain(t *testing.T) {
+	s := NewDeltaStore()
+	for i := 1; i <= 5; i++ {
+		s.Append(VectorDelta{Action: Upsert, ID: uint64(i), TID: TID(i), Vec: []float32{float32(i)}})
+	}
+	if s.Len() != 5 || s.MaxTID() != 5 {
+		t.Fatalf("Len=%d MaxTID=%d", s.Len(), s.MaxTID())
+	}
+	vis := s.Visible(1, 3)
+	if len(vis) != 2 || vis[0].TID != 2 || vis[1].TID != 3 {
+		t.Fatalf("Visible(1,3) = %+v", vis)
+	}
+	drained := s.DrainUpTo(3)
+	if len(drained) != 3 || s.Len() != 2 {
+		t.Fatalf("DrainUpTo(3) = %d records, %d left", len(drained), s.Len())
+	}
+	if got := s.Visible(0, 100); len(got) != 2 || got[0].TID != 4 {
+		t.Fatalf("post-drain Visible = %+v", got)
+	}
+	if s.MaxTID() != 5 {
+		t.Fatalf("MaxTID after drain = %d", s.MaxTID())
+	}
+	if empty := NewDeltaStore(); empty.MaxTID() != 0 {
+		t.Fatal("empty MaxTID != 0")
+	}
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	recs := [][]StagedVector{
+		{{AttrKey: "Post.content_emb", Action: Upsert, ID: 1, Vec: []float32{1, 2, 3}}},
+		{{AttrKey: "Post.content_emb", Action: Delete, ID: 1},
+			{AttrKey: "Comment.emb", Action: Upsert, ID: 2, Vec: []float32{4}}},
+		{}, // graph-only commit
+	}
+	for i, r := range recs {
+		if err := w.Append(TID(i+1), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var gotTIDs []TID
+	var gotVecs [][]StagedVector
+	err := ReplayWAL(bytes.NewReader(buf.Bytes()), func(tid TID, vs []StagedVector) error {
+		gotTIDs = append(gotTIDs, tid)
+		gotVecs = append(gotVecs, vs)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotTIDs) != 3 || gotTIDs[2] != 3 {
+		t.Fatalf("replayed tids = %v", gotTIDs)
+	}
+	if gotVecs[0][0].AttrKey != "Post.content_emb" || gotVecs[0][0].Vec[2] != 3 {
+		t.Fatalf("record 0 = %+v", gotVecs[0])
+	}
+	if gotVecs[1][0].Action != Delete || gotVecs[1][1].ID != 2 {
+		t.Fatalf("record 1 = %+v", gotVecs[1])
+	}
+	if len(gotVecs[2]) != 0 {
+		t.Fatalf("record 2 = %+v", gotVecs[2])
+	}
+}
+
+func TestWALReplayDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	w.Append(1, []StagedVector{{AttrKey: "a", Action: Upsert, ID: 1, Vec: []float32{1}}})
+	data := buf.Bytes()
+	// Truncate mid-record: torn write.
+	err := ReplayWAL(bytes.NewReader(data[:len(data)-3]), func(TID, []StagedVector) error { return nil })
+	if err == nil {
+		t.Fatal("torn record not detected")
+	}
+	// Corrupt magic.
+	bad := append([]byte{9, 9, 9, 9}, data[4:]...)
+	err = ReplayWAL(bytes.NewReader(bad), func(TID, []StagedVector) error { return nil })
+	if err == nil {
+		t.Fatal("bad magic not detected")
+	}
+}
+
+func TestManagerWithWALLogsCommits(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewManager(&recordingApplier{}, NewWAL(&buf))
+	tx := m.Begin()
+	tx.StageVector(StagedVector{AttrKey: "x", Action: Upsert, ID: 9, Vec: []float32{7}})
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	ReplayWAL(bytes.NewReader(buf.Bytes()), func(tid TID, vs []StagedVector) error {
+		n++
+		if tid != 1 || vs[0].ID != 9 {
+			t.Fatalf("wal record = %d %+v", tid, vs)
+		}
+		return nil
+	})
+	if n != 1 {
+		t.Fatalf("wal records = %d", n)
+	}
+}
+
+func TestDeltaFileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := []VectorDelta{
+		{Action: Upsert, ID: 1, TID: 10, Vec: []float32{1, 2}},
+		{Action: Delete, ID: 2, TID: 11},
+	}
+	if err := WriteDeltaFile(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadDeltaFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Vec[1] != 2 || out[1].Action != Delete || out[1].TID != 11 {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if _, err := ReadDeltaFile(bytes.NewReader([]byte("junkjunk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDeltaFileSetLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s := NewDeltaFileSet(dir, "Post.content_emb")
+	_, err := s.Flush([]VectorDelta{{Action: Upsert, ID: 1, TID: 5, Vec: []float32{1}}}, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Flush([]VectorDelta{{Action: Upsert, ID: 2, TID: 8, Vec: []float32{2}}}, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Files()) != 2 {
+		t.Fatalf("files = %v", s.Files())
+	}
+	// Read a window spanning both files but filtering by TID.
+	ds, err := s.ReadRange(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].ID != 2 {
+		t.Fatalf("ReadRange(5,8) = %+v", ds)
+	}
+	ds, _ = s.ReadRange(0, 100)
+	if len(ds) != 2 || ds[0].TID > ds[1].TID {
+		t.Fatalf("ReadRange(0,100) = %+v", ds)
+	}
+	// Remove consumed files.
+	if err := s.RemoveUpTo(5); err != nil {
+		t.Fatal(err)
+	}
+	files := s.Files()
+	if len(files) != 1 || files[0].To != 8 {
+		t.Fatalf("after RemoveUpTo files = %v", files)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.delta"))
+	if len(matches) != 1 {
+		t.Fatalf("disk files = %v", matches)
+	}
+}
+
+// Property: DrainUpTo + remaining Visible partition the store exactly.
+func TestPropertyDeltaStorePartition(t *testing.T) {
+	f := func(tidsRaw []uint8, cutRaw uint8) bool {
+		s := NewDeltaStore()
+		tid := TID(0)
+		total := 0
+		for _, d := range tidsRaw {
+			tid += TID(d%3) + 1 // strictly increasing
+			s.Append(VectorDelta{Action: Upsert, ID: uint64(total), TID: tid})
+			total++
+		}
+		cut := TID(cutRaw)
+		drained := s.DrainUpTo(cut)
+		rest := s.Visible(0, 1<<62)
+		if len(drained)+len(rest) != total {
+			return false
+		}
+		for _, d := range drained {
+			if d.TID > cut {
+				return false
+			}
+		}
+		for _, d := range rest {
+			if d.TID <= cut {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package vacuum runs TigerVector's two decoupled background maintenance
+// processes (paper Sec. 4.3, Fig. 4):
+//
+//   - the delta merge process, which flushes the in-memory vector delta
+//     store into on-disk delta files (cheap, frequent), and
+//   - the index merge process, which folds delta files into the vector
+//     index snapshots and switches to them (expensive, parallel).
+//
+// The index merge's worker count is tuned dynamically against a load
+// monitor so background index building does not starve foreground queries
+// (paper: "we monitor the CPU utilization and dynamically tune the number
+// of threads").
+package vacuum
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// LoadMonitor reports foreground load as a fraction in [0, 1]; 1 means
+// fully busy. The engine exposes its in-flight query gauge through this.
+type LoadMonitor interface {
+	Load() float64
+}
+
+// LoadFunc adapts a function to LoadMonitor.
+type LoadFunc func() float64
+
+// Load implements LoadMonitor.
+func (f LoadFunc) Load() float64 { return f() }
+
+// Options configures a vacuum Manager.
+type Options struct {
+	// FlushInterval is the delta merge period. Default 50ms.
+	FlushInterval time.Duration
+	// MergeInterval is the index merge period. Default 200ms.
+	MergeInterval time.Duration
+	// MaxThreads bounds index merge parallelism. Default 4.
+	MaxThreads int
+	// MinThreads is the floor under full foreground load. Default 1.
+	MinThreads int
+	// Monitor supplies foreground load; nil means always idle.
+	Monitor LoadMonitor
+	// RebuildThreshold is the tombstone fraction above which a segment is
+	// rebuilt instead of incrementally updated. The paper's Fig. 11 puts
+	// the crossover near 20%. Default 0.2; set negative to disable.
+	RebuildThreshold float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 50 * time.Millisecond
+	}
+	if o.MergeInterval <= 0 {
+		o.MergeInterval = 200 * time.Millisecond
+	}
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 4
+	}
+	if o.MinThreads <= 0 {
+		o.MinThreads = 1
+	}
+	if o.RebuildThreshold == 0 {
+		o.RebuildThreshold = 0.2
+	}
+	return o
+}
+
+// Stats counts vacuum activity.
+type Stats struct {
+	FlushRuns     atomic.Int64
+	FlushedDeltas atomic.Int64
+	MergeRuns     atomic.Int64
+	MergedDeltas  atomic.Int64
+	Rebuilds      atomic.Int64
+	Errors        atomic.Int64
+}
+
+// Manager drives the two vacuum processes for every store of an embedding
+// service.
+type Manager struct {
+	svc   *core.Service
+	opts  Options
+	stats Stats
+
+	mu      sync.Mutex
+	cancel  context.CancelFunc
+	done    chan struct{}
+	started bool
+}
+
+// NewManager creates a vacuum manager over svc.
+func NewManager(svc *core.Service, opts Options) *Manager {
+	return &Manager{svc: svc, opts: opts.withDefaults()}
+}
+
+// Stats exposes the activity counters.
+func (m *Manager) Stats() *Stats { return &m.stats }
+
+// Threads returns the index merge worker count the tuner would choose
+// right now: it scales inversely with foreground load.
+func (m *Manager) Threads() int {
+	load := 0.0
+	if m.opts.Monitor != nil {
+		load = m.opts.Monitor.Load()
+	}
+	if load < 0 {
+		load = 0
+	}
+	if load > 1 {
+		load = 1
+	}
+	span := float64(m.opts.MaxThreads - m.opts.MinThreads)
+	t := m.opts.MaxThreads - int(load*span+0.5)
+	if t < m.opts.MinThreads {
+		t = m.opts.MinThreads
+	}
+	return t
+}
+
+// FlushOnce runs one delta merge pass over every store.
+func (m *Manager) FlushOnce() (int, error) {
+	total := 0
+	var firstErr error
+	for _, st := range m.svc.Stores() {
+		n, err := st.FlushDeltas()
+		total += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	m.stats.FlushRuns.Add(1)
+	m.stats.FlushedDeltas.Add(int64(total))
+	if firstErr != nil {
+		m.stats.Errors.Add(1)
+	}
+	return total, firstErr
+}
+
+// MergeOnce runs one index merge pass over every store, rebuilding
+// heavily tombstoned segments first.
+func (m *Manager) MergeOnce() (int, error) {
+	threads := m.Threads()
+	total := 0
+	var firstErr error
+	for _, st := range m.svc.Stores() {
+		if m.opts.RebuildThreshold > 0 && st.DeletedFraction() > m.opts.RebuildThreshold {
+			for seg := 0; seg < st.NumSegments(); seg++ {
+				if err := st.RebuildSegment(seg, threads); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			m.stats.Rebuilds.Add(1)
+		}
+		n, err := st.MergeIndex(threads)
+		total += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	m.stats.MergeRuns.Add(1)
+	m.stats.MergedDeltas.Add(int64(total))
+	if firstErr != nil {
+		m.stats.Errors.Add(1)
+	}
+	return total, firstErr
+}
+
+// Start launches the two background processes. It is idempotent.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m.cancel = cancel
+	m.done = make(chan struct{})
+	m.started = true
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // delta merge process
+		defer wg.Done()
+		t := time.NewTicker(m.opts.FlushInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				m.FlushOnce()
+			}
+		}
+	}()
+	go func() { // index merge process
+		defer wg.Done()
+		t := time.NewTicker(m.opts.MergeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				m.MergeOnce()
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(m.done)
+	}()
+}
+
+// Stop halts the background processes and waits for them to exit, then
+// runs one final flush+merge so no committed delta is left behind.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if !m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.cancel()
+	done := m.done
+	m.started = false
+	m.mu.Unlock()
+	<-done
+	m.FlushOnce()
+	m.MergeOnce()
+}
+
+// Drain synchronously flushes and merges until no pending work remains;
+// used by tests and by bulk update paths that need a quiesced index.
+func (m *Manager) Drain() error {
+	for i := 0; i < 1000; i++ {
+		fn, err := m.FlushOnce()
+		if err != nil {
+			return err
+		}
+		mn, err := m.MergeOnce()
+		if err != nil {
+			return err
+		}
+		if fn == 0 && mn == 0 {
+			pending := 0
+			for _, st := range m.svc.Stores() {
+				pending += st.PendingDeltas() + len(st.DeltaFiles())
+			}
+			if pending == 0 {
+				return nil
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package vacuum
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/txn"
+	"repro/internal/vectormath"
+)
+
+func newService(t *testing.T) (*core.Service, *core.EmbeddingStore, *txn.Manager) {
+	t.Helper()
+	svc := core.NewService(t.TempDir(), 16, 1)
+	st, err := svc.Register("Post", graph.EmbeddingAttr{
+		Name: "emb", Dim: 4, Model: "m", Index: "HNSW", DataType: "FLOAT", Metric: vectormath.L2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, st, txn.NewManager(svc, nil)
+}
+
+func commitUpsert(t *testing.T, mgr *txn.Manager, id uint64, vec []float32) txn.TID {
+	t.Helper()
+	tx := mgr.Begin()
+	tx.StageVector(txn.StagedVector{AttrKey: "Post.emb", Action: txn.Upsert, ID: id, Vec: vec})
+	tid, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tid
+}
+
+func TestFlushAndMergeOnce(t *testing.T) {
+	svc, st, mgr := newService(t)
+	m := NewManager(svc, Options{})
+	for i := 0; i < 10; i++ {
+		commitUpsert(t, mgr, uint64(i), []float32{float32(i), 0, 0, 0})
+	}
+	if st.PendingDeltas() != 10 {
+		t.Fatalf("pending = %d", st.PendingDeltas())
+	}
+	n, err := m.FlushOnce()
+	if err != nil || n != 10 {
+		t.Fatalf("FlushOnce = %d, %v", n, err)
+	}
+	if st.PendingDeltas() != 0 || len(st.DeltaFiles()) != 1 {
+		t.Fatal("flush did not move deltas to files")
+	}
+	n, err = m.MergeOnce()
+	if err != nil || n != 10 {
+		t.Fatalf("MergeOnce = %d, %v", n, err)
+	}
+	if st.Watermark() != 10 || len(st.DeltaFiles()) != 0 {
+		t.Fatalf("watermark=%d files=%d", st.Watermark(), len(st.DeltaFiles()))
+	}
+	// Search served from the index now.
+	res, err := st.Search(mgr.Visible(), []float32{5, 0, 0, 0}, 1, 32, nil, 1)
+	if err != nil || len(res) != 1 || res[0].ID != 5 {
+		t.Fatalf("post-merge search = %+v, %v", res, err)
+	}
+	if m.Stats().FlushedDeltas.Load() != 10 || m.Stats().MergedDeltas.Load() != 10 {
+		t.Fatal("stats not recorded")
+	}
+}
+
+func TestBackgroundVacuumConverges(t *testing.T) {
+	svc, st, mgr := newService(t)
+	m := NewManager(svc, Options{FlushInterval: 5 * time.Millisecond, MergeInterval: 10 * time.Millisecond})
+	m.Start()
+	defer m.Stop()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		commitUpsert(t, mgr, uint64(i), []float32{float32(r.NormFloat64()), 0, 0, 0})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.Watermark() == 100 && st.PendingDeltas() == 0 && len(st.DeltaFiles()) == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Watermark() != 100 {
+		t.Fatalf("vacuum did not converge: watermark=%d pending=%d files=%d",
+			st.Watermark(), st.PendingDeltas(), len(st.DeltaFiles()))
+	}
+}
+
+func TestStopRunsFinalPass(t *testing.T) {
+	svc, st, mgr := newService(t)
+	m := NewManager(svc, Options{FlushInterval: time.Hour, MergeInterval: time.Hour})
+	m.Start()
+	commitUpsert(t, mgr, 1, []float32{1, 0, 0, 0})
+	m.Stop()
+	if st.Watermark() != 1 {
+		t.Fatalf("Stop did not drain: watermark=%d", st.Watermark())
+	}
+	m.Stop() // idempotent
+}
+
+func TestStartIdempotent(t *testing.T) {
+	svc, _, _ := newService(t)
+	m := NewManager(svc, Options{FlushInterval: time.Hour, MergeInterval: time.Hour})
+	m.Start()
+	m.Start()
+	m.Stop()
+}
+
+func TestDrain(t *testing.T) {
+	svc, st, mgr := newService(t)
+	m := NewManager(svc, Options{})
+	for i := 0; i < 50; i++ {
+		commitUpsert(t, mgr, uint64(i), []float32{float32(i), 0, 0, 0})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st.PendingDeltas() != 0 || len(st.DeltaFiles()) != 0 || st.Watermark() != 50 {
+		t.Fatalf("Drain incomplete: pending=%d files=%d watermark=%d",
+			st.PendingDeltas(), len(st.DeltaFiles()), st.Watermark())
+	}
+}
+
+func TestDynamicThreadTuning(t *testing.T) {
+	svc, _, _ := newService(t)
+	load := 0.0
+	m := NewManager(svc, Options{MaxThreads: 8, MinThreads: 1, Monitor: LoadFunc(func() float64 { return load })})
+	if got := m.Threads(); got != 8 {
+		t.Fatalf("idle threads = %d, want 8", got)
+	}
+	load = 1.0
+	if got := m.Threads(); got != 1 {
+		t.Fatalf("busy threads = %d, want 1", got)
+	}
+	load = 0.5
+	mid := m.Threads()
+	if mid <= 1 || mid >= 8 {
+		t.Fatalf("mid-load threads = %d", mid)
+	}
+	load = 7 // out of range clamps
+	if got := m.Threads(); got != 1 {
+		t.Fatalf("overload threads = %d", got)
+	}
+	load = -3
+	if got := m.Threads(); got != 8 {
+		t.Fatalf("negative load threads = %d", got)
+	}
+}
+
+func TestRebuildOnHighTombstoneFraction(t *testing.T) {
+	svc, st, mgr := newService(t)
+	m := NewManager(svc, Options{RebuildThreshold: 0.2})
+	// Load 20 vectors, then delete half via deltas.
+	for i := 0; i < 20; i++ {
+		commitUpsert(t, mgr, uint64(i), []float32{float32(i), 0, 0, 0})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tx := mgr.Begin()
+		tx.StageVector(txn.StagedVector{AttrKey: "Post.emb", Action: txn.Delete, ID: uint64(i)})
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// The drain's merges raise the tombstone fraction above threshold;
+	// a following merge pass must rebuild.
+	if _, err := m.MergeOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Rebuilds.Load() == 0 {
+		t.Fatal("no rebuild despite high tombstone fraction")
+	}
+	if f := st.DeletedFraction(); f != 0 {
+		t.Fatalf("post-rebuild fraction = %v", f)
+	}
+	res, err := st.Search(mgr.Visible(), []float32{15, 0, 0, 0}, 1, 32, nil, 1)
+	if err != nil || len(res) != 1 || res[0].ID != 15 {
+		t.Fatalf("post-rebuild search = %+v, %v", res, err)
+	}
+}
+
+func TestVacuumDuringConcurrentSearches(t *testing.T) {
+	svc, st, mgr := newService(t)
+	m := NewManager(svc, Options{FlushInterval: 2 * time.Millisecond, MergeInterval: 4 * time.Millisecond})
+	for i := 0; i < 50; i++ {
+		commitUpsert(t, mgr, uint64(i), []float32{float32(i), 0, 0, 0})
+	}
+	m.Start()
+	defer m.Stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 50; i < 150; i++ {
+			commitUpsert(t, mgr, uint64(i), []float32{float32(i), 0, 0, 0})
+		}
+	}()
+	// Concurrent searches must always see a consistent snapshot: the
+	// nearest neighbor of vector i at a TID where i is committed is i.
+	for probe := 0; probe < 200; probe++ {
+		tid := mgr.Visible()
+		want := uint64(probe % 50) // always committed
+		res, err := st.Search(tid, []float32{float32(want), 0, 0, 0}, 1, 64, nil, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || res[0].ID != want {
+			t.Fatalf("probe %d at tid %d: got %+v, want id %d", probe, tid, res, want)
+		}
+	}
+	<-done
+}

@@ -1,0 +1,203 @@
+// Package vectormath provides the distance kernels used by every vector
+// index and brute-force scan in the repository.
+//
+// All vectors are []float32. Distances are returned as float32 where
+// smaller means "closer" for every metric, so callers can rank candidates
+// with a single comparison regardless of the configured metric:
+//
+//   - L2: squared Euclidean distance (the square root is monotonic and
+//     therefore omitted, as is standard in ANN systems).
+//   - Cosine: 1 - cosine similarity.
+//   - InnerProduct: negated dot product (maximum inner product search).
+package vectormath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric identifies a vector similarity metric.
+type Metric uint8
+
+const (
+	// L2 is squared Euclidean distance.
+	L2 Metric = iota
+	// Cosine is 1 - cosine similarity.
+	Cosine
+	// InnerProduct is negated dot product.
+	InnerProduct
+)
+
+// String returns the GSQL spelling of the metric.
+func (m Metric) String() string {
+	switch m {
+	case L2:
+		return "L2"
+	case Cosine:
+		return "COSINE"
+	case InnerProduct:
+		return "IP"
+	default:
+		return fmt.Sprintf("Metric(%d)", uint8(m))
+	}
+}
+
+// ParseMetric converts a GSQL metric spelling into a Metric.
+func ParseMetric(s string) (Metric, error) {
+	switch s {
+	case "L2", "l2":
+		return L2, nil
+	case "COSINE", "cosine":
+		return Cosine, nil
+	case "IP", "ip", "INNER_PRODUCT":
+		return InnerProduct, nil
+	}
+	return 0, fmt.Errorf("vectormath: unknown metric %q", s)
+}
+
+// DistanceFunc computes the distance between two equal-length vectors.
+type DistanceFunc func(a, b []float32) float32
+
+// FuncFor returns the distance function for a metric.
+func FuncFor(m Metric) DistanceFunc {
+	switch m {
+	case L2:
+		return SquaredL2
+	case Cosine:
+		return CosineDistance
+	case InnerProduct:
+		return NegativeDot
+	default:
+		panic(fmt.Sprintf("vectormath: unknown metric %d", m))
+	}
+}
+
+// Distance computes the distance between a and b under metric m.
+func Distance(m Metric, a, b []float32) float32 {
+	return FuncFor(m)(a, b)
+}
+
+// SquaredL2 returns the squared Euclidean distance between a and b.
+// The loop is unrolled by four, which the Go compiler vectorizes well.
+func SquaredL2(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Dot returns the dot product of a and b.
+func Dot(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// NegativeDot returns -Dot(a, b), so smaller is closer.
+func NegativeDot(a, b []float32) float32 {
+	return -Dot(a, b)
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float32) float32 {
+	return float32(math.Sqrt(float64(Dot(v, v))))
+}
+
+// CosineDistance returns 1 - cos(a, b). Zero-norm inputs yield distance 1,
+// treating the zero vector as dissimilar to everything.
+func CosineDistance(a, b []float32) float32 {
+	var dot, na, nb float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dot += a[i]*b[i] + a[i+1]*b[i+1] + a[i+2]*b[i+2] + a[i+3]*b[i+3]
+		na += a[i]*a[i] + a[i+1]*a[i+1] + a[i+2]*a[i+2] + a[i+3]*a[i+3]
+		nb += b[i]*b[i] + b[i+1]*b[i+1] + b[i+2]*b[i+2] + b[i+3]*b[i+3]
+	}
+	for ; i < n; i++ {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/float32(math.Sqrt(float64(na)*float64(nb)))
+}
+
+// Normalize scales v in place to unit norm and returns v.
+// The zero vector is returned unchanged.
+func Normalize(v []float32) []float32 {
+	n := Norm(v)
+	if n == 0 {
+		return v
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Normalized returns a unit-norm copy of v.
+func Normalized(v []float32) []float32 {
+	out := make([]float32, len(v))
+	copy(out, v)
+	return Normalize(out)
+}
+
+// CheckDims returns an error unless a and b have the same length.
+func CheckDims(a, b []float32) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("vectormath: dimension mismatch: %d vs %d", len(a), len(b))
+	}
+	return nil
+}
+
+// Clone returns a copy of v.
+func Clone(v []float32) []float32 {
+	out := make([]float32, len(v))
+	copy(out, v)
+	return out
+}
+
+// Sum adds b into a element-wise. Panics if lengths differ.
+func Sum(a, b []float32) {
+	if len(a) != len(b) {
+		panic("vectormath: Sum length mismatch")
+	}
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// Scale multiplies every element of v by s.
+func Scale(v []float32, s float32) {
+	for i := range v {
+		v[i] *= s
+	}
+}

@@ -1,0 +1,270 @@
+package vectormath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float32) bool {
+	return float32(math.Abs(float64(a-b))) <= eps
+}
+
+func TestSquaredL2Basic(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 6, 3}
+	if got := SquaredL2(a, b); got != 25 {
+		t.Fatalf("SquaredL2 = %v, want 25", got)
+	}
+	if got := SquaredL2(a, a); got != 0 {
+		t.Fatalf("SquaredL2(a,a) = %v, want 0", got)
+	}
+}
+
+func TestSquaredL2UnrollTail(t *testing.T) {
+	// Exercise lengths around the unroll boundary of 4.
+	for n := 0; n <= 9; n++ {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		var want float32
+		for i := 0; i < n; i++ {
+			a[i] = float32(i + 1)
+			b[i] = float32(2 * i)
+			d := a[i] - b[i]
+			want += d * d
+		}
+		if got := SquaredL2(a, b); !almostEqual(got, want, 1e-4) {
+			t.Errorf("n=%d: SquaredL2 = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	b := []float32{5, 4, 3, 2, 1}
+	if got := Dot(a, b); got != 35 {
+		t.Fatalf("Dot = %v, want 35", got)
+	}
+	if got := NegativeDot(a, b); got != -35 {
+		t.Fatalf("NegativeDot = %v, want -35", got)
+	}
+}
+
+func TestCosineDistance(t *testing.T) {
+	a := []float32{1, 0}
+	b := []float32{0, 1}
+	if got := CosineDistance(a, b); !almostEqual(got, 1, 1e-6) {
+		t.Fatalf("orthogonal cosine distance = %v, want 1", got)
+	}
+	if got := CosineDistance(a, a); !almostEqual(got, 0, 1e-6) {
+		t.Fatalf("identical cosine distance = %v, want 0", got)
+	}
+	c := []float32{-1, 0}
+	if got := CosineDistance(a, c); !almostEqual(got, 2, 1e-6) {
+		t.Fatalf("opposite cosine distance = %v, want 2", got)
+	}
+}
+
+func TestCosineDistanceZeroVector(t *testing.T) {
+	z := []float32{0, 0, 0}
+	a := []float32{1, 2, 3}
+	if got := CosineDistance(z, a); got != 1 {
+		t.Fatalf("zero-vector cosine distance = %v, want 1", got)
+	}
+	if got := CosineDistance(z, z); got != 1 {
+		t.Fatalf("zero-zero cosine distance = %v, want 1", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float32{3, 4}
+	Normalize(v)
+	if !almostEqual(v[0], 0.6, 1e-6) || !almostEqual(v[1], 0.8, 1e-6) {
+		t.Fatalf("Normalize = %v, want [0.6 0.8]", v)
+	}
+	z := []float32{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("Normalize(zero) changed vector: %v", z)
+	}
+}
+
+func TestNormalizedDoesNotMutate(t *testing.T) {
+	v := []float32{3, 4}
+	u := Normalized(v)
+	if v[0] != 3 || v[1] != 4 {
+		t.Fatalf("Normalized mutated input: %v", v)
+	}
+	if !almostEqual(Norm(u), 1, 1e-6) {
+		t.Fatalf("Normalized norm = %v, want 1", Norm(u))
+	}
+}
+
+func TestMetricStringParseRoundTrip(t *testing.T) {
+	for _, m := range []Metric{L2, Cosine, InnerProduct} {
+		got, err := ParseMetric(m.String())
+		if err != nil {
+			t.Fatalf("ParseMetric(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Fatalf("round trip %v -> %v", m, got)
+		}
+	}
+	if _, err := ParseMetric("chebyshev"); err == nil {
+		t.Fatal("ParseMetric accepted unknown metric")
+	}
+}
+
+func TestFuncFor(t *testing.T) {
+	a := []float32{1, 2}
+	b := []float32{2, 4}
+	if got, want := FuncFor(L2)(a, b), SquaredL2(a, b); got != want {
+		t.Fatalf("FuncFor(L2) = %v, want %v", got, want)
+	}
+	if got, want := FuncFor(Cosine)(a, b), CosineDistance(a, b); got != want {
+		t.Fatalf("FuncFor(Cosine) = %v, want %v", got, want)
+	}
+	if got, want := FuncFor(InnerProduct)(a, b), NegativeDot(a, b); got != want {
+		t.Fatalf("FuncFor(IP) = %v, want %v", got, want)
+	}
+	if got := Distance(L2, a, b); got != SquaredL2(a, b) {
+		t.Fatalf("Distance = %v", got)
+	}
+}
+
+func TestCheckDims(t *testing.T) {
+	if err := CheckDims([]float32{1}, []float32{1}); err != nil {
+		t.Fatalf("CheckDims equal: %v", err)
+	}
+	if err := CheckDims([]float32{1}, []float32{1, 2}); err == nil {
+		t.Fatal("CheckDims did not report mismatch")
+	}
+}
+
+func TestSumScaleClone(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := Clone(a)
+	b[0] = 100
+	if a[0] != 1 {
+		t.Fatal("Clone aliases input")
+	}
+	Sum(a, []float32{1, 1, 1})
+	if a[0] != 2 || a[1] != 3 || a[2] != 4 {
+		t.Fatalf("Sum = %v", a)
+	}
+	Scale(a, 2)
+	if a[0] != 4 || a[1] != 6 || a[2] != 8 {
+		t.Fatalf("Scale = %v", a)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sum length mismatch did not panic")
+		}
+	}()
+	Sum(a, []float32{1})
+}
+
+func randVec(r *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(r.NormFloat64())
+	}
+	return v
+}
+
+// Property: L2 distance is symmetric and non-negative, zero iff identical.
+func TestPropertyL2SymmetricNonNegative(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64, nRaw uint8) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := int(nRaw%64) + 1
+		a := randVec(rr, n)
+		b := randVec(rr, n)
+		d1 := SquaredL2(a, b)
+		d2 := SquaredL2(b, a)
+		return d1 >= 0 && almostEqual(d1, d2, 1e-3) && SquaredL2(a, a) == 0
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cosine distance lies in [0, 2] (within float tolerance) and is
+// invariant under positive scaling of either argument.
+func TestPropertyCosineRangeAndScaleInvariance(t *testing.T) {
+	f := func(seed int64, nRaw uint8, scaleRaw uint8) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := int(nRaw%32) + 2
+		a := randVec(rr, n)
+		b := randVec(rr, n)
+		d := CosineDistance(a, b)
+		if d < -1e-3 || d > 2+1e-3 {
+			return false
+		}
+		s := float32(scaleRaw%9) + 0.5
+		as := Clone(a)
+		Scale(as, s)
+		return almostEqual(CosineDistance(as, b), d, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the L2 triangle inequality holds on real (non-squared) distances.
+func TestPropertyL2Triangle(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := int(nRaw%32) + 1
+		a, b, c := randVec(rr, n), randVec(rr, n), randVec(rr, n)
+		ab := math.Sqrt(float64(SquaredL2(a, b)))
+		bc := math.Sqrt(float64(SquaredL2(b, c)))
+		ac := math.Sqrt(float64(SquaredL2(a, c)))
+		return ac <= ab+bc+1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on unit vectors, ranking by cosine distance equals ranking by L2.
+func TestPropertyCosineL2RankAgreementOnUnitVectors(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		q := Normalized(randVec(rr, 16))
+		a := Normalized(randVec(rr, 16))
+		b := Normalized(randVec(rr, 16))
+		cosOrder := CosineDistance(q, a) < CosineDistance(q, b)
+		l2Order := SquaredL2(q, a) < SquaredL2(q, b)
+		// Allow ties within float noise.
+		if almostEqual(CosineDistance(q, a), CosineDistance(q, b), 1e-5) {
+			return true
+		}
+		return cosOrder == l2Order
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSquaredL2Dim128(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	x := randVec(r, 128)
+	y := randVec(r, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = SquaredL2(x, y)
+	}
+}
+
+func BenchmarkCosineDim96(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	x := randVec(r, 96)
+	y := randVec(r, 96)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = CosineDistance(x, y)
+	}
+}

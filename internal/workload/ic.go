@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file generates the hybrid interactive-complex (IC) query family of
+// paper Sec. 6.5: LDBC IC queries modified to end in a top-k vector
+// search over the collected Message set, with a variable number of KNOWS
+// repetitions (2, 3 or 4 hops).
+//
+// Candidate-set sizes mirror the paper's Table 3/4 spread:
+//
+//	IC3  — country + date-window filter     -> tiny candidate sets
+//	IC5  — every post by h-hop friends      -> the largest candidate sets
+//	IC6  — language filter                  -> moderate
+//	IC9  — 20 most recent messages          -> exactly 20
+//	IC11 — length filter                    -> moderate-to-large
+var ICNames = []string{"IC3", "IC5", "IC6", "IC9", "IC11"}
+
+// ICQueryName returns the canonical query name for an IC variant.
+func ICQueryName(name string, hops int) string {
+	return fmt.Sprintf("%s_h%d", strings.ToLower(name), hops)
+}
+
+// knowsChain builds (s:Person) -[:knows]- (:Person) ... with h hops.
+func knowsChain(hops int) string {
+	var b strings.Builder
+	b.WriteString("(s:Person)")
+	for i := 0; i < hops; i++ {
+		b.WriteString(" -[:knows]- (")
+		if i == hops-1 {
+			b.WriteString("f:Person)")
+		} else {
+			b.WriteString(":Person)")
+		}
+	}
+	return b.String()
+}
+
+// ICQuery returns the GSQL text of one hybrid IC query variant. Every
+// query takes (pid INT, qv LIST<FLOAT>, k INT): the start person, the
+// query vector and the top-k. Each collects a Message (Post) candidate
+// set shaped like its LDBC counterpart, then runs a filtered top-k
+// vector search over it, and prints the candidate set and the top-k.
+func ICQuery(name string, hops int) (string, string, error) {
+	if hops < 1 {
+		return "", "", fmt.Errorf("workload: hops must be >= 1")
+	}
+	qname := ICQueryName(name, hops)
+	chain := knowsChain(hops)
+	var collect string
+	switch name {
+	case "IC3":
+		// Messages from a country pair within a date window: highly
+		// selective (often empty at low hops, tens at higher hops).
+		collect = `Msgs = SELECT t FROM (:Friends) <-[:hasCreator]- (t:Post)
+            WHERE t.country = "France" AND t.creationDate < 1612137600000;`
+	case "IC5":
+		// Every post of every h-hop friend: the broad scan.
+		collect = `Msgs = SELECT t FROM (:Friends) <-[:hasCreator]- (t:Post);`
+	case "IC6":
+		// Language (standing in for the LDBC tag) filter: moderate.
+		collect = `Msgs = SELECT t FROM (:Friends) <-[:hasCreator]- (t:Post)
+            WHERE t.language = "English";`
+	case "IC9":
+		// The 20 most recent messages: constant-size candidate set.
+		collect = `Msgs = SELECT t FROM (:Friends) <-[:hasCreator]- (t:Post)
+            ORDER BY t.creationDate DESC LIMIT 20;`
+	case "IC11":
+		// Length range (standing in for the work-from filter): larger
+		// than IC6, smaller than IC5.
+		collect = `Msgs = SELECT t FROM (:Friends) <-[:hasCreator]- (t:Post)
+            WHERE t.length < 2500;`
+	default:
+		return "", "", fmt.Errorf("workload: unknown IC query %q", name)
+	}
+	text := fmt.Sprintf(`
+CREATE QUERY %s (INT pid, LIST<FLOAT> qv, INT k) {
+  Friends = SELECT f FROM %s WHERE s.id = pid;
+  %s
+  TopK = VectorSearch({Post.content_emb}, qv, k, {filter: Msgs});
+  PRINT Msgs;
+  PRINT TopK;
+}`, qname, chain, collect)
+	return qname, text, nil
+}

@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/vectormath"
+)
+
+// SNBConfig parameterizes the LDBC-SNB-like social network generator
+// (paper Sec. 6.5). "Scale factor" maps to the person count; the paper's
+// SF10 vs SF30 keep a 1:3 size ratio, which callers reproduce by tripling
+// Persons.
+type SNBConfig struct {
+	// Persons is the population size.
+	Persons int
+	// AvgKnows is the mean undirected friendship degree (power-law-ish
+	// via preferential attachment).
+	AvgKnows int
+	// PostsPerPerson / CommentsPerPerson are mean message counts.
+	PostsPerPerson    int
+	CommentsPerPerson int
+	// Dim is the content embedding dimensionality.
+	Dim int
+	// SegSize is the vertex/embedding segment size.
+	SegSize int
+	// Seed fixes the generator.
+	Seed int64
+}
+
+func (c SNBConfig) withDefaults() SNBConfig {
+	if c.Persons <= 0 {
+		c.Persons = 1000
+	}
+	if c.AvgKnows <= 0 {
+		c.AvgKnows = 8
+	}
+	if c.PostsPerPerson <= 0 {
+		c.PostsPerPerson = 6
+	}
+	if c.CommentsPerPerson <= 0 {
+		c.CommentsPerPerson = 8
+	}
+	if c.Dim <= 0 {
+		c.Dim = 32
+	}
+	if c.SegSize <= 0 {
+		c.SegSize = 512
+	}
+	return c
+}
+
+// Languages and countries used by message attributes.
+var (
+	snbLanguages = []string{"English", "French", "German", "Spanish", "Chinese"}
+	snbCountries = []string{"United States", "France", "Germany", "India", "China", "Brazil"}
+)
+
+// SNB is a generated social network wired into a full engine stack.
+type SNB struct {
+	Cfg      SNBConfig
+	G        *graph.Store
+	Svc      *core.Service
+	Mgr      *txn.Manager
+	E        *engine.Engine
+	Persons  []uint64
+	Posts    []uint64
+	Comments []uint64
+	// PostVecs/CommentVecs are the loaded content embeddings, indexed
+	// like Posts/Comments.
+	PostVecs    [][]float32
+	CommentVecs [][]float32
+	rng         *rand.Rand
+}
+
+// BuildSNB generates the graph, loads embeddings and builds indexes.
+// deltaDir receives vacuum delta files.
+func BuildSNB(cfg SNBConfig, deltaDir string) (*SNB, error) {
+	cfg = cfg.withDefaults()
+	sch := graph.NewSchema()
+	must := func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("workload: schema: %v", err))
+		}
+	}
+	must(sch.AddVertexType(graph.VertexType{
+		Name: "Person", PrimaryKey: "id",
+		Attrs: []storage.AttrSchema{
+			{Name: "id", Type: storage.TInt},
+			{Name: "firstName", Type: storage.TString},
+			{Name: "cid", Type: storage.TInt},
+		},
+	}))
+	msgAttrs := []storage.AttrSchema{
+		{Name: "id", Type: storage.TInt},
+		{Name: "language", Type: storage.TString},
+		{Name: "length", Type: storage.TInt},
+		{Name: "creationDate", Type: storage.TInt},
+		{Name: "country", Type: storage.TString},
+	}
+	must(sch.AddVertexType(graph.VertexType{Name: "Post", PrimaryKey: "id", Attrs: msgAttrs}))
+	must(sch.AddVertexType(graph.VertexType{Name: "Comment", PrimaryKey: "id", Attrs: msgAttrs}))
+	must(sch.AddEdgeType(graph.EdgeType{Name: "knows", From: "Person", To: "Person", Directed: false}))
+	must(sch.AddEdgeType(graph.EdgeType{Name: "hasCreator", From: "Post", To: "Person", Directed: true}))
+	must(sch.AddEdgeType(graph.EdgeType{Name: "commentHasCreator", From: "Comment", To: "Person", Directed: true}))
+	must(sch.AddEdgeType(graph.EdgeType{Name: "replyOf", From: "Comment", To: "Post", Directed: true}))
+	must(sch.AddEdgeType(graph.EdgeType{Name: "likes", From: "Person", To: "Post", Directed: true}))
+	must(sch.AddEmbeddingSpace(graph.EmbeddingSpace{
+		Name: "content_space", Dim: cfg.Dim, Model: "GPT4", Index: "HNSW",
+		DataType: "FLOAT", Metric: vectormath.L2}))
+	must(sch.AddEmbeddingAttr("Post", graph.EmbeddingAttr{Name: "content_emb", Space: "content_space"}))
+	must(sch.AddEmbeddingAttr("Comment", graph.EmbeddingAttr{Name: "content_emb", Space: "content_space"}))
+
+	g := graph.NewStore(sch, cfg.SegSize)
+	svc := core.NewService(deltaDir, cfg.SegSize, cfg.Seed)
+	mgr := txn.NewManager(svc, nil)
+	e := engine.New(g, svc, mgr)
+	snb := &SNB{Cfg: cfg, G: g, Svc: svc, Mgr: mgr, E: e, rng: rand.New(rand.NewSource(cfg.Seed))}
+	r := snb.rng
+
+	// People.
+	for i := 0; i < cfg.Persons; i++ {
+		id, err := g.AddVertex("Person", map[string]storage.Value{
+			"id": int64(i), "firstName": fmt.Sprintf("P%06d", i)})
+		if err != nil {
+			return nil, err
+		}
+		snb.Persons = append(snb.Persons, id)
+	}
+	// knows via preferential attachment: person i attaches to ~AvgKnows/2
+	// earlier persons biased toward low indexes (hubs).
+	halfDeg := cfg.AvgKnows / 2
+	if halfDeg < 1 {
+		halfDeg = 1
+	}
+	for i := 1; i < cfg.Persons; i++ {
+		edges := 1 + r.Intn(2*halfDeg)
+		for e2 := 0; e2 < edges; e2++ {
+			// Quadratic bias toward earlier (higher-degree) persons.
+			j := int(float64(i) * r.Float64() * r.Float64())
+			if j == i {
+				continue
+			}
+			g.AddEdge("knows", snb.Persons[i], snb.Persons[j])
+		}
+	}
+
+	// Messages with clustered embeddings. Use the mixture generator so
+	// the HNSW index behaves like it does on real text embeddings.
+	vds, err := GenVectors(VectorConfig{
+		Name: "snb-content", Dim: cfg.Dim, Seed: cfg.Seed + 1,
+		N:          cfg.Persons*cfg.PostsPerPerson + cfg.Persons*cfg.CommentsPerPerson,
+		NumQueries: 1, GTK: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	vecIdx := 0
+	nextVec := func() []float32 { v := vds.Vectors[vecIdx]; vecIdx++; return v }
+
+	day := int64(86400 * 1000)
+	msg := func(i int) map[string]storage.Value {
+		return map[string]storage.Value{
+			"id":           int64(i),
+			"language":     snbLanguages[r.Intn(len(snbLanguages))],
+			"length":       int64(r.Intn(4000)),
+			"creationDate": int64(1609459200000) + int64(r.Intn(730))*day,
+			"country":      snbCountries[r.Intn(len(snbCountries))],
+		}
+	}
+	msgID := 0
+	for pi, p := range snb.Persons {
+		nPosts := 1 + r.Intn(2*cfg.PostsPerPerson)
+		if pi%50 == 0 { // a few prolific posters, like real feeds
+			nPosts *= 5
+		}
+		for j := 0; j < nPosts; j++ {
+			id, err := g.AddVertex("Post", msg(msgID))
+			if err != nil {
+				return nil, err
+			}
+			msgID++
+			g.AddEdge("hasCreator", id, p)
+			snb.Posts = append(snb.Posts, id)
+			snb.PostVecs = append(snb.PostVecs, nextVec())
+			if vecIdx >= len(vds.Vectors) {
+				vecIdx = 0
+			}
+		}
+	}
+	for _, p := range snb.Persons {
+		nComments := 1 + r.Intn(2*cfg.CommentsPerPerson)
+		for j := 0; j < nComments; j++ {
+			id, err := g.AddVertex("Comment", msg(msgID))
+			if err != nil {
+				return nil, err
+			}
+			msgID++
+			g.AddEdge("commentHasCreator", id, p)
+			if len(snb.Posts) > 0 {
+				g.AddEdge("replyOf", id, snb.Posts[r.Intn(len(snb.Posts))])
+			}
+			snb.Comments = append(snb.Comments, id)
+			snb.CommentVecs = append(snb.CommentVecs, nextVec())
+			if vecIdx >= len(vds.Vectors) {
+				vecIdx = 0
+			}
+		}
+	}
+	// Likes.
+	for _, p := range snb.Persons {
+		for j := 0; j < 3; j++ {
+			if len(snb.Posts) > 0 {
+				g.AddEdge("likes", p, snb.Posts[r.Intn(len(snb.Posts))])
+			}
+		}
+	}
+
+	// Load embeddings and build indexes.
+	postStore, err := svc.Register("Post", mustEmb(sch, "Post", "content_emb"))
+	if err != nil {
+		return nil, err
+	}
+	commentStore, err := svc.Register("Comment", mustEmb(sch, "Comment", "content_emb"))
+	if err != nil {
+		return nil, err
+	}
+	if err := postStore.BulkLoad(snb.Posts, snb.PostVecs, 4, 1); err != nil {
+		return nil, err
+	}
+	if err := commentStore.BulkLoad(snb.Comments, snb.CommentVecs, 4, 1); err != nil {
+		return nil, err
+	}
+	mgr.Begin().Commit() // advance Visible past the bulk watermark
+	return snb, nil
+}
+
+func mustEmb(sch *graph.Schema, vt, attr string) graph.EmbeddingAttr {
+	v, _ := sch.VertexType(vt)
+	ea, _ := v.Embedding(attr)
+	return ea
+}
+
+// RandomQueryVector samples a content-like query vector.
+func (s *SNB) RandomQueryVector() []float32 {
+	if len(s.PostVecs) == 0 {
+		return make([]float32, s.Cfg.Dim)
+	}
+	base := s.PostVecs[s.rng.Intn(len(s.PostVecs))]
+	out := make([]float32, len(base))
+	for i := range out {
+		out[i] = base[i] + float32(s.rng.NormFloat64())
+	}
+	return out
+}
+
+// RandomPersonKey returns a random person primary key.
+func (s *SNB) RandomPersonKey() int64 {
+	return int64(s.rng.Intn(s.Cfg.Persons))
+}

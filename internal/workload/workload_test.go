@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gsql"
+)
+
+func TestGenVectorsShapeAndDeterminism(t *testing.T) {
+	a, err := GenVectors(VectorConfig{Name: "t", N: 500, Dim: 16, NumQueries: 10, GTK: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Vectors) != 500 || len(a.Queries) != 10 || len(a.GroundTruth) != 10 {
+		t.Fatalf("shape: %d vectors, %d queries, %d gt", len(a.Vectors), len(a.Queries), len(a.GroundTruth))
+	}
+	if len(a.Vectors[0]) != 16 || len(a.GroundTruth[0]) != 5 {
+		t.Fatal("dims wrong")
+	}
+	b, _ := GenVectors(VectorConfig{Name: "t", N: 500, Dim: 16, NumQueries: 10, GTK: 5, Seed: 3})
+	for i := range a.Vectors[0] {
+		if a.Vectors[0][i] != b.Vectors[0][i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	c, _ := GenVectors(VectorConfig{Name: "t", N: 500, Dim: 16, NumQueries: 10, GTK: 5, Seed: 4})
+	same := true
+	for i := range a.Vectors[0] {
+		if a.Vectors[0][i] != c.Vectors[0][i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+	if _, err := GenVectors(VectorConfig{N: 0, Dim: 4}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestSIFTLikeAndDeepLike(t *testing.T) {
+	s, err := SIFTLike(200, 1)
+	if err != nil || s.Dim != 128 {
+		t.Fatalf("SIFTLike: %v dim=%d", err, s.Dim)
+	}
+	d, err := DeepLike(200, 1)
+	if err != nil || d.Dim != 96 {
+		t.Fatalf("DeepLike: %v", err)
+	}
+	// Deep-like vectors are unit norm.
+	var norm float32
+	for _, x := range d.Vectors[0] {
+		norm += x * x
+	}
+	if norm < 0.99 || norm > 1.01 {
+		t.Fatalf("Deep-like norm^2 = %v", norm)
+	}
+	st := s.Describe()
+	if st.Name != "SIFT-like" || st.Vectors != 200 || st.Dim != 128 {
+		t.Fatalf("Describe = %+v", st)
+	}
+}
+
+func TestRecallComputation(t *testing.T) {
+	d, _ := GenVectors(VectorConfig{Name: "t", N: 100, Dim: 8, NumQueries: 4, GTK: 10, Seed: 5})
+	// Perfect results.
+	if r := d.Recall(d.GroundTruth, 10); r != 1 {
+		t.Fatalf("perfect recall = %v", r)
+	}
+	// Empty results.
+	empty := make([][]uint64, 4)
+	if r := d.Recall(empty, 10); r != 0 {
+		t.Fatalf("empty recall = %v", r)
+	}
+	// Half results.
+	half := make([][]uint64, 4)
+	for i := range half {
+		half[i] = d.GroundTruth[i][:5]
+	}
+	if r := d.Recall(half, 10); r != 0.5 {
+		t.Fatalf("half recall = %v", r)
+	}
+	if r := d.Recall(nil, 10); r != 0 {
+		t.Fatal("nil recall")
+	}
+}
+
+func TestBuildSNBStructure(t *testing.T) {
+	snb, err := BuildSNB(SNBConfig{Persons: 200, Seed: 2, Dim: 16, SegSize: 128}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snb.Persons) != 200 {
+		t.Fatalf("persons = %d", len(snb.Persons))
+	}
+	if len(snb.Posts) == 0 || len(snb.Comments) == 0 {
+		t.Fatal("no messages generated")
+	}
+	if snb.G.NumEdges("knows") == 0 || snb.G.NumEdges("hasCreator") != len(snb.Posts) {
+		t.Fatalf("edges: knows=%d hasCreator=%d", snb.G.NumEdges("knows"), snb.G.NumEdges("hasCreator"))
+	}
+	// Embeddings materialized and searchable.
+	store, ok := snb.Svc.Store("Post.content_emb")
+	if !ok {
+		t.Fatal("post embedding store missing")
+	}
+	res, err := store.Search(snb.Mgr.Visible(), snb.PostVecs[0], 1, 32, nil, 2)
+	if err != nil || len(res) != 1 || res[0].ID != snb.Posts[0] {
+		t.Fatalf("self search = %+v, %v", res, err)
+	}
+	// Query helpers.
+	if k := snb.RandomPersonKey(); k < 0 || k >= 200 {
+		t.Fatalf("RandomPersonKey = %d", k)
+	}
+	if qv := snb.RandomQueryVector(); len(qv) != 16 {
+		t.Fatalf("query vector dim = %d", len(qv))
+	}
+}
+
+func TestICQueryGeneration(t *testing.T) {
+	for _, name := range ICNames {
+		for _, hops := range []int{2, 3, 4} {
+			qname, text, err := ICQuery(name, hops)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(text, "VectorSearch({Post.content_emb}") {
+				t.Fatalf("%s: no vector search in %q", qname, text)
+			}
+			if got := strings.Count(text, "-[:knows]-"); got != hops {
+				t.Fatalf("%s: %d knows hops, want %d", qname, got, hops)
+			}
+		}
+	}
+	if _, _, err := ICQuery("IC99", 2); err == nil {
+		t.Fatal("unknown IC accepted")
+	}
+	if _, _, err := ICQuery("IC3", 0); err == nil {
+		t.Fatal("hops=0 accepted")
+	}
+}
+
+// End-to-end: every IC variant parses, runs, and produces the expected
+// candidate-set ordering (IC5 >= IC11 >= IC6 >= IC3; IC9 == min(20, posts)).
+func TestICQueriesRunOnSNB(t *testing.T) {
+	snb, err := BuildSNB(SNBConfig{Persons: 300, Seed: 4, Dim: 16, SegSize: 256}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := gsql.NewInterpreter(snb.E)
+	candidates := map[string]int{}
+	for _, name := range ICNames {
+		qname, text, err := ICQuery(name, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Exec(text); err != nil {
+			t.Fatalf("%s: %v", qname, err)
+		}
+		res, err := in.Run(qname, map[string]any{
+			"pid": int64(0), "qv": f64(snb.RandomQueryVector()), "k": 5})
+		if err != nil {
+			t.Fatalf("%s: %v", qname, err)
+		}
+		msgs := res.Outputs[0].Value.(*engine.VertexSet)
+		topk := res.Outputs[1].Value.(*engine.VertexSet)
+		candidates[name] = msgs.Size()
+		if topk.Size() > 5 {
+			t.Fatalf("%s: topk = %d", qname, topk.Size())
+		}
+		// Top-k members must come from the candidate set.
+		for _, id := range topk.IDs() {
+			if !msgs.Contains(id) {
+				t.Fatalf("%s: topk id %d outside candidates", qname, id)
+			}
+		}
+	}
+	if candidates["IC5"] < candidates["IC6"] || candidates["IC5"] < candidates["IC3"] {
+		t.Fatalf("candidate ordering wrong: %v", candidates)
+	}
+	if candidates["IC9"] > 20 {
+		t.Fatalf("IC9 candidates = %d, want <= 20", candidates["IC9"])
+	}
+	if candidates["IC5"] == 0 {
+		t.Fatal("IC5 found no messages")
+	}
+}
+
+func f64(v []float32) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func TestICCandidatesGrowWithHops(t *testing.T) {
+	snb, err := BuildSNB(SNBConfig{Persons: 300, Seed: 5, Dim: 16, SegSize: 256}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := gsql.NewInterpreter(snb.E)
+	var prev int
+	for _, hops := range []int{2, 3, 4} {
+		qname, text, _ := ICQuery("IC5", hops)
+		if err := in.Exec(text); err != nil {
+			t.Fatal(err)
+		}
+		res, err := in.Run(qname, map[string]any{
+			"pid": int64(1), "qv": f64(snb.RandomQueryVector()), "k": 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := res.Outputs[0].Value.(*engine.VertexSet).Size()
+		if n < prev {
+			t.Fatalf("candidates shrank with hops: %d -> %d", prev, n)
+		}
+		prev = n
+	}
+	if prev == 0 {
+		t.Fatal("no candidates at 4 hops")
+	}
+}

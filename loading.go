@@ -1,0 +1,101 @@
+package tigervector
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/graph"
+)
+
+// This file implements the loading-job surface of paper Sec. 4.1:
+// vertices and edges load from CSV; embedding attributes load from
+// separate files whose vector column is split on a separator (the
+// split(content_emb, ":") idiom), or in bulk from in-memory slices.
+
+// LoadVerticesCSV inserts one vertex per CSV row. cols maps CSV columns
+// to attribute names (empty string skips a column). Returns vertex ids in
+// row order.
+func (db *DB) LoadVerticesCSV(vertexType string, cols []string, r io.Reader) ([]uint64, error) {
+	return db.graph.LoadVerticesCSV(vertexType, cols, r)
+}
+
+// LoadEdgesCSV inserts edges from (fromKey, toKey) primary-key rows.
+func (db *DB) LoadEdgesCSV(edgeType string, r io.Reader) (int, error) {
+	return db.graph.LoadEdgesCSV(edgeType, r)
+}
+
+// LoadEmbeddingsCSV loads an embedding attribute from rows of
+// (primaryKey, vector) where the vector column is split on sep. Rows are
+// applied transactionally (one commit per batch of 1024).
+func (db *DB) LoadEmbeddingsCSV(vertexType, attr string, sep string, r io.Reader) (int, error) {
+	vt, ok := db.graph.Schema().VertexType(vertexType)
+	if !ok {
+		return 0, fmt.Errorf("tigervector: unknown vertex type %q", vertexType)
+	}
+	ea, ok := vt.Embedding(attr)
+	if !ok {
+		return 0, fmt.Errorf("tigervector: %s has no embedding attribute %q", vertexType, attr)
+	}
+	pkAttr, ok := vt.Attr(vt.PrimaryKey)
+	if !ok {
+		return 0, fmt.Errorf("tigervector: %s has no primary key", vertexType)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	n, line := 0, 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("tigervector: csv line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) < 2 {
+			return n, fmt.Errorf("tigervector: csv line %d has %d fields, want 2", line, len(rec))
+		}
+		key, err := graph.ParseValue(pkAttr.Type, rec[0])
+		if err != nil {
+			return n, err
+		}
+		id, ok := db.graph.VertexByKey(vertexType, key)
+		if !ok {
+			return n, fmt.Errorf("tigervector: csv line %d: no %s vertex with key %v", line, vertexType, key)
+		}
+		vec, err := graph.ParseVector(rec[1], sep)
+		if err != nil {
+			return n, fmt.Errorf("tigervector: csv line %d: %w", line, err)
+		}
+		if len(vec) != ea.Dim {
+			return n, fmt.Errorf("tigervector: csv line %d: vector has dim %d, want %d", line, len(vec), ea.Dim)
+		}
+		if err := db.UpsertEmbedding(vertexType, attr, id, vec); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// BulkLoadEmbeddings installs embeddings for many vertices at once and
+// builds the per-segment indexes in parallel. It is the fast initial-load
+// path (no delta store involved) and requires that no vector updates for
+// this attribute are pending.
+func (db *DB) BulkLoadEmbeddings(vertexType, attr string, ids []uint64, vecs [][]float32) error {
+	if err := db.checkEmbedding(vertexType, attr, -1); err != nil {
+		return err
+	}
+	store, ok := db.svc.Store(vertexType + "." + attr)
+	if !ok {
+		return fmt.Errorf("tigervector: embedding store %s.%s not registered", vertexType, attr)
+	}
+	tx := db.mgr.Begin()
+	tid, err := tx.Commit() // reserve a TID for the bulk watermark
+	if err != nil {
+		return err
+	}
+	return store.BulkLoad(ids, vecs, runtime.GOMAXPROCS(0), tid)
+}

@@ -1,0 +1,234 @@
+package tigervector
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/gsql"
+	"repro/internal/txn"
+	"repro/internal/vectormath"
+)
+
+// SearchHit is one vector search result.
+type SearchHit struct {
+	VertexType string
+	ID         uint64
+	Distance   float32
+}
+
+// VertexSet is the public view of a vertex-set query result.
+type VertexSet struct {
+	Type string
+	IDs  []uint64
+}
+
+// String renders the set compactly for printing.
+func (s *VertexSet) String() string {
+	return fmt.Sprintf("%s%v", s.Type, s.IDs)
+}
+
+// PairRow is one vector-similarity-join result row.
+type PairRow struct {
+	SrcType  string
+	Src      uint64
+	DstType  string
+	Dst      uint64
+	Distance float32
+}
+
+// QueryResult is the outcome of running a GSQL query.
+type QueryResult struct {
+	// Outputs are the PRINT results in order. Values are plain Go types:
+	// int64, float64, string, bool, []float32, *VertexSet, []*VertexSet,
+	// []PairRow or map[uint64]float64.
+	Outputs []Output
+	// Plans are the executed action plans (paper-style, one per block).
+	Plans []string
+	// Stats carries execution measurements.
+	Stats QueryStats
+}
+
+// Output is one PRINT result.
+type Output struct {
+	Name  string
+	Value any
+}
+
+// QueryStats mirrors the measurements of the paper's hybrid evaluation.
+type QueryStats struct {
+	EndToEnd         float64 // seconds
+	VectorSearchTime float64 // seconds
+	Candidates       int
+}
+
+// Run executes a defined GSQL query.
+func (db *DB) Run(name string, args map[string]any) (*QueryResult, error) {
+	res, err := db.interp.Run(name, args)
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryResult{
+		Plans: res.Plans,
+		Stats: QueryStats{
+			EndToEnd:         res.Stats.EndToEnd.Seconds(),
+			VectorSearchTime: res.Stats.VectorSearchTime.Seconds(),
+			Candidates:       res.Stats.Candidates,
+		},
+	}
+	for _, o := range res.Outputs {
+		out.Outputs = append(out.Outputs, Output{Name: o.Name, Value: publicValue(o.Value)})
+	}
+	return out, nil
+}
+
+func publicValue(v any) any {
+	switch x := v.(type) {
+	case *engine.VertexSet:
+		return &VertexSet{Type: x.Type, IDs: x.IDs()}
+	case *gsql.MultiSet:
+		out := make([]*VertexSet, 0, len(x.Sets))
+		for _, s := range x.Sets {
+			out = append(out, &VertexSet{Type: s.Type, IDs: s.IDs()})
+		}
+		return out
+	case *gsql.PairTable:
+		rows := make([]PairRow, len(x.Rows))
+		for i, r := range x.Rows {
+			rows[i] = PairRow{SrcType: r.SrcType, Src: r.Src, DstType: r.DstType, Dst: r.Dst, Distance: r.Distance}
+		}
+		return rows
+	case map[uint64]struct{}:
+		ids := make([]uint64, 0, len(x))
+		for id := range x {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	default:
+		return v
+	}
+}
+
+// SearchOptions tunes direct vector searches.
+type SearchOptions struct {
+	// Ef is the index beam width; 0 uses the DB default.
+	Ef int
+	// Filter restricts candidates to this set of vertex ids of the
+	// searched types. Nil searches everything live.
+	Filter *VertexSet
+}
+
+// VectorSearch runs a top-k search over one or more embedding attributes
+// given as "Type.attr" strings. Attributes spanning multiple vertex types
+// must pass the embedding compatibility check (same dimension, model,
+// data type and metric).
+func (db *DB) VectorSearch(attrs []string, query []float32, k int, opts *SearchOptions) ([]SearchHit, error) {
+	refs := make([]graph.EmbeddingRef, 0, len(attrs))
+	for _, a := range attrs {
+		r, err := graph.ParseEmbeddingRef(a)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, r)
+	}
+	so := engine.SearchOptions{K: k, Ef: db.cfg.DefaultEf}
+	if opts != nil {
+		if opts.Ef > 0 {
+			so.Ef = opts.Ef
+		}
+		if opts.Filter != nil {
+			so.Filters = map[string]*engine.VertexSet{
+				opts.Filter.Type: engine.NewVertexSet(opts.Filter.Type, opts.Filter.IDs),
+			}
+		}
+	}
+	res, err := db.engine.EmbeddingAction(refs, query, so)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SearchHit, len(res))
+	for i, r := range res {
+		out[i] = SearchHit{VertexType: r.Type, ID: r.ID, Distance: r.Distance}
+	}
+	return out, nil
+}
+
+// RangeSearch returns every vertex whose embedding lies within the
+// distance threshold of the query.
+func (db *DB) RangeSearch(attr string, query []float32, threshold float32, opts *SearchOptions) ([]SearchHit, error) {
+	ref, err := graph.ParseEmbeddingRef(attr)
+	if err != nil {
+		return nil, err
+	}
+	so := engine.SearchOptions{Ef: db.cfg.DefaultEf}
+	if opts != nil {
+		if opts.Ef > 0 {
+			so.Ef = opts.Ef
+		}
+		if opts.Filter != nil {
+			so.Filters = map[string]*engine.VertexSet{
+				opts.Filter.Type: engine.NewVertexSet(opts.Filter.Type, opts.Filter.IDs),
+			}
+		}
+	}
+	res, err := db.engine.RangeAction(ref, query, threshold, so)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SearchHit, len(res))
+	for i, r := range res {
+		out[i] = SearchHit{VertexType: r.Type, ID: r.ID, Distance: r.Distance}
+	}
+	return out, nil
+}
+
+// UpsertEmbedding transactionally writes a vertex's embedding attribute.
+// The update becomes visible immediately (served from the delta store)
+// and is merged into the index by the vacuum.
+func (db *DB) UpsertEmbedding(vertexType, attr string, id uint64, vec []float32) error {
+	if err := db.checkEmbedding(vertexType, attr, len(vec)); err != nil {
+		return err
+	}
+	tx := db.mgr.Begin()
+	tx.StageVector(txn.StagedVector{
+		AttrKey: core.AttrKey(vertexType, attr), Action: txn.Upsert, ID: id,
+		Vec: vectormath.Clone(vec)})
+	_, err := tx.Commit()
+	return err
+}
+
+// DeleteEmbedding transactionally removes a vertex's embedding.
+func (db *DB) DeleteEmbedding(vertexType, attr string, id uint64) error {
+	if err := db.checkEmbedding(vertexType, attr, -1); err != nil {
+		return err
+	}
+	tx := db.mgr.Begin()
+	tx.StageVector(txn.StagedVector{
+		AttrKey: core.AttrKey(vertexType, attr), Action: txn.Delete, ID: id})
+	_, err := tx.Commit()
+	return err
+}
+
+// GetEmbedding reads the currently visible embedding of a vertex.
+func (db *DB) GetEmbedding(vertexType, attr string, id uint64) ([]float32, bool) {
+	v, ok := db.engine.GetVector(graph.EmbeddingRef{VertexType: vertexType, Attr: attr}, id, 0)
+	return v, ok
+}
+
+func (db *DB) checkEmbedding(vertexType, attr string, dim int) error {
+	vt, ok := db.graph.Schema().VertexType(vertexType)
+	if !ok {
+		return fmt.Errorf("tigervector: unknown vertex type %q", vertexType)
+	}
+	ea, ok := vt.Embedding(attr)
+	if !ok {
+		return fmt.Errorf("tigervector: %s has no embedding attribute %q", vertexType, attr)
+	}
+	if dim >= 0 && dim != ea.Dim {
+		return fmt.Errorf("tigervector: %s.%s expects dimension %d, got %d", vertexType, attr, ea.Dim, dim)
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package tigervector
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentWorkload hammers one DB with concurrent searches, GSQL
+// queries, transactional vector updates and the background vacuum — the
+// whole stack under contention. Invariants checked:
+//
+//  1. no search ever returns a vertex whose embedding was deleted before
+//     the search began,
+//  2. an upsert is visible to searches that start after it commits,
+//  3. every GSQL result set respects its filter.
+func TestConcurrentWorkload(t *testing.T) {
+	db, err := Open(Config{SegmentSize: 64, Seed: 1, DataDir: t.TempDir(),
+		VacuumInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	r := rand.New(rand.NewSource(2))
+	db.AddVertex("Person", map[string]any{"id": int64(0), "name": "Alice"})
+	var ids []uint64
+	var vecs [][]float32
+	for i := 0; i < n; i++ {
+		lang := "English"
+		if i%2 == 0 {
+			lang = "French"
+		}
+		id, _ := db.AddVertex("Post", map[string]any{
+			"id": int64(i), "language": lang, "length": int64(i)})
+		v := make([]float32, 8)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		ids = append(ids, id)
+		vecs = append(vecs, v)
+	}
+	if err := db.BulkLoadEmbeddings("Post", "content_emb", ids, vecs); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(`
+CREATE QUERY eng (LIST<FLOAT> qv, INT k) {
+  R = SELECT s FROM (s:Post) WHERE s.language = "English"
+      ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT k;
+  PRINT R;
+}`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ids >= n/2 are mutated concurrently; ids < n/4 get deleted up front
+	// so searches can assert their absence throughout.
+	for i := 0; i < n/4; i++ {
+		if err := db.DeleteEmbedding("Post", "content_emb", ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup       // finite workers
+	var writerWG sync.WaitGroup // unbounded writer, stopped after workers
+	stop := make(chan struct{})
+	errCh := make(chan error, 64)
+	report := func(format string, args ...any) {
+		select {
+		case errCh <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// Writer: keeps upserting fresh vectors for the upper half, paced so
+	// the single-core vacuum can keep the delta store bounded.
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		wr := rand.New(rand.NewSource(3))
+		for i := 0; i < 2000; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := ids[n/2+wr.Intn(n/2)]
+			v := make([]float32, 8)
+			for j := range v {
+				v[j] = float32(wr.NormFloat64())
+			}
+			if err := db.UpsertEmbedding("Post", "content_emb", id, v); err != nil {
+				report("upsert: %v", err)
+				return
+			}
+			if i%50 == 0 {
+				time.Sleep(time.Millisecond) // let the vacuum breathe
+			}
+		}
+	}()
+
+	// Direct searchers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sr := rand.New(rand.NewSource(int64(10 + w)))
+			for i := 0; i < 150; i++ {
+				q := make([]float32, 8)
+				for j := range q {
+					q[j] = float32(sr.NormFloat64())
+				}
+				hits, err := db.VectorSearch([]string{"Post.content_emb"}, q, 10, &SearchOptions{Ef: 64})
+				if err != nil {
+					report("search: %v", err)
+					return
+				}
+				for _, h := range hits {
+					if h.ID < ids[n/4] {
+						report("deleted embedding %d returned", h.ID)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// GSQL searchers: results must all be English posts.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gr := rand.New(rand.NewSource(20))
+		for i := 0; i < 80; i++ {
+			q := make([]float64, 8)
+			for j := range q {
+				q[j] = gr.NormFloat64()
+			}
+			res, err := db.Run("eng", map[string]any{"qv": q, "k": 5})
+			if err != nil {
+				report("gsql: %v", err)
+				return
+			}
+			set := res.Outputs[0].Value.(*VertexSet)
+			for _, id := range set.IDs {
+				lang, err := db.Attr("Post", id, "language")
+				if err != nil || lang.(string) != "English" {
+					report("gsql filter violated on %d (%v, %v)", id, lang, err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Visibility prober: upsert a sentinel, then immediately search it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			sentinel := []float32{float32(1000 + i), 0, 0, 0, 0, 0, 0, 0}
+			id := ids[n/2]
+			if err := db.UpsertEmbedding("Post", "content_emb", id, sentinel); err != nil {
+				report("sentinel upsert: %v", err)
+				return
+			}
+			hits, err := db.VectorSearch([]string{"Post.content_emb"}, sentinel, 1, nil)
+			if err != nil {
+				report("sentinel search: %v", err)
+				return
+			}
+			if len(hits) != 1 || hits[0].ID != id || hits[0].Distance != 0 {
+				report("iteration %d: committed upsert invisible: %+v", i, hits)
+				return
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("stress test deadlocked")
+	}
+	close(stop)
+	writerWG.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	// After quiescing, the vacuum must converge and the data stays sane.
+	if err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := db.VectorSearch([]string{"Post.content_emb"}, vecs[n/4], 1, nil)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("post-stress search = %+v, %v", hits, err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package tigervector is a from-scratch Go reproduction of TigerVector
+// (SIGMOD 2025): vector search integrated natively into a TigerGraph-style
+// MPP property-graph database.
+//
+// A DB owns a property graph (schema, vertices, edges), an embedding
+// service managing vector attributes decoupled from other attributes
+// (per-segment HNSW indexes, MVCC vector deltas, two background vacuum
+// processes), an MPP query engine, and a GSQL-subset interpreter with
+// declarative vector search:
+//
+//	db, _ := tigervector.Open(tigervector.Config{})
+//	defer db.Close()
+//	_ = db.Exec(`
+//	  CREATE VERTEX Post (id INT PRIMARY KEY, author STRING, content STRING);
+//	  ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb (
+//	    DIMENSION = 128, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);
+//	  CREATE QUERY topk (LIST<FLOAT> qv, INT k) {
+//	    Res = SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT k;
+//	    PRINT Res;
+//	  }`)
+//	res, _ := db.Run("topk", map[string]any{"qv": queryVec, "k": 10})
+//
+// Filtered search, vector search on graph patterns, vector similarity
+// joins, and the composable VectorSearch() function are all supported;
+// see the examples directory.
+package tigervector
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/gsql"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/vacuum"
+)
+
+// Config controls a DB instance. The zero value is usable.
+type Config struct {
+	// SegmentSize is the number of vertices per storage segment (the MPP
+	// parallelism unit). Default 1024.
+	SegmentSize int
+	// DataDir holds delta files and the WAL. Default: a fresh temp dir.
+	DataDir string
+	// DefaultEf is the index search beam used when queries don't set ef.
+	// Default 64.
+	DefaultEf int
+	// DisableVacuum turns off the background delta-merge and index-merge
+	// processes; committed vector updates are then served from the delta
+	// store until Vacuum() is called manually.
+	DisableVacuum bool
+	// VacuumInterval overrides the index merge cadence. Default 200ms.
+	VacuumInterval time.Duration
+	// Seed fixes all internal randomness (HNSW levels, Louvain order).
+	Seed int64
+	// Durability enables the write-ahead log for vector updates.
+	Durability bool
+}
+
+// DB is a TigerVector database instance.
+type DB struct {
+	cfg     Config
+	graph   *graph.Store
+	svc     *core.Service
+	mgr     *txn.Manager
+	engine  *engine.Engine
+	interp  *gsql.Interpreter
+	vac     *vacuum.Manager
+	walFile *os.File
+	ownsDir bool
+}
+
+// Open creates a DB.
+func Open(cfg Config) (*DB, error) {
+	if cfg.SegmentSize <= 0 {
+		cfg.SegmentSize = storage.DefaultSegmentSize
+	}
+	if cfg.DefaultEf <= 0 {
+		cfg.DefaultEf = 64
+	}
+	ownsDir := false
+	if cfg.DataDir == "" {
+		dir, err := os.MkdirTemp("", "tigervector-*")
+		if err != nil {
+			return nil, fmt.Errorf("tigervector: create data dir: %w", err)
+		}
+		cfg.DataDir = dir
+		ownsDir = true
+	} else if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("tigervector: data dir: %w", err)
+	}
+
+	sch := graph.NewSchema()
+	g := graph.NewStore(sch, cfg.SegmentSize)
+	svc := core.NewService(cfg.DataDir, cfg.SegmentSize, cfg.Seed)
+
+	mgr := txn.NewManager(svc, nil)
+	eng := engine.New(g, svc, mgr)
+	interp := gsql.NewInterpreter(eng)
+	interp.DefaultEf = cfg.DefaultEf
+	interp.LouvainSeed = cfg.Seed
+
+	db := &DB{
+		cfg: cfg, graph: g, svc: svc, mgr: mgr, engine: eng,
+		interp: interp, ownsDir: ownsDir,
+	}
+	if cfg.Durability {
+		// Recover the catalog (DDL log) and committed vector updates
+		// before opening the WAL for appends.
+		if err := db.recover(); err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(db.walPath(), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("tigervector: open wal: %w", err)
+		}
+		db.walFile = f
+		mgr2 := txn.NewManager(svc, txn.NewWAL(f))
+		mgr2.Recover(mgr.Visible())
+		db.mgr = mgr2
+		eng.Mgr = mgr2
+	}
+	db.vac = vacuum.NewManager(svc, vacuum.Options{
+		MergeInterval: cfg.VacuumInterval,
+		MaxThreads:    runtime.GOMAXPROCS(0),
+		Monitor:       vacuum.LoadFunc(eng.Load),
+	})
+	if !cfg.DisableVacuum {
+		db.vac.Start()
+	}
+	return db, nil
+}
+
+// Close stops background processes and releases resources.
+func (db *DB) Close() error {
+	db.vac.Stop()
+	if db.walFile != nil {
+		db.walFile.Close()
+	}
+	if db.ownsDir {
+		return os.RemoveAll(db.cfg.DataDir)
+	}
+	return nil
+}
+
+// Exec parses and applies GSQL statements: DDL (CREATE VERTEX / EDGE /
+// EMBEDDING SPACE, ALTER VERTEX ADD EMBEDDING ATTRIBUTE) and CREATE QUERY
+// definitions. With Durability enabled the statements are appended to the
+// catalog log and replayed on the next Open.
+func (db *DB) Exec(src string) error {
+	if err := db.interp.Exec(src); err != nil {
+		return err
+	}
+	if db.cfg.Durability {
+		f, err := os.OpenFile(db.catalogPath(), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("tigervector: catalog log: %w", err)
+		}
+		defer f.Close()
+		if _, err := fmt.Fprintf(f, "%s\n", src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) walPath() string     { return db.cfg.DataDir + "/wal.log" }
+func (db *DB) catalogPath() string { return db.cfg.DataDir + "/catalog.gsql" }
+
+// recover replays the catalog log and the vector WAL, restoring schema,
+// query definitions, embedding stores and committed vector updates. Graph
+// vertices and edges are not covered by the WAL (as in the paper, which
+// describes the vector delta log; reload them from their sources).
+func (db *DB) recover() error {
+	if data, err := os.ReadFile(db.catalogPath()); err == nil && len(data) > 0 {
+		if err := db.interp.Exec(string(data)); err != nil {
+			return fmt.Errorf("tigervector: catalog replay: %w", err)
+		}
+	}
+	f, err := os.Open(db.walPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	var maxTID txn.TID
+	err = txn.ReplayWAL(f, func(tid txn.TID, vectors []txn.StagedVector) error {
+		for _, v := range vectors {
+			d := txn.VectorDelta{Action: v.Action, ID: v.ID, TID: tid, Vec: v.Vec}
+			if err := db.svc.ApplyVectorDelta(v.AttrKey, d); err != nil {
+				return err
+			}
+		}
+		if tid > maxTID {
+			maxTID = tid
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("tigervector: wal replay: %w", err)
+	}
+	db.mgr.Recover(maxTID)
+	return nil
+}
+
+// Queries lists the names of defined GSQL queries.
+func (db *DB) Queries() []string { return db.interp.Queries() }
+
+// Vacuum synchronously flushes committed vector deltas and merges them
+// into the indexes (one full pass of both background processes).
+func (db *DB) Vacuum() error { return db.vac.Drain() }
+
+// AddVertex inserts (or upserts by primary key) a vertex.
+func (db *DB) AddVertex(vertexType string, attrs map[string]any) (uint64, error) {
+	conv := make(map[string]storage.Value, len(attrs))
+	for k, v := range attrs {
+		conv[k] = v
+	}
+	return db.graph.AddVertex(vertexType, conv)
+}
+
+// AddEdge inserts an edge between existing vertices.
+func (db *DB) AddEdge(edgeType string, from, to uint64) error {
+	return db.graph.AddEdge(edgeType, from, to)
+}
+
+// VertexByKey resolves a primary key to a vertex id.
+func (db *DB) VertexByKey(vertexType string, key any) (uint64, bool) {
+	return db.graph.VertexByKey(vertexType, key)
+}
+
+// Attr reads a scalar attribute of a vertex.
+func (db *DB) Attr(vertexType string, id uint64, name string) (any, error) {
+	return db.graph.Attr(vertexType, id, name)
+}
+
+// SetAttr writes a scalar attribute of a vertex.
+func (db *DB) SetAttr(vertexType string, id uint64, name string, v any) error {
+	return db.graph.SetAttr(vertexType, id, name, v)
+}
+
+// DeleteVertex tombstones a vertex and transactionally deletes its
+// embedding attributes.
+func (db *DB) DeleteVertex(vertexType string, id uint64) error {
+	vt, ok := db.graph.Schema().VertexType(vertexType)
+	if !ok {
+		return fmt.Errorf("tigervector: unknown vertex type %q", vertexType)
+	}
+	tx := db.mgr.Begin()
+	tx.StageGraph(func() error { return db.graph.DeleteVertex(vertexType, id) })
+	for _, ea := range vt.Embeddings {
+		tx.StageVector(txn.StagedVector{
+			AttrKey: core.AttrKey(vertexType, ea.Name), Action: txn.Delete, ID: id})
+	}
+	_, err := tx.Commit()
+	return err
+}
+
+// NumVertices returns the live vertex count of a type.
+func (db *DB) NumVertices(vertexType string) int { return db.graph.NumAlive(vertexType) }
+
+// NumEdges returns the edge count of a type.
+func (db *DB) NumEdges(edgeType string) int { return db.graph.NumEdges(edgeType) }
+
+// OutNeighbors returns edge targets from a vertex.
+func (db *DB) OutNeighbors(edgeType string, from uint64) []uint64 {
+	return db.graph.OutNeighbors(edgeType, from)
+}
+
+// InNeighbors returns edge sources into a vertex.
+func (db *DB) InNeighbors(edgeType string, to uint64) []uint64 {
+	return db.graph.InNeighbors(edgeType, to)
+}

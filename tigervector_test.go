@@ -1,0 +1,363 @@
+package tigervector
+
+import (
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+const testDDL = `
+CREATE VERTEX Person (id INT PRIMARY KEY, name STRING, cid INT);
+CREATE VERTEX Post (id INT PRIMARY KEY, language STRING, length INT);
+CREATE UNDIRECTED EDGE knows (FROM Person, TO Person);
+CREATE DIRECTED EDGE hasCreator (FROM Post, TO Person);
+ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb (
+  DIMENSION = 8, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);
+`
+
+func openTestDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(Config{SegmentSize: 32, Seed: 1, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func seedPosts(t *testing.T, db *DB, n int) ([]uint64, [][]float32) {
+	t.Helper()
+	r := rand.New(rand.NewSource(5))
+	alice, err := db.AddVertex("Person", map[string]any{"id": int64(0), "name": "Alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, _ := db.AddVertex("Person", map[string]any{"id": int64(1), "name": "Bob"})
+	db.AddEdge("knows", alice, bob)
+	var ids []uint64
+	var vecs [][]float32
+	for i := 0; i < n; i++ {
+		lang := "English"
+		if i%2 == 0 {
+			lang = "French"
+		}
+		id, err := db.AddVertex("Post", map[string]any{
+			"id": int64(100 + i), "language": lang, "length": int64(i * 10)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.AddEdge("hasCreator", id, alice)
+		v := make([]float32, 8)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		ids = append(ids, id)
+		vecs = append(vecs, v)
+	}
+	if err := db.BulkLoadEmbeddings("Post", "content_emb", ids, vecs); err != nil {
+		t.Fatal(err)
+	}
+	return ids, vecs
+}
+
+func TestOpenCloseDefaults(t *testing.T) {
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorSearchDirectAPI(t *testing.T) {
+	db := openTestDB(t)
+	ids, vecs := seedPosts(t, db, 60)
+	hits, err := db.VectorSearch([]string{"Post.content_emb"}, vecs[7], 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 5 || hits[0].ID != ids[7] || hits[0].Distance != 0 {
+		t.Fatalf("hits = %+v", hits[:2])
+	}
+	if hits[0].VertexType != "Post" {
+		t.Fatalf("type = %q", hits[0].VertexType)
+	}
+	// Filtered search.
+	fhits, err := db.VectorSearch([]string{"Post.content_emb"}, vecs[7], 5,
+		&SearchOptions{Filter: &VertexSet{Type: "Post", IDs: ids[:10]}, Ef: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range fhits {
+		if h.ID >= ids[10] {
+			t.Fatalf("filter violated: %+v", h)
+		}
+	}
+	// Bad ref.
+	if _, err := db.VectorSearch([]string{"nodot"}, vecs[0], 1, nil); err == nil {
+		t.Fatal("bad ref accepted")
+	}
+}
+
+func TestRangeSearchDirectAPI(t *testing.T) {
+	db := openTestDB(t)
+	ids, vecs := seedPosts(t, db, 40)
+	hits, err := db.RangeSearch("Post.content_emb", vecs[3], 1e-4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].ID != ids[3] {
+		t.Fatalf("range = %+v", hits)
+	}
+}
+
+func TestUpsertDeleteEmbeddingLifecycle(t *testing.T) {
+	db := openTestDB(t)
+	ids, _ := seedPosts(t, db, 20)
+	nv := []float32{9, 9, 9, 9, 9, 9, 9, 9}
+	if err := db.UpsertEmbedding("Post", "content_emb", ids[0], nv); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := db.VectorSearch([]string{"Post.content_emb"}, nv, 1, nil)
+	if len(hits) != 1 || hits[0].ID != ids[0] || hits[0].Distance != 0 {
+		t.Fatalf("upsert invisible: %+v", hits)
+	}
+	got, ok := db.GetEmbedding("Post", "content_emb", ids[0])
+	if !ok || got[0] != 9 {
+		t.Fatalf("GetEmbedding = %v, %v", got, ok)
+	}
+	if err := db.DeleteEmbedding("Post", "content_emb", ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.GetEmbedding("Post", "content_emb", ids[0]); ok {
+		t.Fatal("embedding visible after delete")
+	}
+	// Vacuum converges with no pending state.
+	if err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ = db.VectorSearch([]string{"Post.content_emb"}, nv, 1, nil)
+	if len(hits) == 1 && hits[0].ID == ids[0] {
+		t.Fatal("deleted embedding returned after vacuum")
+	}
+	// Validation errors.
+	if err := db.UpsertEmbedding("Nope", "x", 1, nv); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if err := db.UpsertEmbedding("Post", "nope", 1, nv); err == nil {
+		t.Fatal("unknown attr accepted")
+	}
+	if err := db.UpsertEmbedding("Post", "content_emb", 1, []float32{1}); err == nil {
+		t.Fatal("wrong dim accepted")
+	}
+}
+
+func TestDeleteVertexRemovesEmbedding(t *testing.T) {
+	db := openTestDB(t)
+	ids, vecs := seedPosts(t, db, 20)
+	if err := db.DeleteVertex("Post", ids[4]); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := db.VectorSearch([]string{"Post.content_emb"}, vecs[4], 3, nil)
+	for _, h := range hits {
+		if h.ID == ids[4] {
+			t.Fatal("deleted vertex returned by search")
+		}
+	}
+	if db.NumVertices("Post") != 19 {
+		t.Fatalf("NumVertices = %d", db.NumVertices("Post"))
+	}
+}
+
+func TestRunGSQLQueryPublicTypes(t *testing.T) {
+	db := openTestDB(t)
+	ids, vecs := seedPosts(t, db, 50)
+	err := db.Exec(`
+CREATE QUERY hybrid (LIST<FLOAT> qv, INT k) {
+  MapAccum<VERTEX, FLOAT> @@dm;
+  English = SELECT s FROM (s:Post) WHERE s.language = "English";
+  TopK = VectorSearch({Post.content_emb}, qv, k, {filter: English, distanceMap: @@dm});
+  Authors = SELECT p FROM (:TopK) -[:hasCreator]-> (p:Person);
+  PRINT TopK;
+  PRINT Authors;
+  PRINT @@dm;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Run("hybrid", map[string]any{"qv": vecs[1], "k": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topk, ok := res.Outputs[0].Value.(*VertexSet)
+	if !ok || topk.Type != "Post" || len(topk.IDs) != 4 {
+		t.Fatalf("topk = %+v", res.Outputs[0].Value)
+	}
+	authors := res.Outputs[1].Value.(*VertexSet)
+	if authors.Type != "Person" || len(authors.IDs) != 1 {
+		t.Fatalf("authors = %+v", authors)
+	}
+	dm := res.Outputs[2].Value.(map[uint64]float64)
+	if len(dm) != 4 {
+		t.Fatalf("distance map = %v", dm)
+	}
+	if res.Stats.EndToEnd <= 0 || res.Stats.Candidates != 25 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+	if len(res.Plans) == 0 || !strings.Contains(strings.Join(res.Plans, "\n"), "EmbeddingAction") {
+		t.Fatalf("plans = %v", res.Plans)
+	}
+	_ = ids
+	if qs := db.Queries(); len(qs) != 1 || qs[0] != "hybrid" {
+		t.Fatalf("Queries = %v", qs)
+	}
+}
+
+func TestLoadCSVPublicAPI(t *testing.T) {
+	db := openTestDB(t)
+	ids, err := db.LoadVerticesCSV("Post", []string{"id", "language"},
+		strings.NewReader("500,English\n501,French\n"))
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("LoadVerticesCSV = %v, %v", ids, err)
+	}
+	db.AddVertex("Person", map[string]any{"id": int64(9), "name": "Zoe"})
+	n, err := db.LoadEdgesCSV("hasCreator", strings.NewReader("500,9\n501,9\n"))
+	if err != nil || n != 2 {
+		t.Fatalf("LoadEdgesCSV = %d, %v", n, err)
+	}
+	n, err = db.LoadEmbeddingsCSV("Post", "content_emb", ":",
+		strings.NewReader("500,1:0:0:0:0:0:0:0\n501,0:1:0:0:0:0:0:0\n"))
+	if err != nil || n != 2 {
+		t.Fatalf("LoadEmbeddingsCSV = %d, %v", n, err)
+	}
+	hits, err := db.VectorSearch([]string{"Post.content_emb"}, []float32{1, 0, 0, 0, 0, 0, 0, 0}, 1, nil)
+	if err != nil || len(hits) != 1 || hits[0].ID != ids[0] {
+		t.Fatalf("search after CSV load = %+v, %v", hits, err)
+	}
+	// Errors.
+	if _, err := db.LoadEmbeddingsCSV("Post", "content_emb", ":", strings.NewReader("999,1:2\n")); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := db.LoadEmbeddingsCSV("Post", "content_emb", ":", strings.NewReader("500,1:2\n")); err == nil {
+		t.Fatal("wrong dim accepted")
+	}
+}
+
+func TestBackgroundVacuumMergesUpdates(t *testing.T) {
+	db, err := Open(Config{SegmentSize: 32, Seed: 1, DataDir: t.TempDir(),
+		VacuumInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := seedPosts(t, db, 30)
+	nv := []float32{5, 5, 5, 5, 5, 5, 5, 5}
+	db.UpsertEmbedding("Post", "content_emb", ids[2], nv)
+	deadline := time.Now().Add(3 * time.Second)
+	merged := false
+	for time.Now().Before(deadline) {
+		store, _ := db.svc.Store("Post.content_emb")
+		if store.PendingDeltas() == 0 && len(store.DeltaFiles()) == 0 {
+			merged = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !merged {
+		t.Fatal("background vacuum did not merge the update")
+	}
+	hits, _ := db.VectorSearch([]string{"Post.content_emb"}, nv, 1, nil)
+	if len(hits) != 1 || hits[0].ID != ids[2] {
+		t.Fatalf("post-vacuum search = %+v", hits)
+	}
+}
+
+func TestDurabilityWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{SegmentSize: 32, Seed: 1, DataDir: dir, Durability: true, DisableVacuum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	db.AddVertex("Post", map[string]any{"id": int64(1), "language": "English"})
+	id, _ := db.VertexByKey("Post", int64(1))
+	if err := db.UpsertEmbedding("Post", "content_emb", id, []float32{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	// The WAL must contain the committed update.
+	data, err := os.ReadFile(dir + "/wal.log")
+	if err != nil || len(data) == 0 {
+		t.Fatalf("wal empty: %v", err)
+	}
+}
+
+func TestRecoveryFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{SegmentSize: 32, Seed: 1, DataDir: dir, Durability: true, DisableVacuum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := db.AddVertex("Post", map[string]any{"id": int64(1), "language": "English"})
+	vec := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := db.UpsertEmbedding("Post", "content_emb", id, vec); err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := db.AddVertex("Post", map[string]any{"id": int64(2), "language": "French"})
+	if err := db.UpsertEmbedding("Post", "content_emb", id2, []float32{8, 7, 6, 5, 4, 3, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteEmbedding("Post", "content_emb", id2); err != nil {
+		t.Fatal(err)
+	}
+	db.Close() // simulated crash boundary: nothing merged, WAL only
+
+	db2, err := Open(Config{SegmentSize: 32, Seed: 1, DataDir: dir, Durability: true, DisableVacuum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	// Schema and queries recovered from the catalog log.
+	if _, ok := db2.graph.Schema().VertexType("Post"); !ok {
+		t.Fatal("schema not recovered")
+	}
+	// Graph data is reloaded by the application (documented limitation).
+	rid, _ := db2.AddVertex("Post", map[string]any{"id": int64(1), "language": "English"})
+	if rid != id {
+		t.Fatalf("vertex id changed across reload: %d vs %d", rid, id)
+	}
+	// The committed vector is searchable immediately after recovery.
+	hits, err := db2.VectorSearch([]string{"Post.content_emb"}, vec, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].ID != id || hits[0].Distance != 0 {
+		t.Fatalf("recovered search = %+v", hits)
+	}
+	// The deleted embedding stays deleted.
+	if _, ok := db2.GetEmbedding("Post", "content_emb", id2); ok {
+		t.Fatal("deleted embedding resurrected by recovery")
+	}
+	// New commits continue past the recovered TID.
+	if err := db2.UpsertEmbedding("Post", "content_emb", rid, []float32{9, 9, 9, 9, 9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := db2.GetEmbedding("Post", "content_emb", rid)
+	if !ok || got[0] != 9 {
+		t.Fatalf("post-recovery upsert = %v, %v", got, ok)
+	}
+}
