@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test bench vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The experiment-plumbing tests in internal/bench are slow under the
+# race detector; give the run headroom beyond the default 10m.
+test: vet
+	$(GO) test -race -timeout 45m ./...
+
+# Paper-figure regeneration plus the serving throughput comparison.
+# TGV_SCALE=1 runs the full laptop-scale experiments.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...

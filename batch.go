@@ -1,0 +1,150 @@
+package tigervector
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// This file implements the concurrent serving entry point: many top-k /
+// range queries executed in parallel over the DB's bounded worker pool.
+// Each query runs at its own MVCC snapshot TID captured when a worker
+// picks it up, and each snapshot is registered with the per-store
+// ActiveTracker (via core.EmbeddingStore.BeginSearch inside the engine),
+// so the vacuum never retires delta state or index versions a running
+// query still needs — the paper's concurrency story (Sec. 4.3) extended
+// from intra-query segment parallelism to inter-query parallelism.
+
+// BatchQuery describes one search inside a BatchVectorSearch call.
+type BatchQuery struct {
+	// Attrs are the searched embedding attributes as "Type.attr" strings.
+	// Top-k queries may span multiple compatible attributes; a range query
+	// uses exactly one.
+	Attrs []string
+	// Query is the query vector.
+	Query []float32
+	// K is the top-k result count. Ignored when Range is set.
+	K int
+	// Range switches the query to a range search over Attrs[0]: every
+	// vertex within Threshold of Query is returned.
+	Range bool
+	// Threshold is the range-search distance bound.
+	Threshold float32
+	// Opts carries the per-query beam width and pre-filter, as in
+	// VectorSearch. Nil uses the DB defaults.
+	Opts *SearchOptions
+}
+
+// BatchResult is the outcome of one BatchQuery. Results are positional:
+// BatchVectorSearch()[i] answers queries[i], regardless of the order in
+// which workers finished them.
+type BatchResult struct {
+	// Hits are the matches, ascending by distance (ties broken by vertex
+	// type then id, so repeated runs over unchanged data are identical).
+	Hits []SearchHit
+	// SnapshotTID is the MVCC snapshot the query executed at: the query
+	// saw exactly the transactions with TID <= SnapshotTID.
+	SnapshotTID uint64
+	// Err is the per-query failure, if any. One bad query (unknown
+	// attribute, wrong dimension, K <= 0) does not fail its batch.
+	Err error
+}
+
+// BatchVectorSearch executes many searches concurrently over the DB's
+// bounded worker pool (Config.Workers wide) and returns one result per
+// query, in query order. Each query is snapshotted independently when it
+// starts executing, so a batch issued concurrently with writers is a set
+// of consistent point-in-time reads, not one frozen view; vacuum safety
+// is preserved per query via the store ActiveTrackers.
+//
+// The call blocks until every query finished. It is safe to call from
+// many goroutines at once — the pool bounds total query concurrency.
+func (db *DB) BatchVectorSearch(queries []BatchQuery) []BatchResult {
+	results := make([]BatchResult, len(queries))
+	done := make([]bool, len(queries))
+	err := db.pool.Do(len(queries), func(i int) {
+		results[i] = db.runBatchQuery(queries[i])
+		done[i] = true
+	})
+	if err != nil {
+		// Pool closed mid-batch (DB shutting down): mark unrun queries.
+		for i := range results {
+			if !done[i] {
+				results[i].Err = fmt.Errorf("tigervector: batch query %d: %w", i, err)
+			}
+		}
+	}
+	return results
+}
+
+// runBatchQuery executes one query of a batch at a fresh snapshot. A
+// panic anywhere in the search path is converted into the query's Err:
+// one poisoned query must degrade to one failed slot, not a dead
+// serving process or a silently empty result.
+func (db *DB) runBatchQuery(q BatchQuery) (res BatchResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("tigervector: batch query panicked: %v", r)
+		}
+	}()
+	tid := db.mgr.Visible() // per-query snapshot
+	res = BatchResult{SnapshotTID: uint64(tid)}
+	if len(q.Attrs) == 0 {
+		res.Err = fmt.Errorf("tigervector: batch query has no embedding attributes")
+		return res
+	}
+	if q.Range {
+		if len(q.Attrs) != 1 {
+			res.Err = fmt.Errorf("tigervector: range query wants exactly 1 attribute, got %d", len(q.Attrs))
+			return res
+		}
+		ref, err := graph.ParseEmbeddingRef(q.Attrs[0])
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		hits, err := db.engine.RangeAction(ref, q.Query, q.Threshold, db.engineOpts(0, q.Opts, tid))
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Hits = typedToHits(hits)
+		return res
+	}
+	refs, err := parseRefs(q.Attrs)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if err := db.checkQueryDim(refs, len(q.Query)); err != nil {
+		res.Err = err
+		return res
+	}
+	hits, err := db.engine.EmbeddingAction(refs, q.Query, db.engineOpts(q.K, q.Opts, tid))
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Hits = typedToHits(hits)
+	return res
+}
+
+// checkQueryDim validates the query vector dimension against the schema
+// before the search fans out, so dimension mistakes fail fast with a
+// clear error instead of garbage distances.
+func (db *DB) checkQueryDim(refs []graph.EmbeddingRef, dim int) error {
+	for _, ref := range refs {
+		vt, ok := db.graph.Schema().VertexType(ref.VertexType)
+		if !ok {
+			return fmt.Errorf("tigervector: unknown vertex type %q", ref.VertexType)
+		}
+		ea, ok := vt.Embedding(ref.Attr)
+		if !ok {
+			return fmt.Errorf("tigervector: %s has no embedding attribute %q", ref.VertexType, ref.Attr)
+		}
+		if dim != ea.Dim {
+			return fmt.Errorf("tigervector: %s expects query dimension %d, got %d", ref, ea.Dim, dim)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package tigervector
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBatchVectorSearchOrderAndDeterminism(t *testing.T) {
+	db := openTestDB(t)
+	ids, vecs := seedPosts(t, db, 80)
+
+	// Each query targets a distinct known vector; results must land at
+	// the matching positional slot.
+	queries := make([]BatchQuery, 16)
+	for i := range queries {
+		queries[i] = BatchQuery{Attrs: []string{"Post.content_emb"}, Query: vecs[i*3], K: 3}
+	}
+	res := db.BatchVectorSearch(queries)
+	if len(res) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(res), len(queries))
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("query %d failed: %v", i, r.Err)
+		}
+		if len(r.Hits) != 3 || r.Hits[0].ID != ids[i*3] || r.Hits[0].Distance != 0 {
+			t.Fatalf("query %d: hits = %+v", i, r.Hits)
+		}
+		if r.SnapshotTID == 0 {
+			t.Fatalf("query %d: no snapshot TID", i)
+		}
+	}
+	// Re-running the identical batch over unchanged data is bit-for-bit
+	// identical (merge order is fully tie-broken).
+	res2 := db.BatchVectorSearch(queries)
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatal("repeated batch differs")
+	}
+}
+
+func TestBatchVectorSearchMixedKindsAndErrors(t *testing.T) {
+	db := openTestDB(t)
+	_, vecs := seedPosts(t, db, 40)
+
+	res := db.BatchVectorSearch([]BatchQuery{
+		{Attrs: []string{"Post.content_emb"}, Query: vecs[0], K: 2},
+		{Attrs: []string{"Post.content_emb"}, Query: vecs[1], Range: true, Threshold: 1e-4},
+		{Attrs: []string{"Post.nope"}, Query: vecs[2], K: 2},                                   // unknown attr
+		{Attrs: []string{"Post.content_emb"}, Query: []float32{1}, K: 2},                       // bad dim
+		{Attrs: nil, Query: vecs[3], K: 2},                                                     // no attrs
+		{Attrs: []string{"Post.content_emb", "Post.content_emb"}, Query: vecs[4], Range: true}, // range needs 1 attr
+		// Over-long range query: must be a per-query error, never a panic
+		// in the delta/brute-force distance loops (they iterate len(query)).
+		{Attrs: []string{"Post.content_emb"}, Query: make([]float32, 16), Range: true, Threshold: 1},
+	})
+	if res[0].Err != nil || len(res[0].Hits) != 2 {
+		t.Fatalf("topk = %+v", res[0])
+	}
+	if res[1].Err != nil || len(res[1].Hits) != 1 {
+		t.Fatalf("range = %+v", res[1])
+	}
+	for i := 2; i < 7; i++ {
+		if res[i].Err == nil {
+			t.Fatalf("query %d: expected error, got %+v", i, res[i])
+		}
+	}
+	// One bad query must not poison its neighbors — already checked by
+	// res[0]/res[1] succeeding above.
+}
+
+func TestBatchVectorSearchEmpty(t *testing.T) {
+	db := openTestDB(t)
+	if res := db.BatchVectorSearch(nil); len(res) != 0 {
+		t.Fatalf("nil batch = %+v", res)
+	}
+}
+
+// TestServingStressConcurrentBatch is the serving-layer stress path: 32
+// concurrent searcher goroutines (mixing single and batch searches)
+// against one DB while a writer upserts and the background vacuum runs.
+// Run under -race this proves the inter-query concurrency layer is
+// data-race free and MVCC-consistent.
+func TestServingStressConcurrentBatch(t *testing.T) {
+	db, err := Open(Config{SegmentSize: 64, Seed: 1, DataDir: t.TempDir(),
+		VacuumInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	const n = 256
+	r := rand.New(rand.NewSource(7))
+	var ids []uint64
+	var vecs [][]float32
+	for i := 0; i < n; i++ {
+		id, _ := db.AddVertex("Post", map[string]any{
+			"id": int64(i), "language": "English", "length": int64(i)})
+		v := make([]float32, 8)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		ids = append(ids, id)
+		vecs = append(vecs, v)
+	}
+	if err := db.BulkLoadEmbeddings("Post", "content_emb", ids, vecs); err != nil {
+		t.Fatal(err)
+	}
+	// The lower quarter is deleted up front; no search may ever return it.
+	for i := 0; i < n/4; i++ {
+		if err := db.DeleteEmbedding("Post", "content_emb", ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	errCh := make(chan error, 64)
+	report := func(format string, args ...any) {
+		select {
+		case errCh <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// Writer: churns the upper half while searches run.
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		wr := rand.New(rand.NewSource(8))
+		for i := 0; i < 1500; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := ids[n/2+wr.Intn(n/2)]
+			v := make([]float32, 8)
+			for j := range v {
+				v[j] = float32(wr.NormFloat64())
+			}
+			if err := db.UpsertEmbedding("Post", "content_emb", id, v); err != nil {
+				report("upsert: %v", err)
+				return
+			}
+			if i%50 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	// 32 concurrent searchers: even ones issue batches of 8, odd ones
+	// single searches; all verify the delete invariant and that snapshot
+	// TIDs never regress within one goroutine (Visible() is monotone).
+	const searchers = 32
+	var wg sync.WaitGroup
+	for w := 0; w < searchers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sr := rand.New(rand.NewSource(int64(100 + w)))
+			var lastTID uint64
+			for it := 0; it < 25; it++ {
+				mkQuery := func() []float32 {
+					q := make([]float32, 8)
+					for j := range q {
+						q[j] = float32(sr.NormFloat64())
+					}
+					return q
+				}
+				var results []BatchResult
+				if w%2 == 0 {
+					batch := make([]BatchQuery, 8)
+					for i := range batch {
+						batch[i] = BatchQuery{Attrs: []string{"Post.content_emb"}, Query: mkQuery(), K: 5}
+					}
+					results = db.BatchVectorSearch(batch)
+				} else {
+					results = db.BatchVectorSearch([]BatchQuery{
+						{Attrs: []string{"Post.content_emb"}, Query: mkQuery(), K: 5}})
+				}
+				for _, res := range results {
+					if res.Err != nil {
+						report("search: %v", res.Err)
+						return
+					}
+					if res.SnapshotTID < lastTID {
+						report("snapshot TID regressed: %d after %d", res.SnapshotTID, lastTID)
+						return
+					}
+					lastTID = res.SnapshotTID
+					for _, h := range res.Hits {
+						if h.ID < ids[n/4] {
+							report("deleted embedding %d returned", h.ID)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("serving stress test deadlocked")
+	}
+	close(stop)
+	writerWG.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	// Pool accounting must balance after quiescing.
+	st := db.Stats()
+	if st.Pool.InFlight != 0 || st.Pool.Submitted != st.Pool.Completed {
+		t.Fatalf("pool stats unbalanced: %+v", st.Pool)
+	}
+	if err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	db := openTestDB(t)
+	_, vecs := seedPosts(t, db, 30)
+	db.BatchVectorSearch([]BatchQuery{
+		{Attrs: []string{"Post.content_emb"}, Query: vecs[0], K: 2}})
+	st := db.Stats()
+	if st.VisibleTID == 0 {
+		t.Fatal("no visible TID after loads")
+	}
+	if len(st.Stores) != 1 || st.Stores[0].Attr != "Post.content_emb" || st.Stores[0].Segments == 0 {
+		t.Fatalf("stores = %+v", st.Stores)
+	}
+	if st.Pool.Workers <= 0 || st.Pool.Submitted == 0 {
+		t.Fatalf("pool = %+v", st.Pool)
+	}
+}

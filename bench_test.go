@@ -12,6 +12,7 @@ package tigervector
 
 import (
 	"io"
+	"math/rand"
 	"os"
 	"testing"
 
@@ -183,4 +184,85 @@ func BenchmarkAblationBruteForceThreshold(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// servingBenchDB builds the serving-throughput dataset: 4096 vectors of
+// dimension 64 across 4 segments, plus 64 top-10 queries. Few segments
+// per query means a single search cannot saturate a many-core machine,
+// which is exactly the regime where inter-query pooling pays off.
+func servingBenchDB(b *testing.B) (*DB, []BatchQuery) {
+	b.Helper()
+	db, err := Open(Config{SegmentSize: 1024, Seed: 1, DataDir: b.TempDir(), DisableVacuum: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	err = db.Exec(`
+CREATE VERTEX Item (id INT PRIMARY KEY);
+ALTER VERTEX Item ADD EMBEDDING ATTRIBUTE emb (
+  DIMENSION = 64, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	const n = 4096
+	ids := make([]uint64, n)
+	vecs := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		id, err := db.AddVertex("Item", map[string]any{"id": int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := make([]float32, 64)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		ids[i] = id
+		vecs[i] = v
+	}
+	if err := db.BulkLoadEmbeddings("Item", "emb", ids, vecs); err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]BatchQuery, 64)
+	for i := range queries {
+		q := make([]float32, 64)
+		for j := range q {
+			q[j] = float32(r.NormFloat64())
+		}
+		queries[i] = BatchQuery{Attrs: []string{"Item.emb"}, Query: q, K: 10}
+	}
+	return db, queries
+}
+
+// BenchmarkServingSerialSearch is the baseline: the 64-query workload
+// issued as a serial loop of VectorSearch calls (one query in flight at
+// a time; each query still fans out over its segments internally).
+func BenchmarkServingSerialSearch(b *testing.B) {
+	db, queries := servingBenchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := db.VectorSearch(q.Attrs, q.Query, q.K, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkServingBatchSearch is the serving path: the same 64-query
+// workload submitted as one BatchVectorSearch, executed concurrently by
+// the bounded worker pool. On a multi-core runner throughput scales
+// with the pool width; compare queries/s against the serial baseline.
+func BenchmarkServingBatchSearch(b *testing.B) {
+	db, queries := servingBenchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range db.BatchVectorSearch(queries) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "queries/s")
 }

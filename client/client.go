@@ -1,0 +1,360 @@
+// Package client is the Go client for the tgvserve HTTP/JSON serving
+// layer. It also defines the wire types of the protocol; the server
+// package imports them, so client and server cannot drift apart.
+//
+// A Client is safe for concurrent use; batch searches map one-to-one
+// onto the server's pooled BatchVectorSearch, so issuing one request
+// with many query vectors is the high-throughput path.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Hit is one vector search result.
+type Hit struct {
+	// Type is the vertex type of the hit.
+	Type string `json:"type"`
+	// ID is the vertex id.
+	ID uint64 `json:"id"`
+	// Distance is the metric distance to the query vector.
+	Distance float32 `json:"distance"`
+}
+
+// SearchRequest is the body of POST /search. Set Query for a single
+// search or Queries for a pooled batch; exactly one must be present.
+type SearchRequest struct {
+	// Attrs are the searched embedding attributes as "Type.attr" strings.
+	Attrs []string `json:"attrs"`
+	// Query is the single query vector.
+	Query []float32 `json:"query,omitempty"`
+	// Queries are the batch query vectors.
+	Queries [][]float32 `json:"queries,omitempty"`
+	// K is the top-k result count per query.
+	K int `json:"k"`
+	// Ef overrides the index search beam; 0 uses the server default.
+	Ef int `json:"ef,omitempty"`
+}
+
+// SearchResult is the outcome of one query within a search response.
+type SearchResult struct {
+	// Hits are the matches, ascending by distance.
+	Hits []Hit `json:"hits"`
+	// SnapshotTID is the MVCC snapshot the query executed at.
+	SnapshotTID uint64 `json:"snapshot_tid"`
+	// Error is the per-query failure, empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// SearchResponse is the body answering POST /search. Single-query
+// requests fill Results with exactly one entry.
+type SearchResponse struct {
+	// Results holds one entry per query, in request order.
+	Results []SearchResult `json:"results"`
+}
+
+// RangeRequest is the body of POST /range.
+type RangeRequest struct {
+	// Attr is the searched embedding attribute ("Type.attr").
+	Attr string `json:"attr"`
+	// Query is the query vector.
+	Query []float32 `json:"query"`
+	// Threshold is the inclusive distance bound.
+	Threshold float32 `json:"threshold"`
+	// Ef overrides the index search beam; 0 uses the server default.
+	Ef int `json:"ef,omitempty"`
+}
+
+// VertexRequest is the body of POST /vertex: insert (or upsert by
+// primary key) one vertex. Embeddings are written separately via
+// /upsert; a vertex must exist for its embeddings to be searchable.
+type VertexRequest struct {
+	// Type is the vertex type.
+	Type string `json:"type"`
+	// Attrs are the vertex attributes, including the primary key.
+	Attrs map[string]any `json:"attrs"`
+}
+
+// VertexResponse is the body answering POST /vertex.
+type VertexResponse struct {
+	// ID is the internal id assigned to (or found for) the vertex.
+	ID uint64 `json:"id"`
+}
+
+// EdgeRequest is the body of POST /edge: insert one edge between
+// existing vertices, addressed by internal ids.
+type EdgeRequest struct {
+	// Type is the edge type.
+	Type string `json:"type"`
+	// From is the source vertex id.
+	From uint64 `json:"from"`
+	// To is the target vertex id.
+	To uint64 `json:"to"`
+}
+
+// EdgeResponse is the body answering POST /edge.
+type EdgeResponse struct{}
+
+// UpsertRequest is the body of POST /upsert: write one embedding. The
+// vertex is addressed by ID, or by primary Key when ID is absent.
+type UpsertRequest struct {
+	// Type is the vertex type.
+	Type string `json:"type"`
+	// Attr is the embedding attribute name.
+	Attr string `json:"attr"`
+	// ID is the internal vertex id.
+	ID *uint64 `json:"id,omitempty"`
+	// Key is the vertex primary key (alternative to ID).
+	Key any `json:"key,omitempty"`
+	// Vector is the embedding value.
+	Vector []float32 `json:"vector"`
+}
+
+// UpsertResponse is the body answering POST /upsert.
+type UpsertResponse struct {
+	// ID is the resolved vertex id the embedding was written to.
+	ID uint64 `json:"id"`
+}
+
+// DeleteRequest is the body of POST /delete: remove one embedding, or the
+// whole vertex (including all its embeddings) when Vertex is set.
+type DeleteRequest struct {
+	// Type is the vertex type.
+	Type string `json:"type"`
+	// Attr is the embedding attribute name (ignored when Vertex is set).
+	Attr string `json:"attr,omitempty"`
+	// ID is the internal vertex id.
+	ID *uint64 `json:"id,omitempty"`
+	// Key is the vertex primary key (alternative to ID).
+	Key any `json:"key,omitempty"`
+	// Vertex deletes the whole vertex instead of one embedding.
+	Vertex bool `json:"vertex,omitempty"`
+}
+
+// DeleteResponse is the body answering POST /delete.
+type DeleteResponse struct {
+	// ID is the resolved vertex id that was deleted from.
+	ID uint64 `json:"id"`
+}
+
+// GSQLRequest is the body of POST /gsql. Set Exec to install DDL or
+// CREATE QUERY statements, or Run (plus Args) to execute a defined query;
+// exactly one must be present.
+type GSQLRequest struct {
+	// Exec is GSQL source to install.
+	Exec string `json:"exec,omitempty"`
+	// Run is the name of a defined query to execute.
+	Run string `json:"run,omitempty"`
+	// Args are the query arguments. Numbers may be sent as JSON numbers;
+	// the server coerces integral values for INT parameters.
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// GSQLOutput is one PRINT result of a query run.
+type GSQLOutput struct {
+	// Name is the printed expression name.
+	Name string `json:"name"`
+	// Value is the printed value in JSON form: vertex sets become
+	// {"type":..., "ids":[...]}, scalars stay scalars.
+	Value json.RawMessage `json:"value"`
+}
+
+// GSQLStats mirrors the query execution measurements.
+type GSQLStats struct {
+	// EndToEndSeconds is the total query latency.
+	EndToEndSeconds float64 `json:"end_to_end_seconds"`
+	// VectorSearchSeconds is the time spent in vector search.
+	VectorSearchSeconds float64 `json:"vector_search_seconds"`
+	// Candidates is the vector-search candidate count.
+	Candidates int `json:"candidates"`
+}
+
+// GSQLResponse is the body answering POST /gsql.
+type GSQLResponse struct {
+	// Outputs are the PRINT results of a Run, in order; empty for Exec.
+	Outputs []GSQLOutput `json:"outputs,omitempty"`
+	// Plans are the executed action plans of a Run.
+	Plans []string `json:"plans,omitempty"`
+	// Stats carries execution measurements of a Run.
+	Stats GSQLStats `json:"stats"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	// Error is the human-readable failure description.
+	Error string `json:"error"`
+}
+
+// Client talks to one tgvserve instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7687".
+	BaseURL string
+	// HTTP is the underlying HTTP client; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// New returns a Client for the server at baseURL.
+func New(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+// Search runs one top-k search and returns its hits.
+func (c *Client) Search(ctx context.Context, attrs []string, query []float32, k, ef int) ([]Hit, error) {
+	var resp SearchResponse
+	err := c.post(ctx, "/search", SearchRequest{Attrs: attrs, Query: query, K: k, Ef: ef}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != 1 {
+		return nil, fmt.Errorf("client: server returned %d results for 1 query", len(resp.Results))
+	}
+	if resp.Results[0].Error != "" {
+		return nil, fmt.Errorf("client: %s", resp.Results[0].Error)
+	}
+	return resp.Results[0].Hits, nil
+}
+
+// BatchSearch runs many top-k searches in one request; the server
+// executes them concurrently. Results are positional per query vector.
+func (c *Client) BatchSearch(ctx context.Context, attrs []string, queries [][]float32, k, ef int) ([]SearchResult, error) {
+	var resp SearchResponse
+	err := c.post(ctx, "/search", SearchRequest{Attrs: attrs, Queries: queries, K: k, Ef: ef}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(queries) {
+		return nil, fmt.Errorf("client: server returned %d results for %d queries", len(resp.Results), len(queries))
+	}
+	return resp.Results, nil
+}
+
+// RangeSearch returns every vertex within threshold of the query.
+func (c *Client) RangeSearch(ctx context.Context, attr string, query []float32, threshold float32, ef int) ([]Hit, error) {
+	var resp SearchResponse
+	err := c.post(ctx, "/range", RangeRequest{Attr: attr, Query: query, Threshold: threshold, Ef: ef}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != 1 {
+		return nil, fmt.Errorf("client: server returned %d results for 1 query", len(resp.Results))
+	}
+	if resp.Results[0].Error != "" {
+		return nil, fmt.Errorf("client: %s", resp.Results[0].Error)
+	}
+	return resp.Results[0].Hits, nil
+}
+
+// AddVertex inserts (or upserts by primary key) a vertex and returns
+// its internal id. A vertex must exist for its embeddings to be
+// searchable — the engine pre-filters hits by vertex liveness.
+func (c *Client) AddVertex(ctx context.Context, vertexType string, attrs map[string]any) (uint64, error) {
+	var resp VertexResponse
+	err := c.post(ctx, "/vertex", VertexRequest{Type: vertexType, Attrs: attrs}, &resp)
+	return resp.ID, err
+}
+
+// AddEdge inserts an edge between existing vertices.
+func (c *Client) AddEdge(ctx context.Context, edgeType string, from, to uint64) error {
+	return c.post(ctx, "/edge", EdgeRequest{Type: edgeType, From: from, To: to}, &EdgeResponse{})
+}
+
+// Upsert writes one embedding addressed by vertex id.
+func (c *Client) Upsert(ctx context.Context, vertexType, attr string, id uint64, vec []float32) error {
+	return c.post(ctx, "/upsert", UpsertRequest{Type: vertexType, Attr: attr, ID: &id, Vector: vec}, &UpsertResponse{})
+}
+
+// UpsertByKey writes one embedding addressed by vertex primary key and
+// returns the resolved vertex id.
+func (c *Client) UpsertByKey(ctx context.Context, vertexType, attr string, key any, vec []float32) (uint64, error) {
+	var resp UpsertResponse
+	err := c.post(ctx, "/upsert", UpsertRequest{Type: vertexType, Attr: attr, Key: key, Vector: vec}, &resp)
+	return resp.ID, err
+}
+
+// Delete removes one embedding addressed by vertex id.
+func (c *Client) Delete(ctx context.Context, vertexType, attr string, id uint64) error {
+	return c.post(ctx, "/delete", DeleteRequest{Type: vertexType, Attr: attr, ID: &id}, &DeleteResponse{})
+}
+
+// DeleteVertex tombstones a whole vertex, removing all its embeddings.
+func (c *Client) DeleteVertex(ctx context.Context, vertexType string, id uint64) error {
+	return c.post(ctx, "/delete", DeleteRequest{Type: vertexType, ID: &id, Vertex: true}, &DeleteResponse{})
+}
+
+// Exec installs GSQL DDL or CREATE QUERY statements on the server.
+func (c *Client) Exec(ctx context.Context, src string) error {
+	return c.post(ctx, "/gsql", GSQLRequest{Exec: src}, &GSQLResponse{})
+}
+
+// Run executes a defined GSQL query with the given arguments.
+func (c *Client) Run(ctx context.Context, name string, args map[string]any) (*GSQLResponse, error) {
+	var resp GSQLResponse
+	if err := c.post(ctx, "/gsql", GSQLRequest{Run: name, Args: args}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the server's /stats snapshot as raw JSON; its shape is
+// the tigervector.DBStats struct plus serving counters.
+func (c *Client) Stats(ctx context.Context) (json.RawMessage, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	return json.RawMessage(body), nil
+}
+
+// post sends a JSON request and decodes the JSON response into out.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	body, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, out)
+}
+
+// do executes the request and maps non-2xx answers to errors.
+func (c *Client) do(req *http.Request) ([]byte, error) {
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	const maxBody = 64 << 20
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > maxBody {
+		return nil, fmt.Errorf("client: response exceeds %d bytes", maxBody)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("client: %s: %s", resp.Status, e.Error)
+		}
+		return nil, fmt.Errorf("client: %s", resp.Status)
+	}
+	return body, nil
+}

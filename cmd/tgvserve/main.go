@@ -1,0 +1,121 @@
+// tgvserve serves a TigerVector database over HTTP/JSON: concurrent
+// top-k and range vector search (single or pooled batch), transactional
+// embedding upserts/deletes, GSQL installation and execution, and a
+// /stats observability endpoint. SIGINT/SIGTERM triggers a graceful
+// shutdown: the listener closes, in-flight requests finish, then the DB
+// (and its background vacuum) stops.
+//
+// Usage:
+//
+//	tgvserve -addr :7687 -data-dir ./data -durable -ddl schema.gsql
+//
+// A freshly started server has an empty catalog unless -ddl installs one
+// or -durable recovers one; clients can also install schema and queries
+// at runtime through POST /gsql.
+//
+// Durability covers the catalog and committed vector updates (the
+// paper's WAL design); graph vertices and edges are not WAL-covered and
+// must be reloaded after a restart in their original insertion order —
+// internal vertex ids are positional, so out-of-order reloads attach
+// recovered embeddings to different primary keys.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	tigervector "repro"
+	"repro/server"
+)
+
+// config is the parsed command line.
+type config struct {
+	addr        string
+	dataDir     string
+	ddlPath     string
+	segmentSize int
+	workers     int
+	seed        int64
+	durable     bool
+	maxBatch    int
+}
+
+// parseFlags parses args (without the program name) into a config.
+func parseFlags(args []string) (config, error) {
+	var c config
+	fs := flag.NewFlagSet("tgvserve", flag.ContinueOnError)
+	fs.StringVar(&c.addr, "addr", ":7687", "listen address")
+	fs.StringVar(&c.dataDir, "data-dir", "", "data directory (default: fresh temp dir)")
+	fs.StringVar(&c.ddlPath, "ddl", "", "GSQL file executed at startup (schema, queries)")
+	fs.IntVar(&c.segmentSize, "segment-size", 0, "vertices per storage segment (default 1024)")
+	fs.IntVar(&c.workers, "workers", 0, "query worker pool width (default GOMAXPROCS)")
+	fs.Int64Var(&c.seed, "seed", 0, "fix internal randomness")
+	fs.BoolVar(&c.durable, "durable", false, "enable the write-ahead log and catalog recovery")
+	fs.IntVar(&c.maxBatch, "max-batch", 0, "max query vectors per /search request (default 1024)")
+	if err := fs.Parse(args); err != nil {
+		return c, err
+	}
+	if c.durable && c.dataDir == "" {
+		// The flag package prints its own parse errors; this validation
+		// error is ours to surface.
+		err := fmt.Errorf("-durable requires -data-dir")
+		fmt.Fprintln(fs.Output(), err)
+		return c, err
+	}
+	return c, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	db, err := tigervector.Open(tigervector.Config{
+		SegmentSize: cfg.segmentSize,
+		DataDir:     cfg.dataDir,
+		Workers:     cfg.workers,
+		Seed:        cfg.seed,
+		Durability:  cfg.durable,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if cfg.ddlPath != "" {
+		src, err := os.ReadFile(cfg.ddlPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Exec(string(src)); err != nil {
+			log.Fatalf("ddl: %v", err)
+		}
+		log.Printf("installed %s; queries: %v", cfg.ddlPath, db.Queries())
+	}
+
+	srv := server.New(db, server.Options{MaxBatch: cfg.maxBatch, Logf: log.Printf})
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(cfg.addr) }()
+	log.Printf("tgvserve listening on %s", cfg.addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseFlagsDefaults(t *testing.T) {
+	c, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.addr != ":7687" || c.dataDir != "" || c.durable || c.workers != 0 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestParseFlagsAll(t *testing.T) {
+	c, err := parseFlags([]string{
+		"-addr", "127.0.0.1:9999", "-data-dir", "/tmp/x", "-durable",
+		"-workers", "8", "-segment-size", "256", "-seed", "7",
+		"-ddl", "schema.gsql", "-max-batch", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.addr != "127.0.0.1:9999" || c.dataDir != "/tmp/x" || !c.durable ||
+		c.workers != 8 || c.segmentSize != 256 || c.seed != 7 ||
+		c.ddlPath != "schema.gsql" || c.maxBatch != 64 {
+		t.Fatalf("parsed = %+v", c)
+	}
+}
+
+func TestParseFlagsDurableNeedsDataDir(t *testing.T) {
+	if _, err := parseFlags([]string{"-durable"}); err == nil {
+		t.Fatal("durable without data-dir accepted")
+	}
+}
+
+func TestParseFlagsBadFlag(t *testing.T) {
+	if _, err := parseFlags([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

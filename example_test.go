@@ -1,0 +1,104 @@
+package tigervector_test
+
+import (
+	"fmt"
+	"log"
+
+	tigervector "repro"
+)
+
+// ExampleOpen shows the minimal lifecycle: open a DB, install a schema
+// with an embedding attribute, insert a vertex with its embedding.
+func ExampleOpen() {
+	db, err := tigervector.Open(tigervector.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	err = db.Exec(`
+CREATE VERTEX Doc (id INT PRIMARY KEY, title STRING);
+ALTER VERTEX Doc ADD EMBEDDING ATTRIBUTE emb (
+  DIMENSION = 4, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id, err := db.AddVertex("Doc", map[string]any{"id": int64(1), "title": "hello"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.UpsertEmbedding("Doc", "emb", id, []float32{1, 0, 0, 0}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(db.NumVertices("Doc"))
+	// Output: 1
+}
+
+// ExampleDB_VectorSearch runs a top-k search over an embedding
+// attribute.
+func ExampleDB_VectorSearch() {
+	db, err := tigervector.Open(tigervector.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	err = db.Exec(`
+CREATE VERTEX Doc (id INT PRIMARY KEY, title STRING);
+ALTER VERTEX Doc ADD EMBEDDING ATTRIBUTE emb (
+  DIMENSION = 4, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, vec := range [][]float32{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}} {
+		id, _ := db.AddVertex("Doc", map[string]any{"id": int64(i), "title": fmt.Sprintf("doc %d", i)})
+		if err := db.UpsertEmbedding("Doc", "emb", id, vec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	hits, err := db.VectorSearch([]string{"Doc.emb"}, []float32{0, 1, 0, 0}, 2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range hits {
+		fmt.Printf("%s %d\n", h.VertexType, h.ID)
+	}
+	// Output:
+	// Doc 1
+	// Doc 0
+}
+
+// ExampleDB_BatchVectorSearch executes several searches concurrently
+// over the DB's worker pool; results are positional per query.
+func ExampleDB_BatchVectorSearch() {
+	db, err := tigervector.Open(tigervector.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	err = db.Exec(`
+CREATE VERTEX Doc (id INT PRIMARY KEY, title STRING);
+ALTER VERTEX Doc ADD EMBEDDING ATTRIBUTE emb (
+  DIMENSION = 4, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, vec := range [][]float32{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}} {
+		id, _ := db.AddVertex("Doc", map[string]any{"id": int64(i), "title": fmt.Sprintf("doc %d", i)})
+		if err := db.UpsertEmbedding("Doc", "emb", id, vec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	results := db.BatchVectorSearch([]tigervector.BatchQuery{
+		{Attrs: []string{"Doc.emb"}, Query: []float32{1, 0, 0, 0}, K: 1},
+		{Attrs: []string{"Doc.emb"}, Query: []float32{0, 0, 1, 0}, K: 1},
+	})
+	for i, res := range results {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		fmt.Printf("query %d -> doc %d\n", i, res.Hits[0].ID)
+	}
+	// Output:
+	// query 0 -> doc 0
+	// query 1 -> doc 2
+}

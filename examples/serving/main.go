@@ -1,0 +1,142 @@
+// Serving walkthrough: embed the tgvserve HTTP layer in-process, then
+// drive it with the Go client — schema installation over /gsql, bulk
+// upserts, single and pooled batch search, a hybrid GSQL query, live
+// /stats, and a graceful shutdown. The same traffic works against a
+// standalone `tgvserve -addr :7687` with curl; see README.md.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	tigervector "repro"
+	"repro/client"
+	"repro/server"
+)
+
+func main() {
+	// 1. Open the database and wrap it in the serving layer.
+	db, err := tigervector.Open(tigervector.Config{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	srv := server.New(db, server.Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+	base := "http://" + l.Addr().String()
+	fmt.Println("serving on", base)
+
+	ctx := context.Background()
+	c := client.New(base)
+
+	// 2. Install schema and a hybrid query over HTTP.
+	err = c.Exec(ctx, `
+CREATE VERTEX Post (id INT PRIMARY KEY, language STRING);
+ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb (
+  DIMENSION = 32, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);
+CREATE QUERY english_topk (LIST<FLOAT> qv, INT k) {
+  R = SELECT s FROM (s:Post) WHERE s.language = "English"
+      ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT k;
+  PRINT R;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Load 500 posts entirely over HTTP: /vertex creates each vertex
+	// (embeddings are only searchable for live vertices), /upsert writes
+	// its embedding by primary key.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		lang := "English"
+		if i%3 == 0 {
+			lang = "German"
+		}
+		if _, err := c.AddVertex(ctx, "Post", map[string]any{"id": i, "language": lang}); err != nil {
+			log.Fatal(err)
+		}
+		vec := make([]float32, 32)
+		for j := range vec {
+			vec[j] = float32(r.NormFloat64())
+		}
+		if _, err := c.UpsertByKey(ctx, "Post", "content_emb", i, vec); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 4. Single search.
+	q := make([]float32, 32)
+	for j := range q {
+		q[j] = float32(r.NormFloat64())
+	}
+	hits, err := c.Search(ctx, []string{"Post.content_emb"}, q, 5, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-5: %d hits, nearest id=%d dist=%.3f\n", len(hits), hits[0].ID, hits[0].Distance)
+
+	// 5. Pooled batch search: 64 queries in one request, executed
+	// concurrently server-side, answered in query order.
+	queries := make([][]float32, 64)
+	for i := range queries {
+		v := make([]float32, 32)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		queries[i] = v
+	}
+	start := time.Now()
+	results, err := c.BatchSearch(ctx, []string{"Post.content_emb"}, queries, 5, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch of %d answered in %v (snapshot TIDs %d..%d)\n",
+		len(results), time.Since(start).Round(time.Microsecond),
+		results[0].SnapshotTID, results[len(results)-1].SnapshotTID)
+
+	// 6. Hybrid GSQL over HTTP: filtered top-k with JSON args.
+	qv := make([]any, 32)
+	for j := range qv {
+		qv[j] = r.NormFloat64()
+	}
+	resp, err := c.Run(ctx, "english_topk", map[string]any{"qv": qv, "k": 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("english_topk -> %s = %s (%.1fms)\n",
+		resp.Outputs[0].Name, resp.Outputs[0].Value, resp.Stats.EndToEndSeconds*1000)
+
+	// 7. Observability.
+	raw, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st server.Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served %d searches, %d upserts; pool ran %d queries on %d workers\n",
+		st.Requests.Search, st.Requests.Upsert, st.DB.Pool.Completed, st.DB.Pool.Workers)
+
+	// 8. Graceful shutdown: listener closes, in-flight requests finish.
+	shutCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-errCh; err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	fmt.Println("shut down cleanly")
+}

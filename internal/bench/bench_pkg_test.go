@@ -131,6 +131,9 @@ func TestFig9ScalabilityShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if raceEnabled {
+		t.Skip("relative QPS shape is noise under the race detector")
+	}
 	// Group by ef; QPS must increase with nodes at every operating point.
 	byEf := map[int][]ScalePoint{}
 	for _, p := range pts {
@@ -150,6 +153,9 @@ func TestFig10DataSizeShape(t *testing.T) {
 	pts, err := Fig10(io.Discard)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if raceEnabled {
+		t.Skip("relative QPS shape is noise under the race detector")
 	}
 	// At each ef, 10x data must cost throughput.
 	byEf := map[int]map[int]float64{}
@@ -174,6 +180,9 @@ func TestTable2Shape(t *testing.T) {
 	}
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
+	}
+	if raceEnabled {
+		t.Skip("relative build-time shape is noise under the race detector")
 	}
 	byName := map[string]BuildTiming{}
 	for _, r := range rows {
@@ -201,7 +210,7 @@ func TestFig11UpdateShape(t *testing.T) {
 		t.Fatalf("points = %d", len(pts))
 	}
 	// Update time grows with rate.
-	if pts[len(pts)-1].UpdateTime <= pts[0].UpdateTime {
+	if !raceEnabled && pts[len(pts)-1].UpdateTime <= pts[0].UpdateTime {
 		t.Fatalf("update time not increasing: %+v", pts)
 	}
 }

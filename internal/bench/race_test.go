@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that this binary was built with -race. Timing-
+// shape assertions (QPS monotonicity etc.) are skipped under the race
+// detector: its 10-20x slowdown and serialization make relative
+// throughput measurements pure noise.
+const raceEnabled = true

@@ -317,6 +317,21 @@ func (s *EmbeddingStore) MergeIndex(threads int) (int, error) {
 	}
 	s.mu.Lock()
 	s.growToLocked(maxSeg)
+	// Copy-on-write per touched segment: the brute-force search path
+	// snapshots a segment's vector slice under RLock and then scans its
+	// elements lock-free, so published arrays must never be mutated in
+	// place. Readers holding the old array stay consistent — their
+	// BeginSearch delta overlay already contains every record this merge
+	// is installing.
+	touched := make(map[int]struct{})
+	for _, d := range recs {
+		touched[s.segmentOf(d.ID)] = struct{}{}
+	}
+	for seg := range touched {
+		nv := make([][]float32, len(s.segVecs[seg]))
+		copy(nv, s.segVecs[seg])
+		s.segVecs[seg] = nv
+	}
 	for _, d := range recs {
 		seg := s.segmentOf(d.ID)
 		off := int(d.ID % uint64(s.segSize))

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrPoolClosed is returned when submitting work to a closed Pool.
+var ErrPoolClosed = errors.New("core: pool closed")
+
+// Pool is a bounded worker pool for inter-query parallelism: many
+// top-k/range searches execute concurrently, each of which fans out over
+// embedding segments internally. The pool bounds the number of queries
+// in flight so a burst of requests degrades into queueing rather than
+// into unbounded goroutine creation.
+//
+// Tasks must not submit to the same pool and wait for the result: with
+// all workers blocked in such tasks no worker remains to run the
+// subtasks. Per-segment fan-out inside a query therefore uses the
+// engine's own parallel primitive, not the pool.
+type Pool struct {
+	tasks     chan func()
+	workers   int
+	wg        sync.WaitGroup
+	submitted atomic.Int64
+	completed atomic.Int64
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// PoolStats is a snapshot of pool activity.
+type PoolStats struct {
+	// Workers is the fixed worker count.
+	Workers int
+	// Submitted counts tasks accepted since creation.
+	Submitted int64
+	// Completed counts tasks that finished.
+	Completed int64
+	// InFlight is Submitted - Completed: queued plus executing tasks.
+	InFlight int64
+}
+
+// NewPool starts a pool with the given number of workers; non-positive
+// means GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan func(), 2*workers), workers: workers}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				runTask(fn)
+				p.completed.Add(1)
+			}
+		}()
+	}
+	return p
+}
+
+// runTask isolates one task: a panicking query must not take down the
+// worker (and with it the whole serving process). The task's own defers
+// (wait-group releases) run during unwinding before the recover here.
+func runTask(fn func()) {
+	defer func() { _ = recover() }()
+	fn()
+}
+
+// Workers returns the fixed worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Go submits one task, blocking while the queue is full (backpressure).
+func (p *Pool) Go(fn func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.submitted.Add(1)
+	p.tasks <- fn
+	return nil
+}
+
+// Do runs fn(0..n-1) across the pool and waits for all of them.
+func (p *Pool) Do(n int, fn func(i int)) error {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		if err := p.Go(func() { defer wg.Done(); fn(i) }); err != nil {
+			wg.Done()
+			wg.Wait()
+			return err
+		}
+	}
+	wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of pool activity.
+func (p *Pool) Stats() PoolStats {
+	s := p.submitted.Load()
+	c := p.completed.Load()
+	return PoolStats{Workers: p.workers, Submitted: s, Completed: c, InFlight: s - c}
+}
+
+// Close stops accepting work, waits for queued tasks to drain, and stops
+// the workers. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

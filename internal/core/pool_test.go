@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolDoRunsAll(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum atomic.Int64
+	if err := p.Do(100, func(i int) { sum.Add(int64(i)) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Load(); got != 4950 {
+		t.Fatalf("sum = %d", got)
+	}
+	st := p.Stats()
+	if st.Workers != 4 || st.Submitted != 100 || st.Completed != 100 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolDefaultsAndBackpressure(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() <= 0 {
+		t.Fatalf("workers = %d", p.Workers())
+	}
+	// Submit far more tasks than workers+queue; Go must block, not drop.
+	var n atomic.Int64
+	for i := 0; i < 200; i++ {
+		if err := p.Go(func() { n.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close() // drains the queue
+	if n.Load() != 200 {
+		t.Fatalf("ran %d of 200", n.Load())
+	}
+}
+
+func TestPoolClosedRejects(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Go(func() {}); err != ErrPoolClosed {
+		t.Fatalf("Go after close = %v", err)
+	}
+	if err := p.Do(3, func(int) {}); err != ErrPoolClosed {
+		t.Fatalf("Do after close = %v", err)
+	}
+}
+
+func TestPoolConcurrentDo(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	done := make(chan int64, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			var sum atomic.Int64
+			if err := p.Do(50, func(i int) { sum.Add(int64(i)) }); err != nil {
+				sum.Store(-1)
+			}
+			done <- sum.Load()
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if got := <-done; got != 1225 {
+			t.Fatalf("goroutine sum = %d", got)
+		}
+	}
+}

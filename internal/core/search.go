@@ -79,20 +79,28 @@ func (s *EmbeddingStore) BeginSearch(tid txn.TID) *SearchContext {
 	ctx := &SearchContext{s: s, TID: tid, watermark: s.watermark}
 	s.mu.RUnlock()
 
-	// Collect visible deltas: persisted files first, then memory; the
-	// latest TID per id wins. Duplicates between file and memory (the
-	// flush window) resolve identically.
+	// Collect visible deltas: memory first, then persisted files; the
+	// latest TID per id wins. The order matters for visibility: the
+	// flusher writes the delta file BEFORE draining memory, so a record
+	// already drained when memory is scanned is guaranteed to be in a
+	// file by the time the file scan runs. Scanning files first reopens
+	// the lost-update window (file scan too early, memory scan too
+	// late). Duplicates between memory and file (the flush window)
+	// resolve identically. A record that disappeared from both (flushed
+	// and merged mid-scan) is already reflected in the index at a
+	// watermark this query's ActiveTracker registration bounds to
+	// TID <= tid, so it is served from the index instead.
 	net := make(map[uint64]txn.VectorDelta)
+	for _, d := range s.deltas.Visible(ctx.watermark, tid) {
+		if prev, ok := net[d.ID]; !ok || d.TID >= prev.TID {
+			net[d.ID] = d
+		}
+	}
 	if fileRecs, err := s.files.ReadRange(ctx.watermark, tid); err == nil {
 		for _, d := range fileRecs {
 			if prev, ok := net[d.ID]; !ok || d.TID >= prev.TID {
 				net[d.ID] = d
 			}
-		}
-	}
-	for _, d := range s.deltas.Visible(ctx.watermark, tid) {
-		if prev, ok := net[d.ID]; !ok || d.TID >= prev.TID {
-			net[d.ID] = d
 		}
 	}
 	ctx.net = net

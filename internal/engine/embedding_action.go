@@ -81,6 +81,12 @@ func (e *Engine) EmbeddingAction(refs []graph.EmbeddingRef, query []float32, opt
 		if !ok {
 			return nil, fmt.Errorf("engine: embedding attribute %s is not materialized", ref)
 		}
+		// Validate the query dimension before any distance computation:
+		// the delta-scan and brute-force paths iterate over len(query)
+		// and would read past shorter stored vectors.
+		if len(query) != store.Attr.Dim {
+			return nil, fmt.Errorf("engine: %s expects query dimension %d, got %d", ref, store.Attr.Dim, len(query))
+		}
 		status, err := e.G.Status(ref.VertexType)
 		if err != nil {
 			return nil, err
@@ -150,6 +156,9 @@ func (e *Engine) RangeAction(ref graph.EmbeddingRef, query []float32, threshold 
 	store, ok := e.Emb.Store(core.AttrKey(ref.VertexType, ref.Attr))
 	if !ok {
 		return nil, fmt.Errorf("engine: embedding attribute %s is not materialized", ref)
+	}
+	if len(query) != store.Attr.Dim {
+		return nil, fmt.Errorf("engine: %s expects query dimension %d, got %d", ref, store.Attr.Dim, len(query))
 	}
 	tid := opts.TID
 	if tid == 0 {

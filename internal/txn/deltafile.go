@@ -175,6 +175,14 @@ func (s *DeltaFileSet) ReadRange(after, upto TID) ([]VectorDelta, error) {
 			continue
 		}
 		f, err := os.Open(df.Path)
+		if os.IsNotExist(err) {
+			// The index merge consumed and removed this file between our
+			// snapshot of the file list and the open; its records are in
+			// the index now. Skip it rather than failing the whole scan —
+			// an error here would silently drop every OTHER file's
+			// deltas from the caller's view.
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -121,20 +121,11 @@ type SearchOptions struct {
 	Filter *VertexSet
 }
 
-// VectorSearch runs a top-k search over one or more embedding attributes
-// given as "Type.attr" strings. Attributes spanning multiple vertex types
-// must pass the embedding compatibility check (same dimension, model,
-// data type and metric).
-func (db *DB) VectorSearch(attrs []string, query []float32, k int, opts *SearchOptions) ([]SearchHit, error) {
-	refs := make([]graph.EmbeddingRef, 0, len(attrs))
-	for _, a := range attrs {
-		r, err := graph.ParseEmbeddingRef(a)
-		if err != nil {
-			return nil, err
-		}
-		refs = append(refs, r)
-	}
-	so := engine.SearchOptions{K: k, Ef: db.cfg.DefaultEf}
+// engineOpts translates public SearchOptions into engine options. tid
+// pins the MVCC snapshot; 0 resolves to the current visible TID inside
+// the engine.
+func (db *DB) engineOpts(k int, opts *SearchOptions, tid txn.TID) engine.SearchOptions {
+	so := engine.SearchOptions{K: k, Ef: db.cfg.DefaultEf, TID: tid}
 	if opts != nil {
 		if opts.Ef > 0 {
 			so.Ef = opts.Ef
@@ -145,15 +136,45 @@ func (db *DB) VectorSearch(attrs []string, query []float32, k int, opts *SearchO
 			}
 		}
 	}
-	res, err := db.engine.EmbeddingAction(refs, query, so)
-	if err != nil {
-		return nil, err
-	}
+	return so
+}
+
+// typedToHits converts engine results to the public hit type.
+func typedToHits(res []engine.TypedResult) []SearchHit {
 	out := make([]SearchHit, len(res))
 	for i, r := range res {
 		out[i] = SearchHit{VertexType: r.Type, ID: r.ID, Distance: r.Distance}
 	}
-	return out, nil
+	return out
+}
+
+// parseRefs parses "Type.attr" strings.
+func parseRefs(attrs []string) ([]graph.EmbeddingRef, error) {
+	refs := make([]graph.EmbeddingRef, 0, len(attrs))
+	for _, a := range attrs {
+		r, err := graph.ParseEmbeddingRef(a)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, r)
+	}
+	return refs, nil
+}
+
+// VectorSearch runs a top-k search over one or more embedding attributes
+// given as "Type.attr" strings. Attributes spanning multiple vertex types
+// must pass the embedding compatibility check (same dimension, model,
+// data type and metric).
+func (db *DB) VectorSearch(attrs []string, query []float32, k int, opts *SearchOptions) ([]SearchHit, error) {
+	refs, err := parseRefs(attrs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := db.engine.EmbeddingAction(refs, query, db.engineOpts(k, opts, 0))
+	if err != nil {
+		return nil, err
+	}
+	return typedToHits(res), nil
 }
 
 // RangeSearch returns every vertex whose embedding lies within the
@@ -163,26 +184,11 @@ func (db *DB) RangeSearch(attr string, query []float32, threshold float32, opts 
 	if err != nil {
 		return nil, err
 	}
-	so := engine.SearchOptions{Ef: db.cfg.DefaultEf}
-	if opts != nil {
-		if opts.Ef > 0 {
-			so.Ef = opts.Ef
-		}
-		if opts.Filter != nil {
-			so.Filters = map[string]*engine.VertexSet{
-				opts.Filter.Type: engine.NewVertexSet(opts.Filter.Type, opts.Filter.IDs),
-			}
-		}
-	}
-	res, err := db.engine.RangeAction(ref, query, threshold, so)
+	res, err := db.engine.RangeAction(ref, query, threshold, db.engineOpts(0, opts, 0))
 	if err != nil {
 		return nil, err
 	}
-	out := make([]SearchHit, len(res))
-	for i, r := range res {
-		out[i] = SearchHit{VertexType: r.Type, ID: r.ID, Distance: r.Distance}
-	}
-	return out, nil
+	return typedToHits(res), nil
 }
 
 // UpsertEmbedding transactionally writes a vertex's embedding attribute.

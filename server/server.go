@@ -1,0 +1,456 @@
+// Package server implements the tgvserve HTTP/JSON serving layer over a
+// tigervector.DB: concurrent top-k and range search (single or pooled
+// batch), transactional embedding upserts and deletes, GSQL
+// installation and execution, and an observability endpoint. The
+// cmd/tgvserve binary is a thin flag wrapper around this package, so
+// tests and examples can embed the server in-process.
+//
+// Endpoints (all JSON; wire types live in repro/client so client and
+// server share one protocol definition):
+//
+//	POST /vertex  client.VertexRequest  -> client.VertexResponse
+//	POST /edge    client.EdgeRequest    -> client.EdgeResponse
+//	POST /search  client.SearchRequest  -> client.SearchResponse
+//	POST /range   client.RangeRequest   -> client.SearchResponse
+//	POST /upsert  client.UpsertRequest  -> client.UpsertResponse
+//	POST /delete  client.DeleteRequest  -> client.DeleteResponse
+//	POST /gsql    client.GSQLRequest    -> client.GSQLResponse
+//	GET  /stats                         -> server.Stats
+//
+// Concurrency model: net/http serves each request on its own goroutine;
+// every search funnels into DB.BatchVectorSearch, whose bounded worker
+// pool (tigervector.Config.Workers wide) is the single admission point
+// for query execution. A traffic burst therefore queues at the pool
+// instead of oversubscribing the segment fan-out, and every query runs
+// at its own MVCC snapshot TID with vacuum safety preserved by the
+// per-store ActiveTrackers.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	tigervector "repro"
+	"repro/client"
+)
+
+// Options configures a Server. The zero value is usable.
+type Options struct {
+	// MaxBatch caps query vectors per /search request. Default 1024.
+	MaxBatch int
+	// Logf receives one line per failed request; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Counters tallies requests per endpoint since server start.
+type Counters struct {
+	// Vertex counts /vertex requests.
+	Vertex int64 `json:"vertex"`
+	// Edge counts /edge requests.
+	Edge int64 `json:"edge"`
+	// Search counts /search requests.
+	Search int64 `json:"search"`
+	// Range counts /range requests.
+	Range int64 `json:"range"`
+	// Upsert counts /upsert requests.
+	Upsert int64 `json:"upsert"`
+	// Delete counts /delete requests.
+	Delete int64 `json:"delete"`
+	// GSQL counts /gsql requests.
+	GSQL int64 `json:"gsql"`
+	// Stats counts /stats requests.
+	Stats int64 `json:"stats"`
+	// Errors counts requests answered with a non-2xx status.
+	Errors int64 `json:"errors"`
+}
+
+// Stats is the body answering GET /stats.
+type Stats struct {
+	// UptimeSeconds is the time since the server was created.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests tallies served requests per endpoint.
+	Requests Counters `json:"requests"`
+	// DB is the database snapshot (MVCC, stores, vacuum, pool).
+	DB tigervector.DBStats `json:"db"`
+}
+
+// Server serves one tigervector.DB over HTTP.
+type Server struct {
+	db    *tigervector.DB
+	opts  Options
+	mux   *http.ServeMux
+	start time.Time
+
+	vertex, edge, search, rng, upsert, del, gsql, stats, errs atomic.Int64
+
+	srvMu   sync.Mutex
+	httpSrv *http.Server
+	closed  bool
+}
+
+// New wraps db in a Server. The caller keeps ownership of db and closes
+// it after Shutdown.
+func New(db *tigervector.DB, opts Options) *Server {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 1024
+	}
+	s := &Server{db: db, opts: opts, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/vertex", s.method(http.MethodPost, s.handleVertex))
+	s.mux.HandleFunc("/edge", s.method(http.MethodPost, s.handleEdge))
+	s.mux.HandleFunc("/search", s.method(http.MethodPost, s.handleSearch))
+	s.mux.HandleFunc("/range", s.method(http.MethodPost, s.handleRange))
+	s.mux.HandleFunc("/upsert", s.method(http.MethodPost, s.handleUpsert))
+	s.mux.HandleFunc("/delete", s.method(http.MethodPost, s.handleDelete))
+	s.mux.HandleFunc("/gsql", s.method(http.MethodPost, s.handleGSQL))
+	s.mux.HandleFunc("/stats", s.method(http.MethodGet, s.handleStats))
+	return s
+}
+
+// method guards a handler to one HTTP method.
+func (s *Server) method(want string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != want {
+			s.fail(w, http.StatusMethodNotAllowed, "%s requires %s", r.URL.Path, want)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// Handler returns the server's HTTP handler, for embedding into an
+// existing mux or an httptest server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe binds addr and serves until Shutdown. Like
+// http.Server.ListenAndServe it returns http.ErrServerClosed after a
+// graceful shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve serves on an existing listener until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.srvMu.Lock()
+	if s.closed {
+		s.srvMu.Unlock()
+		l.Close()
+		return http.ErrServerClosed
+	}
+	srv := &http.Server{Handler: s.mux}
+	s.httpSrv = srv
+	s.srvMu.Unlock()
+	return srv.Serve(l)
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight requests run to completion or until ctx expires. A Serve
+// that has not started yet fails fast with http.ErrServerClosed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.srvMu.Lock()
+	s.closed = true
+	srv := s.httpSrv
+	s.srvMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// handleVertex answers POST /vertex: insert (or upsert by primary key)
+// one vertex. Embeddings written for ids without a live vertex are
+// filtered out of every search, so this is the first call of any
+// over-HTTP loading session.
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	s.vertex.Add(1)
+	var req client.VertexRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	attrs := make(map[string]any, len(req.Attrs))
+	for k, v := range req.Attrs {
+		attrs[k] = coerceScalar(v)
+	}
+	id, err := s.db.AddVertex(req.Type, attrs)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, client.VertexResponse{ID: id})
+}
+
+// handleEdge answers POST /edge: insert one edge between existing
+// vertices.
+func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	s.edge.Add(1)
+	var req client.EdgeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.db.AddEdge(req.Type, req.From, req.To); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, client.EdgeResponse{})
+}
+
+// handleSearch answers POST /search: one query vector or a pooled batch.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.search.Add(1)
+	var req client.SearchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	single := req.Query != nil
+	if single == (len(req.Queries) > 0) {
+		s.fail(w, http.StatusBadRequest, "exactly one of query/queries required")
+		return
+	}
+	if len(req.Queries) > s.opts.MaxBatch {
+		s.fail(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Queries), s.opts.MaxBatch)
+		return
+	}
+	vecs := req.Queries
+	if single {
+		vecs = [][]float32{req.Query}
+	}
+	queries := make([]tigervector.BatchQuery, len(vecs))
+	for i, q := range vecs {
+		queries[i] = tigervector.BatchQuery{
+			Attrs: req.Attrs, Query: q, K: req.K,
+			Opts: &tigervector.SearchOptions{Ef: req.Ef},
+		}
+	}
+	s.writeJSON(w, searchResponse(s.db.BatchVectorSearch(queries)))
+}
+
+// handleRange answers POST /range.
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	s.rng.Add(1)
+	var req client.RangeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	res := s.db.BatchVectorSearch([]tigervector.BatchQuery{{
+		Attrs: []string{req.Attr}, Query: req.Query,
+		Range: true, Threshold: req.Threshold,
+		Opts: &tigervector.SearchOptions{Ef: req.Ef},
+	}})
+	s.writeJSON(w, searchResponse(res))
+}
+
+// searchResponse converts batch results to the wire shape.
+func searchResponse(results []tigervector.BatchResult) client.SearchResponse {
+	out := client.SearchResponse{Results: make([]client.SearchResult, len(results))}
+	for i, r := range results {
+		sr := client.SearchResult{SnapshotTID: r.SnapshotTID, Hits: make([]client.Hit, len(r.Hits))}
+		for j, h := range r.Hits {
+			sr.Hits[j] = client.Hit{Type: h.VertexType, ID: h.ID, Distance: h.Distance}
+		}
+		if r.Err != nil {
+			sr.Error = r.Err.Error()
+		}
+		out.Results[i] = sr
+	}
+	return out
+}
+
+// handleUpsert answers POST /upsert.
+func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
+	s.upsert.Add(1)
+	var req client.UpsertRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	id, ok := s.resolveVertex(req.Type, req.ID, req.Key)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no %s vertex for id/key", req.Type)
+		return
+	}
+	if err := s.db.UpsertEmbedding(req.Type, req.Attr, id, req.Vector); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, client.UpsertResponse{ID: id})
+}
+
+// handleDelete answers POST /delete.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.del.Add(1)
+	var req client.DeleteRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	id, ok := s.resolveVertex(req.Type, req.ID, req.Key)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no %s vertex for id/key", req.Type)
+		return
+	}
+	var err error
+	if req.Vertex {
+		err = s.db.DeleteVertex(req.Type, id)
+	} else {
+		err = s.db.DeleteEmbedding(req.Type, req.Attr, id)
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, client.DeleteResponse{ID: id})
+}
+
+// resolveVertex maps an (id | primary key) address to a vertex id.
+func (s *Server) resolveVertex(vertexType string, id *uint64, key any) (uint64, bool) {
+	if id != nil {
+		return *id, true
+	}
+	if key == nil {
+		return 0, false
+	}
+	return s.db.VertexByKey(vertexType, coerceScalar(key))
+}
+
+// handleGSQL answers POST /gsql: install statements or run a query.
+func (s *Server) handleGSQL(w http.ResponseWriter, r *http.Request) {
+	s.gsql.Add(1)
+	var req client.GSQLRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	switch {
+	case req.Exec != "" && req.Run == "":
+		if err := s.db.Exec(req.Exec); err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.writeJSON(w, client.GSQLResponse{})
+	case req.Run != "" && req.Exec == "":
+		args := make(map[string]any, len(req.Args))
+		for k, v := range req.Args {
+			args[k] = coerceScalar(v)
+		}
+		res, err := s.db.Run(req.Run, args)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp := client.GSQLResponse{
+			Plans: res.Plans,
+			Stats: client.GSQLStats{
+				EndToEndSeconds:     res.Stats.EndToEnd,
+				VectorSearchSeconds: res.Stats.VectorSearchTime,
+				Candidates:          res.Stats.Candidates,
+			},
+		}
+		for _, o := range res.Outputs {
+			raw, err := json.Marshal(jsonValue(o.Value))
+			if err != nil {
+				s.fail(w, http.StatusInternalServerError, "encode output %s: %v", o.Name, err)
+				return
+			}
+			resp.Outputs = append(resp.Outputs, client.GSQLOutput{Name: o.Name, Value: raw})
+		}
+		s.writeJSON(w, resp)
+	default:
+		s.fail(w, http.StatusBadRequest, "exactly one of exec/run required")
+	}
+}
+
+// handleStats answers GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.stats.Add(1)
+	s.writeJSON(w, Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests: Counters{
+			Vertex: s.vertex.Load(), Edge: s.edge.Load(),
+			Search: s.search.Load(), Range: s.rng.Load(),
+			Upsert: s.upsert.Load(), Delete: s.del.Load(),
+			GSQL: s.gsql.Load(), Stats: s.stats.Load(),
+			Errors: s.errs.Load(),
+		},
+		DB: s.db.Stats(),
+	})
+}
+
+// jsonValue rewrites query outputs into JSON-friendly shapes.
+func jsonValue(v any) any {
+	switch x := v.(type) {
+	case *tigervector.VertexSet:
+		return map[string]any{"type": x.Type, "ids": x.IDs}
+	case []*tigervector.VertexSet:
+		out := make([]any, len(x))
+		for i, s := range x {
+			out[i] = jsonValue(s)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// coerceScalar maps decoded JSON values onto the Go types the GSQL
+// binder and the graph primary-key index expect: integral float64
+// becomes int64, and an all-number array becomes []float64 (a vector).
+func coerceScalar(v any) any {
+	switch x := v.(type) {
+	case float64:
+		if x == float64(int64(x)) {
+			return int64(x)
+		}
+	case []any:
+		vec := make([]float64, len(x))
+		for i, e := range x {
+			f, ok := e.(float64)
+			if !ok {
+				return v
+			}
+			vec[i] = f
+		}
+		return vec
+	}
+	return v
+}
+
+// decode reads one JSON body; on failure it answers 400 and returns
+// false.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
+	if err == nil {
+		err = json.Unmarshal(body, into)
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// writeJSON answers 200 with a JSON body.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil && s.opts.Logf != nil {
+		s.opts.Logf("server: write response: %v", err)
+	}
+}
+
+// fail answers an error status with a JSON error body.
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errs.Add(1)
+	msg := fmt.Sprintf(format, args...)
+	if s.opts.Logf != nil {
+		s.opts.Logf("server: %d %s", status, msg)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(client.ErrorResponse{Error: msg})
+}

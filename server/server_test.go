@@ -1,0 +1,396 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	tigervector "repro"
+	"repro/client"
+)
+
+const testDDL = `
+CREATE VERTEX Post (id INT PRIMARY KEY, language STRING, length INT);
+ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb (
+  DIMENSION = 8, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);
+`
+
+// newTestServer builds a DB with n posts behind an httptest server and
+// returns a client pointed at it plus the loaded ids and vectors.
+func newTestServer(t *testing.T, n int) (*client.Client, []uint64, [][]float32) {
+	t.Helper()
+	db, err := tigervector.Open(tigervector.Config{SegmentSize: 32, Seed: 1, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	var ids []uint64
+	var vecs [][]float32
+	for i := 0; i < n; i++ {
+		lang := "English"
+		if i%2 == 0 {
+			lang = "French"
+		}
+		id, _ := db.AddVertex("Post", map[string]any{
+			"id": int64(i), "language": lang, "length": int64(i)})
+		v := make([]float32, 8)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		ids = append(ids, id)
+		vecs = append(vecs, v)
+	}
+	if err := db.BulkLoadEmbeddings("Post", "content_emb", ids, vecs); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db, Options{}).Handler())
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL), ids, vecs
+}
+
+func TestVertexAndEdgeOverHTTP(t *testing.T) {
+	c, _, _ := newTestServer(t, 4)
+	ctx := context.Background()
+	// A fresh vertex created over HTTP is immediately upsert- and
+	// search-able (liveness filter admits it).
+	id, err := c.AddVertex(ctx, "Post", map[string]any{"id": 100, "language": "English"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := []float32{7, 7, 7, 7, 7, 7, 7, 7}
+	if err := c.Upsert(ctx, "Post", "content_emb", id, vec); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := c.Search(ctx, []string{"Post.content_emb"}, vec, 1, 0)
+	if err != nil || len(hits) != 1 || hits[0].ID != id || hits[0].Distance != 0 {
+		t.Fatalf("search for fresh vertex = %+v, %v", hits, err)
+	}
+	// Unknown vertex type and unknown edge type are 4xx.
+	if _, err := c.AddVertex(ctx, "Nope", map[string]any{"id": 1}); err == nil {
+		t.Fatal("unknown vertex type accepted")
+	}
+	if err := c.AddEdge(ctx, "nopeEdge", id, id); err == nil {
+		t.Fatal("unknown edge type accepted")
+	}
+}
+
+func TestSearchHappyPath(t *testing.T) {
+	c, ids, vecs := newTestServer(t, 60)
+	hits, err := c.Search(context.Background(), []string{"Post.content_emb"}, vecs[7], 5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 5 || hits[0].ID != ids[7] || hits[0].Distance != 0 || hits[0].Type != "Post" {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestBatchSearchOverHTTP(t *testing.T) {
+	c, ids, vecs := newTestServer(t, 60)
+	queries := [][]float32{vecs[3], vecs[11], vecs[40]}
+	results, err := c.BatchSearch(context.Background(), []string{"Post.content_emb"}, queries, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{ids[3], ids[11], ids[40]}
+	for i, res := range results {
+		if res.Error != "" {
+			t.Fatalf("query %d: %s", i, res.Error)
+		}
+		if len(res.Hits) != 2 || res.Hits[0].ID != want[i] {
+			t.Fatalf("query %d: hits = %+v", i, res.Hits)
+		}
+		if res.SnapshotTID == 0 {
+			t.Fatalf("query %d: no snapshot TID", i)
+		}
+	}
+}
+
+func TestSearchBadDimIsPerQueryError(t *testing.T) {
+	c, _, vecs := newTestServer(t, 20)
+	// The transport call succeeds; the per-query error carries the
+	// dimension mismatch.
+	_, err := c.Search(context.Background(), []string{"Post.content_emb"}, []float32{1, 2}, 3, 0)
+	if err == nil || !strings.Contains(err.Error(), "dimension") {
+		t.Fatalf("err = %v", err)
+	}
+	// In a batch, a bad query must not fail its neighbors.
+	results, err := c.BatchSearch(context.Background(), []string{"Post.content_emb"},
+		[][]float32{vecs[0], {1, 2}}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Error != "" || len(results[0].Hits) != 3 {
+		t.Fatalf("good query = %+v", results[0])
+	}
+	if !strings.Contains(results[1].Error, "dimension") {
+		t.Fatalf("bad query error = %q", results[1].Error)
+	}
+}
+
+func TestSearchUnknownAttr(t *testing.T) {
+	c, _, vecs := newTestServer(t, 20)
+	_, err := c.Search(context.Background(), []string{"Post.nope"}, vecs[0], 3, 0)
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = c.Search(context.Background(), []string{"Nope.attr"}, vecs[0], 3, 0)
+	if err == nil {
+		t.Fatal("unknown vertex type accepted")
+	}
+}
+
+func TestSearchRequestValidation(t *testing.T) {
+	c, _, vecs := newTestServer(t, 10)
+	post := func(body string) int {
+		resp, err := http.Post(c.BaseURL+"/search", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"attrs":["Post.content_emb"],"k":3}`); code != http.StatusBadRequest {
+		t.Fatalf("neither query nor queries: %d", code)
+	}
+	if code := post(`{"attrs":["Post.content_emb"],"query":[1],"queries":[[1]],"k":3}`); code != http.StatusBadRequest {
+		t.Fatalf("both query and queries: %d", code)
+	}
+	if code := post(`not json`); code != http.StatusBadRequest {
+		t.Fatalf("bad json: %d", code)
+	}
+	// GET on a POST endpoint.
+	resp, err := http.Get(c.BaseURL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /search: %d", resp.StatusCode)
+	}
+	_ = vecs
+}
+
+func TestRangeOverHTTP(t *testing.T) {
+	c, ids, vecs := newTestServer(t, 40)
+	hits, err := c.RangeSearch(context.Background(), "Post.content_emb", vecs[3], 1e-4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].ID != ids[3] {
+		t.Fatalf("range = %+v", hits)
+	}
+}
+
+func TestUpsertDeleteLifecycleOverHTTP(t *testing.T) {
+	c, ids, _ := newTestServer(t, 20)
+	ctx := context.Background()
+	nv := []float32{9, 9, 9, 9, 9, 9, 9, 9}
+	if err := c.Upsert(ctx, "Post", "content_emb", ids[0], nv); err != nil {
+		t.Fatal(err)
+	}
+	// Committed upsert is visible to a search that starts after it.
+	hits, err := c.Search(ctx, []string{"Post.content_emb"}, nv, 1, 0)
+	if err != nil || len(hits) != 1 || hits[0].ID != ids[0] || hits[0].Distance != 0 {
+		t.Fatalf("post-upsert search = %+v, %v", hits, err)
+	}
+	// Upsert by primary key resolves to the same vertex.
+	id, err := c.UpsertByKey(ctx, "Post", "content_emb", 5, nv)
+	if err != nil || id != ids[5] {
+		t.Fatalf("UpsertByKey = %d, %v", id, err)
+	}
+	if err := c.Delete(ctx, "Post", "content_emb", ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	hits, err = c.Search(ctx, []string{"Post.content_emb"}, nv, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 1 && hits[0].ID == ids[0] {
+		t.Fatal("deleted embedding still served")
+	}
+	// Whole-vertex delete.
+	if err := c.DeleteVertex(ctx, "Post", ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Errors: unknown key, wrong dimension.
+	if _, err := c.UpsertByKey(ctx, "Post", "content_emb", 9999, nv); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if err := c.Upsert(ctx, "Post", "content_emb", ids[2], []float32{1}); err == nil {
+		t.Fatal("wrong dim accepted")
+	}
+}
+
+func TestGSQLOverHTTP(t *testing.T) {
+	c, ids, vecs := newTestServer(t, 50)
+	ctx := context.Background()
+	err := c.Exec(ctx, `
+CREATE QUERY eng (LIST<FLOAT> qv, INT k) {
+  R = SELECT s FROM (s:Post) WHERE s.language = "English"
+      ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT k;
+  PRINT R;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k arrives as a JSON number (float64) and must be coerced to INT.
+	q := make([]any, 8)
+	for i, f := range vecs[1] {
+		q[i] = f
+	}
+	resp, err := c.Run(ctx, "eng", map[string]any{"qv": q, "k": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Outputs) != 1 || resp.Outputs[0].Name != "R" {
+		t.Fatalf("outputs = %+v", resp.Outputs)
+	}
+	var set struct {
+		Type string   `json:"type"`
+		IDs  []uint64 `json:"ids"`
+	}
+	if err := json.Unmarshal(resp.Outputs[0].Value, &set); err != nil {
+		t.Fatal(err)
+	}
+	if set.Type != "Post" || len(set.IDs) != 5 {
+		t.Fatalf("set = %+v", set)
+	}
+	if resp.Stats.EndToEndSeconds <= 0 {
+		t.Fatalf("stats = %+v", resp.Stats)
+	}
+	// Errors: unknown query, bad source, exec+run together.
+	if _, err := c.Run(ctx, "nope", nil); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+	if err := c.Exec(ctx, "CREATE GARBAGE"); err == nil {
+		t.Fatal("bad GSQL accepted")
+	}
+	body := `{"exec":"x","run":"y"}`
+	httpResp, err := http.Post(c.BaseURL+"/gsql", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("exec+run: %d", httpResp.StatusCode)
+	}
+	_ = ids
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	c, _, vecs := newTestServer(t, 30)
+	ctx := context.Background()
+	if _, err := c.Search(ctx, []string{"Post.content_emb"}, vecs[0], 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests.Search != 1 || st.Requests.Stats != 1 {
+		t.Fatalf("counters = %+v", st.Requests)
+	}
+	if st.DB.VisibleTID == 0 || len(st.DB.Stores) != 1 || st.DB.Pool.Workers <= 0 {
+		t.Fatalf("db stats = %+v", st.DB)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Fatalf("uptime = %v", st.UptimeSeconds)
+	}
+}
+
+// TestConcurrentRequests hammers /search and /upsert from many
+// goroutines at once; run under -race this covers the whole HTTP ->
+// pool -> engine path for data races.
+func TestConcurrentRequests(t *testing.T) {
+	c, ids, vecs := newTestServer(t, 64)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if w%4 == 0 {
+					v := []float32{float32(w), float32(i), 0, 0, 0, 0, 0, 0}
+					if err := c.Upsert(ctx, "Post", "content_emb", ids[32+w], v); err != nil {
+						errCh <- err
+						return
+					}
+					continue
+				}
+				hits, err := c.Search(ctx, []string{"Post.content_emb"}, vecs[(w*10+i)%32], 3, 0)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(hits) != 3 {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	db, err := tigervector.Open(tigervector.Config{SegmentSize: 32, Seed: 1, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := New(db, Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+	// Wait until the server answers, proving Serve is running.
+	c := client.New("http://" + l.Addr().String())
+	for i := 0; ; i++ {
+		if _, err := c.Stats(context.Background()); err == nil {
+			break
+		} else if i > 100 {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Shutdown must terminate Serve with http.ErrServerClosed.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v", err)
+	}
+	// A Serve after Shutdown fails fast.
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(l2); err != http.ErrServerClosed {
+		t.Fatalf("Serve after Shutdown returned %v", err)
+	}
+}

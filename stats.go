@@ -1,0 +1,102 @@
+package tigervector
+
+import "sort"
+
+// This file is the observability surface of the serving layer: one
+// Stats() snapshot covering MVCC progress, per-attribute store state,
+// vacuum activity and worker-pool load, serialized as-is by the
+// tgvserve /stats endpoint.
+
+// PoolStats reports worker-pool activity.
+type PoolStats struct {
+	// Workers is the fixed pool width (Config.Workers).
+	Workers int `json:"workers"`
+	// Submitted counts queries accepted since Open.
+	Submitted int64 `json:"submitted"`
+	// Completed counts queries finished.
+	Completed int64 `json:"completed"`
+	// InFlight is Submitted - Completed: queued plus executing queries.
+	InFlight int64 `json:"in_flight"`
+}
+
+// StoreStats describes one embedding store (one vector attribute).
+type StoreStats struct {
+	// Attr is the "VertexType.attr" key.
+	Attr string `json:"attr"`
+	// Segments is the embedding segment count.
+	Segments int `json:"segments"`
+	// PendingDeltas counts committed vector updates not yet flushed to a
+	// delta file.
+	PendingDeltas int `json:"pending_deltas"`
+	// DeltaFiles counts flushed delta files not yet merged into indexes.
+	DeltaFiles int `json:"delta_files"`
+	// Watermark is the TID up to which the indexes are complete.
+	Watermark uint64 `json:"watermark"`
+}
+
+// VacuumStats counts background vacuum activity since Open.
+type VacuumStats struct {
+	// FlushRuns counts delta-merge passes (memory -> delta file).
+	FlushRuns int64 `json:"flush_runs"`
+	// FlushedDeltas counts vector updates persisted by those passes.
+	FlushedDeltas int64 `json:"flushed_deltas"`
+	// MergeRuns counts index-merge passes (delta file -> index).
+	MergeRuns int64 `json:"merge_runs"`
+	// MergedDeltas counts vector updates merged into indexes.
+	MergedDeltas int64 `json:"merged_deltas"`
+	// Rebuilds counts whole-segment index rebuilds.
+	Rebuilds int64 `json:"rebuilds"`
+	// Errors counts failed vacuum passes.
+	Errors int64 `json:"errors"`
+}
+
+// DBStats is a point-in-time snapshot of a DB's serving state.
+type DBStats struct {
+	// VisibleTID is the highest committed transaction id.
+	VisibleTID uint64 `json:"visible_tid"`
+	// Stores lists per-attribute store state, sorted by attribute key.
+	Stores []StoreStats `json:"stores"`
+	// Vacuum aggregates background maintenance counters.
+	Vacuum VacuumStats `json:"vacuum"`
+	// Pool reports query worker-pool load.
+	Pool PoolStats `json:"pool"`
+	// Queries lists the defined GSQL query names.
+	Queries []string `json:"queries"`
+}
+
+// Stats returns a consistent-enough snapshot for monitoring; the counters
+// are read without stopping writers, so they may be mutually slightly
+// stale.
+func (db *DB) Stats() DBStats {
+	ps := db.pool.Stats()
+	st := DBStats{
+		VisibleTID: uint64(db.mgr.Visible()),
+		Pool: PoolStats{
+			Workers:   ps.Workers,
+			Submitted: ps.Submitted,
+			Completed: ps.Completed,
+			InFlight:  ps.InFlight,
+		},
+		Queries: db.Queries(),
+	}
+	for _, store := range db.svc.Stores() {
+		st.Stores = append(st.Stores, StoreStats{
+			Attr:          store.Key,
+			Segments:      store.NumSegments(),
+			PendingDeltas: store.PendingDeltas(),
+			DeltaFiles:    len(store.DeltaFiles()),
+			Watermark:     uint64(store.Watermark()),
+		})
+	}
+	sort.Slice(st.Stores, func(i, j int) bool { return st.Stores[i].Attr < st.Stores[j].Attr })
+	vs := db.vac.Stats()
+	st.Vacuum = VacuumStats{
+		FlushRuns:     vs.FlushRuns.Load(),
+		FlushedDeltas: vs.FlushedDeltas.Load(),
+		MergeRuns:     vs.MergeRuns.Load(),
+		MergedDeltas:  vs.MergedDeltas.Load(),
+		Rebuilds:      vs.Rebuilds.Load(),
+		Errors:        vs.Errors.Load(),
+	}
+	return st
+}

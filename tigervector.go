@@ -60,6 +60,9 @@ type Config struct {
 	Seed int64
 	// Durability enables the write-ahead log for vector updates.
 	Durability bool
+	// Workers is the width of the inter-query worker pool used by
+	// BatchVectorSearch and the serving layer. Default GOMAXPROCS.
+	Workers int
 }
 
 // DB is a TigerVector database instance.
@@ -71,6 +74,7 @@ type DB struct {
 	engine  *engine.Engine
 	interp  *gsql.Interpreter
 	vac     *vacuum.Manager
+	pool    *core.Pool
 	walFile *os.File
 	ownsDir bool
 }
@@ -125,6 +129,7 @@ func Open(cfg Config) (*DB, error) {
 		db.mgr = mgr2
 		eng.Mgr = mgr2
 	}
+	db.pool = core.NewPool(cfg.Workers)
 	db.vac = vacuum.NewManager(svc, vacuum.Options{
 		MergeInterval: cfg.VacuumInterval,
 		MaxThreads:    runtime.GOMAXPROCS(0),
@@ -138,6 +143,7 @@ func Open(cfg Config) (*DB, error) {
 
 // Close stops background processes and releases resources.
 func (db *DB) Close() error {
+	db.pool.Close()
 	db.vac.Stop()
 	if db.walFile != nil {
 		db.walFile.Close()
