@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet race
+.PHONY: build test bench vet race recovery-test
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,13 @@ vet:
 # race detector; give the run headroom beyond the default 10m.
 test: vet
 	$(GO) test -race -timeout 45m ./...
+
+# End-to-end crash recovery: start tgvserve with durability, load data
+# over HTTP, SIGKILL it (leaving a torn WAL tail), restart, assert
+# identical results; then checkpoint, verify the WAL truncates, and
+# crash-restart once more.
+recovery-test:
+	./scripts/recovery_test.sh
 
 # Paper-figure regeneration plus the serving throughput comparison.
 # TGV_SCALE=1 runs the full laptop-scale experiments.

@@ -1,0 +1,280 @@
+package tigervector
+
+// This file implements checkpointing: an atomic snapshot of the full
+// database state (graph segments + merged embedding segments) followed by
+// WAL truncation, so recovery time is bounded by the post-checkpoint
+// delta volume instead of the whole update history.
+//
+// Protocol (crash-safe at every step):
+//
+//  1. Take the checkpoint lock: all mutators (and therefore all WAL
+//     appends) are blocked; queries keep running.
+//  2. Stop the vacuum so the embedding watermark and delta files cannot
+//     move mid-snapshot (restarted on exit).
+//  3. Write checkpoint-<tid>.graph and checkpoint-<tid>.embed via
+//     write-temp → fsync → rename.
+//  4. Write the manifest (checkpoint.json) the same way. The manifest
+//     rename is the commit point: recovery only trusts files the
+//     manifest names.
+//  5. Truncate the WAL. A crash before this leaves pre-checkpoint
+//     records in the log; recovery skips them by TID.
+//  6. Delete snapshot files of older checkpoints.
+//
+// The catalog (DDL) log is intentionally not rotated: it is tiny,
+// append-only, and replaying it is what re-creates the stores the
+// snapshot loads into.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/txn"
+)
+
+// checkpointManifest is the durable pointer to the active checkpoint.
+type checkpointManifest struct {
+	Version    int    `json:"version"`
+	TID        uint64 `json:"tid"`
+	Graph      string `json:"graph"`
+	Embeddings string `json:"embeddings"`
+}
+
+// CheckpointInfo reports what one Checkpoint call did.
+type CheckpointInfo struct {
+	// TID is the transaction id the snapshot covers; recovery replays
+	// only WAL records above it.
+	TID uint64 `json:"tid"`
+	// GraphBytes and EmbeddingBytes are the snapshot file sizes.
+	GraphBytes     int64 `json:"graph_bytes"`
+	EmbeddingBytes int64 `json:"embedding_bytes"`
+	// WALTruncatedBytes is the log volume the checkpoint retired.
+	WALTruncatedBytes int64 `json:"wal_truncated_bytes"`
+	// DurationSeconds is the wall time the checkpoint held the write lock.
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// ErrNotDurable is returned by Checkpoint on a DB opened without
+// Config.Durability.
+var ErrNotDurable = errors.New("tigervector: checkpoint requires Config.Durability")
+
+func (db *DB) manifestPath() string { return filepath.Join(db.cfg.DataDir, "checkpoint.json") }
+
+// syncDir fsyncs a directory, persisting renames inside it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// writeFileAtomic writes via a temp file, fsyncs, and renames into place.
+func writeFileAtomic(path string, write func(f *os.File) error) (int64, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	size := int64(0)
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return size, nil
+}
+
+// Checkpoint atomically snapshots the whole database state — schema-owned
+// stores are re-created from the catalog log, so the snapshot covers
+// graph data and the net vector state at the checkpoint TID — then
+// truncates the WAL. Writes block for the duration; reads do not. It also
+// makes bulk-loaded embeddings durable, which the WAL alone does not
+// cover.
+func (db *DB) Checkpoint() (*CheckpointInfo, error) {
+	if !db.cfg.Durability {
+		return nil, ErrNotDurable
+	}
+	info, err := db.checkpoint()
+	db.checkpoints.Add(1)
+	if err != nil {
+		db.checkpointErr.Add(1)
+		return nil, err
+	}
+	db.lastCpTID.Store(info.TID)
+	return info, nil
+}
+
+func (db *DB) checkpoint() (*CheckpointInfo, error) {
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+	if db.closed {
+		return nil, errors.New("tigervector: checkpoint on closed DB")
+	}
+	if err := db.mgr.Poisoned(); err != nil {
+		// A partial apply diverged memory from the log; snapshotting that
+		// state (and truncating the WAL under it) would make the
+		// divergence durable. Recovery by reopen comes first.
+		return nil, fmt.Errorf("tigervector: checkpoint refused: %w", err)
+	}
+	start := time.Now()
+
+	// Quiesce the vacuum: its final flush+merge folds as much delta state
+	// as possible into the segments, and nothing moves the watermark or
+	// retires delta files while the snapshot reads them.
+	db.vac.Stop()
+	if !db.cfg.DisableVacuum {
+		defer db.vac.Start()
+	}
+
+	tid := db.mgr.Visible()
+	info := &CheckpointInfo{TID: uint64(tid)}
+	graphName := fmt.Sprintf("checkpoint-%d.graph", tid)
+	embedName := fmt.Sprintf("checkpoint-%d.embed", tid)
+
+	var err error
+	info.GraphBytes, err = writeFileAtomic(filepath.Join(db.cfg.DataDir, graphName), func(f *os.File) error {
+		return db.graph.WriteSnapshot(f)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tigervector: checkpoint graph: %w", err)
+	}
+	info.EmbeddingBytes, err = writeFileAtomic(filepath.Join(db.cfg.DataDir, embedName), func(f *os.File) error {
+		return db.svc.WriteSnapshot(f, tid)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tigervector: checkpoint embeddings: %w", err)
+	}
+
+	// The manifest is the commit point, so everything it names must be
+	// durable before it lands: the snapshot files' directory entries
+	// (same-directory renames are not ordered on all filesystems) and
+	// the catalog DDL that re-creates the stores the snapshot loads
+	// into (in NoFsync mode it may still sit in the page cache).
+	if err := syncDir(db.cfg.DataDir); err != nil {
+		return nil, fmt.Errorf("tigervector: checkpoint dir sync: %w", err)
+	}
+	if err := db.syncCatalog(); err != nil {
+		return nil, fmt.Errorf("tigervector: checkpoint catalog sync: %w", err)
+	}
+	manifest, err := json.Marshal(checkpointManifest{
+		Version: 1, TID: uint64(tid), Graph: graphName, Embeddings: embedName,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := writeFileAtomic(db.manifestPath(), func(f *os.File) error {
+		_, err := f.Write(manifest)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("tigervector: checkpoint manifest: %w", err)
+	}
+	// Best effort for the manifest rename itself: if this is lost to a
+	// crash, the previous checkpoint (whose files still exist) is used.
+	_ = syncDir(db.cfg.DataDir)
+
+	// The snapshot is committed; retire the log it covers. A crash before
+	// (or during) the truncate is safe — recovery skips WAL records with
+	// TID <= the manifest TID.
+	if db.walFile != nil {
+		if st, err := db.walFile.Stat(); err == nil {
+			info.WALTruncatedBytes = st.Size()
+		}
+		if err := db.walFile.Truncate(0); err != nil {
+			return nil, fmt.Errorf("tigervector: truncate wal: %w", err)
+		}
+		if err := db.walFile.Sync(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Old checkpoint files are garbage now, as is any *.tmp left behind
+	// by a checkpoint that crashed mid-write (renames are done, so no
+	// live file has the .tmp suffix).
+	for _, pat := range []string{"checkpoint-*.graph", "checkpoint-*.embed", "checkpoint*.tmp"} {
+		matches, _ := filepath.Glob(filepath.Join(db.cfg.DataDir, pat))
+		for _, m := range matches {
+			if base := filepath.Base(m); base != graphName && base != embedName {
+				os.Remove(m)
+			}
+		}
+	}
+	info.DurationSeconds = time.Since(start).Seconds()
+	return info, nil
+}
+
+// loadCheckpoint restores the newest checkpoint snapshot, if one exists,
+// and returns its TID (0 when starting from log replay alone). The
+// catalog must already be replayed.
+func (db *DB) loadCheckpoint() (txn.TID, error) {
+	data, err := os.ReadFile(db.manifestPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("tigervector: read checkpoint manifest: %w", err)
+	}
+	var m checkpointManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return 0, fmt.Errorf("tigervector: checkpoint manifest corrupt: %w", err)
+	}
+	if m.Version != 1 {
+		return 0, fmt.Errorf("tigervector: checkpoint manifest version %d unsupported", m.Version)
+	}
+	gf, err := os.Open(filepath.Join(db.cfg.DataDir, m.Graph))
+	if err != nil {
+		return 0, fmt.Errorf("tigervector: checkpoint graph snapshot: %w", err)
+	}
+	err = db.graph.ReadSnapshot(gf)
+	gf.Close()
+	if err != nil {
+		return 0, fmt.Errorf("tigervector: restore graph snapshot: %w", err)
+	}
+	ef, err := os.Open(filepath.Join(db.cfg.DataDir, m.Embeddings))
+	if err != nil {
+		return 0, fmt.Errorf("tigervector: checkpoint embedding snapshot: %w", err)
+	}
+	err = db.svc.LoadSnapshot(ef)
+	ef.Close()
+	if err != nil {
+		return 0, fmt.Errorf("tigervector: restore embedding snapshot: %w", err)
+	}
+	return txn.TID(m.TID), nil
+}
+
+// checkpointLoop runs periodic checkpoints until Close.
+func (db *DB) checkpointLoop() {
+	defer close(db.cpDone)
+	t := time.NewTicker(db.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.cpStop:
+			return
+		case <-t.C:
+			// Errors are counted (see Stats) rather than fatal: a failed
+			// periodic checkpoint leaves the previous one active.
+			db.Checkpoint()
+		}
+	}
+}

@@ -184,6 +184,19 @@ type GSQLResponse struct {
 	Stats GSQLStats `json:"stats"`
 }
 
+// CheckpointResponse is the body answering POST /checkpoint.
+type CheckpointResponse struct {
+	// TID is the transaction id the snapshot covers.
+	TID uint64 `json:"tid"`
+	// GraphBytes and EmbeddingBytes are the snapshot file sizes.
+	GraphBytes     int64 `json:"graph_bytes"`
+	EmbeddingBytes int64 `json:"embedding_bytes"`
+	// WALTruncatedBytes is the log volume the checkpoint retired.
+	WALTruncatedBytes int64 `json:"wal_truncated_bytes"`
+	// DurationSeconds is how long the checkpoint blocked writes.
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	// Error is the human-readable failure description.
@@ -293,6 +306,17 @@ func (c *Client) Exec(ctx context.Context, src string) error {
 func (c *Client) Run(ctx context.Context, name string, args map[string]any) (*GSQLResponse, error) {
 	var resp GSQLResponse
 	if err := c.post(ctx, "/gsql", GSQLRequest{Run: name, Args: args}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Checkpoint asks the server to snapshot its state and truncate the WAL,
+// bounding the next restart's recovery time. Call it after bulk loads and
+// before planned restarts.
+func (c *Client) Checkpoint(ctx context.Context) (*CheckpointResponse, error) {
+	var resp CheckpointResponse
+	if err := c.post(ctx, "/checkpoint", struct{}{}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -1,9 +1,10 @@
 // tgvserve serves a TigerVector database over HTTP/JSON: concurrent
 // top-k and range vector search (single or pooled batch), transactional
-// embedding upserts/deletes, GSQL installation and execution, and a
-// /stats observability endpoint. SIGINT/SIGTERM triggers a graceful
-// shutdown: the listener closes, in-flight requests finish, then the DB
-// (and its background vacuum) stops.
+// embedding upserts/deletes, GSQL installation and execution, a
+// /checkpoint admin endpoint and a /stats observability endpoint.
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener closes,
+// in-flight requests finish, a final checkpoint runs (when durable),
+// then the DB (and its background vacuum) stops.
 //
 // Usage:
 //
@@ -13,11 +14,15 @@
 // or -durable recovers one; clients can also install schema and queries
 // at runtime through POST /gsql.
 //
-// Durability covers the catalog and committed vector updates (the
-// paper's WAL design); graph vertices and edges are not WAL-covered and
-// must be reloaded after a restart in their original insertion order —
-// internal vertex ids are positional, so out-of-order reloads attach
-// recovered embeddings to different primary keys.
+// Durability covers the catalog, graph mutations (vertices, edges,
+// attribute writes) and vector updates: everything written over HTTP
+// survives a crash, including SIGKILL mid-append — recovery truncates a
+// torn WAL tail back to the last whole commit. Checkpoints (manual via
+// POST /checkpoint, periodic via -checkpoint-interval, and automatic on
+// graceful shutdown) snapshot the full state and truncate the WAL so
+// restart time is bounded by the post-checkpoint delta volume. Only
+// BulkLoadEmbeddings-style bulk loads bypass the WAL; checkpoint after
+// them.
 package main
 
 import (
@@ -36,14 +41,16 @@ import (
 
 // config is the parsed command line.
 type config struct {
-	addr        string
-	dataDir     string
-	ddlPath     string
-	segmentSize int
-	workers     int
-	seed        int64
-	durable     bool
-	maxBatch    int
+	addr         string
+	dataDir      string
+	ddlPath      string
+	segmentSize  int
+	workers      int
+	seed         int64
+	durable      bool
+	noFsync      bool
+	checkpointIv time.Duration
+	maxBatch     int
 }
 
 // parseFlags parses args (without the program name) into a config.
@@ -56,15 +63,27 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&c.segmentSize, "segment-size", 0, "vertices per storage segment (default 1024)")
 	fs.IntVar(&c.workers, "workers", 0, "query worker pool width (default GOMAXPROCS)")
 	fs.Int64Var(&c.seed, "seed", 0, "fix internal randomness")
-	fs.BoolVar(&c.durable, "durable", false, "enable the write-ahead log and catalog recovery")
+	fs.BoolVar(&c.durable, "durable", false, "enable the write-ahead log (catalog, graph and vector recovery)")
+	fs.BoolVar(&c.noFsync, "no-fsync", false, "skip the per-commit WAL fsync (batched-sync mode)")
+	fs.DurationVar(&c.checkpointIv, "checkpoint-interval", 0, "periodic checkpoint cadence, e.g. 5m (0 disables; requires -durable)")
 	fs.IntVar(&c.maxBatch, "max-batch", 0, "max query vectors per /search request (default 1024)")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
+	// The flag package prints its own parse errors; these validation
+	// errors are ours to surface.
 	if c.durable && c.dataDir == "" {
-		// The flag package prints its own parse errors; this validation
-		// error is ours to surface.
 		err := fmt.Errorf("-durable requires -data-dir")
+		fmt.Fprintln(fs.Output(), err)
+		return c, err
+	}
+	if c.checkpointIv != 0 && !c.durable {
+		err := fmt.Errorf("-checkpoint-interval requires -durable")
+		fmt.Fprintln(fs.Output(), err)
+		return c, err
+	}
+	if c.checkpointIv < 0 {
+		err := fmt.Errorf("-checkpoint-interval must be >= 0")
 		fmt.Fprintln(fs.Output(), err)
 		return c, err
 	}
@@ -77,11 +96,13 @@ func main() {
 		os.Exit(2)
 	}
 	db, err := tigervector.Open(tigervector.Config{
-		SegmentSize: cfg.segmentSize,
-		DataDir:     cfg.dataDir,
-		Workers:     cfg.workers,
-		Seed:        cfg.seed,
-		Durability:  cfg.durable,
+		SegmentSize:        cfg.segmentSize,
+		DataDir:            cfg.dataDir,
+		Workers:            cfg.workers,
+		Seed:               cfg.seed,
+		Durability:         cfg.durable,
+		NoFsync:            cfg.noFsync,
+		CheckpointInterval: cfg.checkpointIv,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -112,6 +133,15 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if cfg.durable {
+			// Checkpoint on the way out so the next start replays only
+			// an empty (or tiny) WAL.
+			if info, err := db.Checkpoint(); err != nil {
+				log.Printf("final checkpoint: %v", err)
+			} else {
+				log.Printf("final checkpoint at tid %d (%d wal bytes retired)", info.TID, info.WALTruncatedBytes)
+			}
 		}
 	case err := <-errCh:
 		if err != nil {

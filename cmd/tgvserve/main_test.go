@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestParseFlagsDefaults(t *testing.T) {
 	c, err := parseFlags(nil)
@@ -16,14 +19,25 @@ func TestParseFlagsAll(t *testing.T) {
 	c, err := parseFlags([]string{
 		"-addr", "127.0.0.1:9999", "-data-dir", "/tmp/x", "-durable",
 		"-workers", "8", "-segment-size", "256", "-seed", "7",
-		"-ddl", "schema.gsql", "-max-batch", "64"})
+		"-ddl", "schema.gsql", "-max-batch", "64",
+		"-checkpoint-interval", "5m", "-no-fsync"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.addr != "127.0.0.1:9999" || c.dataDir != "/tmp/x" || !c.durable ||
 		c.workers != 8 || c.segmentSize != 256 || c.seed != 7 ||
-		c.ddlPath != "schema.gsql" || c.maxBatch != 64 {
+		c.ddlPath != "schema.gsql" || c.maxBatch != 64 ||
+		c.checkpointIv != 5*time.Minute || !c.noFsync {
 		t.Fatalf("parsed = %+v", c)
+	}
+}
+
+func TestParseFlagsCheckpointNeedsDurable(t *testing.T) {
+	if _, err := parseFlags([]string{"-checkpoint-interval", "1m"}); err == nil {
+		t.Fatal("checkpoint-interval without durable accepted")
+	}
+	if _, err := parseFlags([]string{"-durable", "-data-dir", "/tmp/x", "-checkpoint-interval", "-1s"}); err == nil {
+		t.Fatal("negative checkpoint-interval accepted")
 	}
 }
 

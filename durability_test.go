@@ -1,0 +1,405 @@
+package tigervector
+
+// Durability round-trip tests: write → crash (reopen without Close) →
+// recover, torn-tail WAL repair, checkpoint-then-replay equivalence, and
+// graph survival across restarts.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// durableCfg opens a crash-test DB: durable, deterministic, no background
+// vacuum so on-disk state is exactly what the WAL and checkpoints say.
+func durableCfg(dir string) Config {
+	return Config{SegmentSize: 32, Seed: 1, DataDir: dir, Durability: true, DisableVacuum: true}
+}
+
+// loadFixture populates db with people, posts, edges and embeddings.
+func loadFixture(t *testing.T, db *DB) (postIDs []uint64) {
+	t.Helper()
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := db.AddVertex("Person", map[string]any{"id": int64(i), "name": "p", "cid": int64(i % 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		id, err := db.AddVertex("Post", map[string]any{"id": int64(i), "language": "en", "length": int64(10 * i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		postIDs = append(postIDs, id)
+		vec := make([]float32, 8)
+		vec[0] = float32(i)
+		if err := db.UpsertEmbedding("Post", "content_emb", id, vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p0, _ := db.VertexByKey("Person", int64(0))
+	p1, _ := db.VertexByKey("Person", int64(1))
+	if err := db.AddEdge("knows", p0, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddEdge("hasCreator", postIDs[3], p1); err != nil {
+		t.Fatal(err)
+	}
+	return postIDs
+}
+
+// checkFixture asserts the fixture state (graph + vectors) is intact.
+func checkFixture(t *testing.T, db *DB, postIDs []uint64) {
+	t.Helper()
+	if n := db.NumVertices("Person"); n != 5 {
+		t.Fatalf("persons = %d", n)
+	}
+	if n := db.NumEdges("knows"); n != 1 {
+		t.Fatalf("knows edges = %d", n)
+	}
+	p1, ok := db.VertexByKey("Person", int64(1))
+	if !ok {
+		t.Fatal("Person 1 lost")
+	}
+	if got := db.InNeighbors("hasCreator", p1); len(got) != 1 || got[0] != postIDs[3] {
+		t.Fatalf("hasCreator in(p1) = %v", got)
+	}
+	v, err := db.Attr("Post", postIDs[4], "length")
+	if err != nil || v.(int64) != 40 {
+		t.Fatalf("Post[4].length = %v, %v", v, err)
+	}
+	query := make([]float32, 8)
+	query[0] = 6
+	hits, err := db.VectorSearch([]string{"Post.content_emb"}, query, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].ID != postIDs[6] || hits[0].Distance != 0 {
+		t.Fatalf("search = %+v", hits)
+	}
+}
+
+func TestGraphSurvivesCrashRestart(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postIDs := loadFixture(t, db)
+	// Mutations beyond plain inserts: attribute write, vertex delete.
+	if err := db.SetAttr("Post", postIDs[2], "language", "fr"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteVertex("Post", postIDs[9]); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: reopen without Close. Nothing was merged or checkpointed;
+	// the whole state must come back from catalog + WAL replay alone.
+	db2, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	checkFixture(t, db2, postIDs)
+	if v, _ := db2.Attr("Post", postIDs[2], "language"); v.(string) != "fr" {
+		t.Fatalf("SetAttr lost: %v", v)
+	}
+	if db2.NumVertices("Post") != 9 { // 10 inserted, 1 tombstoned
+		t.Fatalf("alive posts = %d", db2.NumVertices("Post"))
+	}
+	if _, ok := db2.GetEmbedding("Post", "content_emb", postIDs[9]); ok {
+		t.Fatal("deleted vertex's embedding resurrected")
+	}
+	// Writes continue after recovery, and ids stay stable.
+	id, err := db2.AddVertex("Post", map[string]any{"id": int64(100), "language": "de"})
+	if err != nil || id != 10 {
+		t.Fatalf("post-recovery insert = %d, %v", id, err)
+	}
+}
+
+func TestRejectedInsertLeavesNoTrace(t *testing.T) {
+	// A rejected AddVertex must not consume a vertex slot (dense id
+	// allocation is what makes WAL replay deterministic) or partially
+	// update an upsert target — otherwise recovery diverges and Open
+	// fails forever.
+	dir := t.TempDir()
+	db, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	id0, err := db.AddVertex("Post", map[string]any{"id": int64(0), "language": "en"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddVertex("Post", map[string]any{"id": int64(1), "bogus": int64(9)}); err == nil {
+		t.Fatal("insert with unknown attribute accepted")
+	}
+	// Rejected upsert: existing vertex, one good attr, one bad.
+	if _, err := db.AddVertex("Post", map[string]any{"id": int64(0), "language": "fr", "bogus": int64(9)}); err == nil {
+		t.Fatal("upsert with unknown attribute accepted")
+	}
+	if v, _ := db.Attr("Post", id0, "language"); v.(string) != "en" {
+		t.Fatalf("aborted upsert mutated attribute: %v", v)
+	}
+	id2, err := db.AddVertex("Post", map[string]any{"id": int64(2), "language": "de"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id0+1 {
+		t.Fatalf("rejected insert consumed a slot: next id %d after %d", id2, id0)
+	}
+	// And the log replays cleanly.
+	db2, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatalf("reopen after rejected inserts: %v", err)
+	}
+	defer db2.Close()
+	if rid, ok := db2.VertexByKey("Post", int64(2)); !ok || rid != id2 {
+		t.Fatalf("replayed vertex = %d, %v", rid, ok)
+	}
+}
+
+func TestTornWALTailRepairedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postIDs := loadFixture(t, db)
+	db.Close()
+
+	// Simulate a crash mid-append: the tail of the log is a half-written
+	// record (a prefix of a real one, so the magic is valid).
+	wal := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, data...), data[:25]...)
+	if err := os.WriteFile(wal, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatalf("open with torn wal tail: %v", err)
+	}
+	defer db2.Close()
+	checkFixture(t, db2, postIDs)
+	if got := db2.Stats().RecoveryTornBytes; got != 25 {
+		t.Fatalf("RecoveryTornBytes = %d, want 25", got)
+	}
+	// The file was repaired in place, byte-identical to the clean log.
+	repaired, err := os.ReadFile(wal)
+	if err != nil || len(repaired) != len(data) {
+		t.Fatalf("repaired wal = %d bytes, want %d (%v)", len(repaired), len(data), err)
+	}
+}
+
+func TestCheckpointTruncatesWALAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postIDs := loadFixture(t, db)
+	wal := filepath.Join(dir, "wal.log")
+	before, _ := os.Stat(wal)
+	if before.Size() == 0 {
+		t.Fatal("wal empty before checkpoint")
+	}
+
+	info, err := db.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TID == 0 || info.WALTruncatedBytes != before.Size() {
+		t.Fatalf("checkpoint info = %+v", info)
+	}
+	after, _ := os.Stat(wal)
+	if after.Size() != 0 {
+		t.Fatalf("wal size after checkpoint = %d", after.Size())
+	}
+
+	// Post-checkpoint deltas land in the (now small) WAL...
+	if err := db.UpsertEmbedding("Post", "content_emb", postIDs[0], []float32{9, 9, 9, 9, 9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := db.AddVertex("Post", map[string]any{"id": int64(50), "language": "it"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, _ := os.Stat(wal)
+	if delta.Size() == 0 || delta.Size() >= before.Size() {
+		t.Fatalf("post-checkpoint wal = %d bytes (pre-checkpoint %d)", delta.Size(), before.Size())
+	}
+
+	// Crash and recover: snapshot + short WAL replay must equal live state.
+	db2, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	checkFixture(t, db2, postIDs)
+	if got, ok := db2.GetEmbedding("Post", "content_emb", postIDs[0]); !ok || got[0] != 9 {
+		t.Fatalf("post-checkpoint upsert lost: %v, %v", got, ok)
+	}
+	if rid, ok := db2.VertexByKey("Post", int64(50)); !ok || rid != id {
+		t.Fatalf("post-checkpoint vertex = %d, %v", rid, ok)
+	}
+	if db2.Stats().VisibleTID != db.Stats().VisibleTID {
+		t.Fatalf("visible tid diverged: %d vs %d", db2.Stats().VisibleTID, db.Stats().VisibleTID)
+	}
+}
+
+func TestCheckpointThenReplayEquivalence(t *testing.T) {
+	// Two databases receive identical updates; one checkpoints mid-way.
+	// After a crash-restart both must serve identical results.
+	run := func(checkpoint bool) *DB {
+		dir := t.TempDir()
+		db, err := Open(durableCfg(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		postIDs := loadFixture(t, db)
+		if checkpoint {
+			if _, err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.DeleteEmbedding("Post", "content_emb", postIDs[5]); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.UpsertEmbedding("Post", "content_emb", postIDs[1], []float32{7, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+		db2, err := Open(durableCfg(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db2
+	}
+	a := run(false)
+	defer a.Close()
+	b := run(true)
+	defer b.Close()
+	query := make([]float32, 8)
+	query[0] = 5.4
+	ha, err := a.VectorSearch([]string{"Post.content_emb"}, query, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.VectorSearch([]string{"Post.content_emb"}, query, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ha) != len(hb) {
+		t.Fatalf("result sizes differ: %d vs %d", len(ha), len(hb))
+	}
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatalf("hit %d differs: %+v vs %+v", i, ha[i], hb[i])
+		}
+	}
+}
+
+func TestCSVLoadsAreDurable(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := db.LoadVerticesCSV("Person", []string{"id", "name", "cid"},
+		strings.NewReader("1,ada,0\n2,bob,1\n3,eve,0\n"))
+	if err != nil || len(ids) != 3 {
+		t.Fatalf("load vertices = %v, %v", ids, err)
+	}
+	n, err := db.LoadEdgesCSV("knows", strings.NewReader("1,2\n2,3\n"))
+	if err != nil || n != 2 {
+		t.Fatalf("load edges = %d, %v", n, err)
+	}
+	// Crash, reopen.
+	db2, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.NumVertices("Person") != 3 || db2.NumEdges("knows") != 2 {
+		t.Fatalf("recovered graph = %d vertices, %d edges", db2.NumVertices("Person"), db2.NumEdges("knows"))
+	}
+	id2, _ := db2.VertexByKey("Person", int64(2))
+	if got := db2.OutNeighbors("knows", id2); len(got) != 2 {
+		t.Fatalf("knows(2) = %v", got)
+	}
+	if v, _ := db2.Attr("Person", id2, "name"); v.(string) != "bob" {
+		t.Fatalf("name = %v", v)
+	}
+}
+
+func TestCheckpointRequiresDurability(t *testing.T) {
+	db, err := Open(Config{Seed: 1, DisableVacuum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Checkpoint(); err != ErrNotDurable {
+		t.Fatalf("checkpoint on non-durable db = %v", err)
+	}
+}
+
+func TestCatalogReadErrorSurfaces(t *testing.T) {
+	// A catalog that exists but cannot be read must fail Open, not
+	// silently recover an empty schema.
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "catalog.gsql"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(durableCfg(dir)); err == nil || !strings.Contains(err.Error(), "catalog") {
+		t.Fatalf("open with unreadable catalog = %v", err)
+	}
+}
+
+func TestPeriodicCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir)
+	cfg.CheckpointInterval = 20 * time.Millisecond
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadFixture(t, db)
+	deadline := time.Now().Add(5 * time.Second)
+	for db.Stats().Checkpoints == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := db.Stats()
+	db.Close()
+	if st.Checkpoints == 0 {
+		t.Fatal("no periodic checkpoint ran")
+	}
+	if st.CheckpointErrors != 0 {
+		t.Fatalf("checkpoint errors = %d", st.CheckpointErrors)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoint.json")); err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+	// And the checkpointed state recovers.
+	db2, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.NumVertices("Post") != 10 {
+		t.Fatalf("recovered posts = %d", db2.NumVertices("Post"))
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+// This file implements the embedding half of checkpointing. A store
+// snapshot is the *net* vector state visible at the checkpoint TID: the
+// merged embedding segments (complete up to the store watermark) overlaid
+// with every residual delta in (watermark, upTo] still sitting in the
+// delta files or the in-memory delta store. Restoring installs the
+// vectors and rebuilds the per-segment indexes from them, so indexes are
+// never serialized; recovery time is index-build time plus WAL replay,
+// with WAL replay bounded by the post-checkpoint delta volume.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+
+	"repro/internal/txn"
+)
+
+const (
+	embedSnapMagic   = uint32(0x54475645) // "TGVE"
+	embedSnapVersion = uint32(1)
+)
+
+// WriteSnapshot encodes the vector state visible at upTo. The caller must
+// ensure no commits and no vacuum passes run concurrently (the DB holds
+// its checkpoint lock and has stopped the vacuum).
+func (s *EmbeddingStore) WriteSnapshot(w io.Writer, upTo txn.TID) error {
+	s.mu.RLock()
+	watermark := s.watermark
+	segVecs := make([][][]float32, len(s.segVecs))
+	copy(segVecs, s.segVecs)
+	segLive := s.segLive[:len(s.segLive):len(s.segLive)]
+	s.mu.RUnlock()
+
+	// Residual deltas not yet merged into the segments, in TID order:
+	// flushed delta files first, then the in-memory store (which only
+	// holds newer TIDs than any file).
+	resid, err := s.files.ReadRange(watermark, upTo)
+	if err != nil {
+		return err
+	}
+	resid = append(resid, s.deltas.Visible(watermark, upTo)...)
+	overlay := make(map[uint64]txn.VectorDelta, len(resid))
+	for _, d := range resid {
+		overlay[d.ID] = d // later records win: resid is TID-ordered
+	}
+
+	type entry struct {
+		id  uint64
+		vec []float32
+	}
+	var entries []entry
+	for seg := range segVecs {
+		base := uint64(seg) * uint64(s.segSize)
+		for off, vec := range segVecs[seg] {
+			id := base + uint64(off)
+			if d, ok := overlay[id]; ok {
+				if d.Action == txn.Upsert {
+					entries = append(entries, entry{id, d.Vec})
+				}
+				delete(overlay, id)
+				continue
+			}
+			if vec != nil && segLive[seg].Get(off) {
+				entries = append(entries, entry{id, vec})
+			}
+		}
+	}
+	for id, d := range overlay { // ids beyond the materialized segments
+		if d.Action == txn.Upsert {
+			entries = append(entries, entry{id, d.Vec})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+
+	bw := bufio.NewWriter(w)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], embedSnapMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], embedSnapVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(s.Attr.Dim))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(upTo))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(entries)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(scratch[:], e.id)
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return err
+		}
+		if len(e.vec) != s.Attr.Dim {
+			return fmt.Errorf("core: snapshot %s: vector %d has dim %d, want %d", s.Key, e.id, len(e.vec), s.Attr.Dim)
+		}
+		for _, f := range e.vec {
+			binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(f))
+			if _, err := bw.Write(scratch[:4]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot restores a snapshot written by WriteSnapshot into this
+// (empty) store and rebuilds the per-segment indexes with `threads`
+// workers. The snapshot TID becomes the watermark. It reads exactly the
+// snapshot's bytes and never buffers ahead, so several store snapshots
+// can share one stream; pass an already-buffered reader for speed.
+func (s *EmbeddingStore) LoadSnapshot(r io.Reader, threads int) error {
+	br := r
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("core: snapshot header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != embedSnapMagic {
+		return fmt.Errorf("core: snapshot: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != embedSnapVersion {
+		return fmt.Errorf("core: snapshot: unsupported version %d", v)
+	}
+	dim := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if dim != s.Attr.Dim {
+		return fmt.Errorf("core: snapshot dim %d does not match %s (dim %d)", dim, s.Key, s.Attr.Dim)
+	}
+	upTo := txn.TID(binary.LittleEndian.Uint64(hdr[12:]))
+	n := int(binary.LittleEndian.Uint32(hdr[20:]))
+	// Entries are read incrementally with a bounded pre-allocation, so a
+	// corrupt count hits EOF instead of allocating gigabytes up front.
+	hint := n
+	if hint > 65536 {
+		hint = 65536
+	}
+	ids := make([]uint64, 0, hint)
+	vecs := make([][]float32, 0, hint)
+	var scratch [8]byte
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return fmt.Errorf("core: snapshot entry %d: %w", i, err)
+		}
+		ids = append(ids, binary.LittleEndian.Uint64(scratch[:]))
+		vec := make([]float32, dim)
+		for j := range vec {
+			if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+				return fmt.Errorf("core: snapshot entry %d: %w", i, err)
+			}
+			vec[j] = math.Float32frombits(binary.LittleEndian.Uint32(scratch[:4]))
+		}
+		vecs = append(vecs, vec)
+	}
+	if err := s.InstallVectors(ids, vecs); err != nil {
+		return err
+	}
+	return s.BuildIndexes(threads, upTo)
+}
+
+// WriteSnapshot encodes every registered store's vector state at upTo
+// into one stream, sorted by attribute key for determinism.
+func (s *Service) WriteSnapshot(w io.Writer, upTo txn.TID) error {
+	stores := s.Stores()
+	sort.Slice(stores, func(i, j int) bool { return stores[i].Key < stores[j].Key })
+	bw := bufio.NewWriter(w)
+	var scratch [4]byte
+	binary.LittleEndian.PutUint32(scratch[:], uint32(len(stores)))
+	if _, err := bw.Write(scratch[:]); err != nil {
+		return err
+	}
+	for _, st := range stores {
+		binary.LittleEndian.PutUint32(scratch[:], uint32(len(st.Key)))
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(st.Key); err != nil {
+			return err
+		}
+		if err := st.WriteSnapshot(bw, upTo); err != nil {
+			return fmt.Errorf("core: snapshot store %s: %w", st.Key, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot restores a Service-level snapshot. Every store named in
+// the stream must already be registered (catalog replay precedes data
+// restore) and empty.
+func (s *Service) LoadSnapshot(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var scratch [4]byte
+	if _, err := io.ReadFull(br, scratch[:]); err != nil {
+		return fmt.Errorf("core: snapshot: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(scratch[:])
+	threads := runtime.GOMAXPROCS(0)
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return err
+		}
+		klen := binary.LittleEndian.Uint32(scratch[:])
+		if klen > 1<<20 {
+			return fmt.Errorf("core: snapshot: store key length %d implausible", klen)
+		}
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(br, key); err != nil {
+			return err
+		}
+		st, ok := s.Store(string(key))
+		if !ok {
+			return fmt.Errorf("core: snapshot names store %q missing from catalog", key)
+		}
+		if err := st.LoadSnapshot(br, threads); err != nil {
+			return fmt.Errorf("core: snapshot store %s: %w", key, err)
+		}
+	}
+	return nil
+}

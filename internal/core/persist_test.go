@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/txn"
+	"repro/internal/vectormath"
+)
+
+func persistFixture(t *testing.T, dir string) (*Service, *EmbeddingStore) {
+	t.Helper()
+	svc := NewService(dir, 4, 1)
+	st, err := svc.Register("Post", graph.EmbeddingAttr{
+		Name: "emb", Dim: 2, Index: "HNSW", Metric: vectormath.L2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, st
+}
+
+func TestEmbeddingSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	svc, st := persistFixture(t, dir)
+
+	// Bulk state merged into the segments...
+	ids := []uint64{0, 1, 2, 5, 9} // spans three 4-wide segments
+	vecs := [][]float32{{0, 0}, {1, 0}, {2, 0}, {5, 0}, {9, 0}}
+	if err := st.BulkLoad(ids, vecs, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	// ...plus residual deltas: one flushed to a delta file, the rest in
+	// memory, including a delete and an id past the last segment.
+	st.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 3, TID: 11, Vec: []float32{3, 0}})
+	if _, err := st.FlushDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	st.AppendDelta(txn.VectorDelta{Action: txn.Delete, ID: 1, TID: 12})
+	st.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 2, TID: 13, Vec: []float32{2, 2}})
+	st.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 14, TID: 14, Vec: []float32{14, 0}})
+
+	var buf bytes.Buffer
+	if err := svc.WriteSnapshot(&buf, 14); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, st2 := persistFixture(t, t.TempDir())
+	if err := svc2.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Watermark(); got != 14 {
+		t.Fatalf("watermark = %d", got)
+	}
+	if got := st2.Count(14); got != 6 { // 0,2,3,5,9,14 (1 deleted)
+		t.Fatalf("count = %d", got)
+	}
+	// The overlaid upsert won, the delete stuck, the tail id exists.
+	ctx := st2.BeginSearch(14)
+	defer ctx.Close()
+	if v, ok := ctx.GetVector(2); !ok || v[1] != 2 {
+		t.Fatalf("vector 2 = %v, %v", v, ok)
+	}
+	if _, ok := ctx.GetVector(1); ok {
+		t.Fatal("deleted vector restored")
+	}
+	if v, ok := ctx.GetVector(14); !ok || v[0] != 14 {
+		t.Fatalf("vector 14 = %v, %v", v, ok)
+	}
+	// Indexes were rebuilt: a search finds the restored neighbors.
+	res, err := st2.Search(14, []float32{2, 2}, 1, 16, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 2 {
+		t.Fatalf("search = %+v", res)
+	}
+}
+
+func TestEmbeddingSnapshotRejectsGarbage(t *testing.T) {
+	_, st := persistFixture(t, t.TempDir())
+	if err := st.LoadSnapshot(bytes.NewReader([]byte("not a snapshot, definitely")), 1); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

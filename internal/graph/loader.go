@@ -57,11 +57,13 @@ func ParseVector(field, sep string) ([]float32, error) {
 	return out, nil
 }
 
-// LoadVerticesCSV reads CSV rows and inserts one vertex per row. cols
-// names the attribute receiving each CSV column; an empty name skips the
-// column. Returns the ids in row order.
-func (g *Store) LoadVerticesCSV(typeName string, cols []string, r io.Reader) ([]uint64, error) {
-	vt, ok := g.schema.VertexType(typeName)
+// ParseVertexRowsCSV parses CSV rows into attribute maps for typeName.
+// cols names the attribute receiving each CSV column; an empty name skips
+// the column. The durable load path uses this to parse everything up
+// front, then inserts the rows through the transaction layer so they
+// reach the WAL.
+func ParseVertexRowsCSV(schema *Schema, typeName string, cols []string, r io.Reader) ([]map[string]storage.Value, error) {
+	vt, ok := schema.VertexType(typeName)
 	if !ok {
 		return nil, fmt.Errorf("graph: unknown vertex type %q", typeName)
 	}
@@ -78,7 +80,7 @@ func (g *Store) LoadVerticesCSV(typeName string, cols []string, r io.Reader) ([]
 	}
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
-	var ids []uint64
+	var rows []map[string]storage.Value
 	line := 0
 	for {
 		rec, err := cr.Read()
@@ -86,11 +88,11 @@ func (g *Store) LoadVerticesCSV(typeName string, cols []string, r io.Reader) ([]
 			break
 		}
 		if err != nil {
-			return ids, fmt.Errorf("graph: csv line %d: %w", line+1, err)
+			return nil, fmt.Errorf("graph: csv line %d: %w", line+1, err)
 		}
 		line++
 		if len(rec) < len(cols) {
-			return ids, fmt.Errorf("graph: csv line %d has %d fields, want >= %d", line, len(rec), len(cols))
+			return nil, fmt.Errorf("graph: csv line %d has %d fields, want >= %d", line, len(rec), len(cols))
 		}
 		attrs := make(map[string]storage.Value, len(cols))
 		for i, c := range cols {
@@ -99,66 +101,100 @@ func (g *Store) LoadVerticesCSV(typeName string, cols []string, r io.Reader) ([]
 			}
 			v, err := ParseValue(types[i], rec[i])
 			if err != nil {
-				return ids, fmt.Errorf("graph: csv line %d: %w", line, err)
+				return nil, fmt.Errorf("graph: csv line %d: %w", line, err)
 			}
 			attrs[c] = v
 		}
+		rows = append(rows, attrs)
+	}
+	return rows, nil
+}
+
+// LoadVerticesCSV reads CSV rows and inserts one vertex per row. cols
+// names the attribute receiving each CSV column; an empty name skips the
+// column. Returns the ids in row order. This is the store-level,
+// non-durable path (inserts bypass the WAL); tigervector.DB's loaders
+// are the durable equivalent.
+func (g *Store) LoadVerticesCSV(typeName string, cols []string, r io.Reader) ([]uint64, error) {
+	rows, err := ParseVertexRowsCSV(g.schema, typeName, cols, r)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint64, 0, len(rows))
+	for i, attrs := range rows {
 		id, err := g.AddVertex(typeName, attrs)
 		if err != nil {
-			return ids, fmt.Errorf("graph: csv line %d: %w", line, err)
+			return ids, fmt.Errorf("graph: csv line %d: %w", i+1, err)
 		}
 		ids = append(ids, id)
 	}
 	return ids, nil
 }
 
-// LoadEdgesCSV reads two-column CSV rows of (fromKey, toKey) primary keys
-// and inserts edges. Returns the number inserted.
-func (g *Store) LoadEdgesCSV(edgeName string, r io.Reader) (int, error) {
-	et, ok := g.schema.EdgeType(edgeName)
+// ParseEdgeKeyRowsCSV parses two-column CSV rows of (fromKey, toKey)
+// primary keys for edgeName, without resolving or inserting them.
+func ParseEdgeKeyRowsCSV(schema *Schema, edgeName string, r io.Reader) ([][2]storage.Value, error) {
+	et, ok := schema.EdgeType(edgeName)
 	if !ok {
-		return 0, fmt.Errorf("graph: unknown edge type %q", edgeName)
+		return nil, fmt.Errorf("graph: unknown edge type %q", edgeName)
 	}
-	fromVT, _ := g.schema.VertexType(et.From)
-	toVT, _ := g.schema.VertexType(et.To)
+	fromVT, _ := schema.VertexType(et.From)
+	toVT, _ := schema.VertexType(et.To)
 	fromPK, ok := fromVT.Attr(fromVT.PrimaryKey)
 	if !ok {
-		return 0, fmt.Errorf("graph: vertex type %q has no primary key; cannot load edges by key", et.From)
+		return nil, fmt.Errorf("graph: vertex type %q has no primary key; cannot load edges by key", et.From)
 	}
 	toPK, ok := toVT.Attr(toVT.PrimaryKey)
 	if !ok {
-		return 0, fmt.Errorf("graph: vertex type %q has no primary key; cannot load edges by key", et.To)
+		return nil, fmt.Errorf("graph: vertex type %q has no primary key; cannot load edges by key", et.To)
 	}
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
-	n, line := 0, 0
+	var rows [][2]storage.Value
+	line := 0
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return n, fmt.Errorf("graph: csv line %d: %w", line+1, err)
+			return nil, fmt.Errorf("graph: csv line %d: %w", line+1, err)
 		}
 		line++
 		if len(rec) < 2 {
-			return n, fmt.Errorf("graph: csv line %d has %d fields, want 2", line, len(rec))
+			return nil, fmt.Errorf("graph: csv line %d has %d fields, want 2", line, len(rec))
 		}
 		fk, err := ParseValue(fromPK.Type, rec[0])
 		if err != nil {
-			return n, err
+			return nil, err
 		}
 		tk, err := ParseValue(toPK.Type, rec[1])
 		if err != nil {
-			return n, err
+			return nil, err
 		}
-		from, ok := g.VertexByKey(et.From, fk)
+		rows = append(rows, [2]storage.Value{fk, tk})
+	}
+	return rows, nil
+}
+
+// LoadEdgesCSV reads two-column CSV rows of (fromKey, toKey) primary keys
+// and inserts edges. Returns the number inserted. Store-level and
+// non-durable, like LoadVerticesCSV.
+func (g *Store) LoadEdgesCSV(edgeName string, r io.Reader) (int, error) {
+	et, _ := g.schema.EdgeType(edgeName)
+	rows, err := ParseEdgeKeyRowsCSV(g.schema, edgeName, r)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for i, row := range rows {
+		from, ok := g.VertexByKey(et.From, row[0])
 		if !ok {
-			return n, fmt.Errorf("graph: csv line %d: no %s vertex with key %v", line, et.From, fk)
+			return n, fmt.Errorf("graph: csv line %d: no %s vertex with key %v", i+1, et.From, row[0])
 		}
-		to, ok := g.VertexByKey(et.To, tk)
+		to, ok := g.VertexByKey(et.To, row[1])
 		if !ok {
-			return n, fmt.Errorf("graph: csv line %d: no %s vertex with key %v", line, et.To, tk)
+			return n, fmt.Errorf("graph: csv line %d: no %s vertex with key %v", i+1, et.To, row[1])
 		}
 		if err := g.AddEdge(edgeName, from, to); err != nil {
 			return n, err

@@ -1,0 +1,389 @@
+package graph
+
+// This file implements the graph half of checkpointing: a binary snapshot
+// of every vertex store (allocated slots, columnar attribute values, the
+// live-status bitmap) and every edge store (raw adjacency). The schema is
+// NOT part of the snapshot — it is recovered first by replaying the
+// catalog (DDL) log, after which ReadSnapshot restores the data into the
+// freshly created stores. Primary-key indexes are rebuilt from the
+// restored attribute values rather than serialized.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+const (
+	graphSnapMagic   = uint32(0x54475653) // "TGVS"
+	graphSnapVersion = uint32(1)
+)
+
+type snapWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (s *snapWriter) u8(v uint8) {
+	if s.err == nil {
+		s.err = s.w.WriteByte(v)
+	}
+}
+
+func (s *snapWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	if s.err == nil {
+		_, s.err = s.w.Write(b[:])
+	}
+}
+
+func (s *snapWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	if s.err == nil {
+		_, s.err = s.w.Write(b[:])
+	}
+}
+
+func (s *snapWriter) str(v string) {
+	s.u32(uint32(len(v)))
+	if s.err == nil {
+		_, s.err = s.w.WriteString(v)
+	}
+}
+
+func (s *snapWriter) value(t storage.AttrType, v storage.Value) {
+	switch t {
+	case storage.TInt:
+		s.u64(uint64(v.(int64)))
+	case storage.TFloat:
+		s.u64(math.Float64bits(v.(float64)))
+	case storage.TString:
+		s.str(v.(string))
+	case storage.TBool:
+		if v.(bool) {
+			s.u8(1)
+		} else {
+			s.u8(0)
+		}
+	default:
+		if s.err == nil {
+			s.err = fmt.Errorf("graph: snapshot: unsupported attribute type %v", t)
+		}
+	}
+}
+
+type snapReader struct {
+	r *bufio.Reader
+}
+
+func (s *snapReader) u8() (uint8, error) { return s.r.ReadByte() }
+
+func (s *snapReader) u32() (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(s.r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (s *snapReader) u64() (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(s.r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func (s *snapReader) str() (string, error) {
+	n, err := s.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		// A corrupt length must fail the parse, not drive a giant
+		// allocation that OOM-kills recovery.
+		return "", fmt.Errorf("graph: snapshot: string length %d implausible", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(s.r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// capHint bounds a pre-allocation by what a plausible snapshot holds;
+// the data itself is read incrementally, so a corrupt count just hits
+// EOF instead of allocating gigabytes up front.
+func capHint(n uint64) int {
+	if n > 65536 {
+		return 65536
+	}
+	return int(n)
+}
+
+func (s *snapReader) value(t storage.AttrType) (storage.Value, error) {
+	switch t {
+	case storage.TInt:
+		v, err := s.u64()
+		return int64(v), err
+	case storage.TFloat:
+		v, err := s.u64()
+		return math.Float64frombits(v), err
+	case storage.TString:
+		return s.str()
+	case storage.TBool:
+		v, err := s.u8()
+		return v != 0, err
+	}
+	return nil, fmt.Errorf("graph: snapshot: unsupported attribute type %v", t)
+}
+
+// WriteSnapshot encodes every vertex and edge store to w. The caller must
+// ensure no mutations run concurrently (the DB holds its checkpoint lock).
+func (g *Store) WriteSnapshot(w io.Writer) error {
+	sw := &snapWriter{w: bufio.NewWriter(w)}
+	sw.u32(graphSnapMagic)
+	sw.u32(graphSnapVersion)
+
+	g.mu.RLock()
+	vnames := make([]string, 0, len(g.verts))
+	for n := range g.verts {
+		vnames = append(vnames, n)
+	}
+	enames := make([]string, 0, len(g.edges))
+	for n := range g.edges {
+		enames = append(enames, n)
+	}
+	g.mu.RUnlock()
+	sort.Strings(vnames)
+	sort.Strings(enames)
+
+	sw.u32(uint32(len(vnames)))
+	for _, name := range vnames {
+		g.mu.RLock()
+		vs := g.verts[name]
+		g.mu.RUnlock()
+		sw.str(name)
+		schema := vs.typ.Attrs
+		sw.u32(uint32(len(schema)))
+		for _, a := range schema {
+			sw.str(a.Name)
+			sw.u8(uint8(a.Type))
+		}
+		n := vs.dir.NumVertices()
+		sw.u64(uint64(n))
+		for id := uint64(0); id < uint64(n); id++ {
+			seg := vs.dir.SegmentFor(id)
+			for _, a := range schema {
+				v, err := seg.Attr(id, a.Name)
+				if err != nil {
+					return fmt.Errorf("graph: snapshot %s[%d].%s: %w", name, id, a.Name, err)
+				}
+				sw.value(a.Type, v)
+			}
+		}
+		// Live-status bits, packed 8 per byte.
+		for base := 0; base < n; base += 8 {
+			var b uint8
+			for bit := 0; bit < 8 && base+bit < n; bit++ {
+				if vs.status.Get(base + bit) {
+					b |= 1 << bit
+				}
+			}
+			sw.u8(b)
+		}
+	}
+
+	sw.u32(uint32(len(enames)))
+	for _, name := range enames {
+		g.mu.RLock()
+		es := g.edges[name]
+		g.mu.RUnlock()
+		es.mu.RLock()
+		sw.str(name)
+		sw.u64(uint64(es.n))
+		for _, adj := range [][][]uint64{es.out, es.in} {
+			sw.u64(uint64(len(adj)))
+			for _, nbrs := range adj {
+				sw.u32(uint32(len(nbrs)))
+				for _, t := range nbrs {
+					sw.u64(t)
+				}
+			}
+		}
+		es.mu.RUnlock()
+	}
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.w.Flush()
+}
+
+// ReadSnapshot restores a snapshot written by WriteSnapshot into this
+// store. The schema must already contain every vertex and edge type named
+// in the snapshot (it is recovered from the catalog log first), and the
+// named types must hold no data yet.
+func (g *Store) ReadSnapshot(r io.Reader) error {
+	sr := &snapReader{r: bufio.NewReader(r)}
+	magic, err := sr.u32()
+	if err != nil {
+		return fmt.Errorf("graph: snapshot: %w", err)
+	}
+	if magic != graphSnapMagic {
+		return fmt.Errorf("graph: snapshot: bad magic %#x", magic)
+	}
+	version, err := sr.u32()
+	if err != nil {
+		return err
+	}
+	if version != graphSnapVersion {
+		return fmt.Errorf("graph: snapshot: unsupported version %d", version)
+	}
+
+	nv, err := sr.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nv; i++ {
+		name, err := sr.str()
+		if err != nil {
+			return err
+		}
+		vs, err := g.vertexStoreFor(name)
+		if err != nil {
+			return fmt.Errorf("graph: snapshot names vertex type missing from catalog: %w", err)
+		}
+		if vs.dir.NumVertices() != 0 {
+			return fmt.Errorf("graph: snapshot restore into non-empty vertex store %q", name)
+		}
+		na, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		if na > 1<<16 {
+			return fmt.Errorf("graph: snapshot: attribute count %d implausible", na)
+		}
+		schema := make([]storage.AttrSchema, na)
+		for j := range schema {
+			if schema[j].Name, err = sr.str(); err != nil {
+				return err
+			}
+			t, err := sr.u8()
+			if err != nil {
+				return err
+			}
+			schema[j].Type = storage.AttrType(t)
+			cur, ok := vs.typ.Attr(schema[j].Name)
+			if !ok || cur.Type != schema[j].Type {
+				return fmt.Errorf("graph: snapshot attribute %s.%s (%v) does not match catalog", name, schema[j].Name, schema[j].Type)
+			}
+		}
+		n, err := sr.u64()
+		if err != nil {
+			return err
+		}
+		for id := uint64(0); id < n; id++ {
+			got := vs.dir.Allocate()
+			if got != id {
+				return fmt.Errorf("graph: snapshot restore allocated id %d, want %d", got, id)
+			}
+			seg := vs.dir.SegmentFor(id)
+			for _, a := range schema {
+				v, err := sr.value(a.Type)
+				if err != nil {
+					return err
+				}
+				if err := seg.SetAttr(id, a.Name, v); err != nil {
+					return err
+				}
+			}
+		}
+		for base := uint64(0); base < n; base += 8 {
+			b, err := sr.u8()
+			if err != nil {
+				return err
+			}
+			for bit := uint64(0); bit < 8 && base+bit < n; bit++ {
+				if b&(1<<bit) != 0 {
+					vs.status.Set(int(base + bit))
+				}
+			}
+		}
+		// Rebuild the primary-key index from the restored attributes. Slot
+		// order matches insertion order, so on duplicate keys (a tombstone
+		// whose key was later reused) the newest slot wins, as it did live.
+		if vs.typ.PrimaryKey != "" {
+			vs.pkMu.Lock()
+			for id := uint64(0); id < n; id++ {
+				v, err := vs.dir.SegmentFor(id).Attr(id, vs.typ.PrimaryKey)
+				if err != nil {
+					vs.pkMu.Unlock()
+					return err
+				}
+				vs.pk[v] = id
+			}
+			vs.pkMu.Unlock()
+		}
+	}
+
+	ne, err := sr.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < ne; i++ {
+		name, err := sr.str()
+		if err != nil {
+			return err
+		}
+		es, err := g.edgeStoreFor(name)
+		if err != nil {
+			return fmt.Errorf("graph: snapshot names edge type missing from catalog: %w", err)
+		}
+		n, err := sr.u64()
+		if err != nil {
+			return err
+		}
+		var adjs [2][][]uint64
+		for k := 0; k < 2; k++ {
+			ln, err := sr.u64()
+			if err != nil {
+				return err
+			}
+			adj := make([][]uint64, 0, capHint(ln))
+			for v := uint64(0); v < ln; v++ {
+				deg, err := sr.u32()
+				if err != nil {
+					return err
+				}
+				nbrs := make([]uint64, 0, capHint(uint64(deg)))
+				for d := uint32(0); d < deg; d++ {
+					t, err := sr.u64()
+					if err != nil {
+						return err
+					}
+					nbrs = append(nbrs, t)
+				}
+				if len(nbrs) == 0 {
+					nbrs = nil
+				}
+				adj = append(adj, nbrs)
+			}
+			adjs[k] = adj
+		}
+		es.mu.Lock()
+		if es.n != 0 {
+			es.mu.Unlock()
+			return fmt.Errorf("graph: snapshot restore into non-empty edge store %q", name)
+		}
+		es.out, es.in, es.n = adjs[0], adjs[1], int(n)
+		es.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func snapshotFixture(t *testing.T) (*Schema, *Store) {
+	t.Helper()
+	sch := NewSchema()
+	if err := sch.AddVertexType(VertexType{
+		Name: "Post", PrimaryKey: "id",
+		Attrs: []storage.AttrSchema{
+			{Name: "id", Type: storage.TInt},
+			{Name: "score", Type: storage.TFloat},
+			{Name: "lang", Type: storage.TString},
+			{Name: "hot", Type: storage.TBool},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.AddVertexType(VertexType{
+		Name:  "Tag",
+		Attrs: []storage.AttrSchema{{Name: "name", Type: storage.TString}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.AddEdgeType(EdgeType{Name: "Tagged", From: "Post", To: "Tag", Directed: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.AddEdgeType(EdgeType{Name: "Related", From: "Post", To: "Post", Directed: false}); err != nil {
+		t.Fatal(err)
+	}
+	g := NewStore(sch, 4) // tiny segments so the snapshot spans several
+	for i := 0; i < 10; i++ {
+		_, err := g.AddVertex("Post", map[string]storage.Value{
+			"id": int64(i), "score": float64(i) / 2, "lang": "en", "hot": i%2 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := g.AddVertex("Tag", map[string]storage.Value{"name": "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.DeleteVertex("Post", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("Tagged", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("Tagged", 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("Related", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	return sch, g
+}
+
+func TestGraphSnapshotRoundTrip(t *testing.T) {
+	sch, g := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	g2 := NewStore(sch, 4)
+	if err := g2.ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices("Post") != 10 || g2.NumAlive("Post") != 9 {
+		t.Fatalf("Post counts = %d/%d", g2.NumVertices("Post"), g2.NumAlive("Post"))
+	}
+	if g2.Alive("Post", 7) {
+		t.Fatal("tombstone resurrected")
+	}
+	for _, id := range []uint64{0, 5, 9} {
+		v, err := g2.Attr("Post", id, "score")
+		if err != nil || v.(float64) != float64(id)/2 {
+			t.Fatalf("Post[%d].score = %v, %v", id, v, err)
+		}
+		h, _ := g2.Attr("Post", id, "hot")
+		if h.(bool) != (id%2 == 0) {
+			t.Fatalf("Post[%d].hot = %v", id, h)
+		}
+	}
+	// Primary-key index rebuilt.
+	if id, ok := g2.VertexByKey("Post", int64(5)); !ok || id != 5 {
+		t.Fatalf("VertexByKey(5) = %d, %v", id, ok)
+	}
+	if _, ok := g2.VertexByKey("Post", int64(7)); ok {
+		t.Fatal("tombstoned key resolvable")
+	}
+	// Adjacency, both directions, directed and undirected.
+	if got := g2.OutNeighbors("Tagged", 0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Tagged out(0) = %v", got)
+	}
+	if got := g2.InNeighbors("Tagged", 2); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Tagged in(2) = %v", got)
+	}
+	if got := g2.OutNeighbors("Related", 3); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Related out(3) = %v", got)
+	}
+	if g2.NumEdges("Tagged") != 2 || g2.NumEdges("Related") != 1 {
+		t.Fatalf("edge counts = %d, %d", g2.NumEdges("Tagged"), g2.NumEdges("Related"))
+	}
+	// Id allocation continues where the snapshot left off.
+	id, err := g2.AddVertex("Post", map[string]storage.Value{"id": int64(100)})
+	if err != nil || id != 10 {
+		t.Fatalf("post-restore allocation = %d, %v", id, err)
+	}
+	// Upsert by recovered primary key reuses the old slot.
+	id, err = g2.AddVertex("Post", map[string]storage.Value{"id": int64(3), "lang": "fr"})
+	if err != nil || id != 3 {
+		t.Fatalf("post-restore upsert = %d, %v", id, err)
+	}
+}
+
+func TestGraphSnapshotRejectsMismatch(t *testing.T) {
+	_, g := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring without the catalog fails loudly.
+	if err := NewStore(NewSchema(), 4).ReadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("restore without schema succeeded")
+	}
+	// Restoring into a non-empty store fails loudly.
+	sch2, g2 := snapshotFixture(t)
+	_ = sch2
+	if err := g2.ReadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("restore into non-empty store succeeded")
+	}
+	// Garbage is rejected.
+	if err := g.ReadSnapshot(bytes.NewReader([]byte("junkjunkjunk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -108,26 +108,39 @@ func (g *Store) edgeStoreFor(edgeName string) (*edgeStore, error) {
 // AddVertex inserts a vertex with the given attribute values and returns
 // its id. If the type has a primary key and a vertex with the same key
 // exists, the existing vertex is updated (upsert) and its id returned.
+//
+// Every attribute is validated before any state is touched: a rejected
+// insert must leave no trace — neither a consumed slot (dense id
+// allocation is what makes WAL replay deterministic) nor a partial
+// attribute update on the upsert path.
 func (g *Store) AddVertex(typeName string, attrs map[string]storage.Value) (uint64, error) {
 	vs, err := g.vertexStoreFor(typeName)
 	if err != nil {
 		return 0, err
 	}
-	var pkVal storage.Value
-	if vs.typ.PrimaryKey != "" {
-		v, ok := attrs[vs.typ.PrimaryKey]
+	checked := make(map[string]storage.Value, len(attrs))
+	for name, v := range attrs {
+		a, ok := vs.typ.Attr(name)
 		if !ok {
-			return 0, fmt.Errorf("graph: vertex of type %q missing primary key %q", typeName, vs.typ.PrimaryKey)
+			return 0, fmt.Errorf("graph: vertex type %q has no attribute %q", typeName, name)
 		}
-		pkAttr, _ := vs.typ.Attr(vs.typ.PrimaryKey)
-		pkVal, err = storage.CheckValue(pkAttr.Type, v)
+		cv, err := storage.CheckValue(a.Type, v)
 		if err != nil {
 			return 0, err
 		}
+		checked[name] = cv
+	}
+	var pkVal storage.Value
+	if vs.typ.PrimaryKey != "" {
+		v, ok := checked[vs.typ.PrimaryKey]
+		if !ok {
+			return 0, fmt.Errorf("graph: vertex of type %q missing primary key %q", typeName, vs.typ.PrimaryKey)
+		}
+		pkVal = v
 		vs.pkMu.Lock()
 		if id, exists := vs.pk[pkVal]; exists {
 			vs.pkMu.Unlock()
-			for name, v := range attrs {
+			for name, v := range checked {
 				if err := g.SetAttr(typeName, id, name, v); err != nil {
 					return 0, err
 				}
@@ -139,7 +152,7 @@ func (g *Store) AddVertex(typeName string, attrs map[string]storage.Value) (uint
 	}
 	id := vs.dir.Allocate()
 	seg := vs.dir.SegmentFor(id)
-	for name, v := range attrs {
+	for name, v := range checked {
 		if err := seg.SetAttr(id, name, v); err != nil {
 			return 0, err
 		}

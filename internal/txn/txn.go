@@ -11,10 +11,13 @@
 package txn
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"os"
 	"sync"
 	"sync/atomic"
 )
@@ -75,6 +78,7 @@ type Manager struct {
 	committed atomic.Uint64
 	applier   VectorApplier
 	wal       *WAL
+	poisoned  error // set when in-memory state diverged from the log
 }
 
 // NewManager creates a manager. applier may be nil (vector deltas are then
@@ -104,11 +108,12 @@ func (m *Manager) SetApplier(a VectorApplier) { m.applier = a }
 
 // Txn is an open transaction buffering writes until Commit.
 type Txn struct {
-	m        *Manager
-	readTID  TID
-	graphOps []func() error
-	vectors  []StagedVector
-	done     bool
+	m         *Manager
+	readTID   TID
+	graphOps  []func() error
+	graphRecs []*GraphOp
+	vectors   []StagedVector
+	done      bool
 }
 
 // Begin opens a transaction whose reads see state as of the current
@@ -120,9 +125,21 @@ func (m *Manager) Begin() *Txn {
 // ReadTID returns the snapshot TID of the transaction.
 func (t *Txn) ReadTID() TID { return t.readTID }
 
-// StageGraph buffers a graph mutation to run atomically at commit.
+// StageGraph buffers a graph mutation to run atomically at commit. The
+// mutation is NOT written to the WAL; use StageGraphOp for durable graph
+// updates.
 func (t *Txn) StageGraph(op func() error) {
 	t.graphOps = append(t.graphOps, op)
+}
+
+// StageGraphOp buffers a durable graph mutation: apply runs atomically at
+// commit (before the WAL write, so a rejected mutation never reaches the
+// log) and rec is appended to the commit's WAL record. apply may fill
+// fields of rec that are only known once the mutation ran (e.g. the
+// vertex id assigned by an insert).
+func (t *Txn) StageGraphOp(rec *GraphOp, apply func() error) {
+	t.graphOps = append(t.graphOps, apply)
+	t.graphRecs = append(t.graphRecs, rec)
 }
 
 // StageVector buffers a vector upsert or delete.
@@ -139,6 +156,19 @@ var ErrTxnDone = errors.New("txn: transaction already finished")
 // that touch both graph attributes and vector attributes therefore become
 // visible together (paper: "updates involving both graph attributes and
 // vector attributes are performed atomically").
+//
+// Ordering: all in-memory applies run first — graph ops (which validate
+// against live state) and vector deltas (invisible to queries until the
+// TID publishes) — and only then is the WAL record written and fsynced.
+// Nothing reaches the log unless the whole transaction applied, so a
+// transaction reported failed can never replay as committed; and the
+// commit is not acknowledged until the record is durable. A crash at any
+// point recovers to either "whole transaction" or "no transaction".
+//
+// If a failure strikes after part of the transaction mutated shared
+// state (an un-rollbackable partial apply), the manager poisons itself:
+// memory and log have diverged, so further commits are refused until the
+// database is reopened and rebuilt from the log.
 func (t *Txn) Commit() (TID, error) {
 	if t.done {
 		return 0, ErrTxnDone
@@ -147,31 +177,51 @@ func (t *Txn) Commit() (TID, error) {
 	m := t.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.poisoned != nil {
+		return 0, m.poisoned
+	}
 	tid := TID(m.committed.Load() + 1)
 
-	// Durability first: log intent before applying.
-	if m.wal != nil {
-		if err := m.wal.Append(tid, t.vectors); err != nil {
-			return 0, fmt.Errorf("txn: wal append: %w", err)
+	applied := 0 // graph ops + vector deltas already applied in memory
+	poison := func(stage string, err error) {
+		if applied > 0 {
+			m.poisoned = fmt.Errorf("txn: %s left partially applied state, reopen required: %w", stage, err)
 		}
 	}
 	for _, op := range t.graphOps {
 		if err := op(); err != nil {
-			// The WAL record exists but the TID is never published, so
-			// replay tooling treats it as an aborted transaction.
+			poison("graph apply", err)
 			return 0, fmt.Errorf("txn: graph op failed, transaction aborted: %w", err)
 		}
+		applied++
 	}
 	if m.applier != nil {
 		for _, v := range t.vectors {
 			d := VectorDelta{Action: v.Action, ID: v.ID, TID: tid, Vec: v.Vec}
 			if err := m.applier.ApplyVectorDelta(v.AttrKey, d); err != nil {
+				poison("vector apply", err)
 				return 0, fmt.Errorf("txn: vector apply failed, transaction aborted: %w", err)
 			}
+			applied++
+		}
+	}
+	if m.wal != nil {
+		if err := m.wal.Append(tid, t.vectors, t.graphRecs); err != nil {
+			poison("wal append", err)
+			return 0, fmt.Errorf("txn: wal append: %w", err)
 		}
 	}
 	m.committed.Store(uint64(tid))
 	return tid, nil
+}
+
+// Poisoned reports the divergence error set by a partial apply, or nil.
+// A poisoned manager refuses all commits; the database must be reopened
+// so memory is rebuilt from the log.
+func (m *Manager) Poisoned() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.poisoned
 }
 
 // Abort discards the transaction.
@@ -245,111 +295,445 @@ func (s *DeltaStore) DrainUpTo(upto TID) []VectorDelta {
 	return out
 }
 
-// WAL is a write-ahead log of committed vector updates. It is append-only
-// and replayable; the storage backend is any io.Writer (files in
-// production paths, buffers in tests).
+// GraphOpKind enumerates the durable graph mutations a WAL record can
+// carry. The graph itself lives only in memory; these records (plus
+// checkpoint snapshots) are its entire persistence story.
+type GraphOpKind uint8
+
+const (
+	// OpAddVertex inserts (or upserts by primary key) one vertex.
+	OpAddVertex GraphOpKind = iota
+	// OpAddEdge inserts one edge (ID = source, To = target).
+	OpAddEdge
+	// OpDeleteVertex tombstones one vertex.
+	OpDeleteVertex
+	// OpSetAttr writes one scalar attribute (Attrs holds the single pair).
+	OpSetAttr
+)
+
+// GraphAttr is one attribute name/value pair inside a graph op record.
+// Value must be int64, float64, string or bool (NormalizeGraphValue
+// coerces the common aliases).
+type GraphAttr struct {
+	Name  string
+	Value any
+}
+
+// GraphOp is one durable graph mutation inside a WAL commit record.
+type GraphOp struct {
+	Kind  GraphOpKind
+	Type  string // vertex type, or edge type for OpAddEdge
+	ID    uint64 // vertex id; OpAddEdge: source vertex id
+	To    uint64 // OpAddEdge: target vertex id
+	Attrs []GraphAttr
+}
+
+// NormalizeGraphValue coerces a dynamically typed attribute value onto
+// the four types the WAL encodes (int64, float64, string, bool). It
+// rejects anything else so unencodable values fail before commit.
+func NormalizeGraphValue(v any) (any, error) {
+	switch x := v.(type) {
+	case int64, float64, string, bool:
+		return x, nil
+	case int:
+		return int64(x), nil
+	case int32:
+		return int64(x), nil
+	case uint64:
+		if x > math.MaxInt64 {
+			return nil, fmt.Errorf("txn: attribute value %d overflows int64", x)
+		}
+		return int64(x), nil
+	case float32:
+		return float64(x), nil
+	}
+	return nil, fmt.Errorf("txn: attribute value %v (%T) is not WAL-encodable", v, v)
+}
+
+// WAL is a write-ahead log of committed updates: vector deltas and graph
+// mutations. It is append-only and replayable; the storage backend is any
+// io.Writer (files in production paths, buffers in tests). Each record is
+// buffered and written with a single Write call; when Sync is enabled and
+// the writer is a file, every append is fsynced before returning, so an
+// acknowledged commit survives power loss.
 type WAL struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu   sync.Mutex
+	w    io.Writer
+	sync bool
 }
 
 // NewWAL wraps w as a log.
 func NewWAL(w io.Writer) *WAL { return &WAL{w: w} }
 
-const walMagic = uint32(0x54475657) // "TGVW"
+// syncer is the subset of *os.File the WAL needs for durability.
+type syncer interface{ Sync() error }
 
-// Append writes one commit record.
-func (l *WAL) Append(tid TID, vectors []StagedVector) error {
+// SetSync enables (or disables) fsync-per-append. It is a no-op when the
+// underlying writer cannot sync.
+func (l *WAL) SetSync(on bool) {
+	l.mu.Lock()
+	_, can := l.w.(syncer)
+	l.sync = on && can
+	l.mu.Unlock()
+}
+
+// Sync flushes the underlying writer to stable storage if it supports it;
+// used before close and by batched-sync configurations.
+func (l *WAL) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := binary.Write(l.w, binary.LittleEndian, walMagic); err != nil {
-		return err
+	if s, ok := l.w.(syncer); ok {
+		return s.Sync()
 	}
-	if err := binary.Write(l.w, binary.LittleEndian, uint64(tid)); err != nil {
-		return err
+	return nil
+}
+
+const walMagic = uint32(0x54475657) // "TGVW"
+
+// appendBuf is a helper for encoding one record into memory.
+type appendBuf struct {
+	b []byte
+}
+
+func (a *appendBuf) u8(v uint8)   { a.b = append(a.b, v) }
+func (a *appendBuf) u32(v uint32) { a.b = binary.LittleEndian.AppendUint32(a.b, v) }
+func (a *appendBuf) u64(v uint64) { a.b = binary.LittleEndian.AppendUint64(a.b, v) }
+func (a *appendBuf) str(s string) { a.u32(uint32(len(s))); a.b = append(a.b, s...) }
+func (a *appendBuf) vec(v []float32) {
+	a.u32(uint32(len(v)))
+	for _, f := range v {
+		a.u32(math.Float32bits(f))
 	}
-	if err := binary.Write(l.w, binary.LittleEndian, uint32(len(vectors))); err != nil {
-		return err
+}
+
+// Append writes one commit record covering the transaction's vector
+// updates and graph ops, then fsyncs if sync mode is on. It enforces the
+// same size bounds the reader checks, so an oversized record aborts the
+// commit instead of being written, acknowledged, and then rejected as
+// "torn" (losing it and every later commit) on the next recovery.
+func (l *WAL) Append(tid TID, vectors []StagedVector, ops []*GraphOp) error {
+	if len(vectors) > walMaxItems || len(ops) > walMaxItems {
+		return fmt.Errorf("txn: wal record too large: %d vectors, %d ops (max %d)", len(vectors), len(ops), walMaxItems)
 	}
 	for _, v := range vectors {
-		key := []byte(v.AttrKey)
-		if err := binary.Write(l.w, binary.LittleEndian, uint32(len(key))); err != nil {
-			return err
+		if len(v.AttrKey) > walMaxStr {
+			return fmt.Errorf("txn: wal: attribute key exceeds %d bytes", walMaxStr)
 		}
-		if _, err := l.w.Write(key); err != nil {
-			return err
+		if len(v.Vec) > walMaxVecLen {
+			return fmt.Errorf("txn: wal: vector of %d floats exceeds max %d", len(v.Vec), walMaxVecLen)
 		}
-		if err := binary.Write(l.w, binary.LittleEndian, uint8(v.Action)); err != nil {
-			return err
+	}
+	for _, op := range ops {
+		if len(op.Type) > walMaxStr {
+			return fmt.Errorf("txn: wal: type name exceeds %d bytes", walMaxStr)
 		}
-		if err := binary.Write(l.w, binary.LittleEndian, v.ID); err != nil {
-			return err
+		if len(op.Attrs) > walMaxAttrs {
+			return fmt.Errorf("txn: wal: %d attributes exceeds max %d", len(op.Attrs), walMaxAttrs)
 		}
-		if err := binary.Write(l.w, binary.LittleEndian, uint32(len(v.Vec))); err != nil {
-			return err
+		for _, a := range op.Attrs {
+			if len(a.Name) > walMaxStr {
+				return fmt.Errorf("txn: wal: attribute name exceeds %d bytes", walMaxStr)
+			}
+			if s, ok := a.Value.(string); ok && len(s) > walMaxStr {
+				return fmt.Errorf("txn: wal: attribute %q string value of %d bytes exceeds max %d", a.Name, len(s), walMaxStr)
+			}
 		}
-		if err := binary.Write(l.w, binary.LittleEndian, v.Vec); err != nil {
-			return err
+	}
+	var buf appendBuf
+	buf.u32(walMagic)
+	buf.u64(uint64(tid))
+	buf.u32(uint32(len(vectors)))
+	for _, v := range vectors {
+		buf.str(v.AttrKey)
+		buf.u8(uint8(v.Action))
+		buf.u64(v.ID)
+		buf.vec(v.Vec)
+	}
+	buf.u32(uint32(len(ops)))
+	for _, op := range ops {
+		buf.u8(uint8(op.Kind))
+		buf.str(op.Type)
+		buf.u64(op.ID)
+		buf.u64(op.To)
+		buf.u32(uint32(len(op.Attrs)))
+		for _, a := range op.Attrs {
+			buf.str(a.Name)
+			switch x := a.Value.(type) {
+			case int64:
+				buf.u8(0)
+				buf.u64(uint64(x))
+			case float64:
+				buf.u8(1)
+				buf.u64(math.Float64bits(x))
+			case string:
+				buf.u8(2)
+				buf.str(x)
+			case bool:
+				buf.u8(3)
+				if x {
+					buf.u8(1)
+				} else {
+					buf.u8(0)
+				}
+			default:
+				return fmt.Errorf("txn: wal: attribute %q has unencodable value %T (use NormalizeGraphValue)", a.Name, a.Value)
+			}
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(buf.b); err != nil {
+		return err
+	}
+	if l.sync {
+		if s, ok := l.w.(syncer); ok {
+			return s.Sync()
 		}
 	}
 	return nil
 }
 
+// ErrTornWAL flags a WAL parse failure: a torn tail record (partial final
+// write after a crash) or corruption. RecoverWAL repairs it by truncating
+// to the last whole record.
+var ErrTornWAL = errors.New("txn: wal torn or corrupt")
+
+func tornf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrTornWAL, fmt.Sprintf(format, args...))
+}
+
+// Sanity bounds on on-disk count fields: a corrupt record must fail the
+// parse (so RecoverWAL truncates it), not drive a multi-gigabyte
+// allocation that OOM-kills recovery.
+const (
+	walMaxItems  = 1 << 24 // vectors or graph ops per record
+	walMaxAttrs  = 1 << 16 // attributes per graph op
+	walMaxVecLen = 1 << 20 // floats per vector (4 MiB)
+	walMaxStr    = 1 << 20 // bytes per string (keys, names, values)
+)
+
+// readWALRecord parses one record from r. io.EOF at the record boundary
+// is returned as-is; any mid-record failure is wrapped in ErrTornWAL.
+func readWALRecord(r io.Reader) (TID, []StagedVector, []GraphOp, error) {
+	var magic uint32
+	err := binary.Read(r, binary.LittleEndian, &magic)
+	if err == io.EOF {
+		return 0, nil, nil, io.EOF
+	}
+	if err != nil {
+		return 0, nil, nil, tornf("short magic: %v", err)
+	}
+	if magic != walMagic {
+		return 0, nil, nil, tornf("bad magic %#x", magic)
+	}
+	var tid uint64
+	if err := binary.Read(r, binary.LittleEndian, &tid); err != nil {
+		return 0, nil, nil, tornf("tid: %v", err)
+	}
+	var nv uint32
+	if err := binary.Read(r, binary.LittleEndian, &nv); err != nil {
+		return 0, nil, nil, tornf("vector count: %v", err)
+	}
+	if nv > walMaxItems {
+		return 0, nil, nil, tornf("vector count %d implausible", nv)
+	}
+	readStr := func() (string, error) {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return "", err
+		}
+		if n > walMaxStr {
+			return "", fmt.Errorf("string length %d implausible", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	capHint := func(n uint32) int { // bound the pre-allocation, not the data
+		if n > 4096 {
+			return 4096
+		}
+		return int(n)
+	}
+	vectors := make([]StagedVector, 0, capHint(nv))
+	for i := uint32(0); i < nv; i++ {
+		key, err := readStr()
+		if err != nil {
+			return 0, nil, nil, tornf("vector key: %v", err)
+		}
+		var action uint8
+		if err := binary.Read(r, binary.LittleEndian, &action); err != nil {
+			return 0, nil, nil, tornf("vector action: %v", err)
+		}
+		var id uint64
+		if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
+			return 0, nil, nil, tornf("vector id: %v", err)
+		}
+		var vlen uint32
+		if err := binary.Read(r, binary.LittleEndian, &vlen); err != nil {
+			return 0, nil, nil, tornf("vector len: %v", err)
+		}
+		if vlen > walMaxVecLen {
+			return 0, nil, nil, tornf("vector length %d implausible", vlen)
+		}
+		vec := make([]float32, vlen)
+		if err := binary.Read(r, binary.LittleEndian, vec); err != nil {
+			return 0, nil, nil, tornf("vector data: %v", err)
+		}
+		vectors = append(vectors, StagedVector{
+			AttrKey: key, Action: Action(action), ID: id, Vec: vec})
+	}
+	var nops uint32
+	if err := binary.Read(r, binary.LittleEndian, &nops); err != nil {
+		return 0, nil, nil, tornf("op count: %v", err)
+	}
+	if nops > walMaxItems {
+		return 0, nil, nil, tornf("op count %d implausible", nops)
+	}
+	ops := make([]GraphOp, 0, capHint(nops))
+	for i := uint32(0); i < nops; i++ {
+		var op GraphOp
+		var kind uint8
+		if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
+			return 0, nil, nil, tornf("op kind: %v", err)
+		}
+		op.Kind = GraphOpKind(kind)
+		if op.Type, err = readStr(); err != nil {
+			return 0, nil, nil, tornf("op type: %v", err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &op.ID); err != nil {
+			return 0, nil, nil, tornf("op id: %v", err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &op.To); err != nil {
+			return 0, nil, nil, tornf("op to: %v", err)
+		}
+		var na uint32
+		if err := binary.Read(r, binary.LittleEndian, &na); err != nil {
+			return 0, nil, nil, tornf("op attr count: %v", err)
+		}
+		if na > walMaxAttrs {
+			return 0, nil, nil, tornf("op attr count %d implausible", na)
+		}
+		for j := uint32(0); j < na; j++ {
+			var a GraphAttr
+			if a.Name, err = readStr(); err != nil {
+				return 0, nil, nil, tornf("attr name: %v", err)
+			}
+			var vk uint8
+			if err := binary.Read(r, binary.LittleEndian, &vk); err != nil {
+				return 0, nil, nil, tornf("attr value kind: %v", err)
+			}
+			switch vk {
+			case 0:
+				var x uint64
+				if err := binary.Read(r, binary.LittleEndian, &x); err != nil {
+					return 0, nil, nil, tornf("attr int: %v", err)
+				}
+				a.Value = int64(x)
+			case 1:
+				var x uint64
+				if err := binary.Read(r, binary.LittleEndian, &x); err != nil {
+					return 0, nil, nil, tornf("attr float: %v", err)
+				}
+				a.Value = math.Float64frombits(x)
+			case 2:
+				s, err := readStr()
+				if err != nil {
+					return 0, nil, nil, tornf("attr string: %v", err)
+				}
+				a.Value = s
+			case 3:
+				var x uint8
+				if err := binary.Read(r, binary.LittleEndian, &x); err != nil {
+					return 0, nil, nil, tornf("attr bool: %v", err)
+				}
+				a.Value = x != 0
+			default:
+				return 0, nil, nil, tornf("attr value kind %d unknown", vk)
+			}
+			op.Attrs = append(op.Attrs, a)
+		}
+		ops = append(ops, op)
+	}
+	return TID(tid), vectors, ops, nil
+}
+
 // ReplayWAL reads commit records from r and calls fn for each, in log
 // order. It stops at EOF; a torn tail record (partial final write) is
-// reported as an error.
-func ReplayWAL(r io.Reader, fn func(tid TID, vectors []StagedVector) error) error {
+// reported as an ErrTornWAL error. Use RecoverWAL for the crash-proof
+// variant that repairs the file instead.
+func ReplayWAL(r io.Reader, fn func(tid TID, vectors []StagedVector, ops []GraphOp) error) error {
 	for {
-		var magic uint32
-		err := binary.Read(r, binary.LittleEndian, &magic)
+		tid, vectors, ops, err := readWALRecord(r)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
 			return err
 		}
-		if magic != walMagic {
-			return errors.New("txn: wal corrupt: bad magic")
-		}
-		var tid uint64
-		if err := binary.Read(r, binary.LittleEndian, &tid); err != nil {
-			return fmt.Errorf("txn: wal torn record: %w", err)
-		}
-		var n uint32
-		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-			return fmt.Errorf("txn: wal torn record: %w", err)
-		}
-		vectors := make([]StagedVector, 0, n)
-		for i := uint32(0); i < n; i++ {
-			var klen uint32
-			if err := binary.Read(r, binary.LittleEndian, &klen); err != nil {
-				return fmt.Errorf("txn: wal torn record: %w", err)
-			}
-			key := make([]byte, klen)
-			if _, err := io.ReadFull(r, key); err != nil {
-				return fmt.Errorf("txn: wal torn record: %w", err)
-			}
-			var action uint8
-			if err := binary.Read(r, binary.LittleEndian, &action); err != nil {
-				return fmt.Errorf("txn: wal torn record: %w", err)
-			}
-			var id uint64
-			if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
-				return fmt.Errorf("txn: wal torn record: %w", err)
-			}
-			var vlen uint32
-			if err := binary.Read(r, binary.LittleEndian, &vlen); err != nil {
-				return fmt.Errorf("txn: wal torn record: %w", err)
-			}
-			vec := make([]float32, vlen)
-			if err := binary.Read(r, binary.LittleEndian, vec); err != nil {
-				return fmt.Errorf("txn: wal torn record: %w", err)
-			}
-			vectors = append(vectors, StagedVector{
-				AttrKey: string(key), Action: Action(action), ID: id, Vec: vec})
-		}
-		if err := fn(TID(tid), vectors); err != nil {
+		if err := fn(tid, vectors, ops); err != nil {
 			return err
 		}
 	}
+}
+
+// countReader counts the bytes its inner reader delivered, so RecoverWAL
+// knows the exact offset of the last whole record.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// RecoverWAL replays the WAL at path, calling fn per record in log order,
+// and makes the file clean: a torn tail record (the expected leftover of
+// a crash mid-append) is truncated away instead of failing recovery, so
+// the database reopens at the last whole commit. It returns the number of
+// bytes truncated (0 for a clean log or a missing file). Errors from fn
+// abort the replay without touching the file.
+func RecoverWAL(path string, fn func(tid TID, vectors []StagedVector, ops []GraphOp) error) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	cr := &countReader{r: bufio.NewReader(f)}
+	var lastGood int64
+	var torn error
+	for {
+		tid, vectors, ops, err := readWALRecord(cr)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			torn = err
+			break
+		}
+		if err := fn(tid, vectors, ops); err != nil {
+			f.Close()
+			return 0, err
+		}
+		lastGood = cr.n
+	}
+	f.Close()
+	if torn == nil {
+		return 0, nil
+	}
+	size := int64(0)
+	if st, err := os.Stat(path); err == nil {
+		size = st.Size()
+	}
+	if err := os.Truncate(path, lastGood); err != nil {
+		return 0, fmt.Errorf("txn: truncate torn wal tail: %w", err)
+	}
+	return size - lastGood, nil
 }

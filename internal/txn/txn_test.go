@@ -3,7 +3,9 @@ package txn
 import (
 	"bytes"
 	"errors"
+	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -204,13 +206,13 @@ func TestWALAppendReplayRoundTrip(t *testing.T) {
 		{}, // graph-only commit
 	}
 	for i, r := range recs {
-		if err := w.Append(TID(i+1), r); err != nil {
+		if err := w.Append(TID(i+1), r, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
 	var gotTIDs []TID
 	var gotVecs [][]StagedVector
-	err := ReplayWAL(bytes.NewReader(buf.Bytes()), func(tid TID, vs []StagedVector) error {
+	err := ReplayWAL(bytes.NewReader(buf.Bytes()), func(tid TID, vs []StagedVector, _ []GraphOp) error {
 		gotTIDs = append(gotTIDs, tid)
 		gotVecs = append(gotVecs, vs)
 		return nil
@@ -235,18 +237,18 @@ func TestWALAppendReplayRoundTrip(t *testing.T) {
 func TestWALReplayDetectsCorruption(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWAL(&buf)
-	w.Append(1, []StagedVector{{AttrKey: "a", Action: Upsert, ID: 1, Vec: []float32{1}}})
+	w.Append(1, []StagedVector{{AttrKey: "a", Action: Upsert, ID: 1, Vec: []float32{1}}}, nil)
 	data := buf.Bytes()
 	// Truncate mid-record: torn write.
-	err := ReplayWAL(bytes.NewReader(data[:len(data)-3]), func(TID, []StagedVector) error { return nil })
-	if err == nil {
-		t.Fatal("torn record not detected")
+	err := ReplayWAL(bytes.NewReader(data[:len(data)-3]), func(TID, []StagedVector, []GraphOp) error { return nil })
+	if !errors.Is(err, ErrTornWAL) {
+		t.Fatalf("torn record err = %v", err)
 	}
 	// Corrupt magic.
 	bad := append([]byte{9, 9, 9, 9}, data[4:]...)
-	err = ReplayWAL(bytes.NewReader(bad), func(TID, []StagedVector) error { return nil })
-	if err == nil {
-		t.Fatal("bad magic not detected")
+	err = ReplayWAL(bytes.NewReader(bad), func(TID, []StagedVector, []GraphOp) error { return nil })
+	if !errors.Is(err, ErrTornWAL) {
+		t.Fatalf("bad magic err = %v", err)
 	}
 }
 
@@ -259,7 +261,7 @@ func TestManagerWithWALLogsCommits(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := 0
-	ReplayWAL(bytes.NewReader(buf.Bytes()), func(tid TID, vs []StagedVector) error {
+	ReplayWAL(bytes.NewReader(buf.Bytes()), func(tid TID, vs []StagedVector, _ []GraphOp) error {
 		n++
 		if tid != 1 || vs[0].ID != 9 {
 			t.Fatalf("wal record = %d %+v", tid, vs)
@@ -268,6 +270,198 @@ func TestManagerWithWALLogsCommits(t *testing.T) {
 	})
 	if n != 1 {
 		t.Fatalf("wal records = %d", n)
+	}
+}
+
+func TestWALGraphOpRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	ops := []*GraphOp{
+		{Kind: OpAddVertex, Type: "Post", ID: 3, Attrs: []GraphAttr{
+			{Name: "id", Value: int64(7)},
+			{Name: "score", Value: 1.5},
+			{Name: "lang", Value: "en"},
+			{Name: "hot", Value: true},
+		}},
+		{Kind: OpAddEdge, Type: "Likes", ID: 3, To: 9},
+		{Kind: OpSetAttr, Type: "Post", ID: 3, Attrs: []GraphAttr{{Name: "lang", Value: "fr"}}},
+		{Kind: OpDeleteVertex, Type: "Post", ID: 9},
+	}
+	if err := w.Append(5, []StagedVector{{AttrKey: "Post.emb", Action: Upsert, ID: 3, Vec: []float32{1}}}, ops); err != nil {
+		t.Fatal(err)
+	}
+	var got []GraphOp
+	err := ReplayWAL(bytes.NewReader(buf.Bytes()), func(tid TID, vs []StagedVector, gs []GraphOp) error {
+		if tid != 5 || len(vs) != 1 {
+			t.Fatalf("record = %d %+v", tid, vs)
+		}
+		got = gs
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("ops = %+v", got)
+	}
+	if got[0].Kind != OpAddVertex || len(got[0].Attrs) != 4 ||
+		got[0].Attrs[0].Value != int64(7) || got[0].Attrs[1].Value != 1.5 ||
+		got[0].Attrs[2].Value != "en" || got[0].Attrs[3].Value != true {
+		t.Fatalf("add vertex op = %+v", got[0])
+	}
+	if got[1].Kind != OpAddEdge || got[1].ID != 3 || got[1].To != 9 {
+		t.Fatalf("add edge op = %+v", got[1])
+	}
+	if got[2].Kind != OpSetAttr || got[2].Attrs[0].Value != "fr" {
+		t.Fatalf("set attr op = %+v", got[2])
+	}
+	if got[3].Kind != OpDeleteVertex || got[3].ID != 9 {
+		t.Fatalf("delete op = %+v", got[3])
+	}
+}
+
+func TestStageGraphOpLateFieldsReachWAL(t *testing.T) {
+	// An insert learns its vertex id during apply; the WAL record written
+	// afterwards must carry it.
+	var buf bytes.Buffer
+	m := NewManager(nil, NewWAL(&buf))
+	tx := m.Begin()
+	rec := &GraphOp{Kind: OpAddVertex, Type: "Post"}
+	tx.StageGraphOp(rec, func() error { rec.ID = 42; return nil })
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	err := ReplayWAL(bytes.NewReader(buf.Bytes()), func(_ TID, _ []StagedVector, gs []GraphOp) error {
+		if len(gs) != 1 || gs[0].ID != 42 {
+			t.Fatalf("ops = %+v", gs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialGraphApplyPoisonsManager(t *testing.T) {
+	// First op applies, second fails: the applied state can never be
+	// logged, so the manager must refuse further commits instead of
+	// writing records a replay could not reproduce.
+	m := NewManager(nil, NewWAL(&bytes.Buffer{}))
+	tx := m.Begin()
+	tx.StageGraphOp(&GraphOp{Kind: OpAddVertex, Type: "T"}, func() error { return nil })
+	tx.StageGraphOp(&GraphOp{Kind: OpAddVertex, Type: "T"}, func() error { return errors.New("boom") })
+	if _, err := tx.Commit(); err == nil {
+		t.Fatal("partial apply committed")
+	}
+	if _, err := m.Begin().Commit(); err == nil || !strings.Contains(err.Error(), "reopen required") {
+		t.Fatalf("manager not poisoned: %v", err)
+	}
+
+	// A clean single-op validation failure must NOT poison: nothing was
+	// applied, so memory and log still agree.
+	m2 := NewManager(nil, NewWAL(&bytes.Buffer{}))
+	tx2 := m2.Begin()
+	tx2.StageGraphOp(&GraphOp{Kind: OpAddVertex, Type: "T"}, func() error { return errors.New("rejected") })
+	if _, err := tx2.Commit(); err == nil {
+		t.Fatal("rejected op committed")
+	}
+	if _, err := m2.Begin().Commit(); err != nil {
+		t.Fatalf("manager wrongly poisoned: %v", err)
+	}
+}
+
+func TestWALRejectsImplausibleCounts(t *testing.T) {
+	// A corrupt count field must fail the parse (so RecoverWAL truncates)
+	// rather than attempt a giant allocation.
+	var buf appendBuf
+	buf.u32(walMagic)
+	buf.u64(1)
+	buf.u32(0xFFFFFFFF) // vector count
+	err := ReplayWAL(bytes.NewReader(buf.b), func(TID, []StagedVector, []GraphOp) error { return nil })
+	if !errors.Is(err, ErrTornWAL) {
+		t.Fatalf("implausible vector count err = %v", err)
+	}
+	var buf2 appendBuf
+	buf2.u32(walMagic)
+	buf2.u64(1)
+	buf2.u32(1)                // one vector
+	buf2.str("a")              // key
+	buf2.u8(0)                 // action
+	buf2.u64(1)                // id
+	buf2.u32(walMaxVecLen + 1) // vector length
+	for i := 0; i < 64; i++ {  // some trailing bytes
+		buf2.u32(0)
+	}
+	err = ReplayWAL(bytes.NewReader(buf2.b), func(TID, []StagedVector, []GraphOp) error { return nil })
+	if !errors.Is(err, ErrTornWAL) {
+		t.Fatalf("implausible vector length err = %v", err)
+	}
+}
+
+func TestRecoverWALTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	w.Append(1, []StagedVector{{AttrKey: "a", Action: Upsert, ID: 1, Vec: []float32{1, 2}}}, nil)
+	w.Append(2, []StagedVector{{AttrKey: "a", Action: Upsert, ID: 2, Vec: []float32{3, 4}}}, nil)
+	whole := append([]byte(nil), buf.Bytes()...)
+	w.Append(3, []StagedVector{{AttrKey: "a", Action: Upsert, ID: 3, Vec: []float32{5, 6}}}, nil)
+	torn := buf.Bytes()[:len(buf.Bytes())-5] // record 3 loses its tail
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var tids []TID
+	dropped, err := RecoverWAL(path, func(tid TID, _ []StagedVector, _ []GraphOp) error {
+		tids = append(tids, tid)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("no bytes truncated")
+	}
+	if len(tids) != 2 || tids[1] != 2 {
+		t.Fatalf("replayed tids = %v", tids)
+	}
+	// The file is repaired: a second recovery is clean and byte-identical
+	// to the two-record log.
+	data, _ := os.ReadFile(path)
+	if !bytes.Equal(data, whole) {
+		t.Fatalf("repaired wal = %d bytes, want %d", len(data), len(whole))
+	}
+	dropped, err = RecoverWAL(path, func(TID, []StagedVector, []GraphOp) error { return nil })
+	if err != nil || dropped != 0 {
+		t.Fatalf("second recovery = %d, %v", dropped, err)
+	}
+}
+
+func TestRecoverWALMissingFile(t *testing.T) {
+	dropped, err := RecoverWAL(filepath.Join(t.TempDir(), "nope.log"), nil)
+	if err != nil || dropped != 0 {
+		t.Fatalf("missing file = %d, %v", dropped, err)
+	}
+}
+
+func TestWALSyncOnFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := NewWAL(f)
+	w.SetSync(true)
+	if err := w.Append(1, nil, []*GraphOp{{Kind: OpAddVertex, Type: "T", ID: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	if st.Size() == 0 {
+		t.Fatal("nothing written")
 	}
 }
 

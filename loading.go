@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"repro/internal/graph"
+	"repro/internal/txn"
 )
 
 // This file implements the loading-job surface of paper Sec. 4.1:
@@ -16,20 +17,79 @@ import (
 
 // LoadVerticesCSV inserts one vertex per CSV row. cols maps CSV columns
 // to attribute names (empty string skips a column). Returns vertex ids in
-// row order.
+// row order. With Durability enabled the whole load is one WAL record:
+// parse errors reject the file before anything is inserted, and a crash
+// during the load recovers to "no rows".
 func (db *DB) LoadVerticesCSV(vertexType string, cols []string, r io.Reader) ([]uint64, error) {
-	return db.graph.LoadVerticesCSV(vertexType, cols, r)
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
+	rows, err := graph.ParseVertexRowsCSV(db.graph.Schema(), vertexType, cols, r)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint64, len(rows))
+	tx := db.mgr.Begin()
+	for i, row := range rows {
+		i := i
+		raw := make(map[string]any, len(row))
+		for k, v := range row {
+			raw[k] = v
+		}
+		conv, recAttrs, err := normalizeAttrs(raw)
+		if err != nil {
+			return nil, fmt.Errorf("tigervector: csv row %d: %w", i+1, err)
+		}
+		rec := &txn.GraphOp{Kind: txn.OpAddVertex, Type: vertexType, Attrs: recAttrs}
+		tx.StageGraphOp(rec, func() error {
+			id, err := db.graph.AddVertex(vertexType, conv)
+			ids[i] = id
+			rec.ID = id
+			return err
+		})
+	}
+	if _, err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return ids, nil
 }
 
-// LoadEdgesCSV inserts edges from (fromKey, toKey) primary-key rows.
+// LoadEdgesCSV inserts edges from (fromKey, toKey) primary-key rows. With
+// Durability enabled the whole load is one WAL record.
 func (db *DB) LoadEdgesCSV(edgeType string, r io.Reader) (int, error) {
-	return db.graph.LoadEdgesCSV(edgeType, r)
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
+	sch := db.graph.Schema()
+	rows, err := graph.ParseEdgeKeyRowsCSV(sch, edgeType, r)
+	if err != nil {
+		return 0, err
+	}
+	et, _ := sch.EdgeType(edgeType)
+	tx := db.mgr.Begin()
+	for i, row := range rows {
+		from, ok := db.graph.VertexByKey(et.From, row[0])
+		if !ok {
+			return 0, fmt.Errorf("tigervector: csv line %d: no %s vertex with key %v", i+1, et.From, row[0])
+		}
+		to, ok := db.graph.VertexByKey(et.To, row[1])
+		if !ok {
+			return 0, fmt.Errorf("tigervector: csv line %d: no %s vertex with key %v", i+1, et.To, row[1])
+		}
+		tx.StageGraphOp(
+			&txn.GraphOp{Kind: txn.OpAddEdge, Type: edgeType, ID: from, To: to},
+			func() error { return db.graph.AddEdge(edgeType, from, to) })
+	}
+	if _, err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return len(rows), nil
 }
 
 // LoadEmbeddingsCSV loads an embedding attribute from rows of
 // (primaryKey, vector) where the vector column is split on sep. Rows are
 // applied transactionally (one commit per batch of 1024).
 func (db *DB) LoadEmbeddingsCSV(vertexType, attr string, sep string, r io.Reader) (int, error) {
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
 	vt, ok := db.graph.Schema().VertexType(vertexType)
 	if !ok {
 		return 0, fmt.Errorf("tigervector: unknown vertex type %q", vertexType)
@@ -72,7 +132,7 @@ func (db *DB) LoadEmbeddingsCSV(vertexType, attr string, sep string, r io.Reader
 		if len(vec) != ea.Dim {
 			return n, fmt.Errorf("tigervector: csv line %d: vector has dim %d, want %d", line, len(vec), ea.Dim)
 		}
-		if err := db.UpsertEmbedding(vertexType, attr, id, vec); err != nil {
+		if err := db.upsertEmbedding(vertexType, attr, id, vec); err != nil {
 			return n, err
 		}
 		n++
@@ -84,7 +144,14 @@ func (db *DB) LoadEmbeddingsCSV(vertexType, attr string, sep string, r io.Reader
 // builds the per-segment indexes in parallel. It is the fast initial-load
 // path (no delta store involved) and requires that no vector updates for
 // this attribute are pending.
+//
+// Bulk-loaded vectors bypass the WAL: with Durability enabled, call
+// Checkpoint() after the initial load to make them restart-safe (the
+// recommended load sequence; per-row LoadEmbeddingsCSV and
+// UpsertEmbedding are WAL-covered and need no checkpoint).
 func (db *DB) BulkLoadEmbeddings(vertexType, attr string, ids []uint64, vecs [][]float32) error {
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
 	if err := db.checkEmbedding(vertexType, attr, -1); err != nil {
 		return err
 	}

@@ -64,8 +64,15 @@ type QueryStats struct {
 	Candidates       int
 }
 
-// Run executes a defined GSQL query.
+// Run executes a defined GSQL query. Runs hold the checkpoint lock
+// shared because built-ins like tg_louvain write derived vertex
+// attributes (cid) into the graph; those writes are memory-only (not
+// WAL-logged — recompute after a restart, or checkpoint to persist
+// them), but they must not mutate segments while a checkpoint snapshots
+// them.
 func (db *DB) Run(name string, args map[string]any) (*QueryResult, error) {
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
 	res, err := db.interp.Run(name, args)
 	if err != nil {
 		return nil, err
@@ -195,6 +202,14 @@ func (db *DB) RangeSearch(attr string, query []float32, threshold float32, opts 
 // The update becomes visible immediately (served from the delta store)
 // and is merged into the index by the vacuum.
 func (db *DB) UpsertEmbedding(vertexType, attr string, id uint64, vec []float32) error {
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
+	return db.upsertEmbedding(vertexType, attr, id, vec)
+}
+
+// upsertEmbedding is UpsertEmbedding without the checkpoint lock, for
+// loaders that already hold it.
+func (db *DB) upsertEmbedding(vertexType, attr string, id uint64, vec []float32) error {
 	if err := db.checkEmbedding(vertexType, attr, len(vec)); err != nil {
 		return err
 	}
@@ -208,6 +223,8 @@ func (db *DB) UpsertEmbedding(vertexType, attr string, id uint64, vec []float32)
 
 // DeleteEmbedding transactionally removes a vertex's embedding.
 func (db *DB) DeleteEmbedding(vertexType, attr string, id uint64) error {
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
 	if err := db.checkEmbedding(vertexType, attr, -1); err != nil {
 		return err
 	}

@@ -15,6 +15,7 @@
 //	POST /upsert  client.UpsertRequest  -> client.UpsertResponse
 //	POST /delete  client.DeleteRequest  -> client.DeleteResponse
 //	POST /gsql    client.GSQLRequest    -> client.GSQLResponse
+//	POST /checkpoint                    -> client.CheckpointResponse
 //	GET  /stats                         -> server.Stats
 //
 // Concurrency model: net/http serves each request on its own goroutine;
@@ -65,6 +66,8 @@ type Counters struct {
 	Delete int64 `json:"delete"`
 	// GSQL counts /gsql requests.
 	GSQL int64 `json:"gsql"`
+	// Checkpoint counts /checkpoint requests.
+	Checkpoint int64 `json:"checkpoint"`
 	// Stats counts /stats requests.
 	Stats int64 `json:"stats"`
 	// Errors counts requests answered with a non-2xx status.
@@ -88,7 +91,7 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	vertex, edge, search, rng, upsert, del, gsql, stats, errs atomic.Int64
+	vertex, edge, search, rng, upsert, del, gsql, cp, stats, errs atomic.Int64
 
 	srvMu   sync.Mutex
 	httpSrv *http.Server
@@ -109,6 +112,7 @@ func New(db *tigervector.DB, opts Options) *Server {
 	s.mux.HandleFunc("/upsert", s.method(http.MethodPost, s.handleUpsert))
 	s.mux.HandleFunc("/delete", s.method(http.MethodPost, s.handleDelete))
 	s.mux.HandleFunc("/gsql", s.method(http.MethodPost, s.handleGSQL))
+	s.mux.HandleFunc("/checkpoint", s.method(http.MethodPost, s.handleCheckpoint))
 	s.mux.HandleFunc("/stats", s.method(http.MethodGet, s.handleStats))
 	return s
 }
@@ -216,6 +220,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "exactly one of query/queries required")
 		return
 	}
+	if req.K <= 0 {
+		// Every index path short-circuits k <= 0 into an empty result;
+		// answering 200 with no hits reads as "nothing matched", so
+		// reject the request instead.
+		s.fail(w, http.StatusBadRequest, "k must be >= 1, got %d", req.K)
+		return
+	}
 	if len(req.Queries) > s.opts.MaxBatch {
 		s.fail(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Queries), s.opts.MaxBatch)
 		return
@@ -241,6 +252,12 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	if len(req.Query) == 0 {
+		s.fail(w, http.StatusBadRequest, "query vector required")
+		return
+	}
+	// No sign check on Threshold: inner-product metrics encode "dot >= x"
+	// as a negative distance bound.
 	res := s.db.BatchVectorSearch([]tigervector.BatchQuery{{
 		Attrs: []string{req.Attr}, Query: req.Query,
 		Range: true, Threshold: req.Threshold,
@@ -366,6 +383,29 @@ func (s *Server) handleGSQL(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleCheckpoint answers POST /checkpoint: snapshot the database state
+// and truncate the WAL, bounding the next restart's recovery time. The
+// call blocks writes (not reads) while the snapshot is written.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	s.cp.Add(1)
+	info, err := s.db.Checkpoint()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if err == tigervector.ErrNotDurable {
+			status = http.StatusBadRequest
+		}
+		s.fail(w, status, "%v", err)
+		return
+	}
+	s.writeJSON(w, client.CheckpointResponse{
+		TID:               info.TID,
+		GraphBytes:        info.GraphBytes,
+		EmbeddingBytes:    info.EmbeddingBytes,
+		WALTruncatedBytes: info.WALTruncatedBytes,
+		DurationSeconds:   info.DurationSeconds,
+	})
+}
+
 // handleStats answers GET /stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.stats.Add(1)
@@ -375,7 +415,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Vertex: s.vertex.Load(), Edge: s.edge.Load(),
 			Search: s.search.Load(), Range: s.rng.Load(),
 			Upsert: s.upsert.Load(), Delete: s.del.Load(),
-			GSQL: s.gsql.Load(), Stats: s.stats.Load(),
+			GSQL: s.gsql.Load(), Checkpoint: s.cp.Load(),
+			Stats:  s.stats.Load(),
 			Errors: s.errs.Load(),
 		},
 		DB: s.db.Stats(),

@@ -170,6 +170,13 @@ func TestSearchRequestValidation(t *testing.T) {
 	if code := post(`not json`); code != http.StatusBadRequest {
 		t.Fatalf("bad json: %d", code)
 	}
+	// k <= 0 must be a 400, not an empty 200 that reads as "no matches".
+	if code := post(`{"attrs":["Post.content_emb"],"query":[1,0,0,0,0,0,0,0],"k":0}`); code != http.StatusBadRequest {
+		t.Fatalf("k=0: %d", code)
+	}
+	if code := post(`{"attrs":["Post.content_emb"],"query":[1,0,0,0,0,0,0,0],"k":-3}`); code != http.StatusBadRequest {
+		t.Fatalf("k=-3: %d", code)
+	}
 	// GET on a POST endpoint.
 	resp, err := http.Get(c.BaseURL + "/search")
 	if err != nil {
@@ -190,6 +197,77 @@ func TestRangeOverHTTP(t *testing.T) {
 	}
 	if len(hits) != 1 || hits[0].ID != ids[3] {
 		t.Fatalf("range = %+v", hits)
+	}
+}
+
+func TestRangeRequestValidation(t *testing.T) {
+	c, _, _ := newTestServer(t, 5)
+	post := func(body string) int {
+		resp, err := http.Post(c.BaseURL+"/range", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"attr":"Post.content_emb","threshold":1}`); code != http.StatusBadRequest {
+		t.Fatalf("missing query: %d", code)
+	}
+	// Negative thresholds are legal: inner-product metrics encode
+	// "dot >= x" as a negative distance bound.
+	if code := post(`{"attr":"Post.content_emb","query":[1,0,0,0,0,0,0,0],"threshold":-1}`); code != http.StatusOK {
+		t.Fatalf("negative threshold rejected: %d", code)
+	}
+}
+
+func TestCheckpointEndpoint(t *testing.T) {
+	// A non-durable DB answers 400.
+	c, _, _ := newTestServer(t, 3)
+	if _, err := c.Checkpoint(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "Durability") {
+		t.Fatalf("checkpoint on non-durable server: %v", err)
+	}
+
+	// A durable DB checkpoints, truncates the WAL, and recovers.
+	dir := t.TempDir()
+	db, err := tigervector.Open(tigervector.Config{
+		SegmentSize: 32, Seed: 1, DataDir: dir, Durability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db, Options{}).Handler())
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+	id, err := cl.AddVertex(ctx, "Post", map[string]any{"id": 1, "language": "en", "length": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := cl.Upsert(ctx, "Post", "content_emb", id, vec); err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.Checkpoint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TID == 0 || info.GraphBytes == 0 || info.WALTruncatedBytes == 0 {
+		t.Fatalf("checkpoint info = %+v", info)
+	}
+	ts.Close()
+	db.Close()
+
+	db2, err := tigervector.Open(tigervector.Config{
+		SegmentSize: 32, Seed: 1, DataDir: dir, Durability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	hits, err := db2.VectorSearch([]string{"Post.content_emb"}, vec, 1, nil)
+	if err != nil || len(hits) != 1 || hits[0].ID != id {
+		t.Fatalf("post-checkpoint recovery search = %+v, %v", hits, err)
 	}
 }
 

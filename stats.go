@@ -54,6 +54,17 @@ type VacuumStats struct {
 type DBStats struct {
 	// VisibleTID is the highest committed transaction id.
 	VisibleTID uint64 `json:"visible_tid"`
+	// Checkpoints counts Checkpoint() calls (manual and periodic) since
+	// Open; CheckpointErrors counts the ones that failed.
+	Checkpoints      int64 `json:"checkpoints"`
+	CheckpointErrors int64 `json:"checkpoint_errors"`
+	// LastCheckpointTID is the TID of the newest completed checkpoint
+	// this process wrote (0 before the first one).
+	LastCheckpointTID uint64 `json:"last_checkpoint_tid"`
+	// RecoveryTornBytes is the WAL volume truncated while opening: the
+	// torn tail record a crash mid-append leaves behind (larger values
+	// suggest mid-log corruption cut away acknowledged commits).
+	RecoveryTornBytes int64 `json:"recovery_torn_bytes"`
 	// Stores lists per-attribute store state, sorted by attribute key.
 	Stores []StoreStats `json:"stores"`
 	// Vacuum aggregates background maintenance counters.
@@ -70,7 +81,11 @@ type DBStats struct {
 func (db *DB) Stats() DBStats {
 	ps := db.pool.Stats()
 	st := DBStats{
-		VisibleTID: uint64(db.mgr.Visible()),
+		VisibleTID:        uint64(db.mgr.Visible()),
+		Checkpoints:       db.checkpoints.Load(),
+		CheckpointErrors:  db.checkpointErr.Load(),
+		LastCheckpointTID: db.lastCpTID.Load(),
+		RecoveryTornBytes: db.tornBytes.Load(),
 		Pool: PoolStats{
 			Workers:   ps.Workers,
 			Submitted: ps.Submitted,

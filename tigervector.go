@@ -28,7 +28,11 @@ package tigervector
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -58,8 +62,20 @@ type Config struct {
 	VacuumInterval time.Duration
 	// Seed fixes all internal randomness (HNSW levels, Louvain order).
 	Seed int64
-	// Durability enables the write-ahead log for vector updates.
+	// Durability enables the write-ahead log. It covers the catalog
+	// (DDL), graph mutations (vertices, edges, attribute writes) and
+	// vector updates; Checkpoint() bounds replay time by snapshotting
+	// the full state and truncating the WAL.
 	Durability bool
+	// NoFsync disables the per-commit WAL and catalog fsync. Appends are
+	// still written immediately and synced at Checkpoint and Close, so
+	// this trades power-loss durability of the last few commits for
+	// commit throughput (batched-sync mode).
+	NoFsync bool
+	// CheckpointInterval runs Checkpoint() periodically in the
+	// background. Zero disables periodic checkpoints; Checkpoint() can
+	// always be called manually. Requires Durability.
+	CheckpointInterval time.Duration
 	// Workers is the width of the inter-query worker pool used by
 	// BatchVectorSearch and the serving layer. Default GOMAXPROCS.
 	Workers int
@@ -76,7 +92,22 @@ type DB struct {
 	vac     *vacuum.Manager
 	pool    *core.Pool
 	walFile *os.File
+	wal     *txn.WAL
 	ownsDir bool
+
+	// cpMu serializes checkpoints against every mutating entry point:
+	// mutators hold it shared, Checkpoint (and the WAL rotation inside
+	// it) holds it exclusively. Vector searches never take it; GSQL Run
+	// does (tg_louvain writes derived attributes).
+	cpMu   sync.RWMutex
+	closed bool // under cpMu: set by Close, checked by Checkpoint
+	cpStop chan struct{}
+	cpDone chan struct{}
+
+	checkpoints   atomic.Int64
+	checkpointErr atomic.Int64
+	lastCpTID     atomic.Uint64
+	tornBytes     atomic.Int64 // WAL bytes truncated during recovery
 }
 
 // Open creates a DB.
@@ -114,7 +145,7 @@ func Open(cfg Config) (*DB, error) {
 		interp: interp, ownsDir: ownsDir,
 	}
 	if cfg.Durability {
-		// Recover the catalog (DDL log) and committed vector updates
+		// Recover checkpoint + catalog (DDL log) + WAL — in that order —
 		// before opening the WAL for appends.
 		if err := db.recover(); err != nil {
 			return nil, err
@@ -123,8 +154,18 @@ func Open(cfg Config) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tigervector: open wal: %w", err)
 		}
+		// Persist the file's directory entry: fsyncing wal.log's content
+		// is worthless if a power loss forgets the file ever existed.
+		if !cfg.NoFsync {
+			if err := syncDir(cfg.DataDir); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("tigervector: sync data dir: %w", err)
+			}
+		}
 		db.walFile = f
-		mgr2 := txn.NewManager(svc, txn.NewWAL(f))
+		db.wal = txn.NewWAL(f)
+		db.wal.SetSync(!cfg.NoFsync)
+		mgr2 := txn.NewManager(svc, db.wal)
 		mgr2.Recover(mgr.Visible())
 		db.mgr = mgr2
 		eng.Mgr = mgr2
@@ -138,16 +179,38 @@ func Open(cfg Config) (*DB, error) {
 	if !cfg.DisableVacuum {
 		db.vac.Start()
 	}
+	if cfg.Durability && cfg.CheckpointInterval > 0 {
+		db.cpStop = make(chan struct{})
+		db.cpDone = make(chan struct{})
+		go db.checkpointLoop()
+	}
 	return db, nil
 }
 
-// Close stops background processes and releases resources.
+// Close stops background processes, syncs the WAL and releases resources.
 func (db *DB) Close() error {
+	if db.cpStop != nil {
+		close(db.cpStop)
+		<-db.cpDone
+		db.cpStop = nil
+	}
+	// Waits for an in-flight manual Checkpoint (which restarts the vacuum
+	// on its way out) and marks the DB closed so no later Checkpoint can
+	// restart it again.
+	db.cpMu.Lock()
+	db.closed = true
+	db.cpMu.Unlock()
 	db.pool.Close()
 	db.vac.Stop()
+	db.cpMu.Lock()
 	if db.walFile != nil {
+		// In batched-sync mode this is where the tail commits reach disk.
+		db.wal.Sync()
+		db.syncCatalog()
 		db.walFile.Close()
+		db.walFile = nil
 	}
+	db.cpMu.Unlock()
 	if db.ownsDir {
 		return os.RemoveAll(db.cfg.DataDir)
 	}
@@ -159,6 +222,8 @@ func (db *DB) Close() error {
 // definitions. With Durability enabled the statements are appended to the
 // catalog log and replayed on the next Open.
 func (db *DB) Exec(src string) error {
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
 	if err := db.interp.Exec(src); err != nil {
 		return err
 	}
@@ -171,6 +236,16 @@ func (db *DB) Exec(src string) error {
 		if _, err := fmt.Fprintf(f, "%s\n", src); err != nil {
 			return err
 		}
+		if !db.cfg.NoFsync {
+			if err := f.Sync(); err != nil {
+				return fmt.Errorf("tigervector: catalog sync: %w", err)
+			}
+			// DDL is rare; an unconditional directory sync keeps the
+			// file's creation as durable as its content.
+			if err := syncDir(db.cfg.DataDir); err != nil {
+				return fmt.Errorf("tigervector: sync data dir: %w", err)
+			}
+		}
 	}
 	return nil
 }
@@ -178,17 +253,11 @@ func (db *DB) Exec(src string) error {
 func (db *DB) walPath() string     { return db.cfg.DataDir + "/wal.log" }
 func (db *DB) catalogPath() string { return db.cfg.DataDir + "/catalog.gsql" }
 
-// recover replays the catalog log and the vector WAL, restoring schema,
-// query definitions, embedding stores and committed vector updates. Graph
-// vertices and edges are not covered by the WAL (as in the paper, which
-// describes the vector delta log; reload them from their sources).
-func (db *DB) recover() error {
-	if data, err := os.ReadFile(db.catalogPath()); err == nil && len(data) > 0 {
-		if err := db.interp.Exec(string(data)); err != nil {
-			return fmt.Errorf("tigervector: catalog replay: %w", err)
-		}
-	}
-	f, err := os.Open(db.walPath())
+// syncCatalog flushes the catalog log to stable storage. Exec syncs per
+// statement unless NoFsync batches; Checkpoint and Close call this so a
+// fsynced snapshot manifest can never outlive the DDL it depends on.
+func (db *DB) syncCatalog() error {
+	f, err := os.OpenFile(db.catalogPath(), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
@@ -196,8 +265,46 @@ func (db *DB) recover() error {
 		return err
 	}
 	defer f.Close()
+	return f.Sync()
+}
+
+// recover restores the database in snapshot→log order: replay the catalog
+// (DDL) log so schema, queries and embedding stores exist; load the
+// newest checkpoint snapshot of graph and embedding data, if any; then
+// replay the WAL, skipping records the checkpoint already covers and
+// truncating a torn tail record instead of failing — a crash mid-append
+// must not make the store unopenable.
+func (db *DB) recover() error {
+	data, err := os.ReadFile(db.catalogPath())
+	if err != nil && !os.IsNotExist(err) {
+		// Anything but "no catalog yet" (permissions, I/O) must surface:
+		// silently recovering an empty catalog would orphan every
+		// embedding and vector delta that follows.
+		return fmt.Errorf("tigervector: read catalog: %w", err)
+	}
+	if len(data) > 0 {
+		if err := db.interp.Exec(string(data)); err != nil {
+			return fmt.Errorf("tigervector: catalog replay: %w", err)
+		}
+	}
+	cpTID, err := db.loadCheckpoint()
+	if err != nil {
+		return err
+	}
+	db.mgr.Recover(cpTID)
 	var maxTID txn.TID
-	err = txn.ReplayWAL(f, func(tid txn.TID, vectors []txn.StagedVector) error {
+	truncated, err := txn.RecoverWAL(db.walPath(), func(tid txn.TID, vectors []txn.StagedVector, ops []txn.GraphOp) error {
+		if tid <= cpTID {
+			// Already materialized in the checkpoint snapshot. Such
+			// records only exist after a crash between the manifest
+			// rename and the WAL truncation.
+			return nil
+		}
+		for i := range ops {
+			if err := db.applyGraphOp(&ops[i]); err != nil {
+				return fmt.Errorf("graph op (tid %d): %w", tid, err)
+			}
+		}
 		for _, v := range vectors {
 			d := txn.VectorDelta{Action: v.Action, ID: v.ID, TID: tid, Vec: v.Vec}
 			if err := db.svc.ApplyVectorDelta(v.AttrKey, d); err != nil {
@@ -212,29 +319,118 @@ func (db *DB) recover() error {
 	if err != nil {
 		return fmt.Errorf("tigervector: wal replay: %w", err)
 	}
+	// Surface how much log was cut away (normally the single torn tail
+	// record of a crash mid-append; anything larger suggests mid-log
+	// corruption) in Stats, since Open itself succeeds.
+	db.tornBytes.Store(truncated)
 	db.mgr.Recover(maxTID)
+	// Delta files written by the previous process are orphans now: every
+	// record they held is either in the checkpoint snapshot or was just
+	// replayed from the WAL into fresh delta stores, and the new
+	// DeltaFileSets do not track old files.
+	if matches, err := filepath.Glob(filepath.Join(db.cfg.DataDir, "*.delta")); err == nil {
+		for _, m := range matches {
+			os.Remove(m)
+		}
+	}
 	return nil
+}
+
+// applyGraphOp replays one WAL graph record against the in-memory graph.
+func (db *DB) applyGraphOp(op *txn.GraphOp) error {
+	switch op.Kind {
+	case txn.OpAddVertex:
+		attrs := make(map[string]storage.Value, len(op.Attrs))
+		for _, a := range op.Attrs {
+			attrs[a.Name] = a.Value
+		}
+		id, err := db.graph.AddVertex(op.Type, attrs)
+		if err != nil {
+			return err
+		}
+		if id != op.ID {
+			// Replay is deterministic (dense allocation in log order); a
+			// diverging id means the snapshot and log disagree.
+			return fmt.Errorf("tigervector: wal replay diverged: vertex %s got id %d, logged %d", op.Type, id, op.ID)
+		}
+		return nil
+	case txn.OpAddEdge:
+		return db.graph.AddEdge(op.Type, op.ID, op.To)
+	case txn.OpDeleteVertex:
+		return db.graph.DeleteVertex(op.Type, op.ID)
+	case txn.OpSetAttr:
+		if len(op.Attrs) != 1 {
+			return fmt.Errorf("tigervector: set-attr record has %d attrs", len(op.Attrs))
+		}
+		return db.graph.SetAttr(op.Type, op.ID, op.Attrs[0].Name, op.Attrs[0].Value)
+	}
+	return fmt.Errorf("tigervector: unknown graph op kind %d", op.Kind)
 }
 
 // Queries lists the names of defined GSQL queries.
 func (db *DB) Queries() []string { return db.interp.Queries() }
 
 // Vacuum synchronously flushes committed vector deltas and merges them
-// into the indexes (one full pass of both background processes).
-func (db *DB) Vacuum() error { return db.vac.Drain() }
+// into the indexes (one full pass of both background processes). It
+// holds the checkpoint lock shared: a merge moves deltas between files
+// and segments, which must not interleave with a checkpoint snapshot.
+func (db *DB) Vacuum() error {
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
+	return db.vac.Drain()
+}
 
-// AddVertex inserts (or upserts by primary key) a vertex.
-func (db *DB) AddVertex(vertexType string, attrs map[string]any) (uint64, error) {
+// normalizeAttrs converts an attribute map onto WAL-encodable values and
+// a deterministic (name-sorted) record attribute list.
+func normalizeAttrs(attrs map[string]any) (map[string]storage.Value, []txn.GraphAttr, error) {
 	conv := make(map[string]storage.Value, len(attrs))
+	recAttrs := make([]txn.GraphAttr, 0, len(attrs))
 	for k, v := range attrs {
-		conv[k] = v
+		nv, err := txn.NormalizeGraphValue(v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tigervector: attribute %q: %w", k, err)
+		}
+		conv[k] = nv
+		recAttrs = append(recAttrs, txn.GraphAttr{Name: k, Value: nv})
 	}
-	return db.graph.AddVertex(vertexType, conv)
+	sort.Slice(recAttrs, func(i, j int) bool { return recAttrs[i].Name < recAttrs[j].Name })
+	return conv, recAttrs, nil
+}
+
+// AddVertex inserts (or upserts by primary key) a vertex. With Durability
+// enabled the insert is WAL-logged and fsynced before it is acknowledged.
+func (db *DB) AddVertex(vertexType string, attrs map[string]any) (uint64, error) {
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
+	conv, recAttrs, err := normalizeAttrs(attrs)
+	if err != nil {
+		return 0, err
+	}
+	rec := &txn.GraphOp{Kind: txn.OpAddVertex, Type: vertexType, Attrs: recAttrs}
+	var id uint64
+	tx := db.mgr.Begin()
+	tx.StageGraphOp(rec, func() error {
+		var err error
+		id, err = db.graph.AddVertex(vertexType, conv)
+		rec.ID = id
+		return err
+	})
+	if _, err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return id, nil
 }
 
 // AddEdge inserts an edge between existing vertices.
 func (db *DB) AddEdge(edgeType string, from, to uint64) error {
-	return db.graph.AddEdge(edgeType, from, to)
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
+	tx := db.mgr.Begin()
+	tx.StageGraphOp(
+		&txn.GraphOp{Kind: txn.OpAddEdge, Type: edgeType, ID: from, To: to},
+		func() error { return db.graph.AddEdge(edgeType, from, to) })
+	_, err := tx.Commit()
+	return err
 }
 
 // VertexByKey resolves a primary key to a vertex id.
@@ -249,18 +445,34 @@ func (db *DB) Attr(vertexType string, id uint64, name string) (any, error) {
 
 // SetAttr writes a scalar attribute of a vertex.
 func (db *DB) SetAttr(vertexType string, id uint64, name string, v any) error {
-	return db.graph.SetAttr(vertexType, id, name, v)
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
+	nv, err := txn.NormalizeGraphValue(v)
+	if err != nil {
+		return fmt.Errorf("tigervector: attribute %q: %w", name, err)
+	}
+	tx := db.mgr.Begin()
+	tx.StageGraphOp(
+		&txn.GraphOp{Kind: txn.OpSetAttr, Type: vertexType, ID: id,
+			Attrs: []txn.GraphAttr{{Name: name, Value: nv}}},
+		func() error { return db.graph.SetAttr(vertexType, id, name, nv) })
+	_, err = tx.Commit()
+	return err
 }
 
 // DeleteVertex tombstones a vertex and transactionally deletes its
-// embedding attributes.
+// embedding attributes; one WAL record covers both.
 func (db *DB) DeleteVertex(vertexType string, id uint64) error {
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
 	vt, ok := db.graph.Schema().VertexType(vertexType)
 	if !ok {
 		return fmt.Errorf("tigervector: unknown vertex type %q", vertexType)
 	}
 	tx := db.mgr.Begin()
-	tx.StageGraph(func() error { return db.graph.DeleteVertex(vertexType, id) })
+	tx.StageGraphOp(
+		&txn.GraphOp{Kind: txn.OpDeleteVertex, Type: vertexType, ID: id},
+		func() error { return db.graph.DeleteVertex(vertexType, id) })
 	for _, ea := range vt.Embeddings {
 		tx.StageVector(txn.StagedVector{
 			AttrKey: core.AttrKey(vertexType, ea.Name), Action: txn.Delete, ID: id})

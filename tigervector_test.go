@@ -335,7 +335,11 @@ func TestRecoveryFromWAL(t *testing.T) {
 	if _, ok := db2.graph.Schema().VertexType("Post"); !ok {
 		t.Fatal("schema not recovered")
 	}
-	// Graph data is reloaded by the application (documented limitation).
+	// Graph data is WAL-covered: the vertices come back on their own,
+	// and a re-insert with the same primary key upserts in place.
+	if got := db2.NumVertices("Post"); got != 2 {
+		t.Fatalf("recovered posts = %d", got)
+	}
 	rid, _ := db2.AddVertex("Post", map[string]any{"id": int64(1), "language": "English"})
 	if rid != id {
 		t.Fatalf("vertex id changed across reload: %d vs %d", rid, id)
