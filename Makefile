@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet race recovery-test
+.PHONY: build test bench vet race recovery-test bench-restart
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,9 @@ recovery-test:
 # TGV_SCALE=1 runs the full laptop-scale experiments.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Restart benchmark: snapshot fast-path Open (deserialize per-segment
+# index snapshots) vs cold Open (rebuild indexes from vectors), averaged
+# over 5 reopens each and emitted as BENCH_restart.json.
+bench-restart:
+	TGV_BENCH_OUT=BENCH_restart.json $(GO) test -run xxx -bench BenchmarkOpenColdVsSnapshot -benchtime 5x .

@@ -11,9 +11,11 @@ package tigervector
 // reported in EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/bench"
@@ -265,4 +267,109 @@ func BenchmarkServingBatchSearch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// restartCorpusDir builds a durable, checkpointed corpus on disk: 4096
+// vectors of dimension 64 across 8 segments, merged into their segment
+// indexes and checkpointed, so reopening the directory exercises the
+// restart path (graph + vector snapshot load, then index restore).
+func restartCorpusDir(b *testing.B) (string, Config) {
+	b.Helper()
+	dir := b.TempDir()
+	cfg := Config{SegmentSize: 512, Seed: 1, DataDir: dir,
+		Durability: true, NoFsync: true, DisableVacuum: true}
+	db, err := Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = db.Exec(`
+CREATE VERTEX Item (id INT PRIMARY KEY);
+ALTER VERTEX Item ADD EMBEDDING ATTRIBUTE emb (
+  DIMENSION = 64, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	const n = 4096
+	ids := make([]uint64, n)
+	vecs := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		id, err := db.AddVertex("Item", map[string]any{"id": int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := make([]float32, 64)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		ids[i] = id
+		vecs[i] = v
+	}
+	if err := db.BulkLoadEmbeddings("Item", "emb", ids, vecs); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	db.Close()
+	return dir, cfg
+}
+
+// BenchmarkOpenColdVsSnapshot measures restart time with and without the
+// checkpoint's index snapshot: Snapshot deserializes the per-segment
+// indexes in parallel, Cold falls back to rebuilding them from the
+// vector snapshot (the pre-index-snapshot recovery path). With
+// TGV_BENCH_OUT set, the averages are also written there as JSON
+// (`make bench-restart` emits BENCH_restart.json).
+func BenchmarkOpenColdVsSnapshot(b *testing.B) {
+	dir, cfg := restartCorpusDir(b)
+	reopen := func(b *testing.B, wantSnapshot bool) DBStats {
+		db, err := Open(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := db.Stats()
+		db.Close()
+		if wantSnapshot && st.IndexRebuiltSegments != 0 {
+			b.Fatalf("snapshot path rebuilt %d segments", st.IndexRebuiltSegments)
+		}
+		if !wantSnapshot && st.IndexSnapshotSegments != 0 {
+			b.Fatalf("cold path loaded %d segment snapshots", st.IndexSnapshotSegments)
+		}
+		return st
+	}
+	var snapNs, coldNs float64
+	var segments int64
+	b.Run("Snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := reopen(b, true)
+			segments = st.IndexSnapshotSegments
+		}
+		snapNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("Cold", func(b *testing.B) {
+		// Deleting the index snapshot degrades the manifest to the
+		// rebuild path; recovery semantics are unchanged.
+		matches, _ := filepath.Glob(filepath.Join(dir, "checkpoint-*.index"))
+		for _, m := range matches {
+			if err := os.Remove(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reopen(b, false)
+		}
+		coldNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	if out := os.Getenv("TGV_BENCH_OUT"); out != "" && snapNs > 0 && coldNs > 0 {
+		payload := fmt.Sprintf(
+			`{"benchmark":"OpenColdVsSnapshot","vectors":4096,"dim":64,"segments":%d,`+
+				`"cold_open_ns":%.0f,"snapshot_open_ns":%.0f,"speedup":%.2f}`+"\n",
+			segments, coldNs, snapNs, coldNs/snapNs)
+		if err := os.WriteFile(out, []byte(payload), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("restart bench written to %s: %s", out, payload)
+	}
 }

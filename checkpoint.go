@@ -11,8 +11,11 @@ package tigervector
 //     appends) are blocked; queries keep running.
 //  2. Stop the vacuum so the embedding watermark and delta files cannot
 //     move mid-snapshot (restarted on exit).
-//  3. Write checkpoint-<tid>.graph and checkpoint-<tid>.embed via
-//     write-temp → fsync → rename.
+//  3. Write checkpoint-<tid>.graph, checkpoint-<tid>.embed and
+//     checkpoint-<tid>.index via write-temp → fsync → rename. The index
+//     snapshot makes restarts fast (deserialize instead of rebuild) but
+//     is never required: recovery falls back per segment to rebuilding
+//     from the vector snapshot.
 //  4. Write the manifest (checkpoint.json) the same way. The manifest
 //     rename is the commit point: recovery only trusts files the
 //     manifest names.
@@ -30,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/txn"
@@ -41,6 +45,10 @@ type checkpointManifest struct {
 	TID        uint64 `json:"tid"`
 	Graph      string `json:"graph"`
 	Embeddings string `json:"embeddings"`
+	// Indexes names the per-segment index snapshot file. Optional: a
+	// manifest without it (or whose file is missing or corrupt) recovers
+	// by rebuilding indexes from the embedding snapshot.
+	Indexes string `json:"indexes,omitempty"`
 }
 
 // CheckpointInfo reports what one Checkpoint call did.
@@ -48,9 +56,11 @@ type CheckpointInfo struct {
 	// TID is the transaction id the snapshot covers; recovery replays
 	// only WAL records above it.
 	TID uint64 `json:"tid"`
-	// GraphBytes and EmbeddingBytes are the snapshot file sizes.
+	// GraphBytes, EmbeddingBytes and IndexBytes are the snapshot file
+	// sizes.
 	GraphBytes     int64 `json:"graph_bytes"`
 	EmbeddingBytes int64 `json:"embedding_bytes"`
+	IndexBytes     int64 `json:"index_bytes"`
 	// WALTruncatedBytes is the log volume the checkpoint retired.
 	WALTruncatedBytes int64 `json:"wal_truncated_bytes"`
 	// DurationSeconds is the wall time the checkpoint held the write lock.
@@ -151,6 +161,7 @@ func (db *DB) checkpoint() (*CheckpointInfo, error) {
 	info := &CheckpointInfo{TID: uint64(tid)}
 	graphName := fmt.Sprintf("checkpoint-%d.graph", tid)
 	embedName := fmt.Sprintf("checkpoint-%d.embed", tid)
+	indexName := fmt.Sprintf("checkpoint-%d.index", tid)
 
 	var err error
 	info.GraphBytes, err = writeFileAtomic(filepath.Join(db.cfg.DataDir, graphName), func(f *os.File) error {
@@ -164,6 +175,12 @@ func (db *DB) checkpoint() (*CheckpointInfo, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("tigervector: checkpoint embeddings: %w", err)
+	}
+	info.IndexBytes, err = writeFileAtomic(filepath.Join(db.cfg.DataDir, indexName), func(f *os.File) error {
+		return db.svc.WriteIndexSnapshot(f, tid)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tigervector: checkpoint indexes: %w", err)
 	}
 
 	// The manifest is the commit point, so everything it names must be
@@ -179,6 +196,7 @@ func (db *DB) checkpoint() (*CheckpointInfo, error) {
 	}
 	manifest, err := json.Marshal(checkpointManifest{
 		Version: 1, TID: uint64(tid), Graph: graphName, Embeddings: embedName,
+		Indexes: indexName,
 	})
 	if err != nil {
 		return nil, err
@@ -211,10 +229,10 @@ func (db *DB) checkpoint() (*CheckpointInfo, error) {
 	// Old checkpoint files are garbage now, as is any *.tmp left behind
 	// by a checkpoint that crashed mid-write (renames are done, so no
 	// live file has the .tmp suffix).
-	for _, pat := range []string{"checkpoint-*.graph", "checkpoint-*.embed", "checkpoint*.tmp"} {
+	for _, pat := range []string{"checkpoint-*.graph", "checkpoint-*.embed", "checkpoint-*.index", "checkpoint*.tmp"} {
 		matches, _ := filepath.Glob(filepath.Join(db.cfg.DataDir, pat))
 		for _, m := range matches {
-			if base := filepath.Base(m); base != graphName && base != embedName {
+			if base := filepath.Base(m); base != graphName && base != embedName && base != indexName {
 				os.Remove(m)
 			}
 		}
@@ -226,6 +244,12 @@ func (db *DB) checkpoint() (*CheckpointInfo, error) {
 // loadCheckpoint restores the newest checkpoint snapshot, if one exists,
 // and returns its TID (0 when starting from log replay alone). The
 // catalog must already be replayed.
+//
+// Index restore takes the fast path when the manifest names an index
+// snapshot: segment indexes deserialize in parallel on the worker pool,
+// with per-segment fallback to rebuilding from the restored vectors, so
+// a missing or damaged index snapshot degrades restart time, never
+// recovery semantics.
 func (db *DB) loadCheckpoint() (txn.TID, error) {
 	data, err := os.ReadFile(db.manifestPath())
 	if err != nil {
@@ -254,12 +278,37 @@ func (db *DB) loadCheckpoint() (txn.TID, error) {
 	if err != nil {
 		return 0, fmt.Errorf("tigervector: checkpoint embedding snapshot: %w", err)
 	}
-	err = db.svc.LoadSnapshot(ef)
+	_, err = db.svc.LoadSnapshotVectors(ef)
 	ef.Close()
 	if err != nil {
 		return 0, fmt.Errorf("tigervector: restore embedding snapshot: %w", err)
 	}
-	return txn.TID(m.TID), nil
+
+	start := time.Now()
+	threads := runtime.GOMAXPROCS(0)
+	tid := txn.TID(m.TID)
+	var loaded, rebuilt int
+	usedSnapshot := false
+	if m.Indexes != "" {
+		if xf, xerr := os.Open(filepath.Join(db.cfg.DataDir, m.Indexes)); xerr == nil {
+			loaded, rebuilt, err = db.svc.LoadIndexSnapshots(xf, db.pool, threads, tid)
+			xf.Close()
+			if err != nil {
+				return 0, fmt.Errorf("tigervector: restore index snapshot: %w", err)
+			}
+			usedSnapshot = true
+		}
+	}
+	if !usedSnapshot {
+		rebuilt, err = db.svc.BuildAllIndexes(threads, tid)
+		if err != nil {
+			return 0, fmt.Errorf("tigervector: rebuild indexes: %w", err)
+		}
+	}
+	db.indexSnapSegs.Store(int64(loaded))
+	db.indexRebuiltSegs.Store(int64(rebuilt))
+	db.openIndexLoadNanos.Store(time.Since(start).Nanoseconds())
+	return tid, nil
 }
 
 // checkpointLoop runs periodic checkpoints until Close.

@@ -188,9 +188,12 @@ type GSQLResponse struct {
 type CheckpointResponse struct {
 	// TID is the transaction id the snapshot covers.
 	TID uint64 `json:"tid"`
-	// GraphBytes and EmbeddingBytes are the snapshot file sizes.
+	// GraphBytes, EmbeddingBytes and IndexBytes are the snapshot file
+	// sizes; IndexBytes is the serialized per-segment index state that
+	// lets the next restart skip index rebuilds.
 	GraphBytes     int64 `json:"graph_bytes"`
 	EmbeddingBytes int64 `json:"embedding_bytes"`
+	IndexBytes     int64 `json:"index_bytes"`
 	// WALTruncatedBytes is the log volume the checkpoint retired.
 	WALTruncatedBytes int64 `json:"wal_truncated_bytes"`
 	// DurationSeconds is how long the checkpoint blocked writes.
@@ -323,7 +326,10 @@ func (c *Client) Checkpoint(ctx context.Context) (*CheckpointResponse, error) {
 }
 
 // Stats fetches the server's /stats snapshot as raw JSON; its shape is
-// the tigervector.DBStats struct plus serving counters.
+// the tigervector.DBStats struct plus serving counters. The restart
+// counters (db.index_snapshot_segments, db.index_rebuilt_segments,
+// db.open_index_load_nanos) say whether the last Open took the index
+// snapshot fast path or had to rebuild segment indexes.
 func (c *Client) Stats(ctx context.Context) (json.RawMessage, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/stats", nil)
 	if err != nil {

@@ -108,6 +108,14 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db.Close()
+	if cfg.durable {
+		// How the restart went: segment indexes deserialized from the
+		// checkpoint's index snapshot (fast path) vs rebuilt from vectors.
+		st := db.Stats()
+		log.Printf("restart: %d segment indexes loaded from snapshot, %d rebuilt, index restore took %s",
+			st.IndexSnapshotSegments, st.IndexRebuiltSegments,
+			time.Duration(st.OpenIndexLoadNanos))
+	}
 	if cfg.ddlPath != "" {
 		src, err := os.ReadFile(cfg.ddlPath)
 		if err != nil {

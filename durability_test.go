@@ -403,3 +403,169 @@ func TestPeriodicCheckpoint(t *testing.T) {
 		t.Fatalf("recovered posts = %d", db2.NumVertices("Post"))
 	}
 }
+
+// snapCfg is durableCfg with small segments so the fixture's 10 posts
+// span two embedding segments — corruption tests can then show one
+// segment falling back while the other loads from its snapshot.
+func snapCfg(dir string) Config {
+	c := durableCfg(dir)
+	c.SegmentSize = 8
+	return c
+}
+
+// checkpointedFixture loads the fixture, merges all vector deltas into
+// the segment indexes and checkpoints, so the index snapshot covers two
+// fully-built segments. The DB is closed; the caller reopens the dir.
+func checkpointedFixture(t *testing.T) (dir string, postIDs []uint64) {
+	t.Helper()
+	dir = t.TempDir()
+	db, err := Open(snapCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postIDs = loadFixture(t, db)
+	if err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	return dir, postIDs
+}
+
+// searchProbe runs a fixed set of searches whose outcomes must be
+// identical however the indexes were restored.
+func searchProbe(t *testing.T, db *DB) []SearchHit {
+	t.Helper()
+	var hits []SearchHit
+	for _, q0 := range []float32{0.2, 3.6, 5.4, 8.9} {
+		query := make([]float32, 8)
+		query[0] = q0
+		h, err := db.VectorSearch([]string{"Post.content_emb"}, query, 5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits = append(hits, h...)
+	}
+	return hits
+}
+
+func TestOpenTakesIndexSnapshotFastPath(t *testing.T) {
+	dir, postIDs := checkpointedFixture(t)
+	db, err := Open(snapCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	st := db.Stats()
+	// The acceptance bar: after a checkpoint, reopening performs zero
+	// full segment index rebuilds.
+	if st.IndexRebuiltSegments != 0 {
+		t.Fatalf("restart rebuilt %d segment indexes, want 0", st.IndexRebuiltSegments)
+	}
+	if st.IndexSnapshotSegments != 2 {
+		t.Fatalf("restart loaded %d segment indexes, want 2", st.IndexSnapshotSegments)
+	}
+	checkFixture(t, db, postIDs)
+
+	// Post-checkpoint WAL deltas still overlay the loaded indexes.
+	if err := db.UpsertEmbedding("Post", "content_emb", postIDs[0], []float32{42, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	db2, err := Open(snapCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got, ok := db2.GetEmbedding("Post", "content_emb", postIDs[0]); !ok || got[0] != 42 {
+		t.Fatalf("post-checkpoint upsert lost across snapshot-path restart: %v, %v", got, ok)
+	}
+}
+
+// corruptIndexSnapshot locates the checkpoint's index snapshot file and
+// rewrites it through mutate.
+func corruptIndexSnapshot(t *testing.T, dir string, mutate func([]byte) []byte) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "checkpoint-*.index"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("index snapshot files = %v, %v", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(matches[0], mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptIndexSnapshotFallsBackToRebuild(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		// wantLoaded < 0 means "any split"; rebuilt must cover the rest.
+		wantLoaded int
+	}{
+		{"bitflip", func(d []byte) []byte {
+			// Inside the last segment's payload: the CRC check must confine
+			// the damage to that one segment.
+			d[len(d)-9] ^= 0x40
+			return d
+		}, 1},
+		{"truncated", func(d []byte) []byte { return d[:len(d)/2] }, -1},
+		{"version-bumped", func(d []byte) []byte {
+			d[4]++ // file-level format version: the whole file is rejected
+			return d
+		}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, postIDs := checkpointedFixture(t)
+
+			// Reference run first: a cold rebuild with the snapshot intact
+			// but ignored is today's recovery path.
+			corruptIndexSnapshot(t, dir, tc.mutate)
+			db, err := Open(snapCfg(dir))
+			if err != nil {
+				t.Fatalf("open with %s index snapshot: %v", tc.name, err)
+			}
+			st := db.Stats()
+			if st.IndexSnapshotSegments+st.IndexRebuiltSegments != 2 {
+				t.Fatalf("restored %d+%d segments, want 2 total", st.IndexSnapshotSegments, st.IndexRebuiltSegments)
+			}
+			if tc.wantLoaded >= 0 && st.IndexSnapshotSegments != int64(tc.wantLoaded) {
+				t.Fatalf("loaded %d segments from %s snapshot, want %d (rebuilt %d)",
+					st.IndexSnapshotSegments, tc.name, tc.wantLoaded, st.IndexRebuiltSegments)
+			}
+			checkFixture(t, db, postIDs)
+			gotHits := searchProbe(t, db)
+			db.Close()
+
+			// Cold rebuild: no index snapshot at all.
+			matches, _ := filepath.Glob(filepath.Join(dir, "checkpoint-*.index"))
+			for _, m := range matches {
+				os.Remove(m)
+			}
+			cold, err := Open(snapCfg(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cold.Close()
+			cst := cold.Stats()
+			if cst.IndexSnapshotSegments != 0 || cst.IndexRebuiltSegments != 2 {
+				t.Fatalf("cold restart = %d loaded / %d rebuilt, want 0/2", cst.IndexSnapshotSegments, cst.IndexRebuiltSegments)
+			}
+			coldHits := searchProbe(t, cold)
+			if len(gotHits) != len(coldHits) {
+				t.Fatalf("hit counts diverged: %d vs %d", len(gotHits), len(coldHits))
+			}
+			for i := range gotHits {
+				if gotHits[i] != coldHits[i] {
+					t.Fatalf("hit %d diverged from cold rebuild: %+v vs %+v", i, gotHits[i], coldHits[i])
+				}
+			}
+		})
+	}
+}

@@ -176,6 +176,20 @@ func (s *EmbeddingStore) InstallVectors(ids []uint64, vecs [][]float32) error {
 	return nil
 }
 
+// segmentItems lists one segment's live vectors as id-sorted index
+// update records.
+func segmentItems(base uint64, vecs [][]float32, live *storage.Bitmap) []IndexItem {
+	items := make([]IndexItem, 0, len(vecs))
+	for off, v := range vecs {
+		if v == nil || !live.Get(off) {
+			continue
+		}
+		items = append(items, IndexItem{ID: base + uint64(off), Vec: v})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+	return items
+}
+
 // BuildIndexes constructs every segment index from the installed vectors
 // with `threads` workers — the "index build" phase. asOf becomes the
 // watermark.
@@ -201,15 +215,7 @@ func (s *EmbeddingStore) BuildIndexes(threads int, asOf txn.TID) error {
 		go func(seg int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			base := uint64(seg) * uint64(s.segSize)
-			items := make([]IndexItem, 0, s.segSize)
-			for off, v := range segVecs[seg] {
-				if v == nil || !segLive[seg].Get(off) {
-					continue
-				}
-				items = append(items, IndexItem{ID: base + uint64(off), Vec: v})
-			}
-			sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+			items := segmentItems(uint64(seg)*uint64(s.segSize), segVecs[seg], segLive[seg])
 			if err := indexes[seg].ApplyUpdates(items, threads); err != nil {
 				errCh <- err
 			}

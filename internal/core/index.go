@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/hnsw"
@@ -11,9 +12,10 @@ import (
 
 // vecIndex is the index contract of paper Sec. 4.4: the four generic
 // functions (GetEmbedding lives on the embedding segments themselves)
-// plus the maintenance hooks the vacuum needs. HNSW and IVF-Flat both
-// satisfy it, demonstrating the paper's claim that decoupled embedding
-// storage makes additional index types easy to integrate.
+// plus the maintenance hooks the vacuum needs and the snapshot hooks the
+// checkpoint needs. HNSW and IVF-Flat both satisfy it, demonstrating the
+// paper's claim that decoupled embedding storage makes additional index
+// types easy to integrate.
 type vecIndex interface {
 	Add(id uint64, vec []float32) error
 	Delete(id uint64) bool
@@ -22,6 +24,12 @@ type vecIndex interface {
 	ApplyUpdates(items []IndexItem, threads int) error
 	DeletedFraction() float64
 	Rebuild(threads int) (vecIndex, error)
+	// Kind names the implementation ("HNSW", "IVF"); index snapshots
+	// record it so Load dispatches to the right decoder.
+	Kind() string
+	// Save serializes the index state; the package-level Load of the
+	// implementation (dispatched via loadIndex) restores it.
+	Save(w io.Writer) error
 }
 
 // IndexItem is one update record handed to an index implementation.
@@ -31,116 +39,151 @@ type IndexItem struct {
 	Delete bool
 }
 
+// Canonical index kind names, as stored in snapshots.
+const (
+	KindHNSW = "HNSW"
+	KindIVF  = "IVF"
+)
+
+// canonicalKind maps a schema INDEX option to its canonical kind name.
+func canonicalKind(kind string) string {
+	if k := strings.ToUpper(kind); k != "" {
+		return k
+	}
+	return KindHNSW
+}
+
+// vecResult constrains the structurally identical Result types the index
+// packages define, so one generic adapter can convert all of them.
+type vecResult interface {
+	~struct {
+		ID       uint64
+		Distance float32
+	}
+}
+
+// vecItem likewise constrains the structurally identical Item types.
+type vecItem interface {
+	~struct {
+		ID     uint64
+		Vec    []float32
+		Delete bool
+	}
+}
+
+// indexImpl is the method set shared verbatim by *hnsw.Graph and
+// *ivf.Index, parameterized over their own Result and Item types and the
+// concrete type Rebuild returns.
+type indexImpl[R vecResult, I vecItem, T any] interface {
+	Add(id uint64, vec []float32) error
+	Delete(id uint64) bool
+	TopKSearch(query []float32, k, ef int, filter func(uint64) bool) ([]R, error)
+	RangeSearch(query []float32, threshold float32, ef int, filter func(uint64) bool) ([]R, error)
+	UpdateItems(items []I, threads int) error
+	DeletedFraction() float64
+	Rebuild(threads int) (T, error)
+	Save(w io.Writer) error
+}
+
+// adapter bridges one concrete index implementation to vecIndex. The
+// per-implementation boilerplate reduces to a single instantiation in
+// newIndexFor/loadIndex; the type conversions are legal because the
+// Result and Item structs are field-for-field identical.
+type adapter[R vecResult, I vecItem, T indexImpl[R, I, T]] struct {
+	kind string
+	impl T
+}
+
+func (a adapter[R, I, T]) Kind() string                       { return a.kind }
+func (a adapter[R, I, T]) Add(id uint64, vec []float32) error { return a.impl.Add(id, vec) }
+func (a adapter[R, I, T]) Delete(id uint64) bool              { return a.impl.Delete(id) }
+func (a adapter[R, I, T]) DeletedFraction() float64           { return a.impl.DeletedFraction() }
+func (a adapter[R, I, T]) Save(w io.Writer) error             { return a.impl.Save(w) }
+
+func (a adapter[R, I, T]) TopKSearch(q []float32, k, ef int, filter func(uint64) bool) ([]Result, error) {
+	res, err := a.impl.TopKSearch(q, k, ef, filter)
+	if err != nil {
+		return nil, err
+	}
+	return convertResults(res), nil
+}
+
+func (a adapter[R, I, T]) RangeSearch(q []float32, threshold float32, ef int, filter func(uint64) bool) ([]Result, error) {
+	res, err := a.impl.RangeSearch(q, threshold, ef, filter)
+	if err != nil {
+		return nil, err
+	}
+	return convertResults(res), nil
+}
+
+func (a adapter[R, I, T]) ApplyUpdates(items []IndexItem, threads int) error {
+	conv := make([]I, len(items))
+	for i, it := range items {
+		conv[i] = I(it)
+	}
+	return a.impl.UpdateItems(conv, threads)
+}
+
+func (a adapter[R, I, T]) Rebuild(threads int) (vecIndex, error) {
+	nt, err := a.impl.Rebuild(threads)
+	if err != nil {
+		return nil, err
+	}
+	return adapter[R, I, T]{kind: a.kind, impl: nt}, nil
+}
+
+func convertResults[R vecResult](res []R) []Result {
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result(r)
+	}
+	return out
+}
+
 // newIndexFor constructs the index configured on the attribute.
 // Supported kinds: "HNSW" (default) and "IVF".
 func newIndexFor(kind string, dim int, metric vectormath.Metric, m, efc int, seed int64) (vecIndex, error) {
-	switch strings.ToUpper(kind) {
-	case "", "HNSW":
+	switch canonicalKind(kind) {
+	case KindHNSW:
 		g, err := hnsw.New(hnsw.Config{Dim: dim, Metric: metric, M: m, EfConstruction: efc, Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		return hnswIndex{g}, nil
-	case "IVF":
+		return adapter[hnsw.Result, hnsw.Item, *hnsw.Graph]{kind: KindHNSW, impl: g}, nil
+	case KindIVF:
 		x, err := ivf.New(ivf.Config{Dim: dim, Metric: metric, Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		return ivfIndex{x}, nil
+		return adapter[ivf.Result, ivf.Item, *ivf.Index]{kind: KindIVF, impl: x}, nil
 	}
 	return nil, fmt.Errorf("core: unsupported index type %q (want HNSW or IVF)", kind)
 }
 
-type hnswIndex struct{ g *hnsw.Graph }
-
-func (h hnswIndex) Add(id uint64, vec []float32) error { return h.g.Add(id, vec) }
-func (h hnswIndex) Delete(id uint64) bool              { return h.g.Delete(id) }
-
-func (h hnswIndex) TopKSearch(q []float32, k, ef int, filter func(uint64) bool) ([]Result, error) {
-	res, err := h.g.TopKSearch(q, k, ef, filter)
-	if err != nil {
-		return nil, err
+// loadIndex decodes one serialized segment index of the given kind and
+// validates it against the attribute's configuration; a snapshot that
+// disagrees with the catalog (dim or metric drift) is rejected so the
+// caller falls back to a rebuild.
+func loadIndex(kind string, r io.Reader, dim int, metric vectormath.Metric) (vecIndex, error) {
+	switch kind {
+	case KindHNSW:
+		g, err := hnsw.Load(r)
+		if err != nil {
+			return nil, err
+		}
+		if c := g.Config(); c.Dim != dim || c.Metric != metric {
+			return nil, fmt.Errorf("core: hnsw snapshot is dim %d/metric %d, attribute wants %d/%d", c.Dim, c.Metric, dim, metric)
+		}
+		return adapter[hnsw.Result, hnsw.Item, *hnsw.Graph]{kind: KindHNSW, impl: g}, nil
+	case KindIVF:
+		x, err := ivf.Load(r)
+		if err != nil {
+			return nil, err
+		}
+		if c := x.Config(); c.Dim != dim || c.Metric != metric {
+			return nil, fmt.Errorf("core: ivf snapshot is dim %d/metric %d, attribute wants %d/%d", c.Dim, c.Metric, dim, metric)
+		}
+		return adapter[ivf.Result, ivf.Item, *ivf.Index]{kind: KindIVF, impl: x}, nil
 	}
-	out := make([]Result, len(res))
-	for i, r := range res {
-		out[i] = Result{ID: r.ID, Distance: r.Distance}
-	}
-	return out, nil
-}
-
-func (h hnswIndex) RangeSearch(q []float32, threshold float32, ef int, filter func(uint64) bool) ([]Result, error) {
-	res, err := h.g.RangeSearch(q, threshold, ef, filter)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Result, len(res))
-	for i, r := range res {
-		out[i] = Result{ID: r.ID, Distance: r.Distance}
-	}
-	return out, nil
-}
-
-func (h hnswIndex) ApplyUpdates(items []IndexItem, threads int) error {
-	conv := make([]hnsw.Item, len(items))
-	for i, it := range items {
-		conv[i] = hnsw.Item{ID: it.ID, Vec: it.Vec, Delete: it.Delete}
-	}
-	return h.g.UpdateItems(conv, threads)
-}
-
-func (h hnswIndex) DeletedFraction() float64 { return h.g.DeletedFraction() }
-
-func (h hnswIndex) Rebuild(threads int) (vecIndex, error) {
-	ng, err := h.g.Rebuild(threads)
-	if err != nil {
-		return nil, err
-	}
-	return hnswIndex{ng}, nil
-}
-
-type ivfIndex struct{ x *ivf.Index }
-
-func (v ivfIndex) Add(id uint64, vec []float32) error { return v.x.Add(id, vec) }
-func (v ivfIndex) Delete(id uint64) bool              { return v.x.Delete(id) }
-
-func (v ivfIndex) TopKSearch(q []float32, k, ef int, filter func(uint64) bool) ([]Result, error) {
-	res, err := v.x.TopKSearch(q, k, ef, filter)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Result, len(res))
-	for i, r := range res {
-		out[i] = Result{ID: r.ID, Distance: r.Distance}
-	}
-	return out, nil
-}
-
-func (v ivfIndex) RangeSearch(q []float32, threshold float32, ef int, filter func(uint64) bool) ([]Result, error) {
-	res, err := v.x.RangeSearch(q, threshold, ef, filter)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Result, len(res))
-	for i, r := range res {
-		out[i] = Result{ID: r.ID, Distance: r.Distance}
-	}
-	return out, nil
-}
-
-func (v ivfIndex) ApplyUpdates(items []IndexItem, threads int) error {
-	conv := make([]ivf.Item, len(items))
-	for i, it := range items {
-		conv[i] = ivf.Item{ID: it.ID, Vec: it.Vec, Delete: it.Delete}
-	}
-	return v.x.UpdateItems(conv, threads)
-}
-
-func (v ivfIndex) DeletedFraction() float64 { return v.x.DeletedFraction() }
-
-func (v ivfIndex) Rebuild(threads int) (vecIndex, error) {
-	nx, err := v.x.Rebuild(threads)
-	if err != nil {
-		return nil, err
-	}
-	return ivfIndex{nx}, nil
+	return nil, fmt.Errorf("core: unknown index kind %q in snapshot", kind)
 }

@@ -1,18 +1,33 @@
 package core
 
 // This file implements the embedding half of checkpointing. A store
-// snapshot is the *net* vector state visible at the checkpoint TID: the
-// merged embedding segments (complete up to the store watermark) overlaid
-// with every residual delta in (watermark, upTo] still sitting in the
-// delta files or the in-memory delta store. Restoring installs the
-// vectors and rebuilds the per-segment indexes from them, so indexes are
-// never serialized; recovery time is index-build time plus WAL replay,
-// with WAL replay bounded by the post-checkpoint delta volume.
+// snapshot has two artifacts:
+//
+//   - The vector snapshot: the *net* vector state visible at the
+//     checkpoint TID — the merged embedding segments (complete up to the
+//     store watermark) overlaid with every residual delta in
+//     (watermark, upTo] still sitting in the delta files or the
+//     in-memory delta store.
+//
+//   - The index snapshot: every per-segment index serialized as an
+//     opaque, CRC-framed payload (kind-tagged so HNSW and IVF dispatch
+//     to their own decoders), preceded by the residual deltas the
+//     indexes have not merged yet.
+//
+// Restoring installs the vectors, then restores each segment index from
+// its snapshot frame in parallel and replays the residual deltas into
+// it; any segment whose frame is missing, truncated, bit-flipped or
+// version-mismatched falls back — for that segment only — to rebuilding
+// from the installed vectors, which is also the whole-store path when no
+// index snapshot exists at all. Recovery time on the fast path is
+// deserialization plus residual replay, not an index build.
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"runtime"
@@ -24,7 +39,35 @@ import (
 const (
 	embedSnapMagic   = uint32(0x54475645) // "TGVE"
 	embedSnapVersion = uint32(1)
+
+	indexSnapMagic   = uint32(0x54475658) // "TGVX"
+	indexSnapVersion = uint32(1)
+
+	// Bounds for count and length fields read back from disk: corrupt
+	// values must fail (or degrade to a rebuild) instead of allocating
+	// gigabytes. Mirrors the WAL's read-side checks.
+	maxSnapSegments    = 1 << 24
+	maxSnapKindLen     = 64
+	maxSnapPayloadLen  = int64(1) << 40
+	maxSnapKeyLen      = 1 << 20
+	maxSnapResidualLen = 1 << 31
 )
+
+// residualNet returns the per-id net residual delta state in
+// (watermark, upTo]: flushed delta files overlaid with the in-memory
+// store, later TIDs winning.
+func (s *EmbeddingStore) residualNet(watermark, upTo txn.TID) (map[uint64]txn.VectorDelta, error) {
+	resid, err := s.files.ReadRange(watermark, upTo)
+	if err != nil {
+		return nil, err
+	}
+	resid = append(resid, s.deltas.Visible(watermark, upTo)...)
+	overlay := make(map[uint64]txn.VectorDelta, len(resid))
+	for _, d := range resid {
+		overlay[d.ID] = d // later records win: resid is TID-ordered
+	}
+	return overlay, nil
+}
 
 // WriteSnapshot encodes the vector state visible at upTo. The caller must
 // ensure no commits and no vacuum passes run concurrently (the DB holds
@@ -37,17 +80,9 @@ func (s *EmbeddingStore) WriteSnapshot(w io.Writer, upTo txn.TID) error {
 	segLive := s.segLive[:len(s.segLive):len(s.segLive)]
 	s.mu.RUnlock()
 
-	// Residual deltas not yet merged into the segments, in TID order:
-	// flushed delta files first, then the in-memory store (which only
-	// holds newer TIDs than any file).
-	resid, err := s.files.ReadRange(watermark, upTo)
+	overlay, err := s.residualNet(watermark, upTo)
 	if err != nil {
 		return err
-	}
-	resid = append(resid, s.deltas.Visible(watermark, upTo)...)
-	overlay := make(map[uint64]txn.VectorDelta, len(resid))
-	for _, d := range resid {
-		overlay[d.ID] = d // later records win: resid is TID-ordered
 	}
 
 	type entry struct {
@@ -107,26 +142,25 @@ func (s *EmbeddingStore) WriteSnapshot(w io.Writer, upTo txn.TID) error {
 	return bw.Flush()
 }
 
-// LoadSnapshot restores a snapshot written by WriteSnapshot into this
-// (empty) store and rebuilds the per-segment indexes with `threads`
-// workers. The snapshot TID becomes the watermark. It reads exactly the
-// snapshot's bytes and never buffers ahead, so several store snapshots
-// can share one stream; pass an already-buffered reader for speed.
-func (s *EmbeddingStore) LoadSnapshot(r io.Reader, threads int) error {
-	br := r
+// LoadSnapshotVectors restores the raw vectors of a snapshot written by
+// WriteSnapshot into this (empty) store without touching the indexes,
+// and returns the snapshot TID. It reads exactly the snapshot's bytes
+// and never buffers ahead, so several store snapshots can share one
+// stream; pass an already-buffered reader for speed.
+func (s *EmbeddingStore) LoadSnapshotVectors(r io.Reader) (txn.TID, error) {
 	var hdr [24]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return fmt.Errorf("core: snapshot header: %w", err)
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("core: snapshot header: %w", err)
 	}
 	if m := binary.LittleEndian.Uint32(hdr[0:]); m != embedSnapMagic {
-		return fmt.Errorf("core: snapshot: bad magic %#x", m)
+		return 0, fmt.Errorf("core: snapshot: bad magic %#x", m)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != embedSnapVersion {
-		return fmt.Errorf("core: snapshot: unsupported version %d", v)
+		return 0, fmt.Errorf("core: snapshot: unsupported version %d", v)
 	}
 	dim := int(binary.LittleEndian.Uint32(hdr[8:]))
 	if dim != s.Attr.Dim {
-		return fmt.Errorf("core: snapshot dim %d does not match %s (dim %d)", dim, s.Key, s.Attr.Dim)
+		return 0, fmt.Errorf("core: snapshot dim %d does not match %s (dim %d)", dim, s.Key, s.Attr.Dim)
 	}
 	upTo := txn.TID(binary.LittleEndian.Uint64(hdr[12:]))
 	n := int(binary.LittleEndian.Uint32(hdr[20:]))
@@ -140,23 +174,328 @@ func (s *EmbeddingStore) LoadSnapshot(r io.Reader, threads int) error {
 	vecs := make([][]float32, 0, hint)
 	var scratch [8]byte
 	for i := 0; i < n; i++ {
-		if _, err := io.ReadFull(br, scratch[:]); err != nil {
-			return fmt.Errorf("core: snapshot entry %d: %w", i, err)
+		if _, err := io.ReadFull(r, scratch[:]); err != nil {
+			return 0, fmt.Errorf("core: snapshot entry %d: %w", i, err)
 		}
 		ids = append(ids, binary.LittleEndian.Uint64(scratch[:]))
 		vec := make([]float32, dim)
 		for j := range vec {
-			if _, err := io.ReadFull(br, scratch[:4]); err != nil {
-				return fmt.Errorf("core: snapshot entry %d: %w", i, err)
+			if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+				return 0, fmt.Errorf("core: snapshot entry %d: %w", i, err)
 			}
 			vec[j] = math.Float32frombits(binary.LittleEndian.Uint32(scratch[:4]))
 		}
 		vecs = append(vecs, vec)
 	}
 	if err := s.InstallVectors(ids, vecs); err != nil {
+		return 0, err
+	}
+	return upTo, nil
+}
+
+// WriteIndexSnapshot serializes the store's index state at upTo: first
+// the residual deltas the indexes have not merged (net per id, id
+// order, as one CRC-framed block), then every segment index as a
+// kind-tagged, CRC-framed opaque payload. Same concurrency contract as
+// WriteSnapshot.
+func (s *EmbeddingStore) WriteIndexSnapshot(w io.Writer, upTo txn.TID) error {
+	s.mu.RLock()
+	watermark := s.watermark
+	indexes := make([]vecIndex, len(s.indexes))
+	copy(indexes, s.indexes)
+	s.mu.RUnlock()
+
+	overlay, err := s.residualNet(watermark, upTo)
+	if err != nil {
 		return err
 	}
-	return s.BuildIndexes(threads, upTo)
+	resid := make([]txn.VectorDelta, 0, len(overlay))
+	for _, d := range overlay {
+		resid = append(resid, d)
+	}
+	sort.Slice(resid, func(i, j int) bool { return resid[i].ID < resid[j].ID })
+
+	// The residual block carries its own CRC: these records are replayed
+	// verbatim into snapshot-loaded indexes, so a bit flip here must be
+	// detected (and degrade to a rebuild), not silently served.
+	var residBuf bytes.Buffer
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(resid)))
+	residBuf.Write(scratch[:4])
+	for _, d := range resid {
+		binary.LittleEndian.PutUint64(scratch[:], d.ID)
+		residBuf.Write(scratch[:])
+		if d.Action == txn.Delete {
+			residBuf.WriteByte(1)
+			continue
+		}
+		residBuf.WriteByte(0)
+		if len(d.Vec) != s.Attr.Dim {
+			return fmt.Errorf("core: index snapshot %s: residual %d has dim %d, want %d", s.Key, d.ID, len(d.Vec), s.Attr.Dim)
+		}
+		for _, f := range d.Vec {
+			binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(f))
+			residBuf.Write(scratch[:4])
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	binary.LittleEndian.PutUint32(scratch[:4], crc32.ChecksumIEEE(residBuf.Bytes()))
+	binary.LittleEndian.PutUint32(scratch[4:8], uint32(residBuf.Len()))
+	if _, err := bw.Write(scratch[:8]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(residBuf.Bytes()); err != nil {
+		return err
+	}
+
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(indexes)))
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	for seg, idx := range indexes {
+		payload.Reset()
+		if err := idx.Save(&payload); err != nil {
+			return fmt.Errorf("core: index snapshot %s segment %d: %w", s.Key, seg, err)
+		}
+		kind := idx.Kind()
+		if err := bw.WriteByte(byte(len(kind))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(kind); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(scratch[:4], crc32.ChecksumIEEE(payload.Bytes()))
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(scratch[:], uint64(payload.Len()))
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(payload.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// indexFrame is one segment's framed index payload as read back from an
+// index snapshot. ok means the frame passed its CRC and kind checks and
+// may be handed to loadIndex.
+type indexFrame struct {
+	kind    string
+	payload []byte
+	ok      bool
+}
+
+// readIndexFrames decodes a store's index snapshot section. Frames that
+// fail their CRC or carry the wrong kind come back with ok=false; a
+// stream-level read error stops the scan, leaving the remaining frames
+// absent, and is reported via residOK/frames only — the caller treats
+// both as per-segment rebuild work, never as a fatal error.
+func (s *EmbeddingStore) readIndexFrames(r io.Reader) (resid []txn.VectorDelta, residOK bool, frames []indexFrame) {
+	wantKind := canonicalKind(s.Attr.Index)
+	var scratch [8]byte
+	if _, err := io.ReadFull(r, scratch[:8]); err != nil {
+		return nil, false, nil
+	}
+	crc := binary.LittleEndian.Uint32(scratch[:4])
+	nbytes := int64(binary.LittleEndian.Uint32(scratch[4:8]))
+	if nbytes > maxSnapResidualLen {
+		return nil, false, nil
+	}
+	residRaw := make([]byte, 0, min(nbytes, 1<<20))
+	rbuf := bytes.NewBuffer(residRaw)
+	if _, err := io.CopyN(rbuf, r, nbytes); err != nil {
+		return nil, false, nil
+	}
+	if crc32.ChecksumIEEE(rbuf.Bytes()) != crc {
+		// Residuals are replayed into loaded indexes verbatim; damage
+		// here means no loaded index could be trusted at asOf.
+		return nil, false, nil
+	}
+	rr := bytes.NewReader(rbuf.Bytes())
+	if _, err := io.ReadFull(rr, scratch[:4]); err != nil {
+		return nil, false, nil
+	}
+	n := int(binary.LittleEndian.Uint32(scratch[:4]))
+	hint := n
+	if hint > 65536 {
+		hint = 65536
+	}
+	resid = make([]txn.VectorDelta, 0, hint)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(rr, scratch[:]); err != nil {
+			return nil, false, nil
+		}
+		id := binary.LittleEndian.Uint64(scratch[:])
+		if _, err := io.ReadFull(rr, scratch[:1]); err != nil {
+			return nil, false, nil
+		}
+		if scratch[0] == 1 {
+			resid = append(resid, txn.VectorDelta{Action: txn.Delete, ID: id})
+			continue
+		}
+		vec := make([]float32, s.Attr.Dim)
+		for j := range vec {
+			if _, err := io.ReadFull(rr, scratch[:4]); err != nil {
+				return nil, false, nil
+			}
+			vec[j] = math.Float32frombits(binary.LittleEndian.Uint32(scratch[:4]))
+		}
+		resid = append(resid, txn.VectorDelta{Action: txn.Upsert, ID: id, Vec: vec})
+	}
+
+	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+		return resid, true, nil
+	}
+	segCount := int(binary.LittleEndian.Uint32(scratch[:4]))
+	if segCount > maxSnapSegments {
+		return resid, true, nil
+	}
+	for i := 0; i < segCount; i++ {
+		if _, err := io.ReadFull(r, scratch[:1]); err != nil {
+			return resid, true, frames
+		}
+		kl := int(scratch[0])
+		if kl == 0 || kl > maxSnapKindLen {
+			return resid, true, frames
+		}
+		kind := make([]byte, kl)
+		if _, err := io.ReadFull(r, kind); err != nil {
+			return resid, true, frames
+		}
+		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+			return resid, true, frames
+		}
+		crc := binary.LittleEndian.Uint32(scratch[:4])
+		if _, err := io.ReadFull(r, scratch[:]); err != nil {
+			return resid, true, frames
+		}
+		plen := int64(binary.LittleEndian.Uint64(scratch[:]))
+		if plen < 0 || plen > maxSnapPayloadLen {
+			return resid, true, frames
+		}
+		payload := make([]byte, 0, min(plen, 1<<20))
+		buf := bytes.NewBuffer(payload)
+		if _, err := io.CopyN(buf, r, plen); err != nil {
+			return resid, true, frames
+		}
+		f := indexFrame{kind: string(kind), payload: buf.Bytes()}
+		f.ok = f.kind == wantKind && crc32.ChecksumIEEE(f.payload) == crc
+		frames = append(frames, f)
+	}
+	return resid, true, frames
+}
+
+// LoadIndexSnapshot restores the store's segment indexes from an index
+// snapshot section, decoding valid frames in parallel on the pool and
+// rebuilding — per segment — from the already-installed vectors wherever
+// a frame is missing or corrupt. Residual deltas are replayed into the
+// snapshot-loaded indexes (rebuilt segments see them through the
+// vectors). asOf becomes the watermark. The returned counts say how many
+// segments took each path.
+func (s *EmbeddingStore) LoadIndexSnapshot(r io.Reader, pool *Pool, threads int, asOf txn.TID) (loaded, rebuilt int, err error) {
+	resid, residOK, frames := s.readIndexFrames(r)
+	if !residOK {
+		// Without the residual section the snapshot-loaded indexes could
+		// not be brought up to asOf; rebuild everything from vectors.
+		frames = nil
+	}
+	return s.installIndexes(frames, resid, pool, threads, asOf)
+}
+
+// installIndexes decodes/rebuilds every segment index and publishes the
+// result; see LoadIndexSnapshot.
+func (s *EmbeddingStore) installIndexes(frames []indexFrame, resid []txn.VectorDelta, pool *Pool, threads int, asOf txn.TID) (loaded, rebuilt int, err error) {
+	s.mu.RLock()
+	nSegs := len(s.indexes)
+	segVecs := make([][][]float32, nSegs)
+	copy(segVecs, s.segVecs)
+	segLive := s.segLive[:nSegs:nSegs]
+	s.mu.RUnlock()
+
+	if pool == nil {
+		pool = NewPool(threads)
+		defer pool.Close()
+	}
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	results := make([]vecIndex, nSegs)
+	fromSnap := make([]bool, nSegs)
+	errs := make([]error, nSegs)
+	if derr := pool.Do(nSegs, func(seg int) {
+		if seg < len(frames) && frames[seg].ok {
+			idx, lerr := loadIndex(frames[seg].kind, bytes.NewReader(frames[seg].payload), s.Attr.Dim, s.Attr.Metric)
+			if lerr == nil {
+				results[seg], fromSnap[seg] = idx, true
+				return
+			}
+		}
+		idx, berr := s.newSegmentIndex()
+		if berr != nil {
+			errs[seg] = berr
+			return
+		}
+		if berr := idx.ApplyUpdates(segmentItems(uint64(seg)*uint64(s.segSize), segVecs[seg], segLive[seg]), threads); berr != nil {
+			errs[seg] = berr
+			return
+		}
+		results[seg] = idx
+	}); derr != nil {
+		return 0, 0, derr
+	}
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, e
+		}
+	}
+
+	// Replay the residual deltas into the snapshot-loaded segments; the
+	// rebuilt ones were constructed from vectors that already contain
+	// them.
+	bySeg := map[int][]IndexItem{}
+	for _, d := range resid {
+		seg := s.segmentOf(d.ID)
+		if seg < nSegs && fromSnap[seg] {
+			bySeg[seg] = append(bySeg[seg], IndexItem{ID: d.ID, Vec: d.Vec, Delete: d.Action == txn.Delete})
+		}
+	}
+	for seg, items := range bySeg {
+		if aerr := results[seg].ApplyUpdates(items, threads); aerr != nil {
+			return 0, 0, aerr
+		}
+	}
+
+	s.mu.Lock()
+	copy(s.indexes, results)
+	if asOf > s.watermark {
+		s.watermark = asOf
+	}
+	if s.watermark > s.flushed {
+		s.flushed = s.watermark
+	}
+	s.mu.Unlock()
+	for _, ok := range fromSnap {
+		if ok {
+			loaded++
+		} else {
+			rebuilt++
+		}
+	}
+	return loaded, rebuilt, nil
+}
+
+// newSegmentIndex constructs a fresh, empty index with the store's
+// configured kind and parameters.
+func (s *EmbeddingStore) newSegmentIndex() (vecIndex, error) {
+	s.mu.RLock()
+	m, efc := s.hnswM, s.hnswEfc
+	s.mu.RUnlock()
+	return newIndexFor(s.Attr.Index, s.Attr.Dim, s.Attr.Metric, m, efc, s.seed)
 }
 
 // WriteSnapshot encodes every registered store's vector state at upTo
@@ -185,36 +524,178 @@ func (s *Service) WriteSnapshot(w io.Writer, upTo txn.TID) error {
 	return bw.Flush()
 }
 
-// LoadSnapshot restores a Service-level snapshot. Every store named in
-// the stream must already be registered (catalog replay precedes data
-// restore) and empty.
-func (s *Service) LoadSnapshot(r io.Reader) error {
+// LoadSnapshotVectors restores the raw vectors of a Service-level
+// snapshot without building any indexes, and returns the snapshot TID.
+// Every store named in the stream must already be registered (catalog
+// replay precedes data restore) and empty.
+func (s *Service) LoadSnapshotVectors(r io.Reader) (txn.TID, error) {
 	br := bufio.NewReader(r)
 	var scratch [4]byte
 	if _, err := io.ReadFull(br, scratch[:]); err != nil {
-		return fmt.Errorf("core: snapshot: %w", err)
+		return 0, fmt.Errorf("core: snapshot: %w", err)
 	}
 	n := binary.LittleEndian.Uint32(scratch[:])
-	threads := runtime.GOMAXPROCS(0)
+	var upTo txn.TID
 	for i := uint32(0); i < n; i++ {
 		if _, err := io.ReadFull(br, scratch[:]); err != nil {
-			return err
+			return 0, err
 		}
 		klen := binary.LittleEndian.Uint32(scratch[:])
-		if klen > 1<<20 {
-			return fmt.Errorf("core: snapshot: store key length %d implausible", klen)
+		if klen > maxSnapKeyLen {
+			return 0, fmt.Errorf("core: snapshot: store key length %d implausible", klen)
 		}
 		key := make([]byte, klen)
 		if _, err := io.ReadFull(br, key); err != nil {
-			return err
+			return 0, err
 		}
 		st, ok := s.Store(string(key))
 		if !ok {
-			return fmt.Errorf("core: snapshot names store %q missing from catalog", key)
+			return 0, fmt.Errorf("core: snapshot names store %q missing from catalog", key)
 		}
-		if err := st.LoadSnapshot(br, threads); err != nil {
-			return fmt.Errorf("core: snapshot store %s: %w", key, err)
+		tid, err := st.LoadSnapshotVectors(br)
+		if err != nil {
+			return 0, fmt.Errorf("core: snapshot store %s: %w", key, err)
+		}
+		if tid > upTo {
+			upTo = tid
 		}
 	}
-	return nil
+	return upTo, nil
+}
+
+// BuildAllIndexes rebuilds every store's segment indexes from installed
+// vectors and returns the number of segments built.
+func (s *Service) BuildAllIndexes(threads int, asOf txn.TID) (int, error) {
+	segments := 0
+	for _, st := range s.Stores() {
+		if err := st.BuildIndexes(threads, asOf); err != nil {
+			return segments, fmt.Errorf("core: build indexes %s: %w", st.Key, err)
+		}
+		segments += st.NumSegments()
+	}
+	return segments, nil
+}
+
+// WriteIndexSnapshot serializes every store's index snapshot section
+// into one stream. Store sections are length-framed so a reader can skip
+// a section it cannot use (unknown store) or confine corruption to it.
+func (s *Service) WriteIndexSnapshot(w io.Writer, upTo txn.TID) error {
+	stores := s.Stores()
+	sort.Slice(stores, func(i, j int) bool { return stores[i].Key < stores[j].Key })
+	bw := bufio.NewWriter(w)
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], indexSnapMagic)
+	binary.LittleEndian.PutUint32(scratch[4:8], indexSnapVersion)
+	if _, err := bw.Write(scratch[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(stores)))
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return err
+	}
+	var section bytes.Buffer
+	for _, st := range stores {
+		section.Reset()
+		if err := st.WriteIndexSnapshot(&section, upTo); err != nil {
+			return fmt.Errorf("core: index snapshot store %s: %w", st.Key, err)
+		}
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(st.Key)))
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(st.Key); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(scratch[:], uint64(section.Len()))
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(section.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadIndexSnapshots restores every store's segment indexes from a
+// stream written by WriteIndexSnapshot, loading valid snapshots in
+// parallel on the pool and rebuilding the rest from the already-restored
+// vectors. All degradation is per store section or per segment; an error
+// is returned only when a rebuild itself fails. Vectors must be loaded
+// (LoadSnapshotVectors) first.
+func (s *Service) LoadIndexSnapshots(r io.Reader, pool *Pool, threads int, asOf txn.TID) (loaded, rebuilt int, err error) {
+	br := bufio.NewReader(r)
+	restored := make(map[string]bool)
+	var scratch [8]byte
+	header := func() bool {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return false
+		}
+		if binary.LittleEndian.Uint32(scratch[:4]) != indexSnapMagic {
+			return false
+		}
+		if binary.LittleEndian.Uint32(scratch[4:8]) != indexSnapVersion {
+			return false
+		}
+		return true
+	}
+	if header() {
+		var storeCount uint32
+		if _, err := io.ReadFull(br, scratch[:4]); err == nil {
+			storeCount = binary.LittleEndian.Uint32(scratch[:4])
+		}
+		for i := uint32(0); i < storeCount; i++ {
+			if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+				break
+			}
+			klen := binary.LittleEndian.Uint32(scratch[:4])
+			if klen > maxSnapKeyLen {
+				break
+			}
+			key := make([]byte, klen)
+			if _, err := io.ReadFull(br, key); err != nil {
+				break
+			}
+			if _, err := io.ReadFull(br, scratch[:]); err != nil {
+				break
+			}
+			slen := int64(binary.LittleEndian.Uint64(scratch[:]))
+			if slen < 0 || slen > maxSnapPayloadLen {
+				break
+			}
+			section := io.LimitReader(br, slen)
+			st, ok := s.Store(string(key))
+			if !ok {
+				// A store the catalog no longer names; skip its section.
+				if _, err := io.Copy(io.Discard, section); err != nil {
+					break
+				}
+				continue
+			}
+			l, rb, lerr := st.LoadIndexSnapshot(section, pool, threads, asOf)
+			if lerr != nil {
+				return loaded, rebuilt, lerr
+			}
+			loaded += l
+			rebuilt += rb
+			restored[string(key)] = true
+			// Drain whatever the store reader left (e.g. after confining a
+			// parse error) so the next section starts aligned.
+			if _, err := io.Copy(io.Discard, section); err != nil {
+				break
+			}
+		}
+	}
+	// Stores without a usable section — not named in the file, behind a
+	// corrupt region, or the whole file was version-mismatched — rebuild.
+	for _, st := range s.Stores() {
+		if restored[st.Key] {
+			continue
+		}
+		if err := st.BuildIndexes(threads, asOf); err != nil {
+			return loaded, rebuilt, fmt.Errorf("core: build indexes %s: %w", st.Key, err)
+		}
+		rebuilt += st.NumSegments()
+	}
+	return loaded, rebuilt, nil
 }

@@ -46,7 +46,11 @@ func TestEmbeddingSnapshotRoundTrip(t *testing.T) {
 	}
 
 	svc2, st2 := persistFixture(t, t.TempDir())
-	if err := svc2.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+	upTo, err := svc2.LoadSnapshotVectors(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc2.BuildAllIndexes(2, upTo); err != nil {
 		t.Fatal(err)
 	}
 	if got := st2.Watermark(); got != 14 {
@@ -79,7 +83,158 @@ func TestEmbeddingSnapshotRoundTrip(t *testing.T) {
 
 func TestEmbeddingSnapshotRejectsGarbage(t *testing.T) {
 	_, st := persistFixture(t, t.TempDir())
-	if err := st.LoadSnapshot(bytes.NewReader([]byte("not a snapshot, definitely")), 1); err == nil {
+	if _, err := st.LoadSnapshotVectors(bytes.NewReader([]byte("not a snapshot, definitely"))); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+func TestIndexSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	_, st := persistFixture(t, dir)
+	ids := []uint64{0, 1, 2, 5, 9} // spans three 4-wide segments
+	vecs := [][]float32{{0, 0}, {1, 0}, {2, 0}, {5, 0}, {9, 0}}
+	if err := st.BulkLoad(ids, vecs, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Residual deltas the indexes have not merged: an upsert overwrite, a
+	// delete, and an id past the last indexed segment.
+	st.AppendDelta(txn.VectorDelta{Action: txn.Delete, ID: 1, TID: 12})
+	st.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 2, TID: 13, Vec: []float32{2, 2}})
+	st.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 14, TID: 14, Vec: []float32{14, 0}})
+
+	var vbuf, xbuf bytes.Buffer
+	if err := st.WriteSnapshot(&vbuf, 14); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteIndexSnapshot(&xbuf, 14); err != nil {
+		t.Fatal(err)
+	}
+
+	_, st2 := persistFixture(t, t.TempDir())
+	upTo, err := st2.LoadSnapshotVectors(&vbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upTo != 14 {
+		t.Fatalf("snapshot tid = %d", upTo)
+	}
+	loaded, rebuilt, err := st2.LoadIndexSnapshot(&xbuf, nil, 2, upTo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segments 0-2 had snapshots; id 14's segment appeared only via the
+	// residual overlay, so it is built from vectors.
+	if loaded != 3 || rebuilt != 1 {
+		t.Fatalf("loaded/rebuilt = %d/%d, want 3/1", loaded, rebuilt)
+	}
+	if got := st2.Watermark(); got != 14 {
+		t.Fatalf("watermark = %d", got)
+	}
+	// Residual replay reached the loaded indexes: the upsert wins, the
+	// delete sticks, the tail id is searchable.
+	for _, tc := range []struct {
+		q    []float32
+		want uint64
+	}{{[]float32{2, 2}, 2}, {[]float32{14, 0}, 14}, {[]float32{5, 0}, 5}} {
+		res, err := st2.Search(14, tc.q, 1, 16, nil, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || res[0].ID != tc.want || res[0].Distance != 0 {
+			t.Fatalf("search %v = %+v, want id %d", tc.q, res, tc.want)
+		}
+	}
+	res, err := st2.Search(14, []float32{1, 0}, 1, 16, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 1 && res[0].ID == 1 {
+		t.Fatal("deleted vector served from loaded index")
+	}
+}
+
+func TestIndexSnapshotCorruptFrameRebuildsSegment(t *testing.T) {
+	dir := t.TempDir()
+	svc, st := persistFixture(t, dir)
+	ids := []uint64{0, 1, 5, 9}
+	vecs := [][]float32{{0, 0}, {1, 0}, {5, 0}, {9, 0}}
+	if err := st.BulkLoad(ids, vecs, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	var vbuf, xbuf bytes.Buffer
+	if err := svc.WriteSnapshot(&vbuf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.WriteIndexSnapshot(&xbuf, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte near the end of the stream: inside the last segment's
+	// payload, whose CRC check must confine the damage to that segment.
+	data := append([]byte{}, xbuf.Bytes()...)
+	data[len(data)-9] ^= 0x40
+
+	svc2, st2 := persistFixture(t, t.TempDir())
+	if _, err := svc2.LoadSnapshotVectors(bytes.NewReader(vbuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	loaded, rebuilt, err := svc2.LoadIndexSnapshots(bytes.NewReader(data), nil, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 2 || rebuilt != 1 {
+		t.Fatalf("loaded/rebuilt = %d/%d, want 2/1", loaded, rebuilt)
+	}
+	for _, id := range ids {
+		res, err := st2.Search(10, []float32{float32(id), 0}, 1, 16, nil, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || res[0].ID != id || res[0].Distance != 0 {
+			t.Fatalf("search for %d = %+v", id, res)
+		}
+	}
+}
+
+func TestIndexSnapshotCorruptResidualRebuildsStore(t *testing.T) {
+	// Residual deltas are replayed verbatim into snapshot-loaded indexes,
+	// so damage there must fail the CRC and degrade the WHOLE store to a
+	// vector rebuild — never be served.
+	dir := t.TempDir()
+	_, st := persistFixture(t, dir)
+	if err := st.BulkLoad([]uint64{0, 1, 5}, [][]float32{{0, 0}, {1, 0}, {5, 0}}, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	st.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 2, TID: 13, Vec: []float32{2, 2}})
+
+	var vbuf, xbuf bytes.Buffer
+	if err := st.WriteSnapshot(&vbuf, 13); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteIndexSnapshot(&xbuf, 13); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte{}, xbuf.Bytes()...)
+	data[8+5] ^= 0x01 // inside the CRC-framed residual block
+
+	_, st2 := persistFixture(t, t.TempDir())
+	upTo, err := st2.LoadSnapshotVectors(&vbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, rebuilt, err := st2.LoadIndexSnapshot(bytes.NewReader(data), nil, 2, upTo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 0 || rebuilt != st2.NumSegments() {
+		t.Fatalf("loaded/rebuilt = %d/%d, want 0/%d", loaded, rebuilt, st2.NumSegments())
+	}
+	// The rebuild came from the net vector snapshot, so the residual
+	// upsert is still served — correctly.
+	res, err := st2.Search(13, []float32{2, 2}, 1, 16, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 2 || res[0].Distance != 0 {
+		t.Fatalf("search after residual corruption = %+v", res)
 	}
 }

@@ -63,8 +63,10 @@ type Result struct {
 }
 
 // Filter reports whether an external ID may appear in search results.
-// A nil Filter admits everything.
-type Filter func(id uint64) bool
+// A nil Filter admits everything. It is an alias (not a defined type) so
+// the exported search methods share their exact signatures with other
+// index implementations behind one generic contract.
+type Filter = func(id uint64) bool
 
 // Stats accumulates search-side counters. The paper notes the index was
 // enhanced "to report relevant statistics for measuring its performance".
@@ -686,14 +688,25 @@ func (g *Graph) Rebuild(threads int) (*Graph, error) {
 	return ng, nil
 }
 
-const serialMagic = uint32(0x54475648) // "TGVH"
+const (
+	serialMagic   = uint32(0x54475648) // "TGVH"
+	serialVersion = uint32(1)
 
-// Save writes the index (live vectors only, topology rebuilt on Load is
-// avoided: links are persisted) to w in a compact binary format.
+	// Serialization bounds: a corrupt or bit-flipped count field must
+	// produce a decode error, not a multi-gigabyte allocation or an
+	// out-of-range link that panics the first search.
+	maxSerialDim   = 1 << 20
+	maxSerialNodes = 1 << 31
+	maxSerialLevel = 1 << 16
+)
+
+// Save writes the index — tombstones included, so a loaded graph is the
+// exact pre-save topology (links are persisted, not rebuilt) — to w in a
+// versioned binary format readable by Load.
 func (g *Graph) Save(w io.Writer) error {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	hdr := []any{serialMagic, uint32(g.cfg.Dim), uint32(g.cfg.M),
+	hdr := []any{serialMagic, serialVersion, uint32(g.cfg.Dim), uint32(g.cfg.M),
 		uint32(g.cfg.EfConstruction), uint32(g.cfg.Metric), uint64(g.cfg.Seed),
 		uint32(len(g.nodes)), uint32(g.entry), uint32(g.maxLevel), boolU32(g.hasEntry)}
 	for _, v := range hdr {
@@ -738,18 +751,36 @@ func boolU32(b bool) uint32 {
 	return 0
 }
 
-// Load reads an index written by Save.
+// Load reads an index written by Save. Every count and reference field
+// is bounds-checked before allocation so corrupt input fails with an
+// error instead of exhausting memory or planting out-of-range links that
+// would panic the first search.
 func Load(r io.Reader) (*Graph, error) {
-	var magic, dim, m, efc, metric uint32
+	var magic, version, dim, m, efc, metric uint32
 	var seed uint64
 	var numNodes, entry, maxLevel, hasEntry uint32
-	for _, p := range []any{&magic, &dim, &m, &efc, &metric, &seed, &numNodes, &entry, &maxLevel, &hasEntry} {
+	for _, p := range []any{&magic, &version, &dim, &m, &efc, &metric, &seed, &numNodes, &entry, &maxLevel, &hasEntry} {
 		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
 			return nil, fmt.Errorf("hnsw: corrupt header: %w", err)
 		}
 	}
 	if magic != serialMagic {
 		return nil, errors.New("hnsw: bad magic")
+	}
+	if version != serialVersion {
+		return nil, fmt.Errorf("hnsw: unsupported format version %d", version)
+	}
+	if dim > maxSerialDim {
+		return nil, fmt.Errorf("hnsw: dim %d implausible", dim)
+	}
+	if numNodes > maxSerialNodes {
+		return nil, fmt.Errorf("hnsw: node count %d implausible", numNodes)
+	}
+	if maxLevel > maxSerialLevel {
+		return nil, fmt.Errorf("hnsw: max level %d implausible", maxLevel)
+	}
+	if hasEntry == 1 && entry >= numNodes {
+		return nil, fmt.Errorf("hnsw: entry point %d out of range (%d nodes)", entry, numNodes)
 	}
 	g, err := New(Config{Dim: int(dim), M: int(m), EfConstruction: int(efc),
 		Metric: vectormath.Metric(metric), Seed: int64(seed)})
@@ -759,15 +790,24 @@ func Load(r io.Reader) (*Graph, error) {
 	g.entry = entry
 	g.maxLevel = int(maxLevel)
 	g.hasEntry = hasEntry == 1
-	g.nodes = make([]*node, numNodes)
-	for i := range g.nodes {
+	// Nodes are appended one at a time with a bounded pre-allocation, so
+	// a corrupt count hits EOF instead of allocating gigabytes up front.
+	hint := int(numNodes)
+	if hint > 65536 {
+		hint = 65536
+	}
+	g.nodes = make([]*node, 0, hint)
+	for i := uint32(0); i < numNodes; i++ {
 		n := &node{}
 		if err := binary.Read(r, binary.LittleEndian, &n.id); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("hnsw: node %d: %w", i, err)
 		}
 		var meta [2]uint32
 		if err := binary.Read(r, binary.LittleEndian, &meta); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("hnsw: node %d: %w", i, err)
+		}
+		if meta[0] > maxSerialLevel {
+			return nil, fmt.Errorf("hnsw: node %d level %d implausible", i, meta[0])
 		}
 		n.level = int(meta[0])
 		if meta[1] == 1 {
@@ -776,22 +816,32 @@ func Load(r io.Reader) (*Graph, error) {
 		}
 		n.vec = make([]float32, dim)
 		if err := binary.Read(r, binary.LittleEndian, n.vec); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("hnsw: node %d vector: %w", i, err)
 		}
 		n.links = make([][]uint32, n.level+1)
 		for l := 0; l <= n.level; l++ {
 			var ln uint32
 			if err := binary.Read(r, binary.LittleEndian, &ln); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("hnsw: node %d links: %w", i, err)
+			}
+			if ln > numNodes {
+				return nil, fmt.Errorf("hnsw: node %d has %d links on layer %d (%d nodes)", i, ln, l, numNodes)
 			}
 			n.links[l] = make([]uint32, ln)
 			if err := binary.Read(r, binary.LittleEndian, n.links[l]); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("hnsw: node %d links: %w", i, err)
+			}
+			for _, nb := range n.links[l] {
+				// greedyStep dereferences links without a range check, so
+				// a dangling reference must be rejected here.
+				if nb >= numNodes {
+					return nil, fmt.Errorf("hnsw: node %d links to %d, only %d nodes", i, nb, numNodes)
+				}
 			}
 		}
-		g.nodes[i] = n
+		g.nodes = append(g.nodes, n)
 		// Later nodes win for duplicate ids, matching Add's upsert order.
-		g.byID[n.id] = uint32(i)
+		g.byID[n.id] = i
 	}
 	return g, nil
 }

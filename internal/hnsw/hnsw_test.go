@@ -2,6 +2,7 @@ package hnsw
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -533,5 +534,33 @@ func BenchmarkTopKSearchEf64(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g.TopKSearch(q, 10, 64, nil)
+	}
+}
+
+func TestLoadRejectsCorruptHeaderAndLinks(t *testing.T) {
+	g, _ := buildRandom(t, 100, 8, vectormath.L2, 34)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Version bump: rejected, not misparsed.
+	data := append([]byte{}, good...)
+	data[4]++
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("Load accepted bumped version")
+	}
+
+	// Implausible node count: a bounded error, not a huge allocation.
+	data = append([]byte{}, good...)
+	binary.LittleEndian.PutUint32(data[32:], 0xFFFFFFFF)
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("Load accepted implausible node count")
+	}
+
+	// Truncation fails cleanly.
+	if _, err := Load(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Fatal("Load accepted truncated input")
 	}
 }

@@ -15,7 +15,10 @@
 package ivf
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"sync"
@@ -81,6 +84,9 @@ func New(cfg Config) (*Index, error) {
 		byID: make(map[uint64]*entry),
 	}, nil
 }
+
+// Config returns the configuration the index was built with.
+func (x *Index) Config() Config { return x.cfg }
 
 // Len returns the live vector count.
 func (x *Index) Len() int {
@@ -437,4 +443,153 @@ func (x *Index) Rebuild(threads int) (*Index, error) {
 	}
 	nx.Train()
 	return nx, nil
+}
+
+const (
+	serialMagic   = uint32(0x54475646) // "TGVF"
+	serialVersion = uint32(1)
+
+	// Serialization bounds: corrupt counts must fail the decode, not
+	// drive a multi-gigabyte allocation.
+	maxSerialDim       = 1 << 20
+	maxSerialCentroids = 1 << 24
+
+	// noList marks a current entry that sits in no inverted list (it was
+	// tombstoned before training distributed the live vectors).
+	noList = uint32(0xFFFFFFFF)
+)
+
+// Save writes the index — centroids, current entries (tombstones
+// included) and their list assignments — to w in a versioned binary
+// format readable by Load. Stale upsert versions still parked in the
+// inverted lists are dropped; scans skip them anyway.
+func (x *Index) Save(w io.Writer) error {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	// Recover each current entry's list assignment by identity.
+	assign := make(map[*entry]uint32, len(x.byID))
+	for li, list := range x.lists {
+		for _, e := range list {
+			if cur, ok := x.byID[e.id]; ok && cur == e {
+				assign[e] = uint32(li)
+			}
+		}
+	}
+	hdr := []any{serialMagic, serialVersion, uint32(x.cfg.Dim), uint32(x.cfg.NList),
+		uint32(x.cfg.NProbe), uint32(x.cfg.Metric), uint64(x.cfg.Seed),
+		uint32(x.cfg.TrainIters), boolU32(x.trained), uint32(len(x.centroids)),
+		uint32(len(x.byID))}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, c := range x.centroids {
+		if err := binary.Write(w, binary.LittleEndian, c); err != nil {
+			return err
+		}
+	}
+	// Map order is fine: search results are distance-sorted with id
+	// tie-breaks, so list-internal order never shows.
+	for id, e := range x.byID {
+		li, ok := assign[e]
+		if !ok {
+			li = noList
+		}
+		if err := binary.Write(w, binary.LittleEndian, id); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, []uint32{boolU32(e.deleted), li}); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, e.vec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func boolU32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Load reads an index written by Save. Counts and list references are
+// bounds-checked before allocation.
+func Load(r io.Reader) (*Index, error) {
+	var magic, version, dim, nlist, nprobe, metric uint32
+	var seed uint64
+	var trainIters, trained, numCentroids, numEntries uint32
+	for _, p := range []any{&magic, &version, &dim, &nlist, &nprobe, &metric, &seed,
+		&trainIters, &trained, &numCentroids, &numEntries} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("ivf: corrupt header: %w", err)
+		}
+	}
+	if magic != serialMagic {
+		return nil, errors.New("ivf: bad magic")
+	}
+	if version != serialVersion {
+		return nil, fmt.Errorf("ivf: unsupported format version %d", version)
+	}
+	if dim == 0 || dim > maxSerialDim {
+		return nil, fmt.Errorf("ivf: dim %d implausible", dim)
+	}
+	if numCentroids > maxSerialCentroids {
+		return nil, fmt.Errorf("ivf: centroid count %d implausible", numCentroids)
+	}
+	if trained == 1 && numCentroids == 0 {
+		return nil, errors.New("ivf: trained index without centroids")
+	}
+	x, err := New(Config{Dim: int(dim), NList: int(nlist), NProbe: int(nprobe),
+		Metric: vectormath.Metric(metric), Seed: int64(seed), TrainIters: int(trainIters)})
+	if err != nil {
+		return nil, err
+	}
+	x.trained = trained == 1
+	x.centroids = make([][]float32, numCentroids)
+	for i := range x.centroids {
+		c := make([]float32, dim)
+		if err := binary.Read(r, binary.LittleEndian, c); err != nil {
+			return nil, fmt.Errorf("ivf: centroid %d: %w", i, err)
+		}
+		x.centroids[i] = c
+	}
+	x.lists = make([][]*entry, numCentroids)
+	for i := uint32(0); i < numEntries; i++ {
+		var id uint64
+		if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
+			return nil, fmt.Errorf("ivf: entry %d: %w", i, err)
+		}
+		var meta [2]uint32
+		if err := binary.Read(r, binary.LittleEndian, &meta); err != nil {
+			return nil, fmt.Errorf("ivf: entry %d: %w", i, err)
+		}
+		if meta[1] != noList && meta[1] >= numCentroids {
+			return nil, fmt.Errorf("ivf: entry %d assigned to list %d of %d", i, meta[1], numCentroids)
+		}
+		vec := make([]float32, dim)
+		if err := binary.Read(r, binary.LittleEndian, vec); err != nil {
+			return nil, fmt.Errorf("ivf: entry %d vector: %w", i, err)
+		}
+		e := &entry{id: id, vec: vec, deleted: meta[0] == 1}
+		if e.deleted {
+			x.deleted++
+		}
+		if prev, ok := x.byID[id]; ok {
+			// Duplicate ids cannot be produced by Save; tolerate them the
+			// way Add does, last record winning.
+			if prev.deleted {
+				x.deleted--
+			}
+			prev.deleted = true
+		}
+		x.byID[id] = e
+		if meta[1] != noList {
+			x.lists[meta[1]] = append(x.lists[meta[1]], e)
+		}
+	}
+	return x, nil
 }

@@ -1,6 +1,7 @@
 package ivf
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -285,5 +286,98 @@ func BenchmarkIVFSearch(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		x.TopKSearch(vecs[i%len(vecs)], 10, 32, nil)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	x, vecs := buildRandom(t, 400, 8, 7)
+	x.Train()
+	// Post-train churn: a delete, an upsert and a brand-new id, so the
+	// snapshot carries tombstones and late list assignments.
+	x.Delete(3)
+	if err := x.Add(5, vecs[6]); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Add(1000, vecs[0]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2.Len() != x.Len() {
+		t.Fatalf("loaded Len = %d, want %d", x2.Len(), x.Len())
+	}
+	if !x2.Trained() {
+		t.Fatal("loaded index lost training")
+	}
+	if f1, f2 := x.DeletedFraction(), x2.DeletedFraction(); f1 != f2 {
+		t.Fatalf("deleted fraction %v != %v", f2, f1)
+	}
+	for _, q := range vecs[:20] {
+		r1, err1 := x.TopKSearch(q, 5, 64, nil)
+		r2, err2 := x2.TopKSearch(q, 5, 64, nil)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if len(r1) != len(r2) {
+			t.Fatalf("result count mismatch %d vs %d", len(r1), len(r2))
+		}
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("result %d mismatch: %v vs %v", i, r1[i], r2[i])
+			}
+		}
+	}
+}
+
+func TestSaveLoadUntrained(t *testing.T) {
+	x, _ := buildRandom(t, 10, 4, 8)
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2.Trained() || x2.Len() != 10 {
+		t.Fatalf("untrained round trip: trained=%v len=%d", x2.Trained(), x2.Len())
+	}
+	// The loaded index trains lazily on first search, like the original.
+	res, err := x2.TopKSearch(make([]float32, 4), 3, 16, nil)
+	if err != nil || len(res) == 0 {
+		t.Fatalf("post-load search = %v, %v", res, err)
+	}
+	if !x2.Trained() {
+		t.Fatal("first search did not train the loaded index")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("definitely not an ivf index"))); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("Load accepted empty input")
+	}
+	// A version bump must be rejected, not misparsed.
+	x, _ := buildRandom(t, 20, 4, 9)
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4]++ // version field
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("Load accepted bumped version")
+	}
+	// A truncated snapshot fails cleanly.
+	if _, err := Load(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("Load accepted truncated input")
 	}
 }

@@ -148,7 +148,9 @@ func (db *DB) LoadEmbeddingsCSV(vertexType, attr string, sep string, r io.Reader
 // Bulk-loaded vectors bypass the WAL: with Durability enabled, call
 // Checkpoint() after the initial load to make them restart-safe (the
 // recommended load sequence; per-row LoadEmbeddingsCSV and
-// UpsertEmbedding are WAL-covered and need no checkpoint).
+// UpsertEmbedding are WAL-covered and need no checkpoint). The
+// checkpoint also snapshots the freshly built segment indexes, so the
+// next Open deserializes them instead of repeating the index build.
 func (db *DB) BulkLoadEmbeddings(vertexType, attr string, ids []uint64, vecs [][]float32) error {
 	db.cpMu.RLock()
 	defer db.cpMu.RUnlock()

@@ -89,11 +89,17 @@ curl -sf "$BASE/stats" | grep -q '"visible_tid"' || die "stats unavailable after
 echo "   identical results; wal repaired $WAL_TORN -> $WAL_REPAIRED bytes"
 
 echo "== checkpoint truncates WAL"
+# Give the background vacuum a moment to merge the replayed deltas into
+# the segment indexes, so the checkpoint's index snapshot covers them and
+# the next restart can take the snapshot path.
+sleep 1.5
 CP="$(post /checkpoint '{}')"
 echo "   checkpoint: $CP"
+echo "$CP" | grep -Eq '"index_bytes":[1-9]' || die "checkpoint wrote no index snapshot: $CP"
 WAL_AFTER_CP=$(wc -c <"$DATA/wal.log")
 [ "$WAL_AFTER_CP" -eq 0 ] || die "wal not truncated by checkpoint ($WAL_AFTER_CP bytes)"
 [ -f "$DATA/checkpoint.json" ] || die "checkpoint manifest missing"
+ls "$DATA"/checkpoint-*.index >/dev/null 2>&1 || die "index snapshot file missing"
 
 echo "== post-checkpoint write + SIGKILL + restart"
 post /upsert '{"type":"Post","attr":"content_emb","key":3,"vector":[3,9,0,0,0,0,0,0]}' >/dev/null
@@ -102,6 +108,14 @@ start_server
 FINAL="$(search)"
 echo "$FINAL" | grep -q '"hits"' || die "no hits after final restart: $FINAL"
 echo "$FINAL" | grep -Eq '"distance":0[,}]' && die "stale pre-checkpoint vector served: $FINAL"
+# The restart must have taken the index-snapshot fast path: every segment
+# index deserialized, none rebuilt from vectors.
+STATS="$(curl -sf "$BASE/stats")" || die "stats unavailable after snapshot restart"
+echo "$STATS" | grep -q '"index_rebuilt_segments":0' \
+  || die "restart rebuilt segment indexes instead of loading snapshots: $STATS"
+echo "$STATS" | grep -Eq '"index_snapshot_segments":[1-9]' \
+  || die "restart loaded no index snapshots: $STATS"
+echo "   restart took the index-snapshot path (0 rebuilds)"
 kill9_server
 
 echo "PASS: crash recovery (torn tail + checkpoint) verified"

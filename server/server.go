@@ -401,6 +401,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		TID:               info.TID,
 		GraphBytes:        info.GraphBytes,
 		EmbeddingBytes:    info.EmbeddingBytes,
+		IndexBytes:        info.IndexBytes,
 		WALTruncatedBytes: info.WALTruncatedBytes,
 		DurationSeconds:   info.DurationSeconds,
 	})

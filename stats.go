@@ -65,6 +65,16 @@ type DBStats struct {
 	// torn tail record a crash mid-append leaves behind (larger values
 	// suggest mid-log corruption cut away acknowledged commits).
 	RecoveryTornBytes int64 `json:"recovery_torn_bytes"`
+	// IndexSnapshotSegments counts segment indexes Open deserialized
+	// from the checkpoint's index snapshot (the restart fast path);
+	// IndexRebuiltSegments counts the ones rebuilt from vectors because
+	// no usable snapshot frame existed. After a clean checkpoint a
+	// restart should report zero rebuilds.
+	IndexSnapshotSegments int64 `json:"index_snapshot_segments"`
+	IndexRebuiltSegments  int64 `json:"index_rebuilt_segments"`
+	// OpenIndexLoadNanos is the wall time Open spent restoring segment
+	// indexes (snapshot loads plus fallback rebuilds).
+	OpenIndexLoadNanos int64 `json:"open_index_load_nanos"`
 	// Stores lists per-attribute store state, sorted by attribute key.
 	Stores []StoreStats `json:"stores"`
 	// Vacuum aggregates background maintenance counters.
@@ -81,11 +91,14 @@ type DBStats struct {
 func (db *DB) Stats() DBStats {
 	ps := db.pool.Stats()
 	st := DBStats{
-		VisibleTID:        uint64(db.mgr.Visible()),
-		Checkpoints:       db.checkpoints.Load(),
-		CheckpointErrors:  db.checkpointErr.Load(),
-		LastCheckpointTID: db.lastCpTID.Load(),
-		RecoveryTornBytes: db.tornBytes.Load(),
+		VisibleTID:            uint64(db.mgr.Visible()),
+		Checkpoints:           db.checkpoints.Load(),
+		CheckpointErrors:      db.checkpointErr.Load(),
+		LastCheckpointTID:     db.lastCpTID.Load(),
+		RecoveryTornBytes:     db.tornBytes.Load(),
+		IndexSnapshotSegments: db.indexSnapSegs.Load(),
+		IndexRebuiltSegments:  db.indexRebuiltSegs.Load(),
+		OpenIndexLoadNanos:    db.openIndexLoadNanos.Load(),
 		Pool: PoolStats{
 			Workers:   ps.Workers,
 			Submitted: ps.Submitted,

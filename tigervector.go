@@ -108,6 +108,13 @@ type DB struct {
 	checkpointErr atomic.Int64
 	lastCpTID     atomic.Uint64
 	tornBytes     atomic.Int64 // WAL bytes truncated during recovery
+
+	// Restart-path counters, set once while Open restores a checkpoint:
+	// segment indexes deserialized from the index snapshot vs rebuilt
+	// from vectors, and the wall time of that phase.
+	indexSnapSegs      atomic.Int64
+	indexRebuiltSegs   atomic.Int64
+	openIndexLoadNanos atomic.Int64
 }
 
 // Open creates a DB.
@@ -144,14 +151,19 @@ func Open(cfg Config) (*DB, error) {
 		cfg: cfg, graph: g, svc: svc, mgr: mgr, engine: eng,
 		interp: interp, ownsDir: ownsDir,
 	}
+	// The pool exists before recovery: Open's fast path deserializes
+	// segment index snapshots across it.
+	db.pool = core.NewPool(cfg.Workers)
 	if cfg.Durability {
 		// Recover checkpoint + catalog (DDL log) + WAL — in that order —
 		// before opening the WAL for appends.
 		if err := db.recover(); err != nil {
+			db.pool.Close()
 			return nil, err
 		}
 		f, err := os.OpenFile(db.walPath(), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
+			db.pool.Close()
 			return nil, fmt.Errorf("tigervector: open wal: %w", err)
 		}
 		// Persist the file's directory entry: fsyncing wal.log's content
@@ -159,6 +171,7 @@ func Open(cfg Config) (*DB, error) {
 		if !cfg.NoFsync {
 			if err := syncDir(cfg.DataDir); err != nil {
 				f.Close()
+				db.pool.Close()
 				return nil, fmt.Errorf("tigervector: sync data dir: %w", err)
 			}
 		}
@@ -170,7 +183,6 @@ func Open(cfg Config) (*DB, error) {
 		db.mgr = mgr2
 		eng.Mgr = mgr2
 	}
-	db.pool = core.NewPool(cfg.Workers)
 	db.vac = vacuum.NewManager(svc, vacuum.Options{
 		MergeInterval: cfg.VacuumInterval,
 		MaxThreads:    runtime.GOMAXPROCS(0),
