@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: build test bench vet race recovery-test bench-restart
+.PHONY: build test bench vet race recovery-test bench-restart fmt-check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fails (and lists the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # The experiment-plumbing tests in internal/bench are slow under the
 # race detector; give the run headroom beyond the default 10m.

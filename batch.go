@@ -1,21 +1,19 @@
 package tigervector
 
-import (
-	"fmt"
+import "context"
 
-	"repro/internal/graph"
-)
-
-// This file implements the concurrent serving entry point: many top-k /
-// range queries executed in parallel over the DB's bounded worker pool.
-// Each query runs at its own MVCC snapshot TID captured when a worker
-// picks it up, and each snapshot is registered with the per-store
-// ActiveTracker (via core.EmbeddingStore.BeginSearch inside the engine),
-// so the vacuum never retires delta state or index versions a running
-// query still needs — the paper's concurrency story (Sec. 4.3) extended
-// from intra-query segment parallelism to inter-query parallelism.
+// This file keeps the legacy batch entry point alive as a thin wrapper
+// over SearchBatch. The concurrent serving story (paper Sec. 4.3
+// extended from intra-query segment parallelism to inter-query
+// parallelism) now lives behind the unified Request/Result surface in
+// request.go: every query runs over the DB's bounded worker pool at its
+// own MVCC snapshot TID, registered with the per-store ActiveTracker so
+// the vacuum never retires state a running query still needs.
 
 // BatchQuery describes one search inside a BatchVectorSearch call.
+//
+// Deprecated: use Request, which adds get requests, snapshot pinning
+// (AtTID) and per-request deadlines.
 type BatchQuery struct {
 	// Attrs are the searched embedding attributes as "Type.attr" strings.
 	// Top-k queries may span multiple compatible attributes; a range query
@@ -38,6 +36,8 @@ type BatchQuery struct {
 // BatchResult is the outcome of one BatchQuery. Results are positional:
 // BatchVectorSearch()[i] answers queries[i], regardless of the order in
 // which workers finished them.
+//
+// Deprecated: use Result, returned by Search and SearchBatch.
 type BatchResult struct {
 	// Hits are the matches, ascending by distance (ties broken by vertex
 	// type then id, so repeated runs over unchanged data are identical).
@@ -52,99 +52,24 @@ type BatchResult struct {
 
 // BatchVectorSearch executes many searches concurrently over the DB's
 // bounded worker pool (Config.Workers wide) and returns one result per
-// query, in query order. Each query is snapshotted independently when it
-// starts executing, so a batch issued concurrently with writers is a set
-// of consistent point-in-time reads, not one frozen view; vacuum safety
-// is preserved per query via the store ActiveTrackers.
+// query, in query order.
 //
-// The call blocks until every query finished. It is safe to call from
-// many goroutines at once — the pool bounds total query concurrency.
+// Deprecated: use SearchBatch — it accepts a context.Context
+// (cancellation, deadlines) and composable Requests. This wrapper runs
+// the same path with context.Background().
 func (db *DB) BatchVectorSearch(queries []BatchQuery) []BatchResult {
-	results := make([]BatchResult, len(queries))
-	done := make([]bool, len(queries))
-	err := db.pool.Do(len(queries), func(i int) {
-		results[i] = db.runBatchQuery(queries[i])
-		done[i] = true
-	})
-	if err != nil {
-		// Pool closed mid-batch (DB shutting down): mark unrun queries.
-		for i := range results {
-			if !done[i] {
-				results[i].Err = fmt.Errorf("tigervector: batch query %d: %w", i, err)
-			}
+	reqs := make([]Request, len(queries))
+	for i, q := range queries {
+		kind := TopK
+		if q.Range {
+			kind = Range
 		}
+		reqs[i] = q.Opts.request(kind, q.Attrs, q.Query, q.K, q.Threshold)
 	}
-	return results
-}
-
-// runBatchQuery executes one query of a batch at a fresh snapshot. A
-// panic anywhere in the search path is converted into the query's Err:
-// one poisoned query must degrade to one failed slot, not a dead
-// serving process or a silently empty result.
-func (db *DB) runBatchQuery(q BatchQuery) (res BatchResult) {
-	defer func() {
-		if r := recover(); r != nil {
-			res.Err = fmt.Errorf("tigervector: batch query panicked: %v", r)
-		}
-	}()
-	tid := db.mgr.Visible() // per-query snapshot
-	res = BatchResult{SnapshotTID: uint64(tid)}
-	if len(q.Attrs) == 0 {
-		res.Err = fmt.Errorf("tigervector: batch query has no embedding attributes")
-		return res
+	results := db.SearchBatch(context.Background(), reqs)
+	out := make([]BatchResult, len(results))
+	for i, r := range results {
+		out[i] = BatchResult{Hits: r.Hits, SnapshotTID: r.SnapshotTID, Err: r.Err}
 	}
-	if q.Range {
-		if len(q.Attrs) != 1 {
-			res.Err = fmt.Errorf("tigervector: range query wants exactly 1 attribute, got %d", len(q.Attrs))
-			return res
-		}
-		ref, err := graph.ParseEmbeddingRef(q.Attrs[0])
-		if err != nil {
-			res.Err = err
-			return res
-		}
-		hits, err := db.engine.RangeAction(ref, q.Query, q.Threshold, db.engineOpts(0, q.Opts, tid))
-		if err != nil {
-			res.Err = err
-			return res
-		}
-		res.Hits = typedToHits(hits)
-		return res
-	}
-	refs, err := parseRefs(q.Attrs)
-	if err != nil {
-		res.Err = err
-		return res
-	}
-	if err := db.checkQueryDim(refs, len(q.Query)); err != nil {
-		res.Err = err
-		return res
-	}
-	hits, err := db.engine.EmbeddingAction(refs, q.Query, db.engineOpts(q.K, q.Opts, tid))
-	if err != nil {
-		res.Err = err
-		return res
-	}
-	res.Hits = typedToHits(hits)
-	return res
-}
-
-// checkQueryDim validates the query vector dimension against the schema
-// before the search fans out, so dimension mistakes fail fast with a
-// clear error instead of garbage distances.
-func (db *DB) checkQueryDim(refs []graph.EmbeddingRef, dim int) error {
-	for _, ref := range refs {
-		vt, ok := db.graph.Schema().VertexType(ref.VertexType)
-		if !ok {
-			return fmt.Errorf("tigervector: unknown vertex type %q", ref.VertexType)
-		}
-		ea, ok := vt.Embedding(ref.Attr)
-		if !ok {
-			return fmt.Errorf("tigervector: %s has no embedding attribute %q", ref.VertexType, ref.Attr)
-		}
-		if dim != ea.Dim {
-			return fmt.Errorf("tigervector: %s expects query dimension %d, got %d", ref, ea.Dim, dim)
-		}
-	}
-	return nil
+	return out
 }

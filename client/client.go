@@ -3,8 +3,10 @@
 // package imports them, so client and server cannot drift apart.
 //
 // A Client is safe for concurrent use; batch searches map one-to-one
-// onto the server's pooled BatchVectorSearch, so issuing one request
-// with many query vectors is the high-throughput path.
+// onto the server's pooled SearchBatch, so issuing one request with
+// many query vectors is the high-throughput path. SearchWith/RangeWith
+// expose the full request surface: pre-filters, snapshot pinning
+// (at_tid) and server-side deadlines (timeout_ms).
 package client
 
 import (
@@ -26,6 +28,15 @@ type Hit struct {
 	Distance float32 `json:"distance"`
 }
 
+// Filter restricts a search to a set of vertex ids of one type (the
+// engine's pre-filter bitmap).
+type Filter struct {
+	// Type is the vertex type the ids belong to.
+	Type string `json:"type"`
+	// IDs are the admitted vertex ids.
+	IDs []uint64 `json:"ids"`
+}
+
 // SearchRequest is the body of POST /search. Set Query for a single
 // search or Queries for a pooled batch; exactly one must be present.
 type SearchRequest struct {
@@ -39,6 +50,16 @@ type SearchRequest struct {
 	K int `json:"k"`
 	// Ef overrides the index search beam; 0 uses the server default.
 	Ef int `json:"ef,omitempty"`
+	// Filter restricts candidates to a vertex set; nil searches
+	// everything live.
+	Filter *Filter `json:"filter,omitempty"`
+	// AtTID pins the MVCC snapshot to a previous result's snapshot_tid
+	// for repeatable reads; 0 snapshots the current visible TID.
+	AtTID uint64 `json:"at_tid,omitempty"`
+	// TimeoutMS is the server-side deadline for this request in
+	// milliseconds; past it, scanning stops and each query answers with
+	// a context deadline error. 0 uses the server default (if any).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // SearchResult is the outcome of one query within a search response.
@@ -68,6 +89,14 @@ type RangeRequest struct {
 	Threshold float32 `json:"threshold"`
 	// Ef overrides the index search beam; 0 uses the server default.
 	Ef int `json:"ef,omitempty"`
+	// Filter restricts candidates to a vertex set; nil searches
+	// everything live.
+	Filter *Filter `json:"filter,omitempty"`
+	// AtTID pins the MVCC snapshot; 0 snapshots the current visible TID.
+	AtTID uint64 `json:"at_tid,omitempty"`
+	// TimeoutMS is the server-side deadline in milliseconds; 0 uses the
+	// server default (if any).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // VertexRequest is the body of POST /vertex: insert (or upsert by
@@ -245,6 +274,27 @@ func (c *Client) BatchSearch(ctx context.Context, attrs []string, queries [][]fl
 		return nil, fmt.Errorf("client: server returned %d results for %d queries", len(resp.Results), len(queries))
 	}
 	return resp.Results, nil
+}
+
+// SearchWith runs a fully specified search request — per-request
+// filter, snapshot pin (AtTID) and server-side deadline (TimeoutMS) —
+// and returns the raw per-query results. The convenience methods
+// Search and BatchSearch cover the common cases.
+func (c *Client) SearchWith(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
+	var resp SearchResponse
+	if err := c.post(ctx, "/search", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// RangeWith runs a fully specified range request, like SearchWith.
+func (c *Client) RangeWith(ctx context.Context, req RangeRequest) (*SearchResponse, error) {
+	var resp SearchResponse
+	if err := c.post(ctx, "/range", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // RangeSearch returns every vertex within threshold of the query.

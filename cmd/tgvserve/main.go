@@ -8,7 +8,13 @@
 //
 // Usage:
 //
-//	tgvserve -addr :7687 -data-dir ./data -durable -ddl schema.gsql
+//	tgvserve -addr :7687 -data-dir ./data -durable -ddl schema.gsql -request-timeout 2s
+//
+// -request-timeout sets a default server-side deadline on every search
+// request (overridable per request via timeout_ms): past it the segment
+// scans stop cooperatively and the request answers with a deadline
+// error instead of holding a worker-pool slot. Client disconnects
+// cancel the same way, with or without the flag.
 //
 // A freshly started server has an empty catalog unless -ddl installs one
 // or -durable recovers one; clients can also install schema and queries
@@ -51,6 +57,7 @@ type config struct {
 	noFsync      bool
 	checkpointIv time.Duration
 	maxBatch     int
+	reqTimeout   time.Duration
 }
 
 // parseFlags parses args (without the program name) into a config.
@@ -67,6 +74,10 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&c.noFsync, "no-fsync", false, "skip the per-commit WAL fsync (batched-sync mode)")
 	fs.DurationVar(&c.checkpointIv, "checkpoint-interval", 0, "periodic checkpoint cadence, e.g. 5m (0 disables; requires -durable)")
 	fs.IntVar(&c.maxBatch, "max-batch", 0, "max query vectors per /search request (default 1024)")
+	fs.DurationVar(&c.reqTimeout, "request-timeout", 0,
+		"default server-side deadline per search request, e.g. 2s; past it scanning stops "+
+			"and the request answers with a deadline error. Requests can override with "+
+			"timeout_ms; 0 disables the default")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -84,6 +95,11 @@ func parseFlags(args []string) (config, error) {
 	}
 	if c.checkpointIv < 0 {
 		err := fmt.Errorf("-checkpoint-interval must be >= 0")
+		fmt.Fprintln(fs.Output(), err)
+		return c, err
+	}
+	if c.reqTimeout < 0 {
+		err := fmt.Errorf("-request-timeout must be >= 0")
 		fmt.Fprintln(fs.Output(), err)
 		return c, err
 	}
@@ -127,7 +143,11 @@ func main() {
 		log.Printf("installed %s; queries: %v", cfg.ddlPath, db.Queries())
 	}
 
-	srv := server.New(db, server.Options{MaxBatch: cfg.maxBatch, Logf: log.Printf})
+	srv := server.New(db, server.Options{
+		MaxBatch:       cfg.maxBatch,
+		RequestTimeout: cfg.reqTimeout,
+		Logf:           log.Printf,
+	})
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(cfg.addr) }()
 	log.Printf("tgvserve listening on %s", cfg.addr)

@@ -52,3 +52,16 @@ func TestParseFlagsBadFlag(t *testing.T) {
 		t.Fatal("unknown flag accepted")
 	}
 }
+
+func TestParseFlagsRequestTimeout(t *testing.T) {
+	c, err := parseFlags([]string{"-request-timeout", "2s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.reqTimeout != 2*time.Second {
+		t.Fatalf("request-timeout = %v", c.reqTimeout)
+	}
+	if _, err := parseFlags([]string{"-request-timeout", "-1s"}); err == nil {
+		t.Fatal("negative -request-timeout accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package tigervector_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -65,6 +66,48 @@ ALTER VERTEX Doc ADD EMBEDDING ATTRIBUTE emb (
 	// Output:
 	// Doc 1
 	// Doc 0
+}
+
+// ExampleDB_Search runs the unified request API: a top-k search whose
+// context is honored down to the segment scans, then a snapshot-pinned
+// follow-up at the TID the first result reported.
+func ExampleDB_Search() {
+	db, err := tigervector.Open(tigervector.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	err = db.Exec(`
+CREATE VERTEX Doc (id INT PRIMARY KEY, title STRING);
+ALTER VERTEX Doc ADD EMBEDDING ATTRIBUTE emb (
+  DIMENSION = 4, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, vec := range [][]float32{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}} {
+		id, _ := db.AddVertex("Doc", map[string]any{"id": int64(i), "title": fmt.Sprintf("doc %d", i)})
+		if err := db.UpsertEmbedding("Doc", "emb", id, vec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	res, err := db.Search(ctx, tigervector.Request{
+		Attrs: []string{"Doc.emb"}, Query: []float32{0, 1, 0, 0}, K: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Pin the snapshot for a repeatable follow-up read: writes
+	// committed after SnapshotTID stay invisible to it.
+	pinned, err := db.Search(ctx, tigervector.Request{
+		Attrs: []string{"Doc.emb"}, Query: []float32{0, 1, 0, 0}, K: 2,
+		AtTID: res.SnapshotTID,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Hits[0].ID, pinned.SnapshotTID == res.SnapshotTID)
+	// Output: 1 true
 }
 
 // ExampleDB_BatchVectorSearch executes several searches concurrently

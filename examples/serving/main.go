@@ -1,8 +1,10 @@
 // Serving walkthrough: embed the tgvserve HTTP layer in-process, then
 // drive it with the Go client — schema installation over /gsql, bulk
-// upserts, single and pooled batch search, a hybrid GSQL query, live
+// upserts, single and pooled batch search, a filtered + snapshot-pinned
+// request with a server-side deadline, a hybrid GSQL query, live
 // /stats, and a graceful shutdown. The same traffic works against a
-// standalone `tgvserve -addr :7687` with curl; see README.md.
+// standalone `tgvserve -addr :7687 -request-timeout 2s` with curl; see
+// README.md.
 package main
 
 import (
@@ -105,7 +107,44 @@ CREATE QUERY english_topk (LIST<FLOAT> qv, INT k) {
 		len(results), time.Since(start).Round(time.Microsecond),
 		results[0].SnapshotTID, results[len(results)-1].SnapshotTID)
 
-	// 6. Hybrid GSQL over HTTP: filtered top-k with JSON args.
+	// 6. Full request control: restrict candidates to a vertex set,
+	// give the request a 500ms server-side deadline, and pin the
+	// follow-up to the first response's snapshot TID — with writers in
+	// between, the pinned page still reads the same snapshot (the
+	// server rejects pins the vacuum has already retired rather than
+	// answering inconsistently).
+	first, err := c.SearchWith(ctx, client.SearchRequest{
+		Attrs: []string{"Post.content_emb"}, Query: q, K: 5,
+		Filter:    &client.Filter{Type: "Post", IDs: []uint64{0, 1, 2, 3, 4, 5, 6, 7}},
+		TimeoutMS: 500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// SearchWith leaves per-result errors (deadline expiry, rejected
+	// filter) to the caller — check before trusting the snapshot TID.
+	if e := first.Results[0].Error; e != "" {
+		log.Fatalf("filtered search failed: %s", e)
+	}
+	pin := first.Results[0].SnapshotTID
+	page2, err := c.SearchWith(ctx, client.SearchRequest{
+		Attrs: []string{"Post.content_emb"}, Query: q, K: 5,
+		Filter:    &client.Filter{Type: "Post", IDs: []uint64{0, 1, 2, 3, 4, 5, 6, 7}},
+		AtTID:     pin,
+		TimeoutMS: 500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if e := page2.Results[0].Error; e != "" {
+		// e.g. the vacuum merged past the pin: the server rejects the
+		// stale snapshot loudly instead of answering from newer state.
+		log.Fatalf("pinned follow-up failed: %s", e)
+	}
+	fmt.Printf("filtered search: %d hits at snapshot %d; pinned follow-up ran at %d\n",
+		len(first.Results[0].Hits), pin, page2.Results[0].SnapshotTID)
+
+	// 7. Hybrid GSQL over HTTP: filtered top-k with JSON args.
 	qv := make([]any, 32)
 	for j := range qv {
 		qv[j] = r.NormFloat64()
@@ -117,7 +156,7 @@ CREATE QUERY english_topk (LIST<FLOAT> qv, INT k) {
 	fmt.Printf("english_topk -> %s = %s (%.1fms)\n",
 		resp.Outputs[0].Name, resp.Outputs[0].Value, resp.Stats.EndToEndSeconds*1000)
 
-	// 7. Observability.
+	// 8. Observability.
 	raw, err := c.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
@@ -129,7 +168,7 @@ CREATE QUERY english_topk (LIST<FLOAT> qv, INT k) {
 	fmt.Printf("served %d searches, %d upserts; pool ran %d queries on %d workers\n",
 		st.Requests.Search, st.Requests.Upsert, st.DB.Pool.Completed, st.DB.Pool.Workers)
 
-	// 8. Graceful shutdown: listener closes, in-flight requests finish.
+	// 9. Graceful shutdown: listener closes, in-flight requests finish.
 	shutCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {

@@ -390,13 +390,6 @@ func sortResults(rs []hnsw.Result) {
 	}
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // ErrNotLoaded is returned by harness helpers when a system is used
 // before Load.
 var ErrNotLoaded = fmt.Errorf("baselines: system not loaded")

@@ -51,6 +51,12 @@ type EmbeddingStore struct {
 	segLive   []*storage.Bitmap
 	indexes   []vecIndex
 	watermark txn.TID // deltas with TID <= watermark are reflected in indexes+segVecs
+	// merging is the TID an in-flight MergeIndex is installing up to; it
+	// runs ahead of watermark from the moment merged vectors start
+	// landing in segVecs/indexes until the merge completes. Pinned
+	// queries compare against max(watermark, merging) so a pin can never
+	// slip between "merge installed newer state" and "watermark says so".
+	merging txn.TID
 
 	deltas  *txn.DeltaStore
 	files   *txn.DeltaFileSet
@@ -113,6 +119,10 @@ func (s *EmbeddingStore) Watermark() txn.TID {
 
 // PendingDeltas returns the count of in-memory (unflushed) deltas.
 func (s *EmbeddingStore) PendingDeltas() int { return s.deltas.Len() }
+
+// ActiveQueries returns the number of snapshot registrations currently
+// held against this store (queries between BeginSearch and Close).
+func (s *EmbeddingStore) ActiveQueries() int { return s.active.Len() }
 
 // DeltaFiles returns the registered delta files.
 func (s *EmbeddingStore) DeltaFiles() []txn.DeltaFile { return s.files.Files() }
@@ -306,22 +316,45 @@ func (s *EmbeddingStore) MergeIndex(threads int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Install raw vectors into embedding segments first.
+	s.mu.Lock()
+	// Re-clamp against queries that registered since the first check,
+	// under the same lock BeginSearch uses to read the watermark. A
+	// query that registered before this point is visible to Min() now;
+	// one that registers later will observe s.merging and reject its
+	// stale pin instead — either way no pinned snapshot can slip between
+	// "newer state installed" and "the staleness bound says so".
+	if minActive, ok := s.active.Min(); ok && minActive < upTo {
+		upTo = minActive
+		n := 0
+		for _, d := range recs {
+			if d.TID <= upTo {
+				recs[n] = d
+				n++
+			}
+		}
+		recs = recs[:n]
+	}
+	if upTo <= from {
+		s.mu.Unlock()
+		return 0, nil
+	}
 	if len(recs) == 0 {
-		s.mu.Lock()
 		if upTo > s.watermark {
 			s.watermark = upTo
 		}
 		s.mu.Unlock()
 		return 0, nil
 	}
-	// Install raw vectors into embedding segments first.
+	if upTo > s.merging {
+		s.merging = upTo
+	}
 	maxSeg := -1
 	for _, d := range recs {
 		if seg := s.segmentOf(d.ID); seg > maxSeg {
 			maxSeg = seg
 		}
 	}
-	s.mu.Lock()
 	s.growToLocked(maxSeg)
 	// Copy-on-write per touched segment: the brute-force search path
 	// snapshots a segment's vector slice under RLock and then scans its

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -76,23 +77,52 @@ func (p *Pool) Workers() int { return p.workers }
 
 // Go submits one task, blocking while the queue is full (backpressure).
 func (p *Pool) Go(fn func()) error {
+	return p.GoContext(nil, fn)
+}
+
+// GoContext submits one task like Go, but gives up with ctx.Err() when
+// the context is cancelled while waiting for queue space — backpressure
+// must not hold a disconnected caller hostage. A nil ctx behaves like
+// Go.
+func (p *Pool) GoContext(ctx context.Context, fn func()) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
 		return ErrPoolClosed
 	}
+	if ctx == nil {
+		p.submitted.Add(1)
+		p.tasks <- fn
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	p.submitted.Add(1)
-	p.tasks <- fn
-	return nil
+	select {
+	case p.tasks <- fn:
+		return nil
+	case <-ctx.Done():
+		p.submitted.Add(-1)
+		return ctx.Err()
+	}
 }
 
 // Do runs fn(0..n-1) across the pool and waits for all of them.
 func (p *Pool) Do(n int, fn func(i int)) error {
+	return p.DoContext(nil, n, fn)
+}
+
+// DoContext runs fn(0..n-1) across the pool. It stops submitting new
+// indices once ctx is cancelled (or the pool closes) and returns that
+// error, but always waits for the tasks it did submit — the caller's
+// result slots must not be written after DoContext returns.
+func (p *Pool) DoContext(ctx context.Context, n int, fn func(i int)) error {
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		i := i
 		wg.Add(1)
-		if err := p.Go(func() { defer wg.Done(); fn(i) }); err != nil {
+		if err := p.GoContext(ctx, func() { defer wg.Done(); fn(i) }); err != nil {
 			wg.Done()
 			wg.Wait()
 			return err

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestPoolDoRunsAll(t *testing.T) {
@@ -50,6 +53,51 @@ func TestPoolClosedRejects(t *testing.T) {
 	if err := p.Do(3, func(int) {}); err != ErrPoolClosed {
 		t.Fatalf("Do after close = %v", err)
 	}
+}
+
+func TestPoolDoContextCancelled(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	if err := p.DoContext(ctx, 10, func(int) { ran.Add(1) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DoContext on cancelled ctx = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("ran %d tasks after cancellation", ran.Load())
+	}
+	st := p.Stats()
+	if st.Submitted != 0 || st.InFlight != 0 {
+		t.Fatalf("cancelled submissions leaked into stats: %+v", st)
+	}
+}
+
+func TestPoolGoContextUnblocksFullQueue(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	// Wedge the single worker and fill the queue so the next submit
+	// must wait for space.
+	release := make(chan struct{})
+	if err := p.Go(func() { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // queue capacity is 2*workers
+		if err := p.Go(func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.GoContext(ctx, func() {})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("GoContext on full queue = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("GoContext did not honor the deadline")
+	}
+	close(release)
 }
 
 func TestPoolConcurrentDo(t *testing.T) {

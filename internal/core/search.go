@@ -42,6 +42,19 @@ func (a *ActiveTracker) Exit(tid txn.TID) {
 	a.mu.Unlock()
 }
 
+// Len returns the number of registered (running) queries. A non-zero
+// value after all queries returned — including cancelled ones — means a
+// leaked registration that would pin the vacuum forever.
+func (a *ActiveTracker) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, c := range a.counts {
+		n += c
+	}
+	return n
+}
+
 // Min returns the lowest active TID, if any query is running.
 func (a *ActiveTracker) Min() (txn.TID, bool) {
 	a.mu.Lock()
@@ -67,8 +80,12 @@ type SearchContext struct {
 	s         *EmbeddingStore
 	TID       txn.TID
 	watermark txn.TID
-	net       map[uint64]txn.VectorDelta
-	closed    bool
+	// staleBound is max(watermark, merging) at capture time: the TID up
+	// to which an in-flight merge may already have installed newer
+	// vectors into the live indexes. A pin below it cannot be served.
+	staleBound txn.TID
+	net        map[uint64]txn.VectorDelta
+	closed     bool
 }
 
 // BeginSearch captures a consistent view at tid. tid is typically the
@@ -76,7 +93,10 @@ type SearchContext struct {
 func (s *EmbeddingStore) BeginSearch(tid txn.TID) *SearchContext {
 	s.active.Enter(tid)
 	s.mu.RLock()
-	ctx := &SearchContext{s: s, TID: tid, watermark: s.watermark}
+	ctx := &SearchContext{s: s, TID: tid, watermark: s.watermark, staleBound: s.watermark}
+	if s.merging > ctx.staleBound {
+		ctx.staleBound = s.merging
+	}
 	s.mu.RUnlock()
 
 	// Collect visible deltas: memory first, then persisted files; the
@@ -106,6 +126,17 @@ func (s *EmbeddingStore) BeginSearch(tid txn.TID) *SearchContext {
 	ctx.net = net
 	return ctx
 }
+
+// Stale reports whether the context's snapshot predates the staleness
+// bound captured at BeginSearch — the merge watermark, or the high-water
+// mark of a merge still in flight: either way the live indexes may
+// already contain newer versions the delta overlay cannot mask, so an
+// explicitly pinned query at this TID cannot be answered consistently.
+// Race-free against MergeIndex: the registration in BeginSearch and the
+// merge's re-clamp of its target against active registrations happen
+// under the same store lock, so the merge either yields to the pin or
+// the pin observes the merge's bound.
+func (c *SearchContext) Stale() bool { return c.TID < c.staleBound }
 
 // Close releases the context; the vacuum may then retire state this
 // query depended on.

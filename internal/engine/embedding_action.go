@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -32,6 +33,38 @@ type SearchOptions struct {
 	Filters map[string]*VertexSet
 	// TID pins the snapshot; 0 means the manager's current visible TID.
 	TID txn.TID
+	// Pinned marks TID as an explicit caller-supplied snapshot pin (a
+	// repeatable read of an earlier query's TID). Only pinned snapshots
+	// are rejected when the vacuum already merged past them; internally
+	// resolved TIDs may harmlessly trail a concurrent merge by a moment
+	// — the index state is then a superset and the extra visibility
+	// matches the unpinned contract.
+	Pinned bool
+	// Ctx, when non-nil, is checked cooperatively between segment scans:
+	// a cancelled or deadline-expired context stops the fan-out, releases
+	// the snapshot registration, and surfaces ctx.Err(). Nil never
+	// cancels.
+	Ctx context.Context
+}
+
+// ctxErr reports the cancellation state of an optional context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// staleSnapshotErr rejects an explicitly pinned snapshot the vacuum has
+// already merged past: the index then contains newer versions the delta
+// overlay cannot mask, so serving the query would silently break
+// repeatable reads. Checked after BeginSearch so the registration
+// itself blocks further retirement while the query runs.
+func staleSnapshotErr(sc *core.SearchContext, key string, pinned bool) error {
+	if pinned && sc.Stale() {
+		return fmt.Errorf("engine: snapshot %d retired: %s indexes already merged past it", sc.TID, key)
+	}
+	return nil
 }
 
 // EmbeddingAction is the paper's per-segment parallel top-k primitive: it
@@ -46,12 +79,15 @@ func (e *Engine) EmbeddingAction(refs []graph.EmbeddingRef, query []float32, opt
 	if _, err := e.G.Schema().CheckCompatible(refs); err != nil {
 		return nil, err
 	}
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
 	ef := opts.Ef
 	if ef < opts.K {
 		ef = opts.K
 	}
 	if opts.Ef == 0 {
-		ef = maxInt(opts.K, 64)
+		ef = max(opts.K, 64)
 	}
 	tid := opts.TID
 	if tid == 0 {
@@ -104,6 +140,9 @@ func (e *Engine) EmbeddingAction(refs []graph.EmbeddingRef, query []float32, opt
 
 		ctx := store.BeginSearch(tid)
 		ctxs = append(ctxs, ctx)
+		if err := staleSnapshotErr(ctx, store.Key, opts.Pinned); err != nil {
+			return nil, err
+		}
 		segSize := store.SegmentSize()
 		for seg := 0; seg < ctx.NumSegments(); seg++ {
 			valid := -1
@@ -121,7 +160,13 @@ func (e *Engine) EmbeddingAction(refs []graph.EmbeddingRef, query []float32, opt
 	lists := make([][]TypedResult, len(tasks))
 	var firstErr error
 	var errMu sync.Mutex
-	e.forEachParallel(len(tasks), func(i int) {
+	e.forEachParallel(opts.Ctx, len(tasks), func(i int) {
+		// Cooperative cancellation at segment granularity: a cancelled
+		// request stops fanning out instead of burning workers on scans
+		// nobody will read.
+		if ctxErr(opts.Ctx) != nil {
+			return
+		}
 		t := tasks[i]
 		var res []core.Result
 		var err error
@@ -144,6 +189,11 @@ func (e *Engine) EmbeddingAction(refs []graph.EmbeddingRef, query []float32, opt
 		}
 		lists[i] = out
 	})
+	if err := ctxErr(opts.Ctx); err != nil {
+		// A partial merge would read as a complete answer; the caller
+		// abandoned the request, so return its cancellation instead.
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -153,6 +203,9 @@ func (e *Engine) EmbeddingAction(refs []graph.EmbeddingRef, query []float32, opt
 // RangeAction performs a range search (distance < threshold) across all
 // segments of one embedding attribute.
 func (e *Engine) RangeAction(ref graph.EmbeddingRef, query []float32, threshold float32, opts SearchOptions) ([]TypedResult, error) {
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
 	store, ok := e.Emb.Store(core.AttrKey(ref.VertexType, ref.Attr))
 	if !ok {
 		return nil, fmt.Errorf("engine: embedding attribute %s is not materialized", ref)
@@ -182,12 +235,18 @@ func (e *Engine) RangeAction(ref graph.EmbeddingRef, query []float32, threshold 
 	defer e.LeaveQuery()
 	ctx := store.BeginSearch(tid)
 	defer ctx.Close()
+	if err := staleSnapshotErr(ctx, store.Key, opts.Pinned); err != nil {
+		return nil, err
+	}
 
 	n := ctx.NumSegments()
 	lists := make([][]TypedResult, n+1)
 	var firstErr error
 	var errMu sync.Mutex
-	e.forEachParallel(n+1, func(i int) {
+	e.forEachParallel(opts.Ctx, n+1, func(i int) {
+		if ctxErr(opts.Ctx) != nil {
+			return
+		}
 		var res []core.Result
 		var err error
 		if i == n {
@@ -209,6 +268,9 @@ func (e *Engine) RangeAction(ref graph.EmbeddingRef, query []float32, threshold 
 		}
 		lists[i] = out
 	})
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -260,24 +322,31 @@ func MergeTyped(lists [][]TypedResult, k int) []TypedResult {
 	return out
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // GetVector reads the visible vector of one vertex (used by VECTOR_DIST
 // expressions over attributes and by similarity joins).
 func (e *Engine) GetVector(ref graph.EmbeddingRef, id uint64, tid txn.TID) ([]float32, bool) {
+	v, ok, _ := e.GetVectorPinned(ref, id, tid, false)
+	return v, ok
+}
+
+// GetVectorPinned reads like GetVector but fails loudly where GetVector
+// degrades: an unmaterialized attribute is an error (not an
+// indistinguishable "vertex has no embedding"), and, when pinned, a
+// snapshot the vacuum already merged past is rejected — the same
+// repeatable-read contract EmbeddingAction and RangeAction enforce.
+func (e *Engine) GetVectorPinned(ref graph.EmbeddingRef, id uint64, tid txn.TID, pinned bool) ([]float32, bool, error) {
 	store, ok := e.Emb.Store(core.AttrKey(ref.VertexType, ref.Attr))
 	if !ok {
-		return nil, false
+		return nil, false, fmt.Errorf("engine: embedding attribute %s is not materialized", ref)
 	}
 	if tid == 0 {
 		tid = e.Mgr.Visible()
 	}
 	ctx := store.BeginSearch(tid)
 	defer ctx.Close()
-	return ctx.GetVector(id)
+	if err := staleSnapshotErr(ctx, store.Key, pinned); err != nil {
+		return nil, false, err
+	}
+	v, ok := ctx.GetVector(id)
+	return v, ok, nil
 }

@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -145,7 +146,7 @@ func (e *Engine) VertexAction(typeName string, pred Pred) (*VertexSet, error) {
 	out := storage.NewBitmap(dir.NumVertices())
 	var firstErr error
 	var errMu sync.Mutex
-	e.forEachParallel(len(segs), func(si int) {
+	e.forEachParallel(nil, len(segs), func(si int) {
 		seg := segs[si]
 		base := seg.Base()
 		for off := 0; off < seg.Len(); off++ {
@@ -223,7 +224,7 @@ func (e *Engine) EdgeAction(input *VertexSet, edgeName string, dir Direction, pr
 	var outMu sync.Mutex
 	var firstErr error
 	var errMu sync.Mutex
-	e.forEachParallel(len(ids), func(i int) {
+	e.forEachParallel(nil, len(ids), func(i int) {
 		for _, nb := range neighbors(edgeName, ids[i]) {
 			if !targetStatus.Get(int(nb)) {
 				continue
@@ -253,11 +254,17 @@ func (e *Engine) EdgeAction(input *VertexSet, edgeName string, dir Direction, pr
 	return &VertexSet{Type: targetType, Bitmap: out}, nil
 }
 
-// forEachParallel runs fn(0..n-1) over the engine worker pool.
-func (e *Engine) forEachParallel(n int, fn func(i int)) {
+// forEachParallel runs fn(0..n-1) over the engine worker pool. A nil
+// ctx never cancels; a cancelled ctx stops the dispatch of further
+// indices — fn calls already started run to completion, so callers see
+// at most one in-flight task per worker after cancellation.
+func (e *Engine) forEachParallel(ctx context.Context, n int, fn func(i int)) {
 	p := e.Parallelism
 	if p <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if ctxErr(ctx) != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -272,6 +279,9 @@ func (e *Engine) forEachParallel(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctxErr(ctx) != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

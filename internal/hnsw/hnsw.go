@@ -255,13 +255,6 @@ func (g *Graph) Add(id uint64, vec []float32) error {
 	return nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // linkBack adds newIdx to nb's layer-l links, pruning with the heuristic
 // if the list overflows.
 func (g *Graph) linkBack(nb, newIdx uint32, l, m int) {
@@ -543,7 +536,7 @@ func (g *Graph) RangeSearch(query []float32, threshold float32, ef int, filter F
 		if k > total {
 			k = total
 		}
-		res, err := g.TopKSearch(query, k, maxInt(ef, k), filter)
+		res, err := g.TopKSearch(query, k, max(ef, k), filter)
 		if err != nil {
 			return nil, err
 		}
@@ -562,13 +555,6 @@ func (g *Graph) RangeSearch(query []float32, threshold float32, ef int, filter F
 		}
 		k *= 2
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Delete tombstones the vector stored under id. It returns false if id is

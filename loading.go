@@ -161,6 +161,11 @@ func (db *DB) BulkLoadEmbeddings(vertexType, attr string, ids []uint64, vecs [][
 	if !ok {
 		return fmt.Errorf("tigervector: embedding store %s.%s not registered", vertexType, attr)
 	}
+	for i, vec := range vecs {
+		if j := firstNonFinite(vec); j >= 0 {
+			return fmt.Errorf("tigervector: bulk-load vector %d component %d is %v; vector components must be finite", i, j, vec[j])
+		}
+	}
 	tx := db.mgr.Begin()
 	tid, err := tx.Commit() // reserve a TID for the bulk watermark
 	if err != nil {

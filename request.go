@@ -1,0 +1,386 @@
+package tigervector
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/txn"
+)
+
+// This file is the unified query surface: one composable Request type
+// executed by Search / SearchBatch with a context.Context that is
+// honored all the way down — a cancelled or deadline-expired request
+// stops scanning segments, releases its ActiveTracker registration and
+// its worker-pool slot, and returns ctx.Err(). The legacy entry points
+// (VectorSearch, RangeSearch, BatchVectorSearch, GetEmbedding) are thin
+// wrappers over this path.
+
+// RequestKind selects what a Request does.
+type RequestKind uint8
+
+const (
+	// TopK returns the K nearest vertices to Query.
+	TopK RequestKind = iota
+	// Range returns every vertex whose embedding lies within Threshold
+	// of Query.
+	Range
+	// Get reads the embedding of the single vertex ID.
+	Get
+)
+
+// String names the kind for error messages.
+func (k RequestKind) String() string {
+	switch k {
+	case TopK:
+		return "top-k"
+	case Range:
+		return "range"
+	case Get:
+		return "get"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Request describes one query against the DB. The zero value plus
+// Attrs, Query and K is a plain top-k search; every other field narrows
+// or pins it.
+type Request struct {
+	// Kind selects top-k (default), range, or get.
+	Kind RequestKind
+	// Attrs are the searched embedding attributes as "Type.attr"
+	// strings. Top-k requests may span multiple compatible attributes;
+	// range and get requests use exactly one.
+	Attrs []string
+	// Query is the query vector (top-k and range). Components must be
+	// finite; NaN and ±Inf are rejected at this boundary.
+	Query []float32
+	// K is the top-k result count. Ignored by range and get.
+	K int
+	// Threshold is the range-search distance bound. Inner-product
+	// metrics encode "dot >= x" as a negative bound, so no sign check.
+	Threshold float32
+	// Ef overrides the index search beam; 0 uses the DB default.
+	Ef int
+	// Filter restricts candidates to this set of vertex ids of the
+	// searched type; its Type must match one of Attrs' vertex types or
+	// the request fails (a mismatched filter silently admitting the
+	// whole corpus would be fail-open). Nil searches everything live.
+	// Ignored by get requests.
+	Filter *VertexSet
+	// ID addresses the vertex of a get request.
+	ID uint64
+	// AtTID pins the MVCC snapshot: the request sees exactly the
+	// transactions with TID <= AtTID. 0 snapshots the current visible
+	// TID. Pin the SnapshotTID of a previous Result to get repeatable
+	// paginated reads; a pin older than what the vacuum has already
+	// merged into the indexes fails with a snapshot-retired error.
+	AtTID uint64
+	// Timeout is a per-request deadline layered on top of the caller's
+	// context; 0 applies no extra deadline.
+	Timeout time.Duration
+}
+
+// Result is the outcome of one Request. It always carries the
+// SnapshotTID the request executed at, so callers can pin AtTID on a
+// follow-up request.
+type Result struct {
+	// Hits are the matches of a top-k or range request, ascending by
+	// distance (ties broken by vertex type then id, so repeated runs
+	// over unchanged data are identical).
+	Hits []SearchHit
+	// Vector and Found answer a get request.
+	Vector []float32
+	Found  bool
+	// SnapshotTID is the MVCC snapshot the request executed at.
+	SnapshotTID uint64
+	// Err is the per-request failure, if any. Inside a batch, one bad
+	// request does not fail its siblings. A cancelled or expired
+	// context surfaces here as ctx.Err().
+	Err error
+}
+
+// Search executes one Request. It returns ctx.Err() as soon as the
+// context is cancelled or its deadline expires: the segment scan stops
+// cooperatively, the snapshot registration is released, and the pool
+// slot is freed without completing the scan. Request.Timeout bounds the
+// whole call, including time spent waiting for pool admission.
+func (db *DB) Search(ctx context.Context, req Request) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Timeout > 0 {
+		// Layer the deadline onto the submission context too, so a
+		// request stuck behind pool backpressure is abandoned on time
+		// rather than only once a worker picks it up.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		defer cancel()
+	}
+	filters := prepareFilters([]Request{req})
+	var res Result
+	ran := false
+	err := db.pool.DoContext(ctx, 1, func(int) {
+		res = db.runRequest(ctx, req, time.Time{}, filters)
+		ran = true
+	})
+	if err != nil && !ran {
+		return Result{Err: err}, err
+	}
+	return res, res.Err
+}
+
+// SearchBatch executes many Requests concurrently over the DB's bounded
+// worker pool (Config.Workers wide) and returns one Result per request,
+// in request order. Each request snapshots independently when a worker
+// picks it up (unless pinned via AtTID), so a batch issued concurrently
+// with writers is a set of consistent point-in-time reads. A cancelled
+// context stops the batch: running requests return ctx.Err() and queued
+// ones are never started. Per-request Timeouts count from submission
+// (queue wait included); to bound the whole batch including admission
+// blocking, give ctx itself a deadline.
+func (db *DB) SearchBatch(ctx context.Context, reqs []Request) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Deadlines anchor at submission, not at worker pickup, so a
+	// request that queued for most of its budget expires on schedule.
+	deadlines := make([]time.Time, len(reqs))
+	now := time.Now()
+	for i := range reqs {
+		if reqs[i].Timeout > 0 {
+			deadlines[i] = now.Add(reqs[i].Timeout)
+		}
+	}
+	// Convert each distinct filter to its engine bitmap once up front: a
+	// batch typically shares one filter across all its queries, and the
+	// bitmap build is O(ids) — per-query rebuilding would multiply that
+	// by the batch size on the serving hot path.
+	filters := prepareFilters(reqs)
+	results := make([]Result, len(reqs))
+	done := make([]bool, len(reqs))
+	err := db.pool.DoContext(ctx, len(reqs), func(i int) {
+		results[i] = db.runRequest(ctx, reqs[i], deadlines[i], filters)
+		done[i] = true
+	})
+	if err != nil {
+		// Context cancelled or pool closed mid-batch: mark the requests
+		// that never started.
+		for i := range results {
+			if !done[i] {
+				results[i].Err = fmt.Errorf("tigervector: request %d not started: %w", i, err)
+			}
+		}
+	}
+	return results
+}
+
+// runRequest executes one Request at a fresh (or pinned) snapshot.
+// deadline, when non-zero, is the request's submission-anchored
+// Request.Timeout bound (batch path; Search layers the timeout onto ctx
+// before submission instead). A panic anywhere in the search path is
+// converted into the request's Err: one poisoned request must degrade
+// to one failed slot, not a dead serving process or a silently empty
+// result.
+func (db *DB) runRequest(ctx context.Context, req Request, deadline time.Time, filters map[*VertexSet]*engine.VertexSet) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("tigervector: request panicked: %v", r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		// Cancelled while queued: don't open a snapshot at all.
+		res.Err = err
+		return res
+	}
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	tid := txn.TID(req.AtTID)
+	if tid == 0 {
+		tid = db.mgr.Visible()
+	} else if vis := db.mgr.Visible(); tid > vis {
+		// A pin above the visible TID cannot be a snapshot anyone
+		// observed; running it would let later commits leak into a
+		// "pinned" read as they land, so reject it instead.
+		res.Err = fmt.Errorf("tigervector: AtTID %d is in the future (visible tid %d)", req.AtTID, vis)
+		return res
+	}
+	res.SnapshotTID = uint64(tid)
+	if len(req.Attrs) == 0 {
+		res.Err = fmt.Errorf("tigervector: %s request has no embedding attributes", req.Kind)
+		return res
+	}
+	switch req.Kind {
+	case TopK:
+		refs, err := parseRefs(req.Attrs)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		if err := checkFilterType(refs, req.Filter); err != nil {
+			res.Err = err
+			return res
+		}
+		if err := db.checkQueryDim(refs, len(req.Query)); err != nil {
+			res.Err = err
+			return res
+		}
+		if err := validateVector("query vector", req.Query); err != nil {
+			res.Err = err
+			return res
+		}
+		hits, err := db.engine.EmbeddingAction(refs, req.Query, db.requestOpts(ctx, req, tid, filters))
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Hits = typedToHits(hits)
+	case Range:
+		if len(req.Attrs) != 1 {
+			res.Err = fmt.Errorf("tigervector: range request wants exactly 1 attribute, got %d", len(req.Attrs))
+			return res
+		}
+		ref, err := graph.ParseEmbeddingRef(req.Attrs[0])
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		if err := checkFilterType([]graph.EmbeddingRef{ref}, req.Filter); err != nil {
+			res.Err = err
+			return res
+		}
+		if err := validateVector("query vector", req.Query); err != nil {
+			res.Err = err
+			return res
+		}
+		hits, err := db.engine.RangeAction(ref, req.Query, req.Threshold, db.requestOpts(ctx, req, tid, filters))
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Hits = typedToHits(hits)
+	case Get:
+		if len(req.Attrs) != 1 {
+			res.Err = fmt.Errorf("tigervector: get request wants exactly 1 attribute, got %d", len(req.Attrs))
+			return res
+		}
+		ref, err := graph.ParseEmbeddingRef(req.Attrs[0])
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		v, found, err := db.engine.GetVectorPinned(ref, req.ID, tid, req.AtTID != 0)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Vector, res.Found = v, found
+	default:
+		res.Err = fmt.Errorf("tigervector: unknown request kind %d", uint8(req.Kind))
+	}
+	return res
+}
+
+// prepareFilters converts each distinct filter in a request slice to
+// its engine bitmap form, keyed by identity so shared filters convert
+// once.
+func prepareFilters(reqs []Request) map[*VertexSet]*engine.VertexSet {
+	var out map[*VertexSet]*engine.VertexSet
+	for i := range reqs {
+		f := reqs[i].Filter
+		if f == nil {
+			continue
+		}
+		if _, ok := out[f]; ok {
+			continue
+		}
+		if out == nil {
+			out = make(map[*VertexSet]*engine.VertexSet)
+		}
+		out[f] = engine.NewVertexSet(f.Type, f.IDs)
+	}
+	return out
+}
+
+// requestOpts translates a Request into engine search options. tid pins
+// the MVCC snapshot; ctx is checked cooperatively in the per-segment
+// scan loops; filters carries the batch's pre-converted filter bitmaps.
+func (db *DB) requestOpts(ctx context.Context, req Request, tid txn.TID, filters map[*VertexSet]*engine.VertexSet) engine.SearchOptions {
+	so := engine.SearchOptions{Ctx: ctx, K: req.K, Ef: db.cfg.DefaultEf, TID: tid, Pinned: req.AtTID != 0}
+	if req.Ef > 0 {
+		so.Ef = req.Ef
+	}
+	if req.Filter != nil {
+		fs := filters[req.Filter]
+		if fs == nil { // direct runRequest call without preparation
+			fs = engine.NewVertexSet(req.Filter.Type, req.Filter.IDs)
+		}
+		so.Filters = map[string]*engine.VertexSet{req.Filter.Type: fs}
+	}
+	return so
+}
+
+// checkFilterType rejects a pre-filter whose vertex type matches none of
+// the searched attributes: the engine keys filters by type and silently
+// falls back to the all-live bitmap for types without an entry, so a
+// typo'd filter would fail open and return unfiltered results.
+func checkFilterType(refs []graph.EmbeddingRef, f *VertexSet) error {
+	if f == nil {
+		return nil
+	}
+	for _, r := range refs {
+		if r.VertexType == f.Type {
+			return nil
+		}
+	}
+	return fmt.Errorf("tigervector: filter type %q matches no searched attribute", f.Type)
+}
+
+// checkQueryDim validates the query vector dimension against the schema
+// before the search fans out, so dimension mistakes fail fast with a
+// clear error instead of garbage distances.
+func (db *DB) checkQueryDim(refs []graph.EmbeddingRef, dim int) error {
+	for _, ref := range refs {
+		vt, ok := db.graph.Schema().VertexType(ref.VertexType)
+		if !ok {
+			return fmt.Errorf("tigervector: unknown vertex type %q", ref.VertexType)
+		}
+		ea, ok := vt.Embedding(ref.Attr)
+		if !ok {
+			return fmt.Errorf("tigervector: %s has no embedding attribute %q", ref.VertexType, ref.Attr)
+		}
+		if dim != ea.Dim {
+			return fmt.Errorf("tigervector: %s expects query dimension %d, got %d", ref, ea.Dim, dim)
+		}
+	}
+	return nil
+}
+
+// firstNonFinite returns the index of the first NaN/±Inf component, or
+// -1 when the vector is finite. Split from validateVector so bulk-load
+// hot paths pay no error-context formatting on success.
+func firstNonFinite(vec []float32) int {
+	for i, v := range vec {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return i
+		}
+	}
+	return -1
+}
+
+// validateVector rejects NaN and ±Inf components at the API boundary:
+// non-finite values would otherwise flow silently into distance math
+// (poisoning every comparison) and, on the write path, into the WAL.
+func validateVector(what string, vec []float32) error {
+	if i := firstNonFinite(vec); i >= 0 {
+		return fmt.Errorf("tigervector: %s component %d is %v; vector components must be finite", what, i, vec[i])
+	}
+	return nil
+}

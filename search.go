@@ -1,6 +1,7 @@
 package tigervector
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -128,22 +129,14 @@ type SearchOptions struct {
 	Filter *VertexSet
 }
 
-// engineOpts translates public SearchOptions into engine options. tid
-// pins the MVCC snapshot; 0 resolves to the current visible TID inside
-// the engine.
-func (db *DB) engineOpts(k int, opts *SearchOptions, tid txn.TID) engine.SearchOptions {
-	so := engine.SearchOptions{K: k, Ef: db.cfg.DefaultEf, TID: tid}
+// request converts the legacy options into the unified Request shape.
+func (opts *SearchOptions) request(kind RequestKind, attrs []string, query []float32, k int, threshold float32) Request {
+	req := Request{Kind: kind, Attrs: attrs, Query: query, K: k, Threshold: threshold}
 	if opts != nil {
-		if opts.Ef > 0 {
-			so.Ef = opts.Ef
-		}
-		if opts.Filter != nil {
-			so.Filters = map[string]*engine.VertexSet{
-				opts.Filter.Type: engine.NewVertexSet(opts.Filter.Type, opts.Filter.IDs),
-			}
-		}
+		req.Ef = opts.Ef
+		req.Filter = opts.Filter
 	}
-	return so
+	return req
 }
 
 // typedToHits converts engine results to the public hit type.
@@ -172,30 +165,30 @@ func parseRefs(attrs []string) ([]graph.EmbeddingRef, error) {
 // given as "Type.attr" strings. Attributes spanning multiple vertex types
 // must pass the embedding compatibility check (same dimension, model,
 // data type and metric).
+//
+// Deprecated: use Search with a TopK Request — it accepts a
+// context.Context (cancellation, deadlines) and returns the snapshot
+// TID. This wrapper runs the same path with context.Background().
 func (db *DB) VectorSearch(attrs []string, query []float32, k int, opts *SearchOptions) ([]SearchHit, error) {
-	refs, err := parseRefs(attrs)
+	res, err := db.Search(context.Background(), opts.request(TopK, attrs, query, k, 0))
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.engine.EmbeddingAction(refs, query, db.engineOpts(k, opts, 0))
-	if err != nil {
-		return nil, err
-	}
-	return typedToHits(res), nil
+	return res.Hits, nil
 }
 
 // RangeSearch returns every vertex whose embedding lies within the
 // distance threshold of the query.
+//
+// Deprecated: use Search with a Range Request — it accepts a
+// context.Context (cancellation, deadlines) and returns the snapshot
+// TID. This wrapper runs the same path with context.Background().
 func (db *DB) RangeSearch(attr string, query []float32, threshold float32, opts *SearchOptions) ([]SearchHit, error) {
-	ref, err := graph.ParseEmbeddingRef(attr)
+	res, err := db.Search(context.Background(), opts.request(Range, []string{attr}, query, 0, threshold))
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.engine.RangeAction(ref, query, threshold, db.engineOpts(0, opts, 0))
-	if err != nil {
-		return nil, err
-	}
-	return typedToHits(res), nil
+	return res.Hits, nil
 }
 
 // UpsertEmbedding transactionally writes a vertex's embedding attribute.
@@ -211,6 +204,9 @@ func (db *DB) UpsertEmbedding(vertexType, attr string, id uint64, vec []float32)
 // loaders that already hold it.
 func (db *DB) upsertEmbedding(vertexType, attr string, id uint64, vec []float32) error {
 	if err := db.checkEmbedding(vertexType, attr, len(vec)); err != nil {
+		return err
+	}
+	if err := validateVector("upsert vector", vec); err != nil {
 		return err
 	}
 	tx := db.mgr.Begin()
@@ -236,6 +232,11 @@ func (db *DB) DeleteEmbedding(vertexType, attr string, id uint64) error {
 }
 
 // GetEmbedding reads the currently visible embedding of a vertex.
+//
+// Deprecated: use Search with a Get Request — it accepts a
+// context.Context, can pin a snapshot via AtTID (rejecting retired
+// pins), and returns the snapshot TID. This wrapper reads the current
+// visible state directly.
 func (db *DB) GetEmbedding(vertexType, attr string, id uint64) ([]float32, bool) {
 	v, ok := db.engine.GetVector(graph.EmbeddingRef{VertexType: vertexType, Attr: attr}, id, 0)
 	return v, ok

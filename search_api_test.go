@@ -1,0 +1,494 @@
+package tigervector
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSearchUnifiedAPI exercises the three request kinds through the
+// single Search entry point.
+func TestSearchUnifiedAPI(t *testing.T) {
+	db := openTestDB(t)
+	ids, vecs := seedPosts(t, db, 60)
+	ctx := context.Background()
+
+	res, err := db.Search(ctx, Request{Attrs: []string{"Post.content_emb"}, Query: vecs[7], K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 3 || res.Hits[0].ID != ids[7] || res.Hits[0].Distance != 0 {
+		t.Fatalf("top-k hits wrong: %+v", res.Hits)
+	}
+	if res.SnapshotTID == 0 {
+		t.Fatal("Result.SnapshotTID not set")
+	}
+
+	rr, err := db.Search(ctx, Request{Kind: Range, Attrs: []string{"Post.content_emb"}, Query: vecs[7], Threshold: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Hits) != 1 || rr.Hits[0].ID != ids[7] {
+		t.Fatalf("range hits wrong: %+v", rr.Hits)
+	}
+
+	gr, err := db.Search(ctx, Request{Kind: Get, Attrs: []string{"Post.content_emb"}, ID: ids[7]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gr.Found || !reflect.DeepEqual(gr.Vector, vecs[7]) {
+		t.Fatalf("get result wrong: found=%v", gr.Found)
+	}
+	if _, err := db.Search(ctx, Request{Kind: Get, Attrs: []string{"Post.content_emb", "Post.x"}, ID: ids[7]}); err == nil {
+		t.Fatal("get with 2 attrs should fail")
+	}
+	// An unmaterialized attribute is a loud error, not Found=false.
+	if _, err := db.Search(ctx, Request{Kind: Get, Attrs: []string{"Post.nope"}, ID: ids[7]}); err == nil || !strings.Contains(err.Error(), "not materialized") {
+		t.Fatalf("get on unmaterialized attr = %v", err)
+	}
+}
+
+// TestWrapperEquivalence pins the compatibility contract: the deprecated
+// entry points must produce results identical to equivalent Requests on
+// unchanged data.
+func TestWrapperEquivalence(t *testing.T) {
+	db := openTestDB(t)
+	ids, vecs := seedPosts(t, db, 60)
+	ctx := context.Background()
+	attrs := []string{"Post.content_emb"}
+	filter := &VertexSet{Type: "Post", IDs: ids[:20]}
+
+	oldHits, err := db.VectorSearch(attrs, vecs[3], 5, &SearchOptions{Ef: 128, Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Search(ctx, Request{Attrs: attrs, Query: vecs[3], K: 5, Ef: 128, Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldHits, res.Hits) {
+		t.Fatalf("VectorSearch != Search:\n%+v\n%+v", oldHits, res.Hits)
+	}
+
+	oldRange, err := db.RangeSearch("Post.content_emb", vecs[3], 3.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := db.Search(ctx, Request{Kind: Range, Attrs: attrs, Query: vecs[3], Threshold: 3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldRange, rres.Hits) {
+		t.Fatalf("RangeSearch != Search(Range):\n%+v\n%+v", oldRange, rres.Hits)
+	}
+
+	queries := []BatchQuery{
+		{Attrs: attrs, Query: vecs[1], K: 4},
+		{Attrs: attrs, Query: vecs[2], Range: true, Threshold: 2},
+	}
+	reqs := []Request{
+		{Attrs: attrs, Query: vecs[1], K: 4},
+		{Kind: Range, Attrs: attrs, Query: vecs[2], Threshold: 2},
+	}
+	oldBatch := db.BatchVectorSearch(queries)
+	newBatch := db.SearchBatch(ctx, reqs)
+	for i := range oldBatch {
+		if oldBatch[i].Err != nil || newBatch[i].Err != nil {
+			t.Fatalf("query %d errored: %v / %v", i, oldBatch[i].Err, newBatch[i].Err)
+		}
+		if !reflect.DeepEqual(oldBatch[i].Hits, newBatch[i].Hits) {
+			t.Fatalf("batch query %d differs:\n%+v\n%+v", i, oldBatch[i].Hits, newBatch[i].Hits)
+		}
+	}
+}
+
+// TestSearchCancelledBeforeStart: a context cancelled before submission
+// returns ctx.Err() without opening a snapshot.
+func TestSearchCancelledBeforeStart(t *testing.T) {
+	db := openTestDB(t)
+	_, vecs := seedPosts(t, db, 30)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.Search(ctx, Request{Attrs: []string{"Post.content_emb"}, Query: vecs[0], K: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	assertNoActiveQueries(t, db)
+}
+
+// countdownCtx is a context whose Err starts failing after a fixed
+// number of polls: a deterministic way to cancel mid-scan, since the
+// engine checks Err cooperatively before each segment task.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+	calls     atomic.Int64
+}
+
+func (c *countdownCtx) Err() error {
+	c.calls.Add(1)
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// Done returns a channel that never closes; the engine and pool poll
+// Err between units of work, which is the path under test.
+func (c *countdownCtx) Done() <-chan struct{} { return nil }
+
+// TestSearchCancelMidScan cancels a request partway through its segment
+// fan-out and asserts it returns ctx.Err() without completing the scan,
+// frees its pool slot, and leaves no dangling ActiveTracker
+// registration (so the vacuum is not pinned).
+func TestSearchCancelMidScan(t *testing.T) {
+	// Small segments -> many segments -> many cooperative check points.
+	db, err := Open(Config{SegmentSize: 8, Seed: 1, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	ids, vecs := seedPosts(t, db, 400) // 50 segments of Post embeddings
+	// Pin the fan-out width so the number of Err() polls after
+	// cancellation is bounded and the completion/early-stop cases are
+	// clearly separated.
+	db.engine.Parallelism = 2
+
+	const budget = 5
+	cc := &countdownCtx{Context: context.Background()}
+	cc.remaining.Store(budget)
+	_, err = db.Search(cc, Request{
+		Attrs: []string{"Post.content_emb"}, Query: vecs[0], K: 5,
+		Filter: &VertexSet{Type: "Post", IDs: ids}, // filtered scan over the whole corpus
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// A completed scan polls Err at least once per segment task (50+);
+	// the cooperative stop must exit after the budget plus at most a few
+	// polls per worker.
+	if calls := cc.calls.Load(); calls > budget+20 {
+		t.Fatalf("scan did not stop early: %d ctx polls", calls)
+	}
+	assertNoActiveQueries(t, db)
+
+	// The cancelled query must not pin the vacuum: new writes still
+	// merge into the indexes.
+	if err := db.UpsertEmbedding("Post", "content_emb", ids[0], vecs[1]); err != nil {
+		t.Fatal(err)
+	}
+	tid := db.Stats().VisibleTID
+	if err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range db.Stats().Stores {
+		if st.Watermark < tid {
+			t.Fatalf("vacuum pinned after cancellation: watermark %d < tid %d", st.Watermark, tid)
+		}
+	}
+}
+
+// TestSearchBatchCancelSkipsQueued: cancelling a batch marks unstarted
+// requests with ctx.Err() instead of running them.
+func TestSearchBatchCancelSkipsQueued(t *testing.T) {
+	db := openTestDB(t)
+	_, vecs := seedPosts(t, db, 30)
+	cc := &countdownCtx{Context: context.Background()}
+	cc.remaining.Store(1)
+	reqs := make([]Request, 16)
+	for i := range reqs {
+		reqs[i] = Request{Attrs: []string{"Post.content_emb"}, Query: vecs[i], K: 3}
+	}
+	results := db.SearchBatch(cc, reqs)
+	cancelled := 0
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatalf("no request observed the cancellation: %+v", results)
+	}
+	assertNoActiveQueries(t, db)
+}
+
+// TestSearchTimeout: a per-request deadline surfaces as
+// context.DeadlineExceeded through both Search and the Result.
+func TestSearchTimeout(t *testing.T) {
+	db := openTestDB(t)
+	_, vecs := seedPosts(t, db, 30)
+	res, err := db.Search(context.Background(), Request{
+		Attrs: []string{"Post.content_emb"}, Query: vecs[0], K: 3,
+		Timeout: time.Nanosecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("Result.Err = %v", res.Err)
+	}
+	assertNoActiveQueries(t, db)
+}
+
+// TestAtTIDRepeatableRead pins a snapshot TID across requests running
+// concurrently with writers and asserts byte-identical results. The
+// vacuum is disabled so the pinned state outlives the unregistered
+// window between requests (with it enabled, a pin is only guaranteed
+// until the merge watermark passes it — then the request fails with a
+// snapshot-retired error rather than lying).
+func TestAtTIDRepeatableRead(t *testing.T) {
+	db, err := Open(Config{SegmentSize: 32, Seed: 1, DataDir: t.TempDir(), DisableVacuum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	ids, vecs := seedPosts(t, db, 60)
+	ctx := context.Background()
+	attrs := []string{"Post.content_emb"}
+
+	first, err := db.Search(ctx, Request{Attrs: attrs, Query: vecs[5], K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := first.SnapshotTID
+
+	// Writer storm: move every vector close to the query so an unpinned
+	// search would see completely different results.
+	stop := make(chan struct{})
+	writerDone := make(chan error, 1)
+	go func() {
+		defer close(writerDone)
+		r := rand.New(rand.NewSource(99))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := make([]float32, 8)
+			for j := range v {
+				v[j] = vecs[5][j] + float32(r.NormFloat64())*0.01
+			}
+			if err := db.UpsertEmbedding("Post", "content_emb", ids[i%len(ids)], v); err != nil {
+				writerDone <- err
+				return
+			}
+		}
+	}()
+
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		// Interleave a deterministic write so visibility is guaranteed
+		// to change under the pin even if the writer goroutine lags.
+		v := make([]float32, 8)
+		for j := range v {
+			v[j] = vecs[5][j] + float32(r.NormFloat64())*0.01
+		}
+		if err := db.UpsertEmbedding("Post", "content_emb", ids[i], v); err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Search(ctx, Request{Attrs: attrs, Query: vecs[5], K: 10, AtTID: pin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SnapshotTID != pin {
+			t.Fatalf("pinned request ran at %d, want %d", res.SnapshotTID, pin)
+		}
+		if !reflect.DeepEqual(first.Hits, res.Hits) {
+			t.Fatalf("repeatable read broken at iteration %d:\n%+v\n%+v", i, first.Hits, res.Hits)
+		}
+	}
+	close(stop)
+	if err := <-writerDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// An unpinned search at the current TID must see the moved vectors.
+	now, err := db.Search(ctx, Request{Attrs: attrs, Query: vecs[5], K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(first.Hits, now.Hits) {
+		t.Fatal("writer storm had no visible effect; test is vacuous")
+	}
+}
+
+// TestAtTIDRetiredSnapshot: pinning a TID the vacuum already merged
+// past must fail loudly, not silently return newer data.
+func TestAtTIDRetiredSnapshot(t *testing.T) {
+	db := openTestDB(t)
+	_, vecs := seedPosts(t, db, 30)
+	// seedPosts bulk-loads at a TID > 1, so the index watermark is
+	// already past a pin of 1.
+	res, err := db.Search(context.Background(), Request{
+		Attrs: []string{"Post.content_emb"}, Query: vecs[0], K: 3, AtTID: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "retired") {
+		t.Fatalf("want snapshot-retired error, got %v (hits %v)", err, res.Hits)
+	}
+	assertNoActiveQueries(t, db)
+}
+
+// TestAtTIDFutureRejected: a pin above the visible TID cannot be a
+// snapshot anyone observed — running it would let later commits leak
+// into a "pinned" read, so it must fail up front.
+func TestAtTIDFutureRejected(t *testing.T) {
+	db := openTestDB(t)
+	ids, vecs := seedPosts(t, db, 30)
+	future := db.Stats().VisibleTID + 1000
+	_, err := db.Search(context.Background(), Request{
+		Attrs: []string{"Post.content_emb"}, Query: vecs[0], K: 3, AtTID: future,
+	})
+	if err == nil || !strings.Contains(err.Error(), "future") {
+		t.Fatalf("future pin accepted: %v", err)
+	}
+	// Get requests enforce pin semantics too: a future pin is rejected,
+	// and a retired pin errors instead of answering from newer state.
+	_, err = db.Search(context.Background(), Request{
+		Kind: Get, Attrs: []string{"Post.content_emb"}, ID: ids[0], AtTID: future,
+	})
+	if err == nil || !strings.Contains(err.Error(), "future") {
+		t.Fatalf("future get pin accepted: %v", err)
+	}
+	_, err = db.Search(context.Background(), Request{
+		Kind: Get, Attrs: []string{"Post.content_emb"}, ID: ids[0], AtTID: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "retired") {
+		t.Fatalf("retired get pin answered silently: %v", err)
+	}
+	assertNoActiveQueries(t, db)
+}
+
+// TestFilterTypeMismatchRejected: a pre-filter whose type matches no
+// searched attribute must error, not silently return unfiltered results.
+func TestFilterTypeMismatchRejected(t *testing.T) {
+	db := openTestDB(t)
+	ids, vecs := seedPosts(t, db, 30)
+	bad := &VertexSet{Type: "post", IDs: ids[:5]} // wrong case
+	_, err := db.Search(context.Background(), Request{
+		Attrs: []string{"Post.content_emb"}, Query: vecs[0], K: 3, Filter: bad,
+	})
+	if err == nil || !strings.Contains(err.Error(), "matches no searched attribute") {
+		t.Fatalf("mismatched filter not rejected: %v", err)
+	}
+	_, err = db.Search(context.Background(), Request{
+		Kind: Range, Attrs: []string{"Post.content_emb"}, Query: vecs[0], Threshold: 1, Filter: bad,
+	})
+	if err == nil || !strings.Contains(err.Error(), "matches no searched attribute") {
+		t.Fatalf("mismatched range filter not rejected: %v", err)
+	}
+}
+
+// TestSearchTimeoutBoundsAdmission: Request.Timeout must cover time
+// spent blocked waiting for pool admission, not just scan time.
+func TestSearchTimeoutBoundsAdmission(t *testing.T) {
+	db, err := Open(Config{SegmentSize: 32, Seed: 1, DataDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	_, vecs := seedPosts(t, db, 10)
+	// Wedge the single worker and fill the queue (capacity 2*workers)
+	// so the next submission must wait for space.
+	release := make(chan struct{})
+	var wedged sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wedged.Add(1)
+		go func() {
+			defer wedged.Done()
+			db.pool.Go(func() { <-release })
+		}()
+	}
+	defer func() { close(release); wedged.Wait() }()
+	// Give the wedge tasks a moment to occupy the worker and queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for db.Stats().Pool.InFlight < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	_, err = db.Search(context.Background(), Request{
+		Attrs: []string{"Post.content_emb"}, Query: vecs[0], K: 1,
+		Timeout: 50 * time.Millisecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from blocked admission, got %v", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("Search blocked %v despite 50ms Timeout", waited)
+	}
+}
+
+// TestNonFiniteVectorsRejected: NaN/±Inf components fail at the API
+// boundary on both the read and write paths.
+func TestNonFiniteVectorsRejected(t *testing.T) {
+	db := openTestDB(t)
+	ids, vecs := seedPosts(t, db, 10)
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+
+	bad := append([]float32(nil), vecs[0]...)
+	bad[3] = nan
+	if _, err := db.Search(context.Background(), Request{Attrs: []string{"Post.content_emb"}, Query: bad, K: 3}); err == nil {
+		t.Fatal("NaN query accepted")
+	}
+	if _, err := db.VectorSearch([]string{"Post.content_emb"}, bad, 3, nil); err == nil {
+		t.Fatal("NaN query accepted via legacy wrapper")
+	}
+	bad[3] = inf
+	if _, err := db.Search(context.Background(), Request{Kind: Range, Attrs: []string{"Post.content_emb"}, Query: bad, Threshold: 1}); err == nil {
+		t.Fatal("Inf range query accepted")
+	}
+	if err := db.UpsertEmbedding("Post", "content_emb", ids[0], bad); err == nil {
+		t.Fatal("Inf upsert accepted")
+	}
+	bad[3] = nan
+	if err := db.BulkLoadEmbeddings("Post", "content_emb", ids[:1], [][]float32{bad}); err == nil {
+		t.Fatal("NaN bulk load accepted")
+	}
+	// The store must still be healthy after the rejections.
+	if _, err := db.Search(context.Background(), Request{Attrs: []string{"Post.content_emb"}, Query: vecs[0], K: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertNoActiveQueries verifies via Stats that every request —
+// including cancelled ones — released its ActiveTracker registration
+// and its pool slot.
+func assertNoActiveQueries(t *testing.T, db *DB) {
+	t.Helper()
+	// The pool's completed counter increments just after the task's own
+	// wait-group release, so allow a brief settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := db.Stats()
+		ok := st.Pool.InFlight == 0
+		for _, s := range st.Stores {
+			if s.ActiveQueries != 0 {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dangling registrations: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -19,12 +19,15 @@
 //	GET  /stats                         -> server.Stats
 //
 // Concurrency model: net/http serves each request on its own goroutine;
-// every search funnels into DB.BatchVectorSearch, whose bounded worker
-// pool (tigervector.Config.Workers wide) is the single admission point
-// for query execution. A traffic burst therefore queues at the pool
-// instead of oversubscribing the segment fan-out, and every query runs
-// at its own MVCC snapshot TID with vacuum safety preserved by the
-// per-store ActiveTrackers.
+// every search funnels into DB.SearchBatch, whose bounded worker pool
+// (tigervector.Config.Workers wide) is the single admission point for
+// query execution. A traffic burst therefore queues at the pool instead
+// of oversubscribing the segment fan-out, and every query runs at its
+// own MVCC snapshot TID with vacuum safety preserved by the per-store
+// ActiveTrackers. The request context flows all the way down: a client
+// disconnect, a wire-level timeout_ms, or the server's default
+// -request-timeout cancels the segment scans mid-flight and frees the
+// pool slot instead of burning a worker on an abandoned request.
 package server
 
 import (
@@ -46,6 +49,12 @@ import (
 type Options struct {
 	// MaxBatch caps query vectors per /search request. Default 1024.
 	MaxBatch int
+	// RequestTimeout is the default server-side deadline applied to
+	// every search request that does not set its own timeout_ms. Zero
+	// applies no default deadline. Either way the request context is
+	// also cancelled when the client disconnects, which stops the
+	// segment scans and frees the worker-pool slot.
+	RequestTimeout time.Duration
 	// Logf receives one line per failed request; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -208,6 +217,30 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, client.EdgeResponse{})
 }
 
+// requestContext derives the execution context of a search request:
+// the HTTP request context (cancelled on client disconnect) plus the
+// wire-level timeout_ms, falling back to the server's default request
+// timeout. The caller must call the returned cancel func.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	timeout := s.opts.RequestTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// wireFilter converts the optional wire-level pre-filter.
+func wireFilter(f *client.Filter) *tigervector.VertexSet {
+	if f == nil {
+		return nil
+	}
+	return &tigervector.VertexSet{Type: f.Type, IDs: f.IDs}
+}
+
 // handleSearch answers POST /search: one query vector or a pooled batch.
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.search.Add(1)
@@ -235,14 +268,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if single {
 		vecs = [][]float32{req.Query}
 	}
-	queries := make([]tigervector.BatchQuery, len(vecs))
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	// One shared filter for the whole batch: SearchBatch converts each
+	// distinct filter pointer to its engine bitmap once.
+	filter := wireFilter(req.Filter)
+	reqs := make([]tigervector.Request, len(vecs))
 	for i, q := range vecs {
-		queries[i] = tigervector.BatchQuery{
-			Attrs: req.Attrs, Query: q, K: req.K,
-			Opts: &tigervector.SearchOptions{Ef: req.Ef},
+		reqs[i] = tigervector.Request{
+			Kind: tigervector.TopK, Attrs: req.Attrs, Query: q, K: req.K,
+			Ef: req.Ef, Filter: filter, AtTID: req.AtTID,
 		}
 	}
-	s.writeJSON(w, searchResponse(s.db.BatchVectorSearch(queries)))
+	s.writeJSON(w, searchResponse(s.db.SearchBatch(ctx, reqs)))
 }
 
 // handleRange answers POST /range.
@@ -256,18 +294,20 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "query vector required")
 		return
 	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
 	// No sign check on Threshold: inner-product metrics encode "dot >= x"
 	// as a negative distance bound.
-	res := s.db.BatchVectorSearch([]tigervector.BatchQuery{{
-		Attrs: []string{req.Attr}, Query: req.Query,
-		Range: true, Threshold: req.Threshold,
-		Opts: &tigervector.SearchOptions{Ef: req.Ef},
+	res := s.db.SearchBatch(ctx, []tigervector.Request{{
+		Kind: tigervector.Range, Attrs: []string{req.Attr}, Query: req.Query,
+		Threshold: req.Threshold, Ef: req.Ef,
+		Filter: wireFilter(req.Filter), AtTID: req.AtTID,
 	}})
 	s.writeJSON(w, searchResponse(res))
 }
 
-// searchResponse converts batch results to the wire shape.
-func searchResponse(results []tigervector.BatchResult) client.SearchResponse {
+// searchResponse converts request results to the wire shape.
+func searchResponse(results []tigervector.Result) client.SearchResponse {
 	out := client.SearchResponse{Results: make([]client.SearchResult, len(results))}
 	for i, r := range results {
 		sr := client.SearchResult{SnapshotTID: r.SnapshotTID, Hits: make([]client.Hit, len(r.Hits))}

@@ -472,3 +472,76 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatalf("Serve after Shutdown returned %v", err)
 	}
 }
+
+func TestSearchWithFilterAndPin(t *testing.T) {
+	c, ids, vecs := newTestServer(t, 60)
+	ctx := context.Background()
+
+	// Wire-level pre-filter: only the first 5 posts qualify.
+	resp, err := c.SearchWith(ctx, client.SearchRequest{
+		Attrs: []string{"Post.content_emb"}, Query: vecs[9], K: 3,
+		Filter: &client.Filter{Type: "Post", IDs: ids[:5]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Error != "" {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+	for _, h := range resp.Results[0].Hits {
+		if h.ID >= ids[5] {
+			t.Fatalf("filter ignored: hit %d", h.ID)
+		}
+	}
+	pin := resp.Results[0].SnapshotTID
+	if pin == 0 {
+		t.Fatal("snapshot_tid missing")
+	}
+
+	// A pinned follow-up runs at exactly the pinned snapshot.
+	resp2, err := c.SearchWith(ctx, client.SearchRequest{
+		Attrs: []string{"Post.content_emb"}, Query: vecs[9], K: 3,
+		Filter: &client.Filter{Type: "Post", IDs: ids[:5]}, AtTID: pin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Results[0].SnapshotTID != pin {
+		t.Fatalf("pin ignored: ran at %d, want %d", resp2.Results[0].SnapshotTID, pin)
+	}
+	if len(resp2.Results[0].Hits) != len(resp.Results[0].Hits) {
+		t.Fatalf("pinned read differs: %+v vs %+v", resp2.Results[0].Hits, resp.Results[0].Hits)
+	}
+
+	// Range requests carry the same fields.
+	rresp, err := c.RangeWith(ctx, client.RangeRequest{
+		Attr: "Post.content_emb", Query: vecs[9], Threshold: 1e6,
+		Filter: &client.Filter{Type: "Post", IDs: ids[:5]}, AtTID: pin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rresp.Results[0].Hits); got != 5 {
+		t.Fatalf("filtered range returned %d hits, want 5", got)
+	}
+}
+
+func TestSearchTimeoutWire(t *testing.T) {
+	c, _, vecs := newTestServer(t, 30)
+	// A sub-millisecond server-side deadline: the request must answer
+	// with a per-query deadline error, not hang or 500. timeout_ms=1 is
+	// the smallest wire value; combined with a queued goroutine
+	// handoff it reliably expires before the scan finishes on a corpus
+	// this size — and if the scan does win the race, hits are valid
+	// too, so accept either but never a transport error.
+	resp, err := c.SearchWith(context.Background(), client.SearchRequest{
+		Attrs: []string{"Post.content_emb"}, Query: vecs[0], K: 3, TimeoutMS: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := resp.Results[0]
+	if r.Error != "" && !strings.Contains(r.Error, "deadline") {
+		t.Fatalf("unexpected error: %q", r.Error)
+	}
+}

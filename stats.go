@@ -32,6 +32,11 @@ type StoreStats struct {
 	DeltaFiles int `json:"delta_files"`
 	// Watermark is the TID up to which the indexes are complete.
 	Watermark uint64 `json:"watermark"`
+	// ActiveQueries counts snapshot registrations currently held against
+	// this store. It must return to zero once all requests — including
+	// cancelled ones — have finished; a stuck non-zero value pins the
+	// vacuum.
+	ActiveQueries int `json:"active_queries"`
 }
 
 // VacuumStats counts background vacuum activity since Open.
@@ -114,6 +119,7 @@ func (db *DB) Stats() DBStats {
 			PendingDeltas: store.PendingDeltas(),
 			DeltaFiles:    len(store.DeltaFiles()),
 			Watermark:     uint64(store.Watermark()),
+			ActiveQueries: store.ActiveQueries(),
 		})
 	}
 	sort.Slice(st.Stores, func(i, j int) bool { return st.Stores[i].Attr < st.Stores[j].Attr })

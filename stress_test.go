@@ -156,12 +156,17 @@ CREATE QUERY eng (LIST<FLOAT> qv, INT k) {
 	}()
 
 	// Visibility prober: upsert a sentinel, then immediately search it.
+	// The sentinel id lives in [n/4, n/2): not deleted up front and
+	// outside the writer's range, so the prober's own upserts are the
+	// only writes to it — read-your-writes must hold no matter how long
+	// the search queues behind other pool work. (ids[n/2] itself is in
+	// the writer's range: probing it races with a legitimate overwrite.)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 40; i++ {
 			sentinel := []float32{float32(1000 + i), 0, 0, 0, 0, 0, 0, 0}
-			id := ids[n/2]
+			id := ids[n/3]
 			if err := db.UpsertEmbedding("Post", "content_emb", id, sentinel); err != nil {
 				report("sentinel upsert: %v", err)
 				return
