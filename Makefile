@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet race recovery-test bench-restart fmt-check
+.PHONY: build test bench vet race recovery-test bench-restart bench-filtered fmt-check
 
 build:
 	$(GO) build ./...
@@ -35,3 +35,9 @@ bench:
 # over 5 reopens each and emitted as BENCH_restart.json.
 bench-restart:
 	TGV_BENCH_OUT=BENCH_restart.json $(GO) test -run xxx -bench BenchmarkOpenColdVsSnapshot -benchtime 5x .
+
+# Filtered-search planner benchmark: sweeps filter selectivity
+# (0.1%..100%) across the three plan strategies, the automatic planner
+# and the pre-planner callback baseline, emitted as BENCH_filtered.json.
+bench-filtered:
+	TGV_BENCH_FILTERED_OUT=BENCH_filtered.json $(GO) test -run xxx -bench BenchmarkFilteredSearch -benchtime 10x .

@@ -11,6 +11,7 @@ package tigervector
 // reported in EXPERIMENTS.md.
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -19,6 +20,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/storage"
 )
 
 func benchScale(b *testing.B) {
@@ -372,4 +374,151 @@ func BenchmarkOpenColdVsSnapshot(b *testing.B) {
 		}
 		b.Logf("restart bench written to %s: %s", out, payload)
 	}
+}
+
+// filteredCorpus builds an in-memory corpus for the filtered-search
+// planner benchmark: one embedding attribute, several segments, vacuum
+// off (no background merges perturbing timings).
+func filteredCorpus(b *testing.B, plan FilterPlanConfig) (*DB, []uint64, [][]float32) {
+	b.Helper()
+	db, err := Open(Config{SegmentSize: 1024, Seed: 3, DisableVacuum: true, FilterPlan: plan})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	err = db.Exec(`
+CREATE VERTEX Item (id INT PRIMARY KEY);
+ALTER VERTEX Item ADD EMBEDDING ATTRIBUTE emb (
+  DIMENSION = 32, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(8))
+	const n = 8192
+	ids := make([]uint64, n)
+	vecs := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		id, err := db.AddVertex("Item", map[string]any{"id": int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+		v := make([]float32, 32)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		vecs[i] = v
+	}
+	if err := db.BulkLoadEmbeddings("Item", "emb", ids, vecs); err != nil {
+		b.Fatal(err)
+	}
+	return db, ids, vecs
+}
+
+// BenchmarkFilteredSearch sweeps filter selectivity and compares the
+// planner's three strategies against the pre-planner baseline (callback
+// filter probing the locked global bitmap at unchanged ef). MaxEfInflation
+// is pinned to 1 so "bitmap vs callback" isolates the representation
+// change (dense lock-free probe vs locked bitmap probe) at identical
+// beam width; "plan" additionally shows the automatic strategy choice.
+// With TGV_BENCH_FILTERED_OUT set, per-mode averages are written as
+// JSON (`make bench-filtered` emits BENCH_filtered.json).
+func BenchmarkFilteredSearch(b *testing.B) {
+	selectivities := []struct {
+		name string
+		frac float64
+	}{
+		{"0.1pct", 0.001}, {"1pct", 0.01}, {"10pct", 0.1}, {"50pct", 0.5}, {"100pct", 1.0},
+	}
+	force := map[string]FilterPlanConfig{
+		"plan":   {MaxEfInflation: 1},
+		"brute":  {BruteForceCount: 1 << 30, BruteForceSelectivity: 1.1, MaxEfInflation: 1},
+		"bitmap": {BruteForceCount: -1, BruteForceSelectivity: -1, PostFilterSelectivity: 2, MaxEfInflation: 1},
+		"post":   {BruteForceCount: -1, BruteForceSelectivity: -1, PostFilterSelectivity: 1e-12, MaxEfInflation: 1},
+	}
+	modes := []string{"plan", "brute", "bitmap", "post", "callback"}
+	const k, ef = 10, 96
+
+	type row struct {
+		Selectivity float64 `json:"selectivity"`
+		Mode        string  `json:"mode"`
+		NsPerOp     float64 `json:"ns_per_op"`
+	}
+	// Keyed, last write wins: the testing package runs each sub-benchmark
+	// closure more than once (the b.N=1 discovery run before the measured
+	// run), and only the final, fully-measured numbers should be emitted.
+	byKey := map[string]row{}
+	var keyOrder []string
+
+	for _, mode := range modes {
+		cfg := force["plan"]
+		if c, ok := force[mode]; ok {
+			cfg = c
+		}
+		db, ids, vecs := filteredCorpus(b, cfg)
+		store, ok := db.svc.Store("Item.emb")
+		if !ok {
+			b.Fatal("store missing")
+		}
+		tid := db.mgr.Visible()
+		for _, sel := range selectivities {
+			stride := int(1 / sel.frac)
+			bm := storageBitmapOf(ids, stride)
+			filter := func(id uint64) bool { return bm.Get(int(id)) }
+			q := vecs[1]
+			key := fmt.Sprintf("%s/%s", mode, sel.name)
+			b.Run(key, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var err error
+					if mode == "callback" {
+						// Pre-planner path: callback filter, locked
+						// bitmap probe per candidate, unchanged ef.
+						_, err = store.Search(tid, q, k, ef, filter, 1)
+					} else {
+						_, _, err = store.SearchFiltered(tid, q, k, ef, bm, 1)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, seen := byKey[key]; !seen {
+					keyOrder = append(keyOrder, key)
+				}
+				byKey[key] = row{Selectivity: sel.frac, Mode: mode,
+					NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N)}
+			})
+		}
+	}
+
+	rows := make([]row, 0, len(keyOrder))
+	for _, key := range keyOrder {
+		rows = append(rows, byKey[key])
+	}
+	if out := os.Getenv("TGV_BENCH_FILTERED_OUT"); out != "" && len(rows) > 0 {
+		payload, err := json.MarshalIndent(struct {
+			Benchmark string `json:"benchmark"`
+			Vectors   int    `json:"vectors"`
+			Dim       int    `json:"dim"`
+			K         int    `json:"k"`
+			Ef        int    `json:"ef"`
+			Results   []row  `json:"results"`
+		}{"FilteredSearch", 8192, 32, k, ef, rows}, "", " ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(payload, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("filtered bench written to %s", out)
+	}
+}
+
+// storageBitmapOf builds the request filter bitmap admitting every
+// stride-th id.
+func storageBitmapOf(ids []uint64, stride int) *storage.Bitmap {
+	bm := storage.NewBitmap(len(ids))
+	for i := 0; i < len(ids); i += stride {
+		bm.Set(int(ids[i]))
+	}
+	return bm
 }

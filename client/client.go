@@ -62,12 +62,35 @@ type SearchRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
+// PlanInfo describes how the server's filtered-search planner executed
+// a filter-carrying query: the measured selectivity and how many
+// segments each strategy (brute-force scan, bitmap-filtered index
+// search, post-filtered index search) handled. Absent for unfiltered
+// queries.
+type PlanInfo struct {
+	// Candidates is the number of filter-qualified live vectors.
+	Candidates int `json:"candidates"`
+	// Live is the live vector count of the searched segments.
+	Live int `json:"live"`
+	// Selectivity is Candidates/Live.
+	Selectivity float64 `json:"selectivity"`
+	// Ef is the largest effective index beam used after inflation.
+	Ef int `json:"ef,omitempty"`
+	// BruteSegments..SkippedSegments count segments per strategy.
+	BruteSegments   int `json:"brute_segments"`
+	BitmapSegments  int `json:"bitmap_segments"`
+	PostSegments    int `json:"post_segments"`
+	SkippedSegments int `json:"skipped_segments"`
+}
+
 // SearchResult is the outcome of one query within a search response.
 type SearchResult struct {
 	// Hits are the matches, ascending by distance.
 	Hits []Hit `json:"hits"`
 	// SnapshotTID is the MVCC snapshot the query executed at.
 	SnapshotTID uint64 `json:"snapshot_tid"`
+	// Plan is the executed filter plan; nil for unfiltered queries.
+	Plan *PlanInfo `json:"plan,omitempty"`
 	// Error is the per-query failure, empty on success.
 	Error string `json:"error,omitempty"`
 }
@@ -201,6 +224,12 @@ type GSQLStats struct {
 	VectorSearchSeconds float64 `json:"vector_search_seconds"`
 	// Candidates is the vector-search candidate count.
 	Candidates int `json:"candidates"`
+	// Selectivity is the last filtered search's measured qualified
+	// fraction (0 when no filter applied).
+	Selectivity float64 `json:"selectivity,omitempty"`
+	// Plan is the planner's compact rendering of the last filtered
+	// search (empty when no filter applied).
+	Plan string `json:"plan,omitempty"`
 }
 
 // GSQLResponse is the body answering POST /gsql.

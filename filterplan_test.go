@@ -1,0 +1,347 @@
+package tigervector
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/vectormath"
+)
+
+// This file is the differential property test of the filtered-search
+// planner: for every selectivity band and for each of the three
+// execution strategies (forced via FilterPlanConfig extremes), top-k and
+// range results must be identical to a brute-force oracle over the raw
+// vectors. The corpus spans multiple segments and ef is set to the
+// segment size so the HNSW paths are exhaustive — any mismatch is a
+// planner or filter bug, not index approximation.
+
+const (
+	fpN       = 1024
+	fpDim     = 16
+	fpSegSize = 256
+	fpK       = 10
+)
+
+func filterPlanDB(t *testing.T, plan FilterPlanConfig) (*DB, []uint64, [][]float32) {
+	t.Helper()
+	db, err := Open(Config{SegmentSize: fpSegSize, Seed: 1, DisableVacuum: true, FilterPlan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	err = db.Exec(`
+CREATE VERTEX Doc (id INT PRIMARY KEY);
+ALTER VERTEX Doc ADD EMBEDDING ATTRIBUTE emb (
+  DIMENSION = 16, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	ids := make([]uint64, fpN)
+	vecs := make([][]float32, fpN)
+	for i := 0; i < fpN; i++ {
+		id, err := db.AddVertex("Doc", map[string]any{"id": int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		v := make([]float32, fpDim)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		vecs[i] = v
+	}
+	if err := db.BulkLoadEmbeddings("Doc", "emb", ids, vecs); err != nil {
+		t.Fatal(err)
+	}
+	return db, ids, vecs
+}
+
+// fpOracle computes the exact filtered top-k and range answers.
+func fpOracle(ids []uint64, vecs [][]float32, member map[uint64]bool, q []float32, k int, threshold float32) (topk, rng []uint64) {
+	type hit struct {
+		id uint64
+		d  float32
+	}
+	var all []hit
+	for i, id := range ids {
+		if !member[id] {
+			continue
+		}
+		all = append(all, hit{id, vectormath.SquaredL2(q, vecs[i])})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].id < all[j].id
+	})
+	for i, h := range all {
+		if i < k {
+			topk = append(topk, h.id)
+		}
+		if h.d < threshold {
+			rng = append(rng, h.id)
+		}
+	}
+	return topk, rng
+}
+
+func fpSelectivities() map[string]float64 {
+	return map[string]float64{
+		"0.1%": 0.001, "1%": 0.01, "10%": 0.1, "50%": 0.5, "100%": 1.0,
+	}
+}
+
+func TestFilterPlanDifferentialSweep(t *testing.T) {
+	// Force each strategy in turn, plus the automatic planner; every
+	// configuration must agree with the oracle at every selectivity.
+	force := map[string]FilterPlanConfig{
+		"auto":   {},
+		"brute":  {BruteForceCount: 1 << 30, BruteForceSelectivity: 1.1},
+		"bitmap": {BruteForceCount: -1, BruteForceSelectivity: -1, PostFilterSelectivity: 2},
+		"post":   {BruteForceCount: -1, BruteForceSelectivity: -1, PostFilterSelectivity: 1e-12},
+	}
+	for mode, cfg := range force {
+		t.Run(mode, func(t *testing.T) {
+			db, ids, vecs := filterPlanDB(t, cfg)
+			ctx := context.Background()
+			q := vecs[5]
+			for name, sel := range fpSelectivities() {
+				stride := int(1 / sel)
+				member := map[uint64]bool{}
+				var fids []uint64
+				for i := 0; i < fpN; i += stride {
+					member[ids[i]] = true
+					fids = append(fids, ids[i])
+				}
+				wantTop, wantRange := fpOracle(ids, vecs, member, q, fpK, 20)
+				filter := &VertexSet{Type: "Doc", IDs: fids}
+
+				res, err := db.Search(ctx, Request{
+					Attrs: []string{"Doc.emb"}, Query: q, K: fpK,
+					Ef: fpSegSize, Filter: filter,
+				})
+				if err != nil {
+					t.Fatalf("%s topk: %v", name, err)
+				}
+				if res.Plan == nil {
+					t.Fatalf("%s topk: filtered request carries no plan", name)
+				}
+				checkHitIDs(t, mode+"/"+name+"/topk", res.Hits, wantTop, member)
+
+				rr, err := db.Search(ctx, Request{
+					Kind: Range, Attrs: []string{"Doc.emb"}, Query: q,
+					Threshold: 20, Ef: fpSegSize, Filter: filter,
+				})
+				if err != nil {
+					t.Fatalf("%s range: %v", name, err)
+				}
+				if rr.Plan == nil {
+					t.Fatalf("%s range: filtered request carries no plan", name)
+				}
+				checkHitIDs(t, mode+"/"+name+"/range", rr.Hits, wantRange, member)
+
+				// The forced configurations must actually force: every
+				// non-empty segment runs the requested strategy.
+				ran := map[string]int{
+					"brute":  res.Plan.BruteSegments,
+					"bitmap": res.Plan.BitmapSegments,
+					"post":   res.Plan.PostSegments,
+				}
+				nonEmpty := fpN/fpSegSize - res.Plan.SkippedSegments
+				if mode != "auto" && ran[mode] != nonEmpty {
+					t.Fatalf("%s/%s: plan %+v did not force %s on %d segments", mode, name, res.Plan, mode, nonEmpty)
+				}
+				wantSel := float64(len(fids)) / fpN
+				if res.Plan.Selectivity < wantSel*0.9 || res.Plan.Selectivity > wantSel*1.1 {
+					t.Fatalf("%s/%s: measured selectivity %v, want ~%v", mode, name, res.Plan.Selectivity, wantSel)
+				}
+			}
+		})
+	}
+}
+
+func checkHitIDs(t *testing.T, what string, hits []SearchHit, want []uint64, member map[uint64]bool) {
+	t.Helper()
+	if len(hits) != len(want) {
+		t.Fatalf("%s: %d hits, want %d (%v)", what, len(hits), len(want), hits)
+	}
+	for i, h := range hits {
+		if !member[h.ID] {
+			t.Fatalf("%s: hit %d id %d violates the filter", what, i, h.ID)
+		}
+		if h.ID != want[i] {
+			t.Fatalf("%s: hit %d = %d, oracle says %d", what, i, h.ID, want[i])
+		}
+	}
+}
+
+// TestFilterPlanAutoBands pins the automatic planner's band selection:
+// tiny filters brute-force, mid-band filters run the bitmap index path,
+// near-full filters post-filter — and the plan is visible in /stats
+// aggregates as well as per request.
+func TestFilterPlanAutoBands(t *testing.T) {
+	db, ids, vecs := filterPlanDB(t, FilterPlanConfig{})
+	ctx := context.Background()
+	q := vecs[7]
+	search := func(stride int) *PlanInfo {
+		var fids []uint64
+		for i := 0; i < fpN; i += stride {
+			fids = append(fids, ids[i])
+		}
+		res, err := db.Search(ctx, Request{
+			Attrs: []string{"Doc.emb"}, Query: q, K: 5, Ef: 64,
+			Filter: &VertexSet{Type: "Doc", IDs: fids},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Plan == nil {
+			t.Fatal("no plan on filtered request")
+		}
+		return res.Plan
+	}
+	if p := search(256); p.BruteSegments != 4 { // 1 candidate per segment
+		t.Fatalf("tiny filter plan %+v, want 4 brute segments", p)
+	}
+	if p := search(2); p.BitmapSegments != 4 { // 50%: above the 64-count brute floor, below the 90% post band
+		t.Fatalf("mid filter plan %+v, want 4 bitmap segments", p)
+	}
+	if p := search(1); p.PostSegments != 4 { // 100% selectivity
+		t.Fatalf("full filter plan %+v, want 4 post segments", p)
+	}
+	st := db.Stats()
+	if st.FilterPlans.FilteredSearches != 3 {
+		t.Fatalf("stats filtered searches = %d, want 3", st.FilterPlans.FilteredSearches)
+	}
+	if st.FilterPlans.BruteSegments != 4 || st.FilterPlans.BitmapSegments != 4 || st.FilterPlans.PostSegments != 4 {
+		t.Fatalf("stats plan segments = %+v", st.FilterPlans)
+	}
+	// Unfiltered requests carry no plan and do not count.
+	res, err := db.Search(ctx, Request{Attrs: []string{"Doc.emb"}, Query: q, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan != nil {
+		t.Fatalf("unfiltered request got plan %+v", res.Plan)
+	}
+	if got := db.Stats().FilterPlans.FilteredSearches; got != 3 {
+		t.Fatalf("unfiltered search counted as filtered: %d", got)
+	}
+}
+
+// TestFilterPlanWithUnmergedDeltas runs the sweep with updates sitting
+// in the delta overlay (vacuum disabled): overridden ids must serve
+// their new vectors, deletes must disappear, and fresh inserts beyond
+// the loaded range must be admitted by filter membership.
+func TestFilterPlanWithUnmergedDeltas(t *testing.T) {
+	db, ids, vecs := filterPlanDB(t, FilterPlanConfig{})
+	ctx := context.Background()
+	q := vecs[5]
+
+	// Override id 0 to sit exactly at the query, delete the oracle's
+	// current best, and insert a brand-new vertex near the query.
+	if err := db.UpsertEmbedding("Doc", "emb", ids[0], q); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteEmbedding("Doc", "emb", ids[5]); err != nil {
+		t.Fatal(err)
+	}
+	newID, err := db.AddVertex("Doc", map[string]any{"id": int64(fpN)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv := append([]float32(nil), q...)
+	nv[0] += 0.01
+	if err := db.UpsertEmbedding("Doc", "emb", newID, nv); err != nil {
+		t.Fatal(err)
+	}
+
+	member := map[uint64]bool{}
+	fids := []uint64{newID}
+	member[newID] = true
+	for i := 0; i < fpN; i += 2 {
+		member[ids[i]] = true
+		fids = append(fids, ids[i])
+	}
+	// Oracle over the post-update state.
+	oIDs := append([]uint64(nil), ids...)
+	oVecs := append([][]float32(nil), vecs...)
+	oVecs[0] = q
+	oIDs = append(oIDs, newID)
+	oVecs = append(oVecs, nv)
+	delete(member, ids[5])
+	oracleMember := member
+	wantTop, _ := fpOracle(oIDs, oVecs, oracleMember, q, fpK, 0)
+
+	res, err := db.Search(ctx, Request{
+		Attrs: []string{"Doc.emb"}, Query: q, K: fpK, Ef: fpSegSize,
+		Filter: &VertexSet{Type: "Doc", IDs: fids},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkHitIDs(t, "delta sweep", res.Hits, wantTop, oracleMember)
+	if res.Hits[0].ID != ids[0] || res.Hits[0].Distance != 0 {
+		t.Fatalf("overridden vector not served from overlay: %+v", res.Hits[0])
+	}
+}
+
+// TestFilterPlanIVF runs a compact differential sweep against the IVF
+// index so both index implementations exercise the bitmap path.
+func TestFilterPlanIVF(t *testing.T) {
+	db, err := Open(Config{SegmentSize: fpSegSize, Seed: 1, DisableVacuum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	err = db.Exec(`
+CREATE VERTEX Doc (id INT PRIMARY KEY);
+ALTER VERTEX Doc ADD EMBEDDING ATTRIBUTE emb (
+  DIMENSION = 16, MODEL = GPT4, INDEX = IVF, DATATYPE = FLOAT, METRIC = L2);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	n := 512
+	ids := make([]uint64, n)
+	vecs := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		id, err := db.AddVertex("Doc", map[string]any{"id": int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		v := make([]float32, fpDim)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		vecs[i] = v
+	}
+	if err := db.BulkLoadEmbeddings("Doc", "emb", ids, vecs); err != nil {
+		t.Fatal(err)
+	}
+	for _, stride := range []int{2, 16} {
+		member := map[uint64]bool{}
+		var fids []uint64
+		for i := 0; i < n; i += stride {
+			member[ids[i]] = true
+			fids = append(fids, ids[i])
+		}
+		wantTop, _ := fpOracle(ids, vecs, member, vecs[3], 5, 0)
+		// ef maps to nprobe for IVF; a huge value probes every list, so
+		// the scan is exhaustive and oracle-exact.
+		res, err := db.Search(context.Background(), Request{
+			Attrs: []string{"Doc.emb"}, Query: vecs[3], K: 5, Ef: 1 << 16,
+			Filter: &VertexSet{Type: "Doc", IDs: fids},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkHitIDs(t, fmt.Sprintf("ivf stride %d", stride), res.Hits, wantTop, member)
+	}
+}

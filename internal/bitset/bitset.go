@@ -1,0 +1,76 @@
+// Package bitset provides the immutable, lock-free dense bitsets the
+// filtered-search planner compiles request filters into (paper Sec. 5.3).
+//
+// A request filter arrives as a growable, mutex-guarded bitmap over the
+// global vertex-id space (storage.Bitmap). Probing that structure once
+// per visited index candidate costs a read-lock acquisition on the search
+// hot path, and the delta-mask wrapper adds a hash probe on top. A Set is
+// the compiled per-segment form: a plain word array covering exactly one
+// segment's id range, built once per request, immutable afterwards, and
+// probed with two shifts and a mask — safe for concurrent readers with no
+// synchronization at all.
+package bitset
+
+import "math/bits"
+
+// Set is an immutable dense bitset over the external-id range
+// [Base, Base+64*len(words)). The zero value is an empty set. A Set must
+// not be mutated after it is shared across goroutines; all methods are
+// read-only.
+type Set struct {
+	base  uint64
+	words []uint64
+	count int
+}
+
+// New wraps words as a set over ids starting at base. The word slice is
+// retained, not copied; the caller must not mutate it afterwards.
+func New(base uint64, words []uint64) *Set {
+	c := 0
+	for _, w := range words {
+		c += bits.OnesCount64(w)
+	}
+	return &Set{base: base, words: words, count: c}
+}
+
+// Base returns the first id covered by the set's range.
+func (s *Set) Base() uint64 { return s.base }
+
+// Count returns the number of ids in the set.
+func (s *Set) Count() int {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+// Contains reports membership of id. Ids outside the covered range are
+// not members. Safe for unsynchronized concurrent use.
+func (s *Set) Contains(id uint64) bool {
+	if id < s.base {
+		return false
+	}
+	off := id - s.base
+	w := off >> 6
+	if w >= uint64(len(s.words)) {
+		return false
+	}
+	return s.words[w]&(1<<(off&63)) != 0
+}
+
+// Range calls fn for every member id in ascending order; fn returning
+// false stops the iteration.
+func (s *Set) Range(fn func(id uint64) bool) {
+	if s == nil {
+		return
+	}
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(s.base + uint64(wi*64+b)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmpty(t *testing.T) {
+	var s *Set
+	if s.Count() != 0 {
+		t.Fatalf("nil count = %d", s.Count())
+	}
+	s.Range(func(uint64) bool { t.Fatal("nil range yielded"); return true })
+	e := New(100, nil)
+	if e.Count() != 0 || e.Contains(100) {
+		t.Fatalf("empty set misbehaves: count=%d", e.Count())
+	}
+}
+
+func TestContainsAndRange(t *testing.T) {
+	const base = 1024
+	words := make([]uint64, 4) // ids [1024, 1280)
+	want := []uint64{1024, 1087, 1088, 1279}
+	for _, id := range want {
+		words[(id-base)/64] |= 1 << ((id - base) % 64)
+	}
+	s := New(base, words)
+	if s.Count() != len(want) {
+		t.Fatalf("count = %d, want %d", s.Count(), len(want))
+	}
+	for _, id := range want {
+		if !s.Contains(id) {
+			t.Fatalf("missing %d", id)
+		}
+	}
+	for _, id := range []uint64{0, 1023, 1280, 1 << 40} {
+		if s.Contains(id) {
+			t.Fatalf("spurious %d", id)
+		}
+	}
+	var got []uint64
+	s.Range(func(id uint64) bool { got = append(got, id); return true })
+	if len(got) != len(want) {
+		t.Fatalf("range yielded %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range order: got %v want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	s.Range(func(uint64) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop yielded %d", n)
+	}
+}
+
+func TestRandomAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const base, span = 512, 2048
+	words := make([]uint64, span/64)
+	ref := map[uint64]bool{}
+	for i := 0; i < 500; i++ {
+		id := base + uint64(r.Intn(span))
+		words[(id-base)/64] |= 1 << ((id - base) % 64)
+		ref[id] = true
+	}
+	s := New(base, words)
+	if s.Count() != len(ref) {
+		t.Fatalf("count = %d, want %d", s.Count(), len(ref))
+	}
+	for id := uint64(base); id < base+span; id++ {
+		if s.Contains(id) != ref[id] {
+			t.Fatalf("membership of %d = %v, want %v", id, s.Contains(id), ref[id])
+		}
+	}
+}

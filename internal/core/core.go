@@ -17,8 +17,9 @@ type Service struct {
 	segSize  int
 	seed     int64
 
-	mu     sync.RWMutex
-	stores map[string]*EmbeddingStore
+	mu      sync.RWMutex
+	stores  map[string]*EmbeddingStore
+	planCfg PlanConfig // applied to every store, existing and future
 }
 
 // NewService creates an embedding service writing delta files under
@@ -29,6 +30,23 @@ func NewService(deltaDir string, segSize int, seed int64) *Service {
 		segSize:  segSize,
 		seed:     seed,
 		stores:   make(map[string]*EmbeddingStore),
+		planCfg:  PlanConfig{}.withDefaults(),
+	}
+}
+
+// SetPlanConfig sets the filtered-search planner thresholds on every
+// registered store and on stores registered later (zero fields select
+// the defaults).
+func (s *Service) SetPlanConfig(cfg PlanConfig) {
+	s.mu.Lock()
+	s.planCfg = cfg.withDefaults()
+	stores := make([]*EmbeddingStore, 0, len(s.stores))
+	for _, st := range s.stores {
+		stores = append(stores, st)
+	}
+	s.mu.Unlock()
+	for _, st := range stores {
+		st.SetPlanConfig(cfg)
 	}
 }
 
@@ -47,6 +65,7 @@ func (s *Service) Register(vertexType string, attr graph.EmbeddingAttr) (*Embedd
 		return st, nil
 	}
 	st := NewEmbeddingStore(key, attr, s.segSize, s.deltaDir, s.seed)
+	st.SetPlanConfig(s.planCfg)
 	s.stores[key] = st
 	return st, nil
 }

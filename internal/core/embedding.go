@@ -46,6 +46,9 @@ type EmbeddingStore struct {
 	bfThresh int
 	seed     int64
 
+	planMu  sync.RWMutex
+	planCfg PlanConfig // effective (defaults applied) planner thresholds
+
 	mu        sync.RWMutex
 	segVecs   [][][]float32 // [segment][offset] -> vector (nil when absent)
 	segLive   []*storage.Bitmap
@@ -77,6 +80,7 @@ func NewEmbeddingStore(key string, attr graph.EmbeddingAttr, segSize int, deltaD
 		Attr:     attr,
 		segSize:  segSize,
 		bfThresh: DefaultBruteForceThreshold,
+		planCfg:  PlanConfig{}.withDefaults(),
 		seed:     seed,
 		deltas:   txn.NewDeltaStore(),
 		files:    txn.NewDeltaFileSet(deltaDir, key),
@@ -93,11 +97,27 @@ func (s *EmbeddingStore) SetHNSWParams(m, efConstruction int) {
 	s.mu.Unlock()
 }
 
-// SetBruteForceThreshold overrides the valid-count threshold.
+// SetBruteForceThreshold overrides the valid-count threshold of the
+// legacy (callback-filter) search path.
 func (s *EmbeddingStore) SetBruteForceThreshold(t int) {
 	s.mu.Lock()
 	s.bfThresh = t
 	s.mu.Unlock()
+}
+
+// SetPlanConfig overrides the filtered-search planner thresholds (zero
+// fields select the defaults).
+func (s *EmbeddingStore) SetPlanConfig(cfg PlanConfig) {
+	s.planMu.Lock()
+	s.planCfg = cfg.withDefaults()
+	s.planMu.Unlock()
+}
+
+// PlanConfig returns the effective planner thresholds.
+func (s *EmbeddingStore) PlanConfig() PlanConfig {
+	s.planMu.RLock()
+	defer s.planMu.RUnlock()
+	return s.planCfg
 }
 
 // SegmentSize returns the embedding segment capacity.

@@ -1,0 +1,525 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/bruteforce"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// This file is the selectivity-aware filtered-search planner (paper
+// Sec. 5.3). A request filter arrives as one global bitmap over vertex
+// ids; CompileFilter converts it once per request into per-segment dense
+// bitsets (liveness folded in, delta-overridden ids masked out), and
+// PlanSegment then picks, per segment, the cheapest execution strategy
+// from the measured selectivity:
+//
+//	selectivity band          strategy    execution
+//	tiny (count/sel floor)    brute       exact scan over the qualified
+//	                                      slots only; the index is skipped
+//	middle                    bitmap      index search, dense-bitmap
+//	                                      admission, ef inflated by
+//	                                      1/selectivity (capped)
+//	near-unselective          post        plain index search, results
+//	                                      post-filtered
+//
+// The thresholds are tunable per store (PlanConfig); the chosen plans
+// and the selectivity are surfaced to callers via PlanSummary.
+
+// PlanStrategy names one per-segment filtered-search execution strategy.
+type PlanStrategy uint8
+
+const (
+	// PlanSkip marks a segment with zero qualified candidates; nothing
+	// is scanned.
+	PlanSkip PlanStrategy = iota
+	// PlanBrute scans exactly the qualified slots, skipping the index.
+	PlanBrute
+	// PlanBitmap searches the index with dense-bitmap admission and an
+	// ef inflated by 1/selectivity (capped).
+	PlanBitmap
+	// PlanPost searches the index unfiltered and drops non-qualified
+	// hits afterwards; chosen when nearly every vector qualifies.
+	PlanPost
+)
+
+// String names the strategy for plans and logs.
+func (s PlanStrategy) String() string {
+	switch s {
+	case PlanSkip:
+		return "skip"
+	case PlanBrute:
+		return "brute"
+	case PlanBitmap:
+		return "bitmap"
+	case PlanPost:
+		return "post"
+	}
+	return fmt.Sprintf("strategy(%d)", uint8(s))
+}
+
+// PlanConfig tunes the planner's strategy thresholds. The zero value
+// selects the defaults.
+type PlanConfig struct {
+	// BruteCount is the qualified-count floor: a segment with at most
+	// this many candidates is brute-forced regardless of selectivity
+	// (paper Sec. 5.1's threshold on valid points). Default
+	// DefaultBruteForceThreshold; negative disables the floor.
+	BruteCount int
+	// BruteSelectivity is the selectivity at or below which a segment is
+	// brute-forced even above the count floor. Default 0.01; negative
+	// disables the band.
+	BruteSelectivity float64
+	// PostSelectivity is the selectivity at or above which the index is
+	// searched unfiltered and results are post-filtered. Default 0.9;
+	// values > 1 never post-filter.
+	PostSelectivity float64
+	// MaxEfScale caps the bitmap strategy's ef inflation at
+	// ef*MaxEfScale (the inflation target is ef/selectivity). Default 16.
+	MaxEfScale float64
+}
+
+func (c PlanConfig) withDefaults() PlanConfig {
+	out := c
+	if out.BruteCount == 0 {
+		out.BruteCount = DefaultBruteForceThreshold
+	}
+	if out.BruteSelectivity == 0 {
+		out.BruteSelectivity = 0.01
+	}
+	if out.PostSelectivity == 0 {
+		out.PostSelectivity = 0.9
+	}
+	if out.MaxEfScale == 0 {
+		out.MaxEfScale = 16
+	}
+	return out
+}
+
+// SegmentPlan is the planner's decision for one segment.
+type SegmentPlan struct {
+	Strategy PlanStrategy
+	// Valid is the qualified candidate count in the segment (live,
+	// filter-accepted, not delta-overridden).
+	Valid int
+	// Live is the live vector count of the segment.
+	Live int
+	// Ef is the effective index beam for the bitmap and post
+	// strategies (0 for brute/skip).
+	Ef int
+	// PostK is the inflated fetch size for the post strategy: enough
+	// extra hits that dropping the non-qualified ones still leaves k.
+	PostK int
+}
+
+// StoreFilter is the compiled, per-request form of one request filter
+// against one embedding store: a dense lock-free bitset per segment
+// (liveness intersected, delta-overridden ids cleared) plus the raw
+// membership set for the delta overlay scan. It is immutable after
+// CompileFilter and safe for concurrent segment tasks.
+type StoreFilter struct {
+	segs []*bitset.Set
+	live []int // per-segment live counts, captured at compile time
+	// member tests raw filter membership over the whole id space; the
+	// delta scans use it because delta upserts are newer than the
+	// compiled segment state.
+	member *bitset.Set
+	valid  int // total qualified candidates across segments
+	liveN  int // total live vectors across segments
+}
+
+// Seg returns the compiled bitset of one segment (nil past the end).
+func (f *StoreFilter) Seg(seg int) *bitset.Set {
+	if f == nil || seg < 0 || seg >= len(f.segs) {
+		return nil
+	}
+	return f.segs[seg]
+}
+
+// SegValid returns the qualified candidate count of one segment.
+func (f *StoreFilter) SegValid(seg int) int { return f.Seg(seg).Count() }
+
+// Member reports raw filter membership of an arbitrary id (the delta
+// overlay test; liveness and overrides are NOT folded in).
+func (f *StoreFilter) Member(id uint64) bool { return f.member.Contains(id) }
+
+// Valid returns the total qualified candidate count across segments.
+func (f *StoreFilter) Valid() int { return f.valid }
+
+// Live returns the total live vector count across segments.
+func (f *StoreFilter) Live() int { return f.liveN }
+
+// CompileFilter converts a global filter bitmap into the per-segment
+// dense form for this search's snapshot: one pass extracts each
+// segment's word range, intersects it with the segment's liveness
+// bitmap, and clears ids the delta overlay overrides (their index and
+// segment entries are stale; the delta scan re-admits the live versions
+// via Member). The per-candidate probes the compiled form replaces —
+// the locked bitmap read in the index search loop, the delta-mask hash
+// lookup — become a single unsynchronized array test.
+func (c *SearchContext) CompileFilter(bm *storage.Bitmap) *StoreFilter {
+	c.s.mu.RLock()
+	nSegs := len(c.s.indexes)
+	segSize := c.s.segSize
+	segLive := make([]*storage.Bitmap, nSegs)
+	copy(segLive, c.s.segLive)
+	c.s.mu.RUnlock()
+
+	// One locked pass extracts the whole filter; per-segment windows are
+	// sliced lock-free from that snapshot below.
+	memberWords := bm.ExtractRange(0, bm.Len())
+	f := &StoreFilter{
+		segs:   make([]*bitset.Set, nSegs),
+		live:   make([]int, nSegs),
+		member: bitset.New(0, memberWords),
+	}
+	segWords := make([][]uint64, nSegs)
+	for seg := 0; seg < nSegs; seg++ {
+		base := seg * segSize
+		words := sliceWords(memberWords, base, base+segSize)
+		lw := segLive[seg].ExtractRange(0, segSize)
+		liveCount := 0
+		for i := range words {
+			var l uint64
+			if i < len(lw) {
+				l = lw[i]
+			}
+			liveCount += bits.OnesCount64(l)
+			words[i] &= l
+		}
+		f.live[seg] = liveCount
+		f.liveN += liveCount
+		segWords[seg] = words
+	}
+	// Clear delta-overridden ids: their compiled entries describe stale
+	// versions.
+	for id := range c.net {
+		seg := int(id / uint64(segSize))
+		if seg >= nSegs {
+			continue
+		}
+		off := id % uint64(segSize)
+		segWords[seg][off/64] &^= 1 << (off % 64)
+	}
+	for seg, words := range segWords {
+		s := bitset.New(uint64(seg*segSize), words)
+		f.segs[seg] = s
+		f.valid += s.Count()
+	}
+	return f
+}
+
+// sliceWords copies bits [lo, hi) out of an already-snapshotted word
+// array into a fresh dense slice (bit lo at word 0, bit 0) — the
+// lock-free counterpart of storage.Bitmap.ExtractRange. Bits past the
+// end read as zero.
+func sliceWords(words []uint64, lo, hi int) []uint64 {
+	out := make([]uint64, (hi-lo+63)/64)
+	shift := uint(lo % 64)
+	src := lo / 64
+	for i := range out {
+		var w uint64
+		if src+i < len(words) {
+			w = words[src+i] >> shift
+		}
+		if shift != 0 && src+i+1 < len(words) {
+			w |= words[src+i+1] << (64 - shift)
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// PlanSegment picks the execution strategy for one segment from its
+// measured selectivity, using the store's PlanConfig thresholds. k and
+// ef are the request parameters before inflation.
+func (c *SearchContext) PlanSegment(seg int, f *StoreFilter, k, ef int) SegmentPlan {
+	valid := f.SegValid(seg)
+	live := 0
+	if seg >= 0 && seg < len(f.live) {
+		live = f.live[seg]
+	}
+	p := SegmentPlan{Valid: valid, Live: live}
+	if valid == 0 {
+		p.Strategy = PlanSkip
+		return p
+	}
+	cfg := c.s.PlanConfig()
+	sel := 1.0
+	if live > 0 {
+		sel = float64(valid) / float64(live)
+	}
+	if valid <= cfg.BruteCount || sel <= cfg.BruteSelectivity {
+		p.Strategy = PlanBrute
+		return p
+	}
+	if ef < k {
+		ef = k
+	}
+	if sel >= cfg.PostSelectivity {
+		p.Strategy = PlanPost
+		// Fetch enough extra that dropping the (1-sel) non-qualified
+		// hits still leaves k qualified ones (ceiling of k/selectivity;
+		// exactly k when everything qualifies).
+		postK := (k*live + valid - 1) / valid
+		if postK > live {
+			postK = live
+		}
+		if postK < k {
+			postK = k
+		}
+		p.PostK = postK
+		p.Ef = max(ef, postK)
+		return p
+	}
+	p.Strategy = PlanBitmap
+	inflated := float64(ef) / sel
+	if capEf := float64(ef) * cfg.MaxEfScale; inflated > capEf {
+		inflated = capEf
+	}
+	effEf := int(inflated)
+	if effEf > live {
+		effEf = live
+	}
+	if effEf < ef {
+		effEf = ef
+	}
+	p.Ef = max(effEf, k)
+	return p
+}
+
+// PlanSummary aggregates the per-segment plans of one filtered search
+// for observability (Result.Plan, /stats, GSQL query stats).
+type PlanSummary struct {
+	// Candidates is the qualified candidate count across segments.
+	Candidates int
+	// Live is the live vector count across segments.
+	Live int
+	// Ef is the largest effective index beam used (0 when no index
+	// strategy ran).
+	Ef int
+	// Brute/Bitmap/Post/Skipped count segments per strategy.
+	Brute, Bitmap, Post, Skipped int
+}
+
+// Add folds one segment plan into the summary.
+func (p *PlanSummary) Add(sp SegmentPlan) {
+	switch sp.Strategy {
+	case PlanSkip:
+		p.Skipped++
+	case PlanBrute:
+		p.Brute++
+	case PlanBitmap:
+		p.Bitmap++
+	case PlanPost:
+		p.Post++
+	}
+	if sp.Ef > p.Ef {
+		p.Ef = sp.Ef
+	}
+}
+
+// Merge folds another summary into p (multi-attribute searches
+// aggregate one per-store summary per searched attribute).
+func (p *PlanSummary) Merge(o *PlanSummary) {
+	if o == nil {
+		return
+	}
+	p.Candidates += o.Candidates
+	p.Live += o.Live
+	p.Brute += o.Brute
+	p.Bitmap += o.Bitmap
+	p.Post += o.Post
+	p.Skipped += o.Skipped
+	if o.Ef > p.Ef {
+		p.Ef = o.Ef
+	}
+}
+
+// Selectivity returns qualified candidates over live vectors.
+func (p *PlanSummary) Selectivity() float64 {
+	if p == nil || p.Live == 0 {
+		return 0
+	}
+	return float64(p.Candidates) / float64(p.Live)
+}
+
+// String renders a compact one-line plan, e.g.
+// "sel=0.012 candidates=12/1024 segs[brute=1 bitmap=3 post=0 skip=4] ef=512".
+func (p *PlanSummary) String() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sel=%.4g candidates=%d/%d segs[brute=%d bitmap=%d post=%d skip=%d]",
+		p.Selectivity(), p.Candidates, p.Live, p.Brute, p.Bitmap, p.Post, p.Skipped)
+	if p.Ef > 0 {
+		fmt.Fprintf(&b, " ef=%d", p.Ef)
+	}
+	return b.String()
+}
+
+// SearchSegmentPlan runs the planned top-k over one segment.
+func (c *SearchContext) SearchSegmentPlan(seg int, query []float32, k int, f *StoreFilter, plan SegmentPlan) ([]Result, error) {
+	if plan.Strategy == PlanSkip {
+		return nil, nil
+	}
+	c.s.mu.RLock()
+	if seg < 0 || seg >= len(c.s.indexes) {
+		c.s.mu.RUnlock()
+		return nil, nil
+	}
+	g := c.s.indexes[seg]
+	vecs := c.s.segVecs[seg]
+	segSize := c.s.segSize
+	metric := c.s.Attr.Metric
+	c.s.mu.RUnlock()
+
+	bits := f.Seg(seg)
+	switch plan.Strategy {
+	case PlanBrute:
+		src := newSetSource(uint64(seg)*uint64(segSize), vecs, bits)
+		return convertBF(bruteforce.TopK(metric, src, query, k, nil)), nil
+	case PlanPost:
+		res, err := g.TopKSearch(query, plan.PostK, plan.Ef, nil)
+		if err != nil {
+			return nil, err
+		}
+		return postFilter(res, bits, k), nil
+	default: // PlanBitmap
+		return g.TopKSearchBits(query, k, plan.Ef, bits)
+	}
+}
+
+// RangeSegmentPlan runs the planned range search over one segment.
+func (c *SearchContext) RangeSegmentPlan(seg int, query []float32, threshold float32, f *StoreFilter, plan SegmentPlan) ([]Result, error) {
+	if plan.Strategy == PlanSkip {
+		return nil, nil
+	}
+	c.s.mu.RLock()
+	if seg < 0 || seg >= len(c.s.indexes) {
+		c.s.mu.RUnlock()
+		return nil, nil
+	}
+	g := c.s.indexes[seg]
+	vecs := c.s.segVecs[seg]
+	segSize := c.s.segSize
+	metric := c.s.Attr.Metric
+	c.s.mu.RUnlock()
+
+	bits := f.Seg(seg)
+	ef := plan.Ef
+	if ef <= 0 {
+		ef = 64
+	}
+	switch plan.Strategy {
+	case PlanBrute:
+		src := newSetSource(uint64(seg)*uint64(segSize), vecs, bits)
+		return convertBF(bruteforce.Range(metric, src, query, threshold, nil)), nil
+	case PlanPost:
+		res, err := g.RangeSearch(query, threshold, ef, nil)
+		if err != nil {
+			return nil, err
+		}
+		return postFilter(res, bits, len(res)), nil
+	default: // PlanBitmap
+		return g.RangeSearchBits(query, threshold, ef, bits)
+	}
+}
+
+// DeltaTopKSet brute-force scans the visible delta upserts admitted by
+// the raw filter membership (delta records are newer than the compiled
+// segment state, so overridden ids are admitted here, not masked).
+func (c *SearchContext) DeltaTopKSet(query []float32, k int, f *StoreFilter) []Result {
+	return c.DeltaTopK(query, k, f.Member)
+}
+
+// DeltaRangeSet is DeltaTopKSet for range searches.
+func (c *SearchContext) DeltaRangeSet(query []float32, threshold float32, f *StoreFilter) []Result {
+	return c.DeltaRange(query, threshold, f.Member)
+}
+
+// postFilter keeps the first k qualified entries of an ascending result
+// list.
+func postFilter(res []Result, bits *bitset.Set, k int) []Result {
+	out := res[:0:0]
+	for _, r := range res {
+		if bits.Contains(r.ID) {
+			out = append(out, r)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func convertBF(res []bruteforce.Result) []Result {
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{ID: r.ID, Distance: r.Distance}
+	}
+	return out
+}
+
+// setSource adapts the qualified slots of one segment to the brute-force
+// Source: the scan touches exactly the candidates, not the whole segment.
+type setSource struct {
+	base  uint64
+	vecs  [][]float32
+	slots []int
+}
+
+func newSetSource(base uint64, vecs [][]float32, bits *bitset.Set) setSource {
+	slots := make([]int, 0, bits.Count())
+	bits.Range(func(id uint64) bool {
+		slots = append(slots, int(id-base))
+		return true
+	})
+	return setSource{base: base, vecs: vecs, slots: slots}
+}
+
+func (s setSource) Len() int { return len(s.slots) }
+
+func (s setSource) At(i int) (uint64, []float32, bool) {
+	off := s.slots[i]
+	if off >= len(s.vecs) || s.vecs[off] == nil {
+		return 0, nil, false
+	}
+	return s.base + uint64(off), s.vecs[off], true
+}
+
+// SearchFiltered runs a planned filtered top-k at tid across all
+// segments plus the delta overlay, merging per-segment results — the
+// planner-aware counterpart of Search. The returned PlanSummary reports
+// the chosen strategies and measured selectivity.
+func (s *EmbeddingStore) SearchFiltered(tid txn.TID, query []float32, k, ef int, bm *storage.Bitmap, parallelism int) ([]Result, *PlanSummary, error) {
+	ctx := s.BeginSearch(tid)
+	defer ctx.Close()
+	f := ctx.CompileFilter(bm)
+	summary := &PlanSummary{Candidates: f.Valid(), Live: f.Live()}
+	n := ctx.NumSegments()
+	plans := make([]SegmentPlan, n)
+	for i := 0; i < n; i++ {
+		plans[i] = ctx.PlanSegment(i, f, k, ef)
+		summary.Add(plans[i])
+	}
+	lists := make([][]Result, n+1)
+	err := forEachSegment(n, parallelism, func(i int) error {
+		r, err := ctx.SearchSegmentPlan(i, query, k, f, plans[i])
+		if err != nil {
+			return err
+		}
+		lists[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	lists[n] = ctx.DeltaTopKSet(query, k, f)
+	return mergeResults(lists, k), summary, nil
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+func filterStore(t *testing.T, n, dim, segSize int) (*EmbeddingStore, [][]float32) {
+	t.Helper()
+	attr := graph.EmbeddingAttr{Name: "emb", Dim: dim, Metric: 0}
+	s := NewEmbeddingStore("T.emb", attr, segSize, t.TempDir(), 1)
+	r := rand.New(rand.NewSource(42))
+	ids := make([]uint64, n)
+	vecs := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		ids[i] = uint64(i)
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		vecs[i] = v
+	}
+	if err := s.BulkLoad(ids, vecs, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	return s, vecs
+}
+
+func TestCompileFilterCountsAndOverrides(t *testing.T) {
+	s, _ := filterStore(t, 512, 8, 128)
+	bm := storage.NewBitmap(512)
+	for i := 0; i < 512; i += 4 {
+		bm.Set(i)
+	}
+	// A pending delta overriding id 8 must clear it from the compiled
+	// segment bitset but keep it a raw member for the delta scan.
+	if err := s.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 8, TID: 5, Vec: make([]float32, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := s.BeginSearch(5)
+	defer ctx.Close()
+	f := ctx.CompileFilter(bm)
+	if f.Live() != 512 {
+		t.Fatalf("live = %d, want 512", f.Live())
+	}
+	if f.Valid() != 127 { // 128 qualified minus the overridden id 8
+		t.Fatalf("valid = %d, want 127", f.Valid())
+	}
+	if f.Seg(0).Contains(8) {
+		t.Fatal("overridden id still in compiled segment bitset")
+	}
+	if !f.Member(8) {
+		t.Fatal("overridden id lost raw membership")
+	}
+	if f.Seg(0).Contains(1) || !f.Seg(0).Contains(4) {
+		t.Fatal("compiled membership wrong")
+	}
+	if f.SegValid(1) != 32 {
+		t.Fatalf("segment 1 valid = %d, want 32", f.SegValid(1))
+	}
+}
+
+func TestPlanSegmentBands(t *testing.T) {
+	s, _ := filterStore(t, 256, 8, 256)
+	s.SetPlanConfig(PlanConfig{BruteCount: 8, BruteSelectivity: 0.05, PostSelectivity: 0.9, MaxEfScale: 4})
+	mk := func(every int) *storage.Bitmap {
+		bm := storage.NewBitmap(256)
+		for i := 0; i < 256; i += every {
+			bm.Set(i)
+		}
+		return bm
+	}
+	ctx := s.BeginSearch(1)
+	defer ctx.Close()
+
+	// 4 candidates: under the count floor -> brute.
+	p := ctx.PlanSegment(0, ctx.CompileFilter(mk(64)), 10, 32)
+	if p.Strategy != PlanBrute || p.Valid != 4 {
+		t.Fatalf("tiny filter plan = %+v", p)
+	}
+	// 64/256 = 25%: middle band -> bitmap with inflated ef (32/0.25=128).
+	p = ctx.PlanSegment(0, ctx.CompileFilter(mk(4)), 10, 32)
+	if p.Strategy != PlanBitmap {
+		t.Fatalf("mid filter plan = %+v", p)
+	}
+	if p.Ef != 128 {
+		t.Fatalf("inflated ef = %d, want 128", p.Ef)
+	}
+	// Inflation cap: 16/256 = 6.25% -> 32/0.0625 = 512, capped at 32*4=128.
+	p = ctx.PlanSegment(0, ctx.CompileFilter(mk(16)), 10, 32)
+	if p.Strategy != PlanBitmap || p.Ef != 128 {
+		t.Fatalf("capped plan = %+v", p)
+	}
+	// Full filter -> post, with no extra fetch needed.
+	p = ctx.PlanSegment(0, ctx.CompileFilter(mk(1)), 10, 32)
+	if p.Strategy != PlanPost || p.PostK != 10 {
+		t.Fatalf("full filter plan = %+v", p)
+	}
+	// Empty filter -> skip.
+	p = ctx.PlanSegment(0, ctx.CompileFilter(storage.NewBitmap(256)), 10, 32)
+	if p.Strategy != PlanSkip {
+		t.Fatalf("empty filter plan = %+v", p)
+	}
+}
+
+// TestSearchFilteredMatchesCallback verifies the planned path returns
+// the same hits as the legacy callback path (which is itself covered by
+// existing exactness tests) for every strategy.
+func TestSearchFilteredMatchesCallback(t *testing.T) {
+	s, vecs := filterStore(t, 1024, 16, 256)
+	for name, cfg := range map[string]PlanConfig{
+		"brute":  {BruteCount: 1 << 30, BruteSelectivity: 1.1, PostSelectivity: 2, MaxEfScale: 1},
+		"bitmap": {BruteCount: -1, BruteSelectivity: -1, PostSelectivity: 2, MaxEfScale: 1},
+		"post":   {BruteCount: -1, BruteSelectivity: -1, PostSelectivity: 1e-12, MaxEfScale: 1},
+	} {
+		s.SetPlanConfig(cfg)
+		for _, every := range []int{2, 7, 50} {
+			bm := storage.NewBitmap(1024)
+			for i := 0; i < 1024; i += every {
+				bm.Set(i)
+			}
+			filter := func(id uint64) bool { return bm.Get(int(id)) }
+			q := vecs[3]
+			// ef = segment size makes HNSW exhaustive, so both paths are
+			// exact and comparable hit-for-hit.
+			want, err := s.Search(1, q, 12, 256, filter, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, summary, err := s.SearchFiltered(1, q, 12, 256, bm, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s every=%d: %d hits, want %d", name, every, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID {
+					t.Fatalf("%s every=%d hit %d: got %v want %v", name, every, i, got[i], want[i])
+				}
+			}
+			wantStrat := map[string]int{"brute": summary.Brute, "bitmap": summary.Bitmap, "post": summary.Post}[name]
+			if wantStrat != 4 {
+				t.Fatalf("%s every=%d: summary %+v did not force the strategy on all 4 segments", name, every, summary)
+			}
+		}
+	}
+}
+
+func TestSearchFilteredSeesDeltaOverlay(t *testing.T) {
+	s, _ := filterStore(t, 256, 4, 128)
+	// Override id 7 with a vector at the query point, not yet merged.
+	target := []float32{9, 9, 9, 9}
+	if err := s.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 7, TID: 3, Vec: target}); err != nil {
+		t.Fatal(err)
+	}
+	bm := storage.NewBitmap(256)
+	bm.Set(7)
+	bm.Set(11)
+	res, summary, err := s.SearchFiltered(3, target, 1, 64, bm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 7 || res[0].Distance != 0 {
+		t.Fatalf("delta overlay missed: %v", res)
+	}
+	if summary.Candidates != 1 { // id 7 overridden, only 11 remains compiled
+		t.Fatalf("candidates = %d, want 1", summary.Candidates)
+	}
+	// A delta delete must mask the compiled entry without re-admission.
+	if err := s.AppendDelta(txn.VectorDelta{Action: txn.Delete, ID: 11, TID: 4}); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err = s.SearchFiltered(4, target, 5, 64, bm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.ID == 11 {
+			t.Fatalf("deleted id returned: %v", res)
+		}
+	}
+}

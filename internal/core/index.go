@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/bitset"
 	"repro/internal/hnsw"
 	"repro/internal/ivf"
 	"repro/internal/vectormath"
@@ -21,6 +22,10 @@ type vecIndex interface {
 	Delete(id uint64) bool
 	TopKSearch(query []float32, k, ef int, filter func(uint64) bool) ([]Result, error)
 	RangeSearch(query []float32, threshold float32, ef int, filter func(uint64) bool) ([]Result, error)
+	// TopKSearchBits / RangeSearchBits are the planner's bitmap-filter
+	// paths: admission by compiled dense bitset instead of a callback.
+	TopKSearchBits(query []float32, k, ef int, bits *bitset.Set) ([]Result, error)
+	RangeSearchBits(query []float32, threshold float32, ef int, bits *bitset.Set) ([]Result, error)
 	ApplyUpdates(items []IndexItem, threads int) error
 	DeletedFraction() float64
 	Rebuild(threads int) (vecIndex, error)
@@ -79,6 +84,8 @@ type indexImpl[R vecResult, I vecItem, T any] interface {
 	Delete(id uint64) bool
 	TopKSearch(query []float32, k, ef int, filter func(uint64) bool) ([]R, error)
 	RangeSearch(query []float32, threshold float32, ef int, filter func(uint64) bool) ([]R, error)
+	TopKSearchBits(query []float32, k, ef int, bits *bitset.Set) ([]R, error)
+	RangeSearchBits(query []float32, threshold float32, ef int, bits *bitset.Set) ([]R, error)
 	UpdateItems(items []I, threads int) error
 	DeletedFraction() float64
 	Rebuild(threads int) (T, error)
@@ -110,6 +117,22 @@ func (a adapter[R, I, T]) TopKSearch(q []float32, k, ef int, filter func(uint64)
 
 func (a adapter[R, I, T]) RangeSearch(q []float32, threshold float32, ef int, filter func(uint64) bool) ([]Result, error) {
 	res, err := a.impl.RangeSearch(q, threshold, ef, filter)
+	if err != nil {
+		return nil, err
+	}
+	return convertResults(res), nil
+}
+
+func (a adapter[R, I, T]) TopKSearchBits(q []float32, k, ef int, bits *bitset.Set) ([]Result, error) {
+	res, err := a.impl.TopKSearchBits(q, k, ef, bits)
+	if err != nil {
+		return nil, err
+	}
+	return convertResults(res), nil
+}
+
+func (a adapter[R, I, T]) RangeSearchBits(q []float32, threshold float32, ef int, bits *bitset.Set) ([]Result, error) {
+	res, err := a.impl.RangeSearchBits(q, threshold, ef, bits)
 	if err != nil {
 		return nil, err
 	}

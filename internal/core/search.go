@@ -353,6 +353,38 @@ func mergeResults(lists [][]Result, k int) []Result {
 	return out
 }
 
+// forEachSegment runs run(0..n-1) with at most parallelism concurrent
+// workers and returns the first error. It is the per-segment dispatch
+// shared by the convenience search entry points (the MPP engine has its
+// own pool-based fan-out).
+func forEachSegment(n, parallelism int, run func(i int) error) error {
+	if parallelism <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, parallelism)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := run(i); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
 // Search runs a full top-k search at tid across all segments with the
 // given parallelism, merging per-segment and delta results. It is the
 // convenience entry point; the MPP engine drives SearchSegment itself.
@@ -361,37 +393,16 @@ func (s *EmbeddingStore) Search(tid txn.TID, query []float32, k, ef int, filter 
 	defer ctx.Close()
 	n := ctx.NumSegments()
 	lists := make([][]Result, n+1)
-	if parallelism <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			r, err := ctx.SearchSegment(i, query, k, ef, filter, -1)
-			if err != nil {
-				return nil, err
-			}
-			lists[i] = r
+	err := forEachSegment(n, parallelism, func(i int) error {
+		r, err := ctx.SearchSegment(i, query, k, ef, filter, -1)
+		if err != nil {
+			return err
 		}
-	} else {
-		sem := make(chan struct{}, parallelism)
-		var wg sync.WaitGroup
-		errCh := make(chan error, n)
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				r, err := ctx.SearchSegment(i, query, k, ef, filter, -1)
-				if err != nil {
-					errCh <- err
-					return
-				}
-				lists[i] = r
-			}(i)
-		}
-		wg.Wait()
-		close(errCh)
-		if err := <-errCh; err != nil {
-			return nil, err
-		}
+		lists[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	lists[n] = ctx.DeltaTopK(query, k, filter)
 	return mergeResults(lists, k), nil

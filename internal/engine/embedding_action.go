@@ -29,8 +29,15 @@ type SearchOptions struct {
 	Ef int
 	// Filters optionally restricts candidates per vertex type (the
 	// pre-filter bitmap). A type without an entry uses its status bitmap,
-	// i.e. all live vertices qualify.
+	// i.e. all live vertices qualify. An explicit filter is compiled
+	// once per request into per-segment dense bitsets and executed by
+	// the selectivity-aware planner (core.PlanSegment); the unfiltered
+	// path is untouched.
 	Filters map[string]*VertexSet
+	// Plan, when non-nil, receives the aggregated filter plan of the
+	// search (strategies chosen per segment, candidate counts, measured
+	// selectivity). Only filled when an explicit filter applies.
+	Plan *core.PlanSummary
 	// TID pins the snapshot; 0 means the manager's current visible TID.
 	TID txn.TID
 	// Pinned marks TID as an explicit caller-supplied snapshot pin (a
@@ -100,7 +107,9 @@ func (e *Engine) EmbeddingAction(refs []graph.EmbeddingRef, query []float32, opt
 	type task struct {
 		ref    graph.EmbeddingRef
 		ctx    *core.SearchContext
-		filter core.Filter
+		filter core.Filter       // legacy status-bitmap path (no explicit filter)
+		sf     *core.StoreFilter // compiled filter (explicit-filter path)
+		plan   core.SegmentPlan
 		seg    int // -1 means delta scan
 		valid  int
 	}
@@ -112,6 +121,10 @@ func (e *Engine) EmbeddingAction(refs []graph.EmbeddingRef, query []float32, opt
 		}
 	}()
 
+	// actionSum aggregates the plans of every explicitly filtered ref;
+	// recorded once per action so FilteredSearches counts searches, not
+	// per-store sub-searches.
+	var actionSum *core.PlanSummary
 	for _, ref := range refs {
 		store, ok := e.Emb.Store(core.AttrKey(ref.VertexType, ref.Attr))
 		if !ok {
@@ -136,25 +149,46 @@ func (e *Engine) EmbeddingAction(refs []graph.EmbeddingRef, query []float32, opt
 			bitmap = fs.Bitmap
 			explicit = true
 		}
-		filter := func(id uint64) bool { return bitmap.Get(int(id)) }
 
 		ctx := store.BeginSearch(tid)
 		ctxs = append(ctxs, ctx)
 		if err := staleSnapshotErr(ctx, store.Key, opts.Pinned); err != nil {
 			return nil, err
 		}
-		segSize := store.SegmentSize()
-		for seg := 0; seg < ctx.NumSegments(); seg++ {
-			valid := -1
-			if explicit {
-				valid = bitmap.CountRange(seg*segSize, (seg+1)*segSize)
-				if valid == 0 {
+		if explicit {
+			// Planner path: compile the filter once into per-segment
+			// dense bitsets, then pick a strategy per segment from its
+			// measured selectivity.
+			refSum := &core.PlanSummary{}
+			sf := ctx.CompileFilter(bitmap)
+			refSum.Candidates = sf.Valid()
+			refSum.Live = sf.Live()
+			for seg := 0; seg < ctx.NumSegments(); seg++ {
+				plan := ctx.PlanSegment(seg, sf, opts.K, ef)
+				refSum.Add(plan)
+				if plan.Strategy == core.PlanSkip {
 					continue // no qualified vertices in this segment
 				}
+				tasks = append(tasks, task{ref: ref, ctx: ctx, sf: sf, plan: plan, seg: seg})
 			}
-			tasks = append(tasks, task{ref: ref, ctx: ctx, filter: filter, seg: seg, valid: valid})
+			tasks = append(tasks, task{ref: ref, ctx: ctx, sf: sf, seg: -1})
+			if actionSum == nil {
+				actionSum = &core.PlanSummary{}
+			}
+			actionSum.Merge(refSum)
+			continue
+		}
+		filter := func(id uint64) bool { return bitmap.Get(int(id)) }
+		for seg := 0; seg < ctx.NumSegments(); seg++ {
+			tasks = append(tasks, task{ref: ref, ctx: ctx, filter: filter, seg: seg, valid: -1})
 		}
 		tasks = append(tasks, task{ref: ref, ctx: ctx, filter: filter, seg: -1})
+	}
+	if actionSum != nil {
+		e.planCounters.record(actionSum)
+		if opts.Plan != nil {
+			opts.Plan.Merge(actionSum)
+		}
 	}
 
 	lists := make([][]TypedResult, len(tasks))
@@ -170,9 +204,14 @@ func (e *Engine) EmbeddingAction(refs []graph.EmbeddingRef, query []float32, opt
 		t := tasks[i]
 		var res []core.Result
 		var err error
-		if t.seg < 0 {
+		switch {
+		case t.seg < 0 && t.sf != nil:
+			res = t.ctx.DeltaTopKSet(query, opts.K, t.sf)
+		case t.seg < 0:
 			res = t.ctx.DeltaTopK(query, opts.K, t.filter)
-		} else {
+		case t.sf != nil:
+			res, err = t.ctx.SearchSegmentPlan(t.seg, query, opts.K, t.sf, t.plan)
+		default:
 			res, err = t.ctx.SearchSegment(t.seg, query, opts.K, ef, t.filter, t.valid)
 		}
 		if err != nil {
@@ -222,8 +261,10 @@ func (e *Engine) RangeAction(ref graph.EmbeddingRef, query []float32, threshold 
 		return nil, err
 	}
 	bitmap := status
+	explicit := false
 	if fs, ok := opts.Filters[ref.VertexType]; ok && fs != nil {
 		bitmap = fs.Bitmap
+		explicit = true
 	}
 	filter := func(id uint64) bool { return bitmap.Get(int(id)) }
 	ef := opts.Ef
@@ -239,7 +280,27 @@ func (e *Engine) RangeAction(ref graph.EmbeddingRef, query []float32, threshold 
 		return nil, err
 	}
 
+	// Explicit filters run through the selectivity planner, exactly as
+	// in EmbeddingAction. Range has no k, so the post strategy's fetch
+	// inflation is moot; brute/bitmap/post selection still applies.
+	var sf *core.StoreFilter
+	var plans []core.SegmentPlan
 	n := ctx.NumSegments()
+	if explicit {
+		sf = ctx.CompileFilter(bitmap)
+		summary := opts.Plan
+		if summary == nil {
+			summary = &core.PlanSummary{}
+		}
+		summary.Candidates += sf.Valid()
+		summary.Live += sf.Live()
+		plans = make([]core.SegmentPlan, n)
+		for seg := 0; seg < n; seg++ {
+			plans[seg] = ctx.PlanSegment(seg, sf, 1, ef)
+			summary.Add(plans[seg])
+		}
+		e.planCounters.record(summary)
+	}
 	lists := make([][]TypedResult, n+1)
 	var firstErr error
 	var errMu sync.Mutex
@@ -249,9 +310,14 @@ func (e *Engine) RangeAction(ref graph.EmbeddingRef, query []float32, threshold 
 		}
 		var res []core.Result
 		var err error
-		if i == n {
+		switch {
+		case i == n && sf != nil:
+			res = ctx.DeltaRangeSet(query, threshold, sf)
+		case i == n:
 			res = ctx.DeltaRange(query, threshold, filter)
-		} else {
+		case sf != nil:
+			res, err = ctx.RangeSegmentPlan(i, query, threshold, sf, plans[i])
+		default:
 			res, err = ctx.RangeSegment(i, query, threshold, ef, filter)
 		}
 		if err != nil {

@@ -28,7 +28,48 @@ type Engine struct {
 	// Defaults to GOMAXPROCS.
 	Parallelism int
 
-	inflight atomic.Int64
+	inflight     atomic.Int64
+	planCounters planCounters
+}
+
+// planCounters accumulates filtered-search planner activity for the
+// /stats observability surface.
+type planCounters struct {
+	filtered                     atomic.Int64
+	brute, bitmap, post, skipped atomic.Int64
+}
+
+func (p *planCounters) record(s *core.PlanSummary) {
+	if s == nil {
+		return
+	}
+	p.filtered.Add(1)
+	p.brute.Add(int64(s.Brute))
+	p.bitmap.Add(int64(s.Bitmap))
+	p.post.Add(int64(s.Post))
+	p.skipped.Add(int64(s.Skipped))
+}
+
+// PlanCounterSnapshot is a point-in-time copy of the planner counters:
+// how many filtered searches ran and how many segment scans each
+// strategy executed (or skipped) since start.
+type PlanCounterSnapshot struct {
+	FilteredSearches int64
+	BruteSegments    int64
+	BitmapSegments   int64
+	PostSegments     int64
+	SkippedSegments  int64
+}
+
+// PlanCounters returns the accumulated filtered-search planner counters.
+func (e *Engine) PlanCounters() PlanCounterSnapshot {
+	return PlanCounterSnapshot{
+		FilteredSearches: e.planCounters.filtered.Load(),
+		BruteSegments:    e.planCounters.brute.Load(),
+		BitmapSegments:   e.planCounters.bitmap.Load(),
+		PostSegments:     e.planCounters.post.Load(),
+		SkippedSegments:  e.planCounters.skipped.Load(),
+	}
 }
 
 // New creates an engine.

@@ -451,3 +451,65 @@ func TestMultiTypeEmbeddingAction(t *testing.T) {
 		t.Fatalf("multi-type merge missing a type: %+v", res)
 	}
 }
+
+// TestEmbeddingActionPlanSummary verifies SearchOptions.Plan receives
+// the planner's aggregated decision and that results are unaffected by
+// requesting it.
+func TestEmbeddingActionPlanSummary(t *testing.T) {
+	db := newTestDB(t, 120, 16)
+	only := NewVertexSet("Post", db.posts[:6])
+	q := db.vecs[0]
+	plan := &core.PlanSummary{}
+	res, err := db.e.EmbeddingAction(refs(), q, SearchOptions{
+		K: 3, Ef: 64, Filters: map[string]*VertexSet{"Post": only}, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := db.e.EmbeddingAction(refs(), q, SearchOptions{
+		K: 3, Ef: 64, Filters: map[string]*VertexSet{"Post": only}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(bare) {
+		t.Fatalf("plan out-param changed results: %d vs %d", len(res), len(bare))
+	}
+	if plan.Candidates != 6 {
+		t.Fatalf("plan candidates = %d, want 6", plan.Candidates)
+	}
+	if plan.Brute == 0 || plan.Bitmap+plan.Post != 0 {
+		t.Fatalf("6 candidates should brute-force: %+v", plan)
+	}
+	if plan.Live == 0 || plan.Selectivity() <= 0 {
+		t.Fatalf("plan live/selectivity missing: %+v", plan)
+	}
+	// Counters accumulated across both searches.
+	pc := db.e.PlanCounters()
+	if pc.FilteredSearches != 2 {
+		t.Fatalf("filtered searches = %d, want 2", pc.FilteredSearches)
+	}
+	if pc.BruteSegments != 2*int64(plan.Brute) {
+		t.Fatalf("brute segments = %d, want %d", pc.BruteSegments, 2*plan.Brute)
+	}
+	// Unfiltered searches must not count as filtered.
+	if _, err := db.e.EmbeddingAction(refs(), q, SearchOptions{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.e.PlanCounters().FilteredSearches; got != 2 {
+		t.Fatalf("unfiltered search recorded a plan: %d", got)
+	}
+}
+
+// TestRangeActionPlanSummary mirrors the top-k plan test for ranges.
+func TestRangeActionPlanSummary(t *testing.T) {
+	db := newTestDB(t, 120, 16)
+	only := NewVertexSet("Post", db.posts[:6])
+	plan := &core.PlanSummary{}
+	_, err := db.e.RangeAction(refs()[0], db.vecs[0], 1e6, SearchOptions{
+		Ef: 64, Filters: map[string]*VertexSet{"Post": only}, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Candidates != 6 || plan.Brute == 0 {
+		t.Fatalf("range plan = %+v", plan)
+	}
+}

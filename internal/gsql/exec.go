@@ -40,9 +40,19 @@ type Stats struct {
 	EndToEnd time.Duration
 	// VectorSearchTime is time spent inside vector search actions.
 	VectorSearchTime time.Duration
-	// Candidates is the size of the candidate set passed to the last
-	// filtered vector search (the paper's "#candidate").
+	// Candidates is the candidate-set size of the last vector search
+	// (the paper's "#candidate"): the pre-filter set size when one was
+	// passed, otherwise the live candidate universe of the searched
+	// type. Set on every vector-search branch, so a later unfiltered
+	// block can never report a stale earlier value.
 	Candidates int
+	// Selectivity is the last filtered search's qualified-candidate
+	// fraction as measured by the planner (0 when no filter applied).
+	Selectivity float64
+	// Plan is the planner's compact rendering of the last filtered
+	// vector search ("" when no filter applied), e.g.
+	// "sel=0.012 candidates=12/1024 segs[brute=1 bitmap=3 post=0 skip=4] ef=512".
+	Plan string
 }
 
 // Output is one PRINT result.

@@ -670,3 +670,70 @@ CREATE QUERY ivf_topk (LIST<FLOAT> qv, INT k) {
 		t.Fatalf("ivf topk = %v", set.IDs())
 	}
 }
+
+// TestStatsCandidatesSetOnAllBranches is the regression test for the
+// stale-stats bug: Candidates (and the plan stats) must be populated on
+// every vector-search branch, so a pure (unfiltered) search after a
+// filtered one reports its own candidate universe, not the previous
+// block's filter size.
+func TestStatsCandidatesSetOnAllBranches(t *testing.T) {
+	f := newFixture(t, 60)
+	// Filtered first: candidates = English posts (40 of 60), plan set.
+	res := defineAndRun(t, f, `
+CREATE QUERY fthen (LIST<FLOAT> qv, INT k) {
+  Res = SELECT s FROM (s:Post)
+        WHERE s.language = "English"
+        ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT k;
+  PRINT Res;
+}`, "fthen", map[string]any{"qv": vecArg(f.vecs[0]), "k": 5})
+	if res.Stats.Candidates != 40 {
+		t.Fatalf("filtered candidates = %d, want 40", res.Stats.Candidates)
+	}
+	if res.Stats.Plan == "" || res.Stats.Selectivity <= 0 {
+		t.Fatalf("filtered plan stats missing: %+v", res.Stats)
+	}
+	if !strings.Contains(res.Plans[0], "sel=") {
+		t.Fatalf("plan line lacks planner summary: %q", res.Plans[0])
+	}
+
+	// Pure search second: candidates must be the full live universe and
+	// the plan stats must reset, not leak from the filtered block.
+	res = defineAndRun(t, f, `
+CREATE QUERY pureafter (LIST<FLOAT> qv, INT k) {
+  Res = SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT k;
+  PRINT Res;
+}`, "pureafter", map[string]any{"qv": vecArg(f.vecs[0]), "k": 5})
+	if res.Stats.Candidates != 60 {
+		t.Fatalf("pure-search candidates = %d, want 60 (stale value leaked?)", res.Stats.Candidates)
+	}
+	if res.Stats.Plan != "" || res.Stats.Selectivity != 0 {
+		t.Fatalf("pure-search plan stats not reset: %+v", res.Stats)
+	}
+
+	// Range branch with a pre-filter: candidates + plan set there too.
+	res = defineAndRun(t, f, `
+CREATE QUERY frange (LIST<FLOAT> qv) {
+  Res = SELECT s FROM (s:Post)
+        WHERE s.language = "English" AND VECTOR_DIST(s.content_emb, qv) < 100.0;
+  PRINT Res;
+}`, "frange", map[string]any{"qv": vecArg(f.vecs[0])})
+	if res.Stats.Candidates != 40 {
+		t.Fatalf("range candidates = %d, want 40", res.Stats.Candidates)
+	}
+	if res.Stats.Plan == "" {
+		t.Fatalf("range plan stats missing: %+v", res.Stats)
+	}
+
+	// VectorSearch() without a filter option reports the live universe.
+	res = defineAndRun(t, f, `
+CREATE QUERY vsplain (LIST<FLOAT> qv, INT k) {
+  Res = VectorSearch({Post.content_emb}, qv, k);
+  PRINT Res;
+}`, "vsplain", map[string]any{"qv": vecArg(f.vecs[0]), "k": 5})
+	if res.Stats.Candidates != 60 {
+		t.Fatalf("VectorSearch candidates = %d, want 60", res.Stats.Candidates)
+	}
+	if res.Stats.Plan != "" {
+		t.Fatalf("unfiltered VectorSearch plan not empty: %q", res.Stats.Plan)
+	}
+}

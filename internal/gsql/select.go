@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/txn"
@@ -338,27 +339,41 @@ func (r *selectRun) execute() (any, error) {
 	}
 
 	// Pure vector search needs no filter bitmap (the engine reuses the
-	// vertex status structure); anything else passes the candidate set.
+	// vertex status structure); anything else passes the candidate set
+	// to the selectivity-aware planner. Candidate and plan stats are set
+	// on EVERY branch — including the pure-search ones — so a later
+	// block can never report a stale earlier value.
 	pureSearch := len(r.nodes) == 1 && len(r.preds) == 0
 	node := r.nodes[len(r.nodes)-1]
 	ref := graph.EmbeddingRef{VertexType: node.typ, Attr: r.topkAttr}
 	filters := map[string]*engine.VertexSet{}
+	var planOut *core.PlanSummary
 	filterDesc := ""
+	r.ev.out.Stats.Candidates = candidates.Size()
+	r.ev.out.Stats.Selectivity = 0
+	r.ev.out.Stats.Plan = ""
 	if !pureSearch {
 		filters[node.typ] = candidates
-		r.ev.out.Stats.Candidates = candidates.Size()
-		filterDesc = ""
+		planOut = &core.PlanSummary{}
+	}
+	recordPlan := func() {
+		if planOut != nil {
+			r.ev.out.Stats.Selectivity = planOut.Selectivity()
+			r.ev.out.Stats.Plan = planOut.String()
+			filterDesc = ", " + planOut.String()
+		}
 	}
 
 	if r.rangeAlias != "" {
 		ref.Attr = r.rangeAttr
 		start := time.Now()
 		res, err := r.ev.in.E.RangeAction(ref, r.rangeQuery, r.rangeThresh,
-			engine.SearchOptions{Ef: r.ev.in.DefaultEf, Filters: filters, TID: txnTID(r.ev.tid)})
+			engine.SearchOptions{Ef: r.ev.in.DefaultEf, Filters: filters, TID: txnTID(r.ev.tid), Plan: planOut})
 		if err != nil {
 			return nil, err
 		}
 		r.ev.out.Stats.VectorSearchTime += time.Since(start)
+		recordPlan()
 		r.plan = append([]string{fmt.Sprintf("EmbeddingAction[Range %s, {%s.%s}, query_vector]%s",
 			trimFloat(float64(r.rangeThresh)), target, r.rangeAttr, filterDesc)}, r.plan...)
 		ids := make([]uint64, len(res))
@@ -378,12 +393,13 @@ func (r *selectRun) execute() (any, error) {
 	}
 	start := time.Now()
 	res, err := r.ev.in.E.EmbeddingAction([]graph.EmbeddingRef{ref}, r.topkQuery,
-		engine.SearchOptions{K: k, Ef: r.ev.in.DefaultEf, Filters: filters, TID: txnTID(r.ev.tid)})
+		engine.SearchOptions{K: k, Ef: r.ev.in.DefaultEf, Filters: filters, TID: txnTID(r.ev.tid), Plan: planOut})
 	if err != nil {
 		return nil, err
 	}
 	r.ev.out.Stats.VectorSearchTime += time.Since(start)
-	r.plan = append([]string{fmt.Sprintf("EmbeddingAction[Top %d, {%s.%s}, query_vector]", k, target, r.topkAttr)}, r.plan...)
+	recordPlan()
+	r.plan = append([]string{fmt.Sprintf("EmbeddingAction[Top %d, {%s.%s}, query_vector]%s", k, target, r.topkAttr, filterDesc)}, r.plan...)
 	ids := make([]uint64, len(res))
 	for i, t := range res {
 		ids[i] = t.ID
@@ -804,6 +820,16 @@ func (ev *env) execVectorSearch(x CallExpr) (any, error) {
 	}
 
 	opts := engine.SearchOptions{K: int(k64), Ef: ev.in.DefaultEf, TID: txnTID(ev.tid)}
+	// Candidate and plan stats are set on every branch: unfiltered
+	// searches report the live candidate universe and clear the plan, so
+	// no block inherits a stale earlier value.
+	universe := 0
+	for _, ref := range refs {
+		universe += ev.in.E.G.NumAlive(ref.VertexType)
+	}
+	ev.out.Stats.Candidates = universe
+	ev.out.Stats.Selectivity = 0
+	ev.out.Stats.Plan = ""
 	var distMap *accumVal
 	if len(x.Args) == 4 {
 		ml, ok := x.Args[3].(MapLitExpr)
@@ -818,6 +844,7 @@ func (ev *env) execVectorSearch(x CallExpr) (any, error) {
 					return nil, err
 				}
 				opts.Filters = map[string]*engine.VertexSet{}
+				opts.Plan = &core.PlanSummary{}
 				switch s := fv.(type) {
 				case *engine.VertexSet:
 					opts.Filters[s.Type] = s
@@ -864,7 +891,13 @@ func (ev *env) execVectorSearch(x CallExpr) (any, error) {
 	for i, ref := range refs {
 		attrs[i] = ref.String()
 	}
-	ev.out.Plans = append(ev.out.Plans, fmt.Sprintf("EmbeddingAction[Top %d, {%s}, query_vector]", k64, strings.Join(attrs, ", ")))
+	planDesc := ""
+	if opts.Plan != nil {
+		ev.out.Stats.Selectivity = opts.Plan.Selectivity()
+		ev.out.Stats.Plan = opts.Plan.String()
+		planDesc = ", " + opts.Plan.String()
+	}
+	ev.out.Plans = append(ev.out.Plans, fmt.Sprintf("EmbeddingAction[Top %d, {%s}, query_vector]%s", k64, strings.Join(attrs, ", "), planDesc))
 
 	if distMap != nil {
 		dm := make(map[uint64]float64, len(res))

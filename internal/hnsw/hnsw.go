@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bitset"
 	"repro/internal/vectormath"
 )
 
@@ -236,7 +237,7 @@ func (g *Graph) Add(id uint64, vec []float32) error {
 
 	ef := g.cfg.EfConstruction
 	for l := min(level, maxLevel); l >= 0; l-- {
-		cands := g.searchLayer(v, cur, ef, l, nil, true)
+		cands := g.searchLayer(v, cur, ef, l, nil, nil, true)
 		m := g.cfg.M
 		if l == 0 {
 			m = 2 * g.cfg.M
@@ -408,8 +409,13 @@ func (vs *visitedSet) visit(i uint32) bool {
 
 // searchLayer is the ef-bounded best-first search on one layer. If
 // includeDeleted is true (construction), tombstoned nodes are still
-// returned as candidates so links route through them.
-func (g *Graph) searchLayer(v []float32, entry uint32, ef, l int, filter Filter, includeDeleted bool) []cand {
+// returned as candidates so links route through them. Admission into the
+// result heap requires membership in bits AND passing filter (each nil
+// check admits); traversal is unrestricted either way, so sparse filters
+// cannot disconnect the search frontier. bits is the planner's compiled
+// dense bitmap: an inlined array probe per candidate instead of an
+// indirect callback that typically hides a lock or hash probe.
+func (g *Graph) searchLayer(v []float32, entry uint32, ef, l int, bits *bitset.Set, filter Filter, includeDeleted bool) []cand {
 	g.mu.RLock()
 	numNodes := len(g.nodes)
 	g.mu.RUnlock()
@@ -427,7 +433,7 @@ func (g *Graph) searchLayer(v []float32, entry uint32, ef, l int, filter Filter,
 	g.mu.RLock()
 	en := g.nodes[entry]
 	g.mu.RUnlock()
-	if (includeDeleted || !en.deleted.Load()) && (filter == nil || filter(en.id)) {
+	if (includeDeleted || !en.deleted.Load()) && (bits == nil || bits.Contains(en.id)) && (filter == nil || filter(en.id)) {
 		results.push(cand{entry, entryDist})
 	}
 
@@ -456,7 +462,7 @@ func (g *Graph) searchLayer(v []float32, entry uint32, ef, l int, filter Filter,
 				g.mu.RLock()
 				nbn := g.nodes[nb]
 				g.mu.RUnlock()
-				if (includeDeleted || !nbn.deleted.Load()) && (filter == nil || filter(nbn.id)) {
+				if (includeDeleted || !nbn.deleted.Load()) && (bits == nil || bits.Contains(nbn.id)) && (filter == nil || filter(nbn.id)) {
 					results.push(cand{nb, d})
 					if results.len() > ef {
 						results.pop()
@@ -472,9 +478,33 @@ func (g *Graph) searchLayer(v []float32, entry uint32, ef, l int, filter Filter,
 	return out
 }
 
-// TopKSearch returns the k nearest valid vectors to query. ef bounds the
-// search beam (ef < k is raised to k). filter may be nil.
+// TopKSearch returns the k nearest valid vectors to query, ascending by
+// distance. ef bounds the search beam (ef < k is raised to k).
+//
+// Filter contract: the filter is consulted BEFORE result admission — a
+// vector the filter rejects never enters the result heap and never
+// displaces an admitted candidate, so the k returned hits are the k
+// nearest among exactly the vectors the filter accepts. Tombstoned
+// (deleted) nodes are likewise excluded from results. Both rejected and
+// deleted nodes are still traversed as graph waypoints, so a sparse
+// filter cannot sever connectivity; it only narrows admission. A nil
+// filter admits every live vector. The filter may be called concurrently
+// from multiple searches and must be safe for that.
 func (g *Graph) TopKSearch(query []float32, k, ef int, filter Filter) ([]Result, error) {
+	return g.topK(query, k, ef, nil, filter)
+}
+
+// TopKSearchBits is TopKSearch with the filter given as a compiled dense
+// bitmap over the segment's id range instead of a callback: admission
+// costs an inlined array probe, no lock, no indirect call. A nil bits
+// admits every live vector. The same admission contract as TopKSearch
+// applies (bits consulted before result admission, deleted nodes
+// excluded, traversal unrestricted).
+func (g *Graph) TopKSearchBits(query []float32, k, ef int, bits *bitset.Set) ([]Result, error) {
+	return g.topK(query, k, ef, bits, nil)
+}
+
+func (g *Graph) topK(query []float32, k, ef int, bits *bitset.Set, filter Filter) ([]Result, error) {
 	if len(query) != g.cfg.Dim {
 		return nil, fmt.Errorf("hnsw: query has dim %d, index expects %d", len(query), g.cfg.Dim)
 	}
@@ -505,7 +535,7 @@ func (g *Graph) TopKSearch(query []float32, k, ef int, filter Filter) ([]Result,
 	for l := maxLevel; l >= 1; l-- {
 		cur, curDist = g.greedyStep(cur, curDist, q, l)
 	}
-	cands := g.searchLayer(q, cur, ef, 0, filter, false)
+	cands := g.searchLayer(q, cur, ef, 0, bits, filter, false)
 	if len(cands) > k {
 		cands = cands[:k]
 	}
@@ -519,11 +549,28 @@ func (g *Graph) TopKSearch(query []float32, k, ef int, filter Filter) ([]Result,
 	return out, nil
 }
 
-// RangeSearch returns all valid vectors within the distance threshold. It
-// adapts the DiskANN approach the paper describes: repeated TopKSearch with
-// doubled k until the threshold is smaller than the median of returned
-// distances (or the index is exhausted).
+// RangeSearch returns all valid vectors with distance strictly below
+// threshold, ascending by distance. It adapts the DiskANN approach the
+// paper describes: repeated TopKSearch with doubled k until the threshold
+// is smaller than the median of returned distances (or the index is
+// exhausted).
+//
+// Filter contract: identical to TopKSearch — the filter gates result
+// admission (consulted before a vector can be returned), deleted nodes
+// are excluded, and traversal is unrestricted, so every returned hit
+// passes the filter and the scan still reaches candidates isolated
+// behind rejected neighbors. A nil filter admits every live vector.
 func (g *Graph) RangeSearch(query []float32, threshold float32, ef int, filter Filter) ([]Result, error) {
+	return g.rangeSearch(query, threshold, ef, nil, filter)
+}
+
+// RangeSearchBits is RangeSearch with the filter given as a compiled
+// dense bitmap (see TopKSearchBits). A nil bits admits every live vector.
+func (g *Graph) RangeSearchBits(query []float32, threshold float32, ef int, bits *bitset.Set) ([]Result, error) {
+	return g.rangeSearch(query, threshold, ef, bits, nil)
+}
+
+func (g *Graph) rangeSearch(query []float32, threshold float32, ef int, bits *bitset.Set, filter Filter) ([]Result, error) {
 	if len(query) != g.cfg.Dim {
 		return nil, fmt.Errorf("hnsw: query has dim %d, index expects %d", len(query), g.cfg.Dim)
 	}
@@ -536,7 +583,7 @@ func (g *Graph) RangeSearch(query []float32, threshold float32, ef int, filter F
 		if k > total {
 			k = total
 		}
-		res, err := g.TopKSearch(query, k, max(ef, k), filter)
+		res, err := g.topK(query, k, max(ef, k), bits, filter)
 		if err != nil {
 			return nil, err
 		}

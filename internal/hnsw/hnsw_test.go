@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/bitset"
 	"repro/internal/bruteforce"
 	"repro/internal/vectormath"
 )
@@ -562,5 +563,78 @@ func TestLoadRejectsCorruptHeaderAndLinks(t *testing.T) {
 	// Truncation fails cleanly.
 	if _, err := Load(bytes.NewReader(good[:len(good)/2])); err == nil {
 		t.Fatal("Load accepted truncated input")
+	}
+}
+
+// bitsFor builds a dense bitset admitting the ids the predicate accepts
+// over [0, n).
+func bitsFor(n int, admit func(uint64) bool) *bitset.Set {
+	words := make([]uint64, (n+63)/64)
+	for i := 0; i < n; i++ {
+		if admit(uint64(i)) {
+			words[i/64] |= 1 << (uint(i) % 64)
+		}
+	}
+	return bitset.New(0, words)
+}
+
+// TestBitsSearchMatchesCallback pins the planner's contract: the dense
+// bitmap path returns exactly what the callback path returns for the
+// same admission set, for top-k and range.
+func TestBitsSearchMatchesCallback(t *testing.T) {
+	const n, dim = 800, 8
+	g, _ := buildRandom(t, n, dim, vectormath.L2, 21)
+	admit := func(id uint64) bool { return id%5 == 0 }
+	bits := bitsFor(n, admit)
+	r := rand.New(rand.NewSource(6))
+	for qi := 0; qi < 10; qi++ {
+		q := make([]float32, dim)
+		for j := range q {
+			q[j] = float32(r.NormFloat64())
+		}
+		want, err := g.TopKSearch(q, 10, 200, admit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.TopKSearchBits(q, 10, 200, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("bits topk %d hits, callback %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("topk hit %d: bits %v callback %v", i, got[i], want[i])
+			}
+		}
+		wantR, err := g.RangeSearch(q, 6, 200, admit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotR, err := g.RangeSearchBits(q, 6, 200, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotR) != len(wantR) {
+			t.Fatalf("bits range %d hits, callback %d", len(gotR), len(wantR))
+		}
+		for i := range gotR {
+			if gotR[i] != wantR[i] {
+				t.Fatalf("range hit %d: bits %v callback %v", i, gotR[i], wantR[i])
+			}
+		}
+	}
+	// Nil bits admits everything, identical to a nil callback.
+	q := make([]float32, dim)
+	a, _ := g.TopKSearchBits(q, 5, 100, nil)
+	b, _ := g.TopKSearch(q, 5, 100, nil)
+	if len(a) != len(b) {
+		t.Fatalf("nil bits: %d vs %d hits", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nil bits hit %d differs: %v vs %v", i, a[i], b[i])
+		}
 	}
 }

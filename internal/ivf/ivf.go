@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/vectormath"
 )
 
@@ -251,10 +252,29 @@ func (x *Index) trainLocked() {
 	x.trained = true
 }
 
-// TopKSearch returns the k nearest live vectors. ef maps to nprobe: the
-// number of inverted lists probed (so the engine's accuracy knob works
-// unchanged across index types). filter may be nil.
+// TopKSearch returns the k nearest live vectors, ascending by distance.
+// ef maps to nprobe: the number of inverted lists probed (so the engine's
+// accuracy knob works unchanged across index types).
+//
+// Filter contract: the filter is consulted before result admission — a
+// rejected or tombstoned entry is skipped during the list scan and can
+// never appear in (or displace) results, so the k hits are the k nearest
+// among exactly the entries the filter accepts within the probed lists.
+// A nil filter admits every live vector. The filter may be called
+// concurrently from multiple searches.
 func (x *Index) TopKSearch(query []float32, k, ef int, filter func(uint64) bool) ([]Result, error) {
+	return x.topK(query, k, ef, nil, filter)
+}
+
+// TopKSearchBits is TopKSearch with the filter given as a compiled dense
+// bitmap over the segment's id range instead of a callback: admission
+// costs an inlined array probe per scanned entry. A nil bits admits
+// every live vector.
+func (x *Index) TopKSearchBits(query []float32, k, ef int, bits *bitset.Set) ([]Result, error) {
+	return x.topK(query, k, ef, bits, nil)
+}
+
+func (x *Index) topK(query []float32, k, ef int, bits *bitset.Set, filter func(uint64) bool) ([]Result, error) {
 	if len(query) != x.cfg.Dim {
 		return nil, fmt.Errorf("ivf: query has dim %d, index expects %d", len(query), x.cfg.Dim)
 	}
@@ -320,7 +340,7 @@ func (x *Index) TopKSearch(query []float32, k, ef int, filter func(uint64) bool)
 	}
 	for p := 0; p < nprobe; p++ {
 		for _, e := range x.lists[cds[p].idx] {
-			if e.deleted || (filter != nil && !filter(e.id)) {
+			if e.deleted || (bits != nil && !bits.Contains(e.id)) || (filter != nil && !filter(e.id)) {
 				continue
 			}
 			// Skip stale upsert versions: only the current entry counts.
@@ -333,10 +353,23 @@ func (x *Index) TopKSearch(query []float32, k, ef int, filter func(uint64) bool)
 	return best, nil
 }
 
-// RangeSearch returns all live vectors within threshold, probing lists
-// until the centroid distance exceeds threshold plus the widest list
-// radius seen (a simple, conservative expansion).
+// RangeSearch returns all live vectors with distance strictly below
+// threshold, ascending by distance, via repeated TopKSearch with doubled
+// k until the threshold falls under the median returned distance (or the
+// index is exhausted). The filter contract matches TopKSearch: the
+// filter gates admission during the list scans, tombstoned entries are
+// skipped, and a nil filter admits every live vector.
 func (x *Index) RangeSearch(query []float32, threshold float32, ef int, filter func(uint64) bool) ([]Result, error) {
+	return x.rangeSearch(query, threshold, ef, nil, filter)
+}
+
+// RangeSearchBits is RangeSearch with the filter given as a compiled
+// dense bitmap (see TopKSearchBits). A nil bits admits every live vector.
+func (x *Index) RangeSearchBits(query []float32, threshold float32, ef int, bits *bitset.Set) ([]Result, error) {
+	return x.rangeSearch(query, threshold, ef, bits, nil)
+}
+
+func (x *Index) rangeSearch(query []float32, threshold float32, ef int, bits *bitset.Set, filter func(uint64) bool) ([]Result, error) {
 	if len(query) != x.cfg.Dim {
 		return nil, fmt.Errorf("ivf: query has dim %d, index expects %d", len(query), x.cfg.Dim)
 	}
@@ -349,7 +382,7 @@ func (x *Index) RangeSearch(query []float32, threshold float32, ef int, filter f
 		if k > total {
 			k = total
 		}
-		res, err := x.TopKSearch(query, k, ef, filter)
+		res, err := x.topK(query, k, ef, bits, filter)
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/bitset"
 	"repro/internal/bruteforce"
 	"repro/internal/vectormath"
 )
@@ -379,5 +380,53 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	// A truncated snapshot fails cleanly.
 	if _, err := Load(bytes.NewReader(data[:len(data)/2])); err == nil {
 		t.Fatal("Load accepted truncated input")
+	}
+}
+
+// TestBitsSearchMatchesCallback pins the dense-bitmap path to the
+// callback path for identical admission sets.
+func TestBitsSearchMatchesCallback(t *testing.T) {
+	x, _ := buildRandom(t, 600, 8, 5)
+	x.Train()
+	admit := func(id uint64) bool { return id%3 == 0 }
+	words := make([]uint64, (600+63)/64)
+	for i := 0; i < 600; i++ {
+		if admit(uint64(i)) {
+			words[i/64] |= 1 << (uint(i) % 64)
+		}
+	}
+	bits := bitset.New(0, words)
+	q := make([]float32, 8)
+	want, err := x.TopKSearch(q, 10, 128, admit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := x.TopKSearchBits(q, 10, 128, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("bits topk %d hits, callback %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("topk hit %d: bits %v callback %v", i, got[i], want[i])
+		}
+	}
+	wantR, err := x.RangeSearch(q, 8, 128, admit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := x.RangeSearchBits(q, 8, 128, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotR) != len(wantR) {
+		t.Fatalf("bits range %d hits, callback %d", len(gotR), len(wantR))
+	}
+	for i := range gotR {
+		if gotR[i] != wantR[i] {
+			t.Fatalf("range hit %d: bits %v callback %v", i, gotR[i], wantR[i])
+		}
 	}
 }

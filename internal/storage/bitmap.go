@@ -128,6 +128,56 @@ func (b *Bitmap) Range(fn func(i int) bool) {
 	}
 }
 
+// ExtractRange returns the bits [lo, hi) packed into a fresh dense word
+// slice (bit lo lands at word 0, bit 0). Bits past the logical end read
+// as zero. The filtered-search planner uses it to compile a global
+// request filter into per-segment lock-free bitsets in one pass.
+func (b *Bitmap) ExtractRange(lo, hi int) []uint64 {
+	if hi <= lo {
+		return nil
+	}
+	out := make([]uint64, (hi-lo+63)/64)
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if hi > b.n {
+		hi = b.n
+	}
+	if hi <= lo {
+		return out
+	}
+	shift := uint(lo % 64)
+	src := lo / 64
+	if shift == 0 {
+		// Word-aligned (the common case: segment sizes are multiples of
+		// 64): straight copy.
+		for i := range out {
+			if src+i < len(b.words) {
+				out[i] = b.words[src+i]
+			}
+		}
+	} else {
+		for i := range out {
+			var w uint64
+			if src+i < len(b.words) {
+				w = b.words[src+i] >> shift
+			}
+			if src+i+1 < len(b.words) {
+				w |= b.words[src+i+1] << (64 - shift)
+			}
+			out[i] = w
+		}
+	}
+	// Mask tail bits beyond hi so counts stay exact.
+	n := hi - lo
+	if tail := n % 64; tail != 0 && n/64 < len(out) {
+		out[n/64] &= (1 << uint(tail)) - 1
+	}
+	for i := (n + 63) / 64; i < len(out); i++ {
+		out[i] = 0
+	}
+	return out
+}
+
 // Clone returns a deep copy.
 func (b *Bitmap) Clone() *Bitmap {
 	b.mu.RLock()

@@ -319,3 +319,39 @@ func TestDefaultSegmentSizeApplied(t *testing.T) {
 		t.Fatalf("SegmentSize = %d", d.SegmentSize())
 	}
 }
+
+func TestBitmapExtractRange(t *testing.T) {
+	b := NewBitmap(300)
+	set := []int{0, 63, 64, 100, 190, 191, 299}
+	for _, i := range set {
+		b.Set(i)
+	}
+	check := func(lo, hi int) {
+		t.Helper()
+		words := b.ExtractRange(lo, hi)
+		for i := lo; i < hi; i++ {
+			got := false
+			off := i - lo
+			if off/64 < len(words) {
+				got = words[off/64]&(1<<(uint(off)%64)) != 0
+			}
+			if got != b.Get(i) {
+				t.Fatalf("ExtractRange(%d,%d): bit %d = %v, want %v", lo, hi, i, got, b.Get(i))
+			}
+		}
+	}
+	check(0, 300)    // aligned full range
+	check(64, 192)   // aligned interior
+	check(1, 300)    // shifted
+	check(100, 101)  // single bit
+	check(190, 195)  // shifted short
+	check(250, 1000) // past the end reads zero
+	if got := b.ExtractRange(10, 10); got != nil {
+		t.Fatalf("empty range = %v", got)
+	}
+	// Tail masking: no stray bits beyond hi.
+	words := b.ExtractRange(0, 65)
+	if words[1]&^uint64(1) != 0 {
+		t.Fatalf("tail not masked: %x", words[1])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/txn"
@@ -97,10 +98,68 @@ type Result struct {
 	Found  bool
 	// SnapshotTID is the MVCC snapshot the request executed at.
 	SnapshotTID uint64
+	// Plan describes how the filtered-search planner executed a
+	// Filter-carrying top-k or range request: the measured selectivity
+	// and the per-strategy segment counts. Nil for unfiltered and get
+	// requests.
+	Plan *PlanInfo
 	// Err is the per-request failure, if any. Inside a batch, one bad
 	// request does not fail its siblings. A cancelled or expired
 	// context surfaces here as ctx.Err().
 	Err error
+}
+
+// PlanInfo is the executed filter plan of one request: which of the
+// three strategies (brute-force candidate scan / bitmap-filtered index
+// search / post-filtered index search) each segment ran, chosen by the
+// planner from the filter's measured selectivity (paper Sec. 5.3).
+type PlanInfo struct {
+	// Candidates is the number of filter-qualified live vectors across
+	// the searched segments.
+	Candidates int `json:"candidates"`
+	// Live is the live vector count of the searched segments.
+	Live int `json:"live"`
+	// Selectivity is Candidates/Live.
+	Selectivity float64 `json:"selectivity"`
+	// Ef is the largest effective index beam used after the planner's
+	// 1/selectivity inflation (0 when no index strategy ran).
+	Ef int `json:"ef,omitempty"`
+	// BruteSegments..SkippedSegments count segments per strategy.
+	BruteSegments   int `json:"brute_segments"`
+	BitmapSegments  int `json:"bitmap_segments"`
+	PostSegments    int `json:"post_segments"`
+	SkippedSegments int `json:"skipped_segments"`
+}
+
+// String renders the plan compactly, matching core.PlanSummary.String.
+func (p *PlanInfo) String() string {
+	if p == nil {
+		return ""
+	}
+	s := fmt.Sprintf("sel=%.4g candidates=%d/%d segs[brute=%d bitmap=%d post=%d skip=%d]",
+		p.Selectivity, p.Candidates, p.Live,
+		p.BruteSegments, p.BitmapSegments, p.PostSegments, p.SkippedSegments)
+	if p.Ef > 0 {
+		s += fmt.Sprintf(" ef=%d", p.Ef)
+	}
+	return s
+}
+
+// planInfo converts the engine-level summary to the public shape.
+func planInfo(s *core.PlanSummary) *PlanInfo {
+	if s == nil {
+		return nil
+	}
+	return &PlanInfo{
+		Candidates:      s.Candidates,
+		Live:            s.Live,
+		Selectivity:     s.Selectivity(),
+		Ef:              s.Ef,
+		BruteSegments:   s.Brute,
+		BitmapSegments:  s.Bitmap,
+		PostSegments:    s.Post,
+		SkippedSegments: s.Skipped,
+	}
 }
 
 // Search executes one Request. It returns ctx.Err() as soon as the
@@ -235,12 +294,14 @@ func (db *DB) runRequest(ctx context.Context, req Request, deadline time.Time, f
 			res.Err = err
 			return res
 		}
-		hits, err := db.engine.EmbeddingAction(refs, req.Query, db.requestOpts(ctx, req, tid, filters))
+		opts := db.requestOpts(ctx, req, tid, filters)
+		hits, err := db.engine.EmbeddingAction(refs, req.Query, opts)
 		if err != nil {
 			res.Err = err
 			return res
 		}
 		res.Hits = typedToHits(hits)
+		res.Plan = planInfo(opts.Plan)
 	case Range:
 		if len(req.Attrs) != 1 {
 			res.Err = fmt.Errorf("tigervector: range request wants exactly 1 attribute, got %d", len(req.Attrs))
@@ -259,12 +320,14 @@ func (db *DB) runRequest(ctx context.Context, req Request, deadline time.Time, f
 			res.Err = err
 			return res
 		}
-		hits, err := db.engine.RangeAction(ref, req.Query, req.Threshold, db.requestOpts(ctx, req, tid, filters))
+		opts := db.requestOpts(ctx, req, tid, filters)
+		hits, err := db.engine.RangeAction(ref, req.Query, req.Threshold, opts)
 		if err != nil {
 			res.Err = err
 			return res
 		}
 		res.Hits = typedToHits(hits)
+		res.Plan = planInfo(opts.Plan)
 	case Get:
 		if len(req.Attrs) != 1 {
 			res.Err = fmt.Errorf("tigervector: get request wants exactly 1 attribute, got %d", len(req.Attrs))
@@ -289,7 +352,10 @@ func (db *DB) runRequest(ctx context.Context, req Request, deadline time.Time, f
 
 // prepareFilters converts each distinct filter in a request slice to
 // its engine bitmap form, keyed by identity so shared filters convert
-// once.
+// once. This is the first of the two one-time filter conversions: the
+// id list becomes a global bitmap here; the engine then compiles that
+// bitmap per store into the planner's per-segment dense bitsets
+// (core.SearchContext.CompileFilter) when the request executes.
 func prepareFilters(reqs []Request) map[*VertexSet]*engine.VertexSet {
 	var out map[*VertexSet]*engine.VertexSet
 	for i := range reqs {
@@ -322,6 +388,7 @@ func (db *DB) requestOpts(ctx context.Context, req Request, tid txn.TID, filters
 			fs = engine.NewVertexSet(req.Filter.Type, req.Filter.IDs)
 		}
 		so.Filters = map[string]*engine.VertexSet{req.Filter.Type: fs}
+		so.Plan = &core.PlanSummary{}
 	}
 	return so
 }

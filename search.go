@@ -62,7 +62,16 @@ type Output struct {
 type QueryStats struct {
 	EndToEnd         float64 // seconds
 	VectorSearchTime float64 // seconds
-	Candidates       int
+	// Candidates is the candidate-set size of the query's last vector
+	// search: the pre-filter set size when one applied, otherwise the
+	// live candidate universe of the searched type(s).
+	Candidates int
+	// Selectivity is the last filtered search's measured qualified
+	// fraction (0 when no filter applied).
+	Selectivity float64
+	// Plan is the planner's compact rendering of the last filtered
+	// search ("" when no filter applied).
+	Plan string
 }
 
 // Run executes a defined GSQL query. Runs hold the checkpoint lock
@@ -84,6 +93,8 @@ func (db *DB) Run(name string, args map[string]any) (*QueryResult, error) {
 			EndToEnd:         res.Stats.EndToEnd.Seconds(),
 			VectorSearchTime: res.Stats.VectorSearchTime.Seconds(),
 			Candidates:       res.Stats.Candidates,
+			Selectivity:      res.Stats.Selectivity,
+			Plan:             res.Stats.Plan,
 		},
 	}
 	for _, o := range res.Outputs {

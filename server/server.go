@@ -314,6 +314,18 @@ func searchResponse(results []tigervector.Result) client.SearchResponse {
 		for j, h := range r.Hits {
 			sr.Hits[j] = client.Hit{Type: h.VertexType, ID: h.ID, Distance: h.Distance}
 		}
+		if p := r.Plan; p != nil {
+			sr.Plan = &client.PlanInfo{
+				Candidates:      p.Candidates,
+				Live:            p.Live,
+				Selectivity:     p.Selectivity,
+				Ef:              p.Ef,
+				BruteSegments:   p.BruteSegments,
+				BitmapSegments:  p.BitmapSegments,
+				PostSegments:    p.PostSegments,
+				SkippedSegments: p.SkippedSegments,
+			}
+		}
 		if r.Err != nil {
 			sr.Error = r.Err.Error()
 		}
@@ -407,6 +419,8 @@ func (s *Server) handleGSQL(w http.ResponseWriter, r *http.Request) {
 				EndToEndSeconds:     res.Stats.EndToEnd,
 				VectorSearchSeconds: res.Stats.VectorSearchTime,
 				Candidates:          res.Stats.Candidates,
+				Selectivity:         res.Stats.Selectivity,
+				Plan:                res.Stats.Plan,
 			},
 		}
 		for _, o := range res.Outputs {

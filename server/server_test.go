@@ -497,6 +497,15 @@ func TestSearchWithFilterAndPin(t *testing.T) {
 	if pin == 0 {
 		t.Fatal("snapshot_tid missing")
 	}
+	// The executed filter plan rides on the wire: 5 candidates is under
+	// the brute-force floor, and the measured selectivity is reported.
+	plan := resp.Results[0].Plan
+	if plan == nil {
+		t.Fatal("filtered search response carries no plan")
+	}
+	if plan.Candidates != 5 || plan.BruteSegments == 0 || plan.Selectivity <= 0 {
+		t.Fatalf("wire plan = %+v", plan)
+	}
 
 	// A pinned follow-up runs at exactly the pinned snapshot.
 	resp2, err := c.SearchWith(ctx, client.SearchRequest{
@@ -523,6 +532,20 @@ func TestSearchWithFilterAndPin(t *testing.T) {
 	}
 	if got := len(rresp.Results[0].Hits); got != 5 {
 		t.Fatalf("filtered range returned %d hits, want 5", got)
+	}
+	if rresp.Results[0].Plan == nil {
+		t.Fatal("filtered range response carries no plan")
+	}
+
+	// Unfiltered searches carry no plan on the wire.
+	plainResp, err := c.SearchWith(ctx, client.SearchRequest{
+		Attrs: []string{"Post.content_emb"}, Query: vecs[9], K: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainResp.Results[0].Plan != nil {
+		t.Fatalf("unfiltered response has plan %+v", plainResp.Results[0].Plan)
 	}
 }
 

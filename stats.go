@@ -39,6 +39,27 @@ type StoreStats struct {
 	ActiveQueries int `json:"active_queries"`
 }
 
+// FilterPlanStats accumulates filtered-search planner activity since
+// Open: how many filtered searches ran and how many segment scans each
+// strategy executed. Per-request plans ride on Result.Plan; these are
+// the fleet-level aggregates.
+type FilterPlanStats struct {
+	// FilteredSearches counts searches that carried an explicit filter
+	// (and therefore ran through the planner).
+	FilteredSearches int64 `json:"filtered_searches"`
+	// BruteSegments counts segments answered by the exact
+	// candidate-only scan (index skipped).
+	BruteSegments int64 `json:"brute_segments"`
+	// BitmapSegments counts segments answered by the index with dense
+	// bitmap admission and inflated ef.
+	BitmapSegments int64 `json:"bitmap_segments"`
+	// PostSegments counts segments answered by an unfiltered index
+	// search with post-filtering.
+	PostSegments int64 `json:"post_segments"`
+	// SkippedSegments counts segments with zero qualified candidates.
+	SkippedSegments int64 `json:"skipped_segments"`
+}
+
 // VacuumStats counts background vacuum activity since Open.
 type VacuumStats struct {
 	// FlushRuns counts delta-merge passes (memory -> delta file).
@@ -80,6 +101,8 @@ type DBStats struct {
 	// OpenIndexLoadNanos is the wall time Open spent restoring segment
 	// indexes (snapshot loads plus fallback rebuilds).
 	OpenIndexLoadNanos int64 `json:"open_index_load_nanos"`
+	// FilterPlans aggregates filtered-search planner activity.
+	FilterPlans FilterPlanStats `json:"filter_plans"`
 	// Stores lists per-attribute store state, sorted by attribute key.
 	Stores []StoreStats `json:"stores"`
 	// Vacuum aggregates background maintenance counters.
@@ -111,6 +134,14 @@ func (db *DB) Stats() DBStats {
 			InFlight:  ps.InFlight,
 		},
 		Queries: db.Queries(),
+	}
+	pc := db.engine.PlanCounters()
+	st.FilterPlans = FilterPlanStats{
+		FilteredSearches: pc.FilteredSearches,
+		BruteSegments:    pc.BruteSegments,
+		BitmapSegments:   pc.BitmapSegments,
+		PostSegments:     pc.PostSegments,
+		SkippedSegments:  pc.SkippedSegments,
 	}
 	for _, store := range db.svc.Stores() {
 		st.Stores = append(st.Stores, StoreStats{

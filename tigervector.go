@@ -79,6 +79,30 @@ type Config struct {
 	// Workers is the width of the inter-query worker pool used by
 	// BatchVectorSearch and the serving layer. Default GOMAXPROCS.
 	Workers int
+	// FilterPlan tunes the selectivity-aware filtered-search planner
+	// (per-segment choice among brute-force scan, bitmap-filtered index
+	// search and post-filtered index search). Zero fields select the
+	// defaults.
+	FilterPlan FilterPlanConfig
+}
+
+// FilterPlanConfig exposes the planner thresholds (see
+// internal/core.PlanConfig for the exact semantics). All fields
+// default when zero.
+type FilterPlanConfig struct {
+	// BruteForceCount is the qualified-count floor below which a
+	// segment is brute-forced. Default 64; negative disables.
+	BruteForceCount int
+	// BruteForceSelectivity is the selectivity at or below which a
+	// segment is brute-forced. Default 0.01; negative disables.
+	BruteForceSelectivity float64
+	// PostFilterSelectivity is the selectivity at or above which the
+	// index runs unfiltered and results are post-filtered. Default 0.9;
+	// values > 1 never post-filter.
+	PostFilterSelectivity float64
+	// MaxEfInflation caps the bitmap strategy's ef inflation at
+	// ef*MaxEfInflation. Default 16.
+	MaxEfInflation float64
 }
 
 // DB is a TigerVector database instance.
@@ -140,6 +164,12 @@ func Open(cfg Config) (*DB, error) {
 	sch := graph.NewSchema()
 	g := graph.NewStore(sch, cfg.SegmentSize)
 	svc := core.NewService(cfg.DataDir, cfg.SegmentSize, cfg.Seed)
+	svc.SetPlanConfig(core.PlanConfig{
+		BruteCount:       cfg.FilterPlan.BruteForceCount,
+		BruteSelectivity: cfg.FilterPlan.BruteForceSelectivity,
+		PostSelectivity:  cfg.FilterPlan.PostFilterSelectivity,
+		MaxEfScale:       cfg.FilterPlan.MaxEfInflation,
+	})
 
 	mgr := txn.NewManager(svc, nil)
 	eng := engine.New(g, svc, mgr)
