@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet race recovery-test bench-restart bench-filtered fmt-check
+.PHONY: build test bench vet race recovery-test bench-restart bench-filtered bench-serving bench-serving-smoke fmt-check
 
 build:
 	$(GO) build ./...
@@ -41,3 +41,18 @@ bench-restart:
 # and the pre-planner callback baseline, emitted as BENCH_filtered.json.
 bench-filtered:
 	TGV_BENCH_FILTERED_OUT=BENCH_filtered.json $(GO) test -run xxx -bench BenchmarkFilteredSearch -benchtime 10x .
+
+# Serving-mode recall/SLO harness: boots a tgvserve in-process, loads a
+# seeded dataset over HTTP and runs the mixed scenario suite (closed-loop,
+# fixed-QPS open-loop, filtered selectivity bands, upsert+search mix,
+# pooled batch), emitting BENCH_serving.json: recall@k vs the brute-force
+# oracle, p50/p95/p99 latency, achieved vs target QPS, error counts and
+# filter plan-mix drift. Target an already-running server with
+# `go run ./cmd/tgvbench -exp serve -addr host:port`.
+bench-serving:
+	$(GO) run ./cmd/tgvbench -exp serve -out BENCH_serving.json
+
+# CI smoke variant: small corpus, ~1s per scenario, same report schema.
+bench-serving-smoke:
+	$(GO) run ./cmd/tgvbench -exp serve -n 1500 -dim 32 -queries 40 -k 10 \
+		-duration 1s -qps 200 -clients 4 -out BENCH_serving.json

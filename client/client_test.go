@@ -1,0 +1,218 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests pin the client's error contract and wire format against
+// stub servers: every failure mode a real tgvserve (or a proxy in front
+// of it) can produce must surface as a useful error, and the optional
+// request fields must actually reach the wire — a field silently
+// dropped by a bad JSON tag would make filters or deadlines no-ops.
+
+func TestErrorResponseSurfacesStatusAndBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(ErrorResponse{Error: "unknown vertex type \"Ghost\""})
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	_, err := c.Search(context.Background(), []string{"Ghost.emb"}, []float32{1}, 5, 0)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, want := range []string{"422", `unknown vertex type "Ghost"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestErrorResponseNonJSONBody(t *testing.T) {
+	// A proxy or load balancer answering for a dead backend sends HTML or
+	// plain text; the client must still report the status instead of a
+	// confusing unmarshal failure.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "upstream connect error", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	err := c.Upsert(context.Background(), "Post", "emb", 1, []float32{1})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "502") {
+		t.Errorf("error %q does not mention the status", err)
+	}
+}
+
+func TestMalformedSuccessBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"results": [{`)) // truncated mid-object
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	_, err := c.Search(context.Background(), []string{"Post.emb"}, []float32{1}, 5, 0)
+	var syn *json.SyntaxError
+	if !errors.As(err, &syn) {
+		t.Fatalf("want json.SyntaxError, got %v", err)
+	}
+}
+
+func TestResultCountMismatch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(SearchResponse{}) // zero results for one query
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	if _, err := c.Search(context.Background(), []string{"Post.emb"}, []float32{1}, 5, 0); err == nil ||
+		!strings.Contains(err.Error(), "0 results for 1 query") {
+		t.Fatalf("want result-count mismatch error, got %v", err)
+	}
+	if _, err := c.BatchSearch(context.Background(), []string{"Post.emb"},
+		[][]float32{{1}, {2}}, 5, 0); err == nil ||
+		!strings.Contains(err.Error(), "0 results for 2 queries") {
+		t.Fatalf("want batch count mismatch error, got %v", err)
+	}
+}
+
+func TestPerQueryErrorSurfaced(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(SearchResponse{Results: []SearchResult{
+			{Error: "snapshot 9 retired"},
+		}})
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	if _, err := c.Search(context.Background(), []string{"Post.emb"}, []float32{1}, 5, 0); err == nil ||
+		!strings.Contains(err.Error(), "snapshot 9 retired") {
+		t.Fatalf("want per-query error surfaced, got %v", err)
+	}
+}
+
+func TestContextCancellationMidCall(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hang until the test finishes
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	c := New(srv.URL)
+	start := time.Now()
+	_, err := c.Search(ctx, []string{"Post.emb"}, []float32{1}, 5, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v; the client kept waiting on the server", elapsed)
+	}
+}
+
+func TestSearchWireFieldsRoundTrip(t *testing.T) {
+	var got SearchRequest
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := json.NewDecoder(r.Body).Decode(&got); err != nil {
+			t.Errorf("decoding request: %v", err)
+		}
+		json.NewEncoder(w).Encode(SearchResponse{Results: []SearchResult{{
+			SnapshotTID: 42,
+			Plan:        &PlanInfo{Candidates: 3, Live: 12, Selectivity: 0.25, BruteSegments: 1},
+			Hits:        []Hit{{Type: "Post", ID: 7, Distance: 0.5}},
+		}}})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	resp, err := c.SearchWith(context.Background(), SearchRequest{
+		Attrs:     []string{"Post.content_emb"},
+		Query:     []float32{1, 2},
+		K:         5,
+		Ef:        64,
+		Filter:    &Filter{Type: "Post", IDs: []uint64{1, 3, 5}},
+		AtTID:     42,
+		TimeoutMS: 1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request side: the optional fields actually hit the wire.
+	if got.AtTID != 42 || got.TimeoutMS != 1500 {
+		t.Errorf("at_tid/timeout_ms lost in transit: %+v", got)
+	}
+	if got.Filter == nil || got.Filter.Type != "Post" || len(got.Filter.IDs) != 3 {
+		t.Errorf("filter lost in transit: %+v", got.Filter)
+	}
+	if got.K != 5 || got.Ef != 64 || len(got.Query) != 2 {
+		t.Errorf("core fields lost in transit: %+v", got)
+	}
+	// Response side: snapshot pin and plan info come back.
+	r := resp.Results[0]
+	if r.SnapshotTID != 42 || r.Plan == nil || r.Plan.BruteSegments != 1 || r.Hits[0].ID != 7 {
+		t.Errorf("response fields lost: %+v", r)
+	}
+}
+
+func TestRangeWireFieldsRoundTrip(t *testing.T) {
+	var got RangeRequest
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := json.NewDecoder(r.Body).Decode(&got); err != nil {
+			t.Errorf("decoding request: %v", err)
+		}
+		json.NewEncoder(w).Encode(SearchResponse{Results: []SearchResult{{SnapshotTID: 9}}})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	resp, err := c.RangeWith(context.Background(), RangeRequest{
+		Attr:      "Post.content_emb",
+		Query:     []float32{3, 4},
+		Threshold: 1.25,
+		Filter:    &Filter{Type: "Post", IDs: []uint64{2}},
+		AtTID:     9,
+		TimeoutMS: 250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attr != "Post.content_emb" || got.Threshold != 1.25 {
+		t.Errorf("attr/threshold lost in transit: %+v", got)
+	}
+	if got.AtTID != 9 || got.TimeoutMS != 250 || got.Filter == nil || got.Filter.IDs[0] != 2 {
+		t.Errorf("optional fields lost in transit: %+v", got)
+	}
+	if resp.Results[0].SnapshotTID != 9 {
+		t.Errorf("snapshot_tid lost: %+v", resp.Results[0])
+	}
+}
+
+func TestOversizedResponseRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams >64MB")
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"results": [`))
+		chunk := strings.Repeat(" ", 1<<20)
+		for i := 0; i < 65; i++ { // just past the 64MB cap
+			w.Write([]byte(chunk))
+		}
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	_, err := c.Search(context.Background(), []string{"Post.emb"}, []float32{1}, 5, 0)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("want size-cap error, got %v", err)
+	}
+}

@@ -1,6 +1,9 @@
-// tgvbench regenerates the paper's tables and figures.
+// tgvbench has two experiment families: it regenerates the paper's
+// tables and figures in-process, and it drives serving-mode benchmarks
+// against a live tgvserve — the recall/SLO harness every perf PR
+// reports against.
 //
-// Usage:
+// Paper experiments (in-process, no server):
 //
 //	tgvbench -exp all
 //	tgvbench -exp fig7 -family deep
@@ -9,21 +12,82 @@
 // Experiments: table1, fig7, fig8, fig9, fig10, table2, fig11, table3,
 // table4, ablations, all. The TGV_SCALE environment variable multiplies
 // dataset sizes (default 1 = 20k vectors / 3k persons).
+//
+// Serving mode (-exp serve) boots a real server.Server in-process (or
+// targets an external tgvserve via -addr), loads a seeded dataset over
+// HTTP through the client package, then runs mixed scenarios — closed-
+// loop search, fixed-QPS open-loop search (-qps), filtered search
+// across selectivity bands, a sustained upsert+search mix, and pooled
+// batch search — measuring recall@k against the brute-force oracle,
+// p50/p95/p99 latency, achieved vs target QPS, error/timeout counts,
+// and filter plan-mix drift sampled from /stats:
+//
+//	tgvbench -exp serve -out BENCH_serving.json
+//	tgvbench -exp serve -addr 127.0.0.1:7687 -scenario filtered,mixed
+//	tgvbench -exp serve -n 1500 -dim 32 -duration 1s -qps 200
+//
+// Serving flags: -addr (external server; default boots one in-process),
+// -scenario (comma-separated subset of closed,openloop,filtered,mixed,
+// batch; default all), -qps, -duration (per scenario), -seed, -n, -dim,
+// -queries, -k, -ef, -clients, -batch, -out (BENCH_serving.json path,
+// empty disables). The emitted report is schema-versioned JSON; see
+// docs/ARCHITECTURE.md for the shape.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/bench/serving"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1|fig7|fig8|fig9|fig10|table2|fig11|table3|table4|ablations|all)")
+	exp := flag.String("exp", "all", "experiment id (table1|fig7|fig8|fig9|fig10|table2|fig11|table3|table4|ablations|all|serve)")
 	family := flag.String("family", "both", "dataset family for fig7/fig8/table2 (sift|deep|both)")
+	addr := flag.String("addr", "", "serve: external tgvserve address (default: boot one in-process)")
+	scenario := flag.String("scenario", "", "serve: comma-separated scenarios (closed,openloop,filtered,mixed,batch; default all)")
+	qps := flag.Float64("qps", 0, "serve: open-loop target QPS (default 500)")
+	duration := flag.Duration("duration", 0, "serve: wall budget per scenario (default 5s)")
+	seed := flag.Int64("seed", 0, "serve: dataset and load-generator seed")
+	n := flag.Int("n", 0, "serve: base vector count (default 8192)")
+	dim := flag.Int("dim", 0, "serve: embedding dimensionality (default 64)")
+	queries := flag.Int("queries", 0, "serve: query-set size (default 100)")
+	k := flag.Int("k", 0, "serve: recall depth (default 10)")
+	ef := flag.Int("ef", 0, "serve: index search beam (default 96)")
+	clients := flag.Int("clients", 0, "serve: closed-loop client count (default 8)")
+	batch := flag.Int("batch", 0, "serve: batch-scenario queries per request (default 32)")
+	out := flag.String("out", "BENCH_serving.json", "serve: report path (empty disables)")
 	flag.Parse()
+
+	if *exp == "serve" {
+		cfg := serving.Config{
+			Addr: *addr, N: *n, Dim: *dim, NumQueries: *queries,
+			K: *k, Ef: *ef, QPS: *qps, Duration: *duration,
+			Clients: *clients, BatchSize: *batch, Seed: *seed,
+		}
+		if *scenario != "" && *scenario != "all" {
+			cfg.Scenarios = strings.Split(*scenario, ",")
+		}
+		start := time.Now()
+		rep, err := serving.Run(os.Stdout, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve failed: %v\n", err)
+			os.Exit(1)
+		}
+		if *out != "" {
+			if err := rep.WriteFile(*out); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nserving report written to %s\n", *out)
+		}
+		fmt.Printf("[serve completed in %v]\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	w := os.Stdout
 	run := func(name string, fn func() error) {

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for v := 0; v < 64; v++ {
+		h.Record(time.Duration(v))
+	}
+	if h.Count() != 64 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Buckets below 64ns are exact: the median of 0..63 is bucket 32.
+	if got := h.Quantile(0.5); got != 31 {
+		t.Fatalf("p50 = %v, want 31ns", got)
+	}
+	if got := h.Quantile(1.0); got != 63 {
+		t.Fatalf("p100 = %v, want 63ns", got)
+	}
+	if h.Max() != 63 {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramQuantileRelativeError(t *testing.T) {
+	var h Histogram
+	r := rand.New(rand.NewSource(7))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		// Uniform over [1, 10ms] in ns: spans many powers of two.
+		h.Record(time.Duration(1 + r.Int63n(10_000_000)))
+	}
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		got := float64(h.Quantile(p).Nanoseconds())
+		want := p * 10_000_000
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Fatalf("p%.0f = %.0fns, want ~%.0fns (rel err %.3f)", p*100, got, want, rel)
+		}
+	}
+	mean := float64(h.Mean().Nanoseconds())
+	if rel := math.Abs(mean-5_000_000) / 5_000_000; rel > 0.02 {
+		t.Fatalf("mean = %.0fns, want ~5ms", mean)
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every bucket's representative value must map back to that bucket,
+	// and indexes must be non-decreasing in the value (nearby values may
+	// share a bucket — that's the log-linear compression).
+	last := -1
+	for _, v := range []int64{0, 1, 31, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<30 + 12345, 1 << 45} {
+		idx := histIndex(v)
+		if idx < last {
+			t.Fatalf("index not monotone at %d: %d < %d", v, idx, last)
+		}
+		last = idx
+		if back := histIndex(histValue(idx)); back != idx {
+			t.Fatalf("bucket %d (v=%d): histValue %d maps to bucket %d", idx, v, histValue(idx), back)
+		}
+		if histValue(idx) < v {
+			t.Fatalf("bucket %d upper bound %d < recorded %d", idx, histValue(idx), v)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(r.Int63n(1_000_000))
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		all.Record(d)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Max() != all.Max() || a.Mean() != all.Mean() {
+		t.Fatalf("merge mismatch: count %d/%d max %v/%v", a.Count(), all.Count(), a.Max(), all.Max())
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(p) != all.Quantile(p) {
+			t.Fatalf("p%.0f differs after merge: %v vs %v", p*100, a.Quantile(p), all.Quantile(p))
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}

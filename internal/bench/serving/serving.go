@@ -1,0 +1,846 @@
+// Package serving is the serving-mode benchmark driver behind
+// `tgvbench -exp serve`: it boots a real server.Server in-process (or
+// targets an external tgvserve via Config.Addr), loads a seeded
+// workload dataset through the client package — the same wire path a
+// production loader uses — and runs mixed scenarios against the live
+// HTTP surface, measuring recall@k against the brute-force oracle,
+// latency percentiles from HDR-style histograms, achieved vs target
+// QPS, error/timeout counts, and filtered-search plan-mix drift sampled
+// from /stats before and after each scenario.
+//
+// The driver lives in its own subpackage (not internal/bench proper)
+// because it imports the server and client packages, which import the
+// root package — and the root package's in-package tests import
+// internal/bench, so placing it there would close an import cycle.
+//
+// Scenarios:
+//
+//	closed    closed-loop single search: N clients back to back
+//	openloop  fixed-QPS open-loop search (scheduled arrivals, not paced
+//	          by responses, so queueing delay shows up in the tail)
+//	filtered  closed-loop filtered search across selectivity bands,
+//	          exercising the cost-based FilterPlan; recall is measured
+//	          against a per-band filtered oracle
+//	mixed     sustained upsert+search mix: writers rewrite existing
+//	          embeddings with their original values, so the full write
+//	          path (WAL-less delta store, vacuum, index merge) runs
+//	          while the brute-force oracle stays exact
+//	batch     closed-loop pooled batch search (the high-throughput path)
+//
+// One Run emits one schema-versioned Report, serialized by the caller
+// as BENCH_serving.json (the BENCH_restart/BENCH_filtered pattern
+// generalized).
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	tigervector "repro"
+	"repro/client"
+	"repro/internal/bench"
+	"repro/internal/bruteforce"
+	"repro/internal/workload"
+	"repro/server"
+)
+
+// SchemaVersion is bumped whenever the Report JSON shape changes
+// incompatibly, so downstream tooling comparing BENCH_serving.json
+// across PRs can refuse mixed-schema diffs instead of misreading them.
+const SchemaVersion = 1
+
+// AllScenarios lists the scenario families in execution order.
+var AllScenarios = []string{"closed", "openloop", "filtered", "mixed", "batch"}
+
+// FilteredBands are the selectivity fractions the filtered scenario
+// sweeps; they straddle the planner's brute (≤1%) and bitmap bands.
+var FilteredBands = []float64{0.01, 0.10, 0.50}
+
+// Config parameterizes one serving benchmark run. The zero value plus
+// nothing is a usable laptop-scale run.
+type Config struct {
+	// Addr targets an external tgvserve ("host:port" or a full http://
+	// base URL). Empty boots a fresh server.Server in-process on a
+	// loopback listener. External servers must start with an empty GSQL
+	// catalog: the driver installs its own schema and fails if that
+	// collides.
+	Addr string
+	// N is the base vector (Post) count. Default 8192.
+	N int
+	// Dim is the embedding dimensionality. Default 64.
+	Dim int
+	// NumQueries is the query-set size. Default 100.
+	NumQueries int
+	// K is the top-k depth recall is measured at. Default 10.
+	K int
+	// Ef is the index beam sent with every search. Default 96.
+	Ef int
+	// QPS is the open-loop scenario's target arrival rate. Default 500.
+	QPS float64
+	// Duration is the wall budget per scenario (each filtered band
+	// counts as one scenario). Default 5s.
+	Duration time.Duration
+	// Clients is the closed-loop concurrency. Default 8.
+	Clients int
+	// BatchSize is the pooled-batch scenario's queries per request.
+	// Default 32.
+	BatchSize int
+	// Seed fixes dataset generation and client-side randomness.
+	Seed int64
+	// SegmentSize is the booted in-process server's segment size
+	// (ignored with Addr). Default 1024.
+	SegmentSize int
+	// Loaders is the dataset-load concurrency. Default 8.
+	Loaders int
+	// Scenarios selects a subset of AllScenarios; nil runs all.
+	Scenarios []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 8192
+	}
+	if c.Dim <= 0 {
+		c.Dim = 64
+	}
+	if c.NumQueries <= 0 {
+		c.NumQueries = 100
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.Ef <= 0 {
+		c.Ef = 96
+	}
+	if c.QPS <= 0 {
+		c.QPS = 500
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.SegmentSize <= 0 {
+		c.SegmentSize = 1024
+	}
+	if c.Loaders <= 0 {
+		c.Loaders = 8
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = AllScenarios
+	}
+	return c
+}
+
+// DatasetInfo describes the loaded corpus in the report.
+type DatasetInfo struct {
+	Name    string `json:"name"`
+	N       int    `json:"n"`
+	Dim     int    `json:"dim"`
+	Queries int    `json:"queries"`
+	K       int    `json:"k"`
+	Ef      int    `json:"ef"`
+	Seed    int64  `json:"seed"`
+	Persons int    `json:"persons"`
+}
+
+// LatencyMS summarizes a scenario's latency histogram in milliseconds.
+type LatencyMS struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// PlanMixDelta is the /stats filter_plans movement across one scenario:
+// how many filtered searches ran and how many segment scans each
+// planner strategy executed while the scenario was live.
+type PlanMixDelta struct {
+	FilteredSearches int64 `json:"filtered_searches"`
+	BruteSegments    int64 `json:"brute_segments"`
+	BitmapSegments   int64 `json:"bitmap_segments"`
+	PostSegments     int64 `json:"post_segments"`
+	SkippedSegments  int64 `json:"skipped_segments"`
+}
+
+// ScenarioResult is one row of the report.
+type ScenarioResult struct {
+	// Name identifies the scenario ("search_closed", "filtered_1pct", …).
+	Name string `json:"name"`
+	// Mode is "closed-loop" or "open-loop".
+	Mode string `json:"mode"`
+	// TargetQPS is the open-loop arrival rate (0 for closed loop).
+	TargetQPS float64 `json:"target_qps,omitempty"`
+	// AchievedQPS is completed queries per wall second.
+	AchievedQPS float64 `json:"achieved_qps"`
+	// DurationSeconds is the measured wall time.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Requests counts HTTP requests; Queries counts query vectors (they
+	// differ for the batch scenario).
+	Requests int64 `json:"requests"`
+	Queries  int64 `json:"queries"`
+	// Errors counts failed requests or per-query errors; Timeouts is the
+	// deadline-expired subset of Errors.
+	Errors   int64 `json:"errors"`
+	Timeouts int64 `json:"timeouts"`
+	// Upserts counts completed writes (mixed scenario).
+	Upserts int64 `json:"upserts,omitempty"`
+	// Selectivity is the filtered band's admitted fraction.
+	Selectivity float64 `json:"selectivity,omitempty"`
+	// RecallAtK is mean recall@K against the brute-force oracle (the
+	// per-band filtered oracle for filtered scenarios), over the queries
+	// that were answered at least once.
+	RecallAtK float64 `json:"recall_at_k"`
+	// Latency is the per-request latency summary.
+	Latency LatencyMS `json:"latency_ms"`
+	// PlanMix is the /stats filter_plans delta across the scenario.
+	PlanMix PlanMixDelta `json:"plan_mix_delta"`
+}
+
+// Report is the consolidated, schema-versioned output of one run.
+type Report struct {
+	Benchmark     string           `json:"benchmark"`
+	SchemaVersion int              `json:"schema_version"`
+	Target        string           `json:"target"`
+	Dataset       DatasetInfo      `json:"dataset"`
+	Scenarios     []ScenarioResult `json:"scenarios"`
+}
+
+// WriteFile serializes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	payload, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(payload, '\n'), 0o644)
+}
+
+// harness holds the per-run state shared by all scenarios.
+type harness struct {
+	cfg Config
+	c   *client.Client
+	w   io.Writer
+	ds  *workload.VectorDataset
+	// postIDs maps dataset index -> server-assigned vertex id; rev is
+	// the inverse. The server owns id assignment, so recall bookkeeping
+	// must translate hits back into dataset space.
+	postIDs []uint64
+	rev     map[uint64]int
+	persons int
+}
+
+// Run executes the configured scenario suite and returns the report.
+// Progress and a human-readable summary go to w.
+func Run(w io.Writer, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	target := cfg.Addr
+	baseURL := cfg.Addr
+	if baseURL != "" && !strings.HasPrefix(baseURL, "http://") && !strings.HasPrefix(baseURL, "https://") {
+		baseURL = "http://" + baseURL
+	}
+	if cfg.Addr == "" {
+		target = "in-process"
+		url, shutdown, err := bootServer(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer shutdown()
+		baseURL = url
+	}
+	h := &harness{cfg: cfg, c: client.New(baseURL), w: w}
+	if err := h.load(); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Benchmark:     "serving",
+		SchemaVersion: SchemaVersion,
+		Target:        target,
+		Dataset: DatasetInfo{
+			Name: h.ds.Name, N: cfg.N, Dim: cfg.Dim, Queries: cfg.NumQueries,
+			K: cfg.K, Ef: cfg.Ef, Seed: cfg.Seed, Persons: h.persons,
+		},
+	}
+	for _, name := range cfg.Scenarios {
+		results, err := h.runScenario(name)
+		if err != nil {
+			return nil, fmt.Errorf("serving: scenario %s: %w", name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, results...)
+	}
+	h.printSummary(rep)
+	return rep, nil
+}
+
+// bootServer opens a fresh DB in a temp dir and serves it on loopback.
+func bootServer(cfg Config) (url string, shutdown func(), err error) {
+	dir, err := os.MkdirTemp("", "tgvbench-serve-*")
+	if err != nil {
+		return "", nil, err
+	}
+	db, err := tigervector.Open(tigervector.Config{
+		SegmentSize: cfg.SegmentSize, Seed: cfg.Seed, DataDir: dir,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	srv := server.New(db, server.Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	go srv.Serve(l)
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		db.Close()
+		os.RemoveAll(dir)
+	}
+	return "http://" + l.Addr().String(), shutdown, nil
+}
+
+var snbLanguages = []string{"English", "French", "German", "Spanish", "Chinese"}
+
+// load generates the seeded dataset and pushes it through the client:
+// an SNB-shaped Person/knows graph, Post vertices carrying the vector
+// corpus as content embeddings, and hasCreator edges tying them
+// together. Everything flows over HTTP — the load is part of what the
+// harness exercises.
+func (h *harness) load() error {
+	cfg := h.cfg
+	ds, err := workload.GenVectors(workload.VectorConfig{
+		Name: "serving-sift-like", N: cfg.N, Dim: cfg.Dim,
+		NumQueries: cfg.NumQueries, GTK: cfg.K, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	h.ds = ds
+	ctx := context.Background()
+	ddl := fmt.Sprintf(`
+CREATE VERTEX Person (id INT PRIMARY KEY, name STRING);
+CREATE VERTEX Post (id INT PRIMARY KEY, language STRING);
+CREATE UNDIRECTED EDGE knows (FROM Person, TO Person);
+CREATE DIRECTED EDGE hasCreator (FROM Post, TO Person);
+ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb (
+  DIMENSION = %d, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);`, cfg.Dim)
+	if err := h.c.Exec(ctx, ddl); err != nil {
+		return fmt.Errorf("installing schema (external servers must start with an empty catalog): %w", err)
+	}
+
+	// Person graph: N/20 people in a ring plus seeded random shortcuts.
+	h.persons = cfg.N / 20
+	if h.persons < 4 {
+		h.persons = 4
+	}
+	personIDs := make([]uint64, h.persons)
+	for i := range personIDs {
+		id, err := h.c.AddVertex(ctx, "Person", map[string]any{"id": i, "name": fmt.Sprintf("person-%d", i)})
+		if err != nil {
+			return fmt.Errorf("loading person %d: %w", i, err)
+		}
+		personIDs[i] = id
+	}
+	pr := rand.New(rand.NewSource(cfg.Seed + 1))
+	for i, id := range personIDs {
+		if err := h.c.AddEdge(ctx, "knows", id, personIDs[(i+1)%h.persons]); err != nil {
+			return fmt.Errorf("loading knows edge: %w", err)
+		}
+		if err := h.c.AddEdge(ctx, "knows", id, personIDs[pr.Intn(h.persons)]); err != nil {
+			return fmt.Errorf("loading knows edge: %w", err)
+		}
+	}
+
+	// Posts + embeddings, loaded by cfg.Loaders concurrent workers over
+	// disjoint index ranges.
+	h.postIDs = make([]uint64, cfg.N)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Loaders)
+	chunk := (cfg.N + cfg.Loaders - 1) / cfg.Loaders
+	for w := 0; w < cfg.Loaders; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > cfg.N {
+			hi = cfg.N
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				id, err := h.c.AddVertex(ctx, "Post", map[string]any{
+					"id": i, "language": snbLanguages[i%len(snbLanguages)]})
+				if err != nil {
+					errCh <- fmt.Errorf("loading post %d: %w", i, err)
+					return
+				}
+				h.postIDs[i] = id
+				if err := h.c.Upsert(ctx, "Post", "content_emb", id, h.ds.Vectors[i]); err != nil {
+					errCh <- fmt.Errorf("loading embedding %d: %w", i, err)
+					return
+				}
+				if err := h.c.AddEdge(ctx, "hasCreator", id, personIDs[i%h.persons]); err != nil {
+					errCh <- fmt.Errorf("loading hasCreator edge: %w", err)
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	h.rev = make(map[uint64]int, cfg.N)
+	for i, id := range h.postIDs {
+		h.rev[id] = i
+	}
+	fmt.Fprintf(h.w, "loaded %d posts (%d persons) over HTTP in %v\n",
+		cfg.N, h.persons, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// loadOpts parameterizes one scenario execution.
+type loadOpts struct {
+	name        string
+	openLoopQPS float64 // 0 = closed loop
+	clients     int
+	batch       int // queries per request; <=1 means single-query
+	writers     int // concurrent upserters (mixed scenario)
+	filter      *client.Filter
+	truth       [][]uint64 // ground truth in dataset-id space; nil = ds.GroundTruth
+	selectivity float64
+}
+
+// runScenario expands a scenario family name into loadOpts runs.
+func (h *harness) runScenario(name string) ([]ScenarioResult, error) {
+	cfg := h.cfg
+	switch name {
+	case "closed":
+		r, err := h.run(loadOpts{name: "search_closed", clients: cfg.Clients})
+		return wrap(r, err)
+	case "openloop":
+		r, err := h.run(loadOpts{name: "search_openloop", openLoopQPS: cfg.QPS})
+		return wrap(r, err)
+	case "mixed":
+		writers := cfg.Clients / 2
+		if writers < 1 {
+			writers = 1
+		}
+		r, err := h.run(loadOpts{name: "mixed_upsert_search", clients: cfg.Clients, writers: writers})
+		return wrap(r, err)
+	case "batch":
+		clients := 2
+		if cfg.Clients < 2 {
+			clients = cfg.Clients
+		}
+		r, err := h.run(loadOpts{name: "search_batch", clients: clients, batch: cfg.BatchSize})
+		return wrap(r, err)
+	case "filtered":
+		var out []ScenarioResult
+		for _, band := range FilteredBands {
+			r, err := h.run(h.filteredOpts(band))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (have %s)", name, strings.Join(AllScenarios, ", "))
+	}
+}
+
+func wrap(r ScenarioResult, err error) ([]ScenarioResult, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []ScenarioResult{r}, nil
+}
+
+// filteredOpts builds one selectivity band: the admitted id set (every
+// stride-th post) and its exact filtered oracle.
+func (h *harness) filteredOpts(band float64) loadOpts {
+	stride := int(1/band + 0.5)
+	if stride < 1 {
+		stride = 1
+	}
+	var admittedIDs []uint64   // server-id space, for the wire filter
+	var oracleIDs []uint64     // dataset-id space, for the oracle
+	var oracleVecs [][]float32 // parallel to oracleIDs
+	for i := 0; i < h.cfg.N; i += stride {
+		admittedIDs = append(admittedIDs, h.postIDs[i])
+		oracleIDs = append(oracleIDs, h.ds.IDs[i])
+		oracleVecs = append(oracleVecs, h.ds.Vectors[i])
+	}
+	truth := bruteforce.GroundTruth(h.ds.Metric,
+		bruteforce.SliceSource{IDs: oracleIDs, Vecs: oracleVecs}, h.ds.Queries, h.cfg.K)
+	name := fmt.Sprintf("filtered_%gpct", band*100)
+	return loadOpts{
+		name: name, clients: h.cfg.Clients,
+		filter:      &client.Filter{Type: "Post", IDs: admittedIDs},
+		truth:       truth,
+		selectivity: float64(len(admittedIDs)) / float64(h.cfg.N),
+	}
+}
+
+// worker accumulates one goroutine's measurements, merged after join so
+// the record path is contention-free.
+type worker struct {
+	hist     bench.Histogram
+	results  map[int][]uint64 // query index -> last answered hit ids (server space)
+	requests int64
+	queries  int64
+	errors   int64
+	timeouts int64
+}
+
+func newWorker() *worker { return &worker{results: map[int][]uint64{}} }
+
+// observe classifies one completed request.
+func (w *worker) observe(ctx context.Context, lat time.Duration, nq int64, err error) {
+	if err != nil {
+		if ctx.Err() != nil {
+			// The scenario's own wall-budget expiry cancelled an
+			// in-flight request: shutdown, not a server failure — don't
+			// count it at all. Real SLO timeouts (server-side
+			// timeout_ms) surface as per-query errors with ctx alive.
+			return
+		}
+		w.errors++
+		if isTimeout(err) {
+			w.timeouts++
+		}
+		return
+	}
+	w.requests++
+	w.queries += nq
+	w.hist.Record(lat)
+}
+
+func isTimeout(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) ||
+		strings.Contains(err.Error(), "deadline exceeded")
+}
+
+// run executes one scenario under its wall budget and assembles the row.
+func (h *harness) run(o loadOpts) (ScenarioResult, error) {
+	before, err := h.planStats()
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.Duration)
+	defer cancel()
+
+	var upserts, upsertErrs int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var workers []*worker
+
+	collect := func(w *worker) {
+		mu.Lock()
+		workers = append(workers, w)
+		mu.Unlock()
+	}
+
+	// Writers (mixed scenario): rewrite existing embeddings with their
+	// original values — the whole write path runs while the brute-force
+	// oracle stays exact.
+	for i := 0; i < o.writers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for ctx.Err() == nil {
+				i := r.Intn(h.cfg.N)
+				err := h.c.Upsert(ctx, "Post", "content_emb", h.postIDs[i], h.ds.Vectors[i])
+				if err != nil {
+					if ctx.Err() == nil {
+						atomic.AddInt64(&upsertErrs, 1)
+					}
+					continue
+				}
+				atomic.AddInt64(&upserts, 1)
+			}
+		}(h.cfg.Seed + 100 + int64(i))
+	}
+
+	var next atomic.Int64 // round-robin query cursor, shared by all workers
+	start := time.Now()
+	if o.openLoopQPS > 0 {
+		h.runOpenLoop(ctx, o, &next, &wg, collect)
+	} else {
+		for c := 0; c < o.clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := newWorker()
+				for ctx.Err() == nil {
+					h.oneRequest(ctx, o, &next, w, time.Now())
+				}
+				collect(w)
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := h.planStats()
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	merged := newWorker()
+	var hist bench.Histogram
+	for _, w := range workers {
+		hist.Merge(&w.hist)
+		merged.requests += w.requests
+		merged.queries += w.queries
+		merged.errors += w.errors
+		merged.timeouts += w.timeouts
+		for qi, ids := range w.results {
+			merged.results[qi] = ids
+		}
+	}
+	truth := o.truth
+	if truth == nil {
+		truth = h.ds.GroundTruth
+	}
+	res := ScenarioResult{
+		Name:            o.name,
+		Mode:            "closed-loop",
+		AchievedQPS:     float64(merged.queries) / elapsed.Seconds(),
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        merged.requests,
+		Queries:         merged.queries,
+		Errors:          merged.errors + atomic.LoadInt64(&upsertErrs),
+		Timeouts:        merged.timeouts,
+		Upserts:         atomic.LoadInt64(&upserts),
+		Selectivity:     o.selectivity,
+		RecallAtK:       h.recall(truth, merged.results),
+		Latency: LatencyMS{
+			P50:  ms(hist.Quantile(0.50)),
+			P95:  ms(hist.Quantile(0.95)),
+			P99:  ms(hist.Quantile(0.99)),
+			Mean: ms(hist.Mean()),
+			Max:  ms(hist.Max()),
+		},
+		PlanMix: PlanMixDelta{
+			FilteredSearches: after.FilteredSearches - before.FilteredSearches,
+			BruteSegments:    after.BruteSegments - before.BruteSegments,
+			BitmapSegments:   after.BitmapSegments - before.BitmapSegments,
+			PostSegments:     after.PostSegments - before.PostSegments,
+			SkippedSegments:  after.SkippedSegments - before.SkippedSegments,
+		},
+	}
+	if o.openLoopQPS > 0 {
+		res.Mode = "open-loop"
+		res.TargetQPS = o.openLoopQPS
+	}
+	fmt.Fprintf(h.w, "%-22s qps=%8.1f recall@%d=%.4f p50=%.2fms p99=%.2fms err=%d\n",
+		res.Name, res.AchievedQPS, h.cfg.K, res.RecallAtK, res.Latency.P50, res.Latency.P99, res.Errors)
+	return res, nil
+}
+
+// runOpenLoop issues requests at scheduled arrival times regardless of
+// completions (the wrk2-style open loop): a dispatcher pushes intended
+// arrival timestamps into a deep queue drained by a fixed executor
+// fleet, and each request's latency is measured from its *intended*
+// arrival — so when the server falls behind, the queueing delay lands
+// in the latency tail instead of being silently absorbed by a slowed
+// generator (no coordinated omission). The executor fleet bounds
+// in-flight concurrency; a saturated fleet shows up as achieved <
+// target QPS plus inflated tail latency, never as lost measurements.
+func (h *harness) runOpenLoop(ctx context.Context, o loadOpts, next *atomic.Int64, wg *sync.WaitGroup, collect func(*worker)) {
+	interval := time.Duration(float64(time.Second) / o.openLoopQPS)
+	arrivals := make(chan time.Time, 4096)
+	executors := 4 * h.cfg.Clients
+	if executors < 32 {
+		executors = 32
+	}
+	for e := 0; e < executors; e++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := newWorker()
+			for due := range arrivals {
+				h.oneRequest(ctx, o, next, w, due)
+			}
+			collect(w)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(arrivals)
+		start := time.Now()
+		for i := int64(0); ctx.Err() == nil; i++ {
+			due := start.Add(time.Duration(i) * interval)
+			if d := time.Until(due); d > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(d):
+				}
+			}
+			select {
+			case arrivals <- due:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// oneRequest issues a single search (or one pooled batch) and records
+// it. due is the intended arrival time: closed-loop callers pass
+// time.Now() (latency = service time), the open loop passes the
+// scheduled timestamp (latency includes queueing delay).
+func (h *harness) oneRequest(ctx context.Context, o loadOpts, next *atomic.Int64, w *worker, due time.Time) {
+	nq := int64(len(h.ds.Queries))
+	if o.batch > 1 {
+		base := next.Add(int64(o.batch)) - int64(o.batch)
+		queries := make([][]float32, o.batch)
+		qis := make([]int, o.batch)
+		for j := 0; j < o.batch; j++ {
+			qi := int((base + int64(j)) % nq)
+			qis[j] = qi
+			queries[j] = h.ds.Queries[qi]
+		}
+		resp, err := h.c.SearchWith(ctx, client.SearchRequest{
+			Attrs: []string{"Post.content_emb"}, Queries: queries,
+			K: h.cfg.K, Ef: h.cfg.Ef, Filter: o.filter,
+		})
+		lat := time.Since(due)
+		if err == nil && len(resp.Results) != o.batch {
+			err = fmt.Errorf("got %d results for %d queries", len(resp.Results), o.batch)
+		}
+		w.observe(ctx, lat, int64(o.batch), err)
+		if err != nil {
+			return
+		}
+		for j, r := range resp.Results {
+			if r.Error != "" {
+				w.errors++
+				if strings.Contains(r.Error, "deadline exceeded") {
+					w.timeouts++
+				}
+				continue
+			}
+			w.results[qis[j]] = hitIDs(r.Hits)
+		}
+		return
+	}
+	qi := int((next.Add(1) - 1) % nq)
+	resp, err := h.c.SearchWith(ctx, client.SearchRequest{
+		Attrs: []string{"Post.content_emb"}, Query: h.ds.Queries[qi],
+		K: h.cfg.K, Ef: h.cfg.Ef, Filter: o.filter,
+	})
+	lat := time.Since(due)
+	if err == nil {
+		if len(resp.Results) != 1 {
+			err = fmt.Errorf("got %d results for 1 query", len(resp.Results))
+		} else if resp.Results[0].Error != "" {
+			err = errors.New(resp.Results[0].Error)
+		}
+	}
+	w.observe(ctx, lat, 1, err)
+	if err == nil {
+		w.results[qi] = hitIDs(resp.Results[0].Hits)
+	}
+}
+
+func hitIDs(hits []client.Hit) []uint64 {
+	ids := make([]uint64, len(hits))
+	for i, h := range hits {
+		ids[i] = h.ID
+	}
+	return ids
+}
+
+// recall computes mean recall@K over the answered queries: hits come
+// back in server-id space and are translated through rev before the
+// dataset-space ground truth comparison.
+func (h *harness) recall(truth [][]uint64, results map[int][]uint64) float64 {
+	k := h.cfg.K
+	hits, total := 0, 0
+	for qi, ids := range results {
+		want := make(map[uint64]bool, k)
+		tq := truth[qi]
+		if len(tq) > k {
+			tq = tq[:k]
+		}
+		for _, id := range tq {
+			want[id] = true
+		}
+		n := len(ids)
+		if n > k {
+			n = k
+		}
+		for _, id := range ids[:n] {
+			if dsIdx, ok := h.rev[id]; ok && want[h.ds.IDs[dsIdx]] {
+				hits++
+			}
+		}
+		total += len(tq)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// planStats samples the server's filter_plans counters from /stats.
+func (h *harness) planStats() (PlanMixDelta, error) {
+	raw, err := h.c.Stats(context.Background())
+	if err != nil {
+		return PlanMixDelta{}, fmt.Errorf("fetching /stats: %w", err)
+	}
+	var snap struct {
+		DB struct {
+			FilterPlans PlanMixDelta `json:"filter_plans"`
+		} `json:"db"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return PlanMixDelta{}, fmt.Errorf("decoding /stats: %w", err)
+	}
+	return snap.DB.FilterPlans, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// printSummary renders the report as a table.
+func (h *harness) printSummary(rep *Report) {
+	fmt.Fprintf(h.w, "\n%-22s %-11s %9s %9s %8s %8s %8s %7s %6s\n",
+		"scenario", "mode", "target", "qps", "p50ms", "p95ms", "p99ms", "recall", "errs")
+	for _, s := range rep.Scenarios {
+		target := "-"
+		if s.TargetQPS > 0 {
+			target = fmt.Sprintf("%.0f", s.TargetQPS)
+		}
+		fmt.Fprintf(h.w, "%-22s %-11s %9s %9.1f %8.2f %8.2f %8.2f %7.4f %6d\n",
+			s.Name, s.Mode, target, s.AchievedQPS,
+			s.Latency.P50, s.Latency.P95, s.Latency.P99, s.RecallAtK, s.Errors)
+	}
+}

@@ -1,0 +1,108 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke drives the whole harness at miniature scale against an
+// in-process server: every scenario family runs, the report is
+// schema-versioned, recall is measured against the oracle, and the
+// filtered bands actually move the plan-mix counters.
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	cfg := Config{
+		N: 600, Dim: 16, NumQueries: 30, K: 10, Ef: 96,
+		QPS: 300, Duration: 300 * time.Millisecond,
+		Clients: 4, BatchSize: 8, Seed: 7, SegmentSize: 128, Loaders: 4,
+	}
+	rep, err := Run(&out, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != SchemaVersion || rep.Benchmark != "serving" {
+		t.Fatalf("report header = %q v%d", rep.Benchmark, rep.SchemaVersion)
+	}
+	if rep.Target != "in-process" {
+		t.Fatalf("target = %q", rep.Target)
+	}
+	// closed + openloop + 3 filtered bands + mixed + batch.
+	wantScenarios := len(AllScenarios) - 1 + len(FilteredBands)
+	if len(rep.Scenarios) != wantScenarios {
+		t.Fatalf("got %d scenarios, want %d: %+v", len(rep.Scenarios), wantScenarios, rep.Scenarios)
+	}
+	for _, s := range rep.Scenarios {
+		if s.Errors != 0 {
+			t.Errorf("%s: %d errors", s.Name, s.Errors)
+		}
+		if s.Queries == 0 || s.AchievedQPS <= 0 {
+			t.Errorf("%s: no throughput (queries=%d qps=%.1f)", s.Name, s.Queries, s.AchievedQPS)
+		}
+		// ef 96 over 600 vectors is nearly exhaustive; anything below .8
+		// here means the recall bookkeeping (id remapping, oracle) broke,
+		// not that HNSW had a bad day.
+		if s.RecallAtK < 0.8 {
+			t.Errorf("%s: recall@%d = %.3f", s.Name, cfg.K, s.RecallAtK)
+		}
+		if s.Latency.P50 <= 0 || s.Latency.P99 < s.Latency.P50 {
+			t.Errorf("%s: implausible latency summary %+v", s.Name, s.Latency)
+		}
+		if s.Selectivity > 0 {
+			if s.PlanMix.FilteredSearches == 0 {
+				t.Errorf("%s: filtered scenario moved no filter_plans counters", s.Name)
+			}
+			brute := s.PlanMix.BruteSegments + s.PlanMix.BitmapSegments +
+				s.PlanMix.PostSegments + s.PlanMix.SkippedSegments
+			if brute == 0 {
+				t.Errorf("%s: no per-strategy segment counts", s.Name)
+			}
+		} else if s.PlanMix.FilteredSearches != 0 {
+			t.Errorf("%s: unfiltered scenario drifted filter_plans by %d", s.Name, s.PlanMix.FilteredSearches)
+		}
+	}
+	// The mixed scenario must have actually written.
+	var sawUpserts bool
+	for _, s := range rep.Scenarios {
+		if s.Name == "mixed_upsert_search" && s.Upserts > 0 {
+			sawUpserts = true
+		}
+	}
+	if !sawUpserts {
+		t.Error("mixed scenario recorded no upserts")
+	}
+	// The report must round-trip as JSON (the BENCH_serving.json path).
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SchemaVersion || len(back.Scenarios) != wantScenarios {
+		t.Fatalf("report did not round-trip: %+v", back)
+	}
+}
+
+// TestRunScenarioSubsetAndUnknown covers scenario selection.
+func TestRunScenarioSubsetAndUnknown(t *testing.T) {
+	var out bytes.Buffer
+	cfg := Config{
+		N: 200, Dim: 8, NumQueries: 10, K: 5,
+		Duration: 100 * time.Millisecond, Clients: 2, Seed: 3,
+		SegmentSize: 64, Loaders: 2, Scenarios: []string{"closed"},
+	}
+	rep, err := Run(&out, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 1 || rep.Scenarios[0].Name != "search_closed" {
+		t.Fatalf("scenarios = %+v", rep.Scenarios)
+	}
+	cfg.Scenarios = []string{"nope"}
+	if _, err := Run(&out, cfg); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// TestStatsObservesFilteredBurst drives a burst of filtered searches
+// end-to-end through the HTTP server and asserts the /stats snapshot
+// actually observed them: the filter-plan counters advance by at least
+// the burst size and the per-store ActiveQueries gauge drains back to
+// zero once the burst completes. This is the contract the serving
+// harness's plan-mix drift sampling (cmd/tgvbench -exp serve) depends
+// on — if these counters stop moving, the benchmark reports garbage
+// silently.
+func TestStatsObservesFilteredBurst(t *testing.T) {
+	c, ids, vecs := newTestServer(t, 128)
+	ctx := context.Background()
+
+	fetchStats := func() Stats {
+		t.Helper()
+		raw, err := c.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st Stats
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("decoding /stats: %v", err)
+		}
+		return st
+	}
+	before := fetchStats()
+
+	// Every 4th post qualifies: 25% selectivity, enough to make the
+	// planner pick a real strategy for every segment it scans.
+	var admitted []uint64
+	for i := 0; i < len(ids); i += 4 {
+		admitted = append(admitted, ids[i])
+	}
+	const burst = 32
+	var wg sync.WaitGroup
+	errCh := make(chan error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := c.SearchWith(ctx, client.SearchRequest{
+				Attrs:  []string{"Post.content_emb"},
+				Query:  vecs[i%len(vecs)],
+				K:      5,
+				Ef:     64,
+				Filter: &client.Filter{Type: "Post", IDs: admitted},
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			r := resp.Results[0]
+			if r.Error != "" {
+				errCh <- fmt.Errorf("filtered search %d: %s", i, r.Error)
+				return
+			}
+			if r.Plan == nil {
+				errCh <- fmt.Errorf("filtered search %d returned no plan", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	after := fetchStats()
+	fp, fp0 := after.DB.FilterPlans, before.DB.FilterPlans
+	if got := fp.FilteredSearches - fp0.FilteredSearches; got < burst {
+		t.Errorf("filtered_searches advanced by %d, want >= %d", got, burst)
+	}
+	segDelta := (fp.BruteSegments + fp.BitmapSegments + fp.PostSegments + fp.SkippedSegments) -
+		(fp0.BruteSegments + fp0.BitmapSegments + fp0.PostSegments + fp0.SkippedSegments)
+	if segDelta <= 0 {
+		t.Errorf("no per-strategy segment counter moved: before %+v after %+v", fp0, fp)
+	}
+	if after.Requests.Search-before.Requests.Search < burst {
+		t.Errorf("request counter saw %d searches, want >= %d",
+			after.Requests.Search-before.Requests.Search, burst)
+	}
+
+	// The ActiveQueries gauge must drain: a snapshot registration leak
+	// here pins the vacuum forever. Poll briefly — the HTTP handler may
+	// return before the server-side bookkeeping fully settles.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := fetchStats()
+		busy := int64(0)
+		for _, store := range st.DB.Stores {
+			busy += int64(store.ActiveQueries)
+		}
+		busy += st.DB.Pool.InFlight
+		if busy == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queries never drained: %d still registered", busy)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

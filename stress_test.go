@@ -1,11 +1,14 @@
 package tigervector
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/workload"
 )
 
 // TestConcurrentWorkload hammers one DB with concurrent searches, GSQL
@@ -204,5 +207,209 @@ CREATE QUERY eng (LIST<FLOAT> qv, INT k) {
 	hits, err := db.VectorSearch([]string{"Post.content_emb"}, vecs[n/4], 1, nil)
 	if err != nil || len(hits) != 1 {
 		t.Fatalf("post-stress search = %+v, %v", hits, err)
+	}
+}
+
+// TestSoakMixedWorkload is the serving-mode soak: a durable DB under
+// sustained concurrent upserts, searches and periodic checkpoints for a
+// fixed wall budget. Unlike TestConcurrentWorkload (which checks MVCC
+// visibility invariants), this test holds a *recall* floor while the
+// write path churns: writers re-upsert each vector with its original
+// value, so every upsert runs the full WAL -> delta store -> vacuum ->
+// index-merge path yet the brute-force oracle stays exact. Afterwards
+// the system must quiesce completely — zero errors, every store's
+// ActiveQueries back to zero, no in-flight pool work, no vacuum or
+// checkpoint failures.
+func TestSoakMixedWorkload(t *testing.T) {
+	soak := 2 * time.Second
+	if testing.Short() {
+		soak = 500 * time.Millisecond
+	}
+	db, err := Open(Config{SegmentSize: 64, Seed: 1, DataDir: t.TempDir(),
+		Durability: true, NoFsync: true, VacuumInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		n       = 512
+		dim     = 8
+		queries = 20
+		k       = 10
+	)
+	ds, err := workload.GenVectors(workload.VectorConfig{
+		Name: "soak", N: n, Dim: dim, NumQueries: queries, GTK: k, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, n)
+	rev := make(map[uint64]int, n)
+	for i := 0; i < n; i++ {
+		id, err := db.AddVertex("Post", map[string]any{
+			"id": int64(i), "language": "English", "length": int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		rev[id] = i
+	}
+	if err := db.BulkLoadEmbeddings("Post", "content_emb", ids, ds.Vectors); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 64)
+	report := func(format string, args ...any) {
+		select {
+		case errCh <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// Writers: rewrite live vectors with their original values so the
+	// ground truth never drifts while the delta store stays busy.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wr := rand.New(rand.NewSource(int64(100 + w)))
+			var upserts int
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := wr.Intn(n)
+				if err := db.UpsertEmbedding("Post", "content_emb", ids[i], ds.Vectors[i]); err != nil {
+					report("soak upsert: %v", err)
+					return
+				}
+				if upserts++; upserts%40 == 0 {
+					time.Sleep(time.Millisecond) // let the vacuum breathe
+				}
+			}
+		}(w)
+	}
+
+	// Searchers: accumulate aggregate recall@k against the static oracle.
+	var mu sync.Mutex
+	hitCount, totalCount := 0, 0
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sr := rand.New(rand.NewSource(int64(200 + w)))
+			ctx := context.Background()
+			hits, total := 0, 0
+			for {
+				select {
+				case <-stop:
+					mu.Lock()
+					hitCount += hits
+					totalCount += total
+					mu.Unlock()
+					return
+				default:
+				}
+				qi := sr.Intn(queries)
+				res, err := db.Search(ctx, Request{
+					Attrs: []string{"Post.content_emb"},
+					Query: ds.Queries[qi], K: k, Ef: 96,
+				})
+				if err != nil {
+					report("soak search: %v", err)
+					return
+				}
+				truth := ds.GroundTruth[qi]
+				if len(truth) > k {
+					truth = truth[:k]
+				}
+				want := map[uint64]bool{}
+				for _, id := range truth {
+					want[id] = true
+				}
+				for _, h := range res.Hits {
+					if want[uint64(rev[h.ID])] {
+						hits++
+					}
+				}
+				total += len(truth)
+			}
+		}(w)
+	}
+
+	// Checkpointer: periodic full checkpoints race the writers and the
+	// vacuum's delta flushes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if _, err := db.Checkpoint(); err != nil {
+					report("soak checkpoint: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	time.Sleep(soak)
+	close(stop)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("soak test deadlocked")
+	}
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	if totalCount == 0 {
+		t.Fatal("soak ran zero searches")
+	}
+	recall := float64(hitCount) / float64(totalCount)
+	t.Logf("soak: %d scored hits over %d truth entries, recall@%d = %.4f", hitCount, totalCount, k, recall)
+	if recall < 0.95 {
+		t.Errorf("soak recall@%d = %.4f under mixed load, floor 0.95", k, recall)
+	}
+
+	// Quiesce: one manual vacuum, then every serving counter must be back
+	// at baseline.
+	if err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	for _, store := range st.Stores {
+		if store.ActiveQueries != 0 {
+			t.Errorf("store %s: %d active queries after quiesce", store.Attr, store.ActiveQueries)
+		}
+	}
+	if st.Pool.InFlight != 0 {
+		t.Errorf("pool reports %d in-flight queries after quiesce", st.Pool.InFlight)
+	}
+	if st.Vacuum.Errors != 0 {
+		t.Errorf("vacuum recorded %d errors", st.Vacuum.Errors)
+	}
+	if st.CheckpointErrors != 0 {
+		t.Errorf("%d checkpoint errors", st.CheckpointErrors)
+	}
+	if st.Checkpoints == 0 {
+		t.Error("soak completed without a single checkpoint")
 	}
 }
