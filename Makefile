@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet race recovery-test bench-restart bench-filtered bench-serving bench-serving-smoke fmt-check
+.PHONY: build test bench vet lint race recovery-test bench-restart bench-filtered bench-serving bench-serving-smoke fmt-check
 
 build:
 	$(GO) build ./...
@@ -8,14 +8,33 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific static analysis: the five tgvlint analyzers
+# (internal/analysis) over the whole module, plus govulncheck when the
+# toolchain has it. tgvlint is built into bin/ so repeat runs and CI
+# reuse the build cache; suppressions require a justified //lint:ignore
+# (see docs/ARCHITECTURE.md, "Enforced invariants").
+lint:
+	@mkdir -p bin
+	$(GO) build -o bin/tgvlint ./cmd/tgvlint
+	./bin/tgvlint ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
+
 # Fails (and lists the offenders) if any file is not gofmt-clean.
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# The experiment-plumbing tests in internal/bench are slow under the
-# race detector; give the run headroom beyond the default 10m.
-test: vet
+# Standard test leg; the race detector runs as its own `make race` leg
+# of the CI matrix.
+test: vet lint
+	$(GO) test -timeout 20m ./...
+
+# Race-detector leg. The experiment-plumbing tests in internal/bench
+# are slow under -race; give the run headroom beyond the default 10m.
+race:
 	$(GO) test -race -timeout 45m ./...
 
 # End-to-end crash recovery: start tgvserve with durability, load data

@@ -90,7 +90,7 @@ func TestServingStressConcurrentBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db.Close()
+	defer closeDB(t, db)
 	if err := db.Exec(testDDL); err != nil {
 		t.Fatal(err)
 	}

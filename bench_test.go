@@ -200,7 +200,7 @@ func servingBenchDB(b *testing.B) (*DB, []BatchQuery) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Cleanup(func() { db.Close() })
+	b.Cleanup(func() { closeDB(b, db) })
 	err = db.Exec(`
 CREATE VERTEX Item (id INT PRIMARY KEY);
 ALTER VERTEX Item ADD EMBEDDING ATTRIBUTE emb (
@@ -313,7 +313,7 @@ ALTER VERTEX Item ADD EMBEDDING ATTRIBUTE emb (
 	if _, err := db.Checkpoint(); err != nil {
 		b.Fatal(err)
 	}
-	db.Close()
+	closeDB(b, db)
 	return dir, cfg
 }
 
@@ -331,7 +331,7 @@ func BenchmarkOpenColdVsSnapshot(b *testing.B) {
 			b.Fatal(err)
 		}
 		st := db.Stats()
-		db.Close()
+		closeDB(b, db)
 		if wantSnapshot && st.IndexRebuiltSegments != 0 {
 			b.Fatalf("snapshot path rebuilt %d segments", st.IndexRebuiltSegments)
 		}
@@ -385,7 +385,7 @@ func filteredCorpus(b *testing.B, plan FilterPlanConfig) (*DB, []uint64, [][]flo
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Cleanup(func() { db.Close() })
+	b.Cleanup(func() { closeDB(b, db) })
 	err = db.Exec(`
 CREATE VERTEX Item (id INT PRIMARY KEY);
 ALTER VERTEX Item ADD EMBEDDING ATTRIBUTE emb (

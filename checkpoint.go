@@ -79,11 +79,13 @@ func syncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
-	return d.Sync()
+	err = d.Sync()
+	return errors.Join(err, d.Close())
 }
 
 // writeFileAtomic writes via a temp file, fsyncs, and renames into place.
+// It is the blessed implementation of the durable-write pattern:
+// tgvlint:atomicwrite-helper
 func writeFileAtomic(path string, write func(f *os.File) error) (int64, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -91,13 +93,13 @@ func writeFileAtomic(path string, write func(f *os.File) error) (int64, error) {
 		return 0, err
 	}
 	if err := write(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return 0, err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return 0, err
 	}
 	size := int64(0)
@@ -270,7 +272,7 @@ func (db *DB) loadCheckpoint() (txn.TID, error) {
 		return 0, fmt.Errorf("tigervector: checkpoint graph snapshot: %w", err)
 	}
 	err = db.graph.ReadSnapshot(gf)
-	gf.Close()
+	_ = gf.Close()
 	if err != nil {
 		return 0, fmt.Errorf("tigervector: restore graph snapshot: %w", err)
 	}
@@ -279,7 +281,7 @@ func (db *DB) loadCheckpoint() (txn.TID, error) {
 		return 0, fmt.Errorf("tigervector: checkpoint embedding snapshot: %w", err)
 	}
 	_, err = db.svc.LoadSnapshotVectors(ef)
-	ef.Close()
+	_ = ef.Close()
 	if err != nil {
 		return 0, fmt.Errorf("tigervector: restore embedding snapshot: %w", err)
 	}
@@ -292,7 +294,7 @@ func (db *DB) loadCheckpoint() (txn.TID, error) {
 	if m.Indexes != "" {
 		if xf, xerr := os.Open(filepath.Join(db.cfg.DataDir, m.Indexes)); xerr == nil {
 			loaded, rebuilt, err = db.svc.LoadIndexSnapshots(xf, db.pool, threads, tid)
-			xf.Close()
+			_ = xf.Close()
 			if err != nil {
 				return 0, fmt.Errorf("tigervector: restore index snapshot: %w", err)
 			}

@@ -55,7 +55,7 @@ func TestErrorResponseNonJSONBody(t *testing.T) {
 
 func TestMalformedSuccessBody(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte(`{"results": [{`)) // truncated mid-object
+		_, _ = w.Write([]byte(`{"results": [{`)) // truncated mid-object
 	}))
 	defer srv.Close()
 	c := New(srv.URL)
@@ -203,10 +203,10 @@ func TestOversizedResponseRejected(t *testing.T) {
 		t.Skip("streams >64MB")
 	}
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte(`{"results": [`))
+		_, _ = w.Write([]byte(`{"results": [`))
 		chunk := strings.Repeat(" ", 1<<20)
 		for i := 0; i < 65; i++ { // just past the 64MB cap
-			w.Write([]byte(chunk))
+			_, _ = w.Write([]byte(chunk))
 		}
 	}))
 	defer srv.Close()

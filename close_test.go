@@ -1,0 +1,15 @@
+package tigervector
+
+import "testing"
+
+// closeDB closes db and fails the test on error. Since PR 7 Close
+// surfaces WAL sync and catalog flush failures instead of swallowing
+// them, so tests that close a DB — including the "simulated crash
+// boundary" closes that immediately reopen — assert the close was
+// clean rather than dropping the durability signal.
+func closeDB(tb testing.TB, db *DB) {
+	tb.Helper()
+	if err := db.Close(); err != nil {
+		tb.Fatalf("close db: %v", err)
+	}
+}

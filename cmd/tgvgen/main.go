@@ -73,11 +73,11 @@ func main() {
 }
 
 func writeVectors(path string, ds *workload.VectorDataset) error {
+	//lint:ignore atomicwrite generated benchmark fixture, not crash-durable DB state
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := bufio.NewWriter(f)
 	for i, v := range ds.Vectors {
 		parts := make([]string, len(v))
@@ -86,21 +86,30 @@ func writeVectors(path string, ds *workload.VectorDataset) error {
 		}
 		fmt.Fprintf(w, "%d,%s\n", ds.IDs[i], strings.Join(parts, ":"))
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeSNB(dir string, snb *workload.SNB) error {
 	write := func(name string, fn func(w *bufio.Writer) error) error {
+		//lint:ignore atomicwrite generated benchmark fixture, not crash-durable DB state
 		f, err := os.Create(filepath.Join(dir, name))
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		w := bufio.NewWriter(f)
 		if err := fn(w); err != nil {
+			_ = f.Close()
 			return err
 		}
-		return w.Flush()
+		if err := w.Flush(); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	if err := write("persons.csv", func(w *bufio.Writer) error {
 		for _, p := range snb.Persons {

@@ -123,7 +123,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Printf("tgvserve: close: %v", err)
+		}
+	}()
 	if cfg.durable {
 		// How the restart went: segment indexes deserialized from the
 		// checkpoint's index snapshot (fast path) vs rebuilt from vectors.

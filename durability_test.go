@@ -103,7 +103,7 @@ func TestGraphSurvivesCrashRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db2.Close()
+	defer closeDB(t, db2)
 	checkFixture(t, db2, postIDs)
 	if v, _ := db2.Attr("Post", postIDs[2], "language"); v.(string) != "fr" {
 		t.Fatalf("SetAttr lost: %v", v)
@@ -160,7 +160,7 @@ func TestRejectedInsertLeavesNoTrace(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reopen after rejected inserts: %v", err)
 	}
-	defer db2.Close()
+	defer closeDB(t, db2)
 	if rid, ok := db2.VertexByKey("Post", int64(2)); !ok || rid != id2 {
 		t.Fatalf("replayed vertex = %d, %v", rid, ok)
 	}
@@ -173,7 +173,7 @@ func TestTornWALTailRepairedOnOpen(t *testing.T) {
 		t.Fatal(err)
 	}
 	postIDs := loadFixture(t, db)
-	db.Close()
+	closeDB(t, db)
 
 	// Simulate a crash mid-append: the tail of the log is a half-written
 	// record (a prefix of a real one, so the magic is valid).
@@ -191,7 +191,7 @@ func TestTornWALTailRepairedOnOpen(t *testing.T) {
 	if err != nil {
 		t.Fatalf("open with torn wal tail: %v", err)
 	}
-	defer db2.Close()
+	defer closeDB(t, db2)
 	checkFixture(t, db2, postIDs)
 	if got := db2.Stats().RecoveryTornBytes; got != 25 {
 		t.Fatalf("RecoveryTornBytes = %d, want 25", got)
@@ -246,7 +246,7 @@ func TestCheckpointTruncatesWALAndRecovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db2.Close()
+	defer closeDB(t, db2)
 	checkFixture(t, db2, postIDs)
 	if got, ok := db2.GetEmbedding("Post", "content_emb", postIDs[0]); !ok || got[0] != 9 {
 		t.Fatalf("post-checkpoint upsert lost: %v, %v", got, ok)
@@ -287,9 +287,9 @@ func TestCheckpointThenReplayEquivalence(t *testing.T) {
 		return db2
 	}
 	a := run(false)
-	defer a.Close()
+	defer closeDB(t, a)
 	b := run(true)
-	defer b.Close()
+	defer closeDB(t, b)
 	query := make([]float32, 8)
 	query[0] = 5.4
 	ha, err := a.VectorSearch([]string{"Post.content_emb"}, query, 5, nil)
@@ -333,7 +333,7 @@ func TestCSVLoadsAreDurable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db2.Close()
+	defer closeDB(t, db2)
 	if db2.NumVertices("Person") != 3 || db2.NumEdges("knows") != 2 {
 		t.Fatalf("recovered graph = %d vertices, %d edges", db2.NumVertices("Person"), db2.NumEdges("knows"))
 	}
@@ -351,7 +351,7 @@ func TestCheckpointRequiresDurability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db.Close()
+	defer closeDB(t, db)
 	if _, err := db.Checkpoint(); err != ErrNotDurable {
 		t.Fatalf("checkpoint on non-durable db = %v", err)
 	}
@@ -383,7 +383,7 @@ func TestPeriodicCheckpoint(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	st := db.Stats()
-	db.Close()
+	closeDB(t, db)
 	if st.Checkpoints == 0 {
 		t.Fatal("no periodic checkpoint ran")
 	}
@@ -398,7 +398,7 @@ func TestPeriodicCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db2.Close()
+	defer closeDB(t, db2)
 	if db2.NumVertices("Post") != 10 {
 		t.Fatalf("recovered posts = %d", db2.NumVertices("Post"))
 	}
@@ -430,7 +430,7 @@ func checkpointedFixture(t *testing.T) (dir string, postIDs []uint64) {
 	if _, err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	db.Close()
+	closeDB(t, db)
 	return dir, postIDs
 }
 
@@ -457,7 +457,7 @@ func TestOpenTakesIndexSnapshotFastPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db.Close()
+	defer closeDB(t, db)
 	st := db.Stats()
 	// The acceptance bar: after a checkpoint, reopening performs zero
 	// full segment index rebuilds.
@@ -473,12 +473,12 @@ func TestOpenTakesIndexSnapshotFastPath(t *testing.T) {
 	if err := db.UpsertEmbedding("Post", "content_emb", postIDs[0], []float32{42, 0, 0, 0, 0, 0, 0, 0}); err != nil {
 		t.Fatal(err)
 	}
-	db.Close()
+	closeDB(t, db)
 	db2, err := Open(snapCfg(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db2.Close()
+	defer closeDB(t, db2)
 	if got, ok := db2.GetEmbedding("Post", "content_emb", postIDs[0]); !ok || got[0] != 42 {
 		t.Fatalf("post-checkpoint upsert lost across snapshot-path restart: %v, %v", got, ok)
 	}
@@ -541,7 +541,7 @@ func TestCorruptIndexSnapshotFallsBackToRebuild(t *testing.T) {
 			}
 			checkFixture(t, db, postIDs)
 			gotHits := searchProbe(t, db)
-			db.Close()
+			closeDB(t, db)
 
 			// Cold rebuild: no index snapshot at all.
 			matches, _ := filepath.Glob(filepath.Join(dir, "checkpoint-*.index"))
@@ -552,7 +552,7 @@ func TestCorruptIndexSnapshotFallsBackToRebuild(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			defer cold.Close()
+			defer closeDB(t, cold)
 			cst := cold.Stats()
 			if cst.IndexSnapshotSegments != 0 || cst.IndexRebuiltSegments != 2 {
 				t.Fatalf("cold restart = %d loaded / %d rebuilt, want 0/2", cst.IndexSnapshotSegments, cst.IndexRebuiltSegments)

@@ -15,7 +15,7 @@ func ExampleOpen() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() { _ = db.Close() }() // best-effort: examples have no tb to fail
 
 	err = db.Exec(`
 CREATE VERTEX Doc (id INT PRIMARY KEY, title STRING);
@@ -42,7 +42,7 @@ func ExampleDB_VectorSearch() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() { _ = db.Close() }() // best-effort: examples have no tb to fail
 	err = db.Exec(`
 CREATE VERTEX Doc (id INT PRIMARY KEY, title STRING);
 ALTER VERTEX Doc ADD EMBEDDING ATTRIBUTE emb (
@@ -76,7 +76,7 @@ func ExampleDB_Search() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() { _ = db.Close() }() // best-effort: examples have no tb to fail
 	err = db.Exec(`
 CREATE VERTEX Doc (id INT PRIMARY KEY, title STRING);
 ALTER VERTEX Doc ADD EMBEDDING ATTRIBUTE emb (
@@ -117,7 +117,7 @@ func ExampleDB_BatchVectorSearch() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() { _ = db.Close() }() // best-effort: examples have no tb to fail
 	err = db.Exec(`
 CREATE VERTEX Doc (id INT PRIMARY KEY, title STRING);
 ALTER VERTEX Doc ADD EMBEDDING ATTRIBUTE emb (

@@ -39,7 +39,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Fatalf("close: %v", err)
+		}
+	}()
 	if err := db.Exec(schema); err != nil {
 		log.Fatal(err)
 	}

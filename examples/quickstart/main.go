@@ -16,7 +16,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Fatalf("close: %v", err)
+		}
+	}()
 
 	// Schema: the paper's running example (Sec. 4.1).
 	err = db.Exec(`

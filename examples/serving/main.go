@@ -28,7 +28,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Fatalf("close: %v", err)
+		}
+	}()
 	srv := server.New(db, server.Options{})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

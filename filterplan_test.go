@@ -31,7 +31,7 @@ func filterPlanDB(t *testing.T, plan FilterPlanConfig) (*DB, []uint64, [][]float
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { db.Close() })
+	t.Cleanup(func() { closeDB(t, db) })
 	err = db.Exec(`
 CREATE VERTEX Doc (id INT PRIMARY KEY);
 ALTER VERTEX Doc ADD EMBEDDING ATTRIBUTE emb (
@@ -298,7 +298,7 @@ func TestFilterPlanIVF(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db.Close()
+	defer closeDB(t, db)
 	err = db.Exec(`
 CREATE VERTEX Doc (id INT PRIMARY KEY);
 ALTER VERTEX Doc ADD EMBEDDING ATTRIBUTE emb (

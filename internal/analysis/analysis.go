@@ -1,0 +1,251 @@
+// Package analysis is a self-contained, stdlib-only re-implementation of
+// the golang.org/x/tools/go/analysis core: an Analyzer runs over one
+// type-checked package and reports position-tagged diagnostics. The
+// toolchain image this repo builds in has no module network access, so
+// instead of depending on x/tools the package provides the same working
+// model — Analyzer / Pass / Diagnostic, a multichecker driver
+// (internal/analysis/driver), a `go vet -vettool` adapter
+// (internal/analysis/unitchecker) and an analysistest-style fixture
+// runner (internal/analysis/analysistest) — on top of go/ast, go/types
+// and `go list -export`.
+//
+// The five project analyzers (guardedby, framedecode, ctxscan,
+// atomicwrite, errdrop) mechanically enforce invariants earlier PRs
+// established by convention; see docs/ARCHITECTURE.md ("Enforced
+// invariants") for the catalogue and the suppression directive.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, named so diagnostics and suppression
+// directives can refer to it.
+type Analyzer struct {
+	// Name is the analyzer identifier (lowercase, no spaces); it appears
+	// in diagnostics and is what //lint:ignore directives name.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects the package held by pass and reports findings via
+	// pass.Report. It returns an error only for operational failures
+	// (findings are diagnostics, not errors).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver layers suppression
+	// filtering on top, so analyzers always report.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the runner
+}
+
+// RunAnalyzers executes every analyzer over one package and returns the
+// surviving diagnostics: suppression directives (see Suppressions) are
+// applied, and the result is sorted by position. Operational analyzer
+// errors abort the run.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a := a
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = filterSuppressed(fset, files, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	analyzers map[string]bool // names the directive covers; "*" covers all
+	reason    string
+	line      int // the line the directive suppresses (its own, for a trailing comment, or the next)
+}
+
+// Suppressions parses the `//lint:ignore <analyzers> <reason>` directives
+// of one file. The directive suppresses matching diagnostics on the same
+// line (trailing comment) or on the first following non-comment line
+// (leading comment). <analyzers> is a comma-separated list of analyzer
+// names, or * for all. A reason is required: a directive without one is
+// itself reported by the runner as a malformed suppression.
+func Suppressions(fset *token.FileSet, file *ast.File) (sups []suppression, malformed []Diagnostic) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				malformed = append(malformed, Diagnostic{
+					Pos:      c.Pos(),
+					Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>...] <reason>",
+					Analyzer: "directive",
+				})
+				continue
+			}
+			names := make(map[string]bool)
+			for _, n := range strings.Split(fields[0], ",") {
+				names[n] = true
+			}
+			line := fset.Position(c.Pos()).Line
+			if fset.Position(c.Pos()).Column == 1 || !sameLineHasCode(fset, file, c) {
+				// Leading (own-line) comment: suppress the next line.
+				line++
+			}
+			sups = append(sups, suppression{
+				analyzers: names,
+				reason:    strings.Join(fields[1:], " "),
+				line:      line,
+			})
+		}
+	}
+	return sups, malformed
+}
+
+// sameLineHasCode reports whether the comment trails code on its line
+// (i.e. it is not an own-line comment).
+func sameLineHasCode(fset *token.FileSet, file *ast.File, c *ast.Comment) bool {
+	cl := fset.Position(c.Pos()).Line
+	has := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if has || n == nil {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return false
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return false
+		}
+		if fset.Position(n.Pos()).Line <= cl && fset.Position(n.End()).Line >= cl {
+			if fset.Position(n.Pos()).Line == cl && n.Pos() < c.Pos() {
+				has = true
+				return false
+			}
+			return true
+		}
+		return true
+	})
+	return has
+}
+
+// filterSuppressed drops diagnostics covered by a //lint:ignore directive
+// and appends a diagnostic for each malformed directive, so an ignore
+// without a justification fails the lint run instead of silently
+// widening.
+func filterSuppressed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	type fileSup struct {
+		sups []suppression
+	}
+	byFile := make(map[string]fileSup)
+	var out []Diagnostic
+	for _, f := range files {
+		sups, malformed := Suppressions(fset, f)
+		byFile[fset.Position(f.Pos()).Filename] = fileSup{sups: sups}
+		out = append(out, malformed...)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, s := range byFile[pos.Filename].sups {
+			if s.line == pos.Line && (s.analyzers["*"] || s.analyzers[d.Analyzer]) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// EnclosingFuncs returns the chain of function declarations and literals
+// enclosing pos, outermost first. It is shared by analyzers that reason
+// about "the enclosing function" (lock scope, blessed helpers).
+func EnclosingFuncs(files []*ast.File, pos token.Pos) []ast.Node {
+	var chain []ast.Node
+	for _, f := range files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if pos < n.Pos() || pos > n.End() {
+				return false
+			}
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				chain = append(chain, n)
+			}
+			return true
+		})
+	}
+	return chain
+}
+
+// FuncBody returns the body of a *ast.FuncDecl or *ast.FuncLit node.
+func FuncBody(n ast.Node) *ast.BlockStmt {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// FuncName returns the name of a *ast.FuncDecl, or "" for a literal.
+func FuncName(n ast.Node) string {
+	if fd, ok := n.(*ast.FuncDecl); ok {
+		return fd.Name.Name
+	}
+	return ""
+}

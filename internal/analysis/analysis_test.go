@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const supSrc = `package p
+
+func f() {
+	x := 1 //lint:ignore testcheck trailing reason
+	//lint:ignore testcheck leading reason
+	y := 2
+	//lint:ignore testcheck
+	z := 3
+	//lint:ignore other unrelated analyzer
+	w := 4
+	_, _, _, _ = x, y, z, w
+}
+`
+
+// TestSuppressionScope pins the directive semantics the fixtures rely
+// on: a trailing directive covers its own line, an own-line directive
+// covers the next line, a directive without a reason is itself a
+// diagnostic, and a directive only silences the analyzers it names.
+func TestSuppressionScope(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", supSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sups, malformed := Suppressions(fset, f)
+	if len(malformed) != 1 {
+		t.Fatalf("got %d malformed directives, want 1", len(malformed))
+	}
+	if got := fset.Position(malformed[0].Pos).Line; got != 7 {
+		t.Errorf("malformed directive reported at line %d, want 7", got)
+	}
+	if !strings.Contains(malformed[0].Message, "malformed //lint:ignore") {
+		t.Errorf("unexpected malformed message %q", malformed[0].Message)
+	}
+	if len(sups) != 3 {
+		t.Fatalf("got %d well-formed suppressions, want 3", len(sups))
+	}
+	if sups[0].line != 4 {
+		t.Errorf("trailing directive suppresses line %d, want its own line 4", sups[0].line)
+	}
+	if sups[1].line != 6 {
+		t.Errorf("own-line directive suppresses line %d, want the next line 6", sups[1].line)
+	}
+
+	lineStart := func(line int) token.Pos { return fset.File(f.Pos()).LineStart(line) }
+	diags := []Diagnostic{
+		{Pos: lineStart(4), Message: "on trailing-suppressed line", Analyzer: "testcheck"},
+		{Pos: lineStart(6), Message: "on leading-suppressed line", Analyzer: "testcheck"},
+		{Pos: lineStart(8), Message: "after malformed directive", Analyzer: "testcheck"},
+		{Pos: lineStart(10), Message: "named analyzer differs", Analyzer: "testcheck"},
+	}
+	out := filterSuppressed(fset, []*ast.File{f}, diags)
+	var kept []string
+	for _, d := range out {
+		kept = append(kept, d.Analyzer+": "+d.Message)
+	}
+	want := []string{
+		"directive: malformed //lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>...] <reason>",
+		"testcheck: after malformed directive",
+		"testcheck: named analyzer differs",
+	}
+	if len(kept) != len(want) {
+		t.Fatalf("kept %q, want %q", kept, want)
+	}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Errorf("kept[%d] = %q, want %q", i, kept[i], want[i])
+		}
+	}
+}

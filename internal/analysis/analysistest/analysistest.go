@@ -1,0 +1,194 @@
+// Package analysistest runs an analyzer over small fixture packages and
+// compares its diagnostics against `// want` expectations embedded in
+// the fixture source, mirroring golang.org/x/tools/go/analysis/
+// analysistest on the stdlib only.
+//
+// A fixture lives in testdata/src/<pkg>/ next to the analyzer's test
+// and may import only the standard library (imports are resolved to
+// export data via `go list` at test time). Every line that should
+// produce a diagnostic carries a trailing comment:
+//
+//	vec := make([]float32, n) // want `bounds check`
+//
+// The backquoted string is a regexp matched against the diagnostic
+// message; a fixture line with no want comment must produce no
+// diagnostic, and every want must be matched exactly once. Suppression
+// directives are exercised the same way: a suppressed diagnostic
+// simply must not surface, so clean "blessed pattern" fixtures double
+// as negative tests.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+// Run analyzes testdata/src/<pkg> under dir with every analyzer in
+// analyzers and reports mismatches via t. It returns the surviving
+// diagnostics for any extra assertions.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) []analysis.Diagnostic {
+	t.Helper()
+	pkgdir := filepath.Join(dir, "testdata", "src", pkgpath)
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(pkgdir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("analysistest: parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(string(src), "\n") {
+			if m := wantRE.FindStringSubmatch(line); m != nil {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("analysistest: %s:%d: bad want pattern: %v", path, i+1, err)
+				}
+				wants = append(wants, &want{file: path, line: i + 1, pattern: re})
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", pkgdir)
+	}
+
+	conf := types.Config{Importer: stdImporter(t, fset)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: typecheck %s: %v", pkgpath, err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("analysistest: run: %v", err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.pattern)
+		}
+	}
+	return diags
+}
+
+// stdExports caches the stdlib export-data index across tests in one
+// process; `go list` over the full standard library is not free.
+var (
+	stdOnce    sync.Once
+	stdFiles   map[string]string
+	stdListErr error
+)
+
+// stdImporter resolves standard-library imports through export data
+// located with `go list -export`.
+func stdImporter(t *testing.T, fset *token.FileSet) types.Importer {
+	t.Helper()
+	stdOnce.Do(func() {
+		cmd := exec.Command("go", "list", "-export", "-deps", "-json", "std")
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			stdListErr = fmt.Errorf("go list std: %v\n%s", err, stderr.String())
+			return
+		}
+		stdFiles = make(map[string]string)
+		dec := json.NewDecoder(&stdout)
+		for {
+			var p struct {
+				ImportPath string
+				Export     string
+			}
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				stdListErr = err
+				return
+			}
+			if p.Export != "" {
+				stdFiles[p.ImportPath] = p.Export
+			}
+		}
+	})
+	if stdListErr != nil {
+		t.Fatalf("analysistest: %v", stdListErr)
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := stdFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("fixture imports non-stdlib package %q", path)
+		}
+		return os.Open(exp)
+	})
+}
+
+// SortedMessages returns the diagnostic messages sorted, a convenience
+// for golden assertions.
+func SortedMessages(diags []analysis.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Message
+	}
+	sort.Strings(out)
+	return out
+}

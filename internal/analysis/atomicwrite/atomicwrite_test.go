@@ -1,0 +1,15 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicwrite"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	diags := analysistest.Run(t, ".", atomicwrite.Analyzer, "a")
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2", len(diags))
+	}
+}

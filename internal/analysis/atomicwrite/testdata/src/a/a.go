@@ -1,0 +1,45 @@
+// Fixture for the atomicwrite analyzer: raw durable writes versus the
+// blessed write-temp-fsync-rename helper.
+package a
+
+import "os"
+
+// bad writes the catalog with a raw os.WriteFile: a crash mid-write
+// leaves a torn file that recovery then trusts.
+func bad(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `raw os\.WriteFile`
+}
+
+// badRename renames outside any blessed helper.
+func badRename(tmp, path string) error {
+	return os.Rename(tmp, path) // want `raw os\.Rename`
+}
+
+// writeAtomic is the blessed write-temp-fsync-rename implementation:
+// tgvlint:atomicwrite-helper
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// report emits a non-durable artifact; the raw call is justified with a
+// suppression directive, so no diagnostic surfaces.
+func report(path string, data []byte) error {
+	//lint:ignore atomicwrite benchmark report artifact, not crash-durable state
+	return os.WriteFile(path, data, 0o644)
+}

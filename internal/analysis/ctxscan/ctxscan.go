@@ -1,0 +1,131 @@
+// Package ctxscan enforces the cancellation discipline PR 4 plumbed
+// through the search path: a function literal handed to
+// Pool.GoContext / Pool.DoContext (or the engine's forEachParallel
+// fan-out) runs a potentially long per-segment scan, so its body must
+// consult the context — `ctx.Err()`, `<-ctx.Done()`, or the repo's
+// `ctxErr(ctx)` helper — or a cancelled request keeps burning pool
+// slots until the scan finishes on its own.
+//
+// The check is syntactic over the submitted literal: any reference to
+// an Err/Done selector on a context.Context-typed expression, or any
+// call to a function named ctxErr, anywhere in the literal (including
+// nested calls' arguments) satisfies it. Calls whose context argument
+// is the literal `nil` are exempt — that is the repo's explicit
+// "uncancellable legacy path" marker (VertexAction/EdgeAction).
+package ctxscan
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxscan analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxscan",
+	Doc:  "scan callbacks submitted with a context must check ctx.Err()/Done() (or ctxErr)",
+	Run:  run,
+}
+
+// submitters maps function/method names that fan work out under a
+// context to the index of their context argument.
+var submitters = map[string]int{
+	"GoContext":       0,
+	"DoContext":       0,
+	"forEachParallel": 0,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			ctxIdx, ok := submitters[name]
+			if !ok || len(call.Args) <= ctxIdx {
+				return true
+			}
+			if isNil(call.Args[ctxIdx]) {
+				return true // explicit uncancellable submission
+			}
+			// Find the submitted function literal (last func-typed arg).
+			for i := len(call.Args) - 1; i > ctxIdx; i-- {
+				lit, ok := call.Args[i].(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if !checksContext(pass, lit.Body) {
+					pass.Reportf(lit.Pos(), "callback passed to %s never checks its context: add a ctx.Err()/ctxErr(ctx) check so cancellation can stop the scan", name)
+				}
+				break
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeName returns the bare function or method name of a call.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isNil reports whether e is the untyped nil literal.
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// checksContext reports whether body contains a cancellation check:
+// Err/Done selected from a context.Context value, or a call to a
+// function named ctxErr.
+func checksContext(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "Err" || x.Sel.Name == "Done" {
+				if isContextType(pass.TypesInfo.TypeOf(x.X)) {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if calleeName(x) == "ctxErr" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context (possibly behind
+// a named type or pointer).
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,15 @@
+package ctxscan_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxscan"
+)
+
+func TestCtxScan(t *testing.T) {
+	diags := analysistest.Run(t, ".", ctxscan.Analyzer, "a")
+	if len(diags) != 1 {
+		t.Errorf("got %d diagnostics, want 1", len(diags))
+	}
+}

@@ -1,0 +1,58 @@
+// Fixture for the ctxscan analyzer: scan callbacks that do and do not
+// consult their context.
+package a
+
+import "context"
+
+type pool struct{}
+
+func (p *pool) DoContext(ctx context.Context, fn func()) error {
+	if ctx == nil || ctx.Err() == nil {
+		fn()
+	}
+	return nil
+}
+
+func (p *pool) GoContext(ctx context.Context, fn func()) {
+	go fn()
+}
+
+// bad never consults ctx inside the scan body: a cancelled request
+// keeps burning the pool slot until the scan finishes on its own.
+func bad(ctx context.Context, p *pool) {
+	_ = p.DoContext(ctx, func() { // want `never checks its context`
+		work()
+	})
+}
+
+// good checks ctx.Err at the top of the callback.
+func good(ctx context.Context, p *pool) {
+	_ = p.DoContext(ctx, func() {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	})
+}
+
+// goodHelper satisfies the check through the repo's ctxErr helper.
+func goodHelper(ctx context.Context, p *pool) {
+	p.GoContext(ctx, func() {
+		if ctxErr(ctx) != nil {
+			return
+		}
+		work()
+	})
+}
+
+// legacy submits with a nil context — the explicit uncancellable
+// marker, exempt by design.
+func legacy(p *pool) {
+	p.GoContext(nil, func() {
+		work()
+	})
+}
+
+func ctxErr(ctx context.Context) error { return ctx.Err() }
+
+func work() {}

@@ -1,0 +1,192 @@
+// Package driver loads the module's packages and runs the tgvlint
+// analyzers over them, standalone (no golang.org/x/tools dependency).
+//
+// Loading leans on the Go toolchain itself: `go list -export -deps
+// -test -json <patterns>` resolves the build, compiles anything stale,
+// and hands back per-package export-data files from the build cache.
+// Each target package is then parsed and type-checked from source, with
+// every import satisfied from export data (canonicalised through the
+// package's ImportMap, so test variants like `repro [repro.test]`
+// resolve correctly). That keeps the driver correct for in-package and
+// external test files without re-implementing the build graph.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the driver consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	Export     string
+	ForTest    string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+}
+
+// Run loads patterns rooted at dir, applies analyzers to every package
+// of the main module (test files included), prints surviving
+// diagnostics to out as `file:line:col: [analyzer] message`, and
+// returns the diagnostic count.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer, out io.Writer) (int, error) {
+	pkgs, err := load(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+
+	// Index export data by canonical import path for the importer.
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	targets := selectTargets(pkgs)
+	fset := token.NewFileSet()
+	count := 0
+	for _, p := range targets {
+		diags, err := analyzePackage(fset, p, exports, analyzers)
+		if err != nil {
+			return count, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Fprintf(out, "%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+			count++
+		}
+	}
+	return count, nil
+}
+
+// load shells out to go list and decodes the package stream.
+func load(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-export", "-deps", "-test", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// selectTargets picks the packages to analyze: main-module packages,
+// preferring the in-package test variant (`p [p.test]`) over the plain
+// package so _test.go files are covered, and skipping the generated
+// test-main packages.
+func selectTargets(pkgs []*listPkg) []*listPkg {
+	hasTestVariant := make(map[string]bool)
+	for _, p := range pkgs {
+		if p.ForTest != "" && baseImportPath(p.ImportPath) == p.ForTest {
+			hasTestVariant[p.ForTest] = true
+		}
+	}
+	var targets []*listPkg
+	for _, p := range pkgs {
+		if p.Standard || p.Module == nil || !p.Module.Main {
+			continue
+		}
+		if strings.HasSuffix(baseImportPath(p.ImportPath), ".test") {
+			continue // generated test main
+		}
+		if p.ForTest == "" && hasTestVariant[p.ImportPath] {
+			continue // superseded by its test variant
+		}
+		targets = append(targets, p)
+	}
+	return targets
+}
+
+// baseImportPath strips the ` [p.test]` variant suffix.
+func baseImportPath(ip string) string {
+	if i := strings.Index(ip, " ["); i >= 0 {
+		return ip[:i]
+	}
+	return ip
+}
+
+// analyzePackage parses and type-checks one package from source
+// (imports from export data) and runs the analyzers.
+func analyzePackage(fset *token.FileSet, p *listPkg, exports map[string]string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	// Test variants (`p [p.test]`, `p_test [p.test]`) already fold their
+	// _test.go sources into GoFiles; TestGoFiles/XTestGoFiles are
+	// redundant metadata there.
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check(baseImportPath(p.ImportPath), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %v", err)
+	}
+	return analysis.RunAnalyzers(analyzers, fset, files, pkg, info)
+}

@@ -1,0 +1,125 @@
+// Package errdrop flags silently dropped error results from Close,
+// Sync, Flush, and Write calls. On the commit, checkpoint, and recovery
+// paths these errors are the durability signal — a dropped wal.Sync()
+// error means acknowledging a commit the disk never took. The repo
+// convention:
+//
+//   - propagate (or errors.Join) the error on durability paths;
+//   - `_ = f.Close()` for genuinely best-effort cleanup on read paths,
+//     making the drop explicit and grep-able;
+//   - checked-close helpers (closeDB(t, db)) in tests.
+//
+// A bare `f.Close()` expression statement, `defer f.Close()`, or
+// `go f.Close()` where the method returns an error is a diagnostic.
+// Methods that return no error (sync.Pool-style Close(), httptest
+// server shutdowns) are naturally out of scope because the check is
+// type-driven.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errdrop analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "error results of Close/Sync/Flush/Write must be checked, propagated, or explicitly discarded with `_ =`",
+	Run:  run,
+}
+
+var watched = map[string]bool{
+	"Close": true, "Sync": true, "Flush": true, "Write": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var verb string
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+				verb = "result of"
+			case *ast.DeferStmt:
+				call = st.Call
+				verb = "deferred"
+			case *ast.GoStmt:
+				call = st.Call
+				verb = "spawned"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			name, ok := droppedErrCall(pass, call)
+			if !ok {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s %s() drops its error: check it, propagate it, or discard explicitly with `_ =`", verb, name)
+			return false // don't descend into the call twice
+		})
+	}
+	return nil
+}
+
+// droppedErrCall reports whether call invokes a watched method whose
+// (sole or final) result is an error.
+func droppedErrCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !watched[sel.Sel.Name] {
+		return "", false
+	}
+	// Package-level funcs named Close etc. are out of scope; require a
+	// method (or at least a non-package selector base).
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+			return "", false
+		}
+	}
+	if neverFails(pass.TypesInfo.TypeOf(sel.X)) {
+		return "", false
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// neverFails exempts receivers whose Write-family methods are
+// documented to always return a nil error (in-memory sinks), so a
+// dropped result carries no durability signal.
+func neverFails(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errdrop"
+)
+
+func TestErrDrop(t *testing.T) {
+	diags := analysistest.Run(t, ".", errdrop.Analyzer, "a")
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4", len(diags))
+	}
+}

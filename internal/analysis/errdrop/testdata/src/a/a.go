@@ -1,0 +1,45 @@
+// Fixture for the errdrop analyzer: dropped Close/Sync/Flush/Write
+// errors versus the checked and explicitly-discarded forms.
+package a
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+)
+
+// bad drops the close error on what could be a durability path.
+func bad(f *os.File) {
+	f.Close() // want `result of Close\(\) drops its error`
+}
+
+// badDefer defers an unchecked close.
+func badDefer(f *os.File) {
+	defer f.Close() // want `deferred Close\(\) drops its error`
+}
+
+// badSpawn drops a sync error in a goroutine.
+func badSpawn(f *os.File) {
+	go f.Sync() // want `spawned Sync\(\) drops its error`
+}
+
+// badFlush loses the buffered bytes silently.
+func badFlush(w *bufio.Writer) {
+	w.Flush() // want `result of Flush\(\) drops its error`
+}
+
+// good propagates the error.
+func good(f *os.File) error {
+	return f.Close()
+}
+
+// goodExplicit makes the best-effort drop explicit and grep-able.
+func goodExplicit(f *os.File) {
+	_ = f.Close()
+}
+
+// goodBuffer writes to an in-memory sink whose Write is documented to
+// never fail; there is no durability signal to drop.
+func goodBuffer(buf *bytes.Buffer, p []byte) {
+	buf.Write(p)
+}

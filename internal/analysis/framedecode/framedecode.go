@@ -1,0 +1,267 @@
+// Package framedecode enforces the bounds-checked decode discipline of
+// the framed on-disk formats (WAL records, graph/embedding/index
+// snapshots, delta files): a count or length obtained from raw bytes —
+// binary.LittleEndian.Uint16/32/64, binary.BigEndian equivalents, or an
+// integer filled by binary.Read — must be compared against a sanity
+// bound before it is used as the size of a make() allocation. Without
+// the check, a corrupt or torn frame drives a multi-gigabyte allocation
+// that OOM-kills recovery (the exact class PR 2/3 hardened by hand).
+//
+// The analysis is per function and flow-insensitive by line: a tainted
+// variable is "sanitized" once it appears as an operand of any
+// comparison in the same function (the repo convention is
+// `if n > maxSane { return err }` immediately after the decode), or
+// once the size expression routes through a named clamp helper
+// (a call expression is never tainted). Loop bounds are not sinks:
+// `for i := 0; i < n; i++` reading incrementally is the blessed
+// alternative to pre-allocation and fails on EOF instead of on malloc.
+package framedecode
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the framedecode analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "framedecode",
+	Doc:  "counts decoded from disk must be bounds-checked before sizing an allocation",
+	Run:  run,
+}
+
+var decodeMethods = map[string]bool{
+	"Uint16": true, "Uint32": true, "Uint64": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+				return false // checkFunc handles nested literals itself
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc runs the taint heuristic over one function body (nested
+// literals included: a closure decoding inside its parent shares the
+// parent's locals, so one scope is both simpler and more faithful than
+// splitting them).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+	sanitized := make(map[types.Object]bool)
+
+	// Pass 1: collect tainted variables (decoded counts) and sanitized
+	// variables (appear in a comparison). Iterate assignment propagation
+	// to a fixpoint; function bodies are small.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[id]
+					}
+					if obj == nil {
+						continue
+					}
+					var rhs ast.Expr
+					if len(st.Rhs) == len(st.Lhs) {
+						rhs = st.Rhs[i]
+					} else if len(st.Rhs) == 1 {
+						rhs = st.Rhs[0]
+					}
+					if rhs != nil && isTaintedExpr(pass, rhs, tainted) && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			case *ast.BinaryExpr:
+				switch st.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+					for _, e := range []ast.Expr{st.X, st.Y} {
+						if obj := identObj(pass, unwrapConv(pass, e)); obj != nil && !sanitized[obj] {
+							sanitized[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// binary.Read(r, order, &n) taints n.
+				if isBinaryReadCall(pass, st) && len(st.Args) == 3 {
+					if u, ok := st.Args[2].(*ast.UnaryExpr); ok && u.Op == token.AND {
+						if obj := identObj(pass, u.X); obj != nil && isIntegerObj(obj) && !tainted[obj] {
+							tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: report tainted, unsanitized size arguments of make().
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		for _, arg := range call.Args[1:] { // skip the type argument
+			e := unwrapConv(pass, arg)
+			obj := identObj(pass, e)
+			if obj == nil {
+				// Direct use of the decode call as the size is the worst
+				// case: no variable, so no check can exist.
+				if isTaintedExpr(pass, arg, tainted) {
+					pass.Reportf(arg.Pos(), "allocation sized by a decoded count with no bounds check: compare it against a sanity bound first")
+				}
+				continue
+			}
+			if tainted[obj] && !sanitized[obj] {
+				pass.Reportf(arg.Pos(), "allocation sized by decoded count %q with no bounds check in this function: compare it against a sanity bound first", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isTaintedExpr reports whether e evaluates a decoded count: a decode
+// call, a tainted identifier, or a conversion/unary wrapper of one.
+func isTaintedExpr(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[x]
+		}
+		return obj != nil && tainted[obj]
+	case *ast.CallExpr:
+		if isDecodeCall(pass, x) {
+			return true
+		}
+		// A conversion like int(n) or txn.TID(n) propagates taint; a real
+		// function call sanitizes (clamp helpers).
+		if isConversion(pass, x) && len(x.Args) == 1 {
+			return isTaintedExpr(pass, x.Args[0], tainted)
+		}
+		return false
+	case *ast.ParenExpr:
+		return isTaintedExpr(pass, x.X, tainted)
+	case *ast.UnaryExpr:
+		return isTaintedExpr(pass, x.X, tainted)
+	}
+	return false
+}
+
+// isDecodeCall matches binary.LittleEndian.UintNN(...) and any other
+// encoding/binary ByteOrder method of the same names.
+func isDecodeCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !decodeMethods[sel.Sel.Name] {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	return t != nil && typeFromBinary(t)
+}
+
+// isBinaryReadCall matches encoding/binary.Read.
+func isBinaryReadCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Read" {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			return pn.Imported().Path() == "encoding/binary"
+		}
+	}
+	return false
+}
+
+// typeFromBinary reports whether t is declared in encoding/binary
+// (littleEndian, bigEndian, the ByteOrder interface).
+func typeFromBinary(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			return pkg.Path() == "encoding/binary"
+		}
+	}
+	return false
+}
+
+// isConversion reports whether call is a type conversion.
+func isConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		_, isType := pass.TypesInfo.Uses[fun].(*types.TypeName)
+		return isType
+	case *ast.SelectorExpr:
+		_, isType := pass.TypesInfo.Uses[fun.Sel].(*types.TypeName)
+		return isType
+	case *ast.ParenExpr:
+		return false
+	}
+	return false
+}
+
+// unwrapConv strips conversions and parens: int(n) -> n.
+func unwrapConv(pass *analysis.Pass, e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if isConversion(pass, x) && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+// identObj resolves a plain identifier to its object.
+func identObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// isIntegerObj reports whether obj has an integer type.
+func isIntegerObj(obj types.Object) bool {
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,15 @@
+package framedecode_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framedecode"
+)
+
+func TestFrameDecode(t *testing.T) {
+	diags := analysistest.Run(t, ".", framedecode.Analyzer, "a")
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3", len(diags))
+	}
+}

@@ -1,0 +1,53 @@
+// Fixture for the framedecode analyzer: allocations sized by decoded
+// counts with and without a bounds check.
+package a
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+const maxItems = 1 << 20
+
+// bad allocates straight from the wire.
+func bad(buf []byte) []uint32 {
+	n := binary.LittleEndian.Uint32(buf)
+	return make([]uint32, n) // want `decoded count "n" with no bounds check`
+}
+
+// badDirect uses the decode call itself as the size — no variable, so
+// no check can possibly exist.
+func badDirect(buf []byte) []byte {
+	return make([]byte, binary.LittleEndian.Uint16(buf)) // want `a decoded count with no bounds check`
+}
+
+// badConv stays tainted through the int conversion.
+func badConv(buf []byte) []byte {
+	n := int(binary.LittleEndian.Uint64(buf))
+	return make([]byte, n) // want `decoded count "n" with no bounds check`
+}
+
+// good is the blessed pattern: sanity-bound the count before sizing
+// the allocation.
+func good(r io.Reader) ([]float32, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxItems {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := make([]float32, n)
+	return out, nil
+}
+
+// goodLoop reads incrementally; the loop comparison doubles as the
+// bounds discipline and there is no up-front allocation to poison.
+func goodLoop(buf []byte) int {
+	n := binary.LittleEndian.Uint32(buf)
+	sum := 0
+	for i := uint32(0); i < n; i++ {
+		sum++
+	}
+	return sum
+}

@@ -1,0 +1,15 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	diags := analysistest.Run(t, ".", guardedby.Analyzer, "a")
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2 (one mutex, one atomic)", len(diags))
+	}
+}

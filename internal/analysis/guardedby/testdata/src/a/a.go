@@ -1,0 +1,58 @@
+// Fixture for the guardedby analyzer: annotated fields accessed with
+// and without their guard.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	n    int          // guarded by mu
+	hits atomic.Int64 // guarded by atomic
+	errs int64        // guarded by atomic
+}
+
+// bad reads n without the lock.
+func (c *counter) bad() int {
+	return c.n // want `field counter\.n accessed without holding c\.mu`
+}
+
+// good holds the lock across the access.
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bumpLocked runs with c.mu already held by the caller — the repo's
+// "Locked" suffix convention.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// fresh initialises a counter no other goroutine can see yet.
+func fresh() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// badAtomic copies the plain atomic-guarded field directly.
+func (c *counter) badAtomic() int64 {
+	return c.errs // want `field counter\.errs is guarded by atomic`
+}
+
+// goodAtomic routes both forms through their atomic APIs.
+func (c *counter) goodAtomic() int64 {
+	c.hits.Add(1)
+	return atomic.LoadInt64(&c.errs)
+}
+
+// drain reads after an external happens-before edge; the access is
+// justified with the suppression directive, so no diagnostic surfaces.
+func (c *counter) drain() int {
+	//lint:ignore guardedby read after the shutdown barrier; no concurrent writers remain
+	return c.n
+}

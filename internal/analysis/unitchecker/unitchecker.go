@@ -1,0 +1,159 @@
+// Package unitchecker adapts the tgvlint analyzers to the `go vet
+// -vettool` protocol, mirroring golang.org/x/tools/go/analysis/
+// unitchecker without the dependency. The vet driver probes the tool
+// with -V=full (a versioned identity line used as a cache key) and
+// -flags (supported flags as JSON), then invokes it once per package
+// with a single *.cfg argument describing the compilation unit:
+// source files, the import map, and export-data files for every
+// dependency. The tool must write the facts file named by VetxOutput
+// (empty here — the analyzers are package-local) and exit nonzero when
+// it reports diagnostics.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// config mirrors the JSON schema of the cmd/go vet driver's .cfg file.
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main implements the vettool protocol for analyzers and exits the
+// process. progname appears in the -V identity line.
+func Main(progname string, analyzers []*analysis.Analyzer) {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && (args[0] == "-V=full" || args[0] == "-V"):
+		printVersion(progname)
+		os.Exit(0)
+	case len(args) == 1 && args[0] == "-flags":
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		n, err := runUnit(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		if n > 0 {
+			os.Exit(2)
+		}
+		os.Exit(0)
+	default:
+		fmt.Fprintf(os.Stderr, "usage: %s unit.cfg (invoked by go vet -vettool)\n", progname)
+		os.Exit(1)
+	}
+}
+
+// printVersion emits the identity line cmd/go uses as a cache key; the
+// executable hash makes rebuilt tools invalidate cached results.
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			_ = f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil)[:16])
+}
+
+// runUnit analyzes one compilation unit and writes the (empty) facts
+// file; it returns the number of diagnostics printed.
+func runUnit(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	// The driver always expects the facts file, even for VetxOnly runs.
+	if cfg.VetxOutput != "" {
+		//lint:ignore atomicwrite facts file owned by the go command's build cache, not durable DB state
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typecheck: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(analyzers, fset, files, pkg, info)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	return len(diags), nil
+}

@@ -227,6 +227,7 @@ func (r *Report) WriteFile(path string) error {
 	if err != nil {
 		return err
 	}
+	//lint:ignore atomicwrite benchmark report artifact, not crash-durable DB state
 	return os.WriteFile(path, append(payload, '\n'), 0o644)
 }
 
@@ -246,7 +247,7 @@ type harness struct {
 
 // Run executes the configured scenario suite and returns the report.
 // Progress and a human-readable summary go to w.
-func Run(w io.Writer, cfg Config) (*Report, error) {
+func Run(w io.Writer, cfg Config) (rep *Report, err error) {
 	cfg = cfg.withDefaults()
 	target := cfg.Addr
 	baseURL := cfg.Addr
@@ -255,18 +256,24 @@ func Run(w io.Writer, cfg Config) (*Report, error) {
 	}
 	if cfg.Addr == "" {
 		target = "in-process"
-		url, shutdown, err := bootServer(cfg)
-		if err != nil {
-			return nil, err
+		url, shutdown, berr := bootServer(cfg)
+		if berr != nil {
+			return nil, berr
 		}
-		defer shutdown()
+		// A failed teardown (unflushed DB close, leaked temp dir) fails
+		// the run unless a real error already has.
+		defer func() {
+			if serr := shutdown(); serr != nil && err == nil {
+				rep, err = nil, fmt.Errorf("serving bench: shutdown: %w", serr)
+			}
+		}()
 		baseURL = url
 	}
 	h := &harness{cfg: cfg, c: client.New(baseURL), w: w}
 	if err := h.load(); err != nil {
 		return nil, err
 	}
-	rep := &Report{
+	rep = &Report{
 		Benchmark:     "serving",
 		SchemaVersion: SchemaVersion,
 		Target:        target,
@@ -287,7 +294,7 @@ func Run(w io.Writer, cfg Config) (*Report, error) {
 }
 
 // bootServer opens a fresh DB in a temp dir and serves it on loopback.
-func bootServer(cfg Config) (url string, shutdown func(), err error) {
+func bootServer(cfg Config) (url string, shutdown func() error, err error) {
 	dir, err := os.MkdirTemp("", "tgvbench-serve-*")
 	if err != nil {
 		return "", nil, err
@@ -302,17 +309,17 @@ func bootServer(cfg Config) (url string, shutdown func(), err error) {
 	srv := server.New(db, server.Options{})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		db.Close()
-		os.RemoveAll(dir)
+		_ = db.Close()
+		_ = os.RemoveAll(dir)
 		return "", nil, err
 	}
 	go srv.Serve(l)
-	shutdown = func() {
+	shutdown = func() error {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		srv.Shutdown(ctx)
-		db.Close()
-		os.RemoveAll(dir)
+		serr := srv.Shutdown(ctx)
+		serr = errors.Join(serr, db.Close())
+		return errors.Join(serr, os.RemoveAll(dir))
 	}
 	return "http://" + l.Addr().String(), shutdown, nil
 }

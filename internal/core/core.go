@@ -18,8 +18,8 @@ type Service struct {
 	seed     int64
 
 	mu      sync.RWMutex
-	stores  map[string]*EmbeddingStore
-	planCfg PlanConfig // applied to every store, existing and future
+	stores  map[string]*EmbeddingStore // guarded by mu
+	planCfg PlanConfig                 // guarded by mu — applied to every store, existing and future
 }
 
 // NewService creates an embedding service writing delta files under

@@ -41,30 +41,30 @@ type EmbeddingStore struct {
 	Attr graph.EmbeddingAttr
 
 	segSize  int
-	hnswM    int
-	hnswEfc  int
-	bfThresh int
+	hnswM    int // guarded by mu
+	hnswEfc  int // guarded by mu
+	bfThresh int // guarded by mu
 	seed     int64
 
 	planMu  sync.RWMutex
-	planCfg PlanConfig // effective (defaults applied) planner thresholds
+	planCfg PlanConfig // guarded by planMu — effective (defaults applied) planner thresholds
 
 	mu        sync.RWMutex
-	segVecs   [][][]float32 // [segment][offset] -> vector (nil when absent)
-	segLive   []*storage.Bitmap
-	indexes   []vecIndex
-	watermark txn.TID // deltas with TID <= watermark are reflected in indexes+segVecs
+	segVecs   [][][]float32     // guarded by mu — [segment][offset] -> vector (nil when absent)
+	segLive   []*storage.Bitmap // guarded by mu
+	indexes   []vecIndex        // guarded by mu
+	watermark txn.TID           // guarded by mu — deltas with TID <= watermark are reflected in indexes+segVecs
 	// merging is the TID an in-flight MergeIndex is installing up to; it
 	// runs ahead of watermark from the moment merged vectors start
 	// landing in segVecs/indexes until the merge completes. Pinned
 	// queries compare against max(watermark, merging) so a pin can never
 	// slip between "merge installed newer state" and "watermark says so".
-	merging txn.TID
+	merging txn.TID // guarded by mu
 
 	deltas  *txn.DeltaStore
 	files   *txn.DeltaFileSet
 	flushMu sync.Mutex // serializes delta merge (flush) operations
-	flushed txn.TID    // deltas with TID <= flushed are persisted in files
+	flushed txn.TID    // guarded by mu — deltas with TID <= flushed are persisted in files
 
 	active *ActiveTracker
 }

@@ -29,7 +29,7 @@ type Pool struct {
 	completed atomic.Int64
 
 	mu     sync.RWMutex
-	closed bool
+	closed bool // guarded by mu
 }
 
 // PoolStats is a snapshot of pool activity.
@@ -122,6 +122,7 @@ func (p *Pool) DoContext(ctx context.Context, n int, fn func(i int)) error {
 	for i := 0; i < n; i++ {
 		i := i
 		wg.Add(1)
+		//lint:ignore ctxscan dispatch wrapper; cancellation is enforced at admission and inside fn at its own call site
 		if err := p.GoContext(ctx, func() { defer wg.Done(); fn(i) }); err != nil {
 			wg.Done()
 			wg.Wait()

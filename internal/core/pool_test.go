@@ -61,6 +61,7 @@ func TestPoolDoContextCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var ran atomic.Int64
+	//lint:ignore ctxscan test exercises pool admission, not scan cancellation
 	if err := p.DoContext(ctx, 10, func(int) { ran.Add(1) }); !errors.Is(err, context.Canceled) {
 		t.Fatalf("DoContext on cancelled ctx = %v", err)
 	}
@@ -90,6 +91,7 @@ func TestPoolGoContextUnblocksFullQueue(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	start := time.Now()
+	//lint:ignore ctxscan test exercises pool admission, not scan cancellation
 	err := p.GoContext(ctx, func() {})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("GoContext on full queue = %v", err)

@@ -16,7 +16,7 @@ type Filter func(id uint64) bool
 // vacuum never retires state a running query still needs.
 type ActiveTracker struct {
 	mu     sync.Mutex
-	counts map[txn.TID]int
+	counts map[txn.TID]int // guarded by mu
 }
 
 // NewActiveTracker returns an empty tracker.

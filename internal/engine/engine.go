@@ -28,15 +28,15 @@ type Engine struct {
 	// Defaults to GOMAXPROCS.
 	Parallelism int
 
-	inflight     atomic.Int64
+	inflight     atomic.Int64 // guarded by atomic
 	planCounters planCounters
 }
 
 // planCounters accumulates filtered-search planner activity for the
 // /stats observability surface.
 type planCounters struct {
-	filtered                     atomic.Int64
-	brute, bitmap, post, skipped atomic.Int64
+	filtered                     atomic.Int64 // guarded by atomic
+	brute, bitmap, post, skipped atomic.Int64 // guarded by atomic
 }
 
 func (p *planCounters) record(s *core.PlanSummary) {

@@ -16,8 +16,8 @@ import (
 // methods; unlocked Raw* methods exist for single-threaded hot loops.
 type Bitmap struct {
 	mu    sync.RWMutex
-	words []uint64
-	n     int // logical length in bits
+	words []uint64 // guarded by mu
+	n     int      // guarded by mu — logical length in bits
 }
 
 // NewBitmap returns a bitmap able to hold n bits, all zero.
@@ -32,7 +32,8 @@ func (b *Bitmap) Len() int {
 	return b.n
 }
 
-func (b *Bitmap) grow(i int) {
+// growLocked extends the bitmap to cover bit i; callers hold b.mu.
+func (b *Bitmap) growLocked(i int) {
 	if i < b.n {
 		return
 	}
@@ -46,7 +47,7 @@ func (b *Bitmap) grow(i int) {
 // Set sets bit i, growing the bitmap if needed.
 func (b *Bitmap) Set(i int) {
 	b.mu.Lock()
-	b.grow(i)
+	b.growLocked(i)
 	b.words[i/64] |= 1 << (uint(i) % 64)
 	b.mu.Unlock()
 }
@@ -98,7 +99,7 @@ func (b *Bitmap) CountRange(lo, hi int) int {
 // SetAll sets bits [0, n).
 func (b *Bitmap) SetAll(n int) {
 	b.mu.Lock()
-	b.grow(n - 1)
+	b.growLocked(n - 1)
 	for i := 0; i < n; i++ {
 		b.words[i/64] |= 1 << (uint(i) % 64)
 	}
@@ -210,7 +211,7 @@ func (b *Bitmap) Or(other *Bitmap) {
 	on := other.n
 	other.mu.RUnlock()
 	b.mu.Lock()
-	b.grow(on - 1)
+	b.growLocked(on - 1)
 	for i := range ow {
 		b.words[i] |= ow[i]
 	}

@@ -185,10 +185,10 @@ type AttrSchema struct {
 // (paper Sec. 4.2).
 type VertexSegment struct {
 	mu      sync.RWMutex
-	base    uint64 // first vertex id in this segment
-	size    int    // max vertices
-	n       int    // live slots (including tombstones)
-	columns map[string]*column
+	base    uint64             // first vertex id in this segment
+	size    int                // max vertices
+	n       int                // guarded by mu — live slots (including tombstones)
+	columns map[string]*column // guarded by mu
 	schema  []AttrSchema
 }
 
@@ -283,7 +283,7 @@ func (s *VertexSegment) Schema() []AttrSchema { return s.schema }
 // type and maps vertex ids to segments.
 type SegmentDirectory struct {
 	mu       sync.RWMutex
-	segments []*VertexSegment
+	segments []*VertexSegment // guarded by mu
 	segSize  int
 	schema   []AttrSchema
 }

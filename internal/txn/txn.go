@@ -78,7 +78,7 @@ type Manager struct {
 	committed atomic.Uint64
 	applier   VectorApplier
 	wal       *WAL
-	poisoned  error // set when in-memory state diverged from the log
+	poisoned  error // guarded by mu — set when in-memory state diverged from the log
 }
 
 // NewManager creates a manager. applier may be nil (vector deltas are then
@@ -237,7 +237,7 @@ func (t *Txn) Abort() error {
 // embedding attribute. Records are appended in commit (TID) order.
 type DeltaStore struct {
 	mu     sync.RWMutex
-	deltas []VectorDelta
+	deltas []VectorDelta // guarded by mu
 }
 
 // NewDeltaStore returns an empty store.
@@ -358,8 +358,8 @@ func NormalizeGraphValue(v any) (any, error) {
 // acknowledged commit survives power loss.
 type WAL struct {
 	mu   sync.Mutex
-	w    io.Writer
-	sync bool
+	w    io.Writer // guarded by mu
+	sync bool      // guarded by mu
 }
 
 // NewWAL wraps w as a log.
@@ -719,12 +719,12 @@ func RecoverWAL(path string, fn func(tid TID, vectors []StagedVector, ops []Grap
 			break
 		}
 		if err := fn(tid, vectors, ops); err != nil {
-			f.Close()
+			_ = f.Close()
 			return 0, err
 		}
 		lastGood = cr.n
 	}
-	f.Close()
+	_ = f.Close()
 	if torn == nil {
 		return 0, nil
 	}

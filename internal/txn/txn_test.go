@@ -450,7 +450,7 @@ func TestWALSyncOnFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	w := NewWAL(f)
 	w.SetSync(true)
 	if err := w.Append(1, nil, []*GraphOp{{Kind: OpAddVertex, Type: "T", ID: 1}}); err != nil {

@@ -183,6 +183,11 @@ func (db *DB) Search(ctx context.Context, req Request) (Result, error) {
 	var res Result
 	ran := false
 	err := db.pool.DoContext(ctx, 1, func(int) {
+		if cerr := ctx.Err(); cerr != nil {
+			// Cancelled between admission and pickup: don't start the scan.
+			res, ran = Result{Err: cerr}, true
+			return
+		}
 		res = db.runRequest(ctx, req, time.Time{}, filters)
 		ran = true
 	})
@@ -222,6 +227,12 @@ func (db *DB) SearchBatch(ctx context.Context, reqs []Request) []Result {
 	results := make([]Result, len(reqs))
 	done := make([]bool, len(reqs))
 	err := db.pool.DoContext(ctx, len(reqs), func(i int) {
+		if cerr := ctx.Err(); cerr != nil {
+			// Cancelled between admission and pickup: don't start the scan.
+			results[i] = Result{Err: cerr}
+			done[i] = true
+			return
+		}
 		results[i] = db.runRequest(ctx, reqs[i], deadlines[i], filters)
 		done[i] = true
 	})

@@ -154,7 +154,7 @@ func TestSearchCancelMidScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { db.Close() })
+	t.Cleanup(func() { closeDB(t, db) })
 	if err := db.Exec(testDDL); err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestAtTIDRepeatableRead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { db.Close() })
+	t.Cleanup(func() { closeDB(t, db) })
 	if err := db.Exec(testDDL); err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func TestSearchTimeoutBoundsAdmission(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { db.Close() })
+	t.Cleanup(func() { closeDB(t, db) })
 	if err := db.Exec(testDDL); err != nil {
 		t.Fatal(err)
 	}

@@ -103,8 +103,8 @@ type Server struct {
 	vertex, edge, search, rng, upsert, del, gsql, cp, stats, errs atomic.Int64
 
 	srvMu   sync.Mutex
-	httpSrv *http.Server
-	closed  bool
+	httpSrv *http.Server // guarded by srvMu
+	closed  bool         // guarded by srvMu
 }
 
 // New wraps db in a Server. The caller keeps ownership of db and closes
@@ -157,7 +157,7 @@ func (s *Server) Serve(l net.Listener) error {
 	s.srvMu.Lock()
 	if s.closed {
 		s.srvMu.Unlock()
-		l.Close()
+		_ = l.Close()
 		return http.ErrServerClosed
 	}
 	srv := &http.Server{Handler: s.mux}

@@ -22,6 +22,15 @@ ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb (
   DIMENSION = 8, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);
 `
 
+// closeDB closes db and fails the test if the close — which flushes
+// and syncs the WAL — reports an error.
+func closeDB(tb testing.TB, db *tigervector.DB) {
+	tb.Helper()
+	if err := db.Close(); err != nil {
+		tb.Fatalf("close db: %v", err)
+	}
+}
+
 // newTestServer builds a DB with n posts behind an httptest server and
 // returns a client pointed at it plus the loaded ids and vectors.
 func newTestServer(t *testing.T, n int) (*client.Client, []uint64, [][]float32) {
@@ -30,7 +39,7 @@ func newTestServer(t *testing.T, n int) (*client.Client, []uint64, [][]float32) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { db.Close() })
+	t.Cleanup(func() { closeDB(t, db) })
 	if err := db.Exec(testDDL); err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +167,7 @@ func TestSearchRequestValidation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		return resp.StatusCode
 	}
 	if code := post(`{"attrs":["Post.content_emb"],"k":3}`); code != http.StatusBadRequest {
@@ -182,7 +191,7 @@ func TestSearchRequestValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /search: %d", resp.StatusCode)
 	}
@@ -207,7 +216,7 @@ func TestRangeRequestValidation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		return resp.StatusCode
 	}
 	if code := post(`{"attr":"Post.content_emb","threshold":1}`); code != http.StatusBadRequest {
@@ -257,14 +266,14 @@ func TestCheckpointEndpoint(t *testing.T) {
 		t.Fatalf("checkpoint info = %+v", info)
 	}
 	ts.Close()
-	db.Close()
+	closeDB(t, db)
 
 	db2, err := tigervector.Open(tigervector.Config{
 		SegmentSize: 32, Seed: 1, DataDir: dir, Durability: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db2.Close()
+	defer closeDB(t, db2)
 	hits, err := db2.VectorSearch([]string{"Post.content_emb"}, vec, 1, nil)
 	if err != nil || len(hits) != 1 || hits[0].ID != id {
 		t.Fatalf("post-checkpoint recovery search = %+v, %v", hits, err)
@@ -360,7 +369,7 @@ CREATE QUERY eng (LIST<FLOAT> qv, INT k) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	httpResp.Body.Close()
+	_ = httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("exec+run: %d", httpResp.StatusCode)
 	}
@@ -438,7 +447,7 @@ func TestGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db.Close()
+	defer closeDB(t, db)
 	srv := New(db, Options{})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

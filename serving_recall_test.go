@@ -37,7 +37,7 @@ func TestServingRecallFloor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db.Close()
+	defer closeDB(t, db)
 	if err := db.Exec(fmt.Sprintf(`
 CREATE VERTEX Item (id INT PRIMARY KEY);
 ALTER VERTEX Item ADD EMBEDDING ATTRIBUTE emb (

@@ -25,7 +25,7 @@ func TestConcurrentWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db.Close()
+	defer closeDB(t, db)
 	if err := db.Exec(testDDL); err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestSoakMixedWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db.Close()
+	defer closeDB(t, db)
 	if err := db.Exec(testDDL); err != nil {
 		t.Fatal(err)
 	}

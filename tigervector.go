@@ -26,6 +26,7 @@
 package tigervector
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -124,7 +125,7 @@ type DB struct {
 	// it) holds it exclusively. Vector searches never take it; GSQL Run
 	// does (tg_louvain writes derived attributes).
 	cpMu   sync.RWMutex
-	closed bool // under cpMu: set by Close, checked by Checkpoint
+	closed bool // guarded by cpMu — set by Close, checked by Checkpoint
 	cpStop chan struct{}
 	cpDone chan struct{}
 
@@ -200,7 +201,7 @@ func Open(cfg Config) (*DB, error) {
 		// is worthless if a power loss forgets the file ever existed.
 		if !cfg.NoFsync {
 			if err := syncDir(cfg.DataDir); err != nil {
-				f.Close()
+				_ = f.Close()
 				db.pool.Close()
 				return nil, fmt.Errorf("tigervector: sync data dir: %w", err)
 			}
@@ -244,19 +245,20 @@ func (db *DB) Close() error {
 	db.cpMu.Unlock()
 	db.pool.Close()
 	db.vac.Stop()
+	var closeErr error
 	db.cpMu.Lock()
 	if db.walFile != nil {
-		// In batched-sync mode this is where the tail commits reach disk.
-		db.wal.Sync()
-		db.syncCatalog()
-		db.walFile.Close()
+		// In batched-sync mode this is where the tail commits reach
+		// disk — a dropped error here acknowledges commits the disk
+		// never took, so all three failures surface to the caller.
+		closeErr = errors.Join(db.wal.Sync(), db.syncCatalog(), db.walFile.Close())
 		db.walFile = nil
 	}
 	db.cpMu.Unlock()
 	if db.ownsDir {
-		return os.RemoveAll(db.cfg.DataDir)
+		return errors.Join(closeErr, os.RemoveAll(db.cfg.DataDir))
 	}
-	return nil
+	return closeErr
 }
 
 // Exec parses and applies GSQL statements: DDL (CREATE VERTEX / EDGE /
@@ -270,23 +272,31 @@ func (db *DB) Exec(src string) error {
 		return err
 	}
 	if db.cfg.Durability {
-		f, err := os.OpenFile(db.catalogPath(), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
-		if err != nil {
-			return fmt.Errorf("tigervector: catalog log: %w", err)
+		return db.appendCatalog(src)
+	}
+	return nil
+}
+
+// appendCatalog durably appends one DDL statement to the catalog log.
+// The close error joins the result: on this path a failed close can be
+// the only sign the append never reached the file.
+func (db *DB) appendCatalog(src string) (err error) {
+	f, err := os.OpenFile(db.catalogPath(), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("tigervector: catalog log: %w", err)
+	}
+	defer func() { err = errors.Join(err, f.Close()) }()
+	if _, err := fmt.Fprintf(f, "%s\n", src); err != nil {
+		return err
+	}
+	if !db.cfg.NoFsync {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("tigervector: catalog sync: %w", err)
 		}
-		defer f.Close()
-		if _, err := fmt.Fprintf(f, "%s\n", src); err != nil {
-			return err
-		}
-		if !db.cfg.NoFsync {
-			if err := f.Sync(); err != nil {
-				return fmt.Errorf("tigervector: catalog sync: %w", err)
-			}
-			// DDL is rare; an unconditional directory sync keeps the
-			// file's creation as durable as its content.
-			if err := syncDir(db.cfg.DataDir); err != nil {
-				return fmt.Errorf("tigervector: sync data dir: %w", err)
-			}
+		// DDL is rare; an unconditional directory sync keeps the
+		// file's creation as durable as its content.
+		if err := syncDir(db.cfg.DataDir); err != nil {
+			return fmt.Errorf("tigervector: sync data dir: %w", err)
 		}
 	}
 	return nil
@@ -306,8 +316,7 @@ func (db *DB) syncCatalog() error {
 		}
 		return err
 	}
-	defer f.Close()
-	return f.Sync()
+	return errors.Join(f.Sync(), f.Close())
 }
 
 // recover restores the database in snapshot→log order: replay the catalog

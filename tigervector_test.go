@@ -23,7 +23,7 @@ func openTestDB(t *testing.T) *DB {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { db.Close() })
+	t.Cleanup(func() { closeDB(t, db) })
 	if err := db.Exec(testDDL); err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestBackgroundVacuumMergesUpdates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db.Close()
+	defer closeDB(t, db)
 	if err := db.Exec(testDDL); err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestDurabilityWAL(t *testing.T) {
 	if err := db.UpsertEmbedding("Post", "content_emb", id, []float32{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
 		t.Fatal(err)
 	}
-	db.Close()
+	closeDB(t, db)
 	// The WAL must contain the committed update.
 	data, err := os.ReadFile(dir + "/wal.log")
 	if err != nil || len(data) == 0 {
@@ -324,13 +324,13 @@ func TestRecoveryFromWAL(t *testing.T) {
 	if err := db.DeleteEmbedding("Post", "content_emb", id2); err != nil {
 		t.Fatal(err)
 	}
-	db.Close() // simulated crash boundary: nothing merged, WAL only
+	closeDB(t, db) // simulated crash boundary: nothing merged, WAL only
 
 	db2, err := Open(Config{SegmentSize: 32, Seed: 1, DataDir: dir, Durability: true, DisableVacuum: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db2.Close()
+	defer closeDB(t, db2)
 	// Schema and queries recovered from the catalog log.
 	if _, ok := db2.graph.Schema().VertexType("Post"); !ok {
 		t.Fatal("schema not recovered")
