@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet lint race recovery-test bench-restart bench-filtered bench-serving bench-serving-smoke fmt-check
+.PHONY: build test bench vet lint race recovery-test bench-restart bench-filtered bench-kernels bench-serving bench-serving-smoke fmt-check
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,13 @@ bench-restart:
 # and the pre-planner callback baseline, emitted as BENCH_filtered.json.
 bench-filtered:
 	TGV_BENCH_FILTERED_OUT=BENCH_filtered.json $(GO) test -run xxx -bench BenchmarkFilteredSearch -benchtime 10x .
+
+# Distance-kernel benchmark: scalar per-pair scoring (pre-flat baseline)
+# vs blocked batch kernels vs int8 (SQ8) quantized scoring at d=32/128/768,
+# plus quantized recall@10 with and without the exact re-scoring pass,
+# emitted as BENCH_kernels.json (schema_version 1).
+bench-kernels:
+	TGV_BENCH_KERNELS_OUT=BENCH_kernels.json $(GO) test -run xxx -bench BenchmarkDistanceKernels -benchtime 20x .
 
 # Serving-mode recall/SLO harness: boots a tgvserve in-process, loads a
 # seeded dataset over HTTP and runs the mixed scenario suite (closed-loop,

@@ -1,0 +1,243 @@
+package tigervector
+
+// Distance-kernel benchmarks for the flat segment layout, comparing the
+// three real end-to-end segment-scan paths: the pre-flat scalar baseline
+// (bruteforce.TopK over a Source — per-row interface calls, a liveness
+// probe and per-pair scoring over pointer-chased rows, exactly what
+// SearchSegment's brute branch ran before the flat rework), the blocked
+// path (TopKFlat over one contiguous arena), and the int8 (SQ8) quantized
+// path including its exact re-scoring pass, at the dimensionalities the
+// paper's workloads use. A recall section measures what quantized ranking
+// costs in accuracy with and without the re-scoring pass. With
+// TGV_BENCH_KERNELS_OUT set the numbers are written as schema-versioned
+// JSON (`make bench-kernels` emits BENCH_kernels.json).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/quant"
+	"repro/internal/storage"
+	"repro/internal/vectormath"
+)
+
+// kernelRows is the scan length per op: a multiple of 64 (the quantized
+// scorer's mask-word granularity) sized like a filled default segment.
+const kernelRows = 4096
+
+// kernelK is the scan's top-k width, matching the serving default.
+const kernelK = 10
+
+// kernelCorpus builds one Gaussian corpus twice over: as independently
+// allocated rows (the pre-flat layout) and as one contiguous arena. The
+// row objects are allocated in shuffled order: a real pre-flat segment's
+// rows were cloned one at a time as deltas merged, interleaved with
+// unrelated heap churn, so a logical-order scan chased pointers across
+// the heap. Allocating them in a tight sequential loop would lay them
+// out arena-like and flatter the baseline.
+func kernelCorpus(dim int, seed int64) (vecs [][]float32, flat []float32, queries [][]float32) {
+	r := rand.New(rand.NewSource(seed))
+	flat = make([]float32, kernelRows*dim)
+	for i := range flat {
+		flat[i] = float32(r.NormFloat64())
+	}
+	vecs = make([][]float32, kernelRows)
+	for _, i := range r.Perm(kernelRows) {
+		v := make([]float32, dim)
+		copy(v, flat[i*dim:(i+1)*dim])
+		vecs[i] = v
+	}
+	queries = make([][]float32, 16)
+	for i := range queries {
+		q := make([]float32, dim)
+		for j := range q {
+			q[j] = float32(r.NormFloat64())
+		}
+		queries[i] = q
+	}
+	return vecs, flat, queries
+}
+
+// benchSource replicates the deleted segSource adapter byte for byte: the
+// same Source interface dispatch, nil-row check and liveness probe
+// through an interface the pre-flat SearchSegment paid per row.
+type benchSource struct {
+	base uint64
+	vecs [][]float32
+	live interface{ Get(int) bool }
+}
+
+func (s benchSource) Len() int { return len(s.vecs) }
+
+func (s benchSource) At(i int) (uint64, []float32, bool) {
+	if s.vecs[i] == nil || !s.live.Get(i) {
+		return 0, nil, false
+	}
+	return s.base + uint64(i), s.vecs[i], true
+}
+
+func fullMask(nRows int) []uint64 {
+	words := make([]uint64, nRows/64)
+	for i := range words {
+		words[i] = ^uint64(0)
+	}
+	return words
+}
+
+// recallAt10 returns |got ∩ oracle| / |oracle| for the id sets.
+func recallAt10(oracle, got []bruteforce.Result) float64 {
+	want := make(map[uint64]bool, len(oracle))
+	for _, r := range oracle {
+		want[r.ID] = true
+	}
+	hit := 0
+	for _, r := range got {
+		if want[r.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(oracle))
+}
+
+// quantTopKNoRescore ranks purely by quantized scores (the re-scoring
+// pass disabled), isolating what the exact pass buys.
+func quantTopKNoRescore(sc *quant.Scorer, mask []uint64, nRows, k int) []bruteforce.Result {
+	out := make([]float32, nRows)
+	sc.ScoreMasked(0, mask, out)
+	acc := bruteforce.NewAcc(k)
+	for r := 0; r < nRows; r++ {
+		acc.Push(uint64(r), out[r])
+	}
+	return acc.Results()
+}
+
+// BenchmarkDistanceKernels measures full-segment top-k scan throughput —
+// the scalar per-pair baseline vs the blocked batch path vs the int8
+// quantized path (re-scoring included) — at d=32/128/768, and computes
+// quantized recall@10 against the exact scan with and without
+// re-scoring. Keyed last-write-wins collection, like
+// BenchmarkFilteredSearch: only the fully measured runs are emitted.
+func BenchmarkDistanceKernels(b *testing.B) {
+	type row struct {
+		Dim        int     `json:"dim"`
+		Mode       string  `json:"mode"`
+		NsPerScan  float64 `json:"ns_per_scan"`
+		RowsPerSec float64 `json:"rows_per_sec"`
+	}
+	byKey := map[string]row{}
+	var keyOrder []string
+	record := func(key string, dim int, mode string, elapsedNs float64, n int) {
+		if _, seen := byKey[key]; !seen {
+			keyOrder = append(keyOrder, key)
+		}
+		perScan := elapsedNs / float64(n)
+		byKey[key] = row{Dim: dim, Mode: mode, NsPerScan: perScan,
+			RowsPerSec: float64(kernelRows) / (perScan / 1e9)}
+	}
+
+	mask := fullMask(kernelRows)
+	var floatBytes, quantBytes int
+	for _, dim := range []int{32, 128, 768} {
+		vecs, flat, queries := kernelCorpus(dim, int64(dim))
+		codec := quant.Encode(flat, dim, kernelRows, mask)
+		if dim == 128 {
+			floatBytes = 4 * len(flat)
+			quantBytes = codec.Bytes()
+		}
+		live := storage.NewBitmap(kernelRows)
+		for r := 0; r < kernelRows; r++ {
+			live.Set(r)
+		}
+		src := benchSource{base: 0, vecs: vecs, live: live}
+
+		key := fmt.Sprintf("scalar/d%d", dim)
+		b.Run(key, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bruteforce.TopK(vectormath.L2, src, queries[i%len(queries)], kernelK, nil)
+			}
+			record(key, dim, "scalar", float64(b.Elapsed().Nanoseconds()), b.N)
+		})
+
+		key = fmt.Sprintf("blocked/d%d", dim)
+		b.Run(key, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := vectormath.Prepare(vectormath.L2, queries[i%len(queries)])
+				bruteforce.TopKFlat(&p, 0, flat, dim, mask, kernelRows, kernelK)
+			}
+			record(key, dim, "blocked", float64(b.Elapsed().Nanoseconds()), b.N)
+		})
+
+		key = fmt.Sprintf("int8/d%d", dim)
+		b.Run(key, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				p := vectormath.Prepare(vectormath.L2, q)
+				sc := codec.NewScorer(vectormath.L2, q)
+				bruteforce.TopKFlatQuant(sc, &p, 0, flat, dim, mask, kernelRows, kernelK, 4)
+			}
+			record(key, dim, "int8", float64(b.Elapsed().Nanoseconds()), b.N)
+		})
+	}
+
+	// Recall of quantized ranking vs the exact scan at d=128, k=10,
+	// averaged over the query set; the re-scored variant runs the real
+	// TopKFlatQuant path with the default rescore factor.
+	const k, rescore = 10, 4
+	_, flat, queries := kernelCorpus(128, 128)
+	codec := quant.Encode(flat, 128, kernelRows, mask)
+	var recallRaw, recallRescored float64
+	for _, q := range queries {
+		p := vectormath.Prepare(vectormath.L2, q)
+		oracle := bruteforce.TopKFlat(&p, 0, flat, 128, mask, kernelRows, k)
+		sc := codec.NewScorer(vectormath.L2, p.Vec)
+		recallRaw += recallAt10(oracle, quantTopKNoRescore(sc, mask, kernelRows, k))
+		rescored, _ := bruteforce.TopKFlatQuant(sc, &p, 0, flat, 128, mask, kernelRows, k, rescore)
+		recallRescored += recallAt10(oracle, rescored)
+	}
+	recallRaw /= float64(len(queries))
+	recallRescored /= float64(len(queries))
+
+	rows := make([]row, 0, len(keyOrder))
+	for _, key := range keyOrder {
+		rows = append(rows, byKey[key])
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Dim < rows[j].Dim })
+	type quantReport struct {
+		Dim             int     `json:"dim"`
+		K               int     `json:"k"`
+		Queries         int     `json:"queries"`
+		RescoreFactor   int     `json:"rescore_factor"`
+		FloatBytes      int     `json:"float_bytes"`
+		QuantBytes      int     `json:"quant_bytes"`
+		RecallNoRescore float64 `json:"recall_no_rescore"`
+		RecallRescored  float64 `json:"recall_rescored"`
+	}
+	if out := os.Getenv("TGV_BENCH_KERNELS_OUT"); out != "" && len(rows) > 0 {
+		payload, err := json.MarshalIndent(struct {
+			Benchmark     string      `json:"benchmark"`
+			SchemaVersion int         `json:"schema_version"`
+			Rows          int         `json:"rows"`
+			Metric        string      `json:"metric"`
+			Throughput    []row       `json:"throughput"`
+			Quantization  quantReport `json:"quantization"`
+		}{
+			Benchmark: "DistanceKernels", SchemaVersion: 1,
+			Rows: kernelRows, Metric: "l2", Throughput: rows,
+			Quantization: quantReport{128, k, len(queries), rescore,
+				floatBytes, quantBytes, recallRaw, recallRescored},
+		}, "", " ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(payload, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("kernel bench written to %s (recall@10 raw %.3f, rescored %.3f)",
+			out, recallRaw, recallRescored)
+	}
+}

@@ -421,6 +421,35 @@ func (c *Client) Stats(ctx context.Context) (json.RawMessage, error) {
 	return json.RawMessage(body), nil
 }
 
+// StoreMemStats is the per-attribute vector-memory slice of /stats: the
+// resident float32 row bytes, the additional SQ8 code bytes (zero with
+// quantization off) and how many candidates quantized scans have
+// re-scored exactly since the server started.
+type StoreMemStats struct {
+	Attr              string `json:"attr"`
+	VectorBytes       uint64 `json:"vector_bytes"`
+	QuantizedBytes    uint64 `json:"quantized_bytes"`
+	RescoreCandidates uint64 `json:"rescore_candidates"`
+}
+
+// StoreMemory fetches /stats and returns the per-store vector-memory
+// figures, sorted by attribute key (the server's order).
+func (c *Client) StoreMemory(ctx context.Context) ([]StoreMemStats, error) {
+	raw, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var payload struct {
+		DB struct {
+			Stores []StoreMemStats `json:"stores"`
+		} `json:"db"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		return nil, fmt.Errorf("client: decode /stats: %w", err)
+	}
+	return payload.DB.Stores, nil
+}
+
 // post sends a JSON request and decodes the JSON response into out.
 func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	payload, err := json.Marshal(in)

@@ -58,6 +58,8 @@ type config struct {
 	checkpointIv time.Duration
 	maxBatch     int
 	reqTimeout   time.Duration
+	quantize     bool
+	rescore      int
 }
 
 // parseFlags parses args (without the program name) into a config.
@@ -78,6 +80,11 @@ func parseFlags(args []string) (config, error) {
 		"default server-side deadline per search request, e.g. 2s; past it scanning stops "+
 			"and the request answers with a deadline error. Requests can override with "+
 			"timeout_ms; 0 disables the default")
+	fs.BoolVar(&c.quantize, "quantize", false,
+		"score brute-force segment scans over int8 (SQ8) codes with exact re-scoring; "+
+			"index-backed searches stay exact float32")
+	fs.IntVar(&c.rescore, "rescore-factor", 0,
+		"candidate multiple re-scored exactly after a quantized scan (default 4; requires -quantize)")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -103,6 +110,11 @@ func parseFlags(args []string) (config, error) {
 		fmt.Fprintln(fs.Output(), err)
 		return c, err
 	}
+	if c.rescore != 0 && !c.quantize {
+		err := fmt.Errorf("-rescore-factor requires -quantize")
+		fmt.Fprintln(fs.Output(), err)
+		return c, err
+	}
 	return c, nil
 }
 
@@ -119,6 +131,10 @@ func main() {
 		Durability:         cfg.durable,
 		NoFsync:            cfg.noFsync,
 		CheckpointInterval: cfg.checkpointIv,
+		Quantization: tigervector.QuantizationConfig{
+			Enabled:       cfg.quantize,
+			RescoreFactor: cfg.rescore,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -128,13 +144,25 @@ func main() {
 			log.Printf("tgvserve: close: %v", err)
 		}
 	}()
+	if cfg.quantize {
+		rescore := cfg.rescore
+		if rescore <= 0 {
+			rescore = 4
+		}
+		log.Printf("quantization: SQ8 brute scans enabled (rescore factor %d)", rescore)
+	}
 	if cfg.durable {
 		// How the restart went: segment indexes deserialized from the
-		// checkpoint's index snapshot (fast path) vs rebuilt from vectors.
+		// checkpoint's index snapshot (fast path) vs rebuilt from vectors,
+		// and what the restored vector data occupies per store.
 		st := db.Stats()
 		log.Printf("restart: %d segment indexes loaded from snapshot, %d rebuilt, index restore took %s",
 			st.IndexSnapshotSegments, st.IndexRebuiltSegments,
 			time.Duration(st.OpenIndexLoadNanos))
+		for _, s := range st.Stores {
+			log.Printf("store %s: %d segments, %d vector bytes, %d quantized bytes",
+				s.Attr, s.Segments, s.VectorBytes, s.QuantizedBytes)
+		}
 	}
 	if cfg.ddlPath != "" {
 		src, err := os.ReadFile(cfg.ddlPath)

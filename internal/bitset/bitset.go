@@ -36,6 +36,16 @@ func New(base uint64, words []uint64) *Set {
 // Base returns the first id covered by the set's range.
 func (s *Set) Base() uint64 { return s.base }
 
+// Words returns the backing word array (bit i of Words()[i/64] is id
+// Base()+i). It is the mask form consumed by the batched distance
+// kernels; callers must treat it as read-only.
+func (s *Set) Words() []uint64 {
+	if s == nil {
+		return nil
+	}
+	return s.words
+}
+
 // Count returns the number of ids in the set.
 func (s *Set) Count() int {
 	if s == nil {

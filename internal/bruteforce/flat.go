@@ -1,0 +1,185 @@
+package bruteforce
+
+// Flat-segment scans: the batched counterparts of TopK/Range for the
+// contiguous per-segment vector layout (row r of a segment at
+// flat[r*dim:(r+1)*dim], validity/filtering as a word mask). Scoring goes
+// through the vectormath batch kernels — bit-identical to the per-pair
+// kernels — and selection replicates TopK's (distance, id) ordering, so a
+// scan switched from the Source path to the flat path returns
+// byte-identical results.
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/quant"
+	"repro/internal/vectormath"
+)
+
+// scanChunkRows bounds the per-call scoring buffer: chunks of 256 rows
+// (4 mask words) keep the distance buffer in L1 while amortizing the
+// batch-kernel call overhead.
+const scanChunkRows = 256
+
+// Acc accumulates (id, distance) candidates and keeps the k best by
+// ascending (distance, id) — the same bounded sorted-insertion TopK uses,
+// exposed so flat scans and re-scoring share one selection semantic.
+type Acc struct {
+	k    int
+	best []Result
+}
+
+// NewAcc returns an accumulator selecting the k best candidates.
+func NewAcc(k int) *Acc {
+	return &Acc{k: k, best: make([]Result, 0, k+1)}
+}
+
+// Push offers one candidate.
+func (a *Acc) Push(id uint64, d float32) {
+	if len(a.best) == a.k && d >= a.best[a.k-1].Distance {
+		return
+	}
+	pos := sort.Search(len(a.best), func(j int) bool {
+		if a.best[j].Distance != d {
+			return a.best[j].Distance > d
+		}
+		return a.best[j].ID > id
+	})
+	a.best = append(a.best, Result{})
+	copy(a.best[pos+1:], a.best[pos:])
+	a.best[pos] = Result{ID: id, Distance: d}
+	if len(a.best) > a.k {
+		a.best = a.best[:a.k]
+	}
+}
+
+// Results returns the selected candidates, ascending (distance, id). The
+// slice is owned by the accumulator.
+func (a *Acc) Results() []Result { return a.best }
+
+// forEachChunk drives a chunked masked scan: fn receives the chunk's
+// starting row, its mask words, and a scratch distance buffer sized to
+// the chunk.
+func forEachChunk(mask []uint64, nRows int, fn func(start int, words []uint64, buf []float32)) {
+	var scratch [scanChunkRows]float32
+	for start := 0; start < nRows; start += scanChunkRows {
+		rows := nRows - start
+		if rows > scanChunkRows {
+			rows = scanChunkRows
+		}
+		w := start / 64
+		wEnd := w + (rows+63)/64
+		if wEnd > len(mask) {
+			wEnd = len(mask)
+		}
+		if w >= wEnd {
+			return
+		}
+		words := mask[w:wEnd]
+		empty := true
+		for _, x := range words {
+			if x != 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			continue
+		}
+		fn(start, words, scratch[:rows])
+	}
+}
+
+// TopKFlat returns the k nearest rows of a flat block to the prepared
+// query, considering exactly the rows whose bit is set in mask (length
+// ceil(nRows/64) words). Row r maps to external id base+r. Results are
+// byte-identical to TopK over an equivalent Source.
+func TopKFlat(p *vectormath.PreparedQuery, base uint64, flat []float32, dim int, mask []uint64, nRows, k int) []Result {
+	if k <= 0 || nRows <= 0 {
+		return nil
+	}
+	acc := NewAcc(k)
+	forEachChunk(mask, nRows, func(start int, words []uint64, buf []float32) {
+		p.DistanceMasked(flat[start*dim:], dim, words, buf)
+		pushMasked(acc, base, start, words, buf)
+	})
+	return acc.Results()
+}
+
+func pushMasked(acc *Acc, base uint64, start int, words []uint64, buf []float32) {
+	for wi, w := range words {
+		wb := wi * 64
+		for w != 0 {
+			r := wb + bits.TrailingZeros64(w)
+			w &= w - 1
+			if r >= len(buf) {
+				break
+			}
+			acc.Push(base+uint64(start+r), buf[r])
+		}
+	}
+}
+
+// TopKFlatQuant is TopKFlat over a quantized segment: candidates are
+// ranked by the int8 approximate distance, the best rescore*k survivors
+// are re-scored against the exact float32 rows, and the k nearest by
+// exact distance win. rescore <= 1 re-scores exactly k. The second
+// return value is the number of exact re-score computations (the
+// rescore_candidates stat).
+func TopKFlatQuant(sc *quant.Scorer, p *vectormath.PreparedQuery, base uint64, flat []float32, dim int, mask []uint64, nRows, k, rescore int) ([]Result, int) {
+	if k <= 0 || nRows <= 0 {
+		return nil, 0
+	}
+	if rescore < 1 {
+		rescore = 1
+	}
+	approx := NewAcc(k * rescore)
+	forEachChunk(mask, nRows, func(start int, words []uint64, buf []float32) {
+		sc.ScoreMasked(start, words, buf)
+		pushMasked(approx, base, start, words, buf)
+	})
+	cands := approx.Results()
+	if len(cands) == 0 {
+		return nil, 0
+	}
+	rows := make([]uint32, len(cands))
+	for i, c := range cands {
+		rows[i] = uint32(c.ID - base)
+	}
+	exact := make([]float32, len(cands))
+	p.DistanceGather(flat, dim, rows, exact)
+	acc := NewAcc(k)
+	for i, c := range cands {
+		acc.Push(c.ID, exact[i])
+	}
+	return acc.Results(), len(cands)
+}
+
+// RangeFlat returns every masked row with distance < threshold, sorted
+// by ascending distance — byte-identical to Range over an equivalent
+// Source (candidates are appended in ascending-row order before the
+// sort, matching Range's scan order).
+func RangeFlat(p *vectormath.PreparedQuery, base uint64, flat []float32, dim int, mask []uint64, nRows int, threshold float32) []Result {
+	if nRows <= 0 {
+		return nil
+	}
+	var out []Result
+	forEachChunk(mask, nRows, func(start int, words []uint64, buf []float32) {
+		p.DistanceMasked(flat[start*dim:], dim, words, buf)
+		for wi, w := range words {
+			wb := wi * 64
+			for w != 0 {
+				r := wb + bits.TrailingZeros64(w)
+				w &= w - 1
+				if r >= len(buf) {
+					break
+				}
+				if d := buf[r]; d < threshold {
+					out = append(out, Result{ID: base + uint64(start+r), Distance: d})
+				}
+			}
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out
+}

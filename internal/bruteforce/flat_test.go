@@ -1,0 +1,150 @@
+package bruteforce
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/vectormath"
+)
+
+// maskedSource adapts a flat block + mask to the legacy Source interface,
+// so the flat scans can be checked byte-for-byte against TopK/Range.
+type maskedSource struct {
+	base uint64
+	flat []float32
+	dim  int
+	mask []uint64
+	n    int
+}
+
+func (s maskedSource) Len() int { return s.n }
+func (s maskedSource) At(i int) (uint64, []float32, bool) {
+	if s.mask[i/64]&(1<<(i%64)) == 0 {
+		return 0, nil, false
+	}
+	return s.base + uint64(i), s.flat[i*s.dim : (i+1)*s.dim], true
+}
+
+func buildFlat(rng *rand.Rand, n, dim int) ([]float32, []uint64) {
+	flat := make([]float32, n*dim)
+	for i := range flat {
+		flat[i] = float32(rng.NormFloat64())
+	}
+	mask := make([]uint64, (n+63)/64)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) != 0 { // ~75% valid
+			mask[i/64] |= 1 << (i % 64)
+		}
+	}
+	return flat, mask
+}
+
+// TestTopKFlatMatchesTopK pins byte-identity of the flat scan against the
+// legacy per-pair Source scan across metrics, sizes (crossing the chunk
+// boundary) and k values.
+func TestTopKFlatMatchesTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const base = 1000
+	for _, m := range []vectormath.Metric{vectormath.L2, vectormath.Cosine, vectormath.InnerProduct} {
+		for _, n := range []int{1, 63, 64, 65, 255, 256, 300, 700} {
+			for _, dim := range []int{3, 32} {
+				flat, mask := buildFlat(rng, n, dim)
+				query := make([]float32, dim)
+				for i := range query {
+					query[i] = float32(rng.NormFloat64())
+				}
+				src := maskedSource{base: base, flat: flat, dim: dim, mask: mask, n: n}
+				for _, k := range []int{1, 5, 70} {
+					want := TopK(m, src, query, k, nil)
+					p := vectormath.Prepare(m, query)
+					got := TopKFlat(&p, base, flat, dim, mask, n, k)
+					if len(got) != len(want) {
+						t.Fatalf("%v n=%d dim=%d k=%d: len %d want %d", m, n, dim, k, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%v n=%d dim=%d k=%d idx=%d: got %+v want %+v", m, n, dim, k, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRangeFlatMatchesRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const base, n, dim = 40, 300, 8
+	for _, m := range []vectormath.Metric{vectormath.L2, vectormath.Cosine} {
+		flat, mask := buildFlat(rng, n, dim)
+		query := make([]float32, dim)
+		for i := range query {
+			query[i] = float32(rng.NormFloat64())
+		}
+		src := maskedSource{base: base, flat: flat, dim: dim, mask: mask, n: n}
+		var threshold float32 = 1.0
+		if m == vectormath.L2 {
+			threshold = float32(dim)
+		}
+		want := Range(m, src, query, threshold, nil)
+		p := vectormath.Prepare(m, query)
+		got := RangeFlat(&p, base, flat, dim, mask, n, threshold)
+		if len(got) != len(want) {
+			t.Fatalf("%v: len %d want %d", m, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v idx=%d: got %+v want %+v", m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTopKFlatQuantRecall: the int8 path with re-score must recover the
+// exact top-k on a well-separated workload, and report how many
+// candidates it re-scored.
+func TestTopKFlatQuantRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const base, n, dim, k = 0, 500, 32, 10
+	flat, mask := buildFlat(rng, n, dim)
+	valid := mask
+	codec := quant.Encode(flat, dim, n, valid)
+	for _, m := range []vectormath.Metric{vectormath.L2, vectormath.Cosine, vectormath.InnerProduct} {
+		query := make([]float32, dim)
+		for i := range query {
+			query[i] = float32(rng.NormFloat64())
+		}
+		p := vectormath.Prepare(m, query)
+		exact := TopKFlat(&p, base, flat, dim, mask, n, k)
+		sc := codec.NewScorer(m, p.Vec)
+		got, rescored := TopKFlatQuant(sc, &p, base, flat, dim, mask, n, k, 4)
+		if rescored == 0 || rescored > 4*k {
+			t.Fatalf("%v: rescored %d, want 1..%d", m, rescored, 4*k)
+		}
+		hits := 0
+		want := map[uint64]bool{}
+		for _, r := range exact {
+			want[r.ID] = true
+		}
+		for _, r := range got {
+			if want[r.ID] {
+				hits++
+			}
+		}
+		// Survivors carry exact distances, so any candidate that makes the
+		// final k must score identically to the exact scan.
+		exactByID := map[uint64]float32{}
+		for _, r := range exact {
+			exactByID[r.ID] = r.Distance
+		}
+		for _, r := range got {
+			if d, ok := exactByID[r.ID]; ok && d != r.Distance {
+				t.Fatalf("%v: id %d re-scored distance %g != exact %g", m, r.ID, r.Distance, d)
+			}
+		}
+		if hits < k-1 { // allow one miss on random data at rescore=4
+			t.Fatalf("%v: recall %d/%d too low", m, hits, k)
+		}
+	}
+}

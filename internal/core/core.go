@@ -17,9 +17,10 @@ type Service struct {
 	segSize  int
 	seed     int64
 
-	mu      sync.RWMutex
-	stores  map[string]*EmbeddingStore // guarded by mu
-	planCfg PlanConfig                 // guarded by mu — applied to every store, existing and future
+	mu       sync.RWMutex
+	stores   map[string]*EmbeddingStore // guarded by mu
+	planCfg  PlanConfig                 // guarded by mu — applied to every store, existing and future
+	quantCfg QuantConfig                // guarded by mu — applied to every store, existing and future
 }
 
 // NewService creates an embedding service writing delta files under
@@ -31,6 +32,7 @@ func NewService(deltaDir string, segSize int, seed int64) *Service {
 		seed:     seed,
 		stores:   make(map[string]*EmbeddingStore),
 		planCfg:  PlanConfig{}.withDefaults(),
+		quantCfg: QuantConfig{}.withDefaults(),
 	}
 }
 
@@ -50,6 +52,21 @@ func (s *Service) SetPlanConfig(cfg PlanConfig) {
 	}
 }
 
+// SetQuantization enables or disables SQ8 quantized brute scans on every
+// registered store and on stores registered later.
+func (s *Service) SetQuantization(cfg QuantConfig) {
+	s.mu.Lock()
+	s.quantCfg = cfg.withDefaults()
+	stores := make([]*EmbeddingStore, 0, len(s.stores))
+	for _, st := range s.stores {
+		stores = append(stores, st)
+	}
+	s.mu.Unlock()
+	for _, st := range stores {
+		st.SetQuantization(cfg)
+	}
+}
+
 // AttrKey builds the canonical "VertexType.attr" key.
 func AttrKey(vertexType, attr string) string { return vertexType + "." + attr }
 
@@ -66,6 +83,7 @@ func (s *Service) Register(vertexType string, attr graph.EmbeddingAttr) (*Embedd
 	}
 	st := NewEmbeddingStore(key, attr, s.segSize, s.deltaDir, s.seed)
 	st.SetPlanConfig(s.planCfg)
+	st.SetQuantization(s.quantCfg)
 	s.stores[key] = st
 	return st, nil
 }

@@ -13,13 +13,12 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/storage"
 	"repro/internal/txn"
-	"repro/internal/vectormath"
 )
 
 // Result is one vector search hit.
@@ -50,16 +49,22 @@ type EmbeddingStore struct {
 	planCfg PlanConfig // guarded by planMu — effective (defaults applied) planner thresholds
 
 	mu        sync.RWMutex
-	segVecs   [][][]float32     // guarded by mu — [segment][offset] -> vector (nil when absent)
-	segLive   []*storage.Bitmap // guarded by mu
-	indexes   []vecIndex        // guarded by mu
-	watermark txn.TID           // guarded by mu — deltas with TID <= watermark are reflected in indexes+segVecs
+	segs      []*segment // guarded by mu — flat embedding segments, immutable once published (COW)
+	indexes   []vecIndex // guarded by mu
+	watermark txn.TID    // guarded by mu — deltas with TID <= watermark are reflected in indexes+segs
 	// merging is the TID an in-flight MergeIndex is installing up to; it
 	// runs ahead of watermark from the moment merged vectors start
-	// landing in segVecs/indexes until the merge completes. Pinned
+	// landing in segs/indexes until the merge completes. Pinned
 	// queries compare against max(watermark, merging) so a pin can never
 	// slip between "merge installed newer state" and "watermark says so".
 	merging txn.TID // guarded by mu
+
+	quantEnabled bool // guarded by mu — segments carry SQ8 codecs and brute scans use them
+	quantRescore int  // guarded by mu — exact re-score multiplier for quantized scans
+
+	// rescored counts exact re-score distance computations served by
+	// quantized brute scans (the rescore_candidates stat).
+	rescored atomic.Uint64
 
 	deltas  *txn.DeltaStore
 	files   *txn.DeltaFileSet
@@ -76,15 +81,16 @@ func NewEmbeddingStore(key string, attr graph.EmbeddingAttr, segSize int, deltaD
 		segSize = storage.DefaultSegmentSize
 	}
 	return &EmbeddingStore{
-		Key:      key,
-		Attr:     attr,
-		segSize:  segSize,
-		bfThresh: DefaultBruteForceThreshold,
-		planCfg:  PlanConfig{}.withDefaults(),
-		seed:     seed,
-		deltas:   txn.NewDeltaStore(),
-		files:    txn.NewDeltaFileSet(deltaDir, key),
-		active:   NewActiveTracker(),
+		Key:          key,
+		Attr:         attr,
+		segSize:      segSize,
+		bfThresh:     DefaultBruteForceThreshold,
+		planCfg:      PlanConfig{}.withDefaults(),
+		quantRescore: QuantConfig{}.withDefaults().Rescore,
+		seed:         seed,
+		deltas:       txn.NewDeltaStore(),
+		files:        txn.NewDeltaFileSet(deltaDir, key),
+		active:       NewActiveTracker(),
 	}
 }
 
@@ -120,6 +126,46 @@ func (s *EmbeddingStore) PlanConfig() PlanConfig {
 	return s.planCfg
 }
 
+// SetQuantization enables or disables SQ8 quantization of brute-force
+// segment scans. Existing segments are re-published with codecs freshly
+// encoded (or dropped); the flat/valid buffers are shared, since published
+// segments are immutable.
+func (s *EmbeddingStore) SetQuantization(cfg QuantConfig) {
+	cfg = cfg.withDefaults()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quantEnabled = cfg.Enabled
+	s.quantRescore = cfg.Rescore
+	for i, sg := range s.segs {
+		if cfg.Enabled == (sg.quant != nil) {
+			continue
+		}
+		s.segs[i] = sg.reQuant(cfg.Enabled, s.Attr.Dim, s.segSize)
+	}
+}
+
+// Quantization returns the effective quantization settings.
+func (s *EmbeddingStore) Quantization() QuantConfig {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return QuantConfig{Enabled: s.quantEnabled, Rescore: s.quantRescore}
+}
+
+// MemStats reports the store's vector memory accounting: bytes held by
+// exact float32 rows, bytes held by SQ8 codecs, and the cumulative count
+// of exact re-score computations served by quantized scans.
+func (s *EmbeddingStore) MemStats() (vectorBytes, quantizedBytes, rescored uint64) {
+	s.mu.RLock()
+	for _, sg := range s.segs {
+		vectorBytes += 4 * uint64(len(sg.flat))
+		if sg.quant != nil {
+			quantizedBytes += uint64(sg.quant.Bytes())
+		}
+	}
+	s.mu.RUnlock()
+	return vectorBytes, quantizedBytes, s.rescored.Load()
+}
+
 // SegmentSize returns the embedding segment capacity.
 func (s *EmbeddingStore) SegmentSize() int { return s.segSize }
 
@@ -152,8 +198,7 @@ func (s *EmbeddingStore) segmentOf(id uint64) int { return int(id / uint64(s.seg
 
 func (s *EmbeddingStore) growToLocked(seg int) {
 	for len(s.indexes) <= seg {
-		s.segVecs = append(s.segVecs, make([][]float32, s.segSize))
-		s.segLive = append(s.segLive, storage.NewBitmap(s.segSize))
+		s.segs = append(s.segs, newSegment(s.segSize, s.Attr.Dim))
 		g, err := newIndexFor(s.Attr.Index, s.Attr.Dim, s.Attr.Metric, s.hnswM, s.hnswEfc, s.seed)
 		if err != nil {
 			panic(fmt.Sprintf("core: index config invalid: %v", err)) // validated at Register time
@@ -196,28 +241,28 @@ func (s *EmbeddingStore) InstallVectors(ids []uint64, vecs [][]float32) error {
 	if maxSeg >= 0 {
 		s.growToLocked(maxSeg)
 	}
+	// Copy-on-write per touched segment: published segments are immutable,
+	// so vectors land in clones that replace the originals on publish.
+	touched := make(map[int]*segment)
 	for i, id := range ids {
 		seg := s.segmentOf(id)
-		off := int(id % uint64(s.segSize))
-		s.segVecs[seg][off] = vectormath.Clone(vecs[i])
-		s.segLive[seg].Set(off)
+		sg, ok := touched[seg]
+		if !ok {
+			sg = s.segs[seg].clone()
+			touched[seg] = sg
+		}
+		sg.set(int(id%uint64(s.segSize)), s.Attr.Dim, vecs[i])
+	}
+	for seg, sg := range touched {
+		if s.quantEnabled {
+			sg.encode(s.Attr.Dim, s.segSize)
+		} else {
+			sg.quant = nil
+		}
+		s.segs[seg] = sg
 	}
 	s.mu.Unlock()
 	return nil
-}
-
-// segmentItems lists one segment's live vectors as id-sorted index
-// update records.
-func segmentItems(base uint64, vecs [][]float32, live *storage.Bitmap) []IndexItem {
-	items := make([]IndexItem, 0, len(vecs))
-	for off, v := range vecs {
-		if v == nil || !live.Get(off) {
-			continue
-		}
-		items = append(items, IndexItem{ID: base + uint64(off), Vec: v})
-	}
-	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
-	return items
 }
 
 // BuildIndexes constructs every segment index from the installed vectors
@@ -228,9 +273,8 @@ func (s *EmbeddingStore) BuildIndexes(threads int, asOf txn.TID) error {
 	nSegs := len(s.indexes)
 	indexes := make([]vecIndex, nSegs)
 	copy(indexes, s.indexes)
-	segVecs := make([][][]float32, nSegs)
-	copy(segVecs, s.segVecs)
-	segLive := s.segLive[:nSegs:nSegs]
+	segs := make([]*segment, nSegs)
+	copy(segs, s.segs)
 	s.mu.RUnlock()
 
 	if threads <= 0 {
@@ -245,7 +289,7 @@ func (s *EmbeddingStore) BuildIndexes(threads int, asOf txn.TID) error {
 		go func(seg int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			items := segmentItems(uint64(seg)*uint64(s.segSize), segVecs[seg], segLive[seg])
+			items := segs[seg].items(uint64(seg)*uint64(s.segSize), s.Attr.Dim)
 			if err := indexes[seg].ApplyUpdates(items, threads); err != nil {
 				errCh <- err
 			}
@@ -377,30 +421,34 @@ func (s *EmbeddingStore) MergeIndex(threads int) (int, error) {
 	}
 	s.growToLocked(maxSeg)
 	// Copy-on-write per touched segment: the brute-force search path
-	// snapshots a segment's vector slice under RLock and then scans its
-	// elements lock-free, so published arrays must never be mutated in
-	// place. Readers holding the old array stay consistent — their
+	// snapshots a segment pointer under RLock and then scans its flat
+	// block lock-free, so published segments must never be mutated in
+	// place. Readers holding the old segment stay consistent — their
 	// BeginSearch delta overlay already contains every record this merge
 	// is installing.
-	touched := make(map[int]struct{})
+	touched := make(map[int]*segment)
 	for _, d := range recs {
-		touched[s.segmentOf(d.ID)] = struct{}{}
-	}
-	for seg := range touched {
-		nv := make([][]float32, len(s.segVecs[seg]))
-		copy(nv, s.segVecs[seg])
-		s.segVecs[seg] = nv
+		seg := s.segmentOf(d.ID)
+		if _, ok := touched[seg]; !ok {
+			touched[seg] = s.segs[seg].clone()
+		}
 	}
 	for _, d := range recs {
 		seg := s.segmentOf(d.ID)
 		off := int(d.ID % uint64(s.segSize))
 		if d.Action == txn.Upsert {
-			s.segVecs[seg][off] = vectormath.Clone(d.Vec)
-			s.segLive[seg].Set(off)
+			touched[seg].set(off, s.Attr.Dim, d.Vec)
 		} else {
-			s.segVecs[seg][off] = nil
-			s.segLive[seg].Clear(off)
+			touched[seg].clear(off, s.Attr.Dim)
 		}
+	}
+	for seg, sg := range touched {
+		if s.quantEnabled {
+			sg.encode(s.Attr.Dim, s.segSize)
+		} else {
+			sg.quant = nil
+		}
+		s.segs[seg] = sg
 	}
 	indexes := make([]vecIndex, len(s.indexes))
 	copy(indexes, s.indexes)
@@ -492,16 +540,16 @@ func (s *EmbeddingStore) Count(tid txn.TID) int {
 	defer ctx.Close()
 	n := 0
 	s.mu.RLock()
-	for _, live := range s.segLive {
-		n += live.Count()
+	for _, sg := range s.segs {
+		n += sg.count
 	}
 	s.mu.RUnlock()
 	for id, d := range ctx.net {
 		had := false
 		s.mu.RLock()
 		seg := s.segmentOf(id)
-		if seg < len(s.segLive) {
-			had = s.segLive[seg].Get(int(id % uint64(s.segSize)))
+		if seg < len(s.segs) {
+			had = s.segs[seg].has(int(id % uint64(s.segSize)))
 		}
 		s.mu.RUnlock()
 		if d.Action == txn.Upsert && !had {

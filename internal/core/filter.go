@@ -2,13 +2,13 @@ package core
 
 import (
 	"fmt"
-	"math/bits"
 	"strings"
 
 	"repro/internal/bitset"
 	"repro/internal/bruteforce"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/vectormath"
 )
 
 // This file is the selectivity-aware filtered-search planner (paper
@@ -165,12 +165,15 @@ func (c *SearchContext) CompileFilter(bm *storage.Bitmap) *StoreFilter {
 	c.s.mu.RLock()
 	nSegs := len(c.s.indexes)
 	segSize := c.s.segSize
-	segLive := make([]*storage.Bitmap, nSegs)
-	copy(segLive, c.s.segLive)
+	segs := make([]*segment, nSegs)
+	copy(segs, c.s.segs)
 	c.s.mu.RUnlock()
 
 	// One locked pass extracts the whole filter; per-segment windows are
-	// sliced lock-free from that snapshot below.
+	// sliced lock-free from that snapshot below. Segment validity masks
+	// are read directly — published segments are immutable, so no copy or
+	// lock is needed (the AND below mutates only the fresh sliceWords
+	// output, never the segment's own words).
 	memberWords := bm.ExtractRange(0, bm.Len())
 	f := &StoreFilter{
 		segs:   make([]*bitset.Set, nSegs),
@@ -181,18 +184,16 @@ func (c *SearchContext) CompileFilter(bm *storage.Bitmap) *StoreFilter {
 	for seg := 0; seg < nSegs; seg++ {
 		base := seg * segSize
 		words := sliceWords(memberWords, base, base+segSize)
-		lw := segLive[seg].ExtractRange(0, segSize)
-		liveCount := 0
+		lw := segs[seg].valid
 		for i := range words {
 			var l uint64
 			if i < len(lw) {
 				l = lw[i]
 			}
-			liveCount += bits.OnesCount64(l)
 			words[i] &= l
 		}
-		f.live[seg] = liveCount
-		f.liveN += liveCount
+		f.live[seg] = segs[seg].count
+		f.liveN += segs[seg].count
 		segWords[seg] = words
 	}
 	// Clear delta-overridden ids: their compiled entries describe stale
@@ -374,16 +375,35 @@ func (c *SearchContext) SearchSegmentPlan(seg int, query []float32, k int, f *St
 		return nil, nil
 	}
 	g := c.s.indexes[seg]
-	vecs := c.s.segVecs[seg]
+	sg := c.s.segs[seg]
 	segSize := c.s.segSize
 	metric := c.s.Attr.Metric
+	quantOn := c.s.quantEnabled
+	rescore := c.s.quantRescore
 	c.s.mu.RUnlock()
 
 	bits := f.Seg(seg)
 	switch plan.Strategy {
 	case PlanBrute:
-		src := newSetSource(uint64(seg)*uint64(segSize), vecs, bits)
-		return convertBF(bruteforce.TopK(metric, src, query, k, nil)), nil
+		// Batched flat scan over exactly the qualified rows: the compiled
+		// bitset's word array doubles as the scan mask (liveness and delta
+		// overrides are already folded in).
+		dim := c.s.Attr.Dim
+		if len(query) != dim {
+			return nil, fmt.Errorf("core: query has dim %d, %s expects %d", len(query), c.s.Key, dim)
+		}
+		base := uint64(seg) * uint64(segSize)
+		p := vectormath.Prepare(metric, query)
+		var res []bruteforce.Result
+		if quantOn && sg.quant != nil {
+			sc := sg.quant.NewScorer(metric, p.Vec)
+			var n int
+			res, n = bruteforce.TopKFlatQuant(sc, &p, base, sg.flat, dim, bits.Words(), segSize, k, rescore)
+			c.s.rescored.Add(uint64(n))
+		} else {
+			res = bruteforce.TopKFlat(&p, base, sg.flat, dim, bits.Words(), segSize, k)
+		}
+		return convertBF(res), nil
 	case PlanPost:
 		res, err := g.TopKSearch(query, plan.PostK, plan.Ef, nil)
 		if err != nil {
@@ -406,7 +426,7 @@ func (c *SearchContext) RangeSegmentPlan(seg int, query []float32, threshold flo
 		return nil, nil
 	}
 	g := c.s.indexes[seg]
-	vecs := c.s.segVecs[seg]
+	sg := c.s.segs[seg]
 	segSize := c.s.segSize
 	metric := c.s.Attr.Metric
 	c.s.mu.RUnlock()
@@ -418,8 +438,16 @@ func (c *SearchContext) RangeSegmentPlan(seg int, query []float32, threshold flo
 	}
 	switch plan.Strategy {
 	case PlanBrute:
-		src := newSetSource(uint64(seg)*uint64(segSize), vecs, bits)
-		return convertBF(bruteforce.Range(metric, src, query, threshold, nil)), nil
+		// Range scans always use the exact rows, even with quantization
+		// on: a distance threshold has no clean meaning against the int8
+		// approximation, so the re-score trick does not apply.
+		dim := c.s.Attr.Dim
+		if len(query) != dim {
+			return nil, fmt.Errorf("core: query has dim %d, %s expects %d", len(query), c.s.Key, dim)
+		}
+		base := uint64(seg) * uint64(segSize)
+		p := vectormath.Prepare(metric, query)
+		return convertBF(bruteforce.RangeFlat(&p, base, sg.flat, dim, bits.Words(), segSize, threshold)), nil
 	case PlanPost:
 		res, err := g.RangeSearch(query, threshold, ef, nil)
 		if err != nil {
@@ -464,33 +492,6 @@ func convertBF(res []bruteforce.Result) []Result {
 		out[i] = Result{ID: r.ID, Distance: r.Distance}
 	}
 	return out
-}
-
-// setSource adapts the qualified slots of one segment to the brute-force
-// Source: the scan touches exactly the candidates, not the whole segment.
-type setSource struct {
-	base  uint64
-	vecs  [][]float32
-	slots []int
-}
-
-func newSetSource(base uint64, vecs [][]float32, bits *bitset.Set) setSource {
-	slots := make([]int, 0, bits.Count())
-	bits.Range(func(id uint64) bool {
-		slots = append(slots, int(id-base))
-		return true
-	})
-	return setSource{base: base, vecs: vecs, slots: slots}
-}
-
-func (s setSource) Len() int { return len(s.slots) }
-
-func (s setSource) At(i int) (uint64, []float32, bool) {
-	off := s.slots[i]
-	if off >= len(s.vecs) || s.vecs[off] == nil {
-		return 0, nil, false
-	}
-	return s.base + uint64(off), s.vecs[off], true
 }
 
 // SearchFiltered runs a planned filtered top-k at tid across all

@@ -33,6 +33,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/quant"
 	"repro/internal/txn"
 )
 
@@ -51,6 +52,10 @@ const (
 	maxSnapPayloadLen  = int64(1) << 40
 	maxSnapKeyLen      = 1 << 20
 	maxSnapResidualLen = 1 << 31
+
+	// quantKind tags the SQ8 codec frames appended after the per-segment
+	// index frames in an index snapshot.
+	quantKind = "SQ8"
 )
 
 // residualNet returns the per-id net residual delta state in
@@ -75,9 +80,8 @@ func (s *EmbeddingStore) residualNet(watermark, upTo txn.TID) (map[uint64]txn.Ve
 func (s *EmbeddingStore) WriteSnapshot(w io.Writer, upTo txn.TID) error {
 	s.mu.RLock()
 	watermark := s.watermark
-	segVecs := make([][][]float32, len(s.segVecs))
-	copy(segVecs, s.segVecs)
-	segLive := s.segLive[:len(s.segLive):len(s.segLive)]
+	segs := make([]*segment, len(s.segs))
+	copy(segs, s.segs)
 	s.mu.RUnlock()
 
 	overlay, err := s.residualNet(watermark, upTo)
@@ -90,9 +94,9 @@ func (s *EmbeddingStore) WriteSnapshot(w io.Writer, upTo txn.TID) error {
 		vec []float32
 	}
 	var entries []entry
-	for seg := range segVecs {
+	for seg := range segs {
 		base := uint64(seg) * uint64(s.segSize)
-		for off, vec := range segVecs[seg] {
+		for off := 0; off < s.segSize; off++ {
 			id := base + uint64(off)
 			if d, ok := overlay[id]; ok {
 				if d.Action == txn.Upsert {
@@ -101,8 +105,8 @@ func (s *EmbeddingStore) WriteSnapshot(w io.Writer, upTo txn.TID) error {
 				delete(overlay, id)
 				continue
 			}
-			if vec != nil && segLive[seg].Get(off) {
-				entries = append(entries, entry{id, vec})
+			if segs[seg].has(off) {
+				entries = append(entries, entry{id, segs[seg].row(off, s.Attr.Dim)})
 			}
 		}
 	}
@@ -203,6 +207,9 @@ func (s *EmbeddingStore) WriteIndexSnapshot(w io.Writer, upTo txn.TID) error {
 	watermark := s.watermark
 	indexes := make([]vecIndex, len(s.indexes))
 	copy(indexes, s.indexes)
+	segs := make([]*segment, len(s.segs))
+	copy(segs, s.segs)
+	quantOn := s.quantEnabled
 	s.mu.RUnlock()
 
 	overlay, err := s.residualNet(watermark, upTo)
@@ -253,32 +260,83 @@ func (s *EmbeddingStore) WriteIndexSnapshot(w io.Writer, upTo txn.TID) error {
 	if _, err := bw.Write(scratch[:4]); err != nil {
 		return err
 	}
-	var payload bytes.Buffer
-	for seg, idx := range indexes {
-		payload.Reset()
-		if err := idx.Save(&payload); err != nil {
-			return fmt.Errorf("core: index snapshot %s segment %d: %w", s.Key, seg, err)
-		}
-		kind := idx.Kind()
+	writeFrame := func(kind string, body []byte) error {
 		if err := bw.WriteByte(byte(len(kind))); err != nil {
 			return err
 		}
 		if _, err := bw.WriteString(kind); err != nil {
 			return err
 		}
-		binary.LittleEndian.PutUint32(scratch[:4], crc32.ChecksumIEEE(payload.Bytes()))
+		binary.LittleEndian.PutUint32(scratch[:4], crc32.ChecksumIEEE(body))
 		if _, err := bw.Write(scratch[:4]); err != nil {
 			return err
 		}
-		binary.LittleEndian.PutUint64(scratch[:], uint64(payload.Len()))
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(body)))
 		if _, err := bw.Write(scratch[:]); err != nil {
 			return err
 		}
-		if _, err := bw.Write(payload.Bytes()); err != nil {
+		_, err := bw.Write(body)
+		return err
+	}
+	var payload bytes.Buffer
+	for seg, idx := range indexes {
+		payload.Reset()
+		if err := idx.Save(&payload); err != nil {
+			return fmt.Errorf("core: index snapshot %s segment %d: %w", s.Key, seg, err)
+		}
+		if err := writeFrame(idx.Kind(), payload.Bytes()); err != nil {
 			return err
 		}
 	}
+	// SQ8 codec section, appended after the index frames: u32 codec count,
+	// then one kind-tagged frame per segment in the same framing as the
+	// index frames. Old readers stop after the index frames and the
+	// Service-level section drain discards the extra bytes, so the section
+	// is backward compatible; new readers treat EOF here as "no section".
+	if quantOn {
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(segs)))
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		for seg, sg := range segs {
+			codec := sg.quant
+			if touched := segmentOverlay(overlay, seg, s.segSize); len(touched) > 0 || codec == nil {
+				// Residual-touched segments re-encode from the net rows so
+				// the codec matches the segment state a restore installs
+				// (Encode is deterministic, so the bytes agree with what
+				// the loader would re-encode from the restored vectors).
+				ns := sg.clone()
+				for _, d := range touched {
+					off := int(d.ID % uint64(s.segSize))
+					if d.Action == txn.Upsert {
+						ns.set(off, s.Attr.Dim, d.Vec)
+					} else {
+						ns.clear(off, s.Attr.Dim)
+					}
+				}
+				ns.encode(s.Attr.Dim, s.segSize)
+				codec = ns.quant
+			}
+			if err := writeFrame(quantKind, codec.AppendPayload(nil)); err != nil {
+				return fmt.Errorf("core: index snapshot %s segment %d codec: %w", s.Key, seg, err)
+			}
+		}
+	}
 	return bw.Flush()
+}
+
+// segmentOverlay collects the residual overlay records landing in one
+// segment.
+func segmentOverlay(overlay map[uint64]txn.VectorDelta, seg, segSize int) []txn.VectorDelta {
+	var out []txn.VectorDelta
+	lo := uint64(seg) * uint64(segSize)
+	hi := lo + uint64(segSize)
+	for id, d := range overlay {
+		if id >= lo && id < hi {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // indexFrame is one segment's framed index payload as read back from an
@@ -290,35 +348,74 @@ type indexFrame struct {
 	ok      bool
 }
 
+// readFrame reads one kind-tagged CRC frame. The second return value
+// reports whether the stream yielded a complete frame at all; f.ok
+// additionally requires the expected kind and a matching CRC.
+func readFrame(r io.Reader, wantKind string) (f indexFrame, intact bool) {
+	var scratch [8]byte
+	if _, err := io.ReadFull(r, scratch[:1]); err != nil {
+		return indexFrame{}, false
+	}
+	kl := int(scratch[0])
+	if kl == 0 || kl > maxSnapKindLen {
+		return indexFrame{}, false
+	}
+	kind := make([]byte, kl)
+	if _, err := io.ReadFull(r, kind); err != nil {
+		return indexFrame{}, false
+	}
+	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+		return indexFrame{}, false
+	}
+	crc := binary.LittleEndian.Uint32(scratch[:4])
+	if _, err := io.ReadFull(r, scratch[:]); err != nil {
+		return indexFrame{}, false
+	}
+	plen := int64(binary.LittleEndian.Uint64(scratch[:]))
+	if plen < 0 || plen > maxSnapPayloadLen {
+		return indexFrame{}, false
+	}
+	payload := make([]byte, 0, min(plen, 1<<20))
+	buf := bytes.NewBuffer(payload)
+	if _, err := io.CopyN(buf, r, plen); err != nil {
+		return indexFrame{}, false
+	}
+	f = indexFrame{kind: string(kind), payload: buf.Bytes()}
+	f.ok = f.kind == wantKind && crc32.ChecksumIEEE(f.payload) == crc
+	return f, true
+}
+
 // readIndexFrames decodes a store's index snapshot section. Frames that
 // fail their CRC or carry the wrong kind come back with ok=false; a
 // stream-level read error stops the scan, leaving the remaining frames
 // absent, and is reported via residOK/frames only — the caller treats
-// both as per-segment rebuild work, never as a fatal error.
-func (s *EmbeddingStore) readIndexFrames(r io.Reader) (resid []txn.VectorDelta, residOK bool, frames []indexFrame) {
+// both as per-segment rebuild work, never as a fatal error. qframes is
+// the trailing SQ8 codec section; absent on snapshots written without
+// quantization (EOF after the index frames).
+func (s *EmbeddingStore) readIndexFrames(r io.Reader) (resid []txn.VectorDelta, residOK bool, frames, qframes []indexFrame) {
 	wantKind := canonicalKind(s.Attr.Index)
 	var scratch [8]byte
 	if _, err := io.ReadFull(r, scratch[:8]); err != nil {
-		return nil, false, nil
+		return nil, false, nil, nil
 	}
 	crc := binary.LittleEndian.Uint32(scratch[:4])
 	nbytes := int64(binary.LittleEndian.Uint32(scratch[4:8]))
 	if nbytes > maxSnapResidualLen {
-		return nil, false, nil
+		return nil, false, nil, nil
 	}
 	residRaw := make([]byte, 0, min(nbytes, 1<<20))
 	rbuf := bytes.NewBuffer(residRaw)
 	if _, err := io.CopyN(rbuf, r, nbytes); err != nil {
-		return nil, false, nil
+		return nil, false, nil, nil
 	}
 	if crc32.ChecksumIEEE(rbuf.Bytes()) != crc {
 		// Residuals are replayed into loaded indexes verbatim; damage
 		// here means no loaded index could be trusted at asOf.
-		return nil, false, nil
+		return nil, false, nil, nil
 	}
 	rr := bytes.NewReader(rbuf.Bytes())
 	if _, err := io.ReadFull(rr, scratch[:4]); err != nil {
-		return nil, false, nil
+		return nil, false, nil, nil
 	}
 	n := int(binary.LittleEndian.Uint32(scratch[:4]))
 	hint := n
@@ -328,11 +425,11 @@ func (s *EmbeddingStore) readIndexFrames(r io.Reader) (resid []txn.VectorDelta, 
 	resid = make([]txn.VectorDelta, 0, hint)
 	for i := 0; i < n; i++ {
 		if _, err := io.ReadFull(rr, scratch[:]); err != nil {
-			return nil, false, nil
+			return nil, false, nil, nil
 		}
 		id := binary.LittleEndian.Uint64(scratch[:])
 		if _, err := io.ReadFull(rr, scratch[:1]); err != nil {
-			return nil, false, nil
+			return nil, false, nil, nil
 		}
 		if scratch[0] == 1 {
 			resid = append(resid, txn.VectorDelta{Action: txn.Delete, ID: id})
@@ -341,7 +438,7 @@ func (s *EmbeddingStore) readIndexFrames(r io.Reader) (resid []txn.VectorDelta, 
 		vec := make([]float32, s.Attr.Dim)
 		for j := range vec {
 			if _, err := io.ReadFull(rr, scratch[:4]); err != nil {
-				return nil, false, nil
+				return nil, false, nil, nil
 			}
 			vec[j] = math.Float32frombits(binary.LittleEndian.Uint32(scratch[:4]))
 		}
@@ -349,45 +446,37 @@ func (s *EmbeddingStore) readIndexFrames(r io.Reader) (resid []txn.VectorDelta, 
 	}
 
 	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
-		return resid, true, nil
+		return resid, true, nil, nil
 	}
 	segCount := int(binary.LittleEndian.Uint32(scratch[:4]))
 	if segCount > maxSnapSegments {
-		return resid, true, nil
+		return resid, true, nil, nil
 	}
 	for i := 0; i < segCount; i++ {
-		if _, err := io.ReadFull(r, scratch[:1]); err != nil {
-			return resid, true, frames
+		f, intact := readFrame(r, wantKind)
+		if !intact {
+			return resid, true, frames, nil
 		}
-		kl := int(scratch[0])
-		if kl == 0 || kl > maxSnapKindLen {
-			return resid, true, frames
-		}
-		kind := make([]byte, kl)
-		if _, err := io.ReadFull(r, kind); err != nil {
-			return resid, true, frames
-		}
-		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
-			return resid, true, frames
-		}
-		crc := binary.LittleEndian.Uint32(scratch[:4])
-		if _, err := io.ReadFull(r, scratch[:]); err != nil {
-			return resid, true, frames
-		}
-		plen := int64(binary.LittleEndian.Uint64(scratch[:]))
-		if plen < 0 || plen > maxSnapPayloadLen {
-			return resid, true, frames
-		}
-		payload := make([]byte, 0, min(plen, 1<<20))
-		buf := bytes.NewBuffer(payload)
-		if _, err := io.CopyN(buf, r, plen); err != nil {
-			return resid, true, frames
-		}
-		f := indexFrame{kind: string(kind), payload: buf.Bytes()}
-		f.ok = f.kind == wantKind && crc32.ChecksumIEEE(f.payload) == crc
 		frames = append(frames, f)
 	}
-	return resid, true, frames
+
+	// Trailing SQ8 codec section; EOF right here means the snapshot was
+	// written without quantization — not an error.
+	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+		return resid, true, frames, nil
+	}
+	qCount := int(binary.LittleEndian.Uint32(scratch[:4]))
+	if qCount > maxSnapSegments {
+		return resid, true, frames, nil
+	}
+	for i := 0; i < qCount; i++ {
+		f, intact := readFrame(r, quantKind)
+		if !intact {
+			return resid, true, frames, qframes
+		}
+		qframes = append(qframes, f)
+	}
+	return resid, true, frames, qframes
 }
 
 // LoadIndexSnapshot restores the store's segment indexes from an index
@@ -398,23 +487,22 @@ func (s *EmbeddingStore) readIndexFrames(r io.Reader) (resid []txn.VectorDelta, 
 // vectors). asOf becomes the watermark. The returned counts say how many
 // segments took each path.
 func (s *EmbeddingStore) LoadIndexSnapshot(r io.Reader, pool *Pool, threads int, asOf txn.TID) (loaded, rebuilt int, err error) {
-	resid, residOK, frames := s.readIndexFrames(r)
+	resid, residOK, frames, qframes := s.readIndexFrames(r)
 	if !residOK {
 		// Without the residual section the snapshot-loaded indexes could
 		// not be brought up to asOf; rebuild everything from vectors.
 		frames = nil
 	}
-	return s.installIndexes(frames, resid, pool, threads, asOf)
+	return s.installIndexes(frames, qframes, resid, pool, threads, asOf)
 }
 
-// installIndexes decodes/rebuilds every segment index and publishes the
-// result; see LoadIndexSnapshot.
-func (s *EmbeddingStore) installIndexes(frames []indexFrame, resid []txn.VectorDelta, pool *Pool, threads int, asOf txn.TID) (loaded, rebuilt int, err error) {
+// installIndexes decodes/rebuilds every segment index, installs valid
+// snapshot codecs, and publishes the result; see LoadIndexSnapshot.
+func (s *EmbeddingStore) installIndexes(frames, qframes []indexFrame, resid []txn.VectorDelta, pool *Pool, threads int, asOf txn.TID) (loaded, rebuilt int, err error) {
 	s.mu.RLock()
 	nSegs := len(s.indexes)
-	segVecs := make([][][]float32, nSegs)
-	copy(segVecs, s.segVecs)
-	segLive := s.segLive[:nSegs:nSegs]
+	segs := make([]*segment, nSegs)
+	copy(segs, s.segs)
 	s.mu.RUnlock()
 
 	if pool == nil {
@@ -440,7 +528,7 @@ func (s *EmbeddingStore) installIndexes(frames []indexFrame, resid []txn.VectorD
 			errs[seg] = berr
 			return
 		}
-		if berr := idx.ApplyUpdates(segmentItems(uint64(seg)*uint64(s.segSize), segVecs[seg], segLive[seg]), threads); berr != nil {
+		if berr := idx.ApplyUpdates(segs[seg].items(uint64(seg)*uint64(s.segSize), s.Attr.Dim), threads); berr != nil {
 			errs[seg] = berr
 			return
 		}
@@ -471,6 +559,24 @@ func (s *EmbeddingStore) installIndexes(frames []indexFrame, resid []txn.VectorD
 	}
 
 	s.mu.Lock()
+	// Install snapshot codecs: a valid SQ8 frame replaces the codec the
+	// vector install already encoded (byte-equal when the snapshot agrees
+	// with the restored vectors, since Encode is deterministic); a missing
+	// or corrupt frame keeps the re-encoded codec — per-segment fallback,
+	// never fatal.
+	if s.quantEnabled {
+		for seg := 0; seg < len(s.segs) && seg < len(qframes); seg++ {
+			if !qframes[seg].ok {
+				continue
+			}
+			codec, derr := quant.DecodePayload(qframes[seg].payload, s.Attr.Dim, s.segSize)
+			if derr != nil {
+				continue
+			}
+			sg := s.segs[seg]
+			s.segs[seg] = &segment{flat: sg.flat, valid: sg.valid, count: sg.count, quant: codec}
+		}
+	}
 	copy(s.indexes, results)
 	if asOf > s.watermark {
 		s.watermark = asOf

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/txn"
+	"repro/internal/vectormath"
+)
+
+// quantFixture returns a quantization-enabled service/store pair with a
+// Gaussian corpus bulk-loaded across several 64-wide segments.
+func quantFixture(t *testing.T, dir string, n, dim int) (*Service, *EmbeddingStore, [][]float32) {
+	t.Helper()
+	svc := NewService(dir, 64, 1)
+	svc.SetQuantization(QuantConfig{Enabled: true})
+	st, err := svc.Register("Post", graph.EmbeddingAttr{
+		Name: "emb", Dim: dim, Index: "HNSW", Metric: vectormath.L2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	ids := make([]uint64, n)
+	vecs := make([][]float32, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		vecs[i] = v
+	}
+	if err := st.BulkLoad(ids, vecs, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	return svc, st, vecs
+}
+
+// TestQuantizedBruteSearch: with quantization on, brute segment scans
+// rank by int8 codes and re-score exactly — the returned distances are
+// exact, recall against the exact scan stays high, the rescore counter
+// advances, and the codec memory accounting is a fraction of the float
+// rows. Toggling quantization off returns the store to byte-identical
+// exact scans.
+func TestQuantizedBruteSearch(t *testing.T) {
+	const n, dim, k = 128, 8, 10
+	_, st, vecs := quantFixture(t, t.TempDir(), n, dim)
+
+	if q := st.Quantization(); !q.Enabled || q.Rescore != 4 {
+		t.Fatalf("quantization config = %+v", q)
+	}
+	vecBytes, quantBytes, _ := st.MemStats()
+	if quantBytes == 0 || quantBytes >= vecBytes {
+		t.Fatalf("quantized bytes %d vs vector bytes %d", quantBytes, vecBytes)
+	}
+
+	// Exact twin: same corpus, quantization off.
+	exSvc := NewService(t.TempDir(), 64, 1)
+	exSt, err := exSvc.Register("Post", graph.EmbeddingAttr{
+		Name: "emb", Dim: dim, Index: "HNSW", Metric: vectormath.L2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	if err := exSt.BulkLoad(ids, vecs, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := st.BeginSearch(10)
+	defer ctx.Close()
+	exCtx := exSt.BeginSearch(10)
+	defer exCtx.Close()
+
+	hits, total := 0, 0
+	for seg := 0; seg < st.NumSegments(); seg++ {
+		for _, q := range vecs[:8] {
+			// validCount below the brute threshold forces the flat scan.
+			got, err := ctx.SearchSegment(seg, q, k, 64, nil, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := exCtx.SearchSegment(seg, q, k, 64, nil, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact := make(map[uint64]float32, len(want))
+			for _, w := range want {
+				exact[w.ID] = w.Distance
+			}
+			for _, g := range got {
+				total++
+				if d, ok := exact[g.ID]; ok {
+					hits++
+					// Survivors carry exact re-scored distances.
+					if g.Distance != d {
+						t.Fatalf("seg %d id %d: quantized distance %b, exact %b", seg, g.ID, g.Distance, d)
+					}
+				}
+			}
+		}
+	}
+	if recall := float64(hits) / float64(total); recall < 0.95 {
+		t.Fatalf("quantized recall@%d = %.3f, want >= 0.95", k, recall)
+	}
+	if _, _, rescored := st.MemStats(); rescored == 0 {
+		t.Fatal("rescore counter did not advance")
+	}
+
+	// Back to exact: results must be byte-identical to the twin.
+	st.SetQuantization(QuantConfig{Enabled: false})
+	if _, quantBytes, _ := st.MemStats(); quantBytes != 0 {
+		t.Fatalf("codecs survived disabling: %d bytes", quantBytes)
+	}
+	ctx2 := st.BeginSearch(10)
+	defer ctx2.Close()
+	for _, q := range vecs[:8] {
+		got, err := ctx2.SearchSegment(0, q, k, 64, nil, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := exCtx.SearchSegment(0, q, k, 64, nil, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("exact-path lengths differ: %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("exact path diverged at %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQuantizedIndexSnapshotRoundTrip: SQ8 codecs travel through the
+// index snapshot as kind-tagged frames — including for a segment whose
+// codec must be re-encoded around residual deltas — and a quantized
+// restore serves the same exact re-scored results as the writer.
+func TestQuantizedIndexSnapshotRoundTrip(t *testing.T) {
+	const n, dim, k = 128, 8, 5
+	_, st, vecs := quantFixture(t, t.TempDir(), n, dim)
+	// Residual deltas touching segment 1: the writer must re-encode that
+	// segment's codec against the overlaid state.
+	st.AppendDelta(txn.VectorDelta{Action: txn.Delete, ID: 70, TID: 12})
+	up := make([]float32, dim)
+	up[0] = 42
+	st.AppendDelta(txn.VectorDelta{Action: txn.Upsert, ID: 71, TID: 13, Vec: up})
+
+	var vbuf, xbuf bytes.Buffer
+	if err := st.WriteSnapshot(&vbuf, 13); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteIndexSnapshot(&xbuf, 13); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore the snapshot twice: quantized (codecs install from the SQ8
+	// frames) and exact (quantization off). The restored stores have the
+	// residuals merged into their segments, so their segment scans are
+	// directly comparable — unlike the writer's, which masks delta-touched
+	// ids out of segment scans and serves them from the overlay.
+	restore := func(quantOn bool) *EmbeddingStore {
+		svc2 := NewService(t.TempDir(), 64, 1)
+		svc2.SetQuantization(QuantConfig{Enabled: quantOn})
+		st2, err := svc2.Register("Post", graph.EmbeddingAttr{
+			Name: "emb", Dim: dim, Index: "HNSW", Metric: vectormath.L2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st2.LoadSnapshotVectors(bytes.NewReader(vbuf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		loaded, rebuilt, err := st2.LoadIndexSnapshot(bytes.NewReader(xbuf.Bytes()), nil, 2, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rebuilt != 0 {
+			t.Fatalf("loaded/rebuilt = %d/%d, want all loaded", loaded, rebuilt)
+		}
+		return st2
+	}
+	st2 := restore(true)
+	stEx := restore(false)
+	if _, quantBytes, _ := st2.MemStats(); quantBytes == 0 {
+		t.Fatal("restore installed no codecs")
+	}
+
+	ctx2 := st2.BeginSearch(13)
+	defer ctx2.Close()
+	exCtx := stEx.BeginSearch(13)
+	defer exCtx.Close()
+	hits, total := 0, 0
+	queries := make([][]float32, 0, 5)
+	queries = append(queries, vecs[:4]...)
+	queries = append(queries, up)
+	for seg := 0; seg < st2.NumSegments(); seg++ {
+		for _, q := range queries {
+			got, err := ctx2.SearchSegment(seg, q, k, 64, nil, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := exCtx.SearchSegment(seg, q, k, 64, nil, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact := make(map[uint64]float32, len(want))
+			for _, w := range want {
+				exact[w.ID] = w.Distance
+			}
+			for _, g := range got {
+				total++
+				if d, ok := exact[g.ID]; ok {
+					hits++
+					if g.Distance != d {
+						t.Fatalf("seg %d id %d: restored quantized distance %b, exact %b",
+							seg, g.ID, g.Distance, d)
+					}
+				}
+			}
+		}
+	}
+	if recall := float64(hits) / float64(total); recall < 0.95 {
+		t.Fatalf("restored quantized recall@%d = %.3f, want >= 0.95", k, recall)
+	}
+	// The overlaid upsert dominates its segment for its own query: the
+	// writer re-encoded that segment's codec around the residuals, so the
+	// restored codec ranks the overlaid row first. A stale codec (encoded
+	// from the pre-overlay rows) would place id 71 nowhere near the top.
+	res, err := ctx2.SearchSegment(1, up, k, 64, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].ID != 71 || res[0].Distance != 0 {
+		t.Fatalf("overlaid upsert not served first from restored codec: %+v", res)
+	}
+	// The deleted id stayed deleted through the quantized restore.
+	if _, ok := ctx2.GetVector(70); ok {
+		t.Fatal("deleted vector restored")
+	}
+}
+
+// TestQuantizedSnapshotCorruptCodecFrameFallsBack extends the corruption
+// matrix to the SQ8 section: damage inside a codec frame must not fail
+// the restore or degrade the index load — the segment falls back to the
+// codec re-encoded from its restored vectors and serves identical
+// results.
+func TestQuantizedSnapshotCorruptCodecFrameFallsBack(t *testing.T) {
+	const n, dim, k = 128, 8, 5
+	_, st, vecs := quantFixture(t, t.TempDir(), n, dim)
+
+	var vbuf, xbuf bytes.Buffer
+	if err := st.WriteSnapshot(&vbuf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteIndexSnapshot(&xbuf, 10); err != nil {
+		t.Fatal(err)
+	}
+	// The SQ8 section is the stream's tail; flip a byte inside the last
+	// codec frame's payload so its CRC fails.
+	data := append([]byte{}, xbuf.Bytes()...)
+	data[len(data)-9] ^= 0x40
+
+	svc2 := NewService(t.TempDir(), 64, 1)
+	svc2.SetQuantization(QuantConfig{Enabled: true})
+	st2, err := svc2.Register("Post", graph.EmbeddingAttr{
+		Name: "emb", Dim: dim, Index: "HNSW", Metric: vectormath.L2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.LoadSnapshotVectors(&vbuf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, rebuilt, err := st2.LoadIndexSnapshot(bytes.NewReader(data), nil, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Codec corruption is not index corruption: every index still loads
+	// from its (earlier, intact) frame.
+	if rebuilt != 0 {
+		t.Fatalf("loaded/rebuilt = %d/%d: codec damage spilled into index frames", loaded, rebuilt)
+	}
+	if _, quantBytes, _ := st2.MemStats(); quantBytes == 0 {
+		t.Fatal("fallback left segments without codecs")
+	}
+
+	ctx := st.BeginSearch(10)
+	defer ctx.Close()
+	ctx2 := st2.BeginSearch(10)
+	defer ctx2.Close()
+	for seg := 0; seg < st.NumSegments(); seg++ {
+		for _, q := range vecs[:4] {
+			want, err := ctx.SearchSegment(seg, q, k, 64, nil, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ctx2.SearchSegment(seg, q, k, 64, nil, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seg %d: lengths differ: %d vs %d", seg, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seg %d: corrupted-codec restore diverged: %+v vs %+v", seg, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -183,23 +184,36 @@ func (c *SearchContext) SearchSegment(seg int, query []float32, k, ef int, filte
 		return nil, nil
 	}
 	g := c.s.indexes[seg]
-	vecs := c.s.segVecs[seg]
-	live := c.s.segLive[seg]
+	sg := c.s.segs[seg]
 	thresh := c.s.bfThresh
 	segSize := c.s.segSize
 	metric := c.s.Attr.Metric
+	quantOn := c.s.quantEnabled
+	rescore := c.s.quantRescore
 	c.s.mu.RUnlock()
 
 	eff := c.maskDeltas(filter)
-	if validCount >= 0 && validCount < thresh {
-		// Brute force directly over the embedding segment.
+	dim := c.s.Attr.Dim
+	if validCount >= 0 && validCount < thresh && len(query) == dim {
+		// Brute force directly over the flat embedding segment: one batched
+		// masked scan instead of a per-row pointer chase. The quantized
+		// variant ranks by int8 approximate distance and re-scores the best
+		// rescore*k candidates against the exact rows.
 		base := uint64(seg) * uint64(segSize)
-		src := segSource{base: base, vecs: vecs, live: live}
-		var effFn func(uint64) bool
+		mask := sg.valid
 		if eff != nil {
-			effFn = eff
+			mask = maskWithFilter(sg.valid, base, eff)
 		}
-		res := bruteforce.TopK(metric, src, query, k, effFn)
+		p := vectormath.Prepare(metric, query)
+		var res []bruteforce.Result
+		if quantOn && sg.quant != nil {
+			sc := sg.quant.NewScorer(metric, p.Vec)
+			var n int
+			res, n = bruteforce.TopKFlatQuant(sc, &p, base, sg.flat, dim, mask, segSize, k, rescore)
+			c.s.rescored.Add(uint64(n))
+		} else {
+			res = bruteforce.TopKFlat(&p, base, sg.flat, dim, mask, segSize, k)
+		}
 		out := make([]Result, len(res))
 		for i, r := range res {
 			out[i] = Result{ID: r.ID, Distance: r.Distance}
@@ -207,6 +221,24 @@ func (c *SearchContext) SearchSegment(seg int, query []float32, k, ef int, filte
 		return out, nil
 	}
 	return g.TopKSearch(query, k, ef, eff)
+}
+
+// maskWithFilter copies a segment validity mask and clears the rows the
+// effective filter rejects, producing the word mask the batched flat scan
+// consumes. The filter is consulted for valid rows only, in ascending row
+// order — the same calls the legacy per-row scan made.
+func maskWithFilter(valid []uint64, base uint64, eff func(uint64) bool) []uint64 {
+	out := append([]uint64(nil), valid...)
+	for wi, w := range out {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			if !eff(base + uint64(wi*64+b)) {
+				out[wi] &^= 1 << b
+			}
+		}
+	}
+	return out
 }
 
 // RangeSegment runs a range search (distance < threshold) over one
@@ -222,32 +254,14 @@ func (c *SearchContext) RangeSegment(seg int, query []float32, threshold float32
 	return g.RangeSearch(query, threshold, ef, c.maskDeltas(filter))
 }
 
-// segSource adapts one embedding segment to the brute-force Source.
-type segSource struct {
-	base uint64
-	vecs [][]float32
-	live interface{ Get(int) bool }
-}
-
-func (s segSource) Len() int { return len(s.vecs) }
-
-func (s segSource) At(i int) (uint64, []float32, bool) {
-	if s.vecs[i] == nil || !s.live.Get(i) {
-		return 0, nil, false
-	}
-	return s.base + uint64(i), s.vecs[i], true
-}
-
 // DeltaTopK brute-force scans the visible delta upserts.
 func (c *SearchContext) DeltaTopK(query []float32, k int, filter Filter) []Result {
 	if len(c.net) == 0 {
 		return nil
 	}
-	dist := vectormath.FuncFor(c.s.Attr.Metric)
-	q := query
-	if c.s.Attr.Metric == vectormath.Cosine {
-		q = vectormath.Normalized(query)
-	}
+	// Prepare once: the cosine query norm is computed a single time for the
+	// whole scan instead of once per pair.
+	p := vectormath.Prepare(c.s.Attr.Metric, query)
 	var out []Result
 	for id, d := range c.net {
 		if d.Action != txn.Upsert {
@@ -256,7 +270,7 @@ func (c *SearchContext) DeltaTopK(query []float32, k int, filter Filter) []Resul
 		if filter != nil && !filter(id) {
 			continue
 		}
-		out = append(out, Result{ID: id, Distance: dist(q, d.Vec)})
+		out = append(out, Result{ID: id, Distance: p.Distance(d.Vec)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Distance != out[j].Distance {
@@ -275,11 +289,7 @@ func (c *SearchContext) DeltaRange(query []float32, threshold float32, filter Fi
 	if len(c.net) == 0 {
 		return nil
 	}
-	dist := vectormath.FuncFor(c.s.Attr.Metric)
-	q := query
-	if c.s.Attr.Metric == vectormath.Cosine {
-		q = vectormath.Normalized(query)
-	}
+	p := vectormath.Prepare(c.s.Attr.Metric, query)
 	var out []Result
 	for id, d := range c.net {
 		if d.Action != txn.Upsert {
@@ -288,7 +298,7 @@ func (c *SearchContext) DeltaRange(query []float32, threshold float32, filter Fi
 		if filter != nil && !filter(id) {
 			continue
 		}
-		if dd := dist(q, d.Vec); dd < threshold {
+		if dd := p.Distance(d.Vec); dd < threshold {
 			out = append(out, Result{ID: id, Distance: dd})
 		}
 	}
@@ -307,14 +317,15 @@ func (c *SearchContext) GetVector(id uint64) ([]float32, bool) {
 	c.s.mu.RLock()
 	defer c.s.mu.RUnlock()
 	seg := c.s.segmentOf(id)
-	if seg >= len(c.s.segVecs) {
+	if seg >= len(c.s.segs) {
 		return nil, false
 	}
 	off := int(id % uint64(c.s.segSize))
-	if !c.s.segLive[seg].Get(off) || c.s.segVecs[seg][off] == nil {
+	sg := c.s.segs[seg]
+	if !sg.has(off) {
 		return nil, false
 	}
-	return vectormath.Clone(c.s.segVecs[seg][off]), true
+	return vectormath.Clone(sg.row(off, c.s.Attr.Dim)), true
 }
 
 // mergeResults combines per-segment and delta results into a global

@@ -1,0 +1,132 @@
+package core
+
+// Flat embedding-segment storage. A segment's vectors live in one
+// contiguous row-major []float32 block (row off at flat[off*dim:(off+1)*dim])
+// with validity as a plain word mask — the layout the batched distance
+// kernels (internal/vectormath) and flat brute scans (internal/bruteforce)
+// consume directly, with no per-row pointer chase or bitmap lock.
+//
+// Concurrency contract: a *segment is immutable once published in
+// EmbeddingStore.segs. All mutation is copy-on-write — clone under
+// s.mu.Lock, mutate the clone, publish the clone. Readers snapshot the
+// pointer under RLock and then scan lock-free; a reader holding an old
+// segment stays consistent because its BeginSearch delta overlay already
+// contains every record a concurrent merge installs.
+
+import (
+	"math/bits"
+
+	"repro/internal/quant"
+)
+
+// segment is one embedding segment in flat row-major form.
+type segment struct {
+	flat  []float32    // vectors, row off at flat[off*dim:(off+1)*dim]; rows are zeroed while not valid
+	valid []uint64     // bit off set iff row off holds a live vector
+	count int          // number of set bits in valid
+	quant *quant.Codec // optional SQ8 codec over (flat, valid); nil when quantization is off
+}
+
+// newSegment allocates an empty segment of the given capacity.
+func newSegment(rows, dim int) *segment {
+	return &segment{
+		flat:  make([]float32, rows*dim),
+		valid: make([]uint64, (rows+63)/64),
+	}
+}
+
+// clone returns a deep copy for copy-on-write mutation. The codec pointer
+// is carried over; mutators must re-encode (or drop) it before publishing.
+func (sg *segment) clone() *segment {
+	return &segment{
+		flat:  append([]float32(nil), sg.flat...),
+		valid: append([]uint64(nil), sg.valid...),
+		count: sg.count,
+		quant: sg.quant,
+	}
+}
+
+// has reports whether row off holds a live vector.
+func (sg *segment) has(off int) bool {
+	return sg.valid[off/64]&(1<<(off%64)) != 0
+}
+
+// row returns row off's backing slice. The caller must not mutate it on a
+// published segment.
+func (sg *segment) row(off, dim int) []float32 {
+	return sg.flat[off*dim : (off+1)*dim]
+}
+
+// set installs vec at row off (unpublished segments only).
+func (sg *segment) set(off, dim int, vec []float32) {
+	copy(sg.flat[off*dim:(off+1)*dim], vec)
+	if !sg.has(off) {
+		sg.valid[off/64] |= 1 << (off % 64)
+		sg.count++
+	}
+}
+
+// clear removes row off (unpublished segments only). The row is zeroed so
+// cleared data never lingers in the flat block or leaks into codec ranges.
+func (sg *segment) clear(off, dim int) {
+	if sg.has(off) {
+		sg.valid[off/64] &^= 1 << (off % 64)
+		sg.count--
+	}
+	row := sg.flat[off*dim : (off+1)*dim]
+	for i := range row {
+		row[i] = 0
+	}
+}
+
+// items lists the segment's live vectors as id-ascending index update
+// records. Vec slices alias the flat block, which is safe to retain: the
+// block is immutable once the segment is published.
+func (sg *segment) items(base uint64, dim int) []IndexItem {
+	items := make([]IndexItem, 0, sg.count)
+	for wi, w := range sg.valid {
+		for w != 0 {
+			off := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			items = append(items, IndexItem{ID: base + uint64(off), Vec: sg.row(off, dim)})
+		}
+	}
+	return items
+}
+
+// encode (re)builds the SQ8 codec from the segment's current rows.
+// Encoding is deterministic in (flat, valid), which is what lets the
+// snapshot loader fall back to re-encoding on a corrupt codec frame and
+// land on byte-identical state.
+func (sg *segment) encode(dim, rows int) {
+	sg.quant = quant.Encode(sg.flat, dim, rows, sg.valid)
+}
+
+// reQuant returns a shallow re-publication of sg sharing its immutable
+// buffers, with the codec freshly encoded (enabled) or dropped.
+func (sg *segment) reQuant(enabled bool, dim, rows int) *segment {
+	ns := &segment{flat: sg.flat, valid: sg.valid, count: sg.count}
+	if enabled {
+		ns.encode(dim, rows)
+	}
+	return ns
+}
+
+// QuantConfig controls int8 scalar quantization of brute-force segment
+// scans (engine knob: Config.Quantization).
+type QuantConfig struct {
+	// Enabled attaches an SQ8 codec to every segment; brute scans rank by
+	// approximate int8 distance and re-score the best candidates exactly.
+	Enabled bool
+	// Rescore is the candidate multiplier of the exact re-score pass: the
+	// top Rescore*k approximate candidates are re-scored against the
+	// float32 rows. <= 0 selects the default of 4.
+	Rescore int
+}
+
+func (c QuantConfig) withDefaults() QuantConfig {
+	if c.Rescore <= 0 {
+		c.Rescore = 4
+	}
+	return c
+}

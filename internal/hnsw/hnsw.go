@@ -85,7 +85,6 @@ func (s *Stats) Snapshot() (distComps, searches, hops int64) {
 type node struct {
 	mu      sync.Mutex
 	id      uint64 // external id
-	vec     []float32
 	level   int
 	links   [][]uint32 // links[l] are internal indexes of neighbors on layer l
 	deleted atomic.Bool
@@ -97,7 +96,18 @@ type Graph struct {
 	dist vectormath.DistanceFunc
 	mL   float64
 
-	mu         sync.RWMutex // guards nodes slice growth, entry, maxLevel, byID
+	mu sync.RWMutex // guards nodes/flat slice growth, entry, maxLevel, byID
+
+	// flat is the append-only vector arena: node i's vector is
+	// flat[i*cfg.Dim:(i+1)*cfg.Dim]. A row is appended (under mu) before
+	// its node is published and never mutated afterwards, so any slice
+	// header captured under mu covers every node visible at capture time
+	// and stays valid after mu is released — appends may reallocate the
+	// backing array, but the captured prefix is immutable either way.
+	// Keeping rows contiguous lets neighbor expansion score a whole
+	// adjacency list with one gather kernel instead of len(links)
+	// pointer-chasing virtual calls.
+	flat       []float32 // guarded by mu
 	nodes      []*node
 	byID       map[uint64]uint32
 	entry      uint32
@@ -171,9 +181,15 @@ func (g *Graph) GetEmbedding(id uint64) ([]float32, bool) {
 		g.mu.RUnlock()
 		return nil, false
 	}
-	v := g.nodes[idx].vec
+	v := rowAt(g.flat, g.cfg.Dim, idx)
 	g.mu.RUnlock()
 	return vectormath.Clone(v), true
+}
+
+// rowAt returns arena row idx. The row is immutable once the owning node
+// is published, so callers may hold the subslice after releasing g.mu.
+func rowAt(flat []float32, dim int, idx uint32) []float32 {
+	return flat[int(idx)*dim:][:dim]
 }
 
 func (g *Graph) randomLevel() int {
@@ -199,9 +215,12 @@ func (g *Graph) Add(id uint64, vec []float32) error {
 		// stays consistent under upserts.
 		vectormath.Normalize(v)
 	}
+	// v is already in stored form, so PrepareRaw: re-normalizing here
+	// would diverge from the bytes written to the arena.
+	pq := vectormath.PrepareRaw(g.cfg.Metric, v)
 
 	level := g.randomLevel()
-	n := &node{id: id, vec: v, level: level, links: make([][]uint32, level+1)}
+	n := &node{id: id, level: level, links: make([][]uint32, level+1)}
 
 	g.mu.Lock()
 	if old, ok := g.byID[id]; ok {
@@ -210,6 +229,9 @@ func (g *Graph) Add(id uint64, vec []float32) error {
 		}
 	}
 	internal := uint32(len(g.nodes))
+	// Row first, node second, one critical section: every published node
+	// has its arena row in place.
+	g.flat = append(g.flat, v...)
 	g.nodes = append(g.nodes, n)
 	g.byID[id] = internal
 	if !g.hasEntry {
@@ -221,6 +243,7 @@ func (g *Graph) Add(id uint64, vec []float32) error {
 	}
 	entry := g.entry
 	maxLevel := g.maxLevel
+	flat := g.flat
 	if level > g.maxLevel {
 		// Will update entry after linking; keep old for traversal.
 		g.maxLevel = level
@@ -230,19 +253,25 @@ func (g *Graph) Add(id uint64, vec []float32) error {
 
 	// Greedy descent through layers above the node's level.
 	cur := entry
-	curDist := g.distTo(cur, v)
+	g.Stats.DistanceComputations.Add(1)
+	curDist := pq.Distance(rowAt(flat, g.cfg.Dim, cur))
 	for l := maxLevel; l > level; l-- {
-		cur, curDist = g.greedyStep(cur, curDist, v, l)
+		cur, curDist = g.greedyStep(flat, cur, curDist, &pq, l)
 	}
 
 	ef := g.cfg.EfConstruction
 	for l := min(level, maxLevel); l >= 0; l-- {
-		cands := g.searchLayer(v, cur, ef, l, nil, nil, true)
+		cands := g.searchLayer(&pq, cur, ef, l, nil, nil, true)
 		m := g.cfg.M
 		if l == 0 {
 			m = 2 * g.cfg.M
 		}
-		selected := g.selectNeighborsHeuristic(v, cands, g.cfg.M)
+		// Re-capture the arena: cands may name rows appended by concurrent
+		// inserts after this insert's own capture.
+		g.mu.RLock()
+		flat = g.flat
+		g.mu.RUnlock()
+		selected := g.selectNeighborsHeuristic(flat, cands, g.cfg.M)
 		n.mu.Lock()
 		n.links[l] = append(n.links[l][:0], selected...)
 		n.mu.Unlock()
@@ -276,16 +305,21 @@ func (g *Graph) linkBack(nb, newIdx uint32, l, m int) {
 	if len(nbNode.links[l]) <= m {
 		return
 	}
-	// Prune: re-select best m by heuristic relative to nb's vector.
+	// Prune: re-select best m by heuristic relative to nb's vector. The
+	// arena is captured while holding nbNode.mu: every index in
+	// nbNode.links[l] was published (row and all) before it was linked
+	// here, so all rows are in range of this capture.
+	dim := g.cfg.Dim
+	g.mu.RLock()
+	flat := g.flat
+	g.mu.RUnlock()
+	nbVec := rowAt(flat, dim, nb)
 	cands := make([]cand, 0, len(nbNode.links[l]))
 	for _, x := range nbNode.links[l] {
-		g.mu.RLock()
-		xv := g.nodes[x].vec
-		g.mu.RUnlock()
-		cands = append(cands, cand{idx: x, dist: g.dist(nbNode.vec, xv)})
+		cands = append(cands, cand{idx: x, dist: g.dist(nbVec, rowAt(flat, dim, x))})
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
-	selected := g.selectNeighborsHeuristic(nbNode.vec, cands, m)
+	selected := g.selectNeighborsHeuristic(flat, cands, m)
 	nbNode.links[l] = append(nbNode.links[l][:0], selected...)
 }
 
@@ -295,23 +329,21 @@ type cand struct {
 }
 
 // selectNeighborsHeuristic implements Algorithm 4: keep a candidate only if
-// it is closer to the base vector than to every already-selected neighbor.
-// Candidates must be sorted by ascending distance to base.
-func (g *Graph) selectNeighborsHeuristic(base []float32, cands []cand, m int) []uint32 {
+// it is closer to the base vector than to every already-selected neighbor
+// (c.dist carries each candidate's distance to base). Candidates must be
+// sorted by ascending distance to base, and every candidate's row must be
+// in range of the flat capture the caller passes.
+func (g *Graph) selectNeighborsHeuristic(flat []float32, cands []cand, m int) []uint32 {
+	dim := g.cfg.Dim
 	out := make([]uint32, 0, m)
 	for _, c := range cands {
 		if len(out) >= m {
 			break
 		}
-		g.mu.RLock()
-		cv := g.nodes[c.idx].vec
-		g.mu.RUnlock()
+		cv := rowAt(flat, dim, c.idx)
 		good := true
 		for _, s := range out {
-			g.mu.RLock()
-			sv := g.nodes[s].vec
-			g.mu.RUnlock()
-			if g.dist(cv, sv) < c.dist {
+			if g.dist(cv, rowAt(flat, dim, s)) < c.dist {
 				good = false
 				break
 			}
@@ -341,35 +373,48 @@ func (g *Graph) selectNeighborsHeuristic(base []float32, cands []cand, m int) []
 	return out
 }
 
-func (g *Graph) distTo(idx uint32, v []float32) float32 {
-	g.mu.RLock()
-	nv := g.nodes[idx].vec
-	g.mu.RUnlock()
-	g.Stats.DistanceComputations.Add(1)
-	return g.dist(nv, v)
-}
-
 // greedyStep walks to the closest neighbor on layer l until no improvement.
-func (g *Graph) greedyStep(cur uint32, curDist float32, v []float32, l int) (uint32, float32) {
+// Each hop's full adjacency list is scored with one gather kernel, then the
+// scan keeps the original sequential first-improvement semantics (distances
+// don't depend on curDist, so scoring up front is behavior-identical).
+// flat is the caller's arena capture; links to rows appended after that
+// capture (by concurrent inserts) are skipped.
+func (g *Graph) greedyStep(flat []float32, cur uint32, curDist float32, pq *vectormath.PreparedQuery, l int) (uint32, float32) {
+	dim := g.cfg.Dim
+	rows := uint32(len(flat) / dim)
+	var batch []uint32
+	var dists []float32
 	for {
-		improved := false
 		g.mu.RLock()
 		n := g.nodes[cur]
 		g.mu.RUnlock()
 		n.mu.Lock()
-		var links []uint32
+		batch = batch[:0]
 		if l < len(n.links) {
-			links = append(links, n.links[l]...)
+			for _, nb := range n.links[l] {
+				if nb < rows {
+					batch = append(batch, nb)
+				}
+			}
 		}
 		n.mu.Unlock()
-		for _, nb := range links {
-			d := g.distTo(nb, v)
-			if d < curDist {
-				cur, curDist = nb, d
+		g.Stats.Hops.Add(1)
+		if len(batch) == 0 {
+			return cur, curDist
+		}
+		if cap(dists) < len(batch) {
+			dists = make([]float32, len(batch))
+		}
+		dists = dists[:len(batch)]
+		pq.DistanceGather(flat, dim, batch, dists)
+		g.Stats.DistanceComputations.Add(int64(len(batch)))
+		improved := false
+		for i, nb := range batch {
+			if dists[i] < curDist {
+				cur, curDist = nb, dists[i]
 				improved = true
 			}
 		}
-		g.Stats.Hops.Add(1)
 		if !improved {
 			return cur, curDist
 		}
@@ -415,16 +460,24 @@ func (vs *visitedSet) visit(i uint32) bool {
 // cannot disconnect the search frontier. bits is the planner's compiled
 // dense bitmap: an inlined array probe per candidate instead of an
 // indirect callback that typically hides a lock or hash probe.
-func (g *Graph) searchLayer(v []float32, entry uint32, ef, l int, bits *bitset.Set, filter Filter, includeDeleted bool) []cand {
+// Neighbor expansion is batched: each hop's unvisited in-range links are
+// collected (and marked visited) in adjacency order, scored with one
+// gather kernel over the arena, then admitted to the heaps in that same
+// order — identical heap evolution, so identical results to per-pair
+// scoring, at a fraction of the per-candidate overhead.
+func (g *Graph) searchLayer(pq *vectormath.PreparedQuery, entry uint32, ef, l int, bits *bitset.Set, filter Filter, includeDeleted bool) []cand {
+	dim := g.cfg.Dim
 	g.mu.RLock()
 	numNodes := len(g.nodes)
+	flat := g.flat // covers exactly numNodes rows: both captured under one RLock
 	g.mu.RUnlock()
 
 	vs := g.visitedPool.Get().(*visitedSet)
 	vs.reset(numNodes)
 	defer g.visitedPool.Put(vs)
 
-	entryDist := g.distTo(entry, v)
+	g.Stats.DistanceComputations.Add(1)
+	entryDist := pq.Distance(rowAt(flat, dim, entry))
 	vs.visit(entry)
 
 	candidates := &minHeap{}
@@ -437,6 +490,8 @@ func (g *Graph) searchLayer(v []float32, entry uint32, ef, l int, bits *bitset.S
 		results.push(cand{entry, entryDist})
 	}
 
+	var batch []uint32
+	var dists []float32
 	for candidates.len() > 0 {
 		c := candidates.pop()
 		if results.len() >= ef && c.dist > results.top().dist {
@@ -446,17 +501,28 @@ func (g *Graph) searchLayer(v []float32, entry uint32, ef, l int, bits *bitset.S
 		n := g.nodes[c.idx]
 		g.mu.RUnlock()
 		n.mu.Lock()
-		var links []uint32
+		batch = batch[:0]
 		if l < len(n.links) {
-			links = append(links, n.links[l]...)
+			for _, nb := range n.links[l] {
+				if int(nb) >= numNodes || !vs.visit(nb) {
+					continue
+				}
+				batch = append(batch, nb)
+			}
 		}
 		n.mu.Unlock()
 		g.Stats.Hops.Add(1)
-		for _, nb := range links {
-			if int(nb) >= numNodes || !vs.visit(nb) {
-				continue
-			}
-			d := g.distTo(nb, v)
+		if len(batch) == 0 {
+			continue
+		}
+		if cap(dists) < len(batch) {
+			dists = make([]float32, len(batch))
+		}
+		dists = dists[:len(batch)]
+		pq.DistanceGather(flat, dim, batch, dists)
+		g.Stats.DistanceComputations.Add(int64(len(batch)))
+		for i, nb := range batch {
+			d := dists[i]
 			if results.len() < ef || d < results.top().dist {
 				candidates.push(cand{nb, d})
 				g.mu.RLock()
@@ -518,6 +584,10 @@ func (g *Graph) topK(query []float32, k, ef int, bits *bitset.Set, filter Filter
 	if g.cfg.Metric == vectormath.Cosine {
 		q = vectormath.Normalized(query)
 	}
+	// q is already in scoring form, so PrepareRaw (Prepare would
+	// re-normalize); the cosine query norm is now computed once per
+	// search instead of once per candidate.
+	pq := vectormath.PrepareRaw(g.cfg.Metric, q)
 
 	g.mu.RLock()
 	if !g.hasEntry {
@@ -526,16 +596,18 @@ func (g *Graph) topK(query []float32, k, ef int, bits *bitset.Set, filter Filter
 	}
 	entry := g.entry
 	maxLevel := g.maxLevel
+	flat := g.flat
 	g.mu.RUnlock()
 
 	g.Stats.Searches.Add(1)
 
 	cur := entry
-	curDist := g.distTo(cur, q)
+	g.Stats.DistanceComputations.Add(1)
+	curDist := pq.Distance(rowAt(flat, g.cfg.Dim, cur))
 	for l := maxLevel; l >= 1; l-- {
-		cur, curDist = g.greedyStep(cur, curDist, q, l)
+		cur, curDist = g.greedyStep(flat, cur, curDist, &pq, l)
 	}
-	cands := g.searchLayer(q, cur, ef, 0, bits, filter, false)
+	cands := g.searchLayer(&pq, cur, ef, 0, bits, filter, false)
 	if len(cands) > k {
 		cands = cands[:k]
 	}
@@ -708,9 +780,8 @@ func (g *Graph) Rebuild(threads int) (*Graph, error) {
 	g.mu.RLock()
 	items := make([]Item, 0, len(g.byID))
 	for id, idx := range g.byID {
-		n := g.nodes[idx]
-		if !n.deleted.Load() {
-			items = append(items, Item{ID: id, Vec: vectormath.Clone(n.vec)})
+		if !g.nodes[idx].deleted.Load() {
+			items = append(items, Item{ID: id, Vec: vectormath.Clone(rowAt(g.flat, g.cfg.Dim, idx))})
 		}
 	}
 	g.mu.RUnlock()
@@ -747,7 +818,7 @@ func (g *Graph) Save(w io.Writer) error {
 			return err
 		}
 	}
-	for _, n := range g.nodes {
+	for i, n := range g.nodes {
 		n.mu.Lock()
 		if err := binary.Write(w, binary.LittleEndian, n.id); err != nil {
 			n.mu.Unlock()
@@ -758,7 +829,9 @@ func (g *Graph) Save(w io.Writer) error {
 			n.mu.Unlock()
 			return err
 		}
-		if err := binary.Write(w, binary.LittleEndian, n.vec); err != nil {
+		// Arena row in place of the per-node vec: identical bytes, so the
+		// format is unchanged from pre-arena builds.
+		if err := binary.Write(w, binary.LittleEndian, rowAt(g.flat, g.cfg.Dim, uint32(i))); err != nil {
 			n.mu.Unlock()
 			return err
 		}
@@ -820,6 +893,10 @@ func Load(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	// g is unshared until returned; the lock is for the arena's guarded-by
+	// discipline, not contention.
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.entry = entry
 	g.maxLevel = int(maxLevel)
 	g.hasEntry = hasEntry == 1
@@ -830,6 +907,12 @@ func Load(r io.Reader) (*Graph, error) {
 		hint = 65536
 	}
 	g.nodes = make([]*node, 0, hint)
+	fhint := hint * int(dim)
+	if fhint > 1<<24 {
+		fhint = 1 << 24
+	}
+	g.flat = make([]float32, 0, fhint)
+	row := make([]float32, dim)
 	for i := uint32(0); i < numNodes; i++ {
 		n := &node{}
 		if err := binary.Read(r, binary.LittleEndian, &n.id); err != nil {
@@ -847,10 +930,10 @@ func Load(r io.Reader) (*Graph, error) {
 			n.deleted.Store(true)
 			g.numDeleted.Add(1)
 		}
-		n.vec = make([]float32, dim)
-		if err := binary.Read(r, binary.LittleEndian, n.vec); err != nil {
+		if err := binary.Read(r, binary.LittleEndian, row); err != nil {
 			return nil, fmt.Errorf("hnsw: node %d vector: %w", i, err)
 		}
+		g.flat = append(g.flat, row...)
 		n.links = make([][]uint32, n.level+1)
 		for l := 0; l <= n.level; l++ {
 			var ln uint32
@@ -865,8 +948,9 @@ func Load(r io.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("hnsw: node %d links: %w", i, err)
 			}
 			for _, nb := range n.links[l] {
-				// greedyStep dereferences links without a range check, so
-				// a dangling reference must be rejected here.
+				// Searches treat any link below the captured node count as
+				// a valid arena row, so a dangling reference must be
+				// rejected here.
 				if nb >= numNodes {
 					return nil, fmt.Errorf("hnsw: node %d links to %d, only %d nodes", i, nb, numNodes)
 				}

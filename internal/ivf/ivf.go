@@ -54,7 +54,7 @@ type Result struct {
 
 type entry struct {
 	id      uint64
-	vec     []float32
+	row     uint32 // arena row: vector lives at flat[row*Dim:(row+1)*Dim]
 	deleted bool
 }
 
@@ -63,12 +63,24 @@ type Index struct {
 	cfg  Config
 	dist vectormath.DistanceFunc
 
-	mu        sync.RWMutex
+	mu sync.RWMutex
+
+	// flat is the append-only vector arena; upserts append a fresh row
+	// (the superseded entry keeps its old row, same as its tombstone keeps
+	// its list slot until rebuild). Rows are immutable once written, and
+	// contiguous storage lets a probe scan score a whole posting list with
+	// one gather kernel.
+	flat      []float32 // guarded by mu
 	byID      map[uint64]*entry
 	centroids [][]float32
 	lists     [][]*entry
 	trained   bool
 	deleted   int // ids in byID whose current entry is tombstoned
+}
+
+// rowAt returns arena row idx (immutable once its entry is published).
+func rowAt(flat []float32, dim int, idx uint32) []float32 {
+	return flat[int(idx)*dim:][:dim]
 }
 
 // New creates an empty index.
@@ -121,7 +133,8 @@ func (x *Index) Add(id uint64, vec []float32) error {
 		// Mark the superseded entry stale so list scans skip it.
 		old.deleted = true
 	}
-	e := &entry{id: id, vec: v}
+	e := &entry{id: id, row: uint32(len(x.flat) / x.cfg.Dim)}
+	x.flat = append(x.flat, v...)
 	x.byID[id] = e
 	if !x.trained {
 		return nil
@@ -152,7 +165,7 @@ func (x *Index) GetEmbedding(id uint64) ([]float32, bool) {
 	if !ok || e.deleted {
 		return nil, false
 	}
-	return vectormath.Clone(e.vec), true
+	return vectormath.Clone(rowAt(x.flat, x.cfg.Dim, e.row)), true
 }
 
 func (x *Index) nearestCentroidLocked(v []float32) int {
@@ -199,22 +212,32 @@ func (x *Index) trainLocked() {
 	if nlist > len(live) {
 		nlist = len(live)
 	}
+	dim := x.cfg.Dim
 	r := rand.New(rand.NewSource(x.cfg.Seed))
 	// k-means++ style seeding: random distinct starting points.
 	perm := r.Perm(len(live))
 	centroids := make([][]float32, nlist)
 	for i := 0; i < nlist; i++ {
-		centroids[i] = vectormath.Clone(live[perm[i]].vec)
+		centroids[i] = vectormath.Clone(rowAt(x.flat, dim, live[perm[i]].row))
 	}
 	assign := make([]int, len(live))
+	// Assignment scores each vector against all centroids with one block
+	// kernel over a contiguous centroid copy, rebuilt per iteration.
+	cflat := make([]float32, 0, nlist*dim)
+	dists := make([]float32, nlist)
 	for iter := 0; iter < x.cfg.TrainIters; iter++ {
+		cflat = cflat[:0]
+		for _, c := range centroids {
+			cflat = append(cflat, c...)
+		}
 		changed := false
 		for i, e := range live {
-			best, bestD := 0, float32(0)
-			for c := range centroids {
-				d := x.dist(centroids[c], e.vec)
-				if c == 0 || d < bestD {
-					best, bestD = c, d
+			ep := vectormath.PrepareRaw(x.cfg.Metric, rowAt(x.flat, dim, e.row))
+			ep.DistanceBlock(cflat, dim, dists)
+			best := 0
+			for c := 1; c < nlist; c++ {
+				if dists[c] < dists[best] {
+					best = c
 				}
 			}
 			if assign[i] != best {
@@ -228,16 +251,16 @@ func (x *Index) trainLocked() {
 		sums := make([][]float32, nlist)
 		counts := make([]int, nlist)
 		for i := range sums {
-			sums[i] = make([]float32, x.cfg.Dim)
+			sums[i] = make([]float32, dim)
 		}
 		for i, e := range live {
-			vectormath.Sum(sums[assign[i]], e.vec)
+			vectormath.Sum(sums[assign[i]], rowAt(x.flat, dim, e.row))
 			counts[assign[i]]++
 		}
 		for c := range centroids {
 			if counts[c] == 0 {
 				// Re-seed empty cluster from a random vector.
-				centroids[c] = vectormath.Clone(live[r.Intn(len(live))].vec)
+				centroids[c] = vectormath.Clone(rowAt(x.flat, dim, live[r.Intn(len(live))].row))
 				continue
 			}
 			vectormath.Scale(sums[c], 1/float32(counts[c]))
@@ -309,6 +332,10 @@ func (x *Index) topK(query []float32, k, ef int, bits *bitset.Set, filter func(u
 	if nprobe > len(x.centroids) {
 		nprobe = len(x.centroids)
 	}
+	// The prepared query caches the cosine self-norm across the centroid
+	// ranking and every scanned row.
+	pq := vectormath.PrepareRaw(x.cfg.Metric, q)
+
 	// Rank centroids by distance.
 	type cd struct {
 		idx int
@@ -316,7 +343,7 @@ func (x *Index) topK(query []float32, k, ef int, bits *bitset.Set, filter func(u
 	}
 	cds := make([]cd, len(x.centroids))
 	for i, c := range x.centroids {
-		cds[i] = cd{i, x.dist(c, q)}
+		cds[i] = cd{i, pq.Distance(c)}
 	}
 	sort.Slice(cds, func(i, j int) bool { return cds[i].d < cds[j].d })
 
@@ -338,6 +365,12 @@ func (x *Index) topK(query []float32, k, ef int, bits *bitset.Set, filter func(u
 			best = best[:k]
 		}
 	}
+	// Collect the qualifying entries of all probed lists in scan order,
+	// score them with one gather kernel over the arena, then push in that
+	// same order — identical selection (distance ties at the k-cutoff are
+	// resolved by arrival order) with none of the per-row call overhead.
+	var rows []uint32
+	var ids []uint64
 	for p := 0; p < nprobe; p++ {
 		for _, e := range x.lists[cds[p].idx] {
 			if e.deleted || (bits != nil && !bits.Contains(e.id)) || (filter != nil && !filter(e.id)) {
@@ -347,8 +380,14 @@ func (x *Index) topK(query []float32, k, ef int, bits *bitset.Set, filter func(u
 			if cur, ok := x.byID[e.id]; !ok || cur != e {
 				continue
 			}
-			push(e.id, x.dist(q, e.vec))
+			rows = append(rows, e.row)
+			ids = append(ids, e.id)
 		}
+	}
+	dists := make([]float32, len(rows))
+	pq.DistanceGather(x.flat, x.cfg.Dim, rows, dists)
+	for i, id := range ids {
+		push(id, dists[i])
 	}
 	return best, nil
 }
@@ -466,7 +505,7 @@ func (x *Index) Rebuild(threads int) (*Index, error) {
 	items := make([]Item, 0, len(x.byID))
 	for id, e := range x.byID {
 		if !e.deleted {
-			items = append(items, Item{ID: id, Vec: vectormath.Clone(e.vec)})
+			items = append(items, Item{ID: id, Vec: vectormath.Clone(rowAt(x.flat, x.cfg.Dim, e.row))})
 		}
 	}
 	x.mu.RUnlock()
@@ -535,7 +574,7 @@ func (x *Index) Save(w io.Writer) error {
 		if err := binary.Write(w, binary.LittleEndian, []uint32{boolU32(e.deleted), li}); err != nil {
 			return err
 		}
-		if err := binary.Write(w, binary.LittleEndian, e.vec); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, rowAt(x.flat, x.cfg.Dim, e.row)); err != nil {
 			return err
 		}
 	}
@@ -581,6 +620,10 @@ func Load(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	// x is unshared until returned; the lock is for the arena's guarded-by
+	// discipline, not contention.
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	x.trained = trained == 1
 	x.centroids = make([][]float32, numCentroids)
 	for i := range x.centroids {
@@ -591,6 +634,14 @@ func Load(r io.Reader) (*Index, error) {
 		x.centroids[i] = c
 	}
 	x.lists = make([][]*entry, numCentroids)
+	// Rows join the arena one at a time with a bounded pre-allocation, so
+	// a corrupt entry count hits EOF instead of a huge up-front alloc.
+	fhint := int(numEntries) * int(dim)
+	if fhint > 1<<24 {
+		fhint = 1 << 24
+	}
+	x.flat = make([]float32, 0, fhint)
+	row := make([]float32, dim)
 	for i := uint32(0); i < numEntries; i++ {
 		var id uint64
 		if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
@@ -603,11 +654,11 @@ func Load(r io.Reader) (*Index, error) {
 		if meta[1] != noList && meta[1] >= numCentroids {
 			return nil, fmt.Errorf("ivf: entry %d assigned to list %d of %d", i, meta[1], numCentroids)
 		}
-		vec := make([]float32, dim)
-		if err := binary.Read(r, binary.LittleEndian, vec); err != nil {
+		if err := binary.Read(r, binary.LittleEndian, row); err != nil {
 			return nil, fmt.Errorf("ivf: entry %d vector: %w", i, err)
 		}
-		e := &entry{id: id, vec: vec, deleted: meta[0] == 1}
+		e := &entry{id: id, row: uint32(len(x.flat) / int(dim)), deleted: meta[0] == 1}
+		x.flat = append(x.flat, row...)
 		if e.deleted {
 			x.deleted++
 		}

@@ -1,0 +1,353 @@
+// Package quant implements int8 scalar quantization (SQ8) of embedding
+// segments: each dimension j is affinely mapped from [min_j, max_j] onto
+// the 256 byte codes, cutting vector memory ~4x. Scoring is asymmetric —
+// the float32 query against int8 codes — with per-query precomputation
+// so the inner loop touches one byte per dimension. Quantized scores are
+// approximations; callers re-score the top candidates against the exact
+// float32 rows to restore exact ranking (see core's rescore path).
+//
+// A codec is deterministic in its input: Encode derives the per-dimension
+// ranges from the rows it is given, so re-encoding the same segment
+// content always reproduces identical parameters and codes. That is what
+// makes the snapshot fallback safe — a corrupt SQ8 frame degrades to a
+// re-encode from the (already restored) float32 vectors with byte-equal
+// results.
+package quant
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/vectormath"
+)
+
+// Codec holds the quantized form of one embedding segment. It is
+// immutable after Encode/Decode and safe for concurrent readers; the
+// embedding store publishes fresh codecs copy-on-write alongside the
+// float32 rows they mirror.
+type Codec struct {
+	dim  int
+	rows int
+	// min and scale are the per-dimension affine parameters:
+	// value ≈ min[j] + scale[j]*code.
+	min   []float32
+	scale []float32
+	// codes is the row-major code block: row r at codes[r*dim:(r+1)*dim].
+	// Rows never encoded (invalid slots) hold zero bytes and must not be
+	// scored.
+	codes []uint8
+	// normSq[r] is the self-norm Σ v̂² of row r's dequantized form, used
+	// by cosine scoring.
+	normSq []float32
+}
+
+// Dim returns the per-row dimensionality.
+func (c *Codec) Dim() int { return c.dim }
+
+// Rows returns the row capacity.
+func (c *Codec) Rows() int { return c.rows }
+
+// Bytes returns the in-memory footprint of the quantized representation
+// (codes + per-row norms + per-dimension parameters).
+func (c *Codec) Bytes() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.codes) + 4*len(c.normSq) + 4*len(c.min) + 4*len(c.scale)
+}
+
+// Encode quantizes a segment: rows is the flat float32 block (row r at
+// rows[r*dim:(r+1)*dim]), valid the bitset of rows that hold data (bit r
+// of valid[r/64]). Parameters are derived from exactly the valid rows;
+// invalid rows are left as zero codes. An all-invalid segment yields a
+// codec with zero parameters, which scores nothing.
+func Encode(rows []float32, dim, nRows int, valid []uint64) *Codec {
+	c := &Codec{
+		dim:    dim,
+		rows:   nRows,
+		min:    make([]float32, dim),
+		scale:  make([]float32, dim),
+		codes:  make([]uint8, nRows*dim),
+		normSq: make([]float32, nRows),
+	}
+	mn := make([]float32, dim)
+	mx := make([]float32, dim)
+	first := true
+	forEachValid(valid, nRows, func(r int) {
+		row := rows[r*dim:][:dim]
+		if first {
+			copy(mn, row)
+			copy(mx, row)
+			first = false
+			return
+		}
+		for j, v := range row {
+			if v < mn[j] {
+				mn[j] = v
+			}
+			if v > mx[j] {
+				mx[j] = v
+			}
+		}
+	})
+	if first {
+		return c // no valid rows
+	}
+	copy(c.min, mn)
+	for j := range c.scale {
+		c.scale[j] = (mx[j] - mn[j]) / 255
+	}
+	inv := make([]float32, dim)
+	for j, s := range c.scale {
+		if s > 0 {
+			inv[j] = 1 / s
+		}
+	}
+	forEachValid(valid, nRows, func(r int) {
+		row := rows[r*dim:][:dim]
+		code := c.codes[r*dim:][:dim]
+		var ns float32
+		for j, v := range row {
+			u := 0
+			if inv[j] > 0 {
+				u = int((v-c.min[j])*inv[j] + 0.5)
+				if u < 0 {
+					u = 0
+				} else if u > 255 {
+					u = 255
+				}
+			}
+			code[j] = uint8(u)
+			dq := c.min[j] + c.scale[j]*float32(u)
+			ns += dq * dq
+		}
+		c.normSq[r] = ns
+	})
+	return c
+}
+
+func forEachValid(valid []uint64, nRows int, fn func(r int)) {
+	for wi, w := range valid {
+		base := wi * 64
+		for w != 0 {
+			r := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			if r >= nRows {
+				return
+			}
+			fn(r)
+		}
+	}
+}
+
+// Dequantize reconstructs row r's approximate float32 form into dst
+// (len >= dim) and returns it; mainly for tests and error-bound checks.
+func (c *Codec) Dequantize(r int, dst []float32) []float32 {
+	code := c.codes[r*c.dim:][:c.dim]
+	dst = dst[:c.dim]
+	for j, u := range code {
+		dst[j] = c.min[j] + c.scale[j]*float32(u)
+	}
+	return dst
+}
+
+// Scorer is the per-query scoring state against one codec: the affine
+// parameters folded into the query so the per-row loop is one multiply-
+// accumulate per byte. Build one per (query, segment) with NewScorer.
+type Scorer struct {
+	c      *Codec
+	metric vectormath.Metric
+	// L2: residual r[j] = q[j]-min[j] so per element diff = r[j]-scale[j]*code.
+	resid []float32
+	// IP/Cosine: qs[j] = q[j]*scale[j] and qmin = Σ q[j]*min[j] so
+	// dot = qmin + Σ qs[j]*code.
+	qs      []float32
+	qmin    float32
+	qNormSq float32 // cosine: query self-norm
+}
+
+// NewScorer prepares query (already in scoring form — normalized for
+// Cosine, exactly as handed to the float32 kernels) against the codec.
+func (c *Codec) NewScorer(metric vectormath.Metric, query []float32) *Scorer {
+	s := &Scorer{c: c, metric: metric}
+	switch metric {
+	case vectormath.L2:
+		s.resid = make([]float32, c.dim)
+		for j := range s.resid {
+			s.resid[j] = query[j] - c.min[j]
+		}
+	default: // InnerProduct and Cosine share the dot machinery
+		s.qs = make([]float32, c.dim)
+		for j := range s.qs {
+			s.qs[j] = query[j] * c.scale[j]
+			s.qmin += query[j] * c.min[j]
+		}
+		if metric == vectormath.Cosine {
+			s.qNormSq = vectormath.CosineNormSquared(query)
+		}
+	}
+	return s
+}
+
+// Score returns the approximate distance of row r (smaller is closer,
+// same orientation as the exact kernels).
+func (s *Scorer) Score(r int) float32 {
+	dim := s.c.dim
+	code := s.c.codes[r*dim:][:dim]
+	switch s.metric {
+	case vectormath.L2:
+		resid := s.resid[:dim]
+		scale := s.c.scale[:dim]
+		var a0, a1, a2, a3 float32
+		i := 0
+		for ; i+4 <= dim; i += 4 {
+			d0 := resid[i] - scale[i]*float32(code[i])
+			d1 := resid[i+1] - scale[i+1]*float32(code[i+1])
+			d2 := resid[i+2] - scale[i+2]*float32(code[i+2])
+			d3 := resid[i+3] - scale[i+3]*float32(code[i+3])
+			a0 += d0 * d0
+			a1 += d1 * d1
+			a2 += d2 * d2
+			a3 += d3 * d3
+		}
+		for ; i < dim; i++ {
+			d := resid[i] - scale[i]*float32(code[i])
+			a0 += d * d
+		}
+		return a0 + a1 + a2 + a3
+	default:
+		qs := s.qs[:dim]
+		var a0, a1, a2, a3 float32
+		i := 0
+		for ; i+4 <= dim; i += 4 {
+			a0 += qs[i] * float32(code[i])
+			a1 += qs[i+1] * float32(code[i+1])
+			a2 += qs[i+2] * float32(code[i+2])
+			a3 += qs[i+3] * float32(code[i+3])
+		}
+		for ; i < dim; i++ {
+			a0 += qs[i] * float32(code[i])
+		}
+		dot := s.qmin + a0 + a1 + a2 + a3
+		if s.metric == vectormath.InnerProduct {
+			return -dot
+		}
+		nb := s.c.normSq[r]
+		if s.qNormSq == 0 || nb == 0 {
+			return 1
+		}
+		return 1 - dot/float32(math.Sqrt(float64(s.qNormSq)*float64(nb)))
+	}
+}
+
+// ScoreMasked scores codec rows rowOff+r for every bit r set in mask
+// into out[r]; unset entries are untouched. rowOff lets chunked scans
+// slide a window over the segment (it must be a multiple of 64 so mask
+// words stay aligned with codec rows).
+func (s *Scorer) ScoreMasked(rowOff int, mask []uint64, out []float32) {
+	rows := len(out)
+	for wi, w := range mask {
+		base := wi * 64
+		if base >= rows {
+			break
+		}
+		for w != 0 {
+			r := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			if r >= rows {
+				break
+			}
+			out[r] = s.Score(rowOff + r)
+		}
+	}
+}
+
+// Serialization. The payload travels inside a kind-tagged, CRC-framed
+// snapshot frame (kind "SQ8", see internal/core/persist.go), so the
+// decoder checks structural bounds only; bit flips are the frame CRC's
+// job.
+
+const (
+	payloadMagic   = uint32(0x54475651) // "TGVQ"
+	payloadVersion = uint32(1)
+
+	// maxDim/maxRows bound count fields read back from disk so a corrupt
+	// frame fails decode instead of allocating gigabytes.
+	maxDim  = 1 << 20
+	maxRows = 1 << 24
+)
+
+// AppendPayload serializes the codec into buf and returns the result.
+func (c *Codec) AppendPayload(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, payloadMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, payloadVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.rows))
+	for _, v := range c.min {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	for _, v := range c.scale {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	buf = append(buf, c.codes...)
+	for _, v := range c.normSq {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+// DecodePayload parses a payload written by AppendPayload. wantDim and
+// wantRows come from the store's catalog state; a payload that disagrees
+// (schema drift) is rejected so the caller re-encodes instead.
+func DecodePayload(b []byte, wantDim, wantRows int) (*Codec, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("quant: payload truncated (%d bytes)", len(b))
+	}
+	if m := binary.LittleEndian.Uint32(b[0:]); m != payloadMagic {
+		return nil, fmt.Errorf("quant: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != payloadVersion {
+		return nil, fmt.Errorf("quant: unsupported version %d", v)
+	}
+	dim := int(binary.LittleEndian.Uint32(b[8:]))
+	rows := int(binary.LittleEndian.Uint32(b[12:]))
+	if dim <= 0 || dim > maxDim {
+		return nil, fmt.Errorf("quant: dim %d implausible", dim)
+	}
+	if rows < 0 || rows > maxRows {
+		return nil, fmt.Errorf("quant: row count %d implausible", rows)
+	}
+	if dim != wantDim || rows != wantRows {
+		return nil, fmt.Errorf("quant: payload is %dx%d, segment wants %dx%d", rows, dim, wantRows, wantDim)
+	}
+	need := 16 + 4*dim + 4*dim + rows*dim + 4*rows
+	if len(b) != need {
+		return nil, fmt.Errorf("quant: payload is %d bytes, want %d", len(b), need)
+	}
+	c := &Codec{
+		dim:    dim,
+		rows:   rows,
+		min:    make([]float32, dim),
+		scale:  make([]float32, dim),
+		codes:  make([]uint8, rows*dim),
+		normSq: make([]float32, rows),
+	}
+	off := 16
+	for j := range c.min {
+		c.min[j] = math.Float32frombits(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+	}
+	for j := range c.scale {
+		c.scale[j] = math.Float32frombits(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+	}
+	copy(c.codes, b[off:off+rows*dim])
+	off += rows * dim
+	for r := range c.normSq {
+		c.normSq[r] = math.Float32frombits(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+	}
+	return c, nil
+}

@@ -1,0 +1,276 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vectormath"
+)
+
+func fullMask(rows int) []uint64 {
+	words := make([]uint64, (rows+63)/64)
+	for i := range words {
+		words[i] = ^uint64(0)
+	}
+	return words
+}
+
+func randSegment(rng *rand.Rand, rows, dim int, lo, hi float32) []float32 {
+	flat := make([]float32, rows*dim)
+	for i := range flat {
+		flat[i] = lo + (hi-lo)*rng.Float32()
+	}
+	return flat
+}
+
+// TestRoundTripErrorBound pins the SQ8 guarantee: each reconstructed
+// component is within half a quantization step (scale_j/2) of the
+// original, plus float32 rounding slack.
+func TestRoundTripErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range []int{1, 3, 32, 129, 768} {
+		const rows = 50
+		flat := randSegment(rng, rows, dim, -3, 5)
+		c := Encode(flat, dim, rows, fullMask(rows))
+		dst := make([]float32, dim)
+		for r := 0; r < rows; r++ {
+			dq := c.Dequantize(r, dst)
+			for j := 0; j < dim; j++ {
+				bound := float64(c.scale[j])/2 + 1e-5*math.Abs(float64(flat[r*dim+j]))
+				if err := math.Abs(float64(dq[j]) - float64(flat[r*dim+j])); err > bound+1e-12 {
+					t.Fatalf("dim %d row %d comp %d: err %g > bound %g (scale %g)",
+						dim, r, j, err, bound, c.scale[j])
+				}
+			}
+		}
+	}
+}
+
+// TestConstantDimension: a dimension with zero spread must reconstruct
+// exactly (scale 0, code 0, value = min).
+func TestConstantDimension(t *testing.T) {
+	const rows, dim = 8, 4
+	flat := make([]float32, rows*dim)
+	for r := 0; r < rows; r++ {
+		flat[r*dim] = 2.5 // constant dim 0
+		for j := 1; j < dim; j++ {
+			flat[r*dim+j] = float32(r + j)
+		}
+	}
+	c := Encode(flat, dim, rows, fullMask(rows))
+	dst := make([]float32, dim)
+	for r := 0; r < rows; r++ {
+		if dq := c.Dequantize(r, dst); dq[0] != 2.5 {
+			t.Fatalf("row %d: constant dim reconstructed as %g", r, dq[0])
+		}
+	}
+}
+
+// TestScorerVsDequantizedReference: the asymmetric scorers must agree
+// (to float32 rounding) with the exact kernels applied to the
+// dequantized rows — that is the precise sense in which quantized
+// scores approximate exact ones.
+func TestScorerVsDequantizedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dim := range []int{1, 7, 32, 129, 768} {
+		const rows = 30
+		flat := randSegment(rng, rows, dim, -2, 2)
+		c := Encode(flat, dim, rows, fullMask(rows))
+		dst := make([]float32, dim)
+		for _, m := range []vectormath.Metric{vectormath.L2, vectormath.Cosine, vectormath.InnerProduct} {
+			q := make([]float32, dim)
+			for i := range q {
+				q[i] = float32(rng.NormFloat64())
+			}
+			if m == vectormath.Cosine {
+				vectormath.Normalize(q)
+			}
+			s := c.NewScorer(m, q)
+			tol := 1e-4 * math.Sqrt(float64(dim))
+			for r := 0; r < rows; r++ {
+				dq := c.Dequantize(r, dst)
+				var want float64
+				switch m {
+				case vectormath.L2:
+					for j := 0; j < dim; j++ {
+						d := float64(q[j]) - float64(dq[j])
+						want += d * d
+					}
+				case vectormath.InnerProduct:
+					for j := 0; j < dim; j++ {
+						want -= float64(q[j]) * float64(dq[j])
+					}
+				case vectormath.Cosine:
+					var dot, na, nb float64
+					for j := 0; j < dim; j++ {
+						dot += float64(q[j]) * float64(dq[j])
+						na += float64(q[j]) * float64(q[j])
+						nb += float64(dq[j]) * float64(dq[j])
+					}
+					if na == 0 || nb == 0 {
+						want = 1
+					} else {
+						want = 1 - dot/math.Sqrt(na*nb)
+					}
+				}
+				got := s.Score(r)
+				scale := math.Abs(want)
+				if scale < 1 {
+					scale = 1
+				}
+				// L2/IP errors scale with magnitude of the summed terms.
+				if m != vectormath.Cosine {
+					scale = math.Max(scale, float64(dim))
+				}
+				if math.Abs(float64(got)-want) > tol*scale {
+					t.Fatalf("metric %v dim %d row %d: Score=%g want %g", m, dim, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestScoreMasked: set bits scored, unset entries untouched.
+func TestScoreMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const rows, dim = 130, 16
+	flat := randSegment(rng, rows, dim, -1, 1)
+	c := Encode(flat, dim, rows, fullMask(rows))
+	q := make([]float32, dim)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+	}
+	s := c.NewScorer(vectormath.L2, q)
+	mask := make([]uint64, (rows+63)/64)
+	for i := range mask {
+		mask[i] = rng.Uint64()
+	}
+	const sentinel = float32(-99)
+	out := make([]float32, rows)
+	for i := range out {
+		out[i] = sentinel
+	}
+	s.ScoreMasked(0, mask, out)
+	for r := 0; r < rows; r++ {
+		if mask[r/64]&(1<<(r%64)) == 0 {
+			if out[r] != sentinel {
+				t.Fatalf("row %d: unset row overwritten", r)
+			}
+		} else if out[r] != s.Score(r) {
+			t.Fatalf("row %d: masked score differs from Score", r)
+		}
+	}
+}
+
+// TestEncodeDeterministicAndValidityAware: identical input reproduces
+// identical codecs (the restart-equivalence property persist relies on),
+// and invalid rows neither influence the parameters nor get codes.
+func TestEncodeDeterministicAndValidityAware(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const rows, dim = 70, 12
+	flat := randSegment(rng, rows, dim, -1, 1)
+	valid := fullMask(rows)
+	valid[0] &^= 1 << 5 // invalidate row 5
+	// Poison the invalid row with an extreme value: must not widen ranges.
+	flat[5*dim] = 1e9
+
+	a := Encode(flat, dim, rows, valid)
+	b := Encode(flat, dim, rows, valid)
+	pa := a.AppendPayload(nil)
+	pb := b.AppendPayload(nil)
+	if string(pa) != string(pb) {
+		t.Fatal("Encode is not deterministic")
+	}
+	for j := 0; j < dim; j++ {
+		if a.min[j] <= -1.01 || a.min[j]+255*a.scale[j] >= 1.01 {
+			t.Fatalf("invalid row leaked into parameters: min %g scale %g", a.min[j], a.scale[j])
+		}
+	}
+	for j := 0; j < dim; j++ {
+		if a.codes[5*dim+j] != 0 {
+			t.Fatal("invalid row was encoded")
+		}
+	}
+	if a.normSq[5] != 0 {
+		t.Fatal("invalid row has a norm")
+	}
+}
+
+func TestEmptySegment(t *testing.T) {
+	c := Encode(nil, 4, 8, make([]uint64, 1))
+	if c.Bytes() == 0 {
+		t.Fatal("empty codec should still account its buffers")
+	}
+	p := c.AppendPayload(nil)
+	rt, err := DecodePayload(p, 4, 8)
+	if err != nil {
+		t.Fatalf("empty round-trip: %v", err)
+	}
+	if rt.Dim() != 4 || rt.Rows() != 8 {
+		t.Fatal("empty round-trip shape mismatch")
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const rows, dim = 33, 17
+	flat := randSegment(rng, rows, dim, -4, 4)
+	c := Encode(flat, dim, rows, fullMask(rows))
+	p := c.AppendPayload(nil)
+	rt, err := DecodePayload(p, dim, rows)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if string(rt.AppendPayload(nil)) != string(p) {
+		t.Fatal("payload round-trip not byte-identical")
+	}
+	// Round-tripped codec scores identically.
+	q := make([]float32, dim)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+	}
+	s1 := c.NewScorer(vectormath.L2, q)
+	s2 := rt.NewScorer(vectormath.L2, q)
+	for r := 0; r < rows; r++ {
+		if s1.Score(r) != s2.Score(r) {
+			t.Fatalf("row %d: scores differ after round-trip", r)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformedPayloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const rows, dim = 5, 3
+	flat := randSegment(rng, rows, dim, 0, 1)
+	good := Encode(flat, dim, rows, fullMask(rows)).AppendPayload(nil)
+
+	cases := []struct {
+		name string
+		b    []byte
+		dim  int
+		rows int
+	}{
+		{"empty", nil, dim, rows},
+		{"truncated header", good[:10], dim, rows},
+		{"truncated body", good[:len(good)-3], dim, rows},
+		{"trailing garbage", append(append([]byte{}, good...), 0xFF), dim, rows},
+		{"wrong dim", good, dim + 1, rows},
+		{"wrong rows", good, dim, rows + 1},
+	}
+	for _, tc := range cases {
+		if _, err := DecodePayload(tc.b, tc.dim, tc.rows); err == nil {
+			t.Fatalf("%s: decode accepted malformed payload", tc.name)
+		}
+	}
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xFF
+	if _, err := DecodePayload(bad, dim, rows); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad = append([]byte{}, good...)
+	bad[4] = 99
+	if _, err := DecodePayload(bad, dim, rows); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}

@@ -1,0 +1,553 @@
+package vectormath
+
+// This file holds the hot-path kernels introduced by the flat segment
+// layout: one query scored against a contiguous block of candidate rows
+// (block layout: row r occupies block[r*dim:(r+1)*dim]), plus per-query
+// prepared state so the Cosine query norm is computed once per search
+// instead of once per candidate.
+//
+// Every batched kernel accumulates each row with EXACTLY the same
+// floating-point operation order as its single-pair counterpart
+// (SquaredL2, Dot, CosineDistance), so switching a scan from per-pair to
+// batched scoring is bit-identical — results, ties and all. Rows are
+// processed in pairs purely for instruction-level parallelism (the query
+// element loads amortize over two rows); each row still owns its private
+// accumulators fed in the scalar kernel's order.
+//
+// All kernels require len(query) >= dim and len(block) >= len(out)*dim;
+// they slice both to exactly dim up front, which also lets the compiler
+// eliminate the per-element bounds checks.
+
+import (
+	"math"
+	"math/bits"
+)
+
+// PreparedQuery is per-query scoring state prepared once per search: the
+// scoring form of the query (normalized copy for Cosine) and, for
+// Cosine, the cached query self-norm that CosineDistance would otherwise
+// recompute for every candidate.
+type PreparedQuery struct {
+	// Metric is the metric the query was prepared for.
+	Metric Metric
+	// Vec is the scoring form of the query: a normalized copy for
+	// Cosine, the caller's slice unchanged otherwise.
+	Vec []float32
+	// normSq is the Cosine query self-norm, accumulated with
+	// CosineNormSquared's (= CosineDistance's `na`) operation order so
+	// cached-norm scoring stays bit-identical to CosineDistance.
+	normSq float32
+}
+
+// Prepare builds the per-query scoring state: for Cosine the query is
+// copied, normalized and its self-norm cached; other metrics use the
+// caller's slice as is. Scoring through the result is bit-identical to
+// normalizing the query and calling FuncFor(m) per candidate.
+func Prepare(m Metric, query []float32) PreparedQuery {
+	q := query
+	if m == Cosine {
+		q = Normalized(query)
+	}
+	return PrepareRaw(m, q)
+}
+
+// PrepareRaw is Prepare without the Cosine normalization step, for
+// callers whose query is already in stored-vector form — index
+// construction, where the (already normalized) inserted vector is the
+// query, or re-scoring with a query normalized earlier in the search.
+func PrepareRaw(m Metric, query []float32) PreparedQuery {
+	p := PreparedQuery{Metric: m, Vec: query}
+	if m == Cosine {
+		p.normSq = CosineNormSquared(query)
+	}
+	return p
+}
+
+// NormSq returns the cached Cosine self-norm (0 for other metrics).
+func (p *PreparedQuery) NormSq() float32 { return p.normSq }
+
+// Distance scores one candidate, bit-identical to FuncFor(p.Metric)
+// applied to (p.Vec, v) — with the Cosine query norm read from cache.
+func (p *PreparedQuery) Distance(v []float32) float32 {
+	switch p.Metric {
+	case Cosine:
+		return CosineDistanceNorm(p.Vec, v, p.normSq)
+	case InnerProduct:
+		return NegativeDot(p.Vec, v)
+	default:
+		return SquaredL2(p.Vec, v)
+	}
+}
+
+// DistanceBlock scores every row of a contiguous block: out[r] receives
+// the distance of row r. len(block) must be at least len(out)*dim.
+func (p *PreparedQuery) DistanceBlock(block []float32, dim int, out []float32) {
+	switch p.Metric {
+	case Cosine:
+		CosineBatchNorm(p.Vec, block, dim, p.normSq, out)
+	case InnerProduct:
+		DotBatch(p.Vec, block, dim, out)
+		negate(out)
+	default:
+		SquaredL2Batch(p.Vec, block, dim, out)
+	}
+}
+
+// DistanceMasked scores exactly the rows whose bit is set in mask (bit r
+// of mask[r/64]); other entries of out are left untouched. Full mask
+// words take the contiguous block fast path.
+func (p *PreparedQuery) DistanceMasked(block []float32, dim int, mask []uint64, out []float32) {
+	switch p.Metric {
+	case Cosine:
+		CosineBatchMasked(p.Vec, block, dim, p.normSq, mask, out)
+	case InnerProduct:
+		DotBatchMasked(p.Vec, block, dim, mask, out)
+		negateMasked(mask, out)
+	default:
+		SquaredL2BatchMasked(p.Vec, block, dim, mask, out)
+	}
+}
+
+// DistanceGather scores the rows of flat named by rows: out[i] receives
+// the distance of row rows[i]. Used where candidates are scattered —
+// HNSW neighbor expansion, IVF list scans, re-scoring a candidate list.
+func (p *PreparedQuery) DistanceGather(flat []float32, dim int, rows []uint32, out []float32) {
+	switch p.Metric {
+	case Cosine:
+		CosineGatherNorm(p.Vec, flat, dim, p.normSq, rows, out)
+	case InnerProduct:
+		DotGather(p.Vec, flat, dim, rows, out)
+		out = out[:len(rows)]
+		negate(out)
+	default:
+		SquaredL2Gather(p.Vec, flat, dim, rows, out)
+	}
+}
+
+func negate(out []float32) {
+	for i := range out {
+		out[i] = -out[i]
+	}
+}
+
+func negateMasked(mask []uint64, out []float32) {
+	for wi, w := range mask {
+		base := wi * 64
+		for w != 0 {
+			r := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			if r >= len(out) {
+				break
+			}
+			out[r] = -out[r]
+		}
+	}
+}
+
+// CosineNormSquared returns the self-norm Σ a[i]² accumulated with
+// CosineDistance's `na` operation order (single accumulator, four fused
+// adds per unrolled step), so a cached query norm reproduces
+// CosineDistance bit for bit. Note this differs from Dot(a, a), which
+// uses four independent accumulators.
+func CosineNormSquared(a []float32) float32 {
+	var na float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		na += a[i]*a[i] + a[i+1]*a[i+1] + a[i+2]*a[i+2] + a[i+3]*a[i+3]
+	}
+	for ; i < n; i++ {
+		na += a[i] * a[i]
+	}
+	return na
+}
+
+// CosineDistanceNorm is CosineDistance with the first argument's
+// self-norm precomputed (aNormSq = CosineNormSquared(a)). Bit-identical
+// to CosineDistance(a, b).
+func CosineDistanceNorm(a, b []float32, aNormSq float32) float32 {
+	var dot, nb float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dot += a[i]*b[i] + a[i+1]*b[i+1] + a[i+2]*b[i+2] + a[i+3]*b[i+3]
+		nb += b[i]*b[i] + b[i+1]*b[i+1] + b[i+2]*b[i+2] + b[i+3]*b[i+3]
+	}
+	for ; i < n; i++ {
+		dot += a[i] * b[i]
+		nb += b[i] * b[i]
+	}
+	if aNormSq == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/float32(math.Sqrt(float64(aNormSq)*float64(nb)))
+}
+
+// SquaredL2Batch writes SquaredL2(query[:dim], row r) into out[r] for
+// every row of the block.
+func SquaredL2Batch(query, block []float32, dim int, out []float32) {
+	if dim <= 0 {
+		for r := range out {
+			out[r] = 0
+		}
+		return
+	}
+	q := query[:dim]
+	r := 0
+	// The amd64 SSE2 kernel processes four rows per call, bit-identical
+	// to the scalar lanes below (see simd_amd64.go); the two-row Go
+	// blocks handle the remainder and the non-amd64 build.
+	if useSIMD4 {
+		for ; r+4 <= len(out); r += 4 {
+			squaredL2x4(q, block[r*dim:], dim, out[r:])
+		}
+	}
+	for ; r+2 <= len(out); r += 2 {
+		b0 := block[r*dim:][:dim]
+		b1 := block[(r+1)*dim:][:dim]
+		var s00, s01, s02, s03 float32
+		var s10, s11, s12, s13 float32
+		i := 0
+		for ; i+4 <= dim; i += 4 {
+			q0, q1, q2, q3 := q[i], q[i+1], q[i+2], q[i+3]
+			d00 := q0 - b0[i]
+			d01 := q1 - b0[i+1]
+			d02 := q2 - b0[i+2]
+			d03 := q3 - b0[i+3]
+			s00 += d00 * d00
+			s01 += d01 * d01
+			s02 += d02 * d02
+			s03 += d03 * d03
+			d10 := q0 - b1[i]
+			d11 := q1 - b1[i+1]
+			d12 := q2 - b1[i+2]
+			d13 := q3 - b1[i+3]
+			s10 += d10 * d10
+			s11 += d11 * d11
+			s12 += d12 * d12
+			s13 += d13 * d13
+		}
+		for ; i < dim; i++ {
+			qi := q[i]
+			d0 := qi - b0[i]
+			s00 += d0 * d0
+			d1 := qi - b1[i]
+			s10 += d1 * d1
+		}
+		out[r] = s00 + s01 + s02 + s03
+		out[r+1] = s10 + s11 + s12 + s13
+	}
+	if r < len(out) {
+		out[r] = SquaredL2(q, block[r*dim:][:dim])
+	}
+}
+
+// DotBatch writes Dot(query[:dim], row r) into out[r] for every row of
+// the block (raw dot products; negate for MIPS distance).
+func DotBatch(query, block []float32, dim int, out []float32) {
+	if dim <= 0 {
+		for r := range out {
+			out[r] = 0
+		}
+		return
+	}
+	q := query[:dim]
+	r := 0
+	// Same four-row SSE2 fast path as SquaredL2Batch.
+	if useSIMD4 {
+		for ; r+4 <= len(out); r += 4 {
+			dotx4(q, block[r*dim:], dim, out[r:])
+		}
+	}
+	for ; r+2 <= len(out); r += 2 {
+		b0 := block[r*dim:][:dim]
+		b1 := block[(r+1)*dim:][:dim]
+		var s00, s01, s02, s03 float32
+		var s10, s11, s12, s13 float32
+		i := 0
+		for ; i+4 <= dim; i += 4 {
+			q0, q1, q2, q3 := q[i], q[i+1], q[i+2], q[i+3]
+			s00 += q0 * b0[i]
+			s01 += q1 * b0[i+1]
+			s02 += q2 * b0[i+2]
+			s03 += q3 * b0[i+3]
+			s10 += q0 * b1[i]
+			s11 += q1 * b1[i+1]
+			s12 += q2 * b1[i+2]
+			s13 += q3 * b1[i+3]
+		}
+		for ; i < dim; i++ {
+			qi := q[i]
+			s00 += qi * b0[i]
+			s10 += qi * b1[i]
+		}
+		out[r] = s00 + s01 + s02 + s03
+		out[r+1] = s10 + s11 + s12 + s13
+	}
+	if r < len(out) {
+		out[r] = Dot(q, block[r*dim:][:dim])
+	}
+}
+
+// CosineBatch writes CosineDistance(query[:dim], row r) into out[r] for
+// every row of the block, computing the query self-norm once up front.
+func CosineBatch(query, block []float32, dim int, out []float32) {
+	if dim <= 0 {
+		for r := range out {
+			out[r] = 1
+		}
+		return
+	}
+	CosineBatchNorm(query, block, dim, CosineNormSquared(query[:dim]), out)
+}
+
+// CosineBatchNorm is CosineBatch with the query self-norm supplied by
+// the caller (qNormSq = CosineNormSquared(query[:dim])).
+func CosineBatchNorm(query, block []float32, dim int, qNormSq float32, out []float32) {
+	if dim <= 0 {
+		for r := range out {
+			out[r] = 1
+		}
+		return
+	}
+	q := query[:dim]
+	r := 0
+	for ; r+2 <= len(out); r += 2 {
+		b0 := block[r*dim:][:dim]
+		b1 := block[(r+1)*dim:][:dim]
+		var dot0, nb0 float32
+		var dot1, nb1 float32
+		i := 0
+		for ; i+4 <= dim; i += 4 {
+			q0, q1, q2, q3 := q[i], q[i+1], q[i+2], q[i+3]
+			dot0 += q0*b0[i] + q1*b0[i+1] + q2*b0[i+2] + q3*b0[i+3]
+			nb0 += b0[i]*b0[i] + b0[i+1]*b0[i+1] + b0[i+2]*b0[i+2] + b0[i+3]*b0[i+3]
+			dot1 += q0*b1[i] + q1*b1[i+1] + q2*b1[i+2] + q3*b1[i+3]
+			nb1 += b1[i]*b1[i] + b1[i+1]*b1[i+1] + b1[i+2]*b1[i+2] + b1[i+3]*b1[i+3]
+		}
+		for ; i < dim; i++ {
+			qi := q[i]
+			dot0 += qi * b0[i]
+			nb0 += b0[i] * b0[i]
+			dot1 += qi * b1[i]
+			nb1 += b1[i] * b1[i]
+		}
+		out[r] = cosineFinish(dot0, qNormSq, nb0)
+		out[r+1] = cosineFinish(dot1, qNormSq, nb1)
+	}
+	if r < len(out) {
+		out[r] = CosineDistanceNorm(q, block[r*dim:][:dim], qNormSq)
+	}
+}
+
+func cosineFinish(dot, na, nb float32) float32 {
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/float32(math.Sqrt(float64(na)*float64(nb)))
+}
+
+// SquaredL2BatchMasked scores exactly the rows whose bit is set in mask;
+// unset rows of out are left untouched. Full mask words take the
+// contiguous fast path.
+func SquaredL2BatchMasked(query, block []float32, dim int, mask []uint64, out []float32) {
+	rows := len(out)
+	q := query[:max(dim, 0)]
+	for wi, w := range mask {
+		base := wi * 64
+		if base >= rows {
+			break
+		}
+		if w == ^uint64(0) && base+64 <= rows {
+			SquaredL2Batch(q, block[base*dim:], dim, out[base:base+64])
+			continue
+		}
+		for w != 0 {
+			r := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			if r >= rows {
+				break
+			}
+			out[r] = SquaredL2(q, block[r*dim:][:dim])
+		}
+	}
+}
+
+// DotBatchMasked is SquaredL2BatchMasked for raw dot products.
+func DotBatchMasked(query, block []float32, dim int, mask []uint64, out []float32) {
+	rows := len(out)
+	q := query[:max(dim, 0)]
+	for wi, w := range mask {
+		base := wi * 64
+		if base >= rows {
+			break
+		}
+		if w == ^uint64(0) && base+64 <= rows {
+			DotBatch(q, block[base*dim:], dim, out[base:base+64])
+			continue
+		}
+		for w != 0 {
+			r := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			if r >= rows {
+				break
+			}
+			out[r] = Dot(q, block[r*dim:][:dim])
+		}
+	}
+}
+
+// CosineBatchMasked is SquaredL2BatchMasked for cosine distance with a
+// precomputed query self-norm.
+func CosineBatchMasked(query, block []float32, dim int, qNormSq float32, mask []uint64, out []float32) {
+	rows := len(out)
+	q := query[:max(dim, 0)]
+	for wi, w := range mask {
+		base := wi * 64
+		if base >= rows {
+			break
+		}
+		if w == ^uint64(0) && base+64 <= rows {
+			CosineBatchNorm(q, block[base*dim:], dim, qNormSq, out[base:base+64])
+			continue
+		}
+		for w != 0 {
+			r := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			if r >= rows {
+				break
+			}
+			out[r] = CosineDistanceNorm(q, block[r*dim:][:dim], qNormSq)
+		}
+	}
+}
+
+// SquaredL2Gather writes SquaredL2(query[:dim], flat row rows[i]) into
+// out[i]. Row indexes must satisfy (rows[i]+1)*dim <= len(flat).
+func SquaredL2Gather(query, flat []float32, dim int, rows []uint32, out []float32) {
+	if dim <= 0 {
+		for i := range rows {
+			out[i] = 0
+		}
+		return
+	}
+	q := query[:dim]
+	r := 0
+	for ; r+2 <= len(rows); r += 2 {
+		b0 := flat[int(rows[r])*dim:][:dim]
+		b1 := flat[int(rows[r+1])*dim:][:dim]
+		var s00, s01, s02, s03 float32
+		var s10, s11, s12, s13 float32
+		i := 0
+		for ; i+4 <= dim; i += 4 {
+			q0, q1, q2, q3 := q[i], q[i+1], q[i+2], q[i+3]
+			d00 := q0 - b0[i]
+			d01 := q1 - b0[i+1]
+			d02 := q2 - b0[i+2]
+			d03 := q3 - b0[i+3]
+			s00 += d00 * d00
+			s01 += d01 * d01
+			s02 += d02 * d02
+			s03 += d03 * d03
+			d10 := q0 - b1[i]
+			d11 := q1 - b1[i+1]
+			d12 := q2 - b1[i+2]
+			d13 := q3 - b1[i+3]
+			s10 += d10 * d10
+			s11 += d11 * d11
+			s12 += d12 * d12
+			s13 += d13 * d13
+		}
+		for ; i < dim; i++ {
+			qi := q[i]
+			d0 := qi - b0[i]
+			s00 += d0 * d0
+			d1 := qi - b1[i]
+			s10 += d1 * d1
+		}
+		out[r] = s00 + s01 + s02 + s03
+		out[r+1] = s10 + s11 + s12 + s13
+	}
+	if r < len(rows) {
+		out[r] = SquaredL2(q, flat[int(rows[r])*dim:][:dim])
+	}
+}
+
+// DotGather is SquaredL2Gather for raw dot products.
+func DotGather(query, flat []float32, dim int, rows []uint32, out []float32) {
+	if dim <= 0 {
+		for i := range rows {
+			out[i] = 0
+		}
+		return
+	}
+	q := query[:dim]
+	r := 0
+	for ; r+2 <= len(rows); r += 2 {
+		b0 := flat[int(rows[r])*dim:][:dim]
+		b1 := flat[int(rows[r+1])*dim:][:dim]
+		var s00, s01, s02, s03 float32
+		var s10, s11, s12, s13 float32
+		i := 0
+		for ; i+4 <= dim; i += 4 {
+			q0, q1, q2, q3 := q[i], q[i+1], q[i+2], q[i+3]
+			s00 += q0 * b0[i]
+			s01 += q1 * b0[i+1]
+			s02 += q2 * b0[i+2]
+			s03 += q3 * b0[i+3]
+			s10 += q0 * b1[i]
+			s11 += q1 * b1[i+1]
+			s12 += q2 * b1[i+2]
+			s13 += q3 * b1[i+3]
+		}
+		for ; i < dim; i++ {
+			qi := q[i]
+			s00 += qi * b0[i]
+			s10 += qi * b1[i]
+		}
+		out[r] = s00 + s01 + s02 + s03
+		out[r+1] = s10 + s11 + s12 + s13
+	}
+	if r < len(rows) {
+		out[r] = Dot(q, flat[int(rows[r])*dim:][:dim])
+	}
+}
+
+// CosineGatherNorm is SquaredL2Gather for cosine distance with a
+// precomputed query self-norm.
+func CosineGatherNorm(query, flat []float32, dim int, qNormSq float32, rows []uint32, out []float32) {
+	if dim <= 0 {
+		for i := range rows {
+			out[i] = 1
+		}
+		return
+	}
+	q := query[:dim]
+	r := 0
+	for ; r+2 <= len(rows); r += 2 {
+		b0 := flat[int(rows[r])*dim:][:dim]
+		b1 := flat[int(rows[r+1])*dim:][:dim]
+		var dot0, nb0 float32
+		var dot1, nb1 float32
+		i := 0
+		for ; i+4 <= dim; i += 4 {
+			q0, q1, q2, q3 := q[i], q[i+1], q[i+2], q[i+3]
+			dot0 += q0*b0[i] + q1*b0[i+1] + q2*b0[i+2] + q3*b0[i+3]
+			nb0 += b0[i]*b0[i] + b0[i+1]*b0[i+1] + b0[i+2]*b0[i+2] + b0[i+3]*b0[i+3]
+			dot1 += q0*b1[i] + q1*b1[i+1] + q2*b1[i+2] + q3*b1[i+3]
+			nb1 += b1[i]*b1[i] + b1[i+1]*b1[i+1] + b1[i+2]*b1[i+2] + b1[i+3]*b1[i+3]
+		}
+		for ; i < dim; i++ {
+			qi := q[i]
+			dot0 += qi * b0[i]
+			nb0 += b0[i] * b0[i]
+			dot1 += qi * b1[i]
+			nb1 += b1[i] * b1[i]
+		}
+		out[r] = cosineFinish(dot0, qNormSq, nb0)
+		out[r+1] = cosineFinish(dot1, qNormSq, nb1)
+	}
+	if r < len(rows) {
+		out[r] = CosineDistanceNorm(q, flat[int(rows[r])*dim:][:dim], qNormSq)
+	}
+}

@@ -1,0 +1,381 @@
+package vectormath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testDims samples the dimension space 1..1537 with every small length,
+// the power-of-two block sizes the unroll likes, and odd/prime lengths
+// that exercise every tail-combination of the 4-wide unroll and the
+// 2-row pairing.
+var testDims = []int{
+	1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13, 15, 16, 17, 31, 32, 33,
+	63, 64, 65, 127, 128, 129, 255, 256, 257, 383, 511, 768, 769,
+	1023, 1024, 1151, 1536, 1537,
+}
+
+// randVec is shared with vectormath_test.go.
+
+func randBlock(rng *rand.Rand, rows, dim int) []float32 {
+	b := make([]float32, rows*dim)
+	for i := range b {
+		b[i] = float32(rng.NormFloat64())
+	}
+	return b
+}
+
+// Float64 reference implementations: accumulate in float64 and compare
+// with relative tolerance — this catches algebraic mistakes in the
+// kernels independently of the bit-identity checks below.
+
+func refSquaredL2(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+func refDot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+func refCosine(a, b []float32) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/math.Sqrt(na*nb)
+}
+
+// relClose reports whether got is within tol of want, scaled by the
+// magnitude of the accumulated terms (scale), so cancellation-heavy dot
+// products are judged against the size of what was summed, not the tiny
+// result.
+func relClose(got float32, want, scale, tol float64) bool {
+	diff := math.Abs(float64(got) - want)
+	if s := math.Abs(want); s > scale {
+		scale = s
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= tol*scale
+}
+
+func TestBatchKernelsVsFloat64Reference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const rows = 9 // odd: exercises the single-row tail of the 2-row pairing
+	for _, dim := range testDims {
+		q := randVec(rng, dim)
+		block := randBlock(rng, rows, dim)
+		out := make([]float32, rows)
+		// float32 accumulation error grows ~sqrt(dim) in the random case;
+		// 1e-4*sqrt(dim) gives generous but still bug-catching headroom.
+		tol := 1e-4 * math.Sqrt(float64(dim))
+
+		SquaredL2Batch(q, block, dim, out)
+		for r := 0; r < rows; r++ {
+			row := block[r*dim : (r+1)*dim]
+			want := refSquaredL2(q, row)
+			if !relClose(out[r], want, want, tol) {
+				t.Fatalf("dim %d row %d: SquaredL2Batch=%g want %g", dim, r, out[r], want)
+			}
+		}
+
+		DotBatch(q, block, dim, out)
+		for r := 0; r < rows; r++ {
+			row := block[r*dim : (r+1)*dim]
+			want := refDot(q, row)
+			// scale: magnitude of summed terms, for cancellation headroom
+			var mag float64
+			for i := range row {
+				mag += math.Abs(float64(q[i]) * float64(row[i]))
+			}
+			if !relClose(out[r], want, mag, tol) {
+				t.Fatalf("dim %d row %d: DotBatch=%g want %g", dim, r, out[r], want)
+			}
+		}
+
+		CosineBatch(q, block, dim, out)
+		for r := 0; r < rows; r++ {
+			row := block[r*dim : (r+1)*dim]
+			want := refCosine(q, row)
+			if !relClose(out[r], want, 1, tol) {
+				t.Fatalf("dim %d row %d: CosineBatch=%g want %g", dim, r, out[r], want)
+			}
+		}
+	}
+}
+
+// TestBatchBitIdentity pins the central contract: every batched kernel
+// reproduces its single-pair counterpart bit for bit, so scans switched
+// to batched scoring return byte-identical results.
+func TestBatchBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dim := range testDims {
+		for _, rows := range []int{0, 1, 2, 3, 8, 9} {
+			q := randVec(rng, dim)
+			block := randBlock(rng, rows, dim)
+			out := make([]float32, rows)
+
+			SquaredL2Batch(q, block, dim, out)
+			for r := 0; r < rows; r++ {
+				if want := SquaredL2(q, block[r*dim:(r+1)*dim]); out[r] != want {
+					t.Fatalf("dim %d rows %d row %d: SquaredL2Batch=%b want %b", dim, rows, r, out[r], want)
+				}
+			}
+			DotBatch(q, block, dim, out)
+			for r := 0; r < rows; r++ {
+				if want := Dot(q, block[r*dim:(r+1)*dim]); out[r] != want {
+					t.Fatalf("dim %d rows %d row %d: DotBatch=%b want %b", dim, rows, r, out[r], want)
+				}
+			}
+			CosineBatch(q, block, dim, out)
+			for r := 0; r < rows; r++ {
+				if want := CosineDistance(q, block[r*dim:(r+1)*dim]); out[r] != want {
+					t.Fatalf("dim %d rows %d row %d: CosineBatch=%b want %b", dim, rows, r, out[r], want)
+				}
+			}
+		}
+	}
+}
+
+func TestCosineNormVariantsBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dim := range testDims {
+		a := randVec(rng, dim)
+		b := randVec(rng, dim)
+		want := CosineDistance(a, b)
+		if got := CosineDistanceNorm(a, b, CosineNormSquared(a)); got != want {
+			t.Fatalf("dim %d: CosineDistanceNorm=%b CosineDistance=%b", dim, got, want)
+		}
+	}
+	// Zero-norm conventions survive the cached-norm path.
+	z := make([]float32, 8)
+	v := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	if got := CosineDistanceNorm(z, v, CosineNormSquared(z)); got != 1 {
+		t.Fatalf("zero query: got %g want 1", got)
+	}
+	if got := CosineDistanceNorm(v, z, CosineNormSquared(v)); got != 1 {
+		t.Fatalf("zero candidate: got %g want 1", got)
+	}
+}
+
+// TestMaskedVariants: set bits are scored bit-identically, unset rows
+// are left untouched, and full words hit the contiguous fast path with
+// the same results as the per-bit path.
+func TestMaskedVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const sentinel = float32(-12345)
+	for _, dim := range []int{1, 7, 32, 129} {
+		for _, rows := range []int{1, 63, 64, 65, 130, 200} {
+			q := randVec(rng, dim)
+			block := randBlock(rng, rows, dim)
+			words := (rows + 63) / 64
+			masks := [][]uint64{
+				make([]uint64, words), // empty
+				make([]uint64, words), // full
+				make([]uint64, words), // random
+			}
+			for w := range masks[1] {
+				masks[1][w] = ^uint64(0) // full words force the fast path
+			}
+			for w := range masks[2] {
+				masks[2][w] = rng.Uint64()
+			}
+			for _, mask := range masks {
+				for name, run := range map[string]func(out []float32){
+					"l2":  func(out []float32) { SquaredL2BatchMasked(q, block, dim, mask, out) },
+					"dot": func(out []float32) { DotBatchMasked(q, block, dim, mask, out) },
+					"cos": func(out []float32) {
+						CosineBatchMasked(q, block, dim, CosineNormSquared(q[:dim]), mask, out)
+					},
+				} {
+					out := make([]float32, rows)
+					for i := range out {
+						out[i] = sentinel
+					}
+					run(out)
+					for r := 0; r < rows; r++ {
+						set := mask[r/64]&(1<<(r%64)) != 0
+						if !set {
+							if out[r] != sentinel {
+								t.Fatalf("%s dim %d rows %d row %d: unset row overwritten", name, dim, rows, r)
+							}
+							continue
+						}
+						row := block[r*dim : (r+1)*dim]
+						var want float32
+						switch name {
+						case "l2":
+							want = SquaredL2(q[:dim], row)
+						case "dot":
+							want = Dot(q[:dim], row)
+						case "cos":
+							want = CosineDistance(q[:dim], row)
+						}
+						if out[r] != want {
+							t.Fatalf("%s dim %d rows %d row %d: got %b want %b", name, dim, rows, r, out[r], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGatherVariantsBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, dim := range []int{1, 5, 32, 129, 768} {
+		const totalRows = 40
+		flat := randBlock(rng, totalRows, dim)
+		q := randVec(rng, dim)
+		for _, n := range []int{0, 1, 2, 7} {
+			rowIdx := make([]uint32, n)
+			for i := range rowIdx {
+				rowIdx[i] = uint32(rng.Intn(totalRows))
+			}
+			out := make([]float32, n)
+
+			SquaredL2Gather(q, flat, dim, rowIdx, out)
+			for i, ri := range rowIdx {
+				if want := SquaredL2(q, flat[int(ri)*dim:(int(ri)+1)*dim]); out[i] != want {
+					t.Fatalf("dim %d n %d i %d: SquaredL2Gather mismatch", dim, n, i)
+				}
+			}
+			DotGather(q, flat, dim, rowIdx, out)
+			for i, ri := range rowIdx {
+				if want := Dot(q, flat[int(ri)*dim:(int(ri)+1)*dim]); out[i] != want {
+					t.Fatalf("dim %d n %d i %d: DotGather mismatch", dim, n, i)
+				}
+			}
+			CosineGatherNorm(q, flat, dim, CosineNormSquared(q), rowIdx, out)
+			for i, ri := range rowIdx {
+				if want := CosineDistance(q, flat[int(ri)*dim:(int(ri)+1)*dim]); out[i] != want {
+					t.Fatalf("dim %d n %d i %d: CosineGatherNorm mismatch", dim, n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPreparedQuery pins the seam used by every rewired consumer: a
+// prepared query scores bit-identically to the pre-PR sequence
+// (normalize the query for cosine, then FuncFor(m) per candidate).
+func TestPreparedQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, m := range []Metric{L2, Cosine, InnerProduct} {
+		for _, dim := range []int{1, 3, 32, 129} {
+			query := randVec(rng, dim)
+			cands := randBlock(rng, 5, dim)
+			p := Prepare(m, query)
+
+			oldQ := query
+			if m == Cosine {
+				oldQ = Normalized(query)
+			}
+			f := FuncFor(m)
+			for r := 0; r < 5; r++ {
+				row := cands[r*dim : (r+1)*dim]
+				if got, want := p.Distance(row), f(oldQ, row); got != want {
+					t.Fatalf("%v dim %d: Distance=%b legacy=%b", m, dim, got, want)
+				}
+			}
+			out := make([]float32, 5)
+			p.DistanceBlock(cands, dim, out)
+			for r := 0; r < 5; r++ {
+				if want := f(oldQ, cands[r*dim:(r+1)*dim]); out[r] != want {
+					t.Fatalf("%v dim %d row %d: DistanceBlock mismatch", m, dim, r)
+				}
+			}
+			mask := []uint64{0b10110}
+			for i := range out {
+				out[i] = -1
+			}
+			p.DistanceMasked(cands, dim, mask, out)
+			for r := 0; r < 5; r++ {
+				if mask[0]&(1<<r) == 0 {
+					if out[r] != -1 {
+						t.Fatalf("%v dim %d row %d: masked-out row written", m, dim, r)
+					}
+					continue
+				}
+				if want := f(oldQ, cands[r*dim:(r+1)*dim]); out[r] != want {
+					t.Fatalf("%v dim %d row %d: DistanceMasked mismatch", m, dim, r)
+				}
+			}
+			rowIdx := []uint32{4, 0, 2}
+			gout := make([]float32, len(rowIdx))
+			p.DistanceGather(cands, dim, rowIdx, gout)
+			for i, ri := range rowIdx {
+				if want := f(oldQ, cands[int(ri)*dim:(int(ri)+1)*dim]); gout[i] != want {
+					t.Fatalf("%v dim %d i %d: DistanceGather mismatch", m, dim, i)
+				}
+			}
+
+			// PrepareRaw on an already-normalized query must not normalize
+			// again (double normalization is not bit-stable).
+			if m == Cosine {
+				pr := PrepareRaw(m, oldQ)
+				for r := 0; r < 5; r++ {
+					row := cands[r*dim : (r+1)*dim]
+					if got, want := pr.Distance(row), f(oldQ, row); got != want {
+						t.Fatalf("dim %d: PrepareRaw mismatch", dim)
+					}
+				}
+				if &pr.Vec[0] != &oldQ[0] {
+					t.Fatalf("PrepareRaw copied the query")
+				}
+			}
+		}
+	}
+}
+
+// FuzzBatchVsScalar drives random (dim, rows, seed) triples through the
+// three batch kernels and checks bit-identity with the scalar kernels —
+// the go-fuzz entry point for the differential satellite.
+func FuzzBatchVsScalar(f *testing.F) {
+	f.Add(int64(1), 8, 3)
+	f.Add(int64(2), 1537, 5)
+	f.Add(int64(3), 129, 2)
+	f.Fuzz(func(t *testing.T, seed int64, dim, rows int) {
+		if dim < 1 || dim > 1537 || rows < 0 || rows > 64 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		q := randVec(rng, dim)
+		block := randBlock(rng, rows, dim)
+		out := make([]float32, rows)
+		SquaredL2Batch(q, block, dim, out)
+		for r := 0; r < rows; r++ {
+			if want := SquaredL2(q, block[r*dim:(r+1)*dim]); out[r] != want {
+				t.Fatalf("l2 row %d: %b != %b", r, out[r], want)
+			}
+		}
+		DotBatch(q, block, dim, out)
+		for r := 0; r < rows; r++ {
+			if want := Dot(q, block[r*dim:(r+1)*dim]); out[r] != want {
+				t.Fatalf("dot row %d: %b != %b", r, out[r], want)
+			}
+		}
+		CosineBatch(q, block, dim, out)
+		for r := 0; r < rows; r++ {
+			if want := CosineDistance(q, block[r*dim:(r+1)*dim]); out[r] != want {
+				t.Fatalf("cos row %d: %b != %b", r, out[r], want)
+			}
+		}
+	})
+}

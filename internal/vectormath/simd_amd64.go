@@ -1,0 +1,34 @@
+//go:build amd64
+
+package vectormath
+
+// SSE2 fast path for the 4-row batch kernels. The assembly keeps one XMM
+// accumulator per row whose four lanes are exactly the s0..s3 stride-4
+// accumulators of the scalar kernels, fed in ascending index order, with
+// the final reduction performed lane by lane in the scalar kernels'
+// ((s0+s1)+s2)+s3 order and the tail (dim%4) accumulated into lane 0 —
+// so every result is bit-identical to the pure-Go path. SSE2 is baseline
+// on amd64: no feature detection needed.
+//
+// CosineBatchNorm has no assembly counterpart: its accumulation order is
+// a single per-row accumulator fed with fused four-term sums, which does
+// not map onto vertical SIMD lanes without changing rounding.
+
+const useSIMD4 = true
+
+//go:noescape
+func squaredL2x4Asm(q, block, out *float32, dim int)
+
+//go:noescape
+func dotx4Asm(q, block, out *float32, dim int)
+
+// squaredL2x4 scores query against four contiguous rows of block
+// (row r at block[r*dim:]), writing out[0..3].
+func squaredL2x4(q, block []float32, dim int, out []float32) {
+	squaredL2x4Asm(&q[0], &block[0], &out[0], dim)
+}
+
+// dotx4 is squaredL2x4 for the raw dot product.
+func dotx4(q, block []float32, dim int, out []float32) {
+	dotx4Asm(&q[0], &block[0], &out[0], dim)
+}

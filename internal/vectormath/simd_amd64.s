@@ -1,0 +1,215 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// The 4-row SSE2 distance kernels. Each row r in 0..3 gets its own XMM
+// accumulator whose four lanes are the scalar kernels' stride-4
+// accumulators s0..s3; chunks are added in ascending index order, the
+// tail (dim%4) accumulates into lane 0 via the SS forms, and the final
+// reduction adds lanes as ((s0+s1)+s2)+s3 — the exact float32 operation
+// sequence of SquaredL2/Dot, so results are bit-identical to the Go path.
+//
+// Register plan (both kernels):
+//   SI=q  DI=row0  R9=row1  R10=row2  R11=row3  DX=out
+//   CX=dim  BX=dim&^3  AX=i
+//   X0..X3 row accumulators, X4 query chunk, X5 scratch, X6 row chunk
+
+// func squaredL2x4Asm(q, block, out *float32, dim int)
+TEXT ·squaredL2x4Asm(SB), NOSPLIT, $0-32
+	MOVQ q+0(FP), SI
+	MOVQ block+8(FP), DI
+	MOVQ out+16(FP), DX
+	MOVQ dim+24(FP), CX
+	MOVQ CX, R8
+	SHLQ $2, R8                 // row stride in bytes
+	LEAQ (DI)(R8*1), R9
+	LEAQ (DI)(R8*2), R10
+	LEAQ (R9)(R8*2), R11
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	MOVQ CX, BX
+	ANDQ $-4, BX                // vectorizable prefix length
+	XORQ AX, AX
+
+l2loop:
+	CMPQ AX, BX
+	JGE  l2tail
+	MOVUPS (SI)(AX*4), X4       // q[i:i+4], shared by all four rows
+	MOVUPS (DI)(AX*4), X6
+	MOVAPS X4, X5
+	SUBPS  X6, X5
+	MULPS  X5, X5
+	ADDPS  X5, X0
+	MOVUPS (R9)(AX*4), X6
+	MOVAPS X4, X5
+	SUBPS  X6, X5
+	MULPS  X5, X5
+	ADDPS  X5, X1
+	MOVUPS (R10)(AX*4), X6
+	MOVAPS X4, X5
+	SUBPS  X6, X5
+	MULPS  X5, X5
+	ADDPS  X5, X2
+	MOVUPS (R11)(AX*4), X6
+	MOVAPS X4, X5
+	SUBPS  X6, X5
+	MULPS  X5, X5
+	ADDPS  X5, X3
+	ADDQ $4, AX
+	JMP  l2loop
+
+l2tail:
+	CMPQ AX, CX
+	JGE  l2reduce
+	MOVSS (SI)(AX*4), X4
+	MOVSS (DI)(AX*4), X6
+	MOVAPS X4, X5
+	SUBSS  X6, X5
+	MULSS  X5, X5
+	ADDSS  X5, X0
+	MOVSS (R9)(AX*4), X6
+	MOVAPS X4, X5
+	SUBSS  X6, X5
+	MULSS  X5, X5
+	ADDSS  X5, X1
+	MOVSS (R10)(AX*4), X6
+	MOVAPS X4, X5
+	SUBSS  X6, X5
+	MULSS  X5, X5
+	ADDSS  X5, X2
+	MOVSS (R11)(AX*4), X6
+	MOVAPS X4, X5
+	SUBSS  X6, X5
+	MULSS  X5, X5
+	ADDSS  X5, X3
+	ADDQ $1, AX
+	JMP  l2tail
+
+l2reduce:
+	PSHUFD $1, X0, X5           // lane 1 (s1)
+	ADDSS  X5, X0
+	PSHUFD $2, X0, X5           // lane 2 (s2)
+	ADDSS  X5, X0
+	PSHUFD $3, X0, X5           // lane 3 (s3)
+	ADDSS  X5, X0
+	MOVSS  X0, (DX)
+	PSHUFD $1, X1, X5
+	ADDSS  X5, X1
+	PSHUFD $2, X1, X5
+	ADDSS  X5, X1
+	PSHUFD $3, X1, X5
+	ADDSS  X5, X1
+	MOVSS  X1, 4(DX)
+	PSHUFD $1, X2, X5
+	ADDSS  X5, X2
+	PSHUFD $2, X2, X5
+	ADDSS  X5, X2
+	PSHUFD $3, X2, X5
+	ADDSS  X5, X2
+	MOVSS  X2, 8(DX)
+	PSHUFD $1, X3, X5
+	ADDSS  X5, X3
+	PSHUFD $2, X3, X5
+	ADDSS  X5, X3
+	PSHUFD $3, X3, X5
+	ADDSS  X5, X3
+	MOVSS  X3, 12(DX)
+	RET
+
+// func dotx4Asm(q, block, out *float32, dim int)
+TEXT ·dotx4Asm(SB), NOSPLIT, $0-32
+	MOVQ q+0(FP), SI
+	MOVQ block+8(FP), DI
+	MOVQ out+16(FP), DX
+	MOVQ dim+24(FP), CX
+	MOVQ CX, R8
+	SHLQ $2, R8
+	LEAQ (DI)(R8*1), R9
+	LEAQ (DI)(R8*2), R10
+	LEAQ (R9)(R8*2), R11
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	MOVQ CX, BX
+	ANDQ $-4, BX
+	XORQ AX, AX
+
+dotloop:
+	CMPQ AX, BX
+	JGE  dottail
+	MOVUPS (SI)(AX*4), X4
+	MOVUPS (DI)(AX*4), X6
+	MOVAPS X4, X5
+	MULPS  X6, X5
+	ADDPS  X5, X0
+	MOVUPS (R9)(AX*4), X6
+	MOVAPS X4, X5
+	MULPS  X6, X5
+	ADDPS  X5, X1
+	MOVUPS (R10)(AX*4), X6
+	MOVAPS X4, X5
+	MULPS  X6, X5
+	ADDPS  X5, X2
+	MOVUPS (R11)(AX*4), X6
+	MOVAPS X4, X5
+	MULPS  X6, X5
+	ADDPS  X5, X3
+	ADDQ $4, AX
+	JMP  dotloop
+
+dottail:
+	CMPQ AX, CX
+	JGE  dotreduce
+	MOVSS (SI)(AX*4), X4
+	MOVSS (DI)(AX*4), X6
+	MOVAPS X4, X5
+	MULSS  X6, X5
+	ADDSS  X5, X0
+	MOVSS (R9)(AX*4), X6
+	MOVAPS X4, X5
+	MULSS  X6, X5
+	ADDSS  X5, X1
+	MOVSS (R10)(AX*4), X6
+	MOVAPS X4, X5
+	MULSS  X6, X5
+	ADDSS  X5, X2
+	MOVSS (R11)(AX*4), X6
+	MOVAPS X4, X5
+	MULSS  X6, X5
+	ADDSS  X5, X3
+	ADDQ $1, AX
+	JMP  dottail
+
+dotreduce:
+	PSHUFD $1, X0, X5
+	ADDSS  X5, X0
+	PSHUFD $2, X0, X5
+	ADDSS  X5, X0
+	PSHUFD $3, X0, X5
+	ADDSS  X5, X0
+	MOVSS  X0, (DX)
+	PSHUFD $1, X1, X5
+	ADDSS  X5, X1
+	PSHUFD $2, X1, X5
+	ADDSS  X5, X1
+	PSHUFD $3, X1, X5
+	ADDSS  X5, X1
+	MOVSS  X1, 4(DX)
+	PSHUFD $1, X2, X5
+	ADDSS  X5, X2
+	PSHUFD $2, X2, X5
+	ADDSS  X5, X2
+	PSHUFD $3, X2, X5
+	ADDSS  X5, X2
+	MOVSS  X2, 8(DX)
+	PSHUFD $1, X3, X5
+	ADDSS  X5, X3
+	PSHUFD $2, X3, X5
+	ADDSS  X5, X3
+	PSHUFD $3, X3, X5
+	ADDSS  X5, X3
+	MOVSS  X3, 12(DX)
+	RET

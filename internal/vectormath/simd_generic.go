@@ -1,0 +1,22 @@
+//go:build !amd64
+
+package vectormath
+
+// Portable stand-ins for the amd64 SSE2 4-row kernels. The batch kernels
+// gate on useSIMD4, so these only run in tests on other architectures;
+// they delegate to the scalar kernels, which the assembly is bit-identical
+// to by construction.
+
+const useSIMD4 = false
+
+func squaredL2x4(q, block []float32, dim int, out []float32) {
+	for r := 0; r < 4; r++ {
+		out[r] = SquaredL2(q[:dim], block[r*dim:][:dim])
+	}
+}
+
+func dotx4(q, block []float32, dim int, out []float32) {
+	for r := 0; r < 4; r++ {
+		out[r] = Dot(q[:dim], block[r*dim:][:dim])
+	}
+}

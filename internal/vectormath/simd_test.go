@@ -1,0 +1,41 @@
+package vectormath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSIMD4BitIdentity pins the 4-row kernels (SSE2 assembly on amd64,
+// scalar delegation elsewhere) against the single-pair kernels bit for
+// bit, across odd dims (assembly tail lanes) and denormal/extreme values.
+func TestSIMD4BitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dims := []int{1, 2, 3, 4, 5, 7, 8, 15, 16, 31, 32, 33, 127, 128, 129, 768, 1537}
+	for _, dim := range dims {
+		q := randVec(rng, dim)
+		block := randBlock(rng, 4, dim)
+		// Salt in extremes: the assembly must round exactly like Go for
+		// tiny and huge magnitudes too, not just unit-scale Gaussians.
+		if dim >= 4 {
+			block[0] = math.SmallestNonzeroFloat32
+			block[dim+1] = 3.4e38
+			block[2*dim+2] = -3.4e38
+			block[3*dim+3] = float32(math.Inf(1))
+		}
+		out := make([]float32, 4)
+
+		squaredL2x4(q, block, dim, out)
+		for r := 0; r < 4; r++ {
+			if want := SquaredL2(q, block[r*dim:(r+1)*dim]); out[r] != want && !(math.IsNaN(float64(out[r])) && math.IsNaN(float64(want))) {
+				t.Fatalf("dim %d row %d: squaredL2x4=%b want %b", dim, r, out[r], want)
+			}
+		}
+		dotx4(q, block, dim, out)
+		for r := 0; r < 4; r++ {
+			if want := Dot(q, block[r*dim:(r+1)*dim]); out[r] != want && !(math.IsNaN(float64(out[r])) && math.IsNaN(float64(want))) {
+				t.Fatalf("dim %d row %d: dotx4=%b want %b", dim, r, out[r], want)
+			}
+		}
+	}
+}

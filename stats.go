@@ -37,6 +37,17 @@ type StoreStats struct {
 	// cancelled ones — have finished; a stuck non-zero value pins the
 	// vacuum.
 	ActiveQueries int `json:"active_queries"`
+	// VectorBytes is the resident size of the store's float32 segment
+	// rows; QuantizedBytes is the additional size of the SQ8 codes (zero
+	// with quantization off). Their ratio shows the memory cut a
+	// codes-only deployment would get.
+	VectorBytes    uint64 `json:"vector_bytes"`
+	QuantizedBytes uint64 `json:"quantized_bytes"`
+	// RescoreCandidates counts candidates re-scored with exact float32
+	// distances after a quantized scan since Open. Zero with quantization
+	// on means no brute scan ran quantized (e.g. every segment went
+	// through an index).
+	RescoreCandidates uint64 `json:"rescore_candidates"`
 }
 
 // FilterPlanStats accumulates filtered-search planner activity since
@@ -144,13 +155,17 @@ func (db *DB) Stats() DBStats {
 		SkippedSegments:  pc.SkippedSegments,
 	}
 	for _, store := range db.svc.Stores() {
+		vecBytes, quantBytes, rescored := store.MemStats()
 		st.Stores = append(st.Stores, StoreStats{
-			Attr:          store.Key,
-			Segments:      store.NumSegments(),
-			PendingDeltas: store.PendingDeltas(),
-			DeltaFiles:    len(store.DeltaFiles()),
-			Watermark:     uint64(store.Watermark()),
-			ActiveQueries: store.ActiveQueries(),
+			Attr:              store.Key,
+			Segments:          store.NumSegments(),
+			PendingDeltas:     store.PendingDeltas(),
+			DeltaFiles:        len(store.DeltaFiles()),
+			Watermark:         uint64(store.Watermark()),
+			ActiveQueries:     store.ActiveQueries(),
+			VectorBytes:       vecBytes,
+			QuantizedBytes:    quantBytes,
+			RescoreCandidates: rescored,
 		})
 	}
 	sort.Slice(st.Stores, func(i, j int) bool { return st.Stores[i].Attr < st.Stores[j].Attr })

@@ -85,6 +85,25 @@ type Config struct {
 	// search and post-filtered index search). Zero fields select the
 	// defaults.
 	FilterPlan FilterPlanConfig
+	// Quantization opts brute-force segment scans into int8 scalar
+	// quantization (SQ8) with exact float32 re-scoring. Off by default;
+	// index-backed searches and range scans always score exact floats.
+	Quantization QuantizationConfig
+}
+
+// QuantizationConfig controls SQ8 scalar quantization of brute segment
+// scans (see internal/core.QuantConfig for the exact semantics). Each
+// segment keeps a per-dimension min/max affine int8 code alongside the
+// float32 rows; a quantized scan scores the codes and then re-scores the
+// best candidates exactly, so results stay high-recall while the scan
+// reads a quarter of the bytes.
+type QuantizationConfig struct {
+	// Enabled turns quantized brute scans on.
+	Enabled bool
+	// RescoreFactor is the candidate multiple re-scored exactly: a top-k
+	// scan keeps the best RescoreFactor*k quantized candidates and
+	// re-ranks them with float32 distances. Default 4.
+	RescoreFactor int
 }
 
 // FilterPlanConfig exposes the planner thresholds (see
@@ -170,6 +189,12 @@ func Open(cfg Config) (*DB, error) {
 		BruteSelectivity: cfg.FilterPlan.BruteForceSelectivity,
 		PostSelectivity:  cfg.FilterPlan.PostFilterSelectivity,
 		MaxEfScale:       cfg.FilterPlan.MaxEfInflation,
+	})
+	// Before recovery: restoring a checkpoint must know whether to install
+	// (or re-derive) per-segment codecs as vectors come back.
+	svc.SetQuantization(core.QuantConfig{
+		Enabled: cfg.Quantization.Enabled,
+		Rescore: cfg.Quantization.RescoreFactor,
 	})
 
 	mgr := txn.NewManager(svc, nil)
