@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet lint race recovery-test bench-restart bench-filtered bench-kernels bench-serving bench-serving-smoke fmt-check
+.PHONY: build test bench vet lint race recovery-test cluster-test bench-restart bench-filtered bench-kernels bench-serving bench-serving-smoke bench-serving-cluster fmt-check
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,14 @@ race:
 recovery-test:
 	./scripts/recovery_test.sh
 
+# End-to-end cluster test: one durable primary + two WAL-shipping read
+# replicas behind the scatter/gather router — replica convergence, 421
+# write rejection, SIGKILL degradation (partial:true naming the shard),
+# recovery through the surviving endpoints, and snapshot bootstrap of a
+# fresh replica after a checkpoint has truncated the primary's WAL.
+cluster-test:
+	./scripts/cluster_test.sh
+
 # Paper-figure regeneration plus the serving throughput comparison.
 # TGV_SCALE=1 runs the full laptop-scale experiments.
 bench:
@@ -82,3 +90,16 @@ bench-serving:
 bench-serving-smoke:
 	$(GO) run ./cmd/tgvbench -exp serve -n 1500 -dim 32 -queries 40 -k 10 \
 		-duration 1s -qps 200 -clients 4 -out BENCH_serving.json
+
+# Cluster scaling variant: the same suite swept across shard counts —
+# a single-node no-router baseline (0), then 1 and 3 shards behind the
+# scatter/gather router — each count a fresh in-process cluster. Rows
+# carry a "shards" field; comparing 0→1 isolates router overhead,
+# 1→3 the partitioning gain. In-process shards share the host's cores
+# (the report records host_cpus): shard-parallel speedup needs at least
+# one core per shard, so on a 1-core CI box the 1→3 delta is pure
+# router+fan-out overhead.
+bench-serving-cluster:
+	$(GO) run ./cmd/tgvbench -exp serve -cluster -shards 0,1,3 \
+		-n 1500 -dim 32 -queries 40 -k 10 -duration 1s -qps 200 -clients 4 \
+		-out BENCH_serving.json

@@ -15,7 +15,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"time"
 )
 
 // Hit is one vector search result.
@@ -97,9 +99,51 @@ type SearchResult struct {
 
 // SearchResponse is the body answering POST /search. Single-query
 // requests fill Results with exactly one entry.
+//
+// Partial, FailedShards and ShardTIDs are only set by tgvrouter: a
+// scatter/gather search that lost a shard (timeout or error) answers
+// with the hits of the surviving shards and Partial=true naming the
+// missing shards — degraded results are flagged, never silent.
 type SearchResponse struct {
 	// Results holds one entry per query, in request order.
 	Results []SearchResult `json:"results"`
+	// Partial marks a router response missing at least one shard's hits.
+	Partial bool `json:"partial,omitempty"`
+	// FailedShards names the shards (and their failing endpoints) whose
+	// results are absent when Partial is set.
+	FailedShards []string `json:"failed_shards,omitempty"`
+	// ShardTIDs maps shard name to the MVCC snapshot TID that shard
+	// answered at (router responses only; per-shard TIDs are not
+	// comparable across shards, so merged results carry snapshot_tid 0).
+	ShardTIDs map[string]uint64 `json:"shard_tids,omitempty"`
+}
+
+// GetRequest is the body of POST /get: read one embedding by vertex id
+// (or primary key) at an optional pinned snapshot.
+type GetRequest struct {
+	// Type is the vertex type.
+	Type string `json:"type"`
+	// Attr is the embedding attribute name.
+	Attr string `json:"attr"`
+	// ID is the internal vertex id.
+	ID *uint64 `json:"id,omitempty"`
+	// Key is the vertex primary key (alternative to ID).
+	Key any `json:"key,omitempty"`
+	// AtTID pins the MVCC snapshot; 0 reads the current visible TID.
+	AtTID uint64 `json:"at_tid,omitempty"`
+}
+
+// GetResponse is the body answering POST /get.
+type GetResponse struct {
+	// ID is the resolved vertex id.
+	ID uint64 `json:"id"`
+	// Vector is the embedding, nil when Found is false.
+	Vector []float32 `json:"vector,omitempty"`
+	// Found reports whether the vertex has a live embedding at the
+	// snapshot.
+	Found bool `json:"found"`
+	// SnapshotTID is the MVCC snapshot the read executed at.
+	SnapshotTID uint64 `json:"snapshot_tid"`
 }
 
 // RangeRequest is the body of POST /range.
@@ -258,10 +302,110 @@ type CheckpointResponse struct {
 	DurationSeconds float64 `json:"duration_seconds"`
 }
 
+// ReplStateResponse is the body answering GET /repl/state: the TID and
+// catalog positions a replica needs to decide between incremental pull
+// and snapshot bootstrap.
+type ReplStateResponse struct {
+	// LastCommittedTID is the primary's highest committed TID.
+	LastCommittedTID uint64 `json:"last_committed_tid"`
+	// LastCheckpointTID is the TID of the primary's newest checkpoint;
+	// WAL records at or below it have been (or may be) truncated, so a
+	// replica behind it must bootstrap from the snapshot.
+	LastCheckpointTID uint64 `json:"last_checkpoint_tid"`
+	// CatalogLen is the byte length of the primary's catalog (DDL) log.
+	CatalogLen int64 `json:"catalog_len"`
+	// Durable reports whether the primary runs with a WAL; replication
+	// requires it.
+	Durable bool `json:"durable"`
+}
+
+// ReplicationStats is the "replication" block of a replica's /stats:
+// the honest-staleness contract in numbers.
+type ReplicationStats struct {
+	// Primary is the URL this replica pulls from.
+	Primary string `json:"primary"`
+	// AppliedTID is the highest TID the replica has committed locally;
+	// reads on the replica see exactly the primary's state at this TID.
+	AppliedTID uint64 `json:"applied_tid"`
+	// PrimaryTID is the primary's committed TID as of the last pull.
+	PrimaryTID uint64 `json:"primary_tid"`
+	// ReplicationLag is PrimaryTID - AppliedTID at the last pull: how
+	// many committed transactions the replica has not applied yet.
+	ReplicationLag uint64 `json:"replication_lag"`
+	// Pulls counts completed pull requests; RecordsApplied counts WAL
+	// records committed through them.
+	Pulls          int64 `json:"pulls"`
+	RecordsApplied int64 `json:"records_applied"`
+	// SecondsSinceLastPull is the age of the last successful pull
+	// (staleness upper bound when the primary is idle); -1 before the
+	// first pull.
+	SecondsSinceLastPull float64 `json:"seconds_since_last_pull"`
+	// SnapshotRequired reports the replica fell behind the primary's WAL
+	// horizon mid-life; restart the replica to re-bootstrap.
+	SnapshotRequired bool `json:"snapshot_required,omitempty"`
+	// LastError is the most recent pull failure, empty when healthy.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// TIDState is the wire-visible MVCC position of a server, extracted
+// from /stats: both fields are required for lag monitoring (how far a
+// replica trails) and restart budgeting (how much WAL a crash replays).
+type TIDState struct {
+	// LastCommittedTID is the highest committed transaction id.
+	LastCommittedTID uint64 `json:"last_committed_tid"`
+	// LastCheckpointTID is the TID of the newest checkpoint covering the
+	// server's data dir — written by this process or recovered from disk.
+	LastCheckpointTID uint64 `json:"last_checkpoint_tid"`
+}
+
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	// Error is the human-readable failure description.
 	Error string `json:"error"`
+}
+
+// RetryPolicy opts a Client into jittered exponential backoff on
+// transient failures: transport errors (connection refused/reset, EOF)
+// and 5xx answers. 4xx answers are never retried — they are the
+// server's verdict on the request, and repeating them can only repeat
+// the verdict (or, worse, repeat a write the server already rejected
+// deliberately). Context cancellation and deadlines also stop retrying
+// immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// values <= 1 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt. Default 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 2s.
+	MaxDelay time.Duration
+}
+
+// delay returns the jittered backoff before retry number n (0-based):
+// exponential growth capped at MaxDelay, then uniformly jittered into
+// [d/2, d) so a burst of failing clients does not resynchronize into
+// retry waves.
+func (p *RetryPolicy) delay(n int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	for i := 0; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half))
 }
 
 // Client talks to one tgvserve instance.
@@ -270,6 +414,9 @@ type Client struct {
 	BaseURL string
 	// HTTP is the underlying HTTP client; nil uses http.DefaultClient.
 	HTTP *http.Client
+	// Retry, when non-nil, retries transient failures (transport errors
+	// and 5xx) with jittered backoff. Nil never retries.
+	Retry *RetryPolicy
 }
 
 // New returns a Client for the server at baseURL.
@@ -450,6 +597,68 @@ func (c *Client) StoreMemory(ctx context.Context) ([]StoreMemStats, error) {
 	return payload.DB.Stores, nil
 }
 
+// GetEmbedding reads one embedding through POST /get: by vertex id or
+// primary key, optionally at a pinned snapshot. Routed deployments
+// forward it to the owning shard, so it composes with tgvrouter like
+// search does.
+func (c *Client) GetEmbedding(ctx context.Context, req GetRequest) (*GetResponse, error) {
+	var resp GetResponse
+	if err := c.post(ctx, "/get", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// TIDState fetches /stats and returns the server's wire-visible MVCC
+// position: the last committed TID and the newest checkpoint TID.
+func (c *Client) TIDState(ctx context.Context) (*TIDState, error) {
+	raw, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var payload struct {
+		DB TIDState `json:"db"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		return nil, fmt.Errorf("client: decode /stats: %w", err)
+	}
+	return &payload.DB, nil
+}
+
+// Replication fetches /stats and returns the replication block, or nil
+// when the server is not a replica.
+func (c *Client) Replication(ctx context.Context) (*ReplicationStats, error) {
+	raw, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var payload struct {
+		Replication *ReplicationStats `json:"replication"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		return nil, fmt.Errorf("client: decode /stats: %w", err)
+	}
+	return payload.Replication, nil
+}
+
+// ReplState fetches GET /repl/state: the positions a replica compares
+// against its own applied TID to choose incremental pull vs bootstrap.
+func (c *Client) ReplState(ctx context.Context) (*ReplStateResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/repl/state", nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp ReplStateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("client: decode /repl/state: %w", err)
+	}
+	return &resp, nil
+}
+
 // post sends a JSON request and decodes the JSON response into out.
 func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	payload, err := json.Marshal(in)
@@ -468,31 +677,85 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	return json.Unmarshal(body, out)
 }
 
-// do executes the request and maps non-2xx answers to errors.
+// do executes the request and maps non-2xx answers to errors, retrying
+// transient failures when the client carries a RetryPolicy.
 func (c *Client) do(req *http.Request) ([]byte, error) {
+	attempts := 1
+	if c.Retry != nil && c.Retry.MaxAttempts > 1 {
+		attempts = c.Retry.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			// A consumed body cannot be resent; GetBody (set automatically
+			// for bytes.Reader payloads) re-creates it per attempt.
+			if req.GetBody != nil {
+				body, err := req.GetBody()
+				if err != nil {
+					return nil, lastErr
+				}
+				req.Body = body
+			} else if req.Body != nil {
+				return nil, lastErr
+			}
+			select {
+			case <-req.Context().Done():
+				return nil, req.Context().Err()
+			case <-time.After(c.Retry.delay(attempt - 1)):
+			}
+		}
+		body, status, err := c.doOnce(req)
+		if err != nil {
+			// Transport-level failure (refused, reset, EOF): transient
+			// unless the caller's context ended.
+			if req.Context().Err() != nil {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		if status/100 == 2 {
+			return body, nil
+		}
+		e := statusError(status, body)
+		if status < 500 {
+			// 4xx is a deliberate answer, not a transient fault: never
+			// retried, whatever the policy says.
+			return nil, e
+		}
+		lastErr = e
+	}
+	return nil, lastErr
+}
+
+// doOnce executes one HTTP attempt, returning the body and status.
+func (c *Client) doOnce(req *http.Request) ([]byte, int, error) {
 	hc := c.HTTP
 	if hc == nil {
 		hc = http.DefaultClient
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer func() { _ = resp.Body.Close() }()
 	const maxBody = 64 << 20
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody+1))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if len(body) > maxBody {
-		return nil, fmt.Errorf("client: response exceeds %d bytes", maxBody)
+		return nil, 0, fmt.Errorf("client: response exceeds %d bytes", maxBody)
 	}
-	if resp.StatusCode/100 != 2 {
-		var e ErrorResponse
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("client: %s: %s", resp.Status, e.Error)
-		}
-		return nil, fmt.Errorf("client: %s", resp.Status)
+	return body, resp.StatusCode, nil
+}
+
+// statusError renders a non-2xx answer as an error, preferring the
+// server's JSON error body.
+func statusError(status int, body []byte) error {
+	var e ErrorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("client: %d %s: %s", status, http.StatusText(status), e.Error)
 	}
-	return body, nil
+	return fmt.Errorf("client: %d %s", status, http.StatusText(status))
 }

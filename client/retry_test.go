@@ -1,0 +1,155 @@
+package client
+
+// Tests of the opt-in retry policy: transient failures (5xx, cut
+// connections) are retried with backoff and a rewound body; 4xx verdicts
+// and cancelled contexts are never retried.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// retryPolicy is a fast test policy.
+func retryPolicy(attempts int) *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+}
+
+func TestRetrySucceedsAfter5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The request body must arrive whole on every attempt — a
+		// consumed body that is not rewound would arrive empty here.
+		body, _ := io.ReadAll(r.Body)
+		var req UpsertRequest
+		if err := json.Unmarshal(body, &req); err != nil || req.Type != "Post" {
+			t.Errorf("attempt %d body = %q", calls.Load(), body)
+		}
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(UpsertResponse{ID: 7})
+	}))
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL, Retry: retryPolicy(5)}
+	if err := c.Upsert(context.Background(), "Post", "emb", 7, []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestRetryExhausts5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"still broken"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL, Retry: retryPolicy(3)}
+	_, err := c.Search(context.Background(), []string{"Post.emb"}, []float32{1}, 1, 0)
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want MaxAttempts=3", got)
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	// A 4xx is the server's deliberate verdict: retrying cannot change it
+	// and must not repeat the request — most importantly for writes a
+	// replica rejected with 421.
+	for _, status := range []int{http.StatusBadRequest, http.StatusMisdirectedRequest, http.StatusNotFound} {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			http.Error(w, `{"error":"no"}`, status)
+		}))
+		c := &Client{BaseURL: ts.URL, Retry: retryPolicy(5)}
+		err := c.Upsert(context.Background(), "Post", "emb", 1, []float32{1})
+		ts.Close()
+		if err == nil {
+			t.Fatalf("status %d reported success", status)
+		}
+		if got := calls.Load(); got != 1 {
+			t.Fatalf("status %d: server saw %d attempts, want exactly 1", status, got)
+		}
+	}
+}
+
+func TestRetryOnCutConnection(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 2 {
+			// Kill the connection without an HTTP response: the transport
+			// error a crashing or restarting server produces.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = conn.Close()
+			return
+		}
+		_ = json.NewEncoder(w).Encode(UpsertResponse{ID: 1})
+	}))
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL, Retry: retryPolicy(4)}
+	if err := c.Upsert(context.Background(), "Post", "emb", 1, []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+}
+
+func TestRetryStopsWhenContextEnds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL, Retry: &RetryPolicy{MaxAttempts: 100, BaseDelay: 50 * time.Millisecond}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Upsert(ctx, "Post", "emb", 1, []float32{1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the context deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("retry loop ran %v past a 20ms deadline", elapsed)
+	}
+	if got := calls.Load(); got > 2 {
+		t.Fatalf("server saw %d attempts after the deadline", got)
+	}
+}
+
+func TestRetryDelayBounds(t *testing.T) {
+	p := &RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond}
+	for n := 0; n < 6; n++ {
+		want := p.BaseDelay << n
+		if want > p.MaxDelay {
+			want = p.MaxDelay
+		}
+		for i := 0; i < 50; i++ {
+			d := p.delay(n)
+			if d < want/2 || d > want {
+				t.Fatalf("delay(%d) = %v, want jittered into [%v, %v]", n, d, want/2, want)
+			}
+		}
+	}
+}

@@ -32,12 +32,20 @@
 // -queries, -k, -ef, -clients, -batch, -out (BENCH_serving.json path,
 // empty disables). The emitted report is schema-versioned JSON; see
 // docs/ARCHITECTURE.md for the shape.
+//
+// Cluster mode (-cluster) sweeps the same scenario suite across shard
+// counts, each count a fresh in-process cluster of shard servers behind
+// a scatter/gather router, emitting scaling rows tagged with a shards
+// field:
+//
+//	tgvbench -exp serve -cluster -shards 1,3 -out BENCH_serving.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -61,6 +69,11 @@ func main() {
 	clients := flag.Int("clients", 0, "serve: closed-loop client count (default 8)")
 	batch := flag.Int("batch", 0, "serve: batch-scenario queries per request (default 32)")
 	out := flag.String("out", "BENCH_serving.json", "serve: report path (empty disables)")
+	clusterMode := flag.Bool("cluster", false,
+		"serve: boot in-process shard clusters behind a scatter/gather router and sweep -shards counts")
+	shards := flag.String("shards", "1,3",
+		"serve: comma-separated shard counts for -cluster (0: single node without a router; "+
+			"each count boots fresh and reloads)")
 	flag.Parse()
 
 	if *exp == "serve" {
@@ -73,7 +86,22 @@ func main() {
 			cfg.Scenarios = strings.Split(*scenario, ",")
 		}
 		start := time.Now()
-		rep, err := serving.Run(os.Stdout, cfg)
+		var rep *serving.Report
+		var err error
+		if *clusterMode {
+			var counts []int
+			for _, part := range strings.Split(*shards, ",") {
+				v, perr := strconv.Atoi(strings.TrimSpace(part))
+				if perr != nil || v < 0 {
+					fmt.Fprintf(os.Stderr, "-shards %q: want comma-separated counts >= 0\n", *shards)
+					os.Exit(2)
+				}
+				counts = append(counts, v)
+			}
+			rep, err = serving.RunScaling(os.Stdout, cfg, counts)
+		} else {
+			rep, err = serving.Run(os.Stdout, cfg)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serve failed: %v\n", err)
 			os.Exit(1)

@@ -1,0 +1,199 @@
+// tgvrouter fronts a set of tgvserve shards with one scatter/gather
+// HTTP endpoint speaking the same JSON protocol. Vertex IDs are
+// hash-partitioned across shards by primary-key attribute; reads fan
+// out to every shard in parallel (replicas preferred, round-robin) and
+// merge exact distances into one global answer; writes route to the
+// owning shard's primary. A shard that times out or errors degrades the
+// response honestly: "partial": true plus the failed shard's name,
+// never a silently smaller answer.
+//
+// Usage:
+//
+//	tgvrouter -addr :7700 \
+//	    -shard "a=http://127.0.0.1:7687,http://127.0.0.1:7697" \
+//	    -shard "b=http://127.0.0.1:7688" \
+//	    -shard "c=http://127.0.0.1:7689"
+//
+// Each -shard flag declares one shard: an optional name, "=", the
+// primary's base URL, then comma-separated read-replica URLs. Shard
+// order is the partition map — it must be identical across router
+// restarts, and adding or removing a shard invalidates every routed ID.
+//
+// IDs returned by the router are global (local*N + shardIndex); clients
+// must not mix IDs obtained from the router with IDs obtained from a
+// shard directly. With a single shard the mapping is the identity.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// shardFlags collects repeated -shard values.
+type shardFlags []string
+
+func (s *shardFlags) String() string { return strings.Join(*s, "; ") }
+
+func (s *shardFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// keyAttrFlags collects repeated -key-attr "Type=attr" values.
+type keyAttrFlags map[string]string
+
+func (m keyAttrFlags) String() string {
+	parts := make([]string, 0, len(m))
+	for k, v := range m {
+		parts = append(parts, k+"="+v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m keyAttrFlags) Set(v string) error {
+	typ, attr, ok := strings.Cut(v, "=")
+	if !ok || typ == "" || attr == "" {
+		return fmt.Errorf(`want "VertexType=attr", got %q`, v)
+	}
+	m[typ] = attr
+	return nil
+}
+
+// config is the parsed command line.
+type config struct {
+	addr       string
+	specs      []cluster.ShardSpec
+	maxBatch   int
+	reqTimeout time.Duration
+	shTimeout  time.Duration
+	cooldown   time.Duration
+	keyAttrs   map[string]string
+}
+
+// parseShard parses one -shard value: "[name=]primary[,replica...]".
+func parseShard(v string, index int) (cluster.ShardSpec, error) {
+	spec := cluster.ShardSpec{Name: fmt.Sprintf("shard%d", index)}
+	if name, rest, ok := strings.Cut(v, "="); ok {
+		if name == "" {
+			return spec, fmt.Errorf("shard %q: empty name before '='", v)
+		}
+		spec.Name = name
+		v = rest
+	}
+	urls := strings.Split(v, ",")
+	for i, u := range urls {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			return spec, fmt.Errorf("shard %q: empty endpoint URL", v)
+		}
+		if i == 0 {
+			spec.Primary = u
+		} else {
+			spec.Replicas = append(spec.Replicas, u)
+		}
+	}
+	return spec, nil
+}
+
+// parseFlags parses args (without the program name) into a config.
+func parseFlags(args []string) (config, error) {
+	var c config
+	var shards shardFlags
+	keyAttrs := keyAttrFlags{}
+	fs := flag.NewFlagSet("tgvrouter", flag.ContinueOnError)
+	fs.StringVar(&c.addr, "addr", ":7700", "listen address")
+	fs.Var(&shards, "shard",
+		`one shard as "[name=]primary-url[,replica-url...]"; repeat per shard. `+
+			`Flag order is the partition map — keep it stable across restarts`)
+	fs.IntVar(&c.maxBatch, "max-batch", 0, "max query vectors per /search request (default 1024)")
+	fs.DurationVar(&c.reqTimeout, "request-timeout", 0,
+		"deadline for a whole routed request when the request itself sets no timeout_ms (0 disables)")
+	fs.DurationVar(&c.shTimeout, "shard-timeout", 0,
+		"per-shard deadline within a fan-out, e.g. 500ms; a shard past it is reported "+
+			"in failed_shards and the response marked partial (0: the request budget only)")
+	fs.DurationVar(&c.cooldown, "cooldown", 0,
+		"how long a failed endpoint is skipped before being retried (default 2s)")
+	fs.Var(keyAttrs, "key-attr",
+		`primary-key attribute per vertex type as "VertexType=attr"; repeat per type (default "id"). `+
+			`Vertices are placed on shards by hashing this attribute`)
+	if err := fs.Parse(args); err != nil {
+		return c, err
+	}
+	for i, v := range shards {
+		spec, err := parseShard(v, i)
+		if err != nil {
+			fmt.Fprintln(fs.Output(), err)
+			return c, err
+		}
+		c.specs = append(c.specs, spec)
+	}
+	if len(c.specs) == 0 {
+		err := fmt.Errorf("at least one -shard is required")
+		fmt.Fprintln(fs.Output(), err)
+		return c, err
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{{"-request-timeout", c.reqTimeout}, {"-shard-timeout", c.shTimeout}, {"-cooldown", c.cooldown}} {
+		if d.v < 0 {
+			err := fmt.Errorf("%s must be >= 0", d.name)
+			fmt.Fprintln(fs.Output(), err)
+			return c, err
+		}
+	}
+	c.keyAttrs = keyAttrs
+	return c, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	router, err := cluster.NewRouter(cfg.specs, cluster.RouterOptions{
+		MaxBatch:       cfg.maxBatch,
+		RequestTimeout: cfg.reqTimeout,
+		ShardTimeout:   cfg.shTimeout,
+		Cooldown:       cfg.cooldown,
+		KeyAttrs:       cfg.keyAttrs,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range cfg.specs {
+		log.Printf("shard %d %q: primary %s, %d replica(s)", i, s.Name, s.Primary, len(s.Replicas))
+	}
+
+	srv := &http.Server{Addr: cfg.addr, Handler: router}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("tgvrouter listening on %s (%d shards)", cfg.addr, len(cfg.specs))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}
+}

@@ -29,10 +29,23 @@
 // restart time is bounded by the post-checkpoint delta volume. Only
 // BulkLoadEmbeddings-style bulk loads bypass the WAL; checkpoint after
 // them.
+//
+// Replica mode (-replica-of URL) turns the server into a WAL-shipping
+// read replica of the primary at URL: it pulls committed records every
+// -pull-interval, applies them through its own commit path (so its TIDs
+// match the primary's), serves reads — including snapshot-pinned ones
+// via at_tid — and answers every write with 421 Misdirected Request.
+// /stats gains a "replication" block with applied_tid and the measured
+// lag. If the replica's local state predates the primary's newest
+// checkpoint (first start, or left behind past the WAL horizon), the
+// data dir is RE-SEEDED: wiped and bootstrapped from the primary's
+// checkpoint snapshot. Requires -durable; incompatible with -ddl (the
+// schema arrives from the primary's catalog).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -42,6 +55,8 @@ import (
 	"time"
 
 	tigervector "repro"
+	"repro/client"
+	"repro/internal/cluster"
 	"repro/server"
 )
 
@@ -60,6 +75,8 @@ type config struct {
 	reqTimeout   time.Duration
 	quantize     bool
 	rescore      int
+	replicaOf    string
+	pullInterval time.Duration
 }
 
 // parseFlags parses args (without the program name) into a config.
@@ -85,6 +102,13 @@ func parseFlags(args []string) (config, error) {
 			"index-backed searches stay exact float32")
 	fs.IntVar(&c.rescore, "rescore-factor", 0,
 		"candidate multiple re-scored exactly after a quantized scan (default 4; requires -quantize)")
+	fs.StringVar(&c.replicaOf, "replica-of", "",
+		"primary base URL to replicate from (e.g. http://127.0.0.1:7687); serve reads only, "+
+			"reject writes with 421. WARNING: if the local state predates the primary's newest "+
+			"checkpoint, -data-dir is wiped and re-seeded from the primary's snapshot. "+
+			"Requires -durable; incompatible with -ddl")
+	fs.DurationVar(&c.pullInterval, "pull-interval", 0,
+		"replication pull cadence, e.g. 100ms (default 250ms; requires -replica-of)")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -115,15 +139,33 @@ func parseFlags(args []string) (config, error) {
 		fmt.Fprintln(fs.Output(), err)
 		return c, err
 	}
+	if c.replicaOf != "" && !c.durable {
+		err := fmt.Errorf("-replica-of requires -durable (the replica re-appends what it applies)")
+		fmt.Fprintln(fs.Output(), err)
+		return c, err
+	}
+	if c.replicaOf != "" && c.ddlPath != "" {
+		err := fmt.Errorf("-replica-of is incompatible with -ddl: the schema replicates from the primary's catalog")
+		fmt.Fprintln(fs.Output(), err)
+		return c, err
+	}
+	if c.pullInterval != 0 && c.replicaOf == "" {
+		err := fmt.Errorf("-pull-interval requires -replica-of")
+		fmt.Fprintln(fs.Output(), err)
+		return c, err
+	}
+	if c.pullInterval < 0 {
+		err := fmt.Errorf("-pull-interval must be >= 0")
+		fmt.Fprintln(fs.Output(), err)
+		return c, err
+	}
 	return c, nil
 }
 
-func main() {
-	cfg, err := parseFlags(os.Args[1:])
-	if err != nil {
-		os.Exit(2)
-	}
-	db, err := tigervector.Open(tigervector.Config{
+// openDB opens the database described by the command line; replica
+// re-seeding reopens through the same path.
+func openDB(cfg config) (*tigervector.DB, error) {
+	return tigervector.Open(tigervector.Config{
 		SegmentSize:        cfg.segmentSize,
 		DataDir:            cfg.dataDir,
 		Workers:            cfg.workers,
@@ -136,6 +178,14 @@ func main() {
 			RescoreFactor: cfg.rescore,
 		},
 	})
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	db, err := openDB(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -175,17 +225,66 @@ func main() {
 		log.Printf("installed %s; queries: %v", cfg.ddlPath, db.Queries())
 	}
 
-	srv := server.New(db, server.Options{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var rep *cluster.Replicator
+	if cfg.replicaOf != "" {
+		rep = &cluster.Replicator{
+			Primary: cfg.replicaOf, Target: db,
+			Interval: cfg.pullInterval, Logf: log.Printf,
+		}
+		// The first pull decides incremental catch-up vs snapshot
+		// bootstrap. A primary that is simply down is not fatal — the
+		// replica serves its recovered local state and keeps retrying.
+		if _, err := rep.PullOnce(ctx); err != nil {
+			if !errors.Is(err, cluster.ErrSnapshotRequired) {
+				log.Printf("replica: initial pull from %s: %v (will retry)", cfg.replicaOf, err)
+			} else {
+				log.Printf("replica: local state (tid %d) predates the primary's checkpoint; re-seeding %s from snapshot",
+					db.VisibleTID(), cfg.dataDir)
+				if err := db.Close(); err != nil {
+					log.Fatalf("replica: close before re-seed: %v", err)
+				}
+				if err := os.RemoveAll(cfg.dataDir); err != nil {
+					log.Fatalf("replica: wipe data dir: %v", err)
+				}
+				if err := os.MkdirAll(cfg.dataDir, 0o755); err != nil {
+					log.Fatalf("replica: recreate data dir: %v", err)
+				}
+				tid, err := cluster.Bootstrap(ctx, nil, cfg.replicaOf, cfg.dataDir)
+				if err != nil {
+					log.Fatalf("replica: %v", err)
+				}
+				if db, err = openDB(cfg); err != nil {
+					log.Fatalf("replica: reopen after bootstrap: %v", err)
+				}
+				rep.Target = db
+				log.Printf("replica: bootstrapped from snapshot at tid %d", tid)
+				if _, err := rep.PullOnce(ctx); err != nil {
+					log.Printf("replica: post-bootstrap pull: %v (will retry)", err)
+				}
+			}
+		}
+		log.Printf("replica: tracking %s, applied tid %d", cfg.replicaOf, db.VisibleTID())
+	}
+
+	srvOpts := server.Options{
 		MaxBatch:       cfg.maxBatch,
 		RequestTimeout: cfg.reqTimeout,
 		Logf:           log.Printf,
-	})
+	}
+	if rep != nil {
+		srvOpts.Replica = true
+		srvOpts.Replication = func() *client.ReplicationStats { return rep.Stats() }
+	}
+	srv := server.New(db, srvOpts)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(cfg.addr) }()
 	log.Printf("tgvserve listening on %s", cfg.addr)
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if rep != nil {
+		go rep.Run(ctx)
+	}
 	select {
 	case <-ctx.Done():
 		log.Print("shutting down...")

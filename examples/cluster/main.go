@@ -1,0 +1,216 @@
+// Cluster walkthrough: two shard primaries, a WAL-shipping read
+// replica on shard 0, and the scatter/gather router fronting all of it
+// — entirely in-process. The same topology runs as separate processes
+// with the binaries:
+//
+//	tgvserve  -addr :7687 -data-dir ./s0 -durable            # shard 0 primary
+//	tgvserve  -addr :7688 -data-dir ./s0r -durable \
+//	          -replica-of http://127.0.0.1:7687              # shard 0 replica
+//	tgvserve  -addr :7689 -data-dir ./s1 -durable            # shard 1 primary
+//	tgvrouter -addr :7700 \
+//	          -shard s0=http://127.0.0.1:7687,http://127.0.0.1:7688 \
+//	          -shard s1=http://127.0.0.1:7689
+//
+// The walkthrough covers: broadcast DDL, hash-placed writes, global
+// vertex ids, merged scatter/gather search with per-shard snapshot
+// TIDs, replica convergence (applied_tid / replication_lag), the 421
+// write rejection on replicas, and a router-wide checkpoint.
+// `make cluster-test` exercises the process-level version of this
+// topology including SIGKILL degradation and snapshot bootstrap.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	tigervector "repro"
+	"repro/client"
+	"repro/internal/cluster"
+	"repro/server"
+)
+
+// node is one in-process tgvserve: a durable DB plus its HTTP server.
+type node struct {
+	db  *tigervector.DB
+	srv *server.Server
+	url string
+}
+
+// startNode opens a durable DB in its own temp dir and serves it on a
+// loopback listener. Replication requires durability on both ends: the
+// primary ships its WAL, the replica re-appends what it applies.
+func startNode(dir string, opts server.Options) (*node, error) {
+	db, err := tigervector.Open(tigervector.Config{
+		DataDir: dir, Durability: true, Seed: 1, SegmentSize: 64,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(db, opts)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = db.Close()
+		return nil, err
+	}
+	go srv.Serve(l)
+	return &node{db: db, srv: srv, url: "http://" + l.Addr().String()}, nil
+}
+
+func main() {
+	ctx := context.Background()
+	work, err := os.MkdirTemp("", "tgv-cluster-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	// 1. Two shard primaries.
+	s0, err := startNode(work+"/s0", server.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s1, err := startNode(work+"/s1", server.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A read replica of shard 0. The Replicator pulls the primary's
+	// committed WAL records over /repl/pull and applies them through the
+	// replica DB's normal commit path, so it assigns the same dense TIDs.
+	// The server runs in replica mode: every mutating endpoint answers
+	// 421, and /stats gains a "replication" block.
+	rep := &cluster.Replicator{Interval: 50 * time.Millisecond}
+	s0r, err := startNode(work+"/s0r", server.Options{
+		Replica: true, Replication: rep.Stats,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Primary = s0.url
+	rep.Target = s0r.db
+	repCtx, stopRep := context.WithCancel(ctx)
+	defer stopRep()
+	go rep.Run(repCtx)
+
+	// 3. The router: writes go to each shard's primary (placed by
+	// hashing the vertex primary key), reads rotate across replicas with
+	// the primary as fallback, searches fan out to every shard and merge
+	// by exact distance.
+	router, err := cluster.NewRouter([]cluster.ShardSpec{
+		{Name: "s0", Primary: s0.url, Replicas: []string{s0r.url}},
+		{Name: "s1", Primary: s1.url},
+	}, cluster.RouterOptions{ShardTimeout: 2 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rsrv := &http.Server{Handler: router}
+	go rsrv.Serve(rl)
+	routerURL := "http://" + rl.Addr().String()
+	fmt.Println("router on", routerURL, "fronting s0 =", s0.url, "(replica", s0r.url+"),", "s1 =", s1.url)
+
+	// A client pointed at the router is indistinguishable from one
+	// pointed at a single tgvserve — plus the opt-in retry policy rides
+	// out a transient endpoint failure mid-session (4xx never retries).
+	c := client.New(routerURL)
+	c.Retry = &client.RetryPolicy{MaxAttempts: 3}
+
+	// 4. DDL broadcasts to every shard: each holds the same catalog.
+	err = c.Exec(ctx, `
+CREATE VERTEX Post (id INT PRIMARY KEY, language STRING);
+ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb (
+  DIMENSION = 4, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Writes route to the owning primary. The ids that come back are
+	// *global*: gid = local*numShards + shardIdx, so every gid names
+	// exactly one (shard, local id) pair and the router can route
+	// follow-up writes, gets and filters without a lookup table.
+	for i := 0; i < 8; i++ {
+		gid, err := c.AddVertex(ctx, "Post", map[string]any{"id": i, "language": "en"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		vec := []float32{float32(i), 0, 0, 0}
+		if err := c.Upsert(ctx, "Post", "content_emb", gid, vec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("post %d -> shard %d (gid %d)\n", i, gid%2, gid)
+	}
+
+	// 6. Honest staleness: wait for the replica to converge, then read
+	// its replication block. applied_tid is the replica's position,
+	// primary_tid the primary's at the last pull, replication_lag the
+	// difference — lag is reported, never hidden. (Shard 0 reads rotate
+	// to the replica, so until it has applied the schema and vectors a
+	// scatter/gather search honestly answers partial:true naming s0 —
+	// converge first to see the clean merge below.)
+	primary := client.New(s0.url)
+	tids, err := primary.TIDState(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replica := client.New(s0r.url)
+	for {
+		rs, err := replica.Replication(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rs.AppliedTID >= tids.LastCommittedTID {
+			fmt.Printf("replica converged: applied_tid=%d primary_tid=%d lag=%d\n",
+				rs.AppliedTID, rs.PrimaryTID, rs.ReplicationLag)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// 7. A search through the router scatters to all shards and merges
+	// by exact distance. Per-shard MVCC TIDs are not comparable across
+	// shards, so the merged result reports snapshot_tid 0 and the
+	// per-shard TIDs ride in shard_tids; a shard that is down or past
+	// its deadline would flag the response partial:true with the shard
+	// named — never a silent recall drop.
+	resp, err := c.SearchWith(ctx, client.SearchRequest{
+		Attrs: []string{"Post.content_emb"}, Query: []float32{3, 0, 0, 0}, K: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits, _ := json.Marshal(resp.Results[0].Hits)
+	fmt.Printf("merged top-3: %s (partial=%v shard_tids=%v)\n", hits, resp.Partial, resp.ShardTIDs)
+
+	// 8. Replicas reject writes: the primary is the only write path.
+	err = replica.Upsert(ctx, "Post", "content_emb", 0, []float32{9, 0, 0, 0})
+	fmt.Println("write to replica:", err)
+
+	// 9. /checkpoint through the router broadcasts to every shard
+	// primary: each snapshots its state and truncates its WAL.
+	if _, err := c.Checkpoint(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("checkpointed every shard through the router")
+
+	// 10. Graceful teardown: router first, then replica, then primaries.
+	stopRep()
+	shCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	rsrv.Shutdown(shCtx)
+	for _, n := range []*node{s0r, s1, s0} {
+		n.srv.Shutdown(shCtx)
+		if err := n.db.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("done")
+}

@@ -30,6 +30,14 @@
 // One Run emits one schema-versioned Report, serialized by the caller
 // as BENCH_serving.json (the BENCH_restart/BENCH_filtered pattern
 // generalized).
+//
+// Cluster mode (Config.Shards > 0, or `tgvbench -exp serve -cluster`)
+// boots N in-process shard servers behind a scatter/gather
+// cluster.Router and drives the same scenario suite through the router,
+// so a report can carry QPS scaling rows across shard counts (see
+// RunScaling). Recall bookkeeping is unchanged: the router hands out
+// global ids and merges exact distances, so the oracle comparison works
+// in the same id space the client sees.
 package serving
 
 import (
@@ -40,7 +48,9 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,6 +60,7 @@ import (
 	"repro/client"
 	"repro/internal/bench"
 	"repro/internal/bruteforce"
+	"repro/internal/cluster"
 	"repro/internal/workload"
 	"repro/server"
 )
@@ -57,7 +68,10 @@ import (
 // SchemaVersion is bumped whenever the Report JSON shape changes
 // incompatibly, so downstream tooling comparing BENCH_serving.json
 // across PRs can refuse mixed-schema diffs instead of misreading them.
-const SchemaVersion = 1
+// v2: scenario rows gained "shards", and a scaling report (RunScaling)
+// repeats scenario names once per shard count — v1 tooling keying rows
+// by name alone would silently collapse them.
+const SchemaVersion = 2
 
 // AllScenarios lists the scenario families in execution order.
 var AllScenarios = []string{"closed", "openloop", "filtered", "mixed", "batch"}
@@ -104,6 +118,13 @@ type Config struct {
 	Loaders int
 	// Scenarios selects a subset of AllScenarios; nil runs all.
 	Scenarios []string
+	// Shards > 0 boots an in-process cluster instead of a single server:
+	// Shards tgvserve-equivalent shard servers behind a scatter/gather
+	// cluster.Router, with every scenario driven through the router.
+	// Shards == 1 still routes through the Router, so a 1→N scaling
+	// sweep measures partitioning gain, not router overhead appearing.
+	// Mutually exclusive with Addr.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -202,6 +223,10 @@ type ScenarioResult struct {
 	Upserts int64 `json:"upserts,omitempty"`
 	// Selectivity is the filtered band's admitted fraction.
 	Selectivity float64 `json:"selectivity,omitempty"`
+	// Shards is the cluster size behind the router (0: single node, no
+	// router). Scaling reports repeat scenario names across shard counts,
+	// distinguished by this field.
+	Shards int `json:"shards,omitempty"`
 	// RecallAtK is mean recall@K against the brute-force oracle (the
 	// per-band filtered oracle for filtered scenarios), over the queries
 	// that were answered at least once.
@@ -214,11 +239,16 @@ type ScenarioResult struct {
 
 // Report is the consolidated, schema-versioned output of one run.
 type Report struct {
-	Benchmark     string           `json:"benchmark"`
-	SchemaVersion int              `json:"schema_version"`
-	Target        string           `json:"target"`
-	Dataset       DatasetInfo      `json:"dataset"`
-	Scenarios     []ScenarioResult `json:"scenarios"`
+	Benchmark     string `json:"benchmark"`
+	SchemaVersion int    `json:"schema_version"`
+	Target        string `json:"target"`
+	// HostCPUs qualifies cluster scaling rows: in-process shards share
+	// the host's cores, so a sweep on fewer cores than shards measures
+	// router overhead, not partitioning gain — shard-parallel speedup
+	// needs at least one core per shard.
+	HostCPUs  int              `json:"host_cpus"`
+	Dataset   DatasetInfo      `json:"dataset"`
+	Scenarios []ScenarioResult `json:"scenarios"`
 }
 
 // WriteFile serializes the report as indented JSON.
@@ -239,10 +269,18 @@ type harness struct {
 	ds  *workload.VectorDataset
 	// postIDs maps dataset index -> server-assigned vertex id; rev is
 	// the inverse. The server owns id assignment, so recall bookkeeping
-	// must translate hits back into dataset space.
+	// must translate hits back into dataset space. In cluster mode these
+	// are router-global ids — the only id space this harness ever sees.
 	postIDs []uint64
 	rev     map[uint64]int
 	persons int
+	// shardClients talk to the individual shard servers directly
+	// (cluster mode only): the router's /stats reports routing health,
+	// not db counters, so plan-mix deltas are summed across shards.
+	shardClients []*client.Client
+	// skippedEdges counts graph edges the router refused because their
+	// endpoints hash to different shards (cluster mode only).
+	skippedEdges atomic.Int64
 }
 
 // Run executes the configured scenario suite and returns the report.
@@ -254,9 +292,21 @@ func Run(w io.Writer, cfg Config) (rep *Report, err error) {
 	if baseURL != "" && !strings.HasPrefix(baseURL, "http://") && !strings.HasPrefix(baseURL, "https://") {
 		baseURL = "http://" + baseURL
 	}
+	if cfg.Shards > 0 && cfg.Addr != "" {
+		return nil, fmt.Errorf("serving: Shards boots an in-process cluster and cannot target an external -addr")
+	}
+	var shardURLs []string
 	if cfg.Addr == "" {
-		target = "in-process"
-		url, shutdown, berr := bootServer(cfg)
+		var url string
+		var shutdown func() error
+		var berr error
+		if cfg.Shards > 0 {
+			target = fmt.Sprintf("in-process-cluster(%d)", cfg.Shards)
+			url, shardURLs, shutdown, berr = bootCluster(cfg)
+		} else {
+			target = "in-process"
+			url, shutdown, berr = bootServer(cfg)
+		}
 		if berr != nil {
 			return nil, berr
 		}
@@ -270,6 +320,9 @@ func Run(w io.Writer, cfg Config) (rep *Report, err error) {
 		baseURL = url
 	}
 	h := &harness{cfg: cfg, c: client.New(baseURL), w: w}
+	for _, u := range shardURLs {
+		h.shardClients = append(h.shardClients, client.New(u))
+	}
 	if err := h.load(); err != nil {
 		return nil, err
 	}
@@ -277,6 +330,7 @@ func Run(w io.Writer, cfg Config) (rep *Report, err error) {
 		Benchmark:     "serving",
 		SchemaVersion: SchemaVersion,
 		Target:        target,
+		HostCPUs:      runtime.NumCPU(),
 		Dataset: DatasetInfo{
 			Name: h.ds.Name, N: cfg.N, Dim: cfg.Dim, Queries: cfg.NumQueries,
 			K: cfg.K, Ef: cfg.Ef, Seed: cfg.Seed, Persons: h.persons,
@@ -290,6 +344,46 @@ func Run(w io.Writer, cfg Config) (rep *Report, err error) {
 		rep.Scenarios = append(rep.Scenarios, results...)
 	}
 	h.printSummary(rep)
+	return rep, nil
+}
+
+// RunScaling runs the scenario suite once per shard count and
+// concatenates the rows into one report, so BENCH_serving.json carries
+// a throughput scaling story: the same dataset and scenarios against a
+// growing cluster, distinguished per row by the shards field. A count
+// of 0 is the no-router single-node baseline (its rows omit shards);
+// counts >= 1 go through the router, so comparing 0 to 1 isolates the
+// router's own overhead and 1 to N the partitioning gain. Each count
+// boots fresh and reloads the dataset from scratch — runs are
+// independent, not incremental.
+func RunScaling(w io.Writer, cfg Config, counts []int) (*Report, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 3}
+	}
+	rep := &Report{
+		Benchmark:     "serving",
+		SchemaVersion: SchemaVersion,
+		Target:        "in-process-cluster-scaling",
+		HostCPUs:      runtime.NumCPU(),
+	}
+	for _, n := range counts {
+		if n < 0 {
+			return nil, fmt.Errorf("serving: shard count %d must be >= 0 (0: single node, no router)", n)
+		}
+		c := cfg
+		c.Shards = n
+		if n == 0 {
+			fmt.Fprintf(w, "\n--- cluster scaling: single node, no router ---\n")
+		} else {
+			fmt.Fprintf(w, "\n--- cluster scaling: %d shard(s) ---\n", n)
+		}
+		r, err := Run(w, c)
+		if err != nil {
+			return nil, fmt.Errorf("serving: %d-shard run: %w", n, err)
+		}
+		rep.Dataset = r.Dataset
+		rep.Scenarios = append(rep.Scenarios, r.Scenarios...)
+	}
 	return rep, nil
 }
 
@@ -315,6 +409,7 @@ func bootServer(cfg Config) (url string, shutdown func() error, err error) {
 	}
 	go srv.Serve(l)
 	shutdown = func() error {
+		closeSharedIdleConns()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		serr := srv.Shutdown(ctx)
@@ -322,6 +417,88 @@ func bootServer(cfg Config) (url string, shutdown func() error, err error) {
 		return errors.Join(serr, os.RemoveAll(dir))
 	}
 	return "http://" + l.Addr().String(), shutdown, nil
+}
+
+// closeSharedIdleConns drops the default transport's keep-alive pool
+// before server shutdown. A request cancelled at a scenario's wall
+// budget can leave its connection half-written: the client pools it as
+// idle while the server sits in readRequest on the partial bytes — an
+// *active* conn to http.Server.Shutdown, which would then wait out its
+// whole deadline for a request that is never going to finish arriving.
+// Closing the client side first unsticks the server read.
+func closeSharedIdleConns() {
+	if t, ok := http.DefaultTransport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// bootCluster opens cfg.Shards fresh DBs, serves each on its own
+// loopback listener, and fronts them with a cluster.Router — the
+// in-process miniature of a tgvrouter deployment. The returned url is
+// the router's; shardURLs address the shard servers directly (for
+// per-shard /stats sampling).
+func bootCluster(cfg Config) (url string, shardURLs []string, shutdown func() error, err error) {
+	var closers []func() error
+	closeAll := func() error {
+		closeSharedIdleConns()
+		var errs []error
+		for i := len(closers) - 1; i >= 0; i-- {
+			errs = append(errs, closers[i]())
+		}
+		return errors.Join(errs...)
+	}
+	fail := func(err error) (string, []string, func() error, error) {
+		return "", nil, nil, errors.Join(err, closeAll())
+	}
+	shutdownServer := func(name string, srv interface{ Shutdown(context.Context) error }) func() error {
+		return func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			return nil
+		}
+	}
+	specs := make([]cluster.ShardSpec, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		dir, err := os.MkdirTemp("", "tgvbench-shard-*")
+		if err != nil {
+			return fail(err)
+		}
+		closers = append(closers, func() error { return os.RemoveAll(dir) })
+		// Seed offset: shards must not share index-build randomness, or
+		// every shard's HNSW layer assignment replays the same stream.
+		db, err := tigervector.Open(tigervector.Config{
+			SegmentSize: cfg.SegmentSize, Seed: cfg.Seed + int64(i), DataDir: dir,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		closers = append(closers, db.Close)
+		srv := server.New(db, server.Options{})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		go srv.Serve(l)
+		closers = append(closers, shutdownServer(fmt.Sprintf("shard%d", i), srv))
+		u := "http://" + l.Addr().String()
+		shardURLs = append(shardURLs, u)
+		specs[i] = cluster.ShardSpec{Name: fmt.Sprintf("shard%d", i), Primary: u}
+	}
+	router, err := cluster.NewRouter(specs, cluster.RouterOptions{})
+	if err != nil {
+		return fail(err)
+	}
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	rsrv := &http.Server{Handler: router}
+	go func() { _ = rsrv.Serve(rl) }()
+	closers = append(closers, shutdownServer("router", rsrv))
+	return "http://" + rl.Addr().String(), shardURLs, closeAll, nil
 }
 
 var snbLanguages = []string{"English", "French", "German", "Spanish", "Chinese"}
@@ -368,10 +545,10 @@ ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb (
 	}
 	pr := rand.New(rand.NewSource(cfg.Seed + 1))
 	for i, id := range personIDs {
-		if err := h.c.AddEdge(ctx, "knows", id, personIDs[(i+1)%h.persons]); err != nil {
+		if err := h.addEdge(ctx, "knows", id, personIDs[(i+1)%h.persons]); err != nil {
 			return fmt.Errorf("loading knows edge: %w", err)
 		}
-		if err := h.c.AddEdge(ctx, "knows", id, personIDs[pr.Intn(h.persons)]); err != nil {
+		if err := h.addEdge(ctx, "knows", id, personIDs[pr.Intn(h.persons)]); err != nil {
 			return fmt.Errorf("loading knows edge: %w", err)
 		}
 	}
@@ -406,7 +583,7 @@ ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb (
 					errCh <- fmt.Errorf("loading embedding %d: %w", i, err)
 					return
 				}
-				if err := h.c.AddEdge(ctx, "hasCreator", id, personIDs[i%h.persons]); err != nil {
+				if err := h.addEdge(ctx, "hasCreator", id, personIDs[i%h.persons]); err != nil {
 					errCh <- fmt.Errorf("loading hasCreator edge: %w", err)
 					return
 				}
@@ -425,7 +602,25 @@ ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb (
 	}
 	fmt.Fprintf(h.w, "loaded %d posts (%d persons) over HTTP in %v\n",
 		cfg.N, h.persons, time.Since(start).Round(time.Millisecond))
+	if n := h.skippedEdges.Load(); n > 0 {
+		fmt.Fprintf(h.w, "skipped %d cross-shard edges (hash partition has no home for them)\n", n)
+	}
 	return nil
+}
+
+// addEdge inserts one graph edge. In cluster mode the router rejects
+// edges whose endpoints hash to different shards; the dataset's
+// knows/hasCreator links mostly do, so those are counted and skipped
+// rather than failing the load — the vector scenarios never traverse
+// them, and the rejection is the router telling the truth about what a
+// hash partition can hold.
+func (h *harness) addEdge(ctx context.Context, edgeType string, from, to uint64) error {
+	err := h.c.AddEdge(ctx, edgeType, from, to)
+	if err != nil && h.cfg.Shards > 0 && strings.Contains(err.Error(), "different shards") {
+		h.skippedEdges.Add(1)
+		return nil
+	}
+	return err
 }
 
 // loadOpts parameterizes one scenario execution.
@@ -645,6 +840,7 @@ func (h *harness) run(o loadOpts) (ScenarioResult, error) {
 		Timeouts:        merged.timeouts,
 		Upserts:         atomic.LoadInt64(&upserts),
 		Selectivity:     o.selectivity,
+		Shards:          h.cfg.Shards,
 		RecallAtK:       h.recall(truth, merged.results),
 		Latency: LatencyMS{
 			P50:  ms(hist.Quantile(0.50)),
@@ -818,9 +1014,30 @@ func (h *harness) recall(truth [][]uint64, results map[int][]uint64) float64 {
 	return float64(hits) / float64(total)
 }
 
-// planStats samples the server's filter_plans counters from /stats.
+// planStats samples the server's filter_plans counters from /stats. In
+// cluster mode the router's /stats reports routing health, not db
+// counters, so the per-shard servers are sampled directly and summed.
 func (h *harness) planStats() (PlanMixDelta, error) {
-	raw, err := h.c.Stats(context.Background())
+	if len(h.shardClients) == 0 {
+		return planStatsOf(h.c)
+	}
+	var sum PlanMixDelta
+	for i, sc := range h.shardClients {
+		d, err := planStatsOf(sc)
+		if err != nil {
+			return PlanMixDelta{}, fmt.Errorf("shard %d: %w", i, err)
+		}
+		sum.FilteredSearches += d.FilteredSearches
+		sum.BruteSegments += d.BruteSegments
+		sum.BitmapSegments += d.BitmapSegments
+		sum.PostSegments += d.PostSegments
+		sum.SkippedSegments += d.SkippedSegments
+	}
+	return sum, nil
+}
+
+func planStatsOf(c *client.Client) (PlanMixDelta, error) {
+	raw, err := c.Stats(context.Background())
 	if err != nil {
 		return PlanMixDelta{}, fmt.Errorf("fetching /stats: %w", err)
 	}
@@ -839,15 +1056,19 @@ func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // printSummary renders the report as a table.
 func (h *harness) printSummary(rep *Report) {
-	fmt.Fprintf(h.w, "\n%-22s %-11s %9s %9s %8s %8s %8s %7s %6s\n",
-		"scenario", "mode", "target", "qps", "p50ms", "p95ms", "p99ms", "recall", "errs")
+	fmt.Fprintf(h.w, "\n%-22s %-11s %6s %9s %9s %8s %8s %8s %7s %6s\n",
+		"scenario", "mode", "shards", "target", "qps", "p50ms", "p95ms", "p99ms", "recall", "errs")
 	for _, s := range rep.Scenarios {
 		target := "-"
 		if s.TargetQPS > 0 {
 			target = fmt.Sprintf("%.0f", s.TargetQPS)
 		}
-		fmt.Fprintf(h.w, "%-22s %-11s %9s %9.1f %8.2f %8.2f %8.2f %7.4f %6d\n",
-			s.Name, s.Mode, target, s.AchievedQPS,
+		shards := "-"
+		if s.Shards > 0 {
+			shards = fmt.Sprintf("%d", s.Shards)
+		}
+		fmt.Fprintf(h.w, "%-22s %-11s %6s %9s %9.1f %8.2f %8.2f %8.2f %7.4f %6d\n",
+			s.Name, s.Mode, shards, target, s.AchievedQPS,
 			s.Latency.P50, s.Latency.P95, s.Latency.P99, s.RecallAtK, s.Errors)
 	}
 }

@@ -86,6 +86,92 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+// TestRunClusterSmoke drives the suite through an in-process 2-shard
+// cluster: the router hands out global ids, merges exact distances, and
+// the harness's recall bookkeeping must not notice the difference. The
+// filtered bands prove gid filters are split per shard, and plan-mix
+// counters arrive summed from the shard servers (the router's own
+// /stats has no db block).
+func TestRunClusterSmoke(t *testing.T) {
+	var out bytes.Buffer
+	cfg := Config{
+		N: 400, Dim: 16, NumQueries: 20, K: 10, Ef: 96,
+		QPS: 200, Duration: 250 * time.Millisecond,
+		Clients: 4, BatchSize: 8, Seed: 11, SegmentSize: 128, Loaders: 4,
+		Shards: 2,
+	}
+	rep, err := Run(&out, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Target != "in-process-cluster(2)" {
+		t.Fatalf("target = %q", rep.Target)
+	}
+	wantScenarios := len(AllScenarios) - 1 + len(FilteredBands)
+	if len(rep.Scenarios) != wantScenarios {
+		t.Fatalf("got %d scenarios, want %d: %+v", len(rep.Scenarios), wantScenarios, rep.Scenarios)
+	}
+	for _, s := range rep.Scenarios {
+		if s.Shards != 2 {
+			t.Errorf("%s: shards = %d, want 2", s.Name, s.Shards)
+		}
+		if s.Errors != 0 {
+			t.Errorf("%s: %d errors", s.Name, s.Errors)
+		}
+		if s.Queries == 0 || s.AchievedQPS <= 0 {
+			t.Errorf("%s: no throughput (queries=%d qps=%.1f)", s.Name, s.Queries, s.AchievedQPS)
+		}
+		// The merge is exact-distance: recall through the router must be
+		// as good as single-node recall on the union corpus.
+		if s.RecallAtK < 0.8 {
+			t.Errorf("%s: recall@%d = %.3f through the router", s.Name, cfg.K, s.RecallAtK)
+		}
+		if s.Selectivity > 0 && s.PlanMix.FilteredSearches == 0 {
+			t.Errorf("%s: summed shard stats moved no filter_plans counters", s.Name)
+		}
+	}
+}
+
+// TestRunClusterRejectsExternalAddr covers the Shards/Addr conflict.
+func TestRunClusterRejectsExternalAddr(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := Run(&out, Config{Addr: "127.0.0.1:1", Shards: 2}); err == nil {
+		t.Fatal("Shards with external Addr accepted")
+	}
+}
+
+// TestRunScalingConcatenatesRows covers the scaling sweep report shape.
+func TestRunScalingConcatenatesRows(t *testing.T) {
+	var out bytes.Buffer
+	cfg := Config{
+		N: 150, Dim: 8, NumQueries: 10, K: 5,
+		Duration: 100 * time.Millisecond, Clients: 2, Seed: 5,
+		SegmentSize: 64, Loaders: 2, Scenarios: []string{"closed"},
+	}
+	rep, err := RunScaling(&out, cfg, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Target != "in-process-cluster-scaling" {
+		t.Fatalf("target = %q", rep.Target)
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("scenarios = %+v", rep.Scenarios)
+	}
+	for i, want := range []int{1, 2} {
+		s := rep.Scenarios[i]
+		if s.Name != "search_closed" || s.Shards != want {
+			t.Fatalf("row %d = %q shards=%d, want search_closed shards=%d", i, s.Name, s.Shards, want)
+		}
+		if s.Errors != 0 || s.Queries == 0 {
+			t.Fatalf("row %d: errors=%d queries=%d", i, s.Errors, s.Queries)
+		}
+	}
+	if _, err := RunScaling(&out, cfg, []int{-1}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}
+
 // TestRunScenarioSubsetAndUnknown covers scenario selection.
 func TestRunScenarioSubsetAndUnknown(t *testing.T) {
 	var out bytes.Buffer

@@ -1,0 +1,159 @@
+package cluster
+
+// Snapshot bootstrap: when a replica's position predates the primary's
+// checkpoint (the WAL records it needs were truncated away), it
+// downloads the checkpoint snapshot files and the catalog into an empty
+// data dir and resumes incremental pulls from the checkpoint TID.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+)
+
+// bootstrapManifest mirrors the fields of the primary's checkpoint.json
+// the bootstrap needs: the snapshot TID and the snapshot file names.
+type bootstrapManifest struct {
+	TID        uint64 `json:"tid"`
+	Graph      string `json:"graph"`
+	Embeddings string `json:"embeddings"`
+	Indexes    string `json:"indexes,omitempty"`
+}
+
+// Bootstrap seeds an empty dataDir from the primary's current
+// checkpoint: it fetches checkpoint.json, downloads the snapshot files
+// and the catalog it names, and writes checkpoint.json last as the
+// commit point (exactly the ordering the local checkpointer uses, so a
+// crash mid-bootstrap leaves a dir that recovery treats as empty or
+// complete, never half). It returns the snapshot's TID.
+//
+// A checkpoint can complete on the primary between fetching the
+// manifest and fetching the files it names, 404ing the old names;
+// Bootstrap retries the whole round a few times before giving up.
+func Bootstrap(ctx context.Context, hc *http.Client, primary, dataDir string) (uint64, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		tid, err := bootstrapOnce(ctx, hc, primary, dataDir)
+		if err == nil {
+			return tid, nil
+		}
+		if ctx.Err() != nil {
+			return 0, err
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("cluster: bootstrap from %s: %w", primary, lastErr)
+}
+
+func bootstrapOnce(ctx context.Context, hc *http.Client, primary, dataDir string) (uint64, error) {
+	raw, err := fetchReplFile(ctx, hc, primary, "checkpoint.json")
+	if err != nil {
+		return 0, err
+	}
+	if raw == nil {
+		// The primary has never checkpointed; nothing to seed from. The
+		// caller's plain WAL pull from TID 0 covers this case, so treat
+		// an empty dir as a successful zero-TID bootstrap.
+		return 0, nil
+	}
+	var m bootstrapManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return 0, fmt.Errorf("parse checkpoint.json: %w", err)
+	}
+
+	files := []string{m.Graph, m.Embeddings}
+	if m.Indexes != "" {
+		files = append(files, m.Indexes)
+	}
+	for _, name := range files {
+		body, err := fetchReplFile(ctx, hc, primary, name)
+		if err != nil {
+			return 0, err
+		}
+		if body == nil {
+			return 0, fmt.Errorf("snapshot file %s vanished (checkpoint advanced)", name)
+		}
+		if err := writeBootstrapFile(filepath.Join(dataDir, name), body); err != nil {
+			return 0, err
+		}
+	}
+	// The catalog may legitimately not exist (no DDL ever ran).
+	if cat, err := fetchReplFile(ctx, hc, primary, "catalog.gsql"); err != nil {
+		return 0, err
+	} else if cat != nil {
+		if err := writeBootstrapFile(filepath.Join(dataDir, "catalog.gsql"), cat); err != nil {
+			return 0, err
+		}
+	}
+	// Manifest last: the commit point.
+	if err := writeBootstrapFile(filepath.Join(dataDir, "checkpoint.json"), raw); err != nil {
+		return 0, err
+	}
+	return m.TID, nil
+}
+
+// fetchReplFile downloads one whitelisted file from the primary's
+// /repl/file endpoint. A 404 returns (nil, nil): the caller decides
+// whether absence is fatal.
+func fetchReplFile(ctx context.Context, hc *http.Client, primary, name string) ([]byte, error) {
+	url := fmt.Sprintf("%s/repl/file?name=%s", primary, name)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("fetch %s: %s: %s", name, resp.Status, body)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// writeBootstrapFile writes path atomically: temp file in the same
+// directory, fsync, rename. tgvlint:atomicwrite-helper
+func writeBootstrapFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".bootstrap-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

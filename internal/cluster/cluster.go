@@ -1,17 +1,44 @@
-// Package cluster simulates TigerVector's distributed query processing
-// (paper Sec. 5.1, Fig. 5): a coordinator with a send queue and response
-// pool dispatches per-segment top-k requests to worker nodes; each worker
-// searches its local embedding segments and returns (ID, distance) pairs;
-// the coordinator performs the global merge.
+// Package cluster implements TigerVector's distributed serving layer
+// (paper Sec. 5.1) in two composable halves, plus the original
+// in-process simulation the reproduction started from.
 //
-// Everything runs in one process. Data placement is real (each simulated
-// node owns a disjoint subset of embedding segments, assigned round-robin)
-// and the scatter/gather protocol runs over real channels, so merge
-// correctness is tested end to end. Because all nodes share this
-// machine's cores, *scalability* (Fig. 9/10) is reported through a
-// virtual-time model: per-node work is the measured CPU time of that
-// node's local searches, and the model combines it with configurable
-// network and coordinator costs. DESIGN.md documents this substitution.
+// # Replication (WAL shipping)
+//
+// A primary tgvserve exposes its committed WAL over GET /repl/pull as a
+// length-framed, CRC-guarded stream (frame.go, pull.go); a Replicator
+// (replica.go) pulls it on an interval and applies every record through
+// the replica's normal commit path, so the replica assigns the same
+// dense TIDs and stays a byte-compatible copy. A replica whose position
+// predates the primary's checkpoint bootstraps from the checkpoint
+// snapshot files instead (bootstrap.go). Replicas reject writes and
+// serve reads with an honest-staleness contract: /stats reports
+// applied_tid, the primary's TID and the measured lag.
+//
+// # Sharding (scatter/gather router)
+//
+// A Router (router.go) hash-partitions vertices across N shards — each
+// a primary with optional replicas — and re-exposes the single-node
+// HTTP protocol: writes route to the owning shard's primary, searches
+// scatter to every shard and merge by exact distance, and a shard that
+// fails yields a response flagged partial:true naming the missing
+// shard, never a silent recall drop. The cmd/tgvrouter binary is a thin
+// flag wrapper over it.
+//
+// # Simulation (virtual-time scalability model)
+//
+// The rest of this file simulates the paper's distributed query
+// processing (Sec. 5.1, Fig. 5) in one process: a coordinator with a
+// send queue and response pool dispatches per-segment top-k requests to
+// worker nodes; each worker searches its local embedding segments and
+// returns (ID, distance) pairs; the coordinator performs the global
+// merge. Data placement is real (each simulated node owns a disjoint
+// subset of embedding segments, assigned round-robin) and the
+// scatter/gather protocol runs over real channels, so merge correctness
+// is tested end to end. Because all nodes share this machine's cores,
+// *scalability* (Fig. 9/10) is reported through a virtual-time model:
+// per-node work is the measured CPU time of that node's local searches,
+// and the model combines it with configurable network and coordinator
+// costs. DESIGN.md documents this substitution.
 package cluster
 
 import (

@@ -1,0 +1,131 @@
+package cluster
+
+// Frame codec of the replication pull stream (GET /repl/pull). The
+// stream is a sequence of length-framed, CRC-guarded frames:
+//
+//	u32 magic "TGVR" | u8 kind | u32 payload length | payload | u32 CRC32(payload)
+//
+// (little-endian, CRC32 is IEEE). Three kinds, in protocol order:
+//
+//	meta   (1): JSON PullMeta — the primary's state at stream start and
+//	            the catalog (DDL) delta the shipped records depend on.
+//	record (2): one commit record in the exact txn WAL byte format
+//	            (txn.EncodeRecord / txn.ReadRecord), so the replica can
+//	            re-append what it applies and stay byte-compatible.
+//	end    (3): JSON PullEnd — the clean-termination marker. A stream
+//	            that stops without it was cut mid-flight (primary WAL
+//	            rotated under the reader, network fault); the records
+//	            before the cut are still valid and applied, the replica
+//	            simply pulls again.
+//
+// The CRC guards each payload against transport/file corruption; record
+// validity is additionally enforced by the dense-TID sequence check on
+// both ends (committed TIDs are gapless, so any jump proves the reader
+// lost its place).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame kinds of the pull stream.
+const (
+	// FrameMeta opens every stream: JSON PullMeta.
+	FrameMeta uint8 = 1
+	// FrameRecord carries one txn WAL commit record.
+	FrameRecord uint8 = 2
+	// FrameEnd closes a complete stream: JSON PullEnd.
+	FrameEnd uint8 = 3
+)
+
+const frameMagic = uint32(0x54475652) // "TGVR"
+
+// maxFramePayload bounds a decoded frame payload. A WAL record is
+// bounded by the txn append limits (well under this); a corrupt length
+// field must fail the parse, not drive a huge allocation.
+const maxFramePayload = 1 << 28
+
+// ErrBadFrame flags a malformed or corrupt pull-stream frame.
+var ErrBadFrame = errors.New("cluster: bad replication frame")
+
+// PullMeta is the JSON payload of the stream-opening meta frame.
+type PullMeta struct {
+	// SinceTID echoes the request's since parameter.
+	SinceTID uint64 `json:"since_tid"`
+	// PrimaryTID is the primary's committed TID when the stream started;
+	// the stream ships records in (SinceTID, PrimaryTID], densely.
+	PrimaryTID uint64 `json:"primary_tid"`
+	// CatalogOff is the byte offset the catalog delta starts at — the
+	// replica must be at exactly this offset or refuse the delta.
+	CatalogOff int64 `json:"catalog_off"`
+	// Catalog is the raw catalog (DDL) bytes in [CatalogOff, the
+	// primary's catalog length), shipped before any record so schema
+	// exists before data that needs it. Empty when the replica is
+	// caught up on DDL. (JSON encodes it base64.)
+	Catalog []byte `json:"catalog,omitempty"`
+}
+
+// PullEnd is the JSON payload of the stream-closing end frame.
+type PullEnd struct {
+	// LastTID is the TID of the last record frame shipped (SinceTID if
+	// none were).
+	LastTID uint64 `json:"last_tid"`
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, kind uint8, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("%w: payload of %d bytes exceeds max %d", ErrBadFrame, len(payload), maxFramePayload)
+	}
+	hdr := make([]byte, 0, 9)
+	hdr = binary.LittleEndian.AppendUint32(hdr, frameMagic)
+	hdr = append(hdr, kind)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// ReadFrame reads one frame from r. io.EOF at a frame boundary is
+// returned as-is (the stream ended — complete only if the previous
+// frame was FrameEnd); any mid-frame failure or CRC mismatch wraps
+// ErrBadFrame.
+func ReadFrame(r io.Reader) (kind uint8, payload []byte, err error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: short header: %v", ErrBadFrame, err)
+	}
+	if magic := binary.LittleEndian.Uint32(hdr[:4]); magic != frameMagic {
+		return 0, nil, fmt.Errorf("%w: magic %#x", ErrBadFrame, magic)
+	}
+	kind = hdr[4]
+	n := binary.LittleEndian.Uint32(hdr[5:9])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("%w: payload length %d implausible", ErrBadFrame, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: short payload: %v", ErrBadFrame, err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: short crc: %v", ErrBadFrame, err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(crc[:]); got != want {
+		return 0, nil, fmt.Errorf("%w: crc %#x != %#x", ErrBadFrame, got, want)
+	}
+	return kind, payload, nil
+}

@@ -1,0 +1,146 @@
+package cluster
+
+// Server side of WAL shipping: WritePull streams the committed records a
+// replica is missing, as pull-protocol frames (see frame.go). It is the
+// `current_tx` incremental-pull idiom — "give me everything committed
+// since TID X" — applied to the txn WAL.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/txn"
+)
+
+// ReplState is a primary's replication-relevant position. Ordering
+// contract for implementers: LastCommittedTID must be read BEFORE
+// CatalogLen, so the catalog prefix [0, CatalogLen) covers every DDL
+// statement any record with TID <= LastCommittedTID depends on (DDL is
+// appended to the catalog when it executes, before any commit can use
+// the schema it created).
+type ReplState struct {
+	// LastCommittedTID is the highest committed TID.
+	LastCommittedTID uint64
+	// CheckpointTID is the TID of the newest checkpoint covering the
+	// data dir; WAL records at or below it may be truncated away.
+	CheckpointTID uint64
+	// CatalogLen is the byte length of the catalog (DDL) log.
+	CatalogLen int64
+}
+
+// Source is what WritePull needs from a primary; *tigervector.DB
+// implements it.
+type Source interface {
+	// ReplState snapshots the primary's position (see the ReplState
+	// ordering contract).
+	ReplState() ReplState
+	// OpenWAL opens the WAL for reading at offset 0. The file may be
+	// appended to (or truncated by a checkpoint) while the reader runs;
+	// WritePull defends against both.
+	OpenWAL() (io.ReadCloser, error)
+	// ReadCatalog returns n bytes of the catalog log starting at off.
+	ReadCatalog(off, n int64) ([]byte, error)
+}
+
+// ErrSnapshotRequired reports that since predates the primary's
+// checkpoint: the records between them have been truncated out of the
+// WAL, so the replica must bootstrap from the checkpoint snapshot and
+// resume pulling from its TID.
+var ErrSnapshotRequired = errors.New("cluster: since predates the checkpoint, snapshot bootstrap required")
+
+// WritePull streams the pull response for ?since=<since>&catalog=<catalogOff>:
+// one meta frame (primary position + catalog delta), the committed WAL
+// records in (since, capTID] in dense TID order, then an end frame.
+//
+// ErrSnapshotRequired is returned before anything is written, so the
+// HTTP layer can answer 409. Races with a concurrent checkpoint are
+// safe by construction: records are streamed only while their TIDs
+// continue the dense since+1, since+2, ... sequence, so a WAL that
+// rotates (truncate + new appends) under the reader either looks like a
+// clean tail (torn read, TID above the cap, or EOF — stream ends with
+// an end frame at the last whole record) or breaks the sequence, which
+// aborts the stream without an end frame and the replica retries.
+func WritePull(w io.Writer, src Source, since uint64, catalogOff int64) error {
+	st := src.ReplState()
+	if since < st.CheckpointTID {
+		return fmt.Errorf("%w (since %d, checkpoint %d)", ErrSnapshotRequired, since, st.CheckpointTID)
+	}
+	meta := PullMeta{SinceTID: since, PrimaryTID: st.LastCommittedTID, CatalogOff: catalogOff}
+	if catalogOff < st.CatalogLen {
+		delta, err := src.ReadCatalog(catalogOff, st.CatalogLen-catalogOff)
+		if err != nil {
+			return fmt.Errorf("cluster: read catalog delta: %w", err)
+		}
+		meta.Catalog = delta
+	}
+	payload, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(w, FrameMeta, payload); err != nil {
+		return err
+	}
+
+	f, err := src.OpenWAL()
+	if err != nil {
+		return fmt.Errorf("cluster: open wal: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	br := bufio.NewReaderSize(f, 1<<16)
+	next := since + 1
+	last := since
+	for {
+		tid, vectors, ops, err := txn.ReadRecord(br)
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, txn.ErrTornWAL) {
+			// The expected tail of a live log: a commit being appended
+			// right now, or the file truncated by a checkpoint under our
+			// offset. Every record already framed parsed whole and
+			// continued the dense sequence, so ending cleanly here is
+			// correct — the replica's next pull picks up the rest.
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if uint64(tid) <= since {
+			// Pre-checkpoint leftovers (crash between manifest and
+			// truncation) or records the replica already has.
+			continue
+		}
+		if uint64(tid) > st.LastCommittedTID {
+			// Past the stream's cap: either a commit that landed after we
+			// snapshotted the state, or fresh post-rotation records at a
+			// coincidental record boundary. Not ours to ship this round.
+			break
+		}
+		if uint64(tid) != next {
+			// Committed TIDs are dense; a gap means the WAL rotated and
+			// we are reading records that do not continue where the
+			// replica left off. Abort without an end frame: the replica
+			// discards nothing (all shipped records were valid) and
+			// retries, hitting the ErrSnapshotRequired path if its
+			// position was truncated away.
+			return fmt.Errorf("cluster: wal rotated mid-stream: expected tid %d, read %d", next, tid)
+		}
+		rec, err := txn.EncodeRecord(tid, vectors, ops)
+		if err != nil {
+			return fmt.Errorf("cluster: re-encode record %d: %w", tid, err)
+		}
+		if err := WriteFrame(w, FrameRecord, rec); err != nil {
+			return err
+		}
+		last = uint64(tid)
+		next++
+	}
+	endPayload, err := json.Marshal(PullEnd{LastTID: last})
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, FrameEnd, endPayload)
+}

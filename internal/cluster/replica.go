@@ -1,0 +1,238 @@
+package cluster
+
+// Replica side of WAL shipping: a Replicator periodically pulls the
+// pull-protocol stream from a primary and applies it to a Target (the
+// local DB) through the normal commit path, so the replica assigns the
+// same dense TIDs the primary did and its own WAL stays a byte-
+// compatible continuation — a replica can itself be pulled from
+// (chained replication) and recovers from its own log like any primary.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/client"
+	"repro/internal/txn"
+)
+
+// Target is what a Replicator applies pulled state to; *tigervector.DB
+// implements it.
+type Target interface {
+	// VisibleTID is the highest locally committed TID (the pull cursor).
+	VisibleTID() uint64
+	// CatalogLen is the local catalog byte length (the DDL pull cursor).
+	CatalogLen() int64
+	// ApplyCatalog executes a catalog delta and appends its exact bytes
+	// to the local catalog log, keeping byte offsets aligned with the
+	// primary's.
+	ApplyCatalog(chunk []byte) error
+	// ApplyRecord commits one replicated record. tid must be exactly
+	// VisibleTID()+1; the implementation verifies the commit produced it.
+	ApplyRecord(tid uint64, vectors []txn.StagedVector, ops []txn.GraphOp) error
+}
+
+// Replicator pulls committed records from a primary into a Target.
+type Replicator struct {
+	// Primary is the primary's base URL, e.g. "http://127.0.0.1:7687".
+	Primary string
+	// Target receives the pulled catalog chunks and records.
+	Target Target
+	// HTTP is the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+	// Interval is the pull cadence of Run. Default 250ms.
+	Interval time.Duration
+	// Logf receives pull failures; nil disables logging.
+	Logf func(format string, args ...any)
+
+	mu         sync.Mutex
+	primaryTID uint64    // guarded by mu — primary's TID at the last pull
+	lastPull   time.Time // guarded by mu — time of the last successful pull
+	pulls      int64     // guarded by mu
+	records    int64     // guarded by mu
+	snapshot   bool      // guarded by mu — fell behind the WAL horizon
+	lastErr    string    // guarded by mu
+}
+
+// PullOnce performs one pull round trip: request everything since the
+// local TID, apply the catalog delta and every record frame as they
+// arrive, and verify the stream terminated with an end frame. It
+// returns the number of records applied. Records applied before a
+// mid-stream failure stay applied — they were individually CRC-checked
+// and committed — so a failed pull just resumes further along.
+// ErrSnapshotRequired means the local state predates the primary's WAL
+// horizon and the caller must Bootstrap.
+func (r *Replicator) PullOnce(ctx context.Context) (int, error) {
+	n, err := r.pull(ctx)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		r.lastErr = err.Error()
+		if errors.Is(err, ErrSnapshotRequired) {
+			r.snapshot = true
+		}
+		return n, err
+	}
+	r.pulls++
+	r.records += int64(n)
+	r.lastPull = time.Now()
+	r.snapshot = false
+	r.lastErr = ""
+	return n, nil
+}
+
+func (r *Replicator) pull(ctx context.Context) (int, error) {
+	since := r.Target.VisibleTID()
+	catOff := r.Target.CatalogLen()
+	url := fmt.Sprintf("%s/repl/pull?since=%d&catalog=%d", r.Primary, since, catOff)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	hc := r.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusConflict {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return 0, fmt.Errorf("%w (local tid %d)", ErrSnapshotRequired, since)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return 0, fmt.Errorf("cluster: pull: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+
+	br := bufio.NewReaderSize(resp.Body, 1<<16)
+	applied := 0
+	next := since + 1
+	sawMeta, sawEnd := false, false
+	for {
+		kind, payload, err := ReadFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return applied, err
+		}
+		switch kind {
+		case FrameMeta:
+			if sawMeta {
+				return applied, fmt.Errorf("%w: duplicate meta frame", ErrBadFrame)
+			}
+			sawMeta = true
+			var meta PullMeta
+			if err := json.Unmarshal(payload, &meta); err != nil {
+				return applied, fmt.Errorf("%w: meta: %v", ErrBadFrame, err)
+			}
+			r.mu.Lock()
+			r.primaryTID = meta.PrimaryTID
+			r.mu.Unlock()
+			if len(meta.Catalog) > 0 {
+				if meta.CatalogOff != catOff {
+					return applied, fmt.Errorf("cluster: catalog delta at offset %d, local length %d", meta.CatalogOff, catOff)
+				}
+				if err := r.Target.ApplyCatalog(meta.Catalog); err != nil {
+					return applied, fmt.Errorf("cluster: apply catalog delta: %w", err)
+				}
+			}
+		case FrameRecord:
+			if !sawMeta {
+				return applied, fmt.Errorf("%w: record before meta", ErrBadFrame)
+			}
+			tid, vectors, ops, err := txn.ReadRecord(bytes.NewReader(payload))
+			if err != nil {
+				return applied, fmt.Errorf("cluster: decode record: %w", err)
+			}
+			if uint64(tid) != next {
+				return applied, fmt.Errorf("cluster: pull stream skipped: expected tid %d, got %d", next, tid)
+			}
+			if err := r.Target.ApplyRecord(uint64(tid), vectors, ops); err != nil {
+				return applied, fmt.Errorf("cluster: apply record %d: %w", tid, err)
+			}
+			next++
+			applied++
+		case FrameEnd:
+			var end PullEnd
+			if err := json.Unmarshal(payload, &end); err != nil {
+				return applied, fmt.Errorf("%w: end: %v", ErrBadFrame, err)
+			}
+			if end.LastTID != next-1 {
+				return applied, fmt.Errorf("cluster: end frame says tid %d, applied through %d", end.LastTID, next-1)
+			}
+			sawEnd = true
+		default:
+			return applied, fmt.Errorf("%w: kind %d", ErrBadFrame, kind)
+		}
+		if sawEnd {
+			break
+		}
+	}
+	if !sawEnd {
+		// The primary aborted mid-stream (WAL rotation race) or the
+		// connection dropped. Everything applied is good; report the cut
+		// so Run retries instead of treating the prefix as complete.
+		return applied, fmt.Errorf("cluster: pull stream ended without end frame after %d records", applied)
+	}
+	return applied, nil
+}
+
+// Run pulls on Interval until ctx is cancelled. Failures are logged and
+// retried; ErrSnapshotRequired is remembered in Stats (mid-life
+// re-bootstrap needs a restart, see the honest-staleness notes in
+// ARCHITECTURE.md).
+func (r *Replicator) Run(ctx context.Context) {
+	iv := r.Interval
+	if iv <= 0 {
+		iv = 250 * time.Millisecond
+	}
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := r.PullOnce(ctx); err != nil && ctx.Err() == nil && r.Logf != nil {
+				r.Logf("replica: pull from %s: %v", r.Primary, err)
+			}
+		}
+	}
+}
+
+// Stats snapshots the replication position for /stats: the
+// honest-staleness numbers a client needs to decide whether a replica
+// read is fresh enough.
+func (r *Replicator) Stats() *client.ReplicationStats {
+	applied := r.Target.VisibleTID()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := &client.ReplicationStats{
+		Primary:              r.Primary,
+		AppliedTID:           applied,
+		PrimaryTID:           r.primaryTID,
+		Pulls:                r.pulls,
+		RecordsApplied:       r.records,
+		SecondsSinceLastPull: -1,
+		SnapshotRequired:     r.snapshot,
+		LastError:            r.lastErr,
+	}
+	if r.primaryTID > applied {
+		st.ReplicationLag = r.primaryTID - applied
+	}
+	if !r.lastPull.IsZero() {
+		st.SecondsSinceLastPull = time.Since(r.lastPull).Seconds()
+	}
+	return st
+}

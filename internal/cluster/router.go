@@ -1,0 +1,844 @@
+package cluster
+
+// Scatter/gather shard router: tgvrouter hash-partitions vertex ids
+// across N tgvserve backends and re-exposes the single-node HTTP
+// protocol, so a client talks to a cluster exactly like one server.
+//
+// Identity scheme: the router hands out global ids
+//
+//	gid = local*N + shard        (shard = gid % N, local = gid / N)
+//
+// where local is the backend's own vertex id and N the shard count.
+// Vertices are placed by hashing their primary-key attribute, so the
+// same key always routes to the same shard; every id in a router
+// request or response is a gid, and translation happens only at the
+// router boundary. With N == 1 gid == local.
+//
+// Search semantics: /search and /range fan out to every shard with the
+// full query set and the same k, each shard answers from its own
+// partition, and the router merges per-query by exact distance
+// (ties: vertex type, then gid) and truncates to k — the same ordering
+// a single node holding the union corpus produces. A shard that times
+// out or fails yields a response flagged partial:true naming the
+// missing shard: degraded results are visible, never a silent recall
+// drop. Per-shard MVCC TIDs are not comparable, so merged results carry
+// snapshot_tid 0, the per-shard TIDs ride in shard_tids, and pinned
+// (at_tid) requests are refused at the router.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+)
+
+// ShardSpec names one shard and its endpoints.
+type ShardSpec struct {
+	// Name labels the shard in stats, shard_tids and failed_shards.
+	Name string
+	// Primary is the writable endpoint's base URL.
+	Primary string
+	// Replicas are read-only endpoints (tgvserve -replica-of Primary);
+	// reads rotate across them and fall back to the primary.
+	Replicas []string
+}
+
+// RouterOptions configures a Router. The zero value is usable.
+type RouterOptions struct {
+	// MaxBatch caps query vectors per /search request. Default 1024.
+	MaxBatch int
+	// RequestTimeout bounds a whole routed request when the request
+	// carries no timeout_ms of its own. Zero means no default deadline.
+	RequestTimeout time.Duration
+	// ShardTimeout additionally caps each per-shard call, whatever the
+	// request budget says. Zero applies no per-shard cap.
+	ShardTimeout time.Duration
+	// Cooldown is how long a failing endpoint is routed around before
+	// being probed again. Default 2s.
+	Cooldown time.Duration
+	// KeyAttrs maps vertex type to the attribute holding its primary
+	// key, used to place /vertex requests. Types not in the map use "id".
+	KeyAttrs map[string]string
+	// HTTP is the transport to the shards; nil uses http.DefaultClient.
+	HTTP *http.Client
+	// Logf receives one line per failed request or shard fault; nil
+	// disables logging.
+	Logf func(format string, args ...any)
+}
+
+// endpoint is one backend URL plus its health state.
+type endpoint struct {
+	url       string
+	downUntil atomic.Int64 // guarded by atomic — unixnano until which the endpoint is routed around
+}
+
+func (e *endpoint) healthy() bool { return time.Now().UnixNano() >= e.downUntil.Load() }
+
+// shard is one partition: a primary plus read replicas.
+type shard struct {
+	name     string
+	primary  *endpoint
+	replicas []*endpoint
+	rr       atomic.Uint64 // guarded by atomic — read-rotation cursor
+}
+
+// readEndpoint picks the next healthy read endpoint, rotating across
+// replicas first and the primary last, so replicas absorb read load and
+// the primary is the fallback of last resort. With everything unhealthy
+// it returns the primary anyway (the probe that detects recovery).
+func (sh *shard) readEndpoint() *endpoint {
+	n := len(sh.replicas)
+	if n == 0 {
+		return sh.primary
+	}
+	start := sh.rr.Add(1)
+	for i := uint64(0); i < uint64(n); i++ {
+		if e := sh.replicas[(start+i)%uint64(n)]; e.healthy() {
+			return e
+		}
+	}
+	return sh.primary
+}
+
+// RouterCounters tallies routed requests per endpoint.
+type RouterCounters struct {
+	Vertex     int64 `json:"vertex"`
+	Edge       int64 `json:"edge"`
+	Search     int64 `json:"search"`
+	Range      int64 `json:"range"`
+	Get        int64 `json:"get"`
+	Upsert     int64 `json:"upsert"`
+	Delete     int64 `json:"delete"`
+	GSQL       int64 `json:"gsql"`
+	Checkpoint int64 `json:"checkpoint"`
+	Stats      int64 `json:"stats"`
+	// Errors counts requests answered non-2xx; Partial counts searches
+	// answered partial:true (served, but with a shard missing).
+	Errors  int64 `json:"errors"`
+	Partial int64 `json:"partial"`
+}
+
+// RouterShardStats is one shard's health block within RouterStats.
+type RouterShardStats struct {
+	Name     string   `json:"name"`
+	Primary  string   `json:"primary"`
+	Replicas []string `json:"replicas,omitempty"`
+	// Down lists endpoints currently routed around (inside cooldown).
+	Down []string `json:"down,omitempty"`
+}
+
+// RouterStats is the body answering the router's GET /stats.
+type RouterStats struct {
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Shards        []RouterShardStats `json:"shards"`
+	Requests      RouterCounters     `json:"requests"`
+}
+
+// RouterCheckpointResponse is the body answering the router's POST
+// /checkpoint: one entry per shard.
+type RouterCheckpointResponse struct {
+	Shards map[string]client.CheckpointResponse `json:"shards"`
+	Errors map[string]string                    `json:"errors,omitempty"`
+}
+
+// Router is the scatter/gather http.Handler over a set of shards.
+type Router struct {
+	shards []*shard
+	opts   RouterOptions
+	hc     *http.Client
+	mux    *http.ServeMux
+	start  time.Time
+
+	vertex, edge, search, rng, get, upsert, del, gsql, cp, stats, errs, partial atomic.Int64
+}
+
+// NewRouter builds a Router over the given shards. Shard order is the
+// partition function — changing it (or the shard count) re-homes every
+// key, so a cluster's shard list is fixed at creation time.
+func NewRouter(specs []ShardSpec, opts RouterOptions) (*Router, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one shard")
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 1024
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 2 * time.Second
+	}
+	r := &Router{opts: opts, hc: opts.HTTP, start: time.Now(), mux: http.NewServeMux()}
+	if r.hc == nil {
+		r.hc = http.DefaultClient
+	}
+	seen := map[string]bool{}
+	for i, spec := range specs {
+		if spec.Primary == "" {
+			return nil, fmt.Errorf("cluster: shard %d has no primary", i)
+		}
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("shard%d", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", name)
+		}
+		seen[name] = true
+		sh := &shard{name: name, primary: &endpoint{url: strings.TrimRight(spec.Primary, "/")}}
+		for _, rep := range spec.Replicas {
+			sh.replicas = append(sh.replicas, &endpoint{url: strings.TrimRight(rep, "/")})
+		}
+		r.shards = append(r.shards, sh)
+	}
+	r.mux.HandleFunc("/vertex", r.method(http.MethodPost, r.handleVertex))
+	r.mux.HandleFunc("/edge", r.method(http.MethodPost, r.handleEdge))
+	r.mux.HandleFunc("/search", r.method(http.MethodPost, r.handleSearch))
+	r.mux.HandleFunc("/range", r.method(http.MethodPost, r.handleRange))
+	r.mux.HandleFunc("/get", r.method(http.MethodPost, r.handleGet))
+	r.mux.HandleFunc("/upsert", r.method(http.MethodPost, r.handleUpsert))
+	r.mux.HandleFunc("/delete", r.method(http.MethodPost, r.handleDelete))
+	r.mux.HandleFunc("/gsql", r.method(http.MethodPost, r.handleGSQL))
+	r.mux.HandleFunc("/checkpoint", r.method(http.MethodPost, r.handleCheckpoint))
+	r.mux.HandleFunc("/stats", r.method(http.MethodGet, r.handleStats))
+	return r, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) { r.mux.ServeHTTP(w, req) }
+
+func (r *Router) method(want string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != want {
+			r.fail(w, http.StatusMethodNotAllowed, "%s requires %s", req.URL.Path, want)
+			return
+		}
+		h(w, req)
+	}
+}
+
+// numShards returns N of the gid scheme.
+func (r *Router) numShards() uint64 { return uint64(len(r.shards)) }
+
+// gidShard splits a global id into (shard index, local id).
+func (r *Router) gidShard(gid uint64) (uint64, uint64) {
+	n := r.numShards()
+	return gid % n, gid / n
+}
+
+// gid joins (shard index, local id) into a global id.
+func (r *Router) gid(shardIdx, local uint64) uint64 { return local*r.numShards() + shardIdx }
+
+// keyAttr returns the primary-key attribute name of a vertex type.
+func (r *Router) keyAttr(vertexType string) string {
+	if a, ok := r.opts.KeyAttrs[vertexType]; ok {
+		return a
+	}
+	return "id"
+}
+
+// keyShard places a primary-key value: FNV-1a over a type-tagged
+// rendering (so int64(7), "7" and 7.5 occupy distinct hash streams),
+// mod N. Integral JSON numbers collapse to int64 first, mirroring the
+// server's coerceScalar, so the same key routes identically whether it
+// arrives as 7 or 7.0.
+func (r *Router) keyShard(key any) uint64 {
+	var tag string
+	switch x := key.(type) {
+	case float64:
+		if x == math.Trunc(x) && !math.IsInf(x, 0) {
+			tag = fmt.Sprintf("i:%d", int64(x))
+		} else {
+			tag = fmt.Sprintf("f:%x", math.Float64bits(x))
+		}
+	case int64:
+		tag = fmt.Sprintf("i:%d", x)
+	case int:
+		tag = fmt.Sprintf("i:%d", int64(x))
+	case uint64:
+		tag = fmt.Sprintf("i:%d", x)
+	case string:
+		tag = "s:" + x
+	case bool:
+		tag = fmt.Sprintf("b:%t", x)
+	default:
+		tag = fmt.Sprintf("v:%v", x)
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(tag))
+	return h.Sum64() % r.numShards()
+}
+
+// requestContext mirrors the server's deadline derivation.
+func (r *Router) requestContext(req *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx := req.Context()
+	timeout := r.opts.RequestTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// shardContext derives one shard call's context from the request
+// budget: the remaining request deadline, additionally capped by
+// ShardTimeout.
+func (r *Router) shardContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if r.opts.ShardTimeout > 0 {
+		return context.WithTimeout(ctx, r.opts.ShardTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// shardTimeoutMS renders the shard call's remaining budget as a wire
+// timeout_ms, so the shard enforces the deadline server-side too.
+func shardTimeoutMS(ctx context.Context) int64 {
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		return ms
+	}
+	return 0
+}
+
+// forward POSTs one JSON call to an endpoint and decodes the answer
+// into out. Transport failures and 5xx answers mark the endpoint down
+// for the cooldown; 4xx answers are the shard's deliberate verdict and
+// do not. The returned status is 0 on transport failure.
+func (r *Router) forward(ctx context.Context, e *endpoint, path string, in, out any) (int, error) {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.url+path, strings.NewReader(string(payload)))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		e.downUntil.Store(time.Now().Add(r.opts.Cooldown).UnixNano())
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		e.downUntil.Store(time.Now().Add(r.opts.Cooldown).UnixNano())
+		return 0, err
+	}
+	if resp.StatusCode/100 != 2 {
+		if resp.StatusCode >= 500 {
+			e.downUntil.Store(time.Now().Add(r.opts.Cooldown).UnixNano())
+		}
+		var eresp client.ErrorResponse
+		if json.Unmarshal(body, &eresp) == nil && eresp.Error != "" {
+			return resp.StatusCode, fmt.Errorf("%s", eresp.Error)
+		}
+		return resp.StatusCode, fmt.Errorf("%s", resp.Status)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %s response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// forwardStatus maps a shard's answer onto the router's own response
+// status: the shard's 4xx pass through verbatim, everything else
+// (transport fault, 5xx) becomes 502.
+func forwardStatus(status int) int {
+	if status >= 400 && status < 500 {
+		return status
+	}
+	return http.StatusBadGateway
+}
+
+// handleVertex places the vertex by its primary-key attribute and
+// forwards to the owning shard's primary.
+func (r *Router) handleVertex(w http.ResponseWriter, req *http.Request) {
+	r.vertex.Add(1)
+	var body client.VertexRequest
+	if !r.decode(w, req, &body) {
+		return
+	}
+	attr := r.keyAttr(body.Type)
+	key, ok := body.Attrs[attr]
+	if !ok {
+		r.fail(w, http.StatusBadRequest, "vertex of type %s needs primary-key attr %q for shard placement", body.Type, attr)
+		return
+	}
+	idx := r.keyShard(key)
+	ctx, cancel := r.requestContext(req, 0)
+	defer cancel()
+	var resp client.VertexResponse
+	if status, err := r.forward(ctx, r.shards[idx].primary, "/vertex", body, &resp); err != nil {
+		r.fail(w, forwardStatus(status), "shard %s: %v", r.shards[idx].name, err)
+		return
+	}
+	resp.ID = r.gid(idx, resp.ID)
+	r.writeJSON(w, resp)
+}
+
+// handleEdge forwards an edge whose endpoints share a shard. The hash
+// partition has no cross-shard edges by construction when both vertices
+// share a placement key; edges between keys that hash apart are
+// rejected rather than half-inserted.
+func (r *Router) handleEdge(w http.ResponseWriter, req *http.Request) {
+	r.edge.Add(1)
+	var body client.EdgeRequest
+	if !r.decode(w, req, &body) {
+		return
+	}
+	fromShard, fromLocal := r.gidShard(body.From)
+	toShard, toLocal := r.gidShard(body.To)
+	if fromShard != toShard {
+		r.fail(w, http.StatusBadRequest, "edge endpoints %d and %d live on different shards (%s, %s)",
+			body.From, body.To, r.shards[fromShard].name, r.shards[toShard].name)
+		return
+	}
+	local := body
+	local.From, local.To = fromLocal, toLocal
+	ctx, cancel := r.requestContext(req, 0)
+	defer cancel()
+	if status, err := r.forward(ctx, r.shards[fromShard].primary, "/edge", local, &client.EdgeResponse{}); err != nil {
+		r.fail(w, forwardStatus(status), "shard %s: %v", r.shards[fromShard].name, err)
+		return
+	}
+	r.writeJSON(w, client.EdgeResponse{})
+}
+
+// routeWrite resolves the owning shard of an (id | key) addressed write
+// and rewrites the id to the shard-local one.
+func (r *Router) routeWrite(id **uint64, key any) (uint64, bool) {
+	if *id != nil {
+		idx, local := r.gidShard(**id)
+		*id = &local
+		return idx, true
+	}
+	if key == nil {
+		return 0, false
+	}
+	return r.keyShard(key), true
+}
+
+// handleUpsert routes an embedding write to the owning shard's primary.
+func (r *Router) handleUpsert(w http.ResponseWriter, req *http.Request) {
+	r.upsert.Add(1)
+	var body client.UpsertRequest
+	if !r.decode(w, req, &body) {
+		return
+	}
+	idx, ok := r.routeWrite(&body.ID, body.Key)
+	if !ok {
+		r.fail(w, http.StatusBadRequest, "upsert needs id or key")
+		return
+	}
+	ctx, cancel := r.requestContext(req, 0)
+	defer cancel()
+	var resp client.UpsertResponse
+	if status, err := r.forward(ctx, r.shards[idx].primary, "/upsert", body, &resp); err != nil {
+		r.fail(w, forwardStatus(status), "shard %s: %v", r.shards[idx].name, err)
+		return
+	}
+	resp.ID = r.gid(idx, resp.ID)
+	r.writeJSON(w, resp)
+}
+
+// handleDelete routes an embedding/vertex delete to the owning shard's
+// primary.
+func (r *Router) handleDelete(w http.ResponseWriter, req *http.Request) {
+	r.del.Add(1)
+	var body client.DeleteRequest
+	if !r.decode(w, req, &body) {
+		return
+	}
+	idx, ok := r.routeWrite(&body.ID, body.Key)
+	if !ok {
+		r.fail(w, http.StatusBadRequest, "delete needs id or key")
+		return
+	}
+	ctx, cancel := r.requestContext(req, 0)
+	defer cancel()
+	var resp client.DeleteResponse
+	if status, err := r.forward(ctx, r.shards[idx].primary, "/delete", body, &resp); err != nil {
+		r.fail(w, forwardStatus(status), "shard %s: %v", r.shards[idx].name, err)
+		return
+	}
+	resp.ID = r.gid(idx, resp.ID)
+	r.writeJSON(w, resp)
+}
+
+// handleGet routes a point read to the owning shard, preferring its
+// replicas.
+func (r *Router) handleGet(w http.ResponseWriter, req *http.Request) {
+	r.get.Add(1)
+	var body client.GetRequest
+	if !r.decode(w, req, &body) {
+		return
+	}
+	if body.AtTID != 0 {
+		r.fail(w, http.StatusBadRequest, "at_tid is per-shard state; pinned reads must target a shard directly")
+		return
+	}
+	idx, ok := r.routeWrite(&body.ID, body.Key)
+	if !ok {
+		r.fail(w, http.StatusBadRequest, "get needs id or key")
+		return
+	}
+	ctx, cancel := r.requestContext(req, 0)
+	defer cancel()
+	var resp client.GetResponse
+	if status, err := r.forward(ctx, r.shards[idx].readEndpoint(), "/get", body, &resp); err != nil {
+		r.fail(w, forwardStatus(status), "shard %s: %v", r.shards[idx].name, err)
+		return
+	}
+	resp.ID = r.gid(idx, resp.ID)
+	resp.SnapshotTID = 0
+	r.writeJSON(w, resp)
+}
+
+// shardAnswer is one shard's contribution to a scatter/gather search.
+type shardAnswer struct {
+	idx     int
+	skipped bool // filter admitted nothing on this shard; zero hits by construction
+	resp    *client.SearchResponse
+	err     error
+}
+
+// scatter fans one search body out to every shard's read endpoint and
+// collects the answers. buildBody rewrites the request for one shard
+// (per-shard filter); it returns false to skip the shard entirely.
+func (r *Router) scatter(ctx context.Context, path string, buildBody func(idx int) (any, bool)) []shardAnswer {
+	answers := make([]shardAnswer, len(r.shards))
+	var wg sync.WaitGroup
+	for i := range r.shards {
+		body, run := buildBody(i)
+		if !run {
+			answers[i] = shardAnswer{idx: i, skipped: true}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, body any) {
+			defer wg.Done()
+			sctx, cancel := r.shardContext(ctx)
+			defer cancel()
+			var resp client.SearchResponse
+			_, err := r.forward(sctx, r.shards[i].readEndpoint(), path, body, &resp)
+			answers[i] = shardAnswer{idx: i, resp: &resp, err: err}
+		}(i, body)
+	}
+	wg.Wait()
+	return answers
+}
+
+// splitFilter partitions a gid filter into per-shard local-id filters.
+// A nil filter yields nil for every shard (search everything); a
+// non-nil filter that admits nothing on some shard marks that shard
+// skippable.
+func (r *Router) splitFilter(f *client.Filter) []*client.Filter {
+	if f == nil {
+		return make([]*client.Filter, len(r.shards))
+	}
+	out := make([]*client.Filter, len(r.shards))
+	for i := range out {
+		out[i] = &client.Filter{Type: f.Type}
+	}
+	for _, gid := range f.IDs {
+		idx, local := r.gidShard(gid)
+		out[idx].IDs = append(out[idx].IDs, local)
+	}
+	return out
+}
+
+// mergeAnswers folds per-shard search answers into one response:
+// per-query concatenation with local→gid translation, exact-distance
+// sort (ties: type, then gid), optional truncation to k. Failed shards
+// set partial and are named; per-query errors inside a surviving shard
+// count the same way — the query's merged hits are missing that shard's
+// slice.
+func (r *Router) mergeAnswers(answers []shardAnswer, numQueries, k int) client.SearchResponse {
+	out := client.SearchResponse{
+		Results:   make([]client.SearchResult, numQueries),
+		ShardTIDs: map[string]uint64{},
+	}
+	failed := map[string]bool{}
+	for _, a := range answers {
+		name := r.shards[a.idx].name
+		if a.skipped {
+			continue
+		}
+		if a.err != nil {
+			failed[name] = true
+			if r.opts.Logf != nil {
+				r.opts.Logf("router: shard %s: %v", name, a.err)
+			}
+			continue
+		}
+		if len(a.resp.Results) != numQueries {
+			failed[name] = true
+			if r.opts.Logf != nil {
+				r.opts.Logf("router: shard %s answered %d results for %d queries", name, len(a.resp.Results), numQueries)
+			}
+			continue
+		}
+		var tid uint64
+		for qi, res := range a.resp.Results {
+			if res.Error != "" {
+				failed[fmt.Sprintf("%s (query %d: %s)", name, qi, res.Error)] = true
+				continue
+			}
+			if res.SnapshotTID > tid {
+				tid = res.SnapshotTID
+			}
+			for _, h := range res.Hits {
+				out.Results[qi].Hits = append(out.Results[qi].Hits, client.Hit{
+					Type: h.Type, ID: r.gid(uint64(a.idx), h.ID), Distance: h.Distance,
+				})
+			}
+		}
+		out.ShardTIDs[name] = tid
+	}
+	for qi := range out.Results {
+		hits := out.Results[qi].Hits
+		sort.Slice(hits, func(a, b int) bool {
+			if hits[a].Distance != hits[b].Distance {
+				return hits[a].Distance < hits[b].Distance
+			}
+			if hits[a].Type != hits[b].Type {
+				return hits[a].Type < hits[b].Type
+			}
+			return hits[a].ID < hits[b].ID
+		})
+		if k > 0 && len(hits) > k {
+			hits = hits[:k]
+		}
+		if hits == nil {
+			hits = []client.Hit{}
+		}
+		out.Results[qi].Hits = hits
+	}
+	if len(failed) > 0 {
+		out.Partial = true
+		for name := range failed {
+			out.FailedShards = append(out.FailedShards, name)
+		}
+		sort.Strings(out.FailedShards)
+		r.partial.Add(1)
+	}
+	return out
+}
+
+// handleSearch scatters a top-k search to every shard and merges.
+func (r *Router) handleSearch(w http.ResponseWriter, req *http.Request) {
+	r.search.Add(1)
+	var body client.SearchRequest
+	if !r.decode(w, req, &body) {
+		return
+	}
+	single := body.Query != nil
+	if single == (len(body.Queries) > 0) {
+		r.fail(w, http.StatusBadRequest, "exactly one of query/queries required")
+		return
+	}
+	if body.K <= 0 {
+		r.fail(w, http.StatusBadRequest, "k must be >= 1, got %d", body.K)
+		return
+	}
+	if len(body.Queries) > r.opts.MaxBatch {
+		r.fail(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(body.Queries), r.opts.MaxBatch)
+		return
+	}
+	if body.AtTID != 0 {
+		r.fail(w, http.StatusBadRequest, "at_tid is per-shard state; pinned reads must target a shard directly")
+		return
+	}
+	numQueries := len(body.Queries)
+	if single {
+		numQueries = 1
+	}
+	ctx, cancel := r.requestContext(req, body.TimeoutMS)
+	defer cancel()
+	filters := r.splitFilter(body.Filter)
+	answers := r.scatter(ctx, "/search", func(idx int) (any, bool) {
+		if filters[idx] != nil && len(filters[idx].IDs) == 0 {
+			return nil, false
+		}
+		sb := body
+		sb.Filter = filters[idx]
+		sb.TimeoutMS = shardTimeoutMS(ctx)
+		return sb, true
+	})
+	r.writeJSON(w, r.mergeAnswers(answers, numQueries, body.K))
+}
+
+// handleRange scatters a range search to every shard and merges without
+// truncation.
+func (r *Router) handleRange(w http.ResponseWriter, req *http.Request) {
+	r.rng.Add(1)
+	var body client.RangeRequest
+	if !r.decode(w, req, &body) {
+		return
+	}
+	if len(body.Query) == 0 {
+		r.fail(w, http.StatusBadRequest, "query vector required")
+		return
+	}
+	if body.AtTID != 0 {
+		r.fail(w, http.StatusBadRequest, "at_tid is per-shard state; pinned reads must target a shard directly")
+		return
+	}
+	ctx, cancel := r.requestContext(req, body.TimeoutMS)
+	defer cancel()
+	filters := r.splitFilter(body.Filter)
+	answers := r.scatter(ctx, "/range", func(idx int) (any, bool) {
+		if filters[idx] != nil && len(filters[idx].IDs) == 0 {
+			return nil, false
+		}
+		rb := body
+		rb.Filter = filters[idx]
+		rb.TimeoutMS = shardTimeoutMS(ctx)
+		return rb, true
+	})
+	r.writeJSON(w, r.mergeAnswers(answers, 1, 0))
+}
+
+// handleGSQL broadcasts DDL installation to every shard's primary, so
+// the cluster's schemas stay identical. Query execution (run) is
+// refused: GSQL queries may traverse the graph and write (tg_louvain
+// materializes community attrs), which cannot be transparently
+// partitioned.
+func (r *Router) handleGSQL(w http.ResponseWriter, req *http.Request) {
+	r.gsql.Add(1)
+	var body client.GSQLRequest
+	if !r.decode(w, req, &body) {
+		return
+	}
+	if body.Run != "" {
+		r.fail(w, http.StatusBadRequest, "router does not run GSQL queries; target a shard directly")
+		return
+	}
+	if body.Exec == "" {
+		r.fail(w, http.StatusBadRequest, "exactly one of exec/run required")
+		return
+	}
+	ctx, cancel := r.requestContext(req, 0)
+	defer cancel()
+	for _, sh := range r.shards {
+		if status, err := r.forward(ctx, sh.primary, "/gsql", body, &client.GSQLResponse{}); err != nil {
+			r.fail(w, forwardStatus(status), "shard %s: %v", sh.name, err)
+			return
+		}
+	}
+	r.writeJSON(w, client.GSQLResponse{})
+}
+
+// handleCheckpoint broadcasts a checkpoint to every shard's primary and
+// reports per-shard outcomes.
+func (r *Router) handleCheckpoint(w http.ResponseWriter, req *http.Request) {
+	r.cp.Add(1)
+	ctx, cancel := r.requestContext(req, 0)
+	defer cancel()
+	resp := RouterCheckpointResponse{Shards: map[string]client.CheckpointResponse{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, sh := range r.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			var cp client.CheckpointResponse
+			_, err := r.forward(ctx, sh.primary, "/checkpoint", struct{}{}, &cp)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if resp.Errors == nil {
+					resp.Errors = map[string]string{}
+				}
+				resp.Errors[sh.name] = err.Error()
+				return
+			}
+			resp.Shards[sh.name] = cp
+		}(sh)
+	}
+	wg.Wait()
+	if len(resp.Errors) > 0 {
+		r.errs.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		_ = json.NewEncoder(w).Encode(resp)
+		return
+	}
+	r.writeJSON(w, resp)
+}
+
+// handleStats answers the router's own health snapshot.
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	r.stats.Add(1)
+	st := RouterStats{
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		Requests: RouterCounters{
+			Vertex: r.vertex.Load(), Edge: r.edge.Load(),
+			Search: r.search.Load(), Range: r.rng.Load(), Get: r.get.Load(),
+			Upsert: r.upsert.Load(), Delete: r.del.Load(),
+			GSQL: r.gsql.Load(), Checkpoint: r.cp.Load(), Stats: r.stats.Load(),
+			Errors: r.errs.Load(), Partial: r.partial.Load(),
+		},
+	}
+	for _, sh := range r.shards {
+		s := RouterShardStats{Name: sh.name, Primary: sh.primary.url}
+		if !sh.primary.healthy() {
+			s.Down = append(s.Down, sh.primary.url)
+		}
+		for _, rep := range sh.replicas {
+			s.Replicas = append(s.Replicas, rep.url)
+			if !rep.healthy() {
+				s.Down = append(s.Down, rep.url)
+			}
+		}
+		st.Shards = append(st.Shards, s)
+	}
+	r.writeJSON(w, st)
+}
+
+// decode reads one JSON body; on failure it answers 400 and returns
+// false.
+func (r *Router) decode(w http.ResponseWriter, req *http.Request, into any) bool {
+	body, err := io.ReadAll(io.LimitReader(req.Body, 256<<20))
+	if err == nil {
+		err = json.Unmarshal(body, into)
+	}
+	if err != nil {
+		r.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (r *Router) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil && r.opts.Logf != nil {
+		r.opts.Logf("router: write response: %v", err)
+	}
+}
+
+func (r *Router) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	r.errs.Add(1)
+	msg := fmt.Sprintf(format, args...)
+	if r.opts.Logf != nil {
+		r.opts.Logf("router: %d %s", status, msg)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(client.ErrorResponse{Error: msg})
+}

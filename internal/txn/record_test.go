@@ -1,0 +1,157 @@
+package txn
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// testRecord returns a representative commit record touching every
+// encodable field: vectors, all four graph-op kinds, all attr value types.
+func testRecord() (TID, []StagedVector, []GraphOp) {
+	vectors := []StagedVector{
+		{AttrKey: "Post.emb", Action: Upsert, ID: 7, Vec: []float32{1.5, -2.25, 0}},
+		{AttrKey: "Post.emb", Action: Delete, ID: 9},
+	}
+	ops := []GraphOp{
+		{Kind: OpAddVertex, Type: "Post", ID: 7, Attrs: []GraphAttr{
+			{Name: "id", Value: int64(7)},
+			{Name: "score", Value: 0.5},
+			{Name: "title", Value: "hello"},
+			{Name: "live", Value: true},
+		}},
+		{Kind: OpAddEdge, Type: "Likes", ID: 7, To: 9},
+		{Kind: OpSetAttr, Type: "Post", ID: 7, Attrs: []GraphAttr{{Name: "score", Value: 1.25}}},
+		{Kind: OpDeleteVertex, Type: "Post", ID: 9},
+	}
+	return TID(42), vectors, ops
+}
+
+// TestEncodeRecordRoundTrip proves EncodeRecord and ReadRecord are exact
+// inverses, and that EncodeRecord produces byte-identical output to the
+// commit path's WAL.Append — the property the replication stream relies
+// on to keep a replica's log byte-compatible with the primary's.
+func TestEncodeRecordRoundTrip(t *testing.T) {
+	tid, vectors, ops := testRecord()
+	b, err := EncodeRecord(tid, vectors, ops)
+	if err != nil {
+		t.Fatalf("EncodeRecord: %v", err)
+	}
+
+	var walBuf bytes.Buffer
+	wal := NewWAL(&walBuf)
+	ptrs := make([]*GraphOp, len(ops))
+	for i := range ops {
+		ptrs[i] = &ops[i]
+	}
+	if err := wal.Append(tid, vectors, ptrs); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if !bytes.Equal(b, walBuf.Bytes()) {
+		t.Fatalf("EncodeRecord and WAL.Append disagree: %d vs %d bytes", len(b), walBuf.Len())
+	}
+
+	gotTID, gotVectors, gotOps, err := ReadRecord(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("ReadRecord: %v", err)
+	}
+	if gotTID != tid {
+		t.Fatalf("tid = %d, want %d", gotTID, tid)
+	}
+	// The decoder materializes empty vectors as non-nil empty slices;
+	// normalize before comparing.
+	for i := range gotVectors {
+		if len(gotVectors[i].Vec) == 0 {
+			gotVectors[i].Vec = nil
+		}
+	}
+	if !reflect.DeepEqual(gotVectors, vectors) {
+		t.Fatalf("vectors round-trip mismatch:\n got %+v\nwant %+v", gotVectors, vectors)
+	}
+	if !reflect.DeepEqual(gotOps, ops) {
+		t.Fatalf("ops round-trip mismatch:\n got %+v\nwant %+v", gotOps, ops)
+	}
+}
+
+// TestReadRecordStream iterates a multi-record buffer with ReadRecord and
+// checks EOF lands exactly at the boundary, then that a truncated tail
+// surfaces as ErrTornWAL.
+func TestReadRecordStream(t *testing.T) {
+	var buf bytes.Buffer
+	for tid := TID(1); tid <= 5; tid++ {
+		b, err := EncodeRecord(tid, []StagedVector{
+			{AttrKey: "P.e", Action: Upsert, ID: uint64(tid), Vec: []float32{float32(tid)}},
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+	}
+	full := buf.Bytes()
+
+	r := bytes.NewReader(full)
+	var got []TID
+	for {
+		tid, _, _, err := ReadRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("ReadRecord: %v", err)
+		}
+		got = append(got, tid)
+	}
+	if want := []TID{1, 2, 3, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("tids = %v, want %v", got, want)
+	}
+
+	// Torn tail: cut the last record short by a few bytes.
+	r = bytes.NewReader(full[:len(full)-3])
+	var torn error
+	n := 0
+	for {
+		_, _, _, err := ReadRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			torn = err
+			break
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("read %d whole records before the tear, want 4", n)
+	}
+	if !errors.Is(torn, ErrTornWAL) {
+		t.Fatalf("torn tail error = %v, want ErrTornWAL", torn)
+	}
+}
+
+// TestEncodeRecordBounds checks oversized records are refused at encode
+// time rather than written and later rejected as torn.
+func TestEncodeRecordBounds(t *testing.T) {
+	big := make([]float32, walMaxVecLen+1)
+	if _, err := EncodeRecord(1, []StagedVector{{AttrKey: "P.e", Vec: big}}, nil); err == nil {
+		t.Fatal("oversized vector encoded without error")
+	}
+	if _, err := EncodeRecord(1, nil, []GraphOp{{Kind: OpSetAttr, Type: "P",
+		Attrs: []GraphAttr{{Name: "x", Value: float32(1)}}}}); err == nil {
+		t.Fatal("unnormalized float32 attr encoded without error")
+	}
+	// NaN floats must survive bit-exactly.
+	b, err := EncodeRecord(1, []StagedVector{{AttrKey: "P.e", Vec: []float32{float32(math.NaN())}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vecs, _, err := ReadRecord(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(vecs[0].Vec[0])) {
+		t.Fatal("NaN did not round-trip")
+	}
+}

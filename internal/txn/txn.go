@@ -412,30 +412,61 @@ func (a *appendBuf) vec(v []float32) {
 // commit instead of being written, acknowledged, and then rejected as
 // "torn" (losing it and every later commit) on the next recovery.
 func (l *WAL) Append(tid TID, vectors []StagedVector, ops []*GraphOp) error {
+	b, err := encodeRecord(tid, vectors, ops)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(b); err != nil {
+		return err
+	}
+	if l.sync {
+		if s, ok := l.w.(syncer); ok {
+			return s.Sync()
+		}
+	}
+	return nil
+}
+
+// EncodeRecord serializes one commit record in the exact WAL byte format,
+// without writing it anywhere. The replication layer uses it to re-frame
+// records pulled from a primary, so a replica's log stays byte-compatible
+// with a locally written one. It enforces the same bounds as Append.
+func EncodeRecord(tid TID, vectors []StagedVector, ops []GraphOp) ([]byte, error) {
+	ptrs := make([]*GraphOp, len(ops))
+	for i := range ops {
+		ptrs[i] = &ops[i]
+	}
+	return encodeRecord(tid, vectors, ptrs)
+}
+
+// encodeRecord validates and serializes one commit record.
+func encodeRecord(tid TID, vectors []StagedVector, ops []*GraphOp) ([]byte, error) {
 	if len(vectors) > walMaxItems || len(ops) > walMaxItems {
-		return fmt.Errorf("txn: wal record too large: %d vectors, %d ops (max %d)", len(vectors), len(ops), walMaxItems)
+		return nil, fmt.Errorf("txn: wal record too large: %d vectors, %d ops (max %d)", len(vectors), len(ops), walMaxItems)
 	}
 	for _, v := range vectors {
 		if len(v.AttrKey) > walMaxStr {
-			return fmt.Errorf("txn: wal: attribute key exceeds %d bytes", walMaxStr)
+			return nil, fmt.Errorf("txn: wal: attribute key exceeds %d bytes", walMaxStr)
 		}
 		if len(v.Vec) > walMaxVecLen {
-			return fmt.Errorf("txn: wal: vector of %d floats exceeds max %d", len(v.Vec), walMaxVecLen)
+			return nil, fmt.Errorf("txn: wal: vector of %d floats exceeds max %d", len(v.Vec), walMaxVecLen)
 		}
 	}
 	for _, op := range ops {
 		if len(op.Type) > walMaxStr {
-			return fmt.Errorf("txn: wal: type name exceeds %d bytes", walMaxStr)
+			return nil, fmt.Errorf("txn: wal: type name exceeds %d bytes", walMaxStr)
 		}
 		if len(op.Attrs) > walMaxAttrs {
-			return fmt.Errorf("txn: wal: %d attributes exceeds max %d", len(op.Attrs), walMaxAttrs)
+			return nil, fmt.Errorf("txn: wal: %d attributes exceeds max %d", len(op.Attrs), walMaxAttrs)
 		}
 		for _, a := range op.Attrs {
 			if len(a.Name) > walMaxStr {
-				return fmt.Errorf("txn: wal: attribute name exceeds %d bytes", walMaxStr)
+				return nil, fmt.Errorf("txn: wal: attribute name exceeds %d bytes", walMaxStr)
 			}
 			if s, ok := a.Value.(string); ok && len(s) > walMaxStr {
-				return fmt.Errorf("txn: wal: attribute %q string value of %d bytes exceeds max %d", a.Name, len(s), walMaxStr)
+				return nil, fmt.Errorf("txn: wal: attribute %q string value of %d bytes exceeds max %d", a.Name, len(s), walMaxStr)
 			}
 		}
 	}
@@ -476,21 +507,11 @@ func (l *WAL) Append(tid TID, vectors []StagedVector, ops []*GraphOp) error {
 					buf.u8(0)
 				}
 			default:
-				return fmt.Errorf("txn: wal: attribute %q has unencodable value %T (use NormalizeGraphValue)", a.Name, a.Value)
+				return nil, fmt.Errorf("txn: wal: attribute %q has unencodable value %T (use NormalizeGraphValue)", a.Name, a.Value)
 			}
 		}
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, err := l.w.Write(buf.b); err != nil {
-		return err
-	}
-	if l.sync {
-		if s, ok := l.w.(syncer); ok {
-			return s.Sync()
-		}
-	}
-	return nil
+	return buf.b, nil
 }
 
 // ErrTornWAL flags a WAL parse failure: a torn tail record (partial final
@@ -658,6 +679,15 @@ func readWALRecord(r io.Reader) (TID, []StagedVector, []GraphOp, error) {
 		ops = append(ops, op)
 	}
 	return TID(tid), vectors, ops, nil
+}
+
+// ReadRecord parses one commit record from r: the streaming counterpart
+// of EncodeRecord. io.EOF at a record boundary is returned as-is; any
+// mid-record failure is wrapped in ErrTornWAL. The replication layer
+// iterates a primary's WAL with it and decodes shipped records with it;
+// ReplayWAL/RecoverWAL stay the whole-file entry points.
+func ReadRecord(r io.Reader) (TID, []StagedVector, []GraphOp, error) {
+	return readWALRecord(r)
 }
 
 // ReplayWAL reads commit records from r and calls fn for each, in log

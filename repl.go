@@ -1,0 +1,191 @@
+package tigervector
+
+// Replication surface of a DB: the methods that make *DB a
+// cluster.Source (primary side — shipping committed WAL records and
+// catalog bytes to replicas) and a cluster.Target (replica side —
+// applying shipped records through the normal commit path, so the
+// replica assigns the same dense TIDs the primary did and its own WAL
+// stays a byte-identical continuation of the primary's).
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/txn"
+)
+
+// VisibleTID returns the highest committed transaction id.
+func (db *DB) VisibleTID() uint64 { return uint64(db.mgr.Visible()) }
+
+// CheckpointTID returns the TID of the newest checkpoint covering the
+// data dir: the larger of the checkpoints this process wrote and the
+// one recovered from the manifest at Open. WAL records at or below it
+// may have been truncated away.
+func (db *DB) CheckpointTID() uint64 {
+	a, b := db.lastCpTID.Load(), db.recoveredCpTID.Load()
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Durable reports whether the DB runs with a WAL. Replication requires
+// it on both ends: the primary ships its log, the replica re-appends
+// what it applies.
+func (db *DB) Durable() bool { return db.cfg.Durability }
+
+// CatalogLen returns the byte length of the catalog (DDL) log.
+func (db *DB) CatalogLen() int64 {
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
+	st, err := os.Stat(db.catalogPath())
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+// ReplState snapshots the replication position for cluster.WritePull.
+func (db *DB) ReplState() cluster.ReplState {
+	// Read order matters (the cluster.ReplState contract): the committed
+	// TID first, the catalog length after, so the catalog prefix
+	// [0, CatalogLen) covers every DDL statement any record with
+	// TID <= LastCommittedTID depends on — Exec appends DDL to the
+	// catalog before any commit can use the schema it created.
+	tid := db.VisibleTID()
+	cp := db.CheckpointTID()
+	return cluster.ReplState{LastCommittedTID: tid, CheckpointTID: cp, CatalogLen: db.CatalogLen()}
+}
+
+// OpenWAL opens the WAL for reading from offset 0. A DB that has not
+// written a WAL yet reads as empty. The file may be appended to or
+// truncated (checkpoint) while the reader runs; cluster.WritePull
+// defends against both.
+func (db *DB) OpenWAL() (io.ReadCloser, error) {
+	f, err := os.Open(db.walPath())
+	if os.IsNotExist(err) {
+		return io.NopCloser(bytes.NewReader(nil)), nil
+	}
+	return f, err
+}
+
+// ReadCatalog returns n bytes of the catalog log starting at off.
+func (db *DB) ReadCatalog(off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("tigervector: bad catalog range [%d, %d)", off, off+n)
+	}
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
+	f, err := os.Open(db.catalogPath())
+	if err != nil {
+		return nil, fmt.Errorf("tigervector: read catalog: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(f, off, n), buf); err != nil {
+		return nil, fmt.Errorf("tigervector: read catalog [%d, %d): %w", off, off+n, err)
+	}
+	return buf, nil
+}
+
+// replSnapshotFile matches the checkpoint snapshot file names a
+// bootstrap may download.
+var replSnapshotFile = regexp.MustCompile(`^checkpoint-[0-9]+\.(graph|embed|index)$`)
+
+// OpenReplFile serves one whitelisted data-dir file to a bootstrapping
+// replica: the checkpoint manifest, the catalog log, or a snapshot file
+// the manifest names. Anything else — and any path with separators —
+// is refused, so the endpoint cannot read outside the data dir.
+func (db *DB) OpenReplFile(name string) (io.ReadCloser, error) {
+	if strings.ContainsAny(name, `/\`) ||
+		(name != "checkpoint.json" && name != "catalog.gsql" && !replSnapshotFile.MatchString(name)) {
+		return nil, fmt.Errorf("tigervector: repl file %q not servable", name)
+	}
+	return os.Open(filepath.Join(db.cfg.DataDir, name))
+}
+
+// ApplyCatalog executes a replicated catalog delta and appends its
+// exact bytes to the local catalog log. The raw append (no added
+// newline — the chunk is a byte slice of the primary's own log,
+// newlines included) keeps the replica's catalog byte-identical to the
+// primary's, so catalog offsets stay comparable across pulls.
+func (db *DB) ApplyCatalog(chunk []byte) error {
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
+	if err := db.interp.Exec(string(chunk)); err != nil {
+		return err
+	}
+	if !db.cfg.Durability {
+		return nil
+	}
+	return db.appendCatalogBytes(chunk)
+}
+
+// ApplyRecord commits one replicated WAL record through the normal
+// commit path. tid must be exactly VisibleTID()+1 — records apply in
+// the primary's dense commit order — and the commit is verified to have
+// produced that TID.
+func (db *DB) ApplyRecord(tid uint64, vectors []txn.StagedVector, ops []txn.GraphOp) error {
+	db.cpMu.RLock()
+	defer db.cpMu.RUnlock()
+	// Pre-validate every op and vector against the schema before staging
+	// anything: a commit that fails after a partial apply poisons the
+	// manager, so the one expected mid-stream fault — a record racing
+	// ahead of the DDL it depends on — must be rejected cleanly here and
+	// retried by the next pull.
+	sch := db.graph.Schema()
+	for i := range ops {
+		op := &ops[i]
+		if op.Kind == txn.OpAddEdge {
+			if _, ok := sch.EdgeType(op.Type); !ok {
+				return fmt.Errorf("tigervector: replicated record %d: unknown edge type %q", tid, op.Type)
+			}
+			continue
+		}
+		if _, ok := sch.VertexType(op.Type); !ok {
+			return fmt.Errorf("tigervector: replicated record %d: unknown vertex type %q", tid, op.Type)
+		}
+	}
+	for _, v := range vectors {
+		ref, err := graph.ParseEmbeddingRef(v.AttrKey)
+		if err != nil {
+			return fmt.Errorf("tigervector: replicated record %d: %w", tid, err)
+		}
+		vt, ok := sch.VertexType(ref.VertexType)
+		if !ok {
+			return fmt.Errorf("tigervector: replicated record %d: unknown vertex type %q", tid, ref.VertexType)
+		}
+		if _, ok := vt.Embedding(ref.Attr); !ok {
+			return fmt.Errorf("tigervector: replicated record %d: %s has no embedding attr %q", tid, ref.VertexType, ref.Attr)
+		}
+	}
+	if got := db.VisibleTID(); tid != got+1 {
+		return fmt.Errorf("tigervector: replicated record %d does not follow visible tid %d", tid, got)
+	}
+	tx := db.mgr.Begin()
+	for i := range ops {
+		rec := &ops[i]
+		tx.StageGraphOp(rec, func() error { return db.applyGraphOp(rec) })
+	}
+	for _, v := range vectors {
+		tx.StageVector(v)
+	}
+	committed, err := tx.Commit()
+	if err != nil {
+		return err
+	}
+	if uint64(committed) != tid {
+		// Only possible if something else committed concurrently — the
+		// server rejects writes in replica mode, so this is a divergence
+		// alarm, not an expected path.
+		return fmt.Errorf("tigervector: replicated record %d committed as %d; replica diverged", tid, committed)
+	}
+	return nil
+}

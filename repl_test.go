@@ -1,0 +1,477 @@
+package tigervector
+
+// Integration tests of the DB's replication surface against real WALs:
+// WritePull's checkpoint-boundary semantics, a pull racing a live
+// concurrent Checkpoint (the WAL-rotation race), a torn on-disk tail
+// mid-pull, and full primary→replica convergence including byte-level
+// WAL/catalog identity, snapshot-pinned reads, and bootstrap from a
+// checkpoint snapshot.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/txn"
+)
+
+// pullFrames decodes a WritePull stream into record TIDs and the end
+// frame (nil when the stream was aborted without one).
+func pullFrames(t *testing.T, b []byte) (tids []uint64, end *cluster.PullEnd) {
+	t.Helper()
+	r := bytes.NewReader(b)
+	for {
+		kind, payload, err := cluster.ReadFrame(r)
+		if err == io.EOF {
+			return tids, end
+		}
+		if err != nil {
+			t.Fatalf("read frame: %v", err)
+		}
+		switch kind {
+		case cluster.FrameMeta:
+		case cluster.FrameRecord:
+			tid, _, _, err := txn.ReadRecord(bytes.NewReader(payload))
+			if err != nil {
+				t.Fatalf("decode shipped record: %v", err)
+			}
+			tids = append(tids, uint64(tid))
+		case cluster.FrameEnd:
+			end = &cluster.PullEnd{}
+			if err := json.Unmarshal(payload, end); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestReplPullSinceAroundCheckpoint(t *testing.T) {
+	db, err := Open(durableCfg(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeDB(t, db)
+	postIDs := loadFixture(t, db)
+	info, err := db.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := info.TID
+	if got := db.CheckpointTID(); got != cp {
+		t.Fatalf("CheckpointTID = %d, want %d", got, cp)
+	}
+	// Two post-checkpoint commits: the incremental window.
+	for i := 0; i < 2; i++ {
+		vec := make([]float32, 8)
+		vec[0] = float32(100 + i)
+		if err := db.UpsertEmbedding("Post", "content_emb", postIDs[i], vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// since == lastCpTID: the oldest servable position — everything
+	// missing is still in the (truncated) WAL.
+	var buf bytes.Buffer
+	if err := cluster.WritePull(&buf, db, cp, db.CatalogLen()); err != nil {
+		t.Fatal(err)
+	}
+	tids, end := pullFrames(t, buf.Bytes())
+	if want := []uint64{cp + 1, cp + 2}; fmt.Sprint(tids) != fmt.Sprint(want) {
+		t.Fatalf("since=cp shipped %v, want %v", tids, want)
+	}
+	if end == nil || end.LastTID != cp+2 {
+		t.Fatalf("end = %+v", end)
+	}
+
+	// since one past lastCpTID: strictly newer, also servable.
+	buf.Reset()
+	if err := cluster.WritePull(&buf, db, cp+1, db.CatalogLen()); err != nil {
+		t.Fatal(err)
+	}
+	if tids, _ = pullFrames(t, buf.Bytes()); fmt.Sprint(tids) != fmt.Sprint([]uint64{cp + 2}) {
+		t.Fatalf("since=cp+1 shipped %v, want [%d]", tids, cp+2)
+	}
+
+	// since one below lastCpTID: that record is gone from the WAL.
+	buf.Reset()
+	if err := cluster.WritePull(&buf, db, cp-1, 0); !errors.Is(err, cluster.ErrSnapshotRequired) {
+		t.Fatalf("since=cp-1: %v, want ErrSnapshotRequired", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("bytes written before the snapshot-required verdict")
+	}
+}
+
+func TestReplPullTornTailOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeDB(t, db)
+	loadFixture(t, db)
+	visible := db.VisibleTID()
+
+	// A torn append: garbage (a half-written commit) at the WAL tail.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x57, 0x56, 0x47, 0x54, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := cluster.WritePull(&buf, db, 0, db.CatalogLen()); err != nil {
+		t.Fatal(err)
+	}
+	tids, end := pullFrames(t, buf.Bytes())
+	if uint64(len(tids)) != visible {
+		t.Fatalf("shipped %d records, want the %d whole ones", len(tids), visible)
+	}
+	if end == nil || end.LastTID != visible {
+		t.Fatalf("end = %+v, want clean end at %d", end, visible)
+	}
+}
+
+// rotatingSource wraps a DB so that the WAL is checkpoint-truncated (and
+// written past) while a pull stream is mid-read: the deterministic
+// version of a checkpoint racing /repl/pull.
+type rotatingSource struct {
+	*DB
+	once   sync.Once
+	rotate func()
+}
+
+func (s *rotatingSource) OpenWAL() (io.ReadCloser, error) {
+	rc, err := s.DB.OpenWAL()
+	if err != nil {
+		return nil, err
+	}
+	return &rotatingReader{rc: rc, s: s}, nil
+}
+
+type rotatingReader struct {
+	rc io.ReadCloser
+	s  *rotatingSource
+}
+
+func (r *rotatingReader) Read(p []byte) (int, error) {
+	n, err := r.rc.Read(p)
+	// After the stream's first chunk is buffered, rotate the log under
+	// the open file descriptor.
+	r.s.once.Do(r.s.rotate)
+	return n, err
+}
+
+func (r *rotatingReader) Close() error { return r.rc.Close() }
+
+func TestReplPullRacingConcurrentCheckpoint(t *testing.T) {
+	db, err := Open(durableCfg(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeDB(t, db)
+	postIDs := loadFixture(t, db)
+	// Grow the WAL past one bufio chunk (64 KiB) so the pull needs more
+	// than one read and the rotation lands mid-stream.
+	vec := make([]float32, 8)
+	for i := 0; i < 900; i++ {
+		vec[0] = float32(i)
+		if err := db.UpsertEmbedding("Post", "content_emb", postIDs[i%len(postIDs)], vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := db.VisibleTID()
+
+	src := &rotatingSource{DB: db}
+	src.rotate = func() {
+		if _, err := db.Checkpoint(); err != nil {
+			t.Errorf("racing checkpoint: %v", err)
+		}
+		vec[0] = -1
+		if err := db.UpsertEmbedding("Post", "content_emb", postIDs[0], vec); err != nil {
+			t.Errorf("post-rotation write: %v", err)
+		}
+	}
+
+	var buf bytes.Buffer
+	pullErr := cluster.WritePull(&buf, src, 0, 0)
+	tids, end := pullFrames(t, buf.Bytes())
+	// Whatever the race produced, the shipped prefix must be dense from 1
+	// and honestly terminated: a clean end frame at the last shipped
+	// record, or an abort with no end frame at all.
+	for i, tid := range tids {
+		if tid != uint64(i+1) {
+			t.Fatalf("shipped tid %d at position %d: not dense", tid, i)
+		}
+	}
+	if pullErr == nil {
+		if end == nil || end.LastTID != uint64(len(tids)) {
+			t.Fatalf("clean pull: end = %+v after %d records", end, len(tids))
+		}
+	} else if end != nil {
+		t.Fatalf("failed pull (%v) still wrote an end frame %+v", pullErr, end)
+	}
+	if uint64(len(tids)) > before {
+		t.Fatalf("shipped %d records: past the pre-rotation cap %d", len(tids), before)
+	}
+	// The replica's retry lands below the new checkpoint and is told to
+	// bootstrap — the WAL horizon moved past its position.
+	var retry bytes.Buffer
+	if err := cluster.WritePull(&retry, db, uint64(len(tids)), 0); !errors.Is(err, cluster.ErrSnapshotRequired) {
+		t.Fatalf("retry after rotation: %v, want ErrSnapshotRequired", err)
+	}
+}
+
+// replServer exposes a DB's pull and file endpoints the way tgvserve
+// does, for driving the real Replicator/Bootstrap clients in-process.
+func replServer(t *testing.T, db *DB) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/repl/pull", func(w http.ResponseWriter, r *http.Request) {
+		var since uint64
+		var catalog int64
+		_, _ = fmt.Sscan(r.URL.Query().Get("since"), &since)
+		_, _ = fmt.Sscan(r.URL.Query().Get("catalog"), &catalog)
+		if err := cluster.WritePull(w, db, since, catalog); errors.Is(err, cluster.ErrSnapshotRequired) {
+			w.WriteHeader(http.StatusConflict)
+		}
+	})
+	mux.HandleFunc("/repl/file", func(w http.ResponseWriter, r *http.Request) {
+		f, err := db.OpenReplFile(r.URL.Query().Get("name"))
+		if err != nil {
+			status := http.StatusBadRequest
+			if os.IsNotExist(err) {
+				status = http.StatusNotFound
+			}
+			w.WriteHeader(status)
+			return
+		}
+		defer func() { _ = f.Close() }()
+		_, _ = io.Copy(w, f)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// assertSameFile compares two data-dir files byte for byte.
+func assertSameFile(t *testing.T, what, a, b string) {
+	t.Helper()
+	ab, errA := os.ReadFile(a)
+	bb, errB := os.ReadFile(b)
+	if errA != nil || errB != nil {
+		t.Fatalf("read %s: %v / %v", what, errA, errB)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("%s diverged: %d vs %d bytes", what, len(ab), len(bb))
+	}
+}
+
+func TestReplicaConvergesByteIdentical(t *testing.T) {
+	primaryDir, replicaDir := t.TempDir(), t.TempDir()
+	primary, err := Open(durableCfg(primaryDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeDB(t, primary)
+	postIDs := loadFixture(t, primary)
+	ts := replServer(t, primary)
+
+	replica, err := Open(durableCfg(replicaDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &cluster.Replicator{Primary: ts.URL, Target: replica}
+	if _, err := rep.PullOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := replica.VisibleTID(), primary.VisibleTID(); got != want {
+		t.Fatalf("replica tid %d, want %d", got, want)
+	}
+	// The replica re-applied every record through its own commit path and
+	// re-appended it to its own log: both logs and both catalogs must be
+	// byte-identical, not just equivalent.
+	assertSameFile(t, "wal", filepath.Join(primaryDir, "wal.log"), filepath.Join(replicaDir, "wal.log"))
+	assertSameFile(t, "catalog", filepath.Join(primaryDir, "catalog.gsql"), filepath.Join(replicaDir, "catalog.gsql"))
+	checkFixture(t, replica, postIDs)
+
+	// Pinned reads: at every TID in the pulled window, the replica's
+	// snapshot answers exactly like the primary's.
+	pinTID := primary.VisibleTID() - 2
+	query := make([]float32, 8)
+	query[0] = 6
+	for _, db := range []*DB{primary, replica} {
+		res, err := db.Search(context.Background(), Request{
+			Attrs: []string{"Post.content_emb"}, Query: query, K: 3, AtTID: pinTID})
+		if err != nil || res.Err != nil {
+			t.Fatalf("pinned search: %v / %v", err, res.Err)
+		}
+		if res.SnapshotTID != pinTID {
+			t.Fatalf("pinned search ran at %d, want %d", res.SnapshotTID, pinTID)
+		}
+	}
+	presPinned, _ := primary.Search(context.Background(), Request{Attrs: []string{"Post.content_emb"}, Query: query, K: 5, AtTID: pinTID})
+	rresPinned, _ := replica.Search(context.Background(), Request{Attrs: []string{"Post.content_emb"}, Query: query, K: 5, AtTID: pinTID})
+	if fmt.Sprintf("%+v", presPinned.Hits) != fmt.Sprintf("%+v", rresPinned.Hits) {
+		t.Fatalf("pinned hits diverged:\nprimary %+v\nreplica %+v", presPinned.Hits, rresPinned.Hits)
+	}
+
+	// Incremental rounds: keep writing, keep pulling, stay converged.
+	for round := 0; round < 3; round++ {
+		vec := make([]float32, 8)
+		vec[0] = float32(50 + round)
+		if err := primary.UpsertEmbedding("Post", "content_emb", postIDs[round], vec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rep.PullOnce(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fmt.Sprintf("%+v", searchProbe(t, primary)) != fmt.Sprintf("%+v", searchProbe(t, replica)) {
+		t.Fatal("probe searches diverged after incremental rounds")
+	}
+
+	// A replica restarts from its own WAL like any primary.
+	closeDB(t, replica)
+	reopened, err := Open(durableCfg(replicaDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeDB(t, reopened)
+	if got, want := reopened.VisibleTID(), primary.VisibleTID(); got != want {
+		t.Fatalf("reopened replica tid %d, want %d", got, want)
+	}
+	if fmt.Sprintf("%+v", searchProbe(t, primary)) != fmt.Sprintf("%+v", searchProbe(t, reopened)) {
+		t.Fatal("probe searches diverged after replica restart")
+	}
+}
+
+func TestReplicaBootstrapFromSnapshot(t *testing.T) {
+	primary, err := Open(durableCfg(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeDB(t, primary)
+	postIDs := loadFixture(t, primary)
+	if _, err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint delta a bootstrapped replica must still pull.
+	vec := make([]float32, 8)
+	vec[0] = 77
+	if err := primary.UpsertEmbedding("Post", "content_emb", postIDs[2], vec); err != nil {
+		t.Fatal(err)
+	}
+	ts := replServer(t, primary)
+
+	// A fresh replica (tid 0) is behind the checkpoint: pull refuses and
+	// demands a snapshot.
+	replicaDir := t.TempDir()
+	replica, err := Open(durableCfg(replicaDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &cluster.Replicator{Primary: ts.URL, Target: replica}
+	if _, err := rep.PullOnce(context.Background()); !errors.Is(err, cluster.ErrSnapshotRequired) {
+		t.Fatalf("fresh replica pull: %v, want ErrSnapshotRequired", err)
+	}
+
+	// Re-seed: wipe, bootstrap the snapshot files, reopen, pull the delta.
+	closeDB(t, replica)
+	if err := os.RemoveAll(replicaDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(replicaDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tid, err := cluster.Bootstrap(context.Background(), nil, ts.URL, replicaDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid != primary.CheckpointTID() {
+		t.Fatalf("bootstrap at tid %d, want checkpoint %d", tid, primary.CheckpointTID())
+	}
+	seeded, err := Open(durableCfg(replicaDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeDB(t, seeded)
+	if got := seeded.VisibleTID(); got != tid {
+		t.Fatalf("seeded replica at tid %d, want %d", got, tid)
+	}
+	// The recovered manifest TID must hold the replica's own WAL-shipping
+	// horizon, so it could itself serve chained pulls.
+	if got := seeded.CheckpointTID(); got != tid {
+		t.Fatalf("seeded CheckpointTID = %d, want %d", got, tid)
+	}
+	rep.Target = seeded
+	if n, err := rep.PullOnce(context.Background()); err != nil || n == 0 {
+		t.Fatalf("post-bootstrap pull applied %d (%v), want the delta", n, err)
+	}
+	if got, want := seeded.VisibleTID(), primary.VisibleTID(); got != want {
+		t.Fatalf("seeded replica tid %d, want %d", got, want)
+	}
+	checkFixtureAfterUpsert := func(db *DB) []SearchHit {
+		hits, err := db.VectorSearch([]string{"Post.content_emb"}, vec, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hits
+	}
+	p, r := checkFixtureAfterUpsert(primary), checkFixtureAfterUpsert(seeded)
+	if fmt.Sprintf("%+v", p) != fmt.Sprintf("%+v", r) {
+		t.Fatalf("post-bootstrap search diverged: %+v vs %+v", p, r)
+	}
+}
+
+func TestApplyRecordGuards(t *testing.T) {
+	db, err := Open(durableCfg(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeDB(t, db)
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	next := db.VisibleTID() + 1
+
+	// Out-of-order records are refused before anything is staged.
+	op := txn.GraphOp{Kind: txn.OpAddVertex, Type: "Post", ID: 0,
+		Attrs: []txn.GraphAttr{{Name: "id", Value: int64(1)}}}
+	if err := db.ApplyRecord(next+1, nil, []txn.GraphOp{op}); err == nil {
+		t.Fatal("gap tid accepted")
+	}
+	// A record racing ahead of its DDL must fail cleanly (pre-validation,
+	// nothing staged) so the next pull can retry it after the catalog
+	// chunk lands.
+	bad := txn.GraphOp{Kind: txn.OpAddVertex, Type: "NoSuchType", ID: 0}
+	if err := db.ApplyRecord(next, nil, []txn.GraphOp{bad}); err == nil {
+		t.Fatal("unknown vertex type accepted")
+	}
+	if err := db.ApplyRecord(next, []txn.StagedVector{{AttrKey: "Post.nope", ID: 0, Vec: make([]float32, 8)}}, nil); err == nil {
+		t.Fatal("unknown embedding attr accepted")
+	}
+	// The failures above must not have consumed the TID: the valid record
+	// still applies at the same position.
+	if err := db.ApplyRecord(next, nil, []txn.GraphOp{op}); err != nil {
+		t.Fatalf("valid record after rejected ones: %v", err)
+	}
+	if got := db.VisibleTID(); got != next {
+		t.Fatalf("tid %d after apply, want %d", got, next)
+	}
+}

@@ -1,0 +1,206 @@
+#!/usr/bin/env bash
+# End-to-end cluster test: replication + routing.
+#
+# Boots one durable primary, two WAL-shipping read replicas
+# (`tgvserve -replica-of`) and a `tgvrouter` fronting the three as a
+# single shard (primary for writes, replicas for reads). Writes flow
+# through the router, replicas are polled to convergence, a replica is
+# SIGKILLed to assert honest degradation (partial:true naming the
+# shard) followed by recovery via the surviving endpoints, the dead
+# replica is restarted and must catch up from its own WAL, and finally
+# a fresh replica joins after a checkpoint has truncated the primary's
+# WAL — forcing the snapshot-bootstrap path end to end.
+#
+# Run via `make cluster-test` (CI does).
+set -euo pipefail
+
+PORT="${TGV_CLUSTER_PORT:-7711}"   # primary; replicas/router take +1..+4
+P="http://127.0.0.1:$((PORT))"
+R1="http://127.0.0.1:$((PORT + 1))"
+R2="http://127.0.0.1:$((PORT + 2))"
+RT="http://127.0.0.1:$((PORT + 3))"
+R3="http://127.0.0.1:$((PORT + 4))"
+WORK="$(mktemp -d)"
+SRV="$WORK/tgvserve"
+ROUTER="$WORK/tgvrouter"
+PIDS=()
+P_PID="" R1_PID="" R2_PID="" R3_PID="" RT_PID=""
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+die() {
+  echo "FAIL: $*" >&2
+  for log in "$WORK"/*.log; do
+    echo "---- $log (last 15 lines) ----" >&2
+    tail -15 "$log" >&2 || true
+  done
+  exit 1
+}
+
+# start_proc logname ready-url cmd... — starts cmd in the background,
+# waits for ready-url to answer, and leaves the pid in LAST_PID. Must
+# NOT be called in a command substitution: the pid bookkeeping (and the
+# cleanup trap relying on it) has to happen in this shell.
+LAST_PID=""
+start_proc() {
+  local log="$WORK/$1.log" ready="$2"
+  shift 2
+  "$@" >>"$log" 2>&1 &
+  LAST_PID=$!
+  PIDS+=("$LAST_PID")
+  for _ in $(seq 1 150); do
+    if curl -sf "$ready/stats" >/dev/null 2>&1; then return 0; fi
+    kill -0 "$LAST_PID" 2>/dev/null || die "$1 exited at startup (see $log)"
+    sleep 0.1
+  done
+  die "$1 did not become ready at $ready"
+}
+
+post() { # base path body
+  curl -sf -X POST "$1$2" -H 'Content-Type: application/json' -d "$3" \
+    || die "POST $1$2 failed (body: $3)"
+}
+
+search() { # base
+  curl -sf -X POST "$1/search" -H 'Content-Type: application/json' \
+    -d '{"attrs":["Post.content_emb"],"query":[3,0,0,0,0,0,0,0],"k":3}' \
+    || die "search on $1 failed"
+}
+
+committed_tid() { # base -> primary's last committed TID
+  curl -sf "$1/stats" | grep -o '"last_committed_tid":[0-9]*' | head -1 | cut -d: -f2
+}
+
+wait_applied() { # base want — poll a replica until applied_tid == want
+  local tid=""
+  for _ in $(seq 1 150); do
+    tid="$(curl -sf "$1/stats" 2>/dev/null | grep -o '"applied_tid":[0-9]*' | head -1 | cut -d: -f2 || true)"
+    [ "$tid" = "$2" ] && return 0
+    sleep 0.1
+  done
+  die "replica $1 stuck at applied_tid=${tid:-none}, want $2"
+}
+
+echo "== build"
+cd "$(dirname "$0")/.."
+go build -o "$SRV" ./cmd/tgvserve
+go build -o "$ROUTER" ./cmd/tgvrouter
+
+echo "== boot primary + 2 replicas + router"
+start_proc primary "$P" \
+  "$SRV" -addr "127.0.0.1:$PORT" -data-dir "$WORK/primary" -durable -seed 1
+P_PID="$LAST_PID"
+start_proc replica1 "$R1" \
+  "$SRV" -addr "127.0.0.1:$((PORT + 1))" -data-dir "$WORK/r1" -durable -seed 1 \
+  -replica-of "$P" -pull-interval 100ms
+R1_PID="$LAST_PID"
+start_proc replica2 "$R2" \
+  "$SRV" -addr "127.0.0.1:$((PORT + 2))" -data-dir "$WORK/r2" -durable -seed 1 \
+  -replica-of "$P" -pull-interval 100ms
+R2_PID="$LAST_PID"
+start_proc router "$RT" \
+  "$ROUTER" -addr "127.0.0.1:$((PORT + 3))" -shard "s0=$P,$R1,$R2" -cooldown 3s -shard-timeout 2s
+RT_PID="$LAST_PID"
+
+echo "== write through the router"
+post "$RT" /gsql '{"exec":"CREATE VERTEX Post (id INT PRIMARY KEY, language STRING); CREATE VERTEX Person (id INT PRIMARY KEY, name STRING); CREATE DIRECTED EDGE hasCreator (FROM Post, TO Person); ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb (DIMENSION = 8, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);"}' >/dev/null
+PERSON_ID="$(post "$RT" /vertex '{"type":"Person","attrs":{"id":1,"name":"ada"}}' | grep -o '"id":[0-9]*' | cut -d: -f2)"
+POST3_ID=""
+for i in 0 1 2 3 4 5 6 7; do
+  ID="$(post "$RT" /vertex "{\"type\":\"Post\",\"attrs\":{\"id\":$i,\"language\":\"en\"}}" | grep -o '"id":[0-9]*' | cut -d: -f2)"
+  [ "$i" = 3 ] && POST3_ID="$ID"
+  post "$RT" /upsert "{\"type\":\"Post\",\"attr\":\"content_emb\",\"key\":$i,\"vector\":[$i,0,0,0,0,0,0,0]}" >/dev/null
+done
+post "$RT" /edge "{\"type\":\"hasCreator\",\"from\":$POST3_ID,\"to\":$PERSON_ID}" >/dev/null
+
+echo "== replicas converge to the primary's committed TID"
+TID="$(committed_tid "$P")"
+[ -n "$TID" ] && [ "$TID" -gt 0 ] || die "primary reports no committed TID"
+wait_applied "$R1" "$TID"
+wait_applied "$R2" "$TID"
+echo "   both replicas at applied_tid=$TID"
+
+echo "== replica serves the same reads, refuses writes with 421"
+ROUTED="$(search "$RT")"
+echo "$ROUTED" | grep -q '"partial":true' && die "healthy cluster answered partial: $ROUTED"
+ROUTED_HITS="$(echo "$ROUTED" | grep -o '"hits":\[[^]]*\]')"
+for R in "$R1" "$R2"; do
+  DIRECT_HITS="$(search "$R" | grep -o '"hits":\[[^]]*\]')"
+  [ "$ROUTED_HITS" = "$DIRECT_HITS" ] || die "replica $R diverges from routed answer: $DIRECT_HITS vs $ROUTED_HITS"
+done
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$R1/upsert" \
+  -H 'Content-Type: application/json' \
+  -d '{"type":"Post","attr":"content_emb","key":0,"vector":[9,0,0,0,0,0,0,0]}')"
+[ "$CODE" = "421" ] || die "replica write answered $CODE, want 421"
+echo "   identical hits; write to replica rejected with 421"
+
+echo "== SIGKILL replica 1: partial degradation, then recovery"
+kill -9 "$R1_PID"
+wait "$R1_PID" 2>/dev/null || true
+PARTIAL=""
+for _ in $(seq 1 40); do
+  RESP="$(search "$RT")"
+  if echo "$RESP" | grep -q '"partial":true'; then
+    PARTIAL="$RESP"
+    break
+  fi
+  sleep 0.05
+done
+[ -n "$PARTIAL" ] || die "router never reported partial after replica kill"
+echo "$PARTIAL" | grep -q '"failed_shards":\["s0"\]' || die "partial response does not name the shard: $PARTIAL"
+for _ in $(seq 1 5); do
+  RESP="$(search "$RT")"
+  echo "$RESP" | grep -q '"partial":true' && die "router still partial after routing around dead replica: $RESP"
+  echo "$RESP" | grep -q '"hits":\[{' || die "degraded router lost the answer: $RESP"
+done
+echo "   one partial:true naming s0, then clean answers from survivors"
+
+echo "== writes keep flowing while degraded"
+post "$RT" /upsert '{"type":"Post","attr":"content_emb","key":3,"vector":[3,9,0,0,0,0,0,0]}' >/dev/null
+UPDATED=""
+for _ in $(seq 1 100); do
+  RESP="$(search "$RT")"
+  if ! echo "$RESP" | grep -Eq '"distance":0[,}]'; then
+    if ! echo "$RESP" | grep -q '"partial":true'; then UPDATED="1"; break; fi
+  fi
+  sleep 0.1
+done
+[ -n "$UPDATED" ] || die "surviving replica never served the degraded-mode write"
+echo "   surviving replica converged on the new write"
+
+echo "== dead replica restarts and catches up from its own WAL"
+start_proc replica1-restart "$R1" \
+  "$SRV" -addr "127.0.0.1:$((PORT + 1))" -data-dir "$WORK/r1" -durable -seed 1 \
+  -replica-of "$P" -pull-interval 100ms
+R1_PID="$LAST_PID"
+TID="$(committed_tid "$P")"
+wait_applied "$R1" "$TID"
+sleep 3  # let the router's cooldown on the killed endpoint expire
+for _ in $(seq 1 10); do
+  RESP="$(search "$RT")"
+  echo "$RESP" | grep -q '"partial":true' && die "router partial after replica recovered: $RESP"
+done
+echo "   replica back at applied_tid=$TID, router clean"
+
+echo "== fresh replica joins after checkpoint: snapshot bootstrap"
+post "$RT" /checkpoint '{}' >/dev/null
+WAL_BYTES="$(wc -c <"$WORK/primary/wal.log")"
+[ "$WAL_BYTES" -eq 0 ] || die "checkpoint did not truncate the primary WAL ($WAL_BYTES bytes)"
+start_proc replica3 "$R3" \
+  "$SRV" -addr "127.0.0.1:$((PORT + 4))" -data-dir "$WORK/r3" -durable -seed 1 \
+  -replica-of "$P" -pull-interval 100ms
+R3_PID="$LAST_PID"
+TID="$(committed_tid "$P")"
+wait_applied "$R3" "$TID"
+grep -q "re-seeding .* from snapshot" "$WORK/replica3.log" \
+  || die "fresh replica did not take the snapshot-bootstrap path"
+R3_HITS="$(search "$R3" | grep -o '"hits":\[[^]]*\]')"
+ROUTED_HITS="$(search "$RT" | grep -o '"hits":\[[^]]*\]')"
+[ "$R3_HITS" = "$ROUTED_HITS" ] || die "bootstrapped replica diverges: $R3_HITS vs $ROUTED_HITS"
+echo "   bootstrapped past the truncated WAL to applied_tid=$TID, identical hits"
+
+echo "PASS: replication + router cluster (convergence, 421, partial degradation, recovery, snapshot bootstrap) verified"

@@ -1,0 +1,625 @@
+package server
+
+// End-to-end cluster tests over real HTTP: a WAL-shipping replica served
+// by tgvserve's handler (write rejection, pinned reads, honest staleness
+// in /stats), and the scatter/gather router checked differentially
+// against a single-node oracle holding the union corpus — exact
+// distances, exact tie order at the k cutoff — plus the kill-a-shard
+// degradation contract.
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	tigervector "repro"
+	"repro/client"
+	"repro/internal/cluster"
+)
+
+// clusterDDL extends the Post schema with graph types for edge-routing
+// coverage.
+const clusterDDL = testDDL + `
+CREATE VERTEX Person (id INT PRIMARY KEY, name STRING, cid INT);
+CREATE DIRECTED EDGE hasCreator (FROM Post, TO Person);
+`
+
+// durableServer boots one durable tgvserve handler over a fresh DB.
+func durableServer(t *testing.T, opts Options) (*tigervector.DB, *httptest.Server) {
+	t.Helper()
+	db, err := tigervector.Open(tigervector.Config{
+		SegmentSize: 32, Seed: 1, DataDir: t.TempDir(), Durability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { closeDB(t, db) })
+	ts := httptest.NewServer(New(db, opts).Handler())
+	t.Cleanup(ts.Close)
+	return db, ts
+}
+
+func TestReplicaOverHTTP(t *testing.T) {
+	ctx := context.Background()
+	primaryDB, primarySrv := durableServer(t, Options{})
+	pc := client.New(primarySrv.URL)
+	if err := pc.Exec(ctx, testDDL); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	var vecs [][]float32
+	for i := 0; i < 12; i++ {
+		id, err := pc.AddVertex(ctx, "Post", map[string]any{
+			"id": int64(i), "language": "en", "length": int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := make([]float32, 8)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		vecs = append(vecs, v)
+		if err := pc.Upsert(ctx, "Post", "content_emb", id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The primary advertises its replication position.
+	st, err := pc.ReplState(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Durable || st.LastCommittedTID != primaryDB.VisibleTID() || st.CatalogLen == 0 {
+		t.Fatalf("repl state = %+v", st)
+	}
+
+	// Boot the replica: its own durable DB, a Replicator, and a handler
+	// in replica mode.
+	replicaDB, err := tigervector.Open(tigervector.Config{
+		SegmentSize: 32, Seed: 1, DataDir: t.TempDir(), Durability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { closeDB(t, replicaDB) })
+	rep := &cluster.Replicator{Primary: primarySrv.URL, Target: replicaDB}
+	if _, err := rep.PullOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	replicaSrv := httptest.NewServer(New(replicaDB, Options{
+		Replica:     true,
+		Replication: func() *client.ReplicationStats { return rep.Stats() },
+	}).Handler())
+	t.Cleanup(replicaSrv.Close)
+	rc := client.New(replicaSrv.URL)
+
+	// Every write path answers 421 Misdirected Request.
+	writes := map[string]func() error{
+		"vertex": func() error {
+			_, err := rc.AddVertex(ctx, "Post", map[string]any{"id": int64(99)})
+			return err
+		},
+		"edge":   func() error { return rc.AddEdge(ctx, "knows", 0, 1) },
+		"upsert": func() error { return rc.Upsert(ctx, "Post", "content_emb", 0, vecs[0]) },
+		"delete": func() error { return rc.Delete(ctx, "Post", "content_emb", 0) },
+		"gsql":   func() error { return rc.Exec(ctx, "CREATE VERTEX X (id INT PRIMARY KEY);") },
+	}
+	for name, write := range writes {
+		if err := write(); err == nil || !strings.Contains(err.Error(), "421") {
+			t.Fatalf("%s on replica: %v, want 421", name, err)
+		}
+	}
+
+	// Reads converge: same hits at the replica's applied TID, and pinned
+	// (at_tid) reads are byte-identical to the primary's at that TID.
+	tids, err := rc.TIDState(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tids.LastCommittedTID != primaryDB.VisibleTID() {
+		t.Fatalf("replica at tid %d, primary at %d", tids.LastCommittedTID, primaryDB.VisibleTID())
+	}
+	pin := tids.LastCommittedTID - 3
+	req := client.SearchRequest{Attrs: []string{"Post.content_emb"}, Query: vecs[4], K: 5, AtTID: pin}
+	pres, err := pc.SearchWith(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := rc.SearchWith(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres.Results[0].Hits) == 0 {
+		t.Fatal("pinned search returned nothing")
+	}
+	for i, ph := range pres.Results[0].Hits {
+		rh := rres.Results[0].Hits[i]
+		if ph != rh {
+			t.Fatalf("pinned hit %d diverged: primary %+v, replica %+v", i, ph, rh)
+		}
+	}
+	pget, err := pc.GetEmbedding(ctx, client.GetRequest{Type: "Post", Attr: "content_emb", Key: int64(4), AtTID: pin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rget, err := rc.GetEmbedding(ctx, client.GetRequest{Type: "Post", Attr: "content_emb", Key: int64(4), AtTID: pin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pget.Found != rget.Found || len(pget.Vector) != len(rget.Vector) {
+		t.Fatalf("pinned get diverged: %+v vs %+v", pget, rget)
+	}
+	for i := range pget.Vector {
+		if pget.Vector[i] != rget.Vector[i] {
+			t.Fatalf("pinned get vector[%d] diverged", i)
+		}
+	}
+
+	// /stats carries the honest-staleness block.
+	repl, err := rc.Replication(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl == nil || repl.AppliedTID != primaryDB.VisibleTID() || repl.ReplicationLag != 0 {
+		t.Fatalf("replication stats = %+v", repl)
+	}
+	if prepl, err := pc.Replication(ctx); err != nil || prepl != nil {
+		t.Fatalf("primary advertises replication block %+v (%v)", prepl, err)
+	}
+
+	// New primary commits raise the measured lag until the next pull.
+	if err := pc.Upsert(ctx, "Post", "content_emb", 0, vecs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.PullOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if repl, err = rc.Replication(ctx); err != nil || repl.ReplicationLag != 0 || repl.RecordsApplied == 0 {
+		t.Fatalf("post-pull replication stats = %+v (%v)", repl, err)
+	}
+}
+
+func TestReplPullRequiresDurability(t *testing.T) {
+	db, err := tigervector.Open(tigervector.Config{SegmentSize: 32, Seed: 1, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { closeDB(t, db) })
+	ts := httptest.NewServer(New(db, Options{}).Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/repl/pull?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("pull on non-durable primary = %d, want 501", resp.StatusCode)
+	}
+}
+
+// testCluster is a 3-shard router deployment plus a single-node oracle
+// holding the union corpus.
+type testCluster struct {
+	n         int
+	shardSrvs []*httptest.Server
+	router    *httptest.Server
+	rc        *client.Client // talks to the router
+	oc        *client.Client // talks to the oracle
+	gidOf     map[int64]uint64
+	oidOf     map[int64]uint64 // oracle ids, loaded in gid order
+	keyOfGid  map[uint64]int64
+	keyOfOid  map[uint64]int64
+	vecOf     map[int64][]float32
+}
+
+// newTestCluster boots n shards behind a router, loads keys 0..m-1
+// through the router, then loads the oracle with the same keys in
+// gid-ascending order — making oracle ids order-isomorphic to gids, so
+// single-node tie-breaking (by id) and router tie-breaking (by gid)
+// order identically.
+func newTestCluster(t *testing.T, n, m int, opts cluster.RouterOptions) *testCluster {
+	t.Helper()
+	ctx := context.Background()
+	tc := &testCluster{
+		n:        n,
+		gidOf:    map[int64]uint64{},
+		oidOf:    map[int64]uint64{},
+		keyOfGid: map[uint64]int64{},
+		keyOfOid: map[uint64]int64{},
+		vecOf:    map[int64][]float32{},
+	}
+	var specs []cluster.ShardSpec
+	for i := 0; i < n; i++ {
+		db, err := tigervector.Open(tigervector.Config{SegmentSize: 16, Seed: 1, DataDir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { closeDB(t, db) })
+		ts := httptest.NewServer(New(db, Options{}).Handler())
+		t.Cleanup(ts.Close)
+		tc.shardSrvs = append(tc.shardSrvs, ts)
+		specs = append(specs, cluster.ShardSpec{Primary: ts.URL})
+	}
+	router, err := cluster.NewRouter(specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.router = httptest.NewServer(router)
+	t.Cleanup(tc.router.Close)
+	tc.rc = client.New(tc.router.URL)
+
+	// Schema broadcast through the router reaches every shard.
+	if err := tc.rc.Exec(ctx, clusterDDL); err != nil {
+		t.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(11))
+	for k := 0; k < m; k++ {
+		key := int64(k)
+		v := make([]float32, 8)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		// Every 5th key duplicates the previous vector, planting exact
+		// distance ties across shard boundaries.
+		if k%5 == 4 {
+			copy(v, tc.vecOf[key-1])
+		}
+		tc.vecOf[key] = v
+		gid, err := tc.rc.AddVertex(ctx, "Post", map[string]any{
+			"id": key, "language": "en", "length": key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.gidOf[key] = gid
+		tc.keyOfGid[gid] = key
+		if err := tc.rc.Upsert(ctx, "Post", "content_emb", gid, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The oracle: one node, union corpus, keys inserted in gid order.
+	odb, err := tigervector.Open(tigervector.Config{SegmentSize: 16, Seed: 1, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { closeDB(t, odb) })
+	ots := httptest.NewServer(New(odb, Options{}).Handler())
+	t.Cleanup(ots.Close)
+	tc.oc = client.New(ots.URL)
+	if err := tc.oc.Exec(ctx, clusterDDL); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]int64, 0, m)
+	for key := range tc.gidOf {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool { return tc.gidOf[keys[a]] < tc.gidOf[keys[b]] })
+	for _, key := range keys {
+		oid, err := tc.oc.AddVertex(ctx, "Post", map[string]any{
+			"id": key, "language": "en", "length": key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.oidOf[key] = oid
+		tc.keyOfOid[oid] = key
+		if err := tc.oc.Upsert(ctx, "Post", "content_emb", oid, tc.vecOf[key]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tc
+}
+
+// assertSameHits compares router hits against oracle hits: identical
+// length, bitwise-identical distances, and the same vertices in the same
+// order under the gid↔oracle-id order isomorphism.
+func (tc *testCluster) assertSameHits(t *testing.T, what string, routed, oracle []client.Hit) {
+	t.Helper()
+	if len(routed) != len(oracle) {
+		t.Fatalf("%s: router %d hits, oracle %d", what, len(routed), len(oracle))
+	}
+	for i := range routed {
+		rh, oh := routed[i], oracle[i]
+		if math.Float32bits(rh.Distance) != math.Float32bits(oh.Distance) {
+			t.Fatalf("%s hit %d: distance %v != oracle %v", what, i, rh.Distance, oh.Distance)
+		}
+		rkey, ok := tc.keyOfGid[rh.ID]
+		if !ok {
+			t.Fatalf("%s hit %d: unknown gid %d", what, i, rh.ID)
+		}
+		if okey := tc.keyOfOid[oh.ID]; rkey != okey {
+			t.Fatalf("%s hit %d: key %d != oracle key %d", what, i, rkey, okey)
+		}
+	}
+}
+
+func TestRouterDifferentialAgainstOracle(t *testing.T) {
+	ctx := context.Background()
+	tc := newTestCluster(t, 3, 60, cluster.RouterOptions{})
+	r := rand.New(rand.NewSource(23))
+	queries := make([][]float32, 6)
+	for qi := range queries {
+		q := make([]float32, 8)
+		for j := range q {
+			q[j] = float32(r.NormFloat64())
+		}
+		queries[qi] = q
+	}
+	// A query placed exactly on a duplicated vector makes the tie at the
+	// cutoff real, not hypothetical.
+	queries[5] = tc.vecOf[3]
+
+	// Top-k, batched, high ef so both sides answer exactly.
+	req := client.SearchRequest{Attrs: []string{"Post.content_emb"}, Queries: queries, K: 7, Ef: 256}
+	routed, err := tc.rc.SearchWith(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := tc.oc.SearchWith(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routed.Partial || len(routed.FailedShards) != 0 {
+		t.Fatalf("healthy cluster answered partial: %+v", routed.FailedShards)
+	}
+	if len(routed.ShardTIDs) != 3 {
+		t.Fatalf("shard_tids = %v, want 3 entries", routed.ShardTIDs)
+	}
+	for qi := range queries {
+		if routed.Results[qi].SnapshotTID != 0 {
+			t.Fatalf("merged result carries snapshot_tid %d, want 0 (per-shard TIDs are incomparable)",
+				routed.Results[qi].SnapshotTID)
+		}
+		tc.assertSameHits(t, "topk", routed.Results[qi].Hits, oracle.Results[qi].Hits)
+	}
+
+	// Range: merged without truncation.
+	rreq := client.RangeRequest{Attr: "Post.content_emb", Query: queries[0], Threshold: 12, Ef: 256}
+	rrouted, err := tc.rc.RangeWith(ctx, rreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roracle, err := tc.oc.RangeWith(ctx, rreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roracle.Results[0].Hits) == 0 {
+		t.Fatal("range threshold admitted nothing; test is vacuous")
+	}
+	tc.assertSameHits(t, "range", rrouted.Results[0].Hits, roracle.Results[0].Hits)
+
+	// Filtered search: a gid filter splits into per-shard local filters.
+	var fgids []uint64
+	var foids []uint64
+	for key := int64(0); key < 20; key += 2 {
+		fgids = append(fgids, tc.gidOf[key])
+		foids = append(foids, tc.oidOf[key])
+	}
+	freq := req
+	freq.Queries = queries[:2]
+	freq.Filter = &client.Filter{Type: "Post", IDs: fgids}
+	frouted, err := tc.rc.SearchWith(ctx, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oreq := freq
+	oreq.Filter = &client.Filter{Type: "Post", IDs: foids}
+	foracle, err := tc.oc.SearchWith(ctx, oreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range freq.Queries {
+		tc.assertSameHits(t, "filtered", frouted.Results[qi].Hits, foracle.Results[qi].Hits)
+	}
+
+	// Point reads by key and by gid, byte-compared against the oracle.
+	for _, key := range []int64{0, 7, 31, 59} {
+		rget, err := tc.rc.GetEmbedding(ctx, client.GetRequest{Type: "Post", Attr: "content_emb", Key: key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oget, err := tc.oc.GetEmbedding(ctx, client.GetRequest{Type: "Post", Attr: "content_emb", Key: key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rget.Found || !oget.Found || rget.ID != tc.gidOf[key] || rget.SnapshotTID != 0 {
+			t.Fatalf("get key %d: router %+v, oracle %+v", key, rget, oget)
+		}
+		for i := range rget.Vector {
+			if math.Float32bits(rget.Vector[i]) != math.Float32bits(oget.Vector[i]) {
+				t.Fatalf("get key %d: vector[%d] diverged", key, i)
+			}
+		}
+		gid := tc.gidOf[key]
+		byGID, err := tc.rc.GetEmbedding(ctx, client.GetRequest{Type: "Post", Attr: "content_emb", ID: &gid})
+		if err != nil || byGID.ID != gid {
+			t.Fatalf("get by gid %d: %+v (%v)", gid, byGID, err)
+		}
+	}
+
+	// Deletes route to the owning shard and disappear from merged results.
+	delKey := tc.keyOfGid[routed.Results[0].Hits[0].ID]
+	if err := tc.rc.Delete(ctx, "Post", "content_emb", tc.gidOf[delKey]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.oc.Delete(ctx, "Post", "content_emb", tc.oidOf[delKey]); err != nil {
+		t.Fatal(err)
+	}
+	postDel, err := tc.rc.SearchWith(ctx, client.SearchRequest{
+		Attrs: []string{"Post.content_emb"}, Query: queries[0], K: 7, Ef: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	postDelO, err := tc.oc.SearchWith(ctx, client.SearchRequest{
+		Attrs: []string{"Post.content_emb"}, Query: queries[0], K: 7, Ef: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.assertSameHits(t, "post-delete", postDel.Results[0].Hits, postDelO.Results[0].Hits)
+}
+
+func TestRouterEdgePlacement(t *testing.T) {
+	ctx := context.Background()
+	tc := newTestCluster(t, 3, 12, cluster.RouterOptions{})
+	// Person keys hash like Post keys (placement is type-blind over the
+	// key value), so Person k collocates with Post k.
+	personGID := map[int64]uint64{}
+	for k := int64(0); k < 12; k++ {
+		gid, err := tc.rc.AddVertex(ctx, "Person", map[string]any{"id": k, "name": "p", "cid": k % 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		personGID[k] = gid
+		if personGID[k]%3 != tc.gidOf[k]%3 {
+			t.Fatalf("Person %d on shard %d, Post %d on shard %d: same key must collocate",
+				k, personGID[k]%3, k, tc.gidOf[k]%3)
+		}
+	}
+	// Same shard: accepted. Different shards: refused whole, not
+	// half-inserted.
+	if err := tc.rc.AddEdge(ctx, "hasCreator", tc.gidOf[3], personGID[3]); err != nil {
+		t.Fatalf("same-shard edge: %v", err)
+	}
+	var k1, k2 int64 = -1, -1
+	for k := int64(0); k < 12 && k2 < 0; k++ {
+		if tc.gidOf[k]%3 != tc.gidOf[0]%3 {
+			k2 = k
+		} else {
+			k1 = k
+		}
+	}
+	if k1 < 0 || k2 < 0 {
+		t.Skip("all keys hashed to one shard")
+	}
+	err := tc.rc.AddEdge(ctx, "hasCreator", tc.gidOf[k1], personGID[k2])
+	if err == nil || !strings.Contains(err.Error(), "different shards") {
+		t.Fatalf("cross-shard edge: %v, want refusal", err)
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	ctx := context.Background()
+	tc := newTestCluster(t, 2, 4, cluster.RouterOptions{})
+	q := make([]float32, 8)
+	cases := map[string]func() error{
+		"at_tid refused": func() error {
+			_, err := tc.rc.SearchWith(ctx, client.SearchRequest{
+				Attrs: []string{"Post.content_emb"}, Query: q, K: 1, AtTID: 3})
+			return err
+		},
+		"range at_tid refused": func() error {
+			_, err := tc.rc.RangeWith(ctx, client.RangeRequest{
+				Attr: "Post.content_emb", Query: q, Threshold: 1, AtTID: 3})
+			return err
+		},
+		"gsql run refused": func() error {
+			_, err := tc.rc.Run(ctx, "anything", nil)
+			return err
+		},
+		"k >= 1": func() error {
+			_, err := tc.rc.SearchWith(ctx, client.SearchRequest{
+				Attrs: []string{"Post.content_emb"}, Query: q})
+			return err
+		},
+		"vertex needs key attr": func() error {
+			_, err := tc.rc.AddVertex(ctx, "Post", map[string]any{"language": "en"})
+			return err
+		},
+	}
+	for name, call := range cases {
+		if err := call(); err == nil || !strings.Contains(err.Error(), "400") {
+			t.Errorf("%s: err = %v, want 400", name, err)
+		}
+	}
+}
+
+func TestRouterKillShardDegradesThenRecovers(t *testing.T) {
+	ctx := context.Background()
+	tc := newTestCluster(t, 3, 45, cluster.RouterOptions{
+		ShardTimeout: 2 * time.Second,
+		Cooldown:     100 * time.Millisecond,
+	})
+	q := make([]float32, 8)
+	q[0] = 1
+
+	// SIGKILL equivalent: the shard's listener dies mid-deployment.
+	dead := tc.shardSrvs[1]
+	deadAddr := dead.Listener.Addr().String()
+	dead.CloseClientConnections()
+	dead.Close()
+
+	start := time.Now()
+	resp, err := tc.rc.SearchWith(ctx, client.SearchRequest{
+		Attrs: []string{"Post.content_emb"}, Query: q, K: 10, Ef: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("degraded answer took %v, want within the shard deadline", elapsed)
+	}
+	if !resp.Partial {
+		t.Fatal("response not marked partial with a dead shard")
+	}
+	if len(resp.FailedShards) != 1 || !strings.HasPrefix(resp.FailedShards[0], "shard1") {
+		t.Fatalf("failed_shards = %v, want [shard1...]", resp.FailedShards)
+	}
+	if len(resp.Results[0].Hits) == 0 {
+		t.Fatal("surviving shards contributed no hits")
+	}
+	for _, h := range resp.Results[0].Hits {
+		if h.ID%3 == 1 {
+			t.Fatalf("hit gid %d belongs to the dead shard", h.ID)
+		}
+	}
+
+	// The shard comes back on the same address; after the cooldown the
+	// router routes to it again and answers whole.
+	l, err := net.Listen("tcp", deadAddr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", deadAddr, err)
+	}
+	// A closed http.Server cannot serve again; the revived shard is a new
+	// server over the same (still alive) handler and DB.
+	revived := &httptest.Server{Listener: l, Config: &http.Server{Handler: dead.Config.Handler}}
+	revived.Start()
+	t.Cleanup(revived.Close)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = tc.rc.SearchWith(ctx, client.SearchRequest{
+			Attrs: []string{"Post.content_emb"}, Query: q, K: 10, Ef: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Partial {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router still partial after recovery: %v", resp.FailedShards)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if len(resp.ShardTIDs) != 3 {
+		t.Fatalf("recovered shard_tids = %v", resp.ShardTIDs)
+	}
+}
+
+func TestRouterSingleShardIsIdentity(t *testing.T) {
+	ctx := context.Background()
+	tc := newTestCluster(t, 1, 10, cluster.RouterOptions{})
+	// With N == 1, gid == local id: router and direct shard access agree.
+	sc := client.New(tc.shardSrvs[0].URL)
+	for key, gid := range tc.gidOf {
+		direct, err := sc.GetEmbedding(ctx, client.GetRequest{Type: "Post", Attr: "content_emb", Key: key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.ID != gid {
+			t.Fatalf("key %d: gid %d != shard-local id %d", key, gid, direct.ID)
+		}
+	}
+}

@@ -8,15 +8,28 @@
 // Endpoints (all JSON; wire types live in repro/client so client and
 // server share one protocol definition):
 //
-//	POST /vertex  client.VertexRequest  -> client.VertexResponse
-//	POST /edge    client.EdgeRequest    -> client.EdgeResponse
-//	POST /search  client.SearchRequest  -> client.SearchResponse
-//	POST /range   client.RangeRequest   -> client.SearchResponse
-//	POST /upsert  client.UpsertRequest  -> client.UpsertResponse
-//	POST /delete  client.DeleteRequest  -> client.DeleteResponse
-//	POST /gsql    client.GSQLRequest    -> client.GSQLResponse
-//	POST /checkpoint                    -> client.CheckpointResponse
-//	GET  /stats                         -> server.Stats
+//	POST /vertex     client.VertexRequest  -> client.VertexResponse
+//	POST /edge       client.EdgeRequest    -> client.EdgeResponse
+//	POST /search     client.SearchRequest  -> client.SearchResponse
+//	POST /range      client.RangeRequest   -> client.SearchResponse
+//	POST /get        client.GetRequest     -> client.GetResponse
+//	POST /upsert     client.UpsertRequest  -> client.UpsertResponse
+//	POST /delete     client.DeleteRequest  -> client.DeleteResponse
+//	POST /gsql       client.GSQLRequest    -> client.GSQLResponse
+//	POST /checkpoint                       -> client.CheckpointResponse
+//	GET  /stats                            -> server.Stats
+//	GET  /repl/state                       -> client.ReplStateResponse
+//	GET  /repl/pull?since=T&catalog=N      -> cluster pull-frame stream
+//	GET  /repl/file?name=F                 -> raw snapshot/catalog file
+//
+// The /repl endpoints are the primary side of WAL-shipping replication
+// (see repro/internal/cluster): /repl/pull streams committed records
+// above a TID, answering 409 when the position predates the newest
+// checkpoint (the replica must bootstrap from /repl/file instead).
+// A server started in replica mode (Options.Replica, tgvserve
+// -replica-of) answers every mutating endpoint with 421 Misdirected
+// Request — writes belong on the primary — and reports its replication
+// position in the "replication" block of /stats.
 //
 // Concurrency model: net/http serves each request on its own goroutine;
 // every search funnels into DB.SearchBatch, whose bounded worker pool
@@ -33,16 +46,20 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	tigervector "repro"
 	"repro/client"
+	"repro/internal/cluster"
 )
 
 // Options configures a Server. The zero value is usable.
@@ -57,6 +74,13 @@ type Options struct {
 	RequestTimeout time.Duration
 	// Logf receives one line per failed request; nil disables logging.
 	Logf func(format string, args ...any)
+	// Replica rejects every mutating endpoint with 421 Misdirected
+	// Request: this server applies replicated records only, and a write
+	// accepted here would fork its TID sequence from the primary's.
+	Replica bool
+	// Replication, when non-nil, supplies the replica's pull position
+	// for the "replication" block of /stats.
+	Replication func() *client.ReplicationStats
 }
 
 // Counters tallies requests per endpoint since server start.
@@ -69,6 +93,8 @@ type Counters struct {
 	Search int64 `json:"search"`
 	// Range counts /range requests.
 	Range int64 `json:"range"`
+	// Get counts /get requests.
+	Get int64 `json:"get"`
 	// Upsert counts /upsert requests.
 	Upsert int64 `json:"upsert"`
 	// Delete counts /delete requests.
@@ -79,6 +105,10 @@ type Counters struct {
 	Checkpoint int64 `json:"checkpoint"`
 	// Stats counts /stats requests.
 	Stats int64 `json:"stats"`
+	// Repl counts /repl/* requests (state, pull and file together).
+	Repl int64 `json:"repl"`
+	// ReplicaRejected counts writes answered 421 in replica mode.
+	ReplicaRejected int64 `json:"replica_rejected"`
 	// Errors counts requests answered with a non-2xx status.
 	Errors int64 `json:"errors"`
 }
@@ -91,6 +121,8 @@ type Stats struct {
 	Requests Counters `json:"requests"`
 	// DB is the database snapshot (MVCC, stores, vacuum, pool).
 	DB tigervector.DBStats `json:"db"`
+	// Replication is the replica's pull position; absent on primaries.
+	Replication *client.ReplicationStats `json:"replication,omitempty"`
 }
 
 // Server serves one tigervector.DB over HTTP.
@@ -100,7 +132,7 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	vertex, edge, search, rng, upsert, del, gsql, cp, stats, errs atomic.Int64
+	vertex, edge, search, rng, get, upsert, del, gsql, cp, stats, repl, rejected, errs atomic.Int64
 
 	srvMu   sync.Mutex
 	httpSrv *http.Server // guarded by srvMu
@@ -114,16 +146,36 @@ func New(db *tigervector.DB, opts Options) *Server {
 		opts.MaxBatch = 1024
 	}
 	s := &Server{db: db, opts: opts, mux: http.NewServeMux(), start: time.Now()}
-	s.mux.HandleFunc("/vertex", s.method(http.MethodPost, s.handleVertex))
-	s.mux.HandleFunc("/edge", s.method(http.MethodPost, s.handleEdge))
+	s.mux.HandleFunc("/vertex", s.method(http.MethodPost, s.writable(s.handleVertex)))
+	s.mux.HandleFunc("/edge", s.method(http.MethodPost, s.writable(s.handleEdge)))
 	s.mux.HandleFunc("/search", s.method(http.MethodPost, s.handleSearch))
 	s.mux.HandleFunc("/range", s.method(http.MethodPost, s.handleRange))
-	s.mux.HandleFunc("/upsert", s.method(http.MethodPost, s.handleUpsert))
-	s.mux.HandleFunc("/delete", s.method(http.MethodPost, s.handleDelete))
-	s.mux.HandleFunc("/gsql", s.method(http.MethodPost, s.handleGSQL))
+	s.mux.HandleFunc("/get", s.method(http.MethodPost, s.handleGet))
+	s.mux.HandleFunc("/upsert", s.method(http.MethodPost, s.writable(s.handleUpsert)))
+	s.mux.HandleFunc("/delete", s.method(http.MethodPost, s.writable(s.handleDelete)))
+	s.mux.HandleFunc("/gsql", s.method(http.MethodPost, s.writable(s.handleGSQL)))
 	s.mux.HandleFunc("/checkpoint", s.method(http.MethodPost, s.handleCheckpoint))
 	s.mux.HandleFunc("/stats", s.method(http.MethodGet, s.handleStats))
+	s.mux.HandleFunc("/repl/state", s.method(http.MethodGet, s.handleReplState))
+	s.mux.HandleFunc("/repl/pull", s.method(http.MethodGet, s.handleReplPull))
+	s.mux.HandleFunc("/repl/file", s.method(http.MethodGet, s.handleReplFile))
 	return s
+}
+
+// writable guards a mutating handler against replica mode. Both /gsql
+// branches are gated, not just exec: run executes server-defined
+// queries that may write derived state (tg_louvain materializes
+// community attributes), which would fork the replica's TID sequence.
+// Reads go through /search, /range and /get, which replicas serve.
+func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.opts.Replica {
+			s.rejected.Add(1)
+			s.fail(w, http.StatusMisdirectedRequest, "replica: writes must go to the primary")
+			return
+		}
+		h(w, r)
+	}
 }
 
 // method guards a handler to one HTTP method.
@@ -306,6 +358,116 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, searchResponse(res))
 }
 
+// handleGet answers POST /get: read one embedding by vertex id or
+// primary key, optionally pinned to a snapshot TID. Replicas serve it
+// like any read — with at_tid it is the byte-level staleness probe of
+// the replication contract: a replica read pinned at TID t returns
+// exactly what the primary returns at t.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.get.Add(1)
+	var req client.GetRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Type == "" || req.Attr == "" {
+		s.fail(w, http.StatusBadRequest, "type and attr required")
+		return
+	}
+	id, ok := s.resolveVertex(req.Type, req.ID, req.Key)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no %s vertex for id/key", req.Type)
+		return
+	}
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+	res, err := s.db.Search(ctx, tigervector.Request{
+		Kind: tigervector.Get, Attrs: []string{req.Type + "." + req.Attr},
+		ID: id, AtTID: req.AtTID,
+	})
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, client.GetResponse{
+		ID: id, Vector: res.Vector, Found: res.Found, SnapshotTID: res.SnapshotTID,
+	})
+}
+
+// handleReplState answers GET /repl/state.
+func (s *Server) handleReplState(w http.ResponseWriter, r *http.Request) {
+	s.repl.Add(1)
+	st := s.db.ReplState()
+	s.writeJSON(w, client.ReplStateResponse{
+		LastCommittedTID:  st.LastCommittedTID,
+		LastCheckpointTID: st.CheckpointTID,
+		CatalogLen:        st.CatalogLen,
+		Durable:           s.db.Durable(),
+	})
+}
+
+// handleReplPull answers GET /repl/pull?since=T&catalog=N: the WAL-
+// shipping stream. 409 means the replica's position predates the newest
+// checkpoint and it must bootstrap via /repl/file. A mid-stream fault
+// (WAL rotated under the reader) cuts the stream without its end frame —
+// that missing frame IS the abort signal, since the status line is long
+// gone by then; the replica keeps the valid prefix and re-pulls.
+func (s *Server) handleReplPull(w http.ResponseWriter, r *http.Request) {
+	s.repl.Add(1)
+	if !s.db.Durable() {
+		s.fail(w, http.StatusNotImplemented, "replication requires a durable primary (-durable)")
+		return
+	}
+	q := r.URL.Query()
+	since, err := strconv.ParseUint(q.Get("since"), 10, 64)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad since: %v", err)
+		return
+	}
+	catalogOff := int64(0)
+	if c := q.Get("catalog"); c != "" {
+		catalogOff, err = strconv.ParseInt(c, 10, 64)
+		if err != nil || catalogOff < 0 {
+			s.fail(w, http.StatusBadRequest, "bad catalog offset %q", c)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := cluster.WritePull(w, s.db, since, catalogOff); err != nil {
+		if errors.Is(err, cluster.ErrSnapshotRequired) {
+			// WritePull refuses before writing anything, so the status
+			// line is still ours to send.
+			s.fail(w, http.StatusConflict, "%v", err)
+			return
+		}
+		s.errs.Add(1)
+		if s.opts.Logf != nil {
+			s.opts.Logf("server: repl/pull since=%d: %v", since, err)
+		}
+	}
+}
+
+// handleReplFile answers GET /repl/file?name=F: one whitelisted
+// data-dir file (checkpoint manifest, snapshot files, catalog log) for
+// replica bootstrap.
+func (s *Server) handleReplFile(w http.ResponseWriter, r *http.Request) {
+	s.repl.Add(1)
+	name := r.URL.Query().Get("name")
+	f, err := s.db.OpenReplFile(name)
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.fail(w, http.StatusNotFound, "no such file %q", name)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer func() { _ = f.Close() }()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := io.Copy(w, f); err != nil && s.opts.Logf != nil {
+		s.opts.Logf("server: repl/file %s: %v", name, err)
+	}
+}
+
 // searchResponse converts request results to the wire shape.
 func searchResponse(results []tigervector.Result) client.SearchResponse {
 	out := client.SearchResponse{Results: make([]client.SearchResult, len(results))}
@@ -464,18 +626,23 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // handleStats answers GET /stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.stats.Add(1)
-	s.writeJSON(w, Stats{
+	body := Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests: Counters{
 			Vertex: s.vertex.Load(), Edge: s.edge.Load(),
-			Search: s.search.Load(), Range: s.rng.Load(),
+			Search: s.search.Load(), Range: s.rng.Load(), Get: s.get.Load(),
 			Upsert: s.upsert.Load(), Delete: s.del.Load(),
 			GSQL: s.gsql.Load(), Checkpoint: s.cp.Load(),
-			Stats:  s.stats.Load(),
-			Errors: s.errs.Load(),
+			Stats: s.stats.Load(), Repl: s.repl.Load(),
+			ReplicaRejected: s.rejected.Load(),
+			Errors:          s.errs.Load(),
 		},
 		DB: s.db.Stats(),
-	})
+	}
+	if s.opts.Replication != nil {
+		body.Replication = s.opts.Replication()
+	}
+	s.writeJSON(w, body)
 }
 
 // jsonValue rewrites query outputs into JSON-friendly shapes.

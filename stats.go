@@ -91,12 +91,19 @@ type VacuumStats struct {
 type DBStats struct {
 	// VisibleTID is the highest committed transaction id.
 	VisibleTID uint64 `json:"visible_tid"`
+	// LastCommittedTID mirrors VisibleTID under the name the replication
+	// protocol uses: the position replicas compare their applied_tid
+	// against for lag monitoring.
+	LastCommittedTID uint64 `json:"last_committed_tid"`
 	// Checkpoints counts Checkpoint() calls (manual and periodic) since
 	// Open; CheckpointErrors counts the ones that failed.
 	Checkpoints      int64 `json:"checkpoints"`
 	CheckpointErrors int64 `json:"checkpoint_errors"`
-	// LastCheckpointTID is the TID of the newest completed checkpoint
-	// this process wrote (0 before the first one).
+	// LastCheckpointTID is the TID of the newest checkpoint covering the
+	// data dir — written by this process or recovered from the manifest
+	// at Open (0 when none exists). It bounds how much WAL a restart
+	// replays, and is the horizon below which a replica must bootstrap
+	// from the snapshot instead of pulling the log.
 	LastCheckpointTID uint64 `json:"last_checkpoint_tid"`
 	// RecoveryTornBytes is the WAL volume truncated while opening: the
 	// torn tail record a crash mid-append leaves behind (larger values
@@ -131,9 +138,10 @@ func (db *DB) Stats() DBStats {
 	ps := db.pool.Stats()
 	st := DBStats{
 		VisibleTID:            uint64(db.mgr.Visible()),
+		LastCommittedTID:      uint64(db.mgr.Visible()),
 		Checkpoints:           db.checkpoints.Load(),
 		CheckpointErrors:      db.checkpointErr.Load(),
-		LastCheckpointTID:     db.lastCpTID.Load(),
+		LastCheckpointTID:     db.CheckpointTID(),
 		RecoveryTornBytes:     db.tornBytes.Load(),
 		IndexSnapshotSegments: db.indexSnapSegs.Load(),
 		IndexRebuiltSegments:  db.indexRebuiltSegs.Load(),

@@ -148,10 +148,19 @@ type DB struct {
 	cpStop chan struct{}
 	cpDone chan struct{}
 
+	// catMu serializes catalog-log appends against the replication
+	// reads of its length and content (ReplState, ReadCatalog), keeping
+	// the byte offsets replicas pull by stable.
+	catMu sync.Mutex
+
 	checkpoints   atomic.Int64
 	checkpointErr atomic.Int64
 	lastCpTID     atomic.Uint64
-	tornBytes     atomic.Int64 // WAL bytes truncated during recovery
+	// recoveredCpTID is the checkpoint TID the manifest named at Open;
+	// CheckpointTID folds it with lastCpTID so the WAL-shipping horizon
+	// survives restarts.
+	recoveredCpTID atomic.Uint64
+	tornBytes      atomic.Int64 // WAL bytes truncated during recovery
 
 	// Restart-path counters, set once while Open restores a checkpoint:
 	// segment indexes deserialized from the index snapshot vs rebuilt
@@ -303,15 +312,24 @@ func (db *DB) Exec(src string) error {
 }
 
 // appendCatalog durably appends one DDL statement to the catalog log.
-// The close error joins the result: on this path a failed close can be
-// the only sign the append never reached the file.
-func (db *DB) appendCatalog(src string) (err error) {
+func (db *DB) appendCatalog(src string) error {
+	return db.appendCatalogBytes([]byte(src + "\n"))
+}
+
+// appendCatalogBytes durably appends raw bytes to the catalog log; the
+// replication path ships these exact bytes, so replicas append them
+// unmodified and catalog offsets stay aligned across the cluster. The
+// close error joins the result: on this path a failed close can be the
+// only sign the append never reached the file.
+func (db *DB) appendCatalogBytes(b []byte) (err error) {
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
 	f, err := os.OpenFile(db.catalogPath(), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("tigervector: catalog log: %w", err)
 	}
 	defer func() { err = errors.Join(err, f.Close()) }()
-	if _, err := fmt.Fprintf(f, "%s\n", src); err != nil {
+	if _, err := f.Write(b); err != nil {
 		return err
 	}
 	if !db.cfg.NoFsync {
@@ -367,6 +385,7 @@ func (db *DB) recover() error {
 	if err != nil {
 		return err
 	}
+	db.recoveredCpTID.Store(uint64(cpTID))
 	db.mgr.Recover(cpTID)
 	var maxTID txn.TID
 	truncated, err := txn.RecoverWAL(db.walPath(), func(tid txn.TID, vectors []txn.StagedVector, ops []txn.GraphOp) error {
