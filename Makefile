@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet lint race recovery-test cluster-test bench-restart bench-filtered bench-kernels bench-serving bench-serving-smoke bench-serving-cluster fmt-check
+.PHONY: build test bench vet lint race recovery-test cluster-test bench-restart bench-filtered bench-kernels bench-serving bench-serving-smoke bench-serving-cluster bench-ingest bench-ingest-smoke fmt-check
 
 build:
 	$(GO) build ./...
@@ -103,3 +103,21 @@ bench-serving-cluster:
 	$(GO) run ./cmd/tgvbench -exp serve -cluster -shards 0,1,3 \
 		-n 1500 -dim 32 -queries 40 -k 10 -duration 1s -qps 200 -clients 4 \
 		-out BENCH_serving.json
+
+# Sustained-ingest write-path benchmark: an idle search baseline plus a
+# writer-count sweep of full-speed durable re-upserts through WAL group
+# commit, each stage on a fresh seeded DB, with a paced search probe
+# measuring recall@k and latency throughout. BENCH_ingest.json carries
+# per-stage write QPS, fsyncs/commit (the coalescing win), backpressure
+# throttle counters, adaptive-vacuum trigger deltas and a derived
+# scaling block (peak writers vs one writer). The report records
+# host_cpus: on a 1-core box full-speed ingest saturates the CPU, so
+# search service time inflates with writer count even though recall
+# stays exact — judge p99 deltas against the core count.
+bench-ingest:
+	$(GO) run ./cmd/tgvbench -exp ingest -out BENCH_ingest.json
+
+# CI smoke variant: small corpus, short stages, same report schema.
+bench-ingest-smoke:
+	$(GO) run ./cmd/tgvbench -exp ingest -n 2048 -dim 16 -queries 32 -k 10 \
+		-duration 500ms -writers 1,8 -out BENCH_ingest.json

@@ -625,6 +625,44 @@ func (c *Client) TIDState(ctx context.Context) (*TIDState, error) {
 	return &payload.DB, nil
 }
 
+// IngestStats is the sustained-ingest slice of /stats: WAL group-commit
+// batching efficiency and write-admission backpressure. Fsyncs/Commits
+// is the group path's batching ratio (it approaches 1/batch-size under
+// concurrent durable load); Throttled and HardStalls count paced writes.
+type IngestStats struct {
+	GroupCommit struct {
+		Enabled  bool  `json:"enabled"`
+		Commits  int64 `json:"commits"`
+		Fsyncs   int64 `json:"fsyncs"`
+		MaxBatch int64 `json:"max_batch"`
+	} `json:"group_commit"`
+	Backpressure struct {
+		Enabled       bool  `json:"enabled"`
+		SoftLimit     int   `json:"soft_limit"`
+		HardLimit     int   `json:"hard_limit"`
+		Backlog       int   `json:"backlog"`
+		Throttled     int64 `json:"throttled"`
+		HardStalls    int64 `json:"hard_stalls"`
+		ThrottleNanos int64 `json:"throttle_nanos"`
+	} `json:"backpressure"`
+}
+
+// Ingest fetches /stats and returns the write-path block: group-commit
+// ratios and backpressure counters.
+func (c *Client) Ingest(ctx context.Context) (*IngestStats, error) {
+	raw, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var payload struct {
+		DB IngestStats `json:"db"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		return nil, fmt.Errorf("client: decode /stats: %w", err)
+	}
+	return &payload.DB, nil
+}
+
 // Replication fetches /stats and returns the replication block, or nil
 // when the server is not a replica.
 func (c *Client) Replication(ctx context.Context) (*ReplicationStats, error) {

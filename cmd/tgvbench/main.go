@@ -39,6 +39,17 @@
 // field:
 //
 //	tgvbench -exp serve -cluster -shards 1,3 -out BENCH_serving.json
+//
+// Ingest mode (-exp ingest) is the sustained-write benchmark: a durable
+// in-process DB with WAL group commit enabled, an idle search baseline,
+// then a writer-count sweep (-writers, default 1,4,16) of full-speed
+// durable re-upserts with a concurrent search fleet measuring recall@k
+// and latency throughout. The report (BENCH_ingest.json) carries per-
+// stage write QPS, fsyncs/commit, backpressure throttle counters and
+// adaptive vacuum trigger deltas, plus a derived scaling block:
+//
+//	tgvbench -exp ingest -out BENCH_ingest.json
+//	tgvbench -exp ingest -writers 1,8,32 -duration 5s -n 8192
 package main
 
 import (
@@ -50,11 +61,12 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/bench/ingest"
 	"repro/internal/bench/serving"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1|fig7|fig8|fig9|fig10|table2|fig11|table3|table4|ablations|all|serve)")
+	exp := flag.String("exp", "all", "experiment id (table1|fig7|fig8|fig9|fig10|table2|fig11|table3|table4|ablations|all|serve|ingest)")
 	family := flag.String("family", "both", "dataset family for fig7/fig8/table2 (sift|deep|both)")
 	addr := flag.String("addr", "", "serve: external tgvserve address (default: boot one in-process)")
 	scenario := flag.String("scenario", "", "serve: comma-separated scenarios (closed,openloop,filtered,mixed,batch; default all)")
@@ -68,13 +80,59 @@ func main() {
 	ef := flag.Int("ef", 0, "serve: index search beam (default 96)")
 	clients := flag.Int("clients", 0, "serve: closed-loop client count (default 8)")
 	batch := flag.Int("batch", 0, "serve: batch-scenario queries per request (default 32)")
-	out := flag.String("out", "BENCH_serving.json", "serve: report path (empty disables)")
+	out := flag.String("out", "", "serve/ingest: report path (default BENCH_serving.json / BENCH_ingest.json; \"none\" disables)")
+	writers := flag.String("writers", "",
+		"ingest: comma-separated writer counts to sweep (default 1,4,16)")
 	clusterMode := flag.Bool("cluster", false,
 		"serve: boot in-process shard clusters behind a scatter/gather router and sweep -shards counts")
 	shards := flag.String("shards", "1,3",
 		"serve: comma-separated shard counts for -cluster (0: single node without a router; "+
 			"each count boots fresh and reloads)")
 	flag.Parse()
+
+	// Per-experiment default artifact name; "none" disables the file.
+	outPath := func(def string) string {
+		switch *out {
+		case "":
+			return def
+		case "none":
+			return ""
+		default:
+			return *out
+		}
+	}
+
+	if *exp == "ingest" {
+		cfg := ingest.Config{
+			N: *n, Dim: *dim, NumQueries: *queries, K: *k, Ef: *ef,
+			Duration: *duration, SearchQPS: *qps, Seed: *seed,
+		}
+		if *writers != "" {
+			for _, part := range strings.Split(*writers, ",") {
+				v, perr := strconv.Atoi(strings.TrimSpace(part))
+				if perr != nil || v <= 0 {
+					fmt.Fprintf(os.Stderr, "-writers %q: want comma-separated counts > 0\n", *writers)
+					os.Exit(2)
+				}
+				cfg.Writers = append(cfg.Writers, v)
+			}
+		}
+		start := time.Now()
+		rep, err := ingest.Run(os.Stdout, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ingest failed: %v\n", err)
+			os.Exit(1)
+		}
+		if p := outPath("BENCH_ingest.json"); p != "" {
+			if err := rep.WriteFile(p); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", p, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\ningest report written to %s\n", p)
+		}
+		fmt.Printf("[ingest completed in %v]\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	if *exp == "serve" {
 		cfg := serving.Config{
@@ -106,12 +164,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "serve failed: %v\n", err)
 			os.Exit(1)
 		}
-		if *out != "" {
-			if err := rep.WriteFile(*out); err != nil {
-				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+		if p := outPath("BENCH_serving.json"); p != "" {
+			if err := rep.WriteFile(p); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", p, err)
 				os.Exit(1)
 			}
-			fmt.Printf("\nserving report written to %s\n", *out)
+			fmt.Printf("\nserving report written to %s\n", p)
 		}
 		fmt.Printf("[serve completed in %v]\n", time.Since(start).Round(time.Millisecond))
 		return

@@ -77,6 +77,13 @@ type config struct {
 	rescore      int
 	replicaOf    string
 	pullInterval time.Duration
+	groupCommit  bool
+	gcDelay      time.Duration
+	gcBytes      int
+	noBackpress  bool
+	bpSoft       int
+	bpHard       int
+	bpDelay      time.Duration
 }
 
 // parseFlags parses args (without the program name) into a config.
@@ -109,6 +116,24 @@ func parseFlags(args []string) (config, error) {
 			"Requires -durable; incompatible with -ddl")
 	fs.DurationVar(&c.pullInterval, "pull-interval", 0,
 		"replication pull cadence, e.g. 100ms (default 250ms; requires -replica-of)")
+	fs.BoolVar(&c.groupCommit, "group-commit", false,
+		"coalesce concurrent commit fsyncs into one (WAL group commit); durable write "+
+			"throughput then scales with commit concurrency. Requires -durable; no effect "+
+			"with -no-fsync")
+	fs.DurationVar(&c.gcDelay, "group-commit-delay", 0,
+		"max time a commit lingers waiting for batchmates before fsyncing "+
+			"(default 1ms; requires -group-commit)")
+	fs.IntVar(&c.gcBytes, "group-commit-bytes", 0,
+		"fsync a batch early once this many unsynced WAL bytes accumulate "+
+			"(default 1MiB; requires -group-commit)")
+	fs.BoolVar(&c.noBackpress, "no-backpressure", false,
+		"disable write-admission pacing against the unmerged delta backlog")
+	fs.IntVar(&c.bpSoft, "backpressure-soft", 0,
+		"backlog rows where write pacing starts (default 32768)")
+	fs.IntVar(&c.bpHard, "backpressure-hard", 0,
+		"backlog ceiling where writes stall until the vacuum drains (default 2x soft)")
+	fs.DurationVar(&c.bpDelay, "backpressure-delay", 0,
+		"per-write pacing ceiling, e.g. 20ms (default 20ms)")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -159,6 +184,26 @@ func parseFlags(args []string) (config, error) {
 		fmt.Fprintln(fs.Output(), err)
 		return c, err
 	}
+	if c.groupCommit && !c.durable {
+		err := fmt.Errorf("-group-commit requires -durable (there is no fsync to coalesce)")
+		fmt.Fprintln(fs.Output(), err)
+		return c, err
+	}
+	if (c.gcDelay != 0 || c.gcBytes != 0) && !c.groupCommit {
+		err := fmt.Errorf("-group-commit-delay/-group-commit-bytes require -group-commit")
+		fmt.Fprintln(fs.Output(), err)
+		return c, err
+	}
+	if c.gcDelay < 0 || c.gcBytes < 0 || c.bpSoft < 0 || c.bpHard < 0 || c.bpDelay < 0 {
+		err := fmt.Errorf("group-commit and backpressure flags must be >= 0")
+		fmt.Fprintln(fs.Output(), err)
+		return c, err
+	}
+	if c.noBackpress && (c.bpSoft != 0 || c.bpHard != 0 || c.bpDelay != 0) {
+		err := fmt.Errorf("-no-backpressure is incompatible with backpressure tuning flags")
+		fmt.Fprintln(fs.Output(), err)
+		return c, err
+	}
 	return c, nil
 }
 
@@ -176,6 +221,17 @@ func openDB(cfg config) (*tigervector.DB, error) {
 		Quantization: tigervector.QuantizationConfig{
 			Enabled:       cfg.quantize,
 			RescoreFactor: cfg.rescore,
+		},
+		GroupCommit: tigervector.GroupCommitConfig{
+			Enabled:       cfg.groupCommit,
+			MaxDelay:      cfg.gcDelay,
+			MaxBatchBytes: cfg.gcBytes,
+		},
+		Backpressure: tigervector.BackpressureConfig{
+			Disabled:        cfg.noBackpress,
+			SoftPendingRows: cfg.bpSoft,
+			HardPendingRows: cfg.bpHard,
+			MaxDelay:        cfg.bpDelay,
 		},
 	})
 }
@@ -200,6 +256,9 @@ func main() {
 			rescore = 4
 		}
 		log.Printf("quantization: SQ8 brute scans enabled (rescore factor %d)", rescore)
+	}
+	if cfg.groupCommit && !cfg.noFsync {
+		log.Printf("group commit: coalescing WAL fsyncs (watch /stats group_commit for batch ratios)")
 	}
 	if cfg.durable {
 		// How the restart went: segment indexes deserialized from the

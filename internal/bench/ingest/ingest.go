@@ -1,0 +1,590 @@
+// Package ingest is the sustained-ingest benchmark driver behind
+// `tgvbench -exp ingest`: it proves the durable write path scales with
+// commit concurrency. One run generates a vector corpus, measures an
+// idle search baseline, and then sweeps writer counts — each stage
+// re-upserting existing embeddings with their original values at full
+// speed while a paced search probe keeps measuring latency and
+// recall@k. Re-upserts keep the brute-force oracle exact throughout, so
+// the report can show that concurrent durable ingest neither corrupts
+// results nor collapses search tails.
+//
+// Every stage gets a fresh durable DB (group commit enabled) seeded
+// with the same corpus: re-upserts tombstone index entries, so a shared
+// DB would hand later stages the rebuild debt accumulated by earlier
+// ones and the sweep would measure history, not concurrency.
+//
+// Per stage the report carries write QPS, the group-commit fsync ratio
+// (fsyncs/commit — the coalescing win), backpressure throttle counters,
+// adaptive vacuum trigger deltas, and the search-side p50/p99 + recall.
+// A derived scaling block compares the largest writer count against a
+// single writer, which is the acceptance story: write QPS scaling well
+// above 1x with fsyncs/commit well below 1, while search quality stays
+// at the idle baseline.
+//
+// The driver lives in its own subpackage (not internal/bench proper)
+// for the same reason as bench/serving: it imports the root package,
+// whose in-package tests import internal/bench — placing it there would
+// close an import cycle.
+//
+// One Run emits one schema-versioned Report, serialized by the caller
+// as BENCH_ingest.json.
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	tigervector "repro"
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// SchemaVersion is bumped whenever the Report JSON shape changes
+// incompatibly, so tooling comparing BENCH_ingest.json across PRs can
+// refuse mixed-schema diffs instead of misreading them.
+const SchemaVersion = 1
+
+// Config parameterizes one ingest benchmark run. The zero value plus
+// nothing is a usable laptop-scale run.
+type Config struct {
+	// N is the seeded vector corpus size. Default 4096.
+	N int
+	// Dim is the embedding dimensionality. Default 32.
+	Dim int
+	// NumQueries is the query-set size. Default 64.
+	NumQueries int
+	// K is the recall depth. Default 10.
+	K int
+	// Ef is the index beam used by the search prober. Default 96.
+	Ef int
+	// Writers is the writer-count sweep. Default [1, 4, 16].
+	Writers []int
+	// Duration is the wall budget per stage (the idle baseline counts as
+	// one stage). Default 3s.
+	Duration time.Duration
+	// SearchQPS is the paced search-probe rate that runs through every
+	// stage. The prober is deliberately not closed-loop: a full-speed
+	// search fleet measures CPU saturation, while a paced probe measures
+	// what ingest does to the service time of a fixed query load — the
+	// comparison the idle baseline exists for. Default 50.
+	SearchQPS float64
+	// Seed fixes dataset generation and writer randomness.
+	Seed int64
+	// SegmentSize is the DB's storage segment size. Default 1024.
+	SegmentSize int
+	// Loaders is the seed-load concurrency. Default 8.
+	Loaders int
+	// GroupCommitDelay / GroupCommitBytes tune the WAL group commit the
+	// run measures (zero: the DB defaults, 1ms / 1MiB).
+	GroupCommitDelay time.Duration
+	GroupCommitBytes int
+	// DataDir places the per-stage durable DBs; empty uses a fresh temp
+	// dir removed at the end of the run. The fsync behavior of this
+	// filesystem is what the benchmark measures — put it on the storage
+	// you care about.
+	DataDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 8192
+	}
+	if c.Dim <= 0 {
+		c.Dim = 32
+	}
+	if c.NumQueries <= 0 {
+		c.NumQueries = 64
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.Ef <= 0 {
+		c.Ef = 96
+	}
+	if len(c.Writers) == 0 {
+		c.Writers = []int{1, 4, 16}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.SearchQPS <= 0 {
+		c.SearchQPS = 50
+	}
+	if c.SegmentSize <= 0 {
+		c.SegmentSize = 1024
+	}
+	if c.Loaders <= 0 {
+		c.Loaders = 8
+	}
+	return c
+}
+
+// DatasetInfo describes the seeded corpus in the report.
+type DatasetInfo struct {
+	Name    string `json:"name"`
+	N       int    `json:"n"`
+	Dim     int    `json:"dim"`
+	Queries int    `json:"queries"`
+	K       int    `json:"k"`
+	Ef      int    `json:"ef"`
+	Seed    int64  `json:"seed"`
+}
+
+// LatencyMS summarizes a stage's search-latency histogram.
+type LatencyMS struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// VacuumDelta is the movement of the adaptive vacuum's trigger counters
+// across one stage: what actually drove the flushes and merges that
+// kept up with the stage's write rate.
+type VacuumDelta struct {
+	FlushFloorRuns     int64 `json:"flush_floor_runs"`
+	FlushVolumeRuns    int64 `json:"flush_volume_runs"`
+	MergeFloorRuns     int64 `json:"merge_floor_runs"`
+	MergeFileRuns      int64 `json:"merge_file_runs"`
+	MergeTombstoneRuns int64 `json:"merge_tombstone_runs"`
+	KickedRuns         int64 `json:"kicked_runs"`
+}
+
+// StageResult is one row of the report: either the idle baseline
+// (Writers == 0) or one writer count of the sweep.
+type StageResult struct {
+	Name            string  `json:"name"`
+	Writers         int     `json:"writers"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Upserts counts durably acknowledged writes; WriteQPS is
+	// Upserts per wall second.
+	Upserts     int64   `json:"upserts"`
+	WriteQPS    float64 `json:"write_qps"`
+	WriteErrors int64   `json:"write_errors"`
+	// Commits/Fsyncs are the group-commit deltas across the stage;
+	// FsyncsPerCommit is their ratio (the coalescing efficiency) and
+	// MaxBatch the largest commit count one fsync covered so far.
+	Commits         int64   `json:"commits"`
+	Fsyncs          int64   `json:"fsyncs"`
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit"`
+	MaxBatch        int64   `json:"max_batch"`
+	// Backpressure deltas: how many writes were paced and how much total
+	// time pacing added.
+	Throttled      int64   `json:"throttled"`
+	HardStalls     int64   `json:"hard_stalls"`
+	ThrottleMillis float64 `json:"throttle_millis"`
+	// Vacuum is the trigger-counter movement across the stage.
+	Vacuum VacuumDelta `json:"vacuum_delta"`
+	// Search-side measurements from the concurrent fleet.
+	SearchQueries int64     `json:"search_queries"`
+	SearchQPS     float64   `json:"search_qps"`
+	SearchErrors  int64     `json:"search_errors"`
+	RecallAtK     float64   `json:"recall_at_k"`
+	Latency       LatencyMS `json:"latency_ms"`
+}
+
+// Scaling is the derived acceptance block: the largest writer count of
+// the sweep compared against the single-writer stage.
+type Scaling struct {
+	BaselineWriters int     `json:"baseline_writers"`
+	PeakWriters     int     `json:"peak_writers"`
+	BaselineQPS     float64 `json:"baseline_write_qps"`
+	PeakQPS         float64 `json:"peak_write_qps"`
+	// Speedup is PeakQPS / BaselineQPS — the group-commit scaling win.
+	Speedup float64 `json:"speedup"`
+	// PeakFsyncsPerCommit is the coalescing ratio at the peak writer
+	// count (approaches 1/batch-size).
+	PeakFsyncsPerCommit float64 `json:"peak_fsyncs_per_commit"`
+}
+
+// Report is the consolidated, schema-versioned output of one run.
+type Report struct {
+	Benchmark     string        `json:"benchmark"`
+	SchemaVersion int           `json:"schema_version"`
+	HostCPUs      int           `json:"host_cpus"`
+	Dataset       DatasetInfo   `json:"dataset"`
+	Stages        []StageResult `json:"stages"`
+	Scaling       *Scaling      `json:"scaling,omitempty"`
+}
+
+// WriteFile serializes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	payload, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return err
+	}
+	//lint:ignore atomicwrite benchmark report artifact, not crash-durable DB state
+	return os.WriteFile(path, append(payload, '\n'), 0o644)
+}
+
+// harness holds the per-run state shared by all stages.
+type harness struct {
+	cfg Config
+	db  *tigervector.DB
+	w   io.Writer
+	ds  *workload.VectorDataset
+	// postIDs maps dataset index -> vertex id; rev is the inverse (the
+	// DB owns id assignment, recall bookkeeping translates back).
+	postIDs []uint64
+	rev     map[uint64]int
+}
+
+// Run executes the idle baseline plus the writer sweep and returns the
+// report. Progress and a human-readable summary go to w.
+func Run(w io.Writer, cfg Config) (rep *Report, err error) {
+	cfg = cfg.withDefaults()
+	dir := cfg.DataDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "tgvbench-ingest-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	ds, err := workload.GenVectors(workload.VectorConfig{
+		Name: "ingest-sift-like", N: cfg.N, Dim: cfg.Dim,
+		NumQueries: cfg.NumQueries, GTK: cfg.K, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &harness{cfg: cfg, w: w, ds: ds}
+	rep = &Report{
+		Benchmark:     "ingest",
+		SchemaVersion: SchemaVersion,
+		HostCPUs:      runtime.NumCPU(),
+		Dataset: DatasetInfo{
+			Name: ds.Name, N: cfg.N, Dim: cfg.Dim, Queries: cfg.NumQueries,
+			K: cfg.K, Ef: cfg.Ef, Seed: cfg.Seed,
+		},
+	}
+	stages := []struct {
+		name    string
+		writers int
+	}{{"search_idle", 0}}
+	for _, writers := range cfg.Writers {
+		if writers <= 0 {
+			return nil, fmt.Errorf("ingest: writer count %d must be > 0", writers)
+		}
+		stages = append(stages, struct {
+			name    string
+			writers int
+		}{fmt.Sprintf("ingest_%dw", writers), writers})
+	}
+	for i, st := range stages {
+		s, err := h.runOnFreshDB(fmt.Sprintf("%s/stage-%d", dir, i), st.name, st.writers)
+		if err != nil {
+			return nil, err
+		}
+		rep.Stages = append(rep.Stages, s)
+	}
+	rep.Scaling = deriveScaling(rep.Stages)
+	h.printSummary(rep)
+	return rep, nil
+}
+
+// runOnFreshDB seeds a new durable DB in dir, runs one stage against
+// it, and tears it down. Identical starting state per stage is what
+// makes the writer sweep a concurrency comparison.
+func (h *harness) runOnFreshDB(dir, name string, writers int) (res StageResult, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return StageResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := h.cfg
+	db, err := tigervector.Open(tigervector.Config{
+		SegmentSize: cfg.SegmentSize,
+		DataDir:     dir,
+		Seed:        cfg.Seed,
+		Durability:  true,
+		GroupCommit: tigervector.GroupCommitConfig{
+			Enabled:       true,
+			MaxDelay:      cfg.GroupCommitDelay,
+			MaxBatchBytes: cfg.GroupCommitBytes,
+		},
+	})
+	if err != nil {
+		return StageResult{}, err
+	}
+	h.db = db
+	defer func() {
+		h.db = nil
+		if cerr := db.Close(); cerr != nil && err == nil {
+			res, err = StageResult{}, fmt.Errorf("ingest bench: close: %w", cerr)
+		}
+	}()
+	if err := h.load(); err != nil {
+		return StageResult{}, err
+	}
+	return h.runStage(name, writers)
+}
+
+// deriveScaling compares the peak writer stage against the lowest one.
+func deriveScaling(stages []StageResult) *Scaling {
+	var base, peak *StageResult
+	for i := range stages {
+		s := &stages[i]
+		if s.Writers == 0 {
+			continue
+		}
+		if base == nil || s.Writers < base.Writers {
+			base = s
+		}
+		if peak == nil || s.Writers > peak.Writers {
+			peak = s
+		}
+	}
+	if base == nil || peak == nil || base == peak {
+		return nil
+	}
+	sc := &Scaling{
+		BaselineWriters:     base.Writers,
+		PeakWriters:         peak.Writers,
+		BaselineQPS:         base.WriteQPS,
+		PeakQPS:             peak.WriteQPS,
+		PeakFsyncsPerCommit: peak.FsyncsPerCommit,
+	}
+	if base.WriteQPS > 0 {
+		sc.Speedup = peak.WriteQPS / base.WriteQPS
+	}
+	return sc
+}
+
+// load seeds the schema and corpus into the current stage DB. Vertices
+// commit through the durable WAL (concurrently, so the load itself
+// exercises group commit); embeddings go through the bulk-load fast
+// path — the sweep measures steady-state upserts, not initial load.
+func (h *harness) load() error {
+	cfg := h.cfg
+	ddl := fmt.Sprintf(`
+CREATE VERTEX Post (id INT PRIMARY KEY, language STRING);
+ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb (
+  DIMENSION = %d, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);`, cfg.Dim)
+	if err := h.db.Exec(ddl); err != nil {
+		return err
+	}
+	start := time.Now()
+	h.postIDs = make([]uint64, cfg.N)
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Loaders)
+	chunk := (cfg.N + cfg.Loaders - 1) / cfg.Loaders
+	for w := 0; w < cfg.Loaders; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > cfg.N {
+			hi = cfg.N
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				id, err := h.db.AddVertex("Post", map[string]any{
+					"id": int64(i), "language": "English"})
+				if err != nil {
+					errCh <- fmt.Errorf("seeding post %d: %w", i, err)
+					return
+				}
+				h.postIDs[i] = id
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	if err := h.db.BulkLoadEmbeddings("Post", "content_emb", h.postIDs, h.ds.Vectors); err != nil {
+		return err
+	}
+	h.rev = make(map[uint64]int, cfg.N)
+	for i, id := range h.postIDs {
+		h.rev[id] = i
+	}
+	// Merge the seed corpus into indexes before measuring, so the idle
+	// baseline is a served-from-index baseline.
+	if err := h.db.Vacuum(); err != nil {
+		return err
+	}
+	fmt.Fprintf(h.w, "seeded %d posts (dim %d, durable WAL, group commit, fresh DB) in %v\n",
+		cfg.N, cfg.Dim, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// searcher accumulates one search goroutine's measurements.
+type searcher struct {
+	hist    bench.Histogram
+	results map[int][]uint64 // query index -> last answered hit ids
+	queries int64
+	errors  int64
+}
+
+// runStage runs one stage: `writers` full-speed re-upserters plus the
+// search fleet, for the configured duration.
+func (h *harness) runStage(name string, writers int) (StageResult, error) {
+	cfg := h.cfg
+	before := h.db.Stats()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+
+	var upserts, writeErrs int64
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for ctx.Err() == nil {
+				i := r.Intn(cfg.N)
+				// Re-upsert the original vector: a durable WAL commit and a
+				// full delta-store/vacuum cycle, with the oracle left exact.
+				if err := h.db.UpsertEmbedding("Post", "content_emb", h.postIDs[i], h.ds.Vectors[i]); err != nil {
+					atomic.AddInt64(&writeErrs, 1)
+					continue
+				}
+				atomic.AddInt64(&upserts, 1)
+			}
+		}(cfg.Seed + 1000 + int64(i))
+	}
+
+	// The paced prober: one goroutine issuing a search every 1/SearchQPS,
+	// recording service time (not queueing from the schedule — a probe
+	// that starts late just starts late). The idle baseline and every
+	// sweep stage see the identical query load, so latency deltas are
+	// attributable to the ingest, not to a changing search mix.
+	prober := &searcher{results: map[int][]uint64{}}
+	nq := len(h.ds.Queries)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(time.Duration(float64(time.Second) / cfg.SearchQPS))
+		defer tick.Stop()
+		for qi := 0; ; qi = (qi + 1) % nq {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+			t0 := time.Now()
+			res, err := h.db.Search(context.Background(), tigervector.Request{
+				Kind: tigervector.TopK, Attrs: []string{"Post.content_emb"},
+				Query: h.ds.Queries[qi], K: cfg.K, Ef: cfg.Ef,
+			})
+			if err != nil {
+				prober.errors++
+				continue
+			}
+			prober.hist.Record(time.Since(t0))
+			prober.queries++
+			ids := make([]uint64, len(res.Hits))
+			for i, hit := range res.Hits {
+				ids[i] = hit.ID
+			}
+			prober.results[qi] = ids
+		}
+	}()
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	after := h.db.Stats()
+
+	merged := prober
+	hist := prober.hist
+	res := StageResult{
+		Name:            name,
+		Writers:         writers,
+		DurationSeconds: elapsed.Seconds(),
+		Upserts:         atomic.LoadInt64(&upserts),
+		WriteQPS:        float64(atomic.LoadInt64(&upserts)) / elapsed.Seconds(),
+		WriteErrors:     atomic.LoadInt64(&writeErrs),
+		Commits:         after.GroupCommit.Commits - before.GroupCommit.Commits,
+		Fsyncs:          after.GroupCommit.Fsyncs - before.GroupCommit.Fsyncs,
+		MaxBatch:        after.GroupCommit.MaxBatch,
+		Throttled:       after.Backpressure.Throttled - before.Backpressure.Throttled,
+		HardStalls:      after.Backpressure.HardStalls - before.Backpressure.HardStalls,
+		ThrottleMillis:  float64(after.Backpressure.ThrottleNanos-before.Backpressure.ThrottleNanos) / 1e6,
+		Vacuum: VacuumDelta{
+			FlushFloorRuns:     after.Vacuum.FlushFloorRuns - before.Vacuum.FlushFloorRuns,
+			FlushVolumeRuns:    after.Vacuum.FlushVolumeRuns - before.Vacuum.FlushVolumeRuns,
+			MergeFloorRuns:     after.Vacuum.MergeFloorRuns - before.Vacuum.MergeFloorRuns,
+			MergeFileRuns:      after.Vacuum.MergeFileRuns - before.Vacuum.MergeFileRuns,
+			MergeTombstoneRuns: after.Vacuum.MergeTombstoneRuns - before.Vacuum.MergeTombstoneRuns,
+			KickedRuns:         after.Vacuum.KickedRuns - before.Vacuum.KickedRuns,
+		},
+		SearchQueries: merged.queries,
+		SearchQPS:     float64(merged.queries) / elapsed.Seconds(),
+		SearchErrors:  merged.errors,
+		RecallAtK:     h.recall(merged.results),
+		Latency: LatencyMS{
+			P50:  ms(hist.Quantile(0.50)),
+			P95:  ms(hist.Quantile(0.95)),
+			P99:  ms(hist.Quantile(0.99)),
+			Mean: ms(hist.Mean()),
+			Max:  ms(hist.Max()),
+		},
+	}
+	if res.Commits > 0 {
+		res.FsyncsPerCommit = float64(res.Fsyncs) / float64(res.Commits)
+	}
+	fmt.Fprintf(h.w, "%-12s writers=%2d wqps=%8.1f fsync/commit=%.3f recall@%d=%.4f p99=%.2fms throttled=%d\n",
+		res.Name, res.Writers, res.WriteQPS, res.FsyncsPerCommit, cfg.K, res.RecallAtK, res.Latency.P99, res.Throttled)
+	return res, nil
+}
+
+// recall computes mean recall@K over the answered queries.
+func (h *harness) recall(results map[int][]uint64) float64 {
+	k := h.cfg.K
+	hits, total := 0, 0
+	for qi, ids := range results {
+		want := make(map[uint64]bool, k)
+		tq := h.ds.GroundTruth[qi]
+		if len(tq) > k {
+			tq = tq[:k]
+		}
+		for _, id := range tq {
+			want[id] = true
+		}
+		n := len(ids)
+		if n > k {
+			n = k
+		}
+		for _, id := range ids[:n] {
+			if dsIdx, ok := h.rev[id]; ok && want[h.ds.IDs[dsIdx]] {
+				hits++
+			}
+		}
+		total += len(tq)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// printSummary renders the report as a table.
+func (h *harness) printSummary(rep *Report) {
+	fmt.Fprintf(h.w, "\n%-12s %7s %10s %8s %14s %8s %8s %7s %9s\n",
+		"stage", "writers", "write_qps", "fsyncs", "fsync/commit", "p50ms", "p99ms", "recall", "throttled")
+	for _, s := range rep.Stages {
+		fmt.Fprintf(h.w, "%-12s %7d %10.1f %8d %14.3f %8.2f %8.2f %7.4f %9d\n",
+			s.Name, s.Writers, s.WriteQPS, s.Fsyncs, s.FsyncsPerCommit,
+			s.Latency.P50, s.Latency.P99, s.RecallAtK, s.Throttled)
+	}
+	if sc := rep.Scaling; sc != nil {
+		fmt.Fprintf(h.w, "\nscaling: %d -> %d writers: %.1f -> %.1f write qps (%.2fx), fsyncs/commit %.3f at peak\n",
+			sc.BaselineWriters, sc.PeakWriters, sc.BaselineQPS, sc.PeakQPS, sc.Speedup, sc.PeakFsyncsPerCommit)
+	}
+}

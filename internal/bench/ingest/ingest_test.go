@@ -1,0 +1,57 @@
+package ingest
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke drives a miniature sweep end to end and checks the report
+// invariants: every stage present, durable commits actually coalesced,
+// the oracle still exact (recall > 0) and the scaling block derived.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ingest bench smoke is seconds-long")
+	}
+	rep, err := Run(io.Discard, Config{
+		N: 512, Dim: 16, NumQueries: 16,
+		Writers:  []int{1, 4},
+		Duration: 300 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != SchemaVersion || rep.Benchmark != "ingest" {
+		t.Fatalf("bad report header: %+v", rep)
+	}
+	if len(rep.Stages) != 3 {
+		t.Fatalf("expected idle + 2 sweep stages, got %d", len(rep.Stages))
+	}
+	idle := rep.Stages[0]
+	if idle.Writers != 0 || idle.Upserts != 0 {
+		t.Fatalf("idle stage wrote: %+v", idle)
+	}
+	if idle.SearchQueries == 0 || idle.RecallAtK < 0.5 {
+		t.Fatalf("idle baseline broken: queries=%d recall=%f", idle.SearchQueries, idle.RecallAtK)
+	}
+	for _, s := range rep.Stages[1:] {
+		if s.Upserts == 0 || s.WriteErrors != 0 {
+			t.Fatalf("stage %s: upserts=%d errors=%d", s.Name, s.Upserts, s.WriteErrors)
+		}
+		if s.Commits < s.Upserts {
+			// Each upsert is one durable commit through the group path.
+			t.Fatalf("stage %s: %d commits < %d upserts", s.Name, s.Commits, s.Upserts)
+		}
+		if s.Fsyncs <= 0 || s.Fsyncs > s.Commits {
+			t.Fatalf("stage %s: implausible fsyncs %d for %d commits", s.Name, s.Fsyncs, s.Commits)
+		}
+		if s.RecallAtK < 0.5 {
+			t.Fatalf("stage %s: recall collapsed to %f under ingest", s.Name, s.RecallAtK)
+		}
+	}
+	sc := rep.Scaling
+	if sc == nil || sc.BaselineWriters != 1 || sc.PeakWriters != 4 || sc.Speedup <= 0 {
+		t.Fatalf("bad scaling block: %+v", sc)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// WriteGovernor is ingest admission control: it keeps the write backlog
+// (committed vector updates the vacuum has not yet folded into index
+// snapshots) bounded by slowing writers down instead of letting
+// unmerged deltas grow without limit and drag every search's
+// brute-force overlay with them.
+//
+// The policy is a two-threshold token-bucket-style delay, not a queue:
+//
+//   - backlog < soft:  admission is free.
+//   - soft..hard:      each write sleeps a delay that scales linearly
+//     from 0 at soft to maxDelay at hard, and the vacuum is kicked so
+//     the backlog drains at merge speed rather than tick speed.
+//   - >= hard:         the write additionally stalls, re-checking the
+//     backlog, until it drops below hard or a bounded patience (10x
+//     maxDelay) runs out. The stall is deliberately bounded: admission
+//     may never deadlock against a wedged vacuum, it only slows until
+//     degradation is visible in the throttle counters.
+//
+// Admit never rejects — it paces. Callers that need load shedding can
+// watch the counters and shed above the stack.
+type WriteGovernor struct {
+	soft     int
+	hard     int
+	maxDelay time.Duration
+	backlog  func() int // measured backlog rows across stores
+	kick     func()     // nudges the vacuum; may be nil
+
+	throttled     atomic.Int64 // writes that paid any delay
+	throttleNanos atomic.Int64 // total paced time
+	hardStalls    atomic.Int64 // writes that hit the hard ceiling
+}
+
+// NewWriteGovernor builds a governor. soft and hard are backlog rows
+// (hard is clamped to at least 2*soft when smaller); maxDelay is the
+// per-write pacing ceiling.
+func NewWriteGovernor(soft, hard int, maxDelay time.Duration, backlog func() int, kick func()) *WriteGovernor {
+	if soft <= 0 {
+		soft = 32768
+	}
+	if hard <= soft {
+		hard = 2 * soft
+	}
+	if maxDelay <= 0 {
+		maxDelay = 20 * time.Millisecond
+	}
+	return &WriteGovernor{soft: soft, hard: hard, maxDelay: maxDelay, backlog: backlog, kick: kick}
+}
+
+// Limits returns the configured soft and hard backlog thresholds.
+func (g *WriteGovernor) Limits() (soft, hard int) { return g.soft, g.hard }
+
+// Admit paces one write according to the current backlog. It must be
+// called without locks held: it can sleep up to ~11x maxDelay.
+func (g *WriteGovernor) Admit() {
+	b := g.backlog()
+	if b < g.soft {
+		return
+	}
+	start := time.Now()
+	g.throttled.Add(1)
+	if g.kick != nil {
+		g.kick()
+	}
+	frac := float64(b-g.soft) / float64(g.hard-g.soft)
+	if frac > 1 {
+		frac = 1
+	}
+	if d := time.Duration(frac * float64(g.maxDelay)); d > 0 {
+		time.Sleep(d)
+	}
+	if b >= g.hard {
+		g.hardStalls.Add(1)
+		poll := g.maxDelay / 8
+		if poll < time.Millisecond {
+			poll = time.Millisecond
+		}
+		deadline := start.Add(10 * g.maxDelay)
+		for g.backlog() >= g.hard && time.Now().Before(deadline) {
+			time.Sleep(poll)
+		}
+	}
+	g.throttleNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// GovernorStats is a snapshot of the governor's throttle counters.
+type GovernorStats struct {
+	Throttled     int64 // writes that paid any pacing delay
+	HardStalls    int64 // writes that hit the hard backlog ceiling
+	ThrottleNanos int64 // total time writes spent paced
+}
+
+// Stats snapshots the counters.
+func (g *WriteGovernor) Stats() GovernorStats {
+	return GovernorStats{
+		Throttled:     g.throttled.Load(),
+		HardStalls:    g.hardStalls.Load(),
+		ThrottleNanos: g.throttleNanos.Load(),
+	}
+}

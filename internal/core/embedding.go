@@ -69,6 +69,7 @@ type EmbeddingStore struct {
 	deltas  *txn.DeltaStore
 	files   *txn.DeltaFileSet
 	flushMu sync.Mutex // serializes delta merge (flush) operations
+	mergeMu sync.Mutex // serializes index merge passes (background vacuum vs manual Vacuum)
 	flushed txn.TID    // guarded by mu — deltas with TID <= flushed are persisted in files
 
 	active *ActiveTracker
@@ -185,6 +186,27 @@ func (s *EmbeddingStore) Watermark() txn.TID {
 
 // PendingDeltas returns the count of in-memory (unflushed) deltas.
 func (s *EmbeddingStore) PendingDeltas() int { return s.deltas.Len() }
+
+// PendingDeltaBytes returns the estimated resident size of the
+// in-memory (unflushed) deltas; the adaptive flush trigger watches it.
+func (s *EmbeddingStore) PendingDeltaBytes() int64 { return s.deltas.Bytes() }
+
+// DeltaFileRows returns the number of records sitting in flushed delta
+// files that the index merge has not yet consumed. Together with
+// PendingDeltas it is the store's write backlog: everything committed
+// but not yet folded into an index snapshot.
+func (s *EmbeddingStore) DeltaFileRows() int {
+	rows := 0
+	for _, f := range s.files.Files() {
+		rows += f.Rows
+	}
+	return rows
+}
+
+// Backlog returns the store's total unmerged write volume in rows:
+// in-memory deltas plus flushed-but-unmerged delta file records. The
+// write governor throttles admission against this.
+func (s *EmbeddingStore) Backlog() int { return s.PendingDeltas() + s.DeltaFileRows() }
 
 // ActiveQueries returns the number of snapshot registrations currently
 // held against this store (queries between BeginSearch and Close).
@@ -324,9 +346,21 @@ func (s *EmbeddingStore) BulkLoad(ids []uint64, vecs [][]float32, threads int, a
 // up to the newest committed one and persists them as a delta file. It
 // returns the number of records flushed.
 func (s *EmbeddingStore) FlushDeltas() (int, error) {
+	return s.FlushDeltasUpTo(s.deltas.MaxTID())
+}
+
+// FlushDeltasUpTo flushes at most the deltas with TID <= upTo. The
+// vacuum clamps upTo to the manager's visible TID: with group commit, a
+// delta can sit in the store before its fsync completes, and flushing
+// it would let the index watermark overtake the published snapshot —
+// a query at the visible TID could then see a commit that was never
+// acknowledged (and may not survive a crash).
+func (s *EmbeddingStore) FlushDeltasUpTo(upTo txn.TID) (int, error) {
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
-	upTo := s.deltas.MaxTID()
+	if max := s.deltas.MaxTID(); upTo > max {
+		upTo = max
+	}
 	s.mu.RLock()
 	from := s.flushed
 	s.mu.RUnlock()
@@ -361,7 +395,14 @@ func (s *EmbeddingStore) FlushDeltas() (int, error) {
 // files to the segment indexes and embedding segments with `threads`
 // workers, advances the watermark, and deletes consumed delta files once
 // no running query can need them. Returns the number of records merged.
+//
+// Passes are serialized on mergeMu: the background vacuum, a manual
+// Vacuum()/Drain and Stop's final pass may all call this concurrently,
+// and two interleaved passes over the same (watermark, flushed] window
+// would re-read and re-apply the same delta files.
 func (s *EmbeddingStore) MergeIndex(threads int) (int, error) {
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
 	s.mu.RLock()
 	from := s.watermark
 	upTo := s.flushed

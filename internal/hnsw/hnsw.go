@@ -22,6 +22,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -721,6 +722,12 @@ type Item struct {
 // owns a disjoint subset of ids (id % threads) so per-id order is preserved,
 // matching the paper's parallel index building ("each update thread works
 // on a subset of ids to maintain record order").
+//
+// Each insert costs hundreds of microseconds of pure CPU, so a large
+// batch would otherwise hold its P for whole preemption quanta; the
+// background vacuum runs these batches while group-commit leaders and
+// searches need the same cores, so workers yield between items to keep
+// foreground wakeups prompt on low-GOMAXPROCS machines.
 func (g *Graph) UpdateItems(items []Item, threads int) error {
 	if threads <= 1 || len(items) < 2 {
 		for _, it := range items {
@@ -729,6 +736,7 @@ func (g *Graph) UpdateItems(items []Item, threads int) error {
 			} else if err := g.Add(it.ID, it.Vec); err != nil {
 				return err
 			}
+			runtime.Gosched()
 		}
 		return nil
 	}
@@ -748,6 +756,7 @@ func (g *Graph) UpdateItems(items []Item, threads int) error {
 					errCh <- err
 					return
 				}
+				runtime.Gosched()
 			}
 		}(w)
 	}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -451,12 +452,19 @@ type Item struct {
 
 // UpdateItems applies items; id-sharded workers preserve per-id order.
 func (x *Index) UpdateItems(items []Item, threads int) error {
+	// Yield periodically so a large vacuum batch does not pin its P for
+	// whole preemption quanta while foreground commits and searches wait
+	// (IVF inserts are cheap, so a per-item yield would be pure overhead).
+	const yieldEvery = 64
 	if threads <= 1 || len(items) < 2 {
-		for _, it := range items {
+		for i, it := range items {
 			if it.Delete {
 				x.Delete(it.ID)
 			} else if err := x.Add(it.ID, it.Vec); err != nil {
 				return err
+			}
+			if (i+1)%yieldEvery == 0 {
+				runtime.Gosched()
 			}
 		}
 		return nil
@@ -467,6 +475,7 @@ func (x *Index) UpdateItems(items []Item, threads int) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			done := 0
 			for _, it := range items {
 				if it.ID%uint64(threads) != uint64(w) {
 					continue
@@ -476,6 +485,9 @@ func (x *Index) UpdateItems(items []Item, threads int) error {
 				} else if err := x.Add(it.ID, it.Vec); err != nil {
 					errCh <- err
 					return
+				}
+				if done++; done%yieldEvery == 0 {
+					runtime.Gosched()
 				}
 			}
 		}(w)

@@ -20,6 +20,11 @@ type DeltaFile struct {
 	Path string
 	From TID // exclusive
 	To   TID // inclusive
+	// Rows is the record count the file was written with. It is
+	// registry-only metadata (not part of the on-disk format): the
+	// adaptive merge trigger and write backpressure use it to measure
+	// the flushed-but-unmerged backlog without re-reading files.
+	Rows int
 }
 
 const deltaFileMagic = uint32(0x54475644) // "TGVD"
@@ -125,7 +130,7 @@ func (s *DeltaFileSet) Flush(deltas []VectorDelta, from, to TID) (DeltaFile, err
 	if err := writeDeltaFileAtomic(path, deltas); err != nil {
 		return DeltaFile{}, err
 	}
-	df := DeltaFile{Path: path, From: from, To: to}
+	df := DeltaFile{Path: path, From: from, To: to, Rows: len(deltas)}
 	s.mu.Lock()
 	s.files = append(s.files, df)
 	sort.Slice(s.files, func(i, j int) bool { return s.files[i].To < s.files[j].To })

@@ -1,0 +1,191 @@
+package txn
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// syncCountingFile wraps a file and counts fsyncs, so tests can assert
+// how many syscalls a commit pattern paid.
+type syncCountingFile struct {
+	f     *os.File
+	syncs atomic.Int64
+}
+
+func (s *syncCountingFile) Write(p []byte) (int, error) { return s.f.Write(p) }
+func (s *syncCountingFile) Sync() error {
+	s.syncs.Add(1)
+	return s.f.Sync()
+}
+
+func newCountingWAL(t *testing.T) (*WAL, *syncCountingFile, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	cf := &syncCountingFile{f: f}
+	w := NewWAL(cf)
+	if err := w.SetSync(true); err != nil {
+		t.Fatal(err)
+	}
+	return w, cf, path
+}
+
+func TestGroupCommitCoalescesFsyncs(t *testing.T) {
+	w, cf, path := newCountingWAL(t)
+	m := NewManager(nil, w)
+	m.EnableGroupCommit(GroupCommitConfig{MaxDelay: 2 * time.Millisecond})
+
+	const writers, perWriter = 8, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*perWriter)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				tx := m.Begin()
+				tx.StageGraphOp(&GraphOp{Kind: OpAddVertex, Type: "T", ID: uint64(i*perWriter + j)}, func() error { return nil })
+				if _, err := tx.Commit(); err != nil {
+					errs <- err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("commit: %v", err)
+	}
+
+	total := int64(writers * perWriter)
+	if got := uint64(m.Visible()); got != uint64(total) {
+		t.Fatalf("visible TID = %d, want %d", got, total)
+	}
+	gs := m.GroupCommitStats()
+	if gs.Commits != total {
+		t.Fatalf("group commits = %d, want %d", gs.Commits, total)
+	}
+	if gs.Fsyncs != cf.syncs.Load() {
+		t.Fatalf("stats fsyncs %d != observed %d", gs.Fsyncs, cf.syncs.Load())
+	}
+	if gs.Fsyncs >= total {
+		t.Fatalf("no coalescing: %d fsyncs for %d commits", gs.Fsyncs, total)
+	}
+
+	// The log must replay as a dense, ordered TID sequence.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	var want TID
+	if err := ReplayWAL(f, func(tid TID, _ []StagedVector, _ []GraphOp) error {
+		want++
+		if tid != want {
+			return fmt.Errorf("record tid %d, want %d", tid, want)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want != TID(total) {
+		t.Fatalf("replayed %d records, want %d", want, total)
+	}
+}
+
+// TestGroupCommitWALByteCompatible proves the batching changes no bytes:
+// the same commit sequence produces an identical log in per-commit-fsync
+// mode and in group mode (replication ships these bytes verbatim).
+func TestGroupCommitWALByteCompatible(t *testing.T) {
+	run := func(group bool) []byte {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWAL(f)
+		if err := w.SetSync(true); err != nil {
+			t.Fatal(err)
+		}
+		m := NewManager(nil, w)
+		if group {
+			m.EnableGroupCommit(GroupCommitConfig{MaxDelay: 100 * time.Microsecond})
+		}
+		for i := 0; i < 10; i++ {
+			tx := m.Begin()
+			tx.StageVector(StagedVector{AttrKey: "Post.emb", Action: Upsert, ID: uint64(i), Vec: []float32{float32(i), 2}})
+			tx.StageGraphOp(&GraphOp{Kind: OpSetAttr, Type: "Post", ID: uint64(i),
+				Attrs: []GraphAttr{{Name: "n", Value: int64(i)}}}, func() error { return nil })
+			if _, err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	plain, grouped := run(false), run(true)
+	if !bytes.Equal(plain, grouped) {
+		t.Fatalf("WAL byte streams diverge: plain %d bytes, grouped %d bytes", len(plain), len(grouped))
+	}
+}
+
+// failingSyncWriter accepts writes but fails fsync, simulating a dying
+// disk under the group committer.
+type failingSyncWriter struct{ bytes.Buffer }
+
+func (f *failingSyncWriter) Sync() error { return errors.New("disk on fire") }
+
+func TestGroupCommitFsyncFailurePoisonsManager(t *testing.T) {
+	w := NewWAL(&failingSyncWriter{})
+	if err := w.SetSync(true); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(nil, w)
+	m.EnableGroupCommit(GroupCommitConfig{MaxDelay: 100 * time.Microsecond})
+
+	tx := m.Begin()
+	tx.StageGraphOp(&GraphOp{Kind: OpAddVertex, Type: "T", ID: 1}, func() error { return nil })
+	if _, err := tx.Commit(); err == nil {
+		t.Fatal("commit acked through a failed fsync")
+	}
+	if m.Visible() != 0 {
+		t.Fatalf("failed batch published TID %d", m.Visible())
+	}
+	if m.Poisoned() == nil {
+		t.Fatal("manager not poisoned after group fsync failure")
+	}
+	tx2 := m.Begin()
+	if _, err := tx2.Commit(); err == nil {
+		t.Fatal("poisoned manager accepted a commit")
+	}
+}
+
+func TestSetSyncRejectsNonSyncableWriter(t *testing.T) {
+	w := NewWAL(&bytes.Buffer{})
+	if err := w.SetSync(true); err == nil {
+		t.Fatal("SetSync(true) on a buffer succeeded; commits would silently lose durability")
+	}
+	if w.SyncEnabled() {
+		t.Fatal("sync reported enabled after rejected SetSync")
+	}
+	if err := w.SetSync(false); err != nil {
+		t.Fatalf("SetSync(false) = %v", err)
+	}
+}

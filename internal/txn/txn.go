@@ -20,6 +20,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // TID is a transaction id. TID 0 means "empty database".
@@ -73,18 +74,209 @@ type VectorApplier interface {
 
 // Manager allocates TIDs, serializes commits (the atomic commit protocol)
 // and tracks the highest committed-and-visible TID.
+//
+// With group commit enabled, `assigned` can run ahead of `committed`:
+// a transaction's TID is assigned (and its in-memory effects applied)
+// under the commit lock, but the TID only publishes as visible once a
+// shared fsync has made its WAL record durable.
 type Manager struct {
 	mu        sync.Mutex // commit lock: one transaction applies at a time
 	committed atomic.Uint64
+	assigned  uint64 // guarded by mu — highest TID handed to a commit (>= committed)
 	applier   VectorApplier
 	wal       *WAL
-	poisoned  error // guarded by mu — set when in-memory state diverged from the log
+	poisoned  error           // guarded by mu — set when in-memory state diverged from the log
+	gc        *groupCommitter // nil when group commit is off
 }
 
 // NewManager creates a manager. applier may be nil (vector deltas are then
 // dropped, useful for graph-only tests); wal may be nil (no durability).
 func NewManager(applier VectorApplier, wal *WAL) *Manager {
 	return &Manager{applier: applier, wal: wal}
+}
+
+// GroupCommitConfig opts the manager into fsync coalescing: concurrent
+// commits whose records were appended within one latency budget share a
+// single fsync. The WAL byte stream is unchanged — records are still
+// written one by one, in TID order, under the commit lock — only the
+// fsync (and the visibility publish that follows it) is batched.
+type GroupCommitConfig struct {
+	// MaxDelay is how long the fsync leader lingers for more commits to
+	// join the batch before syncing. It bounds the extra commit latency
+	// a write can pay for batching. Default 1ms.
+	MaxDelay time.Duration
+	// MaxBatchBytes syncs the batch early once this many unsynced WAL
+	// bytes have accumulated, capping both batch memory and the data
+	// lost if the fsync fails. Default 1 MiB.
+	MaxBatchBytes int
+}
+
+func (c GroupCommitConfig) withDefaults() GroupCommitConfig {
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = time.Millisecond
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 1 << 20
+	}
+	return c
+}
+
+// GroupCommitStats counts group-commit activity since EnableGroupCommit.
+type GroupCommitStats struct {
+	// Commits is the number of commits acknowledged through the group
+	// path; Fsyncs the number of fsync syscalls that covered them. Their
+	// ratio is the amortization: Fsyncs/Commits → 1/batch-size.
+	Commits int64
+	Fsyncs  int64
+	// MaxBatch is the largest number of commits released by one fsync.
+	MaxBatch int64
+}
+
+// EnableGroupCommit switches the manager to coalesced fsyncs. Call once,
+// before the first Commit; it has no effect when the manager has no WAL.
+func (m *Manager) EnableGroupCommit(cfg GroupCommitConfig) {
+	if m.wal == nil {
+		return
+	}
+	cfg = cfg.withDefaults()
+	g := &groupCommitter{maxDelay: cfg.MaxDelay, maxBytes: cfg.MaxBatchBytes, kick: make(chan struct{}, 1)}
+	g.cond = sync.NewCond(&g.mu)
+	m.gc = g
+}
+
+// GroupCommitEnabled reports whether coalesced fsyncs are configured.
+func (m *Manager) GroupCommitEnabled() bool { return m.gc != nil }
+
+// GroupCommitStats reports group-commit counters; the zero value when
+// group commit is off.
+func (m *Manager) GroupCommitStats() GroupCommitStats {
+	if m.gc == nil {
+		return GroupCommitStats{}
+	}
+	return GroupCommitStats{
+		Commits:  m.gc.commits.Load(),
+		Fsyncs:   m.gc.fsyncs.Load(),
+		MaxBatch: m.gc.maxBatch.Load(),
+	}
+}
+
+// groupCommitter is the leader/follower fsync coalescer. The first
+// commit to find no leader becomes one: it lingers up to maxDelay (cut
+// short when maxBytes of unsynced records accumulate), fsyncs the WAL
+// once, publishes the covered TID prefix as visible and releases every
+// waiter at or below it. Commits arriving while a leader is syncing
+// wait; one of them leads the next round, so batch size self-scales
+// with arrival rate.
+type groupCommitter struct {
+	maxDelay time.Duration
+	maxBytes int
+
+	mu        sync.Mutex
+	cond      *sync.Cond    // signals synced/err advances and leadership handoff
+	appended  TID           // guarded by mu — highest TID written to the WAL
+	synced    TID           // guarded by mu — highest TID covered by a completed fsync
+	pending   int           // guarded by mu — record bytes appended since the last fsync
+	syncing   bool          // guarded by mu — a leader owns the current batch
+	lingering bool          // guarded by mu — leader is waiting out its latency budget
+	err       error         // guarded by mu — sticky fsync failure; manager poisons too
+	kick      chan struct{} // wakes a lingering leader when pending >= maxBytes
+
+	commits  atomic.Int64 // guarded by atomic — total commits through the group path
+	fsyncs   atomic.Int64 // guarded by atomic — fsyncs issued (= batches)
+	maxBatch atomic.Int64 // guarded by atomic — largest commits-per-fsync batch so far
+}
+
+// noteAppend registers one appended record. It is called under the
+// manager's commit lock, so TIDs arrive here in append (= TID) order.
+func (g *groupCommitter) noteAppend(tid TID, bytes int) {
+	g.mu.Lock()
+	g.appended = tid
+	g.pending += bytes
+	wake := g.lingering && g.pending >= g.maxBytes
+	g.mu.Unlock()
+	if wake {
+		select {
+		case g.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// waitDurable blocks until tid's WAL record is covered by an fsync,
+// leading a batch itself if no other commit is. On fsync failure every
+// current and future waiter gets the sticky error and m poisons: the
+// batch's in-memory effects are applied but their durability is
+// unknown, so acknowledging any of them would be a lie.
+func (g *groupCommitter) waitDurable(tid TID, l *WAL, m *Manager) error {
+	g.mu.Lock()
+	for g.err == nil && g.synced < tid && g.syncing {
+		g.cond.Wait()
+	}
+	if g.err != nil {
+		defer g.mu.Unlock()
+		return g.err
+	}
+	if g.synced >= tid {
+		g.mu.Unlock()
+		return nil
+	}
+	// Leader: linger for followers, then fsync the whole unsynced prefix.
+	g.syncing = true
+	if g.maxDelay > 0 && g.pending < g.maxBytes {
+		g.lingering = true
+		g.mu.Unlock()
+		t := time.NewTimer(g.maxDelay)
+		select {
+		case <-t.C:
+		case <-g.kick:
+			t.Stop()
+		}
+		g.mu.Lock()
+		g.lingering = false
+		select { // drop a kick that raced the timer; it belongs to this round
+		case <-g.kick:
+		default:
+		}
+	}
+	target := g.appended
+	covered := g.pending
+	g.mu.Unlock()
+
+	err := l.Sync()
+
+	g.mu.Lock()
+	g.syncing = false
+	if err != nil {
+		g.err = fmt.Errorf("txn: group commit fsync: %w", err)
+		g.cond.Broadcast()
+		g.mu.Unlock()
+		m.poisonGroup(g.err)
+		return g.err
+	}
+	released := int64(target - g.synced)
+	g.synced = target
+	g.pending -= covered
+	g.fsyncs.Add(1)
+	g.commits.Add(released)
+	if released > g.maxBatch.Load() {
+		g.maxBatch.Store(released)
+	}
+	// Durable first, visible second: publish the whole synced prefix.
+	m.Recover(target)
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	return nil
+}
+
+// poisonGroup marks the manager poisoned after a group fsync failure:
+// the batch's transactions are applied in memory but the log's state is
+// unknown, so memory and log may have diverged.
+func (m *Manager) poisonGroup(err error) {
+	m.mu.Lock()
+	if m.poisoned == nil {
+		m.poisoned = fmt.Errorf("txn: group fsync left durability unknown, reopen required: %w", err)
+	}
+	m.mu.Unlock()
 }
 
 // Visible returns the highest committed TID. Queries should snapshot this
@@ -169,6 +361,12 @@ var ErrTxnDone = errors.New("txn: transaction already finished")
 // state (an un-rollbackable partial apply), the manager poisons itself:
 // memory and log have diverged, so further commits are refused until the
 // database is reopened and rebuilt from the log.
+//
+// With group commit enabled the apply + WAL write still run under the
+// commit lock (so the on-disk record stream is identical, byte for
+// byte, to the one-fsync-per-commit mode), but Commit releases the lock
+// before waiting on the shared fsync — the TID publishes as visible,
+// and Commit returns, only once that fsync covers the record.
 func (t *Txn) Commit() (TID, error) {
 	if t.done {
 		return 0, ErrTxnDone
@@ -176,11 +374,14 @@ func (t *Txn) Commit() (TID, error) {
 	t.done = true
 	m := t.m
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.poisoned != nil {
+		defer m.mu.Unlock()
 		return 0, m.poisoned
 	}
-	tid := TID(m.committed.Load() + 1)
+	if base := m.committed.Load(); m.assigned < base {
+		m.assigned = base // Recover (replay, replicas) advanced committed directly
+	}
+	tid := TID(m.assigned + 1)
 
 	applied := 0 // graph ops + vector deltas already applied in memory
 	poison := func(stage string, err error) {
@@ -191,6 +392,7 @@ func (t *Txn) Commit() (TID, error) {
 	for _, op := range t.graphOps {
 		if err := op(); err != nil {
 			poison("graph apply", err)
+			m.mu.Unlock()
 			return 0, fmt.Errorf("txn: graph op failed, transaction aborted: %w", err)
 		}
 		applied++
@@ -200,18 +402,40 @@ func (t *Txn) Commit() (TID, error) {
 			d := VectorDelta{Action: v.Action, ID: v.ID, TID: tid, Vec: v.Vec}
 			if err := m.applier.ApplyVectorDelta(v.AttrKey, d); err != nil {
 				poison("vector apply", err)
+				m.mu.Unlock()
 				return 0, fmt.Errorf("txn: vector apply failed, transaction aborted: %w", err)
 			}
 			applied++
 		}
 	}
+	group := m.gc != nil && m.wal != nil && m.wal.SyncEnabled()
 	if m.wal != nil {
-		if err := m.wal.Append(tid, t.vectors, t.graphRecs); err != nil {
+		var n int
+		var err error
+		if group {
+			n, err = m.wal.AppendNoSync(tid, t.vectors, t.graphRecs)
+		} else {
+			err = m.wal.Append(tid, t.vectors, t.graphRecs)
+		}
+		if err != nil {
 			poison("wal append", err)
+			m.mu.Unlock()
 			return 0, fmt.Errorf("txn: wal append: %w", err)
 		}
+		if group {
+			m.gc.noteAppend(tid, n)
+		}
 	}
-	m.committed.Store(uint64(tid))
+	m.assigned = uint64(tid)
+	if !group {
+		m.committed.Store(uint64(tid))
+		m.mu.Unlock()
+		return tid, nil
+	}
+	m.mu.Unlock()
+	if err := m.gc.waitDurable(tid, m.wal, m); err != nil {
+		return 0, err
+	}
 	return tid, nil
 }
 
@@ -238,15 +462,23 @@ func (t *Txn) Abort() error {
 type DeltaStore struct {
 	mu     sync.RWMutex
 	deltas []VectorDelta // guarded by mu
+	bytes  int64         // guarded by mu — estimated resident bytes of deltas
 }
 
 // NewDeltaStore returns an empty store.
 func NewDeltaStore() *DeltaStore { return &DeltaStore{} }
 
+// deltaBytes estimates one record's resident footprint: the vector data
+// plus the fixed header fields (action, id, tid). It feeds the adaptive
+// flush trigger and backpressure accounting, so it only needs to be
+// proportional, not exact.
+func deltaBytes(d VectorDelta) int64 { return int64(4*len(d.Vec)) + 17 }
+
 // Append adds a committed delta. TIDs must be non-decreasing.
 func (s *DeltaStore) Append(d VectorDelta) {
 	s.mu.Lock()
 	s.deltas = append(s.deltas, d)
+	s.bytes += deltaBytes(d)
 	s.mu.Unlock()
 }
 
@@ -255,6 +487,13 @@ func (s *DeltaStore) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.deltas)
+}
+
+// Bytes returns the estimated resident size of the buffered deltas.
+func (s *DeltaStore) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
 }
 
 // MaxTID returns the TID of the newest delta, or 0.
@@ -288,6 +527,7 @@ func (s *DeltaStore) DrainUpTo(upto TID) []VectorDelta {
 	defer s.mu.Unlock()
 	i := 0
 	for i < len(s.deltas) && s.deltas[i].TID <= upto {
+		s.bytes -= deltaBytes(s.deltas[i])
 		i++
 	}
 	out := s.deltas[:i:i]
@@ -368,13 +608,26 @@ func NewWAL(w io.Writer) *WAL { return &WAL{w: w} }
 // syncer is the subset of *os.File the WAL needs for durability.
 type syncer interface{ Sync() error }
 
-// SetSync enables (or disables) fsync-per-append. It is a no-op when the
-// underlying writer cannot sync.
-func (l *WAL) SetSync(on bool) {
+// SetSync enables (or disables) fsync-per-append. Requesting sync on a
+// writer that cannot sync is an error: silently degrading would let the
+// WAL acknowledge commits durability was promised for but never
+// provided (a buffer-backed WAL in a test, or an exotic writer in
+// production, would ack power-loss-durable commits that aren't).
+func (l *WAL) SetSync(on bool) error {
 	l.mu.Lock()
-	_, can := l.w.(syncer)
-	l.sync = on && can
-	l.mu.Unlock()
+	defer l.mu.Unlock()
+	if _, can := l.w.(syncer); on && !can {
+		return fmt.Errorf("txn: wal writer %T cannot fsync; sync mode would ack non-durable commits", l.w)
+	}
+	l.sync = on
+	return nil
+}
+
+// SyncEnabled reports whether appends fsync before returning.
+func (l *WAL) SyncEnabled() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sync
 }
 
 // Sync flushes the underlying writer to stable storage if it supports it;
@@ -422,11 +675,33 @@ func (l *WAL) Append(tid TID, vectors []StagedVector, ops []*GraphOp) error {
 		return err
 	}
 	if l.sync {
-		if s, ok := l.w.(syncer); ok {
-			return s.Sync()
+		// SetSync proved the writer syncs, so this assertion cannot fail;
+		// it stays as defense in depth against a swapped writer.
+		s, ok := l.w.(syncer)
+		if !ok {
+			return fmt.Errorf("txn: wal writer %T lost sync support with sync mode on", l.w)
 		}
+		return s.Sync()
 	}
 	return nil
+}
+
+// AppendNoSync writes one commit record without fsyncing, returning the
+// record's byte length. The group committer uses it: records are still
+// written one at a time in TID order (the byte stream is identical to
+// Append's), but durability comes from a later shared WAL.Sync covering
+// the whole batch. Callers must not acknowledge the commit until then.
+func (l *WAL) AppendNoSync(tid TID, vectors []StagedVector, ops []*GraphOp) (int, error) {
+	b, err := encodeRecord(tid, vectors, ops)
+	if err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(b); err != nil {
+		return 0, err
+	}
+	return len(b), nil
 }
 
 // EncodeRecord serializes one commit record in the exact WAL byte format,

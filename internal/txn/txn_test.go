@@ -452,7 +452,9 @@ func TestWALSyncOnFile(t *testing.T) {
 	}
 	defer func() { _ = f.Close() }()
 	w := NewWAL(f)
-	w.SetSync(true)
+	if err := w.SetSync(true); err != nil {
+		t.Fatal(err)
+	}
 	if err := w.Append(1, nil, []*GraphOp{{Kind: OpAddVertex, Type: "T", ID: 1}}); err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/txn"
 )
 
 // LoadMonitor reports foreground load as a fraction in [0, 1]; 1 means
@@ -34,17 +35,49 @@ type LoadFunc func() float64
 func (f LoadFunc) Load() float64 { return f() }
 
 // Options configures a vacuum Manager.
+//
+// The background processes are adaptive: the intervals are only a floor
+// cadence (the maximum time between passes), while the threshold fields
+// fire a pass early as soon as measured state — pending delta volume,
+// delta-file backlog, tombstone ratio — says there is enough work. A
+// write burst therefore gets flushed and merged at burst speed instead
+// of waiting out a wall-clock tick sized for the idle case.
 type Options struct {
-	// FlushInterval is the delta merge period. Default 50ms.
+	// FlushInterval is the delta merge floor period. Default 50ms.
 	FlushInterval time.Duration
-	// MergeInterval is the index merge period. Default 200ms.
+	// MergeInterval is the index merge floor period. Default 200ms.
 	MergeInterval time.Duration
+	// CheckInterval is how often the adaptive triggers evaluate the
+	// measured state between floor ticks. Default FlushInterval/8,
+	// clamped to [1ms, 10ms].
+	CheckInterval time.Duration
+	// FlushPendingRows triggers an early flush once any store buffers at
+	// least this many unflushed deltas. Default 2048; negative disables.
+	FlushPendingRows int
+	// FlushPendingBytes triggers an early flush once any store buffers
+	// at least this many estimated delta bytes. Default 4 MiB; negative
+	// disables.
+	FlushPendingBytes int64
+	// MergeDeltaFiles triggers an early index merge once any store has
+	// at least this many unmerged delta files. Default 4; negative
+	// disables.
+	MergeDeltaFiles int
+	// MergeTombstoneRatio triggers an early merge pass once any store's
+	// worst per-segment tombstone fraction reaches it, so rebuilds run
+	// when the garbage accumulates rather than on the next tick.
+	// Default RebuildThreshold; negative disables.
+	MergeTombstoneRatio float64
 	// MaxThreads bounds index merge parallelism. Default 4.
 	MaxThreads int
 	// MinThreads is the floor under full foreground load. Default 1.
 	MinThreads int
 	// Monitor supplies foreground load; nil means always idle.
 	Monitor LoadMonitor
+	// Visible reports the highest published (durable) TID; non-nil
+	// clamps delta flushes to it so group-commit records whose fsync is
+	// still in flight never reach the index ahead of the snapshot they
+	// will publish under. Nil flushes everything in the delta stores.
+	Visible func() uint64
 	// RebuildThreshold is the tombstone fraction above which a segment is
 	// rebuilt instead of incrementally updated. The paper's Fig. 11 puts
 	// the crossover near 20%. Default 0.2; set negative to disable.
@@ -58,6 +91,24 @@ func (o Options) withDefaults() Options {
 	if o.MergeInterval <= 0 {
 		o.MergeInterval = 200 * time.Millisecond
 	}
+	if o.CheckInterval <= 0 {
+		o.CheckInterval = o.FlushInterval / 8
+		if o.CheckInterval < time.Millisecond {
+			o.CheckInterval = time.Millisecond
+		}
+		if o.CheckInterval > 10*time.Millisecond {
+			o.CheckInterval = 10 * time.Millisecond
+		}
+	}
+	if o.FlushPendingRows == 0 {
+		o.FlushPendingRows = 2048
+	}
+	if o.FlushPendingBytes == 0 {
+		o.FlushPendingBytes = 4 << 20
+	}
+	if o.MergeDeltaFiles == 0 {
+		o.MergeDeltaFiles = 4
+	}
 	if o.MaxThreads <= 0 {
 		o.MaxThreads = 4
 	}
@@ -67,10 +118,17 @@ func (o Options) withDefaults() Options {
 	if o.RebuildThreshold == 0 {
 		o.RebuildThreshold = 0.2
 	}
+	if o.MergeTombstoneRatio == 0 {
+		o.MergeTombstoneRatio = o.RebuildThreshold
+	}
 	return o
 }
 
-// Stats counts vacuum activity.
+// Stats counts vacuum activity, including why each background pass ran:
+// the floor tick, a measured-state trigger, or a backpressure kick. The
+// trigger counters cover background passes only — direct FlushOnce/
+// MergeOnce calls (Drain, Stop, manual Vacuum) count in FlushRuns and
+// MergeRuns but name no trigger.
 type Stats struct {
 	FlushRuns     atomic.Int64
 	FlushedDeltas atomic.Int64
@@ -78,6 +136,19 @@ type Stats struct {
 	MergedDeltas  atomic.Int64
 	Rebuilds      atomic.Int64
 	Errors        atomic.Int64
+
+	// FlushFloor / MergeFloor: passes run by the interval floor tick.
+	FlushFloor atomic.Int64
+	MergeFloor atomic.Int64
+	// FlushVolume: flushes triggered by pending delta rows or bytes.
+	FlushVolume atomic.Int64
+	// MergeFiles: merges triggered by the delta-file backlog.
+	MergeFiles atomic.Int64
+	// MergeTombstone: merges triggered by the per-segment tombstone
+	// ratio crossing MergeTombstoneRatio.
+	MergeTombstone atomic.Int64
+	// MergeKicked: flush+merge passes forced by a backpressure Kick.
+	MergeKicked atomic.Int64
 }
 
 // Manager drives the two vacuum processes for every store of an embedding
@@ -86,6 +157,7 @@ type Manager struct {
 	svc   *core.Service
 	opts  Options
 	stats Stats
+	kick  chan struct{} // buffered(1): backpressure nudges an immediate flush+merge
 
 	mu      sync.Mutex
 	cancel  context.CancelFunc
@@ -95,7 +167,19 @@ type Manager struct {
 
 // NewManager creates a vacuum manager over svc.
 func NewManager(svc *core.Service, opts Options) *Manager {
-	return &Manager{svc: svc, opts: opts.withDefaults()}
+	return &Manager{svc: svc, opts: opts.withDefaults(), kick: make(chan struct{}, 1)}
+}
+
+// Kick asks the background merge process to run a flush+merge pass now,
+// without waiting for a tick or threshold. The write governor calls it
+// when admission starts throttling: the fastest way to stop throttling
+// is to drain the backlog that caused it. A no-op when the background
+// processes are not running.
+func (m *Manager) Kick() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
 }
 
 // Stats exposes the activity counters.
@@ -122,12 +206,19 @@ func (m *Manager) Threads() int {
 	return t
 }
 
-// FlushOnce runs one delta merge pass over every store.
+// FlushOnce runs one delta merge pass over every store, clamped to the
+// published TID when a Visible watermark is wired.
 func (m *Manager) FlushOnce() (int, error) {
 	total := 0
 	var firstErr error
 	for _, st := range m.svc.Stores() {
-		n, err := st.FlushDeltas()
+		var n int
+		var err error
+		if m.opts.Visible != nil {
+			n, err = st.FlushDeltasUpTo(txn.TID(m.opts.Visible()))
+		} else {
+			n, err = st.FlushDeltas()
+		}
 		total += n
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -170,7 +261,45 @@ func (m *Manager) MergeOnce() (int, error) {
 	return total, firstErr
 }
 
+// flushTriggered reports whether any store's pending delta volume
+// crosses the early-flush thresholds.
+func (m *Manager) flushTriggered() bool {
+	rows, bytes := m.opts.FlushPendingRows, m.opts.FlushPendingBytes
+	if rows < 0 && bytes < 0 {
+		return false
+	}
+	for _, st := range m.svc.Stores() {
+		if rows > 0 && st.PendingDeltas() >= rows {
+			return true
+		}
+		if bytes > 0 && st.PendingDeltaBytes() >= bytes {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeTrigger names the measured state that wants an early index merge:
+// the delta-file backlog or the tombstone ratio. Empty means no trigger.
+func (m *Manager) mergeTrigger() string {
+	for _, st := range m.svc.Stores() {
+		if n := m.opts.MergeDeltaFiles; n > 0 && len(st.DeltaFiles()) >= n {
+			return "files"
+		}
+		if r := m.opts.MergeTombstoneRatio; r > 0 && st.DeletedFraction() >= r {
+			return "tombstone"
+		}
+	}
+	return ""
+}
+
 // Start launches the two background processes. It is idempotent.
+//
+// Each process runs on two clocks: the interval ticker is the floor (a
+// pass runs at least that often) and the CheckInterval ticker evaluates
+// the adaptive triggers in between, firing a pass early when measured
+// volume crosses a threshold. A triggered pass resets the floor ticker
+// so a saturated store is not double-serviced.
 func (m *Manager) Start() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -185,27 +314,56 @@ func (m *Manager) Start() {
 	wg.Add(2)
 	go func() { // delta merge process
 		defer wg.Done()
-		t := time.NewTicker(m.opts.FlushInterval)
-		defer t.Stop()
+		floor := time.NewTicker(m.opts.FlushInterval)
+		defer floor.Stop()
+		check := time.NewTicker(m.opts.CheckInterval)
+		defer check.Stop()
 		for {
 			select {
 			case <-ctx.Done():
 				return
-			case <-t.C:
+			case <-floor.C:
+				m.stats.FlushFloor.Add(1)
 				m.FlushOnce()
+			case <-check.C:
+				if m.flushTriggered() {
+					m.stats.FlushVolume.Add(1)
+					m.FlushOnce()
+					floor.Reset(m.opts.FlushInterval)
+				}
 			}
 		}
 	}()
 	go func() { // index merge process
 		defer wg.Done()
-		t := time.NewTicker(m.opts.MergeInterval)
-		defer t.Stop()
+		floor := time.NewTicker(m.opts.MergeInterval)
+		defer floor.Stop()
+		check := time.NewTicker(m.opts.CheckInterval)
+		defer check.Stop()
 		for {
 			select {
 			case <-ctx.Done():
 				return
-			case <-t.C:
+			case <-floor.C:
+				m.stats.MergeFloor.Add(1)
 				m.MergeOnce()
+			case <-m.kick:
+				// Backpressure: drain as much backlog as one full pass can.
+				m.stats.MergeKicked.Add(1)
+				m.FlushOnce()
+				m.MergeOnce()
+				floor.Reset(m.opts.MergeInterval)
+			case <-check.C:
+				switch m.mergeTrigger() {
+				case "files":
+					m.stats.MergeFiles.Add(1)
+				case "tombstone":
+					m.stats.MergeTombstone.Add(1)
+				default:
+					continue
+				}
+				m.MergeOnce()
+				floor.Reset(m.opts.MergeInterval)
 			}
 		}
 	}()

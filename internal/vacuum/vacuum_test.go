@@ -216,3 +216,106 @@ func TestVacuumDuringConcurrentSearches(t *testing.T) {
 	}
 	<-done
 }
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestAdaptiveFlushTriggersOnVolume(t *testing.T) {
+	svc, st, mgr := newService(t)
+	// The floor tick is an hour away: only the volume trigger can flush.
+	m := NewManager(svc, Options{
+		FlushInterval: time.Hour, MergeInterval: time.Hour,
+		CheckInterval: time.Millisecond, FlushPendingRows: 16,
+	})
+	m.Start()
+	defer m.Stop()
+	for i := 0; i < 32; i++ {
+		commitUpsert(t, mgr, uint64(i), []float32{float32(i), 0, 0, 0})
+	}
+	waitFor(t, 2*time.Second, func() bool { return st.PendingDeltas() < 16 },
+		"volume trigger never flushed the pending deltas")
+	if m.Stats().FlushVolume.Load() == 0 {
+		t.Fatal("flush ran but the volume trigger counter is zero")
+	}
+	if m.Stats().FlushFloor.Load() != 0 {
+		t.Fatal("floor tick fired despite a one-hour interval")
+	}
+}
+
+func TestAdaptiveMergeTriggersOnDeltaFiles(t *testing.T) {
+	svc, st, mgr := newService(t)
+	m := NewManager(svc, Options{
+		FlushInterval: time.Hour, MergeInterval: time.Hour,
+		CheckInterval: time.Millisecond, MergeDeltaFiles: 1,
+	})
+	for i := 0; i < 8; i++ {
+		commitUpsert(t, mgr, uint64(i), []float32{float32(i), 0, 0, 0})
+	}
+	if _, err := m.FlushOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.DeltaFiles()) == 0 {
+		t.Fatal("no delta file to trigger on")
+	}
+	m.Start()
+	defer m.Stop()
+	waitFor(t, 2*time.Second, func() bool { return st.Watermark() == 8 && len(st.DeltaFiles()) == 0 },
+		"file-count trigger never merged the backlog")
+	if m.Stats().MergeFiles.Load() == 0 {
+		t.Fatal("merge ran but the file trigger counter is zero")
+	}
+}
+
+func TestKickForcesImmediatePass(t *testing.T) {
+	svc, st, mgr := newService(t)
+	// Thresholds disabled and floors far away: only Kick can drain.
+	m := NewManager(svc, Options{
+		FlushInterval: time.Hour, MergeInterval: time.Hour,
+		CheckInterval:    time.Millisecond,
+		FlushPendingRows: -1, FlushPendingBytes: -1, MergeDeltaFiles: -1, MergeTombstoneRatio: -1,
+	})
+	m.Start()
+	defer m.Stop()
+	for i := 0; i < 8; i++ {
+		commitUpsert(t, mgr, uint64(i), []float32{float32(i), 0, 0, 0})
+	}
+	m.Kick()
+	waitFor(t, 2*time.Second, func() bool { return st.Watermark() == 8 },
+		"kick never drained the backlog")
+	if m.Stats().MergeKicked.Load() == 0 {
+		t.Fatal("kick pass ran but the counter is zero")
+	}
+}
+
+func TestFlushClampedToVisibleTID(t *testing.T) {
+	svc, st, mgr := newService(t)
+	// Pretend TIDs above 5 have not published yet (their group fsync is
+	// still in flight): the flush must leave them in the delta store.
+	m := NewManager(svc, Options{Visible: func() uint64 { return 5 }})
+	for i := 0; i < 10; i++ {
+		commitUpsert(t, mgr, uint64(i), []float32{float32(i), 0, 0, 0})
+	}
+	n, err := m.FlushOnce()
+	if err != nil || n != 5 {
+		t.Fatalf("clamped FlushOnce = %d, %v; want 5", n, err)
+	}
+	if st.PendingDeltas() != 5 {
+		t.Fatalf("pending after clamped flush = %d, want 5", st.PendingDeltas())
+	}
+	if _, err := m.MergeOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if w := st.Watermark(); w != 5 {
+		t.Fatalf("watermark overtook the visible TID: %d", w)
+	}
+}

@@ -206,6 +206,7 @@ func (db *DB) RangeSearch(attr string, query []float32, threshold float32, opts 
 // The update becomes visible immediately (served from the delta store)
 // and is merged into the index by the vacuum.
 func (db *DB) UpsertEmbedding(vertexType, attr string, id uint64, vec []float32) error {
+	db.admitWrite()
 	db.cpMu.RLock()
 	defer db.cpMu.RUnlock()
 	return db.upsertEmbedding(vertexType, attr, id, vec)
@@ -230,6 +231,7 @@ func (db *DB) upsertEmbedding(vertexType, attr string, id uint64, vec []float32)
 
 // DeleteEmbedding transactionally removes a vertex's embedding.
 func (db *DB) DeleteEmbedding(vertexType, attr string, id uint64) error {
+	db.admitWrite()
 	db.cpMu.RLock()
 	defer db.cpMu.RUnlock()
 	if err := db.checkEmbedding(vertexType, attr, -1); err != nil {

@@ -48,6 +48,14 @@ type StoreStats struct {
 	// on means no brute scan ran quantized (e.g. every segment went
 	// through an index).
 	RescoreCandidates uint64 `json:"rescore_candidates"`
+	// PendingDeltaBytes is the resident size of the unflushed delta
+	// store (vectors plus per-delta overhead) — the volume the adaptive
+	// flush trigger measures.
+	PendingDeltaBytes int64 `json:"pending_delta_bytes"`
+	// DeltaFileRows counts vector updates sitting in flushed-but-unmerged
+	// delta files. PendingDeltas + DeltaFileRows is the write backlog the
+	// backpressure governor paces against.
+	DeltaFileRows int `json:"delta_file_rows"`
 }
 
 // FilterPlanStats accumulates filtered-search planner activity since
@@ -85,6 +93,51 @@ type VacuumStats struct {
 	Rebuilds int64 `json:"rebuilds"`
 	// Errors counts failed vacuum passes.
 	Errors int64 `json:"errors"`
+	// Trigger-reason counters: why background passes fired. Floor counts
+	// are interval ticks (the idle cadence); the others are adaptive
+	// triggers — flushes forced by delta volume, merges forced by the
+	// delta-file backlog or tombstone ratio, and full passes kicked by
+	// write backpressure. Manual Vacuum() passes are not attributed.
+	FlushFloorRuns     int64 `json:"flush_floor_runs"`
+	FlushVolumeRuns    int64 `json:"flush_volume_runs"`
+	MergeFloorRuns     int64 `json:"merge_floor_runs"`
+	MergeFileRuns      int64 `json:"merge_file_runs"`
+	MergeTombstoneRuns int64 `json:"merge_tombstone_runs"`
+	KickedRuns         int64 `json:"kicked_runs"`
+}
+
+// GroupCommitStats reports WAL group-commit batching efficiency. With
+// group commit off (or no durability) all fields are zero.
+type GroupCommitStats struct {
+	// Enabled reports whether fsync coalescing is configured on.
+	Enabled bool `json:"enabled"`
+	// Commits counts durable commits acknowledged through the group
+	// path; Fsyncs counts the physical fsyncs that covered them. Their
+	// ratio (Fsyncs/Commits) is the batching efficiency — it approaches
+	// 1/batch-size under concurrent load.
+	Commits int64 `json:"commits"`
+	Fsyncs  int64 `json:"fsyncs"`
+	// MaxBatch is the largest number of commits one fsync covered.
+	MaxBatch int64 `json:"max_batch"`
+}
+
+// BackpressureStats reports write-admission pacing activity. All zero
+// when backpressure is off (disabled, or no background vacuum).
+type BackpressureStats struct {
+	// Enabled reports whether the governor is active.
+	Enabled bool `json:"enabled"`
+	// SoftLimit and HardLimit are the configured backlog thresholds.
+	SoftLimit int `json:"soft_limit"`
+	HardLimit int `json:"hard_limit"`
+	// Backlog is the current unmerged write backlog (pending deltas plus
+	// delta-file rows, summed over stores).
+	Backlog int `json:"backlog"`
+	// Throttled counts writes that paid any pacing delay; HardStalls
+	// counts the subset that hit the hard ceiling; ThrottleNanos is the
+	// total time writes spent paced.
+	Throttled     int64 `json:"throttled"`
+	HardStalls    int64 `json:"hard_stalls"`
+	ThrottleNanos int64 `json:"throttle_nanos"`
 }
 
 // DBStats is a point-in-time snapshot of a DB's serving state.
@@ -125,6 +178,10 @@ type DBStats struct {
 	Stores []StoreStats `json:"stores"`
 	// Vacuum aggregates background maintenance counters.
 	Vacuum VacuumStats `json:"vacuum"`
+	// GroupCommit reports WAL fsync-coalescing efficiency.
+	GroupCommit GroupCommitStats `json:"group_commit"`
+	// Backpressure reports write-admission pacing.
+	Backpressure BackpressureStats `json:"backpressure"`
 	// Pool reports query worker-pool load.
 	Pool PoolStats `json:"pool"`
 	// Queries lists the defined GSQL query names.
@@ -162,8 +219,10 @@ func (db *DB) Stats() DBStats {
 		PostSegments:     pc.PostSegments,
 		SkippedSegments:  pc.SkippedSegments,
 	}
+	backlog := 0
 	for _, store := range db.svc.Stores() {
 		vecBytes, quantBytes, rescored := store.MemStats()
+		backlog += store.Backlog()
 		st.Stores = append(st.Stores, StoreStats{
 			Attr:              store.Key,
 			Segments:          store.NumSegments(),
@@ -174,17 +233,45 @@ func (db *DB) Stats() DBStats {
 			VectorBytes:       vecBytes,
 			QuantizedBytes:    quantBytes,
 			RescoreCandidates: rescored,
+			PendingDeltaBytes: store.PendingDeltaBytes(),
+			DeltaFileRows:     store.DeltaFileRows(),
 		})
 	}
 	sort.Slice(st.Stores, func(i, j int) bool { return st.Stores[i].Attr < st.Stores[j].Attr })
 	vs := db.vac.Stats()
 	st.Vacuum = VacuumStats{
-		FlushRuns:     vs.FlushRuns.Load(),
-		FlushedDeltas: vs.FlushedDeltas.Load(),
-		MergeRuns:     vs.MergeRuns.Load(),
-		MergedDeltas:  vs.MergedDeltas.Load(),
-		Rebuilds:      vs.Rebuilds.Load(),
-		Errors:        vs.Errors.Load(),
+		FlushRuns:          vs.FlushRuns.Load(),
+		FlushedDeltas:      vs.FlushedDeltas.Load(),
+		MergeRuns:          vs.MergeRuns.Load(),
+		MergedDeltas:       vs.MergedDeltas.Load(),
+		Rebuilds:           vs.Rebuilds.Load(),
+		Errors:             vs.Errors.Load(),
+		FlushFloorRuns:     vs.FlushFloor.Load(),
+		FlushVolumeRuns:    vs.FlushVolume.Load(),
+		MergeFloorRuns:     vs.MergeFloor.Load(),
+		MergeFileRuns:      vs.MergeFiles.Load(),
+		MergeTombstoneRuns: vs.MergeTombstone.Load(),
+		KickedRuns:         vs.MergeKicked.Load(),
+	}
+	gs := db.mgr.GroupCommitStats()
+	st.GroupCommit = GroupCommitStats{
+		Enabled:  db.mgr.GroupCommitEnabled(),
+		Commits:  gs.Commits,
+		Fsyncs:   gs.Fsyncs,
+		MaxBatch: gs.MaxBatch,
+	}
+	if db.gov != nil {
+		soft, hard := db.gov.Limits()
+		govs := db.gov.Stats()
+		st.Backpressure = BackpressureStats{
+			Enabled:       true,
+			SoftLimit:     soft,
+			HardLimit:     hard,
+			Backlog:       backlog,
+			Throttled:     govs.Throttled,
+			HardStalls:    govs.HardStalls,
+			ThrottleNanos: govs.ThrottleNanos,
+		}
 	}
 	return st
 }

@@ -57,9 +57,21 @@ type Config struct {
 	DefaultEf int
 	// DisableVacuum turns off the background delta-merge and index-merge
 	// processes; committed vector updates are then served from the delta
-	// store until Vacuum() is called manually.
+	// store until Vacuum() is called manually. Write backpressure is
+	// also off in this mode (there is no background drain to wait for).
+	//
+	// Vacuum() is always safe to call, with or without the background
+	// manager running: flush and index-merge passes are serialized per
+	// store, so a manual drain that overlaps a background mid-merge
+	// simply queues behind it.
 	DisableVacuum bool
-	// VacuumInterval overrides the index merge cadence. Default 200ms.
+	// VacuumInterval overrides the index merge floor cadence — the
+	// maximum time between merge passes. Default 200ms. The background
+	// manager also merges early when measured state asks for it (delta
+	// file backlog, tombstone ratio; see internal/vacuum.Options), so
+	// raising this throttles only the idle cadence, not burst handling.
+	// Ignored when DisableVacuum is set: no background passes run at any
+	// interval, and index freshness is entirely in the caller's hands.
 	VacuumInterval time.Duration
 	// Seed fixes all internal randomness (HNSW levels, Louvain order).
 	Seed int64
@@ -89,6 +101,52 @@ type Config struct {
 	// quantization (SQ8) with exact float32 re-scoring. Off by default;
 	// index-backed searches and range scans always score exact floats.
 	Quantization QuantizationConfig
+	// GroupCommit opts durable commits into fsync coalescing: concurrent
+	// commits whose WAL records land within one latency budget share a
+	// single fsync, so durable write throughput scales with commit
+	// concurrency instead of being capped at 1/fsync. Off by default
+	// (every commit pays its own fsync, the PR-2 behavior); it has no
+	// effect without Durability or with NoFsync (nothing to coalesce).
+	GroupCommit GroupCommitConfig
+	// Backpressure bounds the write backlog (committed vector updates
+	// the vacuum has not yet merged into index snapshots) by pacing
+	// writers once it crosses a soft threshold. On by default whenever
+	// the background vacuum runs; see BackpressureConfig.
+	Backpressure BackpressureConfig
+}
+
+// GroupCommitConfig controls WAL group commit (see txn.GroupCommitConfig
+// for the mechanism). The WAL byte stream is unchanged — only fsyncs
+// and visibility publishes are batched — so replication and recovery
+// behave identically.
+type GroupCommitConfig struct {
+	// Enabled turns fsync coalescing on.
+	Enabled bool
+	// MaxDelay is how long a commit may linger waiting for batchmates
+	// before fsyncing; it bounds the latency cost of batching. Default
+	// 1ms.
+	MaxDelay time.Duration
+	// MaxBatchBytes fsyncs a batch early once this many unsynced WAL
+	// bytes accumulate. Default 1 MiB.
+	MaxBatchBytes int
+}
+
+// BackpressureConfig bounds the unmerged write backlog. Writers start
+// paying a pacing delay at SoftPendingRows, scaling linearly to
+// MaxDelay at HardPendingRows, where they additionally stall (bounded —
+// admission never deadlocks) until the vacuum drains below the
+// ceiling. Pacing also kicks the vacuum, so the backlog drains at merge
+// speed. Only active while the background vacuum runs.
+type BackpressureConfig struct {
+	// Disabled turns admission pacing off.
+	Disabled bool
+	// SoftPendingRows is the backlog (pending deltas + unmerged delta
+	// file rows, per store sum) where pacing starts. Default 32768.
+	SoftPendingRows int
+	// HardPendingRows is the backlog ceiling. Default 2*SoftPendingRows.
+	HardPendingRows int
+	// MaxDelay is the per-write pacing ceiling. Default 20ms.
+	MaxDelay time.Duration
 }
 
 // QuantizationConfig controls SQ8 scalar quantization of brute segment
@@ -135,6 +193,7 @@ type DB struct {
 	interp  *gsql.Interpreter
 	vac     *vacuum.Manager
 	pool    *core.Pool
+	gov     *core.WriteGovernor // nil when backpressure is off
 	walFile *os.File
 	wal     *txn.WAL
 	ownsDir bool
@@ -242,9 +301,19 @@ func Open(cfg Config) (*DB, error) {
 		}
 		db.walFile = f
 		db.wal = txn.NewWAL(f)
-		db.wal.SetSync(!cfg.NoFsync)
+		if err := db.wal.SetSync(!cfg.NoFsync); err != nil {
+			_ = f.Close()
+			db.pool.Close()
+			return nil, fmt.Errorf("tigervector: %w", err)
+		}
 		mgr2 := txn.NewManager(svc, db.wal)
 		mgr2.Recover(mgr.Visible())
+		if cfg.GroupCommit.Enabled && !cfg.NoFsync {
+			mgr2.EnableGroupCommit(txn.GroupCommitConfig{
+				MaxDelay:      cfg.GroupCommit.MaxDelay,
+				MaxBatchBytes: cfg.GroupCommit.MaxBatchBytes,
+			})
+		}
 		db.mgr = mgr2
 		eng.Mgr = mgr2
 	}
@@ -252,9 +321,28 @@ func Open(cfg Config) (*DB, error) {
 		MergeInterval: cfg.VacuumInterval,
 		MaxThreads:    runtime.GOMAXPROCS(0),
 		Monitor:       vacuum.LoadFunc(eng.Load),
+		// Under group commit, deltas can sit in the delta store before
+		// their TID is published (durable); the clamp keeps flushes from
+		// advancing the index watermark past the visible snapshot.
+		Visible: func() uint64 { return uint64(db.mgr.Visible()) },
 	})
 	if !cfg.DisableVacuum {
 		db.vac.Start()
+		if !cfg.Backpressure.Disabled {
+			db.gov = core.NewWriteGovernor(
+				cfg.Backpressure.SoftPendingRows,
+				cfg.Backpressure.HardPendingRows,
+				cfg.Backpressure.MaxDelay,
+				func() int {
+					total := 0
+					for _, st := range db.svc.Stores() {
+						total += st.Backlog()
+					}
+					return total
+				},
+				db.vac.Kick,
+			)
+		}
 	}
 	if cfg.Durability && cfg.CheckpointInterval > 0 {
 		db.cpStop = make(chan struct{})
@@ -475,6 +563,15 @@ func (db *DB) Vacuum() error {
 	return db.vac.Drain()
 }
 
+// admitWrite paces one vector write against the unmerged backlog (see
+// BackpressureConfig). It must run before the caller takes cpMu: a
+// paced writer sleeping under the shared lock would delay checkpoints.
+func (db *DB) admitWrite() {
+	if db.gov != nil {
+		db.gov.Admit()
+	}
+}
+
 // normalizeAttrs converts an attribute map onto WAL-encodable values and
 // a deterministic (name-sorted) record attribute list.
 func normalizeAttrs(attrs map[string]any) (map[string]storage.Value, []txn.GraphAttr, error) {
@@ -558,6 +655,7 @@ func (db *DB) SetAttr(vertexType string, id uint64, name string, v any) error {
 // DeleteVertex tombstones a vertex and transactionally deletes its
 // embedding attributes; one WAL record covers both.
 func (db *DB) DeleteVertex(vertexType string, id uint64) error {
+	db.admitWrite()
 	db.cpMu.RLock()
 	defer db.cpMu.RUnlock()
 	vt, ok := db.graph.Schema().VertexType(vertexType)

@@ -1,0 +1,160 @@
+package tigervector
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestManualVacuumRacesBackgroundMerge is the regression test for the
+// documented VacuumInterval contract: Vacuum() is always safe to call,
+// including while a background index-merge pass is mid-flight. Before
+// merge passes were serialized per store, two overlapping passes could
+// both read the same (watermark, flushed] delta-file window and apply it
+// twice. Run under -race this also checks the locking of the shared
+// delta-file registry.
+func TestManualVacuumRacesBackgroundMerge(t *testing.T) {
+	db, err := Open(Config{
+		SegmentSize:    32,
+		Seed:           1,
+		DataDir:        t.TempDir(),
+		VacuumInterval: time.Millisecond, // background merges constantly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeDB(t, db)
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 300
+	ids := make([]uint64, n)
+	vecs := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		id, err := db.AddVertex("Post", map[string]any{
+			"id": int64(i), "language": "English", "length": int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		vecs[i] = []float32{float32(i), float32(i % 7), float32(i % 13), 1, 0, 0, 0, 0}
+	}
+
+	// Writers keep the delta store busy while manual Vacuum() calls race
+	// the background passes.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.UpsertEmbedding("Post", "content_emb", ids[i%n], vecs[i%n]); err != nil {
+				t.Error(err)
+				return
+			}
+			i++
+		}
+	}()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := db.Vacuum(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Give the background vacuum real overlap time.
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// With writers stopped, one final drain must converge: every delta
+	// merged, watermark caught up to the visible TID, all rows intact.
+	if err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ss := range db.Stats().Stores {
+		if ss.PendingDeltas != 0 || ss.DeltaFiles != 0 {
+			t.Fatalf("store %s not drained: %d pending, %d files", ss.Attr, ss.PendingDeltas, ss.DeltaFiles)
+		}
+		if ss.Watermark != db.Stats().VisibleTID {
+			t.Fatalf("store %s watermark %d != visible %d", ss.Attr, ss.Watermark, db.Stats().VisibleTID)
+		}
+	}
+	res, err := db.Search(context.Background(), Request{
+		Kind: TopK, Attrs: []string{"Post.content_emb"}, Query: vecs[0], K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].ID != ids[0] {
+		t.Fatalf("post-drain search wrong: %+v", res.Hits)
+	}
+}
+
+// TestDisableVacuumManualOnly pins the DisableVacuum contract: no
+// background pass ever runs (VacuumInterval is ignored), committed
+// updates serve from the delta store indefinitely, and a manual Vacuum()
+// still drains everything.
+func TestDisableVacuumManualOnly(t *testing.T) {
+	db, err := Open(Config{
+		SegmentSize:    32,
+		Seed:           1,
+		DataDir:        t.TempDir(),
+		DisableVacuum:  true,
+		VacuumInterval: time.Millisecond, // must be ignored
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeDB(t, db)
+	if err := db.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		id, err := db.AddVertex("Post", map[string]any{
+			"id": int64(i), "language": "English", "length": int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec := []float32{float32(i), 0, 0, 0, 0, 0, 0, 0}
+		if err := db.UpsertEmbedding("Post", "content_emb", id, vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond) // many VacuumIntervals worth
+	st := db.Stats()
+	if st.Vacuum.FlushRuns != 0 || st.Vacuum.MergeRuns != 0 {
+		t.Fatalf("background vacuum ran despite DisableVacuum: %+v", st.Vacuum)
+	}
+	if st.Backpressure.Enabled {
+		t.Fatal("backpressure governor active without a background vacuum")
+	}
+	total := 0
+	for _, ss := range st.Stores {
+		total += ss.PendingDeltas
+	}
+	if total != n {
+		t.Fatalf("expected %d pending deltas, got %d", n, total)
+	}
+	if err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ss := range db.Stats().Stores {
+		if ss.PendingDeltas != 0 || ss.DeltaFiles != 0 {
+			t.Fatalf("manual Vacuum left store %s undrained: %+v", ss.Attr, ss)
+		}
+	}
+}
